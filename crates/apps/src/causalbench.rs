@@ -1,0 +1,257 @@
+//! CausalBench — the paper's micro-benchmark (§V-B, Fig. 4).
+//!
+//! Nine services:
+//!
+//! ```text
+//!        ┌── path_bce ──► B ──► C ──► E        (E logs every 100th request)
+//!        ├── path_be  ──► B ───────► E
+//! user ► A
+//!        ├── path_hd  ──► H ──► D (redis, counter `items`)
+//!        └── path_id  ──► I ──► D (redis, counter `dummy`)
+//!
+//!        F (daemon) polls D:`items`, decrements, calls G per item
+//! ```
+//!
+//! All web nodes "execute small compute tasks"; F is the stateful decoupler
+//! that turns a fault upstream of `items` into an *omission* at G.
+
+use crate::app::App;
+use icfl_loadgen::UserFlow;
+use icfl_micro::{steps, ClusterSpec, DaemonSpec, ServiceSpec};
+use icfl_sim::{DurationDist, SimDuration};
+
+/// Service-time distribution used by every CausalBench web handler
+/// (a small base64-of-random-string compute task).
+fn task_time() -> DurationDist {
+    DurationDist::log_normal(SimDuration::from_millis(2), 0.25)
+}
+
+/// Builds the CausalBench application.
+///
+/// # Examples
+///
+/// ```
+/// let app = icfl_apps::causalbench();
+/// assert_eq!(app.num_services(), 9);
+/// assert_eq!(app.flows.len(), 4);
+/// ```
+pub fn causalbench() -> App {
+    let spec = ClusterSpec::new("causalbench")
+        .service(
+            ServiceSpec::web("A")
+                .with_concurrency(16)
+                .endpoint(
+                    "path_bce",
+                    vec![steps::compute(task_time()), steps::call("B", "path_ce")],
+                )
+                .endpoint(
+                    "path_be",
+                    vec![steps::compute(task_time()), steps::call("B", "path_e")],
+                )
+                .endpoint(
+                    "path_hd",
+                    vec![steps::compute(task_time()), steps::call("H", "/")],
+                )
+                .endpoint(
+                    "path_id",
+                    vec![steps::compute(task_time()), steps::call("I", "/")],
+                ),
+        )
+        .service(
+            ServiceSpec::web("B")
+                .with_concurrency(8)
+                .endpoint(
+                    "path_ce",
+                    vec![steps::compute(task_time()), steps::call("C", "path_e")],
+                )
+                .endpoint(
+                    "path_e",
+                    vec![steps::compute(task_time()), steps::call("E", "/")],
+                ),
+        )
+        .service(
+            ServiceSpec::web("C").with_concurrency(8).endpoint(
+                "path_e",
+                vec![steps::compute(task_time()), steps::call("E", "/")],
+            ),
+        )
+        .service(ServiceSpec::kv_store("D"))
+        .service(
+            ServiceSpec::web("E").with_concurrency(8).endpoint(
+                "/",
+                vec![
+                    steps::compute(task_time()),
+                    steps::log_every_n(100, "I am okay!"),
+                ],
+            ),
+        )
+        .service(ServiceSpec::web("F"))
+        .service(
+            ServiceSpec::web("G")
+                .with_concurrency(8)
+                .endpoint("/", vec![steps::compute(task_time())]),
+        )
+        .service(
+            ServiceSpec::web("H").with_concurrency(8).endpoint(
+                "/",
+                vec![steps::compute(task_time()), steps::kv_incr("D", "items")],
+            ),
+        )
+        .service(
+            ServiceSpec::web("I").with_concurrency(8).endpoint(
+                "/",
+                vec![steps::compute(task_time()), steps::kv_incr("D", "dummy")],
+            ),
+        )
+        .daemon(
+            DaemonSpec::poll_loop("F", "D", "items")
+                .calling("G", "/"),
+        );
+
+    App {
+        name: "causalbench".into(),
+        spec,
+        flows: vec![
+            UserFlow::new("path_bce", "A", "path_bce"),
+            UserFlow::new("path_be", "A", "path_be"),
+            UserFlow::new("path_hd", "A", "path_hd"),
+            UserFlow::new("path_id", "A", "path_id"),
+        ],
+        // Every HTTP-reachable service; F has no port (pure worker), so the
+        // paper's http-service-unavailable fault cannot target it.
+        fault_targets: ["A", "B", "C", "D", "E", "G", "H", "I"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icfl_loadgen::{start_load, LoadConfig};
+    use icfl_micro::{Cluster, FaultKind};
+    use icfl_sim::{Sim, SimTime};
+
+    fn run(seed: u64, fault: Option<&str>, secs: u64) -> Cluster {
+        let app = causalbench();
+        let (mut cluster, _) = app.build(seed).unwrap();
+        if let Some(name) = fault {
+            let id = cluster.service_id(name).unwrap();
+            cluster.set_fault(id, Some(FaultKind::ServiceUnavailable));
+        }
+        let mut sim = Sim::new(seed);
+        Cluster::start(&mut sim, &mut cluster);
+        let cfg = LoadConfig::closed_loop(app.flows.clone());
+        start_load(&mut sim, &mut cluster, &cfg).unwrap();
+        sim.run_until(SimTime::from_secs(secs), &mut cluster);
+        cluster
+    }
+
+    #[test]
+    fn topology_matches_figure_4() {
+        let app = causalbench();
+        let edges = app.call_edges();
+        let expect = |a: &str, b: &str| {
+            assert!(
+                edges.contains(&(a.to_owned(), b.to_owned())),
+                "missing edge {a}->{b}: {edges:?}"
+            );
+        };
+        expect("A", "B");
+        expect("A", "H");
+        expect("A", "I");
+        expect("B", "C");
+        expect("B", "E");
+        expect("C", "E");
+        expect("H", "D");
+        expect("I", "D");
+        expect("F", "D");
+        expect("F", "G");
+        assert_eq!(edges.len(), 10);
+    }
+
+    #[test]
+    fn healthy_run_exercises_every_service() {
+        let cl = run(1, None, 60);
+        for name in ["A", "B", "C", "D", "E", "G", "H", "I"] {
+            let id = cl.service_id(name).unwrap();
+            assert!(
+                cl.counters(id).requests_received > 0,
+                "{name} received no traffic"
+            );
+        }
+        // The indirect H→D→F→G path flows.
+        let g = cl.service_id("G").unwrap();
+        let h = cl.service_id("H").unwrap();
+        let g_rx = cl.counters(g).requests_received;
+        let h_rx = cl.counters(h).requests_received;
+        let ratio = g_rx as f64 / h_rx as f64;
+        assert!((0.85..1.1).contains(&ratio), "G/H ratio {ratio}");
+    }
+
+    #[test]
+    fn e_logs_every_hundredth_request() {
+        let cl = run(2, None, 120);
+        let e = cl.service_id("E").unwrap();
+        let c = cl.counters(e);
+        let expected = c.requests_received / 100;
+        let got = c.logs_info;
+        assert!(
+            got == expected || got + 1 == expected,
+            "E rx={} logs={got}",
+            c.requests_received
+        );
+    }
+
+    #[test]
+    fn fault_on_b_matches_section_6b_causal_worlds() {
+        // §VI-B: msg-rate world of a B fault includes A (error logs) and E
+        // (omission of "I am okay!"); CPU world includes C and E (traffic
+        // stops).
+        let normal = run(3, None, 120);
+        let faulty = run(3, Some("B"), 120);
+        let get = |cl: &Cluster, n: &str| cl.counters(cl.service_id(n).unwrap());
+
+        // A now logs errors.
+        assert_eq!(get(&normal, "A").logs_error, 0);
+        assert!(get(&faulty, "A").logs_error > 50);
+        // C and E stop receiving requests.
+        assert!(get(&normal, "C").requests_received > 100);
+        assert_eq!(get(&faulty, "C").requests_received, 0);
+        assert_eq!(get(&faulty, "E").requests_received, 0);
+        // E's info logs vanish (the omission fault on the msg metric).
+        assert!(get(&normal, "E").logs_info > 0);
+        assert_eq!(get(&faulty, "E").logs_info, 0);
+        // The H/I/D side is unaffected.
+        let h_normal = get(&normal, "H").requests_received as f64;
+        let h_faulty = get(&faulty, "H").requests_received as f64;
+        assert!(h_faulty > h_normal * 0.9, "H unaffected");
+    }
+
+    #[test]
+    fn fault_on_d_starves_g_and_surfaces_at_h_and_f() {
+        let normal = run(4, None, 120);
+        let faulty = run(4, Some("D"), 120);
+        let get = |cl: &Cluster, n: &str| cl.counters(cl.service_id(n).unwrap());
+        // H errors (it calls D); F logs connection errors.
+        assert!(get(&faulty, "H").logs_error > 50);
+        assert!(get(&faulty, "F").logs_error > 50);
+        // G is starved — the omission fault of Fig. 1 pattern 2.
+        assert!(get(&normal, "G").requests_received > 100);
+        assert_eq!(get(&faulty, "G").requests_received, 0);
+    }
+
+    #[test]
+    fn fault_on_h_starves_g_without_errors_at_g() {
+        let normal = run(5, None, 120);
+        let faulty = run(5, Some("H"), 120);
+        let get = |cl: &Cluster, n: &str| cl.counters(cl.service_id(n).unwrap());
+        // A sees errors on path_hd.
+        assert!(get(&faulty, "A").logs_error > 50);
+        // G starves (no items produced), but logs nothing itself.
+        assert!(get(&normal, "G").requests_received > 100);
+        assert_eq!(get(&faulty, "G").requests_received, 0);
+        assert_eq!(get(&faulty, "G").logs_total, 0);
+    }
+}

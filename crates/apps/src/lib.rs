@@ -1,0 +1,29 @@
+//! # icfl-apps — benchmark applications for the ICFL reproduction
+//!
+//! Declarative models of every application evaluated or illustrated in the
+//! paper, built on `icfl-micro`'s spec DSL:
+//!
+//! * [`causalbench`] — the paper's 9-service micro-benchmark (§V-B, Fig. 4);
+//! * [`robot_shop`] — the 12-service open-source e-commerce storefront;
+//! * [`pattern1`] / [`pattern2`] — Fig. 1's two communication patterns;
+//! * [`fig2_topology`] — the Fig. 2 queueing-confounder topology;
+//! * [`chain_app`] / [`star_app`] / [`layered_app`] — parameterized
+//!   synthetic topologies for scalability studies.
+//!
+//! Each returns an [`App`] bundling the topology, the Locust-style
+//! userflows, and the services targeted by fault injection.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod app;
+mod causalbench;
+mod patterns;
+mod robotshop;
+mod synthetic;
+
+pub use app::App;
+pub use causalbench::causalbench;
+pub use patterns::{fig2_topology, pattern1, pattern2};
+pub use robotshop::robot_shop;
+pub use synthetic::{chain_app, layered_app, star_app};

@@ -1,0 +1,247 @@
+//! The illustrative topologies of the paper's Fig. 1 (metric-dependent
+//! causal worlds) and Fig. 2 (load as an intervention-dependent confounder).
+
+use crate::app::App;
+use icfl_loadgen::UserFlow;
+use icfl_micro::{steps, ClusterSpec, DaemonSpec, ServiceSpec};
+use icfl_sim::{DurationDist, SimDuration};
+
+fn task_time() -> DurationDist {
+    DurationDist::log_normal(SimDuration::from_millis(2), 0.25)
+}
+
+/// Fig. 1 pattern 1 — a stateless call chain `A → B → C`.
+///
+/// Error logs surface only on the *response* path (A when B fails), while
+/// request counts drop only *downstream* (C when B fails): two different
+/// causal worlds for the same fault.
+///
+/// # Examples
+///
+/// ```
+/// let app = icfl_apps::pattern1();
+/// assert_eq!(app.num_services(), 3);
+/// ```
+pub fn pattern1() -> App {
+    let spec = ClusterSpec::new("pattern1")
+        .service(
+            ServiceSpec::web("A").with_concurrency(8).endpoint(
+                "/",
+                vec![steps::compute(task_time()), steps::call("B", "/")],
+            ),
+        )
+        .service(
+            ServiceSpec::web("B").with_concurrency(8).endpoint(
+                "/",
+                vec![steps::compute(task_time()), steps::call("C", "/")],
+            ),
+        )
+        .service(
+            ServiceSpec::web("C")
+                .with_concurrency(8)
+                .endpoint("/", vec![steps::compute(task_time())]),
+        );
+    App {
+        name: "pattern1".into(),
+        spec,
+        flows: vec![UserFlow::new("chain", "A", "/")],
+        fault_targets: vec!["A".into(), "B".into(), "C".into()],
+    }
+}
+
+/// Fig. 1 pattern 2 — the stateful decoupling `H → D ⇐ F → G`.
+///
+/// H increments a counter in the store D; the daemon F drains it and calls
+/// G once per item. A fault on D (or H) silently starves G — the omission
+/// fault only visible through request counts, never through G's own logs.
+///
+/// # Examples
+///
+/// ```
+/// let app = icfl_apps::pattern2();
+/// assert_eq!(app.num_services(), 4);
+/// ```
+pub fn pattern2() -> App {
+    let spec = ClusterSpec::new("pattern2")
+        .service(
+            ServiceSpec::web("H").with_concurrency(8).endpoint(
+                "/",
+                vec![steps::compute(task_time()), steps::kv_incr("D", "items")],
+            ),
+        )
+        .service(ServiceSpec::kv_store("D"))
+        .service(ServiceSpec::web("F"))
+        .service(
+            ServiceSpec::web("G")
+                .with_concurrency(8)
+                .endpoint("/", vec![steps::compute(task_time())]),
+        )
+        .daemon(DaemonSpec::poll_loop("F", "D", "items").calling("G", "/"));
+    App {
+        name: "pattern2".into(),
+        spec,
+        flows: vec![UserFlow::new("produce", "H", "/")],
+        fault_targets: vec!["H".into(), "D".into(), "G".into()],
+    }
+}
+
+/// The Fig. 2 topology — two user request types sharing the front door:
+///
+/// ```text
+/// user ► A ── path_bc ──► B ──► C ──► E
+///        ├── path_be ──► B ────────► E
+///        └── path_i  ──► I
+/// ```
+///
+/// Under closed-loop load, failing C makes `path_bc` users fail fast and
+/// re-draw sooner, *raising* the request rate observed at I — the spurious
+/// C→I "causal" edge discussed in §III-C.
+///
+/// # Examples
+///
+/// ```
+/// let app = icfl_apps::fig2_topology();
+/// assert_eq!(app.num_services(), 5);
+/// ```
+pub fn fig2_topology() -> App {
+    let spec = ClusterSpec::new("fig2")
+        .service(
+            ServiceSpec::web("A")
+                .with_concurrency(16)
+                .endpoint(
+                    "path_bc",
+                    vec![steps::compute(task_time()), steps::call("B", "path_c")],
+                )
+                .endpoint(
+                    "path_be",
+                    vec![steps::compute(task_time()), steps::call("B", "path_e")],
+                )
+                .endpoint(
+                    "path_i",
+                    vec![steps::compute(task_time()), steps::call("I", "/")],
+                ),
+        )
+        .service(
+            ServiceSpec::web("B")
+                .with_concurrency(8)
+                .endpoint(
+                    "path_c",
+                    vec![steps::compute(task_time()), steps::call("C", "/")],
+                )
+                .endpoint(
+                    "path_e",
+                    vec![steps::compute(task_time()), steps::call("E", "/")],
+                ),
+        )
+        .service(
+            ServiceSpec::web("C").with_concurrency(8).endpoint(
+                "/",
+                // C is the expensive hop: failing it fast frees A's users
+                // ~40 ms per iteration, which is what shifts load onto I.
+                vec![
+                    steps::compute(DurationDist::log_normal(SimDuration::from_millis(40), 0.2)),
+                    steps::call("E", "/"),
+                ],
+            ),
+        )
+        .service(
+            ServiceSpec::web("E")
+                .with_concurrency(8)
+                .endpoint("/", vec![steps::compute(task_time())]),
+        )
+        .service(
+            ServiceSpec::web("I").with_concurrency(8).endpoint(
+                "/",
+                // I is also slow so the symmetric confounder (fault on I
+                // raising C's rate) is observable.
+                vec![steps::compute(DurationDist::log_normal(
+                    SimDuration::from_millis(30),
+                    0.2,
+                ))],
+            ),
+        );
+    App {
+        name: "fig2".into(),
+        spec,
+        flows: vec![
+            UserFlow::new("path_bc", "A", "path_bc"),
+            UserFlow::new("path_be", "A", "path_be"),
+            UserFlow::new("path_i", "A", "path_i"),
+        ],
+        fault_targets: vec!["A".into(), "B".into(), "C".into(), "E".into(), "I".into()],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icfl_loadgen::{start_load, LoadConfig};
+    use icfl_micro::{Cluster, FaultKind};
+    use icfl_sim::{Sim, SimTime};
+
+    fn drive(app: &App, seed: u64, fault: Option<&str>, secs: u64) -> Cluster {
+        let (mut cluster, _) = app.build(seed).unwrap();
+        if let Some(name) = fault {
+            let id = cluster.service_id(name).unwrap();
+            cluster.set_fault(id, Some(FaultKind::ServiceUnavailable));
+        }
+        let mut sim = Sim::new(seed);
+        Cluster::start(&mut sim, &mut cluster);
+        start_load(&mut sim, &mut cluster, &LoadConfig::closed_loop(app.flows.clone()))
+            .unwrap();
+        sim.run_until(SimTime::from_secs(secs), &mut cluster);
+        cluster
+    }
+
+    #[test]
+    fn pattern1_fault_on_b_splits_metric_worlds() {
+        let app = pattern1();
+        let cl = drive(&app, 1, Some("B"), 60);
+        let get = |n: &str| cl.counters(cl.service_id(n).unwrap());
+        // Error-log world: only A shows errors.
+        assert!(get("A").logs_error > 50);
+        assert_eq!(get("C").logs_error, 0);
+        // Request-count world: only C loses traffic (to zero).
+        assert_eq!(get("C").requests_received, 0);
+        assert!(get("A").requests_received > 100);
+    }
+
+    #[test]
+    fn pattern2_fault_on_d_starves_g() {
+        let app = pattern2();
+        let normal = drive(&app, 2, None, 60);
+        let faulty = drive(&app, 2, Some("D"), 60);
+        let g_normal = normal.counters(normal.service_id("G").unwrap()).requests_received;
+        let g_faulty = faulty.counters(faulty.service_id("G").unwrap()).requests_received;
+        assert!(g_normal > 50);
+        assert_eq!(g_faulty, 0);
+    }
+
+    #[test]
+    fn fig2_fault_on_c_raises_rate_at_i() {
+        let app = fig2_topology();
+        let normal = drive(&app, 3, None, 60);
+        let faulty = drive(&app, 3, Some("C"), 60);
+        let i_rate = |cl: &Cluster| {
+            cl.counters(cl.service_id("I").unwrap()).requests_received as f64 / 60.0
+        };
+        let n = i_rate(&normal);
+        let f = i_rate(&faulty);
+        assert!(f > n * 1.02, "confounder absent: normal={n} faulty={f}");
+    }
+
+    #[test]
+    fn fig2_fault_on_i_raises_rate_at_c() {
+        // The symmetric spurious edge: the confounder is intervention-
+        // dependent (Fig. 2's caption).
+        let app = fig2_topology();
+        let normal = drive(&app, 4, None, 60);
+        let faulty = drive(&app, 4, Some("I"), 60);
+        let c_rate = |cl: &Cluster| {
+            cl.counters(cl.service_id("C").unwrap()).requests_received as f64 / 60.0
+        };
+        let n = c_rate(&normal);
+        let f = c_rate(&faulty);
+        assert!(f > n * 1.02, "confounder absent: normal={n} faulty={f}");
+    }
+}

@@ -1,0 +1,244 @@
+//! Robot-shop — the open-source e-commerce storefront used as the paper's
+//! second benchmark (twelve deployed microservices across a polyglot stack:
+//! AngularJS/Nginx web, NodeJS catalogue/user/cart, Java shipping, Python
+//! payment, Golang dispatch, PHP ratings, MongoDB, MySQL, Redis, RabbitMQ).
+//!
+//! The simulation keeps the service graph and the asynchronous
+//! payment → RabbitMQ → dispatch pipeline; the polyglot runtimes are
+//! represented by differing service-time distributions.
+
+use crate::app::App;
+use icfl_loadgen::UserFlow;
+use icfl_micro::{steps, ClusterSpec, DaemonSpec, ServiceSpec};
+use icfl_sim::{DurationDist, SimDuration};
+
+fn svc_time(ms: u64) -> DurationDist {
+    DurationDist::log_normal(SimDuration::from_millis(ms), 0.3)
+}
+
+/// Builds the Robot-shop application model (12 services).
+///
+/// # Examples
+///
+/// ```
+/// let app = icfl_apps::robot_shop();
+/// assert_eq!(app.num_services(), 12);
+/// assert!(app.flows.len() >= 5);
+/// ```
+pub fn robot_shop() -> App {
+    let spec = ClusterSpec::new("robot-shop")
+        // Front-end proxy: one endpoint per user action.
+        .service(
+            ServiceSpec::web("web")
+                .with_concurrency(32)
+                .endpoint(
+                    "/browse",
+                    vec![steps::compute(svc_time(1)), steps::call("catalogue", "/products")],
+                )
+                .endpoint(
+                    "/login",
+                    vec![steps::compute(svc_time(1)), steps::call("user", "/login")],
+                )
+                .endpoint(
+                    "/cart",
+                    vec![steps::compute(svc_time(1)), steps::call("cart", "/add")],
+                )
+                .endpoint(
+                    "/buy",
+                    vec![steps::compute(svc_time(1)), steps::call("payment", "/pay")],
+                )
+                .endpoint(
+                    "/shipping",
+                    vec![steps::compute(svc_time(1)), steps::call("shipping", "/calc")],
+                )
+                .endpoint(
+                    "/ratings",
+                    vec![steps::compute(svc_time(1)), steps::call("ratings", "/rate")],
+                ),
+        )
+        .service(
+            ServiceSpec::web("catalogue").with_concurrency(8).endpoint(
+                "/products",
+                vec![steps::compute(svc_time(2)), steps::call("mongodb", "/query")],
+            ),
+        )
+        .service(
+            ServiceSpec::web("user").with_concurrency(8).endpoint(
+                "/login",
+                vec![
+                    steps::compute(svc_time(2)),
+                    steps::call("mongodb", "/query"),
+                    steps::kv_incr("redis", "sessions"),
+                ],
+            ),
+        )
+        .service(
+            ServiceSpec::web("cart")
+                .with_concurrency(8)
+                .endpoint(
+                    "/add",
+                    vec![
+                        steps::compute(svc_time(2)),
+                        steps::kv_incr("redis", "cart_items"),
+                        steps::call("catalogue", "/products"),
+                    ],
+                )
+                .endpoint(
+                    "/get",
+                    vec![steps::compute(svc_time(1))],
+                ),
+        )
+        .service(
+            ServiceSpec::web("shipping").with_concurrency(8).endpoint(
+                "/calc",
+                // Java service: slower, heavier CPU.
+                vec![steps::compute(svc_time(5)), steps::call("mysql", "/query")],
+            ),
+        )
+        .service(
+            ServiceSpec::web("payment").with_concurrency(8).endpoint(
+                "/pay",
+                vec![
+                    steps::compute(svc_time(3)),
+                    steps::call("cart", "/get"),
+                    // Publish the order for asynchronous dispatch.
+                    steps::kv_incr("rabbitmq", "orders"),
+                ],
+            ),
+        )
+        // Golang dispatch worker: consumes the order queue.
+        .service(ServiceSpec::web("dispatch"))
+        .service(
+            ServiceSpec::web("ratings").with_concurrency(8).endpoint(
+                "/rate",
+                vec![steps::compute(svc_time(2)), steps::call("mysql", "/query")],
+            ),
+        )
+        .service(
+            ServiceSpec::web("mongodb")
+                .with_concurrency(8)
+                .endpoint("/query", vec![steps::compute(svc_time(2))]),
+        )
+        .service(
+            ServiceSpec::web("mysql")
+                .with_concurrency(8)
+                .endpoint("/query", vec![steps::compute(svc_time(3))]),
+        )
+        .service(ServiceSpec::kv_store("redis"))
+        .service(ServiceSpec::kv_store("rabbitmq"))
+        .daemon(DaemonSpec::poll_loop("dispatch", "rabbitmq", "orders"));
+
+    App {
+        name: "robot-shop".into(),
+        spec,
+        flows: vec![
+            UserFlow::new("browse", "web", "/browse").with_weight(3.0),
+            UserFlow::new("login", "web", "/login"),
+            UserFlow::new("add-to-cart", "web", "/cart"),
+            UserFlow::new("checkout", "web", "/buy"),
+            UserFlow::new("shipping", "web", "/shipping"),
+            UserFlow::new("ratings", "web", "/ratings"),
+        ],
+        // dispatch is a pure queue consumer with no HTTP port.
+        fault_targets: [
+            "web", "catalogue", "user", "cart", "shipping", "payment", "ratings", "mongodb",
+            "mysql", "redis", "rabbitmq",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icfl_loadgen::{start_load, LoadConfig};
+    use icfl_micro::{Cluster, FaultKind};
+    use icfl_sim::{Sim, SimTime};
+
+    fn run(seed: u64, fault: Option<&str>, secs: u64) -> Cluster {
+        let app = robot_shop();
+        let (mut cluster, _) = app.build(seed).unwrap();
+        if let Some(name) = fault {
+            let id = cluster.service_id(name).unwrap();
+            cluster.set_fault(id, Some(FaultKind::ServiceUnavailable));
+        }
+        let mut sim = Sim::new(seed);
+        Cluster::start(&mut sim, &mut cluster);
+        start_load(&mut sim, &mut cluster, &LoadConfig::closed_loop(app.flows.clone()))
+            .unwrap();
+        sim.run_until(SimTime::from_secs(secs), &mut cluster);
+        cluster
+    }
+
+    #[test]
+    fn twelve_services_and_sane_edges() {
+        let app = robot_shop();
+        assert_eq!(app.num_services(), 12);
+        let edges = app.call_edges();
+        for (a, b) in [
+            ("web", "catalogue"),
+            ("web", "payment"),
+            ("catalogue", "mongodb"),
+            ("cart", "redis"),
+            ("payment", "rabbitmq"),
+            ("dispatch", "rabbitmq"),
+            ("shipping", "mysql"),
+            ("ratings", "mysql"),
+        ] {
+            assert!(
+                edges.contains(&(a.to_owned(), b.to_owned())),
+                "missing {a}->{b}"
+            );
+        }
+    }
+
+    #[test]
+    fn healthy_run_reaches_every_service() {
+        let cl = run(1, None, 60);
+        for name in [
+            "web", "catalogue", "user", "cart", "shipping", "payment", "ratings", "mongodb",
+            "mysql", "redis", "rabbitmq",
+        ] {
+            let id = cl.service_id(name).unwrap();
+            assert!(cl.counters(id).requests_received > 0, "{name} starved");
+        }
+        // Dispatch drains the order queue.
+        assert!(cl.daemon_items_processed(0) > 10);
+        let rmq = cl.service_id("rabbitmq").unwrap();
+        assert!(cl.kv_value(rmq, "orders") < 5);
+    }
+
+    #[test]
+    fn mysql_outage_hits_shipping_and_ratings_only() {
+        let cl = run(2, Some("mysql"), 60);
+        let errs = |n: &str| cl.counters(cl.service_id(n).unwrap()).logs_error;
+        assert!(errs("shipping") > 10);
+        assert!(errs("ratings") > 10);
+        assert_eq!(errs("catalogue"), 0);
+        assert_eq!(errs("payment"), 0);
+    }
+
+    #[test]
+    fn rabbitmq_outage_starves_dispatch_and_errors_payment() {
+        let normal = run(3, None, 60);
+        let faulty = run(3, Some("rabbitmq"), 60);
+        assert!(normal.daemon_items_processed(0) > 10);
+        assert_eq!(faulty.daemon_items_processed(0), 0);
+        let errs = |cl: &Cluster, n: &str| cl.counters(cl.service_id(n).unwrap()).logs_error;
+        assert!(errs(&faulty, "payment") > 10);
+        assert!(errs(&faulty, "dispatch") > 10);
+    }
+
+    #[test]
+    fn payment_outage_is_isolated_to_checkout_path() {
+        let cl = run(4, Some("payment"), 60);
+        let get = |n: &str| cl.counters(cl.service_id(n).unwrap());
+        assert!(get("web").logs_error > 10);
+        // Browsing still works.
+        assert!(get("catalogue").responses_ok > 100);
+        // No orders flow.
+        assert_eq!(cl.daemon_items_processed(0), 0);
+    }
+}

@@ -1,0 +1,199 @@
+//! Synthetic topology generators for scalability studies.
+//!
+//! The paper motivates the problem with applications of "hundreds to
+//! thousands of microservices" whose call graphs are heavy-tailed (10 % of
+//! Alibaba's call graphs span more than 40 services). These generators
+//! produce parameterized topologies so Algorithm 1/2 cost and accuracy can
+//! be measured as the service count grows.
+
+use crate::app::App;
+use icfl_loadgen::UserFlow;
+use icfl_micro::{steps, ClusterSpec, ServiceSpec};
+use icfl_sim::{DurationDist, SimDuration};
+
+fn task_time() -> DurationDist {
+    DurationDist::log_normal(SimDuration::from_millis(2), 0.25)
+}
+
+/// A linear chain `s0 → s1 → … → s{depth−1}` with one userflow hitting the
+/// head — the deepest call graphs the paper's motivation cites.
+///
+/// # Panics
+///
+/// Panics if `depth == 0`.
+///
+/// # Examples
+///
+/// ```
+/// let app = icfl_apps::chain_app(40);
+/// assert_eq!(app.num_services(), 40);
+/// assert_eq!(app.call_edges().len(), 39);
+/// ```
+pub fn chain_app(depth: usize) -> App {
+    assert!(depth > 0, "a chain needs at least one service");
+    let mut spec = ClusterSpec::new(format!("chain-{depth}"));
+    for i in 0..depth {
+        let mut svc = ServiceSpec::web(format!("s{i}")).with_concurrency(8);
+        let steps = if i + 1 < depth {
+            vec![steps::compute(task_time()), steps::call(&format!("s{}", i + 1), "/")]
+        } else {
+            vec![steps::compute(task_time())]
+        };
+        svc = svc.endpoint("/", steps);
+        spec = spec.service(svc);
+    }
+    App {
+        name: format!("chain-{depth}"),
+        spec,
+        flows: vec![UserFlow::new("chain", "s0", "/")],
+        fault_targets: (0..depth).map(|i| format!("s{i}")).collect(),
+    }
+}
+
+/// A hub-and-spoke star: a front door with one endpoint per leaf, one
+/// weighted userflow per leaf — wide, shallow fan-out.
+///
+/// # Panics
+///
+/// Panics if `leaves == 0`.
+///
+/// # Examples
+///
+/// ```
+/// let app = icfl_apps::star_app(12);
+/// assert_eq!(app.num_services(), 13); // hub + 12 leaves
+/// assert_eq!(app.flows.len(), 12);
+/// ```
+pub fn star_app(leaves: usize) -> App {
+    assert!(leaves > 0, "a star needs at least one leaf");
+    let mut hub = ServiceSpec::web("hub").with_concurrency(32);
+    let mut flows = Vec::with_capacity(leaves);
+    for i in 0..leaves {
+        let ep = format!("/leaf{i}");
+        hub = hub.endpoint(
+            &ep,
+            vec![steps::compute(task_time()), steps::call(&format!("leaf{i}"), "/")],
+        );
+        flows.push(UserFlow::new(format!("f{i}"), "hub", ep));
+    }
+    let mut spec = ClusterSpec::new(format!("star-{leaves}")).service(hub);
+    for i in 0..leaves {
+        spec = spec.service(
+            ServiceSpec::web(format!("leaf{i}"))
+                .with_concurrency(8)
+                .endpoint("/", vec![steps::compute(task_time())]),
+        );
+    }
+    let mut fault_targets = vec!["hub".to_owned()];
+    fault_targets.extend((0..leaves).map(|i| format!("leaf{i}")));
+    App { name: format!("star-{leaves}"), spec, flows, fault_targets }
+}
+
+/// A layered DAG: `width` services per layer across `layers` layers; each
+/// service calls the same-index and next-index services of the next layer
+/// (wrap-around), with one userflow per layer-0 service. This is the
+/// "typical microservice tier" shape (frontend → middle tiers → leaves).
+///
+/// # Panics
+///
+/// Panics if `layers == 0` or `width == 0`.
+///
+/// # Examples
+///
+/// ```
+/// let app = icfl_apps::layered_app(3, 4);
+/// assert_eq!(app.num_services(), 12);
+/// ```
+pub fn layered_app(layers: usize, width: usize) -> App {
+    assert!(layers > 0 && width > 0, "layers and width must be positive");
+    let name_of = |l: usize, w: usize| format!("l{l}w{w}");
+    let mut spec = ClusterSpec::new(format!("layered-{layers}x{width}"));
+    for l in 0..layers {
+        for w in 0..width {
+            let mut steps_vec = vec![steps::compute(task_time())];
+            if l + 1 < layers {
+                steps_vec.push(steps::call(&name_of(l + 1, w), "/"));
+                if width > 1 {
+                    steps_vec.push(steps::call(&name_of(l + 1, (w + 1) % width), "/"));
+                }
+            }
+            spec = spec.service(
+                ServiceSpec::web(name_of(l, w))
+                    .with_concurrency(16)
+                    .endpoint("/", steps_vec),
+            );
+        }
+    }
+    let flows = (0..width)
+        .map(|w| UserFlow::new(format!("f{w}"), name_of(0, w), "/"))
+        .collect();
+    let fault_targets = (0..layers)
+        .flat_map(|l| (0..width).map(move |w| name_of(l, w)))
+        .collect();
+    App { name: format!("layered-{layers}x{width}"), spec, flows, fault_targets }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icfl_loadgen::{start_load, LoadConfig};
+    use icfl_micro::Cluster;
+    use icfl_sim::{Sim, SimTime};
+
+    fn smoke(app: &App, seed: u64) -> Cluster {
+        let (mut cluster, _) = app.build(seed).unwrap();
+        let mut sim = Sim::new(seed);
+        Cluster::start(&mut sim, &mut cluster);
+        start_load(&mut sim, &mut cluster, &LoadConfig::closed_loop(app.flows.clone()))
+            .unwrap();
+        sim.run_until(SimTime::from_secs(20), &mut cluster);
+        cluster
+    }
+
+    #[test]
+    fn chain_reaches_the_tail() {
+        let app = chain_app(10);
+        let cl = smoke(&app, 1);
+        let tail = cl.service_id("s9").unwrap();
+        assert!(cl.counters(tail).requests_received > 50);
+    }
+
+    #[test]
+    fn star_spreads_traffic_over_all_leaves() {
+        let app = star_app(8);
+        let cl = smoke(&app, 2);
+        for i in 0..8 {
+            let leaf = cl.service_id(&format!("leaf{i}")).unwrap();
+            assert!(cl.counters(leaf).requests_received > 10, "leaf{i} starved");
+        }
+    }
+
+    #[test]
+    fn layered_dag_covers_every_service() {
+        let app = layered_app(4, 3);
+        let cl = smoke(&app, 3);
+        for id in cl.service_ids() {
+            assert!(
+                cl.counters(id).requests_received > 10,
+                "{} starved",
+                cl.service_name(id)
+            );
+        }
+        // Fan-out doubles per layer until saturation: the edge count is
+        // width × 2 per non-final layer (with wrap-around).
+        assert_eq!(app.call_edges().len(), 3 * 2 * 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one service")]
+    fn empty_chain_panics() {
+        chain_app(0);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(chain_app(5), chain_app(5));
+        assert_eq!(star_app(5), star_app(5));
+        assert_eq!(layered_app(2, 2), layered_app(2, 2));
+    }
+}

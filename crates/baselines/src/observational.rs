@@ -1,0 +1,115 @@
+//! A purely observational anomaly ranker — no causal structure at all.
+//!
+//! Implicates the service whose metrics shifted the most (maximum KS
+//! statistic across the catalog) relative to the baseline. Serves as the
+//! floor every causal method should beat: it conflates symptom magnitude
+//! with cause, so a fault whose *victims* scream louder than the culprit is
+//! mislocalized.
+
+use crate::FaultLocalizer;
+use icfl_core::{ProductionRun, Result};
+use icfl_micro::ServiceId;
+use icfl_stats::ks_statistic;
+use icfl_telemetry::{Dataset, MetricCatalog};
+use std::collections::BTreeSet;
+
+/// The observational max-shift ranker.
+#[derive(Debug, Clone)]
+pub struct AnomalyRanker {
+    catalog: MetricCatalog,
+    baseline: Dataset,
+}
+
+impl AnomalyRanker {
+    /// Creates a ranker from a no-fault baseline dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `baseline`'s metric count disagrees with `catalog`.
+    pub fn new(catalog: MetricCatalog, baseline: Dataset) -> AnomalyRanker {
+        assert_eq!(
+            baseline.num_metrics(),
+            catalog.len(),
+            "baseline shape must match catalog"
+        );
+        AnomalyRanker { catalog, baseline }
+    }
+
+    /// The anomaly score of each service on a production dataset:
+    /// max over metrics of the KS statistic against the baseline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates statistics errors.
+    pub fn scores(&self, production: &Dataset) -> Result<Vec<f64>> {
+        let n = self.baseline.num_services();
+        let mut scores = vec![0.0; n];
+        for m in 0..self.catalog.len() {
+            for s in 0..n {
+                let svc = ServiceId::from_index(s);
+                let d = ks_statistic(self.baseline.samples(m, svc), production.samples(m, svc))?;
+                if d > scores[s] {
+                    scores[s] = d;
+                }
+            }
+        }
+        Ok(scores)
+    }
+}
+
+impl FaultLocalizer for AnomalyRanker {
+    fn name(&self) -> &'static str {
+        "observational max-shift"
+    }
+
+    fn localize_run(&self, run: &ProductionRun) -> Result<BTreeSet<ServiceId>> {
+        let ds = run.dataset(&self.catalog)?;
+        let scores = self.scores(&ds)?;
+        let max = scores.iter().copied().fold(0.0f64, f64::max);
+        if max <= 0.0 {
+            return Ok(BTreeSet::new());
+        }
+        Ok(scores
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| (v - max).abs() < 1e-12)
+            .map(|(i, _)| ServiceId::from_index(i))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn steady(level: f64) -> Vec<f64> {
+        (0..19).map(|i| level + (i % 5) as f64 * 0.01 * level.max(1.0)).collect()
+    }
+
+    #[test]
+    fn scores_rank_the_shifted_service_highest() {
+        let catalog = MetricCatalog::raw_cpu();
+        let baseline = Dataset::new(
+            vec!["cpu".into()],
+            vec![vec![steady(1.0), steady(2.0), steady(3.0)]],
+        );
+        let ranker = AnomalyRanker::new(catalog, baseline);
+        let prod = Dataset::new(
+            vec!["cpu".into()],
+            vec![vec![steady(1.0), steady(9.0), steady(3.05)]],
+        );
+        let scores = ranker.scores(&prod).unwrap();
+        assert!(scores[1] > scores[0]);
+        assert!(scores[1] > scores[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape must match")]
+    fn shape_mismatch_panics() {
+        let baseline = Dataset::new(
+            vec!["a".into(), "b".into()],
+            vec![vec![steady(1.0)], vec![steady(1.0)]],
+        );
+        AnomalyRanker::new(MetricCatalog::raw_cpu(), baseline);
+    }
+}

@@ -1,0 +1,134 @@
+//! The single-causal-world baseline — the Ψ-FCI-style assumption the paper
+//! argues against in §III-A/§VI-B.
+//!
+//! Algorithms like Ψ-FCI \[40\] assume one causal graph governs all
+//! observations. Projected onto the causal-set formulation, that means
+//! collapsing the per-metric worlds into one: `C(s) = ∪_M C(s, M)` and
+//! `A = ∪_M A(M)`. This throws away exactly the metric-specific structure
+//! the paper shows is necessary — e.g. `C(B, msg) = {B, A, E}` vs
+//! `C(B, cpu) = {B, C, E}` on CausalBench collapse into an
+//! indistinguishable blob once unioned.
+
+use crate::FaultLocalizer;
+use icfl_core::{CampaignRun, CausalModel, ProductionRun, Result};
+use icfl_micro::ServiceId;
+use icfl_stats::ShiftDetector;
+use icfl_telemetry::MetricCatalog;
+use std::collections::BTreeSet;
+
+/// The pooled (single-causal-world) localizer.
+#[derive(Debug, Clone)]
+pub struct PooledGraphLocalizer {
+    model: CausalModel,
+    /// `pooled[i] = (target, ∪_M C(target, M))`.
+    pooled: Vec<(ServiceId, BTreeSet<ServiceId>)>,
+}
+
+impl PooledGraphLocalizer {
+    /// Trains by learning the per-metric model and collapsing it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates telemetry/statistics errors.
+    pub fn train(
+        campaign: &CampaignRun,
+        catalog: &MetricCatalog,
+        detector: ShiftDetector,
+    ) -> Result<PooledGraphLocalizer> {
+        let model = campaign.learn(catalog, detector)?;
+        let mut pooled: Vec<(ServiceId, BTreeSet<ServiceId>)> = model
+            .targets()
+            .into_iter()
+            .map(|t| (t, BTreeSet::new()))
+            .collect();
+        for (_, target, set) in model.iter_sets() {
+            let entry = pooled
+                .iter_mut()
+                .find(|(t, _)| *t == target)
+                .expect("target listed");
+            entry.1.extend(set.iter().copied());
+        }
+        Ok(PooledGraphLocalizer { model, pooled })
+    }
+
+    /// The collapsed causal world `C(s) = ∪_M C(s, M)`.
+    pub fn pooled_set(&self, target: ServiceId) -> Option<&BTreeSet<ServiceId>> {
+        self.pooled.iter().find(|(t, _)| *t == target).map(|(_, c)| c)
+    }
+}
+
+impl FaultLocalizer for PooledGraphLocalizer {
+    fn name(&self) -> &'static str {
+        "pooled-single-world (Ψ-FCI-style)"
+    }
+
+    fn localize_run(&self, run: &ProductionRun) -> Result<BTreeSet<ServiceId>> {
+        let ds = run.dataset(self.model.catalog())?;
+        // A = ∪_M A(M), computed with the model's detector.
+        let detector = self.model.detector();
+        let n = self.model.num_services();
+        let mut anomalies: BTreeSet<ServiceId> = BTreeSet::new();
+        for m in 0..self.model.catalog().len() {
+            for s in 0..n {
+                let svc = ServiceId::from_index(s);
+                if detector
+                    .shifted(self.model.baseline().samples(m, svc), ds.samples(m, svc))?
+                    .shifted
+                {
+                    anomalies.insert(svc);
+                }
+            }
+        }
+        if anomalies.is_empty() {
+            return Ok(BTreeSet::new());
+        }
+        // One vote in one world: argmax |A ∩ C(s)| (smallest-set ties).
+        let mut best = 0usize;
+        let mut best_size = usize::MAX;
+        let mut winners = BTreeSet::new();
+        for (target, c) in &self.pooled {
+            let inter = anomalies.intersection(c).count();
+            if inter > best || (inter == best && inter > 0 && c.len() < best_size) {
+                best = inter;
+                best_size = c.len();
+                winners.clear();
+                winners.insert(*target);
+            } else if inter == best && inter > 0 && c.len() == best_size {
+                winners.insert(*target);
+            }
+        }
+        Ok(winners)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icfl_core::RunConfig;
+
+    #[test]
+    fn pooled_sets_union_the_metric_worlds() {
+        let app = icfl_apps::causalbench();
+        let campaign = CampaignRun::execute(&app, &RunConfig::quick(21)).unwrap();
+        let pooled = PooledGraphLocalizer::train(
+            &campaign,
+            &MetricCatalog::derived_all(),
+            RunConfig::default_detector(),
+        )
+        .unwrap();
+        let b = campaign.targets()[1];
+        let pooled_b = pooled.pooled_set(b).unwrap();
+        let model = pooled.model.clone();
+        // The union must be a superset of every metric-specific world.
+        for m in 0..model.catalog().len() {
+            let per_metric = model.causal_set(m, b).unwrap();
+            assert!(per_metric.is_subset(pooled_b), "metric {m} not ⊆ pooled");
+        }
+        // And the §VI-B worlds really are different, so the union is
+        // strictly larger than at least one of them.
+        let msg = model.causal_set(0, b).unwrap();
+        let cpu = model.causal_set(1, b).unwrap();
+        assert_ne!(msg, cpu, "metric worlds should differ for B");
+        assert!(pooled_b.len() > msg.len().min(cpu.len()));
+    }
+}

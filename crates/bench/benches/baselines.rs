@@ -1,0 +1,66 @@
+//! Baseline-comparison bench: regenerates the method comparison on
+//! CausalBench (quick mode), then benchmarks each method's per-diagnosis
+//! latency — the cost an operator pays at incident time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use icfl_baselines::{
+    AnomalyRanker, ErrorLogLocalizer, FaultLocalizer, PooledGraphLocalizer, RcdConfig,
+    RcdLocalizer,
+};
+use icfl_bench::causalbench_fixture;
+use icfl_core::RunConfig;
+use icfl_telemetry::MetricCatalog;
+use std::hint::black_box;
+
+fn bench_baselines(c: &mut Criterion) {
+    // The full comparison table is expensive; the `baselines` experiment
+    // binary regenerates it. Here we print a single-app summary and then
+    // time the diagnosis paths.
+    let (campaign, run) = causalbench_fixture(44);
+    let detector = RunConfig::default_detector();
+
+    let proposed = campaign
+        .learn(&MetricCatalog::derived_all(), detector)
+        .expect("model");
+    let error_log = ErrorLogLocalizer::train(&campaign, detector).expect("train [23]");
+    let rcd = RcdLocalizer::from_campaign(&campaign, &MetricCatalog::raw_all(), RcdConfig::default())
+        .expect("train rcd");
+    let pooled = PooledGraphLocalizer::train(&campaign, &MetricCatalog::derived_all(), detector)
+        .expect("train pooled");
+    let ranker = AnomalyRanker::new(
+        MetricCatalog::derived_all(),
+        campaign.baseline(&MetricCatalog::derived_all()).expect("baseline"),
+    );
+
+    println!("\n=== per-method diagnosis of one CausalBench fault (target: B) ===");
+    let ds = run.dataset(proposed.catalog()).expect("dataset");
+    let ours = proposed.localize(&ds).expect("localize");
+    println!("proposed candidates: {:?}", ours.candidates);
+    for method in [&error_log as &dyn FaultLocalizer, &rcd, &pooled, &ranker] {
+        let cands = method.localize_run(&run).expect("localize");
+        println!("{}: {:?}", method.name(), cands);
+    }
+
+    c.bench_function("diagnose/proposed", |b| {
+        b.iter(|| proposed.localize(black_box(&ds)).expect("localize"))
+    });
+    c.bench_function("diagnose/error_log_23", |b| {
+        b.iter(|| error_log.localize_run(black_box(&run)).expect("localize"))
+    });
+    c.bench_function("diagnose/rcd_24", |b| {
+        b.iter(|| rcd.localize_run(black_box(&run)).expect("localize"))
+    });
+    c.bench_function("diagnose/pooled", |b| {
+        b.iter(|| pooled.localize_run(black_box(&run)).expect("localize"))
+    });
+    c.bench_function("diagnose/observational", |b| {
+        b.iter(|| ranker.localize_run(black_box(&run)).expect("localize"))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_baselines
+}
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Component microbenchmarks: the statistical and simulation kernels
+//! everything else is built on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use icfl_sim::{Rng, Sim, SimDuration, SimTime};
+use icfl_stats::{g_square_test, ks_test, mann_whitney_u, partial_correlation_test};
+use std::hint::black_box;
+
+fn samples(n: usize, seed: u64, offset: f64) -> Vec<f64> {
+    let mut rng = Rng::seeded(seed);
+    (0..n).map(|_| rng.standard_normal() + offset).collect()
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ks_test");
+    for n in [19usize, 100, 1_000, 10_000] {
+        let xs = samples(n, 1, 0.0);
+        let ys = samples(n, 2, 0.3);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| ks_test(black_box(&xs), black_box(&ys)).expect("ks"))
+        });
+    }
+    group.finish();
+
+    let xs = samples(1_000, 3, 0.0);
+    let ys = samples(1_000, 4, 0.1);
+    c.bench_function("mann_whitney_u/1000", |b| {
+        b.iter(|| mann_whitney_u(black_box(&xs), black_box(&ys)).expect("mwu"))
+    });
+
+    // G² conditional-independence test on binary data.
+    let mut rng = Rng::seeded(5);
+    let z: Vec<usize> = (0..2_000).map(|_| (rng.next_u64() % 2) as usize).collect();
+    let x: Vec<usize> = z.iter().map(|&v| if rng.chance(0.9) { v } else { 1 - v }).collect();
+    let y: Vec<usize> = z.iter().map(|&v| if rng.chance(0.9) { v } else { 1 - v }).collect();
+    c.bench_function("g_square/2000x_cond1", |b| {
+        b.iter(|| g_square_test(black_box(&x), black_box(&y), &[&z]).expect("g2"))
+    });
+
+    // Fisher-z partial correlation with a 2-variable conditioning set.
+    let cols: Vec<Vec<f64>> = (0..5).map(|i| samples(500, 10 + i, 0.0)).collect();
+    c.bench_function("partial_correlation/500x_cond2", |b| {
+        b.iter(|| {
+            partial_correlation_test(black_box(&cols), 0, 1, &[2, 3]).expect("pcorr")
+        })
+    });
+}
+
+fn bench_sim(c: &mut Criterion) {
+    c.bench_function("scheduler/100k_events", |b| {
+        b.iter(|| {
+            let mut sim: Sim<u64> = Sim::new(1);
+            let mut count = 0u64;
+            fn tick(sim: &mut Sim<u64>, w: &mut u64) {
+                *w += 1;
+                if *w < 100_000 {
+                    sim.schedule_after(SimDuration::from_micros(10), tick);
+                }
+            }
+            sim.schedule_at(SimTime::ZERO, tick);
+            sim.run_to_completion(200_000, &mut count);
+            black_box(count)
+        })
+    });
+
+    c.bench_function("rng/1m_draws", |b| {
+        b.iter(|| {
+            let mut rng = Rng::seeded(7);
+            let mut acc = 0u64;
+            for _ in 0..1_000_000 {
+                acc ^= rng.next_u64();
+            }
+            black_box(acc)
+        })
+    });
+
+    c.bench_function("simulate/causalbench_60s", |b| {
+        b.iter(|| {
+            let app = icfl_apps::causalbench();
+            let (mut cluster, _) = app.build(11).expect("build");
+            let mut sim = Sim::new(11);
+            icfl_micro::Cluster::start(&mut sim, &mut cluster);
+            icfl_loadgen::start_load(
+                &mut sim,
+                &mut cluster,
+                &icfl_loadgen::LoadConfig::closed_loop(app.flows.clone()),
+            )
+            .expect("load");
+            sim.run_until(SimTime::from_secs(60), &mut cluster);
+            black_box(sim.events_executed())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_stats, bench_sim
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Fig. 1 bench: regenerates the metric-dependent causal worlds (quick
+//! mode), then benchmarks causal-set learning on the two patterns.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use icfl_core::{CampaignRun, RunConfig};
+use icfl_experiments::{fig1, Mode};
+use icfl_telemetry::{MetricCatalog, MetricSpec, RawMetric};
+use std::hint::black_box;
+
+fn bench_fig1(c: &mut Criterion) {
+    println!("\n=== Fig. 1 / §VI-B (quick regeneration) ===");
+    let f = fig1(Mode::Quick, 42).expect("fig1");
+    println!("{}", f.render());
+
+    let catalog = MetricCatalog::new(
+        "fig1",
+        vec![
+            MetricSpec::Raw(RawMetric::MsgCount),
+            MetricSpec::Raw(RawMetric::RequestsReceived),
+        ],
+    );
+    let detector = RunConfig::default_detector();
+    for (name, app) in [("pattern1", icfl_apps::pattern1()), ("pattern2", icfl_apps::pattern2())] {
+        let campaign = CampaignRun::execute(&app, &RunConfig::quick(7)).expect("campaign");
+        let baseline = campaign.baseline(&catalog).expect("baseline");
+        let faults = campaign.fault_datasets(&catalog).expect("faults");
+        c.bench_function(&format!("causal_sets/{name}"), |b| {
+            b.iter(|| {
+                icfl_core::CausalModel::learn(
+                    black_box(&catalog),
+                    detector,
+                    black_box(&baseline),
+                    black_box(&faults),
+                )
+                .expect("learn")
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fig1
+}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Fig. 2 bench: regenerates the load-confounder boxplots (quick mode) —
+//! including the open-loop ablation of DESIGN.md decision 5 — then
+//! benchmarks the simulation itself (events/second of the confounder
+//! topology under closed-loop load).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use icfl_experiments::{fig2, fig4, Mode};
+use icfl_loadgen::{start_load, LoadConfig};
+use icfl_micro::Cluster;
+use icfl_sim::{Sim, SimTime};
+use std::hint::black_box;
+
+fn bench_fig2(c: &mut Criterion) {
+    println!("\n=== Fig. 2 (quick regeneration; open-loop rows are the ablation) ===");
+    let f = fig2(Mode::Quick, 42).expect("fig2");
+    println!("{}", f.render());
+    println!("\n=== Fig. 4 (topology + flow validation) ===");
+    println!("{}", fig4(42).expect("fig4").render());
+
+    c.bench_function("simulate/fig2_topology_60s_closed_loop", |b| {
+        b.iter(|| {
+            let app = icfl_apps::fig2_topology();
+            let (mut cluster, _) = app.build(9).expect("build");
+            let mut sim = Sim::new(9);
+            Cluster::start(&mut sim, &mut cluster);
+            start_load(&mut sim, &mut cluster, &LoadConfig::closed_loop(app.flows.clone()))
+                .expect("load");
+            sim.run_until(SimTime::from_secs(60), &mut cluster);
+            black_box(sim.events_executed())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig2
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Table I bench: regenerates the table (quick mode), then benchmarks the
+//! Algorithm-1 learning and Algorithm-2 localization kernels on
+//! CausalBench-sized data.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use icfl_bench::causalbench_fixture;
+use icfl_core::RunConfig;
+use icfl_experiments::{table1, Mode};
+use icfl_telemetry::MetricCatalog;
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    println!("\n=== Table I (quick regeneration) ===");
+    let t = table1(Mode::Quick, 42).expect("table1");
+    println!("{}", t.render());
+
+    let (campaign, run) = causalbench_fixture(42);
+    let catalog = MetricCatalog::derived_all();
+    let detector = RunConfig::default_detector();
+    let baseline = campaign.baseline(&catalog).expect("baseline");
+    let faults = campaign.fault_datasets(&catalog).expect("fault datasets");
+    let model = campaign.learn(&catalog, detector).expect("model");
+    let production = run.dataset(&catalog).expect("production dataset");
+
+    c.bench_function("algorithm1_learn/causalbench", |b| {
+        b.iter(|| {
+            icfl_core::CausalModel::learn(
+                black_box(&catalog),
+                detector,
+                black_box(&baseline),
+                black_box(&faults),
+            )
+            .expect("learn")
+        })
+    });
+    c.bench_function("algorithm2_localize/causalbench", |b| {
+        b.iter(|| model.localize(black_box(&production)).expect("localize"))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_table1
+}
+criterion_main!(benches);

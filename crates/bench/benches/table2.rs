@@ -1,0 +1,60 @@
+//! Table II bench: regenerates the raw-vs-derived metric-catalog table
+//! (quick mode), then benchmarks model learning per catalog — the ablation
+//! axis of DESIGN.md decision 1 (derived metrics deconfound load).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use icfl_bench::causalbench_fixture;
+use icfl_core::RunConfig;
+use icfl_experiments::{table2, Mode};
+use icfl_telemetry::MetricCatalog;
+use std::hint::black_box;
+
+fn bench_table2(c: &mut Criterion) {
+    println!("\n=== Table II (quick regeneration) ===");
+    let t = table2(Mode::Quick, 42).expect("table2");
+    println!("{}", t.render());
+
+    let (campaign, run) = causalbench_fixture(43);
+    let detector = RunConfig::default_detector();
+    let mut group = c.benchmark_group("learn_per_catalog");
+    for catalog in MetricCatalog::table2_catalogs() {
+        let baseline = campaign.baseline(&catalog).expect("baseline");
+        let faults = campaign.fault_datasets(&catalog).expect("faults");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(catalog.name()),
+            &catalog,
+            |b, cat| {
+                b.iter(|| {
+                    icfl_core::CausalModel::learn(
+                        black_box(cat),
+                        detector,
+                        black_box(&baseline),
+                        black_box(&faults),
+                    )
+                    .expect("learn")
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // Localization cost also scales with catalog size.
+    let mut group = c.benchmark_group("localize_per_catalog");
+    for catalog in [MetricCatalog::raw_msg_rate(), MetricCatalog::derived_all()] {
+        let model = campaign.learn(&catalog, detector).expect("model");
+        let production = run.dataset(&catalog).expect("production");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(catalog.name()),
+            &model,
+            |b, m| b.iter(|| m.localize(black_box(&production)).expect("localize")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_table2
+}
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! # icfl-bench — Criterion benches for the ICFL reproduction
+//!
+//! Each bench target regenerates one of the paper's tables/figures in quick
+//! mode (printed before the timed section) and then benchmarks the
+//! computational kernels behind it. See `DESIGN.md` for the experiment
+//! index and `crates/experiments` for the full-fidelity (`--paper`) runs.
+
+#![forbid(unsafe_code)]
+
+use icfl_core::{CampaignRun, ProductionRun, RunConfig};
+
+/// Executes a quick CausalBench campaign + one production case, shared by
+/// several benches so the expensive simulation happens once per process.
+pub fn causalbench_fixture(seed: u64) -> (CampaignRun, ProductionRun) {
+    let app = icfl_apps::causalbench();
+    let cfg = RunConfig::quick(seed);
+    let campaign = CampaignRun::execute(&app, &cfg).expect("campaign");
+    let target = campaign.targets()[1];
+    let run = ProductionRun::execute(&app, target, &RunConfig::quick(seed ^ 0xabcd))
+        .expect("production run");
+    (campaign, run)
+}

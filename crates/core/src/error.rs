@@ -1,0 +1,90 @@
+//! Error type for the ICFL pipeline.
+
+use core::fmt;
+
+/// Errors from learning, localization, or experiment orchestration.
+#[derive(Debug)]
+pub enum CoreError {
+    /// Cluster construction failed.
+    Build(icfl_micro::BuildError),
+    /// Load-generator configuration failed.
+    Load(icfl_loadgen::LoadError),
+    /// Telemetry extraction failed.
+    Telemetry(icfl_telemetry::TelemetryError),
+    /// A statistical test failed (e.g. not enough windows in a phase).
+    Stats(icfl_stats::StatsError),
+    /// Dataset shapes disagree (wrong service count or metric count).
+    ShapeMismatch {
+        /// Explanation of the mismatch.
+        what: String,
+    },
+    /// Model (de)serialization failed.
+    Serde(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Build(e) => write!(f, "cluster build failed: {e}"),
+            CoreError::Load(e) => write!(f, "load generation failed: {e}"),
+            CoreError::Telemetry(e) => write!(f, "telemetry extraction failed: {e}"),
+            CoreError::Stats(e) => write!(f, "statistical test failed: {e}"),
+            CoreError::ShapeMismatch { what } => write!(f, "dataset shape mismatch: {what}"),
+            CoreError::Serde(e) => write!(f, "model serialization failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Build(e) => Some(e),
+            CoreError::Load(e) => Some(e),
+            CoreError::Telemetry(e) => Some(e),
+            CoreError::Stats(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<icfl_micro::BuildError> for CoreError {
+    fn from(e: icfl_micro::BuildError) -> Self {
+        CoreError::Build(e)
+    }
+}
+
+impl From<icfl_loadgen::LoadError> for CoreError {
+    fn from(e: icfl_loadgen::LoadError) -> Self {
+        CoreError::Load(e)
+    }
+}
+
+impl From<icfl_telemetry::TelemetryError> for CoreError {
+    fn from(e: icfl_telemetry::TelemetryError) -> Self {
+        CoreError::Telemetry(e)
+    }
+}
+
+impl From<icfl_stats::StatsError> for CoreError {
+    fn from(e: icfl_stats::StatsError) -> Self {
+        CoreError::Stats(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = core::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = CoreError::from(icfl_stats::StatsError::EmptySample);
+        assert!(e.to_string().contains("statistical"));
+        assert!(std::error::Error::source(&e).is_some());
+        let s = CoreError::ShapeMismatch { what: "3 vs 4 services".into() };
+        assert!(s.to_string().contains("3 vs 4"));
+        assert!(std::error::Error::source(&s).is_none());
+    }
+}

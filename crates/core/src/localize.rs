@@ -1,0 +1,404 @@
+//! Algorithm 2 — majority-voting fault localization.
+//!
+//! Each metric detects its anomaly set `A(M)` in production data, votes for
+//! the intervention(s) whose causal set `C(s, M)` best matches it, and the
+//! services with the most votes become the candidate root causes.
+
+use crate::error::Result;
+use crate::model::CausalModel;
+use icfl_micro::ServiceId;
+use icfl_telemetry::Dataset;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// How a metric's anomaly set is matched against causal sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum MatchRule {
+    /// `argmax_s |A(M) ∩ C(s, M)|` — Algorithm 2 line 14, the paper's rule.
+    #[default]
+    IntersectionSize,
+    /// `argmax_s |A∩C| / |A∪C|` — a set-similarity variant that penalizes
+    /// over-broad causal sets (offered as an ablation).
+    Jaccard,
+}
+
+/// One metric's contribution to the vote (diagnostic output).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricVote {
+    /// Metric display name.
+    pub metric: String,
+    /// The anomaly set `A(M)` observed in production.
+    pub anomalies: BTreeSet<ServiceId>,
+    /// The service(s) this metric voted for (empty when the metric
+    /// abstained because it saw no anomaly).
+    pub voted_for: BTreeSet<ServiceId>,
+    /// The matching score of the winning service(s).
+    pub score: f64,
+}
+
+/// The result of Algorithm 2 on one production dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Localization {
+    /// The candidate root-cause set: all services tied at the maximum vote.
+    /// Empty only if every metric abstained.
+    pub candidates: BTreeSet<ServiceId>,
+    /// Total votes per service (index = service id).
+    pub votes: Vec<f64>,
+    /// Per-metric diagnostics, in catalog order.
+    pub per_metric: Vec<MetricVote>,
+}
+
+impl Localization {
+    /// True when `service` is among the candidates.
+    pub fn implicates(&self, service: ServiceId) -> bool {
+        self.candidates.contains(&service)
+    }
+
+    /// Size of the candidate set (the `x` of the informativeness measure).
+    pub fn candidate_count(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Services ranked by vote, descending; zero-vote services are omitted.
+    /// Ties are ordered by service id for determinism.
+    pub fn ranked(&self) -> Vec<(ServiceId, f64)> {
+        let mut out: Vec<(ServiceId, f64)> = self
+            .votes
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v > 0.0)
+            .map(|(i, &v)| (ServiceId::from_index(i), v))
+            .collect();
+        out.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("votes are finite")
+                .then(a.0.cmp(&b.0))
+        });
+        out
+    }
+
+    /// The top `k` ranked services — useful when multiple simultaneous
+    /// faults are suspected (multi-fault localization is listed as open
+    /// work by the paper; the vote naturally extends to it because each
+    /// metric can vote for a different culprit).
+    pub fn top_k(&self, k: usize) -> BTreeSet<ServiceId> {
+        self.ranked().into_iter().take(k).map(|(s, _)| s).collect()
+    }
+}
+
+impl CausalModel {
+    /// Runs Algorithm 2: localizes the fault explaining `production`.
+    ///
+    /// `production` must have the same shape as the training datasets
+    /// (same catalog, same service count); it is compared against the
+    /// retained baseline `D_0` with the model's detector.
+    ///
+    /// Metrics that observe no anomaly abstain rather than voting
+    /// arbitrarily; ties at any stage are preserved (a tie among causal
+    /// sets splits the metric's vote; services tied at the maximum vote all
+    /// become candidates).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::ShapeMismatch`](crate::CoreError::ShapeMismatch) on
+    /// shape disagreement; [`CoreError::Stats`](crate::CoreError::Stats)
+    /// from the underlying tests.
+    pub fn localize(&self, production: &Dataset) -> Result<Localization> {
+        self.localize_with(production, MatchRule::IntersectionSize)
+    }
+
+    /// [`CausalModel::localize`] with an explicit matching rule.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CausalModel::localize`].
+    pub fn localize_with(&self, production: &Dataset, rule: MatchRule) -> Result<Localization> {
+        if production.num_metrics() != self.catalog().len()
+            || production.num_services() != self.num_services()
+        {
+            return Err(crate::error::CoreError::ShapeMismatch {
+                what: format!(
+                    "production dataset is {}×{}, model expects {}×{}",
+                    production.num_metrics(),
+                    production.num_services(),
+                    self.catalog().len(),
+                    self.num_services()
+                ),
+            });
+        }
+        let n = self.num_services();
+        let detector = self.detector();
+        let mut votes = vec![0.0; n];
+        let mut per_metric = Vec::with_capacity(self.catalog().len());
+
+        for (m, metric_name) in self.catalog().metric_names().into_iter().enumerate() {
+            // Lines 8–13: the anomaly set A(M).
+            let mut anomalies = BTreeSet::new();
+            for svc in 0..n {
+                let svc = ServiceId::from_index(svc);
+                let d0 = self.baseline().samples(m, svc);
+                let d = production.samples(m, svc);
+                if detector.shifted(d0, d)?.shifted {
+                    anomalies.insert(svc);
+                }
+            }
+            // A metric that sees nothing anomalous has no basis to vote.
+            if anomalies.is_empty() {
+                per_metric.push(MetricVote {
+                    metric: metric_name,
+                    anomalies,
+                    voted_for: BTreeSet::new(),
+                    score: 0.0,
+                });
+                continue;
+            }
+            // Line 14: the intervention(s) whose causal set best matches.
+            // The paper's argmax leaves ties unspecified; we break them in
+            // favor of the *smallest* causal set (the most specific
+            // explanation), which counters the §V-A warning that confounding
+            // inflates causal-set sizes and skews the vote toward services
+            // like the front door whose set is the whole application.
+            let mut best = f64::NEG_INFINITY;
+            let mut best_size = usize::MAX;
+            let mut winners: BTreeSet<ServiceId> = BTreeSet::new();
+            for target in self.targets() {
+                let c = self.causal_set(m, target).expect("target trained");
+                let inter = anomalies.intersection(c).count() as f64;
+                let score = match rule {
+                    MatchRule::IntersectionSize => inter,
+                    MatchRule::Jaccard => {
+                        let union = anomalies.union(c).count() as f64;
+                        if union == 0.0 {
+                            0.0
+                        } else {
+                            inter / union
+                        }
+                    }
+                };
+                if score > best + 1e-12 || (score >= best - 1e-12 && c.len() < best_size) {
+                    best = score;
+                    best_size = c.len();
+                    winners.clear();
+                    winners.insert(target);
+                } else if (score - best).abs() <= 1e-12 && c.len() == best_size {
+                    winners.insert(target);
+                }
+            }
+            // A zero-overlap "winner" explains nothing: abstain.
+            if best <= 0.0 {
+                per_metric.push(MetricVote {
+                    metric: metric_name,
+                    anomalies,
+                    voted_for: BTreeSet::new(),
+                    score: 0.0,
+                });
+                continue;
+            }
+            // Line 15: the vote. Ties split the metric's single vote so a
+            // noisy metric cannot dominate the election.
+            let share = 1.0 / winners.len() as f64;
+            for &w in &winners {
+                votes[w.index()] += share;
+            }
+            per_metric.push(MetricVote {
+                metric: metric_name,
+                anomalies,
+                voted_for: winners,
+                score: best,
+            });
+        }
+
+        // Line 16: argmax over votes, keeping ties as the candidate set.
+        let max = votes.iter().copied().fold(0.0f64, f64::max);
+        let candidates: BTreeSet<ServiceId> = if max > 0.0 {
+            votes
+                .iter()
+                .enumerate()
+                .filter(|(_, &v)| (v - max).abs() <= 1e-12)
+                .map(|(i, _)| ServiceId::from_index(i))
+                .collect()
+        } else {
+            BTreeSet::new()
+        };
+        Ok(Localization { candidates, votes, per_metric })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icfl_stats::ShiftDetector;
+    use icfl_telemetry::{MetricCatalog, MetricSpec, RawMetric};
+
+    fn sid(i: usize) -> ServiceId {
+        ServiceId::from_index(i)
+    }
+
+    fn steady(level: f64) -> Vec<f64> {
+        (0..19).map(|i| level + (i % 5) as f64 * 0.01 * level.max(1.0)).collect()
+    }
+
+    /// Builds a 2-metric, 3-service model:
+    /// metric 0 under fault-on-0 shifts services {0,1};
+    /// metric 0 under fault-on-1 shifts {1,2};
+    /// metric 1 under fault-on-0 shifts {0};
+    /// metric 1 under fault-on-1 shifts {1}.
+    fn trained_model() -> CausalModel {
+        let catalog = MetricCatalog::new(
+            "two",
+            vec![
+                MetricSpec::Raw(RawMetric::MsgCount),
+                MetricSpec::Raw(RawMetric::CpuSeconds),
+            ],
+        );
+        let baseline = Dataset::new(
+            vec!["msg".into(), "cpu".into()],
+            vec![
+                vec![steady(10.0), steady(10.0), steady(10.0)],
+                vec![steady(5.0), steady(5.0), steady(5.0)],
+            ],
+        );
+        let fault0 = Dataset::new(
+            vec!["msg".into(), "cpu".into()],
+            vec![
+                vec![steady(50.0), steady(50.0), steady(10.0)],
+                vec![steady(25.0), steady(5.0), steady(5.0)],
+            ],
+        );
+        let fault1 = Dataset::new(
+            vec!["msg".into(), "cpu".into()],
+            vec![
+                vec![steady(10.0), steady(50.0), steady(50.0)],
+                vec![steady(5.0), steady(25.0), steady(5.0)],
+            ],
+        );
+        CausalModel::learn(
+            &catalog,
+            ShiftDetector::ks(0.01),
+            &baseline,
+            &[(sid(0), fault0), (sid(1), fault1)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn localizes_reoccurrence_of_trained_fault() {
+        let model = trained_model();
+        // Production data reproducing the fault-on-0 signature.
+        let prod = Dataset::new(
+            vec!["msg".into(), "cpu".into()],
+            vec![
+                vec![steady(52.0), steady(48.0), steady(10.0)],
+                vec![steady(26.0), steady(5.0), steady(5.0)],
+            ],
+        );
+        let loc = model.localize(&prod).unwrap();
+        assert!(loc.implicates(sid(0)));
+        assert_eq!(loc.candidate_count(), 1);
+        assert!(loc.votes[0] > loc.votes[1]);
+        assert_eq!(loc.per_metric.len(), 2);
+        assert!(loc.per_metric[0].anomalies.contains(&sid(0)));
+    }
+
+    #[test]
+    fn healthy_production_data_yields_no_candidates() {
+        let model = trained_model();
+        let prod = Dataset::new(
+            vec!["msg".into(), "cpu".into()],
+            vec![
+                vec![steady(10.0), steady(10.0), steady(10.0)],
+                vec![steady(5.0), steady(5.0), steady(5.0)],
+            ],
+        );
+        let loc = model.localize(&prod).unwrap();
+        assert!(loc.candidates.is_empty());
+        assert!(loc.votes.iter().all(|&v| v == 0.0));
+        assert!(loc.per_metric.iter().all(|mv| mv.voted_for.is_empty()));
+    }
+
+    #[test]
+    fn ambiguous_signature_produces_tied_candidates() {
+        let model = trained_model();
+        // Only service 1 anomalous on metric 0 — matches both C(0,·)={0,1}
+        // and C(1,·)={1,2} with intersection 1; metric 1 sees nothing.
+        let prod = Dataset::new(
+            vec!["msg".into(), "cpu".into()],
+            vec![
+                vec![steady(10.0), steady(50.0), steady(10.0)],
+                vec![steady(5.0), steady(5.0), steady(5.0)],
+            ],
+        );
+        let loc = model.localize(&prod).unwrap();
+        assert_eq!(loc.candidates.len(), 2);
+        assert!(loc.implicates(sid(0)) && loc.implicates(sid(1)));
+        // The split vote gave each half a vote.
+        assert!((loc.votes[0] - 0.5).abs() < 1e-9);
+        assert!((loc.votes[1] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jaccard_breaks_overbroad_ties() {
+        let model = trained_model();
+        // Same ambiguous production data as above.
+        let prod = Dataset::new(
+            vec!["msg".into(), "cpu".into()],
+            vec![
+                vec![steady(10.0), steady(50.0), steady(10.0)],
+                vec![steady(5.0), steady(5.0), steady(5.0)],
+            ],
+        );
+        // Jaccard: |{1}∩{0,1}|/|{1}∪{0,1}| = 1/2 for both targets here, so
+        // still tied — but the rule is exercised and scores are in (0,1].
+        let loc = model.localize_with(&prod, MatchRule::Jaccard).unwrap();
+        for mv in &loc.per_metric {
+            if !mv.voted_for.is_empty() {
+                assert!(mv.score > 0.0 && mv.score <= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn ranked_orders_by_votes_and_top_k_truncates() {
+        let model = trained_model();
+        let prod = Dataset::new(
+            vec!["msg".into(), "cpu".into()],
+            vec![
+                vec![steady(52.0), steady(48.0), steady(10.0)],
+                vec![steady(26.0), steady(5.0), steady(5.0)],
+            ],
+        );
+        let loc = model.localize(&prod).unwrap();
+        let ranked = loc.ranked();
+        assert!(!ranked.is_empty());
+        assert!(ranked.windows(2).all(|w| w[0].1 >= w[1].1));
+        assert_eq!(ranked[0].0, sid(0));
+        let top1 = loc.top_k(1);
+        assert_eq!(top1.len(), 1);
+        assert!(top1.contains(&sid(0)));
+        assert!(loc.top_k(100).len() <= 3);
+        assert!(loc.top_k(0).is_empty());
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let model = trained_model();
+        let prod = Dataset::new(vec!["msg".into()], vec![vec![steady(1.0); 3]]);
+        assert!(model.localize(&prod).is_err());
+    }
+
+    #[test]
+    fn anomaly_without_overlap_abstains() {
+        let model = trained_model();
+        // Only service 2 anomalous on metric 1 — no causal set contains it
+        // for that metric, so the metric abstains instead of voting noise.
+        let prod = Dataset::new(
+            vec!["msg".into(), "cpu".into()],
+            vec![
+                vec![steady(10.0), steady(10.0), steady(10.0)],
+                vec![steady(5.0), steady(5.0), steady(25.0)],
+            ],
+        );
+        let loc = model.localize(&prod).unwrap();
+        assert!(loc.candidates.is_empty());
+    }
+}

@@ -1,0 +1,473 @@
+//! Algorithm 1 — fault-injection-driven causal learning.
+//!
+//! A [`CausalModel`] holds, for every metric `M` and every intervened
+//! service `s`, the causal set `C(s, M)`: the services whose distribution of
+//! `M` shifted while a fault was injected in `s`, as judged by a
+//! [`ShiftDetector`] (the paper uses the two-sample KS test). The model also
+//! retains the no-fault baseline dataset `D_0` and the metric catalog — the
+//! other inputs Algorithm 2 needs at localization time.
+//!
+//! No single causal graph is reconciled across metrics: per §III-A/§VI-B,
+//! each metric observes its own causal world, and collapsing them destroys
+//! identifiability (see the `pooled_graph` baseline for the demonstration).
+
+use crate::error::{CoreError, Result};
+use icfl_micro::ServiceId;
+use icfl_stats::ShiftDetector;
+use icfl_telemetry::{Dataset, MetricCatalog};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// The learned interventional causal model (output of Algorithm 1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CausalModel {
+    catalog: MetricCatalog,
+    detector: ShiftDetector,
+    num_services: usize,
+    baseline: Dataset,
+    /// `sets[m]` lists `(intervened service, C(s, M))` pairs for metric `m`,
+    /// in intervention order.
+    sets: Vec<Vec<(ServiceId, BTreeSet<ServiceId>)>>,
+}
+
+impl CausalModel {
+    /// Runs Algorithm 1 on pre-collected datasets.
+    ///
+    /// `baseline` is `D_0`; each element of `faults` is `(s, D_s)` — the
+    /// dataset collected while a fault was injected into `s`. All datasets
+    /// must share the catalog's metric count and a common service count.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::ShapeMismatch`] on inconsistent dataset shapes;
+    /// [`CoreError::Stats`] if a phase has too few windows for the
+    /// configured test.
+    pub fn learn(
+        catalog: &MetricCatalog,
+        detector: ShiftDetector,
+        baseline: &Dataset,
+        faults: &[(ServiceId, Dataset)],
+    ) -> Result<CausalModel> {
+        let num_services = baseline.num_services();
+        if baseline.num_metrics() != catalog.len() {
+            return Err(CoreError::ShapeMismatch {
+                what: format!(
+                    "baseline has {} metrics, catalog {}",
+                    baseline.num_metrics(),
+                    catalog.len()
+                ),
+            });
+        }
+        for (s, ds) in faults {
+            if ds.num_metrics() != catalog.len() || ds.num_services() != num_services {
+                return Err(CoreError::ShapeMismatch {
+                    what: format!(
+                        "fault dataset for {s} is {}×{}, expected {}×{}",
+                        ds.num_metrics(),
+                        ds.num_services(),
+                        catalog.len(),
+                        num_services
+                    ),
+                });
+            }
+        }
+
+        let mut sets = vec![Vec::with_capacity(faults.len()); catalog.len()];
+        for (target, ds) in faults {
+            for m in 0..catalog.len() {
+                // Algorithm 1 line 9: C(s, M) starts at {s}.
+                let mut c: BTreeSet<ServiceId> = BTreeSet::new();
+                c.insert(*target);
+                // Lines 10–14: add every s' whose distribution shifted.
+                for svc in 0..num_services {
+                    let svc = ServiceId::from_index(svc);
+                    if svc == *target {
+                        continue;
+                    }
+                    let d0 = baseline.samples(m, svc);
+                    let dsx = ds.samples(m, svc);
+                    if detector.shifted(d0, dsx)?.shifted {
+                        c.insert(svc);
+                    }
+                }
+                sets[m].push((*target, c));
+            }
+        }
+        Ok(CausalModel {
+            catalog: catalog.clone(),
+            detector,
+            num_services,
+            baseline: baseline.clone(),
+            sets,
+        })
+    }
+
+    /// The metric catalog this model was trained with.
+    pub fn catalog(&self) -> &MetricCatalog {
+        &self.catalog
+    }
+
+    /// The shift detector used for learning (and reused for localization).
+    pub fn detector(&self) -> ShiftDetector {
+        self.detector
+    }
+
+    /// Number of services in the application.
+    pub fn num_services(&self) -> usize {
+        self.num_services
+    }
+
+    /// The retained baseline dataset `D_0`.
+    pub fn baseline(&self) -> &Dataset {
+        &self.baseline
+    }
+
+    /// The services that were intervened on during training.
+    pub fn targets(&self) -> Vec<ServiceId> {
+        self.sets
+            .first()
+            .map(|per_target| per_target.iter().map(|(s, _)| *s).collect())
+            .unwrap_or_default()
+    }
+
+    /// The causal set `C(s, M)` for metric index `metric` and intervened
+    /// service `target`, if that intervention was part of training.
+    pub fn causal_set(&self, metric: usize, target: ServiceId) -> Option<&BTreeSet<ServiceId>> {
+        self.sets
+            .get(metric)?
+            .iter()
+            .find(|(s, _)| *s == target)
+            .map(|(_, c)| c)
+    }
+
+    /// Iterates `(metric index, target, causal set)` over the whole model.
+    pub fn iter_sets(
+        &self,
+    ) -> impl Iterator<Item = (usize, ServiceId, &BTreeSet<ServiceId>)> + '_ {
+        self.sets.iter().enumerate().flat_map(|(m, per_target)| {
+            per_target.iter().map(move |(s, c)| (m, *s, c))
+        })
+    }
+
+    /// Mean Jaccard similarity of two targets' causal signatures across all
+    /// metrics — a measure of how *confusable* their faults are under this
+    /// model (§III-B: indistinguishable error-propagation signatures defeat
+    /// localization no matter how good the detector is).
+    ///
+    /// Returns `None` unless both targets were trained.
+    pub fn signature_similarity(&self, a: ServiceId, b: ServiceId) -> Option<f64> {
+        let mut total = 0.0;
+        for m in 0..self.catalog.len() {
+            let ca = self.causal_set(m, a)?;
+            let cb = self.causal_set(m, b)?;
+            let inter = ca.intersection(cb).count() as f64;
+            let union = ca.union(cb).count() as f64;
+            total += if union == 0.0 { 1.0 } else { inter / union };
+        }
+        Some(total / self.catalog.len() as f64)
+    }
+
+    /// All target pairs whose signature similarity is at least `threshold`,
+    /// most-similar first — the faults this model is most likely to confuse
+    /// with each other. Useful when deciding which extra metric to add to
+    /// the catalog.
+    pub fn confusable_pairs(&self, threshold: f64) -> Vec<(ServiceId, ServiceId, f64)> {
+        let targets = self.targets();
+        let mut out = Vec::new();
+        for (i, &a) in targets.iter().enumerate() {
+            for &b in &targets[i + 1..] {
+                if let Some(sim) = self.signature_similarity(a, b) {
+                    if sim >= threshold {
+                        out.push((a, b, sim));
+                    }
+                }
+            }
+        }
+        out.sort_by(|x, y| y.2.partial_cmp(&x.2).expect("similarities are finite"));
+        out
+    }
+
+    /// Incrementally (re)learns the causal sets of a single target from a
+    /// fresh fault-phase dataset, leaving every other target untouched.
+    ///
+    /// This supports the operational loop the paper's platform implies:
+    /// when a service is redeployed, only *its* intervention needs to be
+    /// re-run, not the whole campaign.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::ShapeMismatch`] if `dataset` disagrees with the model's
+    /// shape; statistics errors from the detector.
+    pub fn update_target(&mut self, target: ServiceId, dataset: &Dataset) -> Result<()> {
+        if dataset.num_metrics() != self.catalog.len()
+            || dataset.num_services() != self.num_services
+        {
+            return Err(CoreError::ShapeMismatch {
+                what: format!(
+                    "update dataset is {}×{}, model expects {}×{}",
+                    dataset.num_metrics(),
+                    dataset.num_services(),
+                    self.catalog.len(),
+                    self.num_services
+                ),
+            });
+        }
+        for m in 0..self.catalog.len() {
+            let mut c: BTreeSet<ServiceId> = BTreeSet::new();
+            c.insert(target);
+            for svc in 0..self.num_services {
+                let svc = ServiceId::from_index(svc);
+                if svc == target {
+                    continue;
+                }
+                if self
+                    .detector
+                    .shifted(self.baseline.samples(m, svc), dataset.samples(m, svc))?
+                    .shifted
+                {
+                    c.insert(svc);
+                }
+            }
+            match self.sets[m].iter_mut().find(|(s, _)| *s == target) {
+                Some(entry) => entry.1 = c,
+                None => self.sets[m].push((target, c)),
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes the model to JSON (the persistence format of the paper's
+    /// data-collection platform).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Serde`] if serialization fails.
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string_pretty(self).map_err(|e| CoreError::Serde(e.to_string()))
+    }
+
+    /// Deserializes a model previously produced by [`CausalModel::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Serde`] on malformed input.
+    pub fn from_json(json: &str) -> Result<CausalModel> {
+        serde_json::from_str(json).map_err(|e| CoreError::Serde(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icfl_telemetry::{MetricCatalog, MetricSpec, RawMetric};
+
+    fn sid(i: usize) -> ServiceId {
+        ServiceId::from_index(i)
+    }
+
+    /// Three services, one metric. Values are windows.
+    fn dataset(per_service: Vec<Vec<f64>>) -> Dataset {
+        Dataset::new(vec!["msg".into()], vec![per_service])
+    }
+
+    fn catalog() -> MetricCatalog {
+        MetricCatalog::new("test", vec![MetricSpec::Raw(RawMetric::MsgCount)])
+    }
+
+    fn steady(level: f64) -> Vec<f64> {
+        (0..19).map(|i| level + (i % 5) as f64 * 0.01 * level.max(1.0)).collect()
+    }
+
+    #[test]
+    fn learn_builds_expected_sets() {
+        let baseline = dataset(vec![steady(10.0), steady(20.0), steady(0.0)]);
+        // Fault on service 0: service 1 shifts hard, service 2 unchanged.
+        let fault0 = dataset(vec![steady(10.0), steady(80.0), steady(0.0)]);
+        let model = CausalModel::learn(
+            &catalog(),
+            ShiftDetector::ks(0.05),
+            &baseline,
+            &[(sid(0), fault0)],
+        )
+        .unwrap();
+        let c = model.causal_set(0, sid(0)).unwrap();
+        assert!(c.contains(&sid(0)), "the intervened service is always in C");
+        assert!(c.contains(&sid(1)));
+        assert!(!c.contains(&sid(2)));
+        assert_eq!(model.targets(), vec![sid(0)]);
+    }
+
+    #[test]
+    fn intervened_service_is_in_c_even_without_observable_shift() {
+        let baseline = dataset(vec![steady(10.0), steady(20.0), steady(5.0)]);
+        let fault0 = baseline.clone(); // nothing shifted at all
+        let model = CausalModel::learn(
+            &catalog(),
+            ShiftDetector::ks(0.05),
+            &baseline,
+            &[(sid(0), fault0)],
+        )
+        .unwrap();
+        assert_eq!(
+            model.causal_set(0, sid(0)).unwrap().iter().copied().collect::<Vec<_>>(),
+            vec![sid(0)]
+        );
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let baseline = dataset(vec![steady(10.0), steady(20.0), steady(5.0)]);
+        let two_svc = dataset(vec![steady(10.0), steady(20.0)]);
+        let err = CausalModel::learn(
+            &catalog(),
+            ShiftDetector::ks(0.05),
+            &baseline,
+            &[(sid(0), two_svc)],
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::ShapeMismatch { .. }));
+
+        let wrong_metrics = Dataset::new(
+            vec!["a".into(), "b".into()],
+            vec![
+                vec![steady(1.0); 3],
+                vec![steady(1.0); 3],
+            ],
+        );
+        let err = CausalModel::learn(
+            &catalog(),
+            ShiftDetector::ks(0.05),
+            &wrong_metrics,
+            &[],
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn unknown_target_returns_none() {
+        let baseline = dataset(vec![steady(10.0), steady(20.0), steady(5.0)]);
+        let model =
+            CausalModel::learn(&catalog(), ShiftDetector::ks(0.05), &baseline, &[]).unwrap();
+        assert!(model.causal_set(0, sid(1)).is_none());
+        assert!(model.causal_set(5, sid(0)).is_none());
+        assert!(model.targets().is_empty());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let baseline = dataset(vec![steady(10.0), steady(20.0), steady(0.0)]);
+        let fault0 = dataset(vec![steady(10.0), steady(80.0), steady(0.0)]);
+        let model = CausalModel::learn(
+            &catalog(),
+            ShiftDetector::ks(0.05),
+            &baseline,
+            &[(sid(0), fault0)],
+        )
+        .unwrap();
+        let json = model.to_json().unwrap();
+        let back = CausalModel::from_json(&json).unwrap();
+        assert_eq!(model, back);
+        assert!(CausalModel::from_json("{bad json").is_err());
+    }
+
+    #[test]
+    fn identical_signatures_are_fully_confusable() {
+        let baseline = dataset(vec![steady(10.0), steady(20.0), steady(5.0)]);
+        // Faults on 0 and 1 produce the *same* observable shift (service 2
+        // jumps) — the §III-B indistinguishability scenario.
+        let same_effect = dataset(vec![steady(10.0), steady(20.0), steady(50.0)]);
+        let model = CausalModel::learn(
+            &catalog(),
+            ShiftDetector::ks(0.05),
+            &baseline,
+            &[(sid(0), same_effect.clone()), (sid(1), same_effect)],
+        )
+        .unwrap();
+        // Signatures differ only by the self-membership {s}; Jaccard of
+        // {0,2} vs {1,2} is 1/3.
+        let sim = model.signature_similarity(sid(0), sid(1)).unwrap();
+        assert!((sim - 1.0 / 3.0).abs() < 1e-9, "sim={sim}");
+        let pairs = model.confusable_pairs(0.3);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!((pairs[0].0, pairs[0].1), (sid(0), sid(1)));
+        assert!(model.confusable_pairs(0.9).is_empty());
+    }
+
+    #[test]
+    fn distinct_signatures_are_not_confusable() {
+        let baseline = dataset(vec![steady(10.0), steady(20.0), steady(5.0)]);
+        let f0 = dataset(vec![steady(90.0), steady(20.0), steady(5.0)]);
+        let f1 = dataset(vec![steady(10.0), steady(90.0), steady(5.0)]);
+        let model = CausalModel::learn(
+            &catalog(),
+            ShiftDetector::ks(0.05),
+            &baseline,
+            &[(sid(0), f0), (sid(1), f1)],
+        )
+        .unwrap();
+        let sim = model.signature_similarity(sid(0), sid(1)).unwrap();
+        assert_eq!(sim, 0.0);
+        assert!(model.signature_similarity(sid(0), sid(2)).is_none());
+    }
+
+    #[test]
+    fn update_target_replaces_only_that_target() {
+        let baseline = dataset(vec![steady(10.0), steady(20.0), steady(5.0)]);
+        let fault0 = dataset(vec![steady(50.0), steady(20.0), steady(5.0)]);
+        let fault1 = dataset(vec![steady(10.0), steady(80.0), steady(5.0)]);
+        let mut model = CausalModel::learn(
+            &catalog(),
+            ShiftDetector::ks(0.05),
+            &baseline,
+            &[(sid(0), fault0), (sid(1), fault1)],
+        )
+        .unwrap();
+        let before_1 = model.causal_set(0, sid(1)).unwrap().clone();
+
+        // The service-0 intervention is re-run; now it also drags service 2.
+        let fault0_v2 = dataset(vec![steady(50.0), steady(20.0), steady(40.0)]);
+        model.update_target(sid(0), &fault0_v2).unwrap();
+        let after_0 = model.causal_set(0, sid(0)).unwrap();
+        assert!(after_0.contains(&sid(2)), "new effect learned: {after_0:?}");
+        assert_eq!(model.causal_set(0, sid(1)).unwrap(), &before_1, "other targets untouched");
+    }
+
+    #[test]
+    fn update_target_can_add_a_new_target() {
+        let baseline = dataset(vec![steady(10.0), steady(20.0), steady(5.0)]);
+        let mut model =
+            CausalModel::learn(&catalog(), ShiftDetector::ks(0.05), &baseline, &[]).unwrap();
+        assert!(model.targets().is_empty());
+        let fault2 = dataset(vec![steady(10.0), steady(20.0), steady(50.0)]);
+        model.update_target(sid(2), &fault2).unwrap();
+        assert_eq!(model.targets(), vec![sid(2)]);
+        assert!(model.causal_set(0, sid(2)).unwrap().contains(&sid(2)));
+    }
+
+    #[test]
+    fn update_target_rejects_wrong_shape() {
+        let baseline = dataset(vec![steady(10.0), steady(20.0), steady(5.0)]);
+        let mut model =
+            CausalModel::learn(&catalog(), ShiftDetector::ks(0.05), &baseline, &[]).unwrap();
+        let wrong = dataset(vec![steady(1.0), steady(1.0)]);
+        assert!(matches!(
+            model.update_target(sid(0), &wrong),
+            Err(CoreError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn iter_sets_visits_every_pair() {
+        let baseline = dataset(vec![steady(10.0), steady(20.0), steady(5.0)]);
+        let model = CausalModel::learn(
+            &catalog(),
+            ShiftDetector::ks(0.05),
+            &baseline,
+            &[(sid(0), baseline.clone()), (sid(1), baseline.clone())],
+        )
+        .unwrap();
+        let pairs: Vec<_> = model.iter_sets().collect();
+        assert_eq!(pairs.len(), 2); // 1 metric × 2 targets
+    }
+}

@@ -1,0 +1,442 @@
+//! End-to-end experiment orchestration: run the Algorithm-1 training
+//! campaign on a simulated application, extract datasets, learn the model,
+//! and evaluate it on fresh production runs — the full §V protocol.
+
+use crate::error::Result;
+use crate::model::CausalModel;
+use crate::localize::MatchRule;
+use crate::score::{CaseResult, EvalSummary};
+use icfl_apps::App;
+use icfl_faults::{Campaign, CampaignConfig, FaultInjector, InterventionTrace, PhaseLabel};
+use icfl_loadgen::{start_load, LoadConfig};
+use icfl_micro::{Cluster, FaultKind, ServiceId};
+use icfl_sim::{Sim, SimTime};
+use icfl_stats::ShiftDetector;
+use icfl_telemetry::{Dataset, MetricCatalog, Recorder, WindowConfig};
+
+/// Configuration of one simulated experiment run (training or evaluation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunConfig {
+    /// Root seed for the cluster, load and campaign randomness.
+    pub seed: u64,
+    /// Load-generator replicas (1 = the paper's 1×, 4 = its 4×).
+    pub replicas: usize,
+    /// Phase durations.
+    pub campaign: CampaignConfig,
+    /// Telemetry windowing.
+    pub windows: WindowConfig,
+    /// The fault injected during campaigns and evaluation cases.
+    pub fault: FaultKind,
+}
+
+impl RunConfig {
+    /// The paper's protocol: 10-minute phases, 60 s/30 s hopping windows,
+    /// `http-service-unavailable` faults, 1× load.
+    pub fn paper(seed: u64) -> Self {
+        RunConfig {
+            seed,
+            replicas: 1,
+            campaign: CampaignConfig::default(),
+            windows: WindowConfig::default(),
+            fault: FaultKind::ServiceUnavailable,
+        }
+    }
+
+    /// A scaled-down configuration for tests: 2-minute phases with 10 s/5 s
+    /// windows (23 windows per phase — comparable statistical power to the
+    /// paper's 19, in a fraction of the simulated time).
+    pub fn quick(seed: u64) -> Self {
+        RunConfig {
+            seed,
+            replicas: 1,
+            campaign: CampaignConfig::quick(120),
+            windows: WindowConfig::from_secs(10, 5),
+            fault: FaultKind::ServiceUnavailable,
+        }
+    }
+
+    /// Sets the load scale, returning `self`.
+    pub fn with_replicas(mut self, replicas: usize) -> Self {
+        self.replicas = replicas;
+        self
+    }
+
+    /// Sets the injected fault kind, returning `self`.
+    pub fn with_fault(mut self, fault: FaultKind) -> Self {
+        self.fault = fault;
+        self
+    }
+
+    /// The default shift detector used by [`CampaignRun::learn`]: KS at
+    /// α = 0.05 with a 10% minimum-relative-effect guard (DESIGN.md
+    /// decision 4).
+    pub fn default_detector() -> ShiftDetector {
+        ShiftDetector::ks(0.05).with_min_effect(0.1)
+    }
+}
+
+/// A completed Algorithm-1 training campaign: the scraped telemetry plus the
+/// phase timeline, ready to yield datasets for any metric catalog.
+///
+/// Running the simulation is the expensive part; extracting datasets and
+/// learning models (per catalog) is cheap, so Table II's six catalogs reuse
+/// one `CampaignRun`.
+pub struct CampaignRun {
+    recorder: Recorder,
+    plan: Vec<icfl_faults::PhaseWindow>,
+    targets: Vec<ServiceId>,
+    windows: WindowConfig,
+    service_names: Vec<String>,
+    /// Audit log of the interventions actually performed.
+    pub trace: InterventionTrace,
+}
+
+impl std::fmt::Debug for CampaignRun {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CampaignRun")
+            .field("targets", &self.targets.len())
+            .field("phases", &self.plan.len())
+            .finish()
+    }
+}
+
+impl CampaignRun {
+    /// Runs the full campaign simulation for `app` under `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cluster-build, load-generation and telemetry errors.
+    pub fn execute(app: &App, cfg: &RunConfig) -> Result<CampaignRun> {
+        let (mut cluster, targets) = app.build(cfg.seed)?;
+        let mut sim = Sim::new(cfg.seed);
+        Cluster::start(&mut sim, &mut cluster);
+        let recorder = Recorder::attach(&mut sim, cluster.num_services());
+        start_load(
+            &mut sim,
+            &mut cluster,
+            &LoadConfig::closed_loop(app.flows.clone()).with_replicas(cfg.replicas),
+        )?;
+        let faults = targets.iter().map(|&s| (s, cfg.fault.clone())).collect();
+        let campaign = Campaign::new(faults, cfg.campaign);
+        let trace = InterventionTrace::new();
+        let plan = campaign.arm(&mut sim, SimTime::ZERO, &trace);
+        let end = plan.last().expect("campaign has phases").end;
+        sim.run_until(end, &mut cluster);
+        let service_names = cluster
+            .service_ids()
+            .into_iter()
+            .map(|id| cluster.service_name(id).to_owned())
+            .collect();
+        Ok(CampaignRun {
+            recorder,
+            plan,
+            targets,
+            windows: cfg.windows,
+            service_names,
+            trace,
+        })
+    }
+
+    /// The intervened services, in campaign order.
+    pub fn targets(&self) -> &[ServiceId] {
+        &self.targets
+    }
+
+    /// Service names by id index.
+    pub fn service_names(&self) -> &[String] {
+        &self.service_names
+    }
+
+    /// Extracts the baseline dataset `D_0` for a catalog.
+    ///
+    /// # Errors
+    ///
+    /// Telemetry extraction errors (phase too short, missing samples).
+    pub fn baseline(&self, catalog: &MetricCatalog) -> Result<Dataset> {
+        let w = self
+            .plan
+            .iter()
+            .find(|w| w.label == PhaseLabel::Baseline)
+            .expect("campaign has a baseline phase");
+        Ok(self.recorder.dataset(catalog, w.start, w.end, self.windows)?)
+    }
+
+    /// Extracts every fault-phase dataset `(s, D_s)` for a catalog.
+    ///
+    /// # Errors
+    ///
+    /// Telemetry extraction errors.
+    pub fn fault_datasets(&self, catalog: &MetricCatalog) -> Result<Vec<(ServiceId, Dataset)>> {
+        let mut out = Vec::with_capacity(self.targets.len());
+        for w in &self.plan {
+            if let PhaseLabel::Fault(svc) = w.label {
+                let ds = self.recorder.dataset(catalog, w.start, w.end, self.windows)?;
+                out.push((svc, ds));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Runs Algorithm 1 on this campaign's data for the given catalog.
+    ///
+    /// # Errors
+    ///
+    /// Telemetry or statistics errors.
+    pub fn learn(&self, catalog: &MetricCatalog, detector: ShiftDetector) -> Result<CausalModel> {
+        let baseline = self.baseline(catalog)?;
+        let faults = self.fault_datasets(catalog)?;
+        CausalModel::learn(catalog, detector, &baseline, &faults)
+    }
+}
+
+/// One production evaluation case: a fresh simulation with a single fault
+/// active, telemetry collected over the fault window.
+pub struct ProductionRun {
+    recorder: Recorder,
+    window: (SimTime, SimTime),
+    windows: WindowConfig,
+    /// The service the fault was injected into (ground truth).
+    pub injected: ServiceId,
+}
+
+impl std::fmt::Debug for ProductionRun {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProductionRun")
+            .field("injected", &self.injected)
+            .finish()
+    }
+}
+
+impl ProductionRun {
+    /// Simulates production with `fault` active on `injected` for one
+    /// fault-duration window (after warmup).
+    ///
+    /// # Errors
+    ///
+    /// Propagates cluster-build and load-generation errors.
+    pub fn execute(app: &App, injected: ServiceId, cfg: &RunConfig) -> Result<ProductionRun> {
+        let (mut cluster, _) = app.build(cfg.seed)?;
+        let mut sim = Sim::new(cfg.seed);
+        Cluster::start(&mut sim, &mut cluster);
+        let recorder = Recorder::attach(&mut sim, cluster.num_services());
+        start_load(
+            &mut sim,
+            &mut cluster,
+            &LoadConfig::closed_loop(app.flows.clone()).with_replicas(cfg.replicas),
+        )?;
+        let from = SimTime::ZERO + cfg.campaign.warmup;
+        let to = from + cfg.campaign.fault_duration;
+        FaultInjector::inject_between(
+            &mut sim,
+            injected,
+            cfg.fault.clone(),
+            from,
+            to,
+            &InterventionTrace::new(),
+        );
+        sim.run_until(to, &mut cluster);
+        Ok(ProductionRun {
+            recorder,
+            window: (from, to),
+            windows: cfg.windows,
+            injected,
+        })
+    }
+
+    /// The production dataset `D(M, s)` over the fault window.
+    ///
+    /// # Errors
+    ///
+    /// Telemetry extraction errors.
+    pub fn dataset(&self, catalog: &MetricCatalog) -> Result<Dataset> {
+        Ok(self
+            .recorder
+            .dataset(catalog, self.window.0, self.window.1, self.windows)?)
+    }
+}
+
+/// A production run with several *simultaneous* faults — the multi-fault
+/// scenario the paper leaves as open work. Algorithm 2's vote extends to it
+/// naturally via [`Localization::top_k`](crate::Localization::top_k):
+/// different metrics vote for different culprits.
+pub struct MultiFaultRun {
+    recorder: Recorder,
+    window: (SimTime, SimTime),
+    windows: WindowConfig,
+    /// The services faults were injected into (ground truth).
+    pub injected: Vec<ServiceId>,
+}
+
+impl std::fmt::Debug for MultiFaultRun {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiFaultRun").field("injected", &self.injected).finish()
+    }
+}
+
+impl MultiFaultRun {
+    /// Simulates production with every fault in `faults` active at once
+    /// over one fault-duration window (after warmup).
+    ///
+    /// # Errors
+    ///
+    /// Propagates cluster-build and load-generation errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `faults` is empty.
+    pub fn execute(
+        app: &App,
+        faults: &[(ServiceId, FaultKind)],
+        cfg: &RunConfig,
+    ) -> Result<MultiFaultRun> {
+        assert!(!faults.is_empty(), "a multi-fault run needs at least one fault");
+        let (mut cluster, _) = app.build(cfg.seed)?;
+        let mut sim = Sim::new(cfg.seed);
+        Cluster::start(&mut sim, &mut cluster);
+        let recorder = Recorder::attach(&mut sim, cluster.num_services());
+        start_load(
+            &mut sim,
+            &mut cluster,
+            &LoadConfig::closed_loop(app.flows.clone()).with_replicas(cfg.replicas),
+        )?;
+        let from = SimTime::ZERO + cfg.campaign.warmup;
+        let to = from + cfg.campaign.fault_duration;
+        let trace = InterventionTrace::new();
+        for (svc, fault) in faults {
+            FaultInjector::inject_between(&mut sim, *svc, fault.clone(), from, to, &trace);
+        }
+        sim.run_until(to, &mut cluster);
+        Ok(MultiFaultRun {
+            recorder,
+            window: (from, to),
+            windows: cfg.windows,
+            injected: faults.iter().map(|(s, _)| *s).collect(),
+        })
+    }
+
+    /// The production dataset over the multi-fault window.
+    ///
+    /// # Errors
+    ///
+    /// Telemetry extraction errors.
+    pub fn dataset(&self, catalog: &MetricCatalog) -> Result<Dataset> {
+        Ok(self
+            .recorder
+            .dataset(catalog, self.window.0, self.window.1, self.windows)?)
+    }
+}
+
+/// A sweep of production runs — one per fault target — reusable across
+/// models/catalogs (the expensive simulations run once).
+pub struct EvalSuite {
+    /// The production runs, one per injected fault.
+    pub runs: Vec<ProductionRun>,
+    num_services: usize,
+}
+
+impl std::fmt::Debug for EvalSuite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EvalSuite").field("cases", &self.runs.len()).finish()
+    }
+}
+
+impl EvalSuite {
+    /// Number of services in the evaluated application.
+    pub fn num_services(&self) -> usize {
+        self.num_services
+    }
+
+    /// Runs one production case per target. Each case gets a distinct seed
+    /// derived from `cfg.seed` so evaluation traffic is independent of
+    /// training traffic.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first case's failure.
+    pub fn execute(app: &App, targets: &[ServiceId], cfg: &RunConfig) -> Result<EvalSuite> {
+        let mut runs = Vec::with_capacity(targets.len());
+        for (i, &t) in targets.iter().enumerate() {
+            let case_cfg = RunConfig {
+                seed: cfg
+                    .seed
+                    .wrapping_add((i as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+                ..cfg.clone()
+            };
+            runs.push(ProductionRun::execute(app, t, &case_cfg)?);
+        }
+        Ok(EvalSuite { runs, num_services: app.num_services() })
+    }
+
+    /// Scores a model on every case with the paper's matching rule.
+    ///
+    /// # Errors
+    ///
+    /// Localization errors (shape mismatches, statistics).
+    pub fn evaluate(&self, model: &CausalModel) -> Result<EvalSummary> {
+        self.evaluate_with(model, MatchRule::IntersectionSize)
+    }
+
+    /// Scores a model on every case with an explicit matching rule.
+    ///
+    /// # Errors
+    ///
+    /// Localization errors (shape mismatches, statistics).
+    pub fn evaluate_with(&self, model: &CausalModel, rule: MatchRule) -> Result<EvalSummary> {
+        let mut cases = Vec::with_capacity(self.runs.len());
+        for run in &self.runs {
+            let ds = run.dataset(model.catalog())?;
+            let loc = model.localize_with(&ds, rule)?;
+            cases.push(CaseResult::score(run.injected, &loc, self.num_services));
+        }
+        Ok(EvalSummary::aggregate(cases))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icfl_apps::pattern1;
+
+    #[test]
+    fn pattern1_end_to_end_perfect_at_matched_load() {
+        let app = pattern1();
+        let cfg = RunConfig::quick(42);
+        let campaign = CampaignRun::execute(&app, &cfg).unwrap();
+        assert_eq!(campaign.targets().len(), 3);
+        assert_eq!(campaign.trace.len(), 3);
+        assert_eq!(campaign.service_names(), &["A", "B", "C"]);
+
+        let model = campaign
+            .learn(&MetricCatalog::derived_all(), RunConfig::default_detector())
+            .unwrap();
+        // C(B) under the msg metric should include A (error logs at A).
+        let b = campaign.targets()[1];
+        let a = campaign.targets()[0];
+        let msg_set = model.causal_set(0, b).unwrap();
+        assert!(msg_set.contains(&a), "C(B, msg) should contain A: {msg_set:?}");
+
+        let suite = EvalSuite::execute(&app, campaign.targets(), &RunConfig::quick(777)).unwrap();
+        let summary = suite.evaluate(&model).unwrap();
+        assert!(
+            summary.accuracy >= 0.99,
+            "pattern1 should localize perfectly at matched load: {summary}"
+        );
+        assert!(summary.informativeness > 0.4, "{summary}");
+    }
+
+    #[test]
+    fn campaign_run_is_reusable_across_catalogs() {
+        let app = pattern1();
+        let cfg = RunConfig::quick(7);
+        let campaign = CampaignRun::execute(&app, &cfg).unwrap();
+        let m1 = campaign
+            .learn(&MetricCatalog::raw_msg_rate(), RunConfig::default_detector())
+            .unwrap();
+        let m2 = campaign
+            .learn(&MetricCatalog::derived_cpu(), RunConfig::default_detector())
+            .unwrap();
+        assert_eq!(m1.catalog().name(), "raw-msg");
+        assert_eq!(m2.catalog().name(), "derived-cpu");
+        assert_eq!(m1.num_services(), m2.num_services());
+    }
+}

@@ -1,0 +1,213 @@
+//! Accuracy and informativeness — the paper's two efficacy measures (§VI-A).
+
+use crate::localize::Localization;
+use icfl_micro::ServiceId;
+use serde::{Deserialize, Serialize};
+
+/// The outcome of localizing one injected fault.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CaseResult {
+    /// The service the fault was actually injected into.
+    pub injected: ServiceId,
+    /// The candidate set produced by the localizer.
+    pub candidates: Vec<ServiceId>,
+    /// Whether `injected ∈ candidates`.
+    pub correct: bool,
+    /// `(n − x) / (n − 1)` where `n` is the number of services and `x` the
+    /// candidate-set size; 1.0 = single-service prediction, 0.0 = no
+    /// exclusion at all. An empty candidate set scores 0 (and is counted
+    /// incorrect), since predicting nothing localizes nothing.
+    pub informativeness: f64,
+}
+
+impl CaseResult {
+    /// Scores one localization against the known injected fault.
+    pub fn score(injected: ServiceId, loc: &Localization, num_services: usize) -> CaseResult {
+        CaseResult::from_candidates(
+            injected,
+            loc.candidates.iter().copied(),
+            num_services,
+        )
+    }
+
+    /// Scores a bare candidate set (used by baseline localizers that do not
+    /// produce a full [`Localization`]).
+    pub fn from_candidates(
+        injected: ServiceId,
+        candidates: impl IntoIterator<Item = ServiceId>,
+        num_services: usize,
+    ) -> CaseResult {
+        let candidates: Vec<ServiceId> = candidates.into_iter().collect();
+        let x = candidates.len();
+        let correct = candidates.contains(&injected);
+        let informativeness = if x == 0 || num_services <= 1 {
+            0.0
+        } else {
+            (num_services - x) as f64 / (num_services - 1) as f64
+        };
+        CaseResult { injected, candidates, correct, informativeness }
+    }
+}
+
+/// Aggregate efficacy over a fault-injection evaluation sweep
+/// (one row of the paper's Table I).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalSummary {
+    /// Fraction of injected faults whose candidate set contained the true
+    /// location.
+    pub accuracy: f64,
+    /// Mean informativeness across cases.
+    pub informativeness: f64,
+    /// Per-case details.
+    pub cases: Vec<CaseResult>,
+}
+
+impl EvalSummary {
+    /// Aggregates case results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cases` is empty — a sweep with no cases has no accuracy.
+    pub fn aggregate(cases: Vec<CaseResult>) -> EvalSummary {
+        assert!(!cases.is_empty(), "cannot summarize zero cases");
+        let n = cases.len() as f64;
+        let accuracy = cases.iter().filter(|c| c.correct).count() as f64 / n;
+        let informativeness = cases.iter().map(|c| c.informativeness).sum::<f64>() / n;
+        EvalSummary { accuracy, informativeness, cases }
+    }
+}
+
+impl EvalSummary {
+    /// Bootstrap confidence interval for the accuracy (over the per-case
+    /// correct/incorrect indicators). The paper's sweeps have only 8–11
+    /// cases, so intervals are wide — which is itself worth reporting when
+    /// comparing methods.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`icfl_stats::StatsError`] for degenerate inputs.
+    pub fn accuracy_ci(
+        &self,
+        level: f64,
+        seed: u64,
+    ) -> crate::Result<icfl_stats::ConfidenceInterval> {
+        let indicators: Vec<f64> =
+            self.cases.iter().map(|c| if c.correct { 1.0 } else { 0.0 }).collect();
+        Ok(icfl_stats::bootstrap_mean_ci(&indicators, 2_000, level, seed)?)
+    }
+
+    /// Bootstrap confidence interval for the mean informativeness.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`icfl_stats::StatsError`] for degenerate inputs.
+    pub fn informativeness_ci(
+        &self,
+        level: f64,
+        seed: u64,
+    ) -> crate::Result<icfl_stats::ConfidenceInterval> {
+        let values: Vec<f64> = self.cases.iter().map(|c| c.informativeness).collect();
+        Ok(icfl_stats::bootstrap_mean_ci(&values, 2_000, level, seed)?)
+    }
+}
+
+impl std::fmt::Display for EvalSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "accuracy={:.2} informativeness={:.2} ({} cases)",
+            self.accuracy,
+            self.informativeness,
+            self.cases.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn sid(i: usize) -> ServiceId {
+        ServiceId::from_index(i)
+    }
+
+    fn loc(cands: &[usize]) -> Localization {
+        Localization {
+            candidates: cands.iter().map(|&i| sid(i)).collect::<BTreeSet<_>>(),
+            votes: vec![],
+            per_metric: vec![],
+        }
+    }
+
+    #[test]
+    fn single_correct_prediction_scores_perfectly() {
+        let c = CaseResult::score(sid(2), &loc(&[2]), 9);
+        assert!(c.correct);
+        assert_eq!(c.informativeness, 1.0);
+    }
+
+    #[test]
+    fn informativeness_shrinks_with_set_size() {
+        // n=9, x=2 → (9-2)/8 = 0.875
+        let c = CaseResult::score(sid(2), &loc(&[2, 5]), 9);
+        assert!(c.correct);
+        assert!((c.informativeness - 0.875).abs() < 1e-12);
+        // x = n → 0.
+        let all: Vec<usize> = (0..9).collect();
+        let c = CaseResult::score(sid(2), &loc(&all), 9);
+        assert_eq!(c.informativeness, 0.0);
+    }
+
+    #[test]
+    fn wrong_prediction_is_incorrect_but_still_informative() {
+        let c = CaseResult::score(sid(2), &loc(&[3]), 9);
+        assert!(!c.correct);
+        assert_eq!(c.informativeness, 1.0);
+    }
+
+    #[test]
+    fn empty_prediction_scores_zero() {
+        let c = CaseResult::score(sid(2), &loc(&[]), 9);
+        assert!(!c.correct);
+        assert_eq!(c.informativeness, 0.0);
+    }
+
+    #[test]
+    fn aggregate_averages() {
+        let s = EvalSummary::aggregate(vec![
+            CaseResult::score(sid(0), &loc(&[0]), 5),
+            CaseResult::score(sid(1), &loc(&[0, 1]), 5),
+            CaseResult::score(sid(2), &loc(&[3]), 5),
+        ]);
+        assert!((s.accuracy - 2.0 / 3.0).abs() < 1e-12);
+        let expect = (1.0 + 0.75 + 1.0) / 3.0;
+        assert!((s.informativeness - expect).abs() < 1e-12);
+        assert!(s.to_string().contains("3 cases"));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero cases")]
+    fn empty_aggregate_panics() {
+        EvalSummary::aggregate(vec![]);
+    }
+
+    #[test]
+    fn confidence_intervals_bracket_point_estimates() {
+        let s = EvalSummary::aggregate(vec![
+            CaseResult::score(sid(0), &loc(&[0]), 9),
+            CaseResult::score(sid(1), &loc(&[1]), 9),
+            CaseResult::score(sid(2), &loc(&[3]), 9),
+            CaseResult::score(sid(3), &loc(&[3, 4]), 9),
+            CaseResult::score(sid(4), &loc(&[4]), 9),
+            CaseResult::score(sid(5), &loc(&[]), 9),
+        ]);
+        let acc = s.accuracy_ci(0.95, 7).unwrap();
+        assert!(acc.contains(s.accuracy), "{acc} vs {}", s.accuracy);
+        assert!(acc.lo >= 0.0 && acc.hi <= 1.0);
+        let inf = s.informativeness_ci(0.95, 7).unwrap();
+        assert!(inf.contains(s.informativeness));
+        // Small n → non-degenerate width on mixed outcomes.
+        assert!(acc.width() > 0.0);
+    }
+}

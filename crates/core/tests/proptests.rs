@@ -1,0 +1,225 @@
+//! Property-based tests of Algorithms 1–2 on synthetic datasets: structural
+//! invariants that must hold for *any* data, not just simulated traffic.
+
+use icfl_core::{CaseResult, CausalModel, Localization, RunConfig};
+use icfl_micro::ServiceId;
+use icfl_stats::ShiftDetector;
+use icfl_telemetry::{Dataset, MetricCatalog, MetricSpec, RawMetric};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// Builds a dataset of `services` series with the given per-service levels;
+/// each series is a mildly noisy constant.
+fn level_dataset(levels: &[f64], metric_names: usize) -> Dataset {
+    let names: Vec<String> = (0..metric_names).map(|i| format!("m{i}")).collect();
+    let values = (0..metric_names)
+        .map(|m| {
+            levels
+                .iter()
+                .map(|&l| {
+                    (0..19)
+                        .map(|w| l * (1.0 + 0.01 * ((w * (m + 1)) % 5) as f64))
+                        .collect::<Vec<f64>>()
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    Dataset::new(names, values)
+}
+
+fn catalog(n: usize) -> MetricCatalog {
+    let metrics = (0..n)
+        .map(|i| {
+            if i % 2 == 0 {
+                MetricSpec::Raw(RawMetric::MsgCount)
+            } else {
+                MetricSpec::Raw(RawMetric::CpuSeconds)
+            }
+        })
+        .collect();
+    MetricCatalog::new("prop", metrics)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Algorithm 1: the intervened service is always in its own causal set,
+    /// and causal sets only contain valid services.
+    #[test]
+    fn causal_sets_contain_target_and_stay_in_range(
+        base_levels in proptest::collection::vec(0.1f64..100.0, 2..7),
+        fault_scale in 0.0f64..10.0,
+        target_idx in 0usize..7,
+        metrics in 1usize..4,
+    ) {
+        let n = base_levels.len();
+        let target = ServiceId::from_index(target_idx % n);
+        let baseline = level_dataset(&base_levels, metrics);
+        let mut fault_levels = base_levels.clone();
+        fault_levels[target.index()] *= fault_scale;
+        let fault_ds = level_dataset(&fault_levels, metrics);
+
+        let model = CausalModel::learn(
+            &catalog(metrics),
+            RunConfig::default_detector(),
+            &baseline,
+            &[(target, fault_ds)],
+        ).unwrap();
+
+        for (_, t, set) in model.iter_sets() {
+            prop_assert_eq!(t, target);
+            prop_assert!(set.contains(&target), "C(s,M) must contain s");
+            prop_assert!(set.iter().all(|s| s.index() < n));
+        }
+    }
+
+    /// Algorithm 2: production data equal to the baseline produces no
+    /// candidates (no anomaly → every metric abstains).
+    #[test]
+    fn baseline_production_yields_nothing(
+        levels in proptest::collection::vec(0.1f64..100.0, 2..7),
+        metrics in 1usize..4,
+    ) {
+        let n = levels.len();
+        let baseline = level_dataset(&levels, metrics);
+        let faults: Vec<(ServiceId, Dataset)> = (0..n)
+            .map(|i| {
+                let mut l = levels.clone();
+                l[i] *= 5.0;
+                (ServiceId::from_index(i), level_dataset(&l, metrics))
+            })
+            .collect();
+        let model = CausalModel::learn(
+            &catalog(metrics),
+            RunConfig::default_detector(),
+            &baseline,
+            &faults,
+        ).unwrap();
+        let loc = model.localize(&baseline).unwrap();
+        prop_assert!(loc.candidates.is_empty());
+        prop_assert!(loc.votes.iter().all(|&v| v == 0.0));
+    }
+
+    /// Algorithm 2: replaying a training fault's signature localizes it.
+    #[test]
+    fn training_signature_replay_localizes(
+        levels in proptest::collection::vec(1.0f64..100.0, 3..7),
+        which in 0usize..7,
+    ) {
+        let n = levels.len();
+        let which = which % n;
+        let baseline = level_dataset(&levels, 2);
+        let faults: Vec<(ServiceId, Dataset)> = (0..n)
+            .map(|i| {
+                let mut l = levels.clone();
+                // Each fault has a distinct signature: it scales itself 10x
+                // and its right neighbor 3x.
+                l[i] *= 10.0;
+                l[(i + 1) % n] *= 3.0;
+                (ServiceId::from_index(i), level_dataset(&l, 2))
+            })
+            .collect();
+        let model = CausalModel::learn(
+            &catalog(2),
+            RunConfig::default_detector(),
+            &baseline,
+            &faults,
+        ).unwrap();
+        let loc = model.localize(&faults[which].1).unwrap();
+        prop_assert!(
+            loc.implicates(ServiceId::from_index(which)),
+            "replayed signature of {which} gave {:?}", loc.candidates
+        );
+    }
+
+    /// Votes are bounded by the number of metrics, and candidates are
+    /// exactly the argmax set.
+    #[test]
+    fn votes_bounded_and_candidates_are_argmax(
+        levels in proptest::collection::vec(1.0f64..100.0, 2..6),
+        bump in 1.5f64..20.0,
+        metrics in 1usize..4,
+    ) {
+        let n = levels.len();
+        let baseline = level_dataset(&levels, metrics);
+        let faults: Vec<(ServiceId, Dataset)> = (0..n)
+            .map(|i| {
+                let mut l = levels.clone();
+                l[i] *= bump;
+                (ServiceId::from_index(i), level_dataset(&l, metrics))
+            })
+            .collect();
+        let model = CausalModel::learn(
+            &catalog(metrics),
+            RunConfig::default_detector(),
+            &baseline,
+            &faults,
+        ).unwrap();
+        let mut production_levels = levels.clone();
+        production_levels[0] *= bump;
+        let loc: Localization = model.localize(&level_dataset(&production_levels, metrics)).unwrap();
+        let total: f64 = loc.votes.iter().sum();
+        prop_assert!(total <= metrics as f64 + 1e-9, "votes exceed metric count");
+        if let Some(max) = loc.votes.iter().copied().reduce(f64::max) {
+            if max > 0.0 {
+                let argmax: BTreeSet<ServiceId> = loc
+                    .votes
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &v)| (v - max).abs() <= 1e-12)
+                    .map(|(i, _)| ServiceId::from_index(i))
+                    .collect();
+                prop_assert_eq!(argmax, loc.candidates.clone());
+            }
+        }
+    }
+
+    /// Scoring invariants: informativeness ∈ [0,1]; correct iff injected
+    /// is a candidate; empty prediction is maximally uninformative.
+    #[test]
+    fn scoring_invariants(
+        n in 2usize..20,
+        injected in 0usize..20,
+        candidates in proptest::collection::btree_set(0usize..20, 0..10),
+    ) {
+        let injected = ServiceId::from_index(injected % n);
+        let cands: Vec<ServiceId> = candidates
+            .into_iter()
+            .filter(|&c| c < n)
+            .map(ServiceId::from_index)
+            .collect();
+        let case = CaseResult::from_candidates(injected, cands.iter().copied(), n);
+        prop_assert!((0.0..=1.0).contains(&case.informativeness));
+        prop_assert_eq!(case.correct, cands.contains(&injected));
+        if cands.is_empty() {
+            prop_assert_eq!(case.informativeness, 0.0);
+        }
+        if cands.len() == 1 {
+            prop_assert_eq!(case.informativeness, 1.0);
+        }
+    }
+
+    /// Learning is insensitive to the *order* of fault datasets.
+    #[test]
+    fn learning_order_invariance(
+        levels in proptest::collection::vec(1.0f64..50.0, 3..6),
+    ) {
+        let n = levels.len();
+        let baseline = level_dataset(&levels, 2);
+        let faults: Vec<(ServiceId, Dataset)> = (0..n)
+            .map(|i| {
+                let mut l = levels.clone();
+                l[i] *= 8.0;
+                (ServiceId::from_index(i), level_dataset(&l, 2))
+            })
+            .collect();
+        let detector = ShiftDetector::ks(0.05);
+        let forward = CausalModel::learn(&catalog(2), detector, &baseline, &faults).unwrap();
+        let mut reversed = faults.clone();
+        reversed.reverse();
+        let backward = CausalModel::learn(&catalog(2), detector, &baseline, &reversed).unwrap();
+        for (m, t, set) in forward.iter_sets() {
+            prop_assert_eq!(backward.causal_set(m, t), Some(set));
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Ablation studies over the design choices called out in `DESIGN.md`:
+//! detector family, significance level, minimum-effect guard, matching
+//! rule, window geometry, fault-type generalization, and the autoscaler as
+//! a latent confounder (§IV).
+
+use crate::mode::Mode;
+use crate::render::TextTable;
+use icfl_core::{CampaignRun, EvalSuite, MatchRule, Result, RunConfig};
+use icfl_micro::{AutoscalerSpec, FaultKind};
+use icfl_sim::{DurationDist, SimDuration};
+use icfl_stats::{ShiftDetector, TestKind};
+use icfl_telemetry::{MetricCatalog, WindowConfig};
+use serde::{Deserialize, Serialize};
+
+/// One ablation measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AblationRow {
+    /// Which knob was swept.
+    pub group: String,
+    /// The knob's value.
+    pub variant: String,
+    /// Localization accuracy on CausalBench.
+    pub accuracy: f64,
+    /// Mean informativeness.
+    pub informativeness: f64,
+}
+
+/// The full ablation sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ablations {
+    /// Rows grouped by knob.
+    pub rows: Vec<AblationRow>,
+}
+
+impl Ablations {
+    /// Renders the ablation table.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec!["Knob", "Variant", "Accuracy", "Informativeness"]);
+        for r in &self.rows {
+            t.row(vec![
+                r.group.clone(),
+                r.variant.clone(),
+                format!("{:.2}", r.accuracy),
+                format!("{:.2}", r.informativeness),
+            ]);
+        }
+        t.render()
+    }
+
+    /// Rows of one group.
+    pub fn group(&self, name: &str) -> Vec<&AblationRow> {
+        self.rows.iter().filter(|r| r.group == name).collect()
+    }
+}
+
+/// Runs the full ablation sweep on CausalBench.
+///
+/// # Errors
+///
+/// Propagates pipeline errors.
+pub fn ablations(mode: Mode, seed: u64) -> Result<Ablations> {
+    let app = icfl_apps::causalbench();
+    let train_cfg = mode.train_cfg(seed);
+    let campaign = CampaignRun::execute(&app, &train_cfg)?;
+    let suite_1x = EvalSuite::execute(&app, campaign.targets(), &mode.eval_cfg(seed))?;
+    let suite_4x = EvalSuite::execute(
+        &app,
+        campaign.targets(),
+        &mode.eval_cfg(seed).with_replicas(4),
+    )?;
+    let catalog = MetricCatalog::derived_all();
+    let mut rows = Vec::new();
+
+    // --- Reference point: the default configuration at both loads. ---
+    let reference = campaign.learn(&catalog, RunConfig::default_detector())?;
+    for (suite, label) in [(&suite_1x, "1x"), (&suite_4x, "4x")] {
+        let s = suite.evaluate(&reference)?;
+        rows.push(AblationRow {
+            group: "reference".into(),
+            variant: label.into(),
+            accuracy: s.accuracy,
+            informativeness: s.informativeness,
+        });
+    }
+
+    // --- Detector family (DESIGN.md decision 4; paper uses KS). ---
+    for kind in [TestKind::KolmogorovSmirnov, TestKind::MannWhitney, TestKind::Welch] {
+        let det = ShiftDetector { kind, alpha: 0.05, min_relative_effect: 0.1 };
+        let model = campaign.learn(&catalog, det)?;
+        let s = suite_4x.evaluate(&model)?;
+        rows.push(AblationRow {
+            group: "detector@4x".into(),
+            variant: kind.to_string(),
+            accuracy: s.accuracy,
+            informativeness: s.informativeness,
+        });
+    }
+
+    // --- Significance level α. ---
+    for alpha in [0.01, 0.05, 0.10] {
+        let det = ShiftDetector::ks(alpha).with_min_effect(0.1);
+        let model = campaign.learn(&catalog, det)?;
+        let s = suite_4x.evaluate(&model)?;
+        rows.push(AblationRow {
+            group: "alpha@4x".into(),
+            variant: format!("{alpha}"),
+            accuracy: s.accuracy,
+            informativeness: s.informativeness,
+        });
+    }
+
+    // --- Minimum-relative-effect guard. ---
+    for min_eff in [0.0, 0.1, 0.3] {
+        let det = ShiftDetector::ks(0.05).with_min_effect(min_eff);
+        let model = campaign.learn(&catalog, det)?;
+        let s = suite_4x.evaluate(&model)?;
+        rows.push(AblationRow {
+            group: "min-effect@4x".into(),
+            variant: format!("{min_eff}"),
+            accuracy: s.accuracy,
+            informativeness: s.informativeness,
+        });
+    }
+
+    // --- Matching rule (Algorithm 2 line 14). ---
+    let model = campaign.learn(&catalog, RunConfig::default_detector())?;
+    for (rule, name) in [
+        (MatchRule::IntersectionSize, "intersection (paper)"),
+        (MatchRule::Jaccard, "jaccard"),
+    ] {
+        let s = suite_4x.evaluate_with(&model, rule)?;
+        rows.push(AblationRow {
+            group: "match-rule@4x".into(),
+            variant: name.into(),
+            accuracy: s.accuracy,
+            informativeness: s.informativeness,
+        });
+    }
+
+    // --- Window geometry (paper: 60 s / 30 s hop). Each geometry needs its
+    // own campaign+suite because windowing is baked into extraction. ---
+    let geometries: &[(u64, u64)] = match mode {
+        Mode::Quick => &[(10, 5), (20, 10), (30, 15)],
+        Mode::Paper => &[(60, 30), (30, 15), (120, 60)],
+    };
+    for &(w, h) in geometries {
+        let mut cfg = mode.train_cfg(seed ^ (w << 8) ^ h);
+        cfg.windows = WindowConfig::from_secs(w, h);
+        let c = CampaignRun::execute(&app, &cfg)?;
+        let m = c.learn(&catalog, RunConfig::default_detector())?;
+        let mut ecfg = mode.eval_cfg(seed ^ (w << 8) ^ h);
+        ecfg.windows = WindowConfig::from_secs(w, h);
+        let s = EvalSuite::execute(&app, c.targets(), &ecfg)?.evaluate(&m)?;
+        rows.push(AblationRow {
+            group: "windows@1x".into(),
+            variant: format!("{w}s/{h}s"),
+            accuracy: s.accuracy,
+            informativeness: s.informativeness,
+        });
+    }
+
+    // --- Fault-type generalization: the model is trained on
+    // service-unavailable only ("our methodology is not dependent on a
+    // specific fault type, just that faults propagate"). ---
+    let model = campaign.learn(&catalog, RunConfig::default_detector())?;
+    let raw_model = campaign.learn(&MetricCatalog::raw_all(), RunConfig::default_detector())?;
+    let fault_types: Vec<(&str, FaultKind)> = vec![
+        ("service-unavailable", FaultKind::ServiceUnavailable),
+        ("error-rate 0.5", FaultKind::ErrorRate(0.5)),
+        ("cpu-stress 4x", FaultKind::CpuStress(4.0)),
+        ("packet-loss 0.3", FaultKind::PacketLoss(0.3)),
+        (
+            "extra-latency 200ms",
+            FaultKind::ExtraLatency(DurationDist::constant(SimDuration::from_millis(200))),
+        ),
+    ];
+    for (name, fault) in fault_types {
+        let cfg = mode.eval_cfg(seed ^ 0xfa17).with_fault(fault);
+        let suite = EvalSuite::execute(&app, campaign.targets(), &cfg)?;
+        let s = suite.evaluate(&model)?;
+        rows.push(AblationRow {
+            group: "fault-type/derived".into(),
+            variant: name.into(),
+            accuracy: s.accuracy,
+            informativeness: s.informativeness,
+        });
+        let s = suite.evaluate(&raw_model)?;
+        rows.push(AblationRow {
+            group: "fault-type/raw".into(),
+            variant: name.into(),
+            accuracy: s.accuracy,
+            informativeness: s.informativeness,
+        });
+    }
+
+    // --- Autoscaling as a latent confounder (§IV): production runs with an
+    // HPA on the front door that training never saw. ---
+    let mut autoscaled = app.clone();
+    autoscaled.spec = autoscaled
+        .spec
+        .autoscaler(AutoscalerSpec::hpa("A", 2, 64))
+        .autoscaler(AutoscalerSpec::hpa("B", 2, 32));
+    for load in [1usize, 4] {
+        let suite = EvalSuite::execute(
+            &autoscaled,
+            campaign.targets(),
+            &mode.eval_cfg(seed ^ 0x5ca1e).with_replicas(load),
+        )?;
+        let s = suite.evaluate(&model)?;
+        rows.push(AblationRow {
+            group: "latent-autoscaler".into(),
+            variant: format!("{load}x"),
+            accuracy: s.accuracy,
+            informativeness: s.informativeness,
+        });
+    }
+
+    Ok(Ablations { rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_groups_rows() {
+        let a = Ablations {
+            rows: vec![AblationRow {
+                group: "g".into(),
+                variant: "v".into(),
+                accuracy: 1.0,
+                informativeness: 0.5,
+            }],
+        };
+        assert!(a.render().contains("1.00"));
+        assert_eq!(a.group("g").len(), 1);
+        assert!(a.group("missing").is_empty());
+    }
+}

@@ -1,0 +1,13 @@
+//! Baseline comparison: the proposed method vs \[23\], \[24\], pooled, observational.
+use icfl_experiments::{comparison, CliOptions};
+
+fn main() {
+    let opts = CliOptions::from_env();
+    eprintln!("running baseline comparison in {} mode (seed {})...", opts.mode, opts.seed);
+    let result = comparison(opts.mode, opts.seed).expect("comparison experiment failed");
+    println!("Baseline comparison — accuracy and informativeness\n");
+    println!("{}", result.render());
+    if opts.json {
+        println!("{}", serde_json::to_string_pretty(&result).expect("serialize"));
+    }
+}

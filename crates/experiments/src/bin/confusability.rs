@@ -1,0 +1,13 @@
+//! Signature-confusability analysis validated against the 4x evaluation.
+use icfl_experiments::{confusability, CliOptions};
+
+fn main() {
+    let opts = CliOptions::from_env();
+    eprintln!("running confusability analysis in {} mode (seed {})...", opts.mode, opts.seed);
+    let result = confusability(opts.mode, opts.seed).expect("confusability experiment failed");
+    println!("Causal-signature confusability (top pairs per app)\n");
+    println!("{}", result.render());
+    if opts.json {
+        println!("{}", serde_json::to_string_pretty(&result).expect("serialize"));
+    }
+}

@@ -1,0 +1,11 @@
+//! Regenerates Fig. 4 (CausalBench topology) with runtime flow validation.
+use icfl_experiments::{fig4, CliOptions};
+
+fn main() {
+    let opts = CliOptions::from_env();
+    let result = fig4(opts.seed).expect("fig4 experiment failed");
+    println!("{}", result.render());
+    if opts.json {
+        println!("{}", serde_json::to_string_pretty(&result).expect("serialize"));
+    }
+}

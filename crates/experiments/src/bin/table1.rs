@@ -1,0 +1,14 @@
+//! Regenerates Table I of the paper.
+use icfl_experiments::{table1, CliOptions};
+
+fn main() {
+    let opts = CliOptions::from_env();
+    eprintln!("running Table I in {} mode (seed {})...", opts.mode, opts.seed);
+    let result = table1(opts.mode, opts.seed).expect("table1 experiment failed");
+    println!("Table I — fault localization accuracy and informativeness");
+    println!("(train @1x, derived metrics; paper columns shown for reference)\n");
+    println!("{}", result.render());
+    if opts.json {
+        println!("{}", serde_json::to_string_pretty(&result).expect("serialize"));
+    }
+}

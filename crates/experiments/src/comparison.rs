@@ -1,0 +1,126 @@
+//! The baseline-comparison experiment backing the paper's headline claim:
+//! the proposed multi-metric interventional method outperforms \[23\],
+//! \[24\] and single-world learners on the same benchmark.
+
+use crate::mode::Mode;
+use crate::render::TextTable;
+use icfl_baselines::{
+    evaluate_localizer, AnomalyRanker, ErrorLogLocalizer, FaultLocalizer, PooledGraphLocalizer,
+    RcdConfig, RcdLocalizer,
+};
+use icfl_core::{CampaignRun, EvalSuite, Result, RunConfig};
+use icfl_telemetry::MetricCatalog;
+use serde::{Deserialize, Serialize};
+
+/// One method × app × load measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComparisonRow {
+    /// Application name.
+    pub app: String,
+    /// Method name.
+    pub method: String,
+    /// Test load scale.
+    pub load: usize,
+    /// Localization accuracy.
+    pub accuracy: f64,
+    /// Mean informativeness.
+    pub informativeness: f64,
+}
+
+/// The full comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Comparison {
+    /// Rows grouped by app and load.
+    pub rows: Vec<ComparisonRow>,
+}
+
+impl Comparison {
+    /// Renders the comparison table.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec!["App", "Load", "Method", "Accuracy", "Informativeness"]);
+        for r in &self.rows {
+            t.row(vec![
+                r.app.clone(),
+                format!("{}x", r.load),
+                r.method.clone(),
+                format!("{:.2}", r.accuracy),
+                format!("{:.2}", r.informativeness),
+            ]);
+        }
+        t.render()
+    }
+
+    /// The row for a given method/app/load, if present.
+    pub fn row(&self, app: &str, method_prefix: &str, load: usize) -> Option<&ComparisonRow> {
+        self.rows
+            .iter()
+            .find(|r| r.app == app && r.load == load && r.method.starts_with(method_prefix))
+    }
+}
+
+/// Runs every method on shared campaigns/suites for both apps at 1× and 4×.
+///
+/// # Errors
+///
+/// Propagates pipeline errors.
+pub fn comparison(mode: Mode, seed: u64) -> Result<Comparison> {
+    let mut rows = Vec::new();
+    for app in [icfl_apps::causalbench(), icfl_apps::robot_shop()] {
+        let campaign = CampaignRun::execute(&app, &mode.train_cfg(seed))?;
+        let detector = RunConfig::default_detector();
+
+        let proposed = campaign.learn(&MetricCatalog::derived_all(), detector)?;
+        let error_log = ErrorLogLocalizer::train(&campaign, detector)?;
+        let rcd = RcdLocalizer::from_campaign(
+            &campaign,
+            &MetricCatalog::raw_all(),
+            RcdConfig::default(),
+        )?;
+        let pooled =
+            PooledGraphLocalizer::train(&campaign, &MetricCatalog::derived_all(), detector)?;
+        let ranker = AnomalyRanker::new(
+            MetricCatalog::derived_all(),
+            campaign.baseline(&MetricCatalog::derived_all())?,
+        );
+
+        for load in [1usize, 4] {
+            let suite = EvalSuite::execute(
+                &app,
+                campaign.targets(),
+                &mode.eval_cfg(seed).with_replicas(load),
+            )?;
+            let ours = suite.evaluate(&proposed)?;
+            rows.push(ComparisonRow {
+                app: app.name.clone(),
+                method: "proposed (multi-metric interventional)".into(),
+                load,
+                accuracy: ours.accuracy,
+                informativeness: ours.informativeness,
+            });
+            let others: [&dyn FaultLocalizer; 4] = [&error_log, &rcd, &pooled, &ranker];
+            for method in others {
+                let summary = evaluate_localizer(method, &suite)?;
+                rows.push(ComparisonRow {
+                    app: app.name.clone(),
+                    method: method.name().to_owned(),
+                    load,
+                    accuracy: summary.accuracy,
+                    informativeness: summary.informativeness,
+                });
+            }
+        }
+    }
+    Ok(Comparison { rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_handles_empty() {
+        let c = Comparison { rows: vec![] };
+        assert!(c.render().contains("Method"));
+        assert!(c.row("x", "y", 1).is_none());
+    }
+}

@@ -1,0 +1,112 @@
+//! Confusability analysis: does the §III-B identifiability argument predict
+//! which faults the localizer actually confuses?
+//!
+//! For each application we rank target pairs by causal-signature similarity
+//! (mean Jaccard across metrics) and cross-check them against the 4×-load
+//! evaluation: a miss whose predicted candidate is the other member of a
+//! highly similar pair *validates* the signature analysis.
+
+use crate::mode::Mode;
+use crate::render::TextTable;
+use icfl_core::{CampaignRun, EvalSuite, Result, RunConfig};
+use icfl_telemetry::MetricCatalog;
+use serde::{Deserialize, Serialize};
+
+/// One ranked pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfusablePair {
+    /// Application.
+    pub app: String,
+    /// First service name.
+    pub a: String,
+    /// Second service name.
+    pub b: String,
+    /// Mean Jaccard similarity of their causal signatures.
+    pub similarity: f64,
+    /// Whether the 4× evaluation actually confused them (a fault on one was
+    /// answered with a candidate set containing the other but not the
+    /// culprit).
+    pub confused_at_4x: bool,
+}
+
+/// The confusability report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Confusability {
+    /// Top pairs per app, most similar first.
+    pub pairs: Vec<ConfusablePair>,
+}
+
+impl Confusability {
+    /// Renders the report.
+    pub fn render(&self) -> String {
+        let mut t =
+            TextTable::new(vec!["App", "Pair", "Signature similarity", "Confused @4x?"]);
+        for p in &self.pairs {
+            t.row(vec![
+                p.app.clone(),
+                format!("{} ~ {}", p.a, p.b),
+                format!("{:.2}", p.similarity),
+                if p.confused_at_4x { "yes".into() } else { "no".into() },
+            ]);
+        }
+        t.render()
+    }
+}
+
+/// Runs the confusability analysis on both benchmark apps.
+///
+/// # Errors
+///
+/// Propagates pipeline errors.
+pub fn confusability(mode: Mode, seed: u64) -> Result<Confusability> {
+    let mut pairs = Vec::new();
+    for app in [icfl_apps::causalbench(), icfl_apps::robot_shop()] {
+        let campaign = CampaignRun::execute(&app, &mode.train_cfg(seed))?;
+        let model = campaign.learn(&MetricCatalog::derived_all(), RunConfig::default_detector())?;
+        let suite = EvalSuite::execute(
+            &app,
+            campaign.targets(),
+            &mode.eval_cfg(seed).with_replicas(4),
+        )?;
+        let summary = suite.evaluate(&model)?;
+        let names = campaign.service_names();
+
+        for (a, b, sim) in model.confusable_pairs(0.0).into_iter().take(5) {
+            // Did the evaluation mistake one for the other?
+            let confused = summary.cases.iter().any(|c| {
+                !c.correct
+                    && ((c.injected == a && c.candidates.contains(&b))
+                        || (c.injected == b && c.candidates.contains(&a)))
+            });
+            pairs.push(ConfusablePair {
+                app: app.name.clone(),
+                a: names[a.index()].clone(),
+                b: names[b.index()].clone(),
+                similarity: sim,
+                confused_at_4x: confused,
+            });
+        }
+    }
+    Ok(Confusability { pairs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_shows_pairs() {
+        let c = Confusability {
+            pairs: vec![ConfusablePair {
+                app: "x".into(),
+                a: "A".into(),
+                b: "B".into(),
+                similarity: 0.5,
+                confused_at_4x: true,
+            }],
+        };
+        let out = c.render();
+        assert!(out.contains("A ~ B"));
+        assert!(out.contains("yes"));
+    }
+}

@@ -1,0 +1,344 @@
+//! Regeneration of the paper's Fig. 1, Fig. 2 and Fig. 4.
+
+use crate::mode::Mode;
+use crate::render::TextTable;
+use icfl_core::{CampaignRun, Result, RunConfig};
+use icfl_loadgen::{start_load, ArrivalModel, LoadConfig};
+use icfl_micro::{Cluster, FaultKind};
+use icfl_sim::Sim;
+use icfl_stats::FiveNumber;
+use icfl_telemetry::{MetricCatalog, MetricSpec, RawMetric, Recorder};
+use serde::{Deserialize, Serialize};
+
+/// One learned causal set, with names resolved for reporting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CausalSetReport {
+    /// The application/pattern the set was learned on.
+    pub pattern: String,
+    /// Metric name.
+    pub metric: String,
+    /// The intervened service.
+    pub target: String,
+    /// The learned causal set `C(target, metric)`.
+    pub set: Vec<String>,
+}
+
+/// The Fig. 1 (+ §VI-B) result: causal relations depend on the metric.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig1 {
+    /// Per-metric causal sets on pattern 1 (stateless chain).
+    pub pattern1: Vec<CausalSetReport>,
+    /// Per-metric causal sets on pattern 2 (stateful decoupling).
+    pub pattern2: Vec<CausalSetReport>,
+    /// The §VI-B example: `C(B, msg rate)` vs `C(B, cpu)` on CausalBench.
+    pub causalbench_worlds: Vec<CausalSetReport>,
+}
+
+impl Fig1 {
+    /// Renders the causal-set tables.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (title, rows) in [
+            ("Fig. 1 pattern 1 (A→B→C, stateless)", &self.pattern1),
+            ("Fig. 1 pattern 2 (H→D⇐F→G, stateful)", &self.pattern2),
+            ("§VI-B causal worlds on CausalBench", &self.causalbench_worlds),
+        ] {
+            out.push_str(title);
+            out.push('\n');
+            let mut t = TextTable::new(vec!["Metric", "Intervened", "Causal set"]);
+            for r in rows {
+                t.row(vec![r.metric.clone(), r.target.clone(), r.set.join(", ")]);
+            }
+            out.push_str(&t.render());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn report_sets(
+    campaign: &CampaignRun,
+    catalog: &MetricCatalog,
+    pattern: &str,
+    only_target: Option<&str>,
+) -> Result<Vec<CausalSetReport>> {
+    let model = campaign.learn(catalog, RunConfig::default_detector())?;
+    let names = campaign.service_names();
+    let mut out = Vec::new();
+    for (m, target, set) in model.iter_sets() {
+        let target_name = names[target.index()].clone();
+        if let Some(only) = only_target {
+            if target_name != only {
+                continue;
+            }
+        }
+        out.push(CausalSetReport {
+            pattern: pattern.to_owned(),
+            metric: model.catalog().metric_names()[m].clone(),
+            target: target_name,
+            set: set.iter().map(|s| names[s.index()].clone()).collect(),
+        });
+    }
+    Ok(out)
+}
+
+/// Runs the Fig. 1 experiment: learn single-metric causal sets on both
+/// communication patterns (error-path vs omission-path worlds) and extract
+/// the §VI-B msg-vs-cpu worlds on CausalBench.
+///
+/// # Errors
+///
+/// Propagates pipeline errors.
+pub fn fig1(mode: Mode, seed: u64) -> Result<Fig1> {
+    // #logs vs #requests — the two metrics Fig. 1 contrasts.
+    let fig1_catalog = MetricCatalog::new(
+        "fig1",
+        vec![
+            MetricSpec::Raw(RawMetric::MsgCount),
+            MetricSpec::Raw(RawMetric::RequestsReceived),
+        ],
+    );
+    let p1 = CampaignRun::execute(&icfl_apps::pattern1(), &mode.train_cfg(seed))?;
+    let p2 = CampaignRun::execute(&icfl_apps::pattern2(), &mode.train_cfg(seed))?;
+    let pattern1 = report_sets(&p1, &fig1_catalog, "pattern1", None)?;
+    let pattern2 = report_sets(&p2, &fig1_catalog, "pattern2", None)?;
+
+    // §VI-B: msg rate vs CPU on CausalBench, intervening on B.
+    let worlds_catalog = MetricCatalog::new(
+        "vi-b",
+        vec![
+            MetricSpec::Raw(RawMetric::MsgCount),
+            MetricSpec::Raw(RawMetric::CpuSeconds),
+        ],
+    );
+    let cb = CampaignRun::execute(&icfl_apps::causalbench(), &mode.train_cfg(seed))?;
+    let causalbench_worlds = report_sets(&cb, &worlds_catalog, "causalbench", Some("B"))?;
+    Ok(Fig1 { pattern1, pattern2, causalbench_worlds })
+}
+
+/// One boxplot of Fig. 2: request-rate distribution at a service under a
+/// scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig2Row {
+    /// `"closed-loop"` or `"open-loop"`.
+    pub arrival: String,
+    /// `"no-fault"`, `"fault-on-C"` or `"fault-on-I"`.
+    pub scenario: String,
+    /// The service whose request rate is summarized.
+    pub observed_at: String,
+    /// Five-number summary of the per-window request rate (req/s).
+    pub summary: FiveNumber,
+}
+
+/// The Fig. 2 result: the load confounder, present under closed-loop load
+/// and absent under open-loop load.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig2 {
+    /// All boxplot rows.
+    pub rows: Vec<Fig2Row>,
+}
+
+impl Fig2 {
+    /// Renders the boxplot table.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec![
+            "Arrival", "Scenario", "At", "Min", "Q1", "Median", "Q3", "Max", "Mean",
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.arrival.clone(),
+                r.scenario.clone(),
+                r.observed_at.clone(),
+                format!("{:.2}", r.summary.min),
+                format!("{:.2}", r.summary.q1),
+                format!("{:.2}", r.summary.median),
+                format!("{:.2}", r.summary.q3),
+                format!("{:.2}", r.summary.max),
+                format!("{:.2}", r.summary.mean),
+            ]);
+        }
+        t.render()
+    }
+
+    /// Median request rate for a given row, if present.
+    pub fn median(&self, arrival: &str, scenario: &str, at: &str) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|r| r.arrival == arrival && r.scenario == scenario && r.observed_at == at)
+            .map(|r| r.summary.median)
+    }
+}
+
+/// Runs the Fig. 2 experiment on the confounder topology.
+///
+/// # Errors
+///
+/// Propagates pipeline errors.
+pub fn fig2(mode: Mode, seed: u64) -> Result<Fig2> {
+    let app = icfl_apps::fig2_topology();
+    let cfg = mode.train_cfg(seed);
+    let catalog = MetricCatalog::new(
+        "fig2",
+        vec![MetricSpec::Raw(RawMetric::RequestsReceived)],
+    );
+    let mut rows = Vec::new();
+    for (arrival_name, model) in [
+        (
+            "closed-loop",
+            ArrivalModel::ClosedLoop {
+                users_per_replica: 10,
+                think_time: icfl_sim::DurationDist::exponential(
+                    icfl_sim::SimDuration::from_millis(100),
+                ),
+            },
+        ),
+        ("open-loop", ArrivalModel::Open { rps_per_replica: 60.0 }),
+    ] {
+        for (scenario, fault_on) in
+            [("no-fault", None), ("fault-on-C", Some("C")), ("fault-on-I", Some("I"))]
+        {
+            let (mut cluster, _) = app.build(cfg.seed)?;
+            if let Some(name) = fault_on {
+                let id = cluster.service_id(name).expect("fig2 service");
+                cluster.set_fault(id, Some(FaultKind::ServiceUnavailable));
+            }
+            let mut sim = Sim::new(cfg.seed);
+            Cluster::start(&mut sim, &mut cluster);
+            let recorder = Recorder::attach(&mut sim, cluster.num_services());
+            start_load(
+                &mut sim,
+                &mut cluster,
+                &LoadConfig::closed_loop(app.flows.clone()).with_model(model),
+            )?;
+            let from = icfl_sim::SimTime::ZERO + cfg.campaign.warmup;
+            let to = from + cfg.campaign.fault_duration;
+            sim.run_until(to, &mut cluster);
+            let ds = recorder.dataset(&catalog, from, to, cfg.windows)?;
+            for at in ["I", "C"] {
+                let id = cluster.service_id(at).expect("fig2 service");
+                let samples = ds.samples(0, id);
+                rows.push(Fig2Row {
+                    arrival: arrival_name.to_owned(),
+                    scenario: scenario.to_owned(),
+                    observed_at: at.to_owned(),
+                    summary: FiveNumber::of(samples)?,
+                });
+            }
+        }
+    }
+    Ok(Fig2 { rows })
+}
+
+/// A userflow's runtime footprint: the services it exercises.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowTrace {
+    /// Flow name.
+    pub flow: String,
+    /// Services observed handling traffic when only this flow runs.
+    pub visited: Vec<String>,
+}
+
+/// The Fig. 4 result: CausalBench's topology and validated request flows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig4 {
+    /// Static caller→callee edges.
+    pub edges: Vec<(String, String)>,
+    /// Runtime flow traces.
+    pub flows: Vec<FlowTrace>,
+}
+
+impl Fig4 {
+    /// Renders the topology and traces.
+    pub fn render(&self) -> String {
+        let mut out = String::from("CausalBench topology (Fig. 4):\n");
+        for (a, b) in &self.edges {
+            out.push_str(&format!("  {a} -> {b}\n"));
+        }
+        out.push_str("\nRequest flows (validated at runtime):\n");
+        for f in &self.flows {
+            out.push_str(&format!("  {}: {}\n", f.flow, f.visited.join(" -> ")));
+        }
+        out
+    }
+}
+
+/// Runs the Fig. 4 validation: prints CausalBench's edges and, for each
+/// userflow, simulates only that flow and records which services handled
+/// traffic.
+///
+/// # Errors
+///
+/// Propagates pipeline errors.
+pub fn fig4(seed: u64) -> Result<Fig4> {
+    let app = icfl_apps::causalbench();
+    let edges = app.call_edges();
+    let mut flows = Vec::new();
+    for flow in &app.flows {
+        let (mut cluster, _) = app.build(seed)?;
+        let mut sim = Sim::new(seed);
+        Cluster::start(&mut sim, &mut cluster);
+        start_load(
+            &mut sim,
+            &mut cluster,
+            &LoadConfig::closed_loop(vec![flow.clone()]),
+        )?;
+        sim.run_until(icfl_sim::SimTime::from_secs(60), &mut cluster);
+        let mut visited: Vec<String> = Vec::new();
+        for id in cluster.service_ids() {
+            let c = cluster.counters(id);
+            let is_daemon_host = (0..cluster.num_daemons())
+                .any(|_| cluster.service_name(id) == "F" && cluster.daemon_items_processed(0) > 0);
+            if c.requests_received > 0 || is_daemon_host {
+                visited.push(cluster.service_name(id).to_owned());
+            }
+        }
+        flows.push(FlowTrace { flow: flow.name.clone(), visited });
+    }
+    Ok(Fig4 { edges, flows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_flows_visit_expected_services() {
+        let f = fig4(3).unwrap();
+        assert_eq!(f.flows.len(), 4);
+        let find = |name: &str| {
+            f.flows
+                .iter()
+                .find(|t| t.flow == name)
+                .unwrap_or_else(|| panic!("missing flow {name}"))
+        };
+        let bce = find("path_bce");
+        for s in ["A", "B", "C", "E"] {
+            assert!(bce.visited.iter().any(|v| v == s), "path_bce misses {s}");
+        }
+        assert!(!bce.visited.iter().any(|v| v == "H"));
+        let hd = find("path_hd");
+        for s in ["A", "H", "D", "F", "G"] {
+            assert!(hd.visited.iter().any(|v| v == s), "path_hd misses {s}");
+        }
+        assert!(!hd.visited.iter().any(|v| v == "B"));
+        let id = find("path_id");
+        for s in ["A", "I", "D"] {
+            assert!(id.visited.iter().any(|v| v == s), "path_id misses {s}");
+        }
+        assert!(!id.visited.iter().any(|v| v == "G"));
+        assert!(f.render().contains("path_bce"));
+    }
+
+    #[test]
+    fn serde_roundtrips() {
+        let row = Fig2Row {
+            arrival: "closed-loop".into(),
+            scenario: "no-fault".into(),
+            observed_at: "I".into(),
+            summary: FiveNumber::of(&[1.0, 2.0, 3.0]).unwrap(),
+        };
+        let json = serde_json::to_string(&row).unwrap();
+        let back: Fig2Row = serde_json::from_str(&json).unwrap();
+        assert_eq!(row, back);
+    }
+}

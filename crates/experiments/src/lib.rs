@@ -1,0 +1,40 @@
+//! # icfl-experiments — regeneration harness for every table and figure
+//!
+//! One entry point per evaluation artifact of the DSN'24 paper (see the
+//! per-experiment index in `DESIGN.md`):
+//!
+//! | Paper artifact | Function | Binary |
+//! |---|---|---|
+//! | Table I (accuracy/informativeness, 1×/4×) | [`table1`] | `cargo run -p icfl-experiments --bin table1` |
+//! | Table II (raw vs derived × msg/cpu/all) | [`table2`] | `--bin table2` |
+//! | Fig. 1 + §VI-B (metric-dependent causal worlds) | [`fig1`] | `--bin fig1` |
+//! | Fig. 2 (load confounder boxplots) | [`fig2`] | `--bin fig2` |
+//! | Fig. 4 (CausalBench topology + flows) | [`fig4`] | `--bin fig4` |
+//! | Baseline comparison (\[23\], \[24\], pooled, observational) | [`comparison`] | `--bin baselines` |
+//! | Ablations (detector, α, guard, match rule, windows, fault types, latent autoscaler) | [`ablations`] | `--bin ablations` |
+//! | Scalability sweep (chain/star/layered topologies up to 64 services) | [`scalability`] | `--bin scalability` |
+//! | Confusability analysis (§III-B identifiability, validated against 4× misses) | [`confusability`] | `--bin confusability` |
+//!
+//! Every binary accepts `--quick` (default: 2-minute phases) or `--paper`
+//! (the paper's 10-minute phases), `--seed N`, and `--json`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ablations;
+mod comparison;
+mod confusability;
+mod figures;
+mod mode;
+mod render;
+mod scalability;
+mod tables;
+
+pub use ablations::{ablations, AblationRow, Ablations};
+pub use comparison::{comparison, Comparison, ComparisonRow};
+pub use confusability::{confusability, ConfusablePair, Confusability};
+pub use figures::{fig1, fig2, fig4, CausalSetReport, Fig1, Fig2, Fig2Row, Fig4, FlowTrace};
+pub use mode::{CliOptions, Mode};
+pub use render::TextTable;
+pub use scalability::{scalability, Scalability, ScalabilityRow};
+pub use tables::{table1, table2, Table1, Table1Row, Table2, Table2Row};

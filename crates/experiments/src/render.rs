@@ -1,0 +1,112 @@
+//! Minimal fixed-width text-table renderer for experiment reports.
+
+/// A simple text table with a header row and aligned columns.
+///
+/// # Examples
+///
+/// ```
+/// use icfl_experiments::TextTable;
+///
+/// let mut t = TextTable::new(vec!["App", "Load", "Accuracy"]);
+/// t.row(vec!["CausalBench".into(), "1x".into(), "1.00".into()]);
+/// let s = t.render();
+/// assert!(s.contains("CausalBench"));
+/// assert!(s.lines().count() >= 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> TextTable {
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. Rows shorter than the header are padded with blanks;
+    /// longer rows are truncated.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut TextTable {
+        let mut cells = cells;
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with a separator under the header.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (c, cell) in cells.iter().enumerate() {
+                if c > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(cell);
+                line.push_str(&" ".repeat(widths[c] - cell.len()));
+            }
+            line.trim_end().to_owned()
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["a", "bb"]);
+        t.row(vec!["xxxx".into(), "y".into()]);
+        t.row(vec!["z".into(), "wwwww".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // Column widths are consistent: "bb" starts at the same offset.
+        let off_header = lines[0].find("bb").unwrap();
+        let off_row = lines[3].find("wwwww").unwrap();
+        assert_eq!(off_header, off_row);
+    }
+
+    #[test]
+    fn pads_and_truncates_rows() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["only-one".into()]);
+        t.row(vec!["1".into(), "2".into(), "extra".into()]);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        let s = t.render();
+        assert!(!s.contains("extra"));
+    }
+}

@@ -1,0 +1,149 @@
+//! Scalability study: how Algorithm 1/2 cost and quality scale with the
+//! number of services, on the synthetic topologies motivated by the paper's
+//! introduction (heavy-tailed call graphs, 40+ services per request).
+
+use crate::mode::Mode;
+use crate::render::TextTable;
+use icfl_apps::App;
+use icfl_core::{CampaignRun, EvalSuite, Result, RunConfig};
+use icfl_telemetry::MetricCatalog;
+use serde::{Deserialize, Serialize};
+
+/// One topology-size measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalabilityRow {
+    /// Topology name (chain-N, star-N, layered-LxW).
+    pub topology: String,
+    /// Number of services.
+    pub services: usize,
+    /// Wall-clock seconds spent simulating the training campaign.
+    pub campaign_secs: f64,
+    /// Wall-clock seconds spent learning the model (Algorithm 1 proper).
+    pub learn_secs: f64,
+    /// Mean wall-clock seconds per localization (Algorithm 2).
+    pub localize_secs: f64,
+    /// Localization accuracy at matched load.
+    pub accuracy: f64,
+    /// Mean informativeness.
+    pub informativeness: f64,
+}
+
+/// The scalability sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scalability {
+    /// Rows, smallest topology first.
+    pub rows: Vec<ScalabilityRow>,
+}
+
+impl Scalability {
+    /// Renders the sweep.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec![
+            "Topology",
+            "Services",
+            "Campaign (s)",
+            "Learn (s)",
+            "Localize (s)",
+            "Accuracy",
+            "Informativeness",
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.topology.clone(),
+                r.services.to_string(),
+                format!("{:.2}", r.campaign_secs),
+                format!("{:.4}", r.learn_secs),
+                format!("{:.4}", r.localize_secs),
+                format!("{:.2}", r.accuracy),
+                format!("{:.2}", r.informativeness),
+            ]);
+        }
+        t.render()
+    }
+}
+
+fn measure(app: &App, mode: Mode, seed: u64) -> Result<ScalabilityRow> {
+    let t0 = std::time::Instant::now();
+    let campaign = CampaignRun::execute(app, &mode.train_cfg(seed))?;
+    let campaign_secs = t0.elapsed().as_secs_f64();
+
+    let catalog = MetricCatalog::derived_all();
+    let t0 = std::time::Instant::now();
+    let model = campaign.learn(&catalog, RunConfig::default_detector())?;
+    let learn_secs = t0.elapsed().as_secs_f64();
+
+    let suite = EvalSuite::execute(app, campaign.targets(), &mode.eval_cfg(seed))?;
+    let t0 = std::time::Instant::now();
+    let summary = suite.evaluate(&model)?;
+    let localize_secs = t0.elapsed().as_secs_f64() / suite.runs.len().max(1) as f64;
+
+    Ok(ScalabilityRow {
+        topology: app.name.clone(),
+        services: app.num_services(),
+        campaign_secs,
+        learn_secs,
+        localize_secs,
+        accuracy: summary.accuracy,
+        informativeness: summary.informativeness,
+    })
+}
+
+/// Runs the scalability sweep. Quick mode sweeps up to 40 services (the
+/// paper's heavy-tail threshold); paper mode up to 64.
+///
+/// # Errors
+///
+/// Propagates pipeline errors.
+pub fn scalability(mode: Mode, seed: u64) -> Result<Scalability> {
+    let apps: Vec<App> = match mode {
+        Mode::Quick => vec![
+            icfl_apps::chain_app(10),
+            icfl_apps::chain_app(20),
+            icfl_apps::chain_app(40),
+            icfl_apps::star_app(16),
+            icfl_apps::star_app(32),
+            icfl_apps::layered_app(4, 4),
+            icfl_apps::layered_app(5, 8),
+        ],
+        Mode::Paper => vec![
+            icfl_apps::chain_app(10),
+            icfl_apps::chain_app(20),
+            icfl_apps::chain_app(40),
+            icfl_apps::chain_app(64),
+            icfl_apps::star_app(16),
+            icfl_apps::star_app(32),
+            icfl_apps::star_app(63),
+            icfl_apps::layered_app(4, 4),
+            icfl_apps::layered_app(5, 8),
+            icfl_apps::layered_app(8, 8),
+        ],
+    };
+    let mut rows = Vec::with_capacity(apps.len());
+    for app in &apps {
+        rows.push(measure(app, mode, seed)?);
+    }
+    Ok(Scalability { rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_formats_rows() {
+        let s = Scalability {
+            rows: vec![ScalabilityRow {
+                topology: "chain-10".into(),
+                services: 10,
+                campaign_secs: 1.5,
+                learn_secs: 0.001,
+                localize_secs: 0.0005,
+                accuracy: 1.0,
+                informativeness: 0.9,
+            }],
+        };
+        let out = s.render();
+        assert!(out.contains("chain-10"));
+        assert!(out.contains("0.0005"));
+    }
+}

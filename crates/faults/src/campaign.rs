@@ -1,0 +1,256 @@
+//! The Algorithm-1 fault campaign: one baseline phase, then one fault phase
+//! per target service, separated by cooldowns.
+
+use crate::injector::FaultInjector;
+use crate::trace::InterventionTrace;
+use icfl_micro::{Cluster, FaultKind, ServiceId};
+use icfl_sim::{Sim, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Durations shaping a campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// Settling time before the baseline phase starts (queues fill, daemons
+    /// reach steady state). Excluded from all datasets.
+    pub warmup: SimDuration,
+    /// Length of the no-fault observation phase (`T_0`; paper: 10 min).
+    pub baseline: SimDuration,
+    /// Length of each fault phase (`T_s`; paper: 10 min).
+    pub fault_duration: SimDuration,
+    /// Recovery gap between phases, excluded from datasets.
+    pub cooldown: SimDuration,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            warmup: SimDuration::from_secs(30),
+            baseline: SimDuration::from_secs(600),
+            fault_duration: SimDuration::from_secs(600),
+            cooldown: SimDuration::from_secs(30),
+        }
+    }
+}
+
+impl CampaignConfig {
+    /// A scaled-down config for fast tests (`seconds`-long phases).
+    pub fn quick(phase_secs: u64) -> Self {
+        CampaignConfig {
+            warmup: SimDuration::from_secs(10),
+            baseline: SimDuration::from_secs(phase_secs),
+            fault_duration: SimDuration::from_secs(phase_secs),
+            cooldown: SimDuration::from_secs(10),
+        }
+    }
+}
+
+/// What a phase window contains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PhaseLabel {
+    /// Settling time; not used for learning.
+    Warmup,
+    /// The no-fault phase `T_0`.
+    Baseline,
+    /// A fault phase `T_s` with the fault active on the given service.
+    Fault(ServiceId),
+    /// Recovery time; not used for learning.
+    Cooldown,
+}
+
+/// A labeled `[start, end]` time range of the campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseWindow {
+    /// What was active.
+    pub label: PhaseLabel,
+    /// Phase start (inclusive).
+    pub start: SimTime,
+    /// Phase end.
+    pub end: SimTime,
+}
+
+impl PhaseWindow {
+    /// Phase length.
+    pub fn duration(&self) -> SimDuration {
+        self.end.saturating_since(self.start)
+    }
+}
+
+/// A full Algorithm-1 experiment plan over a set of target services.
+///
+/// # Examples
+///
+/// ```
+/// use icfl_faults::{Campaign, CampaignConfig, PhaseLabel};
+/// use icfl_micro::{FaultKind, ServiceId};
+///
+/// let targets: Vec<ServiceId> = (0..3).map(ServiceId::from_index).collect();
+/// let campaign = Campaign::service_unavailable_sweep(&targets, CampaignConfig::quick(60));
+/// let plan = campaign.plan(icfl_sim::SimTime::ZERO);
+/// // warmup + baseline + 3 × (cooldown + fault)
+/// assert_eq!(plan.len(), 8);
+/// assert_eq!(plan[1].label, PhaseLabel::Baseline);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Campaign {
+    config: CampaignConfig,
+    faults: Vec<(ServiceId, FaultKind)>,
+}
+
+impl Campaign {
+    /// A campaign injecting the given faults, one per phase, in order.
+    pub fn new(faults: Vec<(ServiceId, FaultKind)>, config: CampaignConfig) -> Self {
+        Campaign { config, faults }
+    }
+
+    /// The paper's protocol: `http-service-unavailable` into every target
+    /// service, one at a time.
+    pub fn service_unavailable_sweep(targets: &[ServiceId], config: CampaignConfig) -> Self {
+        Campaign::new(
+            targets.iter().map(|&s| (s, FaultKind::ServiceUnavailable)).collect(),
+            config,
+        )
+    }
+
+    /// The configured faults, in injection order.
+    pub fn faults(&self) -> &[(ServiceId, FaultKind)] {
+        &self.faults
+    }
+
+    /// The campaign's timing configuration.
+    pub fn config(&self) -> &CampaignConfig {
+        &self.config
+    }
+
+    /// Pure computation of the phase timeline starting at `start`.
+    pub fn plan(&self, start: SimTime) -> Vec<PhaseWindow> {
+        let c = &self.config;
+        let mut out = Vec::with_capacity(2 + 2 * self.faults.len());
+        let mut t = start;
+        let mut push = |label: PhaseLabel, t: &mut SimTime, d: SimDuration| {
+            let w = PhaseWindow { label, start: *t, end: *t + d };
+            *t = w.end;
+            out.push(w);
+        };
+        push(PhaseLabel::Warmup, &mut t, c.warmup);
+        push(PhaseLabel::Baseline, &mut t, c.baseline);
+        for &(svc, _) in &self.faults {
+            push(PhaseLabel::Cooldown, &mut t, c.cooldown);
+            push(PhaseLabel::Fault(svc), &mut t, c.fault_duration);
+        }
+        out
+    }
+
+    /// Total campaign length.
+    pub fn total_duration(&self) -> SimDuration {
+        let c = &self.config;
+        c.warmup
+            + c.baseline
+            + (c.cooldown + c.fault_duration) * self.faults.len() as u64
+    }
+
+    /// Schedules every injection/removal on `sim` and returns the phase
+    /// timeline. Interventions are recorded in `trace` as they fire.
+    pub fn arm(
+        &self,
+        sim: &mut Sim<Cluster>,
+        start: SimTime,
+        trace: &InterventionTrace,
+    ) -> Vec<PhaseWindow> {
+        let plan = self.plan(start);
+        let mut fault_iter = self.faults.iter();
+        for w in &plan {
+            if let PhaseLabel::Fault(svc) = w.label {
+                let (planned_svc, kind) =
+                    fault_iter.next().expect("one fault per fault phase");
+                debug_assert_eq!(*planned_svc, svc);
+                FaultInjector::inject_between(sim, svc, kind.clone(), w.start, w.end, trace);
+            }
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icfl_micro::{ClusterSpec, ServiceSpec};
+
+    fn targets(n: usize) -> Vec<ServiceId> {
+        (0..n).map(ServiceId::from_index).collect()
+    }
+
+    #[test]
+    fn plan_is_contiguous_and_ordered() {
+        let c = Campaign::service_unavailable_sweep(&targets(4), CampaignConfig::default());
+        let plan = c.plan(SimTime::ZERO);
+        assert_eq!(plan.len(), 2 + 8);
+        for w in plan.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "phases must be contiguous");
+        }
+        assert_eq!(plan.last().unwrap().end, SimTime::ZERO + c.total_duration());
+    }
+
+    #[test]
+    fn plan_respects_configured_durations() {
+        let cfg = CampaignConfig::quick(120);
+        let c = Campaign::service_unavailable_sweep(&targets(2), cfg);
+        let plan = c.plan(SimTime::from_secs(100));
+        assert_eq!(plan[0].label, PhaseLabel::Warmup);
+        assert_eq!(plan[0].duration(), SimDuration::from_secs(10));
+        assert_eq!(plan[1].label, PhaseLabel::Baseline);
+        assert_eq!(plan[1].duration(), SimDuration::from_secs(120));
+        assert_eq!(plan[2].label, PhaseLabel::Cooldown);
+        assert!(matches!(plan[3].label, PhaseLabel::Fault(_)));
+        assert_eq!(plan[3].duration(), SimDuration::from_secs(120));
+    }
+
+    #[test]
+    fn fault_phases_cover_all_targets_in_order() {
+        let ts = targets(5);
+        let c = Campaign::service_unavailable_sweep(&ts, CampaignConfig::quick(30));
+        let plan = c.plan(SimTime::ZERO);
+        let fault_order: Vec<ServiceId> = plan
+            .iter()
+            .filter_map(|w| match w.label {
+                PhaseLabel::Fault(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(fault_order, ts);
+    }
+
+    #[test]
+    fn armed_campaign_injects_per_plan() {
+        let spec = ClusterSpec::new("t")
+            .service(ServiceSpec::web("a"))
+            .service(ServiceSpec::web("b"));
+        let mut cl = Cluster::build(&spec, 1).unwrap();
+        let mut sim = Sim::new(1);
+        Cluster::start(&mut sim, &mut cl);
+        let ids = cl.service_ids();
+        let campaign = Campaign::service_unavailable_sweep(&ids, CampaignConfig::quick(20));
+        let trace = InterventionTrace::new();
+        let plan = campaign.arm(&mut sim, SimTime::ZERO, &trace);
+        sim.run_until(plan.last().unwrap().end, &mut cl);
+        let entries = trace.entries();
+        assert_eq!(entries.len(), 2);
+        for (entry, window) in entries.iter().zip(
+            plan.iter().filter(|w| matches!(w.label, PhaseLabel::Fault(_))),
+        ) {
+            assert_eq!(entry.start, window.start);
+            assert_eq!(entry.end, window.end);
+        }
+        // No fault left active at the end.
+        for id in cl.service_ids() {
+            assert!(cl.fault(id).is_none());
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = Campaign::service_unavailable_sweep(&targets(2), CampaignConfig::quick(30));
+        let json = serde_json::to_string(&c).unwrap();
+        let back: Campaign = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

@@ -1,0 +1,25 @@
+//! # icfl-faults — the fault injection platform
+//!
+//! Stands in for the paper's fault-injection platform \[34\]: it owns *when*
+//! faults are active, while `icfl-micro` owns *what* an active fault does.
+//!
+//! * [`FaultInjector`] — schedule point injections/clears on a simulation;
+//! * [`Campaign`] — the Algorithm-1 experiment plan: a baseline phase
+//!   followed by one fault phase per target service with cooldowns, exactly
+//!   the protocol of §V ("inject one fault at a time …, run the userflows
+//!   for ten minutes, remove the fault before injecting the next");
+//! * [`PhaseWindow`] / [`PhaseLabel`] — the time ranges handed to the
+//!   telemetry layer to slice `D_0` and `D_s` datasets;
+//! * [`InterventionTrace`] — a runtime audit log of what was actually
+//!   injected when.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod campaign;
+mod injector;
+mod trace;
+
+pub use campaign::{Campaign, CampaignConfig, PhaseLabel, PhaseWindow};
+pub use injector::FaultInjector;
+pub use trace::{InterventionTrace, TraceEntry};

@@ -1,0 +1,97 @@
+//! Runtime audit log of interventions.
+
+use icfl_micro::{FaultKind, ServiceId};
+use icfl_sim::SimTime;
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// One recorded intervention.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// The targeted service.
+    pub service: ServiceId,
+    /// Stable label of the injected fault (e.g. `"service-unavailable"`).
+    pub fault: String,
+    /// When the fault became active.
+    pub start: SimTime,
+    /// When the fault was (or will be) removed.
+    pub end: SimTime,
+}
+
+/// A shared, append-only log of interventions actually performed.
+///
+/// Cloning shares the underlying log (the injector and the experiment
+/// harness hold the same trace).
+#[derive(Debug, Clone, Default)]
+pub struct InterventionTrace {
+    entries: Rc<RefCell<Vec<TraceEntry>>>,
+}
+
+impl InterventionTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an intervention record.
+    pub fn record(&self, service: ServiceId, fault: &FaultKind, start: SimTime, end: SimTime) {
+        self.entries.borrow_mut().push(TraceEntry {
+            service,
+            fault: fault.label().to_owned(),
+            start,
+            end,
+        });
+    }
+
+    /// A snapshot of all recorded interventions, in record order.
+    pub fn entries(&self) -> Vec<TraceEntry> {
+        self.entries.borrow().clone()
+    }
+
+    /// Number of interventions recorded.
+    pub fn len(&self) -> usize {
+        self.entries.borrow().len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.borrow().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_log() {
+        let t1 = InterventionTrace::new();
+        let t2 = t1.clone();
+        assert!(t1.is_empty());
+        t2.record(
+            ServiceId::from_index(1),
+            &FaultKind::ServiceUnavailable,
+            SimTime::from_secs(1),
+            SimTime::from_secs(2),
+        );
+        assert_eq!(t1.len(), 1);
+        assert_eq!(t1.entries()[0].fault, "service-unavailable");
+    }
+
+    #[test]
+    fn entries_preserve_order() {
+        let t = InterventionTrace::new();
+        for i in 0..3 {
+            t.record(
+                ServiceId::from_index(i),
+                &FaultKind::ErrorRate(0.1),
+                SimTime::from_secs(i as u64),
+                SimTime::from_secs(i as u64 + 1),
+            );
+        }
+        let es = t.entries();
+        assert_eq!(es.len(), 3);
+        assert!(es.windows(2).all(|w| w[0].start < w[1].start));
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for the campaign scheduler: timeline geometry is
+//! exact for any configuration, and armed campaigns always clean up.
+
+use icfl_faults::{Campaign, CampaignConfig, InterventionTrace, PhaseLabel};
+use icfl_micro::{Cluster, ClusterSpec, ServiceId, ServiceSpec};
+use icfl_sim::{Sim, SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn config(warmup: u64, baseline: u64, fault: u64, cooldown: u64) -> CampaignConfig {
+    CampaignConfig {
+        warmup: SimDuration::from_secs(warmup),
+        baseline: SimDuration::from_secs(baseline),
+        fault_duration: SimDuration::from_secs(fault),
+        cooldown: SimDuration::from_secs(cooldown),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Plans are contiguous, correctly labeled and total-duration exact for
+    /// any configuration and target count.
+    #[test]
+    fn plan_geometry_is_exact(
+        warmup in 0u64..100,
+        baseline in 1u64..1_000,
+        fault in 1u64..1_000,
+        cooldown in 0u64..100,
+        n_targets in 0usize..12,
+        start_s in 0u64..10_000,
+    ) {
+        let targets: Vec<ServiceId> = (0..n_targets).map(ServiceId::from_index).collect();
+        let campaign = Campaign::service_unavailable_sweep(
+            &targets,
+            config(warmup, baseline, fault, cooldown),
+        );
+        let start = SimTime::from_secs(start_s);
+        let plan = campaign.plan(start);
+        prop_assert_eq!(plan.len(), 2 + 2 * n_targets);
+        prop_assert_eq!(plan[0].label, PhaseLabel::Warmup);
+        prop_assert_eq!(plan[1].label, PhaseLabel::Baseline);
+        prop_assert_eq!(plan[0].start, start);
+        for pair in plan.windows(2) {
+            prop_assert_eq!(pair[0].end, pair[1].start);
+        }
+        prop_assert_eq!(
+            plan.last().unwrap().end,
+            start + campaign.total_duration()
+        );
+        // Fault phases cover targets in order with the configured length.
+        let fault_phases: Vec<_> = plan
+            .iter()
+            .filter(|w| matches!(w.label, PhaseLabel::Fault(_)))
+            .collect();
+        prop_assert_eq!(fault_phases.len(), n_targets);
+        for (w, &t) in fault_phases.iter().zip(&targets) {
+            prop_assert_eq!(w.label, PhaseLabel::Fault(t));
+            prop_assert_eq!(w.duration(), SimDuration::from_secs(fault));
+        }
+    }
+
+    /// Arming and running any campaign leaves no fault active and records
+    /// one trace entry per fault phase with exact bounds.
+    #[test]
+    fn armed_campaign_traces_and_cleans_up(
+        seed in any::<u64>(),
+        n_targets in 1usize..6,
+        fault in 1u64..60,
+        cooldown in 0u64..20,
+    ) {
+        let mut spec = ClusterSpec::new("prop");
+        for i in 0..n_targets {
+            spec = spec.service(ServiceSpec::web(format!("s{i}")));
+        }
+        let mut cluster = Cluster::build(&spec, seed).unwrap();
+        let mut sim = Sim::new(seed);
+        Cluster::start(&mut sim, &mut cluster);
+        let targets = cluster.service_ids();
+        let campaign =
+            Campaign::service_unavailable_sweep(&targets, config(1, 5, fault, cooldown));
+        let trace = InterventionTrace::new();
+        let plan = campaign.arm(&mut sim, SimTime::ZERO, &trace);
+        sim.run_until(plan.last().unwrap().end, &mut cluster);
+
+        let entries = trace.entries();
+        prop_assert_eq!(entries.len(), n_targets);
+        let fault_windows: Vec<_> = plan
+            .iter()
+            .filter(|w| matches!(w.label, PhaseLabel::Fault(_)))
+            .collect();
+        for (e, w) in entries.iter().zip(fault_windows) {
+            prop_assert_eq!(e.start, w.start);
+            prop_assert_eq!(e.end, w.end);
+            prop_assert_eq!(&e.fault, "service-unavailable");
+        }
+        for id in cluster.service_ids() {
+            prop_assert!(cluster.fault(id).is_none(), "fault leaked on {id}");
+        }
+    }
+}

@@ -1,0 +1,570 @@
+//! # icfl-loadgen — Locust-style load generation for the simulated cluster
+//!
+//! Reproduces the paper's load-generation service (§V-A): a configurable
+//! number of *closed-loop* users who repeatedly pick a weighted userflow,
+//! issue the request, wait for the response, think, and go again. Closed-
+//! loop behavior is essential: it is what turns a fail-fast fault on one
+//! path into *increased* request rate on sibling paths (the §III-C load
+//! confounder, Fig. 2). An open-loop Poisson model is provided for
+//! ablations where the confounder must be absent.
+//!
+//! Load scale (the paper's 1× vs 4×) is the `replicas` knob: each replica
+//! adds `users_per_replica` users.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use icfl_micro::{Cluster, ServiceId, Status};
+use icfl_sim::{DurationDist, Rng, Sim, SimDuration};
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// One user-visible flow: an entry service + endpoint with a pick weight.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UserFlow {
+    /// Flow name (e.g. `"path_bce"`).
+    pub name: String,
+    /// Entry service name (CausalBench: always `"a"`).
+    pub entry_service: String,
+    /// Endpoint invoked on the entry service.
+    pub endpoint: String,
+    /// Relative pick weight (must be positive to ever be chosen).
+    pub weight: f64,
+}
+
+impl UserFlow {
+    /// Creates a flow with weight 1.
+    pub fn new(
+        name: impl Into<String>,
+        entry_service: impl Into<String>,
+        endpoint: impl Into<String>,
+    ) -> Self {
+        UserFlow {
+            name: name.into(),
+            entry_service: entry_service.into(),
+            endpoint: endpoint.into(),
+            weight: 1.0,
+        }
+    }
+
+    /// Overrides the pick weight.
+    pub fn with_weight(mut self, weight: f64) -> Self {
+        self.weight = weight;
+        self
+    }
+}
+
+/// How requests are generated.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalModel {
+    /// Locust-style users: issue → wait for response → think → repeat.
+    ClosedLoop {
+        /// Users per load-generator replica (paper: 10).
+        users_per_replica: usize,
+        /// Think time between a response and the next request.
+        think_time: DurationDist,
+    },
+    /// Poisson arrivals at a fixed aggregate rate, independent of response
+    /// times (no queueing feedback — used to ablate the Fig. 2 confounder).
+    Open {
+        /// Aggregate requests per second per replica, split by flow weight.
+        rps_per_replica: f64,
+    },
+}
+
+impl Default for ArrivalModel {
+    fn default() -> Self {
+        ArrivalModel::ClosedLoop {
+            users_per_replica: 10,
+            think_time: DurationDist::exponential(SimDuration::from_millis(100)),
+        }
+    }
+}
+
+/// Full load-generator configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadConfig {
+    /// The flows users pick from.
+    pub flows: Vec<UserFlow>,
+    /// Arrival model.
+    pub model: ArrivalModel,
+    /// Number of load-generator replicas (1 = the paper's 1× load,
+    /// 4 = its 4×).
+    pub replicas: usize,
+}
+
+impl LoadConfig {
+    /// A closed-loop config with the paper's defaults (10 users/replica).
+    pub fn closed_loop(flows: Vec<UserFlow>) -> Self {
+        LoadConfig { flows, model: ArrivalModel::default(), replicas: 1 }
+    }
+
+    /// Sets the replica count (load scale), returning `self`.
+    pub fn with_replicas(mut self, replicas: usize) -> Self {
+        self.replicas = replicas;
+        self
+    }
+
+    /// Sets the arrival model, returning `self`.
+    pub fn with_model(mut self, model: ArrivalModel) -> Self {
+        self.model = model;
+        self
+    }
+}
+
+/// Errors raised when starting a load generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoadError {
+    /// A flow references a service the cluster does not have.
+    UnknownService(String),
+    /// No flows were configured.
+    NoFlows,
+    /// All flow weights are zero or negative.
+    ZeroTotalWeight,
+    /// `replicas == 0`.
+    ZeroReplicas,
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::UnknownService(s) => write!(f, "flow references unknown service: {s}"),
+            LoadError::NoFlows => write!(f, "load config has no flows"),
+            LoadError::ZeroTotalWeight => write!(f, "all flow weights are non-positive"),
+            LoadError::ZeroReplicas => write!(f, "replicas must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+/// Per-flow outcome counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct FlowStats {
+    /// Requests issued.
+    pub sent: u64,
+    /// Successful responses.
+    pub ok: u64,
+    /// Error responses (any non-2xx).
+    pub err: u64,
+    /// Sum of end-to-end latencies in seconds (divide by `ok + err` for the
+    /// mean).
+    pub latency_sum_secs: f64,
+}
+
+impl FlowStats {
+    /// Mean end-to-end latency over completed requests, if any completed.
+    pub fn mean_latency_secs(&self) -> Option<f64> {
+        let done = self.ok + self.err;
+        if done == 0 {
+            None
+        } else {
+            Some(self.latency_sum_secs / done as f64)
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Stats {
+    per_flow: HashMap<String, FlowStats>,
+    stopped: bool,
+}
+
+/// Handle to a running load generator: live statistics and a stop switch.
+#[derive(Clone)]
+pub struct LoadHandle {
+    stats: Rc<RefCell<Stats>>,
+}
+
+impl std::fmt::Debug for LoadHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats.borrow();
+        f.debug_struct("LoadHandle")
+            .field("flows", &s.per_flow.len())
+            .field("stopped", &s.stopped)
+            .finish()
+    }
+}
+
+impl LoadHandle {
+    /// Snapshot of one flow's counters.
+    pub fn flow_stats(&self, flow: &str) -> FlowStats {
+        self.stats.borrow().per_flow.get(flow).copied().unwrap_or_default()
+    }
+
+    /// Snapshot of all flows' counters.
+    pub fn all_stats(&self) -> HashMap<String, FlowStats> {
+        self.stats.borrow().per_flow.clone()
+    }
+
+    /// Total requests issued across flows.
+    pub fn total_sent(&self) -> u64 {
+        self.stats.borrow().per_flow.values().map(|s| s.sent).sum()
+    }
+
+    /// Stops the generator: users finish their in-flight request and do not
+    /// issue another; open-loop arrivals cease.
+    pub fn stop(&self) {
+        self.stats.borrow_mut().stopped = true;
+    }
+}
+
+/// Starts load generation on a simulation.
+///
+/// # Errors
+///
+/// Returns a [`LoadError`] if the config is empty, has no positive weights,
+/// zero replicas, or references unknown services.
+///
+/// # Examples
+///
+/// ```
+/// use icfl_loadgen::{start_load, LoadConfig, UserFlow};
+/// use icfl_micro::{Cluster, ClusterSpec, ServiceSpec, steps};
+/// use icfl_sim::{Sim, SimTime};
+///
+/// let spec = ClusterSpec::new("demo")
+///     .service(ServiceSpec::web("a").endpoint("/", vec![steps::compute_ms(1)]));
+/// let mut cluster = Cluster::build(&spec, 1)?;
+/// let mut sim = Sim::new(1);
+/// Cluster::start(&mut sim, &mut cluster);
+///
+/// let cfg = LoadConfig::closed_loop(vec![UserFlow::new("root", "a", "/")]);
+/// let handle = start_load(&mut sim, &mut cluster, &cfg).unwrap();
+/// sim.run_until(SimTime::from_secs(10), &mut cluster);
+/// assert!(handle.flow_stats("root").ok > 0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn start_load(
+    sim: &mut Sim<Cluster>,
+    cluster: &mut Cluster,
+    config: &LoadConfig,
+) -> Result<LoadHandle, LoadError> {
+    if config.flows.is_empty() {
+        return Err(LoadError::NoFlows);
+    }
+    if config.replicas == 0 {
+        return Err(LoadError::ZeroReplicas);
+    }
+    let weights: Vec<f64> = config.flows.iter().map(|f| f.weight).collect();
+    if !weights.iter().any(|w| w.is_finite() && *w > 0.0) {
+        return Err(LoadError::ZeroTotalWeight);
+    }
+    // Resolve entry services up front.
+    let entries: Vec<(ServiceId, String, String)> = config
+        .flows
+        .iter()
+        .map(|f| {
+            cluster
+                .service_id(&f.entry_service)
+                .map(|id| (id, f.endpoint.clone(), f.name.clone()))
+                .ok_or_else(|| LoadError::UnknownService(f.entry_service.clone()))
+        })
+        .collect::<Result<_, _>>()?;
+
+    let stats = Rc::new(RefCell::new(Stats::default()));
+    for f in &config.flows {
+        stats.borrow_mut().per_flow.insert(f.name.clone(), FlowStats::default());
+    }
+    let entries = Rc::new(entries);
+    let weights = Rc::new(weights);
+
+    match config.model {
+        ArrivalModel::ClosedLoop { users_per_replica, think_time } => {
+            let total_users = users_per_replica * config.replicas;
+            for u in 0..total_users {
+                let rng = sim.rng().fork(&format!("loadgen/user/{u}"));
+                // Stagger user start times across one think period to avoid
+                // a thundering herd at t=0.
+                let mut start_rng = rng.clone();
+                let offset =
+                    SimDuration::from_secs_f64(start_rng.uniform_f64() * 0.2);
+                schedule_user_iteration(
+                    sim,
+                    offset,
+                    UserState {
+                        rng: start_rng,
+                        think_time,
+                        entries: Rc::clone(&entries),
+                        weights: Rc::clone(&weights),
+                        stats: Rc::clone(&stats),
+                    },
+                );
+            }
+        }
+        ArrivalModel::Open { rps_per_replica } => {
+            let rate = rps_per_replica * config.replicas as f64;
+            if rate > 0.0 {
+                let rng = sim.rng().fork("loadgen/open");
+                schedule_open_arrival(
+                    sim,
+                    SimDuration::ZERO,
+                    OpenState {
+                        rng,
+                        mean_gap: SimDuration::from_secs_f64(1.0 / rate),
+                        entries: Rc::clone(&entries),
+                        weights: Rc::clone(&weights),
+                        stats: Rc::clone(&stats),
+                    },
+                );
+            }
+        }
+    }
+    Ok(LoadHandle { stats })
+}
+
+struct UserState {
+    rng: Rng,
+    think_time: DurationDist,
+    entries: Rc<Vec<(ServiceId, String, String)>>,
+    weights: Rc<Vec<f64>>,
+    stats: Rc<RefCell<Stats>>,
+}
+
+fn schedule_user_iteration(sim: &mut Sim<Cluster>, delay: SimDuration, mut user: UserState) {
+    sim.schedule_after(delay, move |sim, cl: &mut Cluster| {
+        if user.stats.borrow().stopped {
+            return;
+        }
+        let Some(flow_idx) = user.rng.weighted_index(&user.weights) else {
+            return;
+        };
+        let (service, endpoint, flow_name) = user.entries[flow_idx].clone();
+        {
+            let mut st = user.stats.borrow_mut();
+            st.per_flow.get_mut(&flow_name).expect("flow registered").sent += 1;
+        }
+        let started = sim.now();
+        let stats = Rc::clone(&user.stats);
+        Cluster::submit(sim, cl, service, &endpoint, move |sim, _cl, resp| {
+            let latency = sim.now().saturating_since(started).as_secs_f64();
+            {
+                let mut st = stats.borrow_mut();
+                let fs = st.per_flow.get_mut(&flow_name).expect("flow registered");
+                if resp.status == Status::Ok {
+                    fs.ok += 1;
+                } else {
+                    fs.err += 1;
+                }
+                fs.latency_sum_secs += latency;
+            }
+            let think = user.think_time.sample(&mut user.rng);
+            schedule_user_iteration(sim, think, user);
+        });
+    });
+}
+
+struct OpenState {
+    rng: Rng,
+    mean_gap: SimDuration,
+    entries: Rc<Vec<(ServiceId, String, String)>>,
+    weights: Rc<Vec<f64>>,
+    stats: Rc<RefCell<Stats>>,
+}
+
+fn schedule_open_arrival(sim: &mut Sim<Cluster>, delay: SimDuration, mut state: OpenState) {
+    sim.schedule_after(delay, move |sim, cl: &mut Cluster| {
+        if state.stats.borrow().stopped {
+            return;
+        }
+        if let Some(flow_idx) = state.rng.weighted_index(&state.weights) {
+            let (service, endpoint, flow_name) = state.entries[flow_idx].clone();
+            {
+                let mut st = state.stats.borrow_mut();
+                st.per_flow.get_mut(&flow_name).expect("flow registered").sent += 1;
+            }
+            let started = sim.now();
+            let stats = Rc::clone(&state.stats);
+            Cluster::submit(sim, cl, service, &endpoint, move |sim, _cl, resp| {
+                let latency = sim.now().saturating_since(started).as_secs_f64();
+                let mut st = stats.borrow_mut();
+                let fs = st.per_flow.get_mut(&flow_name).expect("flow registered");
+                if resp.status == Status::Ok {
+                    fs.ok += 1;
+                } else {
+                    fs.err += 1;
+                }
+                fs.latency_sum_secs += latency;
+            });
+        }
+        let gap = SimDuration::from_secs_f64(
+            state.rng.exponential(state.mean_gap.as_secs_f64()),
+        );
+        schedule_open_arrival(sim, gap, state);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icfl_micro::{ClusterSpec, FaultKind, ServiceSpec};
+    use icfl_micro::steps;
+    use icfl_sim::SimTime;
+
+    fn two_path_cluster(seed: u64) -> (Sim<Cluster>, Cluster) {
+        // a exposes two endpoints: one calling b, one calling c.
+        let spec = ClusterSpec::new("twopath")
+            .service(
+                ServiceSpec::web("a")
+                    .with_concurrency(16)
+                    .endpoint("path_b", vec![steps::compute_ms(1), steps::call("b", "/")])
+                    .endpoint("path_c", vec![steps::compute_ms(1), steps::call("c", "/")]),
+            )
+            .service(ServiceSpec::web("b").endpoint("/", vec![steps::compute_ms(5)]))
+            .service(ServiceSpec::web("c").endpoint("/", vec![steps::compute_ms(5)]));
+        let mut cl = Cluster::build(&spec, seed).unwrap();
+        let mut sim = Sim::new(seed);
+        Cluster::start(&mut sim, &mut cl);
+        (sim, cl)
+    }
+
+    fn two_flows() -> Vec<UserFlow> {
+        vec![
+            UserFlow::new("fb", "a", "path_b"),
+            UserFlow::new("fc", "a", "path_c"),
+        ]
+    }
+
+    #[test]
+    fn closed_loop_generates_traffic_on_all_flows() {
+        let (mut sim, mut cl) = two_path_cluster(1);
+        let cfg = LoadConfig::closed_loop(two_flows());
+        let h = start_load(&mut sim, &mut cl, &cfg).unwrap();
+        sim.run_until(SimTime::from_secs(30), &mut cl);
+        let fb = h.flow_stats("fb");
+        let fc = h.flow_stats("fc");
+        assert!(fb.ok > 100, "fb={fb:?}");
+        assert!(fc.ok > 100, "fc={fc:?}");
+        assert_eq!(fb.err, 0);
+        // Equal weights → roughly equal traffic.
+        let ratio = fb.sent as f64 / fc.sent as f64;
+        assert!((0.8..1.25).contains(&ratio), "ratio={ratio}");
+        assert!(fb.mean_latency_secs().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn replicas_scale_throughput_about_linearly() {
+        let throughput = |replicas: usize| {
+            let (mut sim, mut cl) = two_path_cluster(2);
+            let cfg = LoadConfig::closed_loop(two_flows()).with_replicas(replicas);
+            let h = start_load(&mut sim, &mut cl, &cfg).unwrap();
+            sim.run_until(SimTime::from_secs(30), &mut cl);
+            h.total_sent() as f64
+        };
+        let t1 = throughput(1);
+        let t4 = throughput(4);
+        let scale = t4 / t1;
+        assert!((3.0..5.0).contains(&scale), "scale={scale}");
+    }
+
+    #[test]
+    fn weights_bias_flow_selection() {
+        let (mut sim, mut cl) = two_path_cluster(3);
+        let flows = vec![
+            UserFlow::new("fb", "a", "path_b").with_weight(9.0),
+            UserFlow::new("fc", "a", "path_c").with_weight(1.0),
+        ];
+        let cfg = LoadConfig::closed_loop(flows);
+        let h = start_load(&mut sim, &mut cl, &cfg).unwrap();
+        sim.run_until(SimTime::from_secs(30), &mut cl);
+        let frac =
+            h.flow_stats("fb").sent as f64 / h.total_sent() as f64;
+        assert!((0.85..0.95).contains(&frac), "frac={frac}");
+    }
+
+    #[test]
+    fn closed_loop_confounder_fault_on_one_path_raises_the_other() {
+        // The Fig. 2 phenomenon: break b, watch path_c's rate RISE.
+        let rate_c = |fault_b: bool| {
+            let (mut sim, mut cl) = two_path_cluster(4);
+            if fault_b {
+                let b = cl.service_id("b").unwrap();
+                cl.set_fault(b, Some(FaultKind::ServiceUnavailable));
+            }
+            let cfg = LoadConfig::closed_loop(two_flows());
+            let h = start_load(&mut sim, &mut cl, &cfg).unwrap();
+            sim.run_until(SimTime::from_secs(30), &mut cl);
+            h.flow_stats("fc").sent as f64 / 30.0
+        };
+        let normal = rate_c(false);
+        let under_fault = rate_c(true);
+        assert!(
+            under_fault > normal * 1.02,
+            "expected confounder: normal={normal} fault={under_fault}"
+        );
+    }
+
+    #[test]
+    fn open_loop_has_no_confounder() {
+        let rate_c = |fault_b: bool| {
+            let (mut sim, mut cl) = two_path_cluster(5);
+            if fault_b {
+                let b = cl.service_id("b").unwrap();
+                cl.set_fault(b, Some(FaultKind::ServiceUnavailable));
+            }
+            let cfg = LoadConfig::closed_loop(two_flows())
+                .with_model(ArrivalModel::Open { rps_per_replica: 100.0 });
+            let h = start_load(&mut sim, &mut cl, &cfg).unwrap();
+            sim.run_until(SimTime::from_secs(30), &mut cl);
+            h.flow_stats("fc").sent as f64 / 30.0
+        };
+        let normal = rate_c(false);
+        let under_fault = rate_c(true);
+        let rel = (under_fault - normal).abs() / normal;
+        assert!(rel < 0.1, "open loop should be invariant: rel={rel}");
+    }
+
+    #[test]
+    fn stop_halts_request_generation() {
+        let (mut sim, mut cl) = two_path_cluster(6);
+        let cfg = LoadConfig::closed_loop(two_flows());
+        let h = start_load(&mut sim, &mut cl, &cfg).unwrap();
+        sim.run_until(SimTime::from_secs(5), &mut cl);
+        h.stop();
+        let at_stop = h.total_sent();
+        sim.run_until(SimTime::from_secs(10), &mut cl);
+        assert_eq!(h.total_sent(), at_stop);
+    }
+
+    #[test]
+    fn config_validation() {
+        let (mut sim, mut cl) = two_path_cluster(7);
+        assert_eq!(
+            start_load(&mut sim, &mut cl, &LoadConfig::closed_loop(vec![])).unwrap_err(),
+            LoadError::NoFlows
+        );
+        let ghost = LoadConfig::closed_loop(vec![UserFlow::new("f", "ghost", "/")]);
+        assert_eq!(
+            start_load(&mut sim, &mut cl, &ghost).unwrap_err(),
+            LoadError::UnknownService("ghost".into())
+        );
+        let zero_w = LoadConfig::closed_loop(vec![
+            UserFlow::new("fb", "a", "path_b").with_weight(0.0)
+        ]);
+        assert_eq!(
+            start_load(&mut sim, &mut cl, &zero_w).unwrap_err(),
+            LoadError::ZeroTotalWeight
+        );
+        let zero_r = LoadConfig::closed_loop(two_flows()).with_replicas(0);
+        assert_eq!(
+            start_load(&mut sim, &mut cl, &zero_r).unwrap_err(),
+            LoadError::ZeroReplicas
+        );
+    }
+
+    #[test]
+    fn errors_are_counted_per_flow() {
+        let (mut sim, mut cl) = two_path_cluster(8);
+        let b = cl.service_id("b").unwrap();
+        cl.set_fault(b, Some(FaultKind::ServiceUnavailable));
+        let cfg = LoadConfig::closed_loop(two_flows());
+        let h = start_load(&mut sim, &mut cl, &cfg).unwrap();
+        sim.run_until(SimTime::from_secs(10), &mut cl);
+        let fb = h.flow_stats("fb");
+        let fc = h.flow_stats("fc");
+        assert!(fb.err > 0 && fb.ok == 0, "fb={fb:?}");
+        assert!(fc.err == 0 && fc.ok > 0, "fc={fc:?}");
+    }
+}

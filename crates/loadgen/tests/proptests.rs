@@ -1,0 +1,103 @@
+//! Property-based tests for the load generator: accounting identities and
+//! weight-proportionality under arbitrary configurations.
+
+use icfl_loadgen::{start_load, ArrivalModel, LoadConfig, UserFlow};
+use icfl_micro::{steps, Cluster, ClusterSpec, ServiceSpec};
+use icfl_sim::{DurationDist, Sim, SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn simple_app(n_endpoints: usize) -> (ClusterSpec, Vec<UserFlow>) {
+    let mut svc = ServiceSpec::web("front").with_concurrency(32);
+    let mut flows = Vec::new();
+    for i in 0..n_endpoints {
+        let ep = format!("/e{i}");
+        svc = svc.endpoint(&ep, vec![steps::compute_ms(1)]);
+        flows.push(UserFlow::new(format!("f{i}"), "front", ep));
+    }
+    (ClusterSpec::new("prop").service(svc), flows)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// sent == ok + err per flow once quiescent, for any mix of users,
+    /// replicas and think times.
+    #[test]
+    fn flow_accounting_balances(
+        seed in any::<u64>(),
+        users in 1usize..8,
+        replicas in 1usize..4,
+        think_ms in 10u64..300,
+        n_flows in 1usize..4,
+    ) {
+        let (spec, flows) = simple_app(n_flows);
+        let mut cluster = Cluster::build(&spec, seed).unwrap();
+        let mut sim = Sim::new(seed);
+        Cluster::start(&mut sim, &mut cluster);
+        let cfg = LoadConfig {
+            flows,
+            model: ArrivalModel::ClosedLoop {
+                users_per_replica: users,
+                think_time: DurationDist::exponential(SimDuration::from_millis(think_ms)),
+            },
+            replicas,
+        };
+        let handle = start_load(&mut sim, &mut cluster, &cfg).unwrap();
+        sim.run_until(SimTime::from_secs(20), &mut cluster);
+        handle.stop();
+        // Let in-flight requests finish.
+        sim.run_until(SimTime::from_secs(40), &mut cluster);
+        for (_, fs) in handle.all_stats() {
+            prop_assert_eq!(fs.sent, fs.ok + fs.err, "{:?}", fs);
+            prop_assert_eq!(fs.err, 0);
+        }
+        prop_assert!(handle.total_sent() > 0);
+    }
+
+    /// Flow pick fractions track the configured weights.
+    #[test]
+    fn weights_are_respected(
+        seed in any::<u64>(),
+        w0 in 1.0f64..10.0,
+        w1 in 1.0f64..10.0,
+    ) {
+        let (spec, mut flows) = simple_app(2);
+        flows[0].weight = w0;
+        flows[1].weight = w1;
+        let mut cluster = Cluster::build(&spec, seed).unwrap();
+        let mut sim = Sim::new(seed);
+        Cluster::start(&mut sim, &mut cluster);
+        let cfg = LoadConfig::closed_loop(flows);
+        let handle = start_load(&mut sim, &mut cluster, &cfg).unwrap();
+        sim.run_until(SimTime::from_secs(60), &mut cluster);
+        let s0 = handle.flow_stats("f0").sent as f64;
+        let s1 = handle.flow_stats("f1").sent as f64;
+        let expected = w0 / (w0 + w1);
+        let observed = s0 / (s0 + s1);
+        prop_assert!(
+            (observed - expected).abs() < 0.06,
+            "w0={w0} w1={w1} expected={expected} observed={observed}"
+        );
+    }
+
+    /// Open-loop arrival counts are near the configured rate.
+    #[test]
+    fn open_loop_rate_calibrated(
+        seed in any::<u64>(),
+        rps in 10.0f64..100.0,
+    ) {
+        let (spec, flows) = simple_app(1);
+        let mut cluster = Cluster::build(&spec, seed).unwrap();
+        let mut sim = Sim::new(seed);
+        Cluster::start(&mut sim, &mut cluster);
+        let cfg = LoadConfig::closed_loop(flows)
+            .with_model(ArrivalModel::Open { rps_per_replica: rps });
+        let handle = start_load(&mut sim, &mut cluster, &cfg).unwrap();
+        sim.run_until(SimTime::from_secs(60), &mut cluster);
+        let observed = handle.total_sent() as f64 / 60.0;
+        prop_assert!(
+            (observed - rps).abs() < rps * 0.2 + 2.0,
+            "configured={rps} observed={observed}"
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! Queue-driven horizontal autoscaling — the paper's canonical example of a
+//! *latent* confounder (§IV: "latent confounders that are not measured by
+//! our observability tools (for example, autoscaling actions or other SRE
+//! actions)").
+//!
+//! The autoscaler periodically inspects a service's queue and grows or
+//! shrinks its worker pool. Because worker count is not among the scraped
+//! metrics, its actions shift CPU/latency distributions invisibly — exactly
+//! the failure mode conditioning-based causal approaches cannot block.
+
+use crate::cluster::Cluster;
+use crate::ids::ServiceId;
+use icfl_sim::{Sim, SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// Declarative autoscaler configuration for one service.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AutoscalerSpec {
+    /// The scaled service's name.
+    pub service: String,
+    /// How often the controller inspects the queue.
+    pub check_interval: SimDuration,
+    /// Queue length at or above which workers are added.
+    pub scale_up_queue: usize,
+    /// Queue length at or below which workers are removed (when idle
+    /// capacity exists).
+    pub scale_down_queue: usize,
+    /// Lower bound on workers.
+    pub min_workers: usize,
+    /// Upper bound on workers.
+    pub max_workers: usize,
+    /// Workers added/removed per decision.
+    pub step: usize,
+}
+
+impl AutoscalerSpec {
+    /// A Kubernetes-HPA-flavored default: check every 15 s, scale between
+    /// `min` and `max` workers one worker at a time, reacting to a queue of
+    /// 8 (up) / 0 (down).
+    pub fn hpa(service: impl Into<String>, min: usize, max: usize) -> AutoscalerSpec {
+        AutoscalerSpec {
+            service: service.into(),
+            check_interval: SimDuration::from_secs(15),
+            scale_up_queue: 8,
+            scale_down_queue: 0,
+            min_workers: min,
+            max_workers: max,
+            step: 1,
+        }
+    }
+}
+
+/// Runtime state of one armed autoscaler.
+#[derive(Debug, Clone)]
+pub(crate) struct AutoscalerRuntime {
+    pub(crate) service: ServiceId,
+    pub(crate) spec: AutoscalerSpec,
+    pub(crate) scale_ups: u64,
+    pub(crate) scale_downs: u64,
+}
+
+impl AutoscalerRuntime {
+    /// One control decision: compare the queue against the thresholds and
+    /// resize within bounds, then re-arm.
+    fn tick(sim: &mut Sim<Cluster>, cl: &mut Cluster, idx: usize) {
+        let (service, interval) = {
+            let a = &cl.autoscalers[idx];
+            (a.service, a.spec.check_interval)
+        };
+        let queue = cl.queue_len(service);
+        let busy = cl.busy_workers(service);
+        let current = cl.current_concurrency(service);
+        let spec = cl.autoscalers[idx].spec.clone();
+        if queue >= spec.scale_up_queue && current < spec.max_workers {
+            let next = (current + spec.step).min(spec.max_workers);
+            cl.autoscalers[idx].scale_ups += 1;
+            Cluster::set_concurrency(sim, cl, service, next);
+        } else if queue <= spec.scale_down_queue && busy < current && current > spec.min_workers
+        {
+            let next = current.saturating_sub(spec.step).max(spec.min_workers);
+            cl.autoscalers[idx].scale_downs += 1;
+            Cluster::set_concurrency(sim, cl, service, next);
+        }
+        sim.schedule_after(interval, move |sim, cl: &mut Cluster| {
+            AutoscalerRuntime::tick(sim, cl, idx);
+        });
+    }
+
+    /// Schedules the first control decision one interval in.
+    pub(crate) fn arm(sim: &mut Sim<Cluster>, cl: &Cluster, idx: usize) {
+        let interval = cl.autoscalers[idx].spec.check_interval;
+        sim.schedule_after(interval, move |sim, cl: &mut Cluster| {
+            AutoscalerRuntime::tick(sim, cl, idx);
+        });
+    }
+}

@@ -1,0 +1,1004 @@
+//! The cluster runtime: request lifecycle, worker pools, queues, fault
+//! semantics, and telemetry counter accounting.
+//!
+//! The engine models synchronous HTTP-style request/response trees:
+//! a worker executing a handler *blocks* while a downstream call is in
+//! flight. Combined with closed-loop load (see `icfl-loadgen`), this
+//! reproduces the queueing phenomena of §III-C of the paper — a fail-fast
+//! fault on one path *speeds up* its users and thereby shifts load onto
+//! sibling paths.
+
+use crate::counters::Counters;
+use crate::error::BuildError;
+use crate::fault::FaultKind;
+use crate::ids::{LogLevel, RequestId, ServiceId, Status};
+use crate::logs::{LogBuffer, LogRecord};
+use crate::spec::{ClusterSpec, ErrorPolicy, KvAction, ServiceKind, Step};
+use crate::tracing::{Span, TraceHandle};
+use icfl_sim::{DurationDist, EventId, Rng, Sim, SimDuration, SimTime};
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+
+/// A response to a simulated request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Response {
+    /// Outcome status.
+    pub status: Status,
+    /// Value carried by KV operations (0 otherwise).
+    pub value: i64,
+    /// The request this responds to.
+    pub request: RequestId,
+}
+
+/// Where a response should be delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Completion {
+    /// An external client (load generator); token into the callback table.
+    External(u64),
+    /// A worker of another service blocked on this call.
+    Call {
+        /// The blocked parent request.
+        parent: RequestId,
+    },
+    /// A background daemon (index into the cluster's daemon table).
+    Daemon {
+        /// Daemon index.
+        daemon: usize,
+    },
+}
+
+/// Callback invoked when an external request completes.
+pub type ExternalCallback = Box<dyn FnOnce(&mut Sim<Cluster>, &mut Cluster, Response)>;
+
+/// A step with all names resolved to ids.
+#[derive(Debug, Clone)]
+pub(crate) enum ResolvedStep {
+    Compute { time: DurationDist },
+    Call { service: ServiceId, endpoint: usize, on_error: ErrorPolicy },
+    Kv { store: ServiceId, action: KvAction, on_error: ErrorPolicy },
+    Log { level: LogLevel, message: Rc<str> },
+    LogEveryN { n: u64, level: LogLevel, message: Rc<str> },
+    Fail,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Endpoint {
+    pub(crate) name: String,
+    pub(crate) steps: Vec<ResolvedStep>,
+}
+
+/// Runtime state of one service.
+pub(crate) struct Service {
+    pub(crate) name: String,
+    pub(crate) kind: ServiceKind,
+    concurrency: usize,
+    busy: usize,
+    queue: VecDeque<RequestId>,
+    queue_capacity: usize,
+    pub(crate) endpoints: Vec<Endpoint>,
+    endpoint_index: HashMap<String, usize>,
+    kv: HashMap<String, i64>,
+    kv_op_time: DurationDist,
+    pub(crate) idle_cpu_per_sec: SimDuration,
+    pub(crate) counters: Counters,
+    pub(crate) logs: LogBuffer,
+    pub(crate) fault: Option<FaultKind>,
+    /// Invocation counts backing `Step::LogEveryN`, keyed by
+    /// (endpoint index, step index).
+    step_invocations: HashMap<(usize, usize), u64>,
+    rng: Rng,
+}
+
+impl Service {
+    fn has_free_worker(&self) -> bool {
+        self.busy < self.concurrency
+    }
+
+    /// Writes one console log line: bumps the counters and retains the
+    /// message in the bounded buffer.
+    fn write_log(&mut self, time: SimTime, level: LogLevel, message: &str) {
+        self.counters.add_log(level);
+        self.logs.push(LogRecord { time, level, message: message.to_owned() });
+    }
+}
+
+/// The kind of work a request asks its target to perform.
+#[derive(Debug, Clone)]
+enum Work {
+    /// Run the handler program of endpoint `idx`.
+    Handler(usize),
+    /// Perform a built-in KV operation.
+    Kv(KvAction),
+    /// Fail immediately with an internal error (sampled by an
+    /// [`FaultKind::ErrorRate`] fault at delivery time).
+    InjectedError,
+}
+
+struct InFlight {
+    service: ServiceId,
+    work: Work,
+    issued_at: SimTime,
+    step: usize,
+    reply_to: Completion,
+    waiting_on: Option<RequestId>,
+    timeout_event: Option<EventId>,
+    /// Error policy of the call currently awaited (meaningful only while
+    /// `waiting_on` is set).
+    pending_policy: ErrorPolicy,
+    status: Status,
+    value: i64,
+    /// True once this request occupies a worker slot.
+    holds_worker: bool,
+}
+
+/// The simulated cluster: world state `S` for [`icfl_sim::Sim`].
+///
+/// Build one from a [`ClusterSpec`], call [`Cluster::start`] to arm
+/// housekeeping and daemons, then drive traffic with
+/// [`Cluster::submit`] (usually via `icfl-loadgen`).
+///
+/// # Examples
+///
+/// ```
+/// use icfl_micro::{Cluster, ClusterSpec, ServiceSpec, steps, Status};
+/// use icfl_sim::{Sim, SimTime};
+///
+/// let spec = ClusterSpec::new("demo")
+///     .service(ServiceSpec::web("a").endpoint("/", vec![
+///         steps::compute_ms(1),
+///         steps::call("b", "/"),
+///     ]))
+///     .service(ServiceSpec::web("b").endpoint("/", vec![steps::compute_ms(2)]));
+/// let mut cluster = Cluster::build(&spec, 7)?;
+/// let mut sim = Sim::new(7);
+/// Cluster::start(&mut sim, &mut cluster);
+///
+/// let a = cluster.service_id("a").unwrap();
+/// Cluster::submit(&mut sim, &mut cluster, a, "/", |_, _, resp| {
+///     assert_eq!(resp.status, Status::Ok);
+/// });
+/// sim.run_until(SimTime::from_secs(1), &mut cluster);
+/// # Ok::<(), icfl_micro::BuildError>(())
+/// ```
+pub struct Cluster {
+    name: String,
+    pub(crate) services: Vec<Service>,
+    name_to_id: HashMap<String, ServiceId>,
+    net_latency: DurationDist,
+    conn_refused_latency: DurationDist,
+    call_timeout: SimDuration,
+    inflight: HashMap<RequestId, InFlight>,
+    next_request: u64,
+    external: HashMap<u64, ExternalCallback>,
+    next_external: u64,
+    pub(crate) daemons: Vec<crate::daemon::DaemonRuntime>,
+    pub(crate) autoscalers: Vec<crate::autoscaler::AutoscalerRuntime>,
+    tracing: Option<TraceHandle>,
+    net_rng: Rng,
+    started: bool,
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("name", &self.name)
+            .field("services", &self.services.len())
+            .field("inflight", &self.inflight.len())
+            .field("daemons", &self.daemons.len())
+            .finish()
+    }
+}
+
+impl Cluster {
+    /// Builds a runnable cluster from a validated spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] for duplicate service names, dangling
+    /// call/KV/daemon references, calls to the wrong service kind, or
+    /// zero-worker services.
+    pub fn build(spec: &ClusterSpec, seed: u64) -> Result<Cluster, BuildError> {
+        let root = Rng::seeded(seed).fork(&format!("cluster/{}", spec.name));
+
+        let mut name_to_id = HashMap::new();
+        for (i, s) in spec.services.iter().enumerate() {
+            if name_to_id.insert(s.name.clone(), ServiceId(i)).is_some() {
+                return Err(BuildError::DuplicateService(s.name.clone()));
+            }
+            if s.concurrency == 0 {
+                return Err(BuildError::ZeroConcurrency(s.name.clone()));
+            }
+        }
+
+        // First pass: endpoint name tables (needed to resolve Call steps).
+        let endpoint_names: Vec<HashMap<String, usize>> = spec
+            .services
+            .iter()
+            .map(|s| {
+                s.endpoints
+                    .iter()
+                    .enumerate()
+                    .map(|(i, e)| (e.name.clone(), i))
+                    .collect()
+            })
+            .collect();
+
+        let resolve_service = |name: &str| -> Result<ServiceId, BuildError> {
+            name_to_id
+                .get(name)
+                .copied()
+                .ok_or_else(|| BuildError::UnknownService(name.to_owned()))
+        };
+
+        let mut services = Vec::with_capacity(spec.services.len());
+        for (si, s) in spec.services.iter().enumerate() {
+            if s.kind == ServiceKind::KvStore && !s.endpoints.is_empty() {
+                return Err(BuildError::KvStoreWithEndpoints(s.name.clone()));
+            }
+            let mut endpoints = Vec::with_capacity(s.endpoints.len());
+            for e in &s.endpoints {
+                let mut steps = Vec::with_capacity(e.steps.len());
+                for step in &e.steps {
+                    steps.push(match step {
+                        Step::Compute { time } => ResolvedStep::Compute { time: *time },
+                        Step::Call { service, endpoint, on_error } => {
+                            let target = resolve_service(service)?;
+                            if spec.services[target.0].kind != ServiceKind::Web {
+                                return Err(BuildError::CallTargetNotWeb {
+                                    from: s.name.clone(),
+                                    to: service.clone(),
+                                });
+                            }
+                            let ep = *endpoint_names[target.0].get(endpoint).ok_or_else(|| {
+                                BuildError::UnknownEndpoint {
+                                    service: service.clone(),
+                                    endpoint: endpoint.clone(),
+                                }
+                            })?;
+                            ResolvedStep::Call { service: target, endpoint: ep, on_error: *on_error }
+                        }
+                        Step::Kv { store, action, on_error } => {
+                            let target = resolve_service(store)?;
+                            if spec.services[target.0].kind != ServiceKind::KvStore {
+                                return Err(BuildError::KvTargetNotStore {
+                                    from: s.name.clone(),
+                                    to: store.clone(),
+                                });
+                            }
+                            ResolvedStep::Kv {
+                                store: target,
+                                action: action.clone(),
+                                on_error: *on_error,
+                            }
+                        }
+                        Step::Log { level, message } => ResolvedStep::Log {
+                            level: *level,
+                            message: Rc::from(message.as_str()),
+                        },
+                        Step::LogEveryN { n, level, message } => {
+                            if *n == 0 {
+                                return Err(BuildError::ZeroLogPeriod(s.name.clone()));
+                            }
+                            ResolvedStep::LogEveryN {
+                                n: *n,
+                                level: *level,
+                                message: Rc::from(message.as_str()),
+                            }
+                        }
+                        Step::Fail => ResolvedStep::Fail,
+                    });
+                }
+                endpoints.push(Endpoint { name: e.name.clone(), steps });
+            }
+            services.push(Service {
+                name: s.name.clone(),
+                kind: s.kind,
+                concurrency: s.concurrency,
+                busy: 0,
+                queue: VecDeque::new(),
+                queue_capacity: s.queue_capacity,
+                endpoint_index: endpoint_names[si].clone(),
+                endpoints,
+                kv: HashMap::new(),
+                kv_op_time: s.kv_op_time,
+                idle_cpu_per_sec: s.idle_cpu_per_sec,
+                counters: Counters::default(),
+                logs: LogBuffer::with_capacity(LogBuffer::DEFAULT_CAPACITY),
+                fault: None,
+                step_invocations: HashMap::new(),
+                rng: root.fork(&format!("service/{}", s.name)),
+            });
+        }
+
+        let mut daemons = Vec::with_capacity(spec.daemons.len());
+        for (di, d) in spec.daemons.iter().enumerate() {
+            daemons.push(crate::daemon::DaemonRuntime::resolve(
+                d,
+                &name_to_id,
+                &endpoint_names,
+                spec,
+                root.fork(&format!("daemon/{di}")),
+            )?);
+        }
+
+        let mut autoscalers = Vec::with_capacity(spec.autoscalers.len());
+        for a in &spec.autoscalers {
+            let service = name_to_id
+                .get(&a.service)
+                .copied()
+                .ok_or_else(|| BuildError::UnknownService(a.service.clone()))?;
+            autoscalers.push(crate::autoscaler::AutoscalerRuntime {
+                service,
+                spec: a.clone(),
+                scale_ups: 0,
+                scale_downs: 0,
+            });
+        }
+
+        Ok(Cluster {
+            name: spec.name.clone(),
+            services,
+            name_to_id,
+            net_latency: spec.net_latency,
+            conn_refused_latency: spec.conn_refused_latency,
+            call_timeout: spec.call_timeout,
+            inflight: HashMap::new(),
+            next_request: 0,
+            external: HashMap::new(),
+            next_external: 0,
+            daemons,
+            autoscalers,
+            tracing: None,
+            net_rng: root.fork("net"),
+            started: false,
+        })
+    }
+
+    /// Application name this cluster was built from.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of services.
+    pub fn num_services(&self) -> usize {
+        self.services.len()
+    }
+
+    /// All service ids, in order.
+    pub fn service_ids(&self) -> Vec<ServiceId> {
+        (0..self.services.len()).map(ServiceId).collect()
+    }
+
+    /// Looks a service up by name.
+    pub fn service_id(&self, name: &str) -> Option<ServiceId> {
+        self.name_to_id.get(name).copied()
+    }
+
+    /// The name of a service.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a service of this cluster.
+    pub fn service_name(&self, id: ServiceId) -> &str {
+        &self.services[id.0].name
+    }
+
+    /// Snapshot of a service's telemetry counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a service of this cluster.
+    pub fn counters(&self, id: ServiceId) -> Counters {
+        self.services[id.0].counters
+    }
+
+    /// Sets or clears the active fault on a service.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a service of this cluster.
+    pub fn set_fault(&mut self, id: ServiceId, fault: Option<FaultKind>) {
+        self.services[id.0].fault = fault;
+    }
+
+    /// The active fault on a service, if any.
+    pub fn fault(&self, id: ServiceId) -> Option<&FaultKind> {
+        self.services[id.0].fault.as_ref()
+    }
+
+    /// Reads a KV counter (0 if absent). Intended for tests and daemons.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `store` is not a KV store of this cluster.
+    pub fn kv_value(&self, store: ServiceId, key: &str) -> i64 {
+        assert_eq!(self.services[store.0].kind, ServiceKind::KvStore, "not a KV store");
+        self.services[store.0].kv.get(key).copied().unwrap_or(0)
+    }
+
+    /// Endpoint names of a service (in declaration order).
+    pub fn endpoint_names(&self, id: ServiceId) -> Vec<&str> {
+        self.services[id.0].endpoints.iter().map(|e| e.name.as_str()).collect()
+    }
+
+    /// Arms per-second housekeeping (idle CPU accrual) and all daemons.
+    /// Must be called exactly once before running the simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice.
+    pub fn start(sim: &mut Sim<Cluster>, cluster: &mut Cluster) {
+        assert!(!cluster.started, "Cluster::start called twice");
+        cluster.started = true;
+        icfl_sim::schedule_periodic(
+            sim,
+            SimTime::ZERO + SimDuration::from_secs(1),
+            SimDuration::from_secs(1),
+            |_, cl: &mut Cluster| {
+                for s in &mut cl.services {
+                    let idle = s.idle_cpu_per_sec;
+                    s.counters.add_cpu(idle);
+                }
+            },
+        );
+        for idx in 0..cluster.daemons.len() {
+            crate::daemon::DaemonRuntime::arm(sim, idx);
+        }
+        for idx in 0..cluster.autoscalers.len() {
+            crate::autoscaler::AutoscalerRuntime::arm(sim, cluster, idx);
+        }
+    }
+
+    /// Submits an external (user) request to `service`'s `endpoint` and
+    /// invokes `on_complete` when the response arrives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the endpoint does not exist on `service` — external entry
+    /// points are part of the workload definition, so a miss is a
+    /// programming error, not a runtime condition.
+    pub fn submit(
+        sim: &mut Sim<Cluster>,
+        cluster: &mut Cluster,
+        service: ServiceId,
+        endpoint: &str,
+        on_complete: impl FnOnce(&mut Sim<Cluster>, &mut Cluster, Response) + 'static,
+    ) -> RequestId {
+        let ep = *cluster.services[service.0]
+            .endpoint_index
+            .get(endpoint)
+            .unwrap_or_else(|| {
+                panic!(
+                    "service {} has no endpoint {endpoint}",
+                    cluster.services[service.0].name
+                )
+            });
+        let token = cluster.next_external;
+        cluster.next_external += 1;
+        cluster.external.insert(token, Box::new(on_complete));
+        let req =
+            cluster.new_request(sim.now(), service, Work::Handler(ep), Completion::External(token));
+        Cluster::send(sim, cluster, None, req);
+        req
+    }
+
+    /// Submits a handler invocation on behalf of a daemon.
+    pub(crate) fn submit_handler(
+        sim: &mut Sim<Cluster>,
+        cluster: &mut Cluster,
+        target: ServiceId,
+        endpoint: usize,
+        reply_to: Completion,
+        from: Option<ServiceId>,
+    ) -> RequestId {
+        let req = cluster.new_request(sim.now(), target, Work::Handler(endpoint), reply_to);
+        Cluster::send(sim, cluster, from, req);
+        req
+    }
+
+    /// Submits a KV operation from outside the cluster (used by daemons and
+    /// tests).
+    pub(crate) fn submit_kv(
+        sim: &mut Sim<Cluster>,
+        cluster: &mut Cluster,
+        store: ServiceId,
+        action: KvAction,
+        reply_to: Completion,
+        from: Option<ServiceId>,
+    ) -> RequestId {
+        let req = cluster.new_request(sim.now(), store, Work::Kv(action), reply_to);
+        Cluster::send(sim, cluster, from, req);
+        req
+    }
+
+    fn new_request(
+        &mut self,
+        now: SimTime,
+        service: ServiceId,
+        work: Work,
+        reply_to: Completion,
+    ) -> RequestId {
+        let id = RequestId(self.next_request);
+        self.next_request += 1;
+        self.inflight.insert(
+            id,
+            InFlight {
+                service,
+                work,
+                issued_at: now,
+                step: 0,
+                reply_to,
+                waiting_on: None,
+                timeout_event: None,
+                pending_policy: ErrorPolicy::default(),
+                status: Status::Ok,
+                value: 0,
+                holds_worker: false,
+            },
+        );
+        id
+    }
+
+    /// Transmits a request toward its target, applying connection-refused
+    /// and packet-loss semantics.
+    fn send(sim: &mut Sim<Cluster>, cl: &mut Cluster, from: Option<ServiceId>, req: RequestId) {
+        let target = cl.inflight[&req].service;
+        if let Some(f) = from {
+            cl.services[f.0].counters.tx_packets += 1;
+            cl.services[f.0].counters.requests_sent += 1;
+        }
+
+        // Connection refused: fail fast without touching the target.
+        if matches!(cl.services[target.0].fault, Some(FaultKind::ServiceUnavailable)) {
+            let latency = cl.conn_refused_latency.sample(&mut cl.net_rng);
+            let inf = cl.inflight.get_mut(&req).expect("request in flight");
+            inf.status = Status::ServiceUnavailable;
+            sim.schedule_after(latency, move |sim, cl: &mut Cluster| {
+                Cluster::deliver_response(sim, cl, req);
+            });
+            return;
+        }
+
+        // Packet loss on the request direction: the request vanishes and the
+        // caller's timeout (armed by the caller) eventually fires.
+        if let Some(FaultKind::PacketLoss(p)) = cl.services[target.0].fault {
+            if cl.net_rng.chance(p) {
+                return;
+            }
+        }
+
+        let latency = cl.net_latency.sample(&mut cl.net_rng);
+        sim.schedule_after(latency, move |sim, cl: &mut Cluster| {
+            Cluster::deliver(sim, cl, req);
+        });
+    }
+
+    /// A request arrives at its target service.
+    fn deliver(sim: &mut Sim<Cluster>, cl: &mut Cluster, req: RequestId) {
+        let target = cl.inflight[&req].service;
+        let svc = &mut cl.services[target.0];
+        svc.counters.rx_packets += 1;
+        svc.counters.requests_received += 1;
+
+        // Error-rate fault: accept, then fail.
+        if let Some(FaultKind::ErrorRate(p)) = svc.fault {
+            if svc.rng.chance(p) {
+                let inf = cl.inflight.get_mut(&req).expect("request in flight");
+                inf.work = Work::InjectedError;
+            }
+        }
+
+        // Extra-latency fault: park the request before it contends for a
+        // worker.
+        if let Some(FaultKind::ExtraLatency(d)) = cl.services[target.0].fault {
+            let delay = d.sample(&mut cl.services[target.0].rng);
+            sim.schedule_after(delay, move |sim, cl: &mut Cluster| {
+                Cluster::admit(sim, cl, req);
+            });
+            return;
+        }
+        Cluster::admit(sim, cl, req);
+    }
+
+    /// Queue admission: take a worker or wait; shed if the queue is full.
+    fn admit(sim: &mut Sim<Cluster>, cl: &mut Cluster, req: RequestId) {
+        let target = cl.inflight[&req].service;
+        let svc = &mut cl.services[target.0];
+        if svc.has_free_worker() {
+            svc.busy += 1;
+            cl.inflight.get_mut(&req).expect("in flight").holds_worker = true;
+            Cluster::begin_work(sim, cl, req);
+        } else if svc.queue.len() < svc.queue_capacity {
+            svc.queue.push_back(req);
+        } else {
+            svc.counters.queue_dropped += 1;
+            Cluster::finish(sim, cl, req, Status::Overloaded);
+        }
+    }
+
+    /// Starts executing the request's work on its (now-held) worker.
+    fn begin_work(sim: &mut Sim<Cluster>, cl: &mut Cluster, req: RequestId) {
+        let (service, work) = {
+            let inf = &cl.inflight[&req];
+            (inf.service, inf.work.clone())
+        };
+        match work {
+            Work::Handler(_) => Cluster::advance(sim, cl, req),
+            Work::InjectedError => {
+                // A failing handler logs an error and responds 500 quickly.
+                let fail_time = SimDuration::from_millis(1);
+                let now = sim.now();
+                cl.services[service.0].write_log(
+                    now,
+                    LogLevel::Error,
+                    "Traceback: unhandled exception while processing request",
+                );
+                cl.services[service.0].counters.add_cpu(fail_time);
+                sim.schedule_after(fail_time, move |sim, cl: &mut Cluster| {
+                    Cluster::finish(sim, cl, req, Status::InternalError);
+                });
+            }
+            Work::Kv(action) => {
+                let svc = &mut cl.services[service.0];
+                let t = svc.kv_op_time.sample(&mut svc.rng);
+                svc.counters.add_cpu(t);
+                sim.schedule_after(t, move |sim, cl: &mut Cluster| {
+                    let svc = &mut cl.services[service.0];
+                    let value = match &action {
+                        KvAction::Incr { key } => {
+                            let v = svc.kv.entry(key.clone()).or_insert(0);
+                            *v += 1;
+                            *v
+                        }
+                        KvAction::FetchSub { key } => {
+                            let v = svc.kv.entry(key.clone()).or_insert(0);
+                            let prev = *v;
+                            if *v > 0 {
+                                *v -= 1;
+                            }
+                            prev
+                        }
+                        KvAction::Get { key } => svc.kv.get(key).copied().unwrap_or(0),
+                    };
+                    let inf = cl.inflight.get_mut(&req).expect("in flight");
+                    inf.value = value;
+                    Cluster::finish(sim, cl, req, Status::Ok);
+                });
+            }
+        }
+    }
+
+    /// Advances a handler program to its next blocking point.
+    fn advance(sim: &mut Sim<Cluster>, cl: &mut Cluster, req: RequestId) {
+        loop {
+            let (service, ep_idx, step_idx) = {
+                let inf = &cl.inflight[&req];
+                let ep = match inf.work {
+                    Work::Handler(ep) => ep,
+                    _ => unreachable!("advance only runs handler programs"),
+                };
+                (inf.service, ep, inf.step)
+            };
+            let num_steps = cl.services[service.0].endpoints[ep_idx].steps.len();
+            if step_idx >= num_steps {
+                let status = cl.inflight[&req].status;
+                Cluster::finish(sim, cl, req, status);
+                return;
+            }
+            let step = cl.services[service.0].endpoints[ep_idx].steps[step_idx].clone();
+            cl.inflight.get_mut(&req).expect("in flight").step += 1;
+            match step {
+                ResolvedStep::Compute { time } => {
+                    let svc = &mut cl.services[service.0];
+                    let mut t = time.sample(&mut svc.rng);
+                    if let Some(FaultKind::CpuStress(factor)) = svc.fault {
+                        t = t.mul_f64(factor.max(0.0));
+                    }
+                    svc.counters.add_cpu(t);
+                    sim.schedule_after(t, move |sim, cl: &mut Cluster| {
+                        Cluster::advance(sim, cl, req);
+                    });
+                    return;
+                }
+                ResolvedStep::Log { level, message } => {
+                    let now = sim.now();
+                    cl.services[service.0].write_log(now, level, &message);
+                }
+                ResolvedStep::LogEveryN { n, level, message } => {
+                    let now = sim.now();
+                    let svc = &mut cl.services[service.0];
+                    let count = svc
+                        .step_invocations
+                        .entry((ep_idx, step_idx))
+                        .or_insert(0);
+                    *count += 1;
+                    if *count % n == 0 {
+                        svc.write_log(now, level, &message);
+                    }
+                }
+                ResolvedStep::Fail => {
+                    let now = sim.now();
+                    cl.services[service.0].write_log(
+                        now,
+                        LogLevel::Error,
+                        "Traceback: handler raised an exception",
+                    );
+                    Cluster::finish(sim, cl, req, Status::InternalError);
+                    return;
+                }
+                ResolvedStep::Call { service: target, endpoint, on_error } => {
+                    let child = cl.new_request(
+                        sim.now(),
+                        target,
+                        Work::Handler(endpoint),
+                        Completion::Call { parent: req },
+                    );
+                    Cluster::issue_call(sim, cl, req, child, service, on_error);
+                    return;
+                }
+                ResolvedStep::Kv { store, action, on_error } => {
+                    let child = cl.new_request(
+                        sim.now(),
+                        store,
+                        Work::Kv(action),
+                        Completion::Call { parent: req },
+                    );
+                    Cluster::issue_call(sim, cl, req, child, service, on_error);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Sends a child call and arms the caller-side timeout. `on_error` is
+    /// remembered through the pending-call bookkeeping on the parent.
+    fn issue_call(
+        sim: &mut Sim<Cluster>,
+        cl: &mut Cluster,
+        parent: RequestId,
+        child: RequestId,
+        from: ServiceId,
+        on_error: ErrorPolicy,
+    ) {
+        let timeout = cl.call_timeout;
+        {
+            let inf = cl.inflight.get_mut(&parent).expect("parent in flight");
+            inf.waiting_on = Some(child);
+            inf.pending_policy = on_error;
+        }
+        let ev = sim.schedule_after(timeout, move |sim, cl: &mut Cluster| {
+            Cluster::on_call_timeout(sim, cl, parent, child);
+        });
+        cl.inflight.get_mut(&parent).expect("parent in flight").timeout_event = Some(ev);
+        Cluster::send(sim, cl, Some(from), child);
+    }
+
+    /// Delivers a finished request's response toward its completion target.
+    fn finish(sim: &mut Sim<Cluster>, cl: &mut Cluster, req: RequestId, status: Status) {
+        {
+            let inf = cl.inflight.get_mut(&req).expect("in flight");
+            inf.status = status;
+            let service = inf.service;
+            let holds = inf.holds_worker;
+            inf.holds_worker = false;
+            let svc = &mut cl.services[service.0];
+            if status.is_error() {
+                svc.counters.responses_err += 1;
+            } else {
+                svc.counters.responses_ok += 1;
+            }
+            // Refused connections never reached the service, so only count a
+            // transmitted response packet for work the service actually did.
+            if status != Status::ServiceUnavailable {
+                svc.counters.tx_packets += 1;
+            }
+            if holds {
+                svc.busy -= 1;
+                if let Some(next) = svc.queue.pop_front() {
+                    svc.busy += 1;
+                    cl.inflight.get_mut(&next).expect("queued request in flight").holds_worker =
+                        true;
+                    sim.schedule_now(move |sim, cl: &mut Cluster| {
+                        Cluster::begin_work(sim, cl, next);
+                    });
+                }
+            }
+        }
+
+        // Response packet loss.
+        let target = cl.inflight[&req].service;
+        if let Some(FaultKind::PacketLoss(p)) = cl.services[target.0].fault {
+            if cl.net_rng.chance(p) {
+                cl.inflight.remove(&req);
+                return;
+            }
+        }
+        let latency = cl.net_latency.sample(&mut cl.net_rng);
+        sim.schedule_after(latency, move |sim, cl: &mut Cluster| {
+            Cluster::deliver_response(sim, cl, req);
+        });
+    }
+
+    /// A response arrives at its completion target.
+    fn deliver_response(sim: &mut Sim<Cluster>, cl: &mut Cluster, req: RequestId) {
+        let Some(inf) = cl.inflight.remove(&req) else {
+            return;
+        };
+        if let Some(tracing) = &cl.tracing {
+            tracing.store.borrow_mut().spans.push(Span {
+                request: req,
+                parent: match inf.reply_to {
+                    Completion::Call { parent } => Some(parent),
+                    _ => None,
+                },
+                service: inf.service,
+                start: inf.issued_at,
+                end: sim.now(),
+                status: inf.status,
+            });
+        }
+        let resp = Response { status: inf.status, value: inf.value, request: req };
+        match inf.reply_to {
+            Completion::External(token) => {
+                if let Some(cb) = cl.external.remove(&token) {
+                    cb(sim, cl, resp);
+                }
+            }
+            Completion::Daemon { daemon } => {
+                crate::daemon::DaemonRuntime::on_response(sim, cl, daemon, resp);
+            }
+            Completion::Call { parent } => {
+                Cluster::on_child_response(sim, cl, parent, resp);
+            }
+        }
+    }
+
+    /// The blocked parent receives its child's response.
+    fn on_child_response(sim: &mut Sim<Cluster>, cl: &mut Cluster, parent: RequestId, resp: Response) {
+        let Some(inf) = cl.inflight.get_mut(&parent) else {
+            return; // parent already finished (timeout raced us)
+        };
+        if inf.waiting_on != Some(resp.request) {
+            return; // stale response after a timeout
+        }
+        inf.waiting_on = None;
+        if let Some(ev) = inf.timeout_event.take() {
+            sim.cancel(ev);
+        }
+        let service = inf.service;
+        let policy = inf.pending_policy;
+        cl.services[service.0].counters.rx_packets += 1;
+
+        if resp.status.is_error() {
+            Cluster::handle_call_failure(sim, cl, parent, resp.status, policy);
+        } else {
+            let inf = cl.inflight.get_mut(&parent).expect("parent in flight");
+            inf.value = resp.value;
+            Cluster::advance(sim, cl, parent);
+        }
+    }
+
+    /// The caller-side timeout fired before the child responded.
+    fn on_call_timeout(sim: &mut Sim<Cluster>, cl: &mut Cluster, parent: RequestId, child: RequestId) {
+        let Some(inf) = cl.inflight.get_mut(&parent) else {
+            return;
+        };
+        if inf.waiting_on != Some(child) {
+            return; // response won the race
+        }
+        inf.waiting_on = None;
+        inf.timeout_event = None;
+        let policy = inf.pending_policy;
+        Cluster::handle_call_failure(sim, cl, parent, Status::Timeout, policy);
+    }
+
+    /// Applies the error policy after a failed downstream call.
+    fn handle_call_failure(
+        sim: &mut Sim<Cluster>,
+        cl: &mut Cluster,
+        parent: RequestId,
+        child_status: Status,
+        policy: ErrorPolicy,
+    ) {
+        let service = cl.inflight[&parent].service;
+        if policy.logs() {
+            let now = sim.now();
+            let message = format!("error: downstream call failed ({child_status})");
+            cl.services[service.0].write_log(now, LogLevel::Error, &message);
+        }
+        if policy.propagates() {
+            // The failure bubbles up as a 500 from this service (errors
+            // propagate along the response path, §III-A).
+            let status = if child_status == Status::Timeout {
+                Status::Timeout
+            } else {
+                Status::InternalError
+            };
+            Cluster::finish(sim, cl, parent, status);
+        } else {
+            Cluster::advance(sim, cl, parent);
+        }
+    }
+
+    /// Adds CPU busy time to a service out-of-band (used by the CPU-hog
+    /// fault driver in `icfl-faults`).
+    pub fn add_cpu(&mut self, id: ServiceId, d: SimDuration) {
+        self.services[id.0].counters.add_cpu(d);
+    }
+
+    /// Writes a log message to a service out-of-band (used by daemons).
+    pub(crate) fn log(&mut self, id: ServiceId, now: SimTime, level: LogLevel, message: &str) {
+        self.services[id.0].write_log(now, level, message);
+    }
+
+    /// Turns on distributed tracing and returns the span stream. Spans are
+    /// recorded at response delivery; requests in flight when the
+    /// simulation stops produce no span (as in real tracing backends).
+    /// Idempotent: repeated calls return handles to the same store.
+    pub fn enable_tracing(&mut self) -> TraceHandle {
+        self.tracing.get_or_insert_with(TraceHandle::default).clone()
+    }
+
+    /// The most recent `n` console log lines of a service, oldest first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a service of this cluster.
+    pub fn recent_logs(&self, id: ServiceId, n: usize) -> Vec<LogRecord> {
+        self.services[id.0].logs.tail(n)
+    }
+
+    /// The current worker-pool size of a service (autoscalers change it).
+    pub fn current_concurrency(&self, id: ServiceId) -> usize {
+        self.services[id.0].concurrency
+    }
+
+    /// Resizes a service's worker pool (the autoscaler's actuator; also
+    /// usable as a manual SRE action). Growing the pool immediately admits
+    /// queued requests; shrinking lets busy workers drain naturally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0` — a zero-worker service would deadlock its
+    /// queue (use a fault to model an outage instead).
+    pub fn set_concurrency(
+        sim: &mut Sim<Cluster>,
+        cl: &mut Cluster,
+        id: ServiceId,
+        workers: usize,
+    ) {
+        assert!(workers > 0, "cannot scale a service to zero workers");
+        cl.services[id.0].concurrency = workers;
+        // Newly freed capacity admits queued work.
+        while cl.services[id.0].has_free_worker() {
+            let Some(next) = cl.services[id.0].queue.pop_front() else {
+                break;
+            };
+            cl.services[id.0].busy += 1;
+            cl.inflight.get_mut(&next).expect("queued request in flight").holds_worker = true;
+            sim.schedule_now(move |sim, cl: &mut Cluster| {
+                Cluster::begin_work(sim, cl, next);
+            });
+        }
+    }
+
+    /// Scale-up/scale-down decision counts of autoscaler `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn autoscaler_actions(&self, idx: usize) -> (u64, u64) {
+        let a = &self.autoscalers[idx];
+        (a.scale_ups, a.scale_downs)
+    }
+
+    /// Current queue length of a service (for tests and gauges).
+    pub fn queue_len(&self, id: ServiceId) -> usize {
+        self.services[id.0].queue.len()
+    }
+
+    /// Number of busy workers of a service.
+    pub fn busy_workers(&self, id: ServiceId) -> usize {
+        self.services[id.0].busy
+    }
+}

@@ -1,0 +1,123 @@
+//! Per-service monotonic telemetry counters — the cluster-side source of
+//! every metric in the paper (`container_cpu_user_seconds_total`,
+//! `container_network_receive/transmit_packets_total`, message logs).
+
+use icfl_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Monotonic counters maintained by the cluster for one service.
+///
+/// The telemetry scraper (`icfl-telemetry`) snapshots these periodically and
+/// differentiates them into rates; the counters themselves only ever grow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Counters {
+    /// Cumulative CPU busy time, in nanoseconds
+    /// (`container_cpu_user_seconds_total`).
+    pub cpu_nanos: u64,
+    /// Packets received (`container_network_receive_packets_total`).
+    pub rx_packets: u64,
+    /// Packets transmitted (`container_network_transmit_packets_total`).
+    pub tx_packets: u64,
+    /// Total console log messages (info + error) — the paper's `msg rate`
+    /// source.
+    pub logs_total: u64,
+    /// Error-level log messages only (what \[23\] restricts itself to).
+    pub logs_error: u64,
+    /// Info-level log messages only.
+    pub logs_info: u64,
+    /// Requests delivered to this service (accepted or shed).
+    pub requests_received: u64,
+    /// Requests this service issued downstream.
+    pub requests_sent: u64,
+    /// Successful responses returned.
+    pub responses_ok: u64,
+    /// Error responses returned (includes shed and refused).
+    pub responses_err: u64,
+    /// Requests shed because the queue was full.
+    pub queue_dropped: u64,
+}
+
+impl Counters {
+    /// Adds CPU busy time.
+    pub fn add_cpu(&mut self, d: SimDuration) {
+        self.cpu_nanos = self.cpu_nanos.saturating_add(d.as_nanos());
+    }
+
+    /// Records a log message of the given level.
+    pub fn add_log(&mut self, level: crate::LogLevel) {
+        self.logs_total += 1;
+        match level {
+            crate::LogLevel::Error => self.logs_error += 1,
+            crate::LogLevel::Info => self.logs_info += 1,
+        }
+    }
+
+    /// Cumulative CPU busy time in (fractional) seconds.
+    pub fn cpu_seconds(&self) -> f64 {
+        self.cpu_nanos as f64 / 1e9
+    }
+
+    /// Field-by-field difference `self − earlier` (both monotonic).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` is not component-wise ≤ `self`.
+    pub fn delta_since(&self, earlier: &Counters) -> Counters {
+        debug_assert!(self.cpu_nanos >= earlier.cpu_nanos);
+        Counters {
+            cpu_nanos: self.cpu_nanos - earlier.cpu_nanos,
+            rx_packets: self.rx_packets - earlier.rx_packets,
+            tx_packets: self.tx_packets - earlier.tx_packets,
+            logs_total: self.logs_total - earlier.logs_total,
+            logs_error: self.logs_error - earlier.logs_error,
+            logs_info: self.logs_info - earlier.logs_info,
+            requests_received: self.requests_received - earlier.requests_received,
+            requests_sent: self.requests_sent - earlier.requests_sent,
+            responses_ok: self.responses_ok - earlier.responses_ok,
+            responses_err: self.responses_err - earlier.responses_err,
+            queue_dropped: self.queue_dropped - earlier.queue_dropped,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LogLevel;
+
+    #[test]
+    fn log_accounting_splits_by_level() {
+        let mut c = Counters::default();
+        c.add_log(LogLevel::Info);
+        c.add_log(LogLevel::Error);
+        c.add_log(LogLevel::Error);
+        assert_eq!(c.logs_total, 3);
+        assert_eq!(c.logs_info, 1);
+        assert_eq!(c.logs_error, 2);
+    }
+
+    #[test]
+    fn cpu_accumulates_and_converts() {
+        let mut c = Counters::default();
+        c.add_cpu(SimDuration::from_millis(1500));
+        c.add_cpu(SimDuration::from_millis(500));
+        assert_eq!(c.cpu_nanos, 2_000_000_000);
+        assert!((c.cpu_seconds() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_subtracts_fieldwise() {
+        let mut early = Counters::default();
+        early.rx_packets = 10;
+        early.logs_total = 3;
+        let mut late = early;
+        late.rx_packets = 25;
+        late.logs_total = 4;
+        late.requests_received = 7;
+        let d = late.delta_since(&early);
+        assert_eq!(d.rx_packets, 15);
+        assert_eq!(d.logs_total, 1);
+        assert_eq!(d.requests_received, 7);
+        assert_eq!(d.tx_packets, 0);
+    }
+}

@@ -1,0 +1,308 @@
+//! Background poll-loop daemons — CausalBench's node F and Robot-shop's
+//! dispatch worker.
+//!
+//! A daemon is a client thread living inside a host service: it polls a KV
+//! counter with `fetch_sub`, performs per-item work (CPU attributed to the
+//! host), optionally calls a downstream service per item, and writes the
+//! progress/idle log messages described in §V-B(e) of the paper. This is the
+//! machinery that creates *omission faults*: when the producer of the
+//! counter dies, the daemon's downstream callee silently stops receiving
+//! requests even though nothing on that path failed.
+
+use crate::cluster::{Cluster, Completion, Response};
+use crate::error::BuildError;
+use crate::ids::{LogLevel, RequestId, ServiceId};
+use crate::spec::{ClusterSpec, DaemonSpec, KvAction, ServiceKind};
+use icfl_sim::{DurationDist, EventId, Rng, Sim, SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Back-off before re-polling after a failed store operation (a crashed
+/// Redis connection is retried, with error logs, about once a second).
+const ERROR_BACKOFF: SimDuration = SimDuration::from_secs(1);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Waiting for the `fetch_sub` poll response.
+    AwaitFetch,
+    /// Waiting for the per-item downstream call response.
+    AwaitCall,
+    /// Between activities (sleeping or about to be armed).
+    Sleeping,
+}
+
+/// Runtime state of one daemon.
+pub(crate) struct DaemonRuntime {
+    host: ServiceId,
+    store: ServiceId,
+    counter: String,
+    poll_interval: DurationDist,
+    work_per_item: DurationDist,
+    call_per_item: Option<(ServiceId, usize)>,
+    log_every_items: u64,
+    idle_log_after: SimDuration,
+    items_processed: u64,
+    idle_since: Option<SimTime>,
+    phase: Phase,
+    waiting: Option<(RequestId, EventId)>,
+    rng: Rng,
+}
+
+impl DaemonRuntime {
+    /// Resolves a [`DaemonSpec`]'s names against the cluster being built.
+    pub(crate) fn resolve(
+        spec: &DaemonSpec,
+        name_to_id: &HashMap<String, ServiceId>,
+        endpoint_names: &[HashMap<String, usize>],
+        cluster_spec: &ClusterSpec,
+        rng: Rng,
+    ) -> Result<Self, BuildError> {
+        let lookup = |name: &str| -> Result<ServiceId, BuildError> {
+            name_to_id
+                .get(name)
+                .copied()
+                .ok_or_else(|| BuildError::UnknownService(name.to_owned()))
+        };
+        let host = lookup(&spec.host)?;
+        if cluster_spec.services[host.index()].kind != ServiceKind::Web {
+            return Err(BuildError::DaemonHostNotWeb(spec.host.clone()));
+        }
+        let store = lookup(&spec.store)?;
+        if cluster_spec.services[store.index()].kind != ServiceKind::KvStore {
+            return Err(BuildError::KvTargetNotStore {
+                from: spec.host.clone(),
+                to: spec.store.clone(),
+            });
+        }
+        let call_per_item = match &spec.call_per_item {
+            None => None,
+            Some((svc, ep)) => {
+                let target = lookup(svc)?;
+                if cluster_spec.services[target.index()].kind != ServiceKind::Web {
+                    return Err(BuildError::CallTargetNotWeb {
+                        from: spec.host.clone(),
+                        to: svc.clone(),
+                    });
+                }
+                let ep_idx = *endpoint_names[target.index()].get(ep).ok_or_else(|| {
+                    BuildError::UnknownEndpoint { service: svc.clone(), endpoint: ep.clone() }
+                })?;
+                Some((target, ep_idx))
+            }
+        };
+        if spec.log_every_items == 0 {
+            return Err(BuildError::ZeroLogPeriod(spec.host.clone()));
+        }
+        Ok(DaemonRuntime {
+            host,
+            store,
+            counter: spec.counter.clone(),
+            poll_interval: spec.poll_interval,
+            work_per_item: spec.work_per_item,
+            call_per_item,
+            log_every_items: spec.log_every_items,
+            idle_log_after: spec.idle_log_after,
+            items_processed: 0,
+            idle_since: None,
+            phase: Phase::Sleeping,
+            waiting: None,
+            rng,
+        })
+    }
+
+    /// Schedules the daemon's first poll.
+    pub(crate) fn arm(sim: &mut Sim<Cluster>, idx: usize) {
+        sim.schedule_now(move |sim, cl: &mut Cluster| {
+            DaemonRuntime::poll(sim, cl, idx);
+        });
+    }
+
+    /// Issues the `fetch_sub` poll against the work counter.
+    fn poll(sim: &mut Sim<Cluster>, cl: &mut Cluster, idx: usize) {
+        let (store, host, counter) = {
+            let d = &cl.daemons[idx];
+            (d.store, d.host, d.counter.clone())
+        };
+        cl.daemons[idx].phase = Phase::AwaitFetch;
+        let req = Cluster::submit_kv(
+            sim,
+            cl,
+            store,
+            KvAction::FetchSub { key: counter },
+            Completion::Daemon { daemon: idx },
+            Some(host),
+        );
+        DaemonRuntime::arm_watchdog(sim, cl, idx, req);
+    }
+
+    /// Arms a client-side timeout so a lost response cannot stall the loop.
+    fn arm_watchdog(sim: &mut Sim<Cluster>, cl: &mut Cluster, idx: usize, req: RequestId) {
+        let timeout = SimDuration::from_secs(5);
+        let ev = sim.schedule_after(timeout, move |sim, cl: &mut Cluster| {
+            let stalled = cl.daemons[idx]
+                .waiting
+                .map(|(r, _)| r == req)
+                .unwrap_or(false);
+            if stalled {
+                cl.daemons[idx].waiting = None;
+                DaemonRuntime::on_failure(sim, cl, idx);
+            }
+        });
+        cl.daemons[idx].waiting = Some((req, ev));
+    }
+
+    /// Entry point for responses addressed to this daemon.
+    pub(crate) fn on_response(sim: &mut Sim<Cluster>, cl: &mut Cluster, idx: usize, resp: Response) {
+        match cl.daemons[idx].waiting {
+            Some((req, ev)) if req == resp.request => {
+                sim.cancel(ev);
+                cl.daemons[idx].waiting = None;
+            }
+            _ => return, // stale response after a watchdog fired
+        }
+        // The daemon's host sees the response packet.
+        let host = cl.daemons[idx].host;
+        cl.services[host.index()].counters.rx_packets += 1;
+
+        let phase = cl.daemons[idx].phase;
+        match phase {
+            Phase::AwaitFetch => {
+                if resp.status.is_error() {
+                    DaemonRuntime::on_failure(sim, cl, idx);
+                } else if resp.value > 0 {
+                    DaemonRuntime::process_item(sim, cl, idx);
+                } else {
+                    DaemonRuntime::on_empty(sim, cl, idx);
+                }
+            }
+            Phase::AwaitCall => {
+                if resp.status.is_error() {
+                    // The per-item call failed; log and move on — the item
+                    // was already consumed.
+                    let host = cl.daemons[idx].host;
+                    let now = sim.now();
+                    cl.log(host, now, LogLevel::Error, "error: per-item downstream call failed");
+                }
+                DaemonRuntime::item_done(sim, cl, idx);
+            }
+            Phase::Sleeping => {}
+        }
+    }
+
+    /// A store operation failed (e.g. the store is unavailable): log an
+    /// error at the host and retry after a back-off.
+    fn on_failure(sim: &mut Sim<Cluster>, cl: &mut Cluster, idx: usize) {
+        let host = cl.daemons[idx].host;
+        let now = sim.now();
+        cl.log(host, now, LogLevel::Error, "error: connection to work store failed");
+        cl.daemons[idx].phase = Phase::Sleeping;
+        sim.schedule_after(ERROR_BACKOFF, move |sim, cl: &mut Cluster| {
+            DaemonRuntime::poll(sim, cl, idx);
+        });
+    }
+
+    /// The counter had an item: burn per-item CPU, then optionally call the
+    /// downstream service.
+    fn process_item(sim: &mut Sim<Cluster>, cl: &mut Cluster, idx: usize) {
+        {
+            let d = &mut cl.daemons[idx];
+            d.idle_since = None;
+        }
+        let host = cl.daemons[idx].host;
+        let work = {
+            let d = &mut cl.daemons[idx];
+            d.work_per_item.sample(&mut d.rng)
+        };
+        cl.services[host.index()].counters.add_cpu(work);
+        sim.schedule_after(work, move |sim, cl: &mut Cluster| {
+            let call = cl.daemons[idx].call_per_item;
+            match call {
+                Some((target, endpoint)) => {
+                    cl.daemons[idx].phase = Phase::AwaitCall;
+                    let host = cl.daemons[idx].host;
+                    let req = Cluster::submit_handler(
+                        sim,
+                        cl,
+                        target,
+                        endpoint,
+                        Completion::Daemon { daemon: idx },
+                        Some(host),
+                    );
+                    DaemonRuntime::arm_watchdog(sim, cl, idx, req);
+                }
+                None => DaemonRuntime::item_done(sim, cl, idx),
+            }
+        });
+    }
+
+    /// Bookkeeping after one item is fully processed.
+    fn item_done(sim: &mut Sim<Cluster>, cl: &mut Cluster, idx: usize) {
+        let log_now = {
+            let d = &mut cl.daemons[idx];
+            d.items_processed += 1;
+            d.items_processed % d.log_every_items == 0
+        };
+        if log_now {
+            let (host, every) = {
+                let d = &cl.daemons[idx];
+                (d.host, d.log_every_items)
+            };
+            let now = sim.now();
+            let message = format!("finished processing {every} items");
+            cl.log(host, now, LogLevel::Info, &message);
+        }
+        // Items may be queued up: poll again immediately.
+        sim.schedule_now(move |sim, cl: &mut Cluster| {
+            DaemonRuntime::poll(sim, cl, idx);
+        });
+    }
+
+    /// The counter was empty: emit the periodic idle log and sleep.
+    fn on_empty(sim: &mut Sim<Cluster>, cl: &mut Cluster, idx: usize) {
+        let now = sim.now();
+        let (should_log, host) = {
+            let d = &mut cl.daemons[idx];
+            let since = *d.idle_since.get_or_insert(now);
+            let idle_for = now.saturating_since(since);
+            if idle_for >= d.idle_log_after {
+                d.idle_since = Some(now); // restart the idle timer per log
+                (true, d.host)
+            } else {
+                (false, d.host)
+            }
+        };
+        if should_log {
+            let now = sim.now();
+            cl.log(host, now, LogLevel::Info, "no items to process for more than 30 seconds");
+        }
+        let delay = {
+            let d = &mut cl.daemons[idx];
+            d.poll_interval.sample(&mut d.rng)
+        };
+        cl.daemons[idx].phase = Phase::Sleeping;
+        sim.schedule_after(delay, move |sim, cl: &mut Cluster| {
+            DaemonRuntime::poll(sim, cl, idx);
+        });
+    }
+
+    /// Items processed so far (for tests).
+    pub(crate) fn items_processed(&self) -> u64 {
+        self.items_processed
+    }
+}
+
+/// Public read-only view of daemon progress, exposed on [`Cluster`].
+impl Cluster {
+    /// Total items processed by daemon `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn daemon_items_processed(&self, idx: usize) -> u64 {
+        self.daemons[idx].items_processed()
+    }
+
+    /// Number of daemons configured.
+    pub fn num_daemons(&self) -> usize {
+        self.daemons.len()
+    }
+}

@@ -1,0 +1,89 @@
+//! Validation errors raised when building a [`Cluster`](crate::Cluster)
+//! from a [`ClusterSpec`](crate::ClusterSpec).
+
+use core::fmt;
+
+/// A cross-reference or configuration error in a cluster spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// Two services share a name.
+    DuplicateService(String),
+    /// A step or daemon references a service that does not exist.
+    UnknownService(String),
+    /// A call references an endpoint that does not exist on its target.
+    UnknownEndpoint {
+        /// Target service.
+        service: String,
+        /// Missing endpoint.
+        endpoint: String,
+    },
+    /// A `Call` step targets a KV store.
+    CallTargetNotWeb {
+        /// Calling service.
+        from: String,
+        /// Target service.
+        to: String,
+    },
+    /// A `Kv` step targets a web service.
+    KvTargetNotStore {
+        /// Calling service.
+        from: String,
+        /// Target service.
+        to: String,
+    },
+    /// A KV store declared user endpoints.
+    KvStoreWithEndpoints(String),
+    /// A service was configured with zero workers.
+    ZeroConcurrency(String),
+    /// A `LogEveryN` step with `n == 0`.
+    ZeroLogPeriod(String),
+    /// A daemon's host must be a web service.
+    DaemonHostNotWeb(String),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::DuplicateService(n) => write!(f, "duplicate service name: {n}"),
+            BuildError::UnknownService(n) => write!(f, "unknown service: {n}"),
+            BuildError::UnknownEndpoint { service, endpoint } => {
+                write!(f, "service {service} has no endpoint {endpoint}")
+            }
+            BuildError::CallTargetNotWeb { from, to } => {
+                write!(f, "{from} calls {to}, which is not a web service")
+            }
+            BuildError::KvTargetNotStore { from, to } => {
+                write!(f, "{from} uses {to} as a KV store, but it is not one")
+            }
+            BuildError::KvStoreWithEndpoints(n) => {
+                write!(f, "KV store {n} must not declare endpoints")
+            }
+            BuildError::ZeroConcurrency(n) => write!(f, "service {n} has zero workers"),
+            BuildError::ZeroLogPeriod(n) => write!(f, "service {n} has a LogEveryN with n=0"),
+            BuildError::DaemonHostNotWeb(n) => {
+                write!(f, "daemon host {n} is not a web service")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_offender() {
+        assert!(BuildError::DuplicateService("a".into()).to_string().contains('a'));
+        assert!(BuildError::UnknownService("ghost".into()).to_string().contains("ghost"));
+        let e = BuildError::UnknownEndpoint { service: "b".into(), endpoint: "/x".into() };
+        assert!(e.to_string().contains("/x"));
+    }
+
+    #[test]
+    fn usable_as_error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(BuildError::ZeroConcurrency("a".into()));
+        assert!(e.to_string().contains("zero"));
+    }
+}

@@ -1,0 +1,75 @@
+//! Fault semantics understood by the cluster runtime.
+//!
+//! The *injection platform* (campaign scheduling, experiment windows) lives
+//! in `icfl-faults`; this module defines only how an active fault changes a
+//! service's behavior, because the cluster engine must interpret it.
+
+use icfl_sim::DurationDist;
+use serde::{Deserialize, Serialize};
+
+/// A fault that can be active on a service.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The paper's `http-service-unavailable` fault: the Kubernetes service
+    /// port points nowhere, so connections are refused *fast*. The container
+    /// keeps running (idle CPU continues) but receives no traffic.
+    ServiceUnavailable,
+    /// Each delivered request is delayed by a sampled extra latency before
+    /// processing (network or GC stall).
+    ExtraLatency(DurationDist),
+    /// Each delivered request independently fails with an internal error
+    /// with this probability, after being accepted.
+    ErrorRate(f64),
+    /// Each packet in either direction is independently dropped with this
+    /// probability; a dropped request or response surfaces as a caller
+    /// timeout.
+    PacketLoss(f64),
+    /// Handler compute times are multiplied by this factor (CPU contention
+    /// from a noisy neighbour).
+    CpuStress(f64),
+}
+
+impl FaultKind {
+    /// Short stable identifier used in traces and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::ServiceUnavailable => "service-unavailable",
+            FaultKind::ExtraLatency(_) => "extra-latency",
+            FaultKind::ErrorRate(_) => "error-rate",
+            FaultKind::PacketLoss(_) => "packet-loss",
+            FaultKind::CpuStress(_) => "cpu-stress",
+        }
+    }
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icfl_sim::SimDuration;
+
+    #[test]
+    fn labels_are_distinct() {
+        let faults = [
+            FaultKind::ServiceUnavailable,
+            FaultKind::ExtraLatency(DurationDist::constant(SimDuration::from_millis(10))),
+            FaultKind::ErrorRate(0.5),
+            FaultKind::PacketLoss(0.1),
+            FaultKind::CpuStress(2.0),
+        ];
+        let mut labels: Vec<&str> = faults.iter().map(|f| f.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), faults.len());
+    }
+
+    #[test]
+    fn display_matches_label() {
+        assert_eq!(FaultKind::ServiceUnavailable.to_string(), "service-unavailable");
+    }
+}

@@ -1,0 +1,146 @@
+//! Identifier newtypes shared across the cluster model.
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// Index of a service within a [`Cluster`](crate::Cluster).
+///
+/// Stable for the lifetime of the cluster; assigned in the order services
+/// were added to the [`ClusterSpec`](crate::ClusterSpec).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ServiceId(pub(crate) usize);
+
+impl ServiceId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Constructs a `ServiceId` from a raw index.
+    ///
+    /// Intended for tests and for deserializing persisted models; callers
+    /// must ensure the index is valid for the target cluster.
+    pub fn from_index(index: usize) -> Self {
+        ServiceId(index)
+    }
+}
+
+impl fmt::Display for ServiceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "svc#{}", self.0)
+    }
+}
+
+/// Identifier of an in-flight request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RequestId(pub(crate) u64);
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "req#{}", self.0)
+    }
+}
+
+/// Severity of a log message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum LogLevel {
+    /// Informational message (e.g. CausalBench node E's "I am okay!").
+    Info,
+    /// Error message (e.g. a failed downstream call).
+    Error,
+}
+
+impl fmt::Display for LogLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogLevel::Info => write!(f, "INFO"),
+            LogLevel::Error => write!(f, "ERROR"),
+        }
+    }
+}
+
+/// Response status of a simulated HTTP-ish request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Status {
+    /// 200 — success.
+    Ok,
+    /// 500 — an error propagated from a downstream failure or handler bug.
+    InternalError,
+    /// 503 (connection refused) — the target service is unavailable.
+    ServiceUnavailable,
+    /// 503 (queue full) — the target shed the request.
+    Overloaded,
+    /// 504 — the caller's timeout fired first.
+    Timeout,
+}
+
+impl Status {
+    /// True for any non-2xx outcome.
+    pub fn is_error(self) -> bool {
+        self != Status::Ok
+    }
+
+    /// The HTTP status code this maps to.
+    pub fn code(self) -> u16 {
+        match self {
+            Status::Ok => 200,
+            Status::InternalError => 500,
+            Status::ServiceUnavailable | Status::Overloaded => 503,
+            Status::Timeout => 504,
+        }
+    }
+}
+
+impl fmt::Display for Status {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Status::Ok => write!(f, "200 OK"),
+            Status::InternalError => write!(f, "500 Internal Error"),
+            Status::ServiceUnavailable => write!(f, "503 Service Unavailable"),
+            Status::Overloaded => write!(f, "503 Overloaded"),
+            Status::Timeout => write!(f, "504 Timeout"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_error_classification() {
+        assert!(!Status::Ok.is_error());
+        for s in [
+            Status::InternalError,
+            Status::ServiceUnavailable,
+            Status::Overloaded,
+            Status::Timeout,
+        ] {
+            assert!(s.is_error(), "{s}");
+        }
+    }
+
+    #[test]
+    fn status_codes() {
+        assert_eq!(Status::Ok.code(), 200);
+        assert_eq!(Status::InternalError.code(), 500);
+        assert_eq!(Status::ServiceUnavailable.code(), 503);
+        assert_eq!(Status::Overloaded.code(), 503);
+        assert_eq!(Status::Timeout.code(), 504);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ServiceId(3).to_string(), "svc#3");
+        assert_eq!(RequestId(9).to_string(), "req#9");
+        assert_eq!(LogLevel::Error.to_string(), "ERROR");
+        assert!(Status::Timeout.to_string().contains("504"));
+    }
+
+    #[test]
+    fn service_id_roundtrip() {
+        assert_eq!(ServiceId::from_index(5).index(), 5);
+    }
+}

@@ -1,0 +1,751 @@
+//! # icfl-micro — a discrete-event microservice cluster simulator
+//!
+//! The substrate standing in for the paper's Kubernetes testbed (see
+//! `DESIGN.md`): services with worker pools and FIFO queues, endpoint
+//! handlers expressed as small step programs, a Redis-like KV store,
+//! background poll-loop daemons, synchronous call trees with timeouts, and
+//! per-service telemetry counters matching the cAdvisor metrics the paper
+//! scrapes (`cpu_user_seconds`, `rx/tx packets`, console logs).
+//!
+//! Fault semantics (service-unavailable, latency, error-rate, packet-loss,
+//! CPU-stress) are interpreted here; *campaigns* over faults live in
+//! `icfl-faults`.
+//!
+//! # Examples
+//!
+//! ```
+//! use icfl_micro::{Cluster, ClusterSpec, ServiceSpec, steps, Status};
+//! use icfl_sim::{Sim, SimTime};
+//!
+//! // A → B chain with one compute step each.
+//! let spec = ClusterSpec::new("chain")
+//!     .service(ServiceSpec::web("a").endpoint("/", vec![
+//!         steps::compute_ms(1),
+//!         steps::call("b", "/"),
+//!     ]))
+//!     .service(ServiceSpec::web("b").endpoint("/", vec![steps::compute_ms(2)]));
+//!
+//! let mut cluster = Cluster::build(&spec, 1)?;
+//! let mut sim = Sim::new(1);
+//! Cluster::start(&mut sim, &mut cluster);
+//!
+//! let a = cluster.service_id("a").unwrap();
+//! Cluster::submit(&mut sim, &mut cluster, a, "/", |_, _, resp| {
+//!     assert_eq!(resp.status, Status::Ok);
+//! });
+//! sim.run_until(SimTime::from_secs(1), &mut cluster);
+//!
+//! let b = cluster.service_id("b").unwrap();
+//! assert_eq!(cluster.counters(b).requests_received, 1);
+//! # Ok::<(), icfl_micro::BuildError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod autoscaler;
+mod cluster;
+mod counters;
+mod daemon;
+mod error;
+mod fault;
+mod ids;
+mod logs;
+mod spec;
+mod tracing;
+
+pub use cluster::{Cluster, Completion, ExternalCallback, Response};
+pub use autoscaler::AutoscalerSpec;
+pub use counters::Counters;
+pub use error::BuildError;
+pub use fault::FaultKind;
+pub use ids::{LogLevel, RequestId, ServiceId, Status};
+pub use logs::{LogBuffer, LogRecord};
+pub use tracing::{Span, TraceHandle};
+pub use spec::{
+    steps, ClusterSpec, DaemonSpec, EndpointSpec, ErrorPolicy, KvAction, ServiceKind, ServiceSpec,
+    Step,
+};
+
+#[cfg(test)]
+mod engine_tests {
+    use super::*;
+    use icfl_sim::{DurationDist, Sim, SimDuration, SimTime};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// A → B → C chain, CausalBench pattern-1 style.
+    fn chain_spec() -> ClusterSpec {
+        ClusterSpec::new("chain")
+            .service(ServiceSpec::web("a").endpoint(
+                "/",
+                vec![steps::compute_ms(1), steps::call("b", "/")],
+            ))
+            .service(ServiceSpec::web("b").endpoint(
+                "/",
+                vec![steps::compute_ms(1), steps::call("c", "/")],
+            ))
+            .service(ServiceSpec::web("c").endpoint("/", vec![steps::compute_ms(1)]))
+    }
+
+    fn run_one(
+        spec: &ClusterSpec,
+        entry: &str,
+        endpoint: &str,
+        horizon_s: u64,
+        configure: impl FnOnce(&mut Cluster),
+    ) -> (Cluster, Status) {
+        let mut cluster = Cluster::build(spec, 11).unwrap();
+        configure(&mut cluster);
+        let mut sim = Sim::new(11);
+        Cluster::start(&mut sim, &mut cluster);
+        let id = cluster.service_id(entry).unwrap();
+        let status = Rc::new(RefCell::new(None));
+        let status2 = Rc::clone(&status);
+        Cluster::submit(&mut sim, &mut cluster, id, endpoint, move |_, _, resp| {
+            *status2.borrow_mut() = Some(resp.status);
+        });
+        sim.run_until(SimTime::from_secs(horizon_s), &mut cluster);
+        let s = status.borrow().expect("request completed");
+        (cluster, s)
+    }
+
+    #[test]
+    fn healthy_chain_succeeds_and_counts() {
+        let (cl, status) = run_one(&chain_spec(), "a", "/", 2, |_| {});
+        assert_eq!(status, Status::Ok);
+        for name in ["a", "b", "c"] {
+            let id = cl.service_id(name).unwrap();
+            let c = cl.counters(id);
+            assert_eq!(c.requests_received, 1, "{name}");
+            assert_eq!(c.responses_ok, 1, "{name}");
+            assert_eq!(c.responses_err, 0, "{name}");
+            assert_eq!(c.logs_total, 0, "{name}");
+            assert!(c.cpu_nanos > 0, "{name}");
+        }
+        // a and b each sent one downstream call.
+        assert_eq!(cl.counters(cl.service_id("a").unwrap()).requests_sent, 1);
+        assert_eq!(cl.counters(cl.service_id("b").unwrap()).requests_sent, 1);
+        assert_eq!(cl.counters(cl.service_id("c").unwrap()).requests_sent, 0);
+    }
+
+    #[test]
+    fn unavailable_middle_service_propagates_errors_backward() {
+        let (cl, status) = run_one(&chain_spec(), "a", "/", 2, |cl| {
+            let b = cl.service_id("b").unwrap();
+            cl.set_fault(b, Some(FaultKind::ServiceUnavailable));
+        });
+        // The user sees an internal error propagated from a.
+        assert_eq!(status, Status::InternalError);
+        let a = cl.service_id("a").unwrap();
+        let b = cl.service_id("b").unwrap();
+        let c = cl.service_id("c").unwrap();
+        // a logged the failed call (response-path error propagation, §III-A).
+        assert_eq!(cl.counters(a).logs_error, 1);
+        // b never received the request (connection refused at the "port").
+        assert_eq!(cl.counters(b).requests_received, 0);
+        assert_eq!(cl.counters(b).logs_total, 0);
+        // c sees nothing — the omission effect.
+        assert_eq!(cl.counters(c).requests_received, 0);
+    }
+
+    #[test]
+    fn unavailable_fault_fails_fast() {
+        // Connection-refused must resolve in ~1 ms, not the 5 s timeout —
+        // this fail-fast behavior drives the Fig. 2 queueing confounder.
+        let spec = chain_spec();
+        let mut cluster = Cluster::build(&spec, 3).unwrap();
+        let b = cluster.service_id("b").unwrap();
+        cluster.set_fault(b, Some(FaultKind::ServiceUnavailable));
+        let mut sim = Sim::new(3);
+        Cluster::start(&mut sim, &mut cluster);
+        let a = cluster.service_id("a").unwrap();
+        let done_at = Rc::new(RefCell::new(None));
+        let done2 = Rc::clone(&done_at);
+        Cluster::submit(&mut sim, &mut cluster, a, "/", move |sim, _, _| {
+            *done2.borrow_mut() = Some(sim.now());
+        });
+        sim.run_until(SimTime::from_secs(10), &mut cluster);
+        let t = done_at.borrow().expect("completed");
+        assert!(
+            t < SimTime::ZERO + SimDuration::from_millis(100),
+            "took {t}, expected fail-fast"
+        );
+    }
+
+    #[test]
+    fn silent_error_policy_suppresses_logs() {
+        let spec = ClusterSpec::new("silent")
+            .service(ServiceSpec::web("a").endpoint(
+                "/",
+                vec![steps::call_with_policy("b", "/", ErrorPolicy::PropagateSilently)],
+            ))
+            .service(ServiceSpec::web("b").endpoint("/", vec![steps::compute_ms(1)]));
+        let (cl, status) = run_one(&spec, "a", "/", 2, |cl| {
+            let b = cl.service_id("b").unwrap();
+            cl.set_fault(b, Some(FaultKind::ServiceUnavailable));
+        });
+        assert_eq!(status, Status::InternalError);
+        assert_eq!(cl.counters(cl.service_id("a").unwrap()).logs_total, 0);
+    }
+
+    #[test]
+    fn log_and_continue_swallows_failures() {
+        let spec = ClusterSpec::new("resilient")
+            .service(ServiceSpec::web("a").endpoint(
+                "/",
+                vec![
+                    steps::call_with_policy("b", "/", ErrorPolicy::LogAndContinue),
+                    steps::compute_ms(1),
+                ],
+            ))
+            .service(ServiceSpec::web("b").endpoint("/", vec![steps::compute_ms(1)]));
+        let (cl, status) = run_one(&spec, "a", "/", 2, |cl| {
+            let b = cl.service_id("b").unwrap();
+            cl.set_fault(b, Some(FaultKind::ServiceUnavailable));
+        });
+        assert_eq!(status, Status::Ok);
+        assert_eq!(cl.counters(cl.service_id("a").unwrap()).logs_error, 1);
+    }
+
+    #[test]
+    fn error_rate_fault_fails_fraction_of_requests() {
+        let spec = ClusterSpec::new("flaky")
+            .service(ServiceSpec::web("a").with_concurrency(64).endpoint(
+                "/",
+                vec![steps::compute_ms(1)],
+            ));
+        let mut cluster = Cluster::build(&spec, 5).unwrap();
+        let a = cluster.service_id("a").unwrap();
+        cluster.set_fault(a, Some(FaultKind::ErrorRate(0.5)));
+        let mut sim = Sim::new(5);
+        Cluster::start(&mut sim, &mut cluster);
+        let errors = Rc::new(RefCell::new(0u32));
+        for i in 0..200 {
+            let errors2 = Rc::clone(&errors);
+            let at = SimTime::ZERO + SimDuration::from_millis(10 * i);
+            sim.schedule_at(at, move |sim, cl: &mut Cluster| {
+                let a = cl.service_id("a").unwrap();
+                let errors3 = Rc::clone(&errors2);
+                Cluster::submit(sim, cl, a, "/", move |_, _, resp| {
+                    if resp.status.is_error() {
+                        *errors3.borrow_mut() += 1;
+                    }
+                });
+            });
+        }
+        sim.run_until(SimTime::from_secs(30), &mut cluster);
+        let e = *errors.borrow();
+        assert!((60..=140).contains(&e), "errors={e}");
+        // Failed handlers logged errors at the faulty service itself.
+        assert_eq!(cluster.counters(a).logs_error as u32, e);
+    }
+
+    #[test]
+    fn extra_latency_fault_delays_completion() {
+        let spec = chain_spec();
+        let mut cluster = Cluster::build(&spec, 9).unwrap();
+        let b = cluster.service_id("b").unwrap();
+        cluster.set_fault(
+            b,
+            Some(FaultKind::ExtraLatency(DurationDist::constant(
+                SimDuration::from_millis(500),
+            ))),
+        );
+        let mut sim = Sim::new(9);
+        Cluster::start(&mut sim, &mut cluster);
+        let a = cluster.service_id("a").unwrap();
+        let done_at = Rc::new(RefCell::new(None));
+        let done2 = Rc::clone(&done_at);
+        Cluster::submit(&mut sim, &mut cluster, a, "/", move |sim, _, resp| {
+            assert_eq!(resp.status, Status::Ok);
+            *done2.borrow_mut() = Some(sim.now());
+        });
+        sim.run_until(SimTime::from_secs(5), &mut cluster);
+        let t = done_at.borrow().expect("completed");
+        assert!(t >= SimTime::ZERO + SimDuration::from_millis(500), "t={t}");
+    }
+
+    #[test]
+    fn packet_loss_one_surfaces_as_timeout() {
+        let spec = chain_spec();
+        let mut cluster = Cluster::build(&spec, 13).unwrap();
+        let b = cluster.service_id("b").unwrap();
+        cluster.set_fault(b, Some(FaultKind::PacketLoss(1.0)));
+        let mut sim = Sim::new(13);
+        Cluster::start(&mut sim, &mut cluster);
+        let a = cluster.service_id("a").unwrap();
+        let got = Rc::new(RefCell::new(None));
+        let got2 = Rc::clone(&got);
+        Cluster::submit(&mut sim, &mut cluster, a, "/", move |_, _, resp| {
+            *got2.borrow_mut() = Some(resp.status);
+        });
+        sim.run_until(SimTime::from_secs(30), &mut cluster);
+        assert_eq!(got.borrow().unwrap(), Status::Timeout);
+        // a logged the timeout as a failed call.
+        assert_eq!(cluster.counters(a).logs_error, 1);
+    }
+
+    #[test]
+    fn cpu_stress_inflates_cpu_counter() {
+        let run = |stress: Option<FaultKind>| {
+            let spec = chain_spec();
+            let mut cluster = Cluster::build(&spec, 21).unwrap();
+            let c_id = cluster.service_id("c").unwrap();
+            cluster.set_fault(c_id, stress);
+            let mut sim = Sim::new(21);
+            Cluster::start(&mut sim, &mut cluster);
+            let a = cluster.service_id("a").unwrap();
+            Cluster::submit(&mut sim, &mut cluster, a, "/", |_, _, _| {});
+            sim.run_until(SimTime::from_secs(2), &mut cluster);
+            cluster.counters(c_id).cpu_nanos
+        };
+        let base = run(None);
+        let stressed = run(Some(FaultKind::CpuStress(4.0)));
+        assert!(stressed > base, "base={base} stressed={stressed}");
+    }
+
+    #[test]
+    fn queue_sheds_when_full() {
+        let spec = ClusterSpec::new("tiny")
+            .service(
+                ServiceSpec::web("a")
+                    .with_concurrency(1)
+                    .with_queue_capacity(1)
+                    .endpoint("/", vec![steps::compute_ms(100)]),
+            );
+        let mut cluster = Cluster::build(&spec, 17).unwrap();
+        let mut sim = Sim::new(17);
+        Cluster::start(&mut sim, &mut cluster);
+        let a = cluster.service_id("a").unwrap();
+        let shed = Rc::new(RefCell::new(0u32));
+        for _ in 0..5 {
+            let shed2 = Rc::clone(&shed);
+            Cluster::submit(&mut sim, &mut cluster, a, "/", move |_, _, resp| {
+                if resp.status == Status::Overloaded {
+                    *shed2.borrow_mut() += 1;
+                }
+            });
+        }
+        sim.run_until(SimTime::from_secs(2), &mut cluster);
+        // 1 executing + 1 queued -> 3 shed.
+        assert_eq!(*shed.borrow(), 3);
+        assert_eq!(cluster.counters(a).queue_dropped, 3);
+        assert_eq!(cluster.queue_len(a), 0);
+        assert_eq!(cluster.busy_workers(a), 0);
+    }
+
+    #[test]
+    fn kv_store_counter_semantics() {
+        let spec = ClusterSpec::new("kv")
+            .service(ServiceSpec::web("h").endpoint("/", vec![steps::kv_incr("d", "items")]))
+            .service(ServiceSpec::kv_store("d"));
+        let mut cluster = Cluster::build(&spec, 23).unwrap();
+        let mut sim = Sim::new(23);
+        Cluster::start(&mut sim, &mut cluster);
+        let h = cluster.service_id("h").unwrap();
+        for _ in 0..3 {
+            Cluster::submit(&mut sim, &mut cluster, h, "/", |_, _, resp| {
+                assert_eq!(resp.status, Status::Ok);
+            });
+        }
+        sim.run_until(SimTime::from_secs(1), &mut cluster);
+        let d = cluster.service_id("d").unwrap();
+        assert_eq!(cluster.kv_value(d, "items"), 3);
+        assert_eq!(cluster.counters(d).requests_received, 3);
+    }
+
+    #[test]
+    fn daemon_drains_counter_and_calls_downstream() {
+        let spec = ClusterSpec::new("pattern2")
+            .service(ServiceSpec::web("h").endpoint("/", vec![steps::kv_incr("d", "items")]))
+            .service(ServiceSpec::kv_store("d"))
+            .service(ServiceSpec::web("f"))
+            .service(ServiceSpec::web("g").endpoint("/", vec![steps::compute_ms(1)]))
+            .daemon(DaemonSpec::poll_loop("f", "d", "items").calling("g", "/"));
+        let mut cluster = Cluster::build(&spec, 29).unwrap();
+        let mut sim = Sim::new(29);
+        Cluster::start(&mut sim, &mut cluster);
+        for i in 0..10u64 {
+            let at = SimTime::ZERO + SimDuration::from_millis(50 * i);
+            sim.schedule_at(at, move |sim, cl: &mut Cluster| {
+                let h = cl.service_id("h").unwrap();
+                Cluster::submit(sim, cl, h, "/", |_, _, _| {});
+            });
+        }
+        sim.run_until(SimTime::from_secs(10), &mut cluster);
+        let d = cluster.service_id("d").unwrap();
+        let g = cluster.service_id("g").unwrap();
+        // All items consumed and forwarded to g (the indirect H→G path).
+        assert_eq!(cluster.kv_value(d, "items"), 0);
+        assert_eq!(cluster.counters(g).requests_received, 10);
+        assert_eq!(cluster.daemon_items_processed(0), 10);
+        assert_eq!(cluster.num_daemons(), 1);
+    }
+
+    #[test]
+    fn daemon_logs_errors_when_store_unavailable() {
+        let spec = ClusterSpec::new("daemon-err")
+            .service(ServiceSpec::kv_store("d"))
+            .service(ServiceSpec::web("f"))
+            .daemon(DaemonSpec::poll_loop("f", "d", "items"));
+        let mut cluster = Cluster::build(&spec, 31).unwrap();
+        let d = cluster.service_id("d").unwrap();
+        cluster.set_fault(d, Some(FaultKind::ServiceUnavailable));
+        let mut sim = Sim::new(31);
+        Cluster::start(&mut sim, &mut cluster);
+        sim.run_until(SimTime::from_secs(10), &mut cluster);
+        let f = cluster.service_id("f").unwrap();
+        // ~1 error per second of back-off.
+        let errs = cluster.counters(f).logs_error;
+        assert!((8..=12).contains(&errs), "errs={errs}");
+    }
+
+    #[test]
+    fn daemon_idle_logs_fire_periodically() {
+        let spec = ClusterSpec::new("daemon-idle")
+            .service(ServiceSpec::kv_store("d"))
+            .service(ServiceSpec::web("f"))
+            .daemon(DaemonSpec::poll_loop("f", "d", "items"));
+        let mut cluster = Cluster::build(&spec, 37).unwrap();
+        let mut sim = Sim::new(37);
+        Cluster::start(&mut sim, &mut cluster);
+        sim.run_until(SimTime::from_secs(125), &mut cluster);
+        let f = cluster.service_id("f").unwrap();
+        // Idle log every ~30 s → about 4 in 125 s.
+        let infos = cluster.counters(f).logs_info;
+        assert!((3..=5).contains(&infos), "infos={infos}");
+    }
+
+    #[test]
+    fn log_every_n_fires_on_schedule() {
+        let spec = ClusterSpec::new("log100")
+            .service(ServiceSpec::web("e").with_concurrency(32).endpoint(
+                "/",
+                vec![steps::log_every_n(100, "I am okay!")],
+            ));
+        let mut cluster = Cluster::build(&spec, 41).unwrap();
+        let mut sim = Sim::new(41);
+        Cluster::start(&mut sim, &mut cluster);
+        let e = cluster.service_id("e").unwrap();
+        for i in 0..250u64 {
+            let at = SimTime::ZERO + SimDuration::from_millis(i);
+            sim.schedule_at(at, move |sim, cl: &mut Cluster| {
+                let e = cl.service_id("e").unwrap();
+                Cluster::submit(sim, cl, e, "/", |_, _, _| {});
+            });
+        }
+        sim.run_until(SimTime::from_secs(5), &mut cluster);
+        assert_eq!(cluster.counters(e).logs_info, 2); // at 100 and 200
+    }
+
+    #[test]
+    fn idle_cpu_accrues_without_traffic() {
+        let spec = ClusterSpec::new("idle").service(ServiceSpec::web("a"));
+        let mut cluster = Cluster::build(&spec, 43).unwrap();
+        let mut sim = Sim::new(43);
+        Cluster::start(&mut sim, &mut cluster);
+        sim.run_until(SimTime::from_secs(60), &mut cluster);
+        let a = cluster.service_id("a").unwrap();
+        let cpu = cluster.counters(a).cpu_nanos;
+        // 60 ticks × 500 µs.
+        assert_eq!(cpu, 60 * 500_000);
+    }
+
+    #[test]
+    fn determinism_across_identical_runs() {
+        let run = |seed: u64| {
+            let spec = chain_spec();
+            let mut cluster = Cluster::build(&spec, seed).unwrap();
+            let mut sim = Sim::new(seed);
+            Cluster::start(&mut sim, &mut cluster);
+            for i in 0..50u64 {
+                let at = SimTime::ZERO + SimDuration::from_millis(20 * i);
+                sim.schedule_at(at, move |sim, cl: &mut Cluster| {
+                    let a = cl.service_id("a").unwrap();
+                    Cluster::submit(sim, cl, a, "/", |_, _, _| {});
+                });
+            }
+            sim.run_until(SimTime::from_secs(5), &mut cluster);
+            let c = cluster.service_id("c").unwrap();
+            cluster.counters(c)
+        };
+        assert_eq!(run(99), run(99));
+    }
+
+    #[test]
+    fn build_rejects_bad_specs() {
+        // Duplicate name.
+        let dup = ClusterSpec::new("x")
+            .service(ServiceSpec::web("a"))
+            .service(ServiceSpec::web("a"));
+        assert_eq!(
+            Cluster::build(&dup, 0).unwrap_err(),
+            BuildError::DuplicateService("a".into())
+        );
+        // Unknown call target.
+        let dangling = ClusterSpec::new("x")
+            .service(ServiceSpec::web("a").endpoint("/", vec![steps::call("ghost", "/")]));
+        assert_eq!(
+            Cluster::build(&dangling, 0).unwrap_err(),
+            BuildError::UnknownService("ghost".into())
+        );
+        // Unknown endpoint.
+        let bad_ep = ClusterSpec::new("x")
+            .service(ServiceSpec::web("a").endpoint("/", vec![steps::call("b", "/missing")]))
+            .service(ServiceSpec::web("b").endpoint("/", vec![]));
+        assert!(matches!(
+            Cluster::build(&bad_ep, 0).unwrap_err(),
+            BuildError::UnknownEndpoint { .. }
+        ));
+        // Call into a KV store.
+        let call_kv = ClusterSpec::new("x")
+            .service(ServiceSpec::web("a").endpoint("/", vec![steps::call("d", "/")]))
+            .service(ServiceSpec::kv_store("d"));
+        assert!(matches!(
+            Cluster::build(&call_kv, 0).unwrap_err(),
+            BuildError::CallTargetNotWeb { .. }
+        ));
+        // Kv step into a web service.
+        let kv_web = ClusterSpec::new("x")
+            .service(ServiceSpec::web("a").endpoint("/", vec![steps::kv_incr("b", "k")]))
+            .service(ServiceSpec::web("b"));
+        assert!(matches!(
+            Cluster::build(&kv_web, 0).unwrap_err(),
+            BuildError::KvTargetNotStore { .. }
+        ));
+        // Zero workers.
+        let zero = ClusterSpec::new("x").service(ServiceSpec::web("a").with_concurrency(0));
+        assert!(matches!(
+            Cluster::build(&zero, 0).unwrap_err(),
+            BuildError::ZeroConcurrency(_)
+        ));
+    }
+
+    #[test]
+    fn fail_step_returns_internal_error_and_logs() {
+        let spec = ClusterSpec::new("buggy")
+            .service(ServiceSpec::web("a").endpoint("/", vec![Step::Fail]));
+        let (cl, status) = run_one(&spec, "a", "/", 1, |_| {});
+        assert_eq!(status, Status::InternalError);
+        assert_eq!(cl.counters(cl.service_id("a").unwrap()).logs_error, 1);
+    }
+
+    #[test]
+    fn log_records_capture_messages() {
+        let spec = ClusterSpec::new("msgs")
+            .service(ServiceSpec::web("a").endpoint(
+                "/",
+                vec![steps::log_info("hello world"), steps::compute_ms(1)],
+            ));
+        let mut cluster = Cluster::build(&spec, 61).unwrap();
+        let mut sim = Sim::new(61);
+        Cluster::start(&mut sim, &mut cluster);
+        let a = cluster.service_id("a").unwrap();
+        for _ in 0..3 {
+            Cluster::submit(&mut sim, &mut cluster, a, "/", |_, _, _| {});
+        }
+        sim.run_until(SimTime::from_secs(1), &mut cluster);
+        let logs = cluster.recent_logs(a, 10);
+        assert_eq!(logs.len(), 3);
+        assert!(logs.iter().all(|r| r.message == "hello world"));
+        assert!(logs.iter().all(|r| r.level == LogLevel::Info));
+        assert!(logs.windows(2).all(|w| w[0].time <= w[1].time));
+    }
+
+    #[test]
+    fn error_logs_carry_status_context() {
+        let (cl, _) = run_one(&chain_spec(), "a", "/", 2, |cl| {
+            let b = cl.service_id("b").unwrap();
+            cl.set_fault(b, Some(FaultKind::ServiceUnavailable));
+        });
+        let a = cl.service_id("a").unwrap();
+        let logs = cl.recent_logs(a, 10);
+        assert_eq!(logs.len(), 1);
+        assert!(
+            logs[0].message.contains("503"),
+            "error log should name the downstream status: {}",
+            logs[0].message
+        );
+        assert_eq!(logs[0].level, LogLevel::Error);
+    }
+
+    #[test]
+    fn autoscaler_grows_under_pressure_and_shrinks_when_idle() {
+        let spec = ClusterSpec::new("scaled")
+            .service(
+                ServiceSpec::web("a")
+                    .with_concurrency(1)
+                    .endpoint("/", vec![steps::compute_ms(50)]),
+            )
+            .autoscaler(AutoscalerSpec {
+                service: "a".into(),
+                check_interval: SimDuration::from_secs(1),
+                scale_up_queue: 4,
+                scale_down_queue: 0,
+                min_workers: 1,
+                max_workers: 8,
+                step: 1,
+            });
+        let mut cluster = Cluster::build(&spec, 71).unwrap();
+        let mut sim = Sim::new(71);
+        Cluster::start(&mut sim, &mut cluster);
+        let a = cluster.service_id("a").unwrap();
+        assert_eq!(cluster.current_concurrency(a), 1);
+        // Burst: 40 req/s against a 20 req/s single worker → queue builds.
+        for i in 0..1200u64 {
+            let at = SimTime::ZERO + SimDuration::from_millis(25 * i);
+            sim.schedule_at(at, move |sim, cl: &mut Cluster| {
+                let a = cl.service_id("a").unwrap();
+                Cluster::submit(sim, cl, a, "/", |_, _, _| {});
+            });
+        }
+        sim.run_until(SimTime::from_secs(30), &mut cluster);
+        let peak = cluster.current_concurrency(a);
+        assert!(peak >= 2, "should have scaled up, at {peak}");
+        let (ups, _) = cluster.autoscaler_actions(0);
+        assert!(ups >= 1);
+        // Load ends; the pool shrinks back to the minimum.
+        sim.run_until(SimTime::from_secs(120), &mut cluster);
+        assert_eq!(cluster.current_concurrency(a), 1);
+        let (_, downs) = cluster.autoscaler_actions(0);
+        assert!(downs >= 1);
+    }
+
+    #[test]
+    fn scale_up_admits_queued_requests_immediately() {
+        let spec = ClusterSpec::new("manual")
+            .service(
+                ServiceSpec::web("a")
+                    .with_concurrency(1)
+                    .endpoint("/", vec![steps::compute_ms(1000)]),
+            );
+        let mut cluster = Cluster::build(&spec, 73).unwrap();
+        let mut sim = Sim::new(73);
+        Cluster::start(&mut sim, &mut cluster);
+        let a = cluster.service_id("a").unwrap();
+        for _ in 0..4 {
+            Cluster::submit(&mut sim, &mut cluster, a, "/", |_, _, _| {});
+        }
+        sim.run_until(SimTime::ZERO + SimDuration::from_millis(100), &mut cluster);
+        assert_eq!(cluster.busy_workers(a), 1);
+        assert_eq!(cluster.queue_len(a), 3);
+        Cluster::set_concurrency(&mut sim, &mut cluster, a, 4);
+        sim.run_until(SimTime::ZERO + SimDuration::from_millis(200), &mut cluster);
+        assert_eq!(cluster.busy_workers(a), 4);
+        assert_eq!(cluster.queue_len(a), 0);
+    }
+
+    #[test]
+    fn unknown_autoscaler_target_rejected() {
+        let spec = ClusterSpec::new("bad")
+            .service(ServiceSpec::web("a"))
+            .autoscaler(AutoscalerSpec::hpa("ghost", 1, 4));
+        assert_eq!(
+            Cluster::build(&spec, 0).unwrap_err(),
+            BuildError::UnknownService("ghost".into())
+        );
+    }
+
+    #[test]
+    fn tracing_records_call_trees() {
+        let spec = chain_spec();
+        let mut cluster = Cluster::build(&spec, 81).unwrap();
+        let traces = cluster.enable_tracing();
+        let mut sim = Sim::new(81);
+        Cluster::start(&mut sim, &mut cluster);
+        let a = cluster.service_id("a").unwrap();
+        let root = Cluster::submit(&mut sim, &mut cluster, a, "/", |_, _, _| {});
+        sim.run_until(SimTime::from_secs(2), &mut cluster);
+        // a → b → c: three spans in one tree, children end first.
+        assert_eq!(traces.len(), 3);
+        let tree = traces.trace_of(root);
+        assert_eq!(tree.len(), 3);
+        assert!(tree.iter().all(|s| s.status == Status::Ok));
+        assert!(tree.windows(2).all(|w| w[0].end <= w[1].end));
+        assert!(tree.iter().all(|s| s.duration() > SimDuration::ZERO));
+        // Root span has no parent; exactly one span per service.
+        assert_eq!(tree.iter().filter(|s| s.parent.is_none()).count(), 1);
+        assert_eq!(traces.services_seen().len(), 3);
+    }
+
+    #[test]
+    fn tracing_cannot_see_omission_faults() {
+        // The paper's §I motivation, demonstrated: with a fault on H, the
+        // traces show errors on the A→H path but contain NO evidence that
+        // G stopped receiving work — the omission is invisible to tracing,
+        // while the request-count metrics (and hence Algorithm 1) see it.
+        let spec = ClusterSpec::new("omission")
+            .service(ServiceSpec::web("h").endpoint("/", vec![steps::kv_incr("d", "items")]))
+            .service(ServiceSpec::kv_store("d"))
+            .service(ServiceSpec::web("f"))
+            .service(ServiceSpec::web("g").endpoint("/", vec![steps::compute_ms(1)]))
+            .daemon(DaemonSpec::poll_loop("f", "d", "items").calling("g", "/"));
+        let run = |fault_h: bool| {
+            let mut cluster = Cluster::build(&spec, 83).unwrap();
+            if fault_h {
+                let h = cluster.service_id("h").unwrap();
+                cluster.set_fault(h, Some(FaultKind::ServiceUnavailable));
+            }
+            let traces = cluster.enable_tracing();
+            let mut sim = Sim::new(83);
+            Cluster::start(&mut sim, &mut cluster);
+            for i in 0..20u64 {
+                let at = SimTime::ZERO + SimDuration::from_millis(100 * i);
+                sim.schedule_at(at, |sim, cl: &mut Cluster| {
+                    let h = cl.service_id("h").unwrap();
+                    Cluster::submit(sim, cl, h, "/", |_, _, _| {});
+                });
+            }
+            sim.run_until(SimTime::from_secs(30), &mut cluster);
+            (cluster, traces)
+        };
+        let (healthy_cl, healthy) = run(false);
+        let (faulty_cl, faulty) = run(true);
+
+        let g_healthy = healthy_cl.service_id("g").unwrap();
+        let g_faulty = faulty_cl.service_id("g").unwrap();
+        // Healthy: G appears in traces (daemon calls are traced requests).
+        assert!(healthy.services_seen().contains(&g_healthy));
+        // Faulty: every span is an error on the refused H path, and G is
+        // simply ABSENT — no span, no error, nothing to alert on.
+        assert!(!faulty.error_spans().is_empty());
+        assert!(!faulty.services_seen().contains(&g_faulty));
+        // Yet the metric view sees the starvation plainly.
+        assert!(healthy_cl.counters(g_healthy).requests_received > 0);
+        assert_eq!(faulty_cl.counters(g_faulty).requests_received, 0);
+    }
+
+    #[test]
+    fn enable_tracing_is_idempotent() {
+        let spec = chain_spec();
+        let mut cluster = Cluster::build(&spec, 85).unwrap();
+        let t1 = cluster.enable_tracing();
+        let t2 = cluster.enable_tracing();
+        let mut sim = Sim::new(85);
+        Cluster::start(&mut sim, &mut cluster);
+        let a = cluster.service_id("a").unwrap();
+        Cluster::submit(&mut sim, &mut cluster, a, "/", |_, _, _| {});
+        sim.run_until(SimTime::from_secs(1), &mut cluster);
+        assert_eq!(t1.len(), t2.len());
+        assert_eq!(t1.len(), 3);
+    }
+
+    #[test]
+    fn clearing_fault_restores_service() {
+        let spec = chain_spec();
+        let mut cluster = Cluster::build(&spec, 47).unwrap();
+        let b = cluster.service_id("b").unwrap();
+        cluster.set_fault(b, Some(FaultKind::ServiceUnavailable));
+        assert!(cluster.fault(b).is_some());
+        cluster.set_fault(b, None);
+        assert!(cluster.fault(b).is_none());
+        let mut sim = Sim::new(47);
+        Cluster::start(&mut sim, &mut cluster);
+        let a = cluster.service_id("a").unwrap();
+        Cluster::submit(&mut sim, &mut cluster, a, "/", |_, _, resp| {
+            assert_eq!(resp.status, Status::Ok);
+        });
+        sim.run_until(SimTime::from_secs(1), &mut cluster);
+    }
+}

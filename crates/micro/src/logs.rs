@@ -1,0 +1,135 @@
+//! Console log records — the message stream `kubectl logs` would show.
+//!
+//! Counters in [`Counters`](crate::Counters) carry the *rates* the learning
+//! algorithms consume; this module keeps the bounded ring of recent raw
+//! messages per service so operators (and examples/tests) can inspect what
+//! was actually written, as the paper's platform does when collecting
+//! container logs.
+
+use crate::ids::LogLevel;
+use icfl_sim::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// One console log line.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogRecord {
+    /// When the line was written.
+    pub time: SimTime,
+    /// Severity.
+    pub level: LogLevel,
+    /// Message text (template instances like `"I am okay!"`).
+    pub message: String,
+}
+
+/// A bounded ring buffer of recent log records.
+#[derive(Debug, Clone, Default)]
+pub struct LogBuffer {
+    records: VecDeque<LogRecord>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl LogBuffer {
+    /// Default retention per service.
+    pub const DEFAULT_CAPACITY: usize = 1024;
+
+    /// Creates a buffer retaining up to `capacity` records.
+    pub fn with_capacity(capacity: usize) -> LogBuffer {
+        LogBuffer { records: VecDeque::new(), capacity, dropped: 0 }
+    }
+
+    /// Appends a record, evicting the oldest if full.
+    pub fn push(&mut self, record: LogRecord) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(record);
+    }
+
+    /// The retained records, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &LogRecord> {
+        self.records.iter()
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records evicted (or rejected) so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The most recent `n` records, oldest first.
+    pub fn tail(&self, n: usize) -> Vec<LogRecord> {
+        let skip = self.records.len().saturating_sub(n);
+        self.records.iter().skip(skip).cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(t: u64, msg: &str) -> LogRecord {
+        LogRecord {
+            time: SimTime::from_secs(t),
+            level: LogLevel::Info,
+            message: msg.to_owned(),
+        }
+    }
+
+    #[test]
+    fn push_and_tail() {
+        let mut b = LogBuffer::with_capacity(10);
+        for i in 0..5 {
+            b.push(rec(i, &format!("m{i}")));
+        }
+        assert_eq!(b.len(), 5);
+        let tail = b.tail(2);
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].message, "m3");
+        assert_eq!(tail[1].message, "m4");
+        assert_eq!(b.dropped(), 0);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn eviction_keeps_newest() {
+        let mut b = LogBuffer::with_capacity(3);
+        for i in 0..7 {
+            b.push(rec(i, &format!("m{i}")));
+        }
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.dropped(), 4);
+        let msgs: Vec<&str> = b.iter().map(|r| r.message.as_str()).collect();
+        assert_eq!(msgs, vec!["m4", "m5", "m6"]);
+    }
+
+    #[test]
+    fn zero_capacity_drops_everything() {
+        let mut b = LogBuffer::with_capacity(0);
+        b.push(rec(0, "x"));
+        assert!(b.is_empty());
+        assert_eq!(b.dropped(), 1);
+    }
+
+    #[test]
+    fn tail_larger_than_len_returns_all() {
+        let mut b = LogBuffer::with_capacity(10);
+        b.push(rec(1, "only"));
+        assert_eq!(b.tail(100).len(), 1);
+    }
+}

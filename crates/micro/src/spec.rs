@@ -1,0 +1,438 @@
+//! Declarative cluster specification — the builder DSL used by `icfl-apps`
+//! to describe CausalBench, Robot-shop and the Fig. 1/Fig. 2 topologies.
+//!
+//! A [`ClusterSpec`] lists services by name; endpoint handlers are small
+//! step programs ([`Step`]). [`ClusterSpec::build`] validates all
+//! cross-references and produces a runnable [`Cluster`](crate::Cluster).
+
+use crate::ids::LogLevel;
+use icfl_sim::{DurationDist, SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// What kind of process a service models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ServiceKind {
+    /// A request/response web service executing step programs.
+    #[default]
+    Web,
+    /// A key-value store (Redis/queue-like). Exposes built-in `incr`,
+    /// `fetch_sub`, `get` operations instead of user-defined endpoints.
+    KvStore,
+}
+
+/// How a handler reacts when a downstream call fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ErrorPolicy {
+    /// Write an error log and return an error to the caller (an unhandled
+    /// exception bubbling up — the common case, and what makes errors
+    /// propagate along the response path as in §III-A of the paper).
+    #[default]
+    LogAndPropagate,
+    /// Return an error without logging — models the §III-B scenario of a
+    /// developer who does not write error logs.
+    PropagateSilently,
+    /// Write an error log but swallow the failure and keep executing.
+    LogAndContinue,
+    /// Swallow the failure silently.
+    Ignore,
+}
+
+impl ErrorPolicy {
+    /// Whether a failure under this policy emits an error log.
+    pub fn logs(self) -> bool {
+        matches!(self, ErrorPolicy::LogAndPropagate | ErrorPolicy::LogAndContinue)
+    }
+
+    /// Whether a failure under this policy aborts the handler.
+    pub fn propagates(self) -> bool {
+        matches!(self, ErrorPolicy::LogAndPropagate | ErrorPolicy::PropagateSilently)
+    }
+}
+
+/// A key-value operation against a [`ServiceKind::KvStore`] service.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KvAction {
+    /// Increment `key` by one; responds with the new value.
+    Incr {
+        /// Counter name.
+        key: String,
+    },
+    /// If `key > 0`, decrement it; responds with the value *before* the
+    /// decrement (0 means "nothing to take").
+    FetchSub {
+        /// Counter name.
+        key: String,
+    },
+    /// Read `key` (0 if absent).
+    Get {
+        /// Counter name.
+        key: String,
+    },
+}
+
+impl KvAction {
+    /// The counter this action touches.
+    pub fn key(&self) -> &str {
+        match self {
+            KvAction::Incr { key } | KvAction::FetchSub { key } | KvAction::Get { key } => key,
+        }
+    }
+}
+
+/// One step of an endpoint handler program.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Step {
+    /// Occupy the worker for a sampled duration, accruing CPU time
+    /// (CausalBench services "execute small compute tasks").
+    Compute {
+        /// Distribution of the busy time.
+        time: DurationDist,
+    },
+    /// Synchronously call another service's endpoint.
+    Call {
+        /// Target service name.
+        service: String,
+        /// Target endpoint name.
+        endpoint: String,
+        /// Reaction to a failed call.
+        on_error: ErrorPolicy,
+    },
+    /// Synchronously perform a KV operation against a store service.
+    Kv {
+        /// Target store name (must be a [`ServiceKind::KvStore`]).
+        store: String,
+        /// The operation.
+        action: KvAction,
+        /// Reaction to a failed operation.
+        on_error: ErrorPolicy,
+    },
+    /// Write a log message on every invocation.
+    Log {
+        /// Severity.
+        level: LogLevel,
+        /// Message template.
+        message: String,
+    },
+    /// Write a log message on every `n`-th invocation of this step
+    /// (CausalBench node E logs "I am okay!" every hundredth request).
+    LogEveryN {
+        /// Period in invocations.
+        n: u64,
+        /// Severity.
+        level: LogLevel,
+        /// Message template.
+        message: String,
+    },
+    /// Unconditionally fail with an internal error (for tests and for
+    /// modeling buggy handlers).
+    Fail,
+}
+
+/// An endpoint of a web service: a named handler program.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EndpointSpec {
+    /// Endpoint name (e.g. `"path_bce"` or `"/"`).
+    pub name: String,
+    /// The handler program, executed in order.
+    pub steps: Vec<Step>,
+}
+
+impl EndpointSpec {
+    /// Creates an endpoint with the given handler program.
+    pub fn new(name: impl Into<String>, steps: Vec<Step>) -> Self {
+        EndpointSpec { name: name.into(), steps }
+    }
+}
+
+/// Declarative description of one service.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceSpec {
+    /// Unique service name.
+    pub name: String,
+    /// Web service or KV store.
+    pub kind: ServiceKind,
+    /// Number of concurrent worker slots (container threads).
+    pub concurrency: usize,
+    /// Pending-request queue capacity; requests beyond it are shed with
+    /// [`Status::Overloaded`](crate::Status::Overloaded).
+    pub queue_capacity: usize,
+    /// Endpoints (web services only).
+    pub endpoints: Vec<EndpointSpec>,
+    /// Service time of built-in KV operations (KV stores only).
+    pub kv_op_time: DurationDist,
+    /// Idle (background) CPU accrued per wall-clock second even with no
+    /// traffic — the container runtime's baseline.
+    pub idle_cpu_per_sec: SimDuration,
+}
+
+impl ServiceSpec {
+    /// A web service with sensible defaults (4 workers, queue of 512).
+    pub fn web(name: impl Into<String>) -> Self {
+        ServiceSpec {
+            name: name.into(),
+            kind: ServiceKind::Web,
+            concurrency: 4,
+            queue_capacity: 512,
+            endpoints: Vec::new(),
+            kv_op_time: DurationDist::constant(SimDuration::from_micros(200)),
+            idle_cpu_per_sec: SimDuration::from_micros(500),
+        }
+    }
+
+    /// A KV store (single-threaded, fast ops) — models Redis/RabbitMQ.
+    pub fn kv_store(name: impl Into<String>) -> Self {
+        ServiceSpec {
+            name: name.into(),
+            kind: ServiceKind::KvStore,
+            concurrency: 1,
+            queue_capacity: 4096,
+            endpoints: Vec::new(),
+            kv_op_time: DurationDist::constant(SimDuration::from_micros(200)),
+            idle_cpu_per_sec: SimDuration::from_micros(500),
+        }
+    }
+
+    /// Adds an endpoint, returning `self` for chaining.
+    pub fn endpoint(mut self, name: impl Into<String>, steps: Vec<Step>) -> Self {
+        self.endpoints.push(EndpointSpec::new(name, steps));
+        self
+    }
+
+    /// Overrides the worker count.
+    pub fn with_concurrency(mut self, workers: usize) -> Self {
+        self.concurrency = workers;
+        self
+    }
+
+    /// Overrides the queue capacity.
+    pub fn with_queue_capacity(mut self, cap: usize) -> Self {
+        self.queue_capacity = cap;
+        self
+    }
+}
+
+/// Specification of a background poll-loop daemon (CausalBench node F, the
+/// Robot-shop dispatch worker): an infinite loop that polls a KV counter,
+/// processes items one at a time, and optionally calls a downstream service
+/// per item.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DaemonSpec {
+    /// The service hosting the loop (its CPU/logs are attributed here).
+    pub host: String,
+    /// The KV store holding the work counter.
+    pub store: String,
+    /// The counter key to poll (`items` for CausalBench F).
+    pub counter: String,
+    /// Sleep between polls when the counter is empty.
+    pub poll_interval: DurationDist,
+    /// Compute time per processed item.
+    pub work_per_item: DurationDist,
+    /// Optional `(service, endpoint)` called once per processed item
+    /// (F calls G's `/`).
+    pub call_per_item: Option<(String, String)>,
+    /// Write an info log after every this many processed items (paper: 100).
+    pub log_every_items: u64,
+    /// Write an info log after this much continuous idleness (paper: 30 s).
+    pub idle_log_after: SimDuration,
+}
+
+impl DaemonSpec {
+    /// A daemon with the paper's CausalBench-F defaults.
+    pub fn poll_loop(
+        host: impl Into<String>,
+        store: impl Into<String>,
+        counter: impl Into<String>,
+    ) -> Self {
+        DaemonSpec {
+            host: host.into(),
+            store: store.into(),
+            counter: counter.into(),
+            poll_interval: DurationDist::constant(SimDuration::from_millis(100)),
+            work_per_item: DurationDist::constant(SimDuration::from_millis(2)),
+            call_per_item: None,
+            log_every_items: 100,
+            idle_log_after: SimDuration::from_secs(30),
+        }
+    }
+
+    /// Sets the per-item downstream call.
+    pub fn calling(mut self, service: impl Into<String>, endpoint: impl Into<String>) -> Self {
+        self.call_per_item = Some((service.into(), endpoint.into()));
+        self
+    }
+}
+
+/// Top-level cluster specification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Human-readable application name ("causalbench", "robot-shop", ...).
+    pub name: String,
+    /// Services in id order.
+    pub services: Vec<ServiceSpec>,
+    /// Background daemons.
+    pub daemons: Vec<DaemonSpec>,
+    /// Queue-driven autoscalers (latent confounders; see
+    /// [`AutoscalerSpec`](crate::AutoscalerSpec)).
+    #[serde(default)]
+    pub autoscalers: Vec<crate::AutoscalerSpec>,
+    /// One-way network latency between any two services.
+    pub net_latency: DurationDist,
+    /// Latency of a refused connection (fail-fast path for unavailable
+    /// services — what makes queues drain *faster* under the paper's
+    /// service-unavailable fault, producing the Fig. 2 confounder).
+    pub conn_refused_latency: DurationDist,
+    /// Caller-side timeout for downstream calls.
+    pub call_timeout: SimDuration,
+}
+
+impl ClusterSpec {
+    /// Creates an empty spec with datacenter-ish defaults
+    /// (0.5 ms network hop, 1 ms connection-refused, 5 s call timeout).
+    pub fn new(name: impl Into<String>) -> Self {
+        ClusterSpec {
+            name: name.into(),
+            services: Vec::new(),
+            daemons: Vec::new(),
+            autoscalers: Vec::new(),
+            net_latency: DurationDist::constant(SimDuration::from_micros(500)),
+            conn_refused_latency: DurationDist::constant(SimDuration::from_millis(1)),
+            call_timeout: SimDuration::from_secs(5),
+        }
+    }
+
+    /// Adds a service, returning `self` for chaining.
+    pub fn service(mut self, spec: ServiceSpec) -> Self {
+        self.services.push(spec);
+        self
+    }
+
+    /// Adds a daemon, returning `self` for chaining.
+    pub fn daemon(mut self, spec: DaemonSpec) -> Self {
+        self.daemons.push(spec);
+        self
+    }
+
+    /// Adds an autoscaler, returning `self` for chaining.
+    pub fn autoscaler(mut self, spec: crate::AutoscalerSpec) -> Self {
+        self.autoscalers.push(spec);
+        self
+    }
+
+    /// Names of all services, in id order.
+    pub fn service_names(&self) -> Vec<&str> {
+        self.services.iter().map(|s| s.name.as_str()).collect()
+    }
+}
+
+/// Shorthand constructors for [`Step`] programs.
+pub mod steps {
+    use super::*;
+
+    /// A [`Step::Compute`] with constant duration.
+    pub fn compute_ms(ms: u64) -> Step {
+        Step::Compute { time: DurationDist::constant(SimDuration::from_millis(ms)) }
+    }
+
+    /// A [`Step::Compute`] with the given distribution.
+    pub fn compute(time: DurationDist) -> Step {
+        Step::Compute { time }
+    }
+
+    /// A [`Step::Call`] with the default (log-and-propagate) error policy.
+    pub fn call(service: &str, endpoint: &str) -> Step {
+        Step::Call {
+            service: service.to_owned(),
+            endpoint: endpoint.to_owned(),
+            on_error: ErrorPolicy::LogAndPropagate,
+        }
+    }
+
+    /// A [`Step::Call`] with an explicit error policy.
+    pub fn call_with_policy(service: &str, endpoint: &str, on_error: ErrorPolicy) -> Step {
+        Step::Call { service: service.to_owned(), endpoint: endpoint.to_owned(), on_error }
+    }
+
+    /// A KV increment with the default error policy.
+    pub fn kv_incr(store: &str, key: &str) -> Step {
+        Step::Kv {
+            store: store.to_owned(),
+            action: KvAction::Incr { key: key.to_owned() },
+            on_error: ErrorPolicy::LogAndPropagate,
+        }
+    }
+
+    /// An info log every `n` invocations.
+    pub fn log_every_n(n: u64, message: &str) -> Step {
+        Step::LogEveryN { n, level: LogLevel::Info, message: message.to_owned() }
+    }
+
+    /// An unconditional info log.
+    pub fn log_info(message: &str) -> Step {
+        Step::Log { level: LogLevel::Info, message: message.to_owned() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_policy_semantics() {
+        assert!(ErrorPolicy::LogAndPropagate.logs());
+        assert!(ErrorPolicy::LogAndPropagate.propagates());
+        assert!(ErrorPolicy::LogAndContinue.logs());
+        assert!(!ErrorPolicy::LogAndContinue.propagates());
+        assert!(!ErrorPolicy::PropagateSilently.logs());
+        assert!(ErrorPolicy::PropagateSilently.propagates());
+        assert!(!ErrorPolicy::Ignore.logs());
+        assert!(!ErrorPolicy::Ignore.propagates());
+    }
+
+    #[test]
+    fn kv_action_key() {
+        assert_eq!(KvAction::Incr { key: "items".into() }.key(), "items");
+        assert_eq!(KvAction::FetchSub { key: "x".into() }.key(), "x");
+        assert_eq!(KvAction::Get { key: "y".into() }.key(), "y");
+    }
+
+    #[test]
+    fn builder_chains() {
+        let spec = ClusterSpec::new("demo")
+            .service(
+                ServiceSpec::web("a")
+                    .endpoint("/", vec![steps::compute_ms(1), steps::call("b", "/")])
+                    .with_concurrency(8)
+                    .with_queue_capacity(64),
+            )
+            .service(ServiceSpec::web("b").endpoint("/", vec![steps::compute_ms(1)]))
+            .service(ServiceSpec::kv_store("d"))
+            .daemon(DaemonSpec::poll_loop("f", "d", "items").calling("g", "/"));
+        assert_eq!(spec.service_names(), vec!["a", "b", "d"]);
+        assert_eq!(spec.services[0].concurrency, 8);
+        assert_eq!(spec.services[0].queue_capacity, 64);
+        assert_eq!(spec.daemons.len(), 1);
+        assert_eq!(
+            spec.daemons[0].call_per_item,
+            Some(("g".to_owned(), "/".to_owned()))
+        );
+    }
+
+    #[test]
+    fn spec_serde_roundtrip() {
+        let spec = ClusterSpec::new("demo")
+            .service(ServiceSpec::web("a").endpoint("/", vec![steps::log_info("hello")]));
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: ClusterSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let web = ServiceSpec::web("w");
+        assert_eq!(web.kind, ServiceKind::Web);
+        assert_eq!(web.concurrency, 4);
+        let kv = ServiceSpec::kv_store("k");
+        assert_eq!(kv.kind, ServiceKind::KvStore);
+        assert_eq!(kv.concurrency, 1);
+    }
+}

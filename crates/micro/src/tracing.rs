@@ -1,0 +1,170 @@
+//! Distributed request tracing (Dapper/OpenTelemetry-style spans).
+//!
+//! The paper's introduction motivates interventional learning by the limits
+//! of tracing: "tracing itself does not encompass all fault types. For
+//! example, omission faults … require costly manual inspection". This
+//! module provides exactly that substrate so the limitation can be
+//! *demonstrated*: spans record every request that happened — and therefore
+//! say nothing about the requests that silently stopped happening (see
+//! `tracing_cannot_see_omission_faults` in the crate tests).
+
+use crate::ids::{RequestId, ServiceId, Status};
+use icfl_sim::SimTime;
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// One span: a request's occupancy of one service.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Span {
+    /// The request this span belongs to.
+    pub request: RequestId,
+    /// The parent request, if this was a downstream call (`None` for
+    /// user/daemon entry points).
+    pub parent: Option<RequestId>,
+    /// The service that handled (or refused) the request.
+    pub service: ServiceId,
+    /// When the request was issued by its caller.
+    pub start: SimTime,
+    /// When the response was delivered back.
+    pub end: SimTime,
+    /// Final status.
+    pub status: Status,
+}
+
+impl Span {
+    /// Span duration.
+    pub fn duration(&self) -> icfl_sim::SimDuration {
+        self.end.saturating_since(self.start)
+    }
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct TraceStore {
+    pub(crate) spans: Vec<Span>,
+}
+
+/// Handle to the span stream of a cluster with tracing enabled.
+///
+/// Cloning shares the store.
+#[derive(Clone, Debug, Default)]
+pub struct TraceHandle {
+    pub(crate) store: Rc<RefCell<TraceStore>>,
+}
+
+impl TraceHandle {
+    /// All spans recorded so far, in completion order.
+    pub fn spans(&self) -> Vec<Span> {
+        self.store.borrow().spans.clone()
+    }
+
+    /// Number of spans recorded.
+    pub fn len(&self) -> usize {
+        self.store.borrow().spans.len()
+    }
+
+    /// True when no span has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.store.borrow().spans.is_empty()
+    }
+
+    /// Spans belonging to the call tree rooted at `root` (the root span
+    /// plus transitive children), in completion order.
+    pub fn trace_of(&self, root: RequestId) -> Vec<Span> {
+        let spans = self.store.borrow();
+        let mut members = vec![root];
+        // Spans complete children-first, so scan until fixpoint.
+        let mut out: Vec<Span> = Vec::new();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for s in &spans.spans {
+                let in_tree = members.contains(&s.request)
+                    || s.parent.map_or(false, |p| members.contains(&p));
+                if in_tree && !out.iter().any(|o| o.request == s.request) {
+                    if !members.contains(&s.request) {
+                        members.push(s.request);
+                    }
+                    out.push(s.clone());
+                    changed = true;
+                }
+            }
+        }
+        out.sort_by_key(|s| (s.end, s.request));
+        out
+    }
+
+    /// The services that appear in any span — what an APM's service map
+    /// would show for the traced period.
+    pub fn services_seen(&self) -> Vec<ServiceId> {
+        let mut ids: Vec<ServiceId> =
+            self.store.borrow().spans.iter().map(|s| s.service).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Spans with error status.
+    pub fn error_spans(&self) -> Vec<Span> {
+        self.store
+            .borrow()
+            .spans
+            .iter()
+            .filter(|s| s.status.is_error())
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(req: u64, parent: Option<u64>, svc: usize, end_s: u64, status: Status) -> Span {
+        Span {
+            request: crate::ids::RequestId(req),
+            parent: parent.map(crate::ids::RequestId),
+            service: ServiceId::from_index(svc),
+            start: SimTime::from_secs(end_s.saturating_sub(1)),
+            end: SimTime::from_secs(end_s),
+            status,
+        }
+    }
+
+    #[test]
+    fn trace_of_collects_the_call_tree() {
+        let h = TraceHandle::default();
+        {
+            let mut st = h.store.borrow_mut();
+            // Tree: 1 -> 2 -> 3, plus unrelated 9.
+            st.spans.push(span(3, Some(2), 2, 1, Status::Ok));
+            st.spans.push(span(2, Some(1), 1, 2, Status::Ok));
+            st.spans.push(span(1, None, 0, 3, Status::Ok));
+            st.spans.push(span(9, None, 0, 4, Status::Ok));
+        }
+        let t = h.trace_of(crate::ids::RequestId(1));
+        assert_eq!(t.len(), 3);
+        assert!(t.iter().all(|s| s.request.0 != 9));
+        assert_eq!(h.len(), 4);
+        assert!(!h.is_empty());
+    }
+
+    #[test]
+    fn services_seen_dedupes() {
+        let h = TraceHandle::default();
+        {
+            let mut st = h.store.borrow_mut();
+            st.spans.push(span(1, None, 0, 1, Status::Ok));
+            st.spans.push(span(2, None, 0, 2, Status::Ok));
+            st.spans.push(span(3, None, 2, 3, Status::InternalError));
+        }
+        assert_eq!(h.services_seen().len(), 2);
+        assert_eq!(h.error_spans().len(), 1);
+    }
+
+    #[test]
+    fn span_duration() {
+        let s = span(1, None, 0, 5, Status::Ok);
+        assert_eq!(s.duration(), icfl_sim::SimDuration::from_secs(1));
+    }
+}

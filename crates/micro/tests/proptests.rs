@@ -1,0 +1,170 @@
+//! Property-based tests of the cluster engine's conservation laws: every
+//! accepted request is answered exactly once, faults never break counter
+//! monotonicity, and unavailable services stay untouched.
+
+use icfl_micro::{
+    steps, Cluster, ClusterSpec, ErrorPolicy, FaultKind, ServiceSpec, Status,
+};
+use icfl_sim::{Sim, SimDuration, SimTime};
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Builds a linear chain `s0 → s1 → ... → s{depth-1}`.
+fn chain(depth: usize, policy: ErrorPolicy) -> ClusterSpec {
+    let mut spec = ClusterSpec::new("chain");
+    for i in 0..depth {
+        let mut svc = ServiceSpec::web(format!("s{i}")).with_concurrency(4);
+        let steps = if i + 1 < depth {
+            vec![
+                steps::compute_ms(1),
+                steps::call_with_policy(&format!("s{}", i + 1), "/", policy),
+            ]
+        } else {
+            vec![steps::compute_ms(1)]
+        };
+        svc = svc.endpoint("/", steps);
+        spec = spec.service(svc);
+    }
+    spec
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every submitted request gets exactly one response, and per-service
+    /// request accounting balances: received = ok + err once quiescent.
+    #[test]
+    fn request_conservation(
+        depth in 1usize..5,
+        requests in 1usize..30,
+        seed in any::<u64>(),
+        fault_pos in proptest::option::of(0usize..5),
+    ) {
+        let spec = chain(depth, ErrorPolicy::LogAndPropagate);
+        let mut cluster = Cluster::build(&spec, seed).unwrap();
+        if let Some(pos) = fault_pos {
+            if pos < depth {
+                let id = cluster.service_id(&format!("s{pos}")).unwrap();
+                cluster.set_fault(id, Some(FaultKind::ServiceUnavailable));
+            }
+        }
+        let mut sim = Sim::new(seed);
+        Cluster::start(&mut sim, &mut cluster);
+        let responses = Rc::new(RefCell::new(0usize));
+        let entry = cluster.service_id("s0").unwrap();
+        for i in 0..requests {
+            let responses2 = Rc::clone(&responses);
+            let at = SimTime::ZERO + SimDuration::from_millis(5 * i as u64);
+            sim.schedule_at(at, move |sim, cl: &mut Cluster| {
+                let r3 = Rc::clone(&responses2);
+                Cluster::submit(sim, cl, entry, "/", move |_, _, _| {
+                    *r3.borrow_mut() += 1;
+                });
+            });
+        }
+        sim.run_until(SimTime::from_secs(30), &mut cluster);
+
+        // Exactly one response per submission.
+        prop_assert_eq!(*responses.borrow(), requests);
+        // Per-service balance at quiescence.
+        for id in cluster.service_ids() {
+            let c = cluster.counters(id);
+            prop_assert_eq!(
+                c.requests_received,
+                c.responses_ok + c.responses_err,
+                "service {} unbalanced: {:?}", cluster.service_name(id), c
+            );
+            prop_assert_eq!(cluster.queue_len(id), 0);
+            prop_assert_eq!(cluster.busy_workers(id), 0);
+        }
+    }
+
+    /// An unavailable service never receives or processes anything, and
+    /// everything upstream of it errors while downstream starves.
+    #[test]
+    fn unavailability_partitions_the_chain(
+        depth in 2usize..5,
+        seed in any::<u64>(),
+    ) {
+        let fault_pos = depth / 2;
+        let spec = chain(depth, ErrorPolicy::LogAndPropagate);
+        let mut cluster = Cluster::build(&spec, seed).unwrap();
+        let faulty = cluster.service_id(&format!("s{fault_pos}")).unwrap();
+        cluster.set_fault(faulty, Some(FaultKind::ServiceUnavailable));
+        let mut sim = Sim::new(seed);
+        Cluster::start(&mut sim, &mut cluster);
+        let entry = cluster.service_id("s0").unwrap();
+        let status = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..10u64 {
+            let status2 = Rc::clone(&status);
+            sim.schedule_at(
+                SimTime::ZERO + SimDuration::from_millis(10 * i),
+                move |sim, cl: &mut Cluster| {
+                    let s3 = Rc::clone(&status2);
+                    Cluster::submit(sim, cl, entry, "/", move |_, _, resp| {
+                        s3.borrow_mut().push(resp.status);
+                    });
+                },
+            );
+        }
+        sim.run_until(SimTime::from_secs(20), &mut cluster);
+
+        prop_assert_eq!(status.borrow().len(), 10);
+        if fault_pos == 0 {
+            prop_assert!(status.borrow().iter().all(|&s| s == Status::ServiceUnavailable));
+        } else {
+            prop_assert!(status.borrow().iter().all(|&s| s == Status::InternalError));
+        }
+        // The faulty service and everything after it is untouched.
+        for i in fault_pos..depth {
+            let id = cluster.service_id(&format!("s{i}")).unwrap();
+            prop_assert_eq!(cluster.counters(id).requests_received, 0, "s{} touched", i);
+        }
+        // The caller directly before the fault logged one error per request
+        // (LogAndPropagate).
+        if fault_pos > 0 {
+            let id = cluster.service_id(&format!("s{}", fault_pos - 1)).unwrap();
+            prop_assert_eq!(cluster.counters(id).logs_error, 10);
+        }
+    }
+
+    /// Counters are monotonic over time regardless of faults.
+    #[test]
+    fn counters_are_monotonic(
+        seed in any::<u64>(),
+        fault in 0usize..4,
+    ) {
+        let spec = chain(3, ErrorPolicy::LogAndContinue);
+        let mut cluster = Cluster::build(&spec, seed).unwrap();
+        let kind = match fault {
+            0 => None,
+            1 => Some(FaultKind::ErrorRate(0.3)),
+            2 => Some(FaultKind::PacketLoss(0.2)),
+            _ => Some(FaultKind::CpuStress(2.0)),
+        };
+        let target = cluster.service_id("s1").unwrap();
+        cluster.set_fault(target, kind);
+        let mut sim = Sim::new(seed);
+        Cluster::start(&mut sim, &mut cluster);
+        let entry = cluster.service_id("s0").unwrap();
+        for i in 0..20u64 {
+            sim.schedule_at(
+                SimTime::ZERO + SimDuration::from_millis(20 * i),
+                move |sim, cl: &mut Cluster| {
+                    Cluster::submit(sim, cl, entry, "/", |_, _, _| {});
+                },
+            );
+        }
+        let mut prev = vec![icfl_micro::Counters::default(); 3];
+        for step in 1..=10u64 {
+            sim.run_until(SimTime::from_secs(step), &mut cluster);
+            for (i, id) in cluster.service_ids().into_iter().enumerate() {
+                let now = cluster.counters(id);
+                // delta_since debug-asserts monotonicity fieldwise.
+                let _ = now.delta_since(&prev[i]);
+                prev[i] = now;
+            }
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Serializable duration distributions for service times, think times and
+//! network latencies.
+
+use crate::{Rng, SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// A distribution over non-negative durations.
+///
+/// Workload and service-time models are described declaratively with this
+/// type so application specs (see `icfl-apps`) can be serialized, diffed and
+/// embedded in experiment configs.
+///
+/// # Examples
+///
+/// ```
+/// use icfl_sim::{DurationDist, Rng, SimDuration};
+///
+/// let dist = DurationDist::exponential(SimDuration::from_millis(10));
+/// let mut rng = Rng::seeded(1);
+/// let d = dist.sample(&mut rng);
+/// assert!(d >= SimDuration::ZERO);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DurationDist {
+    /// Always the same duration.
+    Constant(SimDuration),
+    /// Uniform between `lo` and `hi` (inclusive of `lo`, exclusive of `hi`).
+    Uniform {
+        /// Lower bound (inclusive).
+        lo: SimDuration,
+        /// Upper bound (exclusive).
+        hi: SimDuration,
+    },
+    /// Exponential with the given mean.
+    Exponential {
+        /// Mean of the distribution.
+        mean: SimDuration,
+    },
+    /// Log-normal given the median and a shape parameter `sigma` of the
+    /// underlying normal. Heavy-tailed; a good fit for service latencies.
+    LogNormal {
+        /// Median (i.e. `exp(mu)` of the underlying normal).
+        median: SimDuration,
+        /// Shape parameter of the underlying normal.
+        sigma: f64,
+    },
+    /// Normal with the given mean and standard deviation, truncated at zero.
+    Normal {
+        /// Mean of the (untruncated) normal.
+        mean: SimDuration,
+        /// Standard deviation of the (untruncated) normal.
+        std: SimDuration,
+    },
+}
+
+impl DurationDist {
+    /// A constant distribution.
+    pub const fn constant(d: SimDuration) -> Self {
+        DurationDist::Constant(d)
+    }
+
+    /// An exponential distribution with mean `mean`.
+    pub const fn exponential(mean: SimDuration) -> Self {
+        DurationDist::Exponential { mean }
+    }
+
+    /// A uniform distribution on `[lo, hi)`.
+    pub const fn uniform(lo: SimDuration, hi: SimDuration) -> Self {
+        DurationDist::Uniform { lo, hi }
+    }
+
+    /// A log-normal distribution with the given median and shape.
+    pub const fn log_normal(median: SimDuration, sigma: f64) -> Self {
+        DurationDist::LogNormal { median, sigma }
+    }
+
+    /// A zero-truncated normal distribution.
+    pub const fn normal(mean: SimDuration, std: SimDuration) -> Self {
+        DurationDist::Normal { mean, std }
+    }
+
+    /// Draws one duration.
+    pub fn sample(&self, rng: &mut Rng) -> SimDuration {
+        match *self {
+            DurationDist::Constant(d) => d,
+            DurationDist::Uniform { lo, hi } => {
+                if hi <= lo {
+                    return lo;
+                }
+                let span = (hi - lo).as_secs_f64();
+                lo + SimDuration::from_secs_f64(rng.uniform_f64() * span)
+            }
+            DurationDist::Exponential { mean } => {
+                SimDuration::from_secs_f64(rng.exponential(mean.as_secs_f64()))
+            }
+            DurationDist::LogNormal { median, sigma } => {
+                let mu = median.as_secs_f64().max(1e-12).ln();
+                SimDuration::from_secs_f64(rng.log_normal(mu, sigma.max(0.0)))
+            }
+            DurationDist::Normal { mean, std } => {
+                let x = mean.as_secs_f64() + std.as_secs_f64() * rng.standard_normal();
+                SimDuration::from_secs_f64(x)
+            }
+        }
+    }
+
+    /// The distribution's mean, analytically.
+    pub fn mean(&self) -> SimDuration {
+        match *self {
+            DurationDist::Constant(d) => d,
+            DurationDist::Uniform { lo, hi } => {
+                if hi <= lo {
+                    lo
+                } else {
+                    lo + (hi - lo) / 2
+                }
+            }
+            DurationDist::Exponential { mean } => mean,
+            DurationDist::LogNormal { median, sigma } => {
+                SimDuration::from_secs_f64(median.as_secs_f64() * (sigma * sigma / 2.0).exp())
+            }
+            DurationDist::Normal { mean, .. } => mean,
+        }
+    }
+
+    /// Returns a copy with the time scale multiplied by `factor`.
+    ///
+    /// Useful for load-scaling experiments (e.g. shrinking think times).
+    pub fn scaled(&self, factor: f64) -> Self {
+        match *self {
+            DurationDist::Constant(d) => DurationDist::Constant(d.mul_f64(factor)),
+            DurationDist::Uniform { lo, hi } => DurationDist::Uniform {
+                lo: lo.mul_f64(factor),
+                hi: hi.mul_f64(factor),
+            },
+            DurationDist::Exponential { mean } => DurationDist::Exponential {
+                mean: mean.mul_f64(factor),
+            },
+            DurationDist::LogNormal { median, sigma } => DurationDist::LogNormal {
+                median: median.mul_f64(factor),
+                sigma,
+            },
+            DurationDist::Normal { mean, std } => DurationDist::Normal {
+                mean: mean.mul_f64(factor),
+                std: std.mul_f64(factor),
+            },
+        }
+    }
+}
+
+impl Default for DurationDist {
+    fn default() -> Self {
+        DurationDist::Constant(SimDuration::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empirical_mean(dist: DurationDist, seed: u64, n: usize) -> f64 {
+        let mut rng = Rng::seeded(seed);
+        (0..n).map(|_| dist.sample(&mut rng).as_secs_f64()).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let d = DurationDist::constant(SimDuration::from_millis(5));
+        let mut rng = Rng::seeded(1);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), SimDuration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn uniform_within_bounds_and_mean() {
+        let lo = SimDuration::from_millis(10);
+        let hi = SimDuration::from_millis(30);
+        let d = DurationDist::uniform(lo, hi);
+        let mut rng = Rng::seeded(2);
+        for _ in 0..1_000 {
+            let x = d.sample(&mut rng);
+            assert!(x >= lo && x < hi);
+        }
+        let m = empirical_mean(d, 3, 50_000);
+        assert!((m - 0.020).abs() < 0.0005, "m={m}");
+        assert_eq!(d.mean(), SimDuration::from_millis(20));
+    }
+
+    #[test]
+    fn uniform_degenerate_range() {
+        let d = DurationDist::uniform(SimDuration::from_millis(5), SimDuration::from_millis(5));
+        let mut rng = Rng::seeded(4);
+        assert_eq!(d.sample(&mut rng), SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn exponential_empirical_mean() {
+        let d = DurationDist::exponential(SimDuration::from_millis(8));
+        let m = empirical_mean(d, 5, 50_000);
+        assert!((m - 0.008).abs() < 0.0005, "m={m}");
+    }
+
+    #[test]
+    fn log_normal_mean_formula() {
+        let d = DurationDist::log_normal(SimDuration::from_millis(10), 0.5);
+        let analytic = d.mean().as_secs_f64();
+        let m = empirical_mean(d, 6, 100_000);
+        assert!((m - analytic).abs() / analytic < 0.05, "m={m} analytic={analytic}");
+    }
+
+    #[test]
+    fn normal_truncates_at_zero() {
+        let d = DurationDist::normal(SimDuration::from_millis(1), SimDuration::from_millis(10));
+        let mut rng = Rng::seeded(7);
+        for _ in 0..1_000 {
+            assert!(d.sample(&mut rng) >= SimDuration::ZERO);
+        }
+    }
+
+    #[test]
+    fn scaled_scales_mean() {
+        let d = DurationDist::exponential(SimDuration::from_millis(10)).scaled(0.25);
+        assert_eq!(d.mean(), SimDuration::from_micros(2_500));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let d = DurationDist::log_normal(SimDuration::from_millis(7), 0.3);
+        let json = serde_json::to_string(&d).unwrap();
+        let back: DurationDist = serde_json::from_str(&json).unwrap();
+        assert_eq!(d, back);
+    }
+}

@@ -1,0 +1,418 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! The kernel hand-rolls a PCG-64 (XSL-RR 128/64) generator rather than
+//! depending on the `rand` crate so that simulation streams are stable across
+//! dependency upgrades — a bit-identical rerun for a given seed is part of the
+//! crate contract (see `DESIGN.md`).
+//!
+//! Streams are derived *by name* through [`Rng::fork`]: each component of the
+//! simulation (a service, a user, the fault campaign) forks its own named
+//! stream from the root seed, so adding or removing one component never
+//! perturbs the draws seen by the others.
+
+use serde::{Deserialize, Serialize};
+
+/// The default PCG 128-bit multiplier.
+const PCG_MUL: u128 = 0x2360_ed05_1fc6_5da4_4385_df64_9fcc_f645;
+
+/// SplitMix64 — used to expand a `u64` seed into PCG state material.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a hash of a byte string; used to derive named sub-streams.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A deterministic PCG-64 pseudo-random number generator.
+///
+/// # Examples
+///
+/// ```
+/// use icfl_sim::Rng;
+///
+/// let mut a = Rng::seeded(42);
+/// let mut b = Rng::seeded(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+///
+/// // Named forks are independent, reproducible streams.
+/// let mut svc = Rng::seeded(42).fork("service/A");
+/// let x = svc.uniform_f64();
+/// assert!((0.0..1.0).contains(&x));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Rng {
+    state: u128,
+    inc: u128,
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seeded(seed: u64) -> Self {
+        let mut sm = seed;
+        let hi = splitmix64(&mut sm) as u128;
+        let lo = splitmix64(&mut sm) as u128;
+        let inc_hi = splitmix64(&mut sm) as u128;
+        let inc_lo = splitmix64(&mut sm) as u128;
+        let mut rng = Rng {
+            state: (hi << 64) | lo,
+            // The increment must be odd.
+            inc: ((inc_hi << 64) | inc_lo) | 1,
+        };
+        // Decorrelate nearby seeds.
+        rng.next_u64();
+        rng.next_u64();
+        rng
+    }
+
+    /// Derives an independent, reproducible sub-stream identified by `name`.
+    ///
+    /// Forking the same name from generators with identical history yields
+    /// identical streams; different names yield decorrelated streams.
+    pub fn fork(&self, name: &str) -> Rng {
+        // Combine our identity (not our mutable position) with the name so the
+        // fork is stable no matter how many draws the parent has made... but
+        // tie it to the *seed lineage* via `inc`, which is constant per-parent.
+        let tag = fnv1a(name.as_bytes());
+        let mixed = (self.inc as u64) ^ (self.inc >> 64) as u64 ^ tag;
+        Rng::seeded(mixed)
+    }
+
+    /// Next raw 64-bit output (PCG XSL-RR 128/64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_mul(PCG_MUL).wrapping_add(self.inc);
+        let rot = (self.state >> 122) as u32;
+        let xored = ((self.state >> 64) as u64) ^ (self.state as u64);
+        xored.rotate_right(rot)
+    }
+
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
+    pub fn uniform_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is meaningless");
+        // Lemire's unbiased multiply-shift rejection method.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (n as u128);
+        let mut l = m as u64;
+        if l < n {
+            let t = n.wrapping_neg() % n;
+            while l < t {
+                x = self.next_u64();
+                m = (x as u128) * (n as u128);
+                l = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform integer in `[lo, hi]` inclusive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range");
+        if lo == hi {
+            return lo;
+        }
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0,1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.uniform_f64() < p
+        }
+    }
+
+    /// Picks an index according to non-negative `weights`.
+    ///
+    /// Returns `None` when `weights` is empty or sums to zero.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> Option<usize> {
+        let total: f64 = weights.iter().filter(|w| w.is_finite() && **w > 0.0).sum();
+        if total <= 0.0 {
+            return None;
+        }
+        let mut target = self.uniform_f64() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            if !(w.is_finite() && w > 0.0) {
+                continue;
+            }
+            if target < w {
+                return Some(i);
+            }
+            target -= w;
+        }
+        // Floating-point slack: return the last positive-weight index.
+        weights.iter().rposition(|w| w.is_finite() && *w > 0.0)
+    }
+
+    /// Standard normal draw (Marsaglia polar method, one value per call).
+    pub fn standard_normal(&mut self) -> f64 {
+        loop {
+            let u = 2.0 * self.uniform_f64() - 1.0;
+            let v = 2.0 * self.uniform_f64() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                return u * (-2.0 * s.ln() / s).sqrt();
+            }
+        }
+    }
+
+    /// Exponential draw with the given mean (rate `1/mean`).
+    ///
+    /// A non-positive mean yields `0.0`.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        if mean <= 0.0 {
+            return 0.0;
+        }
+        // 1 - U is in (0, 1], so ln is finite.
+        -mean * (1.0 - self.uniform_f64()).ln()
+    }
+
+    /// Poisson draw with the given rate `lambda`.
+    ///
+    /// Uses Knuth's method for small `lambda` and a rounded normal
+    /// approximation for large `lambda` (≥ 64).
+    pub fn poisson(&mut self, lambda: f64) -> u64 {
+        if lambda <= 0.0 {
+            return 0;
+        }
+        if lambda >= 64.0 {
+            let x = lambda + lambda.sqrt() * self.standard_normal();
+            return x.max(0.0).round() as u64;
+        }
+        let l = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= self.uniform_f64();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    }
+
+    /// Log-normal draw parameterized by the *underlying* normal's `mu`, `sigma`.
+    pub fn log_normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        (mu + sigma * self.standard_normal()).exp()
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng::seeded(7);
+        let mut b = Rng::seeded(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::seeded(1);
+        let mut b = Rng::seeded(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn fork_is_stable_and_named() {
+        let root = Rng::seeded(5);
+        let mut f1 = root.fork("svc/A");
+        let mut f2 = root.fork("svc/A");
+        let mut g = root.fork("svc/B");
+        assert_eq!(f1.next_u64(), f2.next_u64());
+        assert_ne!(f1.next_u64(), g.next_u64());
+    }
+
+    #[test]
+    fn fork_insensitive_to_parent_draws() {
+        let mut parent = Rng::seeded(5);
+        let before = parent.fork("x").next_u64();
+        parent.next_u64();
+        parent.next_u64();
+        let after = parent.fork("x").next_u64();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let mut rng = Rng::seeded(11);
+        for _ in 0..10_000 {
+            let x = rng.uniform_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn uniform_mean_is_about_half() {
+        let mut rng = Rng::seeded(13);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| rng.uniform_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean={mean}");
+    }
+
+    #[test]
+    fn below_respects_bound_and_covers() {
+        let mut rng = Rng::seeded(17);
+        let mut seen = [false; 5];
+        for _ in 0..1_000 {
+            let v = rng.below(5) as usize;
+            assert!(v < 5);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "below(0)")]
+    fn below_zero_panics() {
+        Rng::seeded(0).below(0);
+    }
+
+    #[test]
+    fn range_inclusive_hits_endpoints() {
+        let mut rng = Rng::seeded(19);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..2_000 {
+            match rng.range_inclusive(3, 6) {
+                3 => lo_seen = true,
+                6 => hi_seen = true,
+                v => assert!((3..=6).contains(&v)),
+            }
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = Rng::seeded(23);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        assert!(!rng.chance(-0.5));
+        assert!(rng.chance(1.5));
+    }
+
+    #[test]
+    fn chance_rate_is_calibrated() {
+        let mut rng = Rng::seeded(29);
+        let n = 50_000;
+        let hits = (0..n).filter(|_| rng.chance(0.3)).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.01, "rate={rate}");
+    }
+
+    #[test]
+    fn weighted_index_prefers_heavy_weights() {
+        let mut rng = Rng::seeded(31);
+        let weights = [1.0, 0.0, 9.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[rng.weighted_index(&weights).unwrap()] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let frac2 = counts[2] as f64 / 10_000.0;
+        assert!((frac2 - 0.9).abs() < 0.02, "frac2={frac2}");
+    }
+
+    #[test]
+    fn weighted_index_degenerate_inputs() {
+        let mut rng = Rng::seeded(37);
+        assert_eq!(rng.weighted_index(&[]), None);
+        assert_eq!(rng.weighted_index(&[0.0, 0.0]), None);
+        assert_eq!(rng.weighted_index(&[f64::NAN, 2.0]), Some(1));
+    }
+
+    #[test]
+    fn exponential_mean_matches() {
+        let mut rng = Rng::seeded(41);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| rng.exponential(2.0)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean={mean}");
+        assert_eq!(rng.exponential(0.0), 0.0);
+        assert_eq!(rng.exponential(-1.0), 0.0);
+    }
+
+    #[test]
+    fn normal_moments_match() {
+        let mut rng = Rng::seeded(43);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.standard_normal()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean={mean}");
+        assert!((var - 1.0).abs() < 0.05, "var={var}");
+    }
+
+    #[test]
+    fn poisson_mean_matches_small_and_large_lambda() {
+        let mut rng = Rng::seeded(47);
+        for &lambda in &[0.5, 4.0, 120.0] {
+            let n = 20_000;
+            let mean: f64 = (0..n).map(|_| rng.poisson(lambda) as f64).sum::<f64>() / n as f64;
+            assert!(
+                (mean - lambda).abs() < lambda.max(1.0) * 0.05,
+                "lambda={lambda} mean={mean}"
+            );
+        }
+        assert_eq!(rng.poisson(0.0), 0);
+    }
+
+    #[test]
+    fn log_normal_median_is_exp_mu() {
+        let mut rng = Rng::seeded(53);
+        let n = 30_001;
+        let mut xs: Vec<f64> = (0..n).map(|_| rng.log_normal(1.0, 0.5)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[n / 2];
+        assert!((median - 1f64.exp()).abs() < 0.1, "median={median}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = Rng::seeded(59);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,405 @@
+//! The discrete-event scheduler.
+//!
+//! [`Sim<S>`] owns a virtual clock and a priority queue of scheduled actions.
+//! Actions are boxed `FnOnce(&mut Sim<S>, &mut S)` closures over a
+//! caller-supplied world state `S`; they may schedule further actions. Events
+//! at equal timestamps run in insertion order (FIFO), which together with the
+//! deterministic PRNG makes whole simulations reproducible.
+
+use crate::{Rng, SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// An action executed by the scheduler at its scheduled time.
+pub type Action<S> = Box<dyn FnOnce(&mut Sim<S>, &mut S)>;
+
+/// A handle identifying a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+struct Entry<S> {
+    time: SimTime,
+    seq: u64,
+    id: EventId,
+    action: Action<S>,
+}
+
+impl<S> PartialEq for Entry<S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<S> Eq for Entry<S> {}
+impl<S> PartialOrd for Entry<S> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<S> Ord for Entry<S> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event simulation engine over world state `S`.
+///
+/// # Examples
+///
+/// ```
+/// use icfl_sim::{Sim, SimDuration, SimTime};
+///
+/// let mut sim: Sim<Vec<u32>> = Sim::new(42);
+/// let mut world = Vec::new();
+/// sim.schedule_after(SimDuration::from_secs(1), |_, w: &mut Vec<u32>| w.push(1));
+/// sim.schedule_after(SimDuration::from_secs(2), |sim, w: &mut Vec<u32>| {
+///     w.push(2);
+///     sim.schedule_after(SimDuration::from_secs(1), |_, w: &mut Vec<u32>| w.push(3));
+/// });
+/// sim.run_until(SimTime::from_secs(10), &mut world);
+/// assert_eq!(world, vec![1, 2, 3]);
+/// assert_eq!(sim.now(), SimTime::from_secs(10));
+/// ```
+pub struct Sim<S> {
+    now: SimTime,
+    seq: u64,
+    next_id: u64,
+    queue: BinaryHeap<Entry<S>>,
+    cancelled: HashSet<EventId>,
+    executed: u64,
+    rng: Rng,
+}
+
+impl<S> std::fmt::Debug for Sim<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sim")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("executed", &self.executed)
+            .finish()
+    }
+}
+
+impl<S> Sim<S> {
+    /// Creates an engine at time zero with the given root seed.
+    pub fn new(seed: u64) -> Self {
+        Sim {
+            now: SimTime::ZERO,
+            seq: 0,
+            next_id: 0,
+            queue: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            executed: 0,
+            rng: Rng::seeded(seed),
+        }
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events still pending (including cancelled-but-unpopped ones).
+    pub fn events_pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The engine's root RNG. Components should [`Rng::fork`] named streams
+    /// from this rather than drawing from it directly.
+    pub fn rng(&mut self) -> &mut Rng {
+        &mut self.rng
+    }
+
+    /// Schedules `action` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current time: the simulation clock cannot
+    /// run backwards.
+    pub fn schedule_at(
+        &mut self,
+        at: SimTime,
+        action: impl FnOnce(&mut Sim<S>, &mut S) + 'static,
+    ) -> EventId {
+        assert!(at >= self.now, "cannot schedule in the past: {at} < {}", self.now);
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        self.seq += 1;
+        self.queue.push(Entry {
+            time: at,
+            seq: self.seq,
+            id,
+            action: Box::new(action),
+        });
+        id
+    }
+
+    /// Schedules `action` after a relative delay.
+    pub fn schedule_after(
+        &mut self,
+        delay: SimDuration,
+        action: impl FnOnce(&mut Sim<S>, &mut S) + 'static,
+    ) -> EventId {
+        self.schedule_at(self.now + delay, action)
+    }
+
+    /// Schedules `action` to run at the current time, after all actions
+    /// already queued for this instant.
+    pub fn schedule_now(
+        &mut self,
+        action: impl FnOnce(&mut Sim<S>, &mut S) + 'static,
+    ) -> EventId {
+        self.schedule_at(self.now, action)
+    }
+
+    /// Cancels a pending event. Cancelling an already-executed or unknown
+    /// event is a no-op.
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.insert(id);
+    }
+
+    /// Runs events until the queue is exhausted or `horizon` is reached, then
+    /// advances the clock to `horizon`.
+    ///
+    /// Events scheduled exactly at `horizon` are executed.
+    pub fn run_until(&mut self, horizon: SimTime, state: &mut S) {
+        while let Some(top) = self.queue.peek() {
+            if top.time > horizon {
+                break;
+            }
+            let entry = self.queue.pop().expect("peeked entry exists");
+            if self.cancelled.remove(&entry.id) {
+                continue;
+            }
+            debug_assert!(entry.time >= self.now, "event time regression");
+            self.now = entry.time;
+            self.executed += 1;
+            (entry.action)(self, state);
+        }
+        if horizon > self.now {
+            self.now = horizon;
+        }
+    }
+
+    /// Runs every pending event (including ones newly scheduled while
+    /// running) until the queue drains or `max_events` have executed.
+    ///
+    /// Returns `true` if the queue drained.
+    pub fn run_to_completion(&mut self, max_events: u64, state: &mut S) -> bool {
+        let start = self.executed;
+        while self.queue.peek().is_some() {
+            if self.executed - start >= max_events {
+                return false;
+            }
+            let entry = self.queue.pop().expect("peeked entry exists");
+            if self.cancelled.remove(&entry.id) {
+                continue;
+            }
+            self.now = entry.time;
+            self.executed += 1;
+            (entry.action)(self, state);
+        }
+        true
+    }
+}
+
+/// Schedules `action` every `period`, starting at `start`, until the engine's
+/// horizon ends. The action receives the engine and state each tick.
+///
+/// This is a free function (not a method) because the recurring closure must
+/// be `Clone` to re-arm itself.
+pub fn schedule_periodic<S: 'static>(
+    sim: &mut Sim<S>,
+    start: SimTime,
+    period: SimDuration,
+    action: impl FnMut(&mut Sim<S>, &mut S) + Clone + 'static,
+) {
+    assert!(!period.is_zero(), "periodic event with zero period would livelock");
+    fn arm<S: 'static>(
+        sim: &mut Sim<S>,
+        at: SimTime,
+        period: SimDuration,
+        mut action: impl FnMut(&mut Sim<S>, &mut S) + Clone + 'static,
+    ) {
+        sim.schedule_at(at, move |sim, state| {
+            action(sim, state);
+            let next = sim.now() + period;
+            arm(sim, next, period, action);
+        });
+    }
+    arm(sim, start, period, action);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut sim: Sim<Vec<u32>> = Sim::new(0);
+        let mut out = Vec::new();
+        sim.schedule_at(SimTime::from_secs(3), |_, w: &mut Vec<u32>| w.push(3));
+        sim.schedule_at(SimTime::from_secs(1), |_, w: &mut Vec<u32>| w.push(1));
+        sim.schedule_at(SimTime::from_secs(2), |_, w: &mut Vec<u32>| w.push(2));
+        sim.run_until(SimTime::from_secs(10), &mut out);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_run_fifo() {
+        let mut sim: Sim<Vec<u32>> = Sim::new(0);
+        let mut out = Vec::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..10 {
+            sim.schedule_at(t, move |_, w: &mut Vec<u32>| w.push(i));
+        }
+        sim.run_until(SimTime::from_secs(2), &mut out);
+        assert_eq!(out, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn horizon_is_inclusive_and_clock_advances() {
+        let mut sim: Sim<u32> = Sim::new(0);
+        let mut hits = 0;
+        sim.schedule_at(SimTime::from_secs(5), |_, w: &mut u32| *w += 1);
+        sim.schedule_at(SimTime::from_secs(6), |_, w: &mut u32| *w += 1);
+        sim.run_until(SimTime::from_secs(5), &mut hits);
+        assert_eq!(hits, 1);
+        assert_eq!(sim.now(), SimTime::from_secs(5));
+        assert_eq!(sim.events_pending(), 1);
+        sim.run_until(SimTime::from_secs(7), &mut hits);
+        assert_eq!(hits, 2);
+        assert_eq!(sim.now(), SimTime::from_secs(7));
+    }
+
+    #[test]
+    fn nested_scheduling_within_run() {
+        let mut sim: Sim<Vec<&'static str>> = Sim::new(0);
+        let mut out = Vec::new();
+        sim.schedule_at(SimTime::from_secs(1), |sim, w: &mut Vec<&'static str>| {
+            w.push("outer");
+            sim.schedule_after(SimDuration::from_secs(1), |_, w| w.push("inner"));
+        });
+        sim.run_until(SimTime::from_secs(10), &mut out);
+        assert_eq!(out, vec!["outer", "inner"]);
+    }
+
+    #[test]
+    fn schedule_now_runs_after_existing_same_instant_events() {
+        let mut sim: Sim<Vec<u32>> = Sim::new(0);
+        let mut out = Vec::new();
+        sim.schedule_at(SimTime::from_secs(1), |sim, w: &mut Vec<u32>| {
+            w.push(1);
+            sim.schedule_now(|_, w| w.push(3));
+        });
+        sim.schedule_at(SimTime::from_secs(1), |_, w: &mut Vec<u32>| w.push(2));
+        sim.run_until(SimTime::from_secs(1), &mut out);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut sim: Sim<u32> = Sim::new(0);
+        let mut w = 0;
+        sim.schedule_at(SimTime::from_secs(5), |_, _| {});
+        sim.run_until(SimTime::from_secs(5), &mut w);
+        sim.schedule_at(SimTime::from_secs(1), |_, _| {});
+    }
+
+    #[test]
+    fn cancellation_suppresses_execution() {
+        let mut sim: Sim<u32> = Sim::new(0);
+        let mut hits = 0;
+        let id = sim.schedule_at(SimTime::from_secs(1), |_, w: &mut u32| *w += 1);
+        sim.schedule_at(SimTime::from_secs(2), |_, w: &mut u32| *w += 10);
+        sim.cancel(id);
+        sim.cancel(EventId(999)); // unknown id is a no-op
+        sim.run_until(SimTime::from_secs(3), &mut hits);
+        assert_eq!(hits, 10);
+    }
+
+    #[test]
+    fn run_to_completion_drains_queue() {
+        let mut sim: Sim<u32> = Sim::new(0);
+        let mut count = 0;
+        for i in 0..5 {
+            sim.schedule_at(SimTime::from_secs(i), |_, w: &mut u32| *w += 1);
+        }
+        assert!(sim.run_to_completion(1_000, &mut count));
+        assert_eq!(count, 5);
+        assert_eq!(sim.events_pending(), 0);
+    }
+
+    #[test]
+    fn run_to_completion_respects_event_budget() {
+        let mut sim: Sim<u64> = Sim::new(0);
+        let mut count = 0u64;
+        // A self-perpetuating event chain: never drains on its own.
+        fn tick(sim: &mut Sim<u64>, w: &mut u64) {
+            *w += 1;
+            sim.schedule_after(SimDuration::from_secs(1), tick);
+        }
+        sim.schedule_at(SimTime::ZERO, tick);
+        assert!(!sim.run_to_completion(100, &mut count));
+        assert_eq!(count, 100);
+    }
+
+    #[test]
+    fn periodic_events_fire_at_period() {
+        let mut sim: Sim<Vec<u64>> = Sim::new(0);
+        let mut out = Vec::new();
+        schedule_periodic(
+            &mut sim,
+            SimTime::from_secs(1),
+            SimDuration::from_secs(2),
+            |sim, w: &mut Vec<u64>| w.push(sim.now().as_nanos() / 1_000_000_000),
+        );
+        sim.run_until(SimTime::from_secs(10), &mut out);
+        assert_eq!(out, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero period")]
+    fn periodic_zero_period_panics() {
+        let mut sim: Sim<u32> = Sim::new(0);
+        schedule_periodic(&mut sim, SimTime::ZERO, SimDuration::ZERO, |_, _| {});
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_runs() {
+        fn run(seed: u64) -> Vec<u64> {
+            let mut sim: Sim<Vec<u64>> = Sim::new(seed);
+            let mut out = Vec::new();
+            let trace: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+            for i in 0..20 {
+                let delay = SimDuration::from_millis(1 + (i * 37) % 100);
+                sim.schedule_after(delay, move |sim, w: &mut Vec<u64>| {
+                    let jitter = sim.rng().below(1_000);
+                    w.push(sim.now().as_nanos() + jitter);
+                });
+            }
+            sim.run_until(SimTime::from_secs(1), &mut out);
+            drop(trace);
+            out
+        }
+        assert_eq!(run(99), run(99));
+        assert_ne!(run(99), run(100));
+    }
+
+    #[test]
+    fn debug_representation_is_nonempty() {
+        let sim: Sim<u32> = Sim::new(0);
+        assert!(!format!("{sim:?}").is_empty());
+    }
+}

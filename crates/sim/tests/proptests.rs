@@ -1,0 +1,161 @@
+//! Property-based tests for the simulation kernel: time arithmetic, PRNG
+//! contracts, distribution support, and scheduler ordering.
+
+use icfl_sim::{DurationDist, Rng, Sim, SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn time_add_sub_roundtrips(t in 0u64..1_000_000_000_000, d in 0u64..1_000_000_000_000) {
+        let time = SimTime::from_nanos(t);
+        let dur = SimDuration::from_nanos(d);
+        prop_assert_eq!((time + dur) - dur, time);
+        prop_assert_eq!((time + dur) - time, dur);
+    }
+
+    #[test]
+    fn duration_addition_is_commutative(a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4) {
+        let da = SimDuration::from_nanos(a);
+        let db = SimDuration::from_nanos(b);
+        prop_assert_eq!(da + db, db + da);
+    }
+
+    #[test]
+    fn saturating_since_is_never_negative(a in 0u64..u64::MAX, b in 0u64..u64::MAX) {
+        let ta = SimTime::from_nanos(a);
+        let tb = SimTime::from_nanos(b);
+        let d = ta.saturating_since(tb);
+        prop_assert!(d >= SimDuration::ZERO);
+        if a >= b {
+            prop_assert_eq!(d.as_nanos(), a - b);
+        } else {
+            prop_assert_eq!(d, SimDuration::ZERO);
+        }
+    }
+
+    #[test]
+    fn rng_below_respects_bound(seed in any::<u64>(), n in 1u64..1_000_000) {
+        let mut rng = Rng::seeded(seed);
+        for _ in 0..50 {
+            prop_assert!(rng.below(n) < n);
+        }
+    }
+
+    #[test]
+    fn rng_range_inclusive_in_bounds(seed in any::<u64>(), lo in 0u64..1000, span in 0u64..1000) {
+        let mut rng = Rng::seeded(seed);
+        let hi = lo + span;
+        for _ in 0..20 {
+            let v = rng.range_inclusive(lo, hi);
+            prop_assert!((lo..=hi).contains(&v));
+        }
+    }
+
+    #[test]
+    fn rng_same_seed_same_stream(seed in any::<u64>()) {
+        let mut a = Rng::seeded(seed);
+        let mut b = Rng::seeded(seed);
+        for _ in 0..20 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn rng_fork_is_deterministic(seed in any::<u64>(), name in "[a-z]{1,12}") {
+        let root = Rng::seeded(seed);
+        let mut f1 = root.fork(&name);
+        let mut f2 = root.fork(&name);
+        for _ in 0..10 {
+            prop_assert_eq!(f1.next_u64(), f2.next_u64());
+        }
+    }
+
+    #[test]
+    fn weighted_index_only_picks_positive_weights(
+        seed in any::<u64>(),
+        weights in proptest::collection::vec(0.0f64..10.0, 1..8),
+    ) {
+        let mut rng = Rng::seeded(seed);
+        match rng.weighted_index(&weights) {
+            Some(i) => prop_assert!(weights[i] > 0.0),
+            None => prop_assert!(weights.iter().all(|&w| w <= 0.0)),
+        }
+    }
+
+    #[test]
+    fn distributions_sample_nonnegative(
+        seed in any::<u64>(),
+        mean_ms in 1u64..1000,
+        sigma in 0.0f64..2.0,
+    ) {
+        let mut rng = Rng::seeded(seed);
+        let dists = [
+            DurationDist::constant(SimDuration::from_millis(mean_ms)),
+            DurationDist::exponential(SimDuration::from_millis(mean_ms)),
+            DurationDist::log_normal(SimDuration::from_millis(mean_ms), sigma),
+            DurationDist::normal(SimDuration::from_millis(mean_ms), SimDuration::from_millis(mean_ms)),
+            DurationDist::uniform(SimDuration::ZERO, SimDuration::from_millis(mean_ms)),
+        ];
+        for d in dists {
+            for _ in 0..10 {
+                prop_assert!(d.sample(&mut rng) >= SimDuration::ZERO);
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_samples_stay_in_bounds(seed in any::<u64>(), lo in 0u64..500, span in 1u64..500) {
+        let mut rng = Rng::seeded(seed);
+        let d = DurationDist::uniform(
+            SimDuration::from_millis(lo),
+            SimDuration::from_millis(lo + span),
+        );
+        for _ in 0..50 {
+            let s = d.sample(&mut rng);
+            prop_assert!(s >= SimDuration::from_millis(lo));
+            prop_assert!(s < SimDuration::from_millis(lo + span));
+        }
+    }
+
+    #[test]
+    fn scheduler_executes_in_nondecreasing_time_order(
+        times in proptest::collection::vec(0u64..10_000, 1..50),
+    ) {
+        let mut sim: Sim<Vec<u64>> = Sim::new(0);
+        let mut fired: Vec<u64> = Vec::new();
+        for &t in &times {
+            sim.schedule_at(SimTime::from_nanos(t), move |sim, w: &mut Vec<u64>| {
+                w.push(sim.now().as_nanos());
+            });
+        }
+        sim.run_until(SimTime::from_nanos(10_000), &mut fired);
+        prop_assert_eq!(fired.len(), times.len());
+        prop_assert!(fired.windows(2).all(|w| w[0] <= w[1]), "order: {:?}", fired);
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(fired, sorted);
+    }
+
+    #[test]
+    fn scheduler_cancellation_removes_exactly_the_cancelled(
+        n in 1usize..30,
+        cancel_mask in any::<u32>(),
+    ) {
+        let mut sim: Sim<Vec<usize>> = Sim::new(0);
+        let mut fired: Vec<usize> = Vec::new();
+        let mut expected: Vec<usize> = Vec::new();
+        for i in 0..n {
+            let id = sim.schedule_at(
+                SimTime::from_nanos(i as u64 + 1),
+                move |_, w: &mut Vec<usize>| w.push(i),
+            );
+            if cancel_mask & (1 << (i % 32)) != 0 {
+                sim.cancel(id);
+            } else {
+                expected.push(i);
+            }
+        }
+        sim.run_until(SimTime::from_nanos(1_000), &mut fired);
+        prop_assert_eq!(fired, expected);
+    }
+}

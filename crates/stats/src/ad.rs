@@ -1,0 +1,218 @@
+//! Two-sample Anderson–Darling test (Scholz & Stephens 1987, tie-adjusted),
+//! with a permutation p-value.
+//!
+//! AD weights the CDF discrepancy by its variance, making it more sensitive
+//! than KS in the distribution tails — useful when a fault fattens latency
+//! tails without moving the bulk. Offered as a fourth detector backend.
+
+use crate::error::{check_no_nan, check_nonempty, Result};
+use serde::{Deserialize, Serialize};
+
+/// Result of a two-sample Anderson–Darling test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AndersonDarlingResult {
+    /// The tie-adjusted A² statistic.
+    pub statistic: f64,
+    /// Permutation p-value (add-one smoothed).
+    pub p_value: f64,
+    /// Size of the first sample.
+    pub n1: usize,
+    /// Size of the second sample.
+    pub n2: usize,
+}
+
+impl AndersonDarlingResult {
+    /// True when the test rejects equality at level `alpha`.
+    pub fn rejects_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// The tie-adjusted two-sample A² statistic (Scholz & Stephens eq. 7,
+/// k = 2).
+///
+/// # Errors
+///
+/// Returns an error if either sample is empty or contains NaN.
+pub fn anderson_darling_statistic(xs: &[f64], ys: &[f64]) -> Result<f64> {
+    check_nonempty(xs)?;
+    check_nonempty(ys)?;
+    check_no_nan(xs)?;
+    check_no_nan(ys)?;
+
+    let n1 = xs.len();
+    let n2 = ys.len();
+    let n = n1 + n2;
+    // Pooled sorted values with origin labels.
+    let mut pooled: Vec<(f64, bool)> = xs
+        .iter()
+        .map(|&v| (v, true))
+        .chain(ys.iter().map(|&v| (v, false)))
+        .collect();
+    pooled.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN after check"));
+
+    // Distinct values z_j with multiplicities l_j and per-sample counts
+    // f_ij (occurrences of z_j in sample i).
+    let mut a2 = 0.0;
+    let mut seen = 0usize; // observations strictly before the current group
+    let mut m1 = 0.0f64; // sample-1 observations strictly before the group
+    let mut idx = 0;
+    while idx < n {
+        let mut l = 0usize;
+        let mut f1 = 0usize;
+        let v = pooled[idx].0;
+        while idx < n && pooled[idx].0 == v {
+            l += 1;
+            if pooled[idx].1 {
+                f1 += 1;
+            }
+            idx += 1;
+        }
+        let lj = l as f64;
+        let nn = n as f64;
+        // Midrank quantities.
+        let bj = seen as f64 + lj / 2.0;
+        let maj_1 = m1 + f1 as f64 / 2.0; // M_aj for sample 1
+        let maj_2 = (seen as f64 - m1) + (l - f1) as f64 / 2.0; // sample 2
+        let denom = bj * (nn - bj) - nn * lj / 4.0;
+        if denom > 0.0 {
+            let t1 = (nn * maj_1 - n1 as f64 * bj).powi(2) / (n1 as f64 * denom);
+            let t2 = (nn * maj_2 - n2 as f64 * bj).powi(2) / (n2 as f64 * denom);
+            a2 += lj / nn * (t1 + t2);
+        }
+        seen += l;
+        m1 += f1 as f64;
+    }
+    Ok((n as f64 - 1.0) / n as f64 * a2)
+}
+
+/// Two-sample Anderson–Darling test with a seeded permutation p-value.
+///
+/// # Errors
+///
+/// Returns an error if either sample is empty or contains NaN.
+///
+/// # Examples
+///
+/// ```
+/// use icfl_stats::anderson_darling_test;
+///
+/// let a: Vec<f64> = (0..25).map(|i| i as f64).collect();
+/// let b: Vec<f64> = (0..25).map(|i| i as f64 + 40.0).collect();
+/// let r = anderson_darling_test(&a, &b, 200, 7)?;
+/// assert!(r.rejects_at(0.05));
+/// # Ok::<(), icfl_stats::StatsError>(())
+/// ```
+pub fn anderson_darling_test(
+    xs: &[f64],
+    ys: &[f64],
+    iterations: u32,
+    seed: u64,
+) -> Result<AndersonDarlingResult> {
+    let observed = anderson_darling_statistic(xs, ys)?;
+    let mut pool: Vec<f64> = xs.iter().chain(ys.iter()).copied().collect();
+    let n1 = xs.len();
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    };
+    let mut exceed = 0u32;
+    for _ in 0..iterations {
+        for i in (1..pool.len()).rev() {
+            let j = (next() % (i as u64 + 1)) as usize;
+            pool.swap(i, j);
+        }
+        if anderson_darling_statistic(&pool[..n1], &pool[n1..])? >= observed - 1e-12 {
+            exceed += 1;
+        }
+    }
+    Ok(AndersonDarlingResult {
+        statistic: observed,
+        p_value: (exceed as f64 + 1.0) / (iterations as f64 + 1.0),
+        n1,
+        n2: ys.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(n: usize, offset: f64) -> Vec<f64> {
+        (0..n).map(|i| i as f64 / n as f64 + offset).collect()
+    }
+
+    #[test]
+    fn statistic_small_for_identical_distributions() {
+        let xs = ramp(30, 0.0);
+        let a2 = anderson_darling_statistic(&xs, &xs).unwrap();
+        // For interleaved identical samples A² sits near its null mean (1).
+        assert!(a2 < 1.5, "a2={a2}");
+    }
+
+    #[test]
+    fn statistic_large_for_disjoint_supports() {
+        let xs = ramp(25, 0.0);
+        let ys = ramp(25, 10.0);
+        let a2 = anderson_darling_statistic(&xs, &ys).unwrap();
+        assert!(a2 > 10.0, "a2={a2}");
+    }
+
+    #[test]
+    fn statistic_is_symmetric() {
+        let xs = ramp(20, 0.0);
+        let ys = ramp(30, 0.25);
+        let a = anderson_darling_statistic(&xs, &ys).unwrap();
+        let b = anderson_darling_statistic(&ys, &xs).unwrap();
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn handles_ties_without_blowup() {
+        let xs = vec![1.0, 1.0, 1.0, 2.0, 2.0];
+        let ys = vec![1.0, 2.0, 2.0, 2.0, 2.0];
+        let a2 = anderson_darling_statistic(&xs, &ys).unwrap();
+        assert!(a2.is_finite());
+        let same = vec![3.0; 10];
+        let a2 = anderson_darling_statistic(&same, &same).unwrap();
+        assert!(a2.is_finite());
+    }
+
+    #[test]
+    fn permutation_p_detects_shift() {
+        let xs = ramp(19, 0.0);
+        let ys = ramp(19, 0.8);
+        let r = anderson_darling_test(&xs, &ys, 300, 11).unwrap();
+        assert!(r.p_value < 0.02, "p={}", r.p_value);
+        assert!(r.rejects_at(0.05));
+    }
+
+    #[test]
+    fn permutation_p_large_under_null() {
+        let xs = ramp(19, 0.0);
+        let r = anderson_darling_test(&xs, &xs, 300, 13).unwrap();
+        assert!(r.p_value > 0.5, "p={}", r.p_value);
+    }
+
+    #[test]
+    fn detects_pure_scale_change() {
+        // Same mean, 3× the spread — a dispersion shift that mean-based
+        // tests miss entirely and AD flags through both tails.
+        let xs: Vec<f64> = (0..40).map(|i| i as f64 / 40.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|v| 0.5 + (v - 0.5) * 3.0).collect();
+        let ad = anderson_darling_test(&xs, &ys, 300, 17).unwrap();
+        assert!(ad.p_value < 0.05, "p={}", ad.p_value);
+        // Welch on the same data sees nothing (means are equal).
+        let w = crate::welch_t_test(&xs, &ys).unwrap();
+        assert!(w.p_value > 0.5, "welch p={}", w.p_value);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(anderson_darling_statistic(&[], &[1.0]).is_err());
+        assert!(anderson_darling_statistic(&[f64::NAN], &[1.0]).is_err());
+    }
+}

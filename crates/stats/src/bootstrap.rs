@@ -1,0 +1,160 @@
+//! Bootstrap confidence intervals (percentile method).
+//!
+//! The paper reports point estimates of accuracy/informativeness over 8–11
+//! fault cases; bootstrap CIs quantify how much those small-n numbers can
+//! be trusted when comparing methods.
+
+use crate::error::{check_no_nan, check_nonempty, Result, StatsError};
+
+/// A two-sided confidence interval for a mean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+    /// Point estimate (the sample mean).
+    pub mean: f64,
+    /// Confidence level, e.g. 0.95.
+    pub level: f64,
+}
+
+impl ConfidenceInterval {
+    /// True when `value` lies inside the interval.
+    pub fn contains(&self, value: f64) -> bool {
+        (self.lo..=self.hi).contains(&value)
+    }
+
+    /// Interval width.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+impl std::fmt::Display for ConfidenceInterval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.3} [{:.3}, {:.3}] @{:.0}%",
+            self.mean,
+            self.lo,
+            self.hi,
+            self.level * 100.0
+        )
+    }
+}
+
+/// Percentile-bootstrap CI for the mean of `xs`.
+///
+/// `level` is the confidence level (e.g. `0.95`); resampling uses a private
+/// xorshift PRNG seeded by `seed`, so results are deterministic.
+///
+/// # Errors
+///
+/// Empty/NaN input errors; [`StatsError::InvalidParameter`] if `level` is
+/// outside `(0, 1)` or `iterations == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use icfl_stats::bootstrap_mean_ci;
+///
+/// let outcomes = [1.0, 1.0, 1.0, 0.0, 1.0, 1.0, 1.0, 0.0]; // 6/8 correct
+/// let ci = bootstrap_mean_ci(&outcomes, 1_000, 0.95, 7)?;
+/// assert!(ci.contains(0.75));
+/// assert!(ci.lo >= 0.0 && ci.hi <= 1.0);
+/// # Ok::<(), icfl_stats::StatsError>(())
+/// ```
+pub fn bootstrap_mean_ci(
+    xs: &[f64],
+    iterations: u32,
+    level: f64,
+    seed: u64,
+) -> Result<ConfidenceInterval> {
+    check_nonempty(xs)?;
+    check_no_nan(xs)?;
+    if !(0.0 < level && level < 1.0) {
+        return Err(StatsError::InvalidParameter("level must be in (0,1)"));
+    }
+    if iterations == 0 {
+        return Err(StatsError::InvalidParameter("iterations must be positive"));
+    }
+    let n = xs.len();
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    };
+    let mut means: Vec<f64> = (0..iterations)
+        .map(|_| {
+            let mut acc = 0.0;
+            for _ in 0..n {
+                acc += xs[(next() % n as u64) as usize];
+            }
+            acc / n as f64
+        })
+        .collect();
+    means.sort_by(|a, b| a.partial_cmp(b).expect("finite means"));
+    let alpha = 1.0 - level;
+    let lo = crate::quantile_sorted(&means, alpha / 2.0);
+    let hi = crate::quantile_sorted(&means, 1.0 - alpha / 2.0);
+    Ok(ConfidenceInterval { lo, hi, mean, level })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ci_brackets_the_mean() {
+        let xs: Vec<f64> = (0..50).map(|i| (i % 10) as f64).collect();
+        let ci = bootstrap_mean_ci(&xs, 2_000, 0.95, 1).unwrap();
+        assert!(ci.contains(ci.mean));
+        assert!(ci.contains(4.5));
+        assert!(ci.width() > 0.0);
+    }
+
+    #[test]
+    fn constant_data_gives_degenerate_interval() {
+        let xs = [3.0; 20];
+        let ci = bootstrap_mean_ci(&xs, 500, 0.9, 2).unwrap();
+        assert_eq!(ci.lo, 3.0);
+        assert_eq!(ci.hi, 3.0);
+        assert_eq!(ci.mean, 3.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let a = bootstrap_mean_ci(&xs, 1_000, 0.95, 42).unwrap();
+        let b = bootstrap_mean_ci(&xs, 1_000, 0.95, 42).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn wider_level_gives_wider_interval() {
+        let xs: Vec<f64> = (0..30).map(|i| ((i * 7) % 13) as f64).collect();
+        let narrow = bootstrap_mean_ci(&xs, 2_000, 0.80, 5).unwrap();
+        let wide = bootstrap_mean_ci(&xs, 2_000, 0.99, 5).unwrap();
+        assert!(wide.width() >= narrow.width());
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(bootstrap_mean_ci(&[], 100, 0.95, 1).is_err());
+        assert!(bootstrap_mean_ci(&[1.0], 0, 0.95, 1).is_err());
+        assert!(bootstrap_mean_ci(&[1.0], 100, 1.0, 1).is_err());
+        assert!(bootstrap_mean_ci(&[f64::NAN], 100, 0.5, 1).is_err());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let ci = bootstrap_mean_ci(&[0.0, 1.0, 1.0, 1.0], 500, 0.95, 9).unwrap();
+        let s = ci.to_string();
+        assert!(s.contains("95%"));
+        assert!(s.contains('['));
+    }
+}

@@ -1,0 +1,181 @@
+//! G² (log-likelihood ratio) conditional-independence test on discrete data.
+//!
+//! This is the categorical CI test used by the RCD baseline's PC-style
+//! search after metrics are discretized with
+//! [`discretize_equal_frequency`](crate::discretize_equal_frequency).
+
+use crate::error::{Result, StatsError};
+use crate::special::chi_square_sf;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Result of a discrete conditional-independence test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GSquareResult {
+    /// The G² statistic.
+    pub g2: f64,
+    /// Degrees of freedom (summed over strata).
+    pub df: f64,
+    /// Upper-tail p-value from the chi-square distribution.
+    pub p_value: f64,
+    /// Number of observations.
+    pub n: usize,
+}
+
+impl GSquareResult {
+    /// True when dependence is detected at level `alpha`.
+    pub fn dependent_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// G² test of `X ⫫ Y | Z` on discrete (already-binned) data.
+///
+/// `x`, `y` are label sequences; `cond` is a (possibly empty) set of label
+/// sequences defining the strata. With insufficient degrees of freedom
+/// (e.g. a variable is constant within every stratum) the test returns
+/// `p = 1`, the conservative "independent" answer — matching how PC-style
+/// algorithms treat unpowered tests.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InvalidParameter`] on length mismatch and
+/// [`StatsError::EmptySample`] on empty input.
+pub fn g_square_test(x: &[usize], y: &[usize], cond: &[&[usize]]) -> Result<GSquareResult> {
+    if x.is_empty() {
+        return Err(StatsError::EmptySample);
+    }
+    let n = x.len();
+    if y.len() != n || cond.iter().any(|c| c.len() != n) {
+        return Err(StatsError::InvalidParameter("columns must have equal length"));
+    }
+
+    // Group observations by stratum key.
+    let mut strata: HashMap<Vec<usize>, Vec<usize>> = HashMap::new();
+    for idx in 0..n {
+        let key: Vec<usize> = cond.iter().map(|c| c[idx]).collect();
+        strata.entry(key).or_default().push(idx);
+    }
+
+    let mut g2 = 0.0;
+    let mut df = 0.0;
+    for rows in strata.values() {
+        // Contingency table for this stratum.
+        let mut x_levels: Vec<usize> = rows.iter().map(|&i| x[i]).collect();
+        x_levels.sort_unstable();
+        x_levels.dedup();
+        let mut y_levels: Vec<usize> = rows.iter().map(|&i| y[i]).collect();
+        y_levels.sort_unstable();
+        y_levels.dedup();
+        let (rx, ry) = (x_levels.len(), y_levels.len());
+        if rx < 2 || ry < 2 {
+            continue; // no information in this stratum
+        }
+        let xi = |v: usize| x_levels.binary_search(&v).expect("level exists");
+        let yi = |v: usize| y_levels.binary_search(&v).expect("level exists");
+        let mut table = vec![0.0f64; rx * ry];
+        let mut row_tot = vec![0.0f64; rx];
+        let mut col_tot = vec![0.0f64; ry];
+        for &i in rows {
+            let (a, b) = (xi(x[i]), yi(y[i]));
+            table[a * ry + b] += 1.0;
+            row_tot[a] += 1.0;
+            col_tot[b] += 1.0;
+        }
+        let total = rows.len() as f64;
+        for a in 0..rx {
+            for b in 0..ry {
+                let o = table[a * ry + b];
+                if o > 0.0 {
+                    let e = row_tot[a] * col_tot[b] / total;
+                    g2 += 2.0 * o * (o / e).ln();
+                }
+            }
+        }
+        df += (rx - 1) as f64 * (ry - 1) as f64;
+    }
+
+    if df <= 0.0 {
+        return Ok(GSquareResult { g2: 0.0, df: 0.0, p_value: 1.0, n });
+    }
+    Ok(GSquareResult {
+        g2: g2.max(0.0),
+        df,
+        p_value: chi_square_sf(g2.max(0.0), df),
+        n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfectly_dependent_binary_variables() {
+        let x: Vec<usize> = (0..100).map(|i| i % 2).collect();
+        let y = x.clone();
+        let r = g_square_test(&x, &y, &[]).unwrap();
+        assert!(r.dependent_at(0.001), "p={}", r.p_value);
+        assert_eq!(r.df, 1.0);
+    }
+
+    #[test]
+    fn independent_variables_not_rejected() {
+        // x alternates with period 2, y with period 4 → balanced and
+        // exactly independent in counts.
+        let x: Vec<usize> = (0..400).map(|i| i % 2).collect();
+        let y: Vec<usize> = (0..400).map(|i| (i / 2) % 2).collect();
+        let r = g_square_test(&x, &y, &[]).unwrap();
+        assert!(r.p_value > 0.9, "p={}", r.p_value);
+        assert!(r.g2 < 1e-9);
+    }
+
+    #[test]
+    fn conditioning_blocks_a_chain() {
+        // z drives both x and y: x ⫫ y | z.
+        let mut rows_x = Vec::new();
+        let mut rows_y = Vec::new();
+        let mut rows_z = Vec::new();
+        let mut state = 9u64;
+        let mut next = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        };
+        for _ in 0..2_000 {
+            let z = (next() % 2) as usize;
+            // x and y each copy z with 90% probability, independently.
+            let x = if next() % 10 < 9 { z } else { 1 - z };
+            let y = if next() % 10 < 9 { z } else { 1 - z };
+            rows_x.push(x);
+            rows_y.push(y);
+            rows_z.push(z);
+        }
+        let marginal = g_square_test(&rows_x, &rows_y, &[]).unwrap();
+        assert!(marginal.dependent_at(0.01), "p={}", marginal.p_value);
+        let conditional = g_square_test(&rows_x, &rows_y, &[&rows_z]).unwrap();
+        assert!(!conditional.dependent_at(0.01), "p={}", conditional.p_value);
+    }
+
+    #[test]
+    fn constant_variable_gives_p_one() {
+        let x = vec![0usize; 50];
+        let y: Vec<usize> = (0..50).map(|i| i % 2).collect();
+        let r = g_square_test(&x, &y, &[]).unwrap();
+        assert_eq!(r.p_value, 1.0);
+        assert_eq!(r.df, 0.0);
+    }
+
+    #[test]
+    fn mismatched_lengths_error() {
+        assert!(g_square_test(&[0, 1], &[0], &[]).is_err());
+        let z = vec![0usize; 3];
+        assert!(g_square_test(&[0, 1], &[0, 1], &[&z]).is_err());
+    }
+
+    #[test]
+    fn empty_input_errors() {
+        assert!(matches!(g_square_test(&[], &[], &[]), Err(StatsError::EmptySample)));
+    }
+}

@@ -1,0 +1,349 @@
+//! Correlation measures and the Fisher-z (partial-)correlation independence
+//! test used by constraint-based causal discovery (the RCD baseline).
+
+use crate::error::{check_no_nan, Result, StatsError};
+use crate::special::normal_two_sided_p;
+use serde::{Deserialize, Serialize};
+
+/// Pearson product-moment correlation of two equal-length samples.
+///
+/// Returns `0.0` when either sample is constant (no linear association is
+/// measurable).
+///
+/// # Errors
+///
+/// Returns [`StatsError::InvalidParameter`] on length mismatch,
+/// [`StatsError::InsufficientData`] for fewer than two pairs, and
+/// [`StatsError::NanInput`] on NaN.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Result<f64> {
+    if xs.len() != ys.len() {
+        return Err(StatsError::InvalidParameter("samples must have equal length"));
+    }
+    if xs.len() < 2 {
+        return Err(StatsError::InsufficientData { needed: 2, got: xs.len() });
+    }
+    check_no_nan(xs)?;
+    check_no_nan(ys)?;
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        return Ok(0.0);
+    }
+    Ok((sxy / (sxx.sqrt() * syy.sqrt())).clamp(-1.0, 1.0))
+}
+
+/// Spearman rank correlation (Pearson on mid-ranks).
+///
+/// # Errors
+///
+/// Same as [`pearson`].
+pub fn spearman(xs: &[f64], ys: &[f64]) -> Result<f64> {
+    if xs.len() != ys.len() {
+        return Err(StatsError::InvalidParameter("samples must have equal length"));
+    }
+    check_no_nan(xs)?;
+    check_no_nan(ys)?;
+    pearson(&ranks_of(xs), &ranks_of(ys))
+}
+
+fn ranks_of(xs: &[f64]) -> Vec<f64> {
+    let mut order: Vec<usize> = (0..xs.len()).collect();
+    order.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("no NaN"));
+    let mut ranks = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && xs[order[j + 1]] == xs[order[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Result of a (partial-)correlation independence test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CorrIndepResult {
+    /// Estimated (partial) correlation.
+    pub r: f64,
+    /// Two-sided p-value under Fisher's z transformation.
+    pub p_value: f64,
+    /// Effective sample size used.
+    pub n: usize,
+    /// Size of the conditioning set.
+    pub cond_size: usize,
+}
+
+impl CorrIndepResult {
+    /// True when dependence is detected at level `alpha`.
+    pub fn dependent_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Gauss–Jordan inversion of a small dense matrix (row-major, `dim×dim`).
+///
+/// Returns `None` when the matrix is singular to working precision.
+fn invert(mut m: Vec<f64>, dim: usize) -> Option<Vec<f64>> {
+    let mut inv = vec![0.0; dim * dim];
+    for i in 0..dim {
+        inv[i * dim + i] = 1.0;
+    }
+    for col in 0..dim {
+        // Partial pivoting.
+        let mut pivot = col;
+        for row in col + 1..dim {
+            if m[row * dim + col].abs() > m[pivot * dim + col].abs() {
+                pivot = row;
+            }
+        }
+        if m[pivot * dim + col].abs() < 1e-12 {
+            return None;
+        }
+        if pivot != col {
+            for k in 0..dim {
+                m.swap(col * dim + k, pivot * dim + k);
+                inv.swap(col * dim + k, pivot * dim + k);
+            }
+        }
+        let p = m[col * dim + col];
+        for k in 0..dim {
+            m[col * dim + k] /= p;
+            inv[col * dim + k] /= p;
+        }
+        for row in 0..dim {
+            if row == col {
+                continue;
+            }
+            let f = m[row * dim + col];
+            if f == 0.0 {
+                continue;
+            }
+            for k in 0..dim {
+                m[row * dim + k] -= f * m[col * dim + k];
+                inv[row * dim + k] -= f * inv[col * dim + k];
+            }
+        }
+    }
+    Some(inv)
+}
+
+/// Fisher-z test of `X ⫫ Y | Z` on continuous data.
+///
+/// `columns[i]` and `columns[j]` are tested given the conditioning columns
+/// `cond`. All columns must have equal length `n > |cond| + 3`.
+///
+/// The partial correlation is computed from the precision matrix of the
+/// involved variables; a singular correlation matrix (perfectly collinear
+/// conditioning set) is treated as maximal dependence removal, returning
+/// `r = 0`, `p = 1` — the conservative "independent" answer.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InvalidParameter`] for bad indices or unequal
+/// lengths, [`StatsError::InsufficientData`] when `n ≤ |cond| + 3`.
+pub fn partial_correlation_test(
+    columns: &[Vec<f64>],
+    i: usize,
+    j: usize,
+    cond: &[usize],
+) -> Result<CorrIndepResult> {
+    if i >= columns.len() || j >= columns.len() || cond.iter().any(|&k| k >= columns.len()) {
+        return Err(StatsError::InvalidParameter("variable index out of range"));
+    }
+    if i == j || cond.contains(&i) || cond.contains(&j) {
+        return Err(StatsError::InvalidParameter(
+            "test variables must be distinct from each other and the conditioning set",
+        ));
+    }
+    let n = columns[i].len();
+    if columns.iter().any(|c| c.len() != n) {
+        return Err(StatsError::InvalidParameter("columns must have equal length"));
+    }
+    if n <= cond.len() + 3 {
+        return Err(StatsError::InsufficientData { needed: cond.len() + 4, got: n });
+    }
+
+    // Build the correlation matrix over [i, j, cond...].
+    let vars: Vec<usize> = [i, j].iter().copied().chain(cond.iter().copied()).collect();
+    let k = vars.len();
+    let mut cm = vec![0.0; k * k];
+    for a in 0..k {
+        cm[a * k + a] = 1.0;
+        for b in a + 1..k {
+            let r = pearson(&columns[vars[a]], &columns[vars[b]])?;
+            cm[a * k + b] = r;
+            cm[b * k + a] = r;
+        }
+    }
+
+    let r = if cond.is_empty() {
+        cm[1]
+    } else {
+        match invert(cm, k) {
+            Some(p) => {
+                let denom = (p[0] * p[k + 1]).sqrt();
+                if denom <= 0.0 {
+                    0.0
+                } else {
+                    (-p[1] / denom).clamp(-1.0, 1.0)
+                }
+            }
+            None => 0.0,
+        }
+    };
+
+    // Fisher z.
+    let r_c = r.clamp(-0.999_999, 0.999_999);
+    let z = 0.5 * ((1.0 + r_c) / (1.0 - r_c)).ln();
+    let stat = (n as f64 - cond.len() as f64 - 3.0).sqrt() * z.abs();
+    Ok(CorrIndepResult {
+        r,
+        p_value: normal_two_sided_p(stat),
+        n,
+        cond_size: cond.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy_line(n: usize, slope: f64, seed: u64) -> (Vec<f64>, Vec<f64>) {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let xs: Vec<f64> = (0..n).map(|_| next()).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| slope * x + 0.1 * next()).collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn pearson_perfect_correlation() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = ys.iter().map(|y| -y).collect();
+        assert!((pearson(&xs, &neg).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_constant_is_zero() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn pearson_rejects_mismatched_lengths() {
+        assert!(pearson(&[1.0], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn spearman_monotone_nonlinear_is_one() {
+        let xs: Vec<f64> = (1..20).map(f64::from).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x.exp()).collect();
+        assert!((spearman(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let xs = [1.0, 2.0, 2.0, 3.0];
+        let ys = [1.0, 2.0, 2.0, 3.0];
+        assert!((spearman(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invert_identity() {
+        let inv = invert(vec![1.0, 0.0, 0.0, 1.0], 2).unwrap();
+        assert_eq!(inv, vec![1.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn invert_known_2x2() {
+        // [[2, 1], [1, 1]]^-1 = [[1, -1], [-1, 2]]
+        let inv = invert(vec![2.0, 1.0, 1.0, 1.0], 2).unwrap();
+        for (a, b) in inv.iter().zip([1.0, -1.0, -1.0, 2.0]) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn invert_singular_returns_none() {
+        assert!(invert(vec![1.0, 2.0, 2.0, 4.0], 2).is_none());
+    }
+
+    #[test]
+    fn marginal_dependence_detected() {
+        let (xs, ys) = noisy_line(200, 1.0, 3);
+        let r = partial_correlation_test(&[xs, ys], 0, 1, &[]).unwrap();
+        assert!(r.dependent_at(0.01));
+        assert!(r.r > 0.8);
+    }
+
+    #[test]
+    fn independence_not_rejected() {
+        let (xs, _) = noisy_line(200, 1.0, 5);
+        let (zs, _) = noisy_line(200, 1.0, 99);
+        let r = partial_correlation_test(&[xs, zs], 0, 1, &[]).unwrap();
+        assert!(!r.dependent_at(0.01), "r={} p={}", r.r, r.p_value);
+    }
+
+    #[test]
+    fn chain_is_blocked_by_conditioning() {
+        // X → Z → Y: X ⫫ Y | Z should hold, X ⫫ Y should not.
+        let mut state = 42u64 | 1;
+        let mut next = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 11) as f64 / (1u64 << 53) as f64
+                - 0.5
+        };
+        let n = 400;
+        let xs: Vec<f64> = (0..n).map(|_| next()).collect();
+        let zs: Vec<f64> = xs.iter().map(|&x| x + 0.3 * next()).collect();
+        let ys: Vec<f64> = zs.iter().map(|&z| z + 0.3 * next()).collect();
+        let cols = vec![xs, ys, zs];
+        let marginal = partial_correlation_test(&cols, 0, 1, &[]).unwrap();
+        assert!(marginal.dependent_at(0.01));
+        let conditioned = partial_correlation_test(&cols, 0, 1, &[2]).unwrap();
+        assert!(
+            !conditioned.dependent_at(0.01),
+            "partial r={} p={}",
+            conditioned.r,
+            conditioned.p_value
+        );
+    }
+
+    #[test]
+    fn rejects_overlapping_variables() {
+        let cols = vec![vec![1.0; 10], vec![2.0; 10]];
+        assert!(partial_correlation_test(&cols, 0, 0, &[]).is_err());
+        assert!(partial_correlation_test(&cols, 0, 1, &[1]).is_err());
+    }
+
+    #[test]
+    fn needs_enough_samples() {
+        let cols = vec![vec![1.0, 2.0, 3.0], vec![1.0, 2.0, 3.0]];
+        assert!(matches!(
+            partial_correlation_test(&cols, 0, 1, &[]),
+            Err(StatsError::InsufficientData { .. })
+        ));
+    }
+}

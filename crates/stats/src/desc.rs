@@ -1,0 +1,245 @@
+//! Descriptive statistics: moments, quantiles, five-number summaries, and
+//! equal-frequency discretization (used by the RCD baseline's CI tests).
+
+use crate::error::{check_no_nan, check_nonempty, Result, StatsError};
+use serde::{Deserialize, Serialize};
+
+/// Arithmetic mean.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptySample`] for an empty slice and
+/// [`StatsError::NanInput`] if any value is NaN.
+pub fn mean(xs: &[f64]) -> Result<f64> {
+    check_nonempty(xs)?;
+    check_no_nan(xs)?;
+    Ok(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Unbiased (n−1) sample variance.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] for fewer than two observations.
+pub fn variance(xs: &[f64]) -> Result<f64> {
+    if xs.len() < 2 {
+        return Err(StatsError::InsufficientData { needed: 2, got: xs.len() });
+    }
+    check_no_nan(xs)?;
+    let m = xs.iter().sum::<f64>() / xs.len() as f64;
+    Ok(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64)
+}
+
+/// Sample standard deviation (square root of [`variance`]).
+///
+/// # Errors
+///
+/// Same as [`variance`].
+pub fn std_dev(xs: &[f64]) -> Result<f64> {
+    variance(xs).map(f64::sqrt)
+}
+
+/// Linear-interpolation quantile (type 7, the R/NumPy default).
+///
+/// `q` must be in `[0, 1]`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptySample`] on an empty slice,
+/// [`StatsError::InvalidParameter`] when `q` is outside `[0, 1]`, and
+/// [`StatsError::NanInput`] if any value is NaN.
+pub fn quantile(xs: &[f64], q: f64) -> Result<f64> {
+    check_nonempty(xs)?;
+    check_no_nan(xs)?;
+    if !(0.0..=1.0).contains(&q) {
+        return Err(StatsError::InvalidParameter("quantile q must be in [0,1]"));
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN after check"));
+    Ok(quantile_sorted(&sorted, q))
+}
+
+/// [`quantile`] on data that is already sorted ascending (no checks).
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let h = q * (n as f64 - 1.0);
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    let frac = h - lo as f64;
+    sorted[lo] + frac * (sorted[hi] - sorted[lo])
+}
+
+/// Five-number summary plus mean — the data behind a boxplot (paper Fig. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FiveNumber {
+    /// Smallest observation.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Number of observations.
+    pub n: usize,
+}
+
+impl FiveNumber {
+    /// Computes the summary of a sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptySample`] on an empty slice and
+    /// [`StatsError::NanInput`] if any value is NaN.
+    pub fn of(xs: &[f64]) -> Result<FiveNumber> {
+        check_nonempty(xs)?;
+        check_no_nan(xs)?;
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN after check"));
+        Ok(FiveNumber {
+            min: sorted[0],
+            q1: quantile_sorted(&sorted, 0.25),
+            median: quantile_sorted(&sorted, 0.5),
+            q3: quantile_sorted(&sorted, 0.75),
+            max: sorted[sorted.len() - 1],
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            n: sorted.len(),
+        })
+    }
+
+    /// Interquartile range.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+/// Discretizes a continuous sample into `bins` roughly equal-frequency bins,
+/// returning the bin index of each observation and the cut points used.
+///
+/// Used by CI tests over contingency tables (see `icfl-baselines::rcd`). Cut
+/// points are interior quantiles; duplicate cut points (heavily tied data)
+/// collapse, so fewer than `bins` distinct labels may be produced.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InvalidParameter`] if `bins < 2`, plus the usual
+/// empty/NaN errors.
+pub fn discretize_equal_frequency(xs: &[f64], bins: usize) -> Result<(Vec<usize>, Vec<f64>)> {
+    if bins < 2 {
+        return Err(StatsError::InvalidParameter("bins must be >= 2"));
+    }
+    check_nonempty(xs)?;
+    check_no_nan(xs)?;
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN after check"));
+    let mut cuts = Vec::with_capacity(bins - 1);
+    for k in 1..bins {
+        let c = quantile_sorted(&sorted, k as f64 / bins as f64);
+        if cuts.last().map_or(true, |&prev| c > prev) {
+            cuts.push(c);
+        }
+    }
+    let labels = xs
+        .iter()
+        .map(|&x| cuts.iter().take_while(|&&c| x > c).count())
+        .collect();
+    Ok((labels, cuts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_basic() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs).unwrap(), 5.0);
+        let v = variance(&xs).unwrap();
+        assert!((v - 4.571_428_571).abs() < 1e-8, "v={v}");
+        assert!((std_dev(&xs).unwrap() - v.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_rejects_bad_input() {
+        assert_eq!(mean(&[]), Err(StatsError::EmptySample));
+        assert_eq!(mean(&[1.0, f64::NAN]), Err(StatsError::NanInput));
+        assert!(matches!(
+            variance(&[1.0]),
+            Err(StatsError::InsufficientData { needed: 2, got: 1 })
+        ));
+    }
+
+    #[test]
+    fn quantile_matches_numpy_type7() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        // numpy.quantile([1,2,3,4], .25) = 1.75
+        assert!((quantile(&xs, 0.25).unwrap() - 1.75).abs() < 1e-12);
+        assert!((quantile(&xs, 0.5).unwrap() - 2.5).abs() < 1e-12);
+        assert_eq!(quantile(&xs, 0.0).unwrap(), 1.0);
+        assert_eq!(quantile(&xs, 1.0).unwrap(), 4.0);
+    }
+
+    #[test]
+    fn quantile_rejects_bad_q() {
+        assert!(matches!(
+            quantile(&[1.0], 1.5),
+            Err(StatsError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn quantile_single_element() {
+        assert_eq!(quantile(&[7.0], 0.9).unwrap(), 7.0);
+    }
+
+    #[test]
+    fn five_number_summary() {
+        let xs: Vec<f64> = (1..=9).map(|i| i as f64).collect();
+        let s = FiveNumber::of(&xs).unwrap();
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.median, 5.0);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(s.q1, 3.0);
+        assert_eq!(s.q3, 7.0);
+        assert_eq!(s.iqr(), 4.0);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.n, 9);
+    }
+
+    #[test]
+    fn discretize_balances_bins() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let (labels, cuts) = discretize_equal_frequency(&xs, 4).unwrap();
+        assert_eq!(cuts.len(), 3);
+        let mut counts = [0usize; 4];
+        for &l in &labels {
+            counts[l] += 1;
+        }
+        for &c in &counts {
+            assert!((20..=30).contains(&c), "counts={counts:?}");
+        }
+    }
+
+    #[test]
+    fn discretize_collapses_ties() {
+        let xs = vec![5.0; 50];
+        let (labels, cuts) = discretize_equal_frequency(&xs, 4).unwrap();
+        assert!(cuts.len() <= 1);
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn discretize_rejects_one_bin() {
+        assert!(matches!(
+            discretize_equal_frequency(&[1.0, 2.0], 1),
+            Err(StatsError::InvalidParameter(_))
+        ));
+    }
+}

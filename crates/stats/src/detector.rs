@@ -1,0 +1,216 @@
+//! A pluggable two-sample distribution-shift detector.
+//!
+//! The paper uses the Kolmogorov–Smirnov test to decide `F̂ ≠ F̂₀`
+//! (Algorithm 1 line 13, Algorithm 2 line 12). [`ShiftDetector`] abstracts
+//! that decision so the pipeline can swap in Mann–Whitney or Welch tests for
+//! ablations, and so the minimum-effect guard (DESIGN.md decision 4) is
+//! applied uniformly.
+
+use crate::{anderson_darling_test, ks_test, mann_whitney_u, welch_t_test, Result, StatsError};
+use serde::{Deserialize, Serialize};
+
+/// Which two-sample test backs the detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum TestKind {
+    /// Two-sample Kolmogorov–Smirnov (the paper's choice).
+    #[default]
+    KolmogorovSmirnov,
+    /// Mann–Whitney U rank test.
+    MannWhitney,
+    /// Welch's unequal-variance t-test.
+    Welch,
+    /// Two-sample Anderson–Darling with a seeded permutation p-value
+    /// (199 permutations; deterministic) — more tail-sensitive than KS.
+    AndersonDarling,
+}
+
+impl std::fmt::Display for TestKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestKind::KolmogorovSmirnov => write!(f, "ks"),
+            TestKind::MannWhitney => write!(f, "mann-whitney"),
+            TestKind::Welch => write!(f, "welch"),
+            TestKind::AndersonDarling => write!(f, "anderson-darling"),
+        }
+    }
+}
+
+/// Outcome of one shift decision.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShiftDecision {
+    /// Whether the detector declares the distributions different.
+    pub shifted: bool,
+    /// The underlying p-value.
+    pub p_value: f64,
+    /// The underlying test statistic (D for KS, |z| for MWU, |t| for Welch).
+    pub statistic: f64,
+    /// Relative change in sample means, `|mean₁−mean₀| / max(|mean₀|, ε)`.
+    pub relative_mean_change: f64,
+}
+
+/// A configured distribution-shift detector.
+///
+/// # Examples
+///
+/// ```
+/// use icfl_stats::ShiftDetector;
+///
+/// let det = ShiftDetector::default(); // KS at α = 0.05
+/// let baseline = vec![10.0, 11.0, 9.0, 10.5, 10.2, 9.8, 10.1, 10.3];
+/// let faulty = vec![30.0, 31.0, 29.0, 30.5, 30.2, 29.8, 30.1, 30.3];
+/// assert!(det.shifted(&baseline, &faulty)?.shifted);
+/// assert!(!det.shifted(&baseline, &baseline)?.shifted);
+/// # Ok::<(), icfl_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShiftDetector {
+    /// Which test to run.
+    pub kind: TestKind,
+    /// Significance level for rejecting "same distribution".
+    pub alpha: f64,
+    /// Minimum relative mean change required to call a shift, guarding
+    /// against statistically-significant-but-tiny effects on long windows.
+    /// `0.0` disables the guard.
+    pub min_relative_effect: f64,
+}
+
+impl Default for ShiftDetector {
+    fn default() -> Self {
+        ShiftDetector {
+            kind: TestKind::KolmogorovSmirnov,
+            alpha: 0.05,
+            min_relative_effect: 0.0,
+        }
+    }
+}
+
+impl ShiftDetector {
+    /// A KS detector at the given significance level.
+    pub fn ks(alpha: f64) -> Self {
+        ShiftDetector { kind: TestKind::KolmogorovSmirnov, alpha, ..Default::default() }
+    }
+
+    /// Sets the minimum-relative-effect guard, returning `self` for chaining.
+    pub fn with_min_effect(mut self, min_relative_effect: f64) -> Self {
+        self.min_relative_effect = min_relative_effect;
+        self
+    }
+
+    /// Decides whether `sample` is distributed differently from `baseline`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying test's errors (empty samples, NaN,
+    /// insufficient data) and rejects an invalid `alpha`.
+    pub fn shifted(&self, baseline: &[f64], sample: &[f64]) -> Result<ShiftDecision> {
+        if !(0.0 < self.alpha && self.alpha < 1.0) {
+            return Err(StatsError::InvalidParameter("alpha must be in (0,1)"));
+        }
+        let (p, stat) = match self.kind {
+            TestKind::KolmogorovSmirnov => {
+                let r = ks_test(baseline, sample)?;
+                (r.p_value, r.statistic)
+            }
+            TestKind::MannWhitney => {
+                let r = mann_whitney_u(baseline, sample)?;
+                (r.p_value, r.z.abs())
+            }
+            TestKind::Welch => {
+                let r = welch_t_test(baseline, sample)?;
+                (r.p_value, r.t.abs())
+            }
+            TestKind::AndersonDarling => {
+                // Fixed permutation count/seed keeps the detector
+                // deterministic and Copy.
+                let r = anderson_darling_test(baseline, sample, 199, 0x5eed)?;
+                (r.p_value, r.statistic)
+            }
+        };
+        let m0 = baseline.iter().sum::<f64>() / baseline.len() as f64;
+        let m1 = sample.iter().sum::<f64>() / sample.len() as f64;
+        let rel = (m1 - m0).abs() / m0.abs().max(1e-9);
+        let shifted = p < self.alpha && rel >= self.min_relative_effect;
+        Ok(ShiftDecision {
+            shifted,
+            p_value: p,
+            statistic: stat,
+            relative_mean_change: rel,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Vec<f64> {
+        (0..20).map(|i| 100.0 + (i % 7) as f64).collect()
+    }
+
+    #[test]
+    fn default_is_ks_at_five_percent() {
+        let d = ShiftDetector::default();
+        assert_eq!(d.kind, TestKind::KolmogorovSmirnov);
+        assert_eq!(d.alpha, 0.05);
+    }
+
+    #[test]
+    fn all_kinds_detect_a_large_shift() {
+        let b = base();
+        let s: Vec<f64> = b.iter().map(|x| x + 50.0).collect();
+        for kind in [
+            TestKind::KolmogorovSmirnov,
+            TestKind::MannWhitney,
+            TestKind::Welch,
+            TestKind::AndersonDarling,
+        ] {
+            let det = ShiftDetector { kind, alpha: 0.05, min_relative_effect: 0.0 };
+            assert!(det.shifted(&b, &s).unwrap().shifted, "kind={kind}");
+        }
+    }
+
+    #[test]
+    fn no_kind_flags_identical_data() {
+        let b = base();
+        for kind in [
+            TestKind::KolmogorovSmirnov,
+            TestKind::MannWhitney,
+            TestKind::Welch,
+            TestKind::AndersonDarling,
+        ] {
+            let det = ShiftDetector { kind, alpha: 0.05, min_relative_effect: 0.0 };
+            assert!(!det.shifted(&b, &b).unwrap().shifted, "kind={kind}");
+        }
+    }
+
+    #[test]
+    fn min_effect_guard_suppresses_tiny_shifts() {
+        // A tightly concentrated baseline so a +1% mean change is
+        // nonetheless a clean distributional shift (disjoint supports).
+        let b: Vec<f64> = (0..20).map(|i| 100.0 + (i % 7) as f64 * 0.01).collect();
+        let s: Vec<f64> = b.iter().map(|x| x + 1.0).collect();
+        let loose = ShiftDetector::ks(0.05);
+        let strict = ShiftDetector::ks(0.05).with_min_effect(0.05);
+        let l = loose.shifted(&b, &s).unwrap();
+        let st = strict.shifted(&b, &s).unwrap();
+        assert!(l.shifted, "p={}", l.p_value);
+        assert!(!st.shifted);
+        assert!(st.relative_mean_change < 0.05);
+    }
+
+    #[test]
+    fn invalid_alpha_rejected() {
+        let det = ShiftDetector { alpha: 0.0, ..Default::default() };
+        assert!(det.shifted(&base(), &base()).is_err());
+        let det = ShiftDetector { alpha: 1.0, ..Default::default() };
+        assert!(det.shifted(&base(), &base()).is_err());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(TestKind::KolmogorovSmirnov.to_string(), "ks");
+        assert_eq!(TestKind::MannWhitney.to_string(), "mann-whitney");
+        assert_eq!(TestKind::Welch.to_string(), "welch");
+        assert_eq!(TestKind::AndersonDarling.to_string(), "anderson-darling");
+    }
+}

@@ -1,0 +1,77 @@
+//! Error type shared by all statistical routines.
+
+use core::fmt;
+
+/// Errors returned by statistical routines in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StatsError {
+    /// A sample was empty where at least one observation is required.
+    EmptySample,
+    /// A routine needed more observations than were supplied.
+    InsufficientData {
+        /// Minimum number of observations required.
+        needed: usize,
+        /// Number of observations supplied.
+        got: usize,
+    },
+    /// A parameter was outside its valid domain (e.g. `alpha` not in (0,1)).
+    InvalidParameter(&'static str),
+    /// Input contained NaN, which has no place in an ordering-based test.
+    NanInput,
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::EmptySample => write!(f, "sample is empty"),
+            StatsError::InsufficientData { needed, got } => {
+                write!(f, "needs at least {needed} observations, got {got}")
+            }
+            StatsError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+            StatsError::NanInput => write!(f, "input contains NaN"),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = core::result::Result<T, StatsError>;
+
+pub(crate) fn check_no_nan(xs: &[f64]) -> Result<()> {
+    if xs.iter().any(|x| x.is_nan()) {
+        Err(StatsError::NanInput)
+    } else {
+        Ok(())
+    }
+}
+
+pub(crate) fn check_nonempty(xs: &[f64]) -> Result<()> {
+    if xs.is_empty() {
+        Err(StatsError::EmptySample)
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(StatsError::EmptySample.to_string(), "sample is empty");
+        assert_eq!(
+            StatsError::InsufficientData { needed: 3, got: 1 }.to_string(),
+            "needs at least 3 observations, got 1"
+        );
+        assert!(StatsError::InvalidParameter("alpha").to_string().contains("alpha"));
+        assert_eq!(StatsError::NanInput.to_string(), "input contains NaN");
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(StatsError::EmptySample);
+        assert!(!e.to_string().is_empty());
+    }
+}

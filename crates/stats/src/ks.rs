@@ -1,0 +1,274 @@
+//! Two-sample Kolmogorov–Smirnov test — the distribution-shift detector at
+//! the heart of the paper's Algorithms 1 and 2 (`F̂_s ≠ F̂_0` decisions).
+//!
+//! The KS statistic `D = sup_x |F̂₁(x) − F̂₂(x)|` is computed exactly by a
+//! merge-walk over the two sorted samples. The p-value uses the asymptotic
+//! Kolmogorov distribution with the Stephens small-sample correction
+//! (Numerical Recipes §14.3); an exact permutation p-value is available for
+//! very small samples.
+
+use crate::error::{check_no_nan, check_nonempty, Result};
+use crate::special::kolmogorov_sf;
+use serde::{Deserialize, Serialize};
+
+/// Result of a two-sample KS test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KsResult {
+    /// The KS statistic `D ∈ [0, 1]`.
+    pub statistic: f64,
+    /// Two-sided p-value for the hypothesis that both samples share a
+    /// distribution.
+    pub p_value: f64,
+    /// Size of the first sample.
+    pub n1: usize,
+    /// Size of the second sample.
+    pub n2: usize,
+}
+
+impl KsResult {
+    /// True when the test rejects equality at significance level `alpha`.
+    pub fn rejects_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Computes the exact two-sample KS statistic `D`.
+///
+/// # Errors
+///
+/// Returns an error if either sample is empty or contains NaN.
+pub fn ks_statistic(xs: &[f64], ys: &[f64]) -> Result<f64> {
+    check_nonempty(xs)?;
+    check_nonempty(ys)?;
+    check_no_nan(xs)?;
+    check_no_nan(ys)?;
+    let mut a = xs.to_vec();
+    let mut b = ys.to_vec();
+    a.sort_by(|p, q| p.partial_cmp(q).expect("no NaN after check"));
+    b.sort_by(|p, q| p.partial_cmp(q).expect("no NaN after check"));
+
+    let (n1, n2) = (a.len() as f64, b.len() as f64);
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d: f64 = 0.0;
+    while i < a.len() && j < b.len() {
+        let x = a[i].min(b[j]);
+        // Advance past all observations equal to x in both samples so the
+        // CDF comparison happens *between* distinct support points — this is
+        // what makes the statistic exact in the presence of ties.
+        while i < a.len() && a[i] <= x {
+            i += 1;
+        }
+        while j < b.len() && b[j] <= x {
+            j += 1;
+        }
+        let f1 = i as f64 / n1;
+        let f2 = j as f64 / n2;
+        d = d.max((f1 - f2).abs());
+    }
+    Ok(d)
+}
+
+/// Two-sample KS test with the asymptotic p-value.
+///
+/// # Errors
+///
+/// Returns an error if either sample is empty or contains NaN.
+///
+/// # Examples
+///
+/// ```
+/// use icfl_stats::ks_test;
+///
+/// let baseline: Vec<f64> = (0..40).map(|i| (i % 10) as f64).collect();
+/// let shifted: Vec<f64> = (0..40).map(|i| (i % 10) as f64 + 6.0).collect();
+/// let r = ks_test(&baseline, &shifted)?;
+/// assert!(r.rejects_at(0.05));
+/// # Ok::<(), icfl_stats::StatsError>(())
+/// ```
+pub fn ks_test(xs: &[f64], ys: &[f64]) -> Result<KsResult> {
+    let d = ks_statistic(xs, ys)?;
+    let n1 = xs.len();
+    let n2 = ys.len();
+    let en = ((n1 * n2) as f64 / (n1 + n2) as f64).sqrt();
+    // Stephens' correction improves accuracy for small samples.
+    let lambda = (en + 0.12 + 0.11 / en) * d;
+    Ok(KsResult {
+        statistic: d,
+        p_value: kolmogorov_sf(lambda),
+        n1,
+        n2,
+    })
+}
+
+/// Exact-by-resampling p-value: permutes the pooled sample `iterations`
+/// times with a private xorshift PRNG seeded by `seed` and counts how often
+/// a permuted `D` meets or exceeds the observed one.
+///
+/// Use when both samples are small (≲ 20) and the asymptotic approximation
+/// is too coarse.
+///
+/// # Errors
+///
+/// Returns an error if either sample is empty or contains NaN.
+pub fn ks_permutation_test(
+    xs: &[f64],
+    ys: &[f64],
+    iterations: u32,
+    seed: u64,
+) -> Result<KsResult> {
+    let observed = ks_statistic(xs, ys)?;
+    let mut pool: Vec<f64> = xs.iter().chain(ys.iter()).copied().collect();
+    let n1 = xs.len();
+    let mut state = seed | 1;
+    let mut next = move || {
+        // xorshift64*
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    };
+    let mut exceed = 0u32;
+    for _ in 0..iterations {
+        // Fisher–Yates with the private PRNG.
+        for i in (1..pool.len()).rev() {
+            let j = (next() % (i as u64 + 1)) as usize;
+            pool.swap(i, j);
+        }
+        let d = ks_statistic(&pool[..n1], &pool[n1..])?;
+        if d >= observed - 1e-12 {
+            exceed += 1;
+        }
+    }
+    Ok(KsResult {
+        statistic: observed,
+        // Add-one smoothing keeps the p-value strictly positive.
+        p_value: (exceed as f64 + 1.0) / (iterations as f64 + 1.0),
+        n1,
+        n2: ys.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::StatsError;
+
+    fn ramp(n: usize, offset: f64) -> Vec<f64> {
+        (0..n).map(|i| i as f64 / n as f64 + offset).collect()
+    }
+
+    #[test]
+    fn identical_samples_have_zero_statistic() {
+        let xs = ramp(50, 0.0);
+        let r = ks_test(&xs, &xs).unwrap();
+        assert_eq!(r.statistic, 0.0);
+        assert!((r.p_value - 1.0).abs() < 1e-12);
+        assert!(!r.rejects_at(0.05));
+    }
+
+    #[test]
+    fn disjoint_samples_have_statistic_one() {
+        let xs = ramp(30, 0.0);
+        let ys = ramp(30, 10.0);
+        let r = ks_test(&xs, &ys).unwrap();
+        assert_eq!(r.statistic, 1.0);
+        assert!(r.p_value < 1e-6);
+        assert!(r.rejects_at(0.01));
+    }
+
+    #[test]
+    fn statistic_is_symmetric() {
+        let xs = ramp(25, 0.0);
+        let ys = ramp(40, 0.3);
+        let d1 = ks_statistic(&xs, &ys).unwrap();
+        let d2 = ks_statistic(&ys, &xs).unwrap();
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn known_small_example() {
+        // Hand-computable: xs={1,2,3}, ys={2,3,4}.
+        // After x=1: F1=1/3, F2=0 → D=1/3. After 2: 2/3 vs 1/3 → 1/3.
+        // After 3: 1 vs 2/3 → 1/3. After 4: 1 vs 1.
+        let d = ks_statistic(&[1.0, 2.0, 3.0], &[2.0, 3.0, 4.0]).unwrap();
+        assert!((d - 1.0 / 3.0).abs() < 1e-12, "d={d}");
+    }
+
+    #[test]
+    fn ties_handled_exactly() {
+        // All mass at the same point: identical distributions.
+        let d = ks_statistic(&[5.0; 20], &[5.0; 15]).unwrap();
+        assert_eq!(d, 0.0);
+        // Half the mass shifted.
+        let xs = [0.0, 0.0, 1.0, 1.0];
+        let ys = [0.0, 1.0, 1.0, 1.0];
+        let d = ks_statistic(&xs, &ys).unwrap();
+        assert!((d - 0.25).abs() < 1e-12, "d={d}");
+    }
+
+    #[test]
+    fn p_value_matches_scipy_reference() {
+        // scipy.stats.ks_2samp(range(20), range(5, 25)) → D=0.25, p≈0.5345
+        // (asymptotic mode). Our Stephens-corrected value should be close.
+        let xs: Vec<f64> = (0..20).map(f64::from).collect();
+        let ys: Vec<f64> = (5..25).map(f64::from).collect();
+        let r = ks_test(&xs, &ys).unwrap();
+        assert!((r.statistic - 0.25).abs() < 1e-12);
+        assert!((r.p_value - 0.53).abs() < 0.08, "p={}", r.p_value);
+    }
+
+    #[test]
+    fn rejects_location_shift_with_windowed_sample_sizes() {
+        // The paper uses ~19 hopping windows per phase; make sure a clear
+        // shift is detectable at that size.
+        let xs: Vec<f64> = (0..19).map(|i| 50.0 + (i % 5) as f64).collect();
+        let ys: Vec<f64> = (0..19).map(|i| 80.0 + (i % 5) as f64).collect();
+        assert!(ks_test(&xs, &ys).unwrap().rejects_at(0.05));
+    }
+
+    #[test]
+    fn null_calibration_rough() {
+        // Under H0 the rejection rate at alpha=0.05 should be near 5%
+        // (conservative is fine for windowed data).
+        let mut state = 12345u64;
+        let mut next_f = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let trials = 400;
+        let mut rejections = 0;
+        for _ in 0..trials {
+            let xs: Vec<f64> = (0..30).map(|_| next_f()).collect();
+            let ys: Vec<f64> = (0..30).map(|_| next_f()).collect();
+            if ks_test(&xs, &ys).unwrap().rejects_at(0.05) {
+                rejections += 1;
+            }
+        }
+        let rate = rejections as f64 / trials as f64;
+        assert!(rate < 0.10, "null rejection rate too high: {rate}");
+    }
+
+    #[test]
+    fn permutation_test_agrees_on_clear_shift() {
+        let xs = ramp(12, 0.0);
+        let ys = ramp(12, 5.0);
+        let r = ks_permutation_test(&xs, &ys, 500, 7).unwrap();
+        assert!(r.p_value < 0.02, "p={}", r.p_value);
+    }
+
+    #[test]
+    fn permutation_test_null_is_large() {
+        let xs = ramp(12, 0.0);
+        let r = ks_permutation_test(&xs, &xs, 300, 11).unwrap();
+        assert!(r.p_value > 0.9, "p={}", r.p_value);
+    }
+
+    #[test]
+    fn rejects_empty_and_nan() {
+        assert_eq!(ks_test(&[], &[1.0]), Err(StatsError::EmptySample));
+        assert_eq!(ks_test(&[1.0], &[]), Err(StatsError::EmptySample));
+        assert_eq!(ks_test(&[f64::NAN], &[1.0]), Err(StatsError::NanInput));
+    }
+}

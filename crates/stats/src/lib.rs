@@ -1,0 +1,66 @@
+//! # icfl-stats — hand-rolled statistics for interventional causal learning
+//!
+//! Every statistical routine the ICFL reproduction needs, implemented from
+//! scratch (no stats crates are available in the offline dependency set; see
+//! `DESIGN.md`):
+//!
+//! * [`ks_test`] / [`ks_statistic`] / [`ks_permutation_test`] — the paper's
+//!   distribution-shift test (Algorithms 1 & 2);
+//! * [`mann_whitney_u`], [`welch_t_test`],
+//!   [`anderson_darling_test`] — alternative detectors for ablations,
+//!   unified behind [`ShiftDetector`];
+//! * [`pearson`], [`spearman`], [`partial_correlation_test`] — association
+//!   measures and the Fisher-z CI test used by constraint-based causal
+//!   discovery (the RCD baseline);
+//! * [`g_square_test`] — discrete conditional-independence test;
+//! * [`mean`], [`variance`], [`quantile`], [`FiveNumber`],
+//!   [`discretize_equal_frequency`] — descriptive statistics (Fig. 2's
+//!   boxplots) and discretization;
+//! * [`special`] — log-gamma, incomplete gamma/beta, normal/t/chi-square
+//!   CDFs, and the Kolmogorov distribution.
+//!
+//! # Examples
+//!
+//! ```
+//! use icfl_stats::{ks_test, ShiftDetector};
+//!
+//! let normal_ops = vec![49.0, 51.0, 50.5, 48.7, 50.1, 49.3, 50.8, 49.9];
+//! let under_fault = vec![12.0, 13.5, 11.2, 12.8, 13.1, 11.9, 12.4, 12.6];
+//!
+//! // Raw KS test ...
+//! let r = ks_test(&normal_ops, &under_fault)?;
+//! assert!(r.p_value < 0.05);
+//!
+//! // ... or the configured detector used throughout the pipeline.
+//! let det = ShiftDetector::ks(0.05).with_min_effect(0.1);
+//! assert!(det.shifted(&normal_ops, &under_fault)?.shifted);
+//! # Ok::<(), icfl_stats::StatsError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ad;
+mod bootstrap;
+mod citest;
+mod corr;
+mod desc;
+mod detector;
+mod error;
+mod ks;
+mod rank;
+pub mod special;
+mod ttest;
+
+pub use ad::{anderson_darling_statistic, anderson_darling_test, AndersonDarlingResult};
+pub use bootstrap::{bootstrap_mean_ci, ConfidenceInterval};
+pub use citest::{g_square_test, GSquareResult};
+pub use corr::{partial_correlation_test, pearson, spearman, CorrIndepResult};
+pub use desc::{
+    discretize_equal_frequency, mean, quantile, quantile_sorted, std_dev, variance, FiveNumber,
+};
+pub use detector::{ShiftDecision, ShiftDetector, TestKind};
+pub use error::{Result, StatsError};
+pub use ks::{ks_permutation_test, ks_statistic, ks_test, KsResult};
+pub use rank::{mann_whitney_u, MannWhitneyResult};
+pub use ttest::{welch_t_test, WelchResult};

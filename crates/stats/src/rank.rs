@@ -1,0 +1,156 @@
+//! Mann–Whitney U test (Wilcoxon rank-sum) — an alternative distribution-
+//! shift detector usable in place of the KS test in Algorithms 1–2.
+
+use crate::error::{check_no_nan, check_nonempty, Result};
+use crate::special::normal_two_sided_p;
+use serde::{Deserialize, Serialize};
+
+/// Result of a Mann–Whitney U test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MannWhitneyResult {
+    /// The U statistic of the first sample.
+    pub u: f64,
+    /// Two-sided p-value from the tie-corrected normal approximation.
+    pub p_value: f64,
+    /// Standardized statistic.
+    pub z: f64,
+    /// Size of the first sample.
+    pub n1: usize,
+    /// Size of the second sample.
+    pub n2: usize,
+}
+
+impl MannWhitneyResult {
+    /// True when the test rejects at level `alpha`.
+    pub fn rejects_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Assigns mid-ranks (1-based, ties averaged) to the pooled data.
+/// Returns per-observation ranks and the tie-correction term Σ(t³−t).
+fn mid_ranks(pool: &[f64]) -> (Vec<f64>, f64) {
+    let mut order: Vec<usize> = (0..pool.len()).collect();
+    order.sort_by(|&a, &b| pool[a].partial_cmp(&pool[b]).expect("no NaN"));
+    let mut ranks = vec![0.0; pool.len()];
+    let mut tie_term = 0.0;
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && pool[order[j + 1]] == pool[order[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = avg_rank;
+        }
+        let t = (j - i + 1) as f64;
+        if t > 1.0 {
+            tie_term += t * t * t - t;
+        }
+        i = j + 1;
+    }
+    (ranks, tie_term)
+}
+
+/// Two-sided Mann–Whitney U test with tie-corrected normal approximation.
+///
+/// # Errors
+///
+/// Returns an error if either sample is empty or contains NaN.
+///
+/// # Examples
+///
+/// ```
+/// use icfl_stats::mann_whitney_u;
+///
+/// let a: Vec<f64> = (0..30).map(|i| i as f64).collect();
+/// let b: Vec<f64> = (0..30).map(|i| i as f64 + 25.0).collect();
+/// assert!(mann_whitney_u(&a, &b)?.rejects_at(0.01));
+/// # Ok::<(), icfl_stats::StatsError>(())
+/// ```
+pub fn mann_whitney_u(xs: &[f64], ys: &[f64]) -> Result<MannWhitneyResult> {
+    check_nonempty(xs)?;
+    check_nonempty(ys)?;
+    check_no_nan(xs)?;
+    check_no_nan(ys)?;
+    let n1 = xs.len();
+    let n2 = ys.len();
+    let pool: Vec<f64> = xs.iter().chain(ys.iter()).copied().collect();
+    let (ranks, tie_term) = mid_ranks(&pool);
+    let r1: f64 = ranks[..n1].iter().sum();
+    let u1 = r1 - (n1 * (n1 + 1)) as f64 / 2.0;
+    let (n1f, n2f) = (n1 as f64, n2 as f64);
+    let n = n1f + n2f;
+    let mean_u = n1f * n2f / 2.0;
+    let var_u = n1f * n2f / 12.0 * ((n + 1.0) - tie_term / (n * (n - 1.0)));
+    // All observations tied → zero variance → no evidence of a shift.
+    let (z, p) = if var_u <= 0.0 {
+        (0.0, 1.0)
+    } else {
+        // Continuity correction.
+        let z = (u1 - mean_u - 0.5 * (u1 - mean_u).signum()) / var_u.sqrt();
+        (z, normal_two_sided_p(z))
+    };
+    Ok(MannWhitneyResult { u: u1, p_value: p, z, n1, n2 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_samples_do_not_reject() {
+        let xs: Vec<f64> = (0..25).map(f64::from).collect();
+        let r = mann_whitney_u(&xs, &xs).unwrap();
+        assert!(r.p_value > 0.9, "p={}", r.p_value);
+    }
+
+    #[test]
+    fn clear_shift_rejects() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = (0..20).map(|i| i as f64 + 100.0).collect();
+        let r = mann_whitney_u(&xs, &ys).unwrap();
+        assert!(r.rejects_at(0.001));
+        assert_eq!(r.u, 0.0); // every x below every y
+    }
+
+    #[test]
+    fn u_statistics_sum_to_n1_n2() {
+        let xs = [3.0, 1.0, 4.0, 1.5];
+        let ys = [2.0, 5.0, 0.5];
+        let r12 = mann_whitney_u(&xs, &ys).unwrap();
+        let r21 = mann_whitney_u(&ys, &xs).unwrap();
+        assert!((r12.u + r21.u - (xs.len() * ys.len()) as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_tied_data_has_p_one() {
+        let xs = [4.0; 10];
+        let ys = [4.0; 12];
+        let r = mann_whitney_u(&xs, &ys).unwrap();
+        assert_eq!(r.p_value, 1.0);
+        assert_eq!(r.z, 0.0);
+    }
+
+    #[test]
+    fn mid_ranks_average_ties() {
+        let (ranks, tie) = mid_ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(ranks, vec![1.0, 2.5, 2.5, 4.0]);
+        assert_eq!(tie, 6.0); // t=2 → 8-2=6
+    }
+
+    #[test]
+    fn rejects_scale_preserving_median_shift_at_window_sizes() {
+        // ~19 samples per phase, as in the paper's windowed data.
+        let xs: Vec<f64> = (0..19).map(|i| 10.0 + (i % 4) as f64).collect();
+        let ys: Vec<f64> = (0..19).map(|i| 16.0 + (i % 4) as f64).collect();
+        assert!(mann_whitney_u(&xs, &ys).unwrap().rejects_at(0.05));
+    }
+
+    #[test]
+    fn empty_input_errors() {
+        assert!(mann_whitney_u(&[], &[1.0]).is_err());
+        assert!(mann_whitney_u(&[1.0], &[]).is_err());
+    }
+}

@@ -1,0 +1,402 @@
+//! Special functions needed by the test statistics: log-gamma, regularized
+//! incomplete gamma and beta functions, the error function, and the standard
+//! normal CDF.
+//!
+//! All implementations are classical series/continued-fraction evaluations
+//! (Lanczos approximation, Numerical-Recipes-style `gser`/`gcf`/`betacf`)
+//! accurate to roughly 1e-10 over the ranges used by the tests in this crate.
+
+/// Natural log of the gamma function, via the Lanczos approximation (g=7, n=9).
+///
+/// Accurate to ~1e-13 for `x > 0`.
+///
+/// # Panics
+///
+/// Panics if `x <= 0` (the reflection formula is not needed by this crate).
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma domain: x > 0, got {x}");
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_571_6e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection: Γ(x)Γ(1−x) = π / sin(πx)
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + G + 0.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Regularized lower incomplete gamma function `P(a, x)`.
+///
+/// `P(a, x) = γ(a, x) / Γ(a)`; this is the CDF of a Gamma(a, 1) variable, and
+/// `P(k/2, x/2)` is the chi-square CDF with `k` degrees of freedom.
+///
+/// # Panics
+///
+/// Panics if `a <= 0` or `x < 0`.
+pub fn gamma_p(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && x >= 0.0, "gamma_p domain: a > 0, x >= 0");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        gamma_series(a, x)
+    } else {
+        1.0 - gamma_cf(a, x)
+    }
+}
+
+/// Regularized upper incomplete gamma function `Q(a, x) = 1 - P(a, x)`.
+pub fn gamma_q(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && x >= 0.0, "gamma_q domain: a > 0, x >= 0");
+    if x == 0.0 {
+        return 1.0;
+    }
+    if x < a + 1.0 {
+        1.0 - gamma_series(a, x)
+    } else {
+        gamma_cf(a, x)
+    }
+}
+
+/// Series representation of P(a,x), converges fast for x < a+1.
+fn gamma_series(a: f64, x: f64) -> f64 {
+    let mut ap = a;
+    let mut sum = 1.0 / a;
+    let mut del = sum;
+    for _ in 0..500 {
+        ap += 1.0;
+        del *= x / ap;
+        sum += del;
+        if del.abs() < sum.abs() * 1e-15 {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// Continued-fraction representation of Q(a,x), converges fast for x >= a+1.
+fn gamma_cf(a: f64, x: f64) -> f64 {
+    const TINY: f64 = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / TINY;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..500 {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = b + an / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < 1e-15 {
+            break;
+        }
+    }
+    h * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// Regularized incomplete beta function `I_x(a, b)`.
+///
+/// This is the CDF of a Beta(a, b) variable; Student's t and F CDFs are
+/// expressed through it.
+///
+/// # Panics
+///
+/// Panics if `a <= 0`, `b <= 0`, or `x` outside `[0, 1]`.
+pub fn beta_inc(a: f64, b: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && b > 0.0, "beta_inc domain: a, b > 0");
+    assert!((0.0..=1.0).contains(&x), "beta_inc domain: x in [0,1], got {x}");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    let ln_front =
+        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * betacf(a, b, x) / a
+    } else {
+        1.0 - front * betacf(b, a, 1.0 - x) / b
+    }
+}
+
+/// Lentz continued fraction for the incomplete beta function.
+fn betacf(a: f64, b: f64, x: f64) -> f64 {
+    const TINY: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..500 {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // even step
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // odd step
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < 1e-15 {
+            break;
+        }
+    }
+    h
+}
+
+/// The error function, evaluated through the incomplete gamma function
+/// using the identity `erf(x) = P(1/2, x²)` for `x ≥ 0` (odd extension for
+/// negative `x`). Accuracy ~1e-12.
+pub fn erf(x: f64) -> f64 {
+    if x == 0.0 {
+        return 0.0;
+    }
+    let v = gamma_p(0.5, x * x);
+    if x > 0.0 {
+        v
+    } else {
+        -v
+    }
+}
+
+/// CDF of the standard normal distribution.
+pub fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+/// Two-sided p-value for a standard-normal statistic.
+pub fn normal_two_sided_p(z: f64) -> f64 {
+    2.0 * (1.0 - normal_cdf(z.abs()))
+}
+
+/// CDF of Student's t distribution with `df` degrees of freedom.
+///
+/// # Panics
+///
+/// Panics if `df <= 0`.
+pub fn student_t_cdf(t: f64, df: f64) -> f64 {
+    assert!(df > 0.0, "student_t_cdf domain: df > 0");
+    let x = df / (df + t * t);
+    let p = 0.5 * beta_inc(df / 2.0, 0.5, x);
+    if t > 0.0 {
+        1.0 - p
+    } else {
+        p
+    }
+}
+
+/// CDF of the chi-square distribution with `df` degrees of freedom.
+///
+/// # Panics
+///
+/// Panics if `df <= 0` or `x < 0`.
+pub fn chi_square_cdf(x: f64, df: f64) -> f64 {
+    assert!(df > 0.0, "chi_square_cdf domain: df > 0");
+    gamma_p(df / 2.0, x / 2.0)
+}
+
+/// Survival function (upper tail) of the chi-square distribution.
+pub fn chi_square_sf(x: f64, df: f64) -> f64 {
+    assert!(df > 0.0, "chi_square_sf domain: df > 0");
+    gamma_q(df / 2.0, x / 2.0)
+}
+
+/// The Kolmogorov distribution's survival function
+/// `Q_KS(λ) = 2 Σ_{j≥1} (−1)^{j−1} exp(−2 j² λ²)`.
+///
+/// Values are clamped to `[0, 1]`.
+pub fn kolmogorov_sf(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    // For small λ the alternating series converges hopelessly slowly; use
+    // the theta-function dual form (Numerical Recipes §14.3.3):
+    //   P(λ) = (√(2π)/λ) Σ_{j≥1} exp(−(2j−1)²π²/(8λ²)),  Q = 1 − P.
+    if lambda < 1.18 {
+        let x = (-std::f64::consts::PI * std::f64::consts::PI / (8.0 * lambda * lambda)).exp();
+        let cdf = ((2.0 * std::f64::consts::PI).sqrt() / lambda)
+            * (x + x.powi(9) + x.powi(25) + x.powi(49));
+        return (1.0 - cdf).clamp(0.0, 1.0);
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    let mut term_prev = f64::MAX;
+    for j in 1..=100 {
+        let j = j as f64;
+        let term = (-2.0 * j * j * lambda * lambda).exp();
+        sum += sign * term;
+        if term < 1e-17 || term / term_prev.max(1e-300) > 1.0 {
+            break;
+        }
+        term_prev = term;
+        sign = -sign;
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn ln_gamma_integers() {
+        // Γ(n) = (n-1)!
+        let facts = [1.0, 1.0, 2.0, 6.0, 24.0, 120.0, 720.0];
+        for (n, &f) in facts.iter().enumerate() {
+            assert!(
+                close(ln_gamma(n as f64 + 1.0), f64::ln(f), 1e-10),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half() {
+        // Γ(1/2) = sqrt(π)
+        assert!(close(ln_gamma(0.5), (std::f64::consts::PI).sqrt().ln(), 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "ln_gamma domain")]
+    fn ln_gamma_rejects_nonpositive() {
+        ln_gamma(0.0);
+    }
+
+    #[test]
+    fn gamma_p_q_complementary() {
+        for &(a, x) in &[(0.5, 0.3), (2.0, 1.0), (5.0, 9.0), (10.0, 3.0)] {
+            assert!(close(gamma_p(a, x) + gamma_q(a, x), 1.0, 1e-12));
+        }
+    }
+
+    #[test]
+    fn gamma_p_exponential_special_case() {
+        // P(1, x) = 1 - e^{-x}
+        for &x in &[0.1, 1.0, 2.5, 7.0] {
+            assert!(close(gamma_p(1.0, x), 1.0 - (-x).exp(), 1e-12));
+        }
+    }
+
+    #[test]
+    fn chi_square_reference_values() {
+        // scipy.stats.chi2.cdf(3.84, 1) ≈ 0.9499565
+        assert!(close(chi_square_cdf(3.84, 1.0), 0.9499565, 1e-5));
+        // chi2.cdf(5.99, 2) ≈ 0.94995
+        assert!(close(chi_square_cdf(5.99, 2.0), 0.949965, 1e-4));
+        assert!(close(chi_square_sf(3.84, 1.0), 1.0 - 0.9499565, 1e-5));
+    }
+
+    #[test]
+    fn beta_inc_symmetry_and_bounds() {
+        assert_eq!(beta_inc(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(beta_inc(2.0, 3.0, 1.0), 1.0);
+        for &(a, b, x) in &[(2.0, 3.0, 0.4), (0.5, 0.5, 0.2), (7.0, 2.0, 0.9)] {
+            let lhs = beta_inc(a, b, x);
+            let rhs = 1.0 - beta_inc(b, a, 1.0 - x);
+            assert!(close(lhs, rhs, 1e-10), "a={a} b={b} x={x}");
+        }
+    }
+
+    #[test]
+    fn beta_inc_uniform_special_case() {
+        // I_x(1,1) = x
+        for &x in &[0.1, 0.5, 0.99] {
+            assert!(close(beta_inc(1.0, 1.0, x), x, 1e-12));
+        }
+    }
+
+    #[test]
+    fn erf_reference_values() {
+        assert!(close(erf(0.0), 0.0, 1e-15));
+        assert!(close(erf(1.0), 0.842_700_792_949_715, 1e-9));
+        assert!(close(erf(-1.0), -0.842_700_792_949_715, 1e-9));
+        assert!(close(erf(2.0), 0.995_322_265_018_953, 1e-9));
+    }
+
+    #[test]
+    fn normal_cdf_reference_values() {
+        assert!(close(normal_cdf(0.0), 0.5, 1e-12));
+        assert!(close(normal_cdf(1.959_963_985), 0.975, 1e-6));
+        assert!(close(normal_cdf(-1.644_853_627), 0.05, 1e-6));
+    }
+
+    #[test]
+    fn student_t_reference_values() {
+        // t.cdf(2.0, 10) ≈ 0.963306
+        assert!(close(student_t_cdf(2.0, 10.0), 0.963_306, 1e-5));
+        assert!(close(student_t_cdf(0.0, 5.0), 0.5, 1e-12));
+        assert!(close(student_t_cdf(-2.0, 10.0), 1.0 - 0.963_306, 1e-5));
+    }
+
+    #[test]
+    fn kolmogorov_sf_reference_values() {
+        // Known: Q(1.36) ≈ 0.049, the classic 5% critical value.
+        let q = kolmogorov_sf(1.36);
+        assert!(close(q, 0.049, 2e-3), "q={q}");
+        assert_eq!(kolmogorov_sf(0.0), 1.0);
+        assert!(kolmogorov_sf(3.0) < 1e-6);
+        // Monotone decreasing.
+        assert!(kolmogorov_sf(0.5) > kolmogorov_sf(1.0));
+        assert!(kolmogorov_sf(1.0) > kolmogorov_sf(2.0));
+    }
+
+    #[test]
+    fn normal_two_sided_p_symmetry() {
+        assert!(close(normal_two_sided_p(1.96), 0.05, 1e-3));
+        assert!(close(normal_two_sided_p(-1.96), 0.05, 1e-3));
+        assert!(close(normal_two_sided_p(0.0), 1.0, 1e-12));
+    }
+}

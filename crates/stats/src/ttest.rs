@@ -1,0 +1,134 @@
+//! Welch's unequal-variance t-test — a parametric mean-shift detector,
+//! offered alongside KS and Mann–Whitney as a pluggable anomaly test.
+
+use crate::error::{Result, StatsError};
+use crate::special::student_t_cdf;
+use crate::{mean, variance};
+use serde::{Deserialize, Serialize};
+
+/// Result of a Welch t-test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WelchResult {
+    /// The t statistic.
+    pub t: f64,
+    /// Welch–Satterthwaite effective degrees of freedom.
+    pub df: f64,
+    /// Two-sided p-value.
+    pub p_value: f64,
+    /// Size of the first sample.
+    pub n1: usize,
+    /// Size of the second sample.
+    pub n2: usize,
+}
+
+impl WelchResult {
+    /// True when the test rejects at level `alpha`.
+    pub fn rejects_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Two-sided Welch's t-test for a difference in means.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] unless both samples have at
+/// least two observations; NaN inputs also error.
+///
+/// # Examples
+///
+/// ```
+/// use icfl_stats::welch_t_test;
+///
+/// let a = [5.0, 5.1, 4.9, 5.2, 4.8, 5.05];
+/// let b = [7.0, 7.1, 6.9, 7.2, 6.8, 7.05];
+/// assert!(welch_t_test(&a, &b)?.rejects_at(0.01));
+/// # Ok::<(), icfl_stats::StatsError>(())
+/// ```
+pub fn welch_t_test(xs: &[f64], ys: &[f64]) -> Result<WelchResult> {
+    if xs.len() < 2 || ys.len() < 2 {
+        return Err(StatsError::InsufficientData {
+            needed: 2,
+            got: xs.len().min(ys.len()),
+        });
+    }
+    let m1 = mean(xs)?;
+    let m2 = mean(ys)?;
+    let v1 = variance(xs)?;
+    let v2 = variance(ys)?;
+    let (n1, n2) = (xs.len() as f64, ys.len() as f64);
+    let se2 = v1 / n1 + v2 / n2;
+    if se2 <= 0.0 {
+        // Both samples constant: distinct constants are an unambiguous
+        // shift, equal constants are unambiguous equality.
+        let p = if m1 == m2 { 1.0 } else { 0.0 };
+        return Ok(WelchResult {
+            t: if m1 == m2 { 0.0 } else { f64::INFINITY },
+            df: n1 + n2 - 2.0,
+            p_value: p,
+            n1: xs.len(),
+            n2: ys.len(),
+        });
+    }
+    let t = (m1 - m2) / se2.sqrt();
+    let df = se2 * se2
+        / ((v1 / n1) * (v1 / n1) / (n1 - 1.0) + (v2 / n2) * (v2 / n2) / (n2 - 1.0));
+    let p = 2.0 * (1.0 - student_t_cdf(t.abs(), df));
+    Ok(WelchResult {
+        t,
+        df,
+        p_value: p.clamp(0.0, 1.0),
+        n1: xs.len(),
+        n2: ys.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_means_do_not_reject() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys = [1.1, 1.9, 3.1, 3.9, 5.0];
+        let r = welch_t_test(&xs, &ys).unwrap();
+        assert!(r.p_value > 0.5, "p={}", r.p_value);
+    }
+
+    #[test]
+    fn scipy_reference_value() {
+        // scipy.stats.ttest_ind([1,2,3,4], [5,6,7,8], equal_var=False)
+        // → t = -4.3818, p ≈ 0.00466, df = 6
+        let r = welch_t_test(&[1.0, 2.0, 3.0, 4.0], &[5.0, 6.0, 7.0, 8.0]).unwrap();
+        assert!((r.t + 4.381_780).abs() < 1e-4, "t={}", r.t);
+        assert!((r.df - 6.0).abs() < 1e-9, "df={}", r.df);
+        assert!((r.p_value - 0.004_66).abs() < 1e-4, "p={}", r.p_value);
+    }
+
+    #[test]
+    fn constant_samples() {
+        let same = welch_t_test(&[3.0, 3.0, 3.0], &[3.0, 3.0]).unwrap();
+        assert_eq!(same.p_value, 1.0);
+        let diff = welch_t_test(&[3.0, 3.0, 3.0], &[4.0, 4.0]).unwrap();
+        assert_eq!(diff.p_value, 0.0);
+        assert!(diff.rejects_at(0.05));
+    }
+
+    #[test]
+    fn insufficient_data_errors() {
+        assert!(matches!(
+            welch_t_test(&[1.0], &[1.0, 2.0]),
+            Err(StatsError::InsufficientData { .. })
+        ));
+    }
+
+    #[test]
+    fn symmetry_in_sign_only() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [2.0, 3.0, 4.0, 5.0];
+        let r1 = welch_t_test(&a, &b).unwrap();
+        let r2 = welch_t_test(&b, &a).unwrap();
+        assert!((r1.t + r2.t).abs() < 1e-12);
+        assert!((r1.p_value - r2.p_value).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,177 @@
+//! Property-based tests for the statistical routines: invariances the KS
+//! test must satisfy (distribution-freeness), rank-test identities, and
+//! descriptive-statistics orderings.
+
+use icfl_stats::{
+    discretize_equal_frequency, g_square_test, ks_statistic, ks_test, mann_whitney_u, mean,
+    pearson, quantile, special, variance, FiveNumber,
+};
+use proptest::prelude::*;
+
+fn finite_vec(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1e6f64..1e6, len)
+}
+
+proptest! {
+    #[test]
+    fn ks_statistic_bounded_and_symmetric(xs in finite_vec(1..60), ys in finite_vec(1..60)) {
+        let d1 = ks_statistic(&xs, &ys).unwrap();
+        let d2 = ks_statistic(&ys, &xs).unwrap();
+        prop_assert!((0.0..=1.0).contains(&d1));
+        prop_assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn ks_statistic_zero_on_identical_samples(xs in finite_vec(1..60)) {
+        prop_assert_eq!(ks_statistic(&xs, &xs).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn ks_is_invariant_to_monotone_affine_maps(
+        xs in finite_vec(2..40),
+        ys in finite_vec(2..40),
+        scale in 0.001f64..1000.0,
+        shift in -1e3f64..1e3,
+    ) {
+        let d = ks_statistic(&xs, &ys).unwrap();
+        let fx: Vec<f64> = xs.iter().map(|v| v * scale + shift).collect();
+        let fy: Vec<f64> = ys.iter().map(|v| v * scale + shift).collect();
+        let d2 = ks_statistic(&fx, &fy).unwrap();
+        prop_assert!((d - d2).abs() < 1e-9, "d={d} d2={d2}");
+    }
+
+    #[test]
+    fn ks_p_value_in_unit_interval(xs in finite_vec(2..40), ys in finite_vec(2..40)) {
+        let r = ks_test(&xs, &ys).unwrap();
+        prop_assert!((0.0..=1.0).contains(&r.p_value));
+    }
+
+    #[test]
+    fn ks_detects_disjoint_supports(xs in finite_vec(5..40)) {
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        // Shift by more than the full range so supports cannot overlap.
+        let ys: Vec<f64> = xs.iter().map(|v| v + (max - min) + 1.0).collect();
+        let d = ks_statistic(&xs, &ys).unwrap();
+        prop_assert_eq!(d, 1.0);
+    }
+
+    #[test]
+    fn mann_whitney_u_identity(xs in finite_vec(1..40), ys in finite_vec(1..40)) {
+        let r12 = mann_whitney_u(&xs, &ys).unwrap();
+        let r21 = mann_whitney_u(&ys, &xs).unwrap();
+        let expect = (xs.len() * ys.len()) as f64;
+        prop_assert!((r12.u + r21.u - expect).abs() < 1e-6);
+        prop_assert!((0.0..=1.0).contains(&r12.p_value));
+    }
+
+    #[test]
+    fn quantile_is_monotone_and_bounded(xs in finite_vec(1..50), q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let v_lo = quantile(&xs, lo).unwrap();
+        let v_hi = quantile(&xs, hi).unwrap();
+        prop_assert!(v_lo <= v_hi + 1e-12);
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v_lo >= min - 1e-12 && v_hi <= max + 1e-12);
+    }
+
+    #[test]
+    fn five_number_is_ordered(xs in finite_vec(1..50)) {
+        let s = FiveNumber::of(&xs).unwrap();
+        prop_assert!(s.min <= s.q1 + 1e-12);
+        prop_assert!(s.q1 <= s.median + 1e-12);
+        prop_assert!(s.median <= s.q3 + 1e-12);
+        prop_assert!(s.q3 <= s.max + 1e-12);
+        prop_assert!(s.mean >= s.min - 1e-9 && s.mean <= s.max + 1e-9);
+        prop_assert_eq!(s.n, xs.len());
+    }
+
+    #[test]
+    fn variance_nonnegative_and_shift_invariant(xs in finite_vec(2..50), shift in -1e3f64..1e3) {
+        let v = variance(&xs).unwrap();
+        prop_assert!(v >= 0.0);
+        let shifted: Vec<f64> = xs.iter().map(|x| x + shift).collect();
+        let v2 = variance(&shifted).unwrap();
+        // Relative tolerance: catastrophic cancellation is bounded for our
+        // two-pass implementation.
+        prop_assert!((v - v2).abs() <= 1e-6 * (1.0 + v.abs()), "v={v} v2={v2}");
+    }
+
+    #[test]
+    fn mean_lies_within_range(xs in finite_vec(1..50)) {
+        let m = mean(&xs).unwrap();
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= min - 1e-9 && m <= max + 1e-9);
+    }
+
+    #[test]
+    fn pearson_bounded(xs in finite_vec(2..40), ys in finite_vec(2..40)) {
+        let n = xs.len().min(ys.len());
+        let r = pearson(&xs[..n], &ys[..n]).unwrap();
+        prop_assert!((-1.0..=1.0).contains(&r));
+    }
+
+    #[test]
+    fn pearson_self_correlation_is_one(xs in finite_vec(3..40)) {
+        let distinct = xs.windows(2).any(|w| w[0] != w[1]);
+        let r = pearson(&xs, &xs).unwrap();
+        if distinct {
+            prop_assert!((r - 1.0).abs() < 1e-9, "r={r}");
+        } else {
+            prop_assert_eq!(r, 0.0);
+        }
+    }
+
+    #[test]
+    fn discretize_labels_are_dense_and_monotone(
+        xs in finite_vec(4..60),
+        bins in 2usize..6,
+    ) {
+        let (labels, cuts) = discretize_equal_frequency(&xs, bins).unwrap();
+        prop_assert_eq!(labels.len(), xs.len());
+        prop_assert!(cuts.len() < bins);
+        prop_assert!(labels.iter().all(|&l| l <= cuts.len()));
+        // Monotone: a larger value never gets a smaller label.
+        for i in 0..xs.len() {
+            for j in 0..xs.len() {
+                if xs[i] < xs[j] {
+                    prop_assert!(labels[i] <= labels[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn g_square_p_value_valid(
+        x in proptest::collection::vec(0usize..3, 10..80),
+        y in proptest::collection::vec(0usize..3, 10..80),
+    ) {
+        let n = x.len().min(y.len());
+        let r = g_square_test(&x[..n], &y[..n], &[]).unwrap();
+        prop_assert!((0.0..=1.0).contains(&r.p_value));
+        prop_assert!(r.g2 >= 0.0);
+        prop_assert!(r.df >= 0.0);
+    }
+
+    #[test]
+    fn kolmogorov_sf_monotone(a in 0.01f64..3.0, b in 0.01f64..3.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(special::kolmogorov_sf(lo) >= special::kolmogorov_sf(hi) - 1e-12);
+    }
+
+    #[test]
+    fn normal_cdf_monotone_and_bounded(a in -6.0f64..6.0, b in -6.0f64..6.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let (pl, ph) = (special::normal_cdf(lo), special::normal_cdf(hi));
+        prop_assert!((0.0..=1.0).contains(&pl));
+        prop_assert!(pl <= ph + 1e-12);
+    }
+
+    #[test]
+    fn gamma_p_q_sum_to_one(a in 0.1f64..20.0, x in 0.0f64..40.0) {
+        let s = special::gamma_p(a, x) + special::gamma_q(a, x);
+        prop_assert!((s - 1.0).abs() < 1e-9, "s={s}");
+    }
+}

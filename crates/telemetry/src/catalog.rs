@@ -1,0 +1,182 @@
+//! Metric catalogs — the named metric sets evaluated in the paper's
+//! Table II (raw vs derived × {msg rate, cpu, all}) plus the single-metric
+//! set used by baseline \[23\].
+
+use crate::metric::{MetricSpec, RawMetric};
+use serde::{Deserialize, Serialize};
+
+/// A named, ordered set of metrics fed to the learning algorithms.
+///
+/// # Examples
+///
+/// ```
+/// use icfl_telemetry::MetricCatalog;
+///
+/// let cat = MetricCatalog::derived_all();
+/// assert_eq!(cat.name(), "derived-all");
+/// assert!(cat.len() >= 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricCatalog {
+    name: String,
+    metrics: Vec<MetricSpec>,
+}
+
+impl MetricCatalog {
+    /// Creates a catalog from explicit metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `metrics` is empty — an empty catalog can learn nothing.
+    pub fn new(name: impl Into<String>, metrics: Vec<MetricSpec>) -> Self {
+        assert!(!metrics.is_empty(), "a metric catalog must not be empty");
+        MetricCatalog { name: name.into(), metrics }
+    }
+
+    /// Raw message rate only (Table II "raw / msg rate").
+    pub fn raw_msg_rate() -> Self {
+        MetricCatalog::new("raw-msg", vec![MetricSpec::Raw(RawMetric::MsgCount)])
+    }
+
+    /// Raw CPU rate only (Table II "raw / cpu").
+    pub fn raw_cpu() -> Self {
+        MetricCatalog::new("raw-cpu", vec![MetricSpec::Raw(RawMetric::CpuSeconds)])
+    }
+
+    /// All raw rates (Table II "raw / all"): msg, cpu, rx, tx.
+    pub fn raw_all() -> Self {
+        MetricCatalog::new(
+            "raw-all",
+            vec![
+                MetricSpec::Raw(RawMetric::MsgCount),
+                MetricSpec::Raw(RawMetric::CpuSeconds),
+                MetricSpec::Raw(RawMetric::RxPackets),
+                MetricSpec::Raw(RawMetric::TxPackets),
+            ],
+        )
+    }
+
+    /// Derived message rate only (Table II "derived / msg rate"):
+    /// messages per received packet.
+    pub fn derived_msg() -> Self {
+        MetricCatalog::new(
+            "derived-msg",
+            vec![MetricSpec::per_request(RawMetric::MsgCount)],
+        )
+    }
+
+    /// Derived CPU only (Table II "derived / cpu"): CPU per received packet.
+    pub fn derived_cpu() -> Self {
+        MetricCatalog::new(
+            "derived-cpu",
+            vec![MetricSpec::per_request(RawMetric::CpuSeconds)],
+        )
+    }
+
+    /// All derived metrics (Table II "derived / all") — the paper's
+    /// proposed configuration, also used for Table I.
+    pub fn derived_all() -> Self {
+        MetricCatalog::new(
+            "derived-all",
+            vec![
+                MetricSpec::per_request(RawMetric::MsgCount),
+                MetricSpec::per_request(RawMetric::CpuSeconds),
+                MetricSpec::per_request(RawMetric::TxPackets),
+            ],
+        )
+    }
+
+    /// Error-log rate only — the configuration of baseline \[23\]
+    /// (Wang et al., AAAI'22), which filters logs down to errors.
+    pub fn error_log_only() -> Self {
+        MetricCatalog::new(
+            "error-log-only",
+            vec![MetricSpec::Raw(RawMetric::ErrorLogCount)],
+        )
+    }
+
+    /// The catalog's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The metrics, in order.
+    pub fn metrics(&self) -> &[MetricSpec] {
+        &self.metrics
+    }
+
+    /// Number of metrics.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// Always false (construction forbids empty catalogs); provided for
+    /// API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Metric display names, in order.
+    pub fn metric_names(&self) -> Vec<String> {
+        self.metrics.iter().map(|m| m.name()).collect()
+    }
+
+    /// The six catalogs of Table II, in the paper's column order.
+    pub fn table2_catalogs() -> Vec<MetricCatalog> {
+        vec![
+            MetricCatalog::raw_msg_rate(),
+            MetricCatalog::raw_cpu(),
+            MetricCatalog::raw_all(),
+            MetricCatalog::derived_msg(),
+            MetricCatalog::derived_cpu(),
+            MetricCatalog::derived_all(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_names_are_distinct() {
+        let cats = MetricCatalog::table2_catalogs();
+        let mut names: Vec<&str> = cats.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 6);
+    }
+
+    #[test]
+    fn derived_all_uses_rx_as_denominator() {
+        for m in MetricCatalog::derived_all().metrics() {
+            match m {
+                MetricSpec::Derived { independent, .. } => {
+                    assert_eq!(*independent, RawMetric::RxPackets)
+                }
+                MetricSpec::Raw(_) => panic!("derived_all must not contain raw metrics"),
+            }
+        }
+    }
+
+    #[test]
+    fn error_log_only_matches_baseline_23() {
+        let cat = MetricCatalog::error_log_only();
+        assert_eq!(cat.len(), 1);
+        assert_eq!(cat.metrics()[0], MetricSpec::Raw(RawMetric::ErrorLogCount));
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_catalog_panics() {
+        MetricCatalog::new("empty", vec![]);
+    }
+
+    #[test]
+    fn metric_names_align_with_metrics() {
+        let cat = MetricCatalog::raw_all();
+        assert_eq!(cat.metric_names().len(), cat.len());
+        assert_eq!(cat.metric_names()[0], "msg");
+        assert!(!cat.is_empty());
+    }
+}

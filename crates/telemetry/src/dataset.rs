@@ -1,0 +1,114 @@
+//! Windowed metric datasets — the `D_0(M, s)` / `D_s(M, s')` objects of
+//! Algorithms 1 and 2.
+
+use icfl_micro::ServiceId;
+use serde::{Deserialize, Serialize};
+
+/// Windowed samples for every (metric, service) pair over one phase.
+///
+/// `values[m][s]` is the time-ordered vector of per-window metric values of
+/// metric `m` at service `s`. A `Dataset` is produced by
+/// [`Recorder::dataset`](crate::Recorder::dataset) for the baseline phase,
+/// each fault phase, and each production evaluation window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    metric_names: Vec<String>,
+    values: Vec<Vec<Vec<f64>>>,
+}
+
+impl Dataset {
+    /// Assembles a dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is not `[metric][service][window]`-shaped with one
+    /// outer entry per metric name.
+    pub fn new(metric_names: Vec<String>, values: Vec<Vec<Vec<f64>>>) -> Self {
+        assert_eq!(metric_names.len(), values.len(), "one value matrix per metric");
+        if let Some(first) = values.first() {
+            for m in &values[1..] {
+                assert_eq!(m.len(), first.len(), "all metrics cover the same services");
+            }
+        }
+        Dataset { metric_names, values }
+    }
+
+    /// Number of metrics.
+    pub fn num_metrics(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Number of services.
+    pub fn num_services(&self) -> usize {
+        self.values.first().map_or(0, Vec::len)
+    }
+
+    /// Metric display names, in order.
+    pub fn metric_names(&self) -> &[String] {
+        &self.metric_names
+    }
+
+    /// The windowed samples of metric `metric` at `service`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn samples(&self, metric: usize, service: ServiceId) -> &[f64] {
+        &self.values[metric][service.index()]
+    }
+
+    /// Number of windows per (metric, service) series.
+    pub fn num_windows(&self) -> usize {
+        self.values
+            .first()
+            .and_then(|m| m.first())
+            .map_or(0, Vec::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Dataset {
+        Dataset::new(
+            vec!["m0".into(), "m1".into()],
+            vec![
+                vec![vec![1.0, 2.0], vec![3.0, 4.0]],
+                vec![vec![5.0, 6.0], vec![7.0, 8.0]],
+            ],
+        )
+    }
+
+    #[test]
+    fn shape_accessors() {
+        let d = demo();
+        assert_eq!(d.num_metrics(), 2);
+        assert_eq!(d.num_services(), 2);
+        assert_eq!(d.num_windows(), 2);
+        assert_eq!(d.metric_names(), &["m0".to_owned(), "m1".to_owned()]);
+        assert_eq!(d.samples(1, ServiceId::from_index(0)), &[5.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one value matrix per metric")]
+    fn mismatched_names_panic() {
+        Dataset::new(vec!["a".into()], vec![vec![], vec![]]);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let d = demo();
+        let json = serde_json::to_string(&d).unwrap();
+        let back: Dataset = serde_json::from_str(&json).unwrap();
+        assert_eq!(d, back);
+    }
+
+    #[test]
+    fn empty_dataset_dimensions() {
+        let d = Dataset::new(vec![], vec![]);
+        assert_eq!(d.num_metrics(), 0);
+        assert_eq!(d.num_services(), 0);
+        assert_eq!(d.num_windows(), 0);
+    }
+}

@@ -1,0 +1,35 @@
+//! # icfl-telemetry — metrics pipeline for the ICFL reproduction
+//!
+//! The observability substrate standing in for cAdvisor + Prometheus + log
+//! scraping in the paper's testbed (§V-A):
+//!
+//! * [`Recorder`] — periodic counter scraping from a simulated
+//!   [`Cluster`](icfl_micro::Cluster);
+//! * [`WindowConfig`] — the paper's 60 s hopping windows, hopped every 30 s;
+//! * [`RawMetric`] / [`MetricSpec`] — raw rates and derived
+//!   (dependent ⊘ independent) metrics, the deconfounding heuristic of §V-A;
+//! * [`MetricCatalog`] — the named metric sets of Table II;
+//! * [`Dataset`] — the windowed `D(M, s)` sample matrices consumed by
+//!   Algorithms 1 and 2 in `icfl-core`;
+//! * [`TimeSeries`] — ad-hoc series transformations (rates, smoothing);
+//! * [`TemplateMiner`] — Drain-style clustering of raw log messages into
+//!   templates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod catalog;
+mod dataset;
+mod metric;
+mod recorder;
+mod templates;
+mod timeseries;
+mod window;
+
+pub use catalog::MetricCatalog;
+pub use dataset::Dataset;
+pub use metric::{MetricSpec, RawMetric};
+pub use recorder::{Recorder, TelemetryError};
+pub use templates::{Template, TemplateId, TemplateMiner, Token};
+pub use timeseries::{TimePoint, TimeSeries};
+pub use window::WindowConfig;

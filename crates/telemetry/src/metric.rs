@@ -1,0 +1,208 @@
+//! Metric definitions: raw counters and the paper's derived
+//! (dependent ⊘ independent) metrics.
+
+use icfl_micro::Counters;
+use serde::{Deserialize, Serialize};
+
+/// A raw cumulative counter scraped from a service, mirroring what the paper
+/// collects via cAdvisor/Prometheus and `kubectl logs`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RawMetric {
+    /// `container_cpu_user_seconds_total`.
+    CpuSeconds,
+    /// `container_network_receive_packets_total` — the paper's *independent*
+    /// metric (a proxy for requests received).
+    RxPackets,
+    /// `container_network_transmit_packets_total`.
+    TxPackets,
+    /// All console log messages (info + error): the paper's `msg rate`
+    /// source.
+    MsgCount,
+    /// Error-level log messages only (what baseline \[23\] uses).
+    ErrorLogCount,
+    /// Info-level log messages only.
+    InfoLogCount,
+    /// Requests delivered to the service (service-mesh style request count).
+    RequestsReceived,
+    /// Requests the service issued downstream.
+    RequestsSent,
+}
+
+impl RawMetric {
+    /// Reads the cumulative value of this metric from a counter snapshot.
+    pub fn read(self, c: &Counters) -> f64 {
+        match self {
+            RawMetric::CpuSeconds => c.cpu_seconds(),
+            RawMetric::RxPackets => c.rx_packets as f64,
+            RawMetric::TxPackets => c.tx_packets as f64,
+            RawMetric::MsgCount => c.logs_total as f64,
+            RawMetric::ErrorLogCount => c.logs_error as f64,
+            RawMetric::InfoLogCount => c.logs_info as f64,
+            RawMetric::RequestsReceived => c.requests_received as f64,
+            RawMetric::RequestsSent => c.requests_sent as f64,
+        }
+    }
+
+    /// Stable short name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RawMetric::CpuSeconds => "cpu",
+            RawMetric::RxPackets => "rx_packets",
+            RawMetric::TxPackets => "tx_packets",
+            RawMetric::MsgCount => "msg",
+            RawMetric::ErrorLogCount => "error_log",
+            RawMetric::InfoLogCount => "info_log",
+            RawMetric::RequestsReceived => "requests_received",
+            RawMetric::RequestsSent => "requests_sent",
+        }
+    }
+}
+
+impl std::fmt::Display for RawMetric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// A metric as used by the learning algorithms: either a raw per-second
+/// rate, or a derived ratio of two raw rates within each window.
+///
+/// Derived metrics implement §V-A's deconfounding heuristic: dividing a
+/// *dependent* metric (CPU, logs, tx) by an *independent* one (received
+/// packets) yields a per-request quantity that is invariant to the offered
+/// load — the property that keeps Algorithm 2 accurate at 4× load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MetricSpec {
+    /// The raw metric's per-second rate within each window.
+    Raw(RawMetric),
+    /// `dependent ⊘ independent` within each window; the denominator is
+    /// add-one smoothed so windows with zero traffic stay finite.
+    Derived {
+        /// The numerator (dependent) metric.
+        dependent: RawMetric,
+        /// The denominator (independent) metric.
+        independent: RawMetric,
+    },
+}
+
+impl MetricSpec {
+    /// The paper's derived-metric constructor: `dependent ⊘ rx_packets`.
+    pub fn per_request(dependent: RawMetric) -> Self {
+        MetricSpec::Derived { dependent, independent: RawMetric::RxPackets }
+    }
+
+    /// Evaluates the metric over one window given counter snapshots at the
+    /// window's start and end.
+    ///
+    /// Raw metrics return a per-second rate; derived metrics return
+    /// `Δdependent / (Δindependent + 1)`.
+    pub fn evaluate(&self, start: &Counters, end: &Counters, window_secs: f64) -> f64 {
+        match *self {
+            MetricSpec::Raw(m) => (m.read(end) - m.read(start)) / window_secs.max(1e-9),
+            MetricSpec::Derived { dependent, independent } => {
+                let dd = dependent.read(end) - dependent.read(start);
+                let di = independent.read(end) - independent.read(start);
+                dd / (di + 1.0)
+            }
+        }
+    }
+
+    /// Human-readable name, e.g. `"msg"` or `"cpu/rx_packets"`.
+    pub fn name(&self) -> String {
+        match *self {
+            MetricSpec::Raw(m) => m.name().to_owned(),
+            MetricSpec::Derived { dependent, independent } => {
+                format!("{}/{}", dependent.name(), independent.name())
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for MetricSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icfl_micro::LogLevel;
+    use icfl_sim::SimDuration;
+
+    fn snapshot(cpu_ms: u64, rx: u64, logs: u64) -> Counters {
+        let mut c = Counters::default();
+        c.add_cpu(SimDuration::from_millis(cpu_ms));
+        c.rx_packets = rx;
+        for _ in 0..logs {
+            c.add_log(LogLevel::Info);
+        }
+        c
+    }
+
+    #[test]
+    fn raw_rate_is_delta_over_seconds() {
+        let start = snapshot(0, 100, 10);
+        let end = snapshot(0, 400, 40);
+        let rx = MetricSpec::Raw(RawMetric::RxPackets).evaluate(&start, &end, 60.0);
+        assert!((rx - 5.0).abs() < 1e-12); // 300 packets / 60 s
+        let msg = MetricSpec::Raw(RawMetric::MsgCount).evaluate(&start, &end, 60.0);
+        assert!((msg - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn derived_is_load_invariant() {
+        // 1× load window vs 4× load window: same per-request CPU.
+        let start = Counters::default();
+        let end_1x = snapshot(100, 100, 0);
+        let end_4x = snapshot(400, 400, 0);
+        let m = MetricSpec::per_request(RawMetric::CpuSeconds);
+        let v1 = m.evaluate(&start, &end_1x, 60.0);
+        let v4 = m.evaluate(&start, &end_4x, 60.0);
+        assert!((v1 - v4).abs() / v1 < 0.05, "v1={v1} v4={v4}");
+        // But the raw rates differ 4×.
+        let r = MetricSpec::Raw(RawMetric::CpuSeconds);
+        let r1 = r.evaluate(&start, &end_1x, 60.0);
+        let r4 = r.evaluate(&start, &end_4x, 60.0);
+        assert!((r4 / r1 - 4.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn derived_survives_zero_denominator() {
+        let start = Counters::default();
+        let end = snapshot(30, 0, 0); // idle CPU, no traffic
+        let m = MetricSpec::per_request(RawMetric::CpuSeconds);
+        let v = m.evaluate(&start, &end, 60.0);
+        assert!(v.is_finite());
+        assert!((v - 0.030).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_raw_metrics_read_the_right_field() {
+        let mut c = Counters::default();
+        c.add_cpu(SimDuration::from_secs(2));
+        c.rx_packets = 3;
+        c.tx_packets = 4;
+        c.add_log(LogLevel::Info);
+        c.add_log(LogLevel::Error);
+        c.requests_received = 7;
+        c.requests_sent = 8;
+        assert_eq!(RawMetric::CpuSeconds.read(&c), 2.0);
+        assert_eq!(RawMetric::RxPackets.read(&c), 3.0);
+        assert_eq!(RawMetric::TxPackets.read(&c), 4.0);
+        assert_eq!(RawMetric::MsgCount.read(&c), 2.0);
+        assert_eq!(RawMetric::ErrorLogCount.read(&c), 1.0);
+        assert_eq!(RawMetric::InfoLogCount.read(&c), 1.0);
+        assert_eq!(RawMetric::RequestsReceived.read(&c), 7.0);
+        assert_eq!(RawMetric::RequestsSent.read(&c), 8.0);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(MetricSpec::Raw(RawMetric::MsgCount).name(), "msg");
+        assert_eq!(
+            MetricSpec::per_request(RawMetric::CpuSeconds).name(),
+            "cpu/rx_packets"
+        );
+    }
+}

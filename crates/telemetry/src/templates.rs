@@ -1,0 +1,253 @@
+//! Drain-style log template mining.
+//!
+//! The paper collects *all* console messages ("filtering error messages
+//! requires significant domain knowledge") and aggregates them into a
+//! message-rate metric. Real AIOps pipelines additionally cluster raw
+//! messages into **templates** ("finished processing <*> items") so
+//! per-template rates can be monitored. This module provides a compact
+//! single-pass miner in the spirit of Drain: tokenize, mask numbers, group
+//! by token count, and merge messages whose fixed tokens agree above a
+//! similarity threshold, wildcarding the disagreeing positions.
+
+use icfl_micro::LogRecord;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a mined template.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TemplateId(usize);
+
+impl TemplateId {
+    /// Raw index into [`TemplateMiner::templates`].
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// One position of a template: a fixed word or a wildcard.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Token {
+    /// A literal token that every member message shares.
+    Word(String),
+    /// A parameter position (`<*>`).
+    Wildcard,
+}
+
+/// A mined template with its match count.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Template {
+    /// The token pattern.
+    pub tokens: Vec<Token>,
+    /// How many messages matched.
+    pub count: u64,
+}
+
+impl Template {
+    /// Renders the pattern with `<*>` wildcards.
+    pub fn pattern(&self) -> String {
+        self.tokens
+            .iter()
+            .map(|t| match t {
+                Token::Word(w) => w.as_str(),
+                Token::Wildcard => "<*>",
+            })
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+/// A single-pass log template miner.
+///
+/// # Examples
+///
+/// ```
+/// use icfl_telemetry::TemplateMiner;
+///
+/// let mut miner = TemplateMiner::new(0.6);
+/// let a = miner.observe("finished processing 100 items");
+/// let b = miner.observe("finished processing 250 items");
+/// assert_eq!(a, b); // numbers are masked, same template
+/// assert_eq!(miner.templates()[a.index()].pattern(), "finished processing <*> items");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TemplateMiner {
+    templates: Vec<Template>,
+    similarity_threshold: f64,
+}
+
+impl TemplateMiner {
+    /// Creates a miner; `similarity_threshold ∈ [0, 1]` is the minimum
+    /// fraction of agreeing positions required to join an existing
+    /// template (Drain uses ~0.5–0.7).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the threshold is outside `[0, 1]`.
+    pub fn new(similarity_threshold: f64) -> TemplateMiner {
+        assert!(
+            (0.0..=1.0).contains(&similarity_threshold),
+            "similarity threshold must be in [0, 1]"
+        );
+        TemplateMiner { templates: Vec::new(), similarity_threshold }
+    }
+
+    /// The mined templates, in discovery order.
+    pub fn templates(&self) -> &[Template] {
+        &self.templates
+    }
+
+    /// Total messages observed.
+    pub fn total_observed(&self) -> u64 {
+        self.templates.iter().map(|t| t.count).sum()
+    }
+
+    /// Ingests one message and returns its template.
+    pub fn observe(&mut self, message: &str) -> TemplateId {
+        let tokens = tokenize(message);
+        let mut best: Option<(usize, f64)> = None;
+        for (i, t) in self.templates.iter().enumerate() {
+            if t.tokens.len() != tokens.len() {
+                continue;
+            }
+            let sim = similarity(&t.tokens, &tokens);
+            if sim >= self.similarity_threshold
+                && best.map_or(true, |(_, s)| sim > s)
+            {
+                best = Some((i, sim));
+            }
+        }
+        match best {
+            Some((i, _)) => {
+                let t = &mut self.templates[i];
+                for (slot, tok) in t.tokens.iter_mut().zip(&tokens) {
+                    if let Token::Word(w) = slot {
+                        let matches = matches!(tok, Token::Word(v) if v == w);
+                        if !matches {
+                            *slot = Token::Wildcard;
+                        }
+                    }
+                }
+                t.count += 1;
+                TemplateId(i)
+            }
+            None => {
+                self.templates.push(Template { tokens, count: 1 });
+                TemplateId(self.templates.len() - 1)
+            }
+        }
+    }
+
+    /// Ingests a batch of records (e.g.
+    /// [`Cluster::recent_logs`](icfl_micro::Cluster::recent_logs) output)
+    /// and returns per-record template ids.
+    pub fn observe_records(&mut self, records: &[LogRecord]) -> Vec<TemplateId> {
+        records.iter().map(|r| self.observe(&r.message)).collect()
+    }
+}
+
+fn tokenize(message: &str) -> Vec<Token> {
+    message
+        .split_whitespace()
+        .map(|w| {
+            // Mask tokens containing digits (counts, ids, latencies).
+            if w.chars().any(|c| c.is_ascii_digit()) {
+                Token::Wildcard
+            } else {
+                Token::Word(w.to_owned())
+            }
+        })
+        .collect()
+}
+
+/// Fraction of positions that agree (wildcards agree with anything).
+fn similarity(a: &[Token], b: &[Token]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    if a.is_empty() {
+        return 1.0;
+    }
+    let same = a
+        .iter()
+        .zip(b)
+        .filter(|(x, y)| match (x, y) {
+            (Token::Wildcard, _) | (_, Token::Wildcard) => true,
+            (Token::Word(u), Token::Word(v)) => u == v,
+        })
+        .count();
+    same as f64 / a.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_messages_share_a_template() {
+        let mut m = TemplateMiner::new(0.6);
+        let a = m.observe("I am okay!");
+        let b = m.observe("I am okay!");
+        assert_eq!(a, b);
+        assert_eq!(m.templates().len(), 1);
+        assert_eq!(m.templates()[0].count, 2);
+        assert_eq!(m.total_observed(), 2);
+    }
+
+    #[test]
+    fn numeric_parameters_are_masked() {
+        let mut m = TemplateMiner::new(0.6);
+        let a = m.observe("error: downstream call failed (503)");
+        let b = m.observe("error: downstream call failed (504)");
+        assert_eq!(a, b);
+        assert!(m.templates()[a.index()].pattern().contains("<*>"));
+    }
+
+    #[test]
+    fn word_parameters_become_wildcards_on_merge() {
+        let mut m = TemplateMiner::new(0.6);
+        let a = m.observe("user alice logged in");
+        let b = m.observe("user bob logged in");
+        assert_eq!(a, b);
+        assert_eq!(m.templates()[a.index()].pattern(), "user <*> logged in");
+    }
+
+    #[test]
+    fn dissimilar_messages_get_distinct_templates() {
+        let mut m = TemplateMiner::new(0.6);
+        let a = m.observe("connection to work store failed");
+        let b = m.observe("no items to process for more than another while");
+        assert_ne!(a, b);
+        assert_eq!(m.templates().len(), 2);
+        // Different lengths never merge.
+        let c = m.observe("connection to work store failed again today");
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn threshold_one_requires_exact_match_modulo_numbers() {
+        let mut m = TemplateMiner::new(1.0);
+        let a = m.observe("alpha beta gamma");
+        let b = m.observe("alpha beta delta");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "similarity threshold")]
+    fn invalid_threshold_panics() {
+        TemplateMiner::new(1.5);
+    }
+
+    #[test]
+    fn observe_records_batches() {
+        use icfl_micro::{LogLevel, LogRecord};
+        use icfl_sim::SimTime;
+        let mut m = TemplateMiner::new(0.6);
+        let recs: Vec<LogRecord> = (0..3)
+            .map(|i| LogRecord {
+                time: SimTime::from_secs(i),
+                level: LogLevel::Info,
+                message: format!("finished processing {} items", 100 * (i + 1)),
+            })
+            .collect();
+        let ids = m.observe_records(&recs);
+        assert!(ids.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(m.templates().len(), 1);
+    }
+}

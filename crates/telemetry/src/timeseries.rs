@@ -1,0 +1,284 @@
+//! A small time-series type with the transformations an SRE applies before
+//! eyeballing or testing telemetry: differencing, rates, moving averages,
+//! EWMA smoothing, and alignment.
+//!
+//! [`Recorder::dataset`](crate::Recorder::dataset) covers the paper's fixed
+//! hopping-window pipeline; `TimeSeries` supports ad-hoc analysis (the
+//! Fig. 2 investigation, examples, and notebook-style exploration).
+
+use icfl_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// One observation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimePoint {
+    /// Observation instant.
+    pub time: SimTime,
+    /// Observed value.
+    pub value: f64,
+}
+
+/// A time-ordered series of `f64` observations.
+///
+/// # Examples
+///
+/// ```
+/// use icfl_sim::SimTime;
+/// use icfl_telemetry::TimeSeries;
+///
+/// let ts = TimeSeries::from_values(
+///     (0..5).map(|i| (SimTime::from_secs(i), (i * i) as f64)),
+/// );
+/// let diffs = ts.difference();
+/// assert_eq!(diffs.values(), vec![1.0, 3.0, 5.0, 7.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TimeSeries {
+    points: Vec<TimePoint>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> TimeSeries {
+        TimeSeries::default()
+    }
+
+    /// Builds a series from `(time, value)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pairs are not strictly increasing in time.
+    pub fn from_values(pairs: impl IntoIterator<Item = (SimTime, f64)>) -> TimeSeries {
+        let mut ts = TimeSeries::new();
+        for (time, value) in pairs {
+            ts.push(time, value);
+        }
+        ts
+    }
+
+    /// Appends an observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is not after the last observation.
+    pub fn push(&mut self, time: SimTime, value: f64) {
+        if let Some(last) = self.points.last() {
+            assert!(time > last.time, "observations must be strictly time-ordered");
+        }
+        self.points.push(TimePoint { time, value });
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the series has no observations.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The observations, in order.
+    pub fn points(&self) -> &[TimePoint] {
+        &self.points
+    }
+
+    /// Just the values, in order.
+    pub fn values(&self) -> Vec<f64> {
+        self.points.iter().map(|p| p.value).collect()
+    }
+
+    /// The sub-series within `[from, to)`.
+    pub fn slice(&self, from: SimTime, to: SimTime) -> TimeSeries {
+        TimeSeries {
+            points: self
+                .points
+                .iter()
+                .filter(|p| p.time >= from && p.time < to)
+                .copied()
+                .collect(),
+        }
+    }
+
+    /// First differences `v[i+1] − v[i]`, stamped at the later time.
+    pub fn difference(&self) -> TimeSeries {
+        TimeSeries {
+            points: self
+                .points
+                .windows(2)
+                .map(|w| TimePoint { time: w[1].time, value: w[1].value - w[0].value })
+                .collect(),
+        }
+    }
+
+    /// Per-second rate `(v[i+1] − v[i]) / Δt`, stamped at the later time —
+    /// turns a cumulative counter into a rate series.
+    pub fn rate(&self) -> TimeSeries {
+        TimeSeries {
+            points: self
+                .points
+                .windows(2)
+                .map(|w| {
+                    let dt = (w[1].time - w[0].time).as_secs_f64();
+                    TimePoint { time: w[1].time, value: (w[1].value - w[0].value) / dt }
+                })
+                .collect(),
+        }
+    }
+
+    /// Centered-start moving average over `window` observations (stamped at
+    /// the window's last time). Returns an empty series when `window == 0`
+    /// or exceeds the length.
+    pub fn moving_average(&self, window: usize) -> TimeSeries {
+        if window == 0 || window > self.points.len() {
+            return TimeSeries::new();
+        }
+        TimeSeries {
+            points: self
+                .points
+                .windows(window)
+                .map(|w| TimePoint {
+                    time: w[window - 1].time,
+                    value: w.iter().map(|p| p.value).sum::<f64>() / window as f64,
+                })
+                .collect(),
+        }
+    }
+
+    /// Exponentially weighted moving average with smoothing factor
+    /// `alpha ∈ (0, 1]` (1 = no smoothing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1]`.
+    pub fn ewma(&self, alpha: f64) -> TimeSeries {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        let mut out = Vec::with_capacity(self.points.len());
+        let mut state: Option<f64> = None;
+        for p in &self.points {
+            let next = match state {
+                None => p.value,
+                Some(prev) => alpha * p.value + (1.0 - alpha) * prev,
+            };
+            state = Some(next);
+            out.push(TimePoint { time: p.time, value: next });
+        }
+        TimeSeries { points: out }
+    }
+
+    /// Pairs this series with `other` at exactly-equal timestamps.
+    pub fn align(&self, other: &TimeSeries) -> Vec<(SimTime, f64, f64)> {
+        let mut out = Vec::new();
+        let mut j = 0;
+        for p in &self.points {
+            while j < other.points.len() && other.points[j].time < p.time {
+                j += 1;
+            }
+            if j < other.points.len() && other.points[j].time == p.time {
+                out.push((p.time, p.value, other.points[j].value));
+            }
+        }
+        out
+    }
+}
+
+impl FromIterator<(SimTime, f64)> for TimeSeries {
+    fn from_iter<T: IntoIterator<Item = (SimTime, f64)>>(iter: T) -> Self {
+        TimeSeries::from_values(iter)
+    }
+}
+
+impl Extend<(SimTime, f64)> for TimeSeries {
+    fn extend<T: IntoIterator<Item = (SimTime, f64)>>(&mut self, iter: T) {
+        for (t, v) in iter {
+            self.push(t, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(series: &[(u64, f64)]) -> TimeSeries {
+        TimeSeries::from_values(series.iter().map(|&(t, v)| (SimTime::from_secs(t), v)))
+    }
+
+    #[test]
+    fn push_enforces_time_order() {
+        let mut ts = TimeSeries::new();
+        ts.push(SimTime::from_secs(1), 1.0);
+        ts.push(SimTime::from_secs(2), 2.0);
+        assert_eq!(ts.len(), 2);
+        assert!(!ts.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly time-ordered")]
+    fn out_of_order_push_panics() {
+        let mut ts = TimeSeries::new();
+        ts.push(SimTime::from_secs(2), 1.0);
+        ts.push(SimTime::from_secs(1), 2.0);
+    }
+
+    #[test]
+    fn rate_converts_counters() {
+        // Counter rising 10/s scraped every 2 s.
+        let ts = secs(&[(0, 0.0), (2, 20.0), (4, 40.0)]);
+        let r = ts.rate();
+        assert_eq!(r.values(), vec![10.0, 10.0]);
+        assert_eq!(r.points()[0].time, SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn slice_is_half_open() {
+        let ts = secs(&[(0, 0.0), (1, 1.0), (2, 2.0), (3, 3.0)]);
+        let s = ts.slice(SimTime::from_secs(1), SimTime::from_secs(3));
+        assert_eq!(s.values(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn moving_average_smooths() {
+        let ts = secs(&[(0, 0.0), (1, 10.0), (2, 0.0), (3, 10.0)]);
+        let ma = ts.moving_average(2);
+        assert_eq!(ma.values(), vec![5.0, 5.0, 5.0]);
+        assert!(ts.moving_average(0).is_empty());
+        assert!(ts.moving_average(9).is_empty());
+    }
+
+    #[test]
+    fn ewma_converges_to_constant() {
+        let ts = secs(&[(0, 10.0), (1, 10.0), (2, 10.0)]);
+        assert_eq!(ts.ewma(0.5).values(), vec![10.0, 10.0, 10.0]);
+        let step = secs(&[(0, 0.0), (1, 10.0), (2, 10.0)]);
+        let sm = step.ewma(0.5).values();
+        assert_eq!(sm[0], 0.0);
+        assert_eq!(sm[1], 5.0);
+        assert_eq!(sm[2], 7.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn ewma_rejects_bad_alpha() {
+        secs(&[(0, 1.0)]).ewma(0.0);
+    }
+
+    #[test]
+    fn align_matches_equal_timestamps() {
+        let a = secs(&[(0, 1.0), (1, 2.0), (3, 3.0)]);
+        let b = secs(&[(1, 20.0), (2, 30.0), (3, 40.0)]);
+        let pairs = a.align(&b);
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(pairs[0], (SimTime::from_secs(1), 2.0, 20.0));
+        assert_eq!(pairs[1], (SimTime::from_secs(3), 3.0, 40.0));
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut ts: TimeSeries =
+            (0..3).map(|i| (SimTime::from_secs(i), i as f64)).collect();
+        ts.extend([(SimTime::from_secs(5), 5.0)]);
+        assert_eq!(ts.len(), 4);
+        assert_eq!(ts.difference().len(), 3);
+    }
+}

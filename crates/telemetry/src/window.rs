@@ -1,0 +1,123 @@
+//! Hopping-window configuration.
+//!
+//! The paper aggregates telemetry into overlapping sixty-second windows
+//! created every thirty seconds (§V-A); [`WindowConfig`] encodes exactly
+//! that and enumerates the window boundaries inside a phase.
+
+use icfl_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Length and hop of the smoothing windows applied to raw counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowConfig {
+    /// Window length (paper: 60 s).
+    pub window: SimDuration,
+    /// Hop between consecutive window starts (paper: 30 s).
+    pub hop: SimDuration,
+}
+
+impl Default for WindowConfig {
+    fn default() -> Self {
+        WindowConfig {
+            window: SimDuration::from_secs(60),
+            hop: SimDuration::from_secs(30),
+        }
+    }
+}
+
+impl WindowConfig {
+    /// Creates a config from whole seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is zero.
+    pub fn from_secs(window: u64, hop: u64) -> Self {
+        assert!(window > 0 && hop > 0, "window and hop must be positive");
+        WindowConfig {
+            window: SimDuration::from_secs(window),
+            hop: SimDuration::from_secs(hop),
+        }
+    }
+
+    /// Enumerates `[start, end)` window bounds fully contained in
+    /// `[phase_start, phase_end]`.
+    pub fn windows_in(&self, phase_start: SimTime, phase_end: SimTime) -> Vec<(SimTime, SimTime)> {
+        let mut out = Vec::new();
+        let mut t = phase_start;
+        loop {
+            let Some(end) = t.checked_add(self.window) else {
+                break;
+            };
+            if end > phase_end {
+                break;
+            }
+            out.push((t, end));
+            let Some(next) = t.checked_add(self.hop) else {
+                break;
+            };
+            t = next;
+        }
+        out
+    }
+
+    /// Number of windows a phase of the given length yields.
+    pub fn count_in(&self, phase_len: SimDuration) -> usize {
+        if phase_len < self.window {
+            return 0;
+        }
+        let spare = phase_len - self.window;
+        (spare.as_nanos() / self.hop.as_nanos()) as usize + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_phase_yields_nineteen_windows() {
+        // 600 s phase, 60 s windows hopping every 30 s → starts 0..=540.
+        let cfg = WindowConfig::default();
+        let ws = cfg.windows_in(SimTime::ZERO, SimTime::from_secs(600));
+        assert_eq!(ws.len(), 19);
+        assert_eq!(ws[0], (SimTime::ZERO, SimTime::from_secs(60)));
+        assert_eq!(
+            ws[18],
+            (SimTime::from_secs(540), SimTime::from_secs(600))
+        );
+        assert_eq!(cfg.count_in(SimDuration::from_secs(600)), 19);
+    }
+
+    #[test]
+    fn short_phase_yields_nothing() {
+        let cfg = WindowConfig::default();
+        assert!(cfg
+            .windows_in(SimTime::ZERO, SimTime::from_secs(59))
+            .is_empty());
+        assert_eq!(cfg.count_in(SimDuration::from_secs(59)), 0);
+    }
+
+    #[test]
+    fn exact_fit_yields_one() {
+        let cfg = WindowConfig::default();
+        let ws = cfg.windows_in(SimTime::from_secs(100), SimTime::from_secs(160));
+        assert_eq!(ws, vec![(SimTime::from_secs(100), SimTime::from_secs(160))]);
+    }
+
+    #[test]
+    fn count_matches_enumeration_for_many_lengths() {
+        let cfg = WindowConfig::from_secs(60, 30);
+        for len in [60u64, 90, 120, 300, 599, 600, 601] {
+            let n = cfg
+                .windows_in(SimTime::from_secs(50), SimTime::from_secs(50 + len))
+                .len();
+            assert_eq!(n, cfg.count_in(SimDuration::from_secs(len)), "len={len}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_hop_panics() {
+        WindowConfig::from_secs(60, 0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests for windowing arithmetic and metric evaluation.
+
+use icfl_micro::Counters;
+use icfl_sim::{SimDuration, SimTime};
+use icfl_telemetry::{MetricSpec, RawMetric, WindowConfig};
+use proptest::prelude::*;
+
+proptest! {
+    /// `count_in` and `windows_in` must always agree.
+    #[test]
+    fn window_count_matches_enumeration(
+        window_s in 1u64..240,
+        hop_s in 1u64..240,
+        phase_s in 0u64..2_000,
+        start_s in 0u64..1_000,
+    ) {
+        let cfg = WindowConfig::from_secs(window_s, hop_s);
+        let start = SimTime::from_secs(start_s);
+        let end = SimTime::from_secs(start_s + phase_s);
+        let enumerated = cfg.windows_in(start, end);
+        prop_assert_eq!(enumerated.len(), cfg.count_in(SimDuration::from_secs(phase_s)));
+        // Every window is inside the phase, window-length long, and starts
+        // hop apart.
+        for w in &enumerated {
+            prop_assert!(w.0 >= start && w.1 <= end);
+            prop_assert_eq!(w.1 - w.0, SimDuration::from_secs(window_s));
+        }
+        for pair in enumerated.windows(2) {
+            prop_assert_eq!(pair[1].0 - pair[0].0, SimDuration::from_secs(hop_s));
+        }
+    }
+
+    /// Raw metrics are non-negative for monotone counters and scale
+    /// linearly with the delta.
+    #[test]
+    fn raw_metric_rates_nonnegative_and_linear(
+        base_rx in 0u64..1_000_000,
+        delta_rx in 0u64..1_000_000,
+        window_s in 1u64..600,
+    ) {
+        let mut start = Counters::default();
+        start.rx_packets = base_rx;
+        let mut end = start;
+        end.rx_packets = base_rx + delta_rx;
+        let m = MetricSpec::Raw(RawMetric::RxPackets);
+        let v = m.evaluate(&start, &end, window_s as f64);
+        prop_assert!(v >= 0.0);
+        prop_assert!((v - delta_rx as f64 / window_s as f64).abs() < 1e-9);
+
+        // Doubling the delta doubles the rate.
+        let mut end2 = start;
+        end2.rx_packets = base_rx + 2 * delta_rx;
+        let v2 = m.evaluate(&start, &end2, window_s as f64);
+        prop_assert!((v2 - 2.0 * v).abs() < 1e-6);
+    }
+
+    /// Derived metrics are finite for any monotone counter pair and
+    /// invariant under proportional scaling of numerator and denominator.
+    #[test]
+    fn derived_metric_finite_and_ratio_invariant(
+        cpu_ms in 0u64..1_000_000,
+        rx in 0u64..1_000_000,
+        k in 1u64..50,
+    ) {
+        let start = Counters::default();
+        let mut end = Counters::default();
+        end.add_cpu(SimDuration::from_millis(cpu_ms));
+        end.rx_packets = rx;
+        let m = MetricSpec::per_request(RawMetric::CpuSeconds);
+        let v = m.evaluate(&start, &end, 60.0);
+        prop_assert!(v.is_finite());
+        prop_assert!(v >= 0.0);
+
+        // Scale both by k: the ratio converges to the same per-request
+        // value as counts grow (the +1 smoothing vanishes).
+        let mut end_k = Counters::default();
+        end_k.add_cpu(SimDuration::from_millis(cpu_ms * k));
+        end_k.rx_packets = rx * k;
+        let vk = m.evaluate(&start, &end_k, 60.0);
+        if rx > 100 {
+            let expected = cpu_ms as f64 / 1000.0 / rx as f64;
+            prop_assert!((v - expected).abs() / expected.max(1e-12) < 0.02);
+            prop_assert!((vk - expected).abs() / expected.max(1e-12) < 0.02);
+        }
+    }
+
+    /// Counter deltas are componentwise consistent with manual subtraction.
+    #[test]
+    fn counter_delta_consistency(
+        a in 0u64..1_000_000,
+        b in 0u64..1_000_000,
+        c in 0u64..1_000_000,
+    ) {
+        let mut early = Counters::default();
+        early.rx_packets = a;
+        early.tx_packets = b;
+        early.requests_received = c;
+        let mut late = early;
+        late.rx_packets += c;
+        late.tx_packets += a;
+        late.requests_received += b;
+        let d = late.delta_since(&early);
+        prop_assert_eq!(d.rx_packets, c);
+        prop_assert_eq!(d.tx_packets, a);
+        prop_assert_eq!(d.requests_received, b);
+    }
+}

@@ -1,0 +1,64 @@
+//! Head-to-head on CausalBench: the proposed multi-metric interventional
+//! method vs the error-log-only learner [23], RCD causal discovery [24],
+//! the pooled single-causal-world learner, and a purely observational
+//! anomaly ranker.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example baseline_comparison
+//! ```
+
+use icfl::baselines::{
+    evaluate_localizer, AnomalyRanker, ErrorLogLocalizer, FaultLocalizer, PooledGraphLocalizer,
+    RcdConfig, RcdLocalizer,
+};
+use icfl::core::{CampaignRun, EvalSuite, RunConfig};
+use icfl::experiments::TextTable;
+use icfl::telemetry::MetricCatalog;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let app = icfl::apps::causalbench();
+    let cfg = RunConfig::quick(11);
+    println!("training all methods on one CausalBench campaign...");
+    let campaign = CampaignRun::execute(&app, &cfg)?;
+    let detector = RunConfig::default_detector();
+
+    let proposed = campaign.learn(&MetricCatalog::derived_all(), detector)?;
+    let error_log = ErrorLogLocalizer::train(&campaign, detector)?;
+    let rcd = RcdLocalizer::from_campaign(&campaign, &MetricCatalog::raw_all(), RcdConfig::default())?;
+    let pooled = PooledGraphLocalizer::train(&campaign, &MetricCatalog::derived_all(), detector)?;
+    let ranker = AnomalyRanker::new(
+        MetricCatalog::derived_all(),
+        campaign.baseline(&MetricCatalog::derived_all())?,
+    );
+
+    println!("evaluating on a fresh fault sweep...\n");
+    let suite = EvalSuite::execute(&app, campaign.targets(), &RunConfig::quick(1111))?;
+
+    let mut table = TextTable::new(vec!["Method", "Accuracy", "Informativeness"]);
+    let ours = suite.evaluate(&proposed)?;
+    table.row(vec![
+        "proposed (multi-metric interventional)".into(),
+        format!("{:.2}", ours.accuracy),
+        format!("{:.2}", ours.informativeness),
+    ]);
+    let baselines: [&dyn FaultLocalizer; 4] = [&error_log, &rcd, &pooled, &ranker];
+    for method in baselines {
+        let s = evaluate_localizer(method, &suite)?;
+        table.row(vec![
+            method.name().into(),
+            format!("{:.2}", s.accuracy),
+            format!("{:.2}", s.informativeness),
+        ]);
+    }
+    println!("{}", table.render());
+
+    println!(
+        "why [23] struggles here: CausalBench's D→F→G pipeline turns upstream\n\
+         faults into *omission* faults at G — no error log is ever written on\n\
+         that path, so a method that only watches error logs cannot tell the\n\
+         cases apart. The multi-metric vote sees the missing requests instead."
+    );
+    Ok(())
+}

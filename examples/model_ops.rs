@@ -1,0 +1,88 @@
+//! Operating the causal model over its lifecycle: persist it to JSON,
+//! analyze which faults it could confuse, incrementally re-learn a single
+//! service after a redeployment, and mine the raw log stream into
+//! templates.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example model_ops
+//! ```
+
+use icfl::core::{CampaignRun, CausalModel, ProductionRun, RunConfig};
+use icfl::loadgen::{start_load, LoadConfig};
+use icfl::micro::Cluster;
+use icfl::sim::{Sim, SimTime};
+use icfl::telemetry::{MetricCatalog, TemplateMiner};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let app = icfl::apps::causalbench();
+    let cfg = RunConfig::quick(33);
+    println!("training on CausalBench...");
+    let campaign = CampaignRun::execute(&app, &cfg)?;
+    let model = campaign.learn(&MetricCatalog::derived_all(), RunConfig::default_detector())?;
+    let name =
+        |s: &icfl::micro::ServiceId| campaign.service_names()[s.index()].clone();
+
+    // ---------------------------------------------------------------
+    // 1. Persistence: the model is plain JSON.
+    // ---------------------------------------------------------------
+    let json = model.to_json()?;
+    let restored = CausalModel::from_json(&json)?;
+    assert_eq!(model, restored);
+    println!("model persisted and restored: {} bytes of JSON\n", json.len());
+
+    // ---------------------------------------------------------------
+    // 2. Confusability: which faults would this model mix up?
+    //    (§III-B — signatures, not detectors, bound localization.)
+    // ---------------------------------------------------------------
+    println!("most confusable fault pairs (mean Jaccard of causal signatures):");
+    for (a, b, sim) in model.confusable_pairs(0.3).into_iter().take(5) {
+        println!("  {} ~ {}   similarity {:.2}", name(&a), name(&b), sim);
+    }
+
+    // ---------------------------------------------------------------
+    // 3. Incremental update: service C is "redeployed"; re-run only its
+    //    intervention instead of the whole campaign.
+    // ---------------------------------------------------------------
+    let c = campaign.targets()[2];
+    println!("\nre-running only the {} intervention...", name(&c));
+    let rerun = ProductionRun::execute(&app, c, &RunConfig::quick(333))?;
+    let mut updated = model.clone();
+    updated.update_target(c, &rerun.dataset(model.catalog())?)?;
+    let set_before: Vec<String> =
+        model.causal_set(1, c).unwrap().iter().map(|s| name(s)).collect();
+    let set_after: Vec<String> =
+        updated.causal_set(1, c).unwrap().iter().map(|s| name(s)).collect();
+    println!("  C({}, cpu/rx) before: {{{}}}", name(&c), set_before.join(", "));
+    println!("  C({}, cpu/rx) after:  {{{}}}", name(&c), set_after.join(", "));
+
+    // ---------------------------------------------------------------
+    // 4. Template mining over the raw log stream (what `kubectl logs`
+    //    would return for node F).
+    // ---------------------------------------------------------------
+    println!("\nmining log templates from a fresh 2-minute run...");
+    let (mut cluster, _) = app.build(99)?;
+    let mut sim = Sim::new(99);
+    Cluster::start(&mut sim, &mut cluster);
+    start_load(&mut sim, &mut cluster, &LoadConfig::closed_loop(app.flows.clone()))?;
+    sim.run_until(SimTime::from_secs(120), &mut cluster);
+    let mut miner = TemplateMiner::new(0.6);
+    for id in cluster.service_ids() {
+        let logs = cluster.recent_logs(id, 256);
+        if logs.is_empty() {
+            continue;
+        }
+        miner.observe_records(&logs);
+        println!(
+            "  {}: {} recent messages",
+            cluster.service_name(id),
+            logs.len()
+        );
+    }
+    println!("\nmined templates:");
+    for t in miner.templates() {
+        println!("  [{:4}x] {}", t.count, t.pattern());
+    }
+    Ok(())
+}

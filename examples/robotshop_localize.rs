@@ -1,0 +1,54 @@
+//! Robot-shop walkthrough: train at 1× load, then show what happens when
+//! production load quadruples — the paper's Table I degradation — and how
+//! derived metrics keep the model usable while raw metrics collapse.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example robotshop_localize
+//! ```
+
+use icfl::core::{CampaignRun, EvalSuite, RunConfig};
+use icfl::telemetry::MetricCatalog;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let app = icfl::apps::robot_shop();
+    println!(
+        "application: {} ({} services, {} userflows)",
+        app.name,
+        app.num_services(),
+        app.flows.len()
+    );
+
+    let cfg = RunConfig::quick(21);
+    println!("training campaign at 1x load...");
+    let campaign = CampaignRun::execute(&app, &cfg)?;
+
+    let derived = campaign.learn(&MetricCatalog::derived_all(), RunConfig::default_detector())?;
+    let raw = campaign.learn(&MetricCatalog::raw_all(), RunConfig::default_detector())?;
+
+    for load in [1usize, 4] {
+        println!("\nevaluating at {load}x load...");
+        let suite = EvalSuite::execute(
+            &app,
+            campaign.targets(),
+            &RunConfig::quick(2121).with_replicas(load),
+        )?;
+        let d = suite.evaluate(&derived)?;
+        let r = suite.evaluate(&raw)?;
+        println!("  derived metrics: {d}");
+        println!("  raw metrics:     {r}");
+        if load == 4 {
+            assert!(
+                d.accuracy > r.accuracy,
+                "derived metrics must out-localize raw metrics under load shift"
+            );
+            println!(
+                "\n  → at 4x, raw rates all shift with the load (everything looks\n    \
+                 anomalous vs the 1x baseline) while per-request derived metrics\n    \
+                 stay calibrated — the §V-A deconfounding heuristic at work."
+            );
+        }
+    }
+    Ok(())
+}

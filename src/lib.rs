@@ -1,0 +1,58 @@
+//! # icfl — Interventional Causal Fault Localization
+//!
+//! A from-scratch Rust reproduction of *"Fault Localization Using
+//! Interventional Causal Learning for Cloud-Native Applications"*
+//! (Jha et al., IBM Research, DSN 2024).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | Module | Crate | Role |
+//! |---|---|---|
+//! | [`sim`] | `icfl-sim` | deterministic discrete-event kernel |
+//! | [`micro`] | `icfl-micro` | microservice cluster simulator |
+//! | [`telemetry`] | `icfl-telemetry` | scraping, hopping windows, derived metrics |
+//! | [`stats`] | `icfl-stats` | KS test & friends, hand-rolled |
+//! | [`faults`] | `icfl-faults` | fault injection platform & campaigns |
+//! | [`loadgen`] | `icfl-loadgen` | Locust-style closed-loop load |
+//! | [`apps`] | `icfl-apps` | CausalBench, Robot-shop, Fig. 1/2 topologies |
+//! | [`core`] | `icfl-core` | **Algorithms 1 & 2** + scoring + orchestration |
+//! | [`baselines`] | `icfl-baselines` | \[23\], \[24\], pooled, observational |
+//! | [`experiments`] | `icfl-experiments` | regenerate every table & figure |
+//!
+//! # Examples
+//!
+//! The five-minute tour (see `examples/quickstart.rs` for the runnable
+//! version):
+//!
+//! ```
+//! use icfl::core::{CampaignRun, EvalSuite, RunConfig};
+//! use icfl::telemetry::MetricCatalog;
+//!
+//! // 1. Pick a benchmark application (here: the paper's CausalBench).
+//! let app = icfl::apps::pattern1(); // tiny 3-service chain for doc speed
+//!
+//! // 2. Run the Algorithm-1 fault-injection campaign and learn C(s, M).
+//! let cfg = RunConfig::quick(7);
+//! let campaign = CampaignRun::execute(&app, &cfg)?;
+//! let model = campaign.learn(&MetricCatalog::derived_all(), RunConfig::default_detector())?;
+//!
+//! // 3. Localize faults in fresh production runs (Algorithm 2).
+//! let suite = EvalSuite::execute(&app, campaign.targets(), &RunConfig::quick(8))?;
+//! let summary = suite.evaluate(&model)?;
+//! assert!(summary.accuracy > 0.9);
+//! # Ok::<(), icfl::core::CoreError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use icfl_apps as apps;
+pub use icfl_baselines as baselines;
+pub use icfl_core as core;
+pub use icfl_experiments as experiments;
+pub use icfl_faults as faults;
+pub use icfl_loadgen as loadgen;
+pub use icfl_micro as micro;
+pub use icfl_sim as sim;
+pub use icfl_stats as stats;
+pub use icfl_telemetry as telemetry;
