@@ -1,0 +1,470 @@
+//! Offline stand-in for [`serde`](https://serde.rs).
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the workspace bundles a minimal, self-contained replacement that covers
+//! exactly the surface the ICFL crates use: `#[derive(Serialize,
+//! Deserialize)]` on plain structs/enums and JSON persistence through the
+//! sibling `serde_json` stand-in.
+//!
+//! Instead of serde's visitor-based, format-agnostic data model, values
+//! serialize into a single in-memory [`Value`] tree (JSON-shaped). That is a
+//! deliberate simplification: every serialization consumer in this workspace
+//! is JSON, and the tree form keeps the hand-written derive macro (see
+//! `serde_derive`) small enough to audit.
+//!
+//! Numbers are kept in their widest lossless form ([`Number`]): integers as
+//! `u128`/`i128`, floats as `f64` rendered via Rust's shortest-roundtrip
+//! formatting — so persisted causal models reparse bit-identically, the
+//! property the real workspace relied on `serde_json`'s `float_roundtrip`
+//! feature for.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value tree — the single data model of this stand-in.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number (lossless integer or shortest-roundtrip float).
+    Num(Number),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Arr(Vec<Value>),
+    /// JSON object; insertion order is preserved so output is deterministic.
+    Obj(Vec<(String, Value)>),
+}
+
+/// A JSON number, kept lossless.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Non-negative integer.
+    U(u128),
+    /// Negative integer.
+    I(i128),
+    /// Binary floating point.
+    F(f64),
+}
+
+impl Value {
+    /// Borrows the object entries if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Borrows the elements if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Borrows the string if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A short name of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Num(_) => "number",
+            Value::Str(_) => "string",
+            Value::Arr(_) => "array",
+            Value::Obj(_) => "object",
+        }
+    }
+}
+
+/// Looks up `key` in object entries (linear scan; objects here are small).
+pub fn obj_get<'a>(entries: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Deserialization error: a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Builds a [`DeError`] from any message.
+pub fn de_error(msg: impl Into<String>) -> DeError {
+    DeError(msg.into())
+}
+
+// Macro-free error constructors and builders for derive-generated code,
+// which must not rely on any name the deriving module could shadow.
+
+#[doc(hidden)]
+pub fn missing_field(ty: &'static str, field: &'static str) -> DeError {
+    DeError(format!("missing field `{field}` of {ty}"))
+}
+
+#[doc(hidden)]
+pub fn unknown_variant(ty: &'static str, got: &str) -> DeError {
+    DeError(format!("unknown variant `{got}` of {ty}"))
+}
+
+#[doc(hidden)]
+pub fn wrong_kind(ty: &'static str, expected: &'static str, v: &Value) -> DeError {
+    DeError(format!("expected {expected} for {ty}, found {}", v.kind()))
+}
+
+#[doc(hidden)]
+pub fn wrong_len(ty: &'static str, want: usize, got: usize) -> DeError {
+    DeError(format!("{ty} expects {want} elements, found {got}"))
+}
+
+/// Builds a single-entry object `{tag: payload}` (externally tagged form).
+#[doc(hidden)]
+pub fn tagged(tag: &'static str, payload: Value) -> Value {
+    Value::Obj(vec![(tag.to_string(), payload)])
+}
+
+/// Builds an object entry, owning the key.
+#[doc(hidden)]
+pub fn entry(key: &'static str, v: Value) -> (String, Value) {
+    (key.to_string(), v)
+}
+
+/// Types that can render themselves into a [`Value`].
+pub trait Serialize {
+    /// Converts `self` into the data-model tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self`, reporting shape/type mismatches as [`DeError`].
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(Number::U(*self as u128))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Num(Number::U(u)) => <$t>::try_from(*u)
+                        .map_err(|_| de_error(format!("integer {u} out of range"))),
+                    Value::Num(Number::I(i)) => <$t>::try_from(*i)
+                        .map_err(|_| de_error(format!("integer {i} out of range"))),
+                    other => Err(de_error(format!(
+                        "expected unsigned integer, found {}", other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, u128, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let i = *self as i128;
+                if i < 0 { Value::Num(Number::I(i)) } else { Value::Num(Number::U(i as u128)) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Num(Number::U(u)) => <$t>::try_from(*u)
+                        .map_err(|_| de_error(format!("integer {u} out of range"))),
+                    Value::Num(Number::I(i)) => <$t>::try_from(*i)
+                        .map_err(|_| de_error(format!("integer {i} out of range"))),
+                    other => Err(de_error(format!(
+                        "expected signed integer, found {}", other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, i128, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(Number::F(*self as f64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Num(Number::F(f)) => Ok(*f as $t),
+                    Value::Num(Number::U(u)) => Ok(*u as $t),
+                    Value::Num(Number::I(i)) => Ok(*i as $t),
+                    // Non-finite floats serialize as null (JSON has no NaN).
+                    Value::Null => Ok(<$t>::NAN),
+                    other => Err(de_error(format!(
+                        "expected number, found {}", other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(de_error(format!("expected bool, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(de_error(format!("expected string, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| de_error("expected single-char string"))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(de_error(format!(
+                "expected single-char string, found {s:?}"
+            ))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Containers
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_arr()
+            .ok_or_else(|| de_error(format!("expected array, found {}", v.kind())))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for std::collections::BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_arr()
+            .ok_or_else(|| de_error(format!("expected array, found {}", v.kind())))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Obj(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_obj()
+            .ok_or_else(|| de_error(format!("expected object, found {}", v.kind())))?
+            .iter()
+            .map(|(k, x)| Ok((k.clone(), V::from_value(x)?)))
+            .collect()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T: Deserialize> Deserialize for std::sync::Arc<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(std::sync::Arc::new)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+),)*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Arr(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let a = v.as_arr()
+                    .ok_or_else(|| de_error(format!("expected tuple array, found {}", v.kind())))?;
+                let want = [$($n),+].len();
+                if a.len() != want {
+                    return Err(de_error(format!(
+                        "expected {want}-tuple, found array of {}", a.len()
+                    )));
+                }
+                Ok(($($t::from_value(&a[$n])?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+    (0 A, 1 B, 2 C, 3 D, 4 E),
+}
+
+// A Value is trivially its own serialized form.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::from_value(&v.to_value()).unwrap(), v);
+        let o: Option<u8> = None;
+        assert_eq!(Option::<u8>::from_value(&o.to_value()).unwrap(), None);
+        let t = (1u8, "x".to_string());
+        assert_eq!(<(u8, String)>::from_value(&t.to_value()).unwrap(), t);
+    }
+
+    #[test]
+    fn type_mismatch_reports_kind() {
+        let err = u64::from_value(&Value::Str("nope".into())).unwrap_err();
+        assert!(err.to_string().contains("string"));
+    }
+}

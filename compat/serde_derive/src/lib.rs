@@ -1,0 +1,495 @@
+//! `#[derive(Serialize, Deserialize)]` for the in-tree serde stand-in.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no `syn`/`quote`,
+//! which are unavailable offline). Supports exactly what this workspace
+//! derives on:
+//!
+//! - structs with named fields (`#[serde(default)]` honored per field),
+//! - tuple structs (single-field newtypes serialize transparently,
+//!   wider tuples as arrays),
+//! - unit structs,
+//! - enums with unit, tuple, and struct variants (externally tagged, like
+//!   real serde: `"Variant"`, `{"Variant": payload}`).
+//!
+//! Generics are intentionally unsupported — no serialized type in this
+//! workspace is generic — and hitting one produces a clear compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field of a braced struct or struct variant.
+struct NamedField {
+    name: String,
+    has_default: bool,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<NamedField>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Input {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("valid error tokens")
+}
+
+/// Returns true when an attribute token group is `serde(default)`.
+fn attr_is_serde_default(group: &proc_macro::Group) -> bool {
+    let mut it = group.stream().into_iter();
+    match (it.next(), it.next()) {
+        (Some(TokenTree::Ident(name)), Some(TokenTree::Group(inner)))
+            if name.to_string() == "serde" =>
+        {
+            inner
+                .stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "default"))
+        }
+        _ => false,
+    }
+}
+
+/// Consumes leading `#[...]` attributes; reports whether one was
+/// `#[serde(default)]`.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
+    let mut has_default = false;
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                has_default |= attr_is_serde_default(g);
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    (i, has_default)
+}
+
+/// Consumes `pub`, `pub(...)` visibility tokens.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Advances past a type (or discriminant expression) to the next top-level
+/// comma, tracking `<...>` nesting; bracket/paren groups are atomic tokens.
+fn skip_to_comma(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut angle = 0i32;
+    while i < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[i] {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return i,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Parses the fields of a braced body (`name: Type, ...`).
+fn parse_named_fields(group: &proc_macro::Group) -> Result<Vec<NamedField>, String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (ni, has_default) = skip_attrs(&tokens, i);
+        i = skip_vis(&tokens, ni);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("expected field name, found `{other}`")),
+            None => break,
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        i = skip_to_comma(&tokens, i);
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        fields.push(NamedField { name, has_default });
+    }
+    Ok(fields)
+}
+
+/// Counts the fields of a parenthesized (tuple) body.
+fn count_tuple_fields(group: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut n = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        // Each field may carry attributes and visibility before its type.
+        let (ni, _) = skip_attrs(&tokens, i);
+        i = skip_vis(&tokens, ni);
+        if i >= tokens.len() {
+            break;
+        }
+        n += 1;
+        i = skip_to_comma(&tokens, i);
+        i += 1; // past the comma (or off the end)
+    }
+    n
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (ni, _) = skip_attrs(&tokens, i);
+        i = ni;
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("expected variant name, found `{other}`")),
+            None => break,
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(count_tuple_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Named(parse_named_fields(g)?)
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an optional `= discriminant` and advance past the comma.
+        i = skip_to_comma(&tokens, i);
+        i += 1;
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (mut i, _) = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected `struct` or `enum`".into()),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected type name".into()),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "the in-tree serde derive does not support generic type `{name}`"
+        ));
+    }
+    match kind.as_str() {
+        "struct" => {
+            let shape = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g)?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(count_tuple_fields(g))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+                _ => return Err(format!("unsupported struct body for `{name}`")),
+            };
+            Ok(Input::Struct { name, shape })
+        }
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Input::Enum {
+                name,
+                variants: parse_variants(g)?,
+            }),
+            _ => Err(format!("expected enum body for `{name}`")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (assembled as source text, then reparsed)
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    match input {
+        Input::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => "serde::Value::Null".to_string(),
+                Shape::Tuple(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+                Shape::Tuple(n) => gen_arr((0..*n).map(|k| format!("&self.{k}"))),
+                Shape::Named(fields) => gen_obj(fields, |f| format!("&self.{}", f.name)),
+            };
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> serde::Value {{ {body} }}\n}}\n"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Unit => format!(
+                            "{name}::{vn} => serde::Value::Str(\
+                             ::std::string::ToString::to_string({vn:?})),"
+                        ),
+                        Shape::Tuple(1) => format!(
+                            "{name}::{vn}(x0) => serde::tagged({vn:?}, \
+                             serde::Serialize::to_value(x0)),"
+                        ),
+                        Shape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|k| format!("x{k}")).collect();
+                            let arr = gen_arr((0..*n).map(|k| format!("x{k}")));
+                            format!(
+                                "{name}::{vn}({}) => serde::tagged({vn:?}, {arr}),",
+                                binds.join(", ")
+                            )
+                        }
+                        Shape::Named(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let obj = gen_obj(fields, |f| f.name.clone());
+                            format!(
+                                "{name}::{vn} {{ {} }} => serde::tagged({vn:?}, {obj}),",
+                                binds.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> serde::Value {{ match self {{ {} }} }}\n}}\n",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+/// `Value::Arr` built without `vec!` so deriving modules cannot shadow it.
+fn gen_arr(exprs: impl Iterator<Item = String>) -> String {
+    let pushes: Vec<String> = exprs
+        .map(|e| format!("__arr.push(serde::Serialize::to_value({e}));"))
+        .collect();
+    format!(
+        "{{ let mut __arr = ::std::vec::Vec::with_capacity({}); {} serde::Value::Arr(__arr) }}",
+        pushes.len(),
+        pushes.join(" ")
+    )
+}
+
+/// `Value::Obj` from named fields, with hygiene-safe paths only.
+fn gen_obj(fields: &[NamedField], access: impl Fn(&NamedField) -> String) -> String {
+    let pushes: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "__obj.push(serde::entry({n:?}, serde::Serialize::to_value({a})));",
+                n = f.name,
+                a = access(f)
+            )
+        })
+        .collect();
+    format!(
+        "{{ let mut __obj = ::std::vec::Vec::with_capacity({}); {} serde::Value::Obj(__obj) }}",
+        fields.len(),
+        pushes.join(" ")
+    )
+}
+
+fn gen_named_ctor(ty: &str, type_path: &str, fields: &[NamedField], source: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            let missing = if f.has_default {
+                "::std::default::Default::default()".to_string()
+            } else {
+                format!(
+                    "return ::std::result::Result::Err(serde::missing_field({ty:?}, {n:?}))",
+                    n = f.name
+                )
+            };
+            format!(
+                "{n}: match serde::obj_get({source}, {n:?}) {{ \
+                 ::std::option::Option::Some(v) => serde::Deserialize::from_value(v)?, \
+                 ::std::option::Option::None => {missing} }},",
+                n = f.name
+            )
+        })
+        .collect();
+    format!("{type_path} {{ {} }}", inits.join(" "))
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    match input {
+        Input::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => format!("::std::result::Result::Ok({name})"),
+                Shape::Tuple(1) => {
+                    format!("::std::result::Result::Ok({name}(serde::Deserialize::from_value(v)?))")
+                }
+                Shape::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|k| format!("serde::Deserialize::from_value(&__a[{k}])?"))
+                        .collect();
+                    format!(
+                        "{{ let __a = match v.as_arr() {{ \
+                         ::std::option::Option::Some(a) => a, \
+                         ::std::option::Option::None => return ::std::result::Result::Err(\
+                         serde::wrong_kind({name:?}, \"array\", v)) }};\n\
+                         if __a.len() != {n} {{ return ::std::result::Result::Err(\
+                         serde::wrong_len({name:?}, {n}, __a.len())); }}\n\
+                         ::std::result::Result::Ok({name}({elems})) }}",
+                        elems = elems.join(", ")
+                    )
+                }
+                Shape::Named(fields) => {
+                    let ctor = gen_named_ctor(name, name, fields, "__obj");
+                    format!(
+                        "{{ let __obj = match v.as_obj() {{ \
+                         ::std::option::Option::Some(o) => o, \
+                         ::std::option::Option::None => return ::std::result::Result::Err(\
+                         serde::wrong_kind({name:?}, \"object\", v)) }};\n\
+                         ::std::result::Result::Ok({ctor}) }}"
+                    )
+                }
+            };
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &serde::Value) -> \
+                 ::std::result::Result<Self, serde::DeError> {{ {body} }}\n}}\n"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, Shape::Unit))
+                .map(|v| {
+                    format!(
+                        "{vn:?} => ::std::result::Result::Ok({name}::{vn}),",
+                        vn = v.name
+                    )
+                })
+                .collect();
+            let payload_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Unit => None,
+                        Shape::Tuple(1) => Some(format!(
+                            "{vn:?} => ::std::result::Result::Ok({name}::{vn}(\
+                             serde::Deserialize::from_value(payload)?)),"
+                        )),
+                        Shape::Tuple(n) => {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|k| format!("serde::Deserialize::from_value(&__a[{k}])?"))
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => {{ let __a = match payload.as_arr() {{ \
+                                 ::std::option::Option::Some(a) => a, \
+                                 ::std::option::Option::None => return \
+                                 ::std::result::Result::Err(serde::wrong_kind(\
+                                 {name:?}, \"array\", payload)) }};\n\
+                                 if __a.len() != {n} {{ return ::std::result::Result::Err(\
+                                 serde::wrong_len({vn:?}, {n}, __a.len())); }}\n\
+                                 ::std::result::Result::Ok({name}::{vn}({elems})) }},",
+                                elems = elems.join(", ")
+                            ))
+                        }
+                        Shape::Named(fields) => {
+                            let ctor =
+                                gen_named_ctor(vn, &format!("{name}::{vn}"), fields, "__inner");
+                            Some(format!(
+                                "{vn:?} => {{ let __inner = match payload.as_obj() {{ \
+                                 ::std::option::Option::Some(o) => o, \
+                                 ::std::option::Option::None => return \
+                                 ::std::result::Result::Err(serde::wrong_kind(\
+                                 {name:?}, \"object\", payload)) }};\n\
+                                 ::std::result::Result::Ok({ctor}) }},",
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &serde::Value) -> \
+                 ::std::result::Result<Self, serde::DeError> {{\n\
+                 match v {{\n\
+                 serde::Value::Str(s) => match s.as_str() {{\n\
+                 {units}\n\
+                 other => ::std::result::Result::Err(serde::unknown_variant({name:?}, other)),\n\
+                 }},\n\
+                 serde::Value::Obj(entries) if entries.len() == 1 => {{\n\
+                 let (tag, payload) = &entries[0];\n\
+                 match tag.as_str() {{\n\
+                 {payloads}\n\
+                 other => ::std::result::Result::Err(serde::unknown_variant({name:?}, other)),\n\
+                 }}\n\
+                 }},\n\
+                 other => ::std::result::Result::Err(\
+                 serde::wrong_kind({name:?}, \"string or single-entry object\", other)),\n\
+                 }}\n}}\n}}\n",
+                units = unit_arms.join("\n"),
+                payloads = payload_arms.join("\n"),
+            )
+        }
+    }
+}
+
+/// Derives `serde::Serialize` (tree-model form; see the `serde` stand-in).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_input(input) {
+        Ok(parsed) => gen_serialize(&parsed)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde_derive bug: {e}"))),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derives `serde::Deserialize` (tree-model form; see the `serde` stand-in).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_input(input) {
+        Ok(parsed) => gen_deserialize(&parsed)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde_derive bug: {e}"))),
+        Err(msg) => compile_error(&msg),
+    }
+}

@@ -83,7 +83,7 @@ impl App {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use icfl_micro::{ServiceSpec, steps};
+    use icfl_micro::{steps, ServiceSpec};
 
     fn tiny() -> App {
         App {
@@ -108,7 +108,10 @@ mod tests {
     fn unknown_target_is_an_error() {
         let mut app = tiny();
         app.fault_targets.push("ghost".into());
-        assert_eq!(app.build(1).unwrap_err(), BuildError::UnknownService("ghost".into()));
+        assert_eq!(
+            app.build(1).unwrap_err(),
+            BuildError::UnknownService("ghost".into())
+        );
     }
 
     #[test]

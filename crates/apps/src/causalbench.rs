@@ -69,44 +69,33 @@ pub fn causalbench() -> App {
                     vec![steps::compute(task_time()), steps::call("E", "/")],
                 ),
         )
-        .service(
-            ServiceSpec::web("C").with_concurrency(8).endpoint(
-                "path_e",
-                vec![steps::compute(task_time()), steps::call("E", "/")],
-            ),
-        )
+        .service(ServiceSpec::web("C").with_concurrency(8).endpoint(
+            "path_e",
+            vec![steps::compute(task_time()), steps::call("E", "/")],
+        ))
         .service(ServiceSpec::kv_store("D"))
-        .service(
-            ServiceSpec::web("E").with_concurrency(8).endpoint(
-                "/",
-                vec![
-                    steps::compute(task_time()),
-                    steps::log_every_n(100, "I am okay!"),
-                ],
-            ),
-        )
+        .service(ServiceSpec::web("E").with_concurrency(8).endpoint(
+            "/",
+            vec![
+                steps::compute(task_time()),
+                steps::log_every_n(100, "I am okay!"),
+            ],
+        ))
         .service(ServiceSpec::web("F"))
         .service(
             ServiceSpec::web("G")
                 .with_concurrency(8)
                 .endpoint("/", vec![steps::compute(task_time())]),
         )
-        .service(
-            ServiceSpec::web("H").with_concurrency(8).endpoint(
-                "/",
-                vec![steps::compute(task_time()), steps::kv_incr("D", "items")],
-            ),
-        )
-        .service(
-            ServiceSpec::web("I").with_concurrency(8).endpoint(
-                "/",
-                vec![steps::compute(task_time()), steps::kv_incr("D", "dummy")],
-            ),
-        )
-        .daemon(
-            DaemonSpec::poll_loop("F", "D", "items")
-                .calling("G", "/"),
-        );
+        .service(ServiceSpec::web("H").with_concurrency(8).endpoint(
+            "/",
+            vec![steps::compute(task_time()), steps::kv_incr("D", "items")],
+        ))
+        .service(ServiceSpec::web("I").with_concurrency(8).endpoint(
+            "/",
+            vec![steps::compute(task_time()), steps::kv_incr("D", "dummy")],
+        ))
+        .daemon(DaemonSpec::poll_loop("F", "D", "items").calling("G", "/"));
 
     App {
         name: "causalbench".into(),

@@ -24,18 +24,14 @@ fn task_time() -> DurationDist {
 /// ```
 pub fn pattern1() -> App {
     let spec = ClusterSpec::new("pattern1")
-        .service(
-            ServiceSpec::web("A").with_concurrency(8).endpoint(
-                "/",
-                vec![steps::compute(task_time()), steps::call("B", "/")],
-            ),
-        )
-        .service(
-            ServiceSpec::web("B").with_concurrency(8).endpoint(
-                "/",
-                vec![steps::compute(task_time()), steps::call("C", "/")],
-            ),
-        )
+        .service(ServiceSpec::web("A").with_concurrency(8).endpoint(
+            "/",
+            vec![steps::compute(task_time()), steps::call("B", "/")],
+        ))
+        .service(ServiceSpec::web("B").with_concurrency(8).endpoint(
+            "/",
+            vec![steps::compute(task_time()), steps::call("C", "/")],
+        ))
         .service(
             ServiceSpec::web("C")
                 .with_concurrency(8)
@@ -63,12 +59,10 @@ pub fn pattern1() -> App {
 /// ```
 pub fn pattern2() -> App {
     let spec = ClusterSpec::new("pattern2")
-        .service(
-            ServiceSpec::web("H").with_concurrency(8).endpoint(
-                "/",
-                vec![steps::compute(task_time()), steps::kv_incr("D", "items")],
-            ),
-        )
+        .service(ServiceSpec::web("H").with_concurrency(8).endpoint(
+            "/",
+            vec![steps::compute(task_time()), steps::kv_incr("D", "items")],
+        ))
         .service(ServiceSpec::kv_store("D"))
         .service(ServiceSpec::web("F"))
         .service(
@@ -133,33 +127,29 @@ pub fn fig2_topology() -> App {
                     vec![steps::compute(task_time()), steps::call("E", "/")],
                 ),
         )
-        .service(
-            ServiceSpec::web("C").with_concurrency(8).endpoint(
-                "/",
-                // C is the expensive hop: failing it fast frees A's users
-                // ~40 ms per iteration, which is what shifts load onto I.
-                vec![
-                    steps::compute(DurationDist::log_normal(SimDuration::from_millis(40), 0.2)),
-                    steps::call("E", "/"),
-                ],
-            ),
-        )
+        .service(ServiceSpec::web("C").with_concurrency(8).endpoint(
+            "/",
+            // C is the expensive hop: failing it fast frees A's users
+            // ~40 ms per iteration, which is what shifts load onto I.
+            vec![
+                steps::compute(DurationDist::log_normal(SimDuration::from_millis(40), 0.2)),
+                steps::call("E", "/"),
+            ],
+        ))
         .service(
             ServiceSpec::web("E")
                 .with_concurrency(8)
                 .endpoint("/", vec![steps::compute(task_time())]),
         )
-        .service(
-            ServiceSpec::web("I").with_concurrency(8).endpoint(
-                "/",
-                // I is also slow so the symmetric confounder (fault on I
-                // raising C's rate) is observable.
-                vec![steps::compute(DurationDist::log_normal(
-                    SimDuration::from_millis(30),
-                    0.2,
-                ))],
-            ),
-        );
+        .service(ServiceSpec::web("I").with_concurrency(8).endpoint(
+            "/",
+            // I is also slow so the symmetric confounder (fault on I
+            // raising C's rate) is observable.
+            vec![steps::compute(DurationDist::log_normal(
+                SimDuration::from_millis(30),
+                0.2,
+            ))],
+        ));
     App {
         name: "fig2".into(),
         spec,
@@ -187,8 +177,12 @@ mod tests {
         }
         let mut sim = Sim::new(seed);
         Cluster::start(&mut sim, &mut cluster);
-        start_load(&mut sim, &mut cluster, &LoadConfig::closed_loop(app.flows.clone()))
-            .unwrap();
+        start_load(
+            &mut sim,
+            &mut cluster,
+            &LoadConfig::closed_loop(app.flows.clone()),
+        )
+        .unwrap();
         sim.run_until(SimTime::from_secs(secs), &mut cluster);
         cluster
     }
@@ -211,8 +205,12 @@ mod tests {
         let app = pattern2();
         let normal = drive(&app, 2, None, 60);
         let faulty = drive(&app, 2, Some("D"), 60);
-        let g_normal = normal.counters(normal.service_id("G").unwrap()).requests_received;
-        let g_faulty = faulty.counters(faulty.service_id("G").unwrap()).requests_received;
+        let g_normal = normal
+            .counters(normal.service_id("G").unwrap())
+            .requests_received;
+        let g_faulty = faulty
+            .counters(faulty.service_id("G").unwrap())
+            .requests_received;
         assert!(g_normal > 50);
         assert_eq!(g_faulty, 0);
     }
@@ -222,9 +220,8 @@ mod tests {
         let app = fig2_topology();
         let normal = drive(&app, 3, None, 60);
         let faulty = drive(&app, 3, Some("C"), 60);
-        let i_rate = |cl: &Cluster| {
-            cl.counters(cl.service_id("I").unwrap()).requests_received as f64 / 60.0
-        };
+        let i_rate =
+            |cl: &Cluster| cl.counters(cl.service_id("I").unwrap()).requests_received as f64 / 60.0;
         let n = i_rate(&normal);
         let f = i_rate(&faulty);
         assert!(f > n * 1.02, "confounder absent: normal={n} faulty={f}");
@@ -237,9 +234,8 @@ mod tests {
         let app = fig2_topology();
         let normal = drive(&app, 4, None, 60);
         let faulty = drive(&app, 4, Some("I"), 60);
-        let c_rate = |cl: &Cluster| {
-            cl.counters(cl.service_id("C").unwrap()).requests_received as f64 / 60.0
-        };
+        let c_rate =
+            |cl: &Cluster| cl.counters(cl.service_id("C").unwrap()).requests_received as f64 / 60.0;
         let n = c_rate(&normal);
         let f = c_rate(&faulty);
         assert!(f > n * 1.02, "confounder absent: normal={n} faulty={f}");

@@ -33,7 +33,10 @@ pub fn robot_shop() -> App {
                 .with_concurrency(32)
                 .endpoint(
                     "/browse",
-                    vec![steps::compute(svc_time(1)), steps::call("catalogue", "/products")],
+                    vec![
+                        steps::compute(svc_time(1)),
+                        steps::call("catalogue", "/products"),
+                    ],
                 )
                 .endpoint(
                     "/login",
@@ -49,29 +52,31 @@ pub fn robot_shop() -> App {
                 )
                 .endpoint(
                     "/shipping",
-                    vec![steps::compute(svc_time(1)), steps::call("shipping", "/calc")],
+                    vec![
+                        steps::compute(svc_time(1)),
+                        steps::call("shipping", "/calc"),
+                    ],
                 )
                 .endpoint(
                     "/ratings",
                     vec![steps::compute(svc_time(1)), steps::call("ratings", "/rate")],
                 ),
         )
-        .service(
-            ServiceSpec::web("catalogue").with_concurrency(8).endpoint(
-                "/products",
-                vec![steps::compute(svc_time(2)), steps::call("mongodb", "/query")],
-            ),
-        )
-        .service(
-            ServiceSpec::web("user").with_concurrency(8).endpoint(
-                "/login",
-                vec![
-                    steps::compute(svc_time(2)),
-                    steps::call("mongodb", "/query"),
-                    steps::kv_incr("redis", "sessions"),
-                ],
-            ),
-        )
+        .service(ServiceSpec::web("catalogue").with_concurrency(8).endpoint(
+            "/products",
+            vec![
+                steps::compute(svc_time(2)),
+                steps::call("mongodb", "/query"),
+            ],
+        ))
+        .service(ServiceSpec::web("user").with_concurrency(8).endpoint(
+            "/login",
+            vec![
+                steps::compute(svc_time(2)),
+                steps::call("mongodb", "/query"),
+                steps::kv_incr("redis", "sessions"),
+            ],
+        ))
         .service(
             ServiceSpec::web("cart")
                 .with_concurrency(8)
@@ -83,37 +88,28 @@ pub fn robot_shop() -> App {
                         steps::call("catalogue", "/products"),
                     ],
                 )
-                .endpoint(
-                    "/get",
-                    vec![steps::compute(svc_time(1))],
-                ),
+                .endpoint("/get", vec![steps::compute(svc_time(1))]),
         )
-        .service(
-            ServiceSpec::web("shipping").with_concurrency(8).endpoint(
-                "/calc",
-                // Java service: slower, heavier CPU.
-                vec![steps::compute(svc_time(5)), steps::call("mysql", "/query")],
-            ),
-        )
-        .service(
-            ServiceSpec::web("payment").with_concurrency(8).endpoint(
-                "/pay",
-                vec![
-                    steps::compute(svc_time(3)),
-                    steps::call("cart", "/get"),
-                    // Publish the order for asynchronous dispatch.
-                    steps::kv_incr("rabbitmq", "orders"),
-                ],
-            ),
-        )
+        .service(ServiceSpec::web("shipping").with_concurrency(8).endpoint(
+            "/calc",
+            // Java service: slower, heavier CPU.
+            vec![steps::compute(svc_time(5)), steps::call("mysql", "/query")],
+        ))
+        .service(ServiceSpec::web("payment").with_concurrency(8).endpoint(
+            "/pay",
+            vec![
+                steps::compute(svc_time(3)),
+                steps::call("cart", "/get"),
+                // Publish the order for asynchronous dispatch.
+                steps::kv_incr("rabbitmq", "orders"),
+            ],
+        ))
         // Golang dispatch worker: consumes the order queue.
         .service(ServiceSpec::web("dispatch"))
-        .service(
-            ServiceSpec::web("ratings").with_concurrency(8).endpoint(
-                "/rate",
-                vec![steps::compute(svc_time(2)), steps::call("mysql", "/query")],
-            ),
-        )
+        .service(ServiceSpec::web("ratings").with_concurrency(8).endpoint(
+            "/rate",
+            vec![steps::compute(svc_time(2)), steps::call("mysql", "/query")],
+        ))
         .service(
             ServiceSpec::web("mongodb")
                 .with_concurrency(8)
@@ -141,8 +137,17 @@ pub fn robot_shop() -> App {
         ],
         // dispatch is a pure queue consumer with no HTTP port.
         fault_targets: [
-            "web", "catalogue", "user", "cart", "shipping", "payment", "ratings", "mongodb",
-            "mysql", "redis", "rabbitmq",
+            "web",
+            "catalogue",
+            "user",
+            "cart",
+            "shipping",
+            "payment",
+            "ratings",
+            "mongodb",
+            "mysql",
+            "redis",
+            "rabbitmq",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -166,8 +171,12 @@ mod tests {
         }
         let mut sim = Sim::new(seed);
         Cluster::start(&mut sim, &mut cluster);
-        start_load(&mut sim, &mut cluster, &LoadConfig::closed_loop(app.flows.clone()))
-            .unwrap();
+        start_load(
+            &mut sim,
+            &mut cluster,
+            &LoadConfig::closed_loop(app.flows.clone()),
+        )
+        .unwrap();
         sim.run_until(SimTime::from_secs(secs), &mut cluster);
         cluster
     }
@@ -198,8 +207,17 @@ mod tests {
     fn healthy_run_reaches_every_service() {
         let cl = run(1, None, 60);
         for name in [
-            "web", "catalogue", "user", "cart", "shipping", "payment", "ratings", "mongodb",
-            "mysql", "redis", "rabbitmq",
+            "web",
+            "catalogue",
+            "user",
+            "cart",
+            "shipping",
+            "payment",
+            "ratings",
+            "mongodb",
+            "mysql",
+            "redis",
+            "rabbitmq",
         ] {
             let id = cl.service_id(name).unwrap();
             assert!(cl.counters(id).requests_received > 0, "{name} starved");

@@ -35,7 +35,10 @@ pub fn chain_app(depth: usize) -> App {
     for i in 0..depth {
         let mut svc = ServiceSpec::web(format!("s{i}")).with_concurrency(8);
         let steps = if i + 1 < depth {
-            vec![steps::compute(task_time()), steps::call(&format!("s{}", i + 1), "/")]
+            vec![
+                steps::compute(task_time()),
+                steps::call(&format!("s{}", i + 1), "/"),
+            ]
         } else {
             vec![steps::compute(task_time())]
         };
@@ -72,7 +75,10 @@ pub fn star_app(leaves: usize) -> App {
         let ep = format!("/leaf{i}");
         hub = hub.endpoint(
             &ep,
-            vec![steps::compute(task_time()), steps::call(&format!("leaf{i}"), "/")],
+            vec![
+                steps::compute(task_time()),
+                steps::call(&format!("leaf{i}"), "/"),
+            ],
         );
         flows.push(UserFlow::new(format!("f{i}"), "hub", ep));
     }
@@ -86,7 +92,12 @@ pub fn star_app(leaves: usize) -> App {
     }
     let mut fault_targets = vec!["hub".to_owned()];
     fault_targets.extend((0..leaves).map(|i| format!("leaf{i}")));
-    App { name: format!("star-{leaves}"), spec, flows, fault_targets }
+    App {
+        name: format!("star-{leaves}"),
+        spec,
+        flows,
+        fault_targets,
+    }
 }
 
 /// A layered DAG: `width` services per layer across `layers` layers; each
@@ -130,7 +141,12 @@ pub fn layered_app(layers: usize, width: usize) -> App {
     let fault_targets = (0..layers)
         .flat_map(|l| (0..width).map(move |w| name_of(l, w)))
         .collect();
-    App { name: format!("layered-{layers}x{width}"), spec, flows, fault_targets }
+    App {
+        name: format!("layered-{layers}x{width}"),
+        spec,
+        flows,
+        fault_targets,
+    }
 }
 
 #[cfg(test)]
@@ -144,8 +160,12 @@ mod tests {
         let (mut cluster, _) = app.build(seed).unwrap();
         let mut sim = Sim::new(seed);
         Cluster::start(&mut sim, &mut cluster);
-        start_load(&mut sim, &mut cluster, &LoadConfig::closed_loop(app.flows.clone()))
-            .unwrap();
+        start_load(
+            &mut sim,
+            &mut cluster,
+            &LoadConfig::closed_loop(app.flows.clone()),
+        )
+        .unwrap();
         sim.run_until(SimTime::from_secs(20), &mut cluster);
         cluster
     }

@@ -55,8 +55,8 @@ impl ErrorLogLocalizer {
         let n = model.num_services();
         let mut pooled: Vec<Vec<f64>> = vec![Vec::new(); n];
         for (_, ds) in &faults {
-            for s in 0..n {
-                pooled[s].extend_from_slice(ds.samples(0, ServiceId::from_index(s)));
+            for (s, series) in pooled.iter_mut().enumerate() {
+                series.extend_from_slice(ds.samples(0, ServiceId::from_index(s)));
             }
         }
         let mut edges = Vec::new();
@@ -150,6 +150,9 @@ mod tests {
         // nobody calls G synchronously from the user path, and the daemon
         // logs errors at F only. G's own starvation is invisible.
         let set_g = loc.model().causal_set(0, g).unwrap();
-        assert!(set_g.len() <= 2, "error logs should carry little signal: {set_g:?}");
+        assert!(
+            set_g.len() <= 2,
+            "error logs should carry little signal: {set_g:?}"
+        );
     }
 }

@@ -45,11 +45,11 @@ impl AnomalyRanker {
         let n = self.baseline.num_services();
         let mut scores = vec![0.0; n];
         for m in 0..self.catalog.len() {
-            for s in 0..n {
+            for (s, score) in scores.iter_mut().enumerate() {
                 let svc = ServiceId::from_index(s);
                 let d = ks_statistic(self.baseline.samples(m, svc), production.samples(m, svc))?;
-                if d > scores[s] {
-                    scores[s] = d;
+                if d > *score {
+                    *score = d;
                 }
             }
         }
@@ -83,7 +83,9 @@ mod tests {
     use super::*;
 
     fn steady(level: f64) -> Vec<f64> {
-        (0..19).map(|i| level + (i % 5) as f64 * 0.01 * level.max(1.0)).collect()
+        (0..19)
+            .map(|i| level + (i % 5) as f64 * 0.01 * level.max(1.0))
+            .collect()
     }
 
     #[test]

@@ -53,7 +53,10 @@ impl PooledGraphLocalizer {
 
     /// The collapsed causal world `C(s) = ∪_M C(s, M)`.
     pub fn pooled_set(&self, target: ServiceId) -> Option<&BTreeSet<ServiceId>> {
-        self.pooled.iter().find(|(t, _)| *t == target).map(|(_, c)| c)
+        self.pooled
+            .iter()
+            .find(|(t, _)| *t == target)
+            .map(|(_, c)| c)
     }
 }
 

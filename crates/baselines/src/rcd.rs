@@ -38,7 +38,11 @@ pub struct RcdConfig {
 
 impl Default for RcdConfig {
     fn default() -> Self {
-        RcdConfig { bins: 3, alpha: 0.05, gamma: 8 }
+        RcdConfig {
+            bins: 3,
+            alpha: 0.05,
+            gamma: 8,
+        }
     }
 }
 
@@ -69,7 +73,11 @@ impl RcdLocalizer {
             catalog.len(),
             "baseline shape must match catalog"
         );
-        RcdLocalizer { catalog, baseline, config }
+        RcdLocalizer {
+            catalog,
+            baseline,
+            config,
+        }
     }
 
     /// Convenience constructor taking only the baseline phase of a training
@@ -111,9 +119,8 @@ impl RcdLocalizer {
         }
         let b = self.baseline.num_windows();
         let p = production.num_windows();
-        let f: Vec<usize> = std::iter::repeat(0)
-            .take(b)
-            .chain(std::iter::repeat(1).take(p))
+        let f: Vec<usize> = std::iter::repeat_n(0, b)
+            .chain(std::iter::repeat_n(1, p))
             .collect();
         Ok((vars, f))
     }
@@ -132,7 +139,10 @@ impl RcdLocalizer {
         for &v in chunk {
             let r = g_square_test(&vars[v], f, &[])?;
             if r.dependent_at(alpha) {
-                survivors.push(Survivor { var: v, p_value: r.p_value });
+                survivors.push(Survivor {
+                    var: v,
+                    p_value: r.p_value,
+                });
             }
         }
         // Order 1: drop v if some other survivor u d-separates it from F.
@@ -214,7 +224,9 @@ mod tests {
     use icfl_core::{EvalSuite, RunConfig};
 
     fn steady(level: f64, n: usize) -> Vec<f64> {
-        (0..n).map(|i| level + (i % 5) as f64 * 0.02 * level.max(1.0)).collect()
+        (0..n)
+            .map(|i| level + (i % 5) as f64 * 0.02 * level.max(1.0))
+            .collect()
     }
 
     #[test]
@@ -232,7 +244,9 @@ mod tests {
         );
         let survivors = rcd.search(&prod).unwrap();
         assert!(!survivors.is_empty());
-        assert!(survivors.iter().all(|s| rcd.var_service(s.var).index() == 1));
+        assert!(survivors
+            .iter()
+            .all(|s| rcd.var_service(s.var).index() == 1));
     }
 
     #[test]
@@ -255,12 +269,9 @@ mod tests {
         let app = icfl_apps::pattern1();
         let cfg = RunConfig::quick(23);
         let campaign = icfl_core::CampaignRun::execute(&app, &cfg).unwrap();
-        let rcd = RcdLocalizer::from_campaign(
-            &campaign,
-            &MetricCatalog::raw_all(),
-            RcdConfig::default(),
-        )
-        .unwrap();
+        let rcd =
+            RcdLocalizer::from_campaign(&campaign, &MetricCatalog::raw_all(), RcdConfig::default())
+                .unwrap();
         let suite = EvalSuite::execute(&app, campaign.targets(), &RunConfig::quick(29)).unwrap();
         let summary = crate::evaluate_localizer(&rcd, &suite).unwrap();
         // RCD without interventional structure gets *something* right on a

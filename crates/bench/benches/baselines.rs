@@ -4,8 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use icfl_baselines::{
-    AnomalyRanker, ErrorLogLocalizer, FaultLocalizer, PooledGraphLocalizer, RcdConfig,
-    RcdLocalizer,
+    AnomalyRanker, ErrorLogLocalizer, FaultLocalizer, PooledGraphLocalizer, RcdConfig, RcdLocalizer,
 };
 use icfl_bench::causalbench_fixture;
 use icfl_core::RunConfig;
@@ -23,13 +22,16 @@ fn bench_baselines(c: &mut Criterion) {
         .learn(&MetricCatalog::derived_all(), detector)
         .expect("model");
     let error_log = ErrorLogLocalizer::train(&campaign, detector).expect("train [23]");
-    let rcd = RcdLocalizer::from_campaign(&campaign, &MetricCatalog::raw_all(), RcdConfig::default())
-        .expect("train rcd");
+    let rcd =
+        RcdLocalizer::from_campaign(&campaign, &MetricCatalog::raw_all(), RcdConfig::default())
+            .expect("train rcd");
     let pooled = PooledGraphLocalizer::train(&campaign, &MetricCatalog::derived_all(), detector)
         .expect("train pooled");
     let ranker = AnomalyRanker::new(
         MetricCatalog::derived_all(),
-        campaign.baseline(&MetricCatalog::derived_all()).expect("baseline"),
+        campaign
+            .baseline(&MetricCatalog::derived_all())
+            .expect("baseline"),
     );
 
     println!("\n=== per-method diagnosis of one CausalBench fault (target: B) ===");

@@ -1,0 +1,68 @@
+//! Campaign-executor throughput: raw scheduler event rate (events/sec) and
+//! end-to-end intervention-campaign rate (runs/sec).
+//!
+//! `scheduler_events` exercises the event loop alone — periodic re-arming,
+//! one-shot scheduling and cancellation — so regressions in the scheduler
+//! hot path show up without cluster noise. `campaign_runs` executes the
+//! full parallel campaign (baseline + one fault run per target) on the
+//! three-service pattern-1 app in quick mode.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use icfl_core::{CampaignRun, RunConfig};
+use icfl_sim::{Sim, SimDuration, SimTime};
+use std::hint::black_box;
+
+const HORIZON: SimTime = SimTime::from_secs(300);
+
+/// Arms a mixed scheduler workload: 64 periodic tickers at co-prime-ish
+/// periods plus a self-rescheduling one-shot chain that cancels a decoy
+/// event per link.
+fn arm(sim: &mut Sim<u64>) {
+    for i in 0..64u64 {
+        sim.schedule_periodic(
+            SimTime::ZERO + SimDuration::from_millis(i + 1),
+            SimDuration::from_millis(40 + (i * 7) % 60),
+            |_, n: &mut u64| *n += 1,
+        );
+    }
+    fn chain(sim: &mut Sim<u64>, state: &mut u64) {
+        *state += 1;
+        let decoy = sim.schedule_after(SimDuration::from_secs(3600), |_, _: &mut u64| {});
+        sim.cancel(decoy);
+        sim.schedule_after(SimDuration::from_millis(5), chain);
+    }
+    sim.schedule_after(SimDuration::from_millis(1), chain);
+}
+
+fn run_workload() -> u64 {
+    let mut sim: Sim<u64> = Sim::new(1);
+    let mut ticks = 0u64;
+    arm(&mut sim);
+    sim.run_until(HORIZON, &mut ticks);
+    sim.events_executed()
+}
+
+fn bench_campaign_throughput(c: &mut Criterion) {
+    let events = run_workload();
+    println!("scheduler workload executes {events} events");
+
+    let mut group = c.benchmark_group("campaign_throughput");
+    group.throughput(Throughput::Elements(events));
+    group.bench_function("scheduler_events", |b| b.iter(|| black_box(run_workload())));
+
+    let app = icfl_apps::pattern1();
+    let cfg = RunConfig::quick(5);
+    let runs = app.fault_targets.len() as u64 + 1;
+    group.throughput(Throughput::Elements(runs));
+    group.bench_function("campaign_runs", |b| {
+        b.iter(|| black_box(CampaignRun::execute(&app, &cfg).expect("campaign")))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_campaign_throughput
+}
+criterion_main!(benches);

@@ -31,8 +31,14 @@ fn bench_stats(c: &mut Criterion) {
     // G² conditional-independence test on binary data.
     let mut rng = Rng::seeded(5);
     let z: Vec<usize> = (0..2_000).map(|_| (rng.next_u64() % 2) as usize).collect();
-    let x: Vec<usize> = z.iter().map(|&v| if rng.chance(0.9) { v } else { 1 - v }).collect();
-    let y: Vec<usize> = z.iter().map(|&v| if rng.chance(0.9) { v } else { 1 - v }).collect();
+    let x: Vec<usize> = z
+        .iter()
+        .map(|&v| if rng.chance(0.9) { v } else { 1 - v })
+        .collect();
+    let y: Vec<usize> = z
+        .iter()
+        .map(|&v| if rng.chance(0.9) { v } else { 1 - v })
+        .collect();
     c.bench_function("g_square/2000x_cond1", |b| {
         b.iter(|| g_square_test(black_box(&x), black_box(&y), &[&z]).expect("g2"))
     });
@@ -40,9 +46,7 @@ fn bench_stats(c: &mut Criterion) {
     // Fisher-z partial correlation with a 2-variable conditioning set.
     let cols: Vec<Vec<f64>> = (0..5).map(|i| samples(500, 10 + i, 0.0)).collect();
     c.bench_function("partial_correlation/500x_cond2", |b| {
-        b.iter(|| {
-            partial_correlation_test(black_box(&cols), 0, 1, &[2, 3]).expect("pcorr")
-        })
+        b.iter(|| partial_correlation_test(black_box(&cols), 0, 1, &[2, 3]).expect("pcorr"))
     });
 }
 

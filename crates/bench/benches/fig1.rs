@@ -20,7 +20,10 @@ fn bench_fig1(c: &mut Criterion) {
         ],
     );
     let detector = RunConfig::default_detector();
-    for (name, app) in [("pattern1", icfl_apps::pattern1()), ("pattern2", icfl_apps::pattern2())] {
+    for (name, app) in [
+        ("pattern1", icfl_apps::pattern1()),
+        ("pattern2", icfl_apps::pattern2()),
+    ] {
         let campaign = CampaignRun::execute(&app, &RunConfig::quick(7)).expect("campaign");
         let baseline = campaign.baseline(&catalog).expect("baseline");
         let faults = campaign.fault_datasets(&catalog).expect("faults");

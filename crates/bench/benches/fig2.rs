@@ -23,8 +23,12 @@ fn bench_fig2(c: &mut Criterion) {
             let (mut cluster, _) = app.build(9).expect("build");
             let mut sim = Sim::new(9);
             Cluster::start(&mut sim, &mut cluster);
-            start_load(&mut sim, &mut cluster, &LoadConfig::closed_loop(app.flows.clone()))
-                .expect("load");
+            start_load(
+                &mut sim,
+                &mut cluster,
+                &LoadConfig::closed_loop(app.flows.clone()),
+            )
+            .expect("load");
             sim.run_until(SimTime::from_secs(60), &mut cluster);
             black_box(sim.events_executed())
         })

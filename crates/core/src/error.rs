@@ -83,7 +83,9 @@ mod tests {
         let e = CoreError::from(icfl_stats::StatsError::EmptySample);
         assert!(e.to_string().contains("statistical"));
         assert!(std::error::Error::source(&e).is_some());
-        let s = CoreError::ShapeMismatch { what: "3 vs 4 services".into() };
+        let s = CoreError::ShapeMismatch {
+            what: "3 vs 4 services".into(),
+        };
         assert!(s.to_string().contains("3 vs 4"));
         assert!(std::error::Error::source(&s).is_none());
     }

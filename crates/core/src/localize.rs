@@ -220,7 +220,11 @@ impl CausalModel {
         } else {
             BTreeSet::new()
         };
-        Ok(Localization { candidates, votes, per_metric })
+        Ok(Localization {
+            candidates,
+            votes,
+            per_metric,
+        })
     }
 }
 
@@ -235,7 +239,9 @@ mod tests {
     }
 
     fn steady(level: f64) -> Vec<f64> {
-        (0..19).map(|i| level + (i % 5) as f64 * 0.01 * level.max(1.0)).collect()
+        (0..19)
+            .map(|i| level + (i % 5) as f64 * 0.01 * level.max(1.0))
+            .collect()
     }
 
     /// Builds a 2-metric, 3-service model:

@@ -74,7 +74,7 @@ impl CausalModel {
 
         let mut sets = vec![Vec::with_capacity(faults.len()); catalog.len()];
         for (target, ds) in faults {
-            for m in 0..catalog.len() {
+            for (m, set) in sets.iter_mut().enumerate() {
                 // Algorithm 1 line 9: C(s, M) starts at {s}.
                 let mut c: BTreeSet<ServiceId> = BTreeSet::new();
                 c.insert(*target);
@@ -90,7 +90,7 @@ impl CausalModel {
                         c.insert(svc);
                     }
                 }
-                sets[m].push((*target, c));
+                set.push((*target, c));
             }
         }
         Ok(CausalModel {
@@ -141,12 +141,11 @@ impl CausalModel {
     }
 
     /// Iterates `(metric index, target, causal set)` over the whole model.
-    pub fn iter_sets(
-        &self,
-    ) -> impl Iterator<Item = (usize, ServiceId, &BTreeSet<ServiceId>)> + '_ {
-        self.sets.iter().enumerate().flat_map(|(m, per_target)| {
-            per_target.iter().map(move |(s, c)| (m, *s, c))
-        })
+    pub fn iter_sets(&self) -> impl Iterator<Item = (usize, ServiceId, &BTreeSet<ServiceId>)> + '_ {
+        self.sets
+            .iter()
+            .enumerate()
+            .flat_map(|(m, per_target)| per_target.iter().map(move |(s, c)| (m, *s, c)))
     }
 
     /// Mean Jaccard similarity of two targets' causal signatures across all
@@ -275,7 +274,9 @@ mod tests {
     }
 
     fn steady(level: f64) -> Vec<f64> {
-        (0..19).map(|i| level + (i % 5) as f64 * 0.01 * level.max(1.0)).collect()
+        (0..19)
+            .map(|i| level + (i % 5) as f64 * 0.01 * level.max(1.0))
+            .collect()
     }
 
     #[test]
@@ -309,7 +310,12 @@ mod tests {
         )
         .unwrap();
         assert_eq!(
-            model.causal_set(0, sid(0)).unwrap().iter().copied().collect::<Vec<_>>(),
+            model
+                .causal_set(0, sid(0))
+                .unwrap()
+                .iter()
+                .copied()
+                .collect::<Vec<_>>(),
             vec![sid(0)]
         );
     }
@@ -329,18 +335,10 @@ mod tests {
 
         let wrong_metrics = Dataset::new(
             vec!["a".into(), "b".into()],
-            vec![
-                vec![steady(1.0); 3],
-                vec![steady(1.0); 3],
-            ],
+            vec![vec![steady(1.0); 3], vec![steady(1.0); 3]],
         );
-        let err = CausalModel::learn(
-            &catalog(),
-            ShiftDetector::ks(0.05),
-            &wrong_metrics,
-            &[],
-        )
-        .unwrap_err();
+        let err = CausalModel::learn(&catalog(), ShiftDetector::ks(0.05), &wrong_metrics, &[])
+            .unwrap_err();
         assert!(matches!(err, CoreError::ShapeMismatch { .. }));
     }
 
@@ -430,7 +428,11 @@ mod tests {
         model.update_target(sid(0), &fault0_v2).unwrap();
         let after_0 = model.causal_set(0, sid(0)).unwrap();
         assert!(after_0.contains(&sid(2)), "new effect learned: {after_0:?}");
-        assert_eq!(model.causal_set(0, sid(1)).unwrap(), &before_1, "other targets untouched");
+        assert_eq!(
+            model.causal_set(0, sid(1)).unwrap(),
+            &before_1,
+            "other targets untouched"
+        );
     }
 
     #[test]

@@ -1,18 +1,30 @@
 //! End-to-end experiment orchestration: run the Algorithm-1 training
 //! campaign on a simulated application, extract datasets, learn the model,
 //! and evaluate it on fresh production runs — the full §V protocol.
+//!
+//! # Parallel execution
+//!
+//! The campaign baseline, every per-target fault run, and every production
+//! evaluation case are *independent* seeded simulations, so the executor
+//! fans them out over a scoped worker pool ([`std::thread::scope`]). The
+//! thread count never affects results: each job owns its simulation and
+//! RNG stream, and outputs are merged in campaign order after the pool
+//! joins. `threads = 1` is byte-identical to `threads = N` by construction
+//! (asserted by the `parallel_equals_serial` integration test).
 
 use crate::error::Result;
-use crate::model::CausalModel;
 use crate::localize::MatchRule;
+use crate::model::CausalModel;
 use crate::score::{CaseResult, EvalSummary};
 use icfl_apps::App;
-use icfl_faults::{Campaign, CampaignConfig, FaultInjector, InterventionTrace, PhaseLabel};
+use icfl_faults::{CampaignConfig, FaultInjector, InterventionTrace, TraceEntry};
 use icfl_loadgen::{start_load, LoadConfig};
 use icfl_micro::{Cluster, FaultKind, ServiceId};
-use icfl_sim::{Sim, SimTime};
+use icfl_sim::{Sim, SimDuration, SimTime};
 use icfl_stats::ShiftDetector;
 use icfl_telemetry::{Dataset, MetricCatalog, Recorder, WindowConfig};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Configuration of one simulated experiment run (training or evaluation).
 #[derive(Debug, Clone, PartialEq)]
@@ -27,6 +39,12 @@ pub struct RunConfig {
     pub windows: WindowConfig,
     /// The fault injected during campaigns and evaluation cases.
     pub fault: FaultKind,
+    /// Worker threads for the campaign/evaluation fan-out. `0` (the
+    /// default) resolves to the `ICFL_THREADS` environment variable or,
+    /// failing that, [`std::thread::available_parallelism`]. The resolved
+    /// count is capped by the number of runnable jobs. Thread count never
+    /// changes results — see the module docs.
+    pub threads: usize,
 }
 
 impl RunConfig {
@@ -39,6 +57,7 @@ impl RunConfig {
             campaign: CampaignConfig::default(),
             windows: WindowConfig::default(),
             fault: FaultKind::ServiceUnavailable,
+            threads: 0,
         }
     }
 
@@ -52,6 +71,7 @@ impl RunConfig {
             campaign: CampaignConfig::quick(120),
             windows: WindowConfig::from_secs(10, 5),
             fault: FaultKind::ServiceUnavailable,
+            threads: 0,
         }
     }
 
@@ -67,6 +87,30 @@ impl RunConfig {
         self
     }
 
+    /// Sets the worker-thread count (`0` = auto), returning `self`.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The worker count actually used for `jobs` runnable jobs: the
+    /// explicit [`RunConfig::threads`] if non-zero, else `ICFL_THREADS`,
+    /// else available parallelism — capped by `jobs` and at least 1.
+    pub fn resolved_threads(&self, jobs: usize) -> usize {
+        let n = if self.threads > 0 {
+            self.threads
+        } else if let Some(n) = std::env::var("ICFL_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+        {
+            n
+        } else {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        };
+        n.min(jobs.max(1))
+    }
+
     /// The default shift detector used by [`CampaignRun::learn`]: KS at
     /// α = 0.05 with a 10% minimum-relative-effect guard (DESIGN.md
     /// decision 4).
@@ -75,19 +119,108 @@ impl RunConfig {
     }
 }
 
-/// A completed Algorithm-1 training campaign: the scraped telemetry plus the
-/// phase timeline, ready to yield datasets for any metric catalog.
+/// Runs `jobs` independent jobs on up to `threads` scoped workers and
+/// returns their outputs in job order regardless of completion order.
 ///
-/// Running the simulation is the expensive part; extracting datasets and
-/// learning models (per catalog) is cheap, so Table II's six catalogs reuse
-/// one `CampaignRun`.
-pub struct CampaignRun {
+/// Workers pull indices from a shared atomic counter; each output is
+/// tagged with its index and the tagged list is sorted after the pool
+/// joins, so the schedule cannot influence the result.
+fn run_parallel<T, F>(jobs: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if jobs == 0 {
+        return Vec::new();
+    }
+    if threads <= 1 || jobs == 1 {
+        return (0..jobs).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let done = Mutex::new(Vec::with_capacity(jobs));
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(jobs) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs {
+                    break;
+                }
+                let out = f(i);
+                done.lock().expect("worker results lock").push((i, out));
+            });
+        }
+    });
+    let mut done = done.into_inner().expect("worker results lock");
+    done.sort_unstable_by_key(|&(i, _)| i);
+    done.into_iter().map(|(_, out)| out).collect()
+}
+
+/// Telemetry of one simulated phase: the run's recorder plus the phase
+/// bounds datasets are extracted over.
+struct PhaseRecording {
     recorder: Recorder,
-    plan: Vec<icfl_faults::PhaseWindow>,
+    window: (SimTime, SimTime),
+}
+
+/// Builds a fresh cluster and simulation from `cfg.seed`, drives
+/// closed-loop load through warmup plus one phase of `phase_len`, with
+/// `fault` (if any) active over the phase.
+fn simulate_phase(
+    app: &App,
+    cfg: &RunConfig,
+    phase_len: SimDuration,
+    fault: Option<(ServiceId, &InterventionTrace)>,
+) -> Result<PhaseRecording> {
+    let (mut cluster, _) = app.build(cfg.seed)?;
+    let mut sim = Sim::new(cfg.seed);
+    Cluster::start(&mut sim, &mut cluster);
+    let recorder = Recorder::attach(&mut sim, cluster.num_services());
+    start_load(
+        &mut sim,
+        &mut cluster,
+        &LoadConfig::closed_loop(app.flows.clone()).with_replicas(cfg.replicas),
+    )?;
+    let from = SimTime::ZERO + cfg.campaign.warmup;
+    let to = from + phase_len;
+    if let Some((svc, trace)) = fault {
+        FaultInjector::inject_between(&mut sim, svc, cfg.fault.clone(), from, to, trace);
+    }
+    sim.run_until(to, &mut cluster);
+    Ok(PhaseRecording {
+        recorder,
+        window: (from, to),
+    })
+}
+
+/// Seed stream for the campaign's per-target fault runs. The multiplier
+/// differs from [`EvalSuite::execute`]'s so training and evaluation
+/// traffic stay independent even at the same base seed.
+fn campaign_fault_seed(base: u64, index: usize) -> u64 {
+    base.wrapping_add((index as u64 + 1).wrapping_mul(0xd1b5_4a32_d192_ed03))
+}
+
+/// Output of one campaign worker job.
+enum CampaignJob {
+    Baseline(PhaseRecording),
+    Fault(ServiceId, PhaseRecording, Vec<TraceEntry>),
+}
+
+/// A completed Algorithm-1 training campaign: per-phase telemetry ready to
+/// yield datasets for any metric catalog.
+///
+/// Running the simulations is the expensive part; extracting datasets and
+/// learning models (per catalog) is cheap, so Table II's six catalogs reuse
+/// one `CampaignRun`. The baseline phase and each per-target fault phase
+/// are independent seeded simulations executed on a worker pool sized by
+/// [`RunConfig::resolved_threads`].
+pub struct CampaignRun {
+    baseline: PhaseRecording,
+    faults: Vec<(ServiceId, PhaseRecording)>,
     targets: Vec<ServiceId>,
     windows: WindowConfig,
     service_names: Vec<String>,
-    /// Audit log of the interventions actually performed.
+    /// Audit log of the interventions actually performed, in campaign
+    /// (target) order.
     pub trace: InterventionTrace,
 }
 
@@ -95,41 +228,73 @@ impl std::fmt::Debug for CampaignRun {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CampaignRun")
             .field("targets", &self.targets.len())
-            .field("phases", &self.plan.len())
+            .field("fault_runs", &self.faults.len())
             .finish()
     }
 }
 
 impl CampaignRun {
-    /// Runs the full campaign simulation for `app` under `cfg`.
+    /// Runs the full campaign for `app` under `cfg`: one baseline
+    /// simulation plus one fault simulation per target, fanned out over
+    /// the worker pool. Per-run intervention logs are merged into
+    /// [`CampaignRun::trace`] in target order, so the trace (like every
+    /// other output) is independent of the thread count.
     ///
     /// # Errors
     ///
-    /// Propagates cluster-build, load-generation and telemetry errors.
+    /// Propagates cluster-build, load-generation and telemetry errors
+    /// (the first in job order, deterministically).
     pub fn execute(app: &App, cfg: &RunConfig) -> Result<CampaignRun> {
-        let (mut cluster, targets) = app.build(cfg.seed)?;
-        let mut sim = Sim::new(cfg.seed);
-        Cluster::start(&mut sim, &mut cluster);
-        let recorder = Recorder::attach(&mut sim, cluster.num_services());
-        start_load(
-            &mut sim,
-            &mut cluster,
-            &LoadConfig::closed_loop(app.flows.clone()).with_replicas(cfg.replicas),
-        )?;
-        let faults = targets.iter().map(|&s| (s, cfg.fault.clone())).collect();
-        let campaign = Campaign::new(faults, cfg.campaign);
-        let trace = InterventionTrace::new();
-        let plan = campaign.arm(&mut sim, SimTime::ZERO, &trace);
-        let end = plan.last().expect("campaign has phases").end;
-        sim.run_until(end, &mut cluster);
-        let service_names = cluster
+        let (cluster, targets) = app.build(cfg.seed)?;
+        let service_names: Vec<String> = cluster
             .service_ids()
             .into_iter()
             .map(|id| cluster.service_name(id).to_owned())
             .collect();
+        drop(cluster);
+        let jobs = targets.len() + 1;
+        let threads = cfg.resolved_threads(jobs);
+        let outcomes = run_parallel(jobs, threads, |i| -> Result<CampaignJob> {
+            if i == 0 {
+                Ok(CampaignJob::Baseline(simulate_phase(
+                    app,
+                    cfg,
+                    cfg.campaign.baseline,
+                    None,
+                )?))
+            } else {
+                let target = targets[i - 1];
+                let case_cfg = RunConfig {
+                    seed: campaign_fault_seed(cfg.seed, i - 1),
+                    ..cfg.clone()
+                };
+                let run_trace = InterventionTrace::new();
+                let rec = simulate_phase(
+                    app,
+                    &case_cfg,
+                    cfg.campaign.fault_duration,
+                    Some((target, &run_trace)),
+                )?;
+                Ok(CampaignJob::Fault(target, rec, run_trace.entries()))
+            }
+        });
+        let trace = InterventionTrace::new();
+        let mut baseline = None;
+        let mut faults = Vec::with_capacity(targets.len());
+        for outcome in outcomes {
+            match outcome? {
+                CampaignJob::Baseline(rec) => baseline = Some(rec),
+                CampaignJob::Fault(svc, rec, entries) => {
+                    for entry in entries {
+                        trace.push(entry);
+                    }
+                    faults.push((svc, rec));
+                }
+            }
+        }
         Ok(CampaignRun {
-            recorder,
-            plan,
+            baseline: baseline.expect("job 0 records the baseline"),
+            faults,
             targets,
             windows: cfg.windows,
             service_names,
@@ -153,12 +318,11 @@ impl CampaignRun {
     ///
     /// Telemetry extraction errors (phase too short, missing samples).
     pub fn baseline(&self, catalog: &MetricCatalog) -> Result<Dataset> {
-        let w = self
-            .plan
-            .iter()
-            .find(|w| w.label == PhaseLabel::Baseline)
-            .expect("campaign has a baseline phase");
-        Ok(self.recorder.dataset(catalog, w.start, w.end, self.windows)?)
+        let (from, to) = self.baseline.window;
+        Ok(self
+            .baseline
+            .recorder
+            .dataset(catalog, from, to, self.windows)?)
     }
 
     /// Extracts every fault-phase dataset `(s, D_s)` for a catalog.
@@ -167,12 +331,12 @@ impl CampaignRun {
     ///
     /// Telemetry extraction errors.
     pub fn fault_datasets(&self, catalog: &MetricCatalog) -> Result<Vec<(ServiceId, Dataset)>> {
-        let mut out = Vec::with_capacity(self.targets.len());
-        for w in &self.plan {
-            if let PhaseLabel::Fault(svc) = w.label {
-                let ds = self.recorder.dataset(catalog, w.start, w.end, self.windows)?;
-                out.push((svc, ds));
-            }
+        let mut out = Vec::with_capacity(self.faults.len());
+        for (svc, rec) in &self.faults {
+            let ds = rec
+                .recorder
+                .dataset(catalog, rec.window.0, rec.window.1, self.windows)?;
+            out.push((*svc, ds));
         }
         Ok(out)
     }
@@ -215,29 +379,15 @@ impl ProductionRun {
     ///
     /// Propagates cluster-build and load-generation errors.
     pub fn execute(app: &App, injected: ServiceId, cfg: &RunConfig) -> Result<ProductionRun> {
-        let (mut cluster, _) = app.build(cfg.seed)?;
-        let mut sim = Sim::new(cfg.seed);
-        Cluster::start(&mut sim, &mut cluster);
-        let recorder = Recorder::attach(&mut sim, cluster.num_services());
-        start_load(
-            &mut sim,
-            &mut cluster,
-            &LoadConfig::closed_loop(app.flows.clone()).with_replicas(cfg.replicas),
+        let rec = simulate_phase(
+            app,
+            cfg,
+            cfg.campaign.fault_duration,
+            Some((injected, &InterventionTrace::new())),
         )?;
-        let from = SimTime::ZERO + cfg.campaign.warmup;
-        let to = from + cfg.campaign.fault_duration;
-        FaultInjector::inject_between(
-            &mut sim,
-            injected,
-            cfg.fault.clone(),
-            from,
-            to,
-            &InterventionTrace::new(),
-        );
-        sim.run_until(to, &mut cluster);
         Ok(ProductionRun {
-            recorder,
-            window: (from, to),
+            recorder: rec.recorder,
+            window: rec.window,
             windows: cfg.windows,
             injected,
         })
@@ -269,13 +419,17 @@ pub struct MultiFaultRun {
 
 impl std::fmt::Debug for MultiFaultRun {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("MultiFaultRun").field("injected", &self.injected).finish()
+        f.debug_struct("MultiFaultRun")
+            .field("injected", &self.injected)
+            .finish()
     }
 }
 
 impl MultiFaultRun {
     /// Simulates production with every fault in `faults` active at once
-    /// over one fault-duration window (after warmup).
+    /// over one fault-duration window (after warmup). A multi-fault case
+    /// is a single simulation, so it runs serially; parallelism applies
+    /// across cases (callers fan out whole `MultiFaultRun`s).
     ///
     /// # Errors
     ///
@@ -289,7 +443,10 @@ impl MultiFaultRun {
         faults: &[(ServiceId, FaultKind)],
         cfg: &RunConfig,
     ) -> Result<MultiFaultRun> {
-        assert!(!faults.is_empty(), "a multi-fault run needs at least one fault");
+        assert!(
+            !faults.is_empty(),
+            "a multi-fault run needs at least one fault"
+        );
         let (mut cluster, _) = app.build(cfg.seed)?;
         let mut sim = Sim::new(cfg.seed);
         Cluster::start(&mut sim, &mut cluster);
@@ -336,7 +493,9 @@ pub struct EvalSuite {
 
 impl std::fmt::Debug for EvalSuite {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("EvalSuite").field("cases", &self.runs.len()).finish()
+        f.debug_struct("EvalSuite")
+            .field("cases", &self.runs.len())
+            .finish()
     }
 }
 
@@ -346,25 +505,33 @@ impl EvalSuite {
         self.num_services
     }
 
-    /// Runs one production case per target. Each case gets a distinct seed
-    /// derived from `cfg.seed` so evaluation traffic is independent of
-    /// training traffic.
+    /// Runs one production case per target, fanned out over the worker
+    /// pool. Each case gets a distinct seed derived from `cfg.seed` so
+    /// evaluation traffic is independent of training traffic; the
+    /// derivation is per-index, so results do not depend on thread count.
     ///
     /// # Errors
     ///
-    /// Propagates the first case's failure.
+    /// Propagates the first failing case (in case order).
     pub fn execute(app: &App, targets: &[ServiceId], cfg: &RunConfig) -> Result<EvalSuite> {
-        let mut runs = Vec::with_capacity(targets.len());
-        for (i, &t) in targets.iter().enumerate() {
+        let threads = cfg.resolved_threads(targets.len());
+        let results = run_parallel(targets.len(), threads, |i| {
             let case_cfg = RunConfig {
                 seed: cfg
                     .seed
                     .wrapping_add((i as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
                 ..cfg.clone()
             };
-            runs.push(ProductionRun::execute(app, t, &case_cfg)?);
+            ProductionRun::execute(app, targets[i], &case_cfg)
+        });
+        let mut runs = Vec::with_capacity(results.len());
+        for run in results {
+            runs.push(run?);
         }
-        Ok(EvalSuite { runs, num_services: app.num_services() })
+        Ok(EvalSuite {
+            runs,
+            num_services: app.num_services(),
+        })
     }
 
     /// Scores a model on every case with the paper's matching rule.
@@ -413,7 +580,10 @@ mod tests {
         let b = campaign.targets()[1];
         let a = campaign.targets()[0];
         let msg_set = model.causal_set(0, b).unwrap();
-        assert!(msg_set.contains(&a), "C(B, msg) should contain A: {msg_set:?}");
+        assert!(
+            msg_set.contains(&a),
+            "C(B, msg) should contain A: {msg_set:?}"
+        );
 
         let suite = EvalSuite::execute(&app, campaign.targets(), &RunConfig::quick(777)).unwrap();
         let summary = suite.evaluate(&model).unwrap();
@@ -430,7 +600,10 @@ mod tests {
         let cfg = RunConfig::quick(7);
         let campaign = CampaignRun::execute(&app, &cfg).unwrap();
         let m1 = campaign
-            .learn(&MetricCatalog::raw_msg_rate(), RunConfig::default_detector())
+            .learn(
+                &MetricCatalog::raw_msg_rate(),
+                RunConfig::default_detector(),
+            )
             .unwrap();
         let m2 = campaign
             .learn(&MetricCatalog::derived_cpu(), RunConfig::default_detector())
@@ -438,5 +611,23 @@ mod tests {
         assert_eq!(m1.catalog().name(), "raw-msg");
         assert_eq!(m2.catalog().name(), "derived-cpu");
         assert_eq!(m1.num_services(), m2.num_services());
+    }
+
+    #[test]
+    fn thread_resolution_prefers_explicit_then_caps_by_jobs() {
+        let cfg = RunConfig::quick(1).with_threads(3);
+        assert_eq!(cfg.resolved_threads(8), 3);
+        assert_eq!(cfg.resolved_threads(2), 2);
+        // Auto mode resolves to at least one worker even for zero jobs.
+        let auto = RunConfig::quick(1);
+        assert!(auto.resolved_threads(0) >= 1);
+    }
+
+    #[test]
+    fn run_parallel_preserves_job_order() {
+        let out = run_parallel(17, 4, |i| i * i);
+        assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<_>>());
+        assert_eq!(run_parallel(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(run_parallel(3, 1, |i| i), vec![0, 1, 2]);
     }
 }

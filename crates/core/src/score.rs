@@ -23,11 +23,7 @@ pub struct CaseResult {
 impl CaseResult {
     /// Scores one localization against the known injected fault.
     pub fn score(injected: ServiceId, loc: &Localization, num_services: usize) -> CaseResult {
-        CaseResult::from_candidates(
-            injected,
-            loc.candidates.iter().copied(),
-            num_services,
-        )
+        CaseResult::from_candidates(injected, loc.candidates.iter().copied(), num_services)
     }
 
     /// Scores a bare candidate set (used by baseline localizers that do not
@@ -45,7 +41,12 @@ impl CaseResult {
         } else {
             (num_services - x) as f64 / (num_services - 1) as f64
         };
-        CaseResult { injected, candidates, correct, informativeness }
+        CaseResult {
+            injected,
+            candidates,
+            correct,
+            informativeness,
+        }
     }
 }
 
@@ -73,7 +74,11 @@ impl EvalSummary {
         let n = cases.len() as f64;
         let accuracy = cases.iter().filter(|c| c.correct).count() as f64 / n;
         let informativeness = cases.iter().map(|c| c.informativeness).sum::<f64>() / n;
-        EvalSummary { accuracy, informativeness, cases }
+        EvalSummary {
+            accuracy,
+            informativeness,
+            cases,
+        }
     }
 }
 
@@ -91,9 +96,17 @@ impl EvalSummary {
         level: f64,
         seed: u64,
     ) -> crate::Result<icfl_stats::ConfidenceInterval> {
-        let indicators: Vec<f64> =
-            self.cases.iter().map(|c| if c.correct { 1.0 } else { 0.0 }).collect();
-        Ok(icfl_stats::bootstrap_mean_ci(&indicators, 2_000, level, seed)?)
+        let indicators: Vec<f64> = self
+            .cases
+            .iter()
+            .map(|c| if c.correct { 1.0 } else { 0.0 })
+            .collect();
+        Ok(icfl_stats::bootstrap_mean_ci(
+            &indicators,
+            2_000,
+            level,
+            seed,
+        )?)
     }
 
     /// Bootstrap confidence interval for the mean informativeness.

@@ -84,8 +84,16 @@ pub fn ablations(mode: Mode, seed: u64) -> Result<Ablations> {
     }
 
     // --- Detector family (DESIGN.md decision 4; paper uses KS). ---
-    for kind in [TestKind::KolmogorovSmirnov, TestKind::MannWhitney, TestKind::Welch] {
-        let det = ShiftDetector { kind, alpha: 0.05, min_relative_effect: 0.1 };
+    for kind in [
+        TestKind::KolmogorovSmirnov,
+        TestKind::MannWhitney,
+        TestKind::Welch,
+    ] {
+        let det = ShiftDetector {
+            kind,
+            alpha: 0.05,
+            min_relative_effect: 0.1,
+        };
         let model = campaign.learn(&catalog, det)?;
         let s = suite_4x.evaluate(&model)?;
         rows.push(AblationRow {

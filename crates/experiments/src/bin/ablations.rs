@@ -3,11 +3,17 @@ use icfl_experiments::{ablations, CliOptions};
 
 fn main() {
     let opts = CliOptions::from_env();
-    eprintln!("running ablations in {} mode (seed {})...", opts.mode, opts.seed);
+    eprintln!(
+        "running ablations in {} mode (seed {})...",
+        opts.mode, opts.seed
+    );
     let result = ablations(opts.mode, opts.seed).expect("ablations experiment failed");
     println!("Ablations on CausalBench (train @1x, service-unavailable campaign)\n");
     println!("{}", result.render());
     if opts.json {
-        println!("{}", serde_json::to_string_pretty(&result).expect("serialize"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&result).expect("serialize")
+        );
     }
 }

@@ -1,13 +1,41 @@
 //! Runs every experiment in sequence (the full reproduction).
-use icfl_experiments::{comparison, fig1, fig2, fig4, table1, table2, CliOptions};
+use icfl_experiments::{
+    comparison, fig1, fig2, fig4, report_timing, run_timed, table1, table2, CliOptions,
+};
 
 fn main() {
     let opts = CliOptions::from_env();
-    eprintln!("running ALL experiments in {} mode (seed {})...", opts.mode, opts.seed);
-    println!("=== Table I ===\n{}", table1(opts.mode, opts.seed).expect("table1").render());
-    println!("=== Table II ===\n{}", table2(opts.mode, opts.seed).expect("table2").render());
-    println!("=== Fig. 1 / §VI-B ===\n{}", fig1(opts.mode, opts.seed).expect("fig1").render());
-    println!("=== Fig. 2 ===\n{}", fig2(opts.mode, opts.seed).expect("fig2").render());
-    println!("=== Fig. 4 ===\n{}", fig4(opts.seed).expect("fig4").render());
-    println!("=== Baselines ===\n{}", comparison(opts.mode, opts.seed).expect("baselines").render());
+    eprintln!(
+        "running ALL experiments in {} mode (seed {})...",
+        opts.mode, opts.seed
+    );
+    let timed = run_timed(|| {
+        println!(
+            "=== Table I ===\n{}",
+            table1(opts.mode, opts.seed).expect("table1").render()
+        );
+        println!(
+            "=== Table II ===\n{}",
+            table2(opts.mode, opts.seed).expect("table2").render()
+        );
+        println!(
+            "=== Fig. 1 / §VI-B ===\n{}",
+            fig1(opts.mode, opts.seed).expect("fig1").render()
+        );
+        println!(
+            "=== Fig. 2 ===\n{}",
+            fig2(opts.mode, opts.seed).expect("fig2").render()
+        );
+        println!(
+            "=== Fig. 4 ===\n{}",
+            fig4(opts.seed).expect("fig4").render()
+        );
+        println!(
+            "=== Baselines ===\n{}",
+            comparison(opts.mode, opts.seed)
+                .expect("baselines")
+                .render()
+        );
+    });
+    report_timing("all", &opts, timed.wall);
 }

@@ -1,13 +1,21 @@
 //! Baseline comparison: the proposed method vs \[23\], \[24\], pooled, observational.
-use icfl_experiments::{comparison, CliOptions};
+use icfl_experiments::{comparison, report_timing, run_timed, CliOptions};
 
 fn main() {
     let opts = CliOptions::from_env();
-    eprintln!("running baseline comparison in {} mode (seed {})...", opts.mode, opts.seed);
-    let result = comparison(opts.mode, opts.seed).expect("comparison experiment failed");
+    eprintln!(
+        "running baseline comparison in {} mode (seed {})...",
+        opts.mode, opts.seed
+    );
+    let timed =
+        run_timed(|| comparison(opts.mode, opts.seed).expect("comparison experiment failed"));
     println!("Baseline comparison — accuracy and informativeness\n");
-    println!("{}", result.render());
+    println!("{}", timed.result.render());
     if opts.json {
-        println!("{}", serde_json::to_string_pretty(&result).expect("serialize"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&timed.result).expect("serialize")
+        );
     }
+    report_timing("baselines", &opts, timed.wall);
 }

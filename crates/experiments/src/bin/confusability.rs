@@ -3,11 +3,17 @@ use icfl_experiments::{confusability, CliOptions};
 
 fn main() {
     let opts = CliOptions::from_env();
-    eprintln!("running confusability analysis in {} mode (seed {})...", opts.mode, opts.seed);
+    eprintln!(
+        "running confusability analysis in {} mode (seed {})...",
+        opts.mode, opts.seed
+    );
     let result = confusability(opts.mode, opts.seed).expect("confusability experiment failed");
     println!("Causal-signature confusability (top pairs per app)\n");
     println!("{}", result.render());
     if opts.json {
-        println!("{}", serde_json::to_string_pretty(&result).expect("serialize"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&result).expect("serialize")
+        );
     }
 }

@@ -3,11 +3,17 @@ use icfl_experiments::{fig1, CliOptions};
 
 fn main() {
     let opts = CliOptions::from_env();
-    eprintln!("running Fig. 1 in {} mode (seed {})...", opts.mode, opts.seed);
+    eprintln!(
+        "running Fig. 1 in {} mode (seed {})...",
+        opts.mode, opts.seed
+    );
     let result = fig1(opts.mode, opts.seed).expect("fig1 experiment failed");
     println!("Fig. 1 — causal relations depend on the observed metric\n");
     println!("{}", result.render());
     if opts.json {
-        println!("{}", serde_json::to_string_pretty(&result).expect("serialize"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&result).expect("serialize")
+        );
     }
 }

@@ -3,11 +3,17 @@ use icfl_experiments::{fig2, CliOptions};
 
 fn main() {
     let opts = CliOptions::from_env();
-    eprintln!("running Fig. 2 in {} mode (seed {})...", opts.mode, opts.seed);
+    eprintln!(
+        "running Fig. 2 in {} mode (seed {})...",
+        opts.mode, opts.seed
+    );
     let result = fig2(opts.mode, opts.seed).expect("fig2 experiment failed");
     println!("Fig. 2 — request-rate boxplots under faults (external load fixed)\n");
     println!("{}", result.render());
     if opts.json {
-        println!("{}", serde_json::to_string_pretty(&result).expect("serialize"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&result).expect("serialize")
+        );
     }
 }

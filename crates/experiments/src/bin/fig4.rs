@@ -6,6 +6,9 @@ fn main() {
     let result = fig4(opts.seed).expect("fig4 experiment failed");
     println!("{}", result.render());
     if opts.json {
-        println!("{}", serde_json::to_string_pretty(&result).expect("serialize"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&result).expect("serialize")
+        );
     }
 }

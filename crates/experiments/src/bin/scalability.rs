@@ -1,13 +1,21 @@
 //! Scalability sweep over synthetic topologies.
-use icfl_experiments::{scalability, CliOptions};
+use icfl_experiments::{report_timing, run_timed, scalability, CliOptions};
 
 fn main() {
     let opts = CliOptions::from_env();
-    eprintln!("running scalability sweep in {} mode (seed {})...", opts.mode, opts.seed);
-    let result = scalability(opts.mode, opts.seed).expect("scalability experiment failed");
+    eprintln!(
+        "running scalability sweep in {} mode (seed {})...",
+        opts.mode, opts.seed
+    );
+    let timed =
+        run_timed(|| scalability(opts.mode, opts.seed).expect("scalability experiment failed"));
     println!("Scalability of Algorithms 1-2 with topology size (derived metrics, 1x load)\n");
-    println!("{}", result.render());
+    println!("{}", timed.result.render());
     if opts.json {
-        println!("{}", serde_json::to_string_pretty(&result).expect("serialize"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&timed.result).expect("serialize")
+        );
     }
+    report_timing("scalability", &opts, timed.wall);
 }

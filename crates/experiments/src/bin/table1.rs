@@ -1,14 +1,21 @@
 //! Regenerates Table I of the paper.
-use icfl_experiments::{table1, CliOptions};
+use icfl_experiments::{report_timing, run_timed, table1, CliOptions};
 
 fn main() {
     let opts = CliOptions::from_env();
-    eprintln!("running Table I in {} mode (seed {})...", opts.mode, opts.seed);
-    let result = table1(opts.mode, opts.seed).expect("table1 experiment failed");
+    eprintln!(
+        "running Table I in {} mode (seed {})...",
+        opts.mode, opts.seed
+    );
+    let timed = run_timed(|| table1(opts.mode, opts.seed).expect("table1 experiment failed"));
     println!("Table I — fault localization accuracy and informativeness");
     println!("(train @1x, derived metrics; paper columns shown for reference)\n");
-    println!("{}", result.render());
+    println!("{}", timed.result.render());
     if opts.json {
-        println!("{}", serde_json::to_string_pretty(&result).expect("serialize"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&timed.result).expect("serialize")
+        );
     }
+    report_timing("table1", &opts, timed.wall);
 }

@@ -1,14 +1,21 @@
 //! Regenerates Table II of the paper.
-use icfl_experiments::{table2, CliOptions};
+use icfl_experiments::{report_timing, run_timed, table2, CliOptions};
 
 fn main() {
     let opts = CliOptions::from_env();
-    eprintln!("running Table II in {} mode (seed {})...", opts.mode, opts.seed);
-    let result = table2(opts.mode, opts.seed).expect("table2 experiment failed");
+    eprintln!(
+        "running Table II in {} mode (seed {})...",
+        opts.mode, opts.seed
+    );
+    let timed = run_timed(|| table2(opts.mode, opts.seed).expect("table2 experiment failed"));
     println!("Table II — informativeness by metric catalog");
     println!("(train @1x, test @4x; raw vs derived x msg/cpu/all)\n");
-    println!("{}", result.render());
+    println!("{}", timed.result.render());
     if opts.json {
-        println!("{}", serde_json::to_string_pretty(&result).expect("serialize"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&timed.result).expect("serialize")
+        );
     }
+    report_timing("table2", &opts, timed.wall);
 }

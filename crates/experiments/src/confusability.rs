@@ -39,14 +39,17 @@ pub struct Confusability {
 impl Confusability {
     /// Renders the report.
     pub fn render(&self) -> String {
-        let mut t =
-            TextTable::new(vec!["App", "Pair", "Signature similarity", "Confused @4x?"]);
+        let mut t = TextTable::new(vec!["App", "Pair", "Signature similarity", "Confused @4x?"]);
         for p in &self.pairs {
             t.row(vec![
                 p.app.clone(),
                 format!("{} ~ {}", p.a, p.b),
                 format!("{:.2}", p.similarity),
-                if p.confused_at_4x { "yes".into() } else { "no".into() },
+                if p.confused_at_4x {
+                    "yes".into()
+                } else {
+                    "no".into()
+                },
             ]);
         }
         t.render()

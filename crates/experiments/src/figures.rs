@@ -41,7 +41,10 @@ impl Fig1 {
         for (title, rows) in [
             ("Fig. 1 pattern 1 (A→B→C, stateless)", &self.pattern1),
             ("Fig. 1 pattern 2 (H→D⇐F→G, stateful)", &self.pattern2),
-            ("§VI-B causal worlds on CausalBench", &self.causalbench_worlds),
+            (
+                "§VI-B causal worlds on CausalBench",
+                &self.causalbench_worlds,
+            ),
         ] {
             out.push_str(title);
             out.push('\n');
@@ -113,7 +116,11 @@ pub fn fig1(mode: Mode, seed: u64) -> Result<Fig1> {
     );
     let cb = CampaignRun::execute(&icfl_apps::causalbench(), &mode.train_cfg(seed))?;
     let causalbench_worlds = report_sets(&cb, &worlds_catalog, "causalbench", Some("B"))?;
-    Ok(Fig1 { pattern1, pattern2, causalbench_worlds })
+    Ok(Fig1 {
+        pattern1,
+        pattern2,
+        causalbench_worlds,
+    })
 }
 
 /// One boxplot of Fig. 2: request-rate distribution at a service under a
@@ -177,10 +184,7 @@ impl Fig2 {
 pub fn fig2(mode: Mode, seed: u64) -> Result<Fig2> {
     let app = icfl_apps::fig2_topology();
     let cfg = mode.train_cfg(seed);
-    let catalog = MetricCatalog::new(
-        "fig2",
-        vec![MetricSpec::Raw(RawMetric::RequestsReceived)],
-    );
+    let catalog = MetricCatalog::new("fig2", vec![MetricSpec::Raw(RawMetric::RequestsReceived)]);
     let mut rows = Vec::new();
     for (arrival_name, model) in [
         (
@@ -192,11 +196,18 @@ pub fn fig2(mode: Mode, seed: u64) -> Result<Fig2> {
                 ),
             },
         ),
-        ("open-loop", ArrivalModel::Open { rps_per_replica: 60.0 }),
+        (
+            "open-loop",
+            ArrivalModel::Open {
+                rps_per_replica: 60.0,
+            },
+        ),
     ] {
-        for (scenario, fault_on) in
-            [("no-fault", None), ("fault-on-C", Some("C")), ("fault-on-I", Some("I"))]
-        {
+        for (scenario, fault_on) in [
+            ("no-fault", None),
+            ("fault-on-C", Some("C")),
+            ("fault-on-I", Some("I")),
+        ] {
             let (mut cluster, _) = app.build(cfg.seed)?;
             if let Some(name) = fault_on {
                 let id = cluster.service_id(name).expect("fig2 service");
@@ -292,7 +303,10 @@ pub fn fig4(seed: u64) -> Result<Fig4> {
                 visited.push(cluster.service_name(id).to_owned());
             }
         }
-        flows.push(FlowTrace { flow: flow.name.clone(), visited });
+        flows.push(FlowTrace {
+            flow: flow.name.clone(),
+            visited,
+        });
     }
     Ok(Fig4 { edges, flows })
 }

@@ -16,7 +16,10 @@
 //! | Confusability analysis (§III-B identifiability, validated against 4× misses) | [`confusability`] | `--bin confusability` |
 //!
 //! Every binary accepts `--quick` (default: 2-minute phases) or `--paper`
-//! (the paper's 10-minute phases), `--seed N`, and `--json`.
+//! (the paper's 10-minute phases), `--seed N`, `--threads N` (worker
+//! threads for the parallel executor; default auto), and `--json`. The
+//! simulation-heavy binaries print their wall-clock time and append it to
+//! `results/timings.csv` (see [`report_timing`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,12 +32,14 @@ mod mode;
 mod render;
 mod scalability;
 mod tables;
+mod timing;
 
 pub use ablations::{ablations, AblationRow, Ablations};
 pub use comparison::{comparison, Comparison, ComparisonRow};
-pub use confusability::{confusability, ConfusablePair, Confusability};
+pub use confusability::{confusability, Confusability, ConfusablePair};
 pub use figures::{fig1, fig2, fig4, CausalSetReport, Fig1, Fig2, Fig2Row, Fig4, FlowTrace};
 pub use mode::{CliOptions, Mode};
 pub use render::TextTable;
 pub use scalability::{scalability, Scalability, ScalabilityRow};
 pub use tables::{table1, table2, Table1, Table1Row, Table2, Table2Row};
+pub use timing::{record_timing, report_timing, run_timed, timings_path, Timed};

@@ -49,17 +49,26 @@ pub struct CliOptions {
     pub seed: u64,
     /// Also emit the structured result as JSON on stdout.
     pub json: bool,
+    /// Worker threads for the parallel campaign/evaluation executor
+    /// (`0` = auto; see [`RunConfig::resolved_threads`]).
+    pub threads: usize,
 }
 
 impl CliOptions {
-    /// Parses `--paper` / `--quick`, `--seed N`, and `--json` from raw
-    /// arguments (binary name excluded). Unknown arguments are rejected.
+    /// Parses `--paper` / `--quick`, `--seed N`, `--threads N`, and
+    /// `--json` from raw arguments (binary name excluded). Unknown
+    /// arguments are rejected.
     ///
     /// # Errors
     ///
     /// Returns a usage string on unknown flags or malformed values.
     pub fn parse(args: impl IntoIterator<Item = String>) -> Result<CliOptions, String> {
-        let mut opts = CliOptions { mode: Mode::Quick, seed: 42, json: false };
+        let mut opts = CliOptions {
+            mode: Mode::Quick,
+            seed: 42,
+            json: false,
+            threads: 0,
+        };
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
             match arg.as_str() {
@@ -70,9 +79,13 @@ impl CliOptions {
                     let v = it.next().ok_or("--seed needs a value")?;
                     opts.seed = v.parse().map_err(|_| format!("bad seed: {v}"))?;
                 }
+                "--threads" => {
+                    let v = it.next().ok_or("--threads needs a value")?;
+                    opts.threads = v.parse().map_err(|_| format!("bad thread count: {v}"))?;
+                }
                 other => {
                     return Err(format!(
-                        "unknown argument {other}; usage: [--quick|--paper] [--seed N] [--json]"
+                        "unknown argument {other}; usage: [--quick|--paper] [--seed N] [--threads N] [--json]"
                     ))
                 }
             }
@@ -81,14 +94,33 @@ impl CliOptions {
     }
 
     /// Parses the process arguments, exiting with a usage message on error.
+    ///
+    /// A `--threads N` argument is exported as the `ICFL_THREADS`
+    /// environment variable so every [`RunConfig`] built anywhere in the
+    /// experiment (training, evaluation, baselines) resolves to the same
+    /// worker count without threading the value through each call site.
     pub fn from_env() -> CliOptions {
         match CliOptions::parse(std::env::args().skip(1)) {
-            Ok(o) => o,
+            Ok(o) => {
+                if o.threads > 0 {
+                    std::env::set_var("ICFL_THREADS", o.threads.to_string());
+                }
+                o
+            }
             Err(msg) => {
                 eprintln!("{msg}");
                 std::process::exit(2);
             }
         }
+    }
+
+    /// The worker count the executor will actually use for a large fan-out
+    /// (explicit `--threads`, else `ICFL_THREADS`, else the machine's
+    /// available parallelism).
+    pub fn resolved_threads(&self) -> usize {
+        RunConfig::quick(self.seed)
+            .with_threads(self.threads)
+            .resolved_threads(usize::MAX)
     }
 }
 
@@ -106,14 +138,16 @@ mod tests {
         assert_eq!(o.mode, Mode::Quick);
         assert_eq!(o.seed, 42);
         assert!(!o.json);
+        assert_eq!(o.threads, 0);
     }
 
     #[test]
     fn flags_parse() {
-        let o = parse(&["--paper", "--seed", "7", "--json"]).unwrap();
+        let o = parse(&["--paper", "--seed", "7", "--threads", "4", "--json"]).unwrap();
         assert_eq!(o.mode, Mode::Paper);
         assert_eq!(o.seed, 7);
         assert!(o.json);
+        assert_eq!(o.threads, 4);
     }
 
     #[test]
@@ -121,6 +155,14 @@ mod tests {
         assert!(parse(&["--what"]).is_err());
         assert!(parse(&["--seed"]).is_err());
         assert!(parse(&["--seed", "abc"]).is_err());
+        assert!(parse(&["--threads"]).is_err());
+        assert!(parse(&["--threads", "many"]).is_err());
+    }
+
+    #[test]
+    fn explicit_threads_resolve_verbatim() {
+        let o = parse(&["--threads", "3"]).unwrap();
+        assert_eq!(o.resolved_threads(), 3);
     }
 
     #[test]

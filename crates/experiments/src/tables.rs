@@ -31,10 +31,30 @@ impl Table1 {
     pub fn paper_reference() -> Table1 {
         Table1 {
             rows: vec![
-                Table1Row { app: "causalbench".into(), load: 1, accuracy: 1.00, informativeness: 0.82 },
-                Table1Row { app: "causalbench".into(), load: 4, accuracy: 0.84, informativeness: 0.80 },
-                Table1Row { app: "robot-shop".into(), load: 1, accuracy: 1.00, informativeness: 0.80 },
-                Table1Row { app: "robot-shop".into(), load: 4, accuracy: 0.81, informativeness: 0.88 },
+                Table1Row {
+                    app: "causalbench".into(),
+                    load: 1,
+                    accuracy: 1.00,
+                    informativeness: 0.82,
+                },
+                Table1Row {
+                    app: "causalbench".into(),
+                    load: 4,
+                    accuracy: 0.84,
+                    informativeness: 0.80,
+                },
+                Table1Row {
+                    app: "robot-shop".into(),
+                    load: 1,
+                    accuracy: 1.00,
+                    informativeness: 0.80,
+                },
+                Table1Row {
+                    app: "robot-shop".into(),
+                    load: 4,
+                    accuracy: 0.81,
+                    informativeness: 0.88,
+                },
             ],
         }
     }
@@ -43,7 +63,12 @@ impl Table1 {
     pub fn render(&self) -> String {
         let reference = Table1::paper_reference();
         let mut t = TextTable::new(vec![
-            "App", "Load", "Accuracy", "Informativeness", "Paper acc.", "Paper inf.",
+            "App",
+            "Load",
+            "Accuracy",
+            "Informativeness",
+            "Paper acc.",
+            "Paper inf.",
         ]);
         for row in &self.rows {
             let paper = reference
@@ -136,7 +161,11 @@ impl Table2 {
     pub fn render(&self) -> String {
         let reference = Table2::paper_reference();
         let mut t = TextTable::new(vec![
-            "App", "Catalog", "Informativeness", "Accuracy", "Paper inf.",
+            "App",
+            "Catalog",
+            "Informativeness",
+            "Accuracy",
+            "Paper inf.",
         ]);
         for row in &self.rows {
             let paper = reference

@@ -1,0 +1,123 @@
+//! Wall-clock measurement and persistence for the experiment binaries.
+//!
+//! Every binary times its expensive phase with [`run_timed`] and appends
+//! one CSV row to `results/timings.csv` via [`record_timing`], so the
+//! speedup of the parallel executor is captured next to the scientific
+//! outputs it produced.
+
+use crate::mode::CliOptions;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// A result annotated with how long it took to produce.
+#[derive(Debug)]
+pub struct Timed<T> {
+    /// The experiment's output.
+    pub result: T,
+    /// Wall-clock time of the experiment body.
+    pub wall: Duration,
+}
+
+/// Runs `f`, measuring its wall-clock time.
+pub fn run_timed<T>(f: impl FnOnce() -> T) -> Timed<T> {
+    let start = Instant::now();
+    let result = f();
+    Timed {
+        result,
+        wall: start.elapsed(),
+    }
+}
+
+/// Where timing rows are appended: `$ICFL_RESULTS_DIR/timings.csv`, or
+/// `results/timings.csv` under the current directory.
+pub fn timings_path() -> PathBuf {
+    let dir = std::env::var_os("ICFL_RESULTS_DIR")
+        .map_or_else(|| PathBuf::from("results"), PathBuf::from);
+    dir.join("timings.csv")
+}
+
+/// Appends one timing row (`experiment,mode,seed,threads,wall_secs`) to
+/// [`timings_path`], creating the file (with a header) and its directory
+/// on first use.
+///
+/// # Errors
+///
+/// Propagates filesystem errors (callers usually just warn: timings are
+/// diagnostics, not results).
+pub fn record_timing(
+    experiment: &str,
+    opts: &CliOptions,
+    wall: Duration,
+) -> std::io::Result<PathBuf> {
+    use std::io::Write;
+    let path = timings_path();
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let fresh = !path.exists();
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)?;
+    if fresh {
+        writeln!(file, "experiment,mode,seed,threads,wall_secs")?;
+    }
+    writeln!(
+        file,
+        "{experiment},{},{},{},{:.3}",
+        opts.mode,
+        opts.seed,
+        opts.resolved_threads(),
+        wall.as_secs_f64()
+    )?;
+    Ok(path)
+}
+
+/// Prints the standard timing trailer to stderr and appends the row to
+/// the timings file, warning (not failing) if the file is unwritable.
+pub fn report_timing(experiment: &str, opts: &CliOptions, wall: Duration) {
+    eprintln!(
+        "{experiment}: wall-clock {:.2}s with {} worker thread(s)",
+        wall.as_secs_f64(),
+        opts.resolved_threads()
+    );
+    match record_timing(experiment, opts, wall) {
+        Ok(path) => eprintln!("{experiment}: timing appended to {}", path.display()),
+        Err(e) => eprintln!("{experiment}: could not persist timing: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mode::Mode;
+
+    #[test]
+    fn run_timed_returns_result_and_nonzero_duration() {
+        let t = run_timed(|| (0..1000).sum::<u64>());
+        assert_eq!(t.result, 499_500);
+        assert!(t.wall.as_nanos() > 0);
+    }
+
+    #[test]
+    fn record_timing_appends_csv_rows() {
+        let dir = std::env::temp_dir().join(format!("icfl-timings-{}", std::process::id()));
+        std::env::set_var("ICFL_RESULTS_DIR", &dir);
+        let opts = CliOptions {
+            mode: Mode::Quick,
+            seed: 9,
+            json: false,
+            threads: 2,
+        };
+        let p1 = record_timing("unit-test", &opts, Duration::from_millis(1500)).unwrap();
+        let p2 = record_timing("unit-test", &opts, Duration::from_millis(250)).unwrap();
+        std::env::remove_var("ICFL_RESULTS_DIR");
+        assert_eq!(p1, p2);
+        let body = std::fs::read_to_string(&p1).unwrap();
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines[0], "experiment,mode,seed,threads,wall_secs");
+        assert_eq!(lines[1], "unit-test,quick,9,2,1.500");
+        assert_eq!(lines[2], "unit-test,quick,9,2,0.250");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

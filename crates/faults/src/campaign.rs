@@ -106,7 +106,10 @@ impl Campaign {
     /// service, one at a time.
     pub fn service_unavailable_sweep(targets: &[ServiceId], config: CampaignConfig) -> Self {
         Campaign::new(
-            targets.iter().map(|&s| (s, FaultKind::ServiceUnavailable)).collect(),
+            targets
+                .iter()
+                .map(|&s| (s, FaultKind::ServiceUnavailable))
+                .collect(),
             config,
         )
     }
@@ -127,7 +130,11 @@ impl Campaign {
         let mut out = Vec::with_capacity(2 + 2 * self.faults.len());
         let mut t = start;
         let mut push = |label: PhaseLabel, t: &mut SimTime, d: SimDuration| {
-            let w = PhaseWindow { label, start: *t, end: *t + d };
+            let w = PhaseWindow {
+                label,
+                start: *t,
+                end: *t + d,
+            };
             *t = w.end;
             out.push(w);
         };
@@ -143,9 +150,7 @@ impl Campaign {
     /// Total campaign length.
     pub fn total_duration(&self) -> SimDuration {
         let c = &self.config;
-        c.warmup
-            + c.baseline
-            + (c.cooldown + c.fault_duration) * self.faults.len() as u64
+        c.warmup + c.baseline + (c.cooldown + c.fault_duration) * self.faults.len() as u64
     }
 
     /// Schedules every injection/removal on `sim` and returns the phase
@@ -160,8 +165,7 @@ impl Campaign {
         let mut fault_iter = self.faults.iter();
         for w in &plan {
             if let PhaseLabel::Fault(svc) = w.label {
-                let (planned_svc, kind) =
-                    fault_iter.next().expect("one fault per fault phase");
+                let (planned_svc, kind) = fault_iter.next().expect("one fault per fault phase");
                 debug_assert_eq!(*planned_svc, svc);
                 FaultInjector::inject_between(sim, svc, kind.clone(), w.start, w.end, trace);
             }
@@ -235,7 +239,8 @@ mod tests {
         let entries = trace.entries();
         assert_eq!(entries.len(), 2);
         for (entry, window) in entries.iter().zip(
-            plan.iter().filter(|w| matches!(w.label, PhaseLabel::Fault(_))),
+            plan.iter()
+                .filter(|w| matches!(w.label, PhaseLabel::Fault(_))),
         ) {
             assert_eq!(entry.start, window.start);
             assert_eq!(entry.end, window.end);

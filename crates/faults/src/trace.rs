@@ -3,8 +3,7 @@
 use icfl_micro::{FaultKind, ServiceId};
 use icfl_sim::SimTime;
 use serde::{Deserialize, Serialize};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// One recorded intervention.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -22,10 +21,12 @@ pub struct TraceEntry {
 /// A shared, append-only log of interventions actually performed.
 ///
 /// Cloning shares the underlying log (the injector and the experiment
-/// harness hold the same trace).
+/// harness hold the same trace). The log is `Send + Sync` so traces can
+/// cross the parallel campaign executor's worker threads; each simulation
+/// remains single-threaded, so the lock is uncontended in practice.
 #[derive(Debug, Clone, Default)]
 pub struct InterventionTrace {
-    entries: Rc<RefCell<Vec<TraceEntry>>>,
+    entries: Arc<Mutex<Vec<TraceEntry>>>,
 }
 
 impl InterventionTrace {
@@ -36,7 +37,7 @@ impl InterventionTrace {
 
     /// Appends an intervention record.
     pub fn record(&self, service: ServiceId, fault: &FaultKind, start: SimTime, end: SimTime) {
-        self.entries.borrow_mut().push(TraceEntry {
+        self.push(TraceEntry {
             service,
             fault: fault.label().to_owned(),
             start,
@@ -44,19 +45,25 @@ impl InterventionTrace {
         });
     }
 
+    /// Appends an already-built entry — used to merge per-run traces into
+    /// one campaign-ordered log.
+    pub fn push(&self, entry: TraceEntry) {
+        self.entries.lock().expect("trace lock").push(entry);
+    }
+
     /// A snapshot of all recorded interventions, in record order.
     pub fn entries(&self) -> Vec<TraceEntry> {
-        self.entries.borrow().clone()
+        self.entries.lock().expect("trace lock").clone()
     }
 
     /// Number of interventions recorded.
     pub fn len(&self) -> usize {
-        self.entries.borrow().len()
+        self.entries.lock().expect("trace lock").len()
     }
 
     /// True when nothing has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.entries.borrow().is_empty()
+        self.entries.lock().expect("trace lock").is_empty()
     }
 }
 

@@ -98,7 +98,11 @@ pub struct LoadConfig {
 impl LoadConfig {
     /// A closed-loop config with the paper's defaults (10 users/replica).
     pub fn closed_loop(flows: Vec<UserFlow>) -> Self {
-        LoadConfig { flows, model: ArrivalModel::default(), replicas: 1 }
+        LoadConfig {
+            flows,
+            model: ArrivalModel::default(),
+            replicas: 1,
+        }
     }
 
     /// Sets the replica count (load scale), returning `self`.
@@ -166,10 +170,19 @@ impl FlowStats {
     }
 }
 
+/// Internal counters, indexed by flow position in the config — the hot path
+/// bumps a `Vec` slot instead of hashing flow-name strings per request.
 #[derive(Debug, Default)]
 struct Stats {
-    per_flow: HashMap<String, FlowStats>,
+    names: Vec<String>,
+    per_flow: Vec<FlowStats>,
     stopped: bool,
+}
+
+impl Stats {
+    fn idx(&self, flow: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == flow)
+    }
 }
 
 /// Handle to a running load generator: live statistics and a stop switch.
@@ -182,7 +195,7 @@ impl std::fmt::Debug for LoadHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let s = self.stats.borrow();
         f.debug_struct("LoadHandle")
-            .field("flows", &s.per_flow.len())
+            .field("flows", &s.names.len())
             .field("stopped", &s.stopped)
             .finish()
     }
@@ -191,17 +204,23 @@ impl std::fmt::Debug for LoadHandle {
 impl LoadHandle {
     /// Snapshot of one flow's counters.
     pub fn flow_stats(&self, flow: &str) -> FlowStats {
-        self.stats.borrow().per_flow.get(flow).copied().unwrap_or_default()
+        let s = self.stats.borrow();
+        s.idx(flow).map(|i| s.per_flow[i]).unwrap_or_default()
     }
 
     /// Snapshot of all flows' counters.
     pub fn all_stats(&self) -> HashMap<String, FlowStats> {
-        self.stats.borrow().per_flow.clone()
+        let s = self.stats.borrow();
+        s.names
+            .iter()
+            .cloned()
+            .zip(s.per_flow.iter().copied())
+            .collect()
     }
 
     /// Total requests issued across flows.
     pub fn total_sent(&self) -> u64 {
-        self.stats.borrow().per_flow.values().map(|s| s.sent).sum()
+        self.stats.borrow().per_flow.iter().map(|s| s.sent).sum()
     }
 
     /// Stops the generator: users finish their in-flight request and do not
@@ -252,35 +271,42 @@ pub fn start_load(
     if !weights.iter().any(|w| w.is_finite() && *w > 0.0) {
         return Err(LoadError::ZeroTotalWeight);
     }
-    // Resolve entry services up front.
-    let entries: Vec<(ServiceId, String, String)> = config
+    // Resolve entry services and endpoint indices up front so the per-request
+    // path never hashes a name string.
+    let entries: Vec<(ServiceId, usize)> = config
         .flows
         .iter()
         .map(|f| {
-            cluster
+            let id = cluster
                 .service_id(&f.entry_service)
-                .map(|id| (id, f.endpoint.clone(), f.name.clone()))
-                .ok_or_else(|| LoadError::UnknownService(f.entry_service.clone()))
+                .ok_or_else(|| LoadError::UnknownService(f.entry_service.clone()))?;
+            let ep = cluster.endpoint_id(id, &f.endpoint).unwrap_or_else(|| {
+                panic!("service {} has no endpoint {}", f.entry_service, f.endpoint)
+            });
+            Ok((id, ep))
         })
         .collect::<Result<_, _>>()?;
 
-    let stats = Rc::new(RefCell::new(Stats::default()));
-    for f in &config.flows {
-        stats.borrow_mut().per_flow.insert(f.name.clone(), FlowStats::default());
-    }
+    let stats = Rc::new(RefCell::new(Stats {
+        names: config.flows.iter().map(|f| f.name.clone()).collect(),
+        per_flow: vec![FlowStats::default(); config.flows.len()],
+        stopped: false,
+    }));
     let entries = Rc::new(entries);
     let weights = Rc::new(weights);
 
     match config.model {
-        ArrivalModel::ClosedLoop { users_per_replica, think_time } => {
+        ArrivalModel::ClosedLoop {
+            users_per_replica,
+            think_time,
+        } => {
             let total_users = users_per_replica * config.replicas;
             for u in 0..total_users {
                 let rng = sim.rng().fork(&format!("loadgen/user/{u}"));
                 // Stagger user start times across one think period to avoid
                 // a thundering herd at t=0.
                 let mut start_rng = rng.clone();
-                let offset =
-                    SimDuration::from_secs_f64(start_rng.uniform_f64() * 0.2);
+                let offset = SimDuration::from_secs_f64(start_rng.uniform_f64() * 0.2);
                 schedule_user_iteration(
                     sim,
                     offset,
@@ -318,7 +344,7 @@ pub fn start_load(
 struct UserState {
     rng: Rng,
     think_time: DurationDist,
-    entries: Rc<Vec<(ServiceId, String, String)>>,
+    entries: Rc<Vec<(ServiceId, usize)>>,
     weights: Rc<Vec<f64>>,
     stats: Rc<RefCell<Stats>>,
 }
@@ -331,18 +357,15 @@ fn schedule_user_iteration(sim: &mut Sim<Cluster>, delay: SimDuration, mut user:
         let Some(flow_idx) = user.rng.weighted_index(&user.weights) else {
             return;
         };
-        let (service, endpoint, flow_name) = user.entries[flow_idx].clone();
-        {
-            let mut st = user.stats.borrow_mut();
-            st.per_flow.get_mut(&flow_name).expect("flow registered").sent += 1;
-        }
+        let (service, endpoint) = user.entries[flow_idx];
+        user.stats.borrow_mut().per_flow[flow_idx].sent += 1;
         let started = sim.now();
         let stats = Rc::clone(&user.stats);
-        Cluster::submit(sim, cl, service, &endpoint, move |sim, _cl, resp| {
+        Cluster::submit_indexed(sim, cl, service, endpoint, move |sim, _cl, resp| {
             let latency = sim.now().saturating_since(started).as_secs_f64();
             {
                 let mut st = stats.borrow_mut();
-                let fs = st.per_flow.get_mut(&flow_name).expect("flow registered");
+                let fs = &mut st.per_flow[flow_idx];
                 if resp.status == Status::Ok {
                     fs.ok += 1;
                 } else {
@@ -359,7 +382,7 @@ fn schedule_user_iteration(sim: &mut Sim<Cluster>, delay: SimDuration, mut user:
 struct OpenState {
     rng: Rng,
     mean_gap: SimDuration,
-    entries: Rc<Vec<(ServiceId, String, String)>>,
+    entries: Rc<Vec<(ServiceId, usize)>>,
     weights: Rc<Vec<f64>>,
     stats: Rc<RefCell<Stats>>,
 }
@@ -370,17 +393,14 @@ fn schedule_open_arrival(sim: &mut Sim<Cluster>, delay: SimDuration, mut state: 
             return;
         }
         if let Some(flow_idx) = state.rng.weighted_index(&state.weights) {
-            let (service, endpoint, flow_name) = state.entries[flow_idx].clone();
-            {
-                let mut st = state.stats.borrow_mut();
-                st.per_flow.get_mut(&flow_name).expect("flow registered").sent += 1;
-            }
+            let (service, endpoint) = state.entries[flow_idx];
+            state.stats.borrow_mut().per_flow[flow_idx].sent += 1;
             let started = sim.now();
             let stats = Rc::clone(&state.stats);
-            Cluster::submit(sim, cl, service, &endpoint, move |sim, _cl, resp| {
+            Cluster::submit_indexed(sim, cl, service, endpoint, move |sim, _cl, resp| {
                 let latency = sim.now().saturating_since(started).as_secs_f64();
                 let mut st = stats.borrow_mut();
-                let fs = st.per_flow.get_mut(&flow_name).expect("flow registered");
+                let fs = &mut st.per_flow[flow_idx];
                 if resp.status == Status::Ok {
                     fs.ok += 1;
                 } else {
@@ -389,9 +409,7 @@ fn schedule_open_arrival(sim: &mut Sim<Cluster>, delay: SimDuration, mut state: 
                 fs.latency_sum_secs += latency;
             });
         }
-        let gap = SimDuration::from_secs_f64(
-            state.rng.exponential(state.mean_gap.as_secs_f64()),
-        );
+        let gap = SimDuration::from_secs_f64(state.rng.exponential(state.mean_gap.as_secs_f64()));
         schedule_open_arrival(sim, gap, state);
     });
 }
@@ -399,8 +417,8 @@ fn schedule_open_arrival(sim: &mut Sim<Cluster>, delay: SimDuration, mut state: 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use icfl_micro::{ClusterSpec, FaultKind, ServiceSpec};
     use icfl_micro::steps;
+    use icfl_micro::{ClusterSpec, FaultKind, ServiceSpec};
     use icfl_sim::SimTime;
 
     fn two_path_cluster(seed: u64) -> (Sim<Cluster>, Cluster) {
@@ -469,8 +487,7 @@ mod tests {
         let cfg = LoadConfig::closed_loop(flows);
         let h = start_load(&mut sim, &mut cl, &cfg).unwrap();
         sim.run_until(SimTime::from_secs(30), &mut cl);
-        let frac =
-            h.flow_stats("fb").sent as f64 / h.total_sent() as f64;
+        let frac = h.flow_stats("fb").sent as f64 / h.total_sent() as f64;
         assert!((0.85..0.95).contains(&frac), "frac={frac}");
     }
 
@@ -504,8 +521,9 @@ mod tests {
                 let b = cl.service_id("b").unwrap();
                 cl.set_fault(b, Some(FaultKind::ServiceUnavailable));
             }
-            let cfg = LoadConfig::closed_loop(two_flows())
-                .with_model(ArrivalModel::Open { rps_per_replica: 100.0 });
+            let cfg = LoadConfig::closed_loop(two_flows()).with_model(ArrivalModel::Open {
+                rps_per_replica: 100.0,
+            });
             let h = start_load(&mut sim, &mut cl, &cfg).unwrap();
             sim.run_until(SimTime::from_secs(30), &mut cl);
             h.flow_stats("fc").sent as f64 / 30.0
@@ -540,9 +558,8 @@ mod tests {
             start_load(&mut sim, &mut cl, &ghost).unwrap_err(),
             LoadError::UnknownService("ghost".into())
         );
-        let zero_w = LoadConfig::closed_loop(vec![
-            UserFlow::new("fb", "a", "path_b").with_weight(0.0)
-        ]);
+        let zero_w =
+            LoadConfig::closed_loop(vec![UserFlow::new("fb", "a", "path_b").with_weight(0.0)]);
         assert_eq!(
             start_load(&mut sim, &mut cl, &zero_w).unwrap_err(),
             LoadError::ZeroTotalWeight

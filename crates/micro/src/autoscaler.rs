@@ -75,8 +75,7 @@ impl AutoscalerRuntime {
             let next = (current + spec.step).min(spec.max_workers);
             cl.autoscalers[idx].scale_ups += 1;
             Cluster::set_concurrency(sim, cl, service, next);
-        } else if queue <= spec.scale_down_queue && busy < current && current > spec.min_workers
-        {
+        } else if queue <= spec.scale_down_queue && busy < current && current > spec.min_workers {
             let next = current.saturating_sub(spec.step).max(spec.min_workers);
             cl.autoscalers[idx].scale_downs += 1;
             Cluster::set_concurrency(sim, cl, service, next);

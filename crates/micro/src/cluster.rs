@@ -15,8 +15,8 @@ use crate::ids::{LogLevel, RequestId, ServiceId, Status};
 use crate::logs::{LogBuffer, LogRecord};
 use crate::spec::{ClusterSpec, ErrorPolicy, KvAction, ServiceKind, Step};
 use crate::tracing::{Span, TraceHandle};
-use icfl_sim::{DurationDist, EventId, Rng, Sim, SimDuration, SimTime};
-use std::collections::{HashMap, VecDeque};
+use icfl_sim::{fast_map_with_capacity, DurationDist, FastHashMap, Rng, Sim, SimDuration, SimTime};
+use std::collections::VecDeque;
 use std::rc::Rc;
 
 /// A response to a simulated request.
@@ -50,21 +50,42 @@ pub enum Completion {
 /// Callback invoked when an external request completes.
 pub type ExternalCallback = Box<dyn FnOnce(&mut Sim<Cluster>, &mut Cluster, Response)>;
 
-/// A step with all names resolved to ids.
+/// A step with all names resolved to ids. KV actions sit behind an [`Rc`]
+/// so forwarding one to a store (per simulated request) never clones the
+/// key string.
 #[derive(Debug, Clone)]
 pub(crate) enum ResolvedStep {
-    Compute { time: DurationDist },
-    Call { service: ServiceId, endpoint: usize, on_error: ErrorPolicy },
-    Kv { store: ServiceId, action: KvAction, on_error: ErrorPolicy },
-    Log { level: LogLevel, message: Rc<str> },
-    LogEveryN { n: u64, level: LogLevel, message: Rc<str> },
+    Compute {
+        time: DurationDist,
+    },
+    Call {
+        service: ServiceId,
+        endpoint: usize,
+        on_error: ErrorPolicy,
+    },
+    Kv {
+        store: ServiceId,
+        action: Rc<KvAction>,
+        on_error: ErrorPolicy,
+    },
+    Log {
+        level: LogLevel,
+        message: Rc<str>,
+    },
+    LogEveryN {
+        n: u64,
+        level: LogLevel,
+        message: Rc<str>,
+    },
     Fail,
 }
 
 #[derive(Debug, Clone)]
 pub(crate) struct Endpoint {
     pub(crate) name: String,
-    pub(crate) steps: Vec<ResolvedStep>,
+    /// Shared so the handler interpreter can hold the program while
+    /// mutating the cluster, without cloning steps (see `advance`).
+    pub(crate) steps: Rc<[ResolvedStep]>,
 }
 
 /// Runtime state of one service.
@@ -76,8 +97,8 @@ pub(crate) struct Service {
     queue: VecDeque<RequestId>,
     queue_capacity: usize,
     pub(crate) endpoints: Vec<Endpoint>,
-    endpoint_index: HashMap<String, usize>,
-    kv: HashMap<String, i64>,
+    endpoint_index: FastHashMap<String, usize>,
+    kv: FastHashMap<String, i64>,
     kv_op_time: DurationDist,
     pub(crate) idle_cpu_per_sec: SimDuration,
     pub(crate) counters: Counters,
@@ -85,7 +106,7 @@ pub(crate) struct Service {
     pub(crate) fault: Option<FaultKind>,
     /// Invocation counts backing `Step::LogEveryN`, keyed by
     /// (endpoint index, step index).
-    step_invocations: HashMap<(usize, usize), u64>,
+    step_invocations: FastHashMap<(usize, usize), u64>,
     rng: Rng,
 }
 
@@ -98,7 +119,11 @@ impl Service {
     /// message in the bounded buffer.
     fn write_log(&mut self, time: SimTime, level: LogLevel, message: &str) {
         self.counters.add_log(level);
-        self.logs.push(LogRecord { time, level, message: message.to_owned() });
+        self.logs.push(LogRecord {
+            time,
+            level,
+            message: message.to_owned(),
+        });
     }
 }
 
@@ -108,7 +133,7 @@ enum Work {
     /// Run the handler program of endpoint `idx`.
     Handler(usize),
     /// Perform a built-in KV operation.
-    Kv(KvAction),
+    Kv(Rc<KvAction>),
     /// Fail immediately with an internal error (sampled by an
     /// [`FaultKind::ErrorRate`] fault at delivery time).
     InjectedError,
@@ -121,7 +146,6 @@ struct InFlight {
     step: usize,
     reply_to: Completion,
     waiting_on: Option<RequestId>,
-    timeout_event: Option<EventId>,
     /// Error policy of the call currently awaited (meaningful only while
     /// `waiting_on` is set).
     pending_policy: ErrorPolicy,
@@ -163,13 +187,21 @@ struct InFlight {
 pub struct Cluster {
     name: String,
     pub(crate) services: Vec<Service>,
-    name_to_id: HashMap<String, ServiceId>,
+    name_to_id: FastHashMap<String, ServiceId>,
     net_latency: DurationDist,
     conn_refused_latency: DurationDist,
     call_timeout: SimDuration,
-    inflight: HashMap<RequestId, InFlight>,
+    inflight: FastHashMap<RequestId, InFlight>,
+    /// Pending call deadlines, oldest first. `call_timeout` is constant, so
+    /// deadlines are monotone in issue order and a FIFO plus one re-arming
+    /// sweep event replaces a cancellable timer event per call (which would
+    /// otherwise dominate scheduler traffic: almost every call completes,
+    /// leaving thousands of dead timers in the event heap).
+    call_deadlines: VecDeque<(SimTime, RequestId, RequestId)>,
+    /// True while a sweep event is scheduled for `call_deadlines.front()`.
+    deadline_sweep_armed: bool,
     next_request: u64,
-    external: HashMap<u64, ExternalCallback>,
+    external: FastHashMap<u64, ExternalCallback>,
     next_external: u64,
     pub(crate) daemons: Vec<crate::daemon::DaemonRuntime>,
     pub(crate) autoscalers: Vec<crate::autoscaler::AutoscalerRuntime>,
@@ -200,7 +232,7 @@ impl Cluster {
     pub fn build(spec: &ClusterSpec, seed: u64) -> Result<Cluster, BuildError> {
         let root = Rng::seeded(seed).fork(&format!("cluster/{}", spec.name));
 
-        let mut name_to_id = HashMap::new();
+        let mut name_to_id = FastHashMap::default();
         for (i, s) in spec.services.iter().enumerate() {
             if name_to_id.insert(s.name.clone(), ServiceId(i)).is_some() {
                 return Err(BuildError::DuplicateService(s.name.clone()));
@@ -211,7 +243,7 @@ impl Cluster {
         }
 
         // First pass: endpoint name tables (needed to resolve Call steps).
-        let endpoint_names: Vec<HashMap<String, usize>> = spec
+        let endpoint_names: Vec<FastHashMap<String, usize>> = spec
             .services
             .iter()
             .map(|s| {
@@ -241,7 +273,11 @@ impl Cluster {
                 for step in &e.steps {
                     steps.push(match step {
                         Step::Compute { time } => ResolvedStep::Compute { time: *time },
-                        Step::Call { service, endpoint, on_error } => {
+                        Step::Call {
+                            service,
+                            endpoint,
+                            on_error,
+                        } => {
                             let target = resolve_service(service)?;
                             if spec.services[target.0].kind != ServiceKind::Web {
                                 return Err(BuildError::CallTargetNotWeb {
@@ -255,9 +291,17 @@ impl Cluster {
                                     endpoint: endpoint.clone(),
                                 }
                             })?;
-                            ResolvedStep::Call { service: target, endpoint: ep, on_error: *on_error }
+                            ResolvedStep::Call {
+                                service: target,
+                                endpoint: ep,
+                                on_error: *on_error,
+                            }
                         }
-                        Step::Kv { store, action, on_error } => {
+                        Step::Kv {
+                            store,
+                            action,
+                            on_error,
+                        } => {
                             let target = resolve_service(store)?;
                             if spec.services[target.0].kind != ServiceKind::KvStore {
                                 return Err(BuildError::KvTargetNotStore {
@@ -267,7 +311,7 @@ impl Cluster {
                             }
                             ResolvedStep::Kv {
                                 store: target,
-                                action: action.clone(),
+                                action: Rc::new(action.clone()),
                                 on_error: *on_error,
                             }
                         }
@@ -288,7 +332,10 @@ impl Cluster {
                         Step::Fail => ResolvedStep::Fail,
                     });
                 }
-                endpoints.push(Endpoint { name: e.name.clone(), steps });
+                endpoints.push(Endpoint {
+                    name: e.name.clone(),
+                    steps: steps.into(),
+                });
             }
             services.push(Service {
                 name: s.name.clone(),
@@ -299,13 +346,13 @@ impl Cluster {
                 queue_capacity: s.queue_capacity,
                 endpoint_index: endpoint_names[si].clone(),
                 endpoints,
-                kv: HashMap::new(),
+                kv: FastHashMap::default(),
                 kv_op_time: s.kv_op_time,
                 idle_cpu_per_sec: s.idle_cpu_per_sec,
                 counters: Counters::default(),
                 logs: LogBuffer::with_capacity(LogBuffer::DEFAULT_CAPACITY),
                 fault: None,
-                step_invocations: HashMap::new(),
+                step_invocations: FastHashMap::default(),
                 rng: root.fork(&format!("service/{}", s.name)),
             });
         }
@@ -342,9 +389,13 @@ impl Cluster {
             net_latency: spec.net_latency,
             conn_refused_latency: spec.conn_refused_latency,
             call_timeout: spec.call_timeout,
-            inflight: HashMap::new(),
+            // Pre-sized: steady-state campaigns keep hundreds of requests
+            // in flight, and rehash-on-grow sits on the request hot path.
+            inflight: fast_map_with_capacity(1024),
+            call_deadlines: VecDeque::with_capacity(1024),
+            deadline_sweep_armed: false,
             next_request: 0,
-            external: HashMap::new(),
+            external: fast_map_with_capacity(256),
             next_external: 0,
             daemons,
             autoscalers,
@@ -412,13 +463,21 @@ impl Cluster {
     ///
     /// Panics if `store` is not a KV store of this cluster.
     pub fn kv_value(&self, store: ServiceId, key: &str) -> i64 {
-        assert_eq!(self.services[store.0].kind, ServiceKind::KvStore, "not a KV store");
+        assert_eq!(
+            self.services[store.0].kind,
+            ServiceKind::KvStore,
+            "not a KV store"
+        );
         self.services[store.0].kv.get(key).copied().unwrap_or(0)
     }
 
     /// Endpoint names of a service (in declaration order).
     pub fn endpoint_names(&self, id: ServiceId) -> Vec<&str> {
-        self.services[id.0].endpoints.iter().map(|e| e.name.as_str()).collect()
+        self.services[id.0]
+            .endpoints
+            .iter()
+            .map(|e| e.name.as_str())
+            .collect()
     }
 
     /// Arms per-second housekeeping (idle CPU accrual) and all daemons.
@@ -464,20 +523,48 @@ impl Cluster {
         endpoint: &str,
         on_complete: impl FnOnce(&mut Sim<Cluster>, &mut Cluster, Response) + 'static,
     ) -> RequestId {
-        let ep = *cluster.services[service.0]
+        let ep = cluster.endpoint_id(service, endpoint).unwrap_or_else(|| {
+            panic!(
+                "service {} has no endpoint {endpoint}",
+                cluster.services[service.0].name
+            )
+        });
+        Cluster::submit_indexed(sim, cluster, service, ep, on_complete)
+    }
+
+    /// Resolves an endpoint name on `service` to the index accepted by
+    /// [`Cluster::submit_indexed`].
+    pub fn endpoint_id(&self, service: ServiceId, endpoint: &str) -> Option<usize> {
+        self.services[service.0]
             .endpoint_index
             .get(endpoint)
-            .unwrap_or_else(|| {
-                panic!(
-                    "service {} has no endpoint {endpoint}",
-                    cluster.services[service.0].name
-                )
-            });
+            .copied()
+    }
+
+    /// [`Cluster::submit`] with a pre-resolved endpoint index (from
+    /// [`Cluster::endpoint_id`]), skipping the per-request name lookup —
+    /// the form load generators should use on their hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics (later, when the request is delivered) if `endpoint` is out of
+    /// range for the service.
+    pub fn submit_indexed(
+        sim: &mut Sim<Cluster>,
+        cluster: &mut Cluster,
+        service: ServiceId,
+        endpoint: usize,
+        on_complete: impl FnOnce(&mut Sim<Cluster>, &mut Cluster, Response) + 'static,
+    ) -> RequestId {
         let token = cluster.next_external;
         cluster.next_external += 1;
         cluster.external.insert(token, Box::new(on_complete));
-        let req =
-            cluster.new_request(sim.now(), service, Work::Handler(ep), Completion::External(token));
+        let req = cluster.new_request(
+            sim.now(),
+            service,
+            Work::Handler(endpoint),
+            Completion::External(token),
+        );
         Cluster::send(sim, cluster, None, req);
         req
     }
@@ -502,7 +589,7 @@ impl Cluster {
         sim: &mut Sim<Cluster>,
         cluster: &mut Cluster,
         store: ServiceId,
-        action: KvAction,
+        action: Rc<KvAction>,
         reply_to: Completion,
         from: Option<ServiceId>,
     ) -> RequestId {
@@ -529,7 +616,6 @@ impl Cluster {
                 step: 0,
                 reply_to,
                 waiting_on: None,
-                timeout_event: None,
                 pending_policy: ErrorPolicy::default(),
                 status: Status::Ok,
                 value: 0,
@@ -549,7 +635,10 @@ impl Cluster {
         }
 
         // Connection refused: fail fast without touching the target.
-        if matches!(cl.services[target.0].fault, Some(FaultKind::ServiceUnavailable)) {
+        if matches!(
+            cl.services[target.0].fault,
+            Some(FaultKind::ServiceUnavailable)
+        ) {
             let latency = cl.conn_refused_latency.sample(&mut cl.net_rng);
             let inf = cl.inflight.get_mut(&req).expect("request in flight");
             inf.status = Status::ServiceUnavailable;
@@ -644,20 +733,32 @@ impl Cluster {
                 svc.counters.add_cpu(t);
                 sim.schedule_after(t, move |sim, cl: &mut Cluster| {
                     let svc = &mut cl.services[service.0];
-                    let value = match &action {
-                        KvAction::Incr { key } => {
-                            let v = svc.kv.entry(key.clone()).or_insert(0);
-                            *v += 1;
-                            *v
-                        }
-                        KvAction::FetchSub { key } => {
-                            let v = svc.kv.entry(key.clone()).or_insert(0);
-                            let prev = *v;
-                            if *v > 0 {
-                                *v -= 1;
+                    // get_mut-then-insert (not the entry API) so the steady
+                    // state never clones the key string.
+                    let value = match &*action {
+                        KvAction::Incr { key } => match svc.kv.get_mut(key) {
+                            Some(v) => {
+                                *v += 1;
+                                *v
                             }
-                            prev
-                        }
+                            None => {
+                                svc.kv.insert(key.clone(), 1);
+                                1
+                            }
+                        },
+                        KvAction::FetchSub { key } => match svc.kv.get_mut(key) {
+                            Some(v) => {
+                                let prev = *v;
+                                if *v > 0 {
+                                    *v -= 1;
+                                }
+                                prev
+                            }
+                            None => {
+                                svc.kv.insert(key.clone(), 0);
+                                0
+                            }
+                        },
                         KvAction::Get { key } => svc.kv.get(key).copied().unwrap_or(0),
                     };
                     let inf = cl.inflight.get_mut(&req).expect("in flight");
@@ -670,23 +771,26 @@ impl Cluster {
 
     /// Advances a handler program to its next blocking point.
     fn advance(sim: &mut Sim<Cluster>, cl: &mut Cluster, req: RequestId) {
-        loop {
-            let (service, ep_idx, step_idx) = {
-                let inf = &cl.inflight[&req];
-                let ep = match inf.work {
-                    Work::Handler(ep) => ep,
-                    _ => unreachable!("advance only runs handler programs"),
-                };
-                (inf.service, ep, inf.step)
+        let (service, ep_idx, mut step_idx) = {
+            let inf = &cl.inflight[&req];
+            let ep = match inf.work {
+                Work::Handler(ep) => ep,
+                _ => unreachable!("advance only runs handler programs"),
             };
-            let num_steps = cl.services[service.0].endpoints[ep_idx].steps.len();
-            if step_idx >= num_steps {
+            (inf.service, ep, inf.step)
+        };
+        // One shared handle to the program; steps are matched by reference
+        // (no per-step clone) while the cluster is mutated freely.
+        let steps = Rc::clone(&cl.services[service.0].endpoints[ep_idx].steps);
+        loop {
+            if step_idx >= steps.len() {
                 let status = cl.inflight[&req].status;
                 Cluster::finish(sim, cl, req, status);
                 return;
             }
-            let step = cl.services[service.0].endpoints[ep_idx].steps[step_idx].clone();
-            cl.inflight.get_mut(&req).expect("in flight").step += 1;
+            let step = &steps[step_idx];
+            step_idx += 1;
+            cl.inflight.get_mut(&req).expect("in flight").step = step_idx;
             match step {
                 ResolvedStep::Compute { time } => {
                     let svc = &mut cl.services[service.0];
@@ -702,18 +806,19 @@ impl Cluster {
                 }
                 ResolvedStep::Log { level, message } => {
                     let now = sim.now();
-                    cl.services[service.0].write_log(now, level, &message);
+                    cl.services[service.0].write_log(now, *level, message);
                 }
                 ResolvedStep::LogEveryN { n, level, message } => {
                     let now = sim.now();
                     let svc = &mut cl.services[service.0];
+                    // step_idx already advanced past this step.
                     let count = svc
                         .step_invocations
-                        .entry((ep_idx, step_idx))
+                        .entry((ep_idx, step_idx - 1))
                         .or_insert(0);
                     *count += 1;
-                    if *count % n == 0 {
-                        svc.write_log(now, level, &message);
+                    if (*count).is_multiple_of(*n) {
+                        svc.write_log(now, *level, message);
                     }
                 }
                 ResolvedStep::Fail => {
@@ -726,24 +831,32 @@ impl Cluster {
                     Cluster::finish(sim, cl, req, Status::InternalError);
                     return;
                 }
-                ResolvedStep::Call { service: target, endpoint, on_error } => {
+                ResolvedStep::Call {
+                    service: target,
+                    endpoint,
+                    on_error,
+                } => {
                     let child = cl.new_request(
                         sim.now(),
-                        target,
-                        Work::Handler(endpoint),
+                        *target,
+                        Work::Handler(*endpoint),
                         Completion::Call { parent: req },
                     );
-                    Cluster::issue_call(sim, cl, req, child, service, on_error);
+                    Cluster::issue_call(sim, cl, req, child, service, *on_error);
                     return;
                 }
-                ResolvedStep::Kv { store, action, on_error } => {
+                ResolvedStep::Kv {
+                    store,
+                    action,
+                    on_error,
+                } => {
                     let child = cl.new_request(
                         sim.now(),
-                        store,
-                        Work::Kv(action),
+                        *store,
+                        Work::Kv(Rc::clone(action)),
                         Completion::Call { parent: req },
                     );
-                    Cluster::issue_call(sim, cl, req, child, service, on_error);
+                    Cluster::issue_call(sim, cl, req, child, service, *on_error);
                     return;
                 }
             }
@@ -760,17 +873,53 @@ impl Cluster {
         from: ServiceId,
         on_error: ErrorPolicy,
     ) {
-        let timeout = cl.call_timeout;
         {
             let inf = cl.inflight.get_mut(&parent).expect("parent in flight");
             inf.waiting_on = Some(child);
             inf.pending_policy = on_error;
         }
-        let ev = sim.schedule_after(timeout, move |sim, cl: &mut Cluster| {
-            Cluster::on_call_timeout(sim, cl, parent, child);
-        });
-        cl.inflight.get_mut(&parent).expect("parent in flight").timeout_event = Some(ev);
+        let deadline = sim.now() + cl.call_timeout;
+        cl.call_deadlines.push_back((deadline, parent, child));
+        if !cl.deadline_sweep_armed {
+            cl.deadline_sweep_armed = true;
+            sim.schedule_at(deadline, Cluster::sweep_call_deadlines);
+        }
         Cluster::send(sim, cl, Some(from), child);
+    }
+
+    /// Fires every due entry of `call_deadlines`, then re-arms for the next
+    /// front deadline (if any). Entries whose call already completed are
+    /// skipped by [`Cluster::on_call_timeout`]'s staleness guards; request
+    /// ids are never reused, so a stale `(parent, child)` pair can never
+    /// match a live call.
+    fn sweep_call_deadlines(sim: &mut Sim<Cluster>, cl: &mut Cluster) {
+        // `deadline_sweep_armed` stays true for the whole sweep so timeout
+        // handlers that issue fresh calls cannot arm a duplicate sweep; their
+        // deadlines land past `now` and are re-armed below. Stale entries
+        // (calls that completed before their deadline) are dropped eagerly —
+        // even future ones — so each sweep re-arms at the first still-live
+        // deadline rather than stepping through every completed call.
+        let now = sim.now();
+        loop {
+            let Some(&(deadline, parent, child)) = cl.call_deadlines.front() else {
+                cl.deadline_sweep_armed = false;
+                return;
+            };
+            let live = cl
+                .inflight
+                .get(&parent)
+                .is_some_and(|inf| inf.waiting_on == Some(child));
+            if !live {
+                cl.call_deadlines.pop_front();
+                continue;
+            }
+            if deadline > now {
+                sim.schedule_at(deadline, Cluster::sweep_call_deadlines);
+                return;
+            }
+            cl.call_deadlines.pop_front();
+            Cluster::on_call_timeout(sim, cl, parent, child);
+        }
     }
 
     /// Delivers a finished request's response toward its completion target.
@@ -796,8 +945,10 @@ impl Cluster {
                 svc.busy -= 1;
                 if let Some(next) = svc.queue.pop_front() {
                     svc.busy += 1;
-                    cl.inflight.get_mut(&next).expect("queued request in flight").holds_worker =
-                        true;
+                    cl.inflight
+                        .get_mut(&next)
+                        .expect("queued request in flight")
+                        .holds_worker = true;
                     sim.schedule_now(move |sim, cl: &mut Cluster| {
                         Cluster::begin_work(sim, cl, next);
                     });
@@ -837,7 +988,11 @@ impl Cluster {
                 status: inf.status,
             });
         }
-        let resp = Response { status: inf.status, value: inf.value, request: req };
+        let resp = Response {
+            status: inf.status,
+            value: inf.value,
+            request: req,
+        };
         match inf.reply_to {
             Completion::External(token) => {
                 if let Some(cb) = cl.external.remove(&token) {
@@ -854,7 +1009,12 @@ impl Cluster {
     }
 
     /// The blocked parent receives its child's response.
-    fn on_child_response(sim: &mut Sim<Cluster>, cl: &mut Cluster, parent: RequestId, resp: Response) {
+    fn on_child_response(
+        sim: &mut Sim<Cluster>,
+        cl: &mut Cluster,
+        parent: RequestId,
+        resp: Response,
+    ) {
         let Some(inf) = cl.inflight.get_mut(&parent) else {
             return; // parent already finished (timeout raced us)
         };
@@ -862,9 +1022,6 @@ impl Cluster {
             return; // stale response after a timeout
         }
         inf.waiting_on = None;
-        if let Some(ev) = inf.timeout_event.take() {
-            sim.cancel(ev);
-        }
         let service = inf.service;
         let policy = inf.pending_policy;
         cl.services[service.0].counters.rx_packets += 1;
@@ -879,7 +1036,12 @@ impl Cluster {
     }
 
     /// The caller-side timeout fired before the child responded.
-    fn on_call_timeout(sim: &mut Sim<Cluster>, cl: &mut Cluster, parent: RequestId, child: RequestId) {
+    fn on_call_timeout(
+        sim: &mut Sim<Cluster>,
+        cl: &mut Cluster,
+        parent: RequestId,
+        child: RequestId,
+    ) {
         let Some(inf) = cl.inflight.get_mut(&parent) else {
             return;
         };
@@ -887,7 +1049,6 @@ impl Cluster {
             return; // response won the race
         }
         inf.waiting_on = None;
-        inf.timeout_event = None;
         let policy = inf.pending_policy;
         Cluster::handle_call_failure(sim, cl, parent, Status::Timeout, policy);
     }
@@ -903,8 +1064,20 @@ impl Cluster {
         let service = cl.inflight[&parent].service;
         if policy.logs() {
             let now = sim.now();
-            let message = format!("error: downstream call failed ({child_status})");
-            cl.services[service.0].write_log(now, LogLevel::Error, &message);
+            // Static per-status text: this line fires for every failed call
+            // during a fault phase, and the texts must stay byte-identical
+            // to `format!("error: downstream call failed ({child_status})")`
+            // so log-template extraction sees the same templates.
+            let message = match child_status {
+                Status::Ok => "error: downstream call failed (200 OK)",
+                Status::InternalError => "error: downstream call failed (500 Internal Error)",
+                Status::ServiceUnavailable => {
+                    "error: downstream call failed (503 Service Unavailable)"
+                }
+                Status::Overloaded => "error: downstream call failed (503 Overloaded)",
+                Status::Timeout => "error: downstream call failed (504 Timeout)",
+            };
+            cl.services[service.0].write_log(now, LogLevel::Error, message);
         }
         if policy.propagates() {
             // The failure bubbles up as a 500 from this service (errors
@@ -936,7 +1109,9 @@ impl Cluster {
     /// simulation stops produce no span (as in real tracing backends).
     /// Idempotent: repeated calls return handles to the same store.
     pub fn enable_tracing(&mut self) -> TraceHandle {
-        self.tracing.get_or_insert_with(TraceHandle::default).clone()
+        self.tracing
+            .get_or_insert_with(TraceHandle::default)
+            .clone()
     }
 
     /// The most recent `n` console log lines of a service, oldest first.
@@ -975,7 +1150,10 @@ impl Cluster {
                 break;
             };
             cl.services[id.0].busy += 1;
-            cl.inflight.get_mut(&next).expect("queued request in flight").holds_worker = true;
+            cl.inflight
+                .get_mut(&next)
+                .expect("queued request in flight")
+                .holds_worker = true;
             sim.schedule_now(move |sim, cl: &mut Cluster| {
                 Cluster::begin_work(sim, cl, next);
             });

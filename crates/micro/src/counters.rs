@@ -107,9 +107,11 @@ mod tests {
 
     #[test]
     fn delta_subtracts_fieldwise() {
-        let mut early = Counters::default();
-        early.rx_packets = 10;
-        early.logs_total = 3;
+        let early = Counters {
+            rx_packets: 10,
+            logs_total: 3,
+            ..Counters::default()
+        };
         let mut late = early;
         late.rx_packets = 25;
         late.logs_total = 4;

@@ -13,8 +13,8 @@ use crate::cluster::{Cluster, Completion, Response};
 use crate::error::BuildError;
 use crate::ids::{LogLevel, RequestId, ServiceId};
 use crate::spec::{ClusterSpec, DaemonSpec, KvAction, ServiceKind};
-use icfl_sim::{DurationDist, EventId, Rng, Sim, SimDuration, SimTime};
-use std::collections::HashMap;
+use icfl_sim::{DurationDist, EventId, FastHashMap, Rng, Sim, SimDuration, SimTime};
+use std::rc::Rc;
 
 /// Back-off before re-polling after a failed store operation (a crashed
 /// Redis connection is retried, with error logs, about once a second).
@@ -34,7 +34,9 @@ enum Phase {
 pub(crate) struct DaemonRuntime {
     host: ServiceId,
     store: ServiceId,
-    counter: String,
+    /// Prebuilt `fetch_sub` op, shared into every poll without re-allocating
+    /// the counter-key `String`.
+    fetch_action: Rc<KvAction>,
     poll_interval: DurationDist,
     work_per_item: DurationDist,
     call_per_item: Option<(ServiceId, usize)>,
@@ -51,8 +53,8 @@ impl DaemonRuntime {
     /// Resolves a [`DaemonSpec`]'s names against the cluster being built.
     pub(crate) fn resolve(
         spec: &DaemonSpec,
-        name_to_id: &HashMap<String, ServiceId>,
-        endpoint_names: &[HashMap<String, usize>],
+        name_to_id: &FastHashMap<String, ServiceId>,
+        endpoint_names: &[FastHashMap<String, usize>],
         cluster_spec: &ClusterSpec,
         rng: Rng,
     ) -> Result<Self, BuildError> {
@@ -84,7 +86,10 @@ impl DaemonRuntime {
                     });
                 }
                 let ep_idx = *endpoint_names[target.index()].get(ep).ok_or_else(|| {
-                    BuildError::UnknownEndpoint { service: svc.clone(), endpoint: ep.clone() }
+                    BuildError::UnknownEndpoint {
+                        service: svc.clone(),
+                        endpoint: ep.clone(),
+                    }
                 })?;
                 Some((target, ep_idx))
             }
@@ -95,7 +100,9 @@ impl DaemonRuntime {
         Ok(DaemonRuntime {
             host,
             store,
-            counter: spec.counter.clone(),
+            fetch_action: Rc::new(KvAction::FetchSub {
+                key: spec.counter.clone(),
+            }),
             poll_interval: spec.poll_interval,
             work_per_item: spec.work_per_item,
             call_per_item,
@@ -118,16 +125,16 @@ impl DaemonRuntime {
 
     /// Issues the `fetch_sub` poll against the work counter.
     fn poll(sim: &mut Sim<Cluster>, cl: &mut Cluster, idx: usize) {
-        let (store, host, counter) = {
+        let (store, host, action) = {
             let d = &cl.daemons[idx];
-            (d.store, d.host, d.counter.clone())
+            (d.store, d.host, Rc::clone(&d.fetch_action))
         };
         cl.daemons[idx].phase = Phase::AwaitFetch;
         let req = Cluster::submit_kv(
             sim,
             cl,
             store,
-            KvAction::FetchSub { key: counter },
+            action,
             Completion::Daemon { daemon: idx },
             Some(host),
         );
@@ -151,7 +158,12 @@ impl DaemonRuntime {
     }
 
     /// Entry point for responses addressed to this daemon.
-    pub(crate) fn on_response(sim: &mut Sim<Cluster>, cl: &mut Cluster, idx: usize, resp: Response) {
+    pub(crate) fn on_response(
+        sim: &mut Sim<Cluster>,
+        cl: &mut Cluster,
+        idx: usize,
+        resp: Response,
+    ) {
         match cl.daemons[idx].waiting {
             Some((req, ev)) if req == resp.request => {
                 sim.cancel(ev);
@@ -180,7 +192,12 @@ impl DaemonRuntime {
                     // was already consumed.
                     let host = cl.daemons[idx].host;
                     let now = sim.now();
-                    cl.log(host, now, LogLevel::Error, "error: per-item downstream call failed");
+                    cl.log(
+                        host,
+                        now,
+                        LogLevel::Error,
+                        "error: per-item downstream call failed",
+                    );
                 }
                 DaemonRuntime::item_done(sim, cl, idx);
             }
@@ -193,7 +210,12 @@ impl DaemonRuntime {
     fn on_failure(sim: &mut Sim<Cluster>, cl: &mut Cluster, idx: usize) {
         let host = cl.daemons[idx].host;
         let now = sim.now();
-        cl.log(host, now, LogLevel::Error, "error: connection to work store failed");
+        cl.log(
+            host,
+            now,
+            LogLevel::Error,
+            "error: connection to work store failed",
+        );
         cl.daemons[idx].phase = Phase::Sleeping;
         sim.schedule_after(ERROR_BACKOFF, move |sim, cl: &mut Cluster| {
             DaemonRuntime::poll(sim, cl, idx);
@@ -239,7 +261,7 @@ impl DaemonRuntime {
         let log_now = {
             let d = &mut cl.daemons[idx];
             d.items_processed += 1;
-            d.items_processed % d.log_every_items == 0
+            d.items_processed.is_multiple_of(d.log_every_items)
         };
         if log_now {
             let (host, every) = {
@@ -272,7 +294,12 @@ impl DaemonRuntime {
         };
         if should_log {
             let now = sim.now();
-            cl.log(host, now, LogLevel::Info, "no items to process for more than 30 seconds");
+            cl.log(
+                host,
+                now,
+                LogLevel::Info,
+                "no items to process for more than 30 seconds",
+            );
         }
         let delay = {
             let d = &mut cl.daemons[idx];

@@ -75,9 +75,16 @@ mod tests {
 
     #[test]
     fn messages_name_the_offender() {
-        assert!(BuildError::DuplicateService("a".into()).to_string().contains('a'));
-        assert!(BuildError::UnknownService("ghost".into()).to_string().contains("ghost"));
-        let e = BuildError::UnknownEndpoint { service: "b".into(), endpoint: "/x".into() };
+        assert!(BuildError::DuplicateService("a".into())
+            .to_string()
+            .contains('a'));
+        assert!(BuildError::UnknownService("ghost".into())
+            .to_string()
+            .contains("ghost"));
+        let e = BuildError::UnknownEndpoint {
+            service: "b".into(),
+            endpoint: "/x".into(),
+        };
         assert!(e.to_string().contains("/x"));
     }
 

@@ -70,6 +70,9 @@ mod tests {
 
     #[test]
     fn display_matches_label() {
-        assert_eq!(FaultKind::ServiceUnavailable.to_string(), "service-unavailable");
+        assert_eq!(
+            FaultKind::ServiceUnavailable.to_string(),
+            "service-unavailable"
+        );
     }
 }

@@ -7,9 +7,7 @@ use serde::{Deserialize, Serialize};
 ///
 /// Stable for the lifetime of the cluster; assigned in the order services
 /// were added to the [`ClusterSpec`](crate::ClusterSpec).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ServiceId(pub(crate) usize);
 
 impl ServiceId {

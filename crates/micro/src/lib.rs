@@ -54,18 +54,18 @@ mod logs;
 mod spec;
 mod tracing;
 
-pub use cluster::{Cluster, Completion, ExternalCallback, Response};
 pub use autoscaler::AutoscalerSpec;
+pub use cluster::{Cluster, Completion, ExternalCallback, Response};
 pub use counters::Counters;
 pub use error::BuildError;
 pub use fault::FaultKind;
 pub use ids::{LogLevel, RequestId, ServiceId, Status};
 pub use logs::{LogBuffer, LogRecord};
-pub use tracing::{Span, TraceHandle};
 pub use spec::{
     steps, ClusterSpec, DaemonSpec, EndpointSpec, ErrorPolicy, KvAction, ServiceKind, ServiceSpec,
     Step,
 };
+pub use tracing::{Span, TraceHandle};
 
 #[cfg(test)]
 mod engine_tests {
@@ -77,14 +77,14 @@ mod engine_tests {
     /// A → B → C chain, CausalBench pattern-1 style.
     fn chain_spec() -> ClusterSpec {
         ClusterSpec::new("chain")
-            .service(ServiceSpec::web("a").endpoint(
-                "/",
-                vec![steps::compute_ms(1), steps::call("b", "/")],
-            ))
-            .service(ServiceSpec::web("b").endpoint(
-                "/",
-                vec![steps::compute_ms(1), steps::call("c", "/")],
-            ))
+            .service(
+                ServiceSpec::web("a")
+                    .endpoint("/", vec![steps::compute_ms(1), steps::call("b", "/")]),
+            )
+            .service(
+                ServiceSpec::web("b")
+                    .endpoint("/", vec![steps::compute_ms(1), steps::call("c", "/")]),
+            )
             .service(ServiceSpec::web("c").endpoint("/", vec![steps::compute_ms(1)]))
     }
 
@@ -178,7 +178,11 @@ mod engine_tests {
         let spec = ClusterSpec::new("silent")
             .service(ServiceSpec::web("a").endpoint(
                 "/",
-                vec![steps::call_with_policy("b", "/", ErrorPolicy::PropagateSilently)],
+                vec![steps::call_with_policy(
+                    "b",
+                    "/",
+                    ErrorPolicy::PropagateSilently,
+                )],
             ))
             .service(ServiceSpec::web("b").endpoint("/", vec![steps::compute_ms(1)]));
         let (cl, status) = run_one(&spec, "a", "/", 2, |cl| {
@@ -210,11 +214,11 @@ mod engine_tests {
 
     #[test]
     fn error_rate_fault_fails_fraction_of_requests() {
-        let spec = ClusterSpec::new("flaky")
-            .service(ServiceSpec::web("a").with_concurrency(64).endpoint(
-                "/",
-                vec![steps::compute_ms(1)],
-            ));
+        let spec = ClusterSpec::new("flaky").service(
+            ServiceSpec::web("a")
+                .with_concurrency(64)
+                .endpoint("/", vec![steps::compute_ms(1)]),
+        );
         let mut cluster = Cluster::build(&spec, 5).unwrap();
         let a = cluster.service_id("a").unwrap();
         cluster.set_fault(a, Some(FaultKind::ErrorRate(0.5)));
@@ -307,13 +311,12 @@ mod engine_tests {
 
     #[test]
     fn queue_sheds_when_full() {
-        let spec = ClusterSpec::new("tiny")
-            .service(
-                ServiceSpec::web("a")
-                    .with_concurrency(1)
-                    .with_queue_capacity(1)
-                    .endpoint("/", vec![steps::compute_ms(100)]),
-            );
+        let spec = ClusterSpec::new("tiny").service(
+            ServiceSpec::web("a")
+                .with_concurrency(1)
+                .with_queue_capacity(1)
+                .endpoint("/", vec![steps::compute_ms(100)]),
+        );
         let mut cluster = Cluster::build(&spec, 17).unwrap();
         let mut sim = Sim::new(17);
         Cluster::start(&mut sim, &mut cluster);
@@ -419,11 +422,11 @@ mod engine_tests {
 
     #[test]
     fn log_every_n_fires_on_schedule() {
-        let spec = ClusterSpec::new("log100")
-            .service(ServiceSpec::web("e").with_concurrency(32).endpoint(
-                "/",
-                vec![steps::log_every_n(100, "I am okay!")],
-            ));
+        let spec = ClusterSpec::new("log100").service(
+            ServiceSpec::web("e")
+                .with_concurrency(32)
+                .endpoint("/", vec![steps::log_every_n(100, "I am okay!")]),
+        );
         let mut cluster = Cluster::build(&spec, 41).unwrap();
         let mut sim = Sim::new(41);
         Cluster::start(&mut sim, &mut cluster);
@@ -533,11 +536,10 @@ mod engine_tests {
 
     #[test]
     fn log_records_capture_messages() {
-        let spec = ClusterSpec::new("msgs")
-            .service(ServiceSpec::web("a").endpoint(
-                "/",
-                vec![steps::log_info("hello world"), steps::compute_ms(1)],
-            ));
+        let spec = ClusterSpec::new("msgs").service(ServiceSpec::web("a").endpoint(
+            "/",
+            vec![steps::log_info("hello world"), steps::compute_ms(1)],
+        ));
         let mut cluster = Cluster::build(&spec, 61).unwrap();
         let mut sim = Sim::new(61);
         Cluster::start(&mut sim, &mut cluster);
@@ -614,12 +616,11 @@ mod engine_tests {
 
     #[test]
     fn scale_up_admits_queued_requests_immediately() {
-        let spec = ClusterSpec::new("manual")
-            .service(
-                ServiceSpec::web("a")
-                    .with_concurrency(1)
-                    .endpoint("/", vec![steps::compute_ms(1000)]),
-            );
+        let spec = ClusterSpec::new("manual").service(
+            ServiceSpec::web("a")
+                .with_concurrency(1)
+                .endpoint("/", vec![steps::compute_ms(1000)]),
+        );
         let mut cluster = Cluster::build(&spec, 73).unwrap();
         let mut sim = Sim::new(73);
         Cluster::start(&mut sim, &mut cluster);

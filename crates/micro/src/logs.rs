@@ -36,7 +36,11 @@ impl LogBuffer {
 
     /// Creates a buffer retaining up to `capacity` records.
     pub fn with_capacity(capacity: usize) -> LogBuffer {
-        LogBuffer { records: VecDeque::new(), capacity, dropped: 0 }
+        LogBuffer {
+            records: VecDeque::new(),
+            capacity,
+            dropped: 0,
+        }
     }
 
     /// Appends a record, evicting the oldest if full.

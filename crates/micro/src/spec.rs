@@ -40,12 +40,18 @@ pub enum ErrorPolicy {
 impl ErrorPolicy {
     /// Whether a failure under this policy emits an error log.
     pub fn logs(self) -> bool {
-        matches!(self, ErrorPolicy::LogAndPropagate | ErrorPolicy::LogAndContinue)
+        matches!(
+            self,
+            ErrorPolicy::LogAndPropagate | ErrorPolicy::LogAndContinue
+        )
     }
 
     /// Whether a failure under this policy aborts the handler.
     pub fn propagates(self) -> bool {
-        matches!(self, ErrorPolicy::LogAndPropagate | ErrorPolicy::PropagateSilently)
+        matches!(
+            self,
+            ErrorPolicy::LogAndPropagate | ErrorPolicy::PropagateSilently
+        )
     }
 }
 
@@ -140,7 +146,10 @@ pub struct EndpointSpec {
 impl EndpointSpec {
     /// Creates an endpoint with the given handler program.
     pub fn new(name: impl Into<String>, steps: Vec<Step>) -> Self {
-        EndpointSpec { name: name.into(), steps }
+        EndpointSpec {
+            name: name.into(),
+            steps,
+        }
     }
 }
 
@@ -330,7 +339,9 @@ pub mod steps {
 
     /// A [`Step::Compute`] with constant duration.
     pub fn compute_ms(ms: u64) -> Step {
-        Step::Compute { time: DurationDist::constant(SimDuration::from_millis(ms)) }
+        Step::Compute {
+            time: DurationDist::constant(SimDuration::from_millis(ms)),
+        }
     }
 
     /// A [`Step::Compute`] with the given distribution.
@@ -349,26 +360,39 @@ pub mod steps {
 
     /// A [`Step::Call`] with an explicit error policy.
     pub fn call_with_policy(service: &str, endpoint: &str, on_error: ErrorPolicy) -> Step {
-        Step::Call { service: service.to_owned(), endpoint: endpoint.to_owned(), on_error }
+        Step::Call {
+            service: service.to_owned(),
+            endpoint: endpoint.to_owned(),
+            on_error,
+        }
     }
 
     /// A KV increment with the default error policy.
     pub fn kv_incr(store: &str, key: &str) -> Step {
         Step::Kv {
             store: store.to_owned(),
-            action: KvAction::Incr { key: key.to_owned() },
+            action: KvAction::Incr {
+                key: key.to_owned(),
+            },
             on_error: ErrorPolicy::LogAndPropagate,
         }
     }
 
     /// An info log every `n` invocations.
     pub fn log_every_n(n: u64, message: &str) -> Step {
-        Step::LogEveryN { n, level: LogLevel::Info, message: message.to_owned() }
+        Step::LogEveryN {
+            n,
+            level: LogLevel::Info,
+            message: message.to_owned(),
+        }
     }
 
     /// An unconditional info log.
     pub fn log_info(message: &str) -> Step {
-        Step::Log { level: LogLevel::Info, message: message.to_owned() }
+        Step::Log {
+            level: LogLevel::Info,
+            message: message.to_owned(),
+        }
     }
 }
 
@@ -390,7 +414,13 @@ mod tests {
 
     #[test]
     fn kv_action_key() {
-        assert_eq!(KvAction::Incr { key: "items".into() }.key(), "items");
+        assert_eq!(
+            KvAction::Incr {
+                key: "items".into()
+            }
+            .key(),
+            "items"
+        );
         assert_eq!(KvAction::FetchSub { key: "x".into() }.key(), "x");
         assert_eq!(KvAction::Get { key: "y".into() }.key(), "y");
     }

@@ -79,8 +79,8 @@ impl TraceHandle {
         while changed {
             changed = false;
             for s in &spans.spans {
-                let in_tree = members.contains(&s.request)
-                    || s.parent.map_or(false, |p| members.contains(&p));
+                let in_tree =
+                    members.contains(&s.request) || s.parent.is_some_and(|p| members.contains(&p));
                 if in_tree && !out.iter().any(|o| o.request == s.request) {
                     if !members.contains(&s.request) {
                         members.push(s.request);
@@ -97,8 +97,13 @@ impl TraceHandle {
     /// The services that appear in any span — what an APM's service map
     /// would show for the traced period.
     pub fn services_seen(&self) -> Vec<ServiceId> {
-        let mut ids: Vec<ServiceId> =
-            self.store.borrow().spans.iter().map(|s| s.service).collect();
+        let mut ids: Vec<ServiceId> = self
+            .store
+            .borrow()
+            .spans
+            .iter()
+            .map(|s| s.service)
+            .collect();
         ids.sort_unstable();
         ids.dedup();
         ids

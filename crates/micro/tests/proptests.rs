@@ -2,9 +2,7 @@
 //! accepted request is answered exactly once, faults never break counter
 //! monotonicity, and unavailable services stay untouched.
 
-use icfl_micro::{
-    steps, Cluster, ClusterSpec, ErrorPolicy, FaultKind, ServiceSpec, Status,
-};
+use icfl_micro::{steps, Cluster, ClusterSpec, ErrorPolicy, FaultKind, ServiceSpec, Status};
 use icfl_sim::{Sim, SimDuration, SimTime};
 use proptest::prelude::*;
 use std::cell::RefCell;

@@ -160,7 +160,10 @@ mod tests {
 
     fn empirical_mean(dist: DurationDist, seed: u64, n: usize) -> f64 {
         let mut rng = Rng::seeded(seed);
-        (0..n).map(|_| dist.sample(&mut rng).as_secs_f64()).sum::<f64>() / n as f64
+        (0..n)
+            .map(|_| dist.sample(&mut rng).as_secs_f64())
+            .sum::<f64>()
+            / n as f64
     }
 
     #[test]
@@ -206,7 +209,10 @@ mod tests {
         let d = DurationDist::log_normal(SimDuration::from_millis(10), 0.5);
         let analytic = d.mean().as_secs_f64();
         let m = empirical_mean(d, 6, 100_000);
-        assert!((m - analytic).abs() / analytic < 0.05, "m={m} analytic={analytic}");
+        assert!(
+            (m - analytic).abs() / analytic < 0.05,
+            "m={m} analytic={analytic}"
+        );
     }
 
     #[test]

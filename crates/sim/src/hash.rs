@@ -1,0 +1,111 @@
+//! Fast non-cryptographic hashing for simulator-internal maps.
+//!
+//! Event ids, request ids and interned names are small, dense,
+//! attacker-free keys; SipHash's collision resistance buys nothing there,
+//! while its per-lookup cost sits directly on the event hot path (the
+//! cluster does a dozen id-map probes per simulated request). This is the
+//! rustc-fx construction: a multiply-xor fold, one multiply per word.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Multiplicative (fxhash-style) hasher. Not DoS-resistant — use only for
+/// keys the simulation itself generates.
+#[derive(Default)]
+pub struct FastHasher(u64);
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.write_u64(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.write_u64(u64::from_le_bytes(tail) | (rest.len() as u64) << 56);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.write_u64(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.write_u64(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.write_u64(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.0 = (self.0.rotate_left(5) ^ n).wrapping_mul(K);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+}
+
+/// `HashMap` keyed by simulator-generated values, hashed with [`FastHasher`].
+pub type FastHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
+
+/// `HashSet` of simulator-generated values, hashed with [`FastHasher`].
+pub type FastHashSet<T> = HashSet<T, BuildHasherDefault<FastHasher>>;
+
+/// A [`FastHashMap`] with `capacity` pre-reserved.
+pub fn fast_map_with_capacity<K, V>(capacity: usize) -> FastHashMap<K, V> {
+    FastHashMap::with_capacity_and_hasher(capacity, BuildHasherDefault::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(v: T) -> u64 {
+        let mut h = FastHasher::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn distinct_small_ints_hash_distinctly() {
+        let hashes: FastHashSet<u64> = (0u64..10_000).map(hash_of).collect();
+        assert_eq!(hashes.len(), 10_000);
+    }
+
+    #[test]
+    fn str_hashing_depends_on_length_and_content() {
+        assert_ne!(hash_of("a"), hash_of("b"));
+        assert_ne!(hash_of("ab"), hash_of("a\0"));
+        assert_ne!(hash_of(("a", "bc")), hash_of(("ab", "c")));
+        assert_eq!(hash_of("abcdefghij"), hash_of("abcdefghij"));
+    }
+
+    #[test]
+    fn map_round_trips() {
+        let mut m: FastHashMap<String, usize> = fast_map_with_capacity(16);
+        assert!(m.capacity() >= 16);
+        for i in 0..100 {
+            m.insert(format!("key{i}"), i);
+        }
+        assert_eq!(m.len(), 100);
+        assert_eq!(m.get("key42"), Some(&42));
+    }
+}

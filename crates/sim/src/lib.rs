@@ -39,11 +39,13 @@
 #![warn(missing_docs)]
 
 mod dist;
+mod hash;
 mod rng;
 mod scheduler;
 mod time;
 
 pub use dist::DurationDist;
+pub use hash::{fast_map_with_capacity, FastHashMap, FastHashSet, FastHasher};
 pub use rng::Rng;
 pub use scheduler::{schedule_periodic, Action, EventId, Sim};
 pub use time::{SimDuration, SimTime};

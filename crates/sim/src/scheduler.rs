@@ -6,27 +6,62 @@
 //! at equal timestamps run in insertion order (FIFO), which together with the
 //! deterministic PRNG makes whole simulations reproducible.
 
+use crate::hash::FastHashSet;
 use crate::{Rng, SimDuration, SimTime};
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 
 /// An action executed by the scheduler at its scheduled time.
 pub type Action<S> = Box<dyn FnOnce(&mut Sim<S>, &mut S)>;
+
+/// A recurring tick body, re-run every period.
+type Tick<S> = Box<dyn FnMut(&mut Sim<S>, &mut S)>;
 
 /// A handle identifying a scheduled event, usable for cancellation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EventId(u64);
 
+/// Event ids are small dense integers and the cancellation check sits on
+/// the scheduler's pop path, so the set uses [`crate::FastHasher`].
+type EventIdSet = FastHashSet<EventId>;
+
+/// What a queue entry runs when it pops.
+enum Payload<S> {
+    /// A one-shot boxed closure.
+    Once(Action<S>),
+    /// A recurring tick: after running, the same boxed closure is re-pushed
+    /// at `time + period` without a fresh allocation.
+    Periodic { period: SimDuration, tick: Tick<S> },
+}
+
 struct Entry<S> {
-    time: SimTime,
-    seq: u64,
+    /// `(time, seq)` packed as `time.as_nanos() << 64 | seq`: one integer
+    /// compare orders the heap by time with FIFO tie-break.
+    key: u128,
     id: EventId,
-    action: Action<S>,
+    payload: Payload<S>,
+}
+
+#[inline]
+fn pack_key(time: SimTime, seq: u64) -> u128 {
+    ((time.as_nanos() as u128) << 64) | seq as u128
+}
+
+#[inline]
+fn key_time(key: u128) -> SimTime {
+    SimTime::from_nanos((key >> 64) as u64)
+}
+
+impl<S> Entry<S> {
+    #[inline]
+    fn time(&self) -> SimTime {
+        key_time(self.key)
+    }
 }
 
 impl<S> PartialEq for Entry<S> {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.key == other.key
     }
 }
 impl<S> Eq for Entry<S> {}
@@ -38,12 +73,14 @@ impl<S> PartialOrd for Entry<S> {
 impl<S> Ord for Entry<S> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.key.cmp(&self.key)
     }
 }
+
+/// Queue capacity reserved up front; steady-state campaign sims keep a few
+/// hundred to a few thousand events in flight, and reserving once keeps
+/// heap growth off the scheduling hot path.
+const INITIAL_QUEUE_CAPACITY: usize = 4096;
 
 /// A deterministic discrete-event simulation engine over world state `S`.
 ///
@@ -65,10 +102,11 @@ impl<S> Ord for Entry<S> {
 /// ```
 pub struct Sim<S> {
     now: SimTime,
-    seq: u64,
-    next_id: u64,
+    /// Single monotone counter: each scheduled event consumes one value as
+    /// both its `EventId` and its FIFO sequence number.
+    next_seq: u64,
     queue: BinaryHeap<Entry<S>>,
-    cancelled: HashSet<EventId>,
+    cancelled: EventIdSet,
     executed: u64,
     rng: Rng,
 }
@@ -88,10 +126,9 @@ impl<S> Sim<S> {
     pub fn new(seed: u64) -> Self {
         Sim {
             now: SimTime::ZERO,
-            seq: 0,
-            next_id: 0,
-            queue: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            next_seq: 0,
+            queue: BinaryHeap::with_capacity(INITIAL_QUEUE_CAPACITY),
+            cancelled: EventIdSet::default(),
             executed: 0,
             rng: Rng::seeded(seed),
         }
@@ -118,6 +155,24 @@ impl<S> Sim<S> {
         &mut self.rng
     }
 
+    #[inline]
+    fn push_payload(&mut self, at: SimTime, payload: Payload<S>) -> EventId {
+        assert!(
+            at >= self.now,
+            "cannot schedule in the past: {at} < {}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let id = EventId(seq);
+        self.queue.push(Entry {
+            key: pack_key(at, seq),
+            id,
+            payload,
+        });
+        id
+    }
+
     /// Schedules `action` at absolute time `at`.
     ///
     /// # Panics
@@ -129,17 +184,7 @@ impl<S> Sim<S> {
         at: SimTime,
         action: impl FnOnce(&mut Sim<S>, &mut S) + 'static,
     ) -> EventId {
-        assert!(at >= self.now, "cannot schedule in the past: {at} < {}", self.now);
-        let id = EventId(self.next_id);
-        self.next_id += 1;
-        self.seq += 1;
-        self.queue.push(Entry {
-            time: at,
-            seq: self.seq,
-            id,
-            action: Box::new(action),
-        });
-        id
+        self.push_payload(at, Payload::Once(Box::new(action)))
     }
 
     /// Schedules `action` after a relative delay.
@@ -153,17 +198,71 @@ impl<S> Sim<S> {
 
     /// Schedules `action` to run at the current time, after all actions
     /// already queued for this instant.
-    pub fn schedule_now(
-        &mut self,
-        action: impl FnOnce(&mut Sim<S>, &mut S) + 'static,
-    ) -> EventId {
+    pub fn schedule_now(&mut self, action: impl FnOnce(&mut Sim<S>, &mut S) + 'static) -> EventId {
         self.schedule_at(self.now, action)
     }
 
+    /// Schedules `action` every `period`, starting at `start`. The recurring
+    /// closure is boxed once and re-armed in place on every tick.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero (the tick would livelock the clock).
+    pub fn schedule_periodic(
+        &mut self,
+        start: SimTime,
+        period: SimDuration,
+        action: impl FnMut(&mut Sim<S>, &mut S) + 'static,
+    ) -> EventId {
+        assert!(
+            !period.is_zero(),
+            "periodic event with zero period would livelock"
+        );
+        self.push_payload(
+            start,
+            Payload::Periodic {
+                period,
+                tick: Box::new(action),
+            },
+        )
+    }
+
     /// Cancels a pending event. Cancelling an already-executed or unknown
-    /// event is a no-op.
+    /// event is a no-op. Cancelling a periodic event stops all future ticks.
     pub fn cancel(&mut self, id: EventId) {
         self.cancelled.insert(id);
+    }
+
+    /// Pops the next entry and runs it, re-arming periodic payloads.
+    /// The caller has already checked the queue is nonempty and the horizon.
+    #[inline]
+    fn dispatch(&mut self, entry: Entry<S>, state: &mut S) {
+        // `remove` (not `contains`) so one-shot cancellations don't pin set
+        // entries forever; skip the hash entirely while no cancellations
+        // are outstanding — the common case.
+        if !self.cancelled.is_empty() && self.cancelled.remove(&entry.id) {
+            return;
+        }
+        let time = entry.time();
+        debug_assert!(time >= self.now, "event time regression");
+        self.now = time;
+        self.executed += 1;
+        match entry.payload {
+            Payload::Once(action) => action(self, state),
+            Payload::Periodic { period, mut tick } => {
+                tick(self, state);
+                // Re-arm with a fresh seq so ticks interleave FIFO with
+                // same-instant events scheduled during this tick, exactly
+                // as a re-scheduled closure would. The box is reused.
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                self.queue.push(Entry {
+                    key: pack_key(time + period, seq),
+                    id: entry.id,
+                    payload: Payload::Periodic { period, tick },
+                });
+            }
+        }
     }
 
     /// Runs events until the queue is exhausted or `horizon` is reached, then
@@ -171,18 +270,13 @@ impl<S> Sim<S> {
     ///
     /// Events scheduled exactly at `horizon` are executed.
     pub fn run_until(&mut self, horizon: SimTime, state: &mut S) {
+        let horizon_key = pack_key(horizon, u64::MAX);
         while let Some(top) = self.queue.peek() {
-            if top.time > horizon {
+            if top.key > horizon_key {
                 break;
             }
             let entry = self.queue.pop().expect("peeked entry exists");
-            if self.cancelled.remove(&entry.id) {
-                continue;
-            }
-            debug_assert!(entry.time >= self.now, "event time regression");
-            self.now = entry.time;
-            self.executed += 1;
-            (entry.action)(self, state);
+            self.dispatch(entry, state);
         }
         if horizon > self.now {
             self.now = horizon;
@@ -200,12 +294,7 @@ impl<S> Sim<S> {
                 return false;
             }
             let entry = self.queue.pop().expect("peeked entry exists");
-            if self.cancelled.remove(&entry.id) {
-                continue;
-            }
-            self.now = entry.time;
-            self.executed += 1;
-            (entry.action)(self, state);
+            self.dispatch(entry, state);
         }
         true
     }
@@ -214,28 +303,16 @@ impl<S> Sim<S> {
 /// Schedules `action` every `period`, starting at `start`, until the engine's
 /// horizon ends. The action receives the engine and state each tick.
 ///
-/// This is a free function (not a method) because the recurring closure must
-/// be `Clone` to re-arm itself.
+/// Thin wrapper over [`Sim::schedule_periodic`], kept for source
+/// compatibility with earlier versions where re-arming required a `Clone`
+/// closure; the closure is now boxed once and reused across ticks.
 pub fn schedule_periodic<S: 'static>(
     sim: &mut Sim<S>,
     start: SimTime,
     period: SimDuration,
-    action: impl FnMut(&mut Sim<S>, &mut S) + Clone + 'static,
+    action: impl FnMut(&mut Sim<S>, &mut S) + 'static,
 ) {
-    assert!(!period.is_zero(), "periodic event with zero period would livelock");
-    fn arm<S: 'static>(
-        sim: &mut Sim<S>,
-        at: SimTime,
-        period: SimDuration,
-        mut action: impl FnMut(&mut Sim<S>, &mut S) + Clone + 'static,
-    ) {
-        sim.schedule_at(at, move |sim, state| {
-            action(sim, state);
-            let next = sim.now() + period;
-            arm(sim, next, period, action);
-        });
-    }
-    arm(sim, start, period, action);
+    sim.schedule_periodic(start, period, action);
 }
 
 #[cfg(test)]

@@ -22,7 +22,9 @@ use serde::{Deserialize, Serialize};
 /// let t = SimTime::ZERO + SimDuration::from_secs(30);
 /// assert_eq!(t.as_secs_f64(), 30.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of virtual time, in nanoseconds.
@@ -36,7 +38,9 @@ pub struct SimTime(u64);
 /// let hop = SimDuration::from_secs(30);
 /// assert_eq!(window / hop, 2.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 const NANOS_PER_MICRO: u64 = 1_000;
@@ -301,7 +305,11 @@ mod tests {
 
     #[test]
     fn checked_add_detects_overflow() {
-        assert!(SimTime::MAX.checked_add(SimDuration::from_nanos(1)).is_none());
-        assert!(SimTime::ZERO.checked_add(SimDuration::from_secs(1)).is_some());
+        assert!(SimTime::MAX
+            .checked_add(SimDuration::from_nanos(1))
+            .is_none());
+        assert!(SimTime::ZERO
+            .checked_add(SimDuration::from_secs(1))
+            .is_some());
     }
 }

@@ -158,4 +158,35 @@ proptest! {
         sim.run_until(SimTime::from_nanos(1_000), &mut fired);
         prop_assert_eq!(fired, expected);
     }
+
+    /// Reference-model check for the scheduler's full ordering contract:
+    /// surviving events run sorted by `(time, insertion order)`, ties FIFO,
+    /// regardless of which events are cancelled. Pins the contract against
+    /// internal representation changes (hashers, queue layout, key packing):
+    /// duplicate timestamps and interleaved cancellations must not perturb
+    /// the order.
+    #[test]
+    fn scheduler_order_matches_reference_model(
+        ops in proptest::collection::vec((0u64..500, any::<bool>()), 1..80),
+    ) {
+        let mut sim: Sim<Vec<usize>> = Sim::new(0);
+        let mut fired: Vec<usize> = Vec::new();
+        let mut ids = Vec::with_capacity(ops.len());
+        for (i, &(t, _)) in ops.iter().enumerate() {
+            ids.push(sim.schedule_at(SimTime::from_nanos(t), move |_, w: &mut Vec<usize>| {
+                w.push(i);
+            }));
+        }
+        // Cancel after all scheduling so cancellation cannot depend on
+        // insertion adjacency.
+        for (i, &(_, cancel)) in ops.iter().enumerate() {
+            if cancel {
+                sim.cancel(ids[i]);
+            }
+        }
+        sim.run_until(SimTime::from_nanos(1_000), &mut fired);
+        let mut expected: Vec<usize> = (0..ops.len()).filter(|&i| !ops[i].1).collect();
+        expected.sort_by_key(|&i| (ops[i].0, i));
+        prop_assert_eq!(fired, expected);
+    }
 }

@@ -101,7 +101,12 @@ pub fn bootstrap_mean_ci(
     let alpha = 1.0 - level;
     let lo = crate::quantile_sorted(&means, alpha / 2.0);
     let hi = crate::quantile_sorted(&means, 1.0 - alpha / 2.0);
-    Ok(ConfidenceInterval { lo, hi, mean, level })
+    Ok(ConfidenceInterval {
+        lo,
+        hi,
+        mean,
+        level,
+    })
 }
 
 #[cfg(test)]

@@ -47,7 +47,9 @@ pub fn g_square_test(x: &[usize], y: &[usize], cond: &[&[usize]]) -> Result<GSqu
     }
     let n = x.len();
     if y.len() != n || cond.iter().any(|c| c.len() != n) {
-        return Err(StatsError::InvalidParameter("columns must have equal length"));
+        return Err(StatsError::InvalidParameter(
+            "columns must have equal length",
+        ));
     }
 
     // Group observations by stratum key.
@@ -96,7 +98,12 @@ pub fn g_square_test(x: &[usize], y: &[usize], cond: &[&[usize]]) -> Result<GSqu
     }
 
     if df <= 0.0 {
-        return Ok(GSquareResult { g2: 0.0, df: 0.0, p_value: 1.0, n });
+        return Ok(GSquareResult {
+            g2: 0.0,
+            df: 0.0,
+            p_value: 1.0,
+            n,
+        });
     }
     Ok(GSquareResult {
         g2: g2.max(0.0),
@@ -176,6 +183,9 @@ mod tests {
 
     #[test]
     fn empty_input_errors() {
-        assert!(matches!(g_square_test(&[], &[], &[]), Err(StatsError::EmptySample)));
+        assert!(matches!(
+            g_square_test(&[], &[], &[]),
+            Err(StatsError::EmptySample)
+        ));
     }
 }

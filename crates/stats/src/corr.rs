@@ -17,10 +17,15 @@ use serde::{Deserialize, Serialize};
 /// [`StatsError::NanInput`] on NaN.
 pub fn pearson(xs: &[f64], ys: &[f64]) -> Result<f64> {
     if xs.len() != ys.len() {
-        return Err(StatsError::InvalidParameter("samples must have equal length"));
+        return Err(StatsError::InvalidParameter(
+            "samples must have equal length",
+        ));
     }
     if xs.len() < 2 {
-        return Err(StatsError::InsufficientData { needed: 2, got: xs.len() });
+        return Err(StatsError::InsufficientData {
+            needed: 2,
+            got: xs.len(),
+        });
     }
     check_no_nan(xs)?;
     check_no_nan(ys)?;
@@ -48,7 +53,9 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> Result<f64> {
 /// Same as [`pearson`].
 pub fn spearman(xs: &[f64], ys: &[f64]) -> Result<f64> {
     if xs.len() != ys.len() {
-        return Err(StatsError::InvalidParameter("samples must have equal length"));
+        return Err(StatsError::InvalidParameter(
+            "samples must have equal length",
+        ));
     }
     check_no_nan(xs)?;
     check_no_nan(ys)?;
@@ -171,10 +178,15 @@ pub fn partial_correlation_test(
     }
     let n = columns[i].len();
     if columns.iter().any(|c| c.len() != n) {
-        return Err(StatsError::InvalidParameter("columns must have equal length"));
+        return Err(StatsError::InvalidParameter(
+            "columns must have equal length",
+        ));
     }
     if n <= cond.len() + 3 {
-        return Err(StatsError::InsufficientData { needed: cond.len() + 4, got: n });
+        return Err(StatsError::InsufficientData {
+            needed: cond.len() + 4,
+            got: n,
+        });
     }
 
     // Build the correlation matrix over [i, j, cond...].
@@ -312,8 +324,7 @@ mod tests {
             state ^= state >> 12;
             state ^= state << 25;
             state ^= state >> 27;
-            (state.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 11) as f64 / (1u64 << 53) as f64
-                - 0.5
+            (state.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 11) as f64 / (1u64 << 53) as f64 - 0.5
         };
         let n = 400;
         let xs: Vec<f64> = (0..n).map(|_| next()).collect();

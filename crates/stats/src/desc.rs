@@ -23,7 +23,10 @@ pub fn mean(xs: &[f64]) -> Result<f64> {
 /// Returns [`StatsError::InsufficientData`] for fewer than two observations.
 pub fn variance(xs: &[f64]) -> Result<f64> {
     if xs.len() < 2 {
-        return Err(StatsError::InsufficientData { needed: 2, got: xs.len() });
+        return Err(StatsError::InsufficientData {
+            needed: 2,
+            got: xs.len(),
+        });
     }
     check_no_nan(xs)?;
     let m = xs.iter().sum::<f64>() / xs.len() as f64;
@@ -142,7 +145,7 @@ pub fn discretize_equal_frequency(xs: &[f64], bins: usize) -> Result<(Vec<usize>
     let mut cuts = Vec::with_capacity(bins - 1);
     for k in 1..bins {
         let c = quantile_sorted(&sorted, k as f64 / bins as f64);
-        if cuts.last().map_or(true, |&prev| c > prev) {
+        if cuts.last().is_none_or(|&prev| c > prev) {
             cuts.push(c);
         }
     }

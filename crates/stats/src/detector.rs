@@ -87,7 +87,11 @@ impl Default for ShiftDetector {
 impl ShiftDetector {
     /// A KS detector at the given significance level.
     pub fn ks(alpha: f64) -> Self {
-        ShiftDetector { kind: TestKind::KolmogorovSmirnov, alpha, ..Default::default() }
+        ShiftDetector {
+            kind: TestKind::KolmogorovSmirnov,
+            alpha,
+            ..Default::default()
+        }
     }
 
     /// Sets the minimum-relative-effect guard, returning `self` for chaining.
@@ -164,7 +168,11 @@ mod tests {
             TestKind::Welch,
             TestKind::AndersonDarling,
         ] {
-            let det = ShiftDetector { kind, alpha: 0.05, min_relative_effect: 0.0 };
+            let det = ShiftDetector {
+                kind,
+                alpha: 0.05,
+                min_relative_effect: 0.0,
+            };
             assert!(det.shifted(&b, &s).unwrap().shifted, "kind={kind}");
         }
     }
@@ -178,7 +186,11 @@ mod tests {
             TestKind::Welch,
             TestKind::AndersonDarling,
         ] {
-            let det = ShiftDetector { kind, alpha: 0.05, min_relative_effect: 0.0 };
+            let det = ShiftDetector {
+                kind,
+                alpha: 0.05,
+                min_relative_effect: 0.0,
+            };
             assert!(!det.shifted(&b, &b).unwrap().shifted, "kind={kind}");
         }
     }
@@ -200,9 +212,15 @@ mod tests {
 
     #[test]
     fn invalid_alpha_rejected() {
-        let det = ShiftDetector { alpha: 0.0, ..Default::default() };
+        let det = ShiftDetector {
+            alpha: 0.0,
+            ..Default::default()
+        };
         assert!(det.shifted(&base(), &base()).is_err());
-        let det = ShiftDetector { alpha: 1.0, ..Default::default() };
+        let det = ShiftDetector {
+            alpha: 1.0,
+            ..Default::default()
+        };
         assert!(det.shifted(&base(), &base()).is_err());
     }
 

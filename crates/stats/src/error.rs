@@ -65,7 +65,9 @@ mod tests {
             StatsError::InsufficientData { needed: 3, got: 1 }.to_string(),
             "needs at least 3 observations, got 1"
         );
-        assert!(StatsError::InvalidParameter("alpha").to_string().contains("alpha"));
+        assert!(StatsError::InvalidParameter("alpha")
+            .to_string()
+            .contains("alpha"));
         assert_eq!(StatsError::NanInput.to_string(), "input contains NaN");
     }
 

@@ -110,12 +110,7 @@ pub fn ks_test(xs: &[f64], ys: &[f64]) -> Result<KsResult> {
 /// # Errors
 ///
 /// Returns an error if either sample is empty or contains NaN.
-pub fn ks_permutation_test(
-    xs: &[f64],
-    ys: &[f64],
-    iterations: u32,
-    seed: u64,
-) -> Result<KsResult> {
+pub fn ks_permutation_test(xs: &[f64], ys: &[f64], iterations: u32, seed: u64) -> Result<KsResult> {
     let observed = ks_statistic(xs, ys)?;
     let mut pool: Vec<f64> = xs.iter().chain(ys.iter()).copied().collect();
     let n1 = xs.len();

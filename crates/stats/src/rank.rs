@@ -92,7 +92,13 @@ pub fn mann_whitney_u(xs: &[f64], ys: &[f64]) -> Result<MannWhitneyResult> {
         let z = (u1 - mean_u - 0.5 * (u1 - mean_u).signum()) / var_u.sqrt();
         (z, normal_two_sided_p(z))
     };
-    Ok(MannWhitneyResult { u: u1, p_value: p, z, n1, n2 })
+    Ok(MannWhitneyResult {
+        u: u1,
+        p_value: p,
+        z,
+        n1,
+        n2,
+    })
 }
 
 #[cfg(test)]

@@ -71,8 +71,7 @@ pub fn welch_t_test(xs: &[f64], ys: &[f64]) -> Result<WelchResult> {
         });
     }
     let t = (m1 - m2) / se2.sqrt();
-    let df = se2 * se2
-        / ((v1 / n1) * (v1 / n1) / (n1 - 1.0) + (v2 / n2) * (v2 / n2) / (n2 - 1.0));
+    let df = se2 * se2 / ((v1 / n1) * (v1 / n1) / (n1 - 1.0) + (v2 / n2) * (v2 / n2) / (n2 - 1.0));
     let p = 2.0 * (1.0 - student_t_cdf(t.abs(), df));
     Ok(WelchResult {
         t,

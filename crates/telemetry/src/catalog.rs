@@ -30,7 +30,10 @@ impl MetricCatalog {
     /// Panics if `metrics` is empty — an empty catalog can learn nothing.
     pub fn new(name: impl Into<String>, metrics: Vec<MetricSpec>) -> Self {
         assert!(!metrics.is_empty(), "a metric catalog must not be empty");
-        MetricCatalog { name: name.into(), metrics }
+        MetricCatalog {
+            name: name.into(),
+            metrics,
+        }
     }
 
     /// Raw message rate only (Table II "raw / msg rate").

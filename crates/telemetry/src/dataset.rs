@@ -3,6 +3,7 @@
 
 use icfl_micro::ServiceId;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Windowed samples for every (metric, service) pair over one phase.
 ///
@@ -10,27 +11,55 @@ use serde::{Deserialize, Serialize};
 /// metric `m` at service `s`. A `Dataset` is produced by
 /// [`Recorder::dataset`](crate::Recorder::dataset) for the baseline phase,
 /// each fault phase, and each production evaluation window.
+///
+/// Each per-(metric, service) series is behind an [`Arc`], so cloning a
+/// `Dataset` — or sharing one series across the several metric catalogs
+/// that contain the same metric — never copies sample data.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Dataset {
     metric_names: Vec<String>,
-    values: Vec<Vec<Vec<f64>>>,
+    values: Vec<Vec<Arc<Vec<f64>>>>,
 }
 
 impl Dataset {
-    /// Assembles a dataset.
+    /// Assembles a dataset from owned per-window values.
     ///
     /// # Panics
     ///
     /// Panics if `values` is not `[metric][service][window]`-shaped with one
     /// outer entry per metric name.
     pub fn new(metric_names: Vec<String>, values: Vec<Vec<Vec<f64>>>) -> Self {
-        assert_eq!(metric_names.len(), values.len(), "one value matrix per metric");
+        Dataset::from_shared(
+            metric_names,
+            values
+                .into_iter()
+                .map(|m| m.into_iter().map(Arc::new).collect())
+                .collect(),
+        )
+    }
+
+    /// Assembles a dataset from already-shared series (the recorder's
+    /// window cache hands the same `Arc`s to every catalog that uses a
+    /// metric).
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`Dataset::new`] does on shape mismatch.
+    pub fn from_shared(metric_names: Vec<String>, values: Vec<Vec<Arc<Vec<f64>>>>) -> Self {
+        assert_eq!(
+            metric_names.len(),
+            values.len(),
+            "one value matrix per metric"
+        );
         if let Some(first) = values.first() {
             for m in &values[1..] {
                 assert_eq!(m.len(), first.len(), "all metrics cover the same services");
             }
         }
-        Dataset { metric_names, values }
+        Dataset {
+            metric_names,
+            values,
+        }
     }
 
     /// Number of metrics.
@@ -62,7 +91,7 @@ impl Dataset {
         self.values
             .first()
             .and_then(|m| m.first())
-            .map_or(0, Vec::len)
+            .map_or(0, |s| s.len())
     }
 }
 

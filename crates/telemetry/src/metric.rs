@@ -88,7 +88,10 @@ pub enum MetricSpec {
 impl MetricSpec {
     /// The paper's derived-metric constructor: `dependent ⊘ rx_packets`.
     pub fn per_request(dependent: RawMetric) -> Self {
-        MetricSpec::Derived { dependent, independent: RawMetric::RxPackets }
+        MetricSpec::Derived {
+            dependent,
+            independent: RawMetric::RxPackets,
+        }
     }
 
     /// Evaluates the metric over one window given counter snapshots at the
@@ -99,7 +102,10 @@ impl MetricSpec {
     pub fn evaluate(&self, start: &Counters, end: &Counters, window_secs: f64) -> f64 {
         match *self {
             MetricSpec::Raw(m) => (m.read(end) - m.read(start)) / window_secs.max(1e-9),
-            MetricSpec::Derived { dependent, independent } => {
+            MetricSpec::Derived {
+                dependent,
+                independent,
+            } => {
                 let dd = dependent.read(end) - dependent.read(start);
                 let di = independent.read(end) - independent.read(start);
                 dd / (di + 1.0)
@@ -111,7 +117,10 @@ impl MetricSpec {
     pub fn name(&self) -> String {
         match *self {
             MetricSpec::Raw(m) => m.name().to_owned(),
-            MetricSpec::Derived { dependent, independent } => {
+            MetricSpec::Derived {
+                dependent,
+                independent,
+            } => {
                 format!("{}/{}", dependent.name(), independent.name())
             }
         }

@@ -8,12 +8,13 @@
 
 use crate::catalog::MetricCatalog;
 use crate::dataset::Dataset;
+use crate::metric::MetricSpec;
 use crate::window::WindowConfig;
 use icfl_micro::{Cluster, Counters, ServiceId};
 use icfl_sim::{Sim, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// Errors from dataset extraction.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,11 +45,26 @@ struct Store {
     samples: Vec<Vec<Counters>>,
 }
 
+/// Key of one memoized per-metric window extraction: the scraped counters
+/// at fixed times are immutable once recorded, so equal keys always yield
+/// equal series.
+type SeriesKey = (SimTime, SimTime, WindowConfig, MetricSpec);
+
+/// Per-service shared window series of a single metric over one phase.
+type SharedSeries = Vec<Arc<Vec<f64>>>;
+
 /// A handle to the telemetry store being filled by the scrape loop.
 ///
 /// Cloning is cheap (shared storage). The recorder must be
 /// [attached](Recorder::attach) *before* the simulation runs past time zero
 /// so the baseline snapshot exists.
+///
+/// Extracted window series are memoized per
+/// `(phase, window config, metric)`: the six Table II catalogs overlap
+/// heavily in their metric sets, and every catalog after the first reuses
+/// the shared series instead of re-differentiating the scrape log. The
+/// store and cache sit behind mutexes, so a `Recorder` can be handed
+/// across threads by the parallel campaign executor.
 ///
 /// # Examples
 ///
@@ -77,12 +93,13 @@ struct Store {
 /// ```
 #[derive(Clone)]
 pub struct Recorder {
-    store: Rc<RefCell<Store>>,
+    store: Arc<Mutex<Store>>,
+    cache: Arc<Mutex<HashMap<SeriesKey, SharedSeries>>>,
 }
 
 impl std::fmt::Debug for Recorder {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let s = self.store.borrow();
+        let s = self.store.lock().expect("telemetry store lock");
         f.debug_struct("Recorder")
             .field("interval", &s.interval)
             .field("scrapes", &s.times.len())
@@ -111,31 +128,39 @@ impl Recorder {
         interval: SimDuration,
     ) -> Recorder {
         assert!(!interval.is_zero(), "scrape interval must be positive");
-        assert_eq!(sim.now(), SimTime::ZERO, "attach the recorder before running");
-        let store = Rc::new(RefCell::new(Store {
+        assert_eq!(
+            sim.now(),
+            SimTime::ZERO,
+            "attach the recorder before running"
+        );
+        let store = Arc::new(Mutex::new(Store {
             interval,
             times: Vec::new(),
             samples: Vec::new(),
         }));
-        let store2 = Rc::clone(&store);
-        icfl_sim::schedule_periodic(sim, SimTime::ZERO, interval, move |sim, cl: &mut Cluster| {
-            let mut s = store2.borrow_mut();
+        let store2 = Arc::clone(&store);
+        sim.schedule_periodic(SimTime::ZERO, interval, move |sim, cl: &mut Cluster| {
+            let mut s = store2.lock().expect("telemetry store lock");
             s.times.push(sim.now());
-            let row: Vec<Counters> =
-                (0..num_services).map(|i| cl.counters(ServiceId::from_index(i))).collect();
+            let row: Vec<Counters> = (0..num_services)
+                .map(|i| cl.counters(ServiceId::from_index(i)))
+                .collect();
             s.samples.push(row);
         });
-        Recorder { store }
+        Recorder {
+            store,
+            cache: Arc::new(Mutex::new(HashMap::new())),
+        }
     }
 
     /// Number of scrapes recorded so far.
     pub fn num_scrapes(&self) -> usize {
-        self.store.borrow().times.len()
+        self.store.lock().expect("telemetry store lock").times.len()
     }
 
     /// The counter snapshot of `service` at exactly `at`, if scraped.
     pub fn counters_at(&self, service: ServiceId, at: SimTime) -> Option<Counters> {
-        let s = self.store.borrow();
+        let s = self.store.lock().expect("telemetry store lock");
         let idx = (at.as_nanos() / s.interval.as_nanos()) as usize;
         if s.times.get(idx).copied() == Some(at) {
             Some(s.samples[idx][service.index()])
@@ -147,6 +172,10 @@ impl Recorder {
     /// Extracts a windowed [`Dataset`] for `catalog` over
     /// `[phase_start, phase_end]` — this is `D(M, s)` for every metric and
     /// service.
+    ///
+    /// Per-metric series are served from the shared window cache when the
+    /// same `(phase, windows, metric)` triple was extracted before (by any
+    /// catalog); only cache misses touch the scrape log.
     ///
     /// # Errors
     ///
@@ -165,49 +194,72 @@ impl Recorder {
         if bounds.is_empty() {
             return Err(TelemetryError::EmptyPhase);
         }
-        let store = self.store.borrow();
-        let num_services = store.samples.first().map_or(0, Vec::len);
-        let lookup = |at: SimTime| -> Result<&Vec<Counters>, TelemetryError> {
-            let idx = (at.as_nanos() / store.interval.as_nanos()) as usize;
-            if store.times.get(idx).copied() == Some(at) {
-                Ok(&store.samples[idx])
-            } else {
-                Err(TelemetryError::MissingSample(at))
+        let mut cache = self.cache.lock().expect("telemetry cache lock");
+        let mut values: Vec<SharedSeries> = Vec::with_capacity(catalog.len());
+        // The store is only locked (and the scrape log only walked) for
+        // metrics missing from the cache.
+        let mut store: Option<std::sync::MutexGuard<'_, Store>> = None;
+        for metric in catalog.metrics() {
+            let key: SeriesKey = (phase_start, phase_end, windows, *metric);
+            if let Some(series) = cache.get(&key) {
+                values.push(series.clone());
+                continue;
             }
-        };
-
-        let mut values: Vec<Vec<Vec<f64>>> =
-            vec![vec![Vec::with_capacity(bounds.len()); num_services]; catalog.len()];
-        for &(ws, we) in &bounds {
-            let start_row = lookup(ws)?;
-            let end_row = lookup(we)?;
-            let secs = (we - ws).as_secs_f64();
-            for (mi, metric) in catalog.metrics().iter().enumerate() {
-                for svc in 0..num_services {
-                    values[mi][svc].push(metric.evaluate(&start_row[svc], &end_row[svc], secs));
-                }
-            }
+            let s = store.get_or_insert_with(|| self.store.lock().expect("telemetry store lock"));
+            let series = extract_series(s, metric, &bounds)?;
+            cache.insert(key, series.clone());
+            values.push(series);
         }
-        Ok(Dataset::new(catalog.metric_names(), values))
+        Ok(Dataset::from_shared(catalog.metric_names(), values))
     }
+}
+
+/// Differentiates the scrape log into one shared window series per service
+/// for a single metric.
+fn extract_series(
+    store: &Store,
+    metric: &MetricSpec,
+    bounds: &[(SimTime, SimTime)],
+) -> Result<SharedSeries, TelemetryError> {
+    let num_services = store.samples.first().map_or(0, Vec::len);
+    let lookup = |at: SimTime| -> Result<&Vec<Counters>, TelemetryError> {
+        let idx = (at.as_nanos() / store.interval.as_nanos()) as usize;
+        if store.times.get(idx).copied() == Some(at) {
+            Ok(&store.samples[idx])
+        } else {
+            Err(TelemetryError::MissingSample(at))
+        }
+    };
+    let mut per_service: Vec<Vec<f64>> = vec![Vec::with_capacity(bounds.len()); num_services];
+    for &(ws, we) in bounds {
+        let start_row = lookup(ws)?;
+        let end_row = lookup(we)?;
+        let secs = (we - ws).as_secs_f64();
+        for (svc, series) in per_service.iter_mut().enumerate() {
+            series.push(metric.evaluate(&start_row[svc], &end_row[svc], secs));
+        }
+    }
+    Ok(per_service.into_iter().map(Arc::new).collect())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use icfl_micro::{ClusterSpec, ServiceSpec, Status};
     use icfl_micro::steps;
+    use icfl_micro::{ClusterSpec, ServiceSpec, Status};
 
     fn demo_cluster(seed: u64) -> (Sim<Cluster>, Cluster) {
         let spec = ClusterSpec::new("demo")
-            .service(ServiceSpec::web("a").with_concurrency(16).endpoint(
-                "/",
-                vec![steps::compute_ms(2), steps::call("b", "/")],
-            ))
-            .service(ServiceSpec::web("b").with_concurrency(16).endpoint(
-                "/",
-                vec![steps::compute_ms(1)],
-            ));
+            .service(
+                ServiceSpec::web("a")
+                    .with_concurrency(16)
+                    .endpoint("/", vec![steps::compute_ms(2), steps::call("b", "/")]),
+            )
+            .service(
+                ServiceSpec::web("b")
+                    .with_concurrency(16)
+                    .endpoint("/", vec![steps::compute_ms(1)]),
+            );
         let mut cluster = Cluster::build(&spec, seed).unwrap();
         let mut sim = Sim::new(seed);
         Cluster::start(&mut sim, &mut cluster);
@@ -233,7 +285,9 @@ mod tests {
         sim.run_until(SimTime::from_secs(10), &mut cluster);
         // t = 0..=10 → 11 scrapes.
         assert_eq!(rec.num_scrapes(), 11);
-        assert!(rec.counters_at(ServiceId::from_index(0), SimTime::from_secs(5)).is_some());
+        assert!(rec
+            .counters_at(ServiceId::from_index(0), SimTime::from_secs(5))
+            .is_some());
         assert!(rec
             .counters_at(ServiceId::from_index(0), SimTime::from_nanos(1))
             .is_none());

@@ -87,7 +87,10 @@ impl TemplateMiner {
             (0.0..=1.0).contains(&similarity_threshold),
             "similarity threshold must be in [0, 1]"
         );
-        TemplateMiner { templates: Vec::new(), similarity_threshold }
+        TemplateMiner {
+            templates: Vec::new(),
+            similarity_threshold,
+        }
     }
 
     /// The mined templates, in discovery order.
@@ -109,9 +112,7 @@ impl TemplateMiner {
                 continue;
             }
             let sim = similarity(&t.tokens, &tokens);
-            if sim >= self.similarity_threshold
-                && best.map_or(true, |(_, s)| sim > s)
-            {
+            if sim >= self.similarity_threshold && best.is_none_or(|(_, s)| sim > s) {
                 best = Some((i, sim));
             }
         }

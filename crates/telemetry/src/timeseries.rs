@@ -63,7 +63,10 @@ impl TimeSeries {
     /// Panics if `time` is not after the last observation.
     pub fn push(&mut self, time: SimTime, value: f64) {
         if let Some(last) = self.points.last() {
-            assert!(time > last.time, "observations must be strictly time-ordered");
+            assert!(
+                time > last.time,
+                "observations must be strictly time-ordered"
+            );
         }
         self.points.push(TimePoint { time, value });
     }
@@ -106,7 +109,10 @@ impl TimeSeries {
             points: self
                 .points
                 .windows(2)
-                .map(|w| TimePoint { time: w[1].time, value: w[1].value - w[0].value })
+                .map(|w| TimePoint {
+                    time: w[1].time,
+                    value: w[1].value - w[0].value,
+                })
                 .collect(),
         }
     }
@@ -120,7 +126,10 @@ impl TimeSeries {
                 .windows(2)
                 .map(|w| {
                     let dt = (w[1].time - w[0].time).as_secs_f64();
-                    TimePoint { time: w[1].time, value: (w[1].value - w[0].value) / dt }
+                    TimePoint {
+                        time: w[1].time,
+                        value: (w[1].value - w[0].value) / dt,
+                    }
                 })
                 .collect(),
         }
@@ -161,7 +170,10 @@ impl TimeSeries {
                 Some(prev) => alpha * p.value + (1.0 - alpha) * prev,
             };
             state = Some(next);
-            out.push(TimePoint { time: p.time, value: next });
+            out.push(TimePoint {
+                time: p.time,
+                value: next,
+            });
         }
         TimeSeries { points: out }
     }
@@ -275,8 +287,7 @@ mod tests {
 
     #[test]
     fn collect_and_extend() {
-        let mut ts: TimeSeries =
-            (0..3).map(|i| (SimTime::from_secs(i), i as f64)).collect();
+        let mut ts: TimeSeries = (0..3).map(|i| (SimTime::from_secs(i), i as f64)).collect();
         ts.extend([(SimTime::from_secs(5), 5.0)]);
         assert_eq!(ts.len(), 4);
         assert_eq!(ts.difference().len(), 3);

@@ -8,7 +8,7 @@ use icfl_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// Length and hop of the smoothing windows applied to raw counters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct WindowConfig {
     /// Window length (paper: 60 s).
     pub window: SimDuration,
@@ -44,10 +44,7 @@ impl WindowConfig {
     pub fn windows_in(&self, phase_start: SimTime, phase_end: SimTime) -> Vec<(SimTime, SimTime)> {
         let mut out = Vec::new();
         let mut t = phase_start;
-        loop {
-            let Some(end) = t.checked_add(self.window) else {
-                break;
-            };
+        while let Some(end) = t.checked_add(self.window) {
             if end > phase_end {
                 break;
             }
@@ -81,10 +78,7 @@ mod tests {
         let ws = cfg.windows_in(SimTime::ZERO, SimTime::from_secs(600));
         assert_eq!(ws.len(), 19);
         assert_eq!(ws[0], (SimTime::ZERO, SimTime::from_secs(60)));
-        assert_eq!(
-            ws[18],
-            (SimTime::from_secs(540), SimTime::from_secs(600))
-        );
+        assert_eq!(ws[18], (SimTime::from_secs(540), SimTime::from_secs(600)));
         assert_eq!(cfg.count_in(SimDuration::from_secs(600)), 19);
     }
 

@@ -38,8 +38,7 @@ proptest! {
         delta_rx in 0u64..1_000_000,
         window_s in 1u64..600,
     ) {
-        let mut start = Counters::default();
-        start.rx_packets = base_rx;
+        let start = Counters { rx_packets: base_rx, ..Counters::default() };
         let mut end = start;
         end.rx_packets = base_rx + delta_rx;
         let m = MetricSpec::Raw(RawMetric::RxPackets);
@@ -91,10 +90,8 @@ proptest! {
         b in 0u64..1_000_000,
         c in 0u64..1_000_000,
     ) {
-        let mut early = Counters::default();
-        early.rx_packets = a;
-        early.tx_packets = b;
-        early.requests_received = c;
+        let early =
+            Counters { rx_packets: a, tx_packets: b, requests_received: c, ..Counters::default() };
         let mut late = early;
         late.rx_packets += c;
         late.tx_packets += a;

@@ -26,7 +26,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let proposed = campaign.learn(&MetricCatalog::derived_all(), detector)?;
     let error_log = ErrorLogLocalizer::train(&campaign, detector)?;
-    let rcd = RcdLocalizer::from_campaign(&campaign, &MetricCatalog::raw_all(), RcdConfig::default())?;
+    let rcd =
+        RcdLocalizer::from_campaign(&campaign, &MetricCatalog::raw_all(), RcdConfig::default())?;
     let pooled = PooledGraphLocalizer::train(&campaign, &MetricCatalog::derived_all(), detector)?;
     let ranker = AnomalyRanker::new(
         MetricCatalog::derived_all(),

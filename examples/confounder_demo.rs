@@ -47,7 +47,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         users_per_replica: 10,
         think_time: DurationDist::exponential(SimDuration::from_millis(100)),
     };
-    let open = ArrivalModel::Open { rps_per_replica: 60.0 };
+    let open = ArrivalModel::Open {
+        rps_per_replica: 60.0,
+    };
 
     println!("Fig. 2 topology: user → A → {{B → (C|E), I}};  C → E\n");
 
@@ -61,7 +63,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          A naive learner concludes \"C causally influences I\".\n",
         (faulted / normal - 1.0) * 100.0
     );
-    assert!(faulted > normal, "the confounder should appear under closed loop");
+    assert!(
+        faulted > normal,
+        "the confounder should appear under closed loop"
+    );
 
     // And the reverse direction — the confounder is intervention-dependent.
     let c_normal = observed_rate(None, "C", closed, 2)?;

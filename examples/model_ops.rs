@@ -21,8 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("training on CausalBench...");
     let campaign = CampaignRun::execute(&app, &cfg)?;
     let model = campaign.learn(&MetricCatalog::derived_all(), RunConfig::default_detector())?;
-    let name =
-        |s: &icfl::micro::ServiceId| campaign.service_names()[s.index()].clone();
+    let name = |s: &icfl::micro::ServiceId| campaign.service_names()[s.index()].clone();
 
     // ---------------------------------------------------------------
     // 1. Persistence: the model is plain JSON.
@@ -30,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let json = model.to_json()?;
     let restored = CausalModel::from_json(&json)?;
     assert_eq!(model, restored);
-    println!("model persisted and restored: {} bytes of JSON\n", json.len());
+    println!(
+        "model persisted and restored: {} bytes of JSON\n",
+        json.len()
+    );
 
     // ---------------------------------------------------------------
     // 2. Confusability: which faults would this model mix up?
@@ -50,12 +52,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rerun = ProductionRun::execute(&app, c, &RunConfig::quick(333))?;
     let mut updated = model.clone();
     updated.update_target(c, &rerun.dataset(model.catalog())?)?;
-    let set_before: Vec<String> =
-        model.causal_set(1, c).unwrap().iter().map(|s| name(s)).collect();
-    let set_after: Vec<String> =
-        updated.causal_set(1, c).unwrap().iter().map(|s| name(s)).collect();
-    println!("  C({}, cpu/rx) before: {{{}}}", name(&c), set_before.join(", "));
-    println!("  C({}, cpu/rx) after:  {{{}}}", name(&c), set_after.join(", "));
+    let set_before: Vec<String> = model.causal_set(1, c).unwrap().iter().map(&name).collect();
+    let set_after: Vec<String> = updated
+        .causal_set(1, c)
+        .unwrap()
+        .iter()
+        .map(&name)
+        .collect();
+    println!(
+        "  C({}, cpu/rx) before: {{{}}}",
+        name(&c),
+        set_before.join(", ")
+    );
+    println!(
+        "  C({}, cpu/rx) after:  {{{}}}",
+        name(&c),
+        set_after.join(", ")
+    );
 
     // ---------------------------------------------------------------
     // 4. Template mining over the raw log stream (what `kubectl logs`
@@ -65,7 +78,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (mut cluster, _) = app.build(99)?;
     let mut sim = Sim::new(99);
     Cluster::start(&mut sim, &mut cluster);
-    start_load(&mut sim, &mut cluster, &LoadConfig::closed_loop(app.flows.clone()))?;
+    start_load(
+        &mut sim,
+        &mut cluster,
+        &LoadConfig::closed_loop(app.flows.clone()),
+    )?;
     sim.run_until(SimTime::from_secs(120), &mut cluster);
     let mut miner = TemplateMiner::new(0.6);
     for id in cluster.service_ids() {

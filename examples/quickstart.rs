@@ -13,7 +13,11 @@ use icfl::telemetry::MetricCatalog;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The paper's 9-service micro-benchmark (Fig. 4).
     let app = icfl::apps::causalbench();
-    println!("application: {} ({} services)", app.name, app.num_services());
+    println!(
+        "application: {} ({} services)",
+        app.name,
+        app.num_services()
+    );
 
     // ---------------------------------------------------------------
     // Algorithm 1 — fault-injection-driven causal learning.
@@ -25,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // the paper's 10-minute protocol.
     // ---------------------------------------------------------------
     let cfg = RunConfig::quick(42);
-    println!("running training campaign ({} fault targets)...", app.fault_targets.len());
+    println!(
+        "running training campaign ({} fault targets)...",
+        app.fault_targets.len()
+    );
     let campaign = CampaignRun::execute(&app, &cfg)?;
     let model = campaign.learn(&MetricCatalog::derived_all(), RunConfig::default_detector())?;
 
@@ -69,7 +76,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .iter()
             .map(|s| campaign.service_names()[s.index()].as_str())
             .collect();
-        println!("  metric {:18} saw anomalies at {{{}}}", mv.metric, anomalous.join(", "));
+        println!(
+            "  metric {:18} saw anomalies at {{{}}}",
+            mv.metric,
+            anomalous.join(", ")
+        );
     }
 
     // ---------------------------------------------------------------

@@ -33,7 +33,12 @@ fn recorder_counters_match_cluster_counters_at_scrape_instants() {
     let mut sim = Sim::new(5);
     Cluster::start(&mut sim, &mut cluster);
     let recorder = Recorder::attach(&mut sim, cluster.num_services());
-    start_load(&mut sim, &mut cluster, &LoadConfig::closed_loop(app.flows.clone())).unwrap();
+    start_load(
+        &mut sim,
+        &mut cluster,
+        &LoadConfig::closed_loop(app.flows.clone()),
+    )
+    .unwrap();
     sim.run_until(icfl::sim::SimTime::from_secs(30), &mut cluster);
     // The final scrape at t=30 must equal the live counters (no events can
     // run between the scrape and the horizon at the same instant afterward
@@ -87,13 +92,25 @@ fn section_6b_causal_worlds_reproduce() {
             MetricSpec::Raw(RawMetric::CpuSeconds),
         ],
     );
-    let model = campaign.learn(&catalog, RunConfig::default_detector()).unwrap();
+    let model = campaign
+        .learn(&catalog, RunConfig::default_detector())
+        .unwrap();
     let name_of = |id: &icfl::micro::ServiceId| campaign.service_names()[id.index()].clone();
     let b = campaign.targets()[1];
     assert_eq!(name_of(&b), "B");
 
-    let msg_world: Vec<String> = model.causal_set(0, b).unwrap().iter().map(|s| name_of(s)).collect();
-    let cpu_world: Vec<String> = model.causal_set(1, b).unwrap().iter().map(|s| name_of(s)).collect();
+    let msg_world: Vec<String> = model
+        .causal_set(0, b)
+        .unwrap()
+        .iter()
+        .map(&name_of)
+        .collect();
+    let cpu_world: Vec<String> = model
+        .causal_set(1, b)
+        .unwrap()
+        .iter()
+        .map(name_of)
+        .collect();
     assert_eq!(msg_world, vec!["A", "B", "E"], "paper §VI-B(a)");
     assert_eq!(cpu_world, vec!["B", "C", "E"], "paper §VI-B(b)");
 }
@@ -105,7 +122,12 @@ fn window_config_and_recorder_agree_on_window_counts() {
     let mut sim = Sim::new(3);
     Cluster::start(&mut sim, &mut cluster);
     let recorder = Recorder::attach(&mut sim, cluster.num_services());
-    start_load(&mut sim, &mut cluster, &LoadConfig::closed_loop(app.flows.clone())).unwrap();
+    start_load(
+        &mut sim,
+        &mut cluster,
+        &LoadConfig::closed_loop(app.flows.clone()),
+    )
+    .unwrap();
     let end = icfl::sim::SimTime::from_secs(600);
     sim.run_until(end, &mut cluster);
     let wc = WindowConfig::default();

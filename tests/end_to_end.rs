@@ -106,7 +106,9 @@ fn cross_fault_generalization_error_rate_fault_localized_by_unavailability_model
         &RunConfig::quick(808).with_fault(FaultKind::ErrorRate(0.5)),
     )
     .unwrap();
-    let loc = model.localize(&run.dataset(model.catalog()).unwrap()).unwrap();
+    let loc = model
+        .localize(&run.dataset(model.catalog()).unwrap())
+        .unwrap();
     assert!(
         loc.implicates(b),
         "an unseen error-rate fault on B should still match B's signature: {loc:?}"
@@ -132,13 +134,10 @@ fn latency_faults_are_invisible_to_derived_metrics_but_visible_to_raw() {
         .unwrap();
     let latency = FaultKind::ExtraLatency(DurationDist::constant(SimDuration::from_millis(200)));
     let b = campaign.targets()[1];
-    let run = ProductionRun::execute(
-        &app,
-        b,
-        &RunConfig::quick(1010).with_fault(latency),
-    )
-    .unwrap();
-    let d = derived.localize(&run.dataset(derived.catalog()).unwrap()).unwrap();
+    let run = ProductionRun::execute(&app, b, &RunConfig::quick(1010).with_fault(latency)).unwrap();
+    let d = derived
+        .localize(&run.dataset(derived.catalog()).unwrap())
+        .unwrap();
     let r = raw.localize(&run.dataset(raw.catalog()).unwrap()).unwrap();
     assert!(
         d.candidates.is_empty(),

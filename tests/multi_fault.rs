@@ -69,7 +69,10 @@ fn single_fault_multi_run_degenerates_to_production_run() {
     let loc = model
         .localize(&run.dataset(model.catalog()).unwrap())
         .unwrap();
-    assert!(loc.implicates(b), "single-fault multi-run must localize normally");
+    assert!(
+        loc.implicates(b),
+        "single-fault multi-run must localize normally"
+    );
 }
 
 #[test]

@@ -1,0 +1,49 @@
+//! Determinism of the parallel campaign/evaluation executor: thread count
+//! is a performance knob, never a semantics knob. For both benchmark
+//! applications, the learned causal model (as persisted JSON) and the
+//! evaluation summary must be byte-identical whether the runs execute on
+//! one worker, two, or all available cores.
+
+use icfl::core::{CampaignRun, EvalSuite, RunConfig};
+use icfl::telemetry::MetricCatalog;
+
+/// Model JSON + summary JSON for one app at one thread count.
+fn learn_and_evaluate(app: &icfl::apps::App, threads: usize) -> (String, String) {
+    let train = RunConfig::quick(42).with_threads(threads);
+    let campaign = CampaignRun::execute(app, &train).expect("campaign");
+    let model = campaign
+        .learn(&MetricCatalog::derived_all(), RunConfig::default_detector())
+        .expect("learn");
+    let eval = RunConfig::quick(42).with_threads(threads);
+    let suite = EvalSuite::execute(app, campaign.targets(), &eval).expect("eval suite");
+    let summary = suite.evaluate(&model).expect("evaluate");
+    (
+        serde_json::to_string(&model).expect("model json"),
+        serde_json::to_string(&summary).expect("summary json"),
+    )
+}
+
+fn assert_thread_invariant(app: icfl::apps::App) {
+    let serial = learn_and_evaluate(&app, 1);
+    let two = learn_and_evaluate(&app, 2);
+    assert_eq!(serial, two, "{}: threads=2 diverged from serial", app.name);
+    let max = std::thread::available_parallelism()
+        .map_or(4, usize::from)
+        .max(2);
+    let wide = learn_and_evaluate(&app, max);
+    assert_eq!(
+        serial, wide,
+        "{}: threads={max} diverged from serial",
+        app.name
+    );
+}
+
+#[test]
+fn causalbench_results_are_thread_count_invariant() {
+    assert_thread_invariant(icfl::apps::causalbench());
+}
+
+#[test]
+fn robot_shop_results_are_thread_count_invariant() {
+    assert_thread_invariant(icfl::apps::robot_shop());
+}
