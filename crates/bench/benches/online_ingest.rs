@@ -1,0 +1,57 @@
+//! Steady-state streaming-ingester throughput: finalized hopping windows
+//! per second of wall-clock while CausalBench serves continuous closed-loop
+//! load at 1× and 4×. The measured body is the whole live pipeline — the
+//! simulated cluster, the load generator, the per-second counter scrapes,
+//! and the incremental window finalization into the ring.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use icfl_loadgen::{start_load, LoadConfig};
+use icfl_micro::Cluster;
+use icfl_online::{IngestConfig, StreamingIngester};
+use icfl_sim::{Sim, SimTime};
+use icfl_telemetry::{MetricCatalog, WindowConfig};
+use std::hint::black_box;
+
+const STREAM_SECS: u64 = 300;
+
+/// Streams `STREAM_SECS` of simulated CausalBench traffic through the
+/// ingester at the given load scale, returning windows finalized.
+fn stream(replicas: usize) -> u64 {
+    let app = icfl_apps::causalbench();
+    let (mut cluster, _) = app.build(17).expect("build");
+    let mut sim = Sim::new(17);
+    Cluster::start(&mut sim, &mut cluster);
+    let ingester = StreamingIngester::attach(
+        &mut sim,
+        cluster.num_services(),
+        &MetricCatalog::derived_all(),
+        IngestConfig::new(WindowConfig::from_secs(10, 5), 16, SimTime::ZERO),
+    );
+    start_load(
+        &mut sim,
+        &mut cluster,
+        &LoadConfig::closed_loop(app.flows.clone()).with_replicas(replicas),
+    )
+    .expect("load");
+    sim.run_until(SimTime::from_secs(STREAM_SECS), &mut cluster);
+    ingester.windows_emitted()
+}
+
+fn bench_online_ingest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("online_ingest");
+    for replicas in [1usize, 4] {
+        let windows = stream(replicas);
+        group.throughput(Throughput::Elements(windows));
+        group.bench_function(format!("windows_{replicas}x"), |b| {
+            b.iter(|| black_box(stream(replicas)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_online_ingest
+}
+criterion_main!(benches);

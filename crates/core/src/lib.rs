@@ -53,5 +53,5 @@ mod score;
 pub use error::{CoreError, Result};
 pub use localize::{Localization, MatchRule, MetricVote};
 pub use model::CausalModel;
-pub use runner::{CampaignRun, EvalSuite, MultiFaultRun, ProductionRun, RunConfig};
+pub use runner::{parallel_map, CampaignRun, EvalSuite, MultiFaultRun, ProductionRun, RunConfig};
 pub use score::{CaseResult, EvalSummary};

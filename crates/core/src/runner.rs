@@ -124,8 +124,12 @@ impl RunConfig {
 ///
 /// Workers pull indices from a shared atomic counter; each output is
 /// tagged with its index and the tagged list is sorted after the pool
-/// joins, so the schedule cannot influence the result.
-fn run_parallel<T, F>(jobs: usize, threads: usize, f: F) -> Vec<T>
+/// joins, so the schedule cannot influence the result. `threads <= 1`
+/// (or a single job) runs inline on the caller. This is the fan-out
+/// primitive behind every campaign/evaluation sweep in the workspace;
+/// downstream crates (e.g. the online production driver) reuse it for
+/// their own deterministic sweeps.
+pub fn parallel_map<T, F>(jobs: usize, threads: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
@@ -254,7 +258,7 @@ impl CampaignRun {
         drop(cluster);
         let jobs = targets.len() + 1;
         let threads = cfg.resolved_threads(jobs);
-        let outcomes = run_parallel(jobs, threads, |i| -> Result<CampaignJob> {
+        let outcomes = parallel_map(jobs, threads, |i| -> Result<CampaignJob> {
             if i == 0 {
                 Ok(CampaignJob::Baseline(simulate_phase(
                     app,
@@ -515,7 +519,7 @@ impl EvalSuite {
     /// Propagates the first failing case (in case order).
     pub fn execute(app: &App, targets: &[ServiceId], cfg: &RunConfig) -> Result<EvalSuite> {
         let threads = cfg.resolved_threads(targets.len());
-        let results = run_parallel(targets.len(), threads, |i| {
+        let results = parallel_map(targets.len(), threads, |i| {
             let case_cfg = RunConfig {
                 seed: cfg
                     .seed
@@ -624,10 +628,10 @@ mod tests {
     }
 
     #[test]
-    fn run_parallel_preserves_job_order() {
-        let out = run_parallel(17, 4, |i| i * i);
+    fn parallel_map_preserves_job_order() {
+        let out = parallel_map(17, 4, |i| i * i);
         assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<_>>());
-        assert_eq!(run_parallel(0, 4, |i| i), Vec::<usize>::new());
-        assert_eq!(run_parallel(3, 1, |i| i), vec![0, 1, 2]);
+        assert_eq!(parallel_map(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(parallel_map(3, 1, |i| i), vec![0, 1, 2]);
     }
 }

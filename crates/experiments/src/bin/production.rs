@@ -1,0 +1,63 @@
+//! Drives the production platform: streaming ingest, incident detection,
+//! and live localization over long multi-incident online sessions.
+//!
+//! Beyond the standard flags, `--ad` switches live detection from KS to
+//! Anderson–Darling.
+use icfl_experiments::{production, report_timing, run_timed, CliOptions, ProductionOptions};
+
+fn main() {
+    let mut anderson_darling = false;
+    let args: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| {
+            if a == "--ad" {
+                anderson_darling = true;
+                false
+            } else {
+                true
+            }
+        })
+        .collect();
+    let opts = match CliOptions::parse(args) {
+        Ok(o) => {
+            if o.threads > 0 {
+                std::env::set_var("ICFL_THREADS", o.threads.to_string());
+            }
+            o
+        }
+        Err(msg) => {
+            eprintln!("{msg} (production also accepts --ad for Anderson-Darling detection)");
+            std::process::exit(2);
+        }
+    };
+    let mut popts = ProductionOptions::new(opts.mode, opts.seed);
+    popts.threads = opts.threads;
+    popts.anderson_darling = anderson_darling;
+
+    eprintln!(
+        "running production sessions in {} mode (seed {}, {} detection)...",
+        opts.mode,
+        opts.seed,
+        if anderson_darling {
+            "anderson-darling"
+        } else {
+            "ks"
+        }
+    );
+    let timed = run_timed(|| production(&popts).expect("production experiment failed"));
+    println!("Production platform — online detection and localization");
+    println!(
+        "({} incidents injected across {} apps; models served from {})\n",
+        timed.result.total_episodes(),
+        timed.result.apps.len(),
+        popts.registry_root.display()
+    );
+    println!("{}", timed.result.render());
+    if opts.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&timed.result).expect("serialize")
+        );
+    }
+    report_timing("production", &opts, timed.wall);
+}

@@ -14,6 +14,7 @@
 //! | Ablations (detector, α, guard, match rule, windows, fault types, latent autoscaler) | [`ablations`] | `--bin ablations` |
 //! | Scalability sweep (chain/star/layered topologies up to 64 services) | [`scalability`] | `--bin scalability` |
 //! | Confusability analysis (§III-B identifiability, validated against 4× misses) | [`confusability`] | `--bin confusability` |
+//! | Production platform (Fig. 3): streaming detection + live localization | [`production`] | `--bin production` |
 //!
 //! Every binary accepts `--quick` (default: 2-minute phases) or `--paper`
 //! (the paper's 10-minute phases), `--seed N`, `--threads N` (worker
@@ -29,6 +30,7 @@ mod comparison;
 mod confusability;
 mod figures;
 mod mode;
+mod production;
 mod render;
 mod scalability;
 mod tables;
@@ -39,6 +41,9 @@ pub use comparison::{comparison, Comparison, ComparisonRow};
 pub use confusability::{confusability, Confusability, ConfusablePair};
 pub use figures::{fig1, fig2, fig4, CausalSetReport, Fig1, Fig2, Fig2Row, Fig4, FlowTrace};
 pub use mode::{CliOptions, Mode};
+pub use production::{
+    production, ProductionAppReport, ProductionError, ProductionOptions, ProductionReport,
+};
 pub use render::TextTable;
 pub use scalability::{scalability, Scalability, ScalabilityRow};
 pub use tables::{table1, table2, Table1, Table1Row, Table2, Table2Row};

@@ -1,0 +1,466 @@
+//! The `production` experiment: long multi-incident online runs.
+//!
+//! Where `table1`/`table2` replay whole offline campaigns, this experiment
+//! exercises the paper's *platform* (Fig. 3) end to end: per application it
+//! (1) trains a causal model with an Algorithm-1 campaign, (2) persists it
+//! through the [`ModelRegistry`] and reloads it — every localization below
+//! is served by the *reloaded* model, as production would; (3) measures the
+//! offline Table-I-style accuracy at 1× as the reference bar; and (4) runs
+//! several long [`OnlineSession`]s in parallel, each a continuously loaded
+//! cluster with scheduled `service-unavailable` outages — evenly spaced,
+//! back-to-back, and overlapping — watched by the streaming ingester,
+//! incident detector, and online localizer. The report carries
+//! per-incident time-to-detect, time-to-localize, and ranked candidates.
+//!
+//! Sessions are independent seeded simulations, so they fan out over
+//! [`parallel_map`] exactly like campaign phases; thread count never
+//! changes the report (asserted by the `production_determinism` test).
+
+use crate::mode::Mode;
+use crate::render::TextTable;
+use icfl_core::{parallel_map, CampaignRun, EvalSuite, RunConfig};
+use icfl_micro::{FaultKind, ServiceId};
+use icfl_online::{
+    Episode, EpisodeFault, IncidentSchedule, ModelMeta, ModelRegistry, OnlineConfig, OnlineError,
+    OnlineSession, RegistryError, SessionReport,
+};
+use icfl_sim::{SimDuration, SimTime};
+use icfl_stats::{ShiftDetector, TestKind};
+use icfl_telemetry::MetricCatalog;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::path::PathBuf;
+
+/// Errors surfaced by the production experiment.
+#[derive(Debug)]
+pub enum ProductionError {
+    /// Offline training or evaluation failed.
+    Core(icfl_core::CoreError),
+    /// An online session failed.
+    Online(OnlineError),
+    /// Model persistence failed.
+    Registry(RegistryError),
+}
+
+impl fmt::Display for ProductionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProductionError::Core(e) => write!(f, "offline pipeline failed: {e}"),
+            ProductionError::Online(e) => write!(f, "online session failed: {e}"),
+            ProductionError::Registry(e) => write!(f, "model registry failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProductionError {}
+
+impl From<icfl_core::CoreError> for ProductionError {
+    fn from(e: icfl_core::CoreError) -> Self {
+        ProductionError::Core(e)
+    }
+}
+impl From<OnlineError> for ProductionError {
+    fn from(e: OnlineError) -> Self {
+        ProductionError::Online(e)
+    }
+}
+impl From<RegistryError> for ProductionError {
+    fn from(e: RegistryError) -> Self {
+        ProductionError::Registry(e)
+    }
+}
+
+/// Production experiment result alias.
+pub type Result<T> = std::result::Result<T, ProductionError>;
+
+/// Tuning of one production run.
+#[derive(Debug, Clone)]
+pub struct ProductionOptions {
+    /// Timing mode (window geometry and phase lengths).
+    pub mode: Mode,
+    /// Root seed for training and all sessions.
+    pub seed: u64,
+    /// Worker threads for session fan-out (`0` = auto).
+    pub threads: usize,
+    /// Where models are persisted and reloaded from.
+    pub registry_root: PathBuf,
+    /// Use Anderson–Darling instead of KS for live incident detection.
+    pub anderson_darling: bool,
+}
+
+impl ProductionOptions {
+    /// Defaults: quick mode, seed 42, auto threads, KS detection, models
+    /// under `results/models` (honoring `ICFL_RESULTS_DIR`).
+    pub fn new(mode: Mode, seed: u64) -> Self {
+        let results = std::env::var_os("ICFL_RESULTS_DIR")
+            .map_or_else(|| PathBuf::from("results"), PathBuf::from);
+        ProductionOptions {
+            mode,
+            seed,
+            threads: 0,
+            registry_root: results.join("models"),
+            anderson_darling: false,
+        }
+    }
+
+    /// Sets the registry root, returning `self`.
+    pub fn with_registry_root(mut self, root: impl Into<PathBuf>) -> Self {
+        self.registry_root = root.into();
+        self
+    }
+
+    /// The session tuning for this run's mode and detector choice.
+    fn online_cfg(&self) -> OnlineConfig {
+        let cfg = match self.mode {
+            Mode::Quick => OnlineConfig::quick(),
+            Mode::Paper => OnlineConfig::paper(),
+        };
+        if self.anderson_darling {
+            let detector = ShiftDetector {
+                kind: TestKind::AndersonDarling,
+                ..cfg.detector
+            };
+            cfg.with_detector(detector)
+        } else {
+            cfg
+        }
+    }
+}
+
+/// One application's slice of the production run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProductionAppReport {
+    /// Application name.
+    pub app: String,
+    /// Registry version the sessions' model was reloaded from.
+    pub model_version: u32,
+    /// Offline Table-I-style accuracy at 1× of the reloaded model — the
+    /// reference bar the online loop is held to.
+    pub offline_accuracy: f64,
+    /// The online sessions, in schedule order.
+    pub sessions: Vec<SessionReport>,
+}
+
+impl ProductionAppReport {
+    /// Incident episodes across all sessions.
+    pub fn episodes(&self) -> usize {
+        self.sessions.iter().map(|s| s.incidents.len()).sum()
+    }
+
+    /// Faults injected across all sessions.
+    pub fn injected_faults(&self) -> usize {
+        self.sessions.iter().map(|s| s.injected_faults).sum()
+    }
+
+    /// Detected episodes across all sessions.
+    pub fn detected(&self) -> usize {
+        self.sessions
+            .iter()
+            .flat_map(|s| &s.incidents)
+            .filter(|i| i.detected)
+            .count()
+    }
+
+    /// Correct top-1 verdicts across all sessions.
+    pub fn top1_correct(&self) -> usize {
+        self.sessions
+            .iter()
+            .flat_map(|s| &s.incidents)
+            .filter(|i| i.top1_correct)
+            .count()
+    }
+
+    /// Correct top-1 verdicts / episodes (misses count against accuracy).
+    pub fn online_top1_accuracy(&self) -> f64 {
+        let n = self.episodes();
+        if n == 0 {
+            return 0.0;
+        }
+        self.top1_correct() as f64 / n as f64
+    }
+
+    /// False alarms across all sessions.
+    pub fn false_alarms(&self) -> usize {
+        self.sessions.iter().map(|s| s.false_alarms).sum()
+    }
+
+    /// Mean time-to-detect over detected episodes.
+    pub fn mean_time_to_detect_secs(&self) -> Option<f64> {
+        mean(
+            self.sessions
+                .iter()
+                .flat_map(|s| &s.incidents)
+                .filter_map(|i| i.time_to_detect_secs),
+        )
+    }
+
+    /// Mean time-to-localize over localized episodes.
+    pub fn mean_time_to_localize_secs(&self) -> Option<f64> {
+        mean(
+            self.sessions
+                .iter()
+                .flat_map(|s| &s.incidents)
+                .filter_map(|i| i.time_to_localize_secs),
+        )
+    }
+}
+
+fn mean(values: impl Iterator<Item = f64>) -> Option<f64> {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        None
+    } else {
+        Some(sum / n as f64)
+    }
+}
+
+/// The full production run report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProductionReport {
+    /// Timing mode the run used.
+    pub mode: Mode,
+    /// Root seed.
+    pub seed: u64,
+    /// Two-sample test driving live detection.
+    pub detector: String,
+    /// Per-application results.
+    pub apps: Vec<ProductionAppReport>,
+}
+
+impl ProductionReport {
+    /// Incident episodes across all applications.
+    pub fn total_episodes(&self) -> usize {
+        self.apps.iter().map(ProductionAppReport::episodes).sum()
+    }
+
+    /// Faults injected across all applications.
+    pub fn total_injected_faults(&self) -> usize {
+        self.apps
+            .iter()
+            .map(ProductionAppReport::injected_faults)
+            .sum()
+    }
+
+    /// Aggregate online top-1 accuracy over every episode.
+    pub fn online_top1_accuracy(&self) -> f64 {
+        let n = self.total_episodes();
+        if n == 0 {
+            return 0.0;
+        }
+        let correct: usize = self
+            .apps
+            .iter()
+            .map(ProductionAppReport::top1_correct)
+            .sum();
+        correct as f64 / n as f64
+    }
+
+    /// Renders the per-incident log and the per-app summary.
+    pub fn render(&self) -> String {
+        let mut incidents = TextTable::new(vec![
+            "App", "Session", "Episode", "Services", "Injected", "TTD(s)", "TTL(s)", "Top-1",
+            "Correct",
+        ]);
+        for app in &self.apps {
+            for (si, session) in app.sessions.iter().enumerate() {
+                for inc in &session.incidents {
+                    incidents.row(vec![
+                        app.app.clone(),
+                        si.to_string(),
+                        inc.episode.to_string(),
+                        inc.services.join("+"),
+                        format!("{:.0}s", inc.injected_start_secs),
+                        inc.time_to_detect_secs
+                            .map_or("miss".into(), |t| format!("{t:.1}")),
+                        inc.time_to_localize_secs
+                            .map_or("-".into(), |t| format!("{t:.1}")),
+                        inc.top1.clone().unwrap_or_else(|| "-".into()),
+                        if inc.top1_correct { "yes" } else { "no" }.into(),
+                    ]);
+                }
+            }
+        }
+
+        let mut summary = TextTable::new(vec![
+            "App",
+            "Episodes",
+            "Detected",
+            "FalseAlarms",
+            "MeanTTD(s)",
+            "MeanTTL(s)",
+            "OnlineTop1",
+            "OfflineAcc",
+        ]);
+        for app in &self.apps {
+            summary.row(vec![
+                app.app.clone(),
+                app.episodes().to_string(),
+                app.detected().to_string(),
+                app.false_alarms().to_string(),
+                app.mean_time_to_detect_secs()
+                    .map_or("-".into(), |t| format!("{t:.1}")),
+                app.mean_time_to_localize_secs()
+                    .map_or("-".into(), |t| format!("{t:.1}")),
+                format!("{:.2}", app.online_top1_accuracy()),
+                format!("{:.2}", app.offline_accuracy),
+            ]);
+        }
+        format!(
+            "Per-incident log ({} detection):\n{}\nSummary:\n{}",
+            self.detector,
+            incidents.render(),
+            summary.render()
+        )
+    }
+}
+
+/// Per-(app, session) seed stream, decorrelated from the training and
+/// evaluation seed streams by its own mixing constant.
+fn session_seed(root: u64, app_idx: usize, session_idx: usize) -> u64 {
+    root.wrapping_add(((app_idx * 16 + session_idx + 1) as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        ^ 0x00b5_e55e_d011_4e5e
+}
+
+/// Builds the three session schedules for an application: evenly spaced
+/// single outages, back-to-back single outages, and a mix ending in an
+/// overlapping double outage. All spans are multiples of the hop so every
+/// onset sits on a window boundary; constants scale with the mode's
+/// window geometry.
+fn session_schedules(targets: &[ServiceId], cfg: &OnlineConfig) -> Vec<IncidentSchedule> {
+    let hop = cfg.windows.hop;
+    let hops = |n: u64| SimDuration::from_nanos(hop.as_nanos() * n);
+    let first = SimTime::ZERO + cfg.warmup + cfg.windows.window + hops(16);
+    let fault_len = hops(10);
+    let target = |i: usize| targets[i % targets.len()];
+
+    let single = |start: SimTime, idx: usize| {
+        Episode::single(start, target(idx), FaultKind::ServiceUnavailable, fault_len)
+    };
+
+    // Session 0: four outages with generous spacing.
+    let spaced = IncidentSchedule::new(
+        (0..4)
+            .map(|k| single(first + hops(32 * k as u64), k))
+            .collect(),
+    );
+
+    // Session 1: four back-to-back outages — the next begins six hops
+    // after the previous lifts, while the detector is still draining.
+    let tight = IncidentSchedule::new(
+        (0..4)
+            .map(|k| single(first + hops(16 * k as u64), 4 + k))
+            .collect(),
+    );
+
+    // Session 2: two singles, then two faults overlapping in time —
+    // one incident episode with two root causes.
+    let overlap_start = first + hops(64);
+    let overlapping = Episode {
+        start: overlap_start,
+        faults: vec![
+            EpisodeFault {
+                service: target(10),
+                fault: FaultKind::ServiceUnavailable,
+                offset: SimDuration::from_secs(0),
+                duration: fault_len,
+            },
+            EpisodeFault {
+                service: target(13),
+                fault: FaultKind::ServiceUnavailable,
+                offset: hops(3),
+                duration: fault_len,
+            },
+        ],
+    };
+    let mixed = IncidentSchedule::new(vec![
+        single(first, 8),
+        single(first + hops(32), 9),
+        overlapping,
+    ]);
+
+    vec![spaced, tight, mixed]
+}
+
+/// Runs the production experiment.
+///
+/// # Errors
+///
+/// Propagates training, registry, and session errors.
+pub fn production(opts: &ProductionOptions) -> Result<ProductionReport> {
+    let registry = ModelRegistry::open(&opts.registry_root)?;
+    let online_cfg = opts.online_cfg();
+    let catalog = MetricCatalog::derived_all();
+    let mut apps = Vec::new();
+
+    for (app_idx, app) in [icfl_apps::causalbench(), icfl_apps::robot_shop()]
+        .into_iter()
+        .enumerate()
+    {
+        // Train offline (Algorithm 1) and persist through the registry;
+        // everything below runs on the *reloaded* model.
+        let train_cfg = opts.mode.train_cfg(opts.seed).with_threads(opts.threads);
+        let campaign = CampaignRun::execute(&app, &train_cfg)?;
+        let trained = campaign.learn(&catalog, RunConfig::default_detector())?;
+        let meta = ModelMeta {
+            app: app.name.clone(),
+            seed: opts.seed,
+            catalog: catalog.name().to_owned(),
+            detector: RunConfig::default_detector().kind.to_string(),
+            num_services: trained.num_services(),
+            targets: campaign
+                .targets()
+                .iter()
+                .map(|&t| campaign.service_names()[t.index()].clone())
+                .collect(),
+            note: "production experiment".into(),
+        };
+        let model_version = registry.save(&app.name, meta, &trained)?;
+        let record = registry.load_latest(&app.name)?;
+        let model = record.model;
+
+        // Offline reference: Table-I-style accuracy at 1× load.
+        let eval_cfg = opts.mode.eval_cfg(opts.seed).with_threads(opts.threads);
+        let suite = EvalSuite::execute(&app, campaign.targets(), &eval_cfg)?;
+        let offline_accuracy = suite.evaluate(&model)?.accuracy;
+
+        // Online sessions: independent seeded simulations, fanned out.
+        let schedules = session_schedules(campaign.targets(), &online_cfg);
+        let threads = train_cfg.resolved_threads(schedules.len());
+        let outcomes = parallel_map(schedules.len(), threads, |i| {
+            OnlineSession::run(
+                &app,
+                &model,
+                &schedules[i],
+                &online_cfg,
+                session_seed(opts.seed, app_idx, i),
+            )
+        });
+        let mut sessions = Vec::with_capacity(outcomes.len());
+        for outcome in outcomes {
+            sessions.push(outcome?);
+        }
+
+        apps.push(ProductionAppReport {
+            app: app.name.clone(),
+            model_version,
+            offline_accuracy,
+            sessions,
+        });
+    }
+
+    Ok(ProductionReport {
+        mode: opts.mode,
+        seed: opts.seed,
+        detector: if opts.anderson_darling {
+            TestKind::AndersonDarling.to_string()
+        } else {
+            TestKind::KolmogorovSmirnov.to_string()
+        },
+        apps,
+    })
+}

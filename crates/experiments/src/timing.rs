@@ -36,9 +36,14 @@ pub fn timings_path() -> PathBuf {
     dir.join("timings.csv")
 }
 
+/// The CSV header of [`timings_path`].
+const TIMINGS_HEADER: &str = "experiment,mode,seed,threads,wall_secs";
+
 /// Appends one timing row (`experiment,mode,seed,threads,wall_secs`) to
 /// [`timings_path`], creating the file (with a header) and its directory
-/// on first use.
+/// on first use. A pre-existing headerless file (written by versions that
+/// predate the header) is upgraded in place: the header is prepended and
+/// the old rows are kept.
 ///
 /// # Errors
 ///
@@ -55,12 +60,22 @@ pub fn record_timing(
         std::fs::create_dir_all(dir)?;
     }
     let fresh = !path.exists();
+    if !fresh {
+        let body = std::fs::read_to_string(&path)?;
+        let headerless = body
+            .lines()
+            .next()
+            .is_some_and(|first| first != TIMINGS_HEADER);
+        if headerless {
+            std::fs::write(&path, format!("{TIMINGS_HEADER}\n{body}"))?;
+        }
+    }
     let mut file = std::fs::OpenOptions::new()
         .create(true)
         .append(true)
         .open(&path)?;
     if fresh {
-        writeln!(file, "experiment,mode,seed,threads,wall_secs")?;
+        writeln!(file, "{TIMINGS_HEADER}")?;
     }
     writeln!(
         file,
@@ -92,6 +107,9 @@ mod tests {
     use super::*;
     use crate::mode::Mode;
 
+    /// Serializes tests that repoint `ICFL_RESULTS_DIR` (process-global).
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn run_timed_returns_result_and_nonzero_duration() {
         let t = run_timed(|| (0..1000).sum::<u64>());
@@ -101,6 +119,7 @@ mod tests {
 
     #[test]
     fn record_timing_appends_csv_rows() {
+        let _guard = ENV_LOCK.lock().unwrap();
         let dir = std::env::temp_dir().join(format!("icfl-timings-{}", std::process::id()));
         std::env::set_var("ICFL_RESULTS_DIR", &dir);
         let opts = CliOptions {
@@ -118,6 +137,29 @@ mod tests {
         assert_eq!(lines[0], "experiment,mode,seed,threads,wall_secs");
         assert_eq!(lines[1], "unit-test,quick,9,2,1.500");
         assert_eq!(lines[2], "unit-test,quick,9,2,0.250");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn headerless_file_is_upgraded_in_place() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        let dir = std::env::temp_dir().join(format!("icfl-timings-hdr-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("timings.csv"), "old-run,quick,1,1,9.000\n").unwrap();
+        std::env::set_var("ICFL_RESULTS_DIR", &dir);
+        let opts = CliOptions {
+            mode: Mode::Quick,
+            seed: 3,
+            json: false,
+            threads: 1,
+        };
+        let p = record_timing("unit-test", &opts, Duration::from_millis(500)).unwrap();
+        std::env::remove_var("ICFL_RESULTS_DIR");
+        let body = std::fs::read_to_string(&p).unwrap();
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines[0], "experiment,mode,seed,threads,wall_secs");
+        assert_eq!(lines[1], "old-run,quick,1,1,9.000");
+        assert_eq!(lines[2], "unit-test,quick,3,1,0.500");
         std::fs::remove_dir_all(&dir).ok();
     }
 }

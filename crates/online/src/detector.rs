@@ -1,0 +1,369 @@
+//! Incident detection over live windows: a debounced
+//! quiet → suspected → confirmed → resolved state machine driven by the
+//! configured two-sample test.
+//!
+//! The [`IncidentStateMachine`] is a pure transition system (property
+//! tested in `tests/proptests.rs`): it consumes one boolean "anomaly
+//! observed this tick" signal per detection tick and emits at most one
+//! [`DetectorEvent`]. The [`IncidentDetector`] wraps it with the actual
+//! statistics: per (metric, service) pair it runs the configured
+//! [`ShiftDetector`] (KS by default, Anderson–Darling opt-in) on the
+//! sliding live windows against the trained reference baseline `D_0`.
+
+use icfl_micro::ServiceId;
+use icfl_stats::{Result as StatsResult, ShiftDetector};
+use icfl_telemetry::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// Debounce/cool-down tuning of the incident state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DebounceConfig {
+    /// Consecutive anomalous ticks required to confirm an incident
+    /// (suppresses one-tick statistical flukes). Minimum 1.
+    pub confirm_ticks: u32,
+    /// Consecutive quiet ticks required to resolve a confirmed incident
+    /// (suppresses flapping while mixed windows age out). Minimum 1.
+    pub clear_ticks: u32,
+    /// Ticks to ignore all signals after a resolution (cool-down while the
+    /// live ring flushes residual fault windows). Zero disables.
+    pub cooldown_ticks: u32,
+}
+
+impl Default for DebounceConfig {
+    fn default() -> Self {
+        DebounceConfig {
+            confirm_ticks: 2,
+            clear_ticks: 2,
+            cooldown_ticks: 1,
+        }
+    }
+}
+
+/// Where the detector currently is in an incident's lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IncidentPhase {
+    /// No anomaly under observation.
+    Quiet,
+    /// Anomalous ticks observed, but fewer than the confirmation debounce.
+    Suspected,
+    /// An incident is confirmed and ongoing.
+    Confirmed,
+    /// Post-resolution cool-down; signals are ignored.
+    Cooldown,
+}
+
+/// A state-machine transition worth reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DetectorEvent {
+    /// First anomalous tick out of quiet.
+    Suspected,
+    /// The suspicion survived the debounce — an incident is declared.
+    Confirmed,
+    /// A suspicion cleared before confirmation (no incident counted).
+    Dismissed,
+    /// A confirmed incident's signal stayed quiet through the clear
+    /// debounce — the incident is over.
+    Resolved,
+}
+
+/// The debounced incident lifecycle automaton.
+///
+/// Guarantees (property-tested): `Resolved` is only ever emitted while an
+/// incident is confirmed, every confirmed incident is resolved at most
+/// once, and two `Confirmed` events always have exactly one `Resolved`
+/// between them — an incident is never double-counted no matter how
+/// suspect/clear signals interleave.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IncidentStateMachine {
+    cfg: DebounceConfig,
+    phase: IncidentPhase,
+    suspect_streak: u32,
+    clear_streak: u32,
+    cooldown_left: u32,
+    confirmed: u64,
+    resolved: u64,
+}
+
+impl IncidentStateMachine {
+    /// A machine in the quiet state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `confirm_ticks` or `clear_ticks` is zero (the debounce
+    /// would be meaningless).
+    pub fn new(cfg: DebounceConfig) -> Self {
+        assert!(cfg.confirm_ticks >= 1, "confirm_ticks must be at least 1");
+        assert!(cfg.clear_ticks >= 1, "clear_ticks must be at least 1");
+        IncidentStateMachine {
+            cfg,
+            phase: IncidentPhase::Quiet,
+            suspect_streak: 0,
+            clear_streak: 0,
+            cooldown_left: 0,
+            confirmed: 0,
+            resolved: 0,
+        }
+    }
+
+    /// Current lifecycle phase.
+    pub fn phase(&self) -> IncidentPhase {
+        self.phase
+    }
+
+    /// Incidents confirmed so far.
+    pub fn confirmed_count(&self) -> u64 {
+        self.confirmed
+    }
+
+    /// Incidents resolved so far. Always `confirmed_count()` or
+    /// `confirmed_count() - 1` (the ongoing incident).
+    pub fn resolved_count(&self) -> u64 {
+        self.resolved
+    }
+
+    /// Advances one detection tick with the tick's anomaly signal,
+    /// returning the transition event if one fired.
+    pub fn step(&mut self, suspect: bool) -> Option<DetectorEvent> {
+        match self.phase {
+            IncidentPhase::Quiet => {
+                if suspect {
+                    self.suspect_streak = 1;
+                    if self.suspect_streak >= self.cfg.confirm_ticks {
+                        self.confirm()
+                    } else {
+                        self.phase = IncidentPhase::Suspected;
+                        Some(DetectorEvent::Suspected)
+                    }
+                } else {
+                    None
+                }
+            }
+            IncidentPhase::Suspected => {
+                if suspect {
+                    self.suspect_streak += 1;
+                    if self.suspect_streak >= self.cfg.confirm_ticks {
+                        self.confirm()
+                    } else {
+                        None
+                    }
+                } else {
+                    self.phase = IncidentPhase::Quiet;
+                    self.suspect_streak = 0;
+                    Some(DetectorEvent::Dismissed)
+                }
+            }
+            IncidentPhase::Confirmed => {
+                if suspect {
+                    self.clear_streak = 0;
+                    None
+                } else {
+                    self.clear_streak += 1;
+                    if self.clear_streak >= self.cfg.clear_ticks {
+                        self.resolved += 1;
+                        if self.cfg.cooldown_ticks > 0 {
+                            self.phase = IncidentPhase::Cooldown;
+                            self.cooldown_left = self.cfg.cooldown_ticks;
+                        } else {
+                            self.phase = IncidentPhase::Quiet;
+                            self.suspect_streak = 0;
+                        }
+                        Some(DetectorEvent::Resolved)
+                    } else {
+                        None
+                    }
+                }
+            }
+            IncidentPhase::Cooldown => {
+                self.cooldown_left -= 1;
+                if self.cooldown_left == 0 {
+                    self.phase = IncidentPhase::Quiet;
+                    self.suspect_streak = 0;
+                }
+                None
+            }
+        }
+    }
+
+    fn confirm(&mut self) -> Option<DetectorEvent> {
+        self.phase = IncidentPhase::Confirmed;
+        self.clear_streak = 0;
+        self.confirmed += 1;
+        Some(DetectorEvent::Confirmed)
+    }
+}
+
+/// One detection tick's statistical outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TickDecision {
+    /// (metric index, service) pairs whose live distribution shifted from
+    /// the reference.
+    pub shifted_pairs: Vec<(usize, ServiceId)>,
+    /// The state-machine transition, if any.
+    pub event: Option<DetectorEvent>,
+}
+
+/// The live incident detector: the configured two-sample test on sliding
+/// live-vs-reference windows, debounced by an [`IncidentStateMachine`].
+#[derive(Debug, Clone)]
+pub struct IncidentDetector {
+    detector: ShiftDetector,
+    min_shifted_pairs: usize,
+    machine: IncidentStateMachine,
+}
+
+impl IncidentDetector {
+    /// A detector running `detector` per (metric, service) pair; a tick is
+    /// anomalous when at least `min_shifted_pairs` pairs shift.
+    pub fn new(
+        detector: ShiftDetector,
+        min_shifted_pairs: usize,
+        debounce: DebounceConfig,
+    ) -> Self {
+        IncidentDetector {
+            detector,
+            min_shifted_pairs: min_shifted_pairs.max(1),
+            machine: IncidentStateMachine::new(debounce),
+        }
+    }
+
+    /// The underlying lifecycle automaton.
+    pub fn machine(&self) -> &IncidentStateMachine {
+        &self.machine
+    }
+
+    /// Runs one detection tick: tests every (metric, service) pair of
+    /// `live` against `reference` and advances the state machine.
+    ///
+    /// `reference` and `live` must be shape-compatible (same metric and
+    /// service counts); the live window count may differ from the
+    /// reference's.
+    ///
+    /// # Errors
+    ///
+    /// Propagates statistics errors (degenerate samples).
+    pub fn observe(&mut self, reference: &Dataset, live: &Dataset) -> StatsResult<TickDecision> {
+        debug_assert_eq!(reference.num_metrics(), live.num_metrics());
+        debug_assert_eq!(reference.num_services(), live.num_services());
+        let mut shifted_pairs = Vec::new();
+        for m in 0..reference.num_metrics() {
+            for s in 0..reference.num_services() {
+                let svc = ServiceId::from_index(s);
+                if self
+                    .detector
+                    .shifted(reference.samples(m, svc), live.samples(m, svc))?
+                    .shifted
+                {
+                    shifted_pairs.push((m, svc));
+                }
+            }
+        }
+        let event = self
+            .machine
+            .step(shifted_pairs.len() >= self.min_shifted_pairs);
+        Ok(TickDecision {
+            shifted_pairs,
+            event,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine(confirm: u32, clear: u32, cooldown: u32) -> IncidentStateMachine {
+        IncidentStateMachine::new(DebounceConfig {
+            confirm_ticks: confirm,
+            clear_ticks: clear,
+            cooldown_ticks: cooldown,
+        })
+    }
+
+    #[test]
+    fn lifecycle_happy_path() {
+        let mut m = machine(2, 2, 1);
+        assert_eq!(m.step(true), Some(DetectorEvent::Suspected));
+        assert_eq!(m.phase(), IncidentPhase::Suspected);
+        assert_eq!(m.step(true), Some(DetectorEvent::Confirmed));
+        assert_eq!(m.phase(), IncidentPhase::Confirmed);
+        assert_eq!(m.step(true), None);
+        assert_eq!(m.step(false), None);
+        assert_eq!(m.step(false), Some(DetectorEvent::Resolved));
+        assert_eq!(m.phase(), IncidentPhase::Cooldown);
+        assert_eq!(m.step(true), None, "cool-down swallows signals");
+        assert_eq!(m.phase(), IncidentPhase::Quiet);
+        assert_eq!(m.confirmed_count(), 1);
+        assert_eq!(m.resolved_count(), 1);
+    }
+
+    #[test]
+    fn flake_is_dismissed_without_counting() {
+        let mut m = machine(3, 2, 0);
+        assert_eq!(m.step(true), Some(DetectorEvent::Suspected));
+        assert_eq!(m.step(true), None);
+        assert_eq!(m.step(false), Some(DetectorEvent::Dismissed));
+        assert_eq!(m.confirmed_count(), 0);
+        assert_eq!(m.phase(), IncidentPhase::Quiet);
+    }
+
+    #[test]
+    fn intermittent_signal_keeps_incident_open() {
+        let mut m = machine(1, 3, 0);
+        assert_eq!(m.step(true), Some(DetectorEvent::Confirmed));
+        // Clears interleaved with suspects never reach the clear debounce.
+        for _ in 0..5 {
+            assert_eq!(m.step(false), None);
+            assert_eq!(m.step(false), None);
+            assert_eq!(m.step(true), None);
+        }
+        assert_eq!(m.phase(), IncidentPhase::Confirmed);
+        assert_eq!(m.step(false), None);
+        assert_eq!(m.step(false), None);
+        assert_eq!(m.step(false), Some(DetectorEvent::Resolved));
+        assert_eq!(m.phase(), IncidentPhase::Quiet, "no cool-down configured");
+    }
+
+    #[test]
+    fn confirm_ticks_of_one_confirms_immediately() {
+        let mut m = machine(1, 1, 0);
+        assert_eq!(m.step(true), Some(DetectorEvent::Confirmed));
+        assert_eq!(m.step(false), Some(DetectorEvent::Resolved));
+        assert_eq!(m.step(true), Some(DetectorEvent::Confirmed));
+        assert_eq!(m.confirmed_count(), 2);
+        assert_eq!(m.resolved_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "confirm_ticks")]
+    fn zero_confirm_rejected() {
+        machine(0, 1, 0);
+    }
+
+    #[test]
+    fn detector_flags_shifted_pairs_and_confirms() {
+        let base: Vec<f64> = (0..19).map(|i| 100.0 + (i % 5) as f64).collect();
+        let hot: Vec<f64> = base.iter().map(|x| x + 80.0).collect();
+        let reference = Dataset::new(vec!["m".into()], vec![vec![base.clone(), base.clone()]]);
+        let quiet = Dataset::new(vec!["m".into()], vec![vec![base.clone(), base.clone()]]);
+        let anomalous = Dataset::new(vec!["m".into()], vec![vec![base.clone(), hot]]);
+        let mut det = IncidentDetector::new(
+            ShiftDetector::ks(0.05).with_min_effect(0.1),
+            1,
+            DebounceConfig {
+                confirm_ticks: 2,
+                clear_ticks: 1,
+                cooldown_ticks: 0,
+            },
+        );
+        let t = det.observe(&reference, &quiet).unwrap();
+        assert!(t.shifted_pairs.is_empty());
+        assert_eq!(t.event, None);
+        let t = det.observe(&reference, &anomalous).unwrap();
+        assert_eq!(t.shifted_pairs, vec![(0, ServiceId::from_index(1))]);
+        assert_eq!(t.event, Some(DetectorEvent::Suspected));
+        let t = det.observe(&reference, &anomalous).unwrap();
+        assert_eq!(t.event, Some(DetectorEvent::Confirmed));
+        let t = det.observe(&reference, &quiet).unwrap();
+        assert_eq!(t.event, Some(DetectorEvent::Resolved));
+    }
+}

@@ -1,0 +1,46 @@
+//! `icfl-online`: the streaming inference service of the ICFL repro.
+//!
+//! The offline crates learn a [`CausalModel`](icfl_core::CausalModel)
+//! from intervention campaigns and replay whole datasets; this crate is
+//! the production side of the paper's platform (Fig. 3), operating on a
+//! *live* simulated cluster:
+//!
+//! - [`StreamingIngester`] — the data-collection service: scrapes
+//!   counters incrementally on the simulation clock and maintains
+//!   ring-buffered hopping windows per (metric, service) pair, byte-equal
+//!   to the offline pipeline's windows at the same seed.
+//! - [`IncidentDetector`] / [`IncidentStateMachine`] — detection: the
+//!   configured two-sample test on sliding live-vs-reference windows,
+//!   debounced through a quiet → suspected → confirmed → resolved
+//!   lifecycle with cool-down.
+//! - [`OnlineSession`] — the inference loop: on confirmation, runs
+//!   Algorithm 2 majority voting against a trained model and emits
+//!   [`IncidentReport`]s with time-to-detect and time-to-localize.
+//! - [`ModelRegistry`] — versioned on-disk persistence of trained models
+//!   with seed/app/catalog provenance.
+//!
+//! Everything is driven by the deterministic simulation clock: the same
+//! seed yields byte-identical session reports at any thread count.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod detector;
+mod ingest;
+mod registry;
+mod report;
+mod session;
+
+pub use detector::{
+    DebounceConfig, DetectorEvent, IncidentDetector, IncidentPhase, IncidentStateMachine,
+    TickDecision,
+};
+pub use ingest::{IngestConfig, StreamingIngester};
+pub use registry::{
+    ModelMeta, ModelRecord, ModelRegistry, RegistryError, Result as RegistryResult, FORMAT_VERSION,
+};
+pub use report::{IncidentReport, SessionReport};
+pub use session::{
+    Episode, EpisodeFault, IncidentSchedule, OnlineConfig, OnlineError, OnlineSession,
+    Result as OnlineResult,
+};

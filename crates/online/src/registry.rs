@@ -1,0 +1,319 @@
+//! Versioned on-disk persistence for trained [`CausalModel`]s.
+//!
+//! Layout: one directory per model name under the registry root, one
+//! pretty-printed JSON file per version (`<root>/<name>/v00001.json`,
+//! `v00002.json`, …). Each file is a [`ModelRecord`]: a format version, a
+//! monotonically increasing model version, provenance metadata
+//! ([`ModelMeta`]: app, training seed, catalog, detector, targets), and
+//! the serialized model itself. Versions are assigned by the registry
+//! (`latest + 1`), never by callers, so concurrent-looking saves from a
+//! single process stay ordered. No timestamps are recorded — records are
+//! byte-reproducible from the same training inputs.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use icfl_core::CausalModel;
+use serde::{Deserialize, Serialize};
+
+/// Record format understood by this crate.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Provenance for a persisted model: everything needed to retrain or to
+/// audit where a localization verdict came from.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelMeta {
+    /// Application the model was trained on (e.g. `"causalbench"`).
+    pub app: String,
+    /// Seed of the training campaign.
+    pub seed: u64,
+    /// Metric catalog name (e.g. `"derived_all"`).
+    pub catalog: String,
+    /// Two-sample test used during learning (e.g. `"ks"`).
+    pub detector: String,
+    /// Number of services in the cluster the model covers.
+    pub num_services: usize,
+    /// Human-readable names of the targets the model can implicate.
+    pub targets: Vec<String>,
+    /// Free-form note (e.g. which binary produced the model).
+    pub note: String,
+}
+
+/// One persisted registry entry.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelRecord {
+    /// Record format, for forward-compatible readers.
+    pub format_version: u32,
+    /// Registry-assigned model version, starting at 1.
+    pub version: u32,
+    /// Training provenance.
+    pub meta: ModelMeta,
+    /// The trained model.
+    pub model: CausalModel,
+}
+
+/// Errors surfaced by registry operations.
+#[derive(Debug)]
+pub enum RegistryError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// A record failed to (de)serialize.
+    Serde(String),
+    /// No model directory with that name exists.
+    UnknownModel(String),
+    /// The model exists but not at the requested version.
+    UnknownVersion(String, u32),
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::Io(e) => write!(f, "registry I/O error: {e}"),
+            RegistryError::Serde(e) => write!(f, "registry serialization error: {e}"),
+            RegistryError::UnknownModel(name) => write!(f, "unknown model '{name}'"),
+            RegistryError::UnknownVersion(name, v) => {
+                write!(f, "model '{name}' has no version {v}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+impl From<io::Error> for RegistryError {
+    fn from(e: io::Error) -> Self {
+        RegistryError::Io(e)
+    }
+}
+
+/// Registry result alias.
+pub type Result<T> = std::result::Result<T, RegistryError>;
+
+/// A directory-backed model registry.
+#[derive(Debug, Clone)]
+pub struct ModelRegistry {
+    root: PathBuf,
+}
+
+impl ModelRegistry {
+    /// Opens (creating if needed) a registry rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the root directory cannot be created.
+    pub fn open(root: impl AsRef<Path>) -> Result<Self> {
+        let root = root.as_ref().to_path_buf();
+        fs::create_dir_all(&root)?;
+        Ok(ModelRegistry { root })
+    }
+
+    /// The registry's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn model_dir(&self, name: &str) -> PathBuf {
+        self.root.join(name)
+    }
+
+    fn version_path(&self, name: &str, version: u32) -> PathBuf {
+        self.model_dir(name).join(format!("v{version:05}.json"))
+    }
+
+    /// Persists `model` as the next version of `name`, returning the
+    /// assigned version number (1 for a fresh model).
+    ///
+    /// # Errors
+    ///
+    /// Fails on filesystem or serialization errors.
+    pub fn save(&self, name: &str, meta: ModelMeta, model: &CausalModel) -> Result<u32> {
+        let dir = self.model_dir(name);
+        fs::create_dir_all(&dir)?;
+        let version = self.latest_version(name)?.unwrap_or(0) + 1;
+        let record = ModelRecord {
+            format_version: FORMAT_VERSION,
+            version,
+            meta,
+            model: model.clone(),
+        };
+        let json = serde_json::to_string_pretty(&record)
+            .map_err(|e| RegistryError::Serde(e.to_string()))?;
+        fs::write(self.version_path(name, version), json)?;
+        Ok(version)
+    }
+
+    /// All versions of `name`, ascending. Empty if the model is unknown.
+    ///
+    /// # Errors
+    ///
+    /// Fails on filesystem errors other than a missing model directory.
+    pub fn versions(&self, name: &str) -> Result<Vec<u32>> {
+        let dir = self.model_dir(name);
+        let entries = match fs::read_dir(&dir) {
+            Ok(entries) => entries,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e.into()),
+        };
+        let mut versions = Vec::new();
+        for entry in entries {
+            let file_name = entry?.file_name();
+            let file_name = file_name.to_string_lossy();
+            if let Some(v) = file_name
+                .strip_prefix('v')
+                .and_then(|rest| rest.strip_suffix(".json"))
+                .and_then(|digits| digits.parse::<u32>().ok())
+            {
+                versions.push(v);
+            }
+        }
+        versions.sort_unstable();
+        Ok(versions)
+    }
+
+    /// The highest stored version of `name`, if any.
+    ///
+    /// # Errors
+    ///
+    /// Fails on filesystem errors.
+    pub fn latest_version(&self, name: &str) -> Result<Option<u32>> {
+        Ok(self.versions(name)?.last().copied())
+    }
+
+    /// All model names in the registry, sorted.
+    ///
+    /// # Errors
+    ///
+    /// Fails on filesystem errors.
+    pub fn list(&self) -> Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in fs::read_dir(&self.root)? {
+            let entry = entry?;
+            if entry.file_type()?.is_dir() {
+                names.push(entry.file_name().to_string_lossy().into_owned());
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    /// Loads a specific version of `name`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the model or version does not exist, or the record cannot
+    /// be read or parsed.
+    pub fn load(&self, name: &str, version: u32) -> Result<ModelRecord> {
+        let path = self.version_path(name, version);
+        let json = match fs::read_to_string(&path) {
+            Ok(json) => json,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                return if self.model_dir(name).is_dir() {
+                    Err(RegistryError::UnknownVersion(name.to_string(), version))
+                } else {
+                    Err(RegistryError::UnknownModel(name.to_string()))
+                };
+            }
+            Err(e) => return Err(e.into()),
+        };
+        serde_json::from_str(&json).map_err(|e| RegistryError::Serde(e.to_string()))
+    }
+
+    /// Loads the newest version of `name`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the model has no versions or a record cannot be read.
+    pub fn load_latest(&self, name: &str) -> Result<ModelRecord> {
+        match self.latest_version(name)? {
+            Some(v) => self.load(name, v),
+            None => Err(RegistryError::UnknownModel(name.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icfl_core::{CampaignRun, RunConfig};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("icfl-registry-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn trained_model() -> CausalModel {
+        let app = icfl_apps::pattern1();
+        let cfg = RunConfig::quick(7);
+        let run = CampaignRun::execute(&app, &cfg).unwrap();
+        let catalog = icfl_telemetry::MetricCatalog::derived_all();
+        run.learn(&catalog, RunConfig::default_detector()).unwrap()
+    }
+
+    #[test]
+    fn save_load_list_latest_roundtrip() {
+        let root = tmp_dir("roundtrip");
+        let registry = ModelRegistry::open(&root).unwrap();
+        let model = trained_model();
+        let meta = ModelMeta {
+            app: "pattern1".into(),
+            seed: 7,
+            catalog: "derived_all".into(),
+            detector: "ks".into(),
+            num_services: model.num_services(),
+            targets: vec!["A".into(), "B".into(), "C".into()],
+            note: "unit test".into(),
+        };
+
+        assert_eq!(registry.latest_version("pattern1").unwrap(), None);
+        let v1 = registry.save("pattern1", meta.clone(), &model).unwrap();
+        let v2 = registry.save("pattern1", meta.clone(), &model).unwrap();
+        assert_eq!((v1, v2), (1, 2));
+        assert_eq!(registry.versions("pattern1").unwrap(), vec![1, 2]);
+        assert_eq!(registry.latest_version("pattern1").unwrap(), Some(2));
+        assert_eq!(registry.list().unwrap(), vec!["pattern1".to_string()]);
+
+        let record = registry.load_latest("pattern1").unwrap();
+        assert_eq!(record.format_version, FORMAT_VERSION);
+        assert_eq!(record.version, 2);
+        assert_eq!(record.meta, meta);
+        assert_eq!(
+            record.model.to_json().unwrap(),
+            model.to_json().unwrap(),
+            "reloaded model must serialize byte-identically"
+        );
+
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn unknown_model_and_version_are_distinct_errors() {
+        let root = tmp_dir("missing");
+        let registry = ModelRegistry::open(&root).unwrap();
+        assert!(matches!(
+            registry.load_latest("ghost"),
+            Err(RegistryError::UnknownModel(_))
+        ));
+
+        let model = trained_model();
+        let meta = ModelMeta {
+            app: "pattern1".into(),
+            seed: 7,
+            catalog: "derived_all".into(),
+            detector: "ks".into(),
+            num_services: model.num_services(),
+            targets: Vec::new(),
+            note: String::new(),
+        };
+        registry.save("pattern1", meta, &model).unwrap();
+        assert!(matches!(
+            registry.load("pattern1", 9),
+            Err(RegistryError::UnknownVersion(_, 9))
+        ));
+
+        let _ = fs::remove_dir_all(&root);
+    }
+}

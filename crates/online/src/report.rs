@@ -1,0 +1,158 @@
+//! Incident reports produced by an online session.
+//!
+//! All times are simulation-clock seconds derived from integer
+//! nanoseconds, so reports from the same seed are byte-identical
+//! regardless of thread count or host.
+
+use serde::{Deserialize, Serialize};
+
+/// One injected incident episode and what the online service made of it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IncidentReport {
+    /// Episode index within the session schedule.
+    pub episode: usize,
+    /// Names of the services faulted in this episode (one entry for a
+    /// single fault, several for overlapping faults).
+    pub services: Vec<String>,
+    /// Simulation time the first fault of the episode began.
+    pub injected_start_secs: f64,
+    /// Simulation time the last fault of the episode lifted.
+    pub injected_end_secs: f64,
+    /// Whether the detector confirmed an incident for this episode.
+    pub detected: bool,
+    /// Seconds from injection to confirmation, when detected.
+    pub time_to_detect_secs: Option<f64>,
+    /// Seconds from injection to the ranked verdict, when localized.
+    pub time_to_localize_secs: Option<f64>,
+    /// Simulation time the detector resolved the incident, if it did
+    /// before the session ended.
+    pub resolved_secs: Option<f64>,
+    /// Ranked candidates (service name, votes), best first.
+    pub ranked: Vec<(String, f64)>,
+    /// The top-1 verdict, when localized.
+    pub top1: Option<String>,
+    /// Whether the top-1 verdict names one of the faulted services.
+    pub top1_correct: bool,
+}
+
+/// Everything a single online session produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionReport {
+    /// Application under test.
+    pub app: String,
+    /// Simulation seed of the live run.
+    pub seed: u64,
+    /// Per-episode reports, in schedule order.
+    pub incidents: Vec<IncidentReport>,
+    /// Confirmations that matched no scheduled episode.
+    pub false_alarms: usize,
+    /// Hopping windows the ingester emitted over the session.
+    pub windows_ingested: u64,
+    /// Total faults injected (overlapping episodes inject several).
+    pub injected_faults: usize,
+}
+
+impl SessionReport {
+    /// Detected episodes / total episodes.
+    pub fn detection_rate(&self) -> f64 {
+        if self.incidents.is_empty() {
+            return 0.0;
+        }
+        let detected = self.incidents.iter().filter(|i| i.detected).count();
+        detected as f64 / self.incidents.len() as f64
+    }
+
+    /// Correct top-1 verdicts / total episodes (undetected episodes count
+    /// as misses, matching how offline accuracy scores every case).
+    pub fn top1_accuracy(&self) -> f64 {
+        if self.incidents.is_empty() {
+            return 0.0;
+        }
+        let correct = self.incidents.iter().filter(|i| i.top1_correct).count();
+        correct as f64 / self.incidents.len() as f64
+    }
+
+    /// Mean time-to-detect over detected episodes, if any were detected.
+    pub fn mean_time_to_detect_secs(&self) -> Option<f64> {
+        mean(self.incidents.iter().filter_map(|i| i.time_to_detect_secs))
+    }
+
+    /// Mean time-to-localize over localized episodes, if any.
+    pub fn mean_time_to_localize_secs(&self) -> Option<f64> {
+        mean(
+            self.incidents
+                .iter()
+                .filter_map(|i| i.time_to_localize_secs),
+        )
+    }
+}
+
+fn mean(values: impl Iterator<Item = f64>) -> Option<f64> {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        None
+    } else {
+        Some(sum / n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn incident(detected: bool, correct: bool, ttd: Option<f64>) -> IncidentReport {
+        IncidentReport {
+            episode: 0,
+            services: vec!["A".into()],
+            injected_start_secs: 10.0,
+            injected_end_secs: 60.0,
+            detected,
+            time_to_detect_secs: ttd,
+            time_to_localize_secs: ttd.map(|t| t + 5.0),
+            resolved_secs: None,
+            ranked: Vec::new(),
+            top1: detected.then(|| "A".to_string()),
+            top1_correct: correct,
+        }
+    }
+
+    #[test]
+    fn rates_and_means() {
+        let report = SessionReport {
+            app: "causalbench".into(),
+            seed: 42,
+            incidents: vec![
+                incident(true, true, Some(20.0)),
+                incident(true, false, Some(30.0)),
+                incident(false, false, None),
+            ],
+            false_alarms: 1,
+            windows_ingested: 100,
+            injected_faults: 3,
+        };
+        assert!((report.detection_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((report.top1_accuracy() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(report.mean_time_to_detect_secs(), Some(25.0));
+        assert_eq!(report.mean_time_to_localize_secs(), Some(30.0));
+    }
+
+    #[test]
+    fn empty_session_is_well_defined() {
+        let report = SessionReport {
+            app: "causalbench".into(),
+            seed: 42,
+            incidents: Vec::new(),
+            false_alarms: 0,
+            windows_ingested: 0,
+            injected_faults: 0,
+        };
+        assert_eq!(report.detection_rate(), 0.0);
+        assert_eq!(report.top1_accuracy(), 0.0);
+        assert_eq!(report.mean_time_to_detect_secs(), None);
+    }
+}

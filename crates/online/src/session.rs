@@ -1,0 +1,513 @@
+//! The online inference session: a long-running simulated cluster serving
+//! continuous traffic while faults fire on a schedule and the streaming
+//! ingester + incident detector + online localizer watch the live windows.
+//!
+//! The session is the in-process equivalent of the paper's production
+//! platform (Fig. 3): data collection feeds the inference service, which
+//! detects incidents on live windows and, on confirmation, runs
+//! Algorithm 2 majority voting against a trained [`CausalModel`]. The
+//! host drives detection ticks *between* `run_until` segments at window
+//! boundaries, so every statistical decision happens at a deterministic
+//! simulation time and the report is byte-identical for a given seed
+//! regardless of thread count.
+
+use icfl_apps::App;
+use icfl_core::{CausalModel, Localization};
+use icfl_faults::{FaultInjector, InterventionTrace};
+use icfl_loadgen::{start_load, LoadConfig};
+use icfl_micro::{Cluster, FaultKind, ServiceId};
+use icfl_sim::{Sim, SimDuration, SimTime};
+use icfl_telemetry::WindowConfig;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::detector::{DebounceConfig, DetectorEvent, IncidentDetector};
+use crate::ingest::{IngestConfig, StreamingIngester};
+use crate::report::{IncidentReport, SessionReport};
+use icfl_stats::ShiftDetector;
+
+/// One fault within an episode, offset from the episode start.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpisodeFault {
+    /// Service to fault.
+    pub service: ServiceId,
+    /// Fault to inject.
+    pub fault: FaultKind,
+    /// Delay from the episode start to this fault's onset.
+    pub offset: SimDuration,
+    /// How long the fault stays active.
+    pub duration: SimDuration,
+}
+
+/// One incident episode: one or more (possibly overlapping) faults
+/// injected around the same time and expected to be detected as a single
+/// incident.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Episode {
+    /// Onset of the episode on the simulation clock.
+    pub start: SimTime,
+    /// The episode's faults. A single entry is an ordinary incident;
+    /// several entries model overlapping faults.
+    pub faults: Vec<EpisodeFault>,
+}
+
+impl Episode {
+    /// A single-fault episode starting at `start`.
+    pub fn single(
+        start: SimTime,
+        service: ServiceId,
+        fault: FaultKind,
+        duration: SimDuration,
+    ) -> Self {
+        Episode {
+            start,
+            faults: vec![EpisodeFault {
+                service,
+                fault,
+                offset: SimDuration::from_secs(0),
+                duration,
+            }],
+        }
+    }
+
+    /// When the last fault of the episode lifts.
+    pub fn end(&self) -> SimTime {
+        self.faults
+            .iter()
+            .map(|f| {
+                self.start
+                    .checked_add(f.offset)
+                    .and_then(|t| t.checked_add(f.duration))
+                    .expect("episode end overflows the simulation clock")
+            })
+            .max()
+            .unwrap_or(self.start)
+    }
+
+    /// The distinct faulted services, in injection order.
+    pub fn services(&self) -> Vec<ServiceId> {
+        let mut out = Vec::new();
+        for f in &self.faults {
+            if !out.contains(&f.service) {
+                out.push(f.service);
+            }
+        }
+        out
+    }
+}
+
+/// A validated, time-ordered list of non-overlapping episodes.
+///
+/// Faults *within* an episode may overlap freely; *episodes* must be
+/// disjoint and ordered so each confirmation can be attributed to exactly
+/// one episode.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IncidentSchedule {
+    episodes: Vec<Episode>,
+}
+
+impl IncidentSchedule {
+    /// Builds a schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any episode is empty, or episodes are not strictly
+    /// ordered with each starting after the previous one ends.
+    pub fn new(episodes: Vec<Episode>) -> Self {
+        for (i, ep) in episodes.iter().enumerate() {
+            assert!(!ep.faults.is_empty(), "episode {i} has no faults");
+            if i > 0 {
+                assert!(
+                    ep.start >= episodes[i - 1].end(),
+                    "episode {i} starts before episode {} ends",
+                    i - 1
+                );
+            }
+        }
+        IncidentSchedule { episodes }
+    }
+
+    /// The episodes, in order.
+    pub fn episodes(&self) -> &[Episode] {
+        &self.episodes
+    }
+
+    /// Total faults across all episodes.
+    pub fn num_faults(&self) -> usize {
+        self.episodes.iter().map(|e| e.faults.len()).sum()
+    }
+
+    /// When the last episode ends ([`SimTime::ZERO`] if empty).
+    pub fn end(&self) -> SimTime {
+        self.episodes
+            .iter()
+            .map(Episode::end)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Schedules every fault on the simulation.
+    fn arm(&self, sim: &mut Sim<Cluster>, trace: &InterventionTrace) {
+        for ep in &self.episodes {
+            for f in &ep.faults {
+                let from = ep
+                    .start
+                    .checked_add(f.offset)
+                    .expect("fault onset overflows the simulation clock");
+                let to = from
+                    .checked_add(f.duration)
+                    .expect("fault end overflows the simulation clock");
+                FaultInjector::inject_between(sim, f.service, f.fault.clone(), from, to, trace);
+            }
+        }
+    }
+}
+
+/// Tuning of one online session.
+#[derive(Debug, Clone)]
+pub struct OnlineConfig {
+    /// Hopping-window geometry; must match the trained model's windows so
+    /// live windows are distribution-compatible with its baseline.
+    pub windows: WindowConfig,
+    /// Load scale (closed-loop user replicas per flow), matching training.
+    pub replicas: usize,
+    /// Cluster warmup; windows starting earlier are discarded, mirroring
+    /// the offline campaign's warmup phase.
+    pub warmup: SimDuration,
+    /// Live windows fed to each detection tick's two-sample test.
+    pub live_windows: usize,
+    /// Live windows fed to Algorithm 2 at localization time.
+    pub localize_windows: usize,
+    /// Detection ticks to wait between confirmation and localization,
+    /// letting fault windows accumulate for a sharper anomaly set.
+    pub localize_delay_ticks: u32,
+    /// (metric, service) pairs that must shift for a tick to count as
+    /// anomalous.
+    pub min_shifted_pairs: usize,
+    /// Debounce/cool-down tuning of the incident state machine.
+    pub debounce: DebounceConfig,
+    /// Two-sample test for live-vs-reference comparison (KS by default;
+    /// Anderson–Darling opt-in).
+    pub detector: ShiftDetector,
+    /// How long the session keeps running after the last scheduled fault
+    /// lifts, so trailing incidents can resolve.
+    pub drain: SimDuration,
+    /// Grace period after an episode's end during which a confirmation is
+    /// still attributed to it (detection lags injection by design).
+    pub match_slack: SimDuration,
+}
+
+impl OnlineConfig {
+    /// Quick-mode session tuning: 10 s/5 s windows, 10 s warmup.
+    pub fn quick() -> Self {
+        OnlineConfig {
+            windows: WindowConfig::from_secs(10, 5),
+            replicas: 1,
+            warmup: SimDuration::from_secs(10),
+            live_windows: 5,
+            localize_windows: 8,
+            localize_delay_ticks: 2,
+            min_shifted_pairs: 1,
+            debounce: DebounceConfig::default(),
+            detector: ShiftDetector::ks(0.05).with_min_effect(0.1),
+            drain: SimDuration::from_secs(60),
+            match_slack: SimDuration::from_secs(40),
+        }
+    }
+
+    /// Paper-mode session tuning: 60 s/30 s windows, 30 s warmup.
+    pub fn paper() -> Self {
+        OnlineConfig {
+            windows: WindowConfig::default(),
+            replicas: 1,
+            warmup: SimDuration::from_secs(30),
+            live_windows: 5,
+            localize_windows: 8,
+            localize_delay_ticks: 2,
+            min_shifted_pairs: 1,
+            debounce: DebounceConfig::default(),
+            detector: ShiftDetector::ks(0.05).with_min_effect(0.1),
+            drain: SimDuration::from_secs(360),
+            match_slack: SimDuration::from_secs(240),
+        }
+    }
+
+    /// Replaces the two-sample test, returning `self`.
+    pub fn with_detector(mut self, detector: ShiftDetector) -> Self {
+        self.detector = detector;
+        self
+    }
+
+    /// Sets the load scale, returning `self`.
+    pub fn with_replicas(mut self, replicas: usize) -> Self {
+        self.replicas = replicas;
+        self
+    }
+}
+
+/// Errors surfaced while running an online session.
+#[derive(Debug)]
+pub enum OnlineError {
+    /// The application failed to build.
+    Build(icfl_micro::BuildError),
+    /// The load generator rejected its configuration.
+    Load(icfl_loadgen::LoadError),
+    /// A two-sample test failed (degenerate live samples).
+    Stats(icfl_stats::StatsError),
+    /// Localization failed (shape mismatch with the model).
+    Core(icfl_core::CoreError),
+}
+
+impl fmt::Display for OnlineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OnlineError::Build(e) => write!(f, "cluster build failed: {e}"),
+            OnlineError::Load(e) => write!(f, "load generator failed: {e}"),
+            OnlineError::Stats(e) => write!(f, "detection tick failed: {e}"),
+            OnlineError::Core(e) => write!(f, "online localization failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OnlineError {}
+
+impl From<icfl_micro::BuildError> for OnlineError {
+    fn from(e: icfl_micro::BuildError) -> Self {
+        OnlineError::Build(e)
+    }
+}
+impl From<icfl_loadgen::LoadError> for OnlineError {
+    fn from(e: icfl_loadgen::LoadError) -> Self {
+        OnlineError::Load(e)
+    }
+}
+impl From<icfl_stats::StatsError> for OnlineError {
+    fn from(e: icfl_stats::StatsError) -> Self {
+        OnlineError::Stats(e)
+    }
+}
+impl From<icfl_core::CoreError> for OnlineError {
+    fn from(e: icfl_core::CoreError) -> Self {
+        OnlineError::Core(e)
+    }
+}
+
+/// Session result alias.
+pub type Result<T> = std::result::Result<T, OnlineError>;
+
+/// One confirmed incident as tracked while the session runs.
+#[derive(Debug)]
+struct Detection {
+    confirmed_at: SimTime,
+    localize_not_before: SimTime,
+    localized_at: Option<SimTime>,
+    localization: Option<Localization>,
+    resolved_at: Option<SimTime>,
+}
+
+/// The online inference session driver.
+#[derive(Debug)]
+pub struct OnlineSession;
+
+impl OnlineSession {
+    /// Runs one session: builds `app` at `seed`, serves continuous load,
+    /// injects `schedule`'s faults, and watches live windows with the
+    /// incident detector and the online localizer backed by `model`.
+    ///
+    /// The model's catalog and baseline are used as-is; `cfg.windows` must
+    /// match the geometry the model was trained with for its baseline to
+    /// be a valid reference distribution.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the cluster cannot be built, load cannot start, or a
+    /// statistical step fails.
+    pub fn run(
+        app: &App,
+        model: &CausalModel,
+        schedule: &IncidentSchedule,
+        cfg: &OnlineConfig,
+        seed: u64,
+    ) -> Result<SessionReport> {
+        let (mut cluster, _targets) = app.build(seed)?;
+        let mut sim = Sim::new(seed);
+        Cluster::start(&mut sim, &mut cluster);
+
+        let capacity = cfg.live_windows.max(cfg.localize_windows) + 4;
+        let ingester = StreamingIngester::attach(
+            &mut sim,
+            cluster.num_services(),
+            model.catalog(),
+            IngestConfig::new(
+                cfg.windows,
+                capacity,
+                SimTime::ZERO.checked_add(cfg.warmup).expect("warmup fits"),
+            ),
+        );
+        start_load(
+            &mut sim,
+            &mut cluster,
+            &LoadConfig::closed_loop(app.flows.clone()).with_replicas(cfg.replicas),
+        )?;
+
+        let trace = InterventionTrace::new();
+        schedule.arm(&mut sim, &trace);
+
+        let horizon = schedule
+            .end()
+            .checked_add(cfg.drain)
+            .expect("session horizon fits");
+        let mut detector = IncidentDetector::new(cfg.detector, cfg.min_shifted_pairs, cfg.debounce);
+        let reference = model.baseline().clone();
+        let hop = cfg.windows.hop;
+        let localize_delay =
+            SimDuration::from_nanos(hop.as_nanos() * u64::from(cfg.localize_delay_ticks));
+
+        let mut detections: Vec<Detection> = Vec::new();
+
+        // Detection ticks sit on window-end boundaries: window + k·hop.
+        let mut tick = SimTime::ZERO
+            .checked_add(cfg.windows.window)
+            .expect("first boundary fits");
+        while tick <= horizon {
+            sim.run_until(tick, &mut cluster);
+
+            if let Some(live) = ingester.last_n(cfg.live_windows) {
+                let decision = detector.observe(&reference, &live)?;
+                match decision.event {
+                    Some(DetectorEvent::Confirmed) => detections.push(Detection {
+                        confirmed_at: tick,
+                        localize_not_before: tick
+                            .checked_add(localize_delay)
+                            .expect("localize time fits"),
+                        localized_at: None,
+                        localization: None,
+                        resolved_at: None,
+                    }),
+                    Some(DetectorEvent::Resolved) => {
+                        if let Some(d) = detections
+                            .iter_mut()
+                            .rev()
+                            .find(|d| d.resolved_at.is_none())
+                        {
+                            d.resolved_at = Some(tick);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+
+            // Localize pending confirmations once their delay has passed
+            // and enough live windows are retained.
+            for d in detections.iter_mut() {
+                if d.localization.is_none() && tick >= d.localize_not_before {
+                    if let Some(live) = ingester.last_n(cfg.localize_windows) {
+                        d.localization = Some(model.localize(&live)?);
+                        d.localized_at = Some(tick);
+                    }
+                }
+            }
+
+            tick = match tick.checked_add(hop) {
+                Some(t) => t,
+                None => break,
+            };
+        }
+
+        Ok(Self::assemble_report(
+            app,
+            &cluster,
+            schedule,
+            cfg,
+            seed,
+            detections,
+            ingester.windows_emitted(),
+        ))
+    }
+
+    fn assemble_report(
+        app: &App,
+        cluster: &Cluster,
+        schedule: &IncidentSchedule,
+        cfg: &OnlineConfig,
+        seed: u64,
+        detections: Vec<Detection>,
+        windows_ingested: u64,
+    ) -> SessionReport {
+        // Attribute each confirmation to the episode whose active span
+        // (onset through end + slack) contains it; both lists are time
+        // ordered and episodes are disjoint, so a greedy scan is exact.
+        let mut matched: Vec<Option<usize>> = vec![None; schedule.episodes().len()];
+        let mut false_alarms = 0usize;
+        for (di, d) in detections.iter().enumerate() {
+            let mut hit = false;
+            for (ei, ep) in schedule.episodes().iter().enumerate() {
+                let open = ep
+                    .end()
+                    .checked_add(cfg.match_slack)
+                    .expect("match window fits");
+                if matched[ei].is_none() && d.confirmed_at >= ep.start && d.confirmed_at <= open {
+                    matched[ei] = Some(di);
+                    hit = true;
+                    break;
+                }
+            }
+            if !hit {
+                false_alarms += 1;
+            }
+        }
+
+        let incidents = schedule
+            .episodes()
+            .iter()
+            .enumerate()
+            .map(|(ei, ep)| {
+                let services: Vec<String> = ep
+                    .services()
+                    .iter()
+                    .map(|&s| cluster.service_name(s).to_string())
+                    .collect();
+                let detection = matched[ei].map(|di| &detections[di]);
+                let start = ep.start;
+                let secs_since = |t: SimTime| t.saturating_since(start).as_secs_f64();
+                let ranked: Vec<(String, f64)> = detection
+                    .and_then(|d| d.localization.as_ref())
+                    .map(|loc| {
+                        loc.ranked()
+                            .into_iter()
+                            .map(|(s, v)| (cluster.service_name(s).to_string(), v))
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                let top1 = ranked.first().map(|(name, _)| name.clone());
+                let top1_correct = top1
+                    .as_ref()
+                    .is_some_and(|name| services.iter().any(|s| s == name));
+                IncidentReport {
+                    episode: ei,
+                    services,
+                    injected_start_secs: start.as_secs_f64(),
+                    injected_end_secs: ep.end().as_secs_f64(),
+                    detected: detection.is_some(),
+                    time_to_detect_secs: detection.map(|d| secs_since(d.confirmed_at)),
+                    time_to_localize_secs: detection.and_then(|d| d.localized_at).map(secs_since),
+                    resolved_secs: detection
+                        .and_then(|d| d.resolved_at)
+                        .map(|t| t.as_secs_f64()),
+                    ranked,
+                    top1,
+                    top1_correct,
+                }
+            })
+            .collect();
+
+        SessionReport {
+            app: app.name.clone(),
+            seed,
+            incidents,
+            false_alarms,
+            windows_ingested,
+            injected_faults: schedule.num_faults(),
+        }
+    }
+}

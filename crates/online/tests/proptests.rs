@@ -1,0 +1,132 @@
+//! Property-based tests for the incident-detector state machine: under
+//! arbitrary interleavings of suspect/clear signals it never resolves an
+//! incident it hasn't confirmed, never double-counts one, and all of its
+//! counters stay consistent with the event stream it emits.
+
+use icfl_online::{DebounceConfig, DetectorEvent, IncidentPhase, IncidentStateMachine};
+use proptest::prelude::*;
+
+fn machine(confirm: u32, clear: u32, cooldown: u32) -> IncidentStateMachine {
+    IncidentStateMachine::new(DebounceConfig {
+        confirm_ticks: confirm,
+        clear_ticks: clear,
+        cooldown_ticks: cooldown,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `Resolved` can only follow an unmatched `Confirmed`, each incident
+    /// resolves at most once, and the machine's own counters agree with
+    /// the events it emitted.
+    #[test]
+    fn never_resolves_before_confirming_and_never_double_counts(
+        signals in proptest::collection::vec(any::<bool>(), 0..300),
+        confirm in 1u32..5,
+        clear in 1u32..5,
+        cooldown in 0u32..4,
+    ) {
+        let mut m = machine(confirm, clear, cooldown);
+        let mut confirmed = 0u64;
+        let mut resolved = 0u64;
+        for (i, &suspect) in signals.iter().enumerate() {
+            match m.step(suspect) {
+                Some(DetectorEvent::Confirmed) => {
+                    // A new incident may only open once the previous one
+                    // has resolved — this is exactly "never double-counts".
+                    prop_assert_eq!(
+                        confirmed, resolved,
+                        "tick {}: confirmed a new incident while one is open", i
+                    );
+                    confirmed += 1;
+                }
+                Some(DetectorEvent::Resolved) => {
+                    // Resolution requires an open confirmed incident —
+                    // "never resolved before confirmed".
+                    prop_assert_eq!(
+                        resolved + 1, confirmed,
+                        "tick {}: resolved with no open incident", i
+                    );
+                    resolved += 1;
+                }
+                Some(DetectorEvent::Suspected) | Some(DetectorEvent::Dismissed) | None => {}
+            }
+            prop_assert!(resolved <= confirmed);
+            prop_assert!(confirmed - resolved <= 1, "more than one open incident");
+            prop_assert_eq!(m.confirmed_count(), confirmed);
+            prop_assert_eq!(m.resolved_count(), resolved);
+        }
+    }
+
+    /// The emitted event stream is well-formed as a whole: lifecycle events
+    /// strictly alternate (Confirmed, Resolved, Confirmed, ...), and a
+    /// Suspected is always terminated by exactly one Confirmed or
+    /// Dismissed before the next Suspected.
+    #[test]
+    fn event_stream_is_well_formed(
+        signals in proptest::collection::vec(any::<bool>(), 0..300),
+        confirm in 1u32..5,
+        clear in 1u32..5,
+        cooldown in 0u32..4,
+    ) {
+        let mut m = machine(confirm, clear, cooldown);
+        let events: Vec<DetectorEvent> =
+            signals.iter().filter_map(|&s| m.step(s)).collect();
+
+        let lifecycle: Vec<&DetectorEvent> = events
+            .iter()
+            .filter(|e| matches!(e, DetectorEvent::Confirmed | DetectorEvent::Resolved))
+            .collect();
+        for (i, e) in lifecycle.iter().enumerate() {
+            let expected = if i % 2 == 0 {
+                DetectorEvent::Confirmed
+            } else {
+                DetectorEvent::Resolved
+            };
+            prop_assert_eq!(**e, expected, "lifecycle events must alternate");
+        }
+
+        let mut suspicion_open = false;
+        for e in &events {
+            match e {
+                DetectorEvent::Suspected => {
+                    prop_assert!(!suspicion_open, "nested suspicion");
+                    suspicion_open = true;
+                }
+                DetectorEvent::Dismissed => {
+                    prop_assert!(suspicion_open, "dismissed without suspicion");
+                    suspicion_open = false;
+                }
+                DetectorEvent::Confirmed => {
+                    // With confirm_ticks == 1 an incident confirms straight
+                    // from quiet without a Suspected tick.
+                    suspicion_open = false;
+                }
+                DetectorEvent::Resolved => {
+                    prop_assert!(!suspicion_open, "resolved inside a suspicion");
+                }
+            }
+        }
+    }
+
+    /// After any signal prefix, a long-enough all-clear tail always drives
+    /// the machine back to quiet with no incident left open.
+    #[test]
+    fn quiet_tail_always_closes_the_incident(
+        signals in proptest::collection::vec(any::<bool>(), 0..200),
+        confirm in 1u32..5,
+        clear in 1u32..5,
+        cooldown in 0u32..4,
+    ) {
+        let mut m = machine(confirm, clear, cooldown);
+        for &s in &signals {
+            m.step(s);
+        }
+        for _ in 0..(clear + cooldown + 2) {
+            m.step(false);
+        }
+        prop_assert_eq!(m.phase(), IncidentPhase::Quiet);
+        prop_assert_eq!(m.confirmed_count(), m.resolved_count());
+    }
+}

@@ -1,0 +1,91 @@
+//! End-to-end smoke of the online inference loop on the small 3-service
+//! chain: train offline, then serve live traffic with two scheduled
+//! outages and check both are detected, localized, and resolved.
+
+use icfl_apps::pattern1;
+use icfl_core::{CampaignRun, RunConfig};
+use icfl_micro::FaultKind;
+use icfl_online::{Episode, IncidentSchedule, OnlineConfig, OnlineSession};
+use icfl_sim::{SimDuration, SimTime};
+use icfl_telemetry::MetricCatalog;
+
+#[test]
+fn detects_and_localizes_scheduled_outages() {
+    let app = pattern1();
+    let cfg = RunConfig::quick(42);
+    let run = CampaignRun::execute(&app, &cfg).unwrap();
+    let catalog = MetricCatalog::derived_all();
+    let model = run.learn(&catalog, RunConfig::default_detector()).unwrap();
+
+    let (_, targets) = app.build(42).unwrap();
+    let schedule = IncidentSchedule::new(vec![
+        Episode::single(
+            SimTime::from_secs(100),
+            targets[0],
+            FaultKind::ServiceUnavailable,
+            SimDuration::from_secs(50),
+        ),
+        Episode::single(
+            SimTime::from_secs(260),
+            targets[1],
+            FaultKind::ServiceUnavailable,
+            SimDuration::from_secs(50),
+        ),
+    ]);
+
+    let report = OnlineSession::run(&app, &model, &schedule, &OnlineConfig::quick(), 42).unwrap();
+
+    assert_eq!(report.incidents.len(), 2);
+    assert_eq!(report.injected_faults, 2);
+    for incident in &report.incidents {
+        assert!(
+            incident.detected,
+            "episode {} ({:?}) was not detected",
+            incident.episode, incident.services
+        );
+        let ttd = incident.time_to_detect_secs.unwrap();
+        assert!(
+            ttd > 0.0 && ttd <= 60.0,
+            "episode {}: implausible time-to-detect {ttd}",
+            incident.episode
+        );
+        let ttl = incident.time_to_localize_secs.unwrap();
+        assert!(ttl >= ttd, "localization cannot precede confirmation");
+        assert!(
+            incident.top1_correct,
+            "episode {}: top-1 was {:?}, injected {:?} (ranked {:?})",
+            incident.episode, incident.top1, incident.services, incident.ranked
+        );
+        assert!(
+            incident.resolved_secs.is_some(),
+            "episode {} never resolved",
+            incident.episode
+        );
+    }
+    assert_eq!(report.false_alarms, 0, "spurious confirmations");
+    assert!((report.top1_accuracy() - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn same_seed_reports_are_byte_identical() {
+    let app = pattern1();
+    let cfg = RunConfig::quick(7);
+    let run = CampaignRun::execute(&app, &cfg).unwrap();
+    let model = run
+        .learn(&MetricCatalog::derived_all(), RunConfig::default_detector())
+        .unwrap();
+    let (_, targets) = app.build(7).unwrap();
+    let schedule = IncidentSchedule::new(vec![Episode::single(
+        SimTime::from_secs(120),
+        targets[2],
+        FaultKind::ServiceUnavailable,
+        SimDuration::from_secs(50),
+    )]);
+
+    let a = OnlineSession::run(&app, &model, &schedule, &OnlineConfig::quick(), 7).unwrap();
+    let b = OnlineSession::run(&app, &model, &schedule, &OnlineConfig::quick(), 7).unwrap();
+    assert_eq!(
+        serde_json::to_string(&a).unwrap(),
+        serde_json::to_string(&b).unwrap()
+    );
+}

@@ -16,6 +16,7 @@
 //! | [`loadgen`] | `icfl-loadgen` | Locust-style closed-loop load |
 //! | [`apps`] | `icfl-apps` | CausalBench, Robot-shop, Fig. 1/2 topologies |
 //! | [`core`] | `icfl-core` | **Algorithms 1 & 2** + scoring + orchestration |
+//! | [`online`] | `icfl-online` | streaming ingest, incident detection, live localization, model registry |
 //! | [`baselines`] | `icfl-baselines` | \[23\], \[24\], pooled, observational |
 //! | [`experiments`] | `icfl-experiments` | regenerate every table & figure |
 //!
@@ -53,6 +54,7 @@ pub use icfl_experiments as experiments;
 pub use icfl_faults as faults;
 pub use icfl_loadgen as loadgen;
 pub use icfl_micro as micro;
+pub use icfl_online as online;
 pub use icfl_sim as sim;
 pub use icfl_stats as stats;
 pub use icfl_telemetry as telemetry;

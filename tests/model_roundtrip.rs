@@ -1,0 +1,84 @@
+//! Registry round-trip fidelity: a model trained on CausalBench, saved
+//! through the model registry, and reloaded must localize *byte-identically*
+//! to the in-memory original — including after an incremental
+//! `update_target` refresh is persisted as a second version.
+
+use icfl::core::{CampaignRun, ProductionRun, RunConfig};
+use icfl::online::{ModelMeta, ModelRegistry};
+use icfl::telemetry::MetricCatalog;
+
+#[test]
+fn reloaded_model_localizes_byte_identically() {
+    let app = icfl::apps::causalbench();
+    let cfg = RunConfig::quick(11);
+    let campaign = CampaignRun::execute(&app, &cfg).expect("campaign");
+    let catalog = MetricCatalog::derived_all();
+    let mut model = campaign
+        .learn(&catalog, RunConfig::default_detector())
+        .expect("learn");
+
+    let root = std::env::temp_dir().join(format!("icfl-roundtrip-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let registry = ModelRegistry::open(&root).expect("open registry");
+    let meta = ModelMeta {
+        app: app.name.clone(),
+        seed: 11,
+        catalog: catalog.name().to_owned(),
+        detector: "ks".into(),
+        num_services: model.num_services(),
+        targets: campaign
+            .targets()
+            .iter()
+            .map(|&t| campaign.service_names()[t.index()].clone())
+            .collect(),
+        note: "roundtrip test".into(),
+    };
+
+    let v1 = registry
+        .save(&app.name, meta.clone(), &model)
+        .expect("save v1");
+    assert_eq!(v1, 1);
+    let reloaded = registry.load_latest(&app.name).expect("reload").model;
+
+    // A fresh production fault, localized by both copies.
+    let target = campaign.targets()[3];
+    let production = ProductionRun::execute(&app, target, &RunConfig::quick(99)).expect("prod");
+    let dataset = production.dataset(&catalog).expect("dataset");
+    let original_verdict = model.localize(&dataset).expect("localize original");
+    let reloaded_verdict = reloaded.localize(&dataset).expect("localize reloaded");
+    assert_eq!(
+        serde_json::to_string(&original_verdict).expect("json"),
+        serde_json::to_string(&reloaded_verdict).expect("json"),
+        "reloaded model must localize byte-identically"
+    );
+    assert_eq!(
+        model.to_json().expect("json"),
+        reloaded.to_json().expect("json"),
+        "registry round-trip must preserve the model bytes"
+    );
+
+    // Incremental refresh: re-learn one target's causal sets from a fresh
+    // intervention dataset, persist as v2, and round-trip again.
+    let refresh = CampaignRun::execute(&app, &RunConfig::quick(123)).expect("refresh campaign");
+    let fault_data = refresh
+        .fault_datasets(&catalog)
+        .expect("fault datasets")
+        .into_iter()
+        .find(|(svc, _)| *svc == target)
+        .expect("refreshed campaign covers the target")
+        .1;
+    model
+        .update_target(target, &fault_data)
+        .expect("update_target");
+    let v2 = registry.save(&app.name, meta, &model).expect("save v2");
+    assert_eq!(v2, 2);
+    let reloaded2 = registry.load_latest(&app.name).expect("reload v2").model;
+    assert_eq!(
+        serde_json::to_string(&model.localize(&dataset).expect("localize")).expect("json"),
+        serde_json::to_string(&reloaded2.localize(&dataset).expect("localize")).expect("json"),
+        "updated model must round-trip byte-identically too"
+    );
+    assert_eq!(registry.versions(&app.name).expect("versions"), vec![1, 2]);
+
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -1,0 +1,71 @@
+//! The production experiment's acceptance gates: thread-count invariance
+//! (byte-identical reports at 1, 2, and max worker threads), incident
+//! coverage (≥ 20 injected outages across both benchmark apps), and
+//! online top-1 accuracy within 0.05 of the offline 1× reference.
+
+use icfl::experiments::{production, Mode, ProductionOptions, ProductionReport};
+
+fn run_at(threads: usize, tag: &str) -> ProductionReport {
+    let root =
+        std::env::temp_dir().join(format!("icfl-production-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let mut opts = ProductionOptions::new(Mode::Quick, 42).with_registry_root(&root);
+    opts.threads = threads;
+    let report = production(&opts).expect("production run failed");
+    let _ = std::fs::remove_dir_all(&root);
+    report
+}
+
+#[test]
+fn production_is_thread_invariant_and_meets_the_offline_bar() {
+    let max = std::thread::available_parallelism()
+        .map_or(4, usize::from)
+        .max(3);
+    let serial = run_at(1, "t1");
+    let two = run_at(2, "t2");
+    let wide = run_at(max, "tmax");
+
+    let as_json = |r: &ProductionReport| serde_json::to_string(r).expect("serialize report");
+    assert_eq!(
+        as_json(&serial),
+        as_json(&two),
+        "1 vs 2 worker threads changed the report"
+    );
+    assert_eq!(
+        as_json(&serial),
+        as_json(&wide),
+        "1 vs {max} worker threads changed the report"
+    );
+
+    assert!(
+        serial.total_episodes() >= 20,
+        "need at least 20 injected incidents, got {}",
+        serial.total_episodes()
+    );
+    assert_eq!(serial.apps.len(), 2, "both benchmark apps must run");
+    for app in &serial.apps {
+        for session in &app.sessions {
+            for incident in &session.incidents {
+                if incident.detected {
+                    assert!(
+                        incident.time_to_detect_secs.is_some(),
+                        "{}: detected incident without a time-to-detect",
+                        app.app
+                    );
+                    assert!(
+                        incident.time_to_localize_secs.is_some(),
+                        "{}: detected incident without a time-to-localize",
+                        app.app
+                    );
+                }
+            }
+        }
+        assert!(
+            app.online_top1_accuracy() >= app.offline_accuracy - 0.05,
+            "{}: online top-1 {:.3} fell more than 0.05 below offline {:.3}",
+            app.app,
+            app.online_top1_accuracy(),
+            app.offline_accuracy
+        );
+    }
+}
