@@ -1,0 +1,79 @@
+//! Golden equivalence gate for the scenario/window-engine refactor.
+//!
+//! The JSON files under `tests/goldens/` were captured from the
+//! pre-refactor pipeline (hand-rolled assembly sites + the full-dataset
+//! `Recorder`). Every output here — the Table I quick-mode learned model,
+//! its evaluation summaries, and the production session report — must stay
+//! byte-identical as the internals move onto `icfl-scenario` and the
+//! unified `WindowEngine`.
+//!
+//! Regenerate (only when an intentional semantic change is made) with
+//! `ICFL_UPDATE_GOLDENS=1 cargo test --test golden_refactor`.
+
+use icfl::core::{CampaignRun, EvalSuite, RunConfig};
+use icfl::experiments::{production, Mode, ProductionOptions};
+use icfl::telemetry::MetricCatalog;
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/goldens")
+        .join(name)
+}
+
+/// Compares `actual` against the committed golden, or rewrites the golden
+/// when `ICFL_UPDATE_GOLDENS` is set.
+fn assert_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("ICFL_UPDATE_GOLDENS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("create goldens dir");
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {}: {e}", path.display()));
+    assert_eq!(
+        expected, actual,
+        "{name}: output diverged from the pre-refactor golden"
+    );
+}
+
+#[test]
+fn table1_quick_model_and_summaries_match_goldens() {
+    for app in [icfl::apps::causalbench(), icfl::apps::robot_shop()] {
+        let campaign = CampaignRun::execute(&app, &Mode::Quick.train_cfg(42)).expect("campaign");
+        let model = campaign
+            .learn(&MetricCatalog::derived_all(), RunConfig::default_detector())
+            .expect("learn");
+        assert_golden(
+            &format!("table1_{}_model.json", app.name),
+            &serde_json::to_string_pretty(&model).expect("model json"),
+        );
+        for load in [1usize, 4] {
+            let suite = EvalSuite::execute(
+                &app,
+                campaign.targets(),
+                &Mode::Quick.eval_cfg(42).with_replicas(load),
+            )
+            .expect("eval suite");
+            let summary = suite.evaluate(&model).expect("evaluate");
+            assert_golden(
+                &format!("table1_{}_eval_{}x.json", app.name, load),
+                &serde_json::to_string_pretty(&summary).expect("summary json"),
+            );
+        }
+    }
+}
+
+#[test]
+fn production_quick_report_matches_golden() {
+    let root = std::env::temp_dir().join(format!("icfl-golden-production-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let opts = ProductionOptions::new(Mode::Quick, 42).with_registry_root(&root);
+    let report = production(&opts).expect("production run");
+    let _ = std::fs::remove_dir_all(&root);
+    assert_golden(
+        "production_quick_report.json",
+        &serde_json::to_string_pretty(&report).expect("report json"),
+    );
+}
