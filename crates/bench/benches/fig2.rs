@@ -5,9 +5,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use icfl_experiments::{fig2, fig4, Mode};
-use icfl_loadgen::{start_load, LoadConfig};
-use icfl_micro::Cluster;
-use icfl_sim::{Sim, SimTime};
+use icfl_scenario::Scenario;
+use icfl_sim::SimTime;
 use std::hint::black_box;
 
 fn bench_fig2(c: &mut Criterion) {
@@ -20,17 +19,9 @@ fn bench_fig2(c: &mut Criterion) {
     c.bench_function("simulate/fig2_topology_60s_closed_loop", |b| {
         b.iter(|| {
             let app = icfl_apps::fig2_topology();
-            let (mut cluster, _) = app.build(9).expect("build");
-            let mut sim = Sim::new(9);
-            Cluster::start(&mut sim, &mut cluster);
-            start_load(
-                &mut sim,
-                &mut cluster,
-                &LoadConfig::closed_loop(app.flows.clone()),
-            )
-            .expect("load");
-            sim.run_until(SimTime::from_secs(60), &mut cluster);
-            black_box(sim.events_executed())
+            let mut scenario = Scenario::builder(&app, 9).build().expect("assemble");
+            scenario.run_until(SimTime::from_secs(60));
+            black_box(scenario.sim.events_executed())
         })
     });
 }

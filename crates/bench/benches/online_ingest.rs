@@ -5,10 +5,9 @@
 //! and the incremental window finalization into the ring.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use icfl_loadgen::{start_load, LoadConfig};
-use icfl_micro::Cluster;
-use icfl_online::{IngestConfig, StreamingIngester};
-use icfl_sim::{Sim, SimTime};
+use icfl_online::{IngestConfig, IngesterTap};
+use icfl_scenario::Scenario;
+use icfl_sim::SimTime;
 use icfl_telemetry::{MetricCatalog, WindowConfig};
 use std::hint::black_box;
 
@@ -18,22 +17,15 @@ const STREAM_SECS: u64 = 300;
 /// ingester at the given load scale, returning windows finalized.
 fn stream(replicas: usize) -> u64 {
     let app = icfl_apps::causalbench();
-    let (mut cluster, _) = app.build(17).expect("build");
-    let mut sim = Sim::new(17);
-    Cluster::start(&mut sim, &mut cluster);
-    let ingester = StreamingIngester::attach(
-        &mut sim,
-        cluster.num_services(),
+    let tap = IngesterTap::new(
         &MetricCatalog::derived_all(),
         IngestConfig::new(WindowConfig::from_secs(10, 5), 16, SimTime::ZERO),
     );
-    start_load(
-        &mut sim,
-        &mut cluster,
-        &LoadConfig::closed_loop(app.flows.clone()).with_replicas(replicas),
-    )
-    .expect("load");
-    sim.run_until(SimTime::from_secs(STREAM_SECS), &mut cluster);
+    let (mut scenario, ingester) = Scenario::builder(&app, 17)
+        .replicas(replicas)
+        .build_with(tap)
+        .expect("assemble");
+    scenario.run_until(SimTime::from_secs(STREAM_SECS));
     ingester.windows_emitted()
 }
 

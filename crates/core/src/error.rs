@@ -20,6 +20,8 @@ pub enum CoreError {
     },
     /// Model (de)serialization failed.
     Serde(String),
+    /// An I/O path (report or model file) failed.
+    Io(String),
 }
 
 impl fmt::Display for CoreError {
@@ -31,6 +33,7 @@ impl fmt::Display for CoreError {
             CoreError::Stats(e) => write!(f, "statistical test failed: {e}"),
             CoreError::ShapeMismatch { what } => write!(f, "dataset shape mismatch: {what}"),
             CoreError::Serde(e) => write!(f, "model serialization failed: {e}"),
+            CoreError::Io(e) => write!(f, "i/o failed: {e}"),
         }
     }
 }
@@ -68,6 +71,21 @@ impl From<icfl_telemetry::TelemetryError> for CoreError {
 impl From<icfl_stats::StatsError> for CoreError {
     fn from(e: icfl_stats::StatsError) -> Self {
         CoreError::Stats(e)
+    }
+}
+
+impl From<icfl_scenario::ScenarioError> for CoreError {
+    fn from(e: icfl_scenario::ScenarioError) -> Self {
+        match e {
+            icfl_scenario::ScenarioError::Build(e) => CoreError::Build(e),
+            icfl_scenario::ScenarioError::Load(e) => CoreError::Load(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for CoreError {
+    fn from(e: std::io::Error) -> Self {
+        CoreError::Io(e.to_string())
     }
 }
 

@@ -17,10 +17,10 @@ use crate::localize::MatchRule;
 use crate::model::CausalModel;
 use crate::score::{CaseResult, EvalSummary};
 use icfl_apps::App;
-use icfl_faults::{CampaignConfig, FaultInjector, InterventionTrace, TraceEntry};
-use icfl_loadgen::{start_load, LoadConfig};
-use icfl_micro::{Cluster, FaultKind, ServiceId};
-use icfl_sim::{Sim, SimDuration, SimTime};
+use icfl_faults::{CampaignConfig, InterventionTrace, TraceEntry};
+use icfl_micro::{FaultKind, ServiceId};
+use icfl_scenario::{seeds, RecorderTap, Scenario};
+use icfl_sim::{SimDuration, SimTime};
 use icfl_stats::ShiftDetector;
 use icfl_telemetry::{Dataset, MetricCatalog, Recorder, WindowConfig};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -159,48 +159,29 @@ where
     done.into_iter().map(|(_, out)| out).collect()
 }
 
-/// Telemetry of one simulated phase: the run's recorder plus the phase
-/// bounds datasets are extracted over.
+/// Telemetry of one simulated phase: the run's phase-scoped recorder.
 struct PhaseRecording {
     recorder: Recorder,
-    window: (SimTime, SimTime),
 }
 
-/// Builds a fresh cluster and simulation from `cfg.seed`, drives
-/// closed-loop load through warmup plus one phase of `phase_len`, with
-/// `fault` (if any) active over the phase.
+/// Assembles a fresh scenario from `cfg.seed`, drives closed-loop load
+/// through warmup plus one phase of `phase_len`, with `fault` (if any)
+/// active over the phase.
 fn simulate_phase(
     app: &App,
     cfg: &RunConfig,
     phase_len: SimDuration,
     fault: Option<(ServiceId, &InterventionTrace)>,
 ) -> Result<PhaseRecording> {
-    let (mut cluster, _) = app.build(cfg.seed)?;
-    let mut sim = Sim::new(cfg.seed);
-    Cluster::start(&mut sim, &mut cluster);
-    let recorder = Recorder::attach(&mut sim, cluster.num_services());
-    start_load(
-        &mut sim,
-        &mut cluster,
-        &LoadConfig::closed_loop(app.flows.clone()).with_replicas(cfg.replicas),
-    )?;
     let from = SimTime::ZERO + cfg.campaign.warmup;
     let to = from + phase_len;
+    let mut builder = Scenario::builder(app, cfg.seed).replicas(cfg.replicas);
     if let Some((svc, trace)) = fault {
-        FaultInjector::inject_between(&mut sim, svc, cfg.fault.clone(), from, to, trace);
+        builder = builder.fault_between(svc, cfg.fault.clone(), from, to, trace);
     }
-    sim.run_until(to, &mut cluster);
-    Ok(PhaseRecording {
-        recorder,
-        window: (from, to),
-    })
-}
-
-/// Seed stream for the campaign's per-target fault runs. The multiplier
-/// differs from [`EvalSuite::execute`]'s so training and evaluation
-/// traffic stay independent even at the same base seed.
-fn campaign_fault_seed(base: u64, index: usize) -> u64 {
-    base.wrapping_add((index as u64 + 1).wrapping_mul(0xd1b5_4a32_d192_ed03))
+    let (mut scenario, recorder) = builder.build_with(RecorderTap::new((from, to), cfg.windows))?;
+    scenario.run_until(to);
+    Ok(PhaseRecording { recorder })
 }
 
 /// Output of one campaign worker job.
@@ -221,7 +202,6 @@ pub struct CampaignRun {
     baseline: PhaseRecording,
     faults: Vec<(ServiceId, PhaseRecording)>,
     targets: Vec<ServiceId>,
-    windows: WindowConfig,
     service_names: Vec<String>,
     /// Audit log of the interventions actually performed, in campaign
     /// (target) order.
@@ -269,7 +249,7 @@ impl CampaignRun {
             } else {
                 let target = targets[i - 1];
                 let case_cfg = RunConfig {
-                    seed: campaign_fault_seed(cfg.seed, i - 1),
+                    seed: seeds::campaign_fault(cfg.seed, i - 1),
                     ..cfg.clone()
                 };
                 let run_trace = InterventionTrace::new();
@@ -300,7 +280,6 @@ impl CampaignRun {
             baseline: baseline.expect("job 0 records the baseline"),
             faults,
             targets,
-            windows: cfg.windows,
             service_names,
             trace,
         })
@@ -322,11 +301,7 @@ impl CampaignRun {
     ///
     /// Telemetry extraction errors (phase too short, missing samples).
     pub fn baseline(&self, catalog: &MetricCatalog) -> Result<Dataset> {
-        let (from, to) = self.baseline.window;
-        Ok(self
-            .baseline
-            .recorder
-            .dataset(catalog, from, to, self.windows)?)
+        Ok(self.baseline.recorder.dataset(catalog)?)
     }
 
     /// Extracts every fault-phase dataset `(s, D_s)` for a catalog.
@@ -337,10 +312,7 @@ impl CampaignRun {
     pub fn fault_datasets(&self, catalog: &MetricCatalog) -> Result<Vec<(ServiceId, Dataset)>> {
         let mut out = Vec::with_capacity(self.faults.len());
         for (svc, rec) in &self.faults {
-            let ds = rec
-                .recorder
-                .dataset(catalog, rec.window.0, rec.window.1, self.windows)?;
-            out.push((*svc, ds));
+            out.push((*svc, rec.recorder.dataset(catalog)?));
         }
         Ok(out)
     }
@@ -361,8 +333,6 @@ impl CampaignRun {
 /// active, telemetry collected over the fault window.
 pub struct ProductionRun {
     recorder: Recorder,
-    window: (SimTime, SimTime),
-    windows: WindowConfig,
     /// The service the fault was injected into (ground truth).
     pub injected: ServiceId,
 }
@@ -391,8 +361,6 @@ impl ProductionRun {
         )?;
         Ok(ProductionRun {
             recorder: rec.recorder,
-            window: rec.window,
-            windows: cfg.windows,
             injected,
         })
     }
@@ -403,9 +371,7 @@ impl ProductionRun {
     ///
     /// Telemetry extraction errors.
     pub fn dataset(&self, catalog: &MetricCatalog) -> Result<Dataset> {
-        Ok(self
-            .recorder
-            .dataset(catalog, self.window.0, self.window.1, self.windows)?)
+        Ok(self.recorder.dataset(catalog)?)
     }
 }
 
@@ -415,8 +381,6 @@ impl ProductionRun {
 /// different metrics vote for different culprits.
 pub struct MultiFaultRun {
     recorder: Recorder,
-    window: (SimTime, SimTime),
-    windows: WindowConfig,
     /// The services faults were injected into (ground truth).
     pub injected: Vec<ServiceId>,
 }
@@ -451,26 +415,18 @@ impl MultiFaultRun {
             !faults.is_empty(),
             "a multi-fault run needs at least one fault"
         );
-        let (mut cluster, _) = app.build(cfg.seed)?;
-        let mut sim = Sim::new(cfg.seed);
-        Cluster::start(&mut sim, &mut cluster);
-        let recorder = Recorder::attach(&mut sim, cluster.num_services());
-        start_load(
-            &mut sim,
-            &mut cluster,
-            &LoadConfig::closed_loop(app.flows.clone()).with_replicas(cfg.replicas),
-        )?;
         let from = SimTime::ZERO + cfg.campaign.warmup;
         let to = from + cfg.campaign.fault_duration;
         let trace = InterventionTrace::new();
+        let mut builder = Scenario::builder(app, cfg.seed).replicas(cfg.replicas);
         for (svc, fault) in faults {
-            FaultInjector::inject_between(&mut sim, *svc, fault.clone(), from, to, &trace);
+            builder = builder.fault_between(*svc, fault.clone(), from, to, &trace);
         }
-        sim.run_until(to, &mut cluster);
+        let (mut scenario, recorder) =
+            builder.build_with(RecorderTap::new((from, to), cfg.windows))?;
+        scenario.run_until(to);
         Ok(MultiFaultRun {
             recorder,
-            window: (from, to),
-            windows: cfg.windows,
             injected: faults.iter().map(|(s, _)| *s).collect(),
         })
     }
@@ -481,9 +437,7 @@ impl MultiFaultRun {
     ///
     /// Telemetry extraction errors.
     pub fn dataset(&self, catalog: &MetricCatalog) -> Result<Dataset> {
-        Ok(self
-            .recorder
-            .dataset(catalog, self.window.0, self.window.1, self.windows)?)
+        Ok(self.recorder.dataset(catalog)?)
     }
 }
 
@@ -521,9 +475,7 @@ impl EvalSuite {
         let threads = cfg.resolved_threads(targets.len());
         let results = parallel_map(targets.len(), threads, |i| {
             let case_cfg = RunConfig {
-                seed: cfg
-                    .seed
-                    .wrapping_add((i as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+                seed: seeds::eval_case(cfg.seed, i),
                 ..cfg.clone()
             };
             ProductionRun::execute(app, targets[i], &case_cfg)

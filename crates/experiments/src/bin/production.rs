@@ -44,20 +44,30 @@ fn main() {
             "ks"
         }
     );
-    let timed = run_timed(|| production(&popts).expect("production experiment failed"));
+    let timed = run_timed(|| production(&popts));
+    let report = match timed.result {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("production experiment failed: {e}");
+            std::process::exit(1);
+        }
+    };
     println!("Production platform — online detection and localization");
     println!(
         "({} incidents injected across {} apps; models served from {})\n",
-        timed.result.total_episodes(),
-        timed.result.apps.len(),
+        report.total_episodes(),
+        report.apps.len(),
         popts.registry_root.display()
     );
-    println!("{}", timed.result.render());
+    println!("{}", report.render());
     if opts.json {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&timed.result).expect("serialize")
-        );
+        match serde_json::to_string_pretty(&report) {
+            Ok(json) => println!("{json}"),
+            Err(e) => {
+                eprintln!("failed to serialize the production report: {e}");
+                std::process::exit(1);
+            }
+        }
     }
     report_timing("production", &opts, timed.wall);
 }

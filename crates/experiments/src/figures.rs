@@ -3,11 +3,11 @@
 use crate::mode::Mode;
 use crate::render::TextTable;
 use icfl_core::{CampaignRun, Result, RunConfig};
-use icfl_loadgen::{start_load, ArrivalModel, LoadConfig};
-use icfl_micro::{Cluster, FaultKind};
-use icfl_sim::Sim;
+use icfl_loadgen::ArrivalModel;
+use icfl_micro::FaultKind;
+use icfl_scenario::{RecorderTap, Scenario};
 use icfl_stats::FiveNumber;
-use icfl_telemetry::{MetricCatalog, MetricSpec, RawMetric, Recorder};
+use icfl_telemetry::{MetricCatalog, MetricSpec, RawMetric};
 use serde::{Deserialize, Serialize};
 
 /// One learned causal set, with names resolved for reporting.
@@ -208,25 +208,18 @@ pub fn fig2(mode: Mode, seed: u64) -> Result<Fig2> {
             ("fault-on-C", Some("C")),
             ("fault-on-I", Some("I")),
         ] {
-            let (mut cluster, _) = app.build(cfg.seed)?;
-            if let Some(name) = fault_on {
-                let id = cluster.service_id(name).expect("fig2 service");
-                cluster.set_fault(id, Some(FaultKind::ServiceUnavailable));
-            }
-            let mut sim = Sim::new(cfg.seed);
-            Cluster::start(&mut sim, &mut cluster);
-            let recorder = Recorder::attach(&mut sim, cluster.num_services());
-            start_load(
-                &mut sim,
-                &mut cluster,
-                &LoadConfig::closed_loop(app.flows.clone()).with_model(model),
-            )?;
             let from = icfl_sim::SimTime::ZERO + cfg.campaign.warmup;
             let to = from + cfg.campaign.fault_duration;
-            sim.run_until(to, &mut cluster);
-            let ds = recorder.dataset(&catalog, from, to, cfg.windows)?;
+            let mut builder = Scenario::builder(&app, cfg.seed).arrival(model);
+            if let Some(name) = fault_on {
+                builder = builder.preset_fault(name, FaultKind::ServiceUnavailable);
+            }
+            let (mut run, recorder) =
+                builder.build_with(RecorderTap::new((from, to), cfg.windows))?;
+            run.run_until(to);
+            let ds = recorder.dataset(&catalog)?;
             for at in ["I", "C"] {
-                let id = cluster.service_id(at).expect("fig2 service");
+                let id = run.cluster.service_id(at).expect("fig2 service");
                 let samples = ds.samples(0, id);
                 rows.push(Fig2Row {
                     arrival: arrival_name.to_owned(),
@@ -285,15 +278,11 @@ pub fn fig4(seed: u64) -> Result<Fig4> {
     let edges = app.call_edges();
     let mut flows = Vec::new();
     for flow in &app.flows {
-        let (mut cluster, _) = app.build(seed)?;
-        let mut sim = Sim::new(seed);
-        Cluster::start(&mut sim, &mut cluster);
-        start_load(
-            &mut sim,
-            &mut cluster,
-            &LoadConfig::closed_loop(vec![flow.clone()]),
-        )?;
-        sim.run_until(icfl_sim::SimTime::from_secs(60), &mut cluster);
+        let mut scenario = Scenario::builder(&app, seed)
+            .flows(vec![flow.clone()])
+            .build()?;
+        scenario.run_until(icfl_sim::SimTime::from_secs(60));
+        let cluster = &scenario.cluster;
         let mut visited: Vec<String> = Vec::new();
         for id in cluster.service_ids() {
             let c = cluster.counters(id);

@@ -26,8 +26,8 @@ impl Mode {
     /// Evaluation-run configuration (same timing, fresh seed stream).
     pub fn eval_cfg(self, seed: u64) -> RunConfig {
         // Evaluation seeds are decorrelated from training by construction
-        // in EvalSuite; offsetting here keeps even the first case distinct.
-        self.train_cfg(seed ^ 0x00e1_7ab1_e5ee_d5ee)
+        // in EvalSuite; salting here keeps even the first case distinct.
+        self.train_cfg(icfl_scenario::seeds::eval_phase(seed))
     }
 }
 

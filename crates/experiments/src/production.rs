@@ -319,13 +319,6 @@ impl ProductionReport {
     }
 }
 
-/// Per-(app, session) seed stream, decorrelated from the training and
-/// evaluation seed streams by its own mixing constant.
-fn session_seed(root: u64, app_idx: usize, session_idx: usize) -> u64 {
-    root.wrapping_add(((app_idx * 16 + session_idx + 1) as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
-        ^ 0x00b5_e55e_d011_4e5e
-}
-
 /// Builds the three session schedules for an application: evenly spaced
 /// single outages, back-to-back single outages, and a mix ending in an
 /// overlapping double outage. All spans are multiples of the hop so every
@@ -437,7 +430,7 @@ pub fn production(opts: &ProductionOptions) -> Result<ProductionReport> {
                 &model,
                 &schedules[i],
                 &online_cfg,
-                session_seed(opts.seed, app_idx, i),
+                icfl_scenario::seeds::production_session(opts.seed, app_idx, i),
             )
         });
         let mut sessions = Vec::with_capacity(outcomes.len());

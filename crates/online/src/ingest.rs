@@ -1,25 +1,25 @@
 //! The streaming ingester: incremental counter scraping into ring-buffered
 //! hopping windows.
 //!
-//! Where the offline [`Recorder`](icfl_telemetry::Recorder) retains the
-//! whole scrape log and differentiates it into datasets after the fact, the
-//! ingester is the production data-collection service of the paper's
-//! platform (Fig. 3): it scrapes every service's counters on a fixed
-//! interval, finalizes each hopping window the moment its end boundary is
-//! scraped, and keeps only a bounded ring of recent window values per
-//! (metric, service) pair plus the one window-length of raw snapshots
-//! needed to close the next window. Memory is O(catalog × services ×
-//! capacity) regardless of how long the simulation runs, and no
-//! full-dataset rebuild ever happens on the hot path.
+//! The ingester is the production data-collection service of the paper's
+//! platform (Fig. 3). It is a thin wrapper over the shared
+//! [`WindowEngine`](icfl_telemetry::WindowEngine) — the *same* incremental
+//! finalizer the offline [`Recorder`](icfl_telemetry::Recorder) runs on —
+//! configured for streaming: windows anchored at time zero, warmup windows
+//! discarded, and only a bounded ring of recent windows retained. Live
+//! windows therefore agree with offline training datasets by construction,
+//! not by test. Memory is O(services × capacity) regardless of how long
+//! the simulation runs, and no full-dataset rebuild ever happens on the
+//! hot path.
 //!
 //! Window boundaries follow exactly the arithmetic of
 //! [`WindowConfig::windows_in`]: window `k` spans
 //! `[k·hop, k·hop + window]`, anchored at the attach time (time zero).
 
 use icfl_micro::{Cluster, Counters, ServiceId};
+use icfl_scenario::TelemetryTap;
 use icfl_sim::{Sim, SimDuration, SimTime};
-use icfl_telemetry::{Dataset, MetricCatalog, MetricSpec, WindowConfig};
-use std::collections::VecDeque;
+use icfl_telemetry::{Dataset, EngineConfig, MetricCatalog, WindowConfig, WindowEngine};
 use std::sync::{Arc, Mutex};
 
 /// Configuration of one streaming ingest loop.
@@ -52,112 +52,9 @@ impl IngestConfig {
     }
 }
 
-struct IngestState {
-    cfg: IngestConfig,
-    metrics: Vec<MetricSpec>,
-    metric_names: Vec<String>,
-    num_services: usize,
-    /// Recent raw snapshots spanning exactly one window length:
-    /// `(scrape time, per-service counters)`, oldest first.
-    snaps: VecDeque<(SimTime, Vec<Counters>)>,
-    /// `rings[m][s]`: finalized per-window metric values, oldest first,
-    /// capped at `cfg.capacity`.
-    rings: Vec<Vec<VecDeque<f64>>>,
-    /// End times of the retained windows (same ring discipline).
-    window_ends: VecDeque<SimTime>,
-    /// Total windows finalized since attach (including evicted ones).
-    emitted: u64,
-}
-
-impl IngestState {
-    fn on_scrape(&mut self, now: SimTime, row: Vec<Counters>) {
-        let window = self.cfg.windows.window;
-        let hop = self.cfg.windows.hop;
-        self.snaps.push_back((now, row));
-        // A window `[now - window, now]` closes at this scrape iff its end
-        // is `window + k·hop` for some k ≥ 0 — the same boundaries
-        // `WindowConfig::windows_in` enumerates from time zero.
-        if now.as_nanos() >= window.as_nanos()
-            && (now.as_nanos() - window.as_nanos()).is_multiple_of(hop.as_nanos())
-        {
-            let start = now.as_nanos() - window.as_nanos();
-            if start >= self.cfg.collect_from.as_nanos() {
-                self.finalize_window(now);
-            }
-        }
-        // Drop snapshots no future window can start at: every boundary
-        // after `now` ends at `> now`, so its start lies at `> now − window`,
-        // and starts sit on the scrape grid — the oldest start still
-        // reachable is `now − window + interval`.
-        let keep_from = now.as_nanos() as i128 + self.cfg.interval.as_nanos() as i128
-            - window.as_nanos() as i128;
-        while let Some(front) = self.snaps.front() {
-            if (front.0.as_nanos() as i128) < keep_from {
-                self.snaps.pop_front();
-            } else {
-                break;
-            }
-        }
-    }
-
-    fn finalize_window(&mut self, end: SimTime) {
-        let window = self.cfg.windows.window;
-        let start_nanos = end.as_nanos() - window.as_nanos();
-        let Some(start_row) = self
-            .snaps
-            .iter()
-            .find(|(t, _)| t.as_nanos() == start_nanos)
-            .map(|(_, row)| row.clone())
-        else {
-            // Attach happened mid-stream (no snapshot at the window start);
-            // skip — only possible for the very first partial window.
-            return;
-        };
-        let end_row = self
-            .snaps
-            .back()
-            .map(|(_, row)| row.clone())
-            .expect("the closing scrape was just pushed");
-        let secs = window.as_secs_f64();
-        for (m, metric) in self.metrics.iter().enumerate() {
-            for svc in 0..self.num_services {
-                let v = metric.evaluate(&start_row[svc], &end_row[svc], secs);
-                let ring = &mut self.rings[m][svc];
-                if ring.len() == self.cfg.capacity {
-                    ring.pop_front();
-                }
-                ring.push_back(v);
-            }
-        }
-        if self.window_ends.len() == self.cfg.capacity {
-            self.window_ends.pop_front();
-        }
-        self.window_ends.push_back(end);
-        self.emitted += 1;
-    }
-
-    fn last_n(&self, n: usize) -> Option<Dataset> {
-        let have = self.window_ends.len();
-        if n == 0 || have < n {
-            return None;
-        }
-        let values: Vec<Vec<Vec<f64>>> = self
-            .rings
-            .iter()
-            .map(|per_svc| {
-                per_svc
-                    .iter()
-                    .map(|ring| ring.iter().skip(have - n).copied().collect())
-                    .collect()
-            })
-            .collect();
-        Some(Dataset::new(self.metric_names.clone(), values))
-    }
-}
-
 /// A handle to the streaming ingest loop attached to a simulation.
 ///
-/// Cloning is cheap (shared state). Attach *before* the simulation runs
+/// Cloning is cheap (shared engine). Attach *before* the simulation runs
 /// past time zero so window boundaries align with the scrape grid.
 ///
 /// # Examples
@@ -187,15 +84,16 @@ impl IngestState {
 /// ```
 #[derive(Clone)]
 pub struct StreamingIngester {
-    state: Arc<Mutex<IngestState>>,
+    engine: Arc<Mutex<WindowEngine>>,
+    catalog: MetricCatalog,
 }
 
 impl std::fmt::Debug for StreamingIngester {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let s = self.state.lock().expect("ingest state lock");
+        let e = self.engine.lock().expect("ingest engine lock");
         f.debug_struct("StreamingIngester")
-            .field("emitted", &s.emitted)
-            .field("retained", &s.window_ends.len())
+            .field("emitted", &e.emitted())
+            .field("retained", &e.retained())
             .finish()
     }
 }
@@ -220,83 +118,87 @@ impl StreamingIngester {
             SimTime::ZERO,
             "attach the ingester before running"
         );
-        assert!(cfg.capacity > 0, "ring capacity must be positive");
-        assert!(!cfg.interval.is_zero(), "scrape interval must be positive");
-        assert_eq!(
-            cfg.windows.window.as_nanos() % cfg.interval.as_nanos(),
-            0,
-            "window must be a multiple of the scrape interval"
-        );
-        assert_eq!(
-            cfg.windows.hop.as_nanos() % cfg.interval.as_nanos(),
-            0,
-            "hop must be a multiple of the scrape interval"
-        );
-        let state = Arc::new(Mutex::new(IngestState {
-            cfg,
-            metrics: cfg_metrics(catalog),
-            metric_names: catalog.metric_names(),
-            num_services,
-            snaps: VecDeque::new(),
-            rings: vec![vec![VecDeque::with_capacity(cfg.capacity); num_services]; catalog.len()],
-            window_ends: VecDeque::with_capacity(cfg.capacity),
-            emitted: 0,
-        }));
-        let shared = Arc::clone(&state);
+        let mut engine_cfg = EngineConfig::streaming(cfg.windows, cfg.capacity, cfg.collect_from);
+        engine_cfg.interval = cfg.interval;
+        let engine = Arc::new(Mutex::new(WindowEngine::new(engine_cfg, num_services)));
+        let shared = Arc::clone(&engine);
         sim.schedule_periodic(SimTime::ZERO, cfg.interval, move |sim, cl: &mut Cluster| {
             let row: Vec<Counters> = (0..num_services)
                 .map(|i| cl.counters(ServiceId::from_index(i)))
                 .collect();
             shared
                 .lock()
-                .expect("ingest state lock")
-                .on_scrape(sim.now(), row);
+                .expect("ingest engine lock")
+                .push(sim.now(), row);
         });
-        StreamingIngester { state }
+        StreamingIngester {
+            engine,
+            catalog: catalog.clone(),
+        }
     }
 
     /// Total windows finalized since attach (monotonic; includes windows
     /// already evicted from the ring).
     pub fn windows_emitted(&self) -> u64 {
-        self.state.lock().expect("ingest state lock").emitted
+        self.engine.lock().expect("ingest engine lock").emitted()
     }
 
     /// Windows currently retained in the ring.
     pub fn retained(&self) -> usize {
-        self.state
-            .lock()
-            .expect("ingest state lock")
-            .window_ends
-            .len()
+        self.engine.lock().expect("ingest engine lock").retained()
     }
 
     /// End time of the newest finalized window, if any.
     pub fn newest_window_end(&self) -> Option<SimTime> {
-        self.state
+        self.engine
             .lock()
-            .expect("ingest state lock")
-            .window_ends
-            .back()
-            .copied()
+            .expect("ingest engine lock")
+            .newest_window_end()
     }
 
     /// A [`Dataset`] of the `n` most recent windows (`None` until `n`
     /// windows have been retained). Shape-compatible with the offline
     /// datasets the causal model was trained on.
     pub fn last_n(&self, n: usize) -> Option<Dataset> {
-        self.state.lock().expect("ingest state lock").last_n(n)
+        self.engine
+            .lock()
+            .expect("ingest engine lock")
+            .last_n(&self.catalog, n)
     }
 }
 
-fn cfg_metrics(catalog: &MetricCatalog) -> Vec<MetricSpec> {
-    catalog.metrics().to_vec()
+/// Streaming collection as a scenario telemetry tap: attaches a
+/// [`StreamingIngester`] for `catalog` at the harness's fixed tap point —
+/// the online counterpart of `icfl_scenario::RecorderTap`, over the same
+/// window engine.
+#[derive(Debug, Clone)]
+pub struct IngesterTap {
+    catalog: MetricCatalog,
+    cfg: IngestConfig,
+}
+
+impl IngesterTap {
+    /// A tap ingesting `catalog` under `cfg`.
+    pub fn new(catalog: &MetricCatalog, cfg: IngestConfig) -> Self {
+        IngesterTap {
+            catalog: catalog.clone(),
+            cfg,
+        }
+    }
+}
+
+impl TelemetryTap for IngesterTap {
+    type Handle = StreamingIngester;
+
+    fn attach(self, sim: &mut Sim<Cluster>, cluster: &Cluster) -> Self::Handle {
+        StreamingIngester::attach(sim, cluster.num_services(), &self.catalog, self.cfg)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use icfl_micro::{steps, ClusterSpec, ServiceSpec};
-    use icfl_telemetry::Recorder;
 
     fn demo(seed: u64) -> (Sim<Cluster>, Cluster) {
         let spec = ClusterSpec::new("demo")
@@ -326,49 +228,9 @@ mod tests {
         }
     }
 
-    #[test]
-    fn emits_the_same_windows_as_the_offline_recorder() {
-        let windows = WindowConfig::from_secs(10, 5);
-        // Offline: record everything, extract the phase dataset at the end.
-        let (mut sim, mut cluster) = demo(7);
-        let recorder = Recorder::attach(&mut sim, cluster.num_services());
-        drive(&mut sim, 120);
-        sim.run_until(SimTime::from_secs(120), &mut cluster);
-        let offline = recorder
-            .dataset(
-                &MetricCatalog::derived_all(),
-                SimTime::ZERO,
-                SimTime::from_secs(120),
-                windows,
-            )
-            .unwrap();
-
-        // Online: same seed, ring large enough to retain every window.
-        let (mut sim, mut cluster) = demo(7);
-        let ingester = StreamingIngester::attach(
-            &mut sim,
-            cluster.num_services(),
-            &MetricCatalog::derived_all(),
-            IngestConfig::new(windows, 64, SimTime::ZERO),
-        );
-        drive(&mut sim, 120);
-        sim.run_until(SimTime::from_secs(120), &mut cluster);
-
-        let n = offline.num_windows();
-        assert_eq!(ingester.windows_emitted(), n as u64);
-        let online = ingester.last_n(n).unwrap();
-        assert_eq!(online.num_metrics(), offline.num_metrics());
-        for m in 0..offline.num_metrics() {
-            for s in 0..offline.num_services() {
-                let svc = ServiceId::from_index(s);
-                assert_eq!(
-                    online.samples(m, svc),
-                    offline.samples(m, svc),
-                    "metric {m} service {s}: streaming and batch windows must agree"
-                );
-            }
-        }
-    }
+    // The streaming-vs-offline equivalence test that used to live here is
+    // gone on purpose: both paths now run on the one
+    // `icfl_telemetry::WindowEngine`, so they agree by construction.
 
     #[test]
     fn ring_evicts_oldest_windows() {

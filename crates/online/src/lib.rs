@@ -35,7 +35,7 @@ pub use detector::{
     DebounceConfig, DetectorEvent, IncidentDetector, IncidentPhase, IncidentStateMachine,
     TickDecision,
 };
-pub use ingest::{IngestConfig, StreamingIngester};
+pub use ingest::{IngestConfig, IngesterTap, StreamingIngester};
 pub use registry::{
     ModelMeta, ModelRecord, ModelRegistry, RegistryError, Result as RegistryResult, FORMAT_VERSION,
 };

@@ -65,6 +65,13 @@ pub enum RegistryError {
     UnknownModel(String),
     /// The model exists but not at the requested version.
     UnknownVersion(String, u32),
+    /// The record was written by an incompatible (newer) format.
+    UnsupportedFormat {
+        /// Format version found in the record.
+        found: u32,
+        /// Format version this reader understands.
+        supported: u32,
+    },
 }
 
 impl fmt::Display for RegistryError {
@@ -76,6 +83,12 @@ impl fmt::Display for RegistryError {
             RegistryError::UnknownVersion(name, v) => {
                 write!(f, "model '{name}' has no version {v}")
             }
+            RegistryError::UnsupportedFormat { found, supported } => {
+                write!(
+                    f,
+                    "record format {found} is newer than supported {supported}"
+                )
+            }
         }
     }
 }
@@ -85,6 +98,15 @@ impl std::error::Error for RegistryError {}
 impl From<io::Error> for RegistryError {
     fn from(e: io::Error) -> Self {
         RegistryError::Io(e)
+    }
+}
+
+impl From<RegistryError> for icfl_core::CoreError {
+    fn from(e: RegistryError) -> Self {
+        match e {
+            RegistryError::Serde(s) => icfl_core::CoreError::Serde(s),
+            other => icfl_core::CoreError::Io(other.to_string()),
+        }
     }
 }
 
@@ -217,7 +239,15 @@ impl ModelRegistry {
             }
             Err(e) => return Err(e.into()),
         };
-        serde_json::from_str(&json).map_err(|e| RegistryError::Serde(e.to_string()))
+        let record: ModelRecord =
+            serde_json::from_str(&json).map_err(|e| RegistryError::Serde(e.to_string()))?;
+        if record.format_version > FORMAT_VERSION {
+            return Err(RegistryError::UnsupportedFormat {
+                found: record.format_version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        Ok(record)
     }
 
     /// Loads the newest version of `name`.
@@ -313,6 +343,31 @@ mod tests {
             registry.load("pattern1", 9),
             Err(RegistryError::UnknownVersion(_, 9))
         ));
+
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn newer_format_is_rejected_on_load() {
+        let root = tmp_dir("format");
+        let registry = ModelRegistry::open(&root).unwrap();
+        let model = trained_model();
+        let meta = ModelMeta::default();
+        registry.save("pattern1", meta, &model).unwrap();
+
+        // Rewrite the record claiming a future format version.
+        let path = root.join("pattern1").join("v00001.json");
+        let json = fs::read_to_string(&path).unwrap();
+        let bumped = json.replacen("\"format_version\": 1", "\"format_version\": 99", 1);
+        assert_ne!(json, bumped, "fixture must actually bump the version");
+        fs::write(&path, bumped).unwrap();
+
+        match registry.load("pattern1", 1) {
+            Err(RegistryError::UnsupportedFormat { found, supported }) => {
+                assert_eq!((found, supported), (99, FORMAT_VERSION));
+            }
+            other => panic!("expected UnsupportedFormat, got {other:?}"),
+        }
 
         let _ = fs::remove_dir_all(&root);
     }

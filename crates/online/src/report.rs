@@ -2,9 +2,14 @@
 //!
 //! All times are simulation-clock seconds derived from integer
 //! nanoseconds, so reports from the same seed are byte-identical
-//! regardless of thread count or host.
+//! regardless of thread count or host. Reports persist as plain JSON via
+//! [`SessionReport::save_json`] / [`SessionReport::load_json`]; every I/O
+//! path returns [`icfl_core::Result`] — no panics on a full disk or a
+//! truncated file.
 
+use icfl_core::CoreError;
 use serde::{Deserialize, Serialize};
+use std::path::Path;
 
 /// One injected incident episode and what the online service made of it.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -85,6 +90,45 @@ impl SessionReport {
                 .filter_map(|i| i.time_to_localize_secs),
         )
     }
+
+    /// Serializes the report as pretty-printed JSON.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Serde`] if serialization fails.
+    pub fn to_json(&self) -> icfl_core::Result<String> {
+        serde_json::to_string_pretty(self).map_err(|e| CoreError::Serde(e.to_string()))
+    }
+
+    /// Parses a report from its JSON form.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Serde`] on malformed or truncated input.
+    pub fn from_json(json: &str) -> icfl_core::Result<SessionReport> {
+        serde_json::from_str(json).map_err(|e| CoreError::Serde(e.to_string()))
+    }
+
+    /// Writes the report to `path` as JSON.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Serde`] if serialization fails, [`CoreError::Io`] if
+    /// the file cannot be written.
+    pub fn save_json(&self, path: impl AsRef<Path>) -> icfl_core::Result<()> {
+        std::fs::write(path, self.to_json()?)?;
+        Ok(())
+    }
+
+    /// Reads a report back from a JSON file.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Io`] if the file cannot be read, [`CoreError::Serde`]
+    /// if its contents do not parse.
+    pub fn load_json(path: impl AsRef<Path>) -> icfl_core::Result<SessionReport> {
+        Self::from_json(&std::fs::read_to_string(path)?)
+    }
 }
 
 fn mean(values: impl Iterator<Item = f64>) -> Option<f64> {
@@ -139,6 +183,33 @@ mod tests {
         assert!((report.top1_accuracy() - 1.0 / 3.0).abs() < 1e-12);
         assert_eq!(report.mean_time_to_detect_secs(), Some(25.0));
         assert_eq!(report.mean_time_to_localize_secs(), Some(30.0));
+    }
+
+    #[test]
+    fn json_roundtrip_on_disk() {
+        let report = SessionReport {
+            app: "causalbench".into(),
+            seed: 42,
+            incidents: vec![incident(true, true, Some(20.0))],
+            false_alarms: 0,
+            windows_ingested: 50,
+            injected_faults: 1,
+        };
+        let path =
+            std::env::temp_dir().join(format!("icfl-report-test-{}.json", std::process::id()));
+        report.save_json(&path).unwrap();
+        let back = SessionReport::load_json(&path).unwrap();
+        assert_eq!(report, back);
+        let _ = std::fs::remove_file(&path);
+
+        assert!(matches!(
+            SessionReport::load_json("/nonexistent/dir/report.json"),
+            Err(icfl_core::CoreError::Io(_))
+        ));
+        assert!(matches!(
+            SessionReport::from_json("{ not json"),
+            Err(icfl_core::CoreError::Serde(_))
+        ));
     }
 
     #[test]

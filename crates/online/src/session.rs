@@ -14,15 +14,15 @@
 use icfl_apps::App;
 use icfl_core::{CausalModel, Localization};
 use icfl_faults::{FaultInjector, InterventionTrace};
-use icfl_loadgen::{start_load, LoadConfig};
 use icfl_micro::{Cluster, FaultKind, ServiceId};
+use icfl_scenario::Scenario;
 use icfl_sim::{Sim, SimDuration, SimTime};
 use icfl_telemetry::WindowConfig;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
 use crate::detector::{DebounceConfig, DetectorEvent, IncidentDetector};
-use crate::ingest::{IngestConfig, StreamingIngester};
+use crate::ingest::{IngestConfig, IngesterTap};
 use crate::report::{IncidentReport, SessionReport};
 use icfl_stats::ShiftDetector;
 
@@ -291,6 +291,14 @@ impl From<icfl_core::CoreError> for OnlineError {
         OnlineError::Core(e)
     }
 }
+impl From<icfl_scenario::ScenarioError> for OnlineError {
+    fn from(e: icfl_scenario::ScenarioError) -> Self {
+        match e {
+            icfl_scenario::ScenarioError::Build(e) => OnlineError::Build(e),
+            icfl_scenario::ScenarioError::Load(e) => OnlineError::Load(e),
+        }
+    }
+}
 
 /// Session result alias.
 pub type Result<T> = std::result::Result<T, OnlineError>;
@@ -329,14 +337,8 @@ impl OnlineSession {
         cfg: &OnlineConfig,
         seed: u64,
     ) -> Result<SessionReport> {
-        let (mut cluster, _targets) = app.build(seed)?;
-        let mut sim = Sim::new(seed);
-        Cluster::start(&mut sim, &mut cluster);
-
         let capacity = cfg.live_windows.max(cfg.localize_windows) + 4;
-        let ingester = StreamingIngester::attach(
-            &mut sim,
-            cluster.num_services(),
+        let tap = IngesterTap::new(
             model.catalog(),
             IngestConfig::new(
                 cfg.windows,
@@ -344,14 +346,12 @@ impl OnlineSession {
                 SimTime::ZERO.checked_add(cfg.warmup).expect("warmup fits"),
             ),
         );
-        start_load(
-            &mut sim,
-            &mut cluster,
-            &LoadConfig::closed_loop(app.flows.clone()).with_replicas(cfg.replicas),
-        )?;
+        let (mut scenario, ingester) = Scenario::builder(app, seed)
+            .replicas(cfg.replicas)
+            .build_with(tap)?;
 
         let trace = InterventionTrace::new();
-        schedule.arm(&mut sim, &trace);
+        schedule.arm(&mut scenario.sim, &trace);
 
         let horizon = schedule
             .end()
@@ -370,7 +370,7 @@ impl OnlineSession {
             .checked_add(cfg.windows.window)
             .expect("first boundary fits");
         while tick <= horizon {
-            sim.run_until(tick, &mut cluster);
+            scenario.run_until(tick);
 
             if let Some(live) = ingester.last_n(cfg.live_windows) {
                 let decision = detector.observe(&reference, &live)?;
@@ -416,7 +416,7 @@ impl OnlineSession {
 
         Ok(Self::assemble_report(
             app,
-            &cluster,
+            &scenario.cluster,
             schedule,
             cfg,
             seed,

@@ -1,0 +1,369 @@
+//! # icfl-scenario — the unified scenario harness
+//!
+//! One assembly path for every simulated run in the workspace. The paper's
+//! platform (Fig. 3) runs a single substrate under both its
+//! data-collection and inference services; this crate is that substrate's
+//! constructor. A [`ScenarioBuilder`] owns the *entire* run assembly —
+//! application instantiation, per-(component, service) seed derivation,
+//! `Sim` + `Cluster` construction and start, closed-/open-loop load
+//! attach, fault-injection scheduling, and telemetry taps — so the offline
+//! campaign runner, the online session driver, the baselines, the
+//! experiment binaries, the Criterion benches, and the integration tests
+//! all assemble runs through the same code, in the same order.
+//!
+//! Assembly order is part of the determinism contract: events scheduled at
+//! the same simulation time tie-break by insertion order, so every site
+//! must create the cluster, start it, attach telemetry, start load, and
+//! schedule faults in exactly this sequence for byte-identical outputs.
+//! Centralizing the sequence here makes it impossible for call sites to
+//! drift.
+//!
+//! ```
+//! use icfl_scenario::{RecorderTap, Scenario};
+//! use icfl_sim::SimTime;
+//! use icfl_telemetry::{MetricCatalog, WindowConfig};
+//!
+//! let app = icfl_apps::pattern1();
+//! let phase = (SimTime::ZERO, SimTime::from_secs(120));
+//! let (mut scenario, recorder) = Scenario::builder(&app, 7)
+//!     .build_with(RecorderTap::new(phase, WindowConfig::from_secs(10, 5)))?;
+//! scenario.run_until(phase.1);
+//! let ds = recorder.dataset(&MetricCatalog::raw_all()).unwrap();
+//! assert_eq!(ds.num_windows(), 23);
+//! # Ok::<(), icfl_scenario::ScenarioError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod seeds;
+
+use icfl_apps::App;
+use icfl_faults::{FaultInjector, InterventionTrace};
+use icfl_loadgen::{start_load, ArrivalModel, LoadConfig, LoadError, UserFlow};
+use icfl_micro::{BuildError, Cluster, FaultKind, ServiceId};
+use icfl_sim::{Sim, SimTime};
+use icfl_telemetry::{Recorder, WindowConfig};
+
+/// Errors raised while assembling a scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScenarioError {
+    /// The application's cluster failed to build (also covers unknown
+    /// preset-fault service names).
+    Build(BuildError),
+    /// The load generator rejected its configuration.
+    Load(LoadError),
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::Build(e) => write!(f, "cluster build failed: {e}"),
+            ScenarioError::Load(e) => write!(f, "load generator failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl From<BuildError> for ScenarioError {
+    fn from(e: BuildError) -> Self {
+        ScenarioError::Build(e)
+    }
+}
+
+impl From<LoadError> for ScenarioError {
+    fn from(e: LoadError) -> Self {
+        ScenarioError::Load(e)
+    }
+}
+
+/// A telemetry collector that can be attached to a scenario at the fixed
+/// point in its assembly order (after the cluster starts, before load).
+///
+/// The offline [`RecorderTap`] and the online streaming-ingester tap (in
+/// `icfl-online`) are the two implementations — both drive the same
+/// `icfl_telemetry::WindowEngine`, configured for batch or streaming
+/// collection. [`NoTap`] assembles a scenario with no telemetry at all
+/// (topology probes, scheduler benches).
+pub trait TelemetryTap {
+    /// The collector handle returned to the caller (e.g. a `Recorder`).
+    type Handle;
+
+    /// Attaches the collector to the not-yet-run simulation.
+    fn attach(self, sim: &mut Sim<Cluster>, cluster: &Cluster) -> Self::Handle;
+}
+
+/// No telemetry: the scenario runs without any scrape loop.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoTap;
+
+impl TelemetryTap for NoTap {
+    type Handle = ();
+
+    fn attach(self, _sim: &mut Sim<Cluster>, _cluster: &Cluster) -> Self::Handle {}
+}
+
+/// Offline collection: a phase-scoped [`Recorder`] over the shared window
+/// engine, as used by campaigns, production runs, and figure experiments.
+#[derive(Debug, Clone, Copy)]
+pub struct RecorderTap {
+    phase: (SimTime, SimTime),
+    windows: WindowConfig,
+}
+
+impl RecorderTap {
+    /// A recorder observing the hopping `windows` inside `phase`.
+    pub fn new(phase: (SimTime, SimTime), windows: WindowConfig) -> Self {
+        RecorderTap { phase, windows }
+    }
+}
+
+impl TelemetryTap for RecorderTap {
+    type Handle = Recorder;
+
+    fn attach(self, sim: &mut Sim<Cluster>, cluster: &Cluster) -> Self::Handle {
+        Recorder::attach(sim, cluster.num_services(), self.phase, self.windows)
+    }
+}
+
+/// One fault scheduled onto the simulation clock.
+struct ScheduledFault {
+    service: ServiceId,
+    fault: FaultKind,
+    from: SimTime,
+    to: SimTime,
+    trace: InterventionTrace,
+}
+
+/// Builder for one simulated run. See the [crate docs](crate) for the
+/// assembly order it guarantees.
+pub struct ScenarioBuilder<'a> {
+    app: &'a App,
+    seed: u64,
+    replicas: usize,
+    arrival: Option<ArrivalModel>,
+    flows: Option<Vec<UserFlow>>,
+    preset_faults: Vec<(String, FaultKind)>,
+    scheduled: Vec<ScheduledFault>,
+}
+
+impl<'a> ScenarioBuilder<'a> {
+    /// Sets the closed-loop load scale (default 1×).
+    pub fn replicas(mut self, replicas: usize) -> Self {
+        self.replicas = replicas;
+        self
+    }
+
+    /// Overrides the arrival model (e.g. open-loop for Fig. 2's
+    /// deconfounded arm). Defaults to the [`LoadConfig`] closed-loop
+    /// model.
+    pub fn arrival(mut self, model: ArrivalModel) -> Self {
+        self.arrival = Some(model);
+        self
+    }
+
+    /// Overrides the driven userflows (default: all of the app's flows).
+    /// Fig. 4 uses this to trace one flow at a time.
+    pub fn flows(mut self, flows: Vec<UserFlow>) -> Self {
+        self.flows = Some(flows);
+        self
+    }
+
+    /// Activates `fault` on the named service from time zero, before the
+    /// cluster starts (Fig. 2's always-on fault arms).
+    pub fn preset_fault(mut self, service: &str, fault: FaultKind) -> Self {
+        self.preset_faults.push((service.to_owned(), fault));
+        self
+    }
+
+    /// Schedules `fault` on `service` over `[from, to]`, logging both
+    /// transitions to `trace`. Faults fire in the order they were added.
+    pub fn fault_between(
+        mut self,
+        service: ServiceId,
+        fault: FaultKind,
+        from: SimTime,
+        to: SimTime,
+        trace: &InterventionTrace,
+    ) -> Self {
+        self.scheduled.push(ScheduledFault {
+            service,
+            fault,
+            from,
+            to,
+            trace: trace.clone(),
+        });
+        self
+    }
+
+    /// Assembles the scenario with `tap` as its telemetry collector,
+    /// returning the runnable scenario and the tap's handle.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::Build`] if the cluster cannot be built or a preset
+    /// fault names an unknown service; [`ScenarioError::Load`] if the load
+    /// generator rejects its configuration.
+    pub fn build_with<T: TelemetryTap>(
+        self,
+        tap: T,
+    ) -> Result<(Scenario, T::Handle), ScenarioError> {
+        let (mut cluster, targets) = self.app.build(self.seed)?;
+        for (name, fault) in &self.preset_faults {
+            let id = cluster
+                .service_id(name)
+                .ok_or_else(|| BuildError::UnknownService(name.clone()))?;
+            cluster.set_fault(id, Some(fault.clone()));
+        }
+        let mut sim = Sim::new(self.seed);
+        Cluster::start(&mut sim, &mut cluster);
+        let handle = tap.attach(&mut sim, &cluster);
+        let mut load =
+            LoadConfig::closed_loop(self.flows.unwrap_or_else(|| self.app.flows.clone()))
+                .with_replicas(self.replicas);
+        if let Some(model) = self.arrival {
+            load = load.with_model(model);
+        }
+        start_load(&mut sim, &mut cluster, &load)?;
+        for s in &self.scheduled {
+            FaultInjector::inject_between(
+                &mut sim,
+                s.service,
+                s.fault.clone(),
+                s.from,
+                s.to,
+                &s.trace,
+            );
+        }
+        Ok((
+            Scenario {
+                sim,
+                cluster,
+                targets,
+            },
+            handle,
+        ))
+    }
+
+    /// Assembles the scenario without telemetry.
+    ///
+    /// # Errors
+    ///
+    /// As [`ScenarioBuilder::build_with`].
+    pub fn build(self) -> Result<Scenario, ScenarioError> {
+        let (scenario, ()) = self.build_with(NoTap)?;
+        Ok(scenario)
+    }
+}
+
+/// A fully assembled run: the simulation, its cluster, and the app's
+/// resolved fault targets.
+pub struct Scenario {
+    /// The event-driven simulation, ready at time zero (load and faults
+    /// already scheduled).
+    pub sim: Sim<Cluster>,
+    /// The running cluster.
+    pub cluster: Cluster,
+    /// The app's fault targets, resolved to service ids.
+    pub targets: Vec<ServiceId>,
+}
+
+impl std::fmt::Debug for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scenario")
+            .field("now", &self.sim.now())
+            .field("services", &self.cluster.num_services())
+            .finish()
+    }
+}
+
+impl Scenario {
+    /// Starts building a scenario for `app` rooted at `seed`.
+    pub fn builder(app: &App, seed: u64) -> ScenarioBuilder<'_> {
+        ScenarioBuilder {
+            app,
+            seed,
+            replicas: 1,
+            arrival: None,
+            flows: None,
+            preset_faults: Vec::new(),
+            scheduled: Vec::new(),
+        }
+    }
+
+    /// Advances the simulation to `until`.
+    pub fn run_until(&mut self, until: SimTime) {
+        self.sim.run_until(until, &mut self.cluster);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icfl_sim::SimDuration;
+    use icfl_telemetry::MetricCatalog;
+
+    #[test]
+    fn recorder_tap_collects_the_phase() {
+        let app = icfl_apps::pattern1();
+        let phase = (SimTime::ZERO, SimTime::from_secs(60));
+        let (mut scenario, recorder) = Scenario::builder(&app, 11)
+            .build_with(RecorderTap::new(phase, WindowConfig::from_secs(10, 5)))
+            .unwrap();
+        assert_eq!(scenario.targets.len(), 3);
+        scenario.run_until(phase.1);
+        let ds = recorder.dataset(&MetricCatalog::raw_all()).unwrap();
+        assert_eq!(ds.num_windows(), 11);
+        assert_eq!(ds.num_services(), 3);
+    }
+
+    #[test]
+    fn scheduled_fault_is_logged_and_applied() {
+        let app = icfl_apps::pattern1();
+        let trace = InterventionTrace::new();
+        let from = SimTime::from_secs(10);
+        let to = SimTime::from_secs(20);
+        let (mut scenario, ()) = Scenario::builder(&app, 12)
+            .fault_between(
+                ServiceId::from_index(1),
+                FaultKind::ServiceUnavailable,
+                from,
+                to,
+                &trace,
+            )
+            .build_with(NoTap)
+            .unwrap();
+        scenario.run_until(SimTime::from_secs(30));
+        // Both transitions (set + clear) are in the audit log.
+        assert_eq!(trace.len(), 1);
+    }
+
+    #[test]
+    fn unknown_preset_fault_service_is_a_build_error() {
+        let app = icfl_apps::pattern1();
+        let err = Scenario::builder(&app, 13)
+            .preset_fault("ghost", FaultKind::ServiceUnavailable)
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ScenarioError::Build(BuildError::UnknownService("ghost".into()))
+        );
+    }
+
+    #[test]
+    fn same_seed_same_assembly_is_deterministic() {
+        let app = icfl_apps::pattern1();
+        let run = || {
+            let mut s = Scenario::builder(&app, 21).build().unwrap();
+            s.run_until(SimTime::ZERO + SimDuration::from_secs(30));
+            s.cluster
+                .service_ids()
+                .into_iter()
+                .map(|id| s.cluster.counters(id))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,88 @@
+//! Canonical seed derivation for every layer of a scenario.
+//!
+//! Determinism in this workspace rests on two rules, both owned here:
+//!
+//! 1. **Independent runs get independent root seeds.** Sweeps (campaign
+//!    fault runs, evaluation cases, production sessions) derive one root
+//!    seed per job from a base seed via [`derive()`], using a distinct odd
+//!    multiplier ("stream") per sweep kind so e.g. training and evaluation
+//!    traffic stay independent even at the same base seed. The derivation
+//!    is per-index, so results never depend on thread count or on how
+//!    many other jobs exist.
+//!
+//! 2. **Within a run, components get *named* RNG forks.** `Cluster::build`
+//!    forks `cluster/{name}` from the root seed and then one stream per
+//!    component (`service/{name}`, `daemon/{i}`, `net`); the load
+//!    generator forks `loadgen/user/{u}` / `loadgen/open` from the
+//!    simulation RNG. A named fork depends only on the parent seed and
+//!    the name — never on how many sibling forks exist — so **adding a
+//!    service to a topology does not perturb the random streams of the
+//!    existing services** (property-tested in this crate).
+
+/// Stream multiplier for the campaign's per-target fault runs.
+pub const CAMPAIGN_STREAM: u64 = 0xd1b5_4a32_d192_ed03;
+
+/// Stream multiplier for evaluation cases and production sessions
+/// (golden-ratio increment; differs from [`CAMPAIGN_STREAM`] so training
+/// and evaluation traffic are independent at the same base seed).
+pub const EVAL_STREAM: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Salt XORed into a base seed to derive the evaluation-phase seed from
+/// the training-phase seed.
+pub const EVAL_PHASE_SALT: u64 = 0x00e1_7ab1_e5ee_d5ee;
+
+/// Salt XORed into derived production-session seeds.
+pub const SESSION_SALT: u64 = 0x00b5_e55e_d011_4e5e;
+
+/// The `index`-th seed of the `stream` rooted at `base`:
+/// `base + (index + 1) · stream` (wrapping). Index-pure — job `i`'s seed
+/// never depends on how many jobs run or in what order.
+pub fn derive(base: u64, index: usize, stream: u64) -> u64 {
+    base.wrapping_add((index as u64 + 1).wrapping_mul(stream))
+}
+
+/// Root seed of the campaign's `index`-th per-target fault run.
+pub fn campaign_fault(base: u64, index: usize) -> u64 {
+    derive(base, index, CAMPAIGN_STREAM)
+}
+
+/// Root seed of the `index`-th evaluation case.
+pub fn eval_case(base: u64, index: usize) -> u64 {
+    derive(base, index, EVAL_STREAM)
+}
+
+/// Base seed of the evaluation phase paired with a training phase rooted
+/// at `train_base`.
+pub fn eval_phase(train_base: u64) -> u64 {
+    train_base ^ EVAL_PHASE_SALT
+}
+
+/// Root seed of one production session: sessions are laid out on a
+/// 16-wide per-app grid of the eval stream, salted so they collide with
+/// neither training nor evaluation runs.
+pub fn production_session(root: u64, app_index: usize, session_index: usize) -> u64 {
+    derive(root, app_index * 16 + session_index, EVAL_STREAM) ^ SESSION_SALT
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_index_pure_and_distinct() {
+        for i in 0..8 {
+            assert_eq!(campaign_fault(42, i), derive(42, i, CAMPAIGN_STREAM));
+            assert_ne!(campaign_fault(42, i), eval_case(42, i));
+        }
+        assert_eq!(
+            production_session(7, 1, 3),
+            derive(7, 19, EVAL_STREAM) ^ SESSION_SALT
+        );
+    }
+
+    #[test]
+    fn eval_phase_differs_from_training() {
+        assert_ne!(eval_phase(42), 42);
+        assert_eq!(eval_phase(eval_phase(42)), 42);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests of the scenario harness's seed-derivation
+//! contract: per-(component, service) random streams are *named* forks of
+//! the root seed, so extending a topology with additional services never
+//! perturbs the streams — and therefore the observable behavior — of the
+//! services that were already there.
+
+use icfl_apps::App;
+use icfl_loadgen::UserFlow;
+use icfl_micro::{steps, ClusterSpec, Counters, ServiceSpec};
+use icfl_scenario::{seeds, Scenario};
+use icfl_sim::SimTime;
+use proptest::prelude::*;
+
+/// A chain app `s0 → s1 → … → s(n−1)` with `extra` additional isolated
+/// services appended (never called, never driven) — the topology-extension
+/// scenario the harness must keep stable.
+fn chain_app(n: usize, extra: usize) -> App {
+    let mut spec = ClusterSpec::new("chain");
+    for i in 0..n {
+        let mut svc = ServiceSpec::web(format!("s{i}")).with_concurrency(8);
+        let steps = if i + 1 < n {
+            vec![
+                steps::compute_ms(1),
+                steps::call(&format!("s{}", i + 1), "/"),
+            ]
+        } else {
+            vec![steps::compute_ms(1)]
+        };
+        svc = svc.endpoint("/", steps);
+        spec = spec.service(svc);
+    }
+    for i in 0..extra {
+        spec = spec.service(
+            ServiceSpec::web(format!("x{i}"))
+                .with_concurrency(8)
+                .endpoint("/", vec![steps::compute_ms(1)]),
+        );
+    }
+    App {
+        name: "chain".into(),
+        spec,
+        flows: vec![UserFlow::new("root", "s0", "/")],
+        fault_targets: (0..n).map(|i| format!("s{i}")).collect(),
+    }
+}
+
+/// Runs the scenario for 20 simulated seconds and returns the counters of
+/// the first `n` (chain) services.
+fn chain_counters(app: &App, seed: u64, n: usize) -> Vec<Counters> {
+    let mut scenario = Scenario::builder(app, seed).build().expect("assemble");
+    scenario.run_until(SimTime::from_secs(20));
+    (0..n)
+        .map(|i| {
+            let id = scenario
+                .cluster
+                .service_id(&format!("s{i}"))
+                .expect("chain service");
+            scenario.cluster.counters(id)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Adding services to a topology leaves the per-(component, service)
+    /// streams — and hence the simulated behavior — of existing services
+    /// untouched: the extended app reproduces the base app's counters
+    /// byte-for-byte on the shared services.
+    #[test]
+    fn added_services_do_not_perturb_existing_streams(
+        seed in 0u64..u64::MAX,
+        n in 2usize..5,
+        extra in 1usize..4,
+    ) {
+        let base = chain_app(n, 0);
+        let extended = chain_app(n, extra);
+        prop_assert_eq!(
+            chain_counters(&base, seed, n),
+            chain_counters(&extended, seed, n)
+        );
+    }
+
+    /// Sweep seed derivation is index-pure: a job's root seed depends only
+    /// on (base, index, stream), never on the number of jobs — so growing
+    /// a sweep cannot re-seed earlier jobs.
+    #[test]
+    fn sweep_seeds_are_index_pure_and_streams_disjoint(
+        base in any::<u64>(),
+        index in 0usize..1_000,
+    ) {
+        let campaign = seeds::campaign_fault(base, index);
+        let eval = seeds::eval_case(base, index);
+        prop_assert_eq!(campaign, seeds::derive(base, index, seeds::CAMPAIGN_STREAM));
+        prop_assert_eq!(eval, seeds::derive(base, index, seeds::EVAL_STREAM));
+        prop_assert_ne!(campaign, eval);
+        // Consecutive indices of one stream never collide either.
+        prop_assert_ne!(campaign, seeds::campaign_fault(base, index + 1));
+    }
+}

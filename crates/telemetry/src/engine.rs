@@ -1,0 +1,446 @@
+//! The unified hopping-window finalization engine.
+//!
+//! Exactly one place in the workspace turns a stream of counter scrapes
+//! into finalized hopping windows: this engine. The offline
+//! [`Recorder`](crate::Recorder) and the online streaming ingester are both
+//! thin wrappers around it — they differ only in configuration (where
+//! windows are anchored, how many are retained), never in arithmetic, so
+//! offline datasets and live windows agree by construction.
+//!
+//! The engine is push-driven and simulator-agnostic: callers feed it one
+//! per-service counter row per scrape via [`WindowEngine::push`]. A window
+//! `[anchor + k·hop, anchor + k·hop + window]` is finalized the moment the
+//! scrape at its end boundary arrives. Per finalized window the engine
+//! keeps only the two *boundary* counter rows; because every
+//! [`MetricSpec`] is a pure function of the boundary rows and the window
+//! length, any metric catalog can be evaluated after the fact (Table II
+//! reuses one campaign across six catalogs) while memory stays
+//! O(windows × services) instead of O(scrapes × services).
+
+use crate::catalog::MetricCatalog;
+use crate::dataset::Dataset;
+use crate::metric::MetricSpec;
+use crate::window::WindowConfig;
+use icfl_micro::Counters;
+use icfl_sim::{SimDuration, SimTime};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Where windows sit on the clock and which of them are kept.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Hopping-window geometry.
+    pub windows: WindowConfig,
+    /// Scrape interval; window and hop must be multiples of it.
+    pub interval: SimDuration,
+    /// Window `k` spans `[anchor + k·hop, anchor + k·hop + window]`. The
+    /// offline recorder anchors at the phase start (reproducing
+    /// [`WindowConfig::windows_in`]); the streaming ingester anchors at
+    /// time zero.
+    pub anchor: SimTime,
+    /// Windows *starting* before this instant are discarded (cluster
+    /// warmup: queues filling, daemons settling).
+    pub collect_from: SimTime,
+    /// Windows *ending* after this instant are ignored, bounding an
+    /// offline phase. `None` streams forever.
+    pub collect_until: Option<SimTime>,
+    /// How many finalized windows to retain: `None` keeps all (offline
+    /// phases), `Some(n)` keeps a ring of the `n` most recent (online).
+    pub retain: Option<usize>,
+}
+
+impl EngineConfig {
+    /// Default scrape interval (1 s, Prometheus-style).
+    pub const DEFAULT_INTERVAL: SimDuration = SimDuration::from_secs(1);
+
+    /// Offline-phase configuration: windows anchored at `phase.0`,
+    /// bounded by `phase.1`, all retained.
+    pub fn offline(windows: WindowConfig, phase: (SimTime, SimTime)) -> Self {
+        EngineConfig {
+            windows,
+            interval: EngineConfig::DEFAULT_INTERVAL,
+            anchor: phase.0,
+            collect_from: phase.0,
+            collect_until: Some(phase.1),
+            retain: None,
+        }
+    }
+
+    /// Streaming configuration: windows anchored at time zero, warmup
+    /// windows before `collect_from` discarded, a ring of `capacity`
+    /// retained.
+    pub fn streaming(windows: WindowConfig, capacity: usize, collect_from: SimTime) -> Self {
+        EngineConfig {
+            windows,
+            interval: EngineConfig::DEFAULT_INTERVAL,
+            anchor: SimTime::ZERO,
+            collect_from,
+            collect_until: None,
+            retain: Some(capacity),
+        }
+    }
+}
+
+/// One finalized window: its bounds and the two boundary counter rows.
+struct FinalizedWindow {
+    end: SimTime,
+    start_row: Vec<Counters>,
+    end_row: Vec<Counters>,
+}
+
+/// Per-service window series for one metric, tagged with the `emitted`
+/// generation it was computed at.
+type CachedSeries = (u64, Vec<Arc<Vec<f64>>>);
+
+/// The single hopping-window finalization implementation (see module docs).
+pub struct WindowEngine {
+    cfg: EngineConfig,
+    num_services: usize,
+    /// Recent raw snapshots spanning exactly one window length:
+    /// `(scrape time, per-service counters)`, oldest first.
+    snaps: VecDeque<(SimTime, Vec<Counters>)>,
+    /// Finalized windows, oldest first, ring-capped by `cfg.retain`.
+    finalized: VecDeque<FinalizedWindow>,
+    /// Total windows finalized since creation (including evicted ones).
+    emitted: u64,
+    /// Memoized per-metric window series over the retained windows, tagged
+    /// with the `emitted` generation they were computed at. Offline, all
+    /// windows finalize before any evaluation, so the six Table II
+    /// catalogs share one extraction per metric.
+    cache: HashMap<MetricSpec, CachedSeries>,
+}
+
+impl std::fmt::Debug for WindowEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WindowEngine")
+            .field("emitted", &self.emitted)
+            .field("retained", &self.finalized.len())
+            .finish()
+    }
+}
+
+impl WindowEngine {
+    /// Creates an engine for `num_services` services.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval is zero, the retention capacity is zero, or
+    /// window/hop are not multiples of the scrape interval (window
+    /// boundaries would fall between scrapes).
+    pub fn new(cfg: EngineConfig, num_services: usize) -> WindowEngine {
+        assert!(!cfg.interval.is_zero(), "scrape interval must be positive");
+        assert!(cfg.retain != Some(0), "ring capacity must be positive");
+        assert_eq!(
+            cfg.windows.window.as_nanos() % cfg.interval.as_nanos(),
+            0,
+            "window must be a multiple of the scrape interval"
+        );
+        assert_eq!(
+            cfg.windows.hop.as_nanos() % cfg.interval.as_nanos(),
+            0,
+            "hop must be a multiple of the scrape interval"
+        );
+        WindowEngine {
+            cfg,
+            num_services,
+            snaps: VecDeque::new(),
+            finalized: VecDeque::new(),
+            emitted: 0,
+            cache: HashMap::new(),
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Feeds one scrape: `row[s]` is the counter snapshot of service `s`
+    /// at `now`. Finalizes the window ending at `now`, if any, and prunes
+    /// snapshots no future window can start at.
+    pub fn push(&mut self, now: SimTime, row: Vec<Counters>) {
+        let window = self.cfg.windows.window;
+        let hop = self.cfg.windows.hop;
+        let anchor = self.cfg.anchor;
+        self.snaps.push_back((now, row));
+        // A window `[now − window, now]` closes at this scrape iff its end
+        // is `anchor + window + k·hop` for some k ≥ 0 — the boundaries
+        // `WindowConfig::windows_in` enumerates from `anchor`.
+        let first_end = anchor.as_nanos().saturating_add(window.as_nanos());
+        if now.as_nanos() >= first_end
+            && (now.as_nanos() - first_end).is_multiple_of(hop.as_nanos())
+        {
+            let start = now.as_nanos() - window.as_nanos();
+            let in_phase = self
+                .cfg
+                .collect_until
+                .is_none_or(|until| now.as_nanos() <= until.as_nanos());
+            if start >= self.cfg.collect_from.as_nanos() && in_phase {
+                self.finalize_window(now);
+            }
+        }
+        // Drop snapshots no future window can start at: every boundary
+        // after `now` ends at `> now`, so its start lies at `> now − window`,
+        // and starts sit on the scrape grid — the oldest start still
+        // reachable is `now − window + interval`.
+        let keep_from = now.as_nanos() as i128 + self.cfg.interval.as_nanos() as i128
+            - window.as_nanos() as i128;
+        while let Some(front) = self.snaps.front() {
+            if (front.0.as_nanos() as i128) < keep_from {
+                self.snaps.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn finalize_window(&mut self, end: SimTime) {
+        let start_nanos = end.as_nanos() - self.cfg.windows.window.as_nanos();
+        let Some(start_row) = self
+            .snaps
+            .iter()
+            .find(|(t, _)| t.as_nanos() == start_nanos)
+            .map(|(_, row)| row.clone())
+        else {
+            // No snapshot at the window start (collection began
+            // mid-stream); skip — only possible for the very first partial
+            // window.
+            return;
+        };
+        let end_row = self
+            .snaps
+            .back()
+            .map(|(_, row)| row.clone())
+            .expect("the closing scrape was just pushed");
+        if let Some(cap) = self.cfg.retain {
+            if self.finalized.len() == cap {
+                self.finalized.pop_front();
+            }
+        }
+        self.finalized.push_back(FinalizedWindow {
+            end,
+            start_row,
+            end_row,
+        });
+        self.emitted += 1;
+    }
+
+    /// Total windows finalized since creation (monotonic; includes windows
+    /// already evicted from the ring).
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Windows currently retained.
+    pub fn retained(&self) -> usize {
+        self.finalized.len()
+    }
+
+    /// End time of the newest finalized window, if any.
+    pub fn newest_window_end(&self) -> Option<SimTime> {
+        self.finalized.back().map(|w| w.end)
+    }
+
+    /// The boundary counter row of `service` at `at`, if `at` is a start
+    /// or end boundary of a retained window. This is all the raw telemetry
+    /// the engine keeps — the full scrape log is never stored.
+    pub fn boundary_counters(&self, service: usize, at: SimTime) -> Option<Counters> {
+        self.finalized.iter().find_map(|w| {
+            if w.end == at {
+                w.end_row.get(service).copied()
+            } else if w.end.as_nanos() - self.cfg.windows.window.as_nanos() == at.as_nanos() {
+                w.start_row.get(service).copied()
+            } else {
+                None
+            }
+        })
+    }
+
+    /// The per-service window series of one metric over every retained
+    /// window, memoized until the next finalization.
+    fn series(&mut self, metric: MetricSpec) -> Vec<Arc<Vec<f64>>> {
+        if let Some((generation, series)) = self.cache.get(&metric) {
+            if *generation == self.emitted {
+                return series.clone();
+            }
+        }
+        let secs = self.cfg.windows.window.as_secs_f64();
+        let mut per_service: Vec<Vec<f64>> =
+            vec![Vec::with_capacity(self.finalized.len()); self.num_services];
+        for w in &self.finalized {
+            for (svc, series) in per_service.iter_mut().enumerate() {
+                series.push(metric.evaluate(&w.start_row[svc], &w.end_row[svc], secs));
+            }
+        }
+        let shared: Vec<Arc<Vec<f64>>> = per_service.into_iter().map(Arc::new).collect();
+        self.cache.insert(metric, (self.emitted, shared.clone()));
+        shared
+    }
+
+    /// Evaluates `catalog` over every retained window. Series are shared
+    /// (`Arc`) across catalogs that contain the same metric.
+    pub fn dataset(&mut self, catalog: &MetricCatalog) -> Dataset {
+        let values = catalog
+            .metrics()
+            .iter()
+            .map(|metric| self.series(*metric))
+            .collect();
+        Dataset::from_shared(catalog.metric_names(), values)
+    }
+
+    /// Evaluates `catalog` over the `n` most recent retained windows
+    /// (`None` until `n` windows are retained).
+    pub fn last_n(&mut self, catalog: &MetricCatalog, n: usize) -> Option<Dataset> {
+        let have = self.finalized.len();
+        if n == 0 || have < n {
+            return None;
+        }
+        let secs = self.cfg.windows.window.as_secs_f64();
+        let values: Vec<Vec<Vec<f64>>> = catalog
+            .metrics()
+            .iter()
+            .map(|metric| {
+                (0..self.num_services)
+                    .map(|svc| {
+                        self.finalized
+                            .iter()
+                            .skip(have - n)
+                            .map(|w| metric.evaluate(&w.start_row[svc], &w.end_row[svc], secs))
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        Some(Dataset::new(catalog.metric_names(), values))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::RawMetric;
+    use icfl_micro::Counters;
+
+    /// A synthetic scrape row: every service's rx counter is `t·s + t`.
+    fn row(t: u64, services: usize) -> Vec<Counters> {
+        (0..services)
+            .map(|s| Counters {
+                rx_packets: t * s as u64 + t,
+                ..Counters::default()
+            })
+            .collect()
+    }
+
+    fn drive(engine: &mut WindowEngine, services: usize, secs: u64) {
+        for t in 0..=secs {
+            engine.push(SimTime::from_secs(t), row(t, services));
+        }
+    }
+
+    #[test]
+    fn zero_anchor_matches_windows_in_enumeration() {
+        let windows = WindowConfig::from_secs(10, 5);
+        let mut engine = WindowEngine::new(EngineConfig::streaming(windows, 64, SimTime::ZERO), 2);
+        drive(&mut engine, 2, 60);
+        let expected = windows.windows_in(SimTime::ZERO, SimTime::from_secs(60));
+        assert_eq!(engine.emitted(), expected.len() as u64);
+        assert_eq!(engine.newest_window_end(), Some(SimTime::from_secs(60)));
+    }
+
+    #[test]
+    fn phase_anchor_bounds_and_offsets_windows() {
+        // Phase [7 s, 37 s] with 10 s/5 s windows: starts 7, 12, 17, 22, 27.
+        let windows = WindowConfig::from_secs(10, 5);
+        let phase = (SimTime::from_secs(7), SimTime::from_secs(37));
+        let mut cfg = EngineConfig::offline(windows, phase);
+        // Keep boundaries on the scrape grid for this off-by-7 anchor.
+        cfg.interval = SimDuration::from_secs(1);
+        let mut engine = WindowEngine::new(cfg, 1);
+        drive(&mut engine, 1, 60);
+        assert_eq!(
+            engine.emitted(),
+            windows.windows_in(phase.0, phase.1).len() as u64
+        );
+        // No window starts before the phase or ends after it.
+        assert_eq!(engine.newest_window_end(), Some(SimTime::from_secs(37)));
+    }
+
+    #[test]
+    fn rate_values_come_from_boundary_rows() {
+        let windows = WindowConfig::from_secs(10, 5);
+        let mut engine = WindowEngine::new(EngineConfig::streaming(windows, 64, SimTime::ZERO), 1);
+        drive(&mut engine, 1, 20);
+        let catalog = MetricCatalog::new("rx", vec![MetricSpec::Raw(RawMetric::RxPackets)]);
+        let ds = engine.dataset(&catalog);
+        // rx grows by 1 per second → rate 1.0 in every window.
+        assert_eq!(ds.num_windows(), 3);
+        for &v in ds.samples(0, icfl_micro::ServiceId::from_index(0)) {
+            assert!((v - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ring_retention_and_last_n() {
+        let windows = WindowConfig::from_secs(10, 5);
+        let mut engine = WindowEngine::new(EngineConfig::streaming(windows, 4, SimTime::ZERO), 1);
+        drive(&mut engine, 1, 90);
+        assert_eq!(engine.emitted(), 17);
+        assert_eq!(engine.retained(), 4);
+        let catalog = MetricCatalog::new("rx", vec![MetricSpec::Raw(RawMetric::RxPackets)]);
+        assert!(engine.last_n(&catalog, 5).is_none());
+        assert_eq!(engine.last_n(&catalog, 4).unwrap().num_windows(), 4);
+    }
+
+    #[test]
+    fn warmup_windows_are_discarded() {
+        let windows = WindowConfig::from_secs(10, 5);
+        let mut engine = WindowEngine::new(
+            EngineConfig::streaming(windows, 32, SimTime::from_secs(30)),
+            1,
+        );
+        drive(&mut engine, 1, 60);
+        // Only windows starting at ≥ 30 s survive: starts 30..=50 → 5.
+        assert_eq!(engine.emitted(), 5);
+    }
+
+    #[test]
+    fn series_cache_is_invalidated_by_new_windows() {
+        let windows = WindowConfig::from_secs(10, 5);
+        let mut engine = WindowEngine::new(EngineConfig::streaming(windows, 64, SimTime::ZERO), 1);
+        drive(&mut engine, 1, 20);
+        let catalog = MetricCatalog::new("rx", vec![MetricSpec::Raw(RawMetric::RxPackets)]);
+        assert_eq!(engine.dataset(&catalog).num_windows(), 3);
+        for t in 21..=25 {
+            engine.push(SimTime::from_secs(t), row(t, 1));
+        }
+        assert_eq!(engine.dataset(&catalog).num_windows(), 4);
+    }
+
+    #[test]
+    fn boundary_counters_serve_retained_boundaries_only() {
+        let windows = WindowConfig::from_secs(10, 5);
+        let mut engine = WindowEngine::new(EngineConfig::streaming(windows, 64, SimTime::ZERO), 1);
+        drive(&mut engine, 1, 20);
+        assert!(engine
+            .boundary_counters(0, SimTime::from_secs(20))
+            .is_some());
+        assert!(engine.boundary_counters(0, SimTime::from_secs(3)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the scrape interval")]
+    fn misaligned_hop_panics() {
+        let mut cfg = EngineConfig::streaming(WindowConfig::from_secs(10, 5), 4, SimTime::ZERO);
+        cfg.interval = SimDuration::from_secs(3);
+        let _ = WindowEngine::new(cfg, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "ring capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = WindowEngine::new(
+            EngineConfig::streaming(WindowConfig::from_secs(10, 5), 0, SimTime::ZERO),
+            1,
+        );
+    }
+}

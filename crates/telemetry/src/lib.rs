@@ -6,6 +6,8 @@
 //! * [`Recorder`] — periodic counter scraping from a simulated
 //!   [`Cluster`](icfl_micro::Cluster);
 //! * [`WindowConfig`] — the paper's 60 s hopping windows, hopped every 30 s;
+//! * [`WindowEngine`] — the single incremental hopping-window finalizer
+//!   behind both the offline recorder and the online streaming ingester;
 //! * [`RawMetric`] / [`MetricSpec`] — raw rates and derived
 //!   (dependent ⊘ independent) metrics, the deconfounding heuristic of §V-A;
 //! * [`MetricCatalog`] — the named metric sets of Table II;
@@ -20,6 +22,7 @@
 
 mod catalog;
 mod dataset;
+mod engine;
 mod metric;
 mod recorder;
 mod templates;
@@ -28,6 +31,7 @@ mod window;
 
 pub use catalog::MetricCatalog;
 pub use dataset::Dataset;
+pub use engine::{EngineConfig, WindowEngine};
 pub use metric::{MetricSpec, RawMetric};
 pub use recorder::{Recorder, TelemetryError};
 pub use templates::{Template, TemplateId, TemplateMiner, Token};

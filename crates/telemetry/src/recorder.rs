@@ -1,26 +1,27 @@
-//! The telemetry scraper: periodic counter snapshots and windowed dataset
-//! extraction.
+//! The telemetry scraper: periodic counter snapshots feeding the shared
+//! [`WindowEngine`].
 //!
 //! Plays the role of Prometheus + the paper's data-collection service: a
-//! [`Recorder`] attached to a simulation scrapes every service's counters on
-//! a fixed interval; [`Recorder::dataset`] later differentiates those
-//! snapshots into hopping-window rate/ratio series per metric catalog.
+//! [`Recorder`] attached to a simulation scrapes every service's counters
+//! on a fixed interval and pushes each row into a phase-scoped
+//! [`WindowEngine`], which finalizes hopping windows incrementally as the
+//! simulation runs. [`Recorder::dataset`] then evaluates any metric
+//! catalog over the finalized windows — the same arithmetic, in the same
+//! engine, as the online streaming ingester.
 
 use crate::catalog::MetricCatalog;
 use crate::dataset::Dataset;
-use crate::metric::MetricSpec;
+use crate::engine::{EngineConfig, WindowEngine};
 use crate::window::WindowConfig;
 use icfl_micro::{Cluster, Counters, ServiceId};
 use icfl_sim::{Sim, SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 /// Errors from dataset extraction.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TelemetryError {
-    /// No scrape exists at the requested instant (phase bounds must be
-    /// multiples of the scrape interval, within the recorded range).
+    /// A window boundary was never scraped (the phase extends beyond the
+    /// simulated range, or its bounds are off the scrape grid).
     MissingSample(SimTime),
     /// The phase yielded zero windows.
     EmptyPhase,
@@ -37,34 +38,21 @@ impl std::fmt::Display for TelemetryError {
 
 impl std::error::Error for TelemetryError {}
 
-#[derive(Debug, Serialize, Deserialize)]
-struct Store {
-    interval: SimDuration,
-    times: Vec<SimTime>,
-    /// `samples[tick][service]`.
-    samples: Vec<Vec<Counters>>,
-}
-
-/// Key of one memoized per-metric window extraction: the scraped counters
-/// at fixed times are immutable once recorded, so equal keys always yield
-/// equal series.
-type SeriesKey = (SimTime, SimTime, WindowConfig, MetricSpec);
-
-/// Per-service shared window series of a single metric over one phase.
-type SharedSeries = Vec<Arc<Vec<f64>>>;
-
-/// A handle to the telemetry store being filled by the scrape loop.
+/// A handle to the window engine being filled by the scrape loop.
 ///
-/// Cloning is cheap (shared storage). The recorder must be
-/// [attached](Recorder::attach) *before* the simulation runs past time zero
-/// so the baseline snapshot exists.
+/// Cloning is cheap (shared engine). The recorder must be
+/// [attached](Recorder::attach) *before* the simulation runs past time
+/// zero so the baseline snapshot exists, and it is scoped to one
+/// observation phase fixed at attach time — windows are finalized
+/// incrementally inside `[phase.0, phase.1]` and only their boundary
+/// counter rows are retained, so memory is O(windows), not O(scrapes).
 ///
-/// Extracted window series are memoized per
-/// `(phase, window config, metric)`: the six Table II catalogs overlap
-/// heavily in their metric sets, and every catalog after the first reuses
-/// the shared series instead of re-differentiating the scrape log. The
-/// store and cache sit behind mutexes, so a `Recorder` can be handed
-/// across threads by the parallel campaign executor.
+/// Extracted window series are memoized per metric inside the engine: the
+/// six Table II catalogs overlap heavily in their metric sets, and every
+/// catalog after the first reuses the shared series instead of
+/// re-evaluating boundary rows. The engine sits behind a mutex, so a
+/// `Recorder` can be handed across threads by the parallel campaign
+/// executor.
 ///
 /// # Examples
 ///
@@ -78,168 +66,148 @@ type SharedSeries = Vec<Arc<Vec<f64>>>;
 /// let mut cluster = Cluster::build(&spec, 5)?;
 /// let mut sim = Sim::new(5);
 /// Cluster::start(&mut sim, &mut cluster);
-/// let recorder = Recorder::attach(&mut sim, cluster.num_services());
+/// let recorder = Recorder::attach(
+///     &mut sim,
+///     cluster.num_services(),
+///     (SimTime::ZERO, SimTime::from_secs(120)),
+///     WindowConfig::default(),
+/// );
 ///
 /// sim.run_until(SimTime::from_secs(120), &mut cluster);
 ///
-/// let ds = recorder.dataset(
-///     &MetricCatalog::raw_all(),
-///     SimTime::ZERO,
-///     SimTime::from_secs(120),
-///     WindowConfig::default(),
-/// ).unwrap();
+/// let ds = recorder.dataset(&MetricCatalog::raw_all()).unwrap();
 /// assert_eq!(ds.num_windows(), 3); // 120 s phase, 60 s window, 30 s hop
 /// # Ok::<(), icfl_micro::BuildError>(())
 /// ```
 #[derive(Clone)]
 pub struct Recorder {
-    store: Arc<Mutex<Store>>,
-    cache: Arc<Mutex<HashMap<SeriesKey, SharedSeries>>>,
+    engine: Arc<Mutex<WindowEngine>>,
+    phase: (SimTime, SimTime),
+    windows: WindowConfig,
 }
 
 impl std::fmt::Debug for Recorder {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let s = self.store.lock().expect("telemetry store lock");
+        let e = self.engine.lock().expect("telemetry engine lock");
         f.debug_struct("Recorder")
-            .field("interval", &s.interval)
-            .field("scrapes", &s.times.len())
+            .field("phase", &self.phase)
+            .field("windows_finalized", &e.retained())
             .finish()
     }
 }
 
 impl Recorder {
     /// Default scrape interval (1 s, Prometheus-style).
-    pub const DEFAULT_INTERVAL: SimDuration = SimDuration::from_secs(1);
+    pub const DEFAULT_INTERVAL: SimDuration = EngineConfig::DEFAULT_INTERVAL;
 
-    /// Attaches a scraper with the default 1 s interval.
-    pub fn attach(sim: &mut Sim<Cluster>, num_services: usize) -> Recorder {
-        Recorder::attach_with_interval(sim, num_services, Recorder::DEFAULT_INTERVAL)
+    /// Attaches a scraper with the default 1 s interval, observing the
+    /// hopping windows of `windows` inside `phase`.
+    pub fn attach(
+        sim: &mut Sim<Cluster>,
+        num_services: usize,
+        phase: (SimTime, SimTime),
+        windows: WindowConfig,
+    ) -> Recorder {
+        Recorder::attach_with_interval(
+            sim,
+            num_services,
+            phase,
+            windows,
+            Recorder::DEFAULT_INTERVAL,
+        )
     }
 
     /// Attaches a scraper with a custom interval.
     ///
     /// # Panics
     ///
-    /// Panics if `interval` is zero or the simulation is already past time
-    /// zero (the baseline snapshot would be missing).
+    /// Panics if `interval` is zero, window or hop are not multiples of
+    /// it, or the simulation is already past time zero (the baseline
+    /// snapshot would be missing).
     pub fn attach_with_interval(
         sim: &mut Sim<Cluster>,
         num_services: usize,
+        phase: (SimTime, SimTime),
+        windows: WindowConfig,
         interval: SimDuration,
     ) -> Recorder {
-        assert!(!interval.is_zero(), "scrape interval must be positive");
         assert_eq!(
             sim.now(),
             SimTime::ZERO,
             "attach the recorder before running"
         );
-        let store = Arc::new(Mutex::new(Store {
-            interval,
-            times: Vec::new(),
-            samples: Vec::new(),
-        }));
-        let store2 = Arc::clone(&store);
+        let mut cfg = EngineConfig::offline(windows, phase);
+        cfg.interval = interval;
+        let engine = Arc::new(Mutex::new(WindowEngine::new(cfg, num_services)));
+        let engine2 = Arc::clone(&engine);
         sim.schedule_periodic(SimTime::ZERO, interval, move |sim, cl: &mut Cluster| {
-            let mut s = store2.lock().expect("telemetry store lock");
-            s.times.push(sim.now());
             let row: Vec<Counters> = (0..num_services)
                 .map(|i| cl.counters(ServiceId::from_index(i)))
                 .collect();
-            s.samples.push(row);
+            engine2
+                .lock()
+                .expect("telemetry engine lock")
+                .push(sim.now(), row);
         });
         Recorder {
-            store,
-            cache: Arc::new(Mutex::new(HashMap::new())),
+            engine,
+            phase,
+            windows,
         }
     }
 
-    /// Number of scrapes recorded so far.
-    pub fn num_scrapes(&self) -> usize {
-        self.store.lock().expect("telemetry store lock").times.len()
+    /// The observation phase fixed at attach time.
+    pub fn phase(&self) -> (SimTime, SimTime) {
+        self.phase
     }
 
-    /// The counter snapshot of `service` at exactly `at`, if scraped.
-    pub fn counters_at(&self, service: ServiceId, at: SimTime) -> Option<Counters> {
-        let s = self.store.lock().expect("telemetry store lock");
-        let idx = (at.as_nanos() / s.interval.as_nanos()) as usize;
-        if s.times.get(idx).copied() == Some(at) {
-            Some(s.samples[idx][service.index()])
-        } else {
-            None
-        }
+    /// The window configuration fixed at attach time.
+    pub fn windows(&self) -> WindowConfig {
+        self.windows
     }
 
-    /// Extracts a windowed [`Dataset`] for `catalog` over
-    /// `[phase_start, phase_end]` — this is `D(M, s)` for every metric and
-    /// service.
+    /// Number of windows finalized so far.
+    pub fn windows_finalized(&self) -> usize {
+        self.engine
+            .lock()
+            .expect("telemetry engine lock")
+            .retained()
+    }
+
+    /// The counter snapshot of `service` at `at`, if `at` is a boundary of
+    /// a finalized window. Boundary rows are all the raw telemetry kept —
+    /// the full scrape log is never stored.
+    pub fn boundary_counters(&self, service: ServiceId, at: SimTime) -> Option<Counters> {
+        self.engine
+            .lock()
+            .expect("telemetry engine lock")
+            .boundary_counters(service.index(), at)
+    }
+
+    /// Evaluates a windowed [`Dataset`] for `catalog` over the attach-time
+    /// phase — this is `D(M, s)` for every metric and service.
     ///
-    /// Per-metric series are served from the shared window cache when the
-    /// same `(phase, windows, metric)` triple was extracted before (by any
-    /// catalog); only cache misses touch the scrape log.
+    /// Per-metric series are served from the engine's shared window cache
+    /// when the same metric was extracted before (by any catalog); only
+    /// cache misses touch the boundary rows.
     ///
     /// # Errors
     ///
     /// [`TelemetryError::EmptyPhase`] if the phase fits no window;
-    /// [`TelemetryError::MissingSample`] if a window boundary was never
-    /// scraped (boundaries must be multiples of the scrape interval inside
-    /// the recorded range).
-    pub fn dataset(
-        &self,
-        catalog: &MetricCatalog,
-        phase_start: SimTime,
-        phase_end: SimTime,
-        windows: WindowConfig,
-    ) -> Result<Dataset, TelemetryError> {
-        let bounds = windows.windows_in(phase_start, phase_end);
-        if bounds.is_empty() {
+    /// [`TelemetryError::MissingSample`] if a window of the phase was
+    /// never finalized (the simulation stopped early, or the phase bounds
+    /// are off the scrape grid).
+    pub fn dataset(&self, catalog: &MetricCatalog) -> Result<Dataset, TelemetryError> {
+        let expected = self.windows.windows_in(self.phase.0, self.phase.1);
+        if expected.is_empty() {
             return Err(TelemetryError::EmptyPhase);
         }
-        let mut cache = self.cache.lock().expect("telemetry cache lock");
-        let mut values: Vec<SharedSeries> = Vec::with_capacity(catalog.len());
-        // The store is only locked (and the scrape log only walked) for
-        // metrics missing from the cache.
-        let mut store: Option<std::sync::MutexGuard<'_, Store>> = None;
-        for metric in catalog.metrics() {
-            let key: SeriesKey = (phase_start, phase_end, windows, *metric);
-            if let Some(series) = cache.get(&key) {
-                values.push(series.clone());
-                continue;
-            }
-            let s = store.get_or_insert_with(|| self.store.lock().expect("telemetry store lock"));
-            let series = extract_series(s, metric, &bounds)?;
-            cache.insert(key, series.clone());
-            values.push(series);
+        let mut engine = self.engine.lock().expect("telemetry engine lock");
+        if engine.retained() < expected.len() {
+            return Err(TelemetryError::MissingSample(expected[engine.retained()].1));
         }
-        Ok(Dataset::from_shared(catalog.metric_names(), values))
+        Ok(engine.dataset(catalog))
     }
-}
-
-/// Differentiates the scrape log into one shared window series per service
-/// for a single metric.
-fn extract_series(
-    store: &Store,
-    metric: &MetricSpec,
-    bounds: &[(SimTime, SimTime)],
-) -> Result<SharedSeries, TelemetryError> {
-    let num_services = store.samples.first().map_or(0, Vec::len);
-    let lookup = |at: SimTime| -> Result<&Vec<Counters>, TelemetryError> {
-        let idx = (at.as_nanos() / store.interval.as_nanos()) as usize;
-        if store.times.get(idx).copied() == Some(at) {
-            Ok(&store.samples[idx])
-        } else {
-            Err(TelemetryError::MissingSample(at))
-        }
-    };
-    let mut per_service: Vec<Vec<f64>> = vec![Vec::with_capacity(bounds.len()); num_services];
-    for &(ws, we) in bounds {
-        let start_row = lookup(ws)?;
-        let end_row = lookup(we)?;
-        let secs = (we - ws).as_secs_f64();
-        for (svc, series) in per_service.iter_mut().enumerate() {
-            series.push(metric.evaluate(&start_row[svc], &end_row[svc], secs));
-        }
-    }
-    Ok(per_service.into_iter().map(Arc::new).collect())
 }
 
 #[cfg(test)]
@@ -278,35 +246,44 @@ mod tests {
         }
     }
 
+    fn full_phase(secs: u64) -> (SimTime, SimTime) {
+        (SimTime::ZERO, SimTime::from_secs(secs))
+    }
+
     #[test]
-    fn scrapes_on_schedule() {
+    fn windows_finalize_incrementally_with_boundary_counters() {
         let (mut sim, mut cluster) = demo_cluster(1);
-        let rec = Recorder::attach(&mut sim, cluster.num_services());
-        sim.run_until(SimTime::from_secs(10), &mut cluster);
-        // t = 0..=10 → 11 scrapes.
-        assert_eq!(rec.num_scrapes(), 11);
+        let rec = Recorder::attach(
+            &mut sim,
+            cluster.num_services(),
+            full_phase(120),
+            WindowConfig::default(),
+        );
+        sim.run_until(SimTime::from_secs(90), &mut cluster);
+        // Windows [0,60] and [30,90] have closed; [60,120] has not.
+        assert_eq!(rec.windows_finalized(), 2);
+        sim.run_until(SimTime::from_secs(120), &mut cluster);
+        assert_eq!(rec.windows_finalized(), 3);
         assert!(rec
-            .counters_at(ServiceId::from_index(0), SimTime::from_secs(5))
+            .boundary_counters(ServiceId::from_index(0), SimTime::from_secs(60))
             .is_some());
         assert!(rec
-            .counters_at(ServiceId::from_index(0), SimTime::from_nanos(1))
+            .boundary_counters(ServiceId::from_index(0), SimTime::from_nanos(1))
             .is_none());
     }
 
     #[test]
     fn dataset_has_expected_shape_and_rates() {
         let (mut sim, mut cluster) = demo_cluster(2);
-        let rec = Recorder::attach(&mut sim, cluster.num_services());
+        let rec = Recorder::attach(
+            &mut sim,
+            cluster.num_services(),
+            full_phase(180),
+            WindowConfig::default(),
+        );
         drive_steady_load(&mut sim, 180);
         sim.run_until(SimTime::from_secs(180), &mut cluster);
-        let ds = rec
-            .dataset(
-                &MetricCatalog::raw_all(),
-                SimTime::ZERO,
-                SimTime::from_secs(180),
-                WindowConfig::default(),
-            )
-            .unwrap();
+        let ds = rec.dataset(&MetricCatalog::raw_all()).unwrap();
         assert_eq!(ds.num_metrics(), 4);
         assert_eq!(ds.num_services(), 2);
         assert_eq!(ds.num_windows(), 5);
@@ -325,7 +302,12 @@ mod tests {
         // should match the single-load value.
         let per_request_cpu = |double: bool| {
             let (mut sim, mut cluster) = demo_cluster(3);
-            let rec = Recorder::attach(&mut sim, cluster.num_services());
+            let rec = Recorder::attach(
+                &mut sim,
+                cluster.num_services(),
+                full_phase(180),
+                WindowConfig::default(),
+            );
             for i in 0..1800 {
                 let at = SimTime::ZERO + SimDuration::from_millis(100 * i);
                 let n = if double { 2 } else { 1 };
@@ -337,14 +319,7 @@ mod tests {
                 });
             }
             sim.run_until(SimTime::from_secs(180), &mut cluster);
-            let ds = rec
-                .dataset(
-                    &MetricCatalog::derived_cpu(),
-                    SimTime::ZERO,
-                    SimTime::from_secs(180),
-                    WindowConfig::default(),
-                )
-                .unwrap();
+            let ds = rec.dataset(&MetricCatalog::derived_cpu()).unwrap();
             let b = ServiceId::from_index(1);
             let xs = ds.samples(0, b);
             xs.iter().sum::<f64>() / xs.len() as f64
@@ -360,32 +335,28 @@ mod tests {
     #[test]
     fn phase_outside_recording_errors() {
         let (mut sim, mut cluster) = demo_cluster(4);
-        let rec = Recorder::attach(&mut sim, cluster.num_services());
+        let rec = Recorder::attach(
+            &mut sim,
+            cluster.num_services(),
+            full_phase(300),
+            WindowConfig::default(),
+        );
         sim.run_until(SimTime::from_secs(30), &mut cluster);
-        let err = rec
-            .dataset(
-                &MetricCatalog::raw_cpu(),
-                SimTime::ZERO,
-                SimTime::from_secs(300),
-                WindowConfig::default(),
-            )
-            .unwrap_err();
-        assert!(matches!(err, TelemetryError::MissingSample(_)));
+        let err = rec.dataset(&MetricCatalog::raw_cpu()).unwrap_err();
+        assert_eq!(err, TelemetryError::MissingSample(SimTime::from_secs(60)));
     }
 
     #[test]
     fn too_short_phase_errors() {
         let (mut sim, mut cluster) = demo_cluster(5);
-        let rec = Recorder::attach(&mut sim, cluster.num_services());
+        let rec = Recorder::attach(
+            &mut sim,
+            cluster.num_services(),
+            full_phase(30),
+            WindowConfig::default(),
+        );
         sim.run_until(SimTime::from_secs(30), &mut cluster);
-        let err = rec
-            .dataset(
-                &MetricCatalog::raw_cpu(),
-                SimTime::ZERO,
-                SimTime::from_secs(30),
-                WindowConfig::default(),
-            )
-            .unwrap_err();
+        let err = rec.dataset(&MetricCatalog::raw_cpu()).unwrap_err();
         assert_eq!(err, TelemetryError::EmptyPhase);
     }
 
@@ -394,6 +365,11 @@ mod tests {
     fn late_attach_panics() {
         let (mut sim, mut cluster) = demo_cluster(6);
         sim.run_until(SimTime::from_secs(1), &mut cluster);
-        let _ = Recorder::attach(&mut sim, cluster.num_services());
+        let _ = Recorder::attach(
+            &mut sim,
+            cluster.num_services(),
+            full_phase(120),
+            WindowConfig::default(),
+        );
     }
 }

@@ -8,9 +8,10 @@
 //! cargo run --release --example confounder_demo
 //! ```
 
-use icfl::loadgen::{start_load, ArrivalModel, LoadConfig};
-use icfl::micro::{Cluster, FaultKind};
-use icfl::sim::{DurationDist, Sim, SimDuration, SimTime};
+use icfl::loadgen::ArrivalModel;
+use icfl::micro::FaultKind;
+use icfl::scenario::Scenario;
+use icfl::sim::{DurationDist, SimDuration, SimTime};
 
 /// Returns the request rate (req/s) observed at `observe` over a minute of
 /// steady state, with an optional fault on `fault_on`.
@@ -21,24 +22,20 @@ fn observed_rate(
     seed: u64,
 ) -> Result<f64, Box<dyn std::error::Error>> {
     let app = icfl::apps::fig2_topology();
-    let (mut cluster, _) = app.build(seed)?;
+    let mut builder = Scenario::builder(&app, seed).arrival(arrival);
     if let Some(name) = fault_on {
-        let id = cluster.service_id(name).expect("service exists");
-        cluster.set_fault(id, Some(FaultKind::ServiceUnavailable));
+        builder = builder.preset_fault(name, FaultKind::ServiceUnavailable);
     }
-    let mut sim = Sim::new(seed);
-    Cluster::start(&mut sim, &mut cluster);
-    start_load(
-        &mut sim,
-        &mut cluster,
-        &LoadConfig::closed_loop(app.flows.clone()).with_model(arrival),
-    )?;
+    let mut scenario = builder.build()?;
     // Warm up, then measure one minute.
-    sim.run_until(SimTime::from_secs(30), &mut cluster);
-    let id = cluster.service_id(observe).expect("service exists");
-    let before = cluster.counters(id).requests_received;
-    sim.run_until(SimTime::from_secs(90), &mut cluster);
-    let after = cluster.counters(id).requests_received;
+    scenario.run_until(SimTime::from_secs(30));
+    let id = scenario
+        .cluster
+        .service_id(observe)
+        .expect("service exists");
+    let before = scenario.cluster.counters(id).requests_received;
+    scenario.run_until(SimTime::from_secs(90));
+    let after = scenario.cluster.counters(id).requests_received;
     Ok((after - before) as f64 / 60.0)
 }
 

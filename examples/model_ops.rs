@@ -10,9 +10,8 @@
 //! ```
 
 use icfl::core::{CampaignRun, CausalModel, ProductionRun, RunConfig};
-use icfl::loadgen::{start_load, LoadConfig};
-use icfl::micro::Cluster;
-use icfl::sim::{Sim, SimTime};
+use icfl::scenario::Scenario;
+use icfl::sim::SimTime;
 use icfl::telemetry::{MetricCatalog, TemplateMiner};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -75,15 +74,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    would return for node F).
     // ---------------------------------------------------------------
     println!("\nmining log templates from a fresh 2-minute run...");
-    let (mut cluster, _) = app.build(99)?;
-    let mut sim = Sim::new(99);
-    Cluster::start(&mut sim, &mut cluster);
-    start_load(
-        &mut sim,
-        &mut cluster,
-        &LoadConfig::closed_loop(app.flows.clone()),
-    )?;
-    sim.run_until(SimTime::from_secs(120), &mut cluster);
+    let mut scenario = Scenario::builder(&app, 99).build()?;
+    scenario.run_until(SimTime::from_secs(120));
+    let cluster = &scenario.cluster;
     let mut miner = TemplateMiner::new(0.6);
     for id in cluster.service_ids() {
         let logs = cluster.recent_logs(id, 256);

@@ -15,6 +15,7 @@
 //! | [`faults`] | `icfl-faults` | fault injection platform & campaigns |
 //! | [`loadgen`] | `icfl-loadgen` | Locust-style closed-loop load |
 //! | [`apps`] | `icfl-apps` | CausalBench, Robot-shop, Fig. 1/2 topologies |
+//! | [`scenario`] | `icfl-scenario` | unified run assembly: app + sim + load + faults + telemetry taps |
 //! | [`core`] | `icfl-core` | **Algorithms 1 & 2** + scoring + orchestration |
 //! | [`online`] | `icfl-online` | streaming ingest, incident detection, live localization, model registry |
 //! | [`baselines`] | `icfl-baselines` | \[23\], \[24\], pooled, observational |
@@ -55,6 +56,7 @@ pub use icfl_faults as faults;
 pub use icfl_loadgen as loadgen;
 pub use icfl_micro as micro;
 pub use icfl_online as online;
+pub use icfl_scenario as scenario;
 pub use icfl_sim as sim;
 pub use icfl_stats as stats;
 pub use icfl_telemetry as telemetry;

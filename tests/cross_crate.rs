@@ -3,10 +3,10 @@
 
 use icfl::core::{CampaignRun, RunConfig};
 use icfl::faults::{Campaign, CampaignConfig, InterventionTrace, PhaseLabel};
-use icfl::loadgen::{start_load, LoadConfig};
 use icfl::micro::Cluster;
+use icfl::scenario::{RecorderTap, Scenario};
 use icfl::sim::Sim;
-use icfl::telemetry::{MetricCatalog, MetricSpec, RawMetric, Recorder, WindowConfig};
+use icfl::telemetry::{MetricCatalog, MetricSpec, RawMetric, WindowConfig};
 
 #[test]
 fn executed_campaign_trace_matches_plan_exactly() {
@@ -29,25 +29,25 @@ fn executed_campaign_trace_matches_plan_exactly() {
 #[test]
 fn recorder_counters_match_cluster_counters_at_scrape_instants() {
     let app = icfl::apps::pattern1();
-    let (mut cluster, _) = app.build(5).unwrap();
-    let mut sim = Sim::new(5);
-    Cluster::start(&mut sim, &mut cluster);
-    let recorder = Recorder::attach(&mut sim, cluster.num_services());
-    start_load(
-        &mut sim,
-        &mut cluster,
-        &LoadConfig::closed_loop(app.flows.clone()),
-    )
-    .unwrap();
-    sim.run_until(icfl::sim::SimTime::from_secs(30), &mut cluster);
-    // The final scrape at t=30 must equal the live counters (no events can
-    // run between the scrape and the horizon at the same instant afterward
-    // because load events at t=30 are ordered after the earlier-scheduled
-    // periodic scrape... so compare at the scrape BEFORE the horizon).
-    let at = icfl::sim::SimTime::from_secs(30);
-    for id in cluster.service_ids() {
-        let scraped = recorder.counters_at(id, at);
-        assert!(scraped.is_some(), "scrape exists at t=30 for {id}");
+    let end = icfl::sim::SimTime::from_secs(30);
+    let (mut scenario, recorder) = Scenario::builder(&app, 5)
+        .build_with(RecorderTap::new(
+            (icfl::sim::SimTime::ZERO, end),
+            WindowConfig::from_secs(10, 5),
+        ))
+        .unwrap();
+    scenario.run_until(end);
+    // Window boundary rows retained by the engine must exist at every
+    // finalized boundary; the final one coincides with the horizon.
+    for at_secs in [10u64, 15, 20, 25, 30] {
+        let at = icfl::sim::SimTime::from_secs(at_secs);
+        for id in scenario.cluster.service_ids() {
+            let scraped = recorder.boundary_counters(id, at);
+            assert!(
+                scraped.is_some(),
+                "boundary row exists at t={at_secs} for {id}"
+            );
+        }
     }
 }
 
@@ -118,22 +118,13 @@ fn section_6b_causal_worlds_reproduce() {
 #[test]
 fn window_config_and_recorder_agree_on_window_counts() {
     let app = icfl::apps::pattern1();
-    let (mut cluster, _) = app.build(3).unwrap();
-    let mut sim = Sim::new(3);
-    Cluster::start(&mut sim, &mut cluster);
-    let recorder = Recorder::attach(&mut sim, cluster.num_services());
-    start_load(
-        &mut sim,
-        &mut cluster,
-        &LoadConfig::closed_loop(app.flows.clone()),
-    )
-    .unwrap();
     let end = icfl::sim::SimTime::from_secs(600);
-    sim.run_until(end, &mut cluster);
     let wc = WindowConfig::default();
-    let ds = recorder
-        .dataset(&MetricCatalog::raw_all(), icfl::sim::SimTime::ZERO, end, wc)
+    let (mut scenario, recorder) = Scenario::builder(&app, 3)
+        .build_with(RecorderTap::new((icfl::sim::SimTime::ZERO, end), wc))
         .unwrap();
+    scenario.run_until(end);
+    let ds = recorder.dataset(&MetricCatalog::raw_all()).unwrap();
     // The paper's setup: a 10-minute phase yields 19 overlapping windows.
     assert_eq!(ds.num_windows(), 19);
     assert_eq!(
