@@ -4,7 +4,8 @@
 //! which are unavailable offline). Supports exactly what this workspace
 //! derives on:
 //!
-//! - structs with named fields (`#[serde(default)]` honored per field),
+//! - structs with named fields (`#[serde(default)]` and
+//!   `#[serde(skip_serializing_if = "path")]` honored per field),
 //! - tuple structs (single-field newtypes serialize transparently,
 //!   wider tuples as arrays),
 //! - unit structs,
@@ -20,6 +21,10 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 struct NamedField {
     name: String,
     has_default: bool,
+    /// Predicate path from `#[serde(skip_serializing_if = "path")]`: when
+    /// `path(&field)` is true the field is omitted from the serialized
+    /// object (pair with `default` so deserialization tolerates the gap).
+    skip_if: Option<String>,
 }
 
 enum Shape {
@@ -50,38 +55,65 @@ fn compile_error(msg: &str) -> TokenStream {
         .expect("valid error tokens")
 }
 
-/// Returns true when an attribute token group is `serde(default)`.
-fn attr_is_serde_default(group: &proc_macro::Group) -> bool {
+/// Field-level knobs recognized inside `#[serde(...)]`.
+#[derive(Default)]
+struct FieldAttrs {
+    has_default: bool,
+    skip_if: Option<String>,
+}
+
+/// Folds one `serde(...)` attribute token group into `attrs`. Recognizes
+/// `default` and `skip_serializing_if = "path"`; other entries are ignored.
+fn parse_serde_attr(group: &proc_macro::Group, attrs: &mut FieldAttrs) {
     let mut it = group.stream().into_iter();
-    match (it.next(), it.next()) {
+    let inner = match (it.next(), it.next()) {
         (Some(TokenTree::Ident(name)), Some(TokenTree::Group(inner)))
             if name.to_string() == "serde" =>
         {
             inner
-                .stream()
-                .into_iter()
-                .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "default"))
         }
-        _ => false,
+        _ => return,
+    };
+    let toks: Vec<TokenTree> = inner.stream().into_iter().collect();
+    let mut i = 0;
+    while i < toks.len() {
+        if let TokenTree::Ident(id) = &toks[i] {
+            match id.to_string().as_str() {
+                "default" => attrs.has_default = true,
+                "skip_serializing_if" => {
+                    if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+                        (toks.get(i + 1), toks.get(i + 2))
+                    {
+                        if eq.as_char() == '=' {
+                            let s = lit.to_string();
+                            attrs.skip_if = Some(s.trim_matches('"').to_string());
+                            i += 2;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        i += 1;
     }
 }
 
-/// Consumes leading `#[...]` attributes; reports whether one was
-/// `#[serde(default)]`.
-fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
-    let mut has_default = false;
+/// Consumes leading `#[...]` attributes, collecting the recognized
+/// `#[serde(...)]` field knobs.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, FieldAttrs) {
+    let mut attrs = FieldAttrs::default();
     while i + 1 < tokens.len() {
         match (&tokens[i], &tokens[i + 1]) {
             (TokenTree::Punct(p), TokenTree::Group(g))
                 if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
             {
-                has_default |= attr_is_serde_default(g);
+                parse_serde_attr(g, &mut attrs);
                 i += 2;
             }
             _ => break,
         }
     }
-    (i, has_default)
+    (i, attrs)
 }
 
 /// Consumes `pub`, `pub(...)` visibility tokens.
@@ -120,7 +152,7 @@ fn parse_named_fields(group: &proc_macro::Group) -> Result<Vec<NamedField>, Stri
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        let (ni, has_default) = skip_attrs(&tokens, i);
+        let (ni, attrs) = skip_attrs(&tokens, i);
         i = skip_vis(&tokens, ni);
         let name = match tokens.get(i) {
             Some(TokenTree::Ident(id)) => id.to_string(),
@@ -136,7 +168,11 @@ fn parse_named_fields(group: &proc_macro::Group) -> Result<Vec<NamedField>, Stri
         if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
             i += 1;
         }
-        fields.push(NamedField { name, has_default });
+        fields.push(NamedField {
+            name,
+            has_default: attrs.has_default,
+            skip_if: attrs.skip_if,
+        });
     }
     Ok(fields)
 }
@@ -317,11 +353,15 @@ fn gen_obj(fields: &[NamedField], access: impl Fn(&NamedField) -> String) -> Str
     let pushes: Vec<String> = fields
         .iter()
         .map(|f| {
-            format!(
+            let push = format!(
                 "__obj.push(serde::entry({n:?}, serde::Serialize::to_value({a})));",
                 n = f.name,
                 a = access(f)
-            )
+            );
+            match &f.skip_if {
+                Some(path) => format!("if !{path}({a}) {{ {push} }}", a = access(f)),
+                None => push,
+            }
         })
         .collect();
     format!(

@@ -25,6 +25,7 @@ fn stream(replicas: usize) -> u64 {
         .replicas(replicas)
         .build_with(tap)
         .expect("assemble");
+    let ingester = ingester.expect("attach before start");
     scenario.run_until(SimTime::from_secs(STREAM_SECS));
     ingester.windows_emitted()
 }

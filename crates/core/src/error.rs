@@ -22,6 +22,10 @@ pub enum CoreError {
     Serde(String),
     /// An I/O path (report or model file) failed.
     Io(String),
+    /// An operation was attempted in a state that cannot honor it
+    /// (e.g. attaching a streaming ingester to a simulation that has
+    /// already advanced past time zero).
+    InvalidState(String),
 }
 
 impl fmt::Display for CoreError {
@@ -34,6 +38,7 @@ impl fmt::Display for CoreError {
             CoreError::ShapeMismatch { what } => write!(f, "dataset shape mismatch: {what}"),
             CoreError::Serde(e) => write!(f, "model serialization failed: {e}"),
             CoreError::Io(e) => write!(f, "i/o failed: {e}"),
+            CoreError::InvalidState(what) => write!(f, "invalid state: {what}"),
         }
     }
 }

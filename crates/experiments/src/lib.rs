@@ -15,6 +15,7 @@
 //! | Scalability sweep (chain/star/layered topologies up to 64 services) | [`scalability`] | `--bin scalability` |
 //! | Confusability analysis (§III-B identifiability, validated against 4× misses) | [`confusability`] | `--bin confusability` |
 //! | Production platform (Fig. 3): streaming detection + live localization | [`production`] | `--bin production` |
+//! | Robustness under degraded telemetry (drops/jitter/dups/resets) | [`robustness`] | `--bin robustness` |
 //!
 //! Every binary accepts `--quick` (default: 2-minute phases) or `--paper`
 //! (the paper's 10-minute phases), `--seed N`, `--threads N` (worker
@@ -32,6 +33,7 @@ mod figures;
 mod mode;
 mod production;
 mod render;
+mod robustness;
 mod scalability;
 mod tables;
 mod timing;
@@ -45,6 +47,10 @@ pub use production::{
     production, ProductionAppReport, ProductionError, ProductionOptions, ProductionReport,
 };
 pub use render::TextTable;
+pub use robustness::{
+    robustness, RobustnessAppReport, RobustnessCell, RobustnessError, RobustnessOptions,
+    RobustnessReport, DROP_RATES, RESET_PROB,
+};
 pub use scalability::{scalability, Scalability, ScalabilityRow};
 pub use tables::{table1, table2, Table1, Table1Row, Table2, Table2Row};
 pub use timing::{record_timing, report_timing, run_timed, timings_path, Timed};

@@ -57,6 +57,65 @@ impl Counters {
         self.cpu_nanos as f64 / 1e9
     }
 
+    /// True when any field of `self` is strictly below the same field of
+    /// `other`. For monotonic counters this signals a counter reset (pod
+    /// restart): a live service's cumulative counters never go backwards,
+    /// so a decrease means the source was re-based.
+    pub fn any_field_less(&self, other: &Counters) -> bool {
+        self.cpu_nanos < other.cpu_nanos
+            || self.rx_packets < other.rx_packets
+            || self.tx_packets < other.tx_packets
+            || self.logs_total < other.logs_total
+            || self.logs_error < other.logs_error
+            || self.logs_info < other.logs_info
+            || self.requests_received < other.requests_received
+            || self.requests_sent < other.requests_sent
+            || self.responses_ok < other.responses_ok
+            || self.responses_err < other.responses_err
+            || self.queue_dropped < other.queue_dropped
+    }
+
+    /// Field-by-field saturating sum `self + other` (re-baselining a
+    /// post-restart counter stream onto its pre-restart offsets).
+    pub fn saturating_add_fields(&self, other: &Counters) -> Counters {
+        Counters {
+            cpu_nanos: self.cpu_nanos.saturating_add(other.cpu_nanos),
+            rx_packets: self.rx_packets.saturating_add(other.rx_packets),
+            tx_packets: self.tx_packets.saturating_add(other.tx_packets),
+            logs_total: self.logs_total.saturating_add(other.logs_total),
+            logs_error: self.logs_error.saturating_add(other.logs_error),
+            logs_info: self.logs_info.saturating_add(other.logs_info),
+            requests_received: self
+                .requests_received
+                .saturating_add(other.requests_received),
+            requests_sent: self.requests_sent.saturating_add(other.requests_sent),
+            responses_ok: self.responses_ok.saturating_add(other.responses_ok),
+            responses_err: self.responses_err.saturating_add(other.responses_err),
+            queue_dropped: self.queue_dropped.saturating_add(other.queue_dropped),
+        }
+    }
+
+    /// Field-by-field saturating difference `self − other` (simulating a
+    /// pod restart: the scrape reports counters relative to a restart
+    /// baseline, clamping at zero instead of wrapping).
+    pub fn saturating_sub_fields(&self, other: &Counters) -> Counters {
+        Counters {
+            cpu_nanos: self.cpu_nanos.saturating_sub(other.cpu_nanos),
+            rx_packets: self.rx_packets.saturating_sub(other.rx_packets),
+            tx_packets: self.tx_packets.saturating_sub(other.tx_packets),
+            logs_total: self.logs_total.saturating_sub(other.logs_total),
+            logs_error: self.logs_error.saturating_sub(other.logs_error),
+            logs_info: self.logs_info.saturating_sub(other.logs_info),
+            requests_received: self
+                .requests_received
+                .saturating_sub(other.requests_received),
+            requests_sent: self.requests_sent.saturating_sub(other.requests_sent),
+            responses_ok: self.responses_ok.saturating_sub(other.responses_ok),
+            responses_err: self.responses_err.saturating_sub(other.responses_err),
+            queue_dropped: self.queue_dropped.saturating_sub(other.queue_dropped),
+        }
+    }
+
     /// Field-by-field difference `self − earlier` (both monotonic).
     ///
     /// # Panics

@@ -204,7 +204,10 @@ pub struct TickDecision {
 
 /// The live incident detector: the configured two-sample test on sliding
 /// live-vs-reference windows, debounced by an [`IncidentStateMachine`].
-#[derive(Debug, Clone)]
+///
+/// Fully serializable (detector tuning and lifecycle state alike) so an
+/// online session can checkpoint mid-stream and resume byte-identically.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct IncidentDetector {
     detector: ShiftDetector,
     min_shifted_pairs: usize,

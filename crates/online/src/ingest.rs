@@ -12,14 +12,32 @@
 //! the simulation runs, and no full-dataset rebuild ever happens on the
 //! hot path.
 //!
+//! # Degraded telemetry
+//!
+//! With [`IngestConfig::degrade`] set, the scrape loop models a real
+//! Prometheus/cAdvisor feed: each raw scrape passes through a seeded
+//! [`ScrapeDegrader`] (drops, delivery jitter, duplicates, counter
+//! resets) and whatever it delivers goes through the engine's watermarked
+//! reorder path instead of the clean in-order `push`. The watermark trails
+//! the clock by the degrader's delivery slack plus one interval, so every
+//! delayed delivery and trailing duplicate is staged before its window is
+//! decided; windows whose boundary scrape never arrived are finalized
+//! invalid instead of silently wrong. Without `degrade` the clean path is
+//! byte-for-byte what it always was.
+//!
 //! Window boundaries follow exactly the arithmetic of
 //! [`WindowConfig::windows_in`]: window `k` spans
 //! `[k·hop, k·hop + window]`, anchored at the attach time (time zero).
 
+use icfl_core::CoreError;
 use icfl_micro::{Cluster, Counters, ServiceId};
 use icfl_scenario::TelemetryTap;
 use icfl_sim::{Sim, SimDuration, SimTime};
-use icfl_telemetry::{Dataset, EngineConfig, MetricCatalog, WindowConfig, WindowEngine};
+use icfl_telemetry::{
+    Dataset, DegradationConfig, DegradeStats, EngineConfig, EngineSnapshot, MetricCatalog,
+    ScrapeDegrader, WindowConfig, WindowEngine, WindowValidity,
+};
+use serde::{Deserialize, Serialize};
 use std::sync::{Arc, Mutex};
 
 /// Configuration of one streaming ingest loop.
@@ -36,6 +54,9 @@ pub struct IngestConfig {
     /// warmup: queues filling, daemons settling — the same span the
     /// offline campaign excludes from datasets).
     pub collect_from: SimTime,
+    /// Telemetry-degradation model applied to the scrape stream. `None`
+    /// (the default) runs the clean in-order path unchanged.
+    pub degrade: Option<DegradationConfig>,
 }
 
 impl IngestConfig {
@@ -48,8 +69,25 @@ impl IngestConfig {
             interval: SimDuration::from_secs(1),
             capacity,
             collect_from,
+            degrade: None,
         }
     }
+
+    /// Enables the telemetry-degradation model, returning `self`.
+    pub fn with_degradation(mut self, degrade: DegradationConfig) -> Self {
+        self.degrade = Some(degrade);
+        self
+    }
+}
+
+/// A serializable checkpoint of the ingest service's entire state: the
+/// window engine and, on a degraded stream, the degrader (RNG included).
+/// Restoring via [`StreamingIngester::restore`] continues the stream
+/// byte-identically after a crash.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IngestCheckpoint {
+    engine: EngineSnapshot,
+    degrader: Option<ScrapeDegrader>,
 }
 
 /// A handle to the streaming ingest loop attached to a simulation.
@@ -75,7 +113,7 @@ impl IngestConfig {
 ///     cluster.num_services(),
 ///     &MetricCatalog::raw_all(),
 ///     IngestConfig::new(WindowConfig::from_secs(10, 5), 16, SimTime::ZERO),
-/// );
+/// ).unwrap();
 /// sim.run_until(SimTime::from_secs(60), &mut cluster);
 /// // 60 s stream, 10 s windows hopping every 5 s → ends at 10, 15, ..., 60.
 /// assert_eq!(ingester.windows_emitted(), 11);
@@ -85,6 +123,7 @@ impl IngestConfig {
 #[derive(Clone)]
 pub struct StreamingIngester {
     engine: Arc<Mutex<WindowEngine>>,
+    degrader: Option<Arc<Mutex<ScrapeDegrader>>>,
     catalog: MetricCatalog,
 }
 
@@ -94,6 +133,7 @@ impl std::fmt::Debug for StreamingIngester {
         f.debug_struct("StreamingIngester")
             .field("emitted", &e.emitted())
             .field("retained", &e.retained())
+            .field("degraded", &self.degrader.is_some())
             .finish()
     }
 }
@@ -102,39 +142,82 @@ impl StreamingIngester {
     /// Attaches the ingest loop to `sim`, scraping every
     /// [`IngestConfig::interval`].
     ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidState`] if the simulation has already run past
+    /// time zero — window boundaries would fall off the scrape grid.
+    ///
     /// # Panics
     ///
-    /// Panics if the simulation is past time zero, if `capacity` is zero,
-    /// or if window/hop are not multiples of the scrape interval (window
-    /// boundaries would fall between scrapes).
+    /// Panics if `capacity` is zero or window/hop are not multiples of the
+    /// scrape interval (configuration bugs, not runtime states).
     pub fn attach(
         sim: &mut Sim<Cluster>,
         num_services: usize,
         catalog: &MetricCatalog,
         cfg: IngestConfig,
-    ) -> StreamingIngester {
-        assert_eq!(
-            sim.now(),
-            SimTime::ZERO,
-            "attach the ingester before running"
-        );
+    ) -> icfl_core::Result<StreamingIngester> {
+        if sim.now() != SimTime::ZERO {
+            return Err(CoreError::InvalidState(format!(
+                "streaming ingester must attach before the simulation runs (now = {})",
+                sim.now()
+            )));
+        }
         let mut engine_cfg = EngineConfig::streaming(cfg.windows, cfg.capacity, cfg.collect_from);
         engine_cfg.interval = cfg.interval;
         let engine = Arc::new(Mutex::new(WindowEngine::new(engine_cfg, num_services)));
-        let shared = Arc::clone(&engine);
-        sim.schedule_periodic(SimTime::ZERO, cfg.interval, move |sim, cl: &mut Cluster| {
-            let row: Vec<Counters> = (0..num_services)
-                .map(|i| cl.counters(ServiceId::from_index(i)))
-                .collect();
-            shared
-                .lock()
-                .expect("ingest engine lock")
-                .push(sim.now(), row);
+        let degrader = cfg.degrade.filter(|d| !d.is_none()).map(|d| {
+            Arc::new(Mutex::new(ScrapeDegrader::new(
+                d,
+                cfg.interval,
+                num_services,
+            )))
         });
-        StreamingIngester {
-            engine,
-            catalog: catalog.clone(),
+
+        let shared = Arc::clone(&engine);
+        match degrader.as_ref().map(Arc::clone) {
+            None => {
+                // Clean path: one in-order scrape per interval, unchanged.
+                sim.schedule_periodic(SimTime::ZERO, cfg.interval, move |sim, cl: &mut Cluster| {
+                    let row = scrape(cl, num_services);
+                    shared
+                        .lock()
+                        .expect("ingest engine lock")
+                        .push(sim.now(), row);
+                });
+            }
+            Some(deg) => {
+                // Degraded path: the raw scrape passes through the
+                // degrader; deliveries stage in the engine's reorder
+                // buffer and the watermark trails the clock by the
+                // delivery slack plus one interval (so a duplicate riding
+                // one interval behind a maximally delayed original still
+                // coalesces instead of counting as late).
+                let lag = cfg
+                    .degrade
+                    .expect("degrader implies config")
+                    .slack(cfg.interval)
+                    .as_nanos()
+                    .saturating_add(cfg.interval.as_nanos());
+                sim.schedule_periodic(SimTime::ZERO, cfg.interval, move |sim, cl: &mut Cluster| {
+                    let now = sim.now();
+                    let row = scrape(cl, num_services);
+                    let due = deg.lock().expect("degrader lock").offer(now, row);
+                    let mut engine = shared.lock().expect("ingest engine lock");
+                    for (at, delivered) in due {
+                        engine.ingest(at, delivered);
+                    }
+                    if now.as_nanos() >= lag {
+                        engine.advance_watermark(SimTime::from_nanos(now.as_nanos() - lag));
+                    }
+                });
+            }
         }
+        Ok(StreamingIngester {
+            engine,
+            degrader,
+            catalog: catalog.clone(),
+        })
     }
 
     /// Total windows finalized since attach (monotonic; includes windows
@@ -156,21 +239,83 @@ impl StreamingIngester {
             .newest_window_end()
     }
 
+    /// End time and validity of every retained window, oldest first.
+    pub fn retained_windows(&self) -> Vec<(SimTime, WindowValidity)> {
+        self.engine
+            .lock()
+            .expect("ingest engine lock")
+            .retained_windows()
+    }
+
+    /// Telemetry-degradation events absorbed so far (all zero on a clean
+    /// stream).
+    pub fn degrade_stats(&self) -> DegradeStats {
+        self.engine
+            .lock()
+            .expect("ingest engine lock")
+            .degrade_stats()
+    }
+
     /// A [`Dataset`] of the `n` most recent windows (`None` until `n`
     /// windows have been retained). Shape-compatible with the offline
-    /// datasets the causal model was trained on.
+    /// datasets the causal model was trained on. Windows invalidated by
+    /// degraded telemetry contribute `NaN` samples; gap-aware consumers
+    /// should prefer [`StreamingIngester::last_n_valid`].
     pub fn last_n(&self, n: usize) -> Option<Dataset> {
         self.engine
             .lock()
             .expect("ingest engine lock")
             .last_n(&self.catalog, n)
     }
+
+    /// A [`Dataset`] of the `n` most recent **valid** windows, skipping
+    /// windows whose telemetry was degraded (`None` until `n` valid
+    /// windows are retained). On a clean stream this is exactly
+    /// [`StreamingIngester::last_n`].
+    pub fn last_n_valid(&self, n: usize) -> Option<Dataset> {
+        self.engine
+            .lock()
+            .expect("ingest engine lock")
+            .last_n_valid(&self.catalog, n)
+    }
+
+    /// Serializes the ingest service's state (engine + degrader) for
+    /// crash-safe checkpointing.
+    pub fn checkpoint(&self) -> IngestCheckpoint {
+        IngestCheckpoint {
+            engine: self.engine.lock().expect("ingest engine lock").snapshot(),
+            degrader: self
+                .degrader
+                .as_ref()
+                .map(|d| d.lock().expect("degrader lock").clone()),
+        }
+    }
+
+    /// Restores the ingest service's state from a checkpoint, in place:
+    /// the scrape loop keeps running against the restored state, which
+    /// continues the stream byte-identically to an uninterrupted run.
+    pub fn restore(&self, ckpt: IngestCheckpoint) {
+        *self.engine.lock().expect("ingest engine lock") = WindowEngine::from_snapshot(ckpt.engine);
+        if let (Some(shared), Some(state)) = (self.degrader.as_ref(), ckpt.degrader) {
+            *shared.lock().expect("degrader lock") = state;
+        }
+    }
+}
+
+/// One raw counter scrape across the cluster.
+fn scrape(cl: &Cluster, num_services: usize) -> Vec<Counters> {
+    (0..num_services)
+        .map(|i| cl.counters(ServiceId::from_index(i)))
+        .collect()
 }
 
 /// Streaming collection as a scenario telemetry tap: attaches a
 /// [`StreamingIngester`] for `catalog` at the harness's fixed tap point —
 /// the online counterpart of `icfl_scenario::RecorderTap`, over the same
-/// window engine.
+/// window engine. The handle is a `Result` because attaching after the
+/// simulation has started is an [`CoreError::InvalidState`] error (the
+/// scenario builder always attaches at time zero, so `?` on the handle
+/// never fires in harness-assembled runs).
 #[derive(Debug, Clone)]
 pub struct IngesterTap {
     catalog: MetricCatalog,
@@ -188,7 +333,7 @@ impl IngesterTap {
 }
 
 impl TelemetryTap for IngesterTap {
-    type Handle = StreamingIngester;
+    type Handle = icfl_core::Result<StreamingIngester>;
 
     fn attach(self, sim: &mut Sim<Cluster>, cluster: &Cluster) -> Self::Handle {
         StreamingIngester::attach(sim, cluster.num_services(), &self.catalog, self.cfg)
@@ -240,7 +385,8 @@ mod tests {
             cluster.num_services(),
             &MetricCatalog::raw_all(),
             IngestConfig::new(WindowConfig::from_secs(10, 5), 4, SimTime::ZERO),
-        );
+        )
+        .unwrap();
         drive(&mut sim, 90);
         sim.run_until(SimTime::from_secs(90), &mut cluster);
         // 90 s → window ends 10, 15, ..., 90 = 17 emitted, 4 retained.
@@ -259,7 +405,8 @@ mod tests {
             cluster.num_services(),
             &MetricCatalog::raw_all(),
             IngestConfig::new(WindowConfig::from_secs(10, 5), 32, SimTime::from_secs(30)),
-        );
+        )
+        .unwrap();
         drive(&mut sim, 60);
         sim.run_until(SimTime::from_secs(60), &mut cluster);
         // Only windows starting at ≥ 30 s survive: starts 30..=50 → 5.
@@ -267,15 +414,19 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "before running")]
-    fn late_attach_panics() {
+    fn late_attach_is_a_typed_error() {
         let (mut sim, mut cluster) = demo(10);
         sim.run_until(SimTime::from_secs(1), &mut cluster);
-        let _ = StreamingIngester::attach(
+        let err = StreamingIngester::attach(
             &mut sim,
             cluster.num_services(),
             &MetricCatalog::raw_all(),
             IngestConfig::new(WindowConfig::from_secs(10, 5), 4, SimTime::ZERO),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, CoreError::InvalidState(ref what) if what.contains("before the simulation runs")),
+            "expected InvalidState, got {err:?}"
         );
     }
 
@@ -292,5 +443,104 @@ mod tests {
             cfg,
         );
         let _ = &mut cluster;
+    }
+
+    #[test]
+    fn pass_through_degradation_matches_clean_run() {
+        let run = |degrade: Option<DegradationConfig>| {
+            let (mut sim, mut cluster) = demo(12);
+            let mut cfg = IngestConfig::new(WindowConfig::from_secs(10, 5), 32, SimTime::ZERO);
+            cfg.degrade = degrade;
+            let ingester = StreamingIngester::attach(
+                &mut sim,
+                cluster.num_services(),
+                &MetricCatalog::raw_all(),
+                cfg,
+            )
+            .unwrap();
+            drive(&mut sim, 60);
+            sim.run_until(SimTime::from_secs(60), &mut cluster);
+            (ingester.windows_emitted(), ingester.last_n(4))
+        };
+        // An all-zero degradation config takes the clean path entirely.
+        let clean = run(None);
+        let degraded = run(Some(DegradationConfig::none(99)));
+        assert_eq!(clean.0, degraded.0);
+        assert_eq!(clean.1, degraded.1);
+    }
+
+    #[test]
+    fn degraded_stream_flags_windows_and_last_n_valid_skips_them() {
+        let (mut sim, mut cluster) = demo(13);
+        let degrade = DegradationConfig::none(7)
+            .with_drop(0.10)
+            .with_delay(0.3, 2)
+            .with_duplicates(0.1);
+        let cfg = IngestConfig::new(WindowConfig::from_secs(10, 5), 64, SimTime::ZERO)
+            .with_degradation(degrade);
+        let ingester = StreamingIngester::attach(
+            &mut sim,
+            cluster.num_services(),
+            &MetricCatalog::raw_all(),
+            cfg,
+        )
+        .unwrap();
+        drive(&mut sim, 240);
+        sim.run_until(SimTime::from_secs(240), &mut cluster);
+
+        let stats = ingester.degrade_stats();
+        assert!(
+            stats.invalid_windows > 0,
+            "a 10% drop rate must invalidate some windows: {stats:?}"
+        );
+        let windows = ingester.retained_windows();
+        assert!(windows.iter().any(|(_, v)| *v != WindowValidity::Valid));
+        assert!(windows.iter().any(|(_, v)| *v == WindowValidity::Valid));
+        // The valid view is NaN-free; the raw view contains the gaps.
+        let valid = ingester.last_n_valid(4).unwrap();
+        for m in 0..valid.num_metrics() {
+            for s in 0..valid.num_services() {
+                assert!(valid
+                    .samples(m, ServiceId::from_index(s))
+                    .iter()
+                    .all(|v| v.is_finite()));
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_restore_continues_byte_identically() {
+        let degrade = DegradationConfig::none(21)
+            .with_drop(0.05)
+            .with_delay(0.2, 2)
+            .with_duplicates(0.1);
+        let cfg = IngestConfig::new(WindowConfig::from_secs(10, 5), 64, SimTime::ZERO)
+            .with_degradation(degrade);
+        let run = |interrupt_at: Option<u64>| {
+            let (mut sim, mut cluster) = demo(14);
+            let ingester = StreamingIngester::attach(
+                &mut sim,
+                cluster.num_services(),
+                &MetricCatalog::raw_all(),
+                cfg,
+            )
+            .unwrap();
+            drive(&mut sim, 120);
+            if let Some(at) = interrupt_at {
+                sim.run_until(SimTime::from_secs(at), &mut cluster);
+                // Serialize, drop, and restore the inference-service
+                // state — the simulated cluster keeps running underneath,
+                // exactly like a crash of the collector pod.
+                let json = serde_json::to_string(&ingester.checkpoint()).unwrap();
+                ingester.restore(serde_json::from_str(&json).unwrap());
+            }
+            sim.run_until(SimTime::from_secs(120), &mut cluster);
+            (
+                ingester.retained_windows(),
+                ingester.degrade_stats(),
+                ingester.last_n(8),
+            )
+        };
+        assert_eq!(run(None), run(Some(65)));
     }
 }

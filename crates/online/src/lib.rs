@@ -35,12 +35,12 @@ pub use detector::{
     DebounceConfig, DetectorEvent, IncidentDetector, IncidentPhase, IncidentStateMachine,
     TickDecision,
 };
-pub use ingest::{IngestConfig, IngesterTap, StreamingIngester};
+pub use ingest::{IngestCheckpoint, IngestConfig, IngesterTap, StreamingIngester};
 pub use registry::{
     ModelMeta, ModelRecord, ModelRegistry, RegistryError, Result as RegistryResult, FORMAT_VERSION,
 };
 pub use report::{IncidentReport, SessionReport};
 pub use session::{
     Episode, EpisodeFault, IncidentSchedule, OnlineConfig, OnlineError, OnlineSession,
-    Result as OnlineResult,
+    Result as OnlineResult, SessionCheckpoint,
 };

@@ -61,6 +61,13 @@ pub enum RegistryError {
     Io(io::Error),
     /// A record failed to (de)serialize.
     Serde(String),
+    /// A version file exists on disk but is truncated or garbled.
+    Corrupt {
+        /// Path of the unreadable record.
+        path: String,
+        /// What failed while reading it.
+        detail: String,
+    },
     /// No model directory with that name exists.
     UnknownModel(String),
     /// The model exists but not at the requested version.
@@ -79,6 +86,9 @@ impl fmt::Display for RegistryError {
         match self {
             RegistryError::Io(e) => write!(f, "registry I/O error: {e}"),
             RegistryError::Serde(e) => write!(f, "registry serialization error: {e}"),
+            RegistryError::Corrupt { path, detail } => {
+                write!(f, "corrupt registry record {path}: {detail}")
+            }
             RegistryError::UnknownModel(name) => write!(f, "unknown model '{name}'"),
             RegistryError::UnknownVersion(name, v) => {
                 write!(f, "model '{name}' has no version {v}")
@@ -105,6 +115,7 @@ impl From<RegistryError> for icfl_core::CoreError {
     fn from(e: RegistryError) -> Self {
         match e {
             RegistryError::Serde(s) => icfl_core::CoreError::Serde(s),
+            e @ RegistryError::Corrupt { .. } => icfl_core::CoreError::Serde(e.to_string()),
             other => icfl_core::CoreError::Io(other.to_string()),
         }
     }
@@ -147,6 +158,13 @@ impl ModelRegistry {
     /// Persists `model` as the next version of `name`, returning the
     /// assigned version number (1 for a fresh model).
     ///
+    /// The write is crash-safe: the record is staged in a temp file in the
+    /// same directory, fsynced, and atomically renamed onto the version
+    /// path. A crash mid-save leaves either no version file at all or the
+    /// complete record — never a truncated one. (A stale `*.tmp` from a
+    /// crashed save is invisible to [`ModelRegistry::versions`], which only
+    /// recognizes `vNNNNN.json` names.)
+    ///
     /// # Errors
     ///
     /// Fails on filesystem or serialization errors.
@@ -162,7 +180,20 @@ impl ModelRegistry {
         };
         let json = serde_json::to_string_pretty(&record)
             .map_err(|e| RegistryError::Serde(e.to_string()))?;
-        fs::write(self.version_path(name, version), json)?;
+        let final_path = self.version_path(name, version);
+        let tmp_path = dir.join(format!("v{version:05}.json.tmp-{}", std::process::id()));
+        let staged = (|| -> io::Result<()> {
+            let mut file = fs::File::create(&tmp_path)?;
+            io::Write::write_all(&mut file, json.as_bytes())?;
+            // Durable before visible: the rename below must never expose
+            // a record whose bytes are still in the page cache only.
+            file.sync_all()?;
+            fs::rename(&tmp_path, &final_path)
+        })();
+        if let Err(e) = staged {
+            let _ = fs::remove_file(&tmp_path);
+            return Err(e.into());
+        }
         Ok(version)
     }
 
@@ -239,8 +270,15 @@ impl ModelRegistry {
             }
             Err(e) => return Err(e.into()),
         };
-        let record: ModelRecord =
-            serde_json::from_str(&json).map_err(|e| RegistryError::Serde(e.to_string()))?;
+        let record: ModelRecord = serde_json::from_str(&json).map_err(|e| {
+            // A version file that exists but does not parse is damage on
+            // disk (truncation, bit rot, partial copy), not a caller
+            // mistake — surface it as such so `load_latest` can fall back.
+            RegistryError::Corrupt {
+                path: path.display().to_string(),
+                detail: e.to_string(),
+            }
+        })?;
         if record.format_version > FORMAT_VERSION {
             return Err(RegistryError::UnsupportedFormat {
                 found: record.format_version,
@@ -250,16 +288,34 @@ impl ModelRegistry {
         Ok(record)
     }
 
-    /// Loads the newest version of `name`.
+    /// Loads the newest *readable* version of `name`.
+    ///
+    /// Corrupt records (truncated or garbled on disk) are skipped with a
+    /// warning on stderr and the next-newest version is tried, so one
+    /// damaged file never takes a model offline while older good versions
+    /// exist.
     ///
     /// # Errors
     ///
-    /// Fails if the model has no versions or a record cannot be read.
+    /// [`RegistryError::UnknownModel`] if the model has no versions;
+    /// [`RegistryError::Corrupt`] (for the newest file) if *every* stored
+    /// version is corrupt; other errors as [`ModelRegistry::load`].
     pub fn load_latest(&self, name: &str) -> Result<ModelRecord> {
-        match self.latest_version(name)? {
-            Some(v) => self.load(name, v),
-            None => Err(RegistryError::UnknownModel(name.to_string())),
+        let versions = self.versions(name)?;
+        if versions.is_empty() {
+            return Err(RegistryError::UnknownModel(name.to_string()));
         }
+        let mut first_err = None;
+        for &v in versions.iter().rev() {
+            match self.load(name, v) {
+                Err(e @ RegistryError::Corrupt { .. }) => {
+                    eprintln!("warning: skipping {e}");
+                    first_err.get_or_insert(e);
+                }
+                other => return other,
+            }
+        }
+        Err(first_err.expect("at least one version was tried"))
     }
 }
 
@@ -343,6 +399,85 @@ mod tests {
             registry.load("pattern1", 9),
             Err(RegistryError::UnknownVersion(_, 9))
         ));
+
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn save_leaves_no_temp_files_behind() {
+        let root = tmp_dir("atomic");
+        let registry = ModelRegistry::open(&root).unwrap();
+        let model = trained_model();
+        registry
+            .save("pattern1", ModelMeta::default(), &model)
+            .unwrap();
+        registry
+            .save("pattern1", ModelMeta::default(), &model)
+            .unwrap();
+
+        let leftovers: Vec<String> = fs::read_dir(root.join("pattern1"))
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| !(n.starts_with('v') && n.ends_with(".json")))
+            .collect();
+        assert!(leftovers.is_empty(), "stray staging files: {leftovers:?}");
+
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn truncated_record_is_a_corrupt_error() {
+        let root = tmp_dir("truncated");
+        let registry = ModelRegistry::open(&root).unwrap();
+        let model = trained_model();
+        registry
+            .save("pattern1", ModelMeta::default(), &model)
+            .unwrap();
+
+        // Simulate a torn write from a non-atomic writer: keep the first
+        // half of the record only.
+        let path = root.join("pattern1").join("v00001.json");
+        let json = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &json[..json.len() / 2]).unwrap();
+
+        match registry.load("pattern1", 1) {
+            Err(RegistryError::Corrupt { path: p, .. }) => {
+                assert!(p.ends_with("v00001.json"), "path in error: {p}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn load_latest_falls_back_past_corrupt_newest() {
+        let root = tmp_dir("fallback");
+        let registry = ModelRegistry::open(&root).unwrap();
+        let model = trained_model();
+        registry
+            .save("pattern1", ModelMeta::default(), &model)
+            .unwrap();
+        registry
+            .save("pattern1", ModelMeta::default(), &model)
+            .unwrap();
+
+        // Garble the newest record; the older one must still serve.
+        let newest = root.join("pattern1").join("v00002.json");
+        fs::write(&newest, "{ garbled").unwrap();
+        let record = registry.load_latest("pattern1").unwrap();
+        assert_eq!(record.version, 1);
+
+        // With every version damaged, the corruption surfaces (newest
+        // first), not UnknownModel.
+        let oldest = root.join("pattern1").join("v00001.json");
+        fs::write(&oldest, "").unwrap();
+        match registry.load_latest("pattern1") {
+            Err(RegistryError::Corrupt { path, .. }) => {
+                assert!(path.ends_with("v00002.json"), "path in error: {path}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
 
         let _ = fs::remove_dir_all(&root);
     }

@@ -8,6 +8,7 @@
 //! truncated file.
 
 use icfl_core::CoreError;
+use icfl_telemetry::DegradeStats;
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 
@@ -55,6 +56,11 @@ pub struct SessionReport {
     pub windows_ingested: u64,
     /// Total faults injected (overlapping episodes inject several).
     pub injected_faults: usize,
+    /// Telemetry-degradation events absorbed by the ingester. Omitted
+    /// from the JSON form when the stream was pristine, so clean-run
+    /// reports stay byte-identical to pre-degradation goldens.
+    #[serde(default, skip_serializing_if = "DegradeStats::is_clean")]
+    pub degraded: DegradeStats,
 }
 
 impl SessionReport {
@@ -178,6 +184,7 @@ mod tests {
             false_alarms: 1,
             windows_ingested: 100,
             injected_faults: 3,
+            degraded: DegradeStats::default(),
         };
         assert!((report.detection_rate() - 2.0 / 3.0).abs() < 1e-12);
         assert!((report.top1_accuracy() - 1.0 / 3.0).abs() < 1e-12);
@@ -194,6 +201,7 @@ mod tests {
             false_alarms: 0,
             windows_ingested: 50,
             injected_faults: 1,
+            degraded: DegradeStats::default(),
         };
         let path =
             std::env::temp_dir().join(format!("icfl-report-test-{}.json", std::process::id()));
@@ -221,6 +229,7 @@ mod tests {
             false_alarms: 0,
             windows_ingested: 0,
             injected_faults: 0,
+            degraded: DegradeStats::default(),
         };
         assert_eq!(report.detection_rate(), 0.0);
         assert_eq!(report.top1_accuracy(), 0.0);

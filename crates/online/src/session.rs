@@ -17,7 +17,7 @@ use icfl_faults::{FaultInjector, InterventionTrace};
 use icfl_micro::{Cluster, FaultKind, ServiceId};
 use icfl_scenario::Scenario;
 use icfl_sim::{Sim, SimDuration, SimTime};
-use icfl_telemetry::WindowConfig;
+use icfl_telemetry::{DegradationConfig, WindowConfig};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -195,6 +195,11 @@ pub struct OnlineConfig {
     /// Grace period after an episode's end during which a confirmation is
     /// still attributed to it (detection lags injection by design).
     pub match_slack: SimDuration,
+    /// Telemetry-degradation model applied to the scrape stream (`None`
+    /// runs the clean in-order path byte-identically to before the model
+    /// existed). With degradation on, detection and localization read only
+    /// *valid* windows, so telemetry gaps alone never raise an alarm.
+    pub degrade: Option<DegradationConfig>,
 }
 
 impl OnlineConfig {
@@ -212,6 +217,7 @@ impl OnlineConfig {
             detector: ShiftDetector::ks(0.05).with_min_effect(0.1),
             drain: SimDuration::from_secs(60),
             match_slack: SimDuration::from_secs(40),
+            degrade: None,
         }
     }
 
@@ -229,6 +235,7 @@ impl OnlineConfig {
             detector: ShiftDetector::ks(0.05).with_min_effect(0.1),
             drain: SimDuration::from_secs(360),
             match_slack: SimDuration::from_secs(240),
+            degrade: None,
         }
     }
 
@@ -241,6 +248,12 @@ impl OnlineConfig {
     /// Sets the load scale, returning `self`.
     pub fn with_replicas(mut self, replicas: usize) -> Self {
         self.replicas = replicas;
+        self
+    }
+
+    /// Enables the telemetry-degradation model, returning `self`.
+    pub fn with_degradation(mut self, degrade: DegradationConfig) -> Self {
+        self.degrade = Some(degrade);
         self
     }
 }
@@ -304,13 +317,35 @@ impl From<icfl_scenario::ScenarioError> for OnlineError {
 pub type Result<T> = std::result::Result<T, OnlineError>;
 
 /// One confirmed incident as tracked while the session runs.
-#[derive(Debug)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct Detection {
     confirmed_at: SimTime,
     localize_not_before: SimTime,
     localized_at: Option<SimTime>,
     localization: Option<Localization>,
     resolved_at: Option<SimTime>,
+}
+
+/// A serializable checkpoint of the *inference service's* entire state at
+/// a detection-tick boundary: the ingest engine (and degrader, if any),
+/// the incident detector, and every detection tracked so far. The
+/// simulated cluster underneath is not part of it — in production the
+/// monitoring substrate outlives an inference-service crash, and resuming
+/// from this checkpoint continues the session byte-identically
+/// (asserted by `tests/checkpoint_resume.rs`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SessionCheckpoint {
+    ingest: crate::ingest::IngestCheckpoint,
+    detector: IncidentDetector,
+    detections: Vec<Detection>,
+}
+
+/// What the run loop hands to report assembly once the horizon is
+/// reached.
+struct SessionOutcome {
+    detections: Vec<Detection>,
+    windows_ingested: u64,
+    degraded: icfl_telemetry::DegradeStats,
 }
 
 /// The online inference session driver.
@@ -337,18 +372,52 @@ impl OnlineSession {
         cfg: &OnlineConfig,
         seed: u64,
     ) -> Result<SessionReport> {
+        Self::run_inner(app, model, schedule, cfg, seed, None)
+    }
+
+    /// Runs one session like [`OnlineSession::run`], but crash-restarts
+    /// the inference service at the `interrupt_after_ticks`-th detection
+    /// tick: every piece of inference state (ingest engine, degrader,
+    /// detector, detections) is serialized to a [`SessionCheckpoint`],
+    /// dropped, and restored from the bytes before the session continues.
+    /// The report is byte-identical to an uninterrupted run — the
+    /// checkpoint provably captures the whole state.
+    ///
+    /// # Errors
+    ///
+    /// As [`OnlineSession::run`], plus [`OnlineError::Core`] if the
+    /// checkpoint fails to (de)serialize.
+    pub fn run_with_interruption(
+        app: &App,
+        model: &CausalModel,
+        schedule: &IncidentSchedule,
+        cfg: &OnlineConfig,
+        seed: u64,
+        interrupt_after_ticks: u64,
+    ) -> Result<SessionReport> {
+        Self::run_inner(app, model, schedule, cfg, seed, Some(interrupt_after_ticks))
+    }
+
+    fn run_inner(
+        app: &App,
+        model: &CausalModel,
+        schedule: &IncidentSchedule,
+        cfg: &OnlineConfig,
+        seed: u64,
+        interrupt_after_ticks: Option<u64>,
+    ) -> Result<SessionReport> {
         let capacity = cfg.live_windows.max(cfg.localize_windows) + 4;
-        let tap = IngesterTap::new(
-            model.catalog(),
-            IngestConfig::new(
-                cfg.windows,
-                capacity,
-                SimTime::ZERO.checked_add(cfg.warmup).expect("warmup fits"),
-            ),
+        let mut ingest_cfg = IngestConfig::new(
+            cfg.windows,
+            capacity,
+            SimTime::ZERO.checked_add(cfg.warmup).expect("warmup fits"),
         );
+        ingest_cfg.degrade = cfg.degrade;
+        let tap = IngesterTap::new(model.catalog(), ingest_cfg);
         let (mut scenario, ingester) = Scenario::builder(app, seed)
             .replicas(cfg.replicas)
             .build_with(tap)?;
+        let ingester = ingester?;
 
         let trace = InterventionTrace::new();
         schedule.arm(&mut scenario.sim, &trace);
@@ -364,6 +433,7 @@ impl OnlineSession {
             SimDuration::from_nanos(hop.as_nanos() * u64::from(cfg.localize_delay_ticks));
 
         let mut detections: Vec<Detection> = Vec::new();
+        let mut tick_index = 0u64;
 
         // Detection ticks sit on window-end boundaries: window + k·hop.
         let mut tick = SimTime::ZERO
@@ -372,7 +442,30 @@ impl OnlineSession {
         while tick <= horizon {
             scenario.run_until(tick);
 
-            if let Some(live) = ingester.last_n(cfg.live_windows) {
+            if interrupt_after_ticks == Some(tick_index) {
+                // Crash-restart the inference service: serialize all of
+                // its state, drop it, and rebuild from the bytes. The
+                // cluster and its scrape loop keep running underneath.
+                let ckpt = SessionCheckpoint {
+                    ingest: ingester.checkpoint(),
+                    detector: detector.clone(),
+                    detections: detections.clone(),
+                };
+                let json = serde_json::to_string(&ckpt)
+                    .map_err(|e| icfl_core::CoreError::Serde(e.to_string()))?;
+                let restored: SessionCheckpoint = serde_json::from_str(&json)
+                    .map_err(|e| icfl_core::CoreError::Serde(e.to_string()))?;
+                ingester.restore(restored.ingest);
+                detector = restored.detector;
+                detections = restored.detections;
+            }
+
+            // Gap-aware detection: only *valid* windows feed the
+            // two-sample test. When degraded telemetry leaves fewer than
+            // `live_windows` trustworthy windows, the tick is skipped
+            // entirely — "no data" is neither quiet nor anomalous, so
+            // gaps can neither raise an alarm nor resolve a real one.
+            if let Some(live) = ingester.last_n_valid(cfg.live_windows) {
                 let decision = detector.observe(&reference, &live)?;
                 match decision.event {
                     Some(DetectorEvent::Confirmed) => detections.push(Detection {
@@ -398,10 +491,11 @@ impl OnlineSession {
             }
 
             // Localize pending confirmations once their delay has passed
-            // and enough live windows are retained.
+            // and enough *valid* live windows are retained — Algorithm 2
+            // votes only over windows whose rates are trustworthy.
             for d in detections.iter_mut() {
                 if d.localization.is_none() && tick >= d.localize_not_before {
-                    if let Some(live) = ingester.last_n(cfg.localize_windows) {
+                    if let Some(live) = ingester.last_n_valid(cfg.localize_windows) {
                         d.localization = Some(model.localize(&live)?);
                         d.localized_at = Some(tick);
                     }
@@ -412,16 +506,21 @@ impl OnlineSession {
                 Some(t) => t,
                 None => break,
             };
+            tick_index += 1;
         }
 
+        let outcome = SessionOutcome {
+            detections,
+            windows_ingested: ingester.windows_emitted(),
+            degraded: ingester.degrade_stats(),
+        };
         Ok(Self::assemble_report(
             app,
             &scenario.cluster,
             schedule,
             cfg,
             seed,
-            detections,
-            ingester.windows_emitted(),
+            outcome,
         ))
     }
 
@@ -431,9 +530,13 @@ impl OnlineSession {
         schedule: &IncidentSchedule,
         cfg: &OnlineConfig,
         seed: u64,
-        detections: Vec<Detection>,
-        windows_ingested: u64,
+        outcome: SessionOutcome,
     ) -> SessionReport {
+        let SessionOutcome {
+            detections,
+            windows_ingested,
+            degraded,
+        } = outcome;
         // Attribute each confirmation to the episode whose active span
         // (onset through end + slack) contains it; both lists are time
         // ordered and episodes are disjoint, so a greedy scan is exact.
@@ -508,6 +611,7 @@ impl OnlineSession {
             false_alarms,
             windows_ingested,
             injected_faults: schedule.num_faults(),
+            degraded,
         }
     }
 }

@@ -1,0 +1,123 @@
+//! Crash-safety of the online inference state: a session whose inference
+//! service is serialized, destroyed, and restored at an arbitrary
+//! detection tick must produce a report byte-identical to an
+//! uninterrupted run — on clean telemetry and under heavy degradation,
+//! and regardless of the worker-thread count used to train the model.
+
+use icfl_apps::pattern1;
+use icfl_core::{CampaignRun, CausalModel, RunConfig};
+use icfl_micro::FaultKind;
+use icfl_online::{Episode, IncidentSchedule, OnlineConfig, OnlineSession};
+use icfl_sim::{SimDuration, SimTime};
+use icfl_telemetry::{DegradationConfig, MetricCatalog};
+
+fn trained_model(threads: usize) -> CausalModel {
+    let app = pattern1();
+    let cfg = RunConfig::quick(42).with_threads(threads);
+    let run = CampaignRun::execute(&app, &cfg).unwrap();
+    run.learn(&MetricCatalog::derived_all(), RunConfig::default_detector())
+        .unwrap()
+}
+
+fn schedule() -> IncidentSchedule {
+    let app = pattern1();
+    let (_, targets) = app.build(42).unwrap();
+    IncidentSchedule::new(vec![
+        Episode::single(
+            SimTime::from_secs(100),
+            targets[0],
+            FaultKind::ServiceUnavailable,
+            SimDuration::from_secs(50),
+        ),
+        Episode::single(
+            SimTime::from_secs(260),
+            targets[1],
+            FaultKind::ServiceUnavailable,
+            SimDuration::from_secs(50),
+        ),
+    ])
+}
+
+/// "Random" interrupt points: window boundaries spread across the whole
+/// session, including tick 0 (before any window is retained) and ticks
+/// inside both incident episodes.
+const INTERRUPT_TICKS: [u64; 4] = [0, 11, 23, 52];
+
+#[test]
+fn interrupted_session_report_is_byte_identical() {
+    let app = pattern1();
+    let model = trained_model(1);
+    let schedule = schedule();
+    let cfg = OnlineConfig::quick();
+
+    let baseline = OnlineSession::run(&app, &model, &schedule, &cfg, 42)
+        .unwrap()
+        .to_json()
+        .unwrap();
+    for tick in INTERRUPT_TICKS {
+        let resumed = OnlineSession::run_with_interruption(&app, &model, &schedule, &cfg, 42, tick)
+            .unwrap()
+            .to_json()
+            .unwrap();
+        assert_eq!(
+            baseline, resumed,
+            "report diverged after a crash-restart at tick {tick}"
+        );
+    }
+}
+
+#[test]
+fn interrupted_degraded_session_report_is_byte_identical() {
+    // The checkpoint must also capture the degrader's RNG stream and the
+    // engine's reorder buffer mid-flight: interrupt under drops, delays,
+    // duplicates, and counter resets all enabled.
+    let app = pattern1();
+    let model = trained_model(1);
+    let schedule = schedule();
+    let cfg = OnlineConfig::quick().with_degradation(
+        DegradationConfig::none(icfl_scenario::seeds::degradation(42))
+            .with_drop(0.10)
+            .with_delay(0.10, 2)
+            .with_duplicates(0.05)
+            .with_resets(0.002),
+    );
+
+    let baseline = OnlineSession::run(&app, &model, &schedule, &cfg, 42).unwrap();
+    assert!(
+        !baseline.degraded.is_clean(),
+        "the degraded arm must actually degrade telemetry"
+    );
+    let baseline = baseline.to_json().unwrap();
+    for tick in INTERRUPT_TICKS {
+        let resumed = OnlineSession::run_with_interruption(&app, &model, &schedule, &cfg, 42, tick)
+            .unwrap()
+            .to_json()
+            .unwrap();
+        assert_eq!(
+            baseline, resumed,
+            "degraded report diverged after a crash-restart at tick {tick}"
+        );
+    }
+}
+
+#[test]
+fn thread_count_never_reaches_the_session_report() {
+    // Models trained at 1, 2, and max worker threads are byte-identical,
+    // so the sessions (and their interrupted replays) are too.
+    let app = pattern1();
+    let schedule = schedule();
+    let cfg = OnlineConfig::quick();
+    let max = std::thread::available_parallelism().map_or(4, usize::from);
+
+    let mut reports = Vec::new();
+    for threads in [1, 2, max] {
+        let model = trained_model(threads);
+        let report = OnlineSession::run_with_interruption(&app, &model, &schedule, &cfg, 42, 23)
+            .unwrap()
+            .to_json()
+            .unwrap();
+        reports.push(report);
+    }
+    assert_eq!(reports[0], reports[1], "1-thread vs 2-thread training");
+    assert_eq!(reports[0], reports[2], "1-thread vs {max}-thread training");
+}

@@ -64,6 +64,17 @@ pub fn production_session(root: u64, app_index: usize, session_index: usize) -> 
     derive(root, app_index * 16 + session_index, EVAL_STREAM) ^ SESSION_SALT
 }
 
+/// Salt XORed into derived telemetry-degradation seeds.
+pub const DEGRADATION_SALT: u64 = 0x00de_6ade_d5c4_a9e5;
+
+/// Seed of the telemetry-degradation stream paired with a simulation
+/// rooted at `session_seed`. Salted so the degrader's private RNG never
+/// aliases the cluster's own forks: whether a scrape is dropped must be
+/// independent of the workload it measures.
+pub fn degradation(session_seed: u64) -> u64 {
+    session_seed ^ DEGRADATION_SALT
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,353 @@
+//! The telemetry-degradation model: seeded, deterministic corruption of a
+//! scrape stream.
+//!
+//! Real Prometheus/cAdvisor scrapes drop, arrive late and out of order,
+//! duplicate, and reset to zero when pods restart. [`ScrapeDegrader`]
+//! reproduces all four failure modes between the scrape loop and the
+//! [`WindowEngine`](crate::WindowEngine): each clean `(time, row)` scrape
+//! is offered to the degrader, which may discard it, re-base it below a
+//! simulated pod restart, hold it back a bounded number of intervals, or
+//! emit it twice. The degrader draws from its *own* seeded RNG stream —
+//! never from the simulation's — so enabling degradation perturbs only
+//! scrape delivery, not the cluster, load, or fault behavior underneath.
+//!
+//! Determinism contract: the degrader draws a fixed number of random
+//! values per offered scrape regardless of outcome, so the fate of scrape
+//! `k` depends only on the seed and `k` — never on which earlier scrapes
+//! happened to drop. Its entire state (RNG included) is serializable,
+//! which is what makes mid-session checkpoint/resume byte-identical.
+
+use icfl_micro::Counters;
+use icfl_sim::{Rng, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Tuning of the degradation model. All probabilities are per scrape;
+/// `default()` (all zero) is a no-op pass-through.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DegradationConfig {
+    /// Seed of the degrader's private RNG stream (independent of the
+    /// simulation seed; derive it via `icfl_scenario::seeds::degradation`).
+    pub seed: u64,
+    /// Probability a scrape is lost entirely.
+    pub drop_prob: f64,
+    /// Probability a scrape's delivery is delayed by 1..=`max_delay_intervals`
+    /// scrape intervals (out-of-order arrival once another scrape lands
+    /// in between).
+    pub delay_prob: f64,
+    /// Upper bound on delivery delay, in scrape intervals. Also the
+    /// reorder slack the consuming engine must tolerate: scrapes never
+    /// arrive later than this. Zero forces in-order delivery.
+    pub max_delay_intervals: u32,
+    /// Probability a scrape is delivered twice (the duplicate arrives
+    /// after a delay drawn like a delayed scrape's).
+    pub duplicate_prob: f64,
+    /// Probability that, at a given scrape, one service's counters reset
+    /// to zero (simulated pod restart). The service is drawn uniformly.
+    pub reset_prob: f64,
+}
+
+impl Default for DegradationConfig {
+    fn default() -> Self {
+        DegradationConfig::none(0)
+    }
+}
+
+impl DegradationConfig {
+    /// A pass-through configuration (no degradation) rooted at `seed`.
+    pub fn none(seed: u64) -> Self {
+        DegradationConfig {
+            seed,
+            drop_prob: 0.0,
+            delay_prob: 0.0,
+            max_delay_intervals: 0,
+            duplicate_prob: 0.0,
+            reset_prob: 0.0,
+        }
+    }
+
+    /// Sets the drop probability, returning `self`.
+    pub fn with_drop(mut self, p: f64) -> Self {
+        self.drop_prob = p;
+        self
+    }
+
+    /// Sets delivery jitter: delay probability and its bound in intervals.
+    pub fn with_delay(mut self, p: f64, max_intervals: u32) -> Self {
+        self.delay_prob = p;
+        self.max_delay_intervals = max_intervals;
+        self
+    }
+
+    /// Sets the duplicate probability, returning `self`.
+    pub fn with_duplicates(mut self, p: f64) -> Self {
+        self.duplicate_prob = p;
+        self
+    }
+
+    /// Sets the counter-reset probability, returning `self`.
+    pub fn with_resets(mut self, p: f64) -> Self {
+        self.reset_prob = p;
+        self
+    }
+
+    /// True when every failure mode is disabled (pure pass-through).
+    pub fn is_none(&self) -> bool {
+        self.drop_prob == 0.0
+            && self.delay_prob == 0.0
+            && self.duplicate_prob == 0.0
+            && self.reset_prob == 0.0
+    }
+
+    /// The reorder slack this configuration implies: no scrape is ever
+    /// delivered more than this long after its scrape time.
+    pub fn slack(&self, interval: SimDuration) -> SimDuration {
+        SimDuration::from_nanos(
+            interval
+                .as_nanos()
+                .saturating_mul(u64::from(self.max_delay_intervals)),
+        )
+    }
+}
+
+/// One delivered scrape: the time it was *taken* (not delivered) and the
+/// per-service counter row as the collector saw it (post-restart rows are
+/// relative to the restart).
+pub type DeliveredScrape = (SimTime, Vec<Counters>);
+
+/// The stateful degradation pipeline for one scrape stream (see module
+/// docs). Fully serializable for crash-safe checkpoint/resume.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScrapeDegrader {
+    cfg: DegradationConfig,
+    interval: SimDuration,
+    rng: Rng,
+    /// Per-service restart baseline subtracted from raw counters; a reset
+    /// snaps the baseline to the current raw row.
+    bases: Vec<Counters>,
+    /// Held-back deliveries as `(delivery time nanos, scrape)`, kept in
+    /// delivery order (stable-sorted by delivery time, enqueue order
+    /// breaking ties). A `Vec` rather than a map: the buffer never exceeds
+    /// a few delay slots, and the serde shim only maps string keys.
+    pending: Vec<(u64, DeliveredScrape)>,
+    /// Scrapes dropped at the source so far.
+    dropped: u64,
+    /// Duplicate deliveries emitted so far.
+    duplicated: u64,
+    /// Counter resets injected so far.
+    resets: u64,
+}
+
+impl ScrapeDegrader {
+    /// A degrader for `num_services` services scraping every `interval`.
+    pub fn new(cfg: DegradationConfig, interval: SimDuration, num_services: usize) -> Self {
+        ScrapeDegrader {
+            cfg,
+            interval,
+            rng: Rng::seeded(cfg.seed).fork("telemetry/degrade"),
+            bases: vec![Counters::default(); num_services],
+            pending: Vec::new(),
+            dropped: 0,
+            duplicated: 0,
+            resets: 0,
+        }
+    }
+
+    /// The configuration this degrader runs.
+    pub fn config(&self) -> &DegradationConfig {
+        &self.cfg
+    }
+
+    /// The reorder slack the consuming engine must tolerate.
+    pub fn slack(&self) -> SimDuration {
+        self.cfg.slack(self.interval)
+    }
+
+    /// Scrapes dropped at the source so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Duplicate deliveries emitted so far.
+    pub fn duplicated(&self) -> u64 {
+        self.duplicated
+    }
+
+    /// Counter resets injected so far.
+    pub fn resets_injected(&self) -> u64 {
+        self.resets
+    }
+
+    /// Offers the clean scrape taken at `now` and returns every delivery
+    /// due at or before `now`, oldest delivery time first.
+    ///
+    /// Exactly six RNG draws happen per offer regardless of outcome, so
+    /// scrape `k`'s fate depends only on the seed and `k`.
+    pub fn offer(&mut self, now: SimTime, raw: Vec<Counters>) -> Vec<DeliveredScrape> {
+        // Fixed draw schedule: reset?, victim, drop?, delay?+amount, dup?+delay.
+        let u_reset = self.rng.uniform_f64();
+        let victim = self.rng.below(self.bases.len().max(1) as u64) as usize;
+        let u_drop = self.rng.uniform_f64();
+        let u_delay = self.rng.uniform_f64();
+        let delay_by = 1 + self
+            .rng
+            .below(u64::from(self.cfg.max_delay_intervals).max(1));
+        let u_dup = self.rng.uniform_f64();
+
+        if u_reset < self.cfg.reset_prob && victim < raw.len() {
+            self.bases[victim] = raw[victim];
+            self.resets += 1;
+        }
+        let row: Vec<Counters> = raw
+            .iter()
+            .zip(&self.bases)
+            .map(|(r, b)| r.saturating_sub_fields(b))
+            .collect();
+
+        if u_drop < self.cfg.drop_prob {
+            self.dropped += 1;
+        } else {
+            let delayed = u_delay < self.cfg.delay_prob && self.cfg.max_delay_intervals > 0;
+            let deliver_at = if delayed {
+                now.as_nanos()
+                    .saturating_add(self.interval.as_nanos().saturating_mul(delay_by))
+            } else {
+                now.as_nanos()
+            };
+            self.pending.push((deliver_at, (now, row.clone())));
+            if u_dup < self.cfg.duplicate_prob {
+                // The duplicate rides one interval behind the original so
+                // it exercises the consumer's coalescing after reorder.
+                let dup_at = deliver_at.saturating_add(self.interval.as_nanos());
+                self.pending.push((dup_at, (now, row)));
+                self.duplicated += 1;
+            }
+        }
+
+        self.take_due(now)
+    }
+
+    /// Pops every pending delivery due at or before `now` without offering
+    /// a new scrape (used to drain the pipeline at stream end).
+    pub fn take_due(&mut self, now: SimTime) -> Vec<DeliveredScrape> {
+        let now_n = now.as_nanos();
+        let mut due: Vec<(u64, DeliveredScrape)> = Vec::new();
+        let mut keep = Vec::with_capacity(self.pending.len());
+        for entry in self.pending.drain(..) {
+            if entry.0 <= now_n {
+                due.push(entry);
+            } else {
+                keep.push(entry);
+            }
+        }
+        self.pending = keep;
+        // Stable by delivery time: simultaneous deliveries keep enqueue order.
+        due.sort_by_key(|(at, _)| *at);
+        due.into_iter().map(|(_, scrape)| scrape).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(v: u64, services: usize) -> Vec<Counters> {
+        (0..services)
+            .map(|_| Counters {
+                rx_packets: v,
+                ..Counters::default()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pass_through_delivers_everything_in_order() {
+        let mut d = ScrapeDegrader::new(DegradationConfig::none(7), SimDuration::from_secs(1), 2);
+        for t in 0..20u64 {
+            let due = d.offer(SimTime::from_secs(t), row(t, 2));
+            assert_eq!(due.len(), 1);
+            assert_eq!(due[0].0, SimTime::from_secs(t));
+            assert_eq!(due[0].1, row(t, 2));
+        }
+        assert_eq!(d.dropped(), 0);
+        assert_eq!(d.duplicated(), 0);
+    }
+
+    #[test]
+    fn drops_are_deterministic_and_roughly_at_rate() {
+        let cfg = DegradationConfig::none(11).with_drop(0.2);
+        let run = || {
+            let mut d = ScrapeDegrader::new(cfg, SimDuration::from_secs(1), 1);
+            let mut delivered = 0usize;
+            for t in 0..1000u64 {
+                delivered += d.offer(SimTime::from_secs(t), row(t, 1)).len();
+            }
+            (delivered, d.dropped())
+        };
+        let (delivered, dropped) = run();
+        assert_eq!(run(), (delivered, dropped), "same seed, same fate");
+        assert_eq!(delivered as u64 + dropped, 1000);
+        assert!((150..=250).contains(&dropped), "dropped={dropped}");
+    }
+
+    #[test]
+    fn delays_stay_within_slack_and_duplicates_repeat_scrape_times() {
+        let cfg = DegradationConfig::none(13)
+            .with_delay(0.5, 3)
+            .with_duplicates(0.3);
+        let mut d = ScrapeDegrader::new(cfg, SimDuration::from_secs(1), 1);
+        assert_eq!(d.slack(), SimDuration::from_secs(3));
+        let mut seen: Vec<(u64, u64)> = Vec::new(); // (delivered_at, scrape_time)
+        for t in 0..200u64 {
+            for (st, _) in d.offer(SimTime::from_secs(t), row(t, 1)) {
+                seen.push((t, st.as_secs_f64() as u64));
+            }
+        }
+        // Drain deliveries still in flight past the end of the stream.
+        for t in 200..210u64 {
+            for (st, _) in d.take_due(SimTime::from_secs(t)) {
+                seen.push((t, st.as_secs_f64() as u64));
+            }
+        }
+        for (at, st) in &seen {
+            assert!(at - st <= 4, "delivery {at} too late for scrape {st}");
+        }
+        assert!(d.duplicated() > 0);
+        let dups = seen.len() as u64 - (200 - d.dropped());
+        assert_eq!(dups, d.duplicated());
+    }
+
+    #[test]
+    fn resets_rebase_the_victim_counters() {
+        let cfg = DegradationConfig::none(17).with_resets(1.0);
+        let mut d = ScrapeDegrader::new(cfg, SimDuration::from_secs(1), 1);
+        let first = d.offer(SimTime::from_secs(0), row(100, 1));
+        // Reset fired at the first scrape: reported counters re-base to 0.
+        assert_eq!(first[0].1[0].rx_packets, 0);
+        assert_eq!(d.resets_injected(), 1);
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_preserves_the_stream() {
+        let cfg = DegradationConfig::none(23)
+            .with_drop(0.1)
+            .with_delay(0.4, 2)
+            .with_duplicates(0.2)
+            .with_resets(0.05);
+        let mut whole = ScrapeDegrader::new(cfg, SimDuration::from_secs(1), 2);
+        let mut first_half = ScrapeDegrader::new(cfg, SimDuration::from_secs(1), 2);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for t in 0..50u64 {
+            a.extend(whole.offer(SimTime::from_secs(t), row(t, 2)));
+            b.extend(first_half.offer(SimTime::from_secs(t), row(t, 2)));
+        }
+        // Serialize mid-stream, restore, and continue: identical deliveries.
+        let json = serde_json::to_string(&first_half).unwrap();
+        let mut restored: ScrapeDegrader = serde_json::from_str(&json).unwrap();
+        for t in 50..100u64 {
+            a.extend(whole.offer(SimTime::from_secs(t), row(t, 2)));
+            b.extend(restored.offer(SimTime::from_secs(t), row(t, 2)));
+        }
+        assert_eq!(a, b);
+    }
+}

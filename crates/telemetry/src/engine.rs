@@ -7,15 +7,39 @@
 //! windows are anchored, how many are retained), never in arithmetic, so
 //! offline datasets and live windows agree by construction.
 //!
-//! The engine is push-driven and simulator-agnostic: callers feed it one
-//! per-service counter row per scrape via [`WindowEngine::push`]. A window
-//! `[anchor + k·hop, anchor + k·hop + window]` is finalized the moment the
-//! scrape at its end boundary arrives. Per finalized window the engine
-//! keeps only the two *boundary* counter rows; because every
-//! [`MetricSpec`] is a pure function of the boundary rows and the window
-//! length, any metric catalog can be evaluated after the fact (Table II
-//! reuses one campaign across six catalogs) while memory stays
-//! O(windows × services) instead of O(scrapes × services).
+//! The engine is push-driven and simulator-agnostic, with two entry points:
+//!
+//! * [`WindowEngine::push`] — the clean path: one in-order scrape per
+//!   interval, windows finalized the instant their end boundary arrives.
+//!   This is the arithmetic the paper's offline tables are built on and it
+//!   is kept byte-for-byte unchanged.
+//! * [`WindowEngine::ingest`] + [`WindowEngine::advance_watermark`] — the
+//!   degraded path: scrapes may arrive late, out of order, duplicated, or
+//!   not at all, and monotonic counters may reset when a pod restarts.
+//!   Deliveries stage in a reorder buffer keyed by *scrape* time;
+//!   duplicates coalesce (first delivery wins); advancing the watermark
+//!   processes everything at or below it in time order, detects per-service
+//!   counter resets and re-bases them Prometheus-style, and finalizes every
+//!   window boundary the watermark has passed. A window whose boundary
+//!   scrape never arrived, or which spans a counter reset, is finalized
+//!   with an explicit non-[`Valid`](WindowValidity::Valid) validity flag
+//!   instead of a silently-wrong rate — its series values are `NaN` and
+//!   [`WindowEngine::last_n_valid`] skips it.
+//!
+//! A window `[anchor + k·hop, anchor + k·hop + window]` is finalized the
+//! moment the scrape at its end boundary arrives (clean) or the watermark
+//! passes its end (degraded). Per finalized window the engine keeps only
+//! the two *boundary* counter rows; because every [`MetricSpec`] is a pure
+//! function of the boundary rows and the window length, any metric catalog
+//! can be evaluated after the fact (Table II reuses one campaign across six
+//! catalogs) while memory stays O(windows × services) instead of
+//! O(scrapes × services). The same property makes the degraded path cheap:
+//! interior scrape drops cost nothing — only *boundary* drops invalidate a
+//! window.
+//!
+//! The engine's entire state is serializable ([`WindowEngine::snapshot`] /
+//! [`WindowEngine::from_snapshot`]) so an online session can checkpoint
+//! mid-stream and resume byte-identically after a crash.
 
 use crate::catalog::MetricCatalog;
 use crate::dataset::Dataset;
@@ -23,11 +47,12 @@ use crate::metric::MetricSpec;
 use crate::window::WindowConfig;
 use icfl_micro::Counters;
 use icfl_sim::{SimDuration, SimTime};
-use std::collections::{HashMap, VecDeque};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
 
 /// Where windows sit on the clock and which of them are kept.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EngineConfig {
     /// Hopping-window geometry.
     pub windows: WindowConfig,
@@ -81,23 +106,99 @@ impl EngineConfig {
     }
 }
 
-/// One finalized window: its bounds and the two boundary counter rows.
+/// Whether a finalized window's rate values can be trusted.
+///
+/// The clean [`WindowEngine::push`] path only ever produces
+/// [`Valid`](WindowValidity::Valid) windows; the degraded path flags
+/// windows the telemetry failures actually touched, and only those.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WindowValidity {
+    /// Both boundary scrapes arrived and no counter reset falls inside the
+    /// window: rates are exact.
+    Valid,
+    /// A boundary scrape was dropped (or arrived after the watermark
+    /// passed): rates cannot be computed and evaluate to `NaN`.
+    MissingBoundary,
+    /// A per-service counter reset (pod restart) happened inside the
+    /// window: the delta across the restart undercounts, so the window is
+    /// excluded from inference rather than reported as a false rate dip.
+    CounterReset,
+}
+
+/// Counts of telemetry-degradation events the engine has absorbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DegradeStats {
+    /// Deliveries discarded because their scrape time was already below
+    /// the watermark (arrived later than the reorder slack allows).
+    pub late_dropped: u64,
+    /// Duplicate deliveries coalesced away (first delivery wins).
+    pub duplicates_coalesced: u64,
+    /// Per-service counter resets detected and re-based.
+    pub resets_detected: u64,
+    /// Windows finalized with a non-`Valid` validity flag.
+    pub invalid_windows: u64,
+}
+
+impl DegradeStats {
+    /// True when no degradation event has been observed (pristine stream).
+    pub fn is_clean(&self) -> bool {
+        *self == DegradeStats::default()
+    }
+}
+
+/// One finalized window: its bounds, validity, and the two boundary
+/// counter rows (absent when the boundary scrape never arrived).
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct FinalizedWindow {
     end: SimTime,
-    start_row: Vec<Counters>,
-    end_row: Vec<Counters>,
+    validity: WindowValidity,
+    start_row: Option<Vec<Counters>>,
+    end_row: Option<Vec<Counters>>,
+}
+
+impl FinalizedWindow {
+    /// The metric value of this window for one service: the boundary-row
+    /// delta rate when the window is valid, `NaN` otherwise.
+    fn evaluate(&self, metric: MetricSpec, svc: usize, secs: f64) -> f64 {
+        match (self.validity, &self.start_row, &self.end_row) {
+            (WindowValidity::Valid, Some(start), Some(end)) => {
+                metric.evaluate(&start[svc], &end[svc], secs)
+            }
+            _ => f64::NAN,
+        }
+    }
 }
 
 /// Per-service window series for one metric, tagged with the `emitted`
 /// generation it was computed at.
 type CachedSeries = (u64, Vec<Arc<Vec<f64>>>);
 
+/// A serializable checkpoint of a [`WindowEngine`]'s entire state (the
+/// memo cache excepted — it is rebuilt on demand). Restoring via
+/// [`WindowEngine::from_snapshot`] continues the stream byte-identically.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EngineSnapshot {
+    cfg: EngineConfig,
+    num_services: usize,
+    snaps: Vec<(SimTime, Vec<Counters>)>,
+    finalized: Vec<FinalizedWindow>,
+    emitted: u64,
+    staged: Vec<(u64, Vec<Counters>)>,
+    watermark: Option<u64>,
+    next_boundary: u64,
+    last_raw: Option<Vec<Counters>>,
+    rebase: Vec<Counters>,
+    reset_times: Vec<u64>,
+    stats: DegradeStats,
+}
+
 /// The single hopping-window finalization implementation (see module docs).
 pub struct WindowEngine {
     cfg: EngineConfig,
     num_services: usize,
     /// Recent raw snapshots spanning exactly one window length:
-    /// `(scrape time, per-service counters)`, oldest first.
+    /// `(scrape time, per-service counters)`, oldest first. On the
+    /// degraded path the rows are reset-adjusted (monotone).
     snaps: VecDeque<(SimTime, Vec<Counters>)>,
     /// Finalized windows, oldest first, ring-capped by `cfg.retain`.
     finalized: VecDeque<FinalizedWindow>,
@@ -108,6 +209,24 @@ pub struct WindowEngine {
     /// windows finalize before any evaluation, so the six Table II
     /// catalogs share one extraction per metric.
     cache: HashMap<MetricSpec, CachedSeries>,
+    /// Degraded-path reorder buffer: deliveries staged by *scrape* time,
+    /// waiting for the watermark to pass them.
+    staged: BTreeMap<u64, Vec<Counters>>,
+    /// Everything at or below this scrape time (nanos) has been processed;
+    /// later deliveries of older scrapes are dropped. `None` until the
+    /// first [`WindowEngine::advance_watermark`].
+    watermark: Option<u64>,
+    /// Next window-end boundary (nanos) the degraded path must decide.
+    next_boundary: u64,
+    /// Last raw (pre-rebase) scrape row, for reset detection.
+    last_raw: Option<Vec<Counters>>,
+    /// Per-service additive offset re-basing post-restart counters onto
+    /// the pre-restart stream: adjusted = raw + rebase.
+    rebase: Vec<Counters>,
+    /// Scrape times at which a reset was detected; windows spanning one
+    /// are flagged [`WindowValidity::CounterReset`].
+    reset_times: Vec<u64>,
+    stats: DegradeStats,
 }
 
 impl std::fmt::Debug for WindowEngine {
@@ -140,6 +259,10 @@ impl WindowEngine {
             0,
             "hop must be a multiple of the scrape interval"
         );
+        let first_end = cfg
+            .anchor
+            .as_nanos()
+            .saturating_add(cfg.windows.window.as_nanos());
         WindowEngine {
             cfg,
             num_services,
@@ -147,6 +270,13 @@ impl WindowEngine {
             finalized: VecDeque::new(),
             emitted: 0,
             cache: HashMap::new(),
+            staged: BTreeMap::new(),
+            watermark: None,
+            next_boundary: first_end,
+            last_raw: None,
+            rebase: vec![Counters::default(); num_services],
+            reset_times: Vec::new(),
+            stats: DegradeStats::default(),
         }
     }
 
@@ -158,6 +288,9 @@ impl WindowEngine {
     /// Feeds one scrape: `row[s]` is the counter snapshot of service `s`
     /// at `now`. Finalizes the window ending at `now`, if any, and prunes
     /// snapshots no future window can start at.
+    ///
+    /// This is the clean in-order path; for lossy/reordered streams use
+    /// [`WindowEngine::ingest`] + [`WindowEngine::advance_watermark`].
     pub fn push(&mut self, now: SimTime, row: Vec<Counters>) {
         let window = self.cfg.windows.window;
         let hop = self.cfg.windows.hop;
@@ -212,17 +345,166 @@ impl WindowEngine {
             .back()
             .map(|(_, row)| row.clone())
             .expect("the closing scrape was just pushed");
+        self.record_window(FinalizedWindow {
+            end,
+            validity: WindowValidity::Valid,
+            start_row: Some(start_row),
+            end_row: Some(end_row),
+        });
+    }
+
+    fn record_window(&mut self, w: FinalizedWindow) {
+        if w.validity != WindowValidity::Valid {
+            self.stats.invalid_windows += 1;
+        }
         if let Some(cap) = self.cfg.retain {
             if self.finalized.len() == cap {
                 self.finalized.pop_front();
             }
         }
-        self.finalized.push_back(FinalizedWindow {
-            end,
-            start_row,
-            end_row,
-        });
+        self.finalized.push_back(w);
         self.emitted += 1;
+    }
+
+    /// Stages one delivered scrape on the degraded path: `row[s]` is the
+    /// counter snapshot of service `s` *taken* at `at` (delivery may be
+    /// later). Returns `false` when the delivery was discarded — a
+    /// duplicate of an already-staged or already-processed scrape, or a
+    /// late arrival below the watermark.
+    ///
+    /// Nothing is processed until [`WindowEngine::advance_watermark`]
+    /// passes the scrape time.
+    pub fn ingest(&mut self, at: SimTime, row: Vec<Counters>) -> bool {
+        let at_n = at.as_nanos();
+        if self.watermark.is_some_and(|w| at_n <= w) {
+            // Either a duplicate of a processed scrape or a hopelessly
+            // late delivery; the watermark contract says it must not
+            // rewrite history either way.
+            if self.staged.contains_key(&at_n) {
+                self.stats.duplicates_coalesced += 1;
+            } else {
+                self.stats.late_dropped += 1;
+            }
+            return false;
+        }
+        match self.staged.entry(at_n) {
+            std::collections::btree_map::Entry::Occupied(_) => {
+                self.stats.duplicates_coalesced += 1;
+                false
+            }
+            std::collections::btree_map::Entry::Vacant(v) => {
+                v.insert(row);
+                true
+            }
+        }
+    }
+
+    /// Declares that every scrape taken at or before `to` has either been
+    /// delivered ([`WindowEngine::ingest`]) or never will be: processes the
+    /// staged scrapes in time order (detecting and re-basing counter
+    /// resets) and finalizes every window boundary up to `to`, flagging
+    /// windows whose boundary scrape is missing or which span a reset.
+    ///
+    /// Callers derive `to` from the delivery slack of their telemetry
+    /// source: `now − max_delivery_delay`.
+    pub fn advance_watermark(&mut self, to: SimTime) {
+        let to_n = to.as_nanos();
+        if self.watermark.is_some_and(|w| to_n <= w) {
+            return;
+        }
+        let later = self.staged.split_off(&to_n.saturating_add(1));
+        let due = std::mem::replace(&mut self.staged, later);
+        for (t, raw) in due {
+            // Decide boundaries strictly before this scrape first, so the
+            // snapshot at a boundary is inserted before the boundary's own
+            // decision, mirroring the clean path's push-then-finalize.
+            self.decide_boundaries(t, false);
+            self.apply_scrape(t, raw);
+        }
+        self.decide_boundaries(to_n, true);
+        self.watermark = Some(to_n);
+    }
+
+    /// Processes one scrape on the degraded path: reset-detect, re-base,
+    /// append to the snapshot deque (times arrive strictly ascending).
+    fn apply_scrape(&mut self, t: u64, raw: Vec<Counters>) {
+        if let Some(last) = &self.last_raw {
+            let mut any_reset = false;
+            for svc in 0..self.num_services.min(raw.len()).min(last.len()) {
+                if raw[svc].any_field_less(&last[svc]) {
+                    // Counter went backwards: the pod restarted. Re-base so
+                    // the adjusted stream stays monotone; windows spanning
+                    // this instant are flagged instead of trusted.
+                    self.rebase[svc] = last[svc].saturating_add_fields(&self.rebase[svc]);
+                    self.stats.resets_detected += 1;
+                    any_reset = true;
+                }
+            }
+            if any_reset {
+                self.reset_times.push(t);
+            }
+        }
+        let adjusted: Vec<Counters> = raw
+            .iter()
+            .zip(&self.rebase)
+            .map(|(r, base)| r.saturating_add_fields(base))
+            .collect();
+        self.last_raw = Some(raw);
+        self.snaps.push_back((SimTime::from_nanos(t), adjusted));
+    }
+
+    /// Finalizes every undecided boundary `b` with `b < limit` (or
+    /// `b ≤ limit` when `inclusive`), then prunes snapshots and reset
+    /// marks no later window can reference.
+    fn decide_boundaries(&mut self, limit: u64, inclusive: bool) {
+        let window_n = self.cfg.windows.window.as_nanos();
+        let hop_n = self.cfg.windows.hop.as_nanos();
+        while self.next_boundary < limit || (inclusive && self.next_boundary == limit) {
+            let b = self.next_boundary;
+            let start = b - window_n;
+            let in_phase = self
+                .cfg
+                .collect_until
+                .is_none_or(|until| b <= until.as_nanos());
+            if start >= self.cfg.collect_from.as_nanos() && in_phase {
+                let start_row = self
+                    .snaps
+                    .iter()
+                    .find(|(t, _)| t.as_nanos() == start)
+                    .map(|(_, row)| row.clone());
+                let end_row = self
+                    .snaps
+                    .iter()
+                    .rev()
+                    .find(|(t, _)| t.as_nanos() == b)
+                    .map(|(_, row)| row.clone());
+                let validity = if start_row.is_none() || end_row.is_none() {
+                    WindowValidity::MissingBoundary
+                } else if self.reset_times.iter().any(|&r| r > start && r <= b) {
+                    WindowValidity::CounterReset
+                } else {
+                    WindowValidity::Valid
+                };
+                self.record_window(FinalizedWindow {
+                    end: SimTime::from_nanos(b),
+                    validity,
+                    start_row,
+                    end_row,
+                });
+            }
+            // The next boundary ends at b + hop and starts at
+            // b + hop − window: older snapshots and reset marks are dead.
+            let keep_from = b as i128 + hop_n as i128 - window_n as i128;
+            while let Some(front) = self.snaps.front() {
+                if (front.0.as_nanos() as i128) < keep_from {
+                    self.snaps.pop_front();
+                } else {
+                    break;
+                }
+            }
+            self.reset_times.retain(|&r| (r as i128) > keep_from);
+            self.next_boundary = b.saturating_add(hop_n);
+        }
     }
 
     /// Total windows finalized since creation (monotonic; includes windows
@@ -241,15 +523,27 @@ impl WindowEngine {
         self.finalized.back().map(|w| w.end)
     }
 
+    /// End time and validity of every retained window, oldest first.
+    pub fn retained_windows(&self) -> Vec<(SimTime, WindowValidity)> {
+        self.finalized.iter().map(|w| (w.end, w.validity)).collect()
+    }
+
+    /// Degradation events absorbed so far (all zero on the clean path).
+    pub fn degrade_stats(&self) -> DegradeStats {
+        self.stats
+    }
+
     /// The boundary counter row of `service` at `at`, if `at` is a start
     /// or end boundary of a retained window. This is all the raw telemetry
     /// the engine keeps — the full scrape log is never stored.
     pub fn boundary_counters(&self, service: usize, at: SimTime) -> Option<Counters> {
         self.finalized.iter().find_map(|w| {
             if w.end == at {
-                w.end_row.get(service).copied()
+                w.end_row.as_ref().and_then(|row| row.get(service).copied())
             } else if w.end.as_nanos() - self.cfg.windows.window.as_nanos() == at.as_nanos() {
-                w.start_row.get(service).copied()
+                w.start_row
+                    .as_ref()
+                    .and_then(|row| row.get(service).copied())
             } else {
                 None
             }
@@ -269,7 +563,7 @@ impl WindowEngine {
             vec![Vec::with_capacity(self.finalized.len()); self.num_services];
         for w in &self.finalized {
             for (svc, series) in per_service.iter_mut().enumerate() {
-                series.push(metric.evaluate(&w.start_row[svc], &w.end_row[svc], secs));
+                series.push(w.evaluate(metric, svc, secs));
             }
         }
         let shared: Vec<Arc<Vec<f64>>> = per_service.into_iter().map(Arc::new).collect();
@@ -278,7 +572,8 @@ impl WindowEngine {
     }
 
     /// Evaluates `catalog` over every retained window. Series are shared
-    /// (`Arc`) across catalogs that contain the same metric.
+    /// (`Arc`) across catalogs that contain the same metric. Non-valid
+    /// windows contribute `NaN` samples.
     pub fn dataset(&mut self, catalog: &MetricCatalog) -> Dataset {
         let values = catalog
             .metrics()
@@ -289,12 +584,40 @@ impl WindowEngine {
     }
 
     /// Evaluates `catalog` over the `n` most recent retained windows
-    /// (`None` until `n` windows are retained).
+    /// (`None` until `n` windows are retained). Non-valid windows in the
+    /// range contribute `NaN` samples; gap-aware consumers should prefer
+    /// [`WindowEngine::last_n_valid`].
     pub fn last_n(&mut self, catalog: &MetricCatalog, n: usize) -> Option<Dataset> {
         let have = self.finalized.len();
         if n == 0 || have < n {
             return None;
         }
+        self.window_dataset(catalog, (have - n..have).collect())
+    }
+
+    /// Evaluates `catalog` over the `n` most recent retained **valid**
+    /// windows, skipping windows whose telemetry was degraded (`None`
+    /// until `n` valid windows are retained). On a clean stream every
+    /// window is valid, so this is exactly [`WindowEngine::last_n`].
+    pub fn last_n_valid(&mut self, catalog: &MetricCatalog, n: usize) -> Option<Dataset> {
+        if n == 0 {
+            return None;
+        }
+        let valid: Vec<usize> = self
+            .finalized
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.validity == WindowValidity::Valid)
+            .map(|(i, _)| i)
+            .collect();
+        if valid.len() < n {
+            return None;
+        }
+        self.window_dataset(catalog, valid[valid.len() - n..].to_vec())
+    }
+
+    /// Evaluates `catalog` over the retained windows at `indices`.
+    fn window_dataset(&mut self, catalog: &MetricCatalog, indices: Vec<usize>) -> Option<Dataset> {
         let secs = self.cfg.windows.window.as_secs_f64();
         let values: Vec<Vec<Vec<f64>>> = catalog
             .metrics()
@@ -302,16 +625,58 @@ impl WindowEngine {
             .map(|metric| {
                 (0..self.num_services)
                     .map(|svc| {
-                        self.finalized
+                        indices
                             .iter()
-                            .skip(have - n)
-                            .map(|w| metric.evaluate(&w.start_row[svc], &w.end_row[svc], secs))
+                            .map(|&i| self.finalized[i].evaluate(*metric, svc, secs))
                             .collect()
                     })
                     .collect()
             })
             .collect();
         Some(Dataset::new(catalog.metric_names(), values))
+    }
+
+    /// Serializes the engine's entire state (minus the rebuildable memo
+    /// cache) for crash-safe checkpointing.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        EngineSnapshot {
+            cfg: self.cfg,
+            num_services: self.num_services,
+            snaps: self.snaps.iter().cloned().collect(),
+            finalized: self.finalized.iter().cloned().collect(),
+            emitted: self.emitted,
+            staged: self
+                .staged
+                .iter()
+                .map(|(t, row)| (*t, row.clone()))
+                .collect(),
+            watermark: self.watermark,
+            next_boundary: self.next_boundary,
+            last_raw: self.last_raw.clone(),
+            rebase: self.rebase.clone(),
+            reset_times: self.reset_times.clone(),
+            stats: self.stats,
+        }
+    }
+
+    /// Restores an engine from a [`WindowEngine::snapshot`]; the restored
+    /// engine continues the stream byte-identically to the original.
+    pub fn from_snapshot(snap: EngineSnapshot) -> WindowEngine {
+        WindowEngine {
+            cfg: snap.cfg,
+            num_services: snap.num_services,
+            snaps: snap.snaps.into(),
+            finalized: snap.finalized.into(),
+            emitted: snap.emitted,
+            cache: HashMap::new(),
+            staged: snap.staged.into_iter().collect(),
+            watermark: snap.watermark,
+            next_boundary: snap.next_boundary,
+            last_raw: snap.last_raw,
+            rebase: snap.rebase,
+            reset_times: snap.reset_times,
+            stats: snap.stats,
+        }
     }
 }
 
@@ -335,6 +700,10 @@ mod tests {
         for t in 0..=secs {
             engine.push(SimTime::from_secs(t), row(t, services));
         }
+    }
+
+    fn rx_catalog() -> MetricCatalog {
+        MetricCatalog::new("rx", vec![MetricSpec::Raw(RawMetric::RxPackets)])
     }
 
     #[test]
@@ -370,8 +739,7 @@ mod tests {
         let windows = WindowConfig::from_secs(10, 5);
         let mut engine = WindowEngine::new(EngineConfig::streaming(windows, 64, SimTime::ZERO), 1);
         drive(&mut engine, 1, 20);
-        let catalog = MetricCatalog::new("rx", vec![MetricSpec::Raw(RawMetric::RxPackets)]);
-        let ds = engine.dataset(&catalog);
+        let ds = engine.dataset(&rx_catalog());
         // rx grows by 1 per second → rate 1.0 in every window.
         assert_eq!(ds.num_windows(), 3);
         for &v in ds.samples(0, icfl_micro::ServiceId::from_index(0)) {
@@ -386,7 +754,7 @@ mod tests {
         drive(&mut engine, 1, 90);
         assert_eq!(engine.emitted(), 17);
         assert_eq!(engine.retained(), 4);
-        let catalog = MetricCatalog::new("rx", vec![MetricSpec::Raw(RawMetric::RxPackets)]);
+        let catalog = rx_catalog();
         assert!(engine.last_n(&catalog, 5).is_none());
         assert_eq!(engine.last_n(&catalog, 4).unwrap().num_windows(), 4);
     }
@@ -408,7 +776,7 @@ mod tests {
         let windows = WindowConfig::from_secs(10, 5);
         let mut engine = WindowEngine::new(EngineConfig::streaming(windows, 64, SimTime::ZERO), 1);
         drive(&mut engine, 1, 20);
-        let catalog = MetricCatalog::new("rx", vec![MetricSpec::Raw(RawMetric::RxPackets)]);
+        let catalog = rx_catalog();
         assert_eq!(engine.dataset(&catalog).num_windows(), 3);
         for t in 21..=25 {
             engine.push(SimTime::from_secs(t), row(t, 1));
@@ -442,5 +810,205 @@ mod tests {
             EngineConfig::streaming(WindowConfig::from_secs(10, 5), 0, SimTime::ZERO),
             1,
         );
+    }
+
+    // ---- degraded path ----
+
+    fn streaming_pair(capacity: usize) -> (WindowEngine, WindowEngine) {
+        let cfg = EngineConfig::streaming(WindowConfig::from_secs(10, 5), capacity, SimTime::ZERO);
+        (WindowEngine::new(cfg, 2), WindowEngine::new(cfg, 2))
+    }
+
+    #[test]
+    fn in_order_ingest_equals_push() {
+        let (mut clean, mut degraded) = streaming_pair(64);
+        for t in 0..=60u64 {
+            clean.push(SimTime::from_secs(t), row(t, 2));
+            assert!(degraded.ingest(SimTime::from_secs(t), row(t, 2)));
+            degraded.advance_watermark(SimTime::from_secs(t));
+        }
+        assert_eq!(clean.emitted(), degraded.emitted());
+        assert_eq!(clean.retained_windows(), degraded.retained_windows());
+        let catalog = rx_catalog();
+        let a = serde_json::to_string(&clean.dataset(&catalog)).unwrap();
+        let b = serde_json::to_string(&degraded.dataset(&catalog)).unwrap();
+        assert_eq!(a, b, "clean and degraded paths must agree byte-for-byte");
+        assert!(degraded.degrade_stats().is_clean());
+    }
+
+    #[test]
+    fn reordered_delivery_within_slack_matches_clean() {
+        let (mut clean, mut degraded) = streaming_pair(64);
+        for t in 0..=60u64 {
+            clean.push(SimTime::from_secs(t), row(t, 2));
+        }
+        // Deliver scrapes in pairs swapped (1,0), (3,2), … — out of order
+        // but never more than one interval late. The watermark only
+        // advances once a pair is complete, honoring the delivery slack.
+        let order: Vec<u64> = (0..=60).collect();
+        for pair in order.chunks(2) {
+            for &t in pair.iter().rev() {
+                degraded.ingest(SimTime::from_secs(t), row(t, 2));
+            }
+            degraded.advance_watermark(SimTime::from_secs(*pair.last().unwrap()));
+        }
+        let catalog = rx_catalog();
+        let a = serde_json::to_string(&clean.dataset(&catalog)).unwrap();
+        let b = serde_json::to_string(&degraded.dataset(&catalog)).unwrap();
+        assert_eq!(a, b);
+        assert!(degraded.degrade_stats().is_clean());
+    }
+
+    #[test]
+    fn dropped_boundary_marks_exactly_the_affected_windows() {
+        let (mut clean, mut degraded) = streaming_pair(64);
+        for t in 0..=40u64 {
+            clean.push(SimTime::from_secs(t), row(t, 2));
+            if t != 20 {
+                degraded.ingest(SimTime::from_secs(t), row(t, 2));
+            }
+            degraded.advance_watermark(SimTime::from_secs(t));
+        }
+        // t=20 is the end boundary of [10,20] and the start of [20,30]:
+        // exactly those two windows are invalid, all others match clean.
+        let validity = degraded.retained_windows();
+        assert_eq!(validity.len(), clean.retained_windows().len());
+        for (end, v) in &validity {
+            let expected = if end.as_secs_f64() as u64 == 20 || end.as_secs_f64() as u64 == 30 {
+                WindowValidity::MissingBoundary
+            } else {
+                WindowValidity::Valid
+            };
+            assert_eq!(*v, expected, "window ending at {end}");
+        }
+        assert_eq!(degraded.degrade_stats().invalid_windows, 2);
+        // Untouched windows evaluate identically; invalid ones are NaN.
+        let catalog = rx_catalog();
+        let c = clean.dataset(&catalog);
+        let d = degraded.dataset(&catalog);
+        let svc = icfl_micro::ServiceId::from_index(0);
+        for (i, (cv, dv)) in c.samples(0, svc).iter().zip(d.samples(0, svc)).enumerate() {
+            if validity[i].1 == WindowValidity::Valid {
+                assert_eq!(cv.to_bits(), dv.to_bits());
+            } else {
+                assert!(dv.is_nan());
+            }
+        }
+    }
+
+    #[test]
+    fn duplicates_coalesce_first_delivery_wins() {
+        let (mut clean, mut degraded) = streaming_pair(64);
+        for t in 0..=30u64 {
+            clean.push(SimTime::from_secs(t), row(t, 2));
+            assert!(degraded.ingest(SimTime::from_secs(t), row(t, 2)));
+            // A corrupted duplicate delivered immediately after must lose.
+            assert!(!degraded.ingest(SimTime::from_secs(t), row(t + 999, 2)));
+            degraded.advance_watermark(SimTime::from_secs(t));
+        }
+        assert_eq!(degraded.degrade_stats().duplicates_coalesced, 31);
+        let catalog = rx_catalog();
+        let a = serde_json::to_string(&clean.dataset(&catalog)).unwrap();
+        let b = serde_json::to_string(&degraded.dataset(&catalog)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn late_arrivals_below_watermark_are_dropped() {
+        let (_, mut degraded) = streaming_pair(64);
+        for t in 0..=20u64 {
+            degraded.ingest(SimTime::from_secs(t), row(t, 2));
+            degraded.advance_watermark(SimTime::from_secs(t));
+        }
+        assert!(!degraded.ingest(SimTime::from_secs(5), row(5, 2)));
+        assert_eq!(degraded.degrade_stats().late_dropped, 1);
+    }
+
+    #[test]
+    fn counter_reset_flags_spanning_windows_and_rebases_after() {
+        let (mut clean, mut degraded) = streaming_pair(64);
+        // Service 0 restarts at t=23: its counters re-base to zero there.
+        let restart = 23u64;
+        for t in 0..=60u64 {
+            clean.push(SimTime::from_secs(t), row(t, 2));
+            let mut r = row(t, 2);
+            if t >= restart {
+                r[0] = r[0].saturating_sub_fields(&row(restart, 2)[0]);
+            }
+            degraded.ingest(SimTime::from_secs(t), r);
+            degraded.advance_watermark(SimTime::from_secs(t));
+        }
+        assert_eq!(degraded.degrade_stats().resets_detected, 1);
+        let catalog = rx_catalog();
+        let c = clean.dataset(&catalog);
+        let d = degraded.dataset(&catalog);
+        let svc = icfl_micro::ServiceId::from_index(0);
+        for (i, (end, v)) in degraded.retained_windows().iter().enumerate() {
+            let end_s = end.as_secs_f64() as u64;
+            if end_s.saturating_sub(10) < restart && restart <= end_s {
+                assert_eq!(*v, WindowValidity::CounterReset, "window ending at {end}");
+                assert!(d.samples(0, svc)[i].is_nan());
+            } else {
+                assert_eq!(*v, WindowValidity::Valid, "window ending at {end}");
+                // Fully pre- or post-reset windows are byte-equal to clean:
+                // the restart base cancels in the boundary delta.
+                assert_eq!(
+                    c.samples(0, svc)[i].to_bits(),
+                    d.samples(0, svc)[i].to_bits(),
+                    "window ending at {end}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn last_n_valid_skips_degraded_windows() {
+        let (_, mut degraded) = streaming_pair(64);
+        for t in 0..=40u64 {
+            if t != 20 {
+                degraded.ingest(SimTime::from_secs(t), row(t, 2));
+            }
+            degraded.advance_watermark(SimTime::from_secs(t));
+        }
+        let catalog = rx_catalog();
+        // 7 windows retained, 2 invalid → last_n_valid(5) exists and is
+        // NaN-free, while last_n(7) contains the NaN windows.
+        let valid = degraded.last_n_valid(&catalog, 5).unwrap();
+        let svc = icfl_micro::ServiceId::from_index(0);
+        assert!(valid.samples(0, svc).iter().all(|v| v.is_finite()));
+        assert!(degraded.last_n_valid(&catalog, 6).is_none());
+        let raw = degraded.last_n(&catalog, 7).unwrap();
+        assert!(raw.samples(0, svc).iter().any(|v| v.is_nan()));
+    }
+
+    #[test]
+    fn snapshot_roundtrip_continues_byte_identically() {
+        let cfg = EngineConfig::streaming(WindowConfig::from_secs(10, 5), 8, SimTime::ZERO);
+        let mut whole = WindowEngine::new(cfg, 2);
+        let mut half = WindowEngine::new(cfg, 2);
+        for t in 0..=33u64 {
+            for e in [&mut whole, &mut half] {
+                if t % 7 != 3 {
+                    e.ingest(SimTime::from_secs(t), row(t, 2));
+                }
+                e.advance_watermark(SimTime::from_secs(t.saturating_sub(2)));
+            }
+        }
+        let json = serde_json::to_string(&half.snapshot()).unwrap();
+        let mut restored = WindowEngine::from_snapshot(serde_json::from_str(&json).unwrap());
+        for t in 34..=80u64 {
+            for e in [&mut whole, &mut restored] {
+                if t % 7 != 3 {
+                    e.ingest(SimTime::from_secs(t), row(t, 2));
+                }
+                e.advance_watermark(SimTime::from_secs(t.saturating_sub(2)));
+            }
+        }
+        assert_eq!(whole.retained_windows(), restored.retained_windows());
+        assert_eq!(whole.degrade_stats(), restored.degrade_stats());
+        let catalog = rx_catalog();
+        let a = serde_json::to_string(&whole.dataset(&catalog)).unwrap();
+        let b = serde_json::to_string(&restored.dataset(&catalog)).unwrap();
+        assert_eq!(a, b);
     }
 }

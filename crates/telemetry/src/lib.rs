@@ -7,7 +7,12 @@
 //!   [`Cluster`](icfl_micro::Cluster);
 //! * [`WindowConfig`] — the paper's 60 s hopping windows, hopped every 30 s;
 //! * [`WindowEngine`] — the single incremental hopping-window finalizer
-//!   behind both the offline recorder and the online streaming ingester;
+//!   behind both the offline recorder and the online streaming ingester,
+//!   with a watermarked reorder/validity path for degraded telemetry and
+//!   serializable checkpoints ([`EngineSnapshot`]);
+//! * [`ScrapeDegrader`] / [`DegradationConfig`] — the seeded
+//!   telemetry-degradation model (drops, delivery jitter, duplicates,
+//!   counter resets) injected between the scrape loop and the engine;
 //! * [`RawMetric`] / [`MetricSpec`] — raw rates and derived
 //!   (dependent ⊘ independent) metrics, the deconfounding heuristic of §V-A;
 //! * [`MetricCatalog`] — the named metric sets of Table II;
@@ -22,6 +27,7 @@
 
 mod catalog;
 mod dataset;
+mod degrade;
 mod engine;
 mod metric;
 mod recorder;
@@ -31,7 +37,8 @@ mod window;
 
 pub use catalog::MetricCatalog;
 pub use dataset::Dataset;
-pub use engine::{EngineConfig, WindowEngine};
+pub use degrade::{DegradationConfig, DeliveredScrape, ScrapeDegrader};
+pub use engine::{DegradeStats, EngineConfig, EngineSnapshot, WindowEngine, WindowValidity};
 pub use metric::{MetricSpec, RawMetric};
 pub use recorder::{Recorder, TelemetryError};
 pub use templates::{Template, TemplateId, TemplateMiner, Token};

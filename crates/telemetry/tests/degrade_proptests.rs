@@ -1,0 +1,169 @@
+//! Property-based tests for the degraded scrape path: an arbitrarily
+//! dropped, duplicated, and reordered permutation of a clean scrape
+//! stream must never panic the engine, must flag exactly the windows
+//! whose boundary scrapes were lost, and must leave every untouched
+//! window byte-equal to the clean in-order run.
+
+use icfl_micro::Counters;
+use icfl_sim::SimTime;
+use icfl_telemetry::{
+    EngineConfig, MetricCatalog, MetricSpec, RawMetric, WindowConfig, WindowEngine, WindowValidity,
+};
+use proptest::prelude::*;
+
+/// Delivery delays (and duplicate lags) are bounded by this many scrape
+/// intervals — the reorder slack the consumer must tolerate.
+const MAX_DELAY: u64 = 2;
+
+/// What the degradation did to one scrape of the stream.
+#[derive(Debug, Clone, Copy)]
+enum Fate {
+    /// Delivered once, `delay` intervals late.
+    Deliver { delay: u64 },
+    /// Never delivered.
+    Drop,
+    /// Delivered on time and again `lag` intervals later.
+    Duplicate { lag: u64 },
+}
+
+/// Decodes a raw `(code, extra)` pair into a fate: codes 0–5 deliver
+/// (delay = code mod 3), 6–7 drop, 8–9 duplicate (lag = 1 + extra).
+fn decode(code: u8, extra: u8) -> Fate {
+    match code {
+        0..=5 => Fate::Deliver {
+            delay: u64::from(code) % (MAX_DELAY + 1),
+        },
+        6 | 7 => Fate::Drop,
+        _ => Fate::Duplicate {
+            lag: 1 + u64::from(extra) % MAX_DELAY,
+        },
+    }
+}
+
+/// The synthetic scrape row at second `t`: distinct monotone counters
+/// per service so any misattributed row changes some window's bytes.
+fn row(t: u64, services: usize) -> Vec<Counters> {
+    (0..services as u64)
+        .map(|s| Counters {
+            rx_packets: t * (s + 1),
+            tx_packets: t * (2 * s + 3),
+            cpu_nanos: t * 1_000_000 * (s + 2),
+            ..Counters::default()
+        })
+        .collect()
+}
+
+fn catalog() -> MetricCatalog {
+    MetricCatalog::new(
+        "degrade-prop",
+        vec![
+            MetricSpec::Raw(RawMetric::RxPackets),
+            MetricSpec::Raw(RawMetric::TxPackets),
+        ],
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// See the module docs: no panic, exact validity flags, untouched
+    /// windows byte-equal to the clean run.
+    #[test]
+    fn degraded_permutation_flags_exactly_the_affected_windows(
+        raw_fates in proptest::collection::vec((0u8..10, 0u8..2), 13..48),
+        services in 1usize..4,
+    ) {
+        let fates: Vec<Fate> = raw_fates.iter().map(|&(c, e)| decode(c, e)).collect();
+        let last = fates.len() as u64 - 1;
+        let windows = WindowConfig::from_secs(10, 5);
+        let cfg = EngineConfig::streaming(windows, 512, SimTime::ZERO);
+
+        // Clean reference: every scrape pushed in order.
+        let mut clean = WindowEngine::new(cfg, services);
+        for t in 0..=last {
+            clean.push(SimTime::from_secs(t), row(t, services));
+        }
+
+        // Degraded run: deliveries happen at `scrape time + delay`, in
+        // delivery-time order, with the watermark trailing by the slack.
+        let mut deliveries: Vec<(u64, u64)> = Vec::new(); // (delivered_at, scrape_t)
+        for (k, f) in fates.iter().enumerate() {
+            let t = k as u64;
+            match *f {
+                Fate::Deliver { delay } => deliveries.push((t + delay, t)),
+                Fate::Drop => {}
+                Fate::Duplicate { lag } => {
+                    deliveries.push((t, t));
+                    deliveries.push((t + lag, t));
+                }
+            }
+        }
+        deliveries.sort_by_key(|&(at, _)| at);
+
+        let mut degraded = WindowEngine::new(cfg, services);
+        let mut next = 0usize;
+        for now in 0..=last + MAX_DELAY {
+            while next < deliveries.len() && deliveries[next].0 == now {
+                let t = deliveries[next].1;
+                degraded.ingest(SimTime::from_secs(t), row(t, services));
+                next += 1;
+            }
+            if now >= MAX_DELAY && now - MAX_DELAY <= last {
+                degraded.advance_watermark(SimTime::from_secs(now - MAX_DELAY));
+            }
+        }
+        // Final flush to the last scrape time (not beyond: boundaries
+        // after the stream end would be trivially missing).
+        degraded.advance_watermark(SimTime::from_secs(last));
+
+        // Both paths decided exactly the boundaries in [window, last].
+        let clean_windows = clean.retained_windows();
+        let degraded_windows = degraded.retained_windows();
+        prop_assert_eq!(clean_windows.len(), degraded_windows.len());
+
+        let delivered = |t: u64| !matches!(fates[t as usize], Fate::Drop);
+        let cat = catalog();
+        let clean_data = clean.dataset(&cat);
+        let degraded_data = degraded.dataset(&cat);
+        for (i, &(end, validity)) in degraded_windows.iter().enumerate() {
+            prop_assert_eq!(clean_windows[i].0, end);
+            let start = end.as_nanos() / 1_000_000_000 - 10;
+            let end_s = end.as_nanos() / 1_000_000_000;
+            let expect_valid = delivered(start) && delivered(end_s);
+            prop_assert_eq!(
+                validity,
+                if expect_valid { WindowValidity::Valid } else { WindowValidity::MissingBoundary },
+                "window [{}, {}]: start delivered {}, end delivered {}",
+                start, end_s, delivered(start), delivered(end_s)
+            );
+            for m in 0..cat.metrics().len() {
+                for svc in (0..services).map(icfl_micro::ServiceId::from_index) {
+                    let c = clean_data.samples(m, svc)[i];
+                    let d = degraded_data.samples(m, svc)[i];
+                    if expect_valid {
+                        prop_assert_eq!(
+                            c.to_bits(), d.to_bits(),
+                            "valid window {} diverged from the clean run", i
+                        );
+                    } else {
+                        prop_assert!(d.is_nan(), "invalid window {} must evaluate to NaN", i);
+                    }
+                }
+            }
+        }
+
+        // The stats ledger agrees with the fates: every duplicate second
+        // delivery coalesced, nothing late-dropped (delays are within the
+        // slack), no resets on a monotone stream.
+        let stats = degraded.degrade_stats();
+        let dups = fates.iter().filter(|f| matches!(f, Fate::Duplicate { .. })).count() as u64;
+        prop_assert_eq!(stats.duplicates_coalesced, dups);
+        prop_assert_eq!(stats.late_dropped, 0);
+        prop_assert_eq!(stats.resets_detected, 0);
+        let invalid = degraded_windows
+            .iter()
+            .filter(|(_, v)| *v != WindowValidity::Valid)
+            .count() as u64;
+        prop_assert_eq!(stats.invalid_windows, invalid);
+    }
+}
