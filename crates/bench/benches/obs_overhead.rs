@@ -1,0 +1,55 @@
+//! Overhead of the `icfl-obs` instrumentation hot paths. These run on
+//! every windowing/ingest/executor operation, so they must stay cheap
+//! enough to leave on unconditionally (a mutex-guarded map update or a
+//! `Vec` push).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_journal(c: &mut Criterion) {
+    let reg = icfl_obs::MetricsRegistry::new();
+    c.bench_function("obs/counter_add", |b| {
+        b.iter(|| reg.counter_add(black_box("icfl_bench_total"), &[("app", "bench")], 1))
+    });
+    c.bench_function("obs/gauge_max", |b| {
+        let mut v = 0u64;
+        b.iter(|| {
+            v += 1;
+            reg.gauge_max(black_box("icfl_bench_peak"), &[], v)
+        })
+    });
+    for n in [0usize, 100, 10_000] {
+        for _ in 0..n {
+            reg.counter_add("icfl_bench_fill_total", &[("i", &n.to_string())], 1);
+        }
+    }
+    c.bench_function("obs/snapshot_to_prometheus", |b| {
+        b.iter(|| black_box(reg.snapshot().to_prometheus()))
+    });
+}
+
+fn bench_profiler(c: &mut Criterion) {
+    c.bench_function("obs/span_open_drop", |b| {
+        b.iter(|| drop(icfl_obs::span(black_box("bench-span"))))
+    });
+    c.bench_function("obs/stat_add", |b| {
+        b.iter(|| icfl_obs::stat_add(black_box("bench.stat"), Duration::from_micros(3)))
+    });
+    icfl_obs::reset();
+    for i in 0..10_000u64 {
+        let mut s = icfl_obs::span("bench-fill");
+        s.arg("i", i);
+    }
+    let obs = icfl_obs::global();
+    c.bench_function("obs/trace_events_10k", |b| {
+        b.iter(|| black_box(obs.profiler.trace_events().len()))
+    });
+    c.bench_function("obs/aggregate_10k", |b| {
+        b.iter(|| black_box(obs.profiler.aggregate().len()))
+    });
+    icfl_obs::reset();
+}
+
+criterion_group!(benches, bench_journal, bench_profiler);
+criterion_main!(benches);

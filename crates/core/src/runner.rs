@@ -137,6 +137,14 @@ where
     if jobs == 0 {
         return Vec::new();
     }
+    // Journal counters hold only thread-count-invariant facts (pool and
+    // job totals); worker counts and task splits are wall-clock profile
+    // material and live in the span args below.
+    icfl_obs::counter_add("icfl_executor_pools_total", &[], 1);
+    icfl_obs::counter_add("icfl_executor_jobs_total", &[], jobs as u64);
+    let mut pool_span = icfl_obs::span("executor.pool");
+    pool_span.arg("jobs", jobs);
+    pool_span.arg("threads", threads.min(jobs).max(1));
     if threads <= 1 || jobs == 1 {
         return (0..jobs).map(f).collect();
     }
@@ -144,13 +152,23 @@ where
     let done = Mutex::new(Vec::with_capacity(jobs));
     std::thread::scope(|scope| {
         for _ in 0..threads.min(jobs) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= jobs {
-                    break;
+            scope.spawn(|| {
+                let mut worker_span = icfl_obs::span("executor.worker");
+                let mut tasks = 0u64;
+                let mut busy = std::time::Duration::ZERO;
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs {
+                        break;
+                    }
+                    let started = std::time::Instant::now();
+                    let out = f(i);
+                    busy += started.elapsed();
+                    tasks += 1;
+                    done.lock().expect("worker results lock").push((i, out));
                 }
-                let out = f(i);
-                done.lock().expect("worker results lock").push((i, out));
+                worker_span.arg("tasks", tasks);
+                worker_span.arg("busy_us", busy.as_micros());
             });
         }
     });
@@ -325,6 +343,9 @@ impl CampaignRun {
     pub fn learn(&self, catalog: &MetricCatalog, detector: ShiftDetector) -> Result<CausalModel> {
         let baseline = self.baseline(catalog)?;
         let faults = self.fault_datasets(catalog)?;
+        let mut span = icfl_obs::span("learn");
+        span.arg("catalog", catalog.name());
+        span.arg("targets", faults.len());
         CausalModel::learn(catalog, detector, &baseline, &faults)
     }
 }
@@ -508,7 +529,11 @@ impl EvalSuite {
         let mut cases = Vec::with_capacity(self.runs.len());
         for run in &self.runs {
             let ds = run.dataset(model.catalog())?;
-            let loc = model.localize_with(&ds, rule)?;
+            let loc = {
+                let mut span = icfl_obs::span("localize");
+                span.arg("catalog", model.catalog().name());
+                model.localize_with(&ds, rule)?
+            };
             cases.push(CaseResult::score(run.injected, &loc, self.num_services));
         }
         Ok(EvalSummary::aggregate(cases))

@@ -1,11 +1,12 @@
 //! Ablation sweep over the reproduction's design choices.
-use icfl_experiments::{ablations, CliOptions};
+use icfl_experiments::{ablations, maybe_write_profile, CliOptions};
 
 fn main() {
     let opts = CliOptions::from_env();
-    eprintln!(
+    icfl_obs::info!(
         "running ablations in {} mode (seed {})...",
-        opts.mode, opts.seed
+        opts.mode,
+        opts.seed
     );
     let result = ablations(opts.mode, opts.seed).expect("ablations experiment failed");
     println!("Ablations on CausalBench (train @1x, service-unavailable campaign)\n");
@@ -16,4 +17,5 @@ fn main() {
             serde_json::to_string_pretty(&result).expect("serialize")
         );
     }
+    maybe_write_profile(&opts, "ablations");
 }

@@ -1,13 +1,15 @@
 //! Runs every experiment in sequence (the full reproduction).
 use icfl_experiments::{
-    comparison, fig1, fig2, fig4, report_timing, run_timed, table1, table2, CliOptions,
+    comparison, fig1, fig2, fig4, maybe_write_profile, report_timing, run_timed, table1, table2,
+    CliOptions,
 };
 
 fn main() {
     let opts = CliOptions::from_env();
-    eprintln!(
+    icfl_obs::info!(
         "running ALL experiments in {} mode (seed {})...",
-        opts.mode, opts.seed
+        opts.mode,
+        opts.seed
     );
     let timed = run_timed(|| {
         println!(
@@ -37,5 +39,6 @@ fn main() {
                 .render()
         );
     });
+    maybe_write_profile(&opts, "all");
     report_timing("all", &opts, timed.wall);
 }

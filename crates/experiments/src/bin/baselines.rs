@@ -1,11 +1,12 @@
 //! Baseline comparison: the proposed method vs \[23\], \[24\], pooled, observational.
-use icfl_experiments::{comparison, report_timing, run_timed, CliOptions};
+use icfl_experiments::{comparison, maybe_write_profile, report_timing, run_timed, CliOptions};
 
 fn main() {
     let opts = CliOptions::from_env();
-    eprintln!(
+    icfl_obs::info!(
         "running baseline comparison in {} mode (seed {})...",
-        opts.mode, opts.seed
+        opts.mode,
+        opts.seed
     );
     let timed =
         run_timed(|| comparison(opts.mode, opts.seed).expect("comparison experiment failed"));
@@ -17,5 +18,6 @@ fn main() {
             serde_json::to_string_pretty(&timed.result).expect("serialize")
         );
     }
+    maybe_write_profile(&opts, "baselines");
     report_timing("baselines", &opts, timed.wall);
 }

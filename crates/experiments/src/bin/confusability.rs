@@ -1,11 +1,12 @@
 //! Signature-confusability analysis validated against the 4x evaluation.
-use icfl_experiments::{confusability, CliOptions};
+use icfl_experiments::{confusability, maybe_write_profile, CliOptions};
 
 fn main() {
     let opts = CliOptions::from_env();
-    eprintln!(
+    icfl_obs::info!(
         "running confusability analysis in {} mode (seed {})...",
-        opts.mode, opts.seed
+        opts.mode,
+        opts.seed
     );
     let result = confusability(opts.mode, opts.seed).expect("confusability experiment failed");
     println!("Causal-signature confusability (top pairs per app)\n");
@@ -16,4 +17,5 @@ fn main() {
             serde_json::to_string_pretty(&result).expect("serialize")
         );
     }
+    maybe_write_profile(&opts, "confusability");
 }

@@ -1,11 +1,12 @@
 //! Regenerates Fig. 1 (+ the §VI-B causal-world example).
-use icfl_experiments::{fig1, CliOptions};
+use icfl_experiments::{fig1, maybe_write_profile, CliOptions};
 
 fn main() {
     let opts = CliOptions::from_env();
-    eprintln!(
+    icfl_obs::info!(
         "running Fig. 1 in {} mode (seed {})...",
-        opts.mode, opts.seed
+        opts.mode,
+        opts.seed
     );
     let result = fig1(opts.mode, opts.seed).expect("fig1 experiment failed");
     println!("Fig. 1 — causal relations depend on the observed metric\n");
@@ -16,4 +17,5 @@ fn main() {
             serde_json::to_string_pretty(&result).expect("serialize")
         );
     }
+    maybe_write_profile(&opts, "fig1");
 }

@@ -1,11 +1,12 @@
 //! Regenerates Fig. 2 (load as an intervention-dependent confounder).
-use icfl_experiments::{fig2, CliOptions};
+use icfl_experiments::{fig2, maybe_write_profile, CliOptions};
 
 fn main() {
     let opts = CliOptions::from_env();
-    eprintln!(
+    icfl_obs::info!(
         "running Fig. 2 in {} mode (seed {})...",
-        opts.mode, opts.seed
+        opts.mode,
+        opts.seed
     );
     let result = fig2(opts.mode, opts.seed).expect("fig2 experiment failed");
     println!("Fig. 2 — request-rate boxplots under faults (external load fixed)\n");
@@ -16,4 +17,5 @@ fn main() {
             serde_json::to_string_pretty(&result).expect("serialize")
         );
     }
+    maybe_write_profile(&opts, "fig2");
 }

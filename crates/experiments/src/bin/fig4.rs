@@ -1,8 +1,9 @@
 //! Regenerates Fig. 4 (CausalBench topology) with runtime flow validation.
-use icfl_experiments::{fig4, CliOptions};
+use icfl_experiments::{fig4, maybe_write_profile, CliOptions};
 
 fn main() {
     let opts = CliOptions::from_env();
+    icfl_obs::info!("running Fig. 4 (seed {})...", opts.seed);
     let result = fig4(opts.seed).expect("fig4 experiment failed");
     println!("{}", result.render());
     if opts.json {
@@ -11,4 +12,5 @@ fn main() {
             serde_json::to_string_pretty(&result).expect("serialize")
         );
     }
+    maybe_write_profile(&opts, "fig4");
 }

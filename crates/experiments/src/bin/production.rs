@@ -3,7 +3,9 @@
 //!
 //! Beyond the standard flags, `--ad` switches live detection from KS to
 //! Anderson–Darling.
-use icfl_experiments::{production, report_timing, run_timed, CliOptions, ProductionOptions};
+use icfl_experiments::{
+    maybe_write_profile, production, report_timing, run_timed, CliOptions, ProductionOptions,
+};
 
 fn main() {
     let mut anderson_darling = false;
@@ -23,6 +25,9 @@ fn main() {
             if o.threads > 0 {
                 std::env::set_var("ICFL_THREADS", o.threads.to_string());
             }
+            if let Some(level) = o.log {
+                icfl_obs::logger::set_level(level);
+            }
             o
         }
         Err(msg) => {
@@ -34,7 +39,7 @@ fn main() {
     popts.threads = opts.threads;
     popts.anderson_darling = anderson_darling;
 
-    eprintln!(
+    icfl_obs::info!(
         "running production sessions in {} mode (seed {}, {} detection)...",
         opts.mode,
         opts.seed,
@@ -48,7 +53,7 @@ fn main() {
     let report = match timed.result {
         Ok(report) => report,
         Err(e) => {
-            eprintln!("production experiment failed: {e}");
+            icfl_obs::error!("production experiment failed: {e}");
             std::process::exit(1);
         }
     };
@@ -64,10 +69,11 @@ fn main() {
         match serde_json::to_string_pretty(&report) {
             Ok(json) => println!("{json}"),
             Err(e) => {
-                eprintln!("failed to serialize the production report: {e}");
+                icfl_obs::error!("failed to serialize the production report: {e}");
                 std::process::exit(1);
             }
         }
     }
+    maybe_write_profile(&opts, "production");
     report_timing("production", &opts, timed.wall);
 }

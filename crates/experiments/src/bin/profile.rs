@@ -1,0 +1,56 @@
+//! Profiles the pipeline end to end: the Table II offline workload
+//! (campaign → windowing → learn → localize) plus the streaming
+//! production platform (online sessions), then renders the per-phase
+//! breakdown and the full `icfl-obs` artifact set (Chrome trace,
+//! Prometheus-style journal snapshot, run manifests).
+//!
+//! Artifacts land in `--profile DIR` when given, else in the results
+//! directory (`ICFL_RESULTS_DIR` or `results/`), with the mode as the
+//! stem: `profile_quick.txt`, `quick_trace.json`, `quick_metrics.prom`, …
+use icfl_experiments::{
+    production, profile_report, render_profile_text, report_timing, run_timed, table2,
+    write_profile_artifacts, CliOptions, ProductionOptions,
+};
+
+fn main() {
+    let opts = CliOptions::from_env();
+    icfl_obs::info!(
+        "profiling the pipeline in {} mode (seed {})...",
+        opts.mode,
+        opts.seed
+    );
+    let registry =
+        std::env::temp_dir().join(format!("icfl-profile-registry-{}", std::process::id()));
+    let timed = run_timed(|| {
+        table2(opts.mode, opts.seed).expect("offline workload failed");
+        let prod = ProductionOptions::new(opts.mode, opts.seed).with_registry_root(&registry);
+        production(&prod).expect("online workload failed");
+    });
+    std::fs::remove_dir_all(&registry).ok();
+
+    let report = profile_report();
+    println!("Pipeline profile — offline campaign + online sessions\n");
+    println!("{}", render_profile_text(&report));
+    if opts.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).expect("serialize")
+        );
+    }
+
+    let dir = opts.profile.clone().unwrap_or_else(|| {
+        std::env::var_os("ICFL_RESULTS_DIR").map_or_else(
+            || std::path::PathBuf::from("results"),
+            std::path::PathBuf::from,
+        )
+    });
+    match write_profile_artifacts(&dir, &opts.mode.to_string()) {
+        Ok(paths) => {
+            for p in paths {
+                icfl_obs::info!("profile: wrote {}", p.display());
+            }
+        }
+        Err(e) => icfl_obs::error!("profile: could not write artifacts: {e}"),
+    }
+    report_timing("profile", &opts, timed.wall);
+}

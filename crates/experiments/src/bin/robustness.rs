@@ -3,7 +3,9 @@
 //! detection/localization decay curve, plus a fault-free gaps-only arm
 //! that must produce zero false alarms.
 
-use icfl_experiments::{report_timing, robustness, run_timed, CliOptions, RobustnessOptions};
+use icfl_experiments::{
+    maybe_write_profile, report_timing, robustness, run_timed, CliOptions, RobustnessOptions,
+};
 use std::path::PathBuf;
 
 fn main() {
@@ -11,15 +13,16 @@ fn main() {
     let mut ropts = RobustnessOptions::new(opts.mode, opts.seed);
     ropts.threads = opts.threads;
 
-    eprintln!(
+    icfl_obs::info!(
         "running robustness grid in {} mode (seed {})...",
-        opts.mode, opts.seed
+        opts.mode,
+        opts.seed
     );
     let timed = run_timed(|| robustness(&ropts));
     let report = match timed.result {
         Ok(report) => report,
         Err(e) => {
-            eprintln!("robustness experiment failed: {e}");
+            icfl_obs::error!("robustness experiment failed: {e}");
             std::process::exit(1);
         }
     };
@@ -35,7 +38,7 @@ fn main() {
         match serde_json::to_string_pretty(&report) {
             Ok(json) => println!("{json}"),
             Err(e) => {
-                eprintln!("failed to serialize the robustness report: {e}");
+                icfl_obs::error!("failed to serialize the robustness report: {e}");
                 std::process::exit(1);
             }
         }
@@ -44,26 +47,27 @@ fn main() {
     let results_dir = std::env::var_os("ICFL_RESULTS_DIR")
         .map_or_else(|| PathBuf::from("results"), PathBuf::from);
     if let Err(e) = std::fs::create_dir_all(&results_dir) {
-        eprintln!("cannot create {}: {e}", results_dir.display());
+        icfl_obs::error!("cannot create {}: {e}", results_dir.display());
         std::process::exit(1);
     }
     let txt = results_dir.join(format!("robustness_{}.txt", opts.mode));
     let csv = results_dir.join(format!("robustness_{}.csv", opts.mode));
     if let Err(e) = std::fs::write(&txt, report.render()) {
-        eprintln!("cannot write {}: {e}", txt.display());
+        icfl_obs::error!("cannot write {}: {e}", txt.display());
         std::process::exit(1);
     }
     if let Err(e) = std::fs::write(&csv, report.to_csv()) {
-        eprintln!("cannot write {}: {e}", csv.display());
+        icfl_obs::error!("cannot write {}: {e}", csv.display());
         std::process::exit(1);
     }
-    eprintln!("wrote {} and {}", txt.display(), csv.display());
+    icfl_obs::info!("wrote {} and {}", txt.display(), csv.display());
+    maybe_write_profile(&opts, "robustness");
     report_timing("robustness", &opts, timed.wall);
 
     // The headline robustness claim is enforced, not just recorded:
     // telemetry gaps alone must never read as an incident.
     if report.gaps_only_false_alarms() > 0 {
-        eprintln!(
+        icfl_obs::error!(
             "FAIL: gaps-only arm raised {} false alarm(s) — missing telemetry was treated as anomalous",
             report.gaps_only_false_alarms()
         );

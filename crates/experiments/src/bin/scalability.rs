@@ -1,11 +1,12 @@
 //! Scalability sweep over synthetic topologies.
-use icfl_experiments::{report_timing, run_timed, scalability, CliOptions};
+use icfl_experiments::{maybe_write_profile, report_timing, run_timed, scalability, CliOptions};
 
 fn main() {
     let opts = CliOptions::from_env();
-    eprintln!(
+    icfl_obs::info!(
         "running scalability sweep in {} mode (seed {})...",
-        opts.mode, opts.seed
+        opts.mode,
+        opts.seed
     );
     let timed =
         run_timed(|| scalability(opts.mode, opts.seed).expect("scalability experiment failed"));
@@ -17,5 +18,6 @@ fn main() {
             serde_json::to_string_pretty(&timed.result).expect("serialize")
         );
     }
+    maybe_write_profile(&opts, "scalability");
     report_timing("scalability", &opts, timed.wall);
 }

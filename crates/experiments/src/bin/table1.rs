@@ -1,11 +1,12 @@
 //! Regenerates Table I of the paper.
-use icfl_experiments::{report_timing, run_timed, table1, CliOptions};
+use icfl_experiments::{maybe_write_profile, report_timing, run_timed, table1, CliOptions};
 
 fn main() {
     let opts = CliOptions::from_env();
-    eprintln!(
+    icfl_obs::info!(
         "running Table I in {} mode (seed {})...",
-        opts.mode, opts.seed
+        opts.mode,
+        opts.seed
     );
     let timed = run_timed(|| table1(opts.mode, opts.seed).expect("table1 experiment failed"));
     println!("Table I — fault localization accuracy and informativeness");
@@ -17,5 +18,6 @@ fn main() {
             serde_json::to_string_pretty(&timed.result).expect("serialize")
         );
     }
+    maybe_write_profile(&opts, "table1");
     report_timing("table1", &opts, timed.wall);
 }

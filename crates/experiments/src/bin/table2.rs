@@ -1,11 +1,12 @@
 //! Regenerates Table II of the paper.
-use icfl_experiments::{report_timing, run_timed, table2, CliOptions};
+use icfl_experiments::{maybe_write_profile, report_timing, run_timed, table2, CliOptions};
 
 fn main() {
     let opts = CliOptions::from_env();
-    eprintln!(
+    icfl_obs::info!(
         "running Table II in {} mode (seed {})...",
-        opts.mode, opts.seed
+        opts.mode,
+        opts.seed
     );
     let timed = run_timed(|| table2(opts.mode, opts.seed).expect("table2 experiment failed"));
     println!("Table II — informativeness by metric catalog");
@@ -17,5 +18,6 @@ fn main() {
             serde_json::to_string_pretty(&timed.result).expect("serialize")
         );
     }
+    maybe_write_profile(&opts, "table2");
     report_timing("table2", &opts, timed.wall);
 }

@@ -16,12 +16,17 @@
 //! | Confusability analysis (§III-B identifiability, validated against 4× misses) | [`confusability`] | `--bin confusability` |
 //! | Production platform (Fig. 3): streaming detection + live localization | [`production`] | `--bin production` |
 //! | Robustness under degraded telemetry (drops/jitter/dups/resets) | [`robustness`] | `--bin robustness` |
+//! | Pipeline self-profile (spans, journal, Chrome trace) | [`write_profile_artifacts`] | `--bin profile` |
 //!
 //! Every binary accepts `--quick` (default: 2-minute phases) or `--paper`
 //! (the paper's 10-minute phases), `--seed N`, `--threads N` (worker
-//! threads for the parallel executor; default auto), and `--json`. The
-//! simulation-heavy binaries print their wall-clock time and append it to
-//! `results/timings.csv` (see [`report_timing`]).
+//! threads for the parallel executor; default auto), `--json`,
+//! `--profile DIR` (dump the `icfl-obs` span/metrics artifacts — see
+//! [`write_profile_artifacts`]), and the log-level flags `--quiet`/`-q`,
+//! `-v`, `-vv` (also settable via `ICFL_LOG`). The simulation-heavy
+//! binaries log their wall-clock time and append it, plus a per-phase
+//! breakdown sourced from the spans, to `results/timings.csv` (see
+//! [`report_timing`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,6 +37,7 @@ mod confusability;
 mod figures;
 mod mode;
 mod production;
+mod profiling;
 mod render;
 mod robustness;
 mod scalability;
@@ -46,6 +52,10 @@ pub use mode::{CliOptions, Mode};
 pub use production::{
     production, ProductionAppReport, ProductionError, ProductionOptions, ProductionReport,
 };
+pub use profiling::{
+    maybe_write_profile, micro_spans_to_trace, profile_report, render_profile_text,
+    write_profile_artifacts, ProfileReport, StatRow,
+};
 pub use render::TextTable;
 pub use robustness::{
     robustness, RobustnessAppReport, RobustnessCell, RobustnessError, RobustnessOptions,
@@ -53,4 +63,7 @@ pub use robustness::{
 };
 pub use scalability::{scalability, Scalability, ScalabilityRow};
 pub use tables::{table1, table2, Table1, Table1Row, Table2, Table2Row};
-pub use timing::{record_timing, report_timing, run_timed, timings_path, Timed};
+pub use timing::{
+    record_phase_timings, record_timing, report_timing, run_timed, timings_path, Timed,
+    PIPELINE_PHASES,
+};

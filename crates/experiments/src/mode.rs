@@ -41,7 +41,7 @@ impl std::fmt::Display for Mode {
 }
 
 /// Options parsed from an experiment binary's command line.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CliOptions {
     /// Timing mode.
     pub mode: Mode,
@@ -52,29 +52,47 @@ pub struct CliOptions {
     /// Worker threads for the parallel campaign/evaluation executor
     /// (`0` = auto; see [`RunConfig::resolved_threads`]).
     pub threads: usize,
+    /// Directory to render profiling artifacts into (`--profile <dir>`):
+    /// the per-phase breakdown, Chrome trace, metrics snapshot, and run
+    /// manifests.
+    pub profile: Option<std::path::PathBuf>,
+    /// Log-level override from `--quiet`/`-v`/`-vv` (`None` leaves the
+    /// `ICFL_LOG` environment default in effect).
+    pub log: Option<icfl_obs::Level>,
 }
 
 impl CliOptions {
-    /// Parses `--paper` / `--quick`, `--seed N`, `--threads N`, and
-    /// `--json` from raw arguments (binary name excluded). Unknown
+    /// The defaults every flag set starts from: quick mode, seed 42.
+    pub fn defaults() -> CliOptions {
+        CliOptions {
+            mode: Mode::Quick,
+            seed: 42,
+            json: false,
+            threads: 0,
+            profile: None,
+            log: None,
+        }
+    }
+
+    /// Parses `--paper` / `--quick`, `--seed N`, `--threads N`, `--json`,
+    /// `--profile DIR`, and the log-level flags (`--quiet`/`-q`, `-v`,
+    /// `-vv`) from raw arguments (binary name excluded). Unknown
     /// arguments are rejected.
     ///
     /// # Errors
     ///
     /// Returns a usage string on unknown flags or malformed values.
     pub fn parse(args: impl IntoIterator<Item = String>) -> Result<CliOptions, String> {
-        let mut opts = CliOptions {
-            mode: Mode::Quick,
-            seed: 42,
-            json: false,
-            threads: 0,
-        };
+        let mut opts = CliOptions::defaults();
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
             match arg.as_str() {
                 "--paper" => opts.mode = Mode::Paper,
                 "--quick" => opts.mode = Mode::Quick,
                 "--json" => opts.json = true,
+                "--quiet" | "-q" => opts.log = Some(icfl_obs::Level::Error),
+                "-v" => opts.log = Some(icfl_obs::Level::Debug),
+                "-vv" => opts.log = Some(icfl_obs::Level::Trace),
                 "--seed" => {
                     let v = it.next().ok_or("--seed needs a value")?;
                     opts.seed = v.parse().map_err(|_| format!("bad seed: {v}"))?;
@@ -83,9 +101,14 @@ impl CliOptions {
                     let v = it.next().ok_or("--threads needs a value")?;
                     opts.threads = v.parse().map_err(|_| format!("bad thread count: {v}"))?;
                 }
+                "--profile" => {
+                    let v = it.next().ok_or("--profile needs a directory")?;
+                    opts.profile = Some(std::path::PathBuf::from(v));
+                }
                 other => {
                     return Err(format!(
-                        "unknown argument {other}; usage: [--quick|--paper] [--seed N] [--threads N] [--json]"
+                        "unknown argument {other}; usage: [--quick|--paper] [--seed N] \
+                         [--threads N] [--json] [--profile DIR] [--quiet|-q] [-v] [-vv]"
                     ))
                 }
             }
@@ -99,11 +122,16 @@ impl CliOptions {
     /// environment variable so every [`RunConfig`] built anywhere in the
     /// experiment (training, evaluation, baselines) resolves to the same
     /// worker count without threading the value through each call site.
+    /// A log-level flag is applied to the global `icfl-obs` logger (flags
+    /// win over the `ICFL_LOG` environment variable).
     pub fn from_env() -> CliOptions {
         match CliOptions::parse(std::env::args().skip(1)) {
             Ok(o) => {
                 if o.threads > 0 {
                     std::env::set_var("ICFL_THREADS", o.threads.to_string());
+                }
+                if let Some(level) = o.log {
+                    icfl_obs::logger::set_level(level);
                 }
                 o
             }
@@ -139,6 +167,8 @@ mod tests {
         assert_eq!(o.seed, 42);
         assert!(!o.json);
         assert_eq!(o.threads, 0);
+        assert_eq!(o.profile, None);
+        assert_eq!(o.log, None);
     }
 
     #[test]
@@ -151,12 +181,26 @@ mod tests {
     }
 
     #[test]
+    fn observability_flags_parse() {
+        let o = parse(&["--profile", "out/prof", "-v"]).unwrap();
+        assert_eq!(o.profile.as_deref(), Some(std::path::Path::new("out/prof")));
+        assert_eq!(o.log, Some(icfl_obs::Level::Debug));
+        assert_eq!(
+            parse(&["--quiet"]).unwrap().log,
+            Some(icfl_obs::Level::Error)
+        );
+        assert_eq!(parse(&["-q"]).unwrap().log, Some(icfl_obs::Level::Error));
+        assert_eq!(parse(&["-vv"]).unwrap().log, Some(icfl_obs::Level::Trace));
+    }
+
+    #[test]
     fn unknown_flag_rejected() {
         assert!(parse(&["--what"]).is_err());
         assert!(parse(&["--seed"]).is_err());
         assert!(parse(&["--seed", "abc"]).is_err());
         assert!(parse(&["--threads"]).is_err());
         assert!(parse(&["--threads", "many"]).is_err());
+        assert!(parse(&["--profile"]).is_err());
     }
 
     #[test]

@@ -35,6 +35,21 @@ impl fmt::Display for ServiceId {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct RequestId(pub(crate) u64);
 
+impl RequestId {
+    /// The raw id.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Constructs a `RequestId` from a raw id.
+    ///
+    /// Intended for tests and span-trace exports; ids are only meaningful
+    /// relative to the cluster run that issued them.
+    pub fn from_raw(id: u64) -> Self {
+        RequestId(id)
+    }
+}
+
 impl fmt::Display for RequestId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "req#{}", self.0)

@@ -1,0 +1,193 @@
+//! # icfl-obs — pipeline self-observability
+//!
+//! The localizer pipeline monitors *other* services; this crate monitors
+//! the pipeline itself. It is a lightweight instrumentation layer with a
+//! hard split between two kinds of facts (see `DESIGN.md`,
+//! "Self-observability"):
+//!
+//! * the **deterministic event journal** ([`MetricsRegistry`]) — counters
+//!   and high-water gauges whose values are pure functions of the seeded
+//!   workload. Every journal update is a commutative aggregate (a sum or a
+//!   max of per-run deterministic values), so snapshots are byte-identical
+//!   regardless of worker-thread count or scheduling and are safe to
+//!   assert in goldens.
+//! * the **wall-clock profile** ([`Profiler`]) — structured spans (phase
+//!   timings with parent/child nesting by time containment) and latency
+//!   accumulators. These measure the host machine and are *never* part of
+//!   byte-compared outputs; they feed the Chrome-trace export and the
+//!   per-phase breakdown in `results/profile_*.{txt,json}`.
+//!
+//! Two exporters serve both sides: [`trace::chrome_trace_json`] renders
+//! spans (or any [`TraceEvent`](trace::TraceEvent) stream, e.g. the
+//! `icfl-micro` simulated-request span store) as a Chrome-trace/Perfetto
+//! JSON timeline, and [`MetricsSnapshot::to_prometheus`] /
+//! [`MetricsSnapshot::to_jsonl`] render the journal as a Prometheus-style
+//! text exposition or JSONL.
+//!
+//! Instrumentation reaches the collector through a process-global [`Obs`]
+//! handle ([`global`]); [`reset`] swaps in a fresh collector (tests,
+//! repeated workloads in one process). All hot-path operations are a
+//! mutex-guarded map update or a `Vec` push — cheap enough to stay on in
+//! every run, CI included.
+//!
+//! ```
+//! let obs = icfl_obs::global();
+//! obs.metrics.counter_add("icfl_demo_total", &[("kind", "doc")], 3);
+//! {
+//!     let mut span = icfl_obs::span("demo-phase");
+//!     span.arg("items", 3);
+//! } // span records on drop
+//! let snap = obs.metrics.snapshot();
+//! assert!(snap.to_prometheus().contains("icfl_demo_total"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod logger;
+pub mod manifest;
+pub mod metrics;
+pub mod profile;
+pub mod trace;
+
+pub use logger::Level;
+pub use manifest::RunManifest;
+pub use metrics::{MetricSample, MetricsRegistry, MetricsSnapshot};
+pub use profile::{PhaseAggregate, Profiler, SpanGuard, SpanRecord, StatSummary};
+pub use trace::TraceEvent;
+
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::time::Duration;
+
+/// One observability collector: the deterministic journal, the wall-clock
+/// profiler, and the run manifests recorded by the scenario builder.
+#[derive(Debug)]
+pub struct Obs {
+    /// Deterministic event journal (thread-count-invariant by design).
+    pub metrics: MetricsRegistry,
+    /// Wall-clock spans and latency accumulators (never byte-compared).
+    pub profiler: Profiler,
+    manifests: Mutex<Vec<RunManifest>>,
+}
+
+impl Obs {
+    /// A fresh, empty collector.
+    pub fn new() -> Obs {
+        Obs {
+            metrics: MetricsRegistry::new(),
+            profiler: Profiler::new(),
+            manifests: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Records one run manifest (the scenario builder calls this once per
+    /// assembled run).
+    pub fn record_manifest(&self, m: RunManifest) {
+        self.manifests.lock().expect("obs manifests lock").push(m);
+    }
+
+    /// The recorded manifests, sorted and de-duplicated so the list is
+    /// independent of the order parallel workers assembled their runs.
+    pub fn manifests(&self) -> Vec<RunManifest> {
+        let mut out = self.manifests.lock().expect("obs manifests lock").clone();
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Obs::new()
+    }
+}
+
+/// The process-global collector slot.
+fn slot() -> &'static RwLock<Arc<Obs>> {
+    static SLOT: OnceLock<RwLock<Arc<Obs>>> = OnceLock::new();
+    SLOT.get_or_init(|| RwLock::new(Arc::new(Obs::new())))
+}
+
+/// The process-global collector every library instrumentation point
+/// reports to. Cloning the `Arc` is the only cost.
+pub fn global() -> Arc<Obs> {
+    Arc::clone(&slot().read().expect("obs global lock"))
+}
+
+/// Replaces the global collector with a fresh one, discarding everything
+/// recorded so far. Instrumentation holding the old `Arc` (e.g. a live
+/// span guard) finishes against the old collector harmlessly.
+pub fn reset() {
+    *slot().write().expect("obs global lock") = Arc::new(Obs::new());
+}
+
+/// Opens a wall-clock span on the global collector; it records when the
+/// returned guard drops. Spans with the same name aggregate into one row
+/// of the per-phase profile.
+pub fn span(name: &str) -> SpanGuard {
+    SpanGuard::open(global(), name)
+}
+
+/// Adds one wall-clock sample to the named latency accumulator on the
+/// global collector (for high-frequency events where a span per event
+/// would dwarf the event itself).
+pub fn stat_add(name: &str, elapsed: Duration) {
+    global().profiler.stat_add(name, elapsed);
+}
+
+/// Adds to a counter in the global journal. `v` must be a deterministic
+/// per-run quantity: totals are sums, so they are thread-count-invariant
+/// exactly when each contribution is.
+pub fn counter_add(name: &str, labels: &[(&str, &str)], v: u64) {
+    global().metrics.counter_add(name, labels, v);
+}
+
+/// Raises a high-water gauge in the global journal to at least `v` (max
+/// aggregation — commutative, so peaks are thread-count-invariant when
+/// each contribution is deterministic).
+pub fn gauge_max(name: &str, labels: &[(&str, &str)], v: u64) {
+    global().metrics.gauge_max(name, labels, v);
+}
+
+/// Records one run manifest on the global collector.
+pub fn record_manifest(m: RunManifest) {
+    global().record_manifest(m);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_reset_swaps_the_collector() {
+        let before = global();
+        before.metrics.counter_add("icfl_test_total", &[], 5);
+        reset();
+        let after = global();
+        assert!(!Arc::ptr_eq(&before, &after));
+        assert_eq!(after.metrics.snapshot().total("icfl_test_total"), None);
+        // The old handle still works; it just reports to a dead collector.
+        before.metrics.counter_add("icfl_test_total", &[], 1);
+    }
+
+    #[test]
+    fn manifests_sort_and_dedup() {
+        let obs = Obs::new();
+        let mk = |seed| RunManifest {
+            app: "demo".into(),
+            seed,
+            replicas: 1,
+            arrival: "closed-loop".into(),
+            flows: vec!["f".into()],
+            preset_faults: Vec::new(),
+            scheduled_faults: Vec::new(),
+            tap: "none".into(),
+        };
+        obs.record_manifest(mk(2));
+        obs.record_manifest(mk(1));
+        obs.record_manifest(mk(2));
+        let out = obs.manifests();
+        assert_eq!(out.len(), 2);
+        assert!(out[0].seed < out[1].seed);
+    }
+}

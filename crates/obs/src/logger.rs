@@ -1,0 +1,185 @@
+//! Leveled stderr logging for the experiment bins.
+//!
+//! Replaces the ad-hoc `eprintln!` progress chatter with one switchboard:
+//! a process-global level set from the `ICFL_LOG` environment variable
+//! (`error`/`warn`/`info`/`debug`/`trace`, or `quiet` for errors only) or
+//! from CLI flags (`--quiet`, `-v`, `-vv`). Messages go to stderr so
+//! stdout stays clean for `--json` output; results-style "wrote ..."
+//! lines use [`info`](crate::info), diagnostics use
+//! [`warn`](crate::warn)/[`error`](crate::error).
+//!
+//! The macros are invoked through the crate path:
+//!
+//! ```
+//! icfl_obs::logger::set_level(icfl_obs::Level::Info);
+//! icfl_obs::info!("wrote {} rows", 5);
+//! icfl_obs::debug!("not shown at info level");
+//! ```
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Log severity, ordered from most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Unrecoverable problems; always shown (even under `--quiet`).
+    Error = 0,
+    /// Suspicious but non-fatal conditions.
+    Warn = 1,
+    /// Progress and results pointers (the default).
+    Info = 2,
+    /// Per-phase detail (`-v`).
+    Debug = 3,
+    /// Per-event detail (`-vv`).
+    Trace = 4,
+}
+
+impl Level {
+    /// Parses a level name as accepted by `ICFL_LOG` (case-insensitive;
+    /// `quiet` is an alias for `error`).
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" | "quiet" | "off" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            "trace" => Some(Level::Trace),
+            _ => None,
+        }
+    }
+
+    /// The level's lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+}
+
+fn cell() -> &'static AtomicU8 {
+    static CELL: OnceLock<AtomicU8> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let initial = std::env::var("ICFL_LOG")
+            .ok()
+            .as_deref()
+            .and_then(Level::parse)
+            .unwrap_or(Level::Info);
+        AtomicU8::new(initial as u8)
+    })
+}
+
+/// The current global log level (initialized from `ICFL_LOG` on first
+/// use, defaulting to [`Level::Info`]).
+pub fn level() -> Level {
+    match cell().load(Ordering::Relaxed) {
+        0 => Level::Error,
+        1 => Level::Warn,
+        2 => Level::Info,
+        3 => Level::Debug,
+        _ => Level::Trace,
+    }
+}
+
+/// Sets the global log level (CLI flags call this after parsing; flags
+/// win over `ICFL_LOG`).
+pub fn set_level(level: Level) {
+    cell().store(level as u8, Ordering::Relaxed);
+}
+
+/// Whether a message at `at` would currently be emitted.
+pub fn enabled(at: Level) -> bool {
+    at <= level()
+}
+
+/// Macro backend: formats and writes one stderr line if `at` is enabled.
+#[doc(hidden)]
+pub fn log_at(at: Level, msg: std::fmt::Arguments<'_>) {
+    if enabled(at) {
+        eprintln!("[{}] {}", at.name(), msg);
+    }
+}
+
+/// Logs at [`Level::Error`]; shown even under `--quiet`.
+#[macro_export]
+macro_rules! error {
+    ($($arg:tt)*) => {
+        $crate::logger::log_at($crate::Level::Error, format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Warn`].
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)*) => {
+        $crate::logger::log_at($crate::Level::Warn, format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Info`] (progress, results pointers).
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)*) => {
+        $crate::logger::log_at($crate::Level::Info, format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Debug`] (`-v`).
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)*) => {
+        $crate::logger::log_at($crate::Level::Debug, format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Trace`] (`-vv`).
+#[macro_export]
+macro_rules! trace {
+    ($($arg:tt)*) => {
+        $crate::logger::log_at($crate::Level::Trace, format_args!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_parse_and_order() {
+        assert_eq!(Level::parse("info"), Some(Level::Info));
+        assert_eq!(Level::parse("QUIET"), Some(Level::Error));
+        assert_eq!(Level::parse(" warn "), Some(Level::Warn));
+        assert_eq!(Level::parse("nope"), None);
+        assert!(Level::Error < Level::Trace);
+    }
+
+    #[test]
+    fn set_level_gates_enabled() {
+        // Tests share the process-global level; restore what we found.
+        let prev = level();
+        set_level(Level::Warn);
+        assert!(enabled(Level::Error));
+        assert!(enabled(Level::Warn));
+        assert!(!enabled(Level::Info));
+        set_level(Level::Trace);
+        assert!(enabled(Level::Trace));
+        set_level(prev);
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for l in [
+            Level::Error,
+            Level::Warn,
+            Level::Info,
+            Level::Debug,
+            Level::Trace,
+        ] {
+            assert_eq!(Level::parse(l.name()), Some(l));
+        }
+    }
+}

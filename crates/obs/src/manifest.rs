@@ -1,0 +1,99 @@
+//! Run manifests: what the scenario builder actually assembled.
+//!
+//! A [`RunManifest`] is the reproducibility record for one built scenario
+//! — the app, seed, workload shape, and fault schedule that produced a
+//! run. The scenario builder records one per `build_with` call; exports
+//! read them back sorted and de-duplicated (see
+//! [`Obs::manifests`](crate::Obs::manifests)), so the list is independent
+//! of the order parallel campaign workers assembled their runs.
+
+use serde::{Deserialize, Serialize};
+
+/// The reproducibility record for one assembled scenario.
+///
+/// Every field is a deterministic function of the builder's
+/// configuration, so manifests are safe alongside the journal in
+/// byte-compared exports. The `Ord` derive gives the deterministic export
+/// order (field-by-field, `app` then `seed` first).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RunManifest {
+    /// Application topology name (e.g. `"boutique"`).
+    pub app: String,
+    /// Scenario seed.
+    pub seed: u64,
+    /// Replica count per service.
+    pub replicas: usize,
+    /// Arrival process description (e.g. `"open(rate=120)"`).
+    pub arrival: String,
+    /// Load-generator flow names, in registration order.
+    pub flows: Vec<String>,
+    /// Faults present from time zero, as `"service:fault"` strings.
+    pub preset_faults: Vec<String>,
+    /// Scheduled fault injections, as `"service:fault@[from,to)"`.
+    pub scheduled_faults: Vec<String>,
+    /// Telemetry tap description (`"none"`, `"recorder"`, or the
+    /// ingester's degradation summary).
+    pub tap: String,
+}
+
+/// Renders manifests as JSONL, one manifest per line, in the order given
+/// (callers pass the sorted/de-duplicated list from
+/// [`Obs::manifests`](crate::Obs::manifests)).
+pub fn manifests_jsonl(manifests: &[RunManifest]) -> String {
+    let mut out = String::new();
+    for m in manifests {
+        out.push_str(&serde_json::to_string(m).expect("manifests serialize"));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunManifest {
+        RunManifest {
+            app: "boutique".to_owned(),
+            seed: 42,
+            replicas: 2,
+            arrival: "open(rate=120)".to_owned(),
+            flows: vec!["checkout".to_owned(), "browse".to_owned()],
+            preset_faults: vec!["cart:cpu-hog".to_owned()],
+            scheduled_faults: vec!["payment:delay@[30,60)".to_owned()],
+            tap: "recorder".to_owned(),
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = sample();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: RunManifest = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn jsonl_is_one_manifest_per_line() {
+        let mut other = sample();
+        other.seed = 7;
+        let jsonl = manifests_jsonl(&[sample(), other]);
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            serde_json::parse_value_str(line).expect("line parses");
+        }
+    }
+
+    #[test]
+    fn order_is_app_then_seed() {
+        let mut a = sample();
+        a.seed = 1;
+        let b = sample();
+        assert!(a < b);
+        let mut c = sample();
+        c.app = "zoo".to_owned();
+        c.seed = 0;
+        assert!(b < c);
+    }
+}

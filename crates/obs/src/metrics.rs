@@ -1,0 +1,247 @@
+//! The deterministic event journal: counters and high-water gauges.
+//!
+//! Everything in this registry must be a *commutative aggregate of
+//! deterministic per-run values* — counters only add, gauges only take
+//! maxima — so a snapshot's bytes cannot depend on worker-thread count or
+//! scheduling order. Quantities that do depend on the host (thread
+//! counts, wall-clock durations, per-worker task splits) belong in the
+//! [`Profiler`](crate::Profiler) side instead; the split is the crate's
+//! core contract and is asserted by `tests/obs_determinism.rs`.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// A metric identity: name plus sorted label pairs.
+type Key = (String, Vec<(String, String)>);
+
+fn key(name: &str, labels: &[(&str, &str)]) -> Key {
+    let mut labels: Vec<(String, String)> = labels
+        .iter()
+        .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+        .collect();
+    labels.sort();
+    (name.to_owned(), labels)
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<Key, u64>,
+    gauges: BTreeMap<Key, u64>,
+}
+
+/// A registry of journal metrics (see the module docs for the determinism
+/// contract). All methods are `&self` and internally locked, so any
+/// instrumentation point can update it concurrently.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<Inner>,
+}
+
+/// One exported metric sample.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MetricSample {
+    /// Metric name (Prometheus-compatible: `[a-zA-Z_][a-zA-Z0-9_]*`).
+    pub name: String,
+    /// Sorted label pairs.
+    pub labels: Vec<(String, String)>,
+    /// Aggregated value (sum for counters, max for gauges).
+    pub value: u64,
+    /// `"counter"` or `"gauge"`, mirroring the Prometheus `# TYPE` line.
+    pub kind: String,
+}
+
+/// An immutable, deterministically ordered snapshot of the journal.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Every sample, sorted by (name, labels) with counters and gauges
+    /// interleaved in name order.
+    pub samples: Vec<MetricSample>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `v` to the counter `name{labels}` (creating it at zero).
+    pub fn counter_add(&self, name: &str, labels: &[(&str, &str)], v: u64) {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        *inner.counters.entry(key(name, labels)).or_insert(0) += v;
+    }
+
+    /// Raises the high-water gauge `name{labels}` to at least `v`.
+    pub fn gauge_max(&self, name: &str, labels: &[(&str, &str)], v: u64) {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        let slot = inner.gauges.entry(key(name, labels)).or_insert(0);
+        *slot = (*slot).max(v);
+    }
+
+    /// Snapshots every metric in deterministic order.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().expect("metrics lock");
+        let mut samples: Vec<MetricSample> = inner
+            .counters
+            .iter()
+            .map(|((name, labels), &value)| MetricSample {
+                name: name.clone(),
+                labels: labels.clone(),
+                value,
+                kind: "counter".to_owned(),
+            })
+            .chain(
+                inner
+                    .gauges
+                    .iter()
+                    .map(|((name, labels), &value)| MetricSample {
+                        name: name.clone(),
+                        labels: labels.clone(),
+                        value,
+                        kind: "gauge".to_owned(),
+                    }),
+            )
+            .collect();
+        samples.sort();
+        MetricsSnapshot { samples }
+    }
+}
+
+impl MetricsSnapshot {
+    /// The summed value of every sample named `name` across its label
+    /// sets, or `None` if the metric was never touched.
+    pub fn total(&self, name: &str) -> Option<u64> {
+        let mut seen = false;
+        let mut sum = 0u64;
+        for s in self.samples.iter().filter(|s| s.name == name) {
+            seen = true;
+            sum += s.value;
+        }
+        seen.then_some(sum)
+    }
+
+    /// Renders the snapshot as a Prometheus text exposition: one `# TYPE`
+    /// line per metric name followed by its samples.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_name: Option<&str> = None;
+        for s in &self.samples {
+            if last_name != Some(s.name.as_str()) {
+                out.push_str("# TYPE ");
+                out.push_str(&s.name);
+                out.push(' ');
+                out.push_str(&s.kind);
+                out.push('\n');
+                last_name = Some(s.name.as_str());
+            }
+            out.push_str(&s.name);
+            if !s.labels.is_empty() {
+                out.push('{');
+                for (i, (k, v)) in s.labels.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(k);
+                    out.push_str("=\"");
+                    // Prometheus label values escape backslash, quote, \n.
+                    for c in v.chars() {
+                        match c {
+                            '\\' => out.push_str("\\\\"),
+                            '"' => out.push_str("\\\""),
+                            '\n' => out.push_str("\\n"),
+                            c => out.push(c),
+                        }
+                    }
+                    out.push('"');
+                }
+                out.push('}');
+            }
+            out.push(' ');
+            out.push_str(&s.value.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the snapshot as JSONL: one JSON object per sample, in the
+    /// snapshot's deterministic order.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for s in &self.samples {
+            out.push_str(&serde_json::to_string(s).expect("metric samples serialize"));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_sum_and_gauges_max() {
+        let r = MetricsRegistry::new();
+        r.counter_add("icfl_jobs_total", &[], 3);
+        r.counter_add("icfl_jobs_total", &[], 4);
+        r.gauge_max("icfl_depth_peak", &[], 2);
+        r.gauge_max("icfl_depth_peak", &[], 7);
+        r.gauge_max("icfl_depth_peak", &[], 5);
+        let snap = r.snapshot();
+        assert_eq!(snap.total("icfl_jobs_total"), Some(7));
+        assert_eq!(snap.total("icfl_depth_peak"), Some(7));
+        assert_eq!(snap.total("icfl_absent"), None);
+    }
+
+    #[test]
+    fn labels_are_sorted_into_one_identity() {
+        let r = MetricsRegistry::new();
+        r.counter_add("icfl_x_total", &[("b", "2"), ("a", "1")], 1);
+        r.counter_add("icfl_x_total", &[("a", "1"), ("b", "2")], 1);
+        let snap = r.snapshot();
+        assert_eq!(snap.samples.len(), 1);
+        assert_eq!(snap.samples[0].value, 2);
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let r = MetricsRegistry::new();
+        r.counter_add("icfl_b_total", &[("app", "demo")], 2);
+        r.counter_add("icfl_a_total", &[], 1);
+        r.gauge_max("icfl_a_peak", &[], 9);
+        let text = r.snapshot().to_prometheus();
+        let expected = "# TYPE icfl_a_peak gauge\n\
+                        icfl_a_peak 9\n\
+                        # TYPE icfl_a_total counter\n\
+                        icfl_a_total 1\n\
+                        # TYPE icfl_b_total counter\n\
+                        icfl_b_total{app=\"demo\"} 2\n";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn snapshot_bytes_are_update_order_invariant() {
+        let mk = |order: &[usize]| {
+            let r = MetricsRegistry::new();
+            for &i in order {
+                r.counter_add("icfl_n_total", &[("i", &(i % 2).to_string())], i as u64);
+                r.gauge_max("icfl_n_peak", &[], i as u64);
+            }
+            (r.snapshot().to_prometheus(), r.snapshot().to_jsonl())
+        };
+        assert_eq!(mk(&[1, 2, 3, 4]), mk(&[4, 3, 2, 1]));
+    }
+
+    #[test]
+    fn jsonl_is_one_parseable_object_per_line() {
+        let r = MetricsRegistry::new();
+        r.counter_add("icfl_a_total", &[("k", "v")], 1);
+        r.gauge_max("icfl_b_peak", &[], 2);
+        let jsonl = r.snapshot().to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            serde_json::parse_value_str(line).expect("each line parses as JSON");
+        }
+    }
+}

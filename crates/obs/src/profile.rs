@@ -1,0 +1,284 @@
+//! The wall-clock side: structured spans and latency accumulators.
+//!
+//! Everything here measures the *host machine* — span timestamps, thread
+//! ids, per-worker task splits — and is therefore excluded from every
+//! byte-compared output. Spans render to the Chrome-trace timeline
+//! ([`Profiler::trace_events`]) and aggregate into the per-phase profile
+//! table ([`Profiler::aggregate`]); accumulators capture high-frequency
+//! latencies (per-scrape ingest, checkpoint encode) where a span per
+//! event would dwarf the event itself.
+
+use crate::trace::TraceEvent;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Display;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// One closed span: a named wall-clock interval on one thread.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanRecord {
+    /// Span name; spans sharing a name aggregate into one profile row.
+    pub name: String,
+    /// Profiler-assigned thread id (dense, first-use order).
+    pub tid: u64,
+    /// Start offset from the profiler's epoch, microseconds.
+    pub ts_us: u64,
+    /// Duration, microseconds.
+    pub dur_us: u64,
+    /// Free-form annotations (job counts, seeds, per-worker stats).
+    pub args: Vec<(String, String)>,
+}
+
+/// A latency accumulator: count/total/max of a high-frequency event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct StatSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Summed duration, microseconds.
+    pub total_us: u64,
+    /// Largest single sample, microseconds.
+    pub max_us: u64,
+}
+
+/// One row of the per-phase breakdown: all spans and stat samples sharing
+/// a name, folded together.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseAggregate {
+    /// Span/stat name.
+    pub name: String,
+    /// Number of spans plus stat samples.
+    pub calls: u64,
+    /// Summed wall-clock seconds across calls (threads overlap, so this
+    /// can exceed elapsed time).
+    pub total_secs: f64,
+    /// Largest single call, seconds.
+    pub max_secs: f64,
+}
+
+/// The wall-clock profiler: an epoch, a span log, and named accumulators.
+#[derive(Debug)]
+pub struct Profiler {
+    epoch: Instant,
+    spans: Mutex<Vec<SpanRecord>>,
+    stats: Mutex<BTreeMap<String, StatSummary>>,
+}
+
+/// Dense per-thread ids for the trace timeline, assigned on first use.
+fn current_tid() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static TID: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    TID.with(|t| *t)
+}
+
+impl Profiler {
+    /// A fresh profiler; its epoch (trace time zero) is now.
+    pub fn new() -> Profiler {
+        Profiler {
+            epoch: Instant::now(),
+            spans: Mutex::new(Vec::new()),
+            stats: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Microseconds since the profiler's epoch.
+    pub fn now_us(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    /// Records one closed span.
+    pub fn record_span(&self, rec: SpanRecord) {
+        self.spans.lock().expect("profiler spans lock").push(rec);
+    }
+
+    /// Adds one sample to the named accumulator.
+    pub fn stat_add(&self, name: &str, elapsed: Duration) {
+        let us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        let mut stats = self.stats.lock().expect("profiler stats lock");
+        let s = stats.entry(name.to_owned()).or_default();
+        s.count += 1;
+        s.total_us += us;
+        s.max_us = s.max_us.max(us);
+    }
+
+    /// Every span recorded so far, in completion order.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.spans.lock().expect("profiler spans lock").clone()
+    }
+
+    /// Every named accumulator.
+    pub fn stats(&self) -> BTreeMap<String, StatSummary> {
+        self.stats.lock().expect("profiler stats lock").clone()
+    }
+
+    /// The spans as Chrome-trace complete (`"X"`) events, ready for
+    /// [`chrome_trace_json`](crate::trace::chrome_trace_json). Nesting is
+    /// by time containment per thread lane, which Perfetto renders as a
+    /// flame graph.
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.spans()
+            .into_iter()
+            .map(|s| TraceEvent {
+                name: s.name,
+                cat: "pipeline".to_owned(),
+                ph: "X".to_owned(),
+                ts: s.ts_us,
+                dur: s.dur_us,
+                pid: 1,
+                tid: s.tid,
+                args: s.args,
+            })
+            .collect()
+    }
+
+    /// Folds spans and accumulators into per-name profile rows, sorted by
+    /// descending total time.
+    pub fn aggregate(&self) -> Vec<PhaseAggregate> {
+        let mut by_name: BTreeMap<String, (u64, u64, u64)> = BTreeMap::new();
+        for s in self.spans.lock().expect("profiler spans lock").iter() {
+            let e = by_name.entry(s.name.clone()).or_insert((0, 0, 0));
+            e.0 += 1;
+            e.1 += s.dur_us;
+            e.2 = e.2.max(s.dur_us);
+        }
+        for (name, s) in self.stats.lock().expect("profiler stats lock").iter() {
+            let e = by_name.entry(name.clone()).or_insert((0, 0, 0));
+            e.0 += s.count;
+            e.1 += s.total_us;
+            e.2 = e.2.max(s.max_us);
+        }
+        let mut rows: Vec<PhaseAggregate> = by_name
+            .into_iter()
+            .map(|(name, (calls, total_us, max_us))| PhaseAggregate {
+                name,
+                calls,
+                total_secs: total_us as f64 / 1e6,
+                max_secs: max_us as f64 / 1e6,
+            })
+            .collect();
+        rows.sort_by(|a, b| {
+            b.total_secs
+                .partial_cmp(&a.total_secs)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.name.cmp(&b.name))
+        });
+        rows
+    }
+}
+
+impl Default for Profiler {
+    fn default() -> Self {
+        Profiler::new()
+    }
+}
+
+/// An open span; records into the owning collector when dropped.
+#[derive(Debug)]
+pub struct SpanGuard {
+    obs: Arc<crate::Obs>,
+    name: String,
+    started: Instant,
+    ts_us: u64,
+    args: Vec<(String, String)>,
+}
+
+impl SpanGuard {
+    /// Opens a span named `name` on `obs`, starting now.
+    pub fn open(obs: Arc<crate::Obs>, name: &str) -> SpanGuard {
+        let ts_us = obs.profiler.now_us();
+        SpanGuard {
+            obs,
+            name: name.to_owned(),
+            started: Instant::now(),
+            ts_us,
+            args: Vec::new(),
+        }
+    }
+
+    /// Attaches an annotation shown in the trace viewer (not in the
+    /// deterministic journal — per-thread values are welcome here).
+    pub fn arg(&mut self, key: &str, value: impl Display) {
+        self.args.push((key.to_owned(), value.to_string()));
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let elapsed = self.started.elapsed();
+        self.obs.profiler.record_span(SpanRecord {
+            name: std::mem::take(&mut self.name),
+            tid: current_tid(),
+            ts_us: self.ts_us,
+            dur_us: u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX),
+            args: std::mem::take(&mut self.args),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_aggregate() {
+        let obs = Arc::new(crate::Obs::new());
+        {
+            let mut outer = SpanGuard::open(Arc::clone(&obs), "outer");
+            outer.arg("k", 1);
+            {
+                let _inner = SpanGuard::open(Arc::clone(&obs), "inner");
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+        let spans = obs.profiler.spans();
+        assert_eq!(spans.len(), 2);
+        // Inner closes first; outer contains it in time.
+        let inner = spans.iter().find(|s| s.name == "inner").unwrap();
+        let outer = spans.iter().find(|s| s.name == "outer").unwrap();
+        assert_eq!(inner.tid, outer.tid);
+        assert!(outer.ts_us <= inner.ts_us);
+        assert!(outer.ts_us + outer.dur_us >= inner.ts_us + inner.dur_us);
+        assert_eq!(outer.args, vec![("k".to_owned(), "1".to_owned())]);
+
+        let agg = obs.profiler.aggregate();
+        assert_eq!(agg.len(), 2);
+        assert!(agg.iter().all(|r| r.calls == 1));
+    }
+
+    #[test]
+    fn stats_accumulate_count_total_max() {
+        let p = Profiler::new();
+        p.stat_add("scrape", Duration::from_micros(10));
+        p.stat_add("scrape", Duration::from_micros(30));
+        let s = p.stats()["scrape"];
+        assert_eq!(s.count, 2);
+        assert_eq!(s.total_us, 40);
+        assert_eq!(s.max_us, 30);
+        // Stats fold into the aggregate next to spans.
+        let agg = p.aggregate();
+        assert_eq!(agg[0].name, "scrape");
+        assert_eq!(agg[0].calls, 2);
+    }
+
+    #[test]
+    fn trace_events_mirror_spans() {
+        let obs = Arc::new(crate::Obs::new());
+        drop(SpanGuard::open(Arc::clone(&obs), "phase"));
+        let events = obs.profiler.trace_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "phase");
+        assert_eq!(events[0].ph, "X");
+        assert_eq!(events[0].pid, 1);
+    }
+
+    #[test]
+    fn distinct_threads_get_distinct_tids() {
+        let a = current_tid();
+        let b = std::thread::spawn(current_tid).join().unwrap();
+        assert_ne!(a, b);
+        assert_eq!(a, current_tid());
+    }
+}

@@ -1,0 +1,220 @@
+//! Chrome-trace (Perfetto-loadable) JSON export.
+//!
+//! The writer is format-generic: it renders any [`TraceEvent`] stream, so
+//! the pipeline profiler's wall-clock spans and `icfl-micro`'s
+//! simulated-request spans (where `ts` is *simulation* microseconds)
+//! export through the same code. The output is the Trace Event Format's
+//! JSON-object form (`{"traceEvents": [...]}`) using complete (`"X"`)
+//! events, which both `chrome://tracing` and Perfetto load directly.
+
+use serde::{Deserialize, Serialize};
+
+/// One trace event in Chrome's Trace Event Format.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Event name (one slice in the viewer).
+    pub name: String,
+    /// Category, shown as a filterable tag.
+    pub cat: String,
+    /// Phase: `"X"` for complete events (the only phase this writer
+    /// emits, but the type carries whatever the caller sets).
+    pub ph: String,
+    /// Start timestamp, microseconds (wall or simulated — the timeline is
+    /// whatever clock the producer used).
+    pub ts: u64,
+    /// Duration, microseconds (rendered for `"X"` events).
+    pub dur: u64,
+    /// Process lane.
+    pub pid: u64,
+    /// Thread lane (e.g. worker index, or service index for request
+    /// traces).
+    pub tid: u64,
+    /// Annotations rendered in the viewer's detail pane.
+    pub args: Vec<(String, String)>,
+}
+
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Renders events as a Chrome-trace JSON document. Events are emitted in
+/// the order given; viewers sort by timestamp themselves.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(64 + events.len() * 96);
+    out.push_str("{\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        push_json_string(&mut out, &e.name);
+        out.push_str(",\"cat\":");
+        push_json_string(&mut out, &e.cat);
+        out.push_str(",\"ph\":");
+        push_json_string(&mut out, &e.ph);
+        out.push_str(&format!(
+            ",\"ts\":{},\"dur\":{},\"pid\":{},\"tid\":{}",
+            e.ts, e.dur, e.pid, e.tid
+        ));
+        if !e.args.is_empty() {
+            out.push_str(",\"args\":{");
+            for (j, (k, v)) in e.args.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                push_json_string(&mut out, k);
+                out.push(':');
+                push_json_string(&mut out, v);
+            }
+            out.push('}');
+        }
+        out.push('}');
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+/// Structurally validates a Chrome-trace document: parses the JSON,
+/// checks the `traceEvents` array exists, every event carries the
+/// required fields, and `"X"` events are well-nested per `(pid, tid)`
+/// lane (no partial overlap — viewers would render garbage). Returns the
+/// event count.
+///
+/// # Errors
+///
+/// A human-readable description of the first structural violation.
+pub fn validate_chrome_trace(json: &str) -> Result<usize, String> {
+    let doc = serde_json::parse_value_str(json).map_err(|e| format!("not valid JSON: {e}"))?;
+    let obj = doc.as_obj().ok_or("top level is not an object")?;
+    let events = obj
+        .iter()
+        .find(|(k, _)| k == "traceEvents")
+        .ok_or("missing traceEvents")?
+        .1
+        .as_arr()
+        .ok_or("traceEvents is not an array")?;
+    // (pid, tid) -> intervals; nesting check is per lane.
+    let mut lanes: std::collections::BTreeMap<(u64, u64), Vec<(u64, u64)>> = Default::default();
+    for (i, ev) in events.iter().enumerate() {
+        let fields = ev.as_obj().ok_or(format!("event {i} is not an object"))?;
+        let get = |name: &str| fields.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+        let name = get("name")
+            .and_then(|v| v.as_str())
+            .ok_or(format!("event {i} has no name"))?;
+        let ph = get("ph")
+            .and_then(|v| v.as_str())
+            .ok_or(format!("event {i} ({name}) has no ph"))?;
+        let num = |field: &str| -> Result<u64, String> {
+            let v = get(field).ok_or(format!("event {i} ({name}) has no {field}"))?;
+            let out = match v {
+                serde::Value::Num(serde::Number::U(n)) => u64::try_from(*n).ok(),
+                serde::Value::Num(serde::Number::I(n)) => u64::try_from(*n).ok(),
+                _ => None,
+            };
+            out.ok_or(format!("event {i} ({name}): {field} is not a u64"))
+        };
+        let ts = num("ts")?;
+        let pid = num("pid")?;
+        let tid = num("tid")?;
+        if ph == "X" {
+            let dur = num("dur")?;
+            lanes.entry((pid, tid)).or_default().push((ts, ts + dur));
+        }
+    }
+    for ((pid, tid), mut iv) in lanes {
+        // Sort by start, longest first, and require strict containment or
+        // disjointness between any overlapping pair.
+        iv.sort_by_key(|&(s, e)| (s, std::cmp::Reverse(e)));
+        let mut open: Vec<(u64, u64)> = Vec::new();
+        for (s, e) in iv {
+            while open.last().is_some_and(|&(_, oe)| oe <= s) {
+                open.pop();
+            }
+            if let Some(&(_, oe)) = open.last() {
+                if e > oe {
+                    return Err(format!(
+                        "lane pid={pid} tid={tid}: span [{s},{e}] partially overlaps [..,{oe}]"
+                    ));
+                }
+            }
+            open.push((s, e));
+        }
+    }
+    Ok(events.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &str, ts: u64, dur: u64, tid: u64) -> TraceEvent {
+        TraceEvent {
+            name: name.to_owned(),
+            cat: "test".to_owned(),
+            ph: "X".to_owned(),
+            ts,
+            dur,
+            pid: 1,
+            tid,
+            args: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn writer_output_validates() {
+        let events = vec![
+            ev("outer", 0, 100, 1),
+            ev("inner", 10, 20, 1),
+            ev("other-thread", 5, 500, 2),
+        ];
+        let json = chrome_trace_json(&events);
+        assert_eq!(validate_chrome_trace(&json), Ok(3));
+    }
+
+    #[test]
+    fn args_and_escapes_render() {
+        let mut e = ev("na\"me\n", 1, 2, 3);
+        e.args.push(("key".to_owned(), "va\\lue".to_owned()));
+        let json = chrome_trace_json(&[e]);
+        assert_eq!(validate_chrome_trace(&json), Ok(1));
+        assert!(json.contains("\\\"me\\n"));
+        assert!(json.contains("va\\\\lue"));
+    }
+
+    #[test]
+    fn partial_overlap_is_rejected() {
+        let json = chrome_trace_json(&[ev("a", 0, 10, 1), ev("b", 5, 10, 1)]);
+        let err = validate_chrome_trace(&json).unwrap_err();
+        assert!(err.contains("partially overlaps"), "{err}");
+        // Same intervals on different lanes are fine.
+        let ok = chrome_trace_json(&[ev("a", 0, 10, 1), ev("b", 5, 10, 2)]);
+        assert_eq!(validate_chrome_trace(&ok), Ok(2));
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        assert!(validate_chrome_trace("[1,2]").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\":1}").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\":[{\"ph\":\"X\"}]}").is_err());
+        assert!(validate_chrome_trace("not json").is_err());
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        assert_eq!(validate_chrome_trace(&chrome_trace_json(&[])), Ok(0));
+    }
+}

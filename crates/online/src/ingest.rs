@@ -179,11 +179,13 @@ impl StreamingIngester {
             None => {
                 // Clean path: one in-order scrape per interval, unchanged.
                 sim.schedule_periodic(SimTime::ZERO, cfg.interval, move |sim, cl: &mut Cluster| {
+                    let started = std::time::Instant::now();
                     let row = scrape(cl, num_services);
                     shared
                         .lock()
                         .expect("ingest engine lock")
                         .push(sim.now(), row);
+                    icfl_obs::stat_add("online.scrape", started.elapsed());
                 });
             }
             Some(deg) => {
@@ -200,6 +202,7 @@ impl StreamingIngester {
                     .as_nanos()
                     .saturating_add(cfg.interval.as_nanos());
                 sim.schedule_periodic(SimTime::ZERO, cfg.interval, move |sim, cl: &mut Cluster| {
+                    let started = std::time::Instant::now();
                     let now = sim.now();
                     let row = scrape(cl, num_services);
                     let due = deg.lock().expect("degrader lock").offer(now, row);
@@ -210,6 +213,8 @@ impl StreamingIngester {
                     if now.as_nanos() >= lag {
                         engine.advance_watermark(SimTime::from_nanos(now.as_nanos() - lag));
                     }
+                    drop(engine);
+                    icfl_obs::stat_add("online.scrape", started.elapsed());
                 });
             }
         }
@@ -337,6 +342,13 @@ impl TelemetryTap for IngesterTap {
 
     fn attach(self, sim: &mut Sim<Cluster>, cluster: &Cluster) -> Self::Handle {
         StreamingIngester::attach(sim, cluster.num_services(), &self.catalog, self.cfg)
+    }
+
+    fn describe(&self) -> String {
+        match self.cfg.degrade.filter(|d| !d.is_none()) {
+            Some(d) => format!("ingester(degraded: {d:?})"),
+            None => "ingester".to_owned(),
+        }
     }
 }
 

@@ -406,6 +406,9 @@ impl OnlineSession {
         seed: u64,
         interrupt_after_ticks: Option<u64>,
     ) -> Result<SessionReport> {
+        let mut session_span = icfl_obs::span("online.session");
+        session_span.arg("app", &app.name);
+        session_span.arg("seed", seed);
         let capacity = cfg.live_windows.max(cfg.localize_windows) + 4;
         let mut ingest_cfg = IngestConfig::new(
             cfg.windows,
@@ -446,6 +449,7 @@ impl OnlineSession {
                 // Crash-restart the inference service: serialize all of
                 // its state, drop it, and rebuild from the bytes. The
                 // cluster and its scrape loop keep running underneath.
+                let started = std::time::Instant::now();
                 let ckpt = SessionCheckpoint {
                     ingest: ingester.checkpoint(),
                     detector: detector.clone(),
@@ -458,6 +462,13 @@ impl OnlineSession {
                 ingester.restore(restored.ingest);
                 detector = restored.detector;
                 detections = restored.detections;
+                icfl_obs::counter_add(
+                    "icfl_checkpoint_bytes_total",
+                    &[("app", &app.name)],
+                    json.len() as u64,
+                );
+                icfl_obs::counter_add("icfl_checkpoints_total", &[("app", &app.name)], 1);
+                icfl_obs::stat_add("online.checkpoint", started.elapsed());
             }
 
             // Gap-aware detection: only *valid* windows feed the
@@ -467,6 +478,19 @@ impl OnlineSession {
             // gaps can neither raise an alarm nor resolve a real one.
             if let Some(live) = ingester.last_n_valid(cfg.live_windows) {
                 let decision = detector.observe(&reference, &live)?;
+                if let Some(event) = &decision.event {
+                    let name = match event {
+                        DetectorEvent::Suspected => "suspected",
+                        DetectorEvent::Confirmed => "confirmed",
+                        DetectorEvent::Dismissed => "dismissed",
+                        DetectorEvent::Resolved => "resolved",
+                    };
+                    icfl_obs::counter_add(
+                        "icfl_detector_events_total",
+                        &[("app", &app.name), ("event", name)],
+                        1,
+                    );
+                }
                 match decision.event {
                     Some(DetectorEvent::Confirmed) => detections.push(Detection {
                         confirmed_at: tick,
@@ -496,6 +520,8 @@ impl OnlineSession {
             for d in detections.iter_mut() {
                 if d.localization.is_none() && tick >= d.localize_not_before {
                     if let Some(live) = ingester.last_n_valid(cfg.localize_windows) {
+                        let mut span = icfl_obs::span("localize");
+                        span.arg("app", &app.name);
                         d.localization = Some(model.localize(&live)?);
                         d.localized_at = Some(tick);
                     }
@@ -508,6 +534,7 @@ impl OnlineSession {
             };
             tick_index += 1;
         }
+        icfl_obs::counter_add("icfl_online_ticks_total", &[("app", &app.name)], tick_index);
 
         let outcome = SessionOutcome {
             detections,

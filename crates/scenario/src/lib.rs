@@ -92,6 +92,12 @@ pub trait TelemetryTap {
 
     /// Attaches the collector to the not-yet-run simulation.
     fn attach(self, sim: &mut Sim<Cluster>, cluster: &Cluster) -> Self::Handle;
+
+    /// A short description recorded in the run manifest (e.g. `"none"`,
+    /// `"recorder"`, or an ingester's degradation summary).
+    fn describe(&self) -> String {
+        "custom".to_owned()
+    }
 }
 
 /// No telemetry: the scenario runs without any scrape loop.
@@ -102,6 +108,10 @@ impl TelemetryTap for NoTap {
     type Handle = ();
 
     fn attach(self, _sim: &mut Sim<Cluster>, _cluster: &Cluster) -> Self::Handle {}
+
+    fn describe(&self) -> String {
+        "none".to_owned()
+    }
 }
 
 /// Offline collection: a phase-scoped [`Recorder`] over the shared window
@@ -124,6 +134,10 @@ impl TelemetryTap for RecorderTap {
 
     fn attach(self, sim: &mut Sim<Cluster>, cluster: &Cluster) -> Self::Handle {
         Recorder::attach(sim, cluster.num_services(), self.phase, self.windows)
+    }
+
+    fn describe(&self) -> String {
+        "recorder".to_owned()
     }
 }
 
@@ -209,6 +223,11 @@ impl<'a> ScenarioBuilder<'a> {
         self,
         tap: T,
     ) -> Result<(Scenario, T::Handle), ScenarioError> {
+        let mut span = icfl_obs::span("scenario-build");
+        span.arg("app", &self.app.name);
+        span.arg("seed", self.seed);
+        icfl_obs::counter_add("icfl_scenarios_built_total", &[("app", &self.app.name)], 1);
+        icfl_obs::record_manifest(self.manifest(&tap));
         let (mut cluster, targets) = self.app.build(self.seed)?;
         for (name, fault) in &self.preset_faults {
             let id = cluster
@@ -255,6 +274,46 @@ impl<'a> ScenarioBuilder<'a> {
         let (scenario, ()) = self.build_with(NoTap)?;
         Ok(scenario)
     }
+
+    /// The reproducibility record of what this builder is about to
+    /// assemble, recorded in the global `icfl-obs` collector per build.
+    fn manifest<T: TelemetryTap>(&self, tap: &T) -> icfl_obs::RunManifest {
+        icfl_obs::RunManifest {
+            app: self.app.name.clone(),
+            seed: self.seed,
+            replicas: self.replicas,
+            arrival: match &self.arrival {
+                Some(model) => format!("{model:?}"),
+                None => "closed-loop(default)".to_owned(),
+            },
+            flows: self
+                .flows
+                .as_ref()
+                .unwrap_or(&self.app.flows)
+                .iter()
+                .map(|f| f.name.clone())
+                .collect(),
+            preset_faults: self
+                .preset_faults
+                .iter()
+                .map(|(name, fault)| format!("{name}:{fault:?}"))
+                .collect(),
+            scheduled_faults: self
+                .scheduled
+                .iter()
+                .map(|s| {
+                    format!(
+                        "svc{}:{:?}@[{},{})",
+                        s.service.index(),
+                        s.fault,
+                        s.from,
+                        s.to
+                    )
+                })
+                .collect(),
+            tap: tap.describe(),
+        }
+    }
 }
 
 /// A fully assembled run: the simulation, its cluster, and the app's
@@ -294,6 +353,8 @@ impl Scenario {
 
     /// Advances the simulation to `until`.
     pub fn run_until(&mut self, until: SimTime) {
+        let mut span = icfl_obs::span("sim-run");
+        span.arg("until", until);
         self.sim.run_until(until, &mut self.cluster);
     }
 }

@@ -227,6 +227,24 @@ pub struct WindowEngine {
     /// are flagged [`WindowValidity::CounterReset`].
     reset_times: Vec<u64>,
     stats: DegradeStats,
+    /// Local observability tallies, flushed to the global `icfl-obs`
+    /// journal on drop. Not part of [`EngineSnapshot`]: the memo-cache
+    /// counters describe this process's evaluations and the flush base
+    /// ensures checkpoint/restore never double-counts (the pre-checkpoint
+    /// engine flushes up to the snapshot, the restored one flushes only
+    /// its post-restore delta).
+    obs: EngineObs,
+}
+
+/// Per-engine observability tallies plus the journal flush base (what the
+/// snapshot this engine was restored from had already accounted for).
+#[derive(Debug, Clone, Copy, Default)]
+struct EngineObs {
+    cache_hits: u64,
+    cache_misses: u64,
+    reorder_peak: u64,
+    base_emitted: u64,
+    base_stats: DegradeStats,
 }
 
 impl std::fmt::Debug for WindowEngine {
@@ -277,6 +295,7 @@ impl WindowEngine {
             rebase: vec![Counters::default(); num_services],
             reset_times: Vec::new(),
             stats: DegradeStats::default(),
+            obs: EngineObs::default(),
         }
     }
 
@@ -394,6 +413,7 @@ impl WindowEngine {
             }
             std::collections::btree_map::Entry::Vacant(v) => {
                 v.insert(row);
+                self.obs.reorder_peak = self.obs.reorder_peak.max(self.staged.len() as u64);
                 true
             }
         }
@@ -555,9 +575,11 @@ impl WindowEngine {
     fn series(&mut self, metric: MetricSpec) -> Vec<Arc<Vec<f64>>> {
         if let Some((generation, series)) = self.cache.get(&metric) {
             if *generation == self.emitted {
+                self.obs.cache_hits += 1;
                 return series.clone();
             }
         }
+        self.obs.cache_misses += 1;
         let secs = self.cfg.windows.window.as_secs_f64();
         let mut per_service: Vec<Vec<f64>> =
             vec![Vec::with_capacity(self.finalized.len()); self.num_services];
@@ -676,6 +698,57 @@ impl WindowEngine {
             rebase: snap.rebase,
             reset_times: snap.reset_times,
             stats: snap.stats,
+            obs: EngineObs {
+                // The engine this snapshot came from flushed everything up
+                // to the snapshot when it dropped; only the delta from
+                // here is this engine's to report.
+                base_emitted: snap.emitted,
+                base_stats: snap.stats,
+                ..EngineObs::default()
+            },
+        }
+    }
+}
+
+impl Drop for WindowEngine {
+    /// Flushes this engine's journal deltas to the global `icfl-obs`
+    /// collector. Every value is a deterministic function of the scrape
+    /// stream, so the journal totals are independent of worker-thread
+    /// count and scheduling order.
+    fn drop(&mut self) {
+        let windows = self.emitted.saturating_sub(self.obs.base_emitted);
+        let invalid = self
+            .stats
+            .invalid_windows
+            .saturating_sub(self.obs.base_stats.invalid_windows);
+        let late = self
+            .stats
+            .late_dropped
+            .saturating_sub(self.obs.base_stats.late_dropped);
+        let dups = self
+            .stats
+            .duplicates_coalesced
+            .saturating_sub(self.obs.base_stats.duplicates_coalesced);
+        let resets = self
+            .stats
+            .resets_detected
+            .saturating_sub(self.obs.base_stats.resets_detected);
+        for (name, v) in [
+            ("icfl_window_engines_total", 1),
+            ("icfl_windows_finalized_total", windows),
+            ("icfl_windows_invalid_total", invalid),
+            ("icfl_scrapes_late_dropped_total", late),
+            ("icfl_scrapes_duplicate_total", dups),
+            ("icfl_counter_resets_total", resets),
+            ("icfl_window_cache_hits_total", self.obs.cache_hits),
+            ("icfl_window_cache_misses_total", self.obs.cache_misses),
+        ] {
+            if v > 0 {
+                icfl_obs::counter_add(name, &[], v);
+            }
+        }
+        if self.obs.reorder_peak > 0 {
+            icfl_obs::gauge_max("icfl_reorder_depth_peak", &[], self.obs.reorder_peak);
         }
     }
 }

@@ -206,6 +206,9 @@ impl Recorder {
         if engine.retained() < expected.len() {
             return Err(TelemetryError::MissingSample(expected[engine.retained()].1));
         }
+        let mut span = icfl_obs::span("windowing");
+        span.arg("catalog", catalog.name());
+        span.arg("windows", expected.len());
         Ok(engine.dataset(catalog))
     }
 }

@@ -17,6 +17,7 @@
 //! | [`apps`] | `icfl-apps` | CausalBench, Robot-shop, Fig. 1/2 topologies |
 //! | [`scenario`] | `icfl-scenario` | unified run assembly: app + sim + load + faults + telemetry taps |
 //! | [`core`] | `icfl-core` | **Algorithms 1 & 2** + scoring + orchestration |
+//! | [`obs`] | `icfl-obs` | pipeline self-observability: spans, metrics, Chrome-trace & Prometheus exports |
 //! | [`online`] | `icfl-online` | streaming ingest, incident detection, live localization, model registry |
 //! | [`baselines`] | `icfl-baselines` | \[23\], \[24\], pooled, observational |
 //! | [`experiments`] | `icfl-experiments` | regenerate every table & figure |
@@ -55,6 +56,7 @@ pub use icfl_experiments as experiments;
 pub use icfl_faults as faults;
 pub use icfl_loadgen as loadgen;
 pub use icfl_micro as micro;
+pub use icfl_obs as obs;
 pub use icfl_online as online;
 pub use icfl_scenario as scenario;
 pub use icfl_sim as sim;

@@ -1,0 +1,106 @@
+//! The `icfl-micro` request span store exports through the same
+//! Chrome-trace writer as the pipeline profiler: one lane per request
+//! inside one process per service, on the *simulated* clock. For a known
+//! seed the call tree is fully determined, so the exported span tree
+//! shape is asserted exactly.
+
+use icfl::experiments::micro_spans_to_trace;
+use icfl::micro::{steps, Cluster, ClusterSpec, ServiceSpec, Span};
+use icfl::obs::trace::{chrome_trace_json, validate_chrome_trace};
+use icfl::sim::{Sim, SimTime};
+
+/// a → b → c chain, one root request, seed 81 (the known-good seed from
+/// the micro crate's own tracing tests).
+fn traced_chain_spans() -> Vec<Span> {
+    let spec = ClusterSpec::new("chain")
+        .service(
+            ServiceSpec::web("a").endpoint("/", vec![steps::compute_ms(1), steps::call("b", "/")]),
+        )
+        .service(
+            ServiceSpec::web("b").endpoint("/", vec![steps::compute_ms(1), steps::call("c", "/")]),
+        )
+        .service(ServiceSpec::web("c").endpoint("/", vec![steps::compute_ms(1)]));
+    let mut cluster = Cluster::build(&spec, 81).expect("build");
+    let traces = cluster.enable_tracing();
+    let mut sim = Sim::new(81);
+    Cluster::start(&mut sim, &mut cluster);
+    let a = cluster.service_id("a").expect("service a");
+    Cluster::submit(&mut sim, &mut cluster, a, "/", |_, _, _| {});
+    sim.run_until(SimTime::from_secs(2), &mut cluster);
+    traces.spans()
+}
+
+#[test]
+fn chain_trace_exports_with_known_tree_shape() {
+    let spans = traced_chain_spans();
+    assert_eq!(spans.len(), 3, "a → b → c must produce exactly 3 spans");
+
+    let names: Vec<String> = ["a", "b", "c"].iter().map(|s| (*s).to_string()).collect();
+    let events = micro_spans_to_trace(&spans, &names);
+    assert_eq!(events.len(), 3);
+
+    // The writer's output is structurally valid Chrome trace JSON.
+    let json = chrome_trace_json(&events);
+    assert_eq!(validate_chrome_trace(&json), Ok(3));
+
+    // Every service appears once, each in its own process lane.
+    let mut seen: Vec<(&str, u64)> = events.iter().map(|e| (e.name.as_str(), e.pid)).collect();
+    seen.sort();
+    assert_eq!(seen, vec![("a", 1), ("b", 2), ("c", 3)]);
+
+    // Tree shape: exactly one root, and each child's parent arg points at
+    // another exported request.
+    let arg = |e: &icfl::obs::TraceEvent, k: &str| {
+        e.args
+            .iter()
+            .find(|(key, _)| key == k)
+            .map(|(_, v)| v.clone())
+    };
+    let roots: Vec<&icfl::obs::TraceEvent> = events
+        .iter()
+        .filter(|e| arg(e, "parent").is_none())
+        .collect();
+    assert_eq!(roots.len(), 1, "exactly one root span");
+    assert_eq!(roots[0].name, "a");
+    for e in &events {
+        if let Some(parent) = arg(e, "parent") {
+            assert!(
+                events
+                    .iter()
+                    .any(|o| arg(o, "request").as_deref() == Some(parent.as_str())),
+                "{}: parent {parent} not among exported requests",
+                e.name
+            );
+        }
+    }
+
+    // Simulated-clock containment: each callee's interval nests inside
+    // its caller's (a contains b contains c).
+    let by_name = |n: &str| events.iter().find(|e| e.name == n).unwrap();
+    let (a, b, c) = (by_name("a"), by_name("b"), by_name("c"));
+    for (outer, inner) in [(a, b), (b, c)] {
+        assert!(
+            outer.ts <= inner.ts,
+            "{} starts before {}",
+            outer.name,
+            inner.name
+        );
+        assert!(
+            outer.ts + outer.dur >= inner.ts + inner.dur,
+            "{} ends after {}",
+            outer.name,
+            inner.name
+        );
+    }
+}
+
+#[test]
+fn export_is_deterministic_for_a_fixed_seed() {
+    let first = micro_spans_to_trace(&traced_chain_spans(), &[]);
+    let second = micro_spans_to_trace(&traced_chain_spans(), &[]);
+    assert_eq!(
+        chrome_trace_json(&first),
+        chrome_trace_json(&second),
+        "same seed must export byte-identical traces"
+    );
+}

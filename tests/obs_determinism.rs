@@ -1,0 +1,144 @@
+//! The self-observability split, enforced: the deterministic event
+//! journal (counters, high-water gauges, run manifests) must be
+//! byte-identical no matter how many worker threads execute the campaign
+//! — thread count is a performance knob, never a semantics knob — while
+//! the wall-clock profile stays out of byte-compared output entirely and
+//! only has to be *structurally* sound (a valid, well-nested Chrome
+//! trace covering every pipeline phase).
+
+use icfl::core::{CampaignRun, EvalSuite, RunConfig};
+use icfl::micro::FaultKind;
+use icfl::online::{Episode, IncidentSchedule, OnlineConfig, OnlineSession};
+use icfl::sim::{SimDuration, SimTime};
+use icfl::telemetry::MetricCatalog;
+use std::sync::Mutex;
+
+/// Serializes tests in this file: they all reset the process-global
+/// `icfl-obs` collector.
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs the representative workload — offline campaign + evaluation plus
+/// one online incident session — on the small 3-service chain.
+fn run_workload(threads: usize) {
+    let app = icfl::apps::pattern1();
+    let cfg = RunConfig::quick(42).with_threads(threads);
+    let campaign = CampaignRun::execute(&app, &cfg).expect("campaign");
+    let model = campaign
+        .learn(&MetricCatalog::derived_all(), RunConfig::default_detector())
+        .expect("learn");
+    let suite = EvalSuite::execute(&app, campaign.targets(), &cfg).expect("eval suite");
+    suite.evaluate(&model).expect("evaluate");
+
+    let (_, targets) = app.build(42).expect("build");
+    let schedule = IncidentSchedule::new(vec![Episode::single(
+        SimTime::from_secs(100),
+        targets[0],
+        FaultKind::ServiceUnavailable,
+        SimDuration::from_secs(50),
+    )]);
+    OnlineSession::run(&app, &model, &schedule, &OnlineConfig::quick(), 42).expect("session");
+}
+
+/// The journal rendered every way it is exported: Prometheus exposition,
+/// JSONL samples, and the manifest log.
+fn journal_after_workload(threads: usize) -> (String, String, String) {
+    icfl::obs::reset();
+    run_workload(threads);
+    let obs = icfl::obs::global();
+    let snap = obs.metrics.snapshot();
+    (
+        snap.to_prometheus(),
+        snap.to_jsonl(),
+        icfl::obs::manifest::manifests_jsonl(&obs.manifests()),
+    )
+}
+
+#[test]
+fn journal_is_byte_identical_across_thread_counts() {
+    let _guard = OBS_LOCK.lock().unwrap();
+    let serial = journal_after_workload(1);
+    assert!(
+        !serial.0.is_empty(),
+        "workload produced an empty journal — instrumentation is dead"
+    );
+    let two = journal_after_workload(2);
+    assert_eq!(serial, two, "threads=2 journal diverged from serial");
+    let max = std::thread::available_parallelism()
+        .map_or(4, usize::from)
+        .max(2);
+    let wide = journal_after_workload(max);
+    assert_eq!(serial, wide, "threads={max} journal diverged from serial");
+    icfl::obs::reset();
+}
+
+#[test]
+fn journal_covers_executor_windowing_and_online_metrics() {
+    let _guard = OBS_LOCK.lock().unwrap();
+    let (prom, jsonl, manifests) = journal_after_workload(2);
+    for metric in [
+        // Parallel campaign/evaluation executor.
+        "icfl_executor_pools_total",
+        "icfl_executor_jobs_total",
+        // WindowEngine internals.
+        "icfl_window_engines_total",
+        "icfl_windows_finalized_total",
+        "icfl_window_cache_misses_total",
+        // Scenario assembly.
+        "icfl_scenarios_built_total",
+        // Online session: detector transitions and tick volume.
+        "icfl_detector_events_total",
+        "icfl_online_ticks_total",
+    ] {
+        assert!(prom.contains(metric), "missing {metric} in:\n{prom}");
+        assert!(jsonl.contains(metric), "missing {metric} in JSONL");
+    }
+    // The detector walked a full incident lifecycle.
+    for event in ["suspected", "confirmed", "resolved"] {
+        assert!(
+            prom.contains(&format!("event=\"{event}\"")),
+            "missing detector event {event} in:\n{prom}"
+        );
+    }
+    // One manifest per assembled run, all for the workload app.
+    assert!(!manifests.is_empty());
+    assert!(manifests
+        .lines()
+        .all(|l| l.contains("\"app\":\"pattern1\"")));
+    icfl::obs::reset();
+}
+
+#[test]
+fn profile_trace_is_valid_and_covers_every_phase() {
+    let _guard = OBS_LOCK.lock().unwrap();
+    icfl::obs::reset();
+    run_workload(2);
+    let obs = icfl::obs::global();
+
+    let json = icfl::obs::trace::chrome_trace_json(&obs.profiler.trace_events());
+    let events = icfl::obs::trace::validate_chrome_trace(&json).expect("chrome trace invalid");
+    assert!(events > 0, "no spans were recorded");
+
+    let phases: Vec<String> = obs
+        .profiler
+        .aggregate()
+        .into_iter()
+        .map(|r| r.name)
+        .collect();
+    for phase in [
+        "scenario-build",
+        "sim-run",
+        "windowing",
+        "learn",
+        "localize",
+        "executor.pool",
+        "executor.worker",
+        "online.session",
+        "online.scrape",
+    ] {
+        assert!(
+            phases.iter().any(|p| p == phase),
+            "missing span/stat {phase} in {phases:?}"
+        );
+    }
+    icfl::obs::reset();
+}
