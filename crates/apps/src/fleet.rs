@@ -1,0 +1,273 @@
+//! Fleet-scale topology generators (100–1000 services).
+//!
+//! The paper's motivation cites production call graphs of "hundreds to
+//! thousands of microservices"; the generators in [`crate::synthetic`] top
+//! out at a few dozen before per-request amplification makes them
+//! impractically slow. These variants are tuned for fleet-size campaigns:
+//! fast per-hop service times, bounded per-request fan-out, and shard-
+//! aligned replication so topology size can be scaled independently of
+//! call-graph shape.
+
+use crate::app::App;
+use icfl_loadgen::UserFlow;
+use icfl_micro::{steps, ClusterSpec, ServiceSpec, Step};
+use icfl_sim::{DurationDist, SimDuration};
+
+/// Per-hop compute time for fleet topologies: fast enough that a request
+/// traversing hundreds of services stays well inside the call timeout.
+fn fleet_task_time() -> DurationDist {
+    DurationDist::log_normal(SimDuration::from_micros(300), 0.2)
+}
+
+/// A complete `fan`-ary call tree of `depth` levels below the root — wide
+/// fan-outs with bounded per-request amplification (each request touches
+/// every node of the tree exactly once).
+///
+/// Total services: `1 + fan + fan² + … + fan^depth`. `fanout_app(2, 9)` is
+/// a 91-service fleet; `fanout_app(2, 17)` is 307; `fanout_app(2, 31)`
+/// is 993.
+///
+/// # Panics
+///
+/// Panics if `depth == 0` or `fan == 0`.
+///
+/// # Examples
+///
+/// ```
+/// let app = icfl_apps::fanout_app(2, 9);
+/// assert_eq!(app.num_services(), 91);
+/// assert_eq!(app.call_edges().len(), 90);
+/// ```
+pub fn fanout_app(depth: usize, fan: usize) -> App {
+    assert!(depth > 0, "a fan-out tree needs at least one level");
+    assert!(fan > 0, "fan must be positive");
+    let name_of = |level: usize, idx: usize| format!("t{level}_{idx}");
+    let mut spec = ClusterSpec::new(format!("fanout-{depth}x{fan}"));
+    let mut fault_targets = Vec::new();
+    let mut width = 1usize;
+    for level in 0..=depth {
+        for idx in 0..width {
+            let mut program = vec![steps::compute(fleet_task_time())];
+            if level < depth {
+                for child in 0..fan {
+                    program.push(steps::call(&name_of(level + 1, idx * fan + child), "/"));
+                }
+            }
+            let workers = if level == 0 { 32 } else { 8 };
+            spec = spec.service(
+                ServiceSpec::web(name_of(level, idx))
+                    .with_concurrency(workers)
+                    .endpoint("/", program),
+            );
+            fault_targets.push(name_of(level, idx));
+        }
+        width *= fan;
+    }
+    App {
+        name: format!("fanout-{depth}x{fan}"),
+        spec,
+        flows: vec![UserFlow::new("root", name_of(0, 0), "/")],
+        fault_targets,
+    }
+}
+
+/// A layered mesh: `width` services per layer across `layers` layers, each
+/// calling `fan` consecutive services of the next layer (wrap-around).
+/// Generalizes [`crate::layered_app`]'s fixed fan of 2 with fleet-friendly
+/// service times; per-request amplification is `fan^(layers−1)`, so keep
+/// `fan` small when `layers` is large.
+///
+/// `layered_mesh_app(5, 20, 2)` is a 100-service mesh;
+/// `layered_mesh_app(5, 60, 2)` is 300; `layered_mesh_app(5, 200, 2)`
+/// is 1000.
+///
+/// # Panics
+///
+/// Panics if any of `layers`, `width`, `fan` is zero.
+///
+/// # Examples
+///
+/// ```
+/// let app = icfl_apps::layered_mesh_app(5, 20, 2);
+/// assert_eq!(app.num_services(), 100);
+/// ```
+pub fn layered_mesh_app(layers: usize, width: usize, fan: usize) -> App {
+    assert!(
+        layers > 0 && width > 0 && fan > 0,
+        "layers, width and fan must be positive"
+    );
+    let fan = fan.min(width);
+    let name_of = |l: usize, w: usize| format!("m{l}_{w}");
+    let mut spec = ClusterSpec::new(format!("mesh-{layers}x{width}x{fan}"));
+    for l in 0..layers {
+        for w in 0..width {
+            let mut program = vec![steps::compute(fleet_task_time())];
+            if l + 1 < layers {
+                for k in 0..fan {
+                    program.push(steps::call(&name_of(l + 1, (w + k) % width), "/"));
+                }
+            }
+            spec = spec.service(
+                ServiceSpec::web(name_of(l, w))
+                    .with_concurrency(16)
+                    .endpoint("/", program),
+            );
+        }
+    }
+    let flows = (0..width)
+        .map(|w| UserFlow::new(format!("f{w}"), name_of(0, w), "/"))
+        .collect();
+    let fault_targets = (0..layers)
+        .flat_map(|l| (0..width).map(move |w| name_of(l, w)))
+        .collect();
+    App {
+        name: format!("mesh-{layers}x{width}x{fan}"),
+        spec,
+        flows,
+        fault_targets,
+    }
+}
+
+/// Shard-aligned replication: `replicas` independent copies of `base`, each
+/// service `s` becoming `s@0 … s@{replicas−1}` with every call, KV access,
+/// daemon and autoscaler rewritten within its own shard. Userflows and
+/// fault targets are replicated per shard, so a 12-service app with 25
+/// replicas is a 300-service fleet whose call graph is 25 disjoint copies —
+/// the multi-replica deployment shape with deterministic (per-shard)
+/// routing.
+///
+/// # Panics
+///
+/// Panics if `replicas == 0`.
+///
+/// # Examples
+///
+/// ```
+/// let base = icfl_apps::pattern1();
+/// let app = icfl_apps::replicated_app(&base, 4);
+/// assert_eq!(app.num_services(), base.num_services() * 4);
+/// ```
+pub fn replicated_app(base: &App, replicas: usize) -> App {
+    assert!(replicas > 0, "replicas must be positive");
+    let shard = |name: &str, k: usize| format!("{name}@{k}");
+    let mut spec = ClusterSpec::new(format!("{}-x{replicas}", base.spec.name));
+    spec.net_latency = base.spec.net_latency;
+    spec.conn_refused_latency = base.spec.conn_refused_latency;
+    spec.call_timeout = base.spec.call_timeout;
+    let mut flows = Vec::with_capacity(base.flows.len() * replicas);
+    let mut fault_targets = Vec::with_capacity(base.fault_targets.len() * replicas);
+    for k in 0..replicas {
+        for svc in &base.spec.services {
+            let mut copy = svc.clone();
+            copy.name = shard(&svc.name, k);
+            for ep in &mut copy.endpoints {
+                for step in &mut ep.steps {
+                    match step {
+                        Step::Call { service, .. } => *service = shard(service, k),
+                        Step::Kv { store, .. } => *store = shard(store, k),
+                        _ => {}
+                    }
+                }
+            }
+            spec.services.push(copy);
+        }
+        for d in &base.spec.daemons {
+            let mut copy = d.clone();
+            copy.host = shard(&d.host, k);
+            copy.store = shard(&d.store, k);
+            if let Some((svc, _)) = &mut copy.call_per_item {
+                *svc = shard(svc, k);
+            }
+            spec.daemons.push(copy);
+        }
+        for a in &base.spec.autoscalers {
+            let mut copy = a.clone();
+            copy.service = shard(&a.service, k);
+            spec.autoscalers.push(copy);
+        }
+        for f in &base.flows {
+            let mut copy = f.clone();
+            copy.name = format!("{}@{k}", f.name);
+            copy.entry_service = shard(&f.entry_service, k);
+            flows.push(copy);
+        }
+        fault_targets.extend(base.fault_targets.iter().map(|t| shard(t, k)));
+    }
+    App {
+        name: format!("{}-x{replicas}", base.name),
+        spec,
+        flows,
+        fault_targets,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icfl_loadgen::{start_load, LoadConfig};
+    use icfl_micro::Cluster;
+    use icfl_sim::{Sim, SimTime};
+
+    fn smoke(app: &App, seed: u64, secs: u64) -> Cluster {
+        let (mut cluster, _) = app.build(seed).unwrap();
+        let mut sim = Sim::with_capacity(seed, cluster.pending_events_hint());
+        Cluster::start(&mut sim, &mut cluster);
+        start_load(
+            &mut sim,
+            &mut cluster,
+            &LoadConfig::closed_loop(app.flows.clone()),
+        )
+        .unwrap();
+        sim.run_until(SimTime::from_secs(secs), &mut cluster);
+        cluster
+    }
+
+    #[test]
+    fn fanout_tree_covers_all_levels() {
+        let app = fanout_app(2, 9);
+        assert_eq!(app.num_services(), 91);
+        assert_eq!(app.fault_targets.len(), 91);
+        let cl = smoke(&app, 5, 20);
+        let deepest = cl.service_id("t2_80").unwrap();
+        assert!(cl.counters(deepest).requests_received > 10);
+    }
+
+    #[test]
+    fn mesh_hits_the_last_layer() {
+        let app = layered_mesh_app(5, 20, 2);
+        assert_eq!(app.num_services(), 100);
+        let cl = smoke(&app, 6, 20);
+        for w in 0..20 {
+            let leaf = cl.service_id(&format!("m4_{w}")).unwrap();
+            assert!(cl.counters(leaf).requests_received > 10, "m4_{w} starved");
+        }
+    }
+
+    #[test]
+    fn replicated_shards_are_disjoint_copies() {
+        let base = crate::causalbench();
+        let app = replicated_app(&base, 3);
+        assert_eq!(app.num_services(), base.num_services() * 3);
+        assert_eq!(app.flows.len(), base.flows.len() * 3);
+        assert_eq!(app.fault_targets.len(), base.fault_targets.len() * 3);
+        // Every edge stays inside its shard.
+        for (from, to) in app.call_edges() {
+            let shard_of = |n: &str| n.rsplit('@').next().unwrap().to_owned();
+            assert_eq!(shard_of(&from), shard_of(&to), "{from} -> {to}");
+        }
+        // And each shard is runnable.
+        let cl = smoke(&app, 7, 20);
+        for k in 0..3 {
+            let a = cl.service_id(&format!("A@{k}")).unwrap();
+            assert!(cl.counters(a).requests_received > 10, "shard {k} starved");
+        }
+    }
+
+    #[test]
+    fn fleet_generators_are_deterministic() {
+        assert_eq!(fanout_app(2, 5), fanout_app(2, 5));
+        assert_eq!(layered_mesh_app(3, 10, 2), layered_mesh_app(3, 10, 2));
+        let base = crate::pattern1();
+        assert_eq!(replicated_app(&base, 2), replicated_app(&base, 2));
+    }
+}

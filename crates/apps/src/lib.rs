@@ -8,7 +8,9 @@
 //! * [`pattern1`] / [`pattern2`] — Fig. 1's two communication patterns;
 //! * [`fig2_topology`] — the Fig. 2 queueing-confounder topology;
 //! * [`chain_app`] / [`star_app`] / [`layered_app`] — parameterized
-//!   synthetic topologies for scalability studies.
+//!   synthetic topologies for scalability studies;
+//! * [`fanout_app`] / [`layered_mesh_app`] / [`replicated_app`] —
+//!   fleet-scale topologies (100–1000 services) for sharded campaigns.
 //!
 //! Each returns an [`App`] bundling the topology, the Locust-style
 //! userflows, and the services targeted by fault injection.
@@ -18,12 +20,14 @@
 
 mod app;
 mod causalbench;
+mod fleet;
 mod patterns;
 mod robotshop;
 mod synthetic;
 
 pub use app::App;
 pub use causalbench::causalbench;
+pub use fleet::{fanout_app, layered_mesh_app, replicated_app};
 pub use patterns::{fig2_topology, pattern1, pattern2};
 pub use robotshop::robot_shop;
 pub use synthetic::{chain_app, layered_app, star_app};

@@ -5,10 +5,16 @@
 //! one-shot scheduling and cancellation — so regressions in the scheduler
 //! hot path show up without cluster noise. `campaign_runs` executes the
 //! full parallel campaign (baseline + one fault run per target) on the
-//! three-service pattern-1 app in quick mode.
+//! three-service pattern-1 app in quick mode. The `fleet_*` benchmarks
+//! scale both axes to fleet-size topologies: `fleet_sim_events/N` drives
+//! a loaded N-service mesh simulation, and `fleet_campaign/N` runs a
+//! stride-sampled (6-target) quick campaign at 100/300/1000 services.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use icfl_apps::App;
 use icfl_core::{CampaignRun, RunConfig};
+use icfl_loadgen::{start_load, LoadConfig};
+use icfl_micro::Cluster;
 use icfl_sim::{Sim, SimDuration, SimTime};
 use std::hint::black_box;
 
@@ -60,9 +66,51 @@ fn bench_campaign_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+/// One loaded 20-simulated-second run of a fleet mesh, returning events
+/// executed (the throughput denominator).
+fn run_fleet_sim(app: &App, seed: u64) -> u64 {
+    let (mut cluster, _) = app.build(seed).expect("build");
+    let mut sim = Sim::with_capacity(seed, cluster.pending_events_hint());
+    Cluster::start(&mut sim, &mut cluster);
+    start_load(
+        &mut sim,
+        &mut cluster,
+        &LoadConfig::closed_loop(app.flows.clone()),
+    )
+    .expect("load");
+    sim.run_until(SimTime::from_secs(20), &mut cluster);
+    sim.events_executed()
+}
+
+fn fleet_mesh(services: usize) -> App {
+    // 5 layers; width = services / 5 (100 -> 5x20, 300 -> 5x60, 1000 -> 5x200).
+    icfl_apps::layered_mesh_app(5, services / 5, 2)
+}
+
+fn bench_fleet_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_throughput");
+    for services in [100usize, 300, 1000] {
+        let app = fleet_mesh(services);
+        let events = run_fleet_sim(&app, 1);
+        group.throughput(Throughput::Elements(events));
+        group.bench_function(format!("fleet_sim_events/{services}"), |b| {
+            b.iter(|| black_box(run_fleet_sim(&app, 1)))
+        });
+    }
+    for services in [100usize, 300, 1000] {
+        let app = fleet_mesh(services);
+        let cfg = RunConfig::quick(5).with_max_targets(6);
+        group.throughput(Throughput::Elements(7)); // baseline + 6 sampled targets
+        group.bench_function(format!("fleet_campaign/{services}"), |b| {
+            b.iter(|| black_box(CampaignRun::execute(&app, &cfg).expect("campaign")))
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_campaign_throughput
+    targets = bench_campaign_throughput, bench_fleet_throughput
 }
 criterion_main!(benches);

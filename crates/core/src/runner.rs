@@ -45,6 +45,13 @@ pub struct RunConfig {
     /// count is capped by the number of runnable jobs. Thread count never
     /// changes results — see the module docs.
     pub threads: usize,
+    /// Upper bound on the number of intervention targets per campaign.
+    /// `None` (the default) intervenes on every fault target the app
+    /// declares — the paper's protocol. `Some(m)` stride-samples `m`
+    /// targets deterministically from the app's target list, so
+    /// fleet-scale topologies (hundreds to thousands of services) can run
+    /// sharded campaigns without simulating one fault phase per service.
+    pub max_targets: Option<usize>,
 }
 
 impl RunConfig {
@@ -58,6 +65,7 @@ impl RunConfig {
             windows: WindowConfig::default(),
             fault: FaultKind::ServiceUnavailable,
             threads: 0,
+            max_targets: None,
         }
     }
 
@@ -72,6 +80,7 @@ impl RunConfig {
             windows: WindowConfig::from_secs(10, 5),
             fault: FaultKind::ServiceUnavailable,
             threads: 0,
+            max_targets: None,
         }
     }
 
@@ -91,6 +100,26 @@ impl RunConfig {
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
+    }
+
+    /// Caps the campaign at `m` stride-sampled targets, returning `self`.
+    pub fn with_max_targets(mut self, m: usize) -> Self {
+        self.max_targets = Some(m);
+        self
+    }
+
+    /// Applies [`RunConfig::max_targets`] to an app's resolved target
+    /// list: picks `m` targets at indices `⌊i·n/m⌋` — an even stride over
+    /// the list, so every region of the topology (chain depth, mesh layer,
+    /// replica shard) stays represented. Deterministic: depends only on
+    /// the list order and `m`, never on seeds or thread count.
+    pub fn sample_targets(&self, targets: Vec<ServiceId>) -> Vec<ServiceId> {
+        match self.max_targets {
+            Some(m) if m < targets.len() => {
+                (0..m).map(|i| targets[i * targets.len() / m]).collect()
+            }
+            _ => targets,
+        }
     }
 
     /// The worker count actually used for `jobs` runnable jobs: the
@@ -248,6 +277,7 @@ impl CampaignRun {
     /// (the first in job order, deterministically).
     pub fn execute(app: &App, cfg: &RunConfig) -> Result<CampaignRun> {
         let (cluster, targets) = app.build(cfg.seed)?;
+        let targets = cfg.sample_targets(targets);
         let service_names: Vec<String> = cluster
             .service_ids()
             .into_iter()
@@ -610,5 +640,47 @@ mod tests {
         assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<_>>());
         assert_eq!(parallel_map(0, 4, |i| i), Vec::<usize>::new());
         assert_eq!(parallel_map(3, 1, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn target_sampling_strides_evenly_and_is_stable() {
+        let ids: Vec<ServiceId> = (0..10).map(ServiceId::from_index).collect();
+        // No cap, or a cap at/above the list length: identity.
+        assert_eq!(RunConfig::quick(1).sample_targets(ids.clone()), ids);
+        assert_eq!(
+            RunConfig::quick(1)
+                .with_max_targets(10)
+                .sample_targets(ids.clone()),
+            ids
+        );
+        // A cap of 4 over 10 picks indices 0, 2, 5, 7 — an even stride.
+        let picked = RunConfig::quick(1)
+            .with_max_targets(4)
+            .sample_targets(ids.clone());
+        assert_eq!(
+            picked,
+            vec![0usize, 2, 5, 7]
+                .into_iter()
+                .map(ServiceId::from_index)
+                .collect::<Vec<_>>()
+        );
+        // Deterministic: seed does not participate.
+        assert_eq!(
+            RunConfig::quick(999)
+                .with_max_targets(4)
+                .sample_targets(ids),
+            picked
+        );
+    }
+
+    #[test]
+    fn capped_campaign_runs_only_sampled_targets() {
+        let app = icfl_apps::chain_app(6);
+        let cfg = RunConfig::quick(31).with_max_targets(2);
+        let campaign = CampaignRun::execute(&app, &cfg).unwrap();
+        assert_eq!(campaign.targets().len(), 2);
+        // Stride over 6: indices 0 and 3.
+        assert_eq!(campaign.targets()[0], ServiceId::from_index(0));
+        assert_eq!(campaign.targets()[1], ServiceId::from_index(3));
     }
 }

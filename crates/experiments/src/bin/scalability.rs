@@ -1,16 +1,73 @@
 //! Scalability sweep over synthetic topologies.
-use icfl_experiments::{maybe_write_profile, report_timing, run_timed, scalability, CliOptions};
+//!
+//! Tiers: the default sweep (up to 64 services), `--fleet` (100–1000
+//! services with stride-sampled campaign targets), and `--fleet-smoke`
+//! (one 100-service mesh — the CI gate).
+use icfl_experiments::{
+    maybe_write_profile, report_timing, run_timed, scalability, scalability_fleet,
+    scalability_fleet_smoke, CliOptions,
+};
+
+#[derive(PartialEq)]
+enum Tier {
+    Base,
+    Fleet,
+    FleetSmoke,
+}
 
 fn main() {
-    let opts = CliOptions::from_env();
+    // Tier flags are local to this binary; strip them before the shared
+    // option parser (which rejects unknown arguments).
+    let mut tier = Tier::Base;
+    let rest: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| match a.as_str() {
+            "--fleet" => {
+                tier = Tier::Fleet;
+                false
+            }
+            "--fleet-smoke" => {
+                tier = Tier::FleetSmoke;
+                false
+            }
+            _ => true,
+        })
+        .collect();
+    let opts = match CliOptions::parse(rest) {
+        Ok(o) => {
+            if o.threads > 0 {
+                std::env::set_var("ICFL_THREADS", o.threads.to_string());
+            }
+            if let Some(level) = o.log {
+                icfl_obs::logger::set_level(level);
+            }
+            o
+        }
+        Err(msg) => {
+            eprintln!("{msg} [--fleet|--fleet-smoke]");
+            std::process::exit(2);
+        }
+    };
+    let (tier_name, header) = match tier {
+        Tier::Base => ("scalability", "topology size"),
+        Tier::Fleet => ("scalability-fleet", "fleet size (100-1000 services)"),
+        Tier::FleetSmoke => ("scalability-fleet-smoke", "fleet smoke (100 services)"),
+    };
     icfl_obs::info!(
-        "running scalability sweep in {} mode (seed {})...",
+        "running {} sweep in {} mode (seed {})...",
+        tier_name,
         opts.mode,
         opts.seed
     );
-    let timed =
-        run_timed(|| scalability(opts.mode, opts.seed).expect("scalability experiment failed"));
-    println!("Scalability of Algorithms 1-2 with topology size (derived metrics, 1x load)\n");
+    let timed = run_timed(|| {
+        match tier {
+            Tier::Base => scalability(opts.mode, opts.seed),
+            Tier::Fleet => scalability_fleet(opts.mode, opts.seed),
+            Tier::FleetSmoke => scalability_fleet_smoke(opts.seed),
+        }
+        .expect("scalability experiment failed")
+    });
+    println!("Scalability of Algorithms 1-2 with {header} (derived metrics, 1x load)\n");
     println!("{}", timed.result.render());
     if opts.json {
         println!(
@@ -18,6 +75,6 @@ fn main() {
             serde_json::to_string_pretty(&timed.result).expect("serialize")
         );
     }
-    maybe_write_profile(&opts, "scalability");
-    report_timing("scalability", &opts, timed.wall);
+    maybe_write_profile(&opts, tier_name);
+    report_timing(tier_name, &opts, timed.wall);
 }

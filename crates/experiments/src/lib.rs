@@ -61,7 +61,9 @@ pub use robustness::{
     robustness, RobustnessAppReport, RobustnessCell, RobustnessError, RobustnessOptions,
     RobustnessReport, DROP_RATES, RESET_PROB,
 };
-pub use scalability::{scalability, Scalability, ScalabilityRow};
+pub use scalability::{
+    scalability, scalability_fleet, scalability_fleet_smoke, Scalability, ScalabilityRow,
+};
 pub use tables::{table1, table2, Table1, Table1Row, Table2, Table2Row};
 pub use timing::{
     record_phase_timings, record_timing, report_timing, run_timed, timings_path, Timed,

@@ -63,8 +63,12 @@ impl Scalability {
 }
 
 fn measure(app: &App, mode: Mode, seed: u64) -> Result<ScalabilityRow> {
+    measure_with(app, mode.train_cfg(seed), mode.eval_cfg(seed))
+}
+
+fn measure_with(app: &App, train_cfg: RunConfig, eval_cfg: RunConfig) -> Result<ScalabilityRow> {
     let t0 = std::time::Instant::now();
-    let campaign = CampaignRun::execute(app, &mode.train_cfg(seed))?;
+    let campaign = CampaignRun::execute(app, &train_cfg)?;
     let campaign_secs = t0.elapsed().as_secs_f64();
 
     let catalog = MetricCatalog::derived_all();
@@ -72,7 +76,7 @@ fn measure(app: &App, mode: Mode, seed: u64) -> Result<ScalabilityRow> {
     let model = campaign.learn(&catalog, RunConfig::default_detector())?;
     let learn_secs = t0.elapsed().as_secs_f64();
 
-    let suite = EvalSuite::execute(app, campaign.targets(), &mode.eval_cfg(seed))?;
+    let suite = EvalSuite::execute(app, campaign.targets(), &eval_cfg)?;
     let t0 = std::time::Instant::now();
     let summary = suite.evaluate(&model)?;
     let localize_secs = t0.elapsed().as_secs_f64() / suite.runs.len().max(1) as f64;
@@ -123,6 +127,72 @@ pub fn scalability(mode: Mode, seed: u64) -> Result<Scalability> {
         rows.push(measure(app, mode, seed)?);
     }
     Ok(Scalability { rows })
+}
+
+/// The fleet tier: sharded campaigns over 100–1000-service topologies.
+///
+/// Campaigns at this scale cannot intervene on every service (a 1000-target
+/// campaign is 1000 fault simulations), so each row caps the target list
+/// via [`RunConfig::max_targets`] — 12 stride-sampled targets in quick
+/// mode, 24 in paper mode — and evaluates on the same sampled set. All
+/// rows stay byte-identical across thread counts, like the base sweep.
+///
+/// # Errors
+///
+/// Propagates pipeline errors.
+pub fn scalability_fleet(mode: Mode, seed: u64) -> Result<Scalability> {
+    let apps: Vec<App> = match mode {
+        Mode::Quick => vec![
+            icfl_apps::fanout_app(2, 9),                              //   91 services
+            icfl_apps::layered_mesh_app(5, 20, 2),                    //  100
+            icfl_apps::replicated_app(&icfl_apps::causalbench(), 12), // 108
+            icfl_apps::layered_mesh_app(5, 60, 2),                    //  300
+            icfl_apps::fanout_app(2, 17),                             //  307
+            icfl_apps::layered_mesh_app(5, 200, 2),                   // 1000
+        ],
+        Mode::Paper => vec![
+            icfl_apps::fanout_app(2, 9),
+            icfl_apps::layered_mesh_app(5, 20, 2),
+            icfl_apps::replicated_app(&icfl_apps::causalbench(), 12),
+            icfl_apps::layered_mesh_app(5, 60, 2),
+            icfl_apps::fanout_app(2, 17),
+            icfl_apps::fanout_app(2, 31), //  993
+            icfl_apps::layered_mesh_app(5, 200, 2),
+            icfl_apps::replicated_app(&icfl_apps::causalbench(), 112), // 1008
+        ],
+    };
+    let cap = match mode {
+        Mode::Quick => 12,
+        Mode::Paper => 24,
+    };
+    let mut rows = Vec::with_capacity(apps.len());
+    for app in &apps {
+        rows.push(measure_with(
+            app,
+            mode.train_cfg(seed).with_max_targets(cap),
+            mode.eval_cfg(seed).with_max_targets(cap),
+        )?);
+    }
+    Ok(Scalability { rows })
+}
+
+/// The CI smoke slice of the fleet tier: one 100-service mesh, quick
+/// timing, six stride-sampled targets. Small enough for a pull-request
+/// gate, large enough to exercise the fleet code paths (capacity sizing,
+/// target sampling, batched scrapes, the bucketed scheduler's cascades).
+///
+/// # Errors
+///
+/// Propagates pipeline errors.
+pub fn scalability_fleet_smoke(seed: u64) -> Result<Scalability> {
+    let app = icfl_apps::layered_mesh_app(5, 20, 2);
+    let mode = Mode::Quick;
+    let row = measure_with(
+        &app,
+        mode.train_cfg(seed).with_max_targets(6),
+        mode.eval_cfg(seed).with_max_targets(6),
+    )?;
+    Ok(Scalability { rows: vec![row] })
 }
 
 #[cfg(test)]

@@ -37,14 +37,104 @@ pub enum Completion {
     External(u64),
     /// A worker of another service blocked on this call.
     Call {
-        /// The blocked parent request.
-        parent: RequestId,
+        /// Arena handle of the blocked parent request.
+        parent: ReqToken,
+        /// Public id of the parent (kept for traces even after the parent's
+        /// arena slot is reused).
+        parent_id: RequestId,
     },
     /// A background daemon (index into the cluster's daemon table).
     Daemon {
         /// Daemon index.
         daemon: usize,
     },
+}
+
+/// An opaque generation-checked handle to an in-flight request's arena slot.
+///
+/// Scheduler closures and deadline entries capture tokens instead of map
+/// keys: resolving one is an index plus a generation compare, and a token
+/// whose request already finished simply resolves to `None` — the same
+/// staleness semantics the previous `RequestId -> InFlight` hash map gave,
+/// without hashing on the per-request hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReqToken {
+    index: u32,
+    generation: u32,
+}
+
+/// Slab arena of in-flight requests: free slots are reused LIFO (so slot
+/// allocation is deterministic) and each reuse bumps the slot generation,
+/// invalidating any outstanding [`ReqToken`] to the previous occupant.
+struct InFlightArena {
+    slots: Vec<(u32, Option<InFlight>)>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl InFlightArena {
+    fn with_capacity(capacity: usize) -> Self {
+        InFlightArena {
+            slots: Vec::with_capacity(capacity),
+            free: Vec::with_capacity(capacity),
+            live: 0,
+        }
+    }
+
+    fn insert(&mut self, state: InFlight) -> ReqToken {
+        self.live += 1;
+        if let Some(index) = self.free.pop() {
+            let slot = &mut self.slots[index as usize];
+            debug_assert!(slot.1.is_none(), "free slot must be vacant");
+            slot.1 = Some(state);
+            ReqToken {
+                index,
+                generation: slot.0,
+            }
+        } else {
+            let index = self.slots.len() as u32;
+            self.slots.push((0, Some(state)));
+            ReqToken {
+                index,
+                generation: 0,
+            }
+        }
+    }
+
+    #[inline]
+    fn get(&self, token: ReqToken) -> Option<&InFlight> {
+        let slot = &self.slots[token.index as usize];
+        if slot.0 != token.generation {
+            return None;
+        }
+        slot.1.as_ref()
+    }
+
+    #[inline]
+    fn get_mut(&mut self, token: ReqToken) -> Option<&mut InFlight> {
+        let slot = &mut self.slots[token.index as usize];
+        if slot.0 != token.generation {
+            return None;
+        }
+        slot.1.as_mut()
+    }
+
+    fn remove(&mut self, token: ReqToken) -> Option<InFlight> {
+        let slot = &mut self.slots[token.index as usize];
+        if slot.0 != token.generation {
+            return None;
+        }
+        let state = slot.1.take()?;
+        // Bump on free so every stale token fails its generation check.
+        slot.0 = slot.0.wrapping_add(1);
+        self.free.push(token.index);
+        self.live -= 1;
+        Some(state)
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
 }
 
 /// Callback invoked when an external request completes.
@@ -94,14 +184,13 @@ pub(crate) struct Service {
     pub(crate) kind: ServiceKind,
     concurrency: usize,
     busy: usize,
-    queue: VecDeque<RequestId>,
+    queue: VecDeque<ReqToken>,
     queue_capacity: usize,
     pub(crate) endpoints: Vec<Endpoint>,
     endpoint_index: FastHashMap<String, usize>,
     kv: FastHashMap<String, i64>,
     kv_op_time: DurationDist,
     pub(crate) idle_cpu_per_sec: SimDuration,
-    pub(crate) counters: Counters,
     pub(crate) logs: LogBuffer,
     pub(crate) fault: Option<FaultKind>,
     /// Invocation counts backing `Step::LogEveryN`, keyed by
@@ -113,17 +202,6 @@ pub(crate) struct Service {
 impl Service {
     fn has_free_worker(&self) -> bool {
         self.busy < self.concurrency
-    }
-
-    /// Writes one console log line: bumps the counters and retains the
-    /// message in the bounded buffer.
-    fn write_log(&mut self, time: SimTime, level: LogLevel, message: &str) {
-        self.counters.add_log(level);
-        self.logs.push(LogRecord {
-            time,
-            level,
-            message: message.to_owned(),
-        });
     }
 }
 
@@ -140,11 +218,15 @@ enum Work {
 }
 
 struct InFlight {
+    /// Public monotone id (never reused), carried for traces and responses.
+    id: RequestId,
     service: ServiceId,
     work: Work,
     issued_at: SimTime,
     step: usize,
     reply_to: Completion,
+    /// Child request awaited, by public id: unlike arena slots, request ids
+    /// are never reused, so stale responses and timeouts can never match.
     waiting_on: Option<RequestId>,
     /// Error policy of the call currently awaited (meaningful only while
     /// `waiting_on` is set).
@@ -187,17 +269,23 @@ struct InFlight {
 pub struct Cluster {
     name: String,
     pub(crate) services: Vec<Service>,
+    /// Telemetry counters, struct-of-arrays style: one contiguous row
+    /// indexed by service, so a scrape is a single `memcpy` instead of a
+    /// strided per-service gather (see [`Cluster::counters_slice`]).
+    pub(crate) counters: Vec<Counters>,
     name_to_id: FastHashMap<String, ServiceId>,
     net_latency: DurationDist,
     conn_refused_latency: DurationDist,
     call_timeout: SimDuration,
-    inflight: FastHashMap<RequestId, InFlight>,
+    inflight: InFlightArena,
     /// Pending call deadlines, oldest first. `call_timeout` is constant, so
     /// deadlines are monotone in issue order and a FIFO plus one re-arming
     /// sweep event replaces a cancellable timer event per call (which would
     /// otherwise dominate scheduler traffic: almost every call completes,
-    /// leaving thousands of dead timers in the event heap).
-    call_deadlines: VecDeque<(SimTime, RequestId, RequestId)>,
+    /// leaving thousands of dead timers in the event heap). Entries carry
+    /// the parent's arena token plus the awaited child's public id for the
+    /// staleness check.
+    call_deadlines: VecDeque<(SimTime, ReqToken, RequestId)>,
     /// True while a sweep event is scheduled for `call_deadlines.front()`.
     deadline_sweep_armed: bool,
     next_request: u64,
@@ -349,7 +437,6 @@ impl Cluster {
                 kv: FastHashMap::default(),
                 kv_op_time: s.kv_op_time,
                 idle_cpu_per_sec: s.idle_cpu_per_sec,
-                counters: Counters::default(),
                 logs: LogBuffer::with_capacity(LogBuffer::DEFAULT_CAPACITY),
                 fault: None,
                 step_invocations: FastHashMap::default(),
@@ -382,20 +469,26 @@ impl Cluster {
             });
         }
 
+        // Size hot-path storage from the spec instead of a one-size-fits-all
+        // constant: the worst-case number of concurrently admitted requests
+        // is bounded by worker slots plus queue slots across all services
+        // (each held request may additionally have one child call pending).
+        let inflight_hint = Self::inflight_hint_for(spec);
+        let num_services = services.len();
+
         Ok(Cluster {
             name: spec.name.clone(),
             services,
+            counters: vec![Counters::default(); num_services],
             name_to_id,
             net_latency: spec.net_latency,
             conn_refused_latency: spec.conn_refused_latency,
             call_timeout: spec.call_timeout,
-            // Pre-sized: steady-state campaigns keep hundreds of requests
-            // in flight, and rehash-on-grow sits on the request hot path.
-            inflight: fast_map_with_capacity(1024),
-            call_deadlines: VecDeque::with_capacity(1024),
+            inflight: InFlightArena::with_capacity(inflight_hint),
+            call_deadlines: VecDeque::with_capacity(inflight_hint),
             deadline_sweep_armed: false,
             next_request: 0,
-            external: fast_map_with_capacity(256),
+            external: fast_map_with_capacity(inflight_hint.min(4096)),
             next_external: 0,
             daemons,
             autoscalers,
@@ -440,7 +533,39 @@ impl Cluster {
     ///
     /// Panics if `id` is not a service of this cluster.
     pub fn counters(&self, id: ServiceId) -> Counters {
-        self.services[id.0].counters
+        self.counters[id.0]
+    }
+
+    /// All per-service counters as one contiguous row, indexed by
+    /// [`ServiceId`] order. Telemetry scrapes copy this slice with a single
+    /// `memcpy` instead of gathering service-by-service — the batched-scrape
+    /// path consumed by the telemetry window engine.
+    pub fn counters_slice(&self) -> &[Counters] {
+        &self.counters
+    }
+
+    /// Estimated worst-case concurrently admitted requests for a spec:
+    /// worker slots plus queue slots, doubled for pending child calls.
+    /// Used to size the in-flight arena and related hot-path storage.
+    fn inflight_hint_for(spec: &ClusterSpec) -> usize {
+        let admitted: usize = spec
+            .services
+            .iter()
+            .map(|s| s.concurrency + s.queue_capacity)
+            .sum();
+        (admitted * 2).clamp(64, 1 << 20)
+    }
+
+    /// A scenario-derived hint for how many scheduler events this cluster
+    /// keeps pending at once (network hops, compute completions, deadline
+    /// sweeps), suitable for [`icfl_sim::Sim::with_capacity`].
+    pub fn pending_events_hint(&self) -> usize {
+        let admitted: usize = self
+            .services
+            .iter()
+            .map(|s| s.concurrency + s.queue_capacity)
+            .sum();
+        (admitted * 2).clamp(64, 1 << 20)
     }
 
     /// Sets or clears the active fault on a service.
@@ -494,9 +619,8 @@ impl Cluster {
             SimTime::ZERO + SimDuration::from_secs(1),
             SimDuration::from_secs(1),
             |_, cl: &mut Cluster| {
-                for s in &mut cl.services {
-                    let idle = s.idle_cpu_per_sec;
-                    s.counters.add_cpu(idle);
+                for (s, c) in cl.services.iter().zip(cl.counters.iter_mut()) {
+                    c.add_cpu(s.idle_cpu_per_sec);
                 }
             },
         );
@@ -559,14 +683,14 @@ impl Cluster {
         let token = cluster.next_external;
         cluster.next_external += 1;
         cluster.external.insert(token, Box::new(on_complete));
-        let req = cluster.new_request(
+        let (id, req) = cluster.new_request(
             sim.now(),
             service,
             Work::Handler(endpoint),
             Completion::External(token),
         );
         Cluster::send(sim, cluster, None, req);
-        req
+        id
     }
 
     /// Submits a handler invocation on behalf of a daemon.
@@ -578,9 +702,9 @@ impl Cluster {
         reply_to: Completion,
         from: Option<ServiceId>,
     ) -> RequestId {
-        let req = cluster.new_request(sim.now(), target, Work::Handler(endpoint), reply_to);
+        let (id, req) = cluster.new_request(sim.now(), target, Work::Handler(endpoint), reply_to);
         Cluster::send(sim, cluster, from, req);
-        req
+        id
     }
 
     /// Submits a KV operation from outside the cluster (used by daemons and
@@ -593,9 +717,9 @@ impl Cluster {
         reply_to: Completion,
         from: Option<ServiceId>,
     ) -> RequestId {
-        let req = cluster.new_request(sim.now(), store, Work::Kv(action), reply_to);
+        let (id, req) = cluster.new_request(sim.now(), store, Work::Kv(action), reply_to);
         Cluster::send(sim, cluster, from, req);
-        req
+        id
     }
 
     fn new_request(
@@ -604,34 +728,32 @@ impl Cluster {
         service: ServiceId,
         work: Work,
         reply_to: Completion,
-    ) -> RequestId {
+    ) -> (RequestId, ReqToken) {
         let id = RequestId(self.next_request);
         self.next_request += 1;
-        self.inflight.insert(
+        let token = self.inflight.insert(InFlight {
             id,
-            InFlight {
-                service,
-                work,
-                issued_at: now,
-                step: 0,
-                reply_to,
-                waiting_on: None,
-                pending_policy: ErrorPolicy::default(),
-                status: Status::Ok,
-                value: 0,
-                holds_worker: false,
-            },
-        );
-        id
+            service,
+            work,
+            issued_at: now,
+            step: 0,
+            reply_to,
+            waiting_on: None,
+            pending_policy: ErrorPolicy::default(),
+            status: Status::Ok,
+            value: 0,
+            holds_worker: false,
+        });
+        (id, token)
     }
 
     /// Transmits a request toward its target, applying connection-refused
     /// and packet-loss semantics.
-    fn send(sim: &mut Sim<Cluster>, cl: &mut Cluster, from: Option<ServiceId>, req: RequestId) {
-        let target = cl.inflight[&req].service;
+    fn send(sim: &mut Sim<Cluster>, cl: &mut Cluster, from: Option<ServiceId>, req: ReqToken) {
+        let target = cl.inflight.get(req).expect("request in flight").service;
         if let Some(f) = from {
-            cl.services[f.0].counters.tx_packets += 1;
-            cl.services[f.0].counters.requests_sent += 1;
+            cl.counters[f.0].tx_packets += 1;
+            cl.counters[f.0].requests_sent += 1;
         }
 
         // Connection refused: fail fast without touching the target.
@@ -640,7 +762,7 @@ impl Cluster {
             Some(FaultKind::ServiceUnavailable)
         ) {
             let latency = cl.conn_refused_latency.sample(&mut cl.net_rng);
-            let inf = cl.inflight.get_mut(&req).expect("request in flight");
+            let inf = cl.inflight.get_mut(req).expect("request in flight");
             inf.status = Status::ServiceUnavailable;
             sim.schedule_after(latency, move |sim, cl: &mut Cluster| {
                 Cluster::deliver_response(sim, cl, req);
@@ -663,16 +785,16 @@ impl Cluster {
     }
 
     /// A request arrives at its target service.
-    fn deliver(sim: &mut Sim<Cluster>, cl: &mut Cluster, req: RequestId) {
-        let target = cl.inflight[&req].service;
-        let svc = &mut cl.services[target.0];
-        svc.counters.rx_packets += 1;
-        svc.counters.requests_received += 1;
+    fn deliver(sim: &mut Sim<Cluster>, cl: &mut Cluster, req: ReqToken) {
+        let target = cl.inflight.get(req).expect("request in flight").service;
+        cl.counters[target.0].rx_packets += 1;
+        cl.counters[target.0].requests_received += 1;
 
         // Error-rate fault: accept, then fail.
+        let svc = &mut cl.services[target.0];
         if let Some(FaultKind::ErrorRate(p)) = svc.fault {
             if svc.rng.chance(p) {
-                let inf = cl.inflight.get_mut(&req).expect("request in flight");
+                let inf = cl.inflight.get_mut(req).expect("request in flight");
                 inf.work = Work::InjectedError;
             }
         }
@@ -690,25 +812,25 @@ impl Cluster {
     }
 
     /// Queue admission: take a worker or wait; shed if the queue is full.
-    fn admit(sim: &mut Sim<Cluster>, cl: &mut Cluster, req: RequestId) {
-        let target = cl.inflight[&req].service;
+    fn admit(sim: &mut Sim<Cluster>, cl: &mut Cluster, req: ReqToken) {
+        let target = cl.inflight.get(req).expect("in flight").service;
         let svc = &mut cl.services[target.0];
         if svc.has_free_worker() {
             svc.busy += 1;
-            cl.inflight.get_mut(&req).expect("in flight").holds_worker = true;
+            cl.inflight.get_mut(req).expect("in flight").holds_worker = true;
             Cluster::begin_work(sim, cl, req);
         } else if svc.queue.len() < svc.queue_capacity {
             svc.queue.push_back(req);
         } else {
-            svc.counters.queue_dropped += 1;
+            cl.counters[target.0].queue_dropped += 1;
             Cluster::finish(sim, cl, req, Status::Overloaded);
         }
     }
 
     /// Starts executing the request's work on its (now-held) worker.
-    fn begin_work(sim: &mut Sim<Cluster>, cl: &mut Cluster, req: RequestId) {
+    fn begin_work(sim: &mut Sim<Cluster>, cl: &mut Cluster, req: ReqToken) {
         let (service, work) = {
-            let inf = &cl.inflight[&req];
+            let inf = cl.inflight.get(req).expect("in flight");
             (inf.service, inf.work.clone())
         };
         match work {
@@ -717,12 +839,13 @@ impl Cluster {
                 // A failing handler logs an error and responds 500 quickly.
                 let fail_time = SimDuration::from_millis(1);
                 let now = sim.now();
-                cl.services[service.0].write_log(
+                cl.write_log(
+                    service,
                     now,
                     LogLevel::Error,
                     "Traceback: unhandled exception while processing request",
                 );
-                cl.services[service.0].counters.add_cpu(fail_time);
+                cl.counters[service.0].add_cpu(fail_time);
                 sim.schedule_after(fail_time, move |sim, cl: &mut Cluster| {
                     Cluster::finish(sim, cl, req, Status::InternalError);
                 });
@@ -730,7 +853,7 @@ impl Cluster {
             Work::Kv(action) => {
                 let svc = &mut cl.services[service.0];
                 let t = svc.kv_op_time.sample(&mut svc.rng);
-                svc.counters.add_cpu(t);
+                cl.counters[service.0].add_cpu(t);
                 sim.schedule_after(t, move |sim, cl: &mut Cluster| {
                     let svc = &mut cl.services[service.0];
                     // get_mut-then-insert (not the entry API) so the steady
@@ -761,7 +884,7 @@ impl Cluster {
                         },
                         KvAction::Get { key } => svc.kv.get(key).copied().unwrap_or(0),
                     };
-                    let inf = cl.inflight.get_mut(&req).expect("in flight");
+                    let inf = cl.inflight.get_mut(req).expect("in flight");
                     inf.value = value;
                     Cluster::finish(sim, cl, req, Status::Ok);
                 });
@@ -770,27 +893,27 @@ impl Cluster {
     }
 
     /// Advances a handler program to its next blocking point.
-    fn advance(sim: &mut Sim<Cluster>, cl: &mut Cluster, req: RequestId) {
-        let (service, ep_idx, mut step_idx) = {
-            let inf = &cl.inflight[&req];
+    fn advance(sim: &mut Sim<Cluster>, cl: &mut Cluster, req: ReqToken) {
+        let (service, ep_idx, mut step_idx, req_id) = {
+            let inf = cl.inflight.get(req).expect("in flight");
             let ep = match inf.work {
                 Work::Handler(ep) => ep,
                 _ => unreachable!("advance only runs handler programs"),
             };
-            (inf.service, ep, inf.step)
+            (inf.service, ep, inf.step, inf.id)
         };
         // One shared handle to the program; steps are matched by reference
         // (no per-step clone) while the cluster is mutated freely.
         let steps = Rc::clone(&cl.services[service.0].endpoints[ep_idx].steps);
         loop {
             if step_idx >= steps.len() {
-                let status = cl.inflight[&req].status;
+                let status = cl.inflight.get(req).expect("in flight").status;
                 Cluster::finish(sim, cl, req, status);
                 return;
             }
             let step = &steps[step_idx];
             step_idx += 1;
-            cl.inflight.get_mut(&req).expect("in flight").step = step_idx;
+            cl.inflight.get_mut(req).expect("in flight").step = step_idx;
             match step {
                 ResolvedStep::Compute { time } => {
                     let svc = &mut cl.services[service.0];
@@ -798,7 +921,7 @@ impl Cluster {
                     if let Some(FaultKind::CpuStress(factor)) = svc.fault {
                         t = t.mul_f64(factor.max(0.0));
                     }
-                    svc.counters.add_cpu(t);
+                    cl.counters[service.0].add_cpu(t);
                     sim.schedule_after(t, move |sim, cl: &mut Cluster| {
                         Cluster::advance(sim, cl, req);
                     });
@@ -806,24 +929,24 @@ impl Cluster {
                 }
                 ResolvedStep::Log { level, message } => {
                     let now = sim.now();
-                    cl.services[service.0].write_log(now, *level, message);
+                    cl.write_log(service, now, *level, message);
                 }
                 ResolvedStep::LogEveryN { n, level, message } => {
                     let now = sim.now();
-                    let svc = &mut cl.services[service.0];
                     // step_idx already advanced past this step.
-                    let count = svc
+                    let count = cl.services[service.0]
                         .step_invocations
                         .entry((ep_idx, step_idx - 1))
                         .or_insert(0);
                     *count += 1;
                     if (*count).is_multiple_of(*n) {
-                        svc.write_log(now, *level, message);
+                        cl.write_log(service, now, *level, message);
                     }
                 }
                 ResolvedStep::Fail => {
                     let now = sim.now();
-                    cl.services[service.0].write_log(
+                    cl.write_log(
+                        service,
                         now,
                         LogLevel::Error,
                         "Traceback: handler raised an exception",
@@ -836,13 +959,16 @@ impl Cluster {
                     endpoint,
                     on_error,
                 } => {
-                    let child = cl.new_request(
+                    let (child_id, child) = cl.new_request(
                         sim.now(),
                         *target,
                         Work::Handler(*endpoint),
-                        Completion::Call { parent: req },
+                        Completion::Call {
+                            parent: req,
+                            parent_id: req_id,
+                        },
                     );
-                    Cluster::issue_call(sim, cl, req, child, service, *on_error);
+                    Cluster::issue_call(sim, cl, req, child, child_id, service, *on_error);
                     return;
                 }
                 ResolvedStep::Kv {
@@ -850,13 +976,16 @@ impl Cluster {
                     action,
                     on_error,
                 } => {
-                    let child = cl.new_request(
+                    let (child_id, child) = cl.new_request(
                         sim.now(),
                         *store,
                         Work::Kv(Rc::clone(action)),
-                        Completion::Call { parent: req },
+                        Completion::Call {
+                            parent: req,
+                            parent_id: req_id,
+                        },
                     );
-                    Cluster::issue_call(sim, cl, req, child, service, *on_error);
+                    Cluster::issue_call(sim, cl, req, child, child_id, service, *on_error);
                     return;
                 }
             }
@@ -868,18 +997,19 @@ impl Cluster {
     fn issue_call(
         sim: &mut Sim<Cluster>,
         cl: &mut Cluster,
-        parent: RequestId,
-        child: RequestId,
+        parent: ReqToken,
+        child: ReqToken,
+        child_id: RequestId,
         from: ServiceId,
         on_error: ErrorPolicy,
     ) {
         {
-            let inf = cl.inflight.get_mut(&parent).expect("parent in flight");
-            inf.waiting_on = Some(child);
+            let inf = cl.inflight.get_mut(parent).expect("parent in flight");
+            inf.waiting_on = Some(child_id);
             inf.pending_policy = on_error;
         }
         let deadline = sim.now() + cl.call_timeout;
-        cl.call_deadlines.push_back((deadline, parent, child));
+        cl.call_deadlines.push_back((deadline, parent, child_id));
         if !cl.deadline_sweep_armed {
             cl.deadline_sweep_armed = true;
             sim.schedule_at(deadline, Cluster::sweep_call_deadlines);
@@ -907,7 +1037,7 @@ impl Cluster {
             };
             let live = cl
                 .inflight
-                .get(&parent)
+                .get(parent)
                 .is_some_and(|inf| inf.waiting_on == Some(child));
             if !live {
                 cl.call_deadlines.pop_front();
@@ -923,30 +1053,31 @@ impl Cluster {
     }
 
     /// Delivers a finished request's response toward its completion target.
-    fn finish(sim: &mut Sim<Cluster>, cl: &mut Cluster, req: RequestId, status: Status) {
+    fn finish(sim: &mut Sim<Cluster>, cl: &mut Cluster, req: ReqToken, status: Status) {
         {
-            let inf = cl.inflight.get_mut(&req).expect("in flight");
+            let inf = cl.inflight.get_mut(req).expect("in flight");
             inf.status = status;
             let service = inf.service;
             let holds = inf.holds_worker;
             inf.holds_worker = false;
-            let svc = &mut cl.services[service.0];
+            let counters = &mut cl.counters[service.0];
             if status.is_error() {
-                svc.counters.responses_err += 1;
+                counters.responses_err += 1;
             } else {
-                svc.counters.responses_ok += 1;
+                counters.responses_ok += 1;
             }
             // Refused connections never reached the service, so only count a
             // transmitted response packet for work the service actually did.
             if status != Status::ServiceUnavailable {
-                svc.counters.tx_packets += 1;
+                counters.tx_packets += 1;
             }
             if holds {
+                let svc = &mut cl.services[service.0];
                 svc.busy -= 1;
                 if let Some(next) = svc.queue.pop_front() {
                     svc.busy += 1;
                     cl.inflight
-                        .get_mut(&next)
+                        .get_mut(next)
                         .expect("queued request in flight")
                         .holds_worker = true;
                     sim.schedule_now(move |sim, cl: &mut Cluster| {
@@ -957,10 +1088,10 @@ impl Cluster {
         }
 
         // Response packet loss.
-        let target = cl.inflight[&req].service;
+        let target = cl.inflight.get(req).expect("in flight").service;
         if let Some(FaultKind::PacketLoss(p)) = cl.services[target.0].fault {
             if cl.net_rng.chance(p) {
-                cl.inflight.remove(&req);
+                cl.inflight.remove(req);
                 return;
             }
         }
@@ -971,15 +1102,15 @@ impl Cluster {
     }
 
     /// A response arrives at its completion target.
-    fn deliver_response(sim: &mut Sim<Cluster>, cl: &mut Cluster, req: RequestId) {
-        let Some(inf) = cl.inflight.remove(&req) else {
+    fn deliver_response(sim: &mut Sim<Cluster>, cl: &mut Cluster, req: ReqToken) {
+        let Some(inf) = cl.inflight.remove(req) else {
             return;
         };
         if let Some(tracing) = &cl.tracing {
             tracing.store.borrow_mut().spans.push(Span {
-                request: req,
+                request: inf.id,
                 parent: match inf.reply_to {
-                    Completion::Call { parent } => Some(parent),
+                    Completion::Call { parent_id, .. } => Some(parent_id),
                     _ => None,
                 },
                 service: inf.service,
@@ -991,7 +1122,7 @@ impl Cluster {
         let resp = Response {
             status: inf.status,
             value: inf.value,
-            request: req,
+            request: inf.id,
         };
         match inf.reply_to {
             Completion::External(token) => {
@@ -1002,7 +1133,7 @@ impl Cluster {
             Completion::Daemon { daemon } => {
                 crate::daemon::DaemonRuntime::on_response(sim, cl, daemon, resp);
             }
-            Completion::Call { parent } => {
+            Completion::Call { parent, .. } => {
                 Cluster::on_child_response(sim, cl, parent, resp);
             }
         }
@@ -1012,10 +1143,10 @@ impl Cluster {
     fn on_child_response(
         sim: &mut Sim<Cluster>,
         cl: &mut Cluster,
-        parent: RequestId,
+        parent: ReqToken,
         resp: Response,
     ) {
-        let Some(inf) = cl.inflight.get_mut(&parent) else {
+        let Some(inf) = cl.inflight.get_mut(parent) else {
             return; // parent already finished (timeout raced us)
         };
         if inf.waiting_on != Some(resp.request) {
@@ -1024,12 +1155,12 @@ impl Cluster {
         inf.waiting_on = None;
         let service = inf.service;
         let policy = inf.pending_policy;
-        cl.services[service.0].counters.rx_packets += 1;
+        cl.counters[service.0].rx_packets += 1;
 
         if resp.status.is_error() {
             Cluster::handle_call_failure(sim, cl, parent, resp.status, policy);
         } else {
-            let inf = cl.inflight.get_mut(&parent).expect("parent in flight");
+            let inf = cl.inflight.get_mut(parent).expect("parent in flight");
             inf.value = resp.value;
             Cluster::advance(sim, cl, parent);
         }
@@ -1039,10 +1170,10 @@ impl Cluster {
     fn on_call_timeout(
         sim: &mut Sim<Cluster>,
         cl: &mut Cluster,
-        parent: RequestId,
+        parent: ReqToken,
         child: RequestId,
     ) {
-        let Some(inf) = cl.inflight.get_mut(&parent) else {
+        let Some(inf) = cl.inflight.get_mut(parent) else {
             return;
         };
         if inf.waiting_on != Some(child) {
@@ -1057,11 +1188,11 @@ impl Cluster {
     fn handle_call_failure(
         sim: &mut Sim<Cluster>,
         cl: &mut Cluster,
-        parent: RequestId,
+        parent: ReqToken,
         child_status: Status,
         policy: ErrorPolicy,
     ) {
-        let service = cl.inflight[&parent].service;
+        let service = cl.inflight.get(parent).expect("parent in flight").service;
         if policy.logs() {
             let now = sim.now();
             // Static per-status text: this line fires for every failed call
@@ -1077,7 +1208,7 @@ impl Cluster {
                 Status::Overloaded => "error: downstream call failed (503 Overloaded)",
                 Status::Timeout => "error: downstream call failed (504 Timeout)",
             };
-            cl.services[service.0].write_log(now, LogLevel::Error, message);
+            cl.write_log(service, now, LogLevel::Error, message);
         }
         if policy.propagates() {
             // The failure bubbles up as a 500 from this service (errors
@@ -1096,12 +1227,23 @@ impl Cluster {
     /// Adds CPU busy time to a service out-of-band (used by the CPU-hog
     /// fault driver in `icfl-faults`).
     pub fn add_cpu(&mut self, id: ServiceId, d: SimDuration) {
-        self.services[id.0].counters.add_cpu(d);
+        self.counters[id.0].add_cpu(d);
     }
 
     /// Writes a log message to a service out-of-band (used by daemons).
     pub(crate) fn log(&mut self, id: ServiceId, now: SimTime, level: LogLevel, message: &str) {
-        self.services[id.0].write_log(now, level, message);
+        self.write_log(id, now, level, message);
+    }
+
+    /// Writes one console log line for a service: bumps the log counters
+    /// and retains the message in the bounded buffer.
+    fn write_log(&mut self, id: ServiceId, time: SimTime, level: LogLevel, message: &str) {
+        self.counters[id.0].add_log(level);
+        self.services[id.0].logs.push(LogRecord {
+            time,
+            level,
+            message: message.to_owned(),
+        });
     }
 
     /// Turns on distributed tracing and returns the span stream. Spans are
@@ -1151,7 +1293,7 @@ impl Cluster {
             };
             cl.services[id.0].busy += 1;
             cl.inflight
-                .get_mut(&next)
+                .get_mut(next)
                 .expect("queued request in flight")
                 .holds_worker = true;
             sim.schedule_now(move |sim, cl: &mut Cluster| {

@@ -173,7 +173,7 @@ impl DaemonRuntime {
         }
         // The daemon's host sees the response packet.
         let host = cl.daemons[idx].host;
-        cl.services[host.index()].counters.rx_packets += 1;
+        cl.counters[host.index()].rx_packets += 1;
 
         let phase = cl.daemons[idx].phase;
         match phase {
@@ -234,7 +234,7 @@ impl DaemonRuntime {
             let d = &mut cl.daemons[idx];
             d.work_per_item.sample(&mut d.rng)
         };
-        cl.services[host.index()].counters.add_cpu(work);
+        cl.counters[host.index()].add_cpu(work);
         sim.schedule_after(work, move |sim, cl: &mut Cluster| {
             let call = cl.daemons[idx].call_per_item;
             match call {

@@ -55,7 +55,7 @@ mod spec;
 mod tracing;
 
 pub use autoscaler::AutoscalerSpec;
-pub use cluster::{Cluster, Completion, ExternalCallback, Response};
+pub use cluster::{Cluster, Completion, ExternalCallback, ReqToken, Response};
 pub use counters::Counters;
 pub use error::BuildError;
 pub use fault::FaultKind;

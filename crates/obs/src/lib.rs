@@ -18,7 +18,7 @@
 //!   per-phase breakdown in `results/profile_*.{txt,json}`.
 //!
 //! Two exporters serve both sides: [`trace::chrome_trace_json`] renders
-//! spans (or any [`TraceEvent`](trace::TraceEvent) stream, e.g. the
+//! spans (or any [`trace::TraceEvent`] stream, e.g. the
 //! `icfl-micro` simulated-request span store) as a Chrome-trace/Perfetto
 //! JSON timeline, and [`MetricsSnapshot::to_prometheus`] /
 //! [`MetricsSnapshot::to_jsonl`] render the journal as a Prometheus-style

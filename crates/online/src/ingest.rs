@@ -30,7 +30,7 @@
 //! `[k·hop, k·hop + window]`, anchored at the attach time (time zero).
 
 use icfl_core::CoreError;
-use icfl_micro::{Cluster, Counters, ServiceId};
+use icfl_micro::{Cluster, Counters};
 use icfl_scenario::TelemetryTap;
 use icfl_sim::{Sim, SimDuration, SimTime};
 use icfl_telemetry::{
@@ -307,11 +307,11 @@ impl StreamingIngester {
     }
 }
 
-/// One raw counter scrape across the cluster.
+/// One raw counter scrape across the cluster: a single contiguous copy of
+/// the counters arena rather than a per-service gather.
 fn scrape(cl: &Cluster, num_services: usize) -> Vec<Counters> {
-    (0..num_services)
-        .map(|i| cl.counters(ServiceId::from_index(i)))
-        .collect()
+    icfl_obs::counter_add("icfl_telemetry_batched_scrapes_total", &[], 1);
+    cl.counters_slice()[..num_services].to_vec()
 }
 
 /// Streaming collection as a scenario telemetry tap: attaches a
@@ -355,7 +355,7 @@ impl TelemetryTap for IngesterTap {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use icfl_micro::{steps, ClusterSpec, ServiceSpec};
+    use icfl_micro::{steps, ClusterSpec, ServiceId, ServiceSpec};
 
     fn demo(seed: u64) -> (Sim<Cluster>, Cluster) {
         let spec = ClusterSpec::new("demo")

@@ -235,7 +235,10 @@ impl<'a> ScenarioBuilder<'a> {
                 .ok_or_else(|| BuildError::UnknownService(name.clone()))?;
             cluster.set_fault(id, Some(fault.clone()));
         }
-        let mut sim = Sim::new(self.seed);
+        // Pre-size the scheduler's bucket queue and cancellation set from
+        // the built topology (services × workers × queue depth) instead of
+        // a one-size-fits-all constant.
+        let mut sim = Sim::with_capacity(self.seed, cluster.pending_events_hint());
         Cluster::start(&mut sim, &mut cluster);
         let handle = tap.attach(&mut sim, &cluster);
         let mut load =
@@ -260,6 +263,7 @@ impl<'a> ScenarioBuilder<'a> {
                 sim,
                 cluster,
                 targets,
+                flushed_queue_stats: icfl_sim::QueueStats::default(),
             },
             handle,
         ))
@@ -326,6 +330,8 @@ pub struct Scenario {
     pub cluster: Cluster,
     /// The app's fault targets, resolved to service ids.
     pub targets: Vec<ServiceId>,
+    /// Queue stats already published to `icfl-obs` (delta flushing).
+    flushed_queue_stats: icfl_sim::QueueStats,
 }
 
 impl std::fmt::Debug for Scenario {
@@ -356,6 +362,37 @@ impl Scenario {
         let mut span = icfl_obs::span("sim-run");
         span.arg("until", until);
         self.sim.run_until(until, &mut self.cluster);
+        self.flush_queue_stats();
+    }
+
+    /// Journals the bucketed scheduler's internals into the global
+    /// `icfl-obs` collector. Stats are cumulative per simulation, so
+    /// repeated flushes publish deltas for the counters and keep the
+    /// occupancy high-water as a max gauge.
+    fn flush_queue_stats(&mut self) {
+        let stats = self.sim.queue_stats();
+        icfl_obs::gauge_max(
+            "icfl_sched_bucket_occupancy_high_water",
+            &[],
+            stats.occupancy_high_water,
+        );
+        let last = &mut self.flushed_queue_stats;
+        icfl_obs::counter_add(
+            "icfl_sched_resizes_total",
+            &[],
+            stats.resizes - last.resizes,
+        );
+        icfl_obs::counter_add(
+            "icfl_sched_cascades_total",
+            &[],
+            stats.cascades - last.cascades,
+        );
+        icfl_obs::counter_add(
+            "icfl_sched_rotations_total",
+            &[],
+            stats.rotations - last.rotations,
+        );
+        *last = stats;
     }
 }
 

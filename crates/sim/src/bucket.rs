@@ -1,0 +1,547 @@
+//! Hierarchical bucketed (calendar-queue) priority queue for the scheduler.
+//!
+//! The discrete-event hot path is pop-next / push-future at ~10^7 events per
+//! second, and a binary heap pays `O(log n)` cache-missing sifts on every
+//! operation — with far-future entries (timeouts, decoy timers) inflating `n`
+//! for the whole run. This queue is a 3-level timing wheel over the packed
+//! `(time, seq)` key used by [`crate::Sim`]:
+//!
+//! * level 0: 1024 buckets of `2^w` ns each (`w` = 20 by default, ~1 ms);
+//! * level 1: 1024 buckets of `2^(w+10)` ns (~1 s);
+//! * level 2: 1024 buckets of `2^(w+20)` ns (~18 min);
+//! * overflow list beyond the level-2 window (~13 days at the default width).
+//!
+//! Pops drain a sorted run of the current bucket ("active"); when it empties
+//! the wheel advances via per-level occupancy bitmaps, cascading coarser
+//! buckets into finer ones. Pushes are `O(1)` appends; each entry is touched
+//! at most `LEVELS` times before it pops, so the amortized cost per event is
+//! constant and far-future entries cost nothing until their bucket is due.
+//!
+//! Ordering contract: pops yield keys in strictly increasing order — the
+//! exact sequence a min-heap over the same keys would yield (keys are unique
+//! because the low 64 bits are a monotone sequence number). This equivalence
+//! is pinned by proptests in `tests/bucket_equivalence.rs`.
+
+use std::collections::VecDeque;
+use std::mem;
+
+/// log2 of the slot count per wheel level.
+const SLOT_BITS: u32 = 10;
+/// Slots per wheel level.
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Mask extracting a slot index from a day number.
+const SLOT_MASK: u64 = (SLOTS as u64) - 1;
+/// 64-bit words in a level's occupancy bitmap.
+const WORDS: usize = SLOTS / 64;
+/// Number of wheel levels before the overflow list.
+const LEVELS: usize = 3;
+
+/// Default log2 of the level-0 bucket width in nanoseconds (~1 ms).
+const DEFAULT_WIDTH_LOG2: u32 = 20;
+/// Narrowest allowed bucket width (64 ns); adaptive narrowing stops here.
+const MIN_WIDTH_LOG2: u32 = 6;
+/// An activated bucket longer than this triggers a 4x narrowing rebuild.
+const RESIZE_THRESHOLD: usize = 4096;
+
+/// Behaviour counters for the bucketed queue, exposed so runs can journal
+/// them (see `icfl-obs`): all values are deterministic functions of the
+/// push/pop sequence, so they are safe to include in the determinism journal.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Largest number of entries ever activated from a single bucket.
+    pub occupancy_high_water: u64,
+    /// Adaptive bucket-width narrowing rebuilds performed.
+    pub resizes: u64,
+    /// Coarse-to-fine bucket cascades performed while advancing the wheel.
+    pub cascades: u64,
+    /// Overflow-list rotations (wheel repositioned at the overflow minimum).
+    pub rotations: u64,
+}
+
+/// One wheel level: `SLOTS` buckets plus an occupancy bitmap so advancing
+/// skips empty buckets in word-sized steps.
+struct Level<T> {
+    slots: Vec<Vec<(u128, T)>>,
+    occupied: [u64; WORDS],
+}
+
+impl<T> Level<T> {
+    fn new() -> Self {
+        Level {
+            slots: (0..SLOTS).map(|_| Vec::new()).collect(),
+            occupied: [0; WORDS],
+        }
+    }
+
+    #[inline]
+    fn mark(&mut self, idx: usize) {
+        self.occupied[idx >> 6] |= 1u64 << (idx & 63);
+    }
+
+    #[inline]
+    fn clear(&mut self, idx: usize) {
+        self.occupied[idx >> 6] &= !(1u64 << (idx & 63));
+    }
+
+    /// First occupied slot index `>= start`, if any.
+    fn next_occupied(&self, start: usize) -> Option<usize> {
+        if start >= SLOTS {
+            return None;
+        }
+        let mut w = start >> 6;
+        let mut word = self.occupied[w] & (!0u64 << (start & 63));
+        loop {
+            if word != 0 {
+                return Some((w << 6) + word.trailing_zeros() as usize);
+            }
+            w += 1;
+            if w == WORDS {
+                return None;
+            }
+            word = self.occupied[w];
+        }
+    }
+}
+
+/// A monotone priority queue over packed `(time, seq)` keys.
+///
+/// "Monotone" in the calendar-queue sense: keys pushed after a pop must
+/// compare greater than the popped key (the simulation clock never runs
+/// backwards), which is exactly the contract [`crate::Sim`] enforces with
+/// its schedule-in-the-past panic.
+///
+/// # Examples
+///
+/// ```
+/// use icfl_sim::BucketQueue;
+///
+/// let mut q: BucketQueue<&'static str> = BucketQueue::new();
+/// q.push((2u128 << 64) | 0, "b");
+/// q.push((1u128 << 64) | 1, "a");
+/// q.push((2u128 << 64) | 2, "c"); // same time as "b", later seq
+/// assert_eq!(q.pop(), Some(((1u128 << 64) | 1, "a")));
+/// assert_eq!(q.pop(), Some(((2u128 << 64) | 0, "b")));
+/// assert_eq!(q.pop(), Some(((2u128 << 64) | 2, "c")));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct BucketQueue<T> {
+    /// The current bucket's run, sorted by key ascending: the next pop is
+    /// `active.front()`. A deque (not a Vec) so that both draining from the
+    /// front and appending a monotone burst of same-instant events at the
+    /// back are `O(1)`.
+    active: VecDeque<(u128, T)>,
+    /// Level-0 day of the active run. Every entry stored in the wheels or
+    /// overflow has a level-0 day strictly greater than this; entries at or
+    /// before it are merged into `active` on push.
+    scan_day: u64,
+    /// log2 of the level-0 bucket width in nanoseconds.
+    width_log2: u32,
+    levels: [Level<T>; LEVELS],
+    /// Entries beyond the level-2 window, unsorted; `overflow_min` tracks
+    /// the smallest key so rotation knows where to reposition the wheel.
+    overflow: Vec<(u128, T)>,
+    overflow_min: u128,
+    len: usize,
+    stats: QueueStats,
+}
+
+impl<T> Default for BucketQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> std::fmt::Debug for BucketQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BucketQueue")
+            .field("len", &self.len)
+            .field("width_log2", &self.width_log2)
+            .field("scan_day", &self.scan_day)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl<T> BucketQueue<T> {
+    /// An empty queue with the default bucket width and no preallocation.
+    pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// An empty queue reserving room for roughly `hint` concurrently pending
+    /// entries (the active run and overflow list are pre-sized; buckets
+    /// allocate lazily as they are first touched).
+    pub fn with_capacity(hint: usize) -> Self {
+        let mut active = VecDeque::new();
+        let mut overflow = Vec::new();
+        if hint > 0 {
+            active.reserve(hint.min(RESIZE_THRESHOLD));
+            overflow.reserve(hint.min(RESIZE_THRESHOLD));
+        }
+        BucketQueue {
+            active,
+            scan_day: 0,
+            width_log2: DEFAULT_WIDTH_LOG2,
+            levels: [Level::new(), Level::new(), Level::new()],
+            overflow,
+            overflow_min: u128::MAX,
+            len: 0,
+            stats: QueueStats::default(),
+        }
+    }
+
+    /// Number of entries pending in the queue.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the queue holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Behaviour counters accumulated since construction.
+    pub fn stats(&self) -> QueueStats {
+        self.stats
+    }
+
+    /// Current log2 bucket width in nanoseconds (decreases on adaptive
+    /// narrowing).
+    pub fn width_log2(&self) -> u32 {
+        self.width_log2
+    }
+
+    #[inline]
+    fn day_of(&self, key: u128) -> u64 {
+        ((key >> 64) as u64) >> self.width_log2
+    }
+
+    /// Inserts an entry. Keys must be unique and no smaller than the last
+    /// popped key (the [`crate::Sim`] monotone-clock contract).
+    #[inline]
+    pub fn push(&mut self, key: u128, item: T) {
+        self.len += 1;
+        let d0 = self.day_of(key);
+        if d0 <= self.scan_day {
+            // The wheel has already scanned past this bucket (legal: the
+            // key is still >= the last popped key). Merge into the sorted
+            // active run; monotone keys land at the back in O(1), and the
+            // deque shifts the shorter side for mid-run inserts.
+            let at = self.active.partition_point(|e| e.0 < key);
+            self.active.insert(at, (key, item));
+            return;
+        }
+        self.push_future(d0, key, item);
+    }
+
+    /// Places a strictly-future entry into the finest wheel level whose
+    /// current window contains it, or the overflow list.
+    #[inline]
+    fn push_future(&mut self, d0: u64, key: u128, item: T) {
+        let scan = self.scan_day;
+        for l in 0..LEVELS {
+            let window_shift = (l as u32 + 1) * SLOT_BITS;
+            if d0 >> window_shift == scan >> window_shift {
+                let idx = ((d0 >> (l as u32 * SLOT_BITS)) & SLOT_MASK) as usize;
+                self.levels[l].slots[idx].push((key, item));
+                self.levels[l].mark(idx);
+                return;
+            }
+        }
+        if key < self.overflow_min {
+            self.overflow_min = key;
+        }
+        self.overflow.push((key, item));
+    }
+
+    /// Removes and returns the entry with the smallest key.
+    #[inline]
+    pub fn pop(&mut self) -> Option<(u128, T)> {
+        if self.active.is_empty() && !self.advance() {
+            return None;
+        }
+        self.len -= 1;
+        self.active.pop_front()
+    }
+
+    /// The smallest pending key, advancing the wheel if the active run is
+    /// drained (`&mut` because advancing mutates scan state; the queue
+    /// contents are unchanged).
+    #[inline]
+    pub fn peek_key(&mut self) -> Option<u128> {
+        if self.active.is_empty() && !self.advance() {
+            return None;
+        }
+        self.active.front().map(|e| e.0)
+    }
+
+    /// Moves the scan position to the next non-empty bucket, cascading
+    /// coarser levels and rotating the overflow list as needed. Returns
+    /// `false` iff the queue is empty.
+    fn advance(&mut self) -> bool {
+        debug_assert!(self.active.is_empty());
+        // First candidate slot per level: strictly after the current scan
+        // position, reset to 0 when a cascade opens a fresh window.
+        let mut start = [
+            ((self.scan_day & SLOT_MASK) + 1) as usize,
+            (((self.scan_day >> SLOT_BITS) & SLOT_MASK) + 1) as usize,
+            (((self.scan_day >> (2 * SLOT_BITS)) & SLOT_MASK) + 1) as usize,
+        ];
+        loop {
+            if let Some(i0) = self.levels[0].next_occupied(start[0]) {
+                self.scan_day = (self.scan_day & !SLOT_MASK) | i0 as u64;
+                self.activate(i0);
+                return true;
+            }
+            let d1 = self.scan_day >> SLOT_BITS;
+            if let Some(i1) = self.levels[1].next_occupied(start[1]) {
+                let new_d1 = (d1 & !SLOT_MASK) | i1 as u64;
+                self.scan_day = new_d1 << SLOT_BITS;
+                self.cascade(1, i1);
+                start[0] = 0;
+                start[1] = i1 + 1;
+                continue;
+            }
+            let d2 = d1 >> SLOT_BITS;
+            if let Some(i2) = self.levels[2].next_occupied(start[2]) {
+                let new_d2 = (d2 & !SLOT_MASK) | i2 as u64;
+                self.scan_day = new_d2 << (2 * SLOT_BITS);
+                self.cascade(2, i2);
+                start[0] = 0;
+                start[1] = 0;
+                start[2] = i2 + 1;
+                continue;
+            }
+            if self.overflow.is_empty() {
+                return false;
+            }
+            self.rotate_overflow();
+            if !self.active.is_empty() {
+                // Rotation can merge directly into the active run when the
+                // overflow minimum sits exactly on a level-2 window start.
+                return true;
+            }
+            start = [0, 0, 0];
+        }
+    }
+
+    /// Promotes level-0 bucket `idx` to the active run, sorted ascending.
+    fn activate(&mut self, idx: usize) {
+        debug_assert!(self.active.is_empty());
+        // Swap storage so the drained active buffer becomes the empty
+        // bucket: capacities are recycled instead of reallocated (both
+        // Vec<->VecDeque conversions are O(1) and allocation-preserving).
+        let recycled = Vec::from(mem::take(&mut self.active));
+        let mut run = mem::replace(&mut self.levels[0].slots[idx], recycled);
+        self.levels[0].clear(idx);
+        run.sort_unstable_by_key(|a| a.0);
+        self.stats.occupancy_high_water = self.stats.occupancy_high_water.max(run.len() as u64);
+        self.active = VecDeque::from(run);
+        if self.active.len() > RESIZE_THRESHOLD && self.width_log2 > MIN_WIDTH_LOG2 {
+            self.narrow();
+        }
+    }
+
+    /// Distributes bucket `idx` of `level` into the next finer level.
+    fn cascade(&mut self, level: usize, idx: usize) {
+        self.stats.cascades += 1;
+        let mut entries = mem::take(&mut self.levels[level].slots[idx]);
+        self.levels[level].clear(idx);
+        let shift = (level as u32 - 1) * SLOT_BITS;
+        for (key, item) in entries.drain(..) {
+            let d0 = self.day_of(key);
+            let slot = ((d0 >> shift) & SLOT_MASK) as usize;
+            self.levels[level - 1].slots[slot].push((key, item));
+            self.levels[level - 1].mark(slot);
+        }
+        // Hand the (now empty) allocation back to the drained bucket.
+        self.levels[level].slots[idx] = entries;
+    }
+
+    /// Narrows buckets 4x and redistributes every pending entry. Triggered
+    /// when one bucket collects more than [`RESIZE_THRESHOLD`] entries, so
+    /// sorting stays cheap under bursty same-bucket load.
+    fn narrow(&mut self) {
+        self.stats.resizes += 1;
+        let shrink = 2u32.min(self.width_log2 - MIN_WIDTH_LOG2);
+        self.width_log2 -= shrink;
+        // The old scan day maps to the last new day inside it, so entries
+        // previously merged into the active run still satisfy d0 <= scan.
+        let new_scan = (self.scan_day << shrink) | ((1u64 << shrink) - 1);
+        self.rebuild(new_scan);
+    }
+
+    /// Repositions the wheel at the overflow minimum and re-files the
+    /// overflow list; entries still beyond the new window stay in overflow.
+    fn rotate_overflow(&mut self) {
+        self.stats.rotations += 1;
+        let min_d0 = self.day_of(self.overflow_min);
+        let top_window_mask = (1u64 << (LEVELS as u32 * SLOT_BITS)) - 1;
+        // Scan sits one day before the minimum so it files into level 0 —
+        // unless the minimum starts a level-2 window, in which case scanning
+        // at it merges the minimum straight into the active run.
+        let new_scan = if min_d0 & top_window_mask == 0 {
+            min_d0
+        } else {
+            min_d0 - 1
+        };
+        self.rebuild(new_scan);
+    }
+
+    /// Re-files every pending entry against `new_scan`, expressed in the
+    /// (possibly just-narrowed) current width. Callers guarantee `new_scan`
+    /// does not move the scan backwards in absolute time, preserving pop
+    /// monotonicity.
+    fn rebuild(&mut self, new_scan: u64) {
+        let mut pending: Vec<(u128, T)> = Vec::with_capacity(self.len);
+        // Active first and in ascending order: re-inserting monotonically
+        // increasing keys appends at the back of the new active run, so the
+        // rebuild avoids quadratic sorted-insert shifts.
+        pending.extend(self.active.drain(..));
+        for level in &mut self.levels {
+            level.occupied = [0; WORDS];
+            for slot in &mut level.slots {
+                if !slot.is_empty() {
+                    pending.append(slot);
+                }
+            }
+        }
+        pending.append(&mut self.overflow);
+        self.overflow_min = u128::MAX;
+        self.scan_day = new_scan;
+        self.len = 0;
+        for (key, item) in pending {
+            self.push(key, item);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(t: u64, seq: u64) -> u128 {
+        ((t as u128) << 64) | seq as u128
+    }
+
+    /// Drains the queue, asserting strictly increasing keys, and returns
+    /// the popped payloads.
+    fn drain<T>(q: &mut BucketQueue<T>) -> Vec<T> {
+        let mut out = Vec::new();
+        let mut last: Option<u128> = None;
+        while let Some(k) = q.peek_key() {
+            let (pk, v) = q.pop().expect("peeked entry pops");
+            assert_eq!(pk, k);
+            if let Some(prev) = last {
+                assert!(pk > prev, "keys must strictly increase");
+            }
+            last = Some(pk);
+            out.push(v);
+        }
+        assert!(q.is_empty());
+        out
+    }
+
+    #[test]
+    fn pops_in_key_order_with_ties_by_seq() {
+        let mut q = BucketQueue::new();
+        q.push(key(5_000_000, 0), 'c');
+        q.push(key(1_000, 1), 'a');
+        q.push(key(1_000, 2), 'b');
+        q.push(key(5_000_000, 3), 'd');
+        assert_eq!(drain(&mut q), vec!['a', 'b', 'c', 'd']);
+    }
+
+    #[test]
+    fn far_future_entries_cross_levels_and_overflow() {
+        let mut q = BucketQueue::new();
+        // One entry per regime: active day, level 0/1/2, overflow.
+        q.push(key(10, 0), 0u32);
+        q.push(key(10_000_000, 1), 1); // ~10 ms -> level 0
+        q.push(key(10_000_000_000, 2), 2); // 10 s -> level 1
+        q.push(key(3_600_000_000_000, 3), 3); // 1 h -> level 2
+        q.push(key(30 * 24 * 3_600_000_000_000, 4), 4); // 30 d -> overflow
+        assert_eq!(q.len(), 5);
+        assert_eq!(drain(&mut q), vec![0, 1, 2, 3, 4]);
+        assert!(q.stats().cascades > 0);
+        assert!(q.stats().rotations > 0);
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = BucketQueue::new();
+        let mut seq = 0u64;
+        let mut push = |q: &mut BucketQueue<u64>, t: u64| {
+            let s = seq;
+            seq += 1;
+            q.push(key(t, s), s);
+        };
+        push(&mut q, 50);
+        push(&mut q, 2_000_000);
+        assert_eq!(q.pop().map(|e| e.1), Some(0));
+        // Push between the popped key and the pending one: must pop next.
+        push(&mut q, 60);
+        assert_eq!(q.pop().map(|e| e.1), Some(2));
+        assert_eq!(q.pop().map(|e| e.1), Some(1));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn push_behind_scan_after_peek_merges_into_active() {
+        let mut q = BucketQueue::new();
+        q.push(key(5_000_000, 0), "later");
+        // Peeking advances the scan to the 5 ms bucket...
+        assert_eq!(q.peek_key(), Some(key(5_000_000, 0)));
+        // ...but a push for an earlier (still-future) time must pop first.
+        q.push(key(4_999_999, 1), "sooner");
+        assert_eq!(q.pop().map(|e| e.1), Some("sooner"));
+        assert_eq!(q.pop().map(|e| e.1), Some("later"));
+    }
+
+    #[test]
+    fn narrow_resize_preserves_order() {
+        let mut q = BucketQueue::new();
+        let n = (RESIZE_THRESHOLD + 500) as u64;
+        // Everything lands in one future ~1 ms bucket, forcing a narrowing
+        // rebuild when that bucket is activated.
+        for i in 0..n {
+            q.push(key(5_000_000 + i * 7, i), i);
+        }
+        let popped = drain(&mut q);
+        assert_eq!(popped, (0..n).collect::<Vec<_>>());
+        assert!(q.stats().resizes > 0);
+        assert!(q.width_log2() < DEFAULT_WIDTH_LOG2);
+        assert_eq!(q.stats().occupancy_high_water, n);
+    }
+
+    #[test]
+    fn same_instant_pile_does_not_resize_forever() {
+        let mut q = BucketQueue::new();
+        let n = (RESIZE_THRESHOLD * 2) as u64;
+        for i in 0..n {
+            q.push(key(42, i), i);
+        }
+        assert_eq!(drain(&mut q), (0..n).collect::<Vec<_>>());
+        assert!(q.width_log2() >= MIN_WIDTH_LOG2);
+    }
+
+    #[test]
+    fn len_tracks_pushes_and_pops() {
+        let mut q = BucketQueue::new();
+        assert!(q.is_empty());
+        q.push(key(1, 0), ());
+        q.push(key(2, 1), ());
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_key(), None);
+    }
+
+    #[test]
+    fn debug_output_is_nonempty() {
+        let q: BucketQueue<()> = BucketQueue::new();
+        assert!(!format!("{q:?}").is_empty());
+    }
+}

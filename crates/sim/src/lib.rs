@@ -38,12 +38,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bucket;
 mod dist;
 mod hash;
 mod rng;
 mod scheduler;
 mod time;
 
+pub use bucket::{BucketQueue, QueueStats};
 pub use dist::DurationDist;
 pub use hash::{fast_map_with_capacity, FastHashMap, FastHashSet, FastHasher};
 pub use rng::Rng;

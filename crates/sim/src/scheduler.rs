@@ -5,11 +5,17 @@
 //! caller-supplied world state `S`; they may schedule further actions. Events
 //! at equal timestamps run in insertion order (FIFO), which together with the
 //! deterministic PRNG makes whole simulations reproducible.
+//!
+//! The queue behind the scheduler is a hierarchical bucketed calendar queue
+//! ([`crate::BucketQueue`]) rather than a binary heap: pushes are `O(1)`
+//! appends and pops drain sorted per-bucket runs, so throughput no longer
+//! degrades with the number of far-future entries (timeouts, cancelled
+//! decoys) parked in the queue. The pop order is exactly the heap's
+//! `(time, seq)` order — pinned by proptests in `tests/bucket_equivalence.rs`.
 
+use crate::bucket::BucketQueue;
 use crate::hash::FastHashSet;
-use crate::{Rng, SimDuration, SimTime};
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use crate::{QueueStats, Rng, SimDuration, SimTime};
 
 /// An action executed by the scheduler at its scheduled time.
 pub type Action<S> = Box<dyn FnOnce(&mut Sim<S>, &mut S)>;
@@ -26,20 +32,21 @@ pub struct EventId(u64);
 type EventIdSet = FastHashSet<EventId>;
 
 /// What a queue entry runs when it pops.
+///
+/// One-shot events recover their [`EventId`] from the low 64 bits of the
+/// queue key (id == seq); periodic events are re-armed under fresh sequence
+/// numbers while keeping their original id for cancellation, so the id rides
+/// in the payload.
 enum Payload<S> {
     /// A one-shot boxed closure.
     Once(Action<S>),
     /// A recurring tick: after running, the same boxed closure is re-pushed
     /// at `time + period` without a fresh allocation.
-    Periodic { period: SimDuration, tick: Tick<S> },
-}
-
-struct Entry<S> {
-    /// `(time, seq)` packed as `time.as_nanos() << 64 | seq`: one integer
-    /// compare orders the heap by time with FIFO tie-break.
-    key: u128,
-    id: EventId,
-    payload: Payload<S>,
+    Periodic {
+        id: EventId,
+        period: SimDuration,
+        tick: Tick<S>,
+    },
 }
 
 #[inline]
@@ -51,36 +58,6 @@ fn pack_key(time: SimTime, seq: u64) -> u128 {
 fn key_time(key: u128) -> SimTime {
     SimTime::from_nanos((key >> 64) as u64)
 }
-
-impl<S> Entry<S> {
-    #[inline]
-    fn time(&self) -> SimTime {
-        key_time(self.key)
-    }
-}
-
-impl<S> PartialEq for Entry<S> {
-    fn eq(&self, other: &Self) -> bool {
-        self.key == other.key
-    }
-}
-impl<S> Eq for Entry<S> {}
-impl<S> PartialOrd for Entry<S> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<S> Ord for Entry<S> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
-        other.key.cmp(&self.key)
-    }
-}
-
-/// Queue capacity reserved up front; steady-state campaign sims keep a few
-/// hundred to a few thousand events in flight, and reserving once keeps
-/// heap growth off the scheduling hot path.
-const INITIAL_QUEUE_CAPACITY: usize = 4096;
 
 /// A deterministic discrete-event simulation engine over world state `S`.
 ///
@@ -105,7 +82,7 @@ pub struct Sim<S> {
     /// Single monotone counter: each scheduled event consumes one value as
     /// both its `EventId` and its FIFO sequence number.
     next_seq: u64,
-    queue: BinaryHeap<Entry<S>>,
+    queue: BucketQueue<Payload<S>>,
     cancelled: EventIdSet,
     executed: u64,
     rng: Rng,
@@ -124,11 +101,26 @@ impl<S> std::fmt::Debug for Sim<S> {
 impl<S> Sim<S> {
     /// Creates an engine at time zero with the given root seed.
     pub fn new(seed: u64) -> Self {
+        Self::with_capacity(seed, 0)
+    }
+
+    /// Creates an engine at time zero sized for roughly `events_hint`
+    /// concurrently pending events.
+    ///
+    /// The hint pre-reserves queue and cancellation-set storage so large
+    /// scenarios (fleet topologies, heavy load) don't regrow mid-run, while
+    /// `events_hint == 0` keeps small scenarios allocation-light. Capacity
+    /// never affects behaviour — only allocation timing.
+    pub fn with_capacity(seed: u64, events_hint: usize) -> Self {
+        let mut cancelled = EventIdSet::default();
+        if events_hint > 0 {
+            cancelled.reserve(events_hint / 4);
+        }
         Sim {
             now: SimTime::ZERO,
             next_seq: 0,
-            queue: BinaryHeap::with_capacity(INITIAL_QUEUE_CAPACITY),
-            cancelled: EventIdSet::default(),
+            queue: BucketQueue::with_capacity(events_hint),
+            cancelled,
             executed: 0,
             rng: Rng::seeded(seed),
         }
@@ -149,6 +141,13 @@ impl<S> Sim<S> {
         self.queue.len()
     }
 
+    /// Behaviour counters for the bucketed event queue (occupancy high-water,
+    /// resizes, cascades, rotations). Deterministic per seed, so callers may
+    /// journal them alongside other run outputs.
+    pub fn queue_stats(&self) -> QueueStats {
+        self.queue.stats()
+    }
+
     /// The engine's root RNG. Components should [`Rng::fork`] named streams
     /// from this rather than drawing from it directly.
     pub fn rng(&mut self) -> &mut Rng {
@@ -165,11 +164,7 @@ impl<S> Sim<S> {
         let seq = self.next_seq;
         self.next_seq += 1;
         let id = EventId(seq);
-        self.queue.push(Entry {
-            key: pack_key(at, seq),
-            id,
-            payload,
-        });
+        self.queue.push(pack_key(at, seq), payload);
         id
     }
 
@@ -218,9 +213,11 @@ impl<S> Sim<S> {
             !period.is_zero(),
             "periodic event with zero period would livelock"
         );
+        let id = EventId(self.next_seq);
         self.push_payload(
             start,
             Payload::Periodic {
+                id,
                 period,
                 tick: Box::new(action),
             },
@@ -233,34 +230,41 @@ impl<S> Sim<S> {
         self.cancelled.insert(id);
     }
 
-    /// Pops the next entry and runs it, re-arming periodic payloads.
-    /// The caller has already checked the queue is nonempty and the horizon.
+    /// Runs a popped entry, re-arming periodic payloads.
+    /// The caller has already checked the horizon.
     #[inline]
-    fn dispatch(&mut self, entry: Entry<S>, state: &mut S) {
+    fn dispatch(&mut self, key: u128, payload: Payload<S>, state: &mut S) {
+        let id = match &payload {
+            Payload::Once(_) => EventId(key as u64),
+            Payload::Periodic { id, .. } => *id,
+        };
         // `remove` (not `contains`) so one-shot cancellations don't pin set
         // entries forever; skip the hash entirely while no cancellations
         // are outstanding — the common case.
-        if !self.cancelled.is_empty() && self.cancelled.remove(&entry.id) {
+        if !self.cancelled.is_empty() && self.cancelled.remove(&id) {
             return;
         }
-        let time = entry.time();
+        let time = key_time(key);
         debug_assert!(time >= self.now, "event time regression");
         self.now = time;
         self.executed += 1;
-        match entry.payload {
+        match payload {
             Payload::Once(action) => action(self, state),
-            Payload::Periodic { period, mut tick } => {
+            Payload::Periodic {
+                id,
+                period,
+                mut tick,
+            } => {
                 tick(self, state);
                 // Re-arm with a fresh seq so ticks interleave FIFO with
                 // same-instant events scheduled during this tick, exactly
                 // as a re-scheduled closure would. The box is reused.
                 let seq = self.next_seq;
                 self.next_seq += 1;
-                self.queue.push(Entry {
-                    key: pack_key(time + period, seq),
-                    id: entry.id,
-                    payload: Payload::Periodic { period, tick },
-                });
+                self.queue.push(
+                    pack_key(time + period, seq),
+                    Payload::Periodic { id, period, tick },
+                );
             }
         }
     }
@@ -271,12 +275,12 @@ impl<S> Sim<S> {
     /// Events scheduled exactly at `horizon` are executed.
     pub fn run_until(&mut self, horizon: SimTime, state: &mut S) {
         let horizon_key = pack_key(horizon, u64::MAX);
-        while let Some(top) = self.queue.peek() {
-            if top.key > horizon_key {
+        while let Some(key) = self.queue.peek_key() {
+            if key > horizon_key {
                 break;
             }
-            let entry = self.queue.pop().expect("peeked entry exists");
-            self.dispatch(entry, state);
+            let (key, payload) = self.queue.pop().expect("peeked entry exists");
+            self.dispatch(key, payload, state);
         }
         if horizon > self.now {
             self.now = horizon;
@@ -289,12 +293,12 @@ impl<S> Sim<S> {
     /// Returns `true` if the queue drained.
     pub fn run_to_completion(&mut self, max_events: u64, state: &mut S) -> bool {
         let start = self.executed;
-        while self.queue.peek().is_some() {
+        while self.queue.peek_key().is_some() {
             if self.executed - start >= max_events {
                 return false;
             }
-            let entry = self.queue.pop().expect("peeked entry exists");
-            self.dispatch(entry, state);
+            let (key, payload) = self.queue.pop().expect("peeked entry exists");
+            self.dispatch(key, payload, state);
         }
         true
     }
@@ -407,6 +411,22 @@ mod tests {
     }
 
     #[test]
+    fn cancelling_a_periodic_event_stops_all_ticks() {
+        let mut sim: Sim<u32> = Sim::new(0);
+        let mut hits = 0;
+        let id = sim.schedule_periodic(
+            SimTime::from_secs(1),
+            SimDuration::from_secs(1),
+            |_, w: &mut u32| *w += 1,
+        );
+        sim.run_until(SimTime::from_secs(3), &mut hits);
+        assert_eq!(hits, 3);
+        sim.cancel(id);
+        sim.run_until(SimTime::from_secs(10), &mut hits);
+        assert_eq!(hits, 3, "re-armed ticks must honour the original id");
+    }
+
+    #[test]
     fn run_to_completion_drains_queue() {
         let mut sim: Sim<u32> = Sim::new(0);
         let mut count = 0;
@@ -472,6 +492,48 @@ mod tests {
         }
         assert_eq!(run(99), run(99));
         assert_ne!(run(99), run(100));
+    }
+
+    #[test]
+    fn with_capacity_matches_default_behaviour() {
+        let mut a: Sim<Vec<u32>> = Sim::new(7);
+        let mut b: Sim<Vec<u32>> = Sim::with_capacity(7, 50_000);
+        let mut out_a = Vec::new();
+        let mut out_b = Vec::new();
+        for sim in [&mut a, &mut b] {
+            for i in 0..100u64 {
+                sim.schedule_at(
+                    SimTime::from_nanos((i % 13) * 1_000_000),
+                    move |_, w: &mut Vec<u32>| w.push(i as u32),
+                );
+            }
+        }
+        a.run_until(SimTime::from_secs(1), &mut out_a);
+        b.run_until(SimTime::from_secs(1), &mut out_b);
+        assert_eq!(out_a, out_b);
+    }
+
+    #[test]
+    fn queue_stats_are_exposed_and_deterministic() {
+        fn run() -> QueueStats {
+            let mut sim: Sim<u64> = Sim::new(3);
+            let mut n = 0u64;
+            sim.schedule_periodic(
+                SimTime::ZERO,
+                SimDuration::from_millis(7),
+                |sim, w: &mut u64| {
+                    *w += 1;
+                    // Far-future decoy exercises deeper wheel levels.
+                    let id = sim.schedule_after(SimDuration::from_secs(3600), |_, _| {});
+                    sim.cancel(id);
+                },
+            );
+            sim.run_until(SimTime::from_secs(5), &mut n);
+            sim.queue_stats()
+        }
+        let s = run();
+        assert!(s.occupancy_high_water >= 1);
+        assert_eq!(s, run());
     }
 
     #[test]

@@ -1,0 +1,158 @@
+//! Proptest equivalence of the bucketed calendar queue against the binary
+//! heap it replaced.
+//!
+//! The determinism contract (DESIGN.md, PR 2/5) requires the scheduler to
+//! pop the exact `(time, seq)` sequence the old `BinaryHeap` produced: any
+//! deviation reorders RNG draws and breaks byte-identical outputs. These
+//! tests drive [`icfl_sim::BucketQueue`] and a `BinaryHeap<Reverse<u128>>`
+//! reference through identical workloads — monotone pushes with
+//! same-timestamp ties, near/far/overflow-distance deltas, interleaved pops
+//! — and at the `Sim` level add cancellation and staged `run_until`
+//! advances against a sorted reference model.
+
+use icfl_sim::{BucketQueue, Sim, SimTime};
+use proptest::prelude::*;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+fn pack(t: u64, seq: u64) -> u128 {
+    ((t as u128) << 64) | seq as u128
+}
+
+/// A delta class per push: exercises ties (0), the active/level-0 path,
+/// level-1/2 cascades, and the overflow list + rotation.
+fn delta(class: u8, raw: u64) -> u64 {
+    match class % 5 {
+        0 => 0,                            // same-instant tie
+        1 => raw % 1_000_000,              // < 1 ms: active or level 0
+        2 => raw % 10_000_000_000,         // < 10 s: level 1
+        3 => raw % 10_000_000_000_000,     // < ~3 h: level 2
+        _ => raw % 10_000_000_000_000_000, // < ~115 d: overflow
+    }
+}
+
+proptest! {
+    /// Raw queue: interleaved pushes and pops yield the heap's pop order.
+    #[test]
+    fn bucket_queue_pops_match_binary_heap(
+        ops in proptest::collection::vec((any::<bool>(), any::<u8>(), any::<u64>()), 1..200),
+    ) {
+        let mut bucket: BucketQueue<u64> = BucketQueue::new();
+        let mut heap: BinaryHeap<Reverse<u128>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut now = 0u64; // time of the last popped key: pushes stay >= now
+        for &(is_pop, class, raw) in &ops {
+            if is_pop {
+                let got = bucket.pop();
+                let want = heap.pop().map(|Reverse(k)| k);
+                prop_assert_eq!(got.as_ref().map(|e| e.0), want);
+                if let Some((k, s)) = got {
+                    now = (k >> 64) as u64;
+                    prop_assert_eq!(s, k as u64);
+                }
+            } else {
+                let t = now.saturating_add(delta(class, raw));
+                let key = pack(t, seq);
+                bucket.push(key, seq);
+                heap.push(Reverse(key));
+                seq += 1;
+            }
+            prop_assert_eq!(bucket.len(), heap.len());
+        }
+        // Drain both completely; far-future entries force cascades/rotations.
+        loop {
+            let got = bucket.pop().map(|e| e.0);
+            let want = heap.pop().map(|Reverse(k)| k);
+            prop_assert_eq!(got, want);
+            if got.is_none() {
+                break;
+            }
+        }
+        prop_assert!(bucket.is_empty());
+    }
+
+    /// `peek_key` always agrees with the key the next `pop` returns, even
+    /// when pushes land behind the advanced scan position.
+    #[test]
+    fn peek_agrees_with_pop(
+        ops in proptest::collection::vec((any::<u8>(), any::<u64>()), 1..100),
+    ) {
+        let mut bucket: BucketQueue<()> = BucketQueue::new();
+        let mut now = 0u64;
+        for (i, &(class, raw)) in ops.iter().enumerate() {
+            bucket.push(pack(now.saturating_add(delta(class, raw)), i as u64), ());
+            if i % 3 == 2 {
+                let peeked = bucket.peek_key();
+                let popped = bucket.pop().map(|e| e.0);
+                prop_assert_eq!(peeked, popped);
+                if let Some(k) = popped {
+                    now = (k >> 64) as u64;
+                }
+            }
+        }
+    }
+
+    /// Full scheduler: random insert/cancel/advance against a sorted
+    /// reference model, including ties and far-future events.
+    #[test]
+    fn sim_matches_reference_under_insert_cancel_advance(
+        ops in proptest::collection::vec((0u8..3, any::<u8>(), any::<u64>()), 1..120),
+    ) {
+        let mut sim: Sim<Vec<usize>> = Sim::new(0);
+        let mut fired: Vec<usize> = Vec::new();
+        // Reference model: (time, insertion index, cancelled, fired).
+        let mut model: Vec<(u64, usize, bool, bool)> = Vec::new();
+        let mut ids = Vec::new();
+        let mut expected: Vec<usize> = Vec::new();
+        let mut now = 0u64;
+        for &(op, class, raw) in &ops {
+            match op {
+                0 => {
+                    let t = now.saturating_add(delta(class, raw));
+                    let i = ids.len();
+                    ids.push(sim.schedule_at(
+                        SimTime::from_nanos(t),
+                        move |_, w: &mut Vec<usize>| w.push(i),
+                    ));
+                    model.push((t, i, false, false));
+                }
+                1 => {
+                    // Cancel a pseudo-random earlier event (no-op if fired).
+                    if !ids.is_empty() {
+                        let pick = (raw as usize) % ids.len();
+                        sim.cancel(ids[pick]);
+                        model[pick].2 = true;
+                    }
+                }
+                _ => {
+                    // Advance to a horizon past `now`; the model fires every
+                    // surviving event up to it in (time, insertion) order.
+                    let h = now.saturating_add(delta(class, raw));
+                    sim.run_until(SimTime::from_nanos(h), &mut fired);
+                    let mut due: Vec<(u64, usize)> = model
+                        .iter()
+                        .filter(|&&(t, _, cancelled, done)| t <= h && !cancelled && !done)
+                        .map(|&(t, i, _, _)| (t, i))
+                        .collect();
+                    due.sort_unstable();
+                    for &(_, i) in &due {
+                        model[i].3 = true;
+                        expected.push(i);
+                    }
+                    now = h;
+                    prop_assert_eq!(&fired, &expected);
+                }
+            }
+        }
+        sim.run_until(SimTime::from_nanos(u64::MAX), &mut fired);
+        let mut due: Vec<(u64, usize)> = model
+            .iter()
+            .filter(|&&(_, _, cancelled, done)| !cancelled && !done)
+            .map(|&(t, i, _, _)| (t, i))
+            .collect();
+        due.sort_unstable();
+        expected.extend(due.iter().map(|&(_, i)| i));
+        prop_assert_eq!(fired, expected);
+        prop_assert_eq!(sim.events_pending(), 0);
+    }
+}

@@ -141,9 +141,10 @@ impl Recorder {
         let engine = Arc::new(Mutex::new(WindowEngine::new(cfg, num_services)));
         let engine2 = Arc::clone(&engine);
         sim.schedule_periodic(SimTime::ZERO, interval, move |sim, cl: &mut Cluster| {
-            let row: Vec<Counters> = (0..num_services)
-                .map(|i| cl.counters(ServiceId::from_index(i)))
-                .collect();
+            // One contiguous memcpy off the cluster's counters arena instead
+            // of a per-service gather.
+            let row: Vec<Counters> = cl.counters_slice()[..num_services].to_vec();
+            icfl_obs::counter_add("icfl_telemetry_batched_scrapes_total", &[], 1);
             engine2
                 .lock()
                 .expect("telemetry engine lock")
