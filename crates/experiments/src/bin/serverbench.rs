@@ -1,0 +1,136 @@
+//! Sweeps the networked ingest server (loopback) at 1×/4×/16× tenant
+//! concurrency: trains fig2 + causalbench models into the registry,
+//! records their scheduled-outage traces, replays them through the
+//! load-generator core, and records throughput and detection-latency
+//! rows next to the wall-clock timings.
+//!
+//! Tiers: the default full sweep, and `--smoke` (the 1× point — the CI
+//! gate). `--emit-trace DIR` additionally saves the recorded traces as
+//! JSONL for the two-terminal quick-start.
+
+use icfl_experiments::{
+    maybe_write_profile, record_metric_row, report_timing, run_timed, serverbench, CliOptions,
+    ServerbenchOptions,
+};
+use std::path::PathBuf;
+
+fn main() {
+    // Local flags are stripped before the shared option parser (which
+    // rejects unknown arguments).
+    let mut smoke = false;
+    let mut emit_trace: Option<PathBuf> = None;
+    let mut take_dir = false;
+    let rest: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| {
+            if take_dir {
+                emit_trace = Some(PathBuf::from(a));
+                take_dir = false;
+                return false;
+            }
+            match a.as_str() {
+                "--smoke" => {
+                    smoke = true;
+                    false
+                }
+                "--emit-trace" => {
+                    take_dir = true;
+                    false
+                }
+                _ => true,
+            }
+        })
+        .collect();
+    if take_dir {
+        eprintln!("--emit-trace needs a directory");
+        std::process::exit(2);
+    }
+    let opts = match CliOptions::parse(rest) {
+        Ok(o) => {
+            if o.threads > 0 {
+                std::env::set_var("ICFL_THREADS", o.threads.to_string());
+            }
+            if let Some(level) = o.log {
+                icfl_obs::logger::set_level(level);
+            }
+            o
+        }
+        Err(msg) => {
+            eprintln!("{msg} [--smoke] [--emit-trace DIR]");
+            std::process::exit(2);
+        }
+    };
+    let mut sopts = if smoke {
+        ServerbenchOptions::smoke(opts.seed)
+    } else {
+        ServerbenchOptions::new(opts.mode, opts.seed)
+    };
+    sopts.emit_trace = emit_trace;
+    let tier_name = if smoke {
+        "serverbench-smoke"
+    } else {
+        "serverbench"
+    };
+
+    icfl_obs::info!(
+        "running {tier_name} sweep in {} mode (seed {}, scales {:?})...",
+        sopts.mode,
+        sopts.seed,
+        sopts.scales
+    );
+    let timed = run_timed(|| serverbench(&sopts));
+    let report = match timed.result {
+        Ok(report) => report,
+        Err(e) => {
+            icfl_obs::error!("serverbench failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    println!(
+        "Ingest server under load (loopback, bulk batches, {STREAMS}x streams per scale)\n",
+        STREAMS = icfl_experiments::STREAMS_PER_SCALE
+    );
+    println!("{}", report.render());
+    if opts.json {
+        match serde_json::to_string_pretty(&report) {
+            Ok(json) => println!("{json}"),
+            Err(e) => {
+                icfl_obs::error!("failed to serialize the serverbench report: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    // Persist the markdown report (full sweep only — the smoke tier must
+    // not overwrite it with a single point) and the derived metric rows.
+    let results_dir = std::env::var_os("ICFL_RESULTS_DIR")
+        .map_or_else(|| PathBuf::from("results"), PathBuf::from);
+    if !smoke {
+        let md = results_dir.join("server_load.md");
+        match std::fs::create_dir_all(&results_dir)
+            .and_then(|()| std::fs::write(&md, report.to_markdown(opts.mode, opts.seed)))
+        {
+            Ok(()) => icfl_obs::info!("wrote {}", md.display()),
+            Err(e) => {
+                icfl_obs::error!("cannot write {}: {e}", md.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    for row in &report.rows {
+        for (value, phase) in [
+            (
+                row.scrapes_per_sec,
+                format!("scrapes_per_sec@{}x", row.scale),
+            ),
+            (row.detect_p99_ms, format!("detect_p99_ms@{}x", row.scale)),
+        ] {
+            if let Err(e) = record_metric_row(tier_name, &opts, value, &phase) {
+                icfl_obs::warn!("could not persist {phase}: {e}");
+            }
+        }
+    }
+    maybe_write_profile(&opts, tier_name);
+    report_timing(tier_name, &opts, timed.wall);
+}

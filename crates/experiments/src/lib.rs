@@ -41,6 +41,7 @@ mod profiling;
 mod render;
 mod robustness;
 mod scalability;
+mod serverbench;
 mod tables;
 mod timing;
 
@@ -64,8 +65,12 @@ pub use robustness::{
 pub use scalability::{
     scalability, scalability_fleet, scalability_fleet_smoke, Scalability, ScalabilityRow,
 };
+pub use serverbench::{
+    serverbench, Serverbench, ServerbenchError, ServerbenchOptions, ServerbenchRow,
+    SERVERBENCH_SCALES, STREAMS_PER_SCALE,
+};
 pub use tables::{table1, table2, Table1, Table1Row, Table2, Table2Row};
 pub use timing::{
-    record_phase_timings, record_timing, report_timing, run_timed, timings_path, Timed,
-    PIPELINE_PHASES,
+    record_metric_row, record_phase_timings, record_timing, report_timing, run_timed, timings_path,
+    Timed, PIPELINE_PHASES,
 };

@@ -135,6 +135,24 @@ pub fn record_timing(
     append_row(experiment, opts, wall, "total")
 }
 
+/// Appends a named metric row to [`timings_path`]: the `wall_secs`
+/// column carries `value` and `phase` names the metric (e.g.
+/// `scrapes_per_sec@4x`). Lets sweeps persist derived numbers next to
+/// their wall-clock rows in the one append-only CSV the perf checks
+/// read.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn record_metric_row(
+    experiment: &str,
+    opts: &CliOptions,
+    value: f64,
+    phase: &str,
+) -> std::io::Result<PathBuf> {
+    append_row(experiment, opts, Duration::from_secs_f64(value), phase)
+}
+
 /// Appends one row per [`PIPELINE_PHASES`] entry the global `icfl-obs`
 /// profiler has spans for, reporting each phase's summed wall-clock time.
 /// Returns the phases written. Binaries call this right after their timed

@@ -149,6 +149,18 @@ pub fn gauge_max(name: &str, labels: &[(&str, &str)], v: u64) {
     global().metrics.gauge_max(name, labels, v);
 }
 
+/// Records one latency observation in a bucketed histogram in the global
+/// journal. Histogram observations are usually wall-clock durations (the
+/// server ingest path measures real sockets), so histogram samples are
+/// excluded from byte-compared goldens even though they live in the
+/// journal for `/metrics` exposition.
+pub fn histogram_observe(name: &str, labels: &[(&str, &str)], elapsed: Duration) {
+    let nanos = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+    global()
+        .metrics
+        .histogram_observe_nanos(name, labels, nanos);
+}
+
 /// Records one run manifest on the global collector.
 pub fn record_manifest(m: RunManifest) {
     global().record_manifest(m);

@@ -1,16 +1,87 @@
-//! The deterministic event journal: counters and high-water gauges.
+//! The deterministic event journal: counters, high-water gauges, and
+//! bucketed latency histograms.
 //!
-//! Everything in this registry must be a *commutative aggregate of
-//! deterministic per-run values* — counters only add, gauges only take
-//! maxima — so a snapshot's bytes cannot depend on worker-thread count or
-//! scheduling order. Quantities that do depend on the host (thread
-//! counts, wall-clock durations, per-worker task splits) belong in the
-//! [`Profiler`](crate::Profiler) side instead; the split is the crate's
-//! core contract and is asserted by `tests/obs_determinism.rs`.
+//! Everything in this registry must be a *commutative aggregate* —
+//! counters only add, gauges only take maxima, histogram buckets only
+//! add — so a snapshot's bytes cannot depend on the order updates
+//! arrived in. Counters and gauges must additionally carry only
+//! *deterministic per-run values*, making their snapshots byte-identical
+//! regardless of worker-thread count or scheduling; quantities that
+//! depend on the host (thread counts, wall-clock durations, per-worker
+//! task splits) belong in the [`Profiler`](crate::Profiler) side instead.
+//! The split is the crate's core contract and is asserted by
+//! `tests/obs_determinism.rs`.
+//!
+//! Histograms are the one deliberate carve-out: they exist for the
+//! `icfl-server` network surface, whose ingest-to-verdict latencies are
+//! wall-clock by nature but must still be scrapeable from the `/metrics`
+//! exposition next to the server's counters. Histogram samples are never
+//! part of byte-compared goldens.
 
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::Mutex;
+
+/// Histogram bucket upper bounds in nanoseconds, spanning 250 µs – 10 s
+/// (a `+Inf` bucket is implicit). Chosen for request-scale latencies:
+/// sub-millisecond loopback ingests land in the low buckets, degraded
+/// tail latencies under overload in the top ones.
+const HISTOGRAM_BOUNDS_NANOS: [u64; 15] = [
+    250_000,
+    500_000,
+    1_000_000,
+    2_500_000,
+    5_000_000,
+    10_000_000,
+    25_000_000,
+    50_000_000,
+    100_000_000,
+    250_000_000,
+    500_000_000,
+    1_000_000_000,
+    2_500_000_000,
+    5_000_000_000,
+    10_000_000_000,
+];
+
+/// Renders a bucket bound as a Prometheus `le` label value, in seconds.
+fn le_label(bound_nanos: u64) -> String {
+    // Bounds are exact multiples of 250 µs, so six decimals are always
+    // enough and trailing zeros are trimmed for conventional labels.
+    let secs = bound_nanos as f64 / 1e9;
+    let mut s = format!("{secs:.6}");
+    while s.ends_with('0') {
+        s.pop();
+    }
+    if s.ends_with('.') {
+        s.pop();
+    }
+    s
+}
+
+/// One bucketed latency histogram: cumulative counts per bound plus the
+/// running sum and count (Prometheus histogram semantics).
+#[derive(Debug, Clone, Default)]
+struct Histogram {
+    /// Per-bucket (non-cumulative) observation counts; index i counts
+    /// observations ≤ `HISTOGRAM_BOUNDS_NANOS[i]`, with one extra slot
+    /// for `+Inf`.
+    counts: [u64; HISTOGRAM_BOUNDS_NANOS.len() + 1],
+    sum_nanos: u64,
+    count: u64,
+}
+
+impl Histogram {
+    fn observe(&mut self, nanos: u64) {
+        let idx = HISTOGRAM_BOUNDS_NANOS
+            .iter()
+            .position(|&b| nanos <= b)
+            .unwrap_or(HISTOGRAM_BOUNDS_NANOS.len());
+        self.counts[idx] += 1;
+        self.sum_nanos = self.sum_nanos.saturating_add(nanos);
+        self.count += 1;
+    }
+}
 
 /// A metric identity: name plus sorted label pairs.
 type Key = (String, Vec<(String, String)>);
@@ -28,6 +99,7 @@ fn key(name: &str, labels: &[(&str, &str)]) -> Key {
 struct Inner {
     counters: BTreeMap<Key, u64>,
     gauges: BTreeMap<Key, u64>,
+    histograms: BTreeMap<Key, Histogram>,
 }
 
 /// A registry of journal metrics (see the module docs for the determinism
@@ -78,7 +150,24 @@ impl MetricsRegistry {
         *slot = (*slot).max(v);
     }
 
-    /// Snapshots every metric in deterministic order.
+    /// Records one observation of `nanos` in the bucketed latency
+    /// histogram `name{labels}`. Unlike counters and gauges, histogram
+    /// observations are typically wall-clock measurements (the server
+    /// ingest path) and are excluded from byte-compared goldens; bucket
+    /// totals are still update-order-invariant.
+    pub fn histogram_observe_nanos(&self, name: &str, labels: &[(&str, &str)], nanos: u64) {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        inner
+            .histograms
+            .entry(key(name, labels))
+            .or_default()
+            .observe(nanos);
+    }
+
+    /// Snapshots every metric in deterministic order. Histograms flatten
+    /// into Prometheus-convention samples: `<name>_bucket{le="..."}`
+    /// cumulative counts (including `le="+Inf"`), `<name>_count`, and
+    /// `<name>_sum_ns` (nanoseconds, so the snapshot stays integral).
     pub fn snapshot(&self) -> MetricsSnapshot {
         let inner = self.inner.lock().expect("metrics lock");
         let mut samples: Vec<MetricSample> = inner
@@ -102,6 +191,37 @@ impl MetricsRegistry {
                     }),
             )
             .collect();
+        for ((name, labels), h) in &inner.histograms {
+            let mut cumulative = 0u64;
+            for (i, &c) in h.counts.iter().enumerate() {
+                cumulative += c;
+                let le = HISTOGRAM_BOUNDS_NANOS
+                    .get(i)
+                    .map(|&b| le_label(b))
+                    .unwrap_or_else(|| "+Inf".to_owned());
+                let mut bucket_labels = labels.clone();
+                bucket_labels.push(("le".to_owned(), le));
+                bucket_labels.sort();
+                samples.push(MetricSample {
+                    name: format!("{name}_bucket"),
+                    labels: bucket_labels,
+                    value: cumulative,
+                    kind: "counter".to_owned(),
+                });
+            }
+            samples.push(MetricSample {
+                name: format!("{name}_count"),
+                labels: labels.clone(),
+                value: h.count,
+                kind: "counter".to_owned(),
+            });
+            samples.push(MetricSample {
+                name: format!("{name}_sum_ns"),
+                labels: labels.clone(),
+                value: h.sum_nanos,
+                kind: "counter".to_owned(),
+            });
+        }
         samples.sort();
         MetricsSnapshot { samples }
     }
@@ -118,6 +238,56 @@ impl MetricsSnapshot {
             sum += s.value;
         }
         seen.then_some(sum)
+    }
+
+    /// Estimates the `q`-quantile (0 ≤ q ≤ 1) of the histogram `name` in
+    /// milliseconds, aggregated across all of its label sets, by linear
+    /// interpolation inside the covering bucket (the classic
+    /// `histogram_quantile` estimate). Observations that overflowed into
+    /// `+Inf` clamp to the largest finite bound. Returns `None` if the
+    /// histogram is absent or empty.
+    pub fn histogram_quantile_ms(&self, name: &str, q: f64) -> Option<f64> {
+        let bucket_name = format!("{name}_bucket");
+        // (upper bound in secs, summed cumulative count) per `le` value.
+        let mut buckets: BTreeMap<String, u64> = BTreeMap::new();
+        for s in self.samples.iter().filter(|s| s.name == bucket_name) {
+            let le = s.labels.iter().find(|(k, _)| k == "le")?;
+            *buckets.entry(le.1.clone()).or_insert(0) += s.value;
+        }
+        let mut bounds: Vec<(f64, u64)> = buckets
+            .into_iter()
+            .map(|(le, c)| {
+                let secs = if le == "+Inf" {
+                    f64::INFINITY
+                } else {
+                    le.parse::<f64>().unwrap_or(f64::INFINITY)
+                };
+                (secs, c)
+            })
+            .collect();
+        bounds.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let total = bounds.last().map(|&(_, c)| c)?;
+        if total == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * total as f64).max(1.0);
+        let mut prev_bound = 0.0f64;
+        let mut prev_cum = 0u64;
+        for &(bound, cum) in &bounds {
+            if (cum as f64) >= rank {
+                if bound.is_infinite() || cum == prev_cum {
+                    // +Inf has no upper edge to interpolate against;
+                    // clamp to the largest finite lower edge.
+                    return Some(prev_bound * 1e3);
+                }
+                let in_bucket = (cum - prev_cum) as f64;
+                let frac = ((rank - prev_cum as f64) / in_bucket).clamp(0.0, 1.0);
+                return Some((prev_bound + (bound - prev_bound) * frac) * 1e3);
+            }
+            prev_bound = bound;
+            prev_cum = cum;
+        }
+        Some(prev_bound * 1e3)
     }
 
     /// Renders the snapshot as a Prometheus text exposition: one `# TYPE`
@@ -230,6 +400,78 @@ mod tests {
             (r.snapshot().to_prometheus(), r.snapshot().to_jsonl())
         };
         assert_eq!(mk(&[1, 2, 3, 4]), mk(&[4, 3, 2, 1]));
+    }
+
+    #[test]
+    fn histogram_buckets_count_and_sum() {
+        let r = MetricsRegistry::new();
+        let ms = 1_000_000u64;
+        r.histogram_observe_nanos("icfl_lat", &[("t", "a")], ms / 10); // 0.1ms
+        r.histogram_observe_nanos("icfl_lat", &[("t", "a")], 3 * ms); // 3ms
+        r.histogram_observe_nanos("icfl_lat", &[("t", "a")], 20_000 * ms); // > 10s
+        let snap = r.snapshot();
+        assert_eq!(snap.total("icfl_lat_count"), Some(3));
+        assert_eq!(
+            snap.total("icfl_lat_sum_ns"),
+            Some(ms / 10 + 3 * ms + 20_000 * ms)
+        );
+        let le = |v: &str| {
+            snap.samples
+                .iter()
+                .find(|s| {
+                    s.name == "icfl_lat_bucket" && s.labels.contains(&("le".into(), v.into()))
+                })
+                .map(|s| s.value)
+        };
+        // Cumulative: 0.1ms lands <= 0.25ms, 3ms <= 5ms, 20s only in +Inf.
+        assert_eq!(le("0.00025"), Some(1));
+        assert_eq!(le("0.0025"), Some(1));
+        assert_eq!(le("0.005"), Some(2));
+        assert_eq!(le("10"), Some(2));
+        assert_eq!(le("+Inf"), Some(3));
+    }
+
+    #[test]
+    fn histogram_quantile_interpolates() {
+        let r = MetricsRegistry::new();
+        // 100 observations spread evenly through the (0.5ms, 1ms] bucket.
+        for i in 0..100u64 {
+            r.histogram_observe_nanos("icfl_lat", &[], 500_001 + i * 4_000);
+        }
+        let snap = r.snapshot();
+        // All mass is in one bucket, so quantiles interpolate linearly
+        // between the 0.5ms and 1ms edges.
+        let p50 = snap.histogram_quantile_ms("icfl_lat", 0.5).unwrap();
+        assert!((p50 - 0.75).abs() < 0.01, "p50 = {p50}");
+        let p99 = snap.histogram_quantile_ms("icfl_lat", 0.99).unwrap();
+        assert!((0.99..=1.0).contains(&p99), "p99 = {p99}");
+        assert_eq!(snap.histogram_quantile_ms("icfl_absent", 0.5), None);
+    }
+
+    #[test]
+    fn histogram_quantile_aggregates_label_sets_and_clamps_inf() {
+        let r = MetricsRegistry::new();
+        r.histogram_observe_nanos("icfl_lat", &[("t", "a")], 100_000);
+        r.histogram_observe_nanos("icfl_lat", &[("t", "b")], 100_000);
+        r.histogram_observe_nanos("icfl_lat", &[("t", "b")], 99_000_000_000); // +Inf
+        let snap = r.snapshot();
+        // p50 over {0.1ms, 0.1ms, 99s}: rank 1.5 of 3 → first bucket.
+        assert!(snap.histogram_quantile_ms("icfl_lat", 0.5).unwrap() <= 0.25);
+        // p99 lands in +Inf and clamps to the top finite bound (10s).
+        let p99 = snap.histogram_quantile_ms("icfl_lat", 0.99).unwrap();
+        assert_eq!(p99, 10_000.0);
+    }
+
+    #[test]
+    fn histogram_exposition_is_update_order_invariant() {
+        let mk = |order: &[u64]| {
+            let r = MetricsRegistry::new();
+            for &n in order {
+                r.histogram_observe_nanos("icfl_lat", &[], n * 1_000_000);
+            }
+            r.snapshot().to_prometheus()
+        };
+        assert_eq!(mk(&[1, 7, 30, 600]), mk(&[600, 30, 7, 1]));
     }
 
     #[test]

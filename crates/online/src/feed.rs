@@ -1,0 +1,382 @@
+//! The externally fed inference session: the same detection/localization
+//! core as [`OnlineSession`](crate::OnlineSession), driven by scrapes
+//! arriving from *outside* — a socket, a replayed trace — instead of a
+//! simulation the session owns.
+//!
+//! [`FeedSession`] is what `icfl-server` runs per tenant: the caller
+//! pushes `(time, counters-per-service)` rows in order, and the session
+//! finalizes hopping windows and fires a detection tick at every window
+//! boundary the stream crosses, exactly where [`OnlineSession`]'s driver
+//! loop would have fired it. Both paths share one decision function
+//! (`session::decision_tick`), so a trace recorded from a scenario and
+//! replayed through a `FeedSession` yields byte-identical verdicts to the
+//! in-process session that watched the scenario live — the property the
+//! loopback test pins across a real TCP connection.
+//!
+//! Tick placement mirrors the simulation semantics: a scrape scheduled
+//! exactly at a window boundary executes *before* the boundary's
+//! detection tick (events at the horizon run inside `run_until(horizon)`),
+//! so [`FeedSession::push`] ingests the row first and then fires every
+//! boundary at or before it.
+
+use icfl_core::CausalModel;
+use icfl_micro::Counters;
+use icfl_scenario::trace::{ScrapeTrace, TraceEpisode, TraceMeta};
+use icfl_scenario::{Scenario, TraceTap};
+use icfl_sim::{SimDuration, SimTime};
+use icfl_stats::ShiftDetector;
+use icfl_telemetry::{Dataset, EngineConfig, WindowConfig, WindowEngine};
+use serde::{Deserialize, Serialize};
+
+use crate::detector::{DebounceConfig, IncidentDetector};
+use crate::session::{decision_tick, Detection, Result, TickContext};
+use crate::{IncidentSchedule, OnlineConfig, OnlineError};
+
+/// Tuning of one externally fed session. Mirrors the inference-side
+/// fields of [`OnlineConfig`] (no load/fault/drain knobs — the feed's
+/// producer owns those).
+#[derive(Debug, Clone)]
+pub struct FeedConfig {
+    /// Hopping-window geometry; must match the trained model's windows.
+    pub windows: WindowConfig,
+    /// Expected scrape interval. Window and hop must be multiples of it.
+    pub interval: SimDuration,
+    /// Windows starting before this instant are discarded (producer-side
+    /// warmup).
+    pub collect_from: SimTime,
+    /// Live windows fed to each detection tick's two-sample test.
+    pub live_windows: usize,
+    /// Live windows fed to Algorithm 2 at localization time.
+    pub localize_windows: usize,
+    /// Detection ticks between confirmation and localization.
+    pub localize_delay_ticks: u32,
+    /// (metric, service) pairs that must shift for an anomalous tick.
+    pub min_shifted_pairs: usize,
+    /// Debounce/cool-down tuning of the incident state machine.
+    pub debounce: DebounceConfig,
+    /// Two-sample test for live-vs-reference comparison.
+    pub detector: ShiftDetector,
+}
+
+impl FeedConfig {
+    /// The feed-side view of an [`OnlineConfig`]: identical window
+    /// geometry, warmup cutoff, ring capacity, and decision tuning, so a
+    /// `FeedSession` replaying a session's scrape stream reproduces its
+    /// decisions exactly.
+    pub fn from_online(cfg: &OnlineConfig) -> FeedConfig {
+        FeedConfig {
+            windows: cfg.windows,
+            interval: SimDuration::from_secs(1),
+            collect_from: SimTime::ZERO.checked_add(cfg.warmup).expect("warmup fits"),
+            live_windows: cfg.live_windows,
+            localize_windows: cfg.localize_windows,
+            localize_delay_ticks: cfg.localize_delay_ticks,
+            min_shifted_pairs: cfg.min_shifted_pairs,
+            debounce: cfg.debounce,
+            detector: cfg.detector,
+        }
+    }
+
+    /// Ring capacity in windows, matching [`OnlineSession`]'s sizing.
+    fn capacity(&self) -> usize {
+        self.live_windows.max(self.localize_windows) + 4
+    }
+}
+
+/// What one [`FeedSession::push`] did: how many detection ticks fired and
+/// which incident transitions they produced. The server uses the
+/// transition counts to timestamp ingest-to-verdict latency.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FeedProgress {
+    /// Detection ticks fired by this push.
+    pub ticks: u32,
+    /// Incidents newly confirmed.
+    pub confirmed: u32,
+    /// Incidents newly localized.
+    pub localized: u32,
+    /// Incidents newly resolved.
+    pub resolved: u32,
+}
+
+/// One incident verdict as exposed to feed consumers (`/incidents`): the
+/// decision timeline plus the ranked localization, with service *names*
+/// so the consumer needs no cluster to interpret it. Serialization is
+/// deterministic, which is what lets the loopback test byte-compare
+/// server-side verdicts against an in-process replay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeedVerdict {
+    /// Confirmation time, seconds on the producer's clock.
+    pub confirmed_at_secs: f64,
+    /// Localization time, if Algorithm 2 has run.
+    pub localized_at_secs: Option<f64>,
+    /// Resolution time, if the detector saw the stream go quiet.
+    pub resolved_at_secs: Option<f64>,
+    /// Full ranked localization (service name, vote share), best first.
+    pub ranked: Vec<(String, f64)>,
+    /// The top-ranked service, if localized.
+    pub top1: Option<String>,
+}
+
+/// Hard cap on detection ticks fired by a single push: at one tick per
+/// hop this is weeks of stream time, far beyond any sane gap, so hitting
+/// it means a corrupt or hostile timestamp rather than a slow producer.
+const MAX_TICKS_PER_PUSH: u64 = 100_000;
+
+/// The externally fed inference session (one per server tenant).
+#[derive(Debug)]
+pub struct FeedSession {
+    model: CausalModel,
+    service_names: Vec<String>,
+    cfg: FeedConfig,
+    engine: WindowEngine,
+    reference: Dataset,
+    detector: IncidentDetector,
+    detections: Vec<Detection>,
+    next_tick: SimTime,
+    last_scrape: Option<SimTime>,
+    scrapes: u64,
+}
+
+impl FeedSession {
+    /// Opens a session localizing against `model`, naming services per
+    /// `service_names` (in [`icfl_micro::ServiceId`] index order).
+    ///
+    /// # Errors
+    ///
+    /// [`OnlineError::Feed`] if `service_names` does not have exactly one
+    /// name per model service.
+    pub fn new(
+        model: CausalModel,
+        service_names: Vec<String>,
+        cfg: FeedConfig,
+    ) -> Result<FeedSession> {
+        if service_names.len() != model.num_services() {
+            return Err(OnlineError::Feed(format!(
+                "{} service names for a {}-service model",
+                service_names.len(),
+                model.num_services()
+            )));
+        }
+        let mut engine_cfg = EngineConfig::streaming(cfg.windows, cfg.capacity(), cfg.collect_from);
+        engine_cfg.interval = cfg.interval;
+        let engine = WindowEngine::new(engine_cfg, service_names.len());
+        let detector = IncidentDetector::new(cfg.detector, cfg.min_shifted_pairs, cfg.debounce);
+        let reference = model.baseline().clone();
+        let next_tick = SimTime::ZERO
+            .checked_add(cfg.windows.window)
+            .expect("first boundary fits");
+        Ok(FeedSession {
+            model,
+            service_names,
+            cfg,
+            engine,
+            reference,
+            detector,
+            detections: Vec::new(),
+            next_tick,
+            last_scrape: None,
+            scrapes: 0,
+        })
+    }
+
+    /// Ingests one scrape at stream time `at`, then fires every detection
+    /// tick at a window boundary ≤ `at`.
+    ///
+    /// # Errors
+    ///
+    /// [`OnlineError::Feed`] if `at` does not strictly increase, the row
+    /// width disagrees with the model, or `at` jumps so far ahead that the
+    /// tick cap trips; statistical errors as in
+    /// [`OnlineSession::run`](crate::OnlineSession::run).
+    pub fn push(&mut self, at: SimTime, row: Vec<Counters>) -> Result<FeedProgress> {
+        if self.last_scrape.is_some_and(|last| at <= last) {
+            return Err(OnlineError::Feed(format!(
+                "out-of-order scrape at {at} (last was {})",
+                self.last_scrape.expect("checked above")
+            )));
+        }
+        if row.len() != self.service_names.len() {
+            return Err(OnlineError::Feed(format!(
+                "{} services in scrape, session has {}",
+                row.len(),
+                self.service_names.len()
+            )));
+        }
+        let hop_nanos = self.cfg.windows.hop.as_nanos();
+        if at >= self.next_tick
+            && (at.as_nanos() - self.next_tick.as_nanos()) / hop_nanos >= MAX_TICKS_PER_PUSH
+        {
+            return Err(OnlineError::Feed(format!(
+                "scrape at {at} implies more than {MAX_TICKS_PER_PUSH} detection ticks"
+            )));
+        }
+        self.last_scrape = Some(at);
+        self.scrapes += 1;
+        self.engine.push(at, row);
+
+        let mut progress = FeedProgress::default();
+        let hop = self.cfg.windows.hop;
+        let localize_delay =
+            SimDuration::from_nanos(hop.as_nanos() * u64::from(self.cfg.localize_delay_ticks));
+        while self.next_tick <= at {
+            let before = Snapshot::of(&self.detections);
+            decision_tick(
+                &mut self.detector,
+                &mut self.detections,
+                &TickContext {
+                    model: &self.model,
+                    reference: &self.reference,
+                    app: "feed",
+                    live_windows: self.cfg.live_windows,
+                    localize_windows: self.cfg.localize_windows,
+                    localize_delay,
+                },
+                self.next_tick,
+                |n| self.engine.last_n_valid(self.model.catalog(), n),
+            )?;
+            progress.ticks += 1;
+            let after = Snapshot::of(&self.detections);
+            progress.confirmed += after.confirmed - before.confirmed;
+            progress.localized += after.localized - before.localized;
+            progress.resolved += after.resolved - before.resolved;
+            self.next_tick = match self.next_tick.checked_add(hop) {
+                Some(t) => t,
+                None => break,
+            };
+        }
+        Ok(progress)
+    }
+
+    /// Scrapes ingested so far.
+    pub fn scrapes_ingested(&self) -> u64 {
+        self.scrapes
+    }
+
+    /// Windows finalized so far.
+    pub fn windows_emitted(&self) -> u64 {
+        self.engine.emitted()
+    }
+
+    /// The stream time of the newest ingested scrape.
+    pub fn last_scrape_at(&self) -> Option<SimTime> {
+        self.last_scrape
+    }
+
+    /// The service names the session was opened with.
+    pub fn service_names(&self) -> &[String] {
+        &self.service_names
+    }
+
+    /// Every incident tracked so far, in confirmation order.
+    pub fn verdicts(&self) -> Vec<FeedVerdict> {
+        self.detections
+            .iter()
+            .map(|d| {
+                let ranked: Vec<(String, f64)> = d
+                    .localization
+                    .as_ref()
+                    .map(|loc| {
+                        loc.ranked()
+                            .into_iter()
+                            .map(|(s, v)| (self.service_names[s.index()].clone(), v))
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                let top1 = ranked.first().map(|(name, _)| name.clone());
+                FeedVerdict {
+                    confirmed_at_secs: d.confirmed_at.as_secs_f64(),
+                    localized_at_secs: d.localized_at.map(SimTime::as_secs_f64),
+                    resolved_at_secs: d.resolved_at.map(SimTime::as_secs_f64),
+                    ranked,
+                    top1,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Counts of incident milestones, for diffing across one tick.
+#[derive(Debug, Clone, Copy)]
+struct Snapshot {
+    confirmed: u32,
+    localized: u32,
+    resolved: u32,
+}
+
+impl Snapshot {
+    fn of(detections: &[Detection]) -> Snapshot {
+        Snapshot {
+            confirmed: detections.len() as u32,
+            localized: detections
+                .iter()
+                .filter(|d| d.localized_at.is_some())
+                .count() as u32,
+            resolved: detections
+                .iter()
+                .filter(|d| d.resolved_at.is_some())
+                .count() as u32,
+        }
+    }
+}
+
+/// Records the raw scrape stream of one online-session scenario — same
+/// app, seed, load, fault schedule, and horizon as
+/// [`OnlineSession::run`](crate::OnlineSession::run) with `cfg`, but with
+/// a [`TraceTap`] in place of the streaming ingester. The returned trace
+/// replays through a [`FeedSession`] (or over the wire through
+/// `icfl-server`) to the same verdicts the in-process session would have
+/// produced.
+///
+/// # Errors
+///
+/// As scenario assembly in [`OnlineSession::run`](crate::OnlineSession::run).
+pub fn record_trace(
+    app: &icfl_apps::App,
+    schedule: &IncidentSchedule,
+    cfg: &OnlineConfig,
+    seed: u64,
+) -> Result<ScrapeTrace> {
+    let interval = SimDuration::from_secs(1);
+    let (mut scenario, sink) = Scenario::builder(app, seed)
+        .replicas(cfg.replicas)
+        .build_with(TraceTap::new(interval))?;
+    let trace = icfl_faults::InterventionTrace::new();
+    schedule.arm(&mut scenario.sim, &trace);
+    let horizon = schedule
+        .end()
+        .checked_add(cfg.drain)
+        .expect("trace horizon fits");
+    scenario.run_until(horizon);
+
+    let service_names: Vec<String> = (0..scenario.cluster.num_services())
+        .map(|i| {
+            scenario
+                .cluster
+                .service_name(icfl_micro::ServiceId::from_index(i))
+                .to_owned()
+        })
+        .collect();
+    let episodes = schedule
+        .episodes()
+        .iter()
+        .map(|ep| TraceEpisode {
+            start_nanos: ep.start.as_nanos(),
+            end_nanos: ep.end().as_nanos(),
+            services: ep
+                .services()
+                .iter()
+                .map(|&s| service_names[s.index()].clone())
+                .collect(),
+        })
+        .collect();
+    Ok(ScrapeTrace {
+        meta: TraceMeta {
+            app: app.name.clone(),
+            seed,
+            interval_nanos: interval.as_nanos(),
+            service_names,
+            episodes,
+        },
+        scrapes: sink.take(),
+    })
+}

@@ -16,6 +16,10 @@
 //! - [`OnlineSession`] — the inference loop: on confirmation, runs
 //!   Algorithm 2 majority voting against a trained model and emits
 //!   [`IncidentReport`]s with time-to-detect and time-to-localize.
+//! - [`FeedSession`] — the same detection/localization core driven by an
+//!   *external* scrape stream (a socket, a replayed [`record_trace`]
+//!   export) instead of an owned simulation; what `icfl-server` runs per
+//!   tenant.
 //! - [`ModelRegistry`] — versioned on-disk persistence of trained models
 //!   with seed/app/catalog provenance.
 //!
@@ -26,10 +30,13 @@
 #![warn(missing_docs)]
 
 mod detector;
+mod feed;
 mod ingest;
 mod registry;
 mod report;
 mod session;
+
+pub use feed::{record_trace, FeedConfig, FeedProgress, FeedSession, FeedVerdict};
 
 pub use detector::{
     DebounceConfig, DetectorEvent, IncidentDetector, IncidentPhase, IncidentStateMachine,

@@ -146,8 +146,10 @@ impl IncidentSchedule {
             .unwrap_or(SimTime::ZERO)
     }
 
-    /// Schedules every fault on the simulation.
-    fn arm(&self, sim: &mut Sim<Cluster>, trace: &InterventionTrace) {
+    /// Schedules every fault on the simulation (public so external
+    /// drivers — the trace recorder, custom harnesses — can arm the same
+    /// schedule on their own scenario).
+    pub fn arm(&self, sim: &mut Sim<Cluster>, trace: &InterventionTrace) {
         for ep in &self.episodes {
             for f in &ep.faults {
                 let from = ep
@@ -269,6 +271,10 @@ pub enum OnlineError {
     Stats(icfl_stats::StatsError),
     /// Localization failed (shape mismatch with the model).
     Core(icfl_core::CoreError),
+    /// An externally fed session rejected its input (out-of-order scrape,
+    /// wrong row width, absurd time jump). The server maps these to
+    /// client-error responses.
+    Feed(String),
 }
 
 impl fmt::Display for OnlineError {
@@ -278,6 +284,7 @@ impl fmt::Display for OnlineError {
             OnlineError::Load(e) => write!(f, "load generator failed: {e}"),
             OnlineError::Stats(e) => write!(f, "detection tick failed: {e}"),
             OnlineError::Core(e) => write!(f, "online localization failed: {e}"),
+            OnlineError::Feed(e) => write!(f, "feed rejected: {e}"),
         }
     }
 }
@@ -317,13 +324,109 @@ impl From<icfl_scenario::ScenarioError> for OnlineError {
 pub type Result<T> = std::result::Result<T, OnlineError>;
 
 /// One confirmed incident as tracked while the session runs.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-struct Detection {
-    confirmed_at: SimTime,
-    localize_not_before: SimTime,
-    localized_at: Option<SimTime>,
-    localization: Option<Localization>,
-    resolved_at: Option<SimTime>,
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) struct Detection {
+    pub(crate) confirmed_at: SimTime,
+    pub(crate) localize_not_before: SimTime,
+    pub(crate) localized_at: Option<SimTime>,
+    pub(crate) localization: Option<Localization>,
+    pub(crate) resolved_at: Option<SimTime>,
+}
+
+/// The tick-invariant half of a session's decision state: the trained
+/// model, its reference distribution, and the window/delay knobs. Built
+/// once per session and handed to every [`decision_tick`].
+pub(crate) struct TickContext<'a> {
+    pub(crate) model: &'a CausalModel,
+    pub(crate) reference: &'a icfl_telemetry::Dataset,
+    pub(crate) app: &'a str,
+    pub(crate) live_windows: usize,
+    pub(crate) localize_windows: usize,
+    pub(crate) localize_delay: SimDuration,
+}
+
+/// One detection tick's statistical decisions, shared verbatim between
+/// the simulation-driven [`OnlineSession`] and the externally fed
+/// [`FeedSession`](crate::FeedSession) so the two paths cannot drift:
+/// gap-aware detection over valid live windows, detector-event
+/// bookkeeping, and delayed Algorithm-2 localization of pending
+/// confirmations. `fetch_valid(n)` returns the `n` most recent valid
+/// windows (or `None` until enough are retained).
+pub(crate) fn decision_tick<F>(
+    detector: &mut IncidentDetector,
+    detections: &mut Vec<Detection>,
+    ctx: &TickContext<'_>,
+    tick: SimTime,
+    mut fetch_valid: F,
+) -> Result<()>
+where
+    F: FnMut(usize) -> Option<icfl_telemetry::Dataset>,
+{
+    let &TickContext {
+        model,
+        reference,
+        app,
+        live_windows,
+        localize_windows,
+        localize_delay,
+    } = ctx;
+    // Gap-aware detection: only *valid* windows feed the two-sample
+    // test. When degraded telemetry leaves fewer than `live_windows`
+    // trustworthy windows, the tick is skipped entirely — "no data" is
+    // neither quiet nor anomalous, so gaps can neither raise an alarm
+    // nor resolve a real one.
+    if let Some(live) = fetch_valid(live_windows) {
+        let decision = detector.observe(reference, &live)?;
+        if let Some(event) = &decision.event {
+            let name = match event {
+                DetectorEvent::Suspected => "suspected",
+                DetectorEvent::Confirmed => "confirmed",
+                DetectorEvent::Dismissed => "dismissed",
+                DetectorEvent::Resolved => "resolved",
+            };
+            icfl_obs::counter_add(
+                "icfl_detector_events_total",
+                &[("app", app), ("event", name)],
+                1,
+            );
+        }
+        match decision.event {
+            Some(DetectorEvent::Confirmed) => detections.push(Detection {
+                confirmed_at: tick,
+                localize_not_before: tick
+                    .checked_add(localize_delay)
+                    .expect("localize time fits"),
+                localized_at: None,
+                localization: None,
+                resolved_at: None,
+            }),
+            Some(DetectorEvent::Resolved) => {
+                if let Some(d) = detections
+                    .iter_mut()
+                    .rev()
+                    .find(|d| d.resolved_at.is_none())
+                {
+                    d.resolved_at = Some(tick);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Localize pending confirmations once their delay has passed and
+    // enough *valid* live windows are retained — Algorithm 2 votes only
+    // over windows whose rates are trustworthy.
+    for d in detections.iter_mut() {
+        if d.localization.is_none() && tick >= d.localize_not_before {
+            if let Some(live) = fetch_valid(localize_windows) {
+                let mut span = icfl_obs::span("localize");
+                span.arg("app", app);
+                d.localization = Some(model.localize(&live)?);
+                d.localized_at = Some(tick);
+            }
+        }
+    }
+    Ok(())
 }
 
 /// A serializable checkpoint of the *inference service's* entire state at
@@ -471,62 +574,20 @@ impl OnlineSession {
                 icfl_obs::stat_add("online.checkpoint", started.elapsed());
             }
 
-            // Gap-aware detection: only *valid* windows feed the
-            // two-sample test. When degraded telemetry leaves fewer than
-            // `live_windows` trustworthy windows, the tick is skipped
-            // entirely — "no data" is neither quiet nor anomalous, so
-            // gaps can neither raise an alarm nor resolve a real one.
-            if let Some(live) = ingester.last_n_valid(cfg.live_windows) {
-                let decision = detector.observe(&reference, &live)?;
-                if let Some(event) = &decision.event {
-                    let name = match event {
-                        DetectorEvent::Suspected => "suspected",
-                        DetectorEvent::Confirmed => "confirmed",
-                        DetectorEvent::Dismissed => "dismissed",
-                        DetectorEvent::Resolved => "resolved",
-                    };
-                    icfl_obs::counter_add(
-                        "icfl_detector_events_total",
-                        &[("app", &app.name), ("event", name)],
-                        1,
-                    );
-                }
-                match decision.event {
-                    Some(DetectorEvent::Confirmed) => detections.push(Detection {
-                        confirmed_at: tick,
-                        localize_not_before: tick
-                            .checked_add(localize_delay)
-                            .expect("localize time fits"),
-                        localized_at: None,
-                        localization: None,
-                        resolved_at: None,
-                    }),
-                    Some(DetectorEvent::Resolved) => {
-                        if let Some(d) = detections
-                            .iter_mut()
-                            .rev()
-                            .find(|d| d.resolved_at.is_none())
-                        {
-                            d.resolved_at = Some(tick);
-                        }
-                    }
-                    _ => {}
-                }
-            }
-
-            // Localize pending confirmations once their delay has passed
-            // and enough *valid* live windows are retained — Algorithm 2
-            // votes only over windows whose rates are trustworthy.
-            for d in detections.iter_mut() {
-                if d.localization.is_none() && tick >= d.localize_not_before {
-                    if let Some(live) = ingester.last_n_valid(cfg.localize_windows) {
-                        let mut span = icfl_obs::span("localize");
-                        span.arg("app", &app.name);
-                        d.localization = Some(model.localize(&live)?);
-                        d.localized_at = Some(tick);
-                    }
-                }
-            }
+            decision_tick(
+                &mut detector,
+                &mut detections,
+                &TickContext {
+                    model,
+                    reference: &reference,
+                    app: &app.name,
+                    live_windows: cfg.live_windows,
+                    localize_windows: cfg.localize_windows,
+                    localize_delay,
+                },
+                tick,
+                |n| ingester.last_n_valid(n),
+            )?;
 
             tick = match tick.checked_add(hop) {
                 Some(t) => t,

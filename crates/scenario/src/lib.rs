@@ -37,6 +37,9 @@
 #![warn(missing_docs)]
 
 pub mod seeds;
+pub mod trace;
+
+pub use trace::{ScrapeSink, ScrapeTrace, TraceEpisode, TraceError, TraceMeta, TraceTap};
 
 use icfl_apps::App;
 use icfl_faults::{FaultInjector, InterventionTrace};

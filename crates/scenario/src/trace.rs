@@ -1,0 +1,524 @@
+//! Scrape-trace recording and replay: the wire format between a simulated
+//! run and the networked ingest path.
+//!
+//! A [`TraceTap`] records every raw counter scrape of a scenario — the
+//! exact rows a [`StreamingIngester`](../../icfl_online) would have seen —
+//! into a [`ScrapeTrace`]: a self-describing header ([`TraceMeta`]: app,
+//! seed, scrape interval, service names, scheduled fault episodes)
+//! followed by one line per scrape. The trace is what `icfl-loadgen-http`
+//! replays over the wire against `icfl-server`, and what the loopback
+//! determinism test feeds both the server and an in-process session to
+//! prove the socket boundary changes nothing.
+//!
+//! # Wire format
+//!
+//! Line 1 is the [`TraceMeta`] as serde JSON. Every following line is one
+//! scrape in the compact form
+//!
+//! ```text
+//! [<t_nanos>,[[c0,...,c10],[c0,...,c10],...]]
+//! ```
+//!
+//! — valid JSON, but encoded and parsed by hand ([`encode_scrape_line`] /
+//! [`parse_scrape_line`]) because the server's ingest hot path decodes
+//! tens of thousands of these per second and a generic `Value` round trip
+//! would dominate the cost. The 11 counter fields follow the declaration
+//! order of [`Counters`] (see [`counters_to_array`]); that order is part
+//! of the format and is pinned by a unit test.
+
+use crate::TelemetryTap;
+use icfl_micro::{Cluster, Counters};
+use icfl_sim::{Sim, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// Number of `u64` fields in one [`Counters`] record on the wire.
+pub const COUNTER_FIELDS: usize = 11;
+
+/// Flattens a [`Counters`] record into its wire order: `cpu_nanos`,
+/// `rx_packets`, `tx_packets`, `logs_total`, `logs_error`, `logs_info`,
+/// `requests_received`, `requests_sent`, `responses_ok`, `responses_err`,
+/// `queue_dropped`.
+pub fn counters_to_array(c: &Counters) -> [u64; COUNTER_FIELDS] {
+    [
+        c.cpu_nanos,
+        c.rx_packets,
+        c.tx_packets,
+        c.logs_total,
+        c.logs_error,
+        c.logs_info,
+        c.requests_received,
+        c.requests_sent,
+        c.responses_ok,
+        c.responses_err,
+        c.queue_dropped,
+    ]
+}
+
+/// Rebuilds a [`Counters`] record from its wire order (inverse of
+/// [`counters_to_array`]).
+pub fn counters_from_array(a: [u64; COUNTER_FIELDS]) -> Counters {
+    Counters {
+        cpu_nanos: a[0],
+        rx_packets: a[1],
+        tx_packets: a[2],
+        logs_total: a[3],
+        logs_error: a[4],
+        logs_info: a[5],
+        requests_received: a[6],
+        requests_sent: a[7],
+        responses_ok: a[8],
+        responses_err: a[9],
+        queue_dropped: a[10],
+    }
+}
+
+/// One scheduled fault episode carried in the trace header, so a replay
+/// consumer can score detection latency against ground truth without the
+/// original schedule object.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEpisode {
+    /// Episode start on the simulation clock, in nanoseconds.
+    pub start_nanos: u64,
+    /// Episode end (fault cleared), in nanoseconds.
+    pub end_nanos: u64,
+    /// Names of the faulted services (one per concurrent fault).
+    pub services: Vec<String>,
+}
+
+/// The self-describing trace header (line 1 of the file).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceMeta {
+    /// Application name (doubles as the model-registry key).
+    pub app: String,
+    /// Seed of the recorded run.
+    pub seed: u64,
+    /// Scrape interval, in nanoseconds.
+    pub interval_nanos: u64,
+    /// Service names in [`icfl_micro::ServiceId`] index order; the number
+    /// of columns every scrape line must have.
+    pub service_names: Vec<String>,
+    /// Ground-truth fault episodes scheduled in the recorded run.
+    pub episodes: Vec<TraceEpisode>,
+}
+
+/// A recorded scrape stream plus its header, replayable over the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScrapeTrace {
+    /// The header.
+    pub meta: TraceMeta,
+    /// `(time_nanos, one Counters row per service)`, strictly increasing
+    /// in time.
+    pub scrapes: Vec<(u64, Vec<Counters>)>,
+}
+
+/// Errors raised while decoding a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// The header line is missing or not valid `TraceMeta` JSON.
+    Header(String),
+    /// A scrape line failed to parse (1-based line number, reason).
+    Line(usize, String),
+    /// An I/O failure while reading or writing the trace file.
+    Io(String),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Header(e) => write!(f, "trace header: {e}"),
+            TraceError::Line(n, e) => write!(f, "trace line {n}: {e}"),
+            TraceError::Io(e) => write!(f, "trace io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl ScrapeTrace {
+    /// Serializes the whole trace: header line, then one scrape per line.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = serde_json::to_string(&self.meta).expect("trace meta serializes");
+        out.push('\n');
+        for (at, row) in &self.scrapes {
+            out.push_str(&encode_scrape_line(*at, row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a trace serialized by [`ScrapeTrace::to_jsonl`].
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Header`] on a bad first line, [`TraceError::Line`] on
+    /// a bad scrape line (including a row whose service count disagrees
+    /// with the header).
+    pub fn from_jsonl(text: &str) -> Result<ScrapeTrace, TraceError> {
+        let mut lines = text.lines();
+        let header = lines
+            .next()
+            .ok_or_else(|| TraceError::Header("empty input".to_owned()))?;
+        let meta: TraceMeta =
+            serde_json::from_str(header).map_err(|e| TraceError::Header(e.to_string()))?;
+        let mut scrapes = Vec::new();
+        for (i, line) in lines.enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            let (at, row) = parse_scrape_line(line).map_err(|e| TraceError::Line(i + 2, e))?;
+            if row.len() != meta.service_names.len() {
+                return Err(TraceError::Line(
+                    i + 2,
+                    format!(
+                        "{} services in row, header declares {}",
+                        row.len(),
+                        meta.service_names.len()
+                    ),
+                ));
+            }
+            scrapes.push((at, row));
+        }
+        Ok(ScrapeTrace { meta, scrapes })
+    }
+
+    /// Writes the trace to `path` (creating parent directories).
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Io`] on any filesystem failure.
+    pub fn save(&self, path: &Path) -> Result<(), TraceError> {
+        let io = |e: std::io::Error| TraceError::Io(format!("{}: {e}", path.display()));
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent).map_err(io)?;
+        }
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path).map_err(io)?);
+        f.write_all(self.to_jsonl().as_bytes()).map_err(io)?;
+        f.flush().map_err(io)
+    }
+
+    /// Reads a trace written by [`ScrapeTrace::save`].
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Io`] on filesystem failure, otherwise as
+    /// [`ScrapeTrace::from_jsonl`].
+    pub fn load(path: &Path) -> Result<ScrapeTrace, TraceError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| TraceError::Io(format!("{}: {e}", path.display())))?;
+        ScrapeTrace::from_jsonl(&text)
+    }
+
+    /// The simulation span covered by the scrapes (zero when empty).
+    pub fn span(&self) -> SimDuration {
+        match (self.scrapes.first(), self.scrapes.last()) {
+            (Some(&(first, _)), Some(&(last, _))) => SimDuration::from_nanos(last - first),
+            _ => SimDuration::ZERO,
+        }
+    }
+}
+
+/// Encodes one scrape as a compact single-line JSON array
+/// `[t,[[...],[...]]]`.
+pub fn encode_scrape_line(at_nanos: u64, row: &[Counters]) -> String {
+    // ~20 digits per field plus separators; pre-size to skip reallocs.
+    let mut out = String::with_capacity(24 + row.len() * (COUNTER_FIELDS * 21 + 4));
+    out.push('[');
+    out.push_str(&at_nanos.to_string());
+    out.push_str(",[");
+    for (i, c) in row.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        for (j, v) in counters_to_array(c).iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&v.to_string());
+        }
+        out.push(']');
+    }
+    out.push_str("]]");
+    out
+}
+
+/// Decodes one line produced by [`encode_scrape_line`]. Hand-rolled for
+/// the server's ingest hot path; accepts optional spaces after commas but
+/// is otherwise strict.
+///
+/// # Errors
+///
+/// A human-readable reason on any structural mismatch (wrong bracketing,
+/// non-digit where a `u64` is required, wrong field count, overflow,
+/// trailing garbage).
+pub fn parse_scrape_line(line: &str) -> Result<(u64, Vec<Counters>), String> {
+    let mut p = Cursor {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    p.expect(b'[')?;
+    let at = p.u64()?;
+    p.expect(b',')?;
+    p.expect(b'[')?;
+    let mut row = Vec::new();
+    if p.peek() == Some(b']') {
+        p.pos += 1;
+    } else {
+        loop {
+            p.expect(b'[')?;
+            let mut fields = [0u64; COUNTER_FIELDS];
+            for (j, slot) in fields.iter_mut().enumerate() {
+                if j > 0 {
+                    p.expect(b',')?;
+                }
+                *slot = p.u64()?;
+            }
+            p.expect(b']')?;
+            row.push(counters_from_array(fields));
+            match p.peek() {
+                Some(b',') => p.pos += 1,
+                Some(b']') => {
+                    p.pos += 1;
+                    break;
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", p.pos)),
+            }
+            p.skip_spaces();
+        }
+    }
+    p.expect(b']')?;
+    p.skip_spaces();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing bytes at {}", p.pos));
+    }
+    Ok((at, row))
+}
+
+/// Minimal byte cursor for [`parse_scrape_line`].
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn skip_spaces(&mut self) {
+        while self.bytes.get(self.pos) == Some(&b' ') {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_spaces();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        match self.peek() {
+            Some(got) if got == b => {
+                self.pos += 1;
+                Ok(())
+            }
+            got => Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                got.map(|g| g as char)
+            )),
+        }
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        self.skip_spaces();
+        let start = self.pos;
+        let mut v: u64 = 0;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if !b.is_ascii_digit() {
+                break;
+            }
+            v = v
+                .checked_mul(10)
+                .and_then(|v| v.checked_add(u64::from(b - b'0')))
+                .ok_or_else(|| format!("u64 overflow at byte {start}"))?;
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(format!("expected digit at byte {start}"));
+        }
+        Ok(v)
+    }
+}
+
+/// The recorded stream: `(t_nanos, one Counters row per service)`.
+type ScrapeRows = Vec<(u64, Vec<Counters>)>;
+
+/// A shared sink the [`TraceTap`] scrape loop appends into.
+#[derive(Debug, Clone, Default)]
+pub struct ScrapeSink(Arc<Mutex<ScrapeRows>>);
+
+impl ScrapeSink {
+    /// Drains the recorded scrapes (strictly increasing in time).
+    pub fn take(&self) -> Vec<(u64, Vec<Counters>)> {
+        std::mem::take(&mut *self.0.lock().expect("scrape sink lock"))
+    }
+}
+
+/// Telemetry tap that records every raw scrape instead of windowing it —
+/// the recording side of the trace format. Attach via
+/// [`ScenarioBuilder::build_with`](crate::ScenarioBuilder::build_with),
+/// run the scenario, then [`ScrapeSink::take`] the stream.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceTap {
+    interval: SimDuration,
+}
+
+impl TraceTap {
+    /// A tap scraping every `interval` from time zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn new(interval: SimDuration) -> TraceTap {
+        assert!(
+            interval > SimDuration::ZERO,
+            "trace tap interval must be positive"
+        );
+        TraceTap { interval }
+    }
+}
+
+impl TelemetryTap for TraceTap {
+    type Handle = ScrapeSink;
+
+    fn attach(self, sim: &mut Sim<Cluster>, cluster: &Cluster) -> Self::Handle {
+        let sink = ScrapeSink::default();
+        let shared = Arc::clone(&sink.0);
+        let n = cluster.num_services();
+        sim.schedule_periodic(
+            SimTime::ZERO,
+            self.interval,
+            move |sim, cl: &mut Cluster| {
+                let row = cl.counters_slice()[..n].to_vec();
+                shared
+                    .lock()
+                    .expect("scrape sink lock")
+                    .push((sim.now().as_nanos(), row));
+            },
+        );
+        sink
+    }
+
+    fn describe(&self) -> String {
+        format!("trace(interval={})", self.interval)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_counters(k: u64) -> Counters {
+        counters_from_array([
+            k,
+            k + 1,
+            k + 2,
+            k + 3,
+            k + 4,
+            k + 5,
+            k + 6,
+            k + 7,
+            k + 8,
+            k + 9,
+            k + 10,
+        ])
+    }
+
+    #[test]
+    fn counters_array_roundtrip_pins_field_order() {
+        let c = Counters {
+            cpu_nanos: 1,
+            rx_packets: 2,
+            tx_packets: 3,
+            logs_total: 4,
+            logs_error: 5,
+            logs_info: 6,
+            requests_received: 7,
+            requests_sent: 8,
+            responses_ok: 9,
+            responses_err: 10,
+            queue_dropped: 11,
+        };
+        assert_eq!(counters_to_array(&c), [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11]);
+        assert_eq!(counters_from_array(counters_to_array(&c)), c);
+    }
+
+    #[test]
+    fn scrape_line_roundtrips_and_is_valid_json() {
+        let row = vec![sample_counters(100), sample_counters(u64::MAX - 10)];
+        let line = encode_scrape_line(987_654_321, &row);
+        serde_json::parse_value_str(&line).expect("scrape line is valid JSON");
+        let (at, parsed) = parse_scrape_line(&line).unwrap();
+        assert_eq!(at, 987_654_321);
+        assert_eq!(parsed, row);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        for bad in [
+            "",
+            "[1,[[1,2,3]]]",                    // wrong field count
+            "[1,[[1,2,3,4,5,6,7,8,9,10,11]]",   // unbalanced
+            "[1,[[1,2,3,4,5,6,7,8,9,10,11]]]x", // trailing garbage
+            "[-1,[[1,2,3,4,5,6,7,8,9,10,11]]]", // negative time
+            "[1,[[99999999999999999999999,0,0,0,0,0,0,0,0,0,0]]]", // overflow
+        ] {
+            assert!(parse_scrape_line(bad).is_err(), "accepted: {bad}");
+        }
+        // Empty row is structurally fine; the header-count check catches it.
+        assert_eq!(parse_scrape_line("[5,[]]").unwrap(), (5, Vec::new()));
+    }
+
+    #[test]
+    fn trace_jsonl_roundtrip() {
+        let trace = ScrapeTrace {
+            meta: TraceMeta {
+                app: "demo".to_owned(),
+                seed: 7,
+                interval_nanos: 1_000_000_000,
+                service_names: vec!["a".to_owned(), "b".to_owned()],
+                episodes: vec![TraceEpisode {
+                    start_nanos: 10,
+                    end_nanos: 20,
+                    services: vec!["b".to_owned()],
+                }],
+            },
+            scrapes: vec![
+                (1_000_000_000, vec![sample_counters(1), sample_counters(2)]),
+                (2_000_000_000, vec![sample_counters(3), sample_counters(4)]),
+            ],
+        };
+        let text = trace.to_jsonl();
+        assert_eq!(ScrapeTrace::from_jsonl(&text).unwrap(), trace);
+        assert_eq!(trace.span(), SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn from_jsonl_rejects_row_width_mismatch() {
+        let trace = ScrapeTrace {
+            meta: TraceMeta {
+                app: "demo".to_owned(),
+                seed: 0,
+                interval_nanos: 1,
+                service_names: vec!["a".to_owned()],
+                episodes: Vec::new(),
+            },
+            scrapes: vec![(1, vec![sample_counters(1), sample_counters(2)])],
+        };
+        match ScrapeTrace::from_jsonl(&trace.to_jsonl()) {
+            Err(TraceError::Line(2, why)) => assert!(why.contains("2 services")),
+            other => panic!("expected width mismatch, got {other:?}"),
+        }
+    }
+}

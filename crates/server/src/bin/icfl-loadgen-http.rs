@@ -1,0 +1,118 @@
+//! The HTTP load generator binary: replay recorded scrape traces against
+//! a running `icfl-server`, then print the one-line campaign summary.
+//!
+//! ```text
+//! icfl-loadgen-http --addr 127.0.0.1:7171 --trace results/traces/fig2.jsonl \
+//!                   --total 20000 --concurrency 4 --bulk-size 64 \
+//!                   --mode bulk [--rate 0] [--seed 42] [--tenant-prefix run1-]
+//! ```
+//!
+//! `--trace` repeats; worker `w` replays trace `w % traces`. Exit code 1
+//! if any expected incident went undetected.
+
+use icfl_scenario::ScrapeTrace;
+use icfl_server::loadgen::{run, LoadMode, LoadgenConfig};
+
+const USAGE: &str = "usage: icfl-loadgen-http --addr HOST:PORT --trace FILE [--trace FILE ...] \
+[--total N] [--concurrency N] [--bulk-size N] [--mode single|bulk|random] \
+[--rate PER_SEC] [--seed N] [--tenant-prefix S] [--log LEVEL]";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("{msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut cfg = LoadgenConfig {
+        addr: String::new(),
+        traces: Vec::new(),
+        total: 10_000,
+        concurrency: 4,
+        bulk_size: 64,
+        mode: LoadMode::Bulk,
+        rate: 0.0,
+        seed: 42,
+        tenant_prefix: String::new(),
+    };
+    let mut trace_paths = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| fail(&format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--addr" => cfg.addr = value("--addr"),
+            "--trace" => trace_paths.push(value("--trace")),
+            "--total" => {
+                cfg.total = value("--total")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--total must be a positive integer"));
+            }
+            "--concurrency" => {
+                cfg.concurrency = value("--concurrency")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--concurrency must be a positive integer"));
+            }
+            "--bulk-size" => {
+                cfg.bulk_size = value("--bulk-size")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--bulk-size must be a positive integer"));
+            }
+            "--mode" => {
+                cfg.mode = value("--mode").parse().unwrap_or_else(|e: String| fail(&e));
+            }
+            "--rate" => {
+                cfg.rate = value("--rate")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--rate must be a number"));
+            }
+            "--seed" => {
+                cfg.seed = value("--seed")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--seed must be an integer"));
+            }
+            "--tenant-prefix" => cfg.tenant_prefix = value("--tenant-prefix"),
+            "--log" => {
+                let name = value("--log");
+                match icfl_obs::Level::parse(&name) {
+                    Some(level) => icfl_obs::logger::set_level(level),
+                    None => fail(&format!("unknown log level '{name}'")),
+                }
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => fail(&format!("unknown flag '{other}'")),
+        }
+    }
+    if cfg.addr.is_empty() {
+        fail("--addr is required");
+    }
+    if trace_paths.is_empty() {
+        fail("at least one --trace is required");
+    }
+    for path in &trace_paths {
+        match ScrapeTrace::load(std::path::Path::new(path)) {
+            Ok(trace) => cfg.traces.push(trace),
+            Err(e) => {
+                eprintln!("icfl-loadgen-http: load {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    match run(&cfg) {
+        Ok(summary) => {
+            println!("{}", summary.one_line());
+            if summary.incidents_detected() < summary.incidents_expected() {
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("icfl-loadgen-http: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! The ingest server binary: bind, serve, run until killed.
+//!
+//! ```text
+//! icfl-server --addr 127.0.0.1:7171 --models results/models \
+//!             [--queue-cap 64] [--http-workers 16] \
+//!             [--retry-after-ms 25] [--log info]
+//! ```
+
+use icfl_server::{IcflServer, ServerConfig};
+
+const USAGE: &str = "usage: icfl-server [--addr HOST:PORT] [--models DIR] \
+[--queue-cap N] [--http-workers N] [--retry-after-ms MS] [--log LEVEL]";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("{msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut cfg = ServerConfig::quick("results/models");
+    cfg.addr = "127.0.0.1:7171".to_owned();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| fail(&format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--addr" => cfg.addr = value("--addr"),
+            "--models" => cfg.registry_root = value("--models").into(),
+            "--queue-cap" => {
+                cfg.queue_cap = value("--queue-cap")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--queue-cap must be a positive integer"));
+            }
+            "--http-workers" => {
+                cfg.http_workers = value("--http-workers")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--http-workers must be a positive integer"));
+            }
+            "--retry-after-ms" => {
+                cfg.retry_after_ms = value("--retry-after-ms")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--retry-after-ms must be an integer"));
+            }
+            "--log" => {
+                let name = value("--log");
+                match icfl_obs::Level::parse(&name) {
+                    Some(level) => icfl_obs::logger::set_level(level),
+                    None => fail(&format!("unknown log level '{name}'")),
+                }
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => fail(&format!("unknown flag '{other}'")),
+        }
+    }
+    if cfg.queue_cap == 0 || cfg.http_workers == 0 {
+        fail("--queue-cap and --http-workers must be > 0");
+    }
+
+    let handle = match IcflServer::start(cfg.clone()) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("icfl-server: {e}");
+            std::process::exit(1);
+        }
+    };
+    icfl_obs::info!(
+        "icfl-server listening on {} (models: {}, queue cap {}, {} http workers)",
+        handle.addr(),
+        cfg.registry_root.display(),
+        cfg.queue_cap,
+        cfg.http_workers
+    );
+    // Serve until the process is killed; all work happens on the server's
+    // own threads.
+    loop {
+        std::thread::park();
+    }
+}

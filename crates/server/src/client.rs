@@ -1,0 +1,103 @@
+//! A blocking keep-alive HTTP client for the ingest server — one TCP
+//! connection per [`HttpClient`], reconnecting transparently if the
+//! server closed it between requests.
+
+use crate::http::{self, Response};
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A persistent connection to one server address.
+#[derive(Debug)]
+pub struct HttpClient {
+    addr: String,
+    conn: Option<(TcpStream, BufReader<TcpStream>)>,
+}
+
+impl HttpClient {
+    /// A client for `addr` (connects lazily on the first request).
+    pub fn connect(addr: impl Into<String>) -> HttpClient {
+        HttpClient {
+            addr: addr.into(),
+            conn: None,
+        }
+    }
+
+    fn ensure(&mut self) -> std::io::Result<&mut (TcpStream, BufReader<TcpStream>)> {
+        if self.conn.is_none() {
+            let stream = TcpStream::connect(&self.addr)?;
+            stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+            stream.set_nodelay(true)?;
+            let reader = BufReader::new(stream.try_clone()?);
+            self.conn = Some((stream, reader));
+        }
+        Ok(self.conn.as_mut().expect("just connected"))
+    }
+
+    /// Sends one request and reads the response, retrying once on a fresh
+    /// connection if the kept-alive socket turned out dead.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures after the retry, as `io::Error`.
+    pub fn request(&mut self, method: &str, path: &str, body: &[u8]) -> std::io::Result<Response> {
+        for attempt in 0..2 {
+            match self.try_request(method, path, body) {
+                Ok(resp) => return Ok(resp),
+                Err(e) if attempt == 0 => {
+                    // Stale keep-alive (server idle-timeout, pool churn):
+                    // drop the socket and retry once from scratch.
+                    self.conn = None;
+                    let _ = e;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        unreachable!("loop returns on second attempt")
+    }
+
+    fn try_request(&mut self, method: &str, path: &str, body: &[u8]) -> std::io::Result<Response> {
+        let (stream, reader) = self.ensure()?;
+        http::write_request(stream, method, path, body)?;
+        match http::read_response(reader) {
+            Ok(Some(resp)) => {
+                if resp
+                    .header("connection")
+                    .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+                {
+                    self.conn = None;
+                }
+                Ok(resp)
+            }
+            Ok(None) => {
+                self.conn = None;
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::ConnectionReset,
+                    "server closed the connection",
+                ))
+            }
+            Err(e) => {
+                self.conn = None;
+                Err(e)
+            }
+        }
+    }
+
+    /// `GET path`.
+    ///
+    /// # Errors
+    ///
+    /// As [`HttpClient::request`].
+    pub fn get(&mut self, path: &str) -> std::io::Result<Response> {
+        self.request("GET", path, b"")
+    }
+
+    /// `POST path` with `body`.
+    ///
+    /// # Errors
+    ///
+    /// As [`HttpClient::request`].
+    pub fn post(&mut self, path: &str, body: &[u8]) -> std::io::Result<Response> {
+        self.request("POST", path, body)
+    }
+}

@@ -1,0 +1,239 @@
+//! A minimal HTTP/1.1 codec over blocking `std::net` streams: exactly the
+//! subset the ingest server and its load generator speak to each other —
+//! request line + headers + `Content-Length` bodies, keep-alive by
+//! default, no chunked encoding, no TLS. Hard caps on line, header, and
+//! body sizes keep a hostile peer from ballooning memory.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Longest accepted request/status/header line, in bytes.
+const MAX_LINE: usize = 8 * 1024;
+/// Most headers accepted per message.
+const MAX_HEADERS: usize = 64;
+/// Largest accepted body (a bulk scrape batch for a large fleet is a few
+/// hundred KiB; 16 MiB leaves two orders of magnitude of headroom).
+pub const MAX_BODY: usize = 16 * 1024 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Method verb, uppercased by the client (`GET`, `POST`).
+    pub method: String,
+    /// Request target (path + optional query), percent-decoding not
+    /// applied — tenant names stay on the URL-safe alphabet.
+    pub path: String,
+    /// Header pairs in arrival order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty without `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of the (lowercased) header `name`.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the peer asked to keep the connection open (HTTP/1.1
+    /// default; `Connection: close` opts out).
+    pub fn keep_alive(&self) -> bool {
+        !self
+            .header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// One parsed HTTP response (client side).
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Header pairs in arrival order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// First value of the (lowercased) header `name`.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+fn bad(detail: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, detail.into())
+}
+
+/// Reads one CRLF- (or LF-) terminated line, without the terminator.
+/// `Ok(None)` means clean EOF before any byte.
+fn read_line(r: &mut BufReader<TcpStream>) -> io::Result<Option<String>> {
+    let mut line = Vec::new();
+    let n = r
+        .by_ref()
+        .take(MAX_LINE as u64 + 1)
+        .read_until(b'\n', &mut line)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if line.last() != Some(&b'\n') {
+        return Err(bad(if n > MAX_LINE {
+            "header line too long"
+        } else {
+            "unexpected EOF mid-line"
+        }));
+    }
+    line.pop();
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line)
+        .map(Some)
+        .map_err(|_| bad("non-UTF-8 header line"))
+}
+
+/// Lowercased header pairs in arrival order.
+type Headers = Vec<(String, String)>;
+
+/// Reads headers and a `Content-Length` body after the start line.
+fn read_headers_and_body(r: &mut BufReader<TcpStream>) -> io::Result<(Headers, Vec<u8>)> {
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(r)?.ok_or_else(|| bad("EOF in headers"))?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(bad("too many headers"));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| bad("header without ':'"))?;
+        headers.push((name.to_ascii_lowercase(), value.trim().to_owned()));
+    }
+    let len: usize = match headers.iter().find(|(k, _)| k == "content-length") {
+        Some((_, v)) => v.parse().map_err(|_| bad("bad Content-Length"))?,
+        None => 0,
+    };
+    if len > MAX_BODY {
+        return Err(bad("body exceeds cap"));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok((headers, body))
+}
+
+/// Reads one request. `Ok(None)` on clean EOF (peer closed between
+/// requests).
+pub fn read_request(r: &mut BufReader<TcpStream>) -> io::Result<Option<Request>> {
+    let Some(start) = read_line(r)? else {
+        return Ok(None);
+    };
+    let mut parts = start.split_ascii_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) => (m, p, v),
+        _ => return Err(bad(format!("malformed request line: {start:?}"))),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(bad(format!("unsupported version: {version}")));
+    }
+    let (headers, body) = read_headers_and_body(r)?;
+    Ok(Some(Request {
+        method: method.to_owned(),
+        path: path.to_owned(),
+        headers,
+        body,
+    }))
+}
+
+/// Reads one response (client side). `Ok(None)` on clean EOF.
+pub fn read_response(r: &mut BufReader<TcpStream>) -> io::Result<Option<Response>> {
+    let Some(start) = read_line(r)? else {
+        return Ok(None);
+    };
+    let mut parts = start.split_ascii_whitespace();
+    let status: u16 = match (parts.next(), parts.next()) {
+        (Some(v), Some(code)) if v.starts_with("HTTP/1.") => {
+            code.parse().map_err(|_| bad("bad status code"))?
+        }
+        _ => return Err(bad(format!("malformed status line: {start:?}"))),
+    };
+    let (headers, body) = read_headers_and_body(r)?;
+    Ok(Some(Response {
+        status,
+        headers,
+        body,
+    }))
+}
+
+/// Writes one request with a `Content-Length` body. The whole message is
+/// assembled first and written in one call — interleaving small writes
+/// on a raw socket trips Nagle/delayed-ACK stalls on loopback.
+pub fn write_request(w: &mut impl Write, method: &str, path: &str, body: &[u8]) -> io::Result<()> {
+    let mut msg = Vec::with_capacity(64 + body.len());
+    write!(
+        msg,
+        "{method} {path} HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+        body.len()
+    )?;
+    msg.extend_from_slice(body);
+    w.write_all(&msg)?;
+    w.flush()
+}
+
+/// Writes one response in a single socket write (see [`write_request`]
+/// on why). Extra headers ride along verbatim; the codec adds
+/// `content-length` and, when `keep_alive` is false, `connection: close`.
+pub fn write_response(
+    w: &mut impl Write,
+    status: u16,
+    reason: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+    keep_alive: bool,
+) -> io::Result<()> {
+    let mut msg = Vec::with_capacity(96 + body.len());
+    write!(
+        msg,
+        "HTTP/1.1 {status} {reason}\r\ncontent-length: {}\r\n",
+        body.len()
+    )?;
+    for (k, v) in extra_headers {
+        write!(msg, "{k}: {v}\r\n")?;
+    }
+    if !keep_alive {
+        write!(msg, "connection: close\r\n")?;
+    }
+    write!(msg, "\r\n")?;
+    msg.extend_from_slice(body);
+    w.write_all(&msg)?;
+    w.flush()
+}
+
+/// The conventional reason phrase for the status codes this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}

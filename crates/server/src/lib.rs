@@ -1,0 +1,51 @@
+//! `icfl-server` — the networked face of online fault localization: a TCP
+//! ingest server that runs one [`FeedSession`](icfl_online::FeedSession)
+//! per tenant over newline-delimited scrape batches, and the HTTP load
+//! generator that pressure-tests it with recorded scenario traces.
+//!
+//! # Architecture
+//!
+//! ```text
+//!  icfl-loadgen-http                      icfl-server
+//!  ┌──────────────┐   POST /ingest/<t>   ┌────────────────────────────┐
+//!  │ worker 0 ────┼──────────────────────┼→ accept → http workers     │
+//!  │ worker 1 ────┼───  429 + retry  ←───┼   │ parse + validate       │
+//!  │   ...        │                      │   ▼                        │
+//!  │ (loops a     │                      │ bounded tenant queue ──────┼─ full → 429
+//!  │  recorded    │   GET /incidents     │   ▼                        │
+//!  │  trace)      │ ←────────────────────┼ FeedSession worker         │
+//!  └──────────────┘      verdicts        │  (windows → detect →       │
+//!                                        │   localize, deterministic) │
+//!                                        └────────────────────────────┘
+//! ```
+//!
+//! Everything is `std::net` + blocking threads — no async runtime. The
+//! accept loop hands sockets to a bounded worker pool (saturation answers
+//! 503 inline); each tenant owns a bounded batch queue drained by a
+//! dedicated worker thread, so backpressure is per-tenant and explicit:
+//! a full queue rejects the batch with 429 and a client-visible retry
+//! hint, never a silent drop.
+//!
+//! Because [`FeedSession`](icfl_online::FeedSession) shares its decision
+//! core with the in-process [`OnlineSession`](icfl_online::OnlineSession),
+//! verdicts served over the wire are byte-identical to an in-process
+//! replay of the same trace — the loopback test pins exactly that.
+//!
+//! | Module | What lives there |
+//! |---|---|
+//! | [`http`] | Minimal blocking HTTP/1.1 codec (requests, responses, keep-alive). |
+//! | [`tenant`] | Per-tenant pipeline: bounded queue, worker thread, reject taxonomy. |
+//! | [`server`] | Listener, worker pool, route table, [`ServerConfig`]. |
+//! | [`client`] | Blocking keep-alive [`HttpClient`]. |
+//! | [`loadgen`] | Campaign runner: trace-replaying workers, 429 honoring, latency scoring. |
+
+pub mod client;
+pub mod http;
+pub mod loadgen;
+pub mod server;
+pub mod tenant;
+
+pub use client::HttpClient;
+pub use loadgen::{LoadMode, LoadgenConfig, LoadgenError, LoadgenSummary, TenantOutcome};
+pub use server::{IcflServer, IncidentsReport, ServerConfig, ServerHandle};
+pub use tenant::{Batch, Reject, TenantPipeline};

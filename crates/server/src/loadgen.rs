@@ -1,0 +1,451 @@
+//! The HTTP load generator core: N worker threads replaying recorded
+//! scrape traces against a running ingest server, looping each trace with
+//! a time offset so streams are arbitrarily long, honoring 429
+//! backpressure, and scoring detection latency against the trace's
+//! scheduled fault episodes.
+//!
+//! The binary `icfl-loadgen-http` is a thin flag-parsing shell over
+//! [`run`]; the `serverbench` experiment and the loopback e2e test drive
+//! this module in-process.
+
+use crate::client::HttpClient;
+use crate::server::IncidentsReport;
+use icfl_online::FeedVerdict;
+use icfl_scenario::trace::{encode_scrape_line, ScrapeTrace};
+use icfl_sim::Rng;
+use std::sync::{Barrier, Mutex};
+use std::time::{Duration, Instant};
+
+/// How scrapes are packed into `POST /ingest` batches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadMode {
+    /// One scrape per request — maximal request pressure.
+    Single,
+    /// `bulk_size` scrapes per request — maximal ingest throughput.
+    Bulk,
+    /// Uniformly random batch size in `1..=bulk_size` per request.
+    Random,
+}
+
+impl std::str::FromStr for LoadMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<LoadMode, String> {
+        match s {
+            "single" => Ok(LoadMode::Single),
+            "bulk" => Ok(LoadMode::Bulk),
+            "random" => Ok(LoadMode::Random),
+            other => Err(format!("unknown mode '{other}' (single|bulk|random)")),
+        }
+    }
+}
+
+/// One load-generation campaign.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address, `host:port`.
+    pub addr: String,
+    /// Recorded traces to replay; worker `w` replays `traces[w % len]`.
+    pub traces: Vec<ScrapeTrace>,
+    /// Total scrapes to send across all workers.
+    pub total: u64,
+    /// Concurrent worker threads, each its own tenant and connection.
+    pub concurrency: usize,
+    /// Batch size cap (exact size in bulk mode, upper bound in random).
+    pub bulk_size: usize,
+    /// Batch packing mode.
+    pub mode: LoadMode,
+    /// Per-worker send rate in scrapes/second; `0.0` means unthrottled.
+    pub rate: f64,
+    /// Seed for random-mode batch sizing.
+    pub seed: u64,
+    /// Tenant names are `<app>:<prefix>w<worker>`; the prefix keeps
+    /// repeated campaigns against one server from colliding.
+    pub tenant_prefix: String,
+}
+
+/// One worker's tally.
+#[derive(Debug, Clone, Copy, Default)]
+struct WorkerStats {
+    scrapes_sent: u64,
+    batches_ok: u64,
+    batches_retried: u64,
+    /// Last stream timestamp sent, nanoseconds.
+    last_sent_nanos: u64,
+    loops_started: u64,
+}
+
+/// Per-tenant outcome after the drain barrier.
+#[derive(Debug, Clone)]
+pub struct TenantOutcome {
+    /// The tenant name this worker streamed as.
+    pub tenant: String,
+    /// Scrapes the server acknowledged for this tenant.
+    pub scrapes_accepted: u64,
+    /// Fault-episode instances fully contained in what was sent.
+    pub incidents_expected: u64,
+    /// Every verdict the tenant's session produced.
+    pub verdicts: Vec<FeedVerdict>,
+    /// Confirmation latency per verdict: seconds from the most recent
+    /// scheduled episode start at or before the confirmation.
+    pub detect_latencies_secs: Vec<f64>,
+}
+
+/// The campaign result.
+#[derive(Debug, Clone)]
+pub struct LoadgenSummary {
+    /// Scrapes sent (and acknowledged) across all workers.
+    pub scrapes_sent: u64,
+    /// Accepted ingest batches.
+    pub batches_ok: u64,
+    /// 429 rejections that were retried (each eventually accepted).
+    pub batches_retried: u64,
+    /// Wall-clock of the send phase: from the post-registration barrier
+    /// (all tenants registered, models loaded) to the last ingest ack.
+    pub send_wall: Duration,
+    /// Wall-clock including the drain barrier and verdict fetch.
+    pub total_wall: Duration,
+    /// Per-tenant outcomes, worker order.
+    pub tenants: Vec<TenantOutcome>,
+}
+
+impl LoadgenSummary {
+    /// Sustained send throughput, scrapes per second.
+    pub fn scrapes_per_sec(&self) -> f64 {
+        if self.send_wall.is_zero() {
+            return 0.0;
+        }
+        self.scrapes_sent as f64 / self.send_wall.as_secs_f64()
+    }
+
+    /// Episode instances expected across all tenants.
+    pub fn incidents_expected(&self) -> u64 {
+        self.tenants.iter().map(|t| t.incidents_expected).sum()
+    }
+
+    /// Incidents actually confirmed across all tenants.
+    pub fn incidents_detected(&self) -> u64 {
+        self.tenants.iter().map(|t| t.verdicts.len() as u64).sum()
+    }
+
+    /// The `q`-quantile of detection latency across all tenants, in
+    /// milliseconds (`None` until something was detected).
+    pub fn detect_p(&self, q: f64) -> Option<f64> {
+        let mut lat: Vec<f64> = self
+            .tenants
+            .iter()
+            .flat_map(|t| t.detect_latencies_secs.iter().copied())
+            .collect();
+        if lat.is_empty() {
+            return None;
+        }
+        lat.sort_by(f64::total_cmp);
+        let rank = ((q.clamp(0.0, 1.0) * lat.len() as f64).ceil() as usize).max(1) - 1;
+        Some(lat[rank.min(lat.len() - 1)] * 1000.0)
+    }
+
+    /// The lithair-style one-line summary the binary prints.
+    pub fn one_line(&self) -> String {
+        let fmt_p = |q| match self.detect_p(q) {
+            Some(ms) => format!("{ms:.0}ms"),
+            None => "n/a".to_owned(),
+        };
+        format!(
+            "{} scrapes in {:.2}s ({:.0} scrapes/s) | batches ok={} retried={} | incidents {}/{} detected | detect p50={} p99={}",
+            self.scrapes_sent,
+            self.send_wall.as_secs_f64(),
+            self.scrapes_per_sec(),
+            self.batches_ok,
+            self.batches_retried,
+            self.incidents_detected(),
+            self.incidents_expected(),
+            fmt_p(0.50),
+            fmt_p(0.99),
+        )
+    }
+}
+
+/// A non-transport failure during the campaign.
+#[derive(Debug)]
+pub enum LoadgenError {
+    /// The server answered something other than 200/429 where 200 was
+    /// required.
+    Http(String),
+    /// Transport failure.
+    Io(std::io::Error),
+    /// The configuration cannot run (no traces, zero concurrency, …).
+    Config(String),
+}
+
+impl std::fmt::Display for LoadgenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadgenError::Http(e) => write!(f, "unexpected response: {e}"),
+            LoadgenError::Io(e) => write!(f, "transport: {e}"),
+            LoadgenError::Config(e) => write!(f, "config: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadgenError {}
+
+impl From<std::io::Error> for LoadgenError {
+    fn from(e: std::io::Error) -> LoadgenError {
+        LoadgenError::Io(e)
+    }
+}
+
+/// Runs one campaign to completion: register every tenant, stream the
+/// scrape budget, drain, and fetch verdicts.
+///
+/// # Errors
+///
+/// [`LoadgenError`] on bad configuration, transport failure, or any
+/// server response outside the accept/backpressure protocol.
+pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenSummary, LoadgenError> {
+    if cfg.traces.is_empty() {
+        return Err(LoadgenError::Config("no traces to replay".into()));
+    }
+    if cfg.concurrency == 0 || cfg.total == 0 {
+        return Err(LoadgenError::Config(
+            "concurrency and total must be > 0".into(),
+        ));
+    }
+    if cfg.bulk_size == 0 {
+        return Err(LoadgenError::Config("bulk-size must be > 0".into()));
+    }
+    if cfg.traces.iter().any(|t| t.scrapes.is_empty()) {
+        return Err(LoadgenError::Config("a trace has no scrapes".into()));
+    }
+
+    let started = Instant::now();
+    let worker_count = cfg.concurrency;
+    // Workers rendezvous after registering their tenants (model load is
+    // the expensive part of setup), so `send_wall` measures sustained
+    // ingest throughput, not registry parsing.
+    let send_gate = Barrier::new(worker_count);
+    let send_started = Mutex::new(None::<Instant>);
+    let results: Vec<Result<(String, WorkerStats), LoadgenError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..worker_count)
+            .map(|w| {
+                // Spread the budget: the first `total % workers` workers
+                // take one extra scrape.
+                let share = cfg.total / worker_count as u64
+                    + u64::from((w as u64) < cfg.total % worker_count as u64);
+                let send_gate = &send_gate;
+                let send_started = &send_started;
+                scope.spawn(move || worker(cfg, w, share, send_gate, send_started))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("loadgen worker panicked"))
+            .collect()
+    });
+    let send_wall = send_started
+        .lock()
+        .expect("send clock lock")
+        .map_or_else(|| started.elapsed(), |t| t.elapsed());
+
+    let mut stats_by_tenant = Vec::new();
+    let mut scrapes_sent = 0;
+    let mut batches_ok = 0;
+    let mut batches_retried = 0;
+    for res in results {
+        let (tenant, stats) = res?;
+        scrapes_sent += stats.scrapes_sent;
+        batches_ok += stats.batches_ok;
+        batches_retried += stats.batches_retried;
+        stats_by_tenant.push((tenant, stats));
+    }
+
+    // Drain barrier + verdict fetch, one tenant at a time.
+    let mut client = HttpClient::connect(cfg.addr.clone());
+    let mut tenants = Vec::new();
+    for (w, (tenant, stats)) in stats_by_tenant.iter().enumerate() {
+        let drain = client.get(&format!("/drain/{tenant}"))?;
+        if drain.status != 200 {
+            return Err(LoadgenError::Http(format!(
+                "drain {tenant}: {} {}",
+                drain.status,
+                drain.text().trim()
+            )));
+        }
+        let resp = client.get(&format!("/incidents/{tenant}"))?;
+        if resp.status != 200 {
+            return Err(LoadgenError::Http(format!(
+                "incidents {tenant}: {} {}",
+                resp.status,
+                resp.text().trim()
+            )));
+        }
+        let report: IncidentsReport = serde_json::from_str(&resp.text())
+            .map_err(|e| LoadgenError::Http(format!("incidents {tenant}: bad JSON: {e}")))?;
+        if let Some(err) = report.worker_error {
+            return Err(LoadgenError::Http(format!(
+                "tenant {tenant} poisoned: {err}"
+            )));
+        }
+        let trace = &cfg.traces[w % cfg.traces.len()];
+        let (incidents_expected, detect_latencies_secs) = score(trace, stats, &report.verdicts);
+        tenants.push(TenantOutcome {
+            tenant: tenant.clone(),
+            scrapes_accepted: report.scrapes_accepted,
+            incidents_expected,
+            verdicts: report.verdicts,
+            detect_latencies_secs,
+        });
+    }
+
+    Ok(LoadgenSummary {
+        scrapes_sent,
+        batches_ok,
+        batches_retried,
+        send_wall,
+        total_wall: started.elapsed(),
+        tenants,
+    })
+}
+
+/// Time shift applied to loop `l` of a trace so timestamps keep strictly
+/// increasing across loops.
+fn loop_offset_nanos(trace: &ScrapeTrace, l: u64) -> u64 {
+    let last = trace.scrapes.last().map_or(0, |&(t, _)| t);
+    l * (last + trace.meta.interval_nanos)
+}
+
+/// Expected incidents and per-verdict detection latency for one tenant:
+/// an episode instance counts as expected once its whole `[start, end]`
+/// span was sent; a verdict's latency is measured from the most recent
+/// episode start at or before its confirmation.
+fn score(trace: &ScrapeTrace, stats: &WorkerStats, verdicts: &[FeedVerdict]) -> (u64, Vec<f64>) {
+    let mut starts_secs = Vec::new();
+    let mut expected = 0;
+    for l in 0..stats.loops_started {
+        let offset = loop_offset_nanos(trace, l);
+        for ep in &trace.meta.episodes {
+            let start = ep.start_nanos + offset;
+            let end = ep.end_nanos + offset;
+            starts_secs.push(start as f64 / 1e9);
+            if end <= stats.last_sent_nanos {
+                expected += 1;
+            }
+        }
+    }
+    starts_secs.sort_by(f64::total_cmp);
+    let latencies = verdicts
+        .iter()
+        .filter_map(|v| {
+            let at = v.confirmed_at_secs;
+            starts_secs.iter().rev().find(|&&s| s <= at).map(|s| at - s)
+        })
+        .collect();
+    (expected, latencies)
+}
+
+fn worker(
+    cfg: &LoadgenConfig,
+    w: usize,
+    share: u64,
+    send_gate: &Barrier,
+    send_started: &Mutex<Option<Instant>>,
+) -> Result<(String, WorkerStats), LoadgenError> {
+    let trace = &cfg.traces[w % cfg.traces.len()];
+    let tenant = format!("{}:{}w{w}", trace.meta.app, cfg.tenant_prefix);
+    let mut client = HttpClient::connect(cfg.addr.clone());
+
+    // Register the tenant; the server loads the model keyed by the app
+    // prefix of the tenant name. Every worker reaches the barrier even on
+    // failure — a missing peer would deadlock the rest.
+    let meta = serde_json::to_string(&trace.meta).expect("meta serializes");
+    let registered = client
+        .post(&format!("/session/{tenant}"), meta.as_bytes())
+        .map_err(LoadgenError::from)
+        .and_then(|resp| {
+            if resp.status == 200 {
+                Ok(())
+            } else {
+                Err(LoadgenError::Http(format!(
+                    "session {tenant}: {} {}",
+                    resp.status,
+                    resp.text().trim()
+                )))
+            }
+        });
+    if send_gate.wait().is_leader() {
+        *send_started.lock().expect("send clock lock") = Some(Instant::now());
+    }
+    registered?;
+
+    let mut rng = Rng::seeded(cfg.seed ^ (w as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let mut stats = WorkerStats::default();
+    let throttle_start = Instant::now();
+    let mut cursor = 0usize; // index into trace.scrapes within the current loop
+    let mut loop_idx = 0u64;
+    stats.loops_started = 1;
+
+    while stats.scrapes_sent < share {
+        let remaining = (share - stats.scrapes_sent) as usize;
+        let want = match cfg.mode {
+            LoadMode::Single => 1,
+            LoadMode::Bulk => cfg.bulk_size,
+            LoadMode::Random => rng.range_inclusive(1, cfg.bulk_size as u64) as usize,
+        }
+        .min(remaining)
+        // Batches never straddle a loop boundary, so timestamps within a
+        // batch are always strictly increasing.
+        .min(trace.scrapes.len() - cursor);
+
+        let offset = loop_offset_nanos(trace, loop_idx);
+        let mut body = String::new();
+        for (t, row) in &trace.scrapes[cursor..cursor + want] {
+            body.push_str(&encode_scrape_line(t + offset, row));
+            body.push('\n');
+        }
+        let last_in_batch = trace.scrapes[cursor + want - 1].0 + offset;
+
+        // Send, honoring 429 backpressure with the server's retry hint.
+        loop {
+            let resp = client.post(&format!("/ingest/{tenant}"), body.as_bytes())?;
+            match resp.status {
+                200 => break,
+                429 => {
+                    stats.batches_retried += 1;
+                    let ms = resp
+                        .header("x-retry-after-ms")
+                        .and_then(|v| v.parse::<u64>().ok())
+                        .unwrap_or(50);
+                    std::thread::sleep(Duration::from_millis(ms.clamp(1, 1000)));
+                }
+                status => {
+                    return Err(LoadgenError::Http(format!(
+                        "ingest {tenant}: {status} {}",
+                        resp.text().trim()
+                    )));
+                }
+            }
+        }
+        stats.batches_ok += 1;
+        stats.scrapes_sent += want as u64;
+        stats.last_sent_nanos = last_in_batch;
+        cursor += want;
+        if cursor == trace.scrapes.len() {
+            cursor = 0;
+            loop_idx += 1;
+            stats.loops_started += 1;
+        }
+
+        if cfg.rate > 0.0 {
+            // Pace against the ideal schedule rather than sleeping a fixed
+            // amount, so parse/transport time doesn't skew the rate.
+            let due =
+                throttle_start + Duration::from_secs_f64(stats.scrapes_sent as f64 / cfg.rate);
+            let now = Instant::now();
+            if due > now {
+                std::thread::sleep(due - now);
+            }
+        }
+    }
+
+    Ok((tenant, stats))
+}

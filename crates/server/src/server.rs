@@ -1,0 +1,520 @@
+//! The ingest server: a `std::net` TCP listener, a bounded pool of
+//! connection workers, and the route table gluing sockets to per-tenant
+//! pipelines.
+//!
+//! The request path is `socket → bounded tenant queue → FeedSession
+//! worker → journal`: connection workers only parse and enqueue, so a
+//! slow tenant session never blocks the accept path — it fills that
+//! tenant's queue and turns into 429s for that tenant alone.
+//!
+//! # Routes
+//!
+//! | Route | Meaning |
+//! |---|---|
+//! | `POST /session/<tenant>` | Register a tenant: body is the trace's `TraceMeta`; the model is loaded from the registry under the tenant name's app prefix (up to the first `:`). |
+//! | `POST /ingest/<tenant>` | Newline-delimited scrape lines (`[t,[[...]]]`); all-or-nothing: 200 `{"accepted":N}`, 400 malformed, 409 out-of-order, 429 + `retry-after` when the queue is full. |
+//! | `GET /incidents/<tenant>` | Ingest counts + every verdict so far. |
+//! | `GET /drain/<tenant>` | Blocks until the tenant queue is empty (504 after 10 s). |
+//! | `GET /metrics` | Prometheus text exposition of the journal. |
+//! | `GET /healthz` | Liveness + tenant count. |
+
+use crate::http::{self, Request};
+use crate::tenant::{Batch, Reject, TenantPipeline};
+use icfl_online::{FeedConfig, FeedSession, ModelRegistry, OnlineConfig, RegistryError};
+use icfl_scenario::trace::{parse_scrape_line, TraceMeta};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning of one ingest server.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address (`127.0.0.1:0` for an ephemeral loopback port).
+    pub addr: String,
+    /// Model registry root (`results/models` in a checkout).
+    pub registry_root: PathBuf,
+    /// Feed tuning every tenant session runs with; must match the window
+    /// geometry the registry's models were trained on.
+    pub feed: FeedConfig,
+    /// Tenant queue bound, in batches.
+    pub queue_cap: usize,
+    /// Connection-worker pool size.
+    pub http_workers: usize,
+    /// Client-visible retry hint on 429, in milliseconds.
+    pub retry_after_ms: u64,
+}
+
+impl ServerConfig {
+    /// Loopback server over `registry_root` with quick-mode feed tuning.
+    pub fn quick(registry_root: impl Into<PathBuf>) -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            registry_root: registry_root.into(),
+            feed: FeedConfig::from_online(&OnlineConfig::quick()),
+            queue_cap: 64,
+            http_workers: 16,
+            retry_after_ms: 25,
+        }
+    }
+}
+
+/// Everything the route handlers share.
+struct State {
+    cfg: ServerConfig,
+    registry: ModelRegistry,
+    tenants: RwLock<BTreeMap<String, Arc<TenantPipeline>>>,
+}
+
+/// The ingest server. [`IcflServer::start`] binds, spawns the accept
+/// loop and worker pool, and returns a handle; the server runs until
+/// [`ServerHandle::shutdown`] (or the handle drops).
+#[derive(Debug)]
+pub struct IcflServer;
+
+/// A running server: its bound address and its shutdown switch.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<State>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl IcflServer {
+    /// Binds `cfg.addr` and starts serving.
+    ///
+    /// # Errors
+    ///
+    /// Any bind/registry-open failure, as `io::Error`.
+    pub fn start(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
+        let registry = ModelRegistry::open(&cfg.registry_root)
+            .map_err(|e| std::io::Error::other(format!("open registry: {e}")))?;
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(State {
+            registry,
+            tenants: RwLock::new(BTreeMap::new()),
+            cfg,
+        });
+        let stop = Arc::new(AtomicBool::new(false));
+
+        // Bounded hand-off between the accept loop and the connection
+        // workers; a full channel means every worker is busy and the
+        // backlog is full, so the accept loop answers 503 inline.
+        let (tx, rx) = sync_channel::<TcpStream>(state.cfg.http_workers);
+        let rx = Arc::new(Mutex::new(rx));
+        let workers: Vec<_> = (0..state.cfg.http_workers)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let state = Arc::clone(&state);
+                std::thread::Builder::new()
+                    .name(format!("icfl-http-{i}"))
+                    .spawn(move || connection_worker(&rx, &state))
+                    .expect("spawn http worker")
+            })
+            .collect();
+        let accept_thread = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("icfl-accept".to_owned())
+                .spawn(move || accept_loop(&listener, &tx, &stop))
+                .expect("spawn accept loop")
+        };
+        Ok(ServerHandle {
+            addr,
+            state,
+            stop,
+            accept_thread: Some(accept_thread),
+            workers: Vec::from_iter(workers),
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound listen address (resolves `:0` to the ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains the worker pool, and joins every thread.
+    /// Tenant pipelines keep their state until the handle drops.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        // The accept thread dropped the sender; workers drain and exit.
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+
+    /// The pipeline registered under `tenant`, if any (tests and
+    /// in-process harnesses; network clients use the routes).
+    pub fn tenant(&self, tenant: &str) -> Option<Arc<TenantPipeline>> {
+        self.state
+            .tenants
+            .read()
+            .expect("tenants lock")
+            .get(tenant)
+            .cloned()
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, tx: &SyncSender<TcpStream>, stop: &AtomicBool) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = conn else { continue };
+        match tx.try_send(stream) {
+            Ok(()) => {}
+            Err(TrySendError::Full(mut stream)) => {
+                // Saturated pool: tell the client to back off rather than
+                // queueing unboundedly.
+                icfl_obs::counter_add("icfl_server_connections_shed_total", &[], 1);
+                let _ = http::write_response(
+                    &mut stream,
+                    503,
+                    http::reason(503),
+                    &[("retry-after", "1")],
+                    b"worker pool saturated\n",
+                    false,
+                );
+            }
+            Err(TrySendError::Disconnected(_)) => return,
+        }
+    }
+}
+
+fn connection_worker(rx: &Arc<Mutex<Receiver<TcpStream>>>, state: &Arc<State>) {
+    loop {
+        let stream = {
+            let rx = rx.lock().expect("http rx lock");
+            rx.recv()
+        };
+        let Ok(stream) = stream else { return };
+        icfl_obs::counter_add("icfl_server_connections_total", &[], 1);
+        let _ = serve_connection(stream, state);
+    }
+}
+
+fn serve_connection(stream: TcpStream, state: &Arc<State>) -> std::io::Result<()> {
+    // An idle keep-alive peer must not pin a pool worker forever.
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    loop {
+        let req = match http::read_request(&mut reader) {
+            Ok(Some(req)) => req,
+            Ok(None) => return Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                http::write_response(
+                    &mut writer,
+                    400,
+                    http::reason(400),
+                    &[],
+                    format!("{e}\n").as_bytes(),
+                    false,
+                )?;
+                return Ok(());
+            }
+            Err(_) => return Ok(()), // timeout / reset: drop quietly
+        };
+        let keep_alive = req.keep_alive();
+        let started = Instant::now();
+        let reply = route(&req, state);
+        icfl_obs::histogram_observe("icfl_server_request_latency", &[], started.elapsed());
+        http::write_response(
+            &mut writer,
+            reply.status,
+            http::reason(reply.status),
+            &reply
+                .headers
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.as_str()))
+                .collect::<Vec<_>>(),
+            &reply.body,
+            keep_alive,
+        )?;
+        if !keep_alive {
+            return Ok(());
+        }
+    }
+}
+
+/// A handler's reply before serialization.
+struct Reply {
+    status: u16,
+    headers: Vec<(String, String)>,
+    body: Vec<u8>,
+}
+
+impl Reply {
+    fn new(status: u16, body: impl Into<Vec<u8>>) -> Reply {
+        Reply {
+            status,
+            headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    fn json(status: u16, value: &impl Serialize) -> Reply {
+        let mut body = serde_json::to_string(value)
+            .expect("reply serializes")
+            .into_bytes();
+        body.push(b'\n');
+        let mut reply = Reply::new(status, body);
+        reply
+            .headers
+            .push(("content-type".to_owned(), "application/json".to_owned()));
+        reply
+    }
+
+    fn text(status: u16, body: impl Into<String>) -> Reply {
+        let mut s = body.into();
+        if !s.ends_with('\n') {
+            s.push('\n');
+        }
+        Reply::new(status, s.into_bytes())
+    }
+}
+
+#[derive(Serialize)]
+struct IngestAck {
+    accepted: u64,
+}
+
+/// The `GET /incidents/<tenant>` body: ingest accounting plus every
+/// verdict the tenant's session has produced so far. `Deserialize` so the
+/// load generator and tests read it back typed.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IncidentsReport {
+    /// The tenant queried.
+    pub tenant: String,
+    /// Scrapes accepted into the queue.
+    pub scrapes_accepted: u64,
+    /// Batches accepted into the queue.
+    pub batches_accepted: u64,
+    /// Batches the worker has pushed through the session.
+    pub batches_processed: u64,
+    /// Hopping windows the session has finalized.
+    pub windows_emitted: u64,
+    /// A sticky worker-side feed error, if the pipeline is poisoned.
+    pub worker_error: Option<String>,
+    /// Verdicts in confirmation order.
+    pub verdicts: Vec<icfl_online::FeedVerdict>,
+}
+
+fn route(req: &Request, state: &Arc<State>) -> Reply {
+    let path = req.path.as_str();
+    match (req.method.as_str(), path) {
+        ("GET", "/healthz") => {
+            let tenants = state.tenants.read().expect("tenants lock").len();
+            Reply::text(200, format!("ok tenants={tenants}"))
+        }
+        ("GET", "/metrics") => {
+            let text = icfl_obs::global().metrics.snapshot().to_prometheus();
+            Reply::new(200, text.into_bytes())
+        }
+        _ => {
+            if let Some(tenant) = path.strip_prefix("/session/") {
+                return match req.method.as_str() {
+                    "POST" => post_session(tenant, &req.body, state),
+                    _ => Reply::text(405, "POST only"),
+                };
+            }
+            if let Some(tenant) = path.strip_prefix("/ingest/") {
+                return match req.method.as_str() {
+                    "POST" => post_ingest(tenant, &req.body, state),
+                    _ => Reply::text(405, "POST only"),
+                };
+            }
+            if let Some(tenant) = path.strip_prefix("/incidents/") {
+                return match req.method.as_str() {
+                    "GET" => get_incidents(tenant, state),
+                    _ => Reply::text(405, "GET only"),
+                };
+            }
+            if let Some(tenant) = path.strip_prefix("/drain/") {
+                return match req.method.as_str() {
+                    "GET" => get_drain(tenant, state),
+                    _ => Reply::text(405, "GET only"),
+                };
+            }
+            Reply::text(404, format!("no route for {path}"))
+        }
+    }
+}
+
+/// Tenant names are `<app>` or `<app>:<stream-suffix>`; the app prefix is
+/// the registry key, so many streams share one trained model.
+fn model_key(tenant: &str) -> &str {
+    tenant.split(':').next().unwrap_or(tenant)
+}
+
+fn valid_tenant_name(tenant: &str) -> bool {
+    !tenant.is_empty()
+        && tenant.len() <= 128
+        && tenant
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.' | ':'))
+}
+
+fn post_session(tenant: &str, body: &[u8], state: &Arc<State>) -> Reply {
+    if !valid_tenant_name(tenant) {
+        return Reply::text(400, "tenant names are [A-Za-z0-9_.:-]{1,128}");
+    }
+    let meta: TraceMeta = match std::str::from_utf8(body)
+        .ok()
+        .and_then(|s| serde_json::from_str(s).ok())
+    {
+        Some(meta) => meta,
+        None => return Reply::text(400, "body must be TraceMeta JSON"),
+    };
+    if state
+        .tenants
+        .read()
+        .expect("tenants lock")
+        .contains_key(tenant)
+    {
+        return Reply::text(409, format!("tenant {tenant} already registered"));
+    }
+    let record = match state.registry.load_latest(model_key(tenant)) {
+        Ok(record) => record,
+        Err(RegistryError::UnknownModel(name)) => {
+            return Reply::text(404, format!("no model '{name}' in the registry"));
+        }
+        Err(e) => return Reply::text(500, format!("registry: {e}")),
+    };
+    let session = match FeedSession::new(record.model, meta.service_names, state.cfg.feed.clone()) {
+        Ok(session) => session,
+        Err(e) => return Reply::text(400, format!("{e}")),
+    };
+    let pipeline = Arc::new(TenantPipeline::open(
+        tenant,
+        session,
+        state.cfg.queue_cap,
+        state.cfg.retry_after_ms,
+    ));
+    let mut tenants = state.tenants.write().expect("tenants lock");
+    if tenants.contains_key(tenant) {
+        return Reply::text(409, format!("tenant {tenant} already registered"));
+    }
+    tenants.insert(tenant.to_owned(), pipeline);
+    icfl_obs::counter_add("icfl_server_sessions_opened_total", &[], 1);
+    Reply::text(
+        200,
+        format!("tenant {tenant} serving model v{}", record.version),
+    )
+}
+
+fn lookup(tenant: &str, state: &Arc<State>) -> Option<Arc<TenantPipeline>> {
+    state
+        .tenants
+        .read()
+        .expect("tenants lock")
+        .get(tenant)
+        .cloned()
+}
+
+fn post_ingest(tenant: &str, body: &[u8], state: &Arc<State>) -> Reply {
+    let Some(pipeline) = lookup(tenant, state) else {
+        return Reply::text(404, format!("unknown tenant {tenant}"));
+    };
+    let Ok(text) = std::str::from_utf8(body) else {
+        return Reply::text(400, "body must be UTF-8 scrape lines");
+    };
+    let mut batch: Batch = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        match parse_scrape_line(line) {
+            Ok(scrape) => batch.push(scrape),
+            Err(e) => return Reply::text(400, format!("line {}: {e}", i + 1)),
+        }
+    }
+    let accepted = batch.len() as u64;
+    match pipeline.submit(batch) {
+        Ok(()) => Reply::json(200, &IngestAck { accepted }),
+        Err(Reject::QueueFull { retry_after_ms }) => {
+            let mut reply = Reply::text(429, "tenant queue full");
+            // `retry-after` is integral seconds per the HTTP spec; the
+            // millisecond hint rides a custom header for tight loops.
+            reply.headers.push((
+                "retry-after".to_owned(),
+                retry_after_ms.div_ceil(1000).max(1).to_string(),
+            ));
+            reply
+                .headers
+                .push(("x-retry-after-ms".to_owned(), retry_after_ms.to_string()));
+            reply
+        }
+        Err(Reject::OutOfOrder(e)) => Reply::text(409, e),
+        Err(Reject::Malformed(e)) => Reply::text(400, e),
+    }
+}
+
+fn get_incidents(tenant: &str, state: &Arc<State>) -> Reply {
+    let Some(pipeline) = lookup(tenant, state) else {
+        return Reply::text(404, format!("unknown tenant {tenant}"));
+    };
+    let (windows, verdicts) = pipeline.with_session(|s| (s.windows_emitted(), s.verdicts()));
+    Reply::json(
+        200,
+        &IncidentsReport {
+            tenant: tenant.to_owned(),
+            scrapes_accepted: pipeline.scrapes_accepted(),
+            batches_accepted: pipeline.accepted(),
+            batches_processed: pipeline.processed(),
+            windows_emitted: windows,
+            worker_error: pipeline.worker_error(),
+            verdicts,
+        },
+    )
+}
+
+fn get_drain(tenant: &str, state: &Arc<State>) -> Reply {
+    let Some(pipeline) = lookup(tenant, state) else {
+        return Reply::text(404, format!("unknown tenant {tenant}"));
+    };
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !pipeline.drained() {
+        if Instant::now() >= deadline {
+            return Reply::text(504, "tenant queue did not drain within 10s");
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    Reply::json(
+        200,
+        &IngestAck {
+            accepted: pipeline.processed(),
+        },
+    )
+}

@@ -1,0 +1,374 @@
+//! Per-tenant ingest pipelines: a bounded batch queue in front of one
+//! [`FeedSession`] worker.
+//!
+//! Every tenant (one registered stream of one application's telemetry)
+//! owns a queue of scrape batches bounded at `queue_cap`. Submission is
+//! synchronous and *never silent*: a batch is either accepted (enqueued,
+//! acked, eventually processed in order) or rejected with a typed reason
+//! — queue full (the client sees 429 + retry-after), out-of-order, or
+//! malformed — and a journal counter records every outcome. The worker
+//! thread drains the queue into the tenant's [`FeedSession`] and
+//! timestamps ingest-to-verdict latency into the wall-clock histogram
+//! whenever a push confirms or localizes an incident.
+
+use icfl_micro::Counters;
+use icfl_online::{FeedProgress, FeedSession};
+use icfl_sim::SimTime;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// One scrape batch as accepted from the wire: `(time_nanos, row)` pairs,
+/// strictly increasing in time.
+pub type Batch = Vec<(u64, Vec<Counters>)>;
+
+/// Why a batch was rejected. Every rejection is visible to the client
+/// (it maps to an HTTP status) and to the journal — never a silent drop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reject {
+    /// The tenant queue is at capacity; retry after the hinted delay.
+    QueueFull {
+        /// Client-visible retry hint, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// A scrape does not strictly follow the newest accepted scrape.
+    OutOfOrder(String),
+    /// A row's width disagrees with the tenant's service count, or the
+    /// batch is empty.
+    Malformed(String),
+}
+
+impl std::fmt::Display for Reject {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Reject::QueueFull { retry_after_ms } => {
+                write!(f, "queue full, retry after {retry_after_ms}ms")
+            }
+            Reject::OutOfOrder(e) | Reject::Malformed(e) => f.write_str(e),
+        }
+    }
+}
+
+impl Reject {
+    /// The journal label for this rejection.
+    pub fn reason(&self) -> &'static str {
+        match self {
+            Reject::QueueFull { .. } => "queue_full",
+            Reject::OutOfOrder(_) => "out_of_order",
+            Reject::Malformed(_) => "malformed",
+        }
+    }
+}
+
+struct Shared {
+    queue: Mutex<VecDeque<(Instant, Batch)>>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+    /// Batches accepted (enqueued) since open.
+    accepted: AtomicU64,
+    /// Batches fully pushed through the session.
+    processed: AtomicU64,
+    /// Scrapes accepted since open.
+    scrapes: AtomicU64,
+    /// Peak queue depth, for the proptest's never-exceeds-bound check
+    /// (the journal gauge mirrors it, but global state races across
+    /// concurrently running tests).
+    high_water: AtomicUsize,
+    /// Newest scrape time accepted into the queue (nanos); the submit
+    /// path checks ordering here so clients learn synchronously.
+    frontier: Mutex<Option<u64>>,
+    /// First session-level error the worker hit, if any (poisoned state;
+    /// subsequent submits are rejected as malformed).
+    worker_error: Mutex<Option<String>>,
+    session: Mutex<FeedSession>,
+}
+
+/// A bounded ingest pipeline in front of one tenant's [`FeedSession`].
+pub struct TenantPipeline {
+    tenant: String,
+    cap: usize,
+    retry_after_ms: u64,
+    /// Row width (service count), cached so submission never contends on
+    /// the session lock the worker holds while pushing.
+    width: usize,
+    shared: Arc<Shared>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for TenantPipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TenantPipeline")
+            .field("tenant", &self.tenant)
+            .field("cap", &self.cap)
+            .field("accepted", &self.accepted())
+            .field("processed", &self.processed())
+            .finish()
+    }
+}
+
+impl TenantPipeline {
+    /// Opens a pipeline for `tenant`: a queue bounded at `queue_cap`
+    /// batches and a worker thread draining it into `session`.
+    pub fn open(
+        tenant: &str,
+        session: FeedSession,
+        queue_cap: usize,
+        retry_after_ms: u64,
+    ) -> TenantPipeline {
+        assert!(queue_cap > 0, "queue capacity must be positive");
+        let width = session.service_names().len();
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            accepted: AtomicU64::new(0),
+            processed: AtomicU64::new(0),
+            scrapes: AtomicU64::new(0),
+            high_water: AtomicUsize::new(0),
+            frontier: Mutex::new(None),
+            worker_error: Mutex::new(None),
+            session: Mutex::new(session),
+        });
+        let worker = {
+            let shared = Arc::clone(&shared);
+            let tenant = tenant.to_owned();
+            std::thread::Builder::new()
+                .name(format!("icfl-tenant-{tenant}"))
+                .spawn(move || worker_loop(&tenant, &shared))
+                .expect("spawn tenant worker")
+        };
+        TenantPipeline {
+            tenant: tenant.to_owned(),
+            cap: queue_cap,
+            retry_after_ms,
+            width,
+            shared,
+            worker: Some(worker),
+        }
+    }
+
+    /// Offers one batch. On `Ok` the batch is queued and will be pushed
+    /// in order; on `Err` nothing was taken and the journal recorded the
+    /// rejection.
+    pub fn submit(&self, batch: Batch) -> Result<(), Reject> {
+        let outcome = self.try_submit(batch);
+        match &outcome {
+            Ok(scrapes) => {
+                icfl_obs::counter_add(
+                    "icfl_server_batches_accepted_total",
+                    &[("tenant", &self.tenant)],
+                    1,
+                );
+                icfl_obs::counter_add(
+                    "icfl_server_scrapes_ingested_total",
+                    &[("tenant", &self.tenant)],
+                    *scrapes,
+                );
+            }
+            Err(reject) => icfl_obs::counter_add(
+                "icfl_server_batches_rejected_total",
+                &[("tenant", &self.tenant), ("reason", reject.reason())],
+                1,
+            ),
+        }
+        outcome.map(|_| ())
+    }
+
+    fn try_submit(&self, batch: Batch) -> Result<u64, Reject> {
+        if batch.is_empty() {
+            return Err(Reject::Malformed("empty batch".to_owned()));
+        }
+        let width = self.width;
+        let mut prev: Option<u64> = None;
+        for (at, row) in &batch {
+            if row.len() != width {
+                return Err(Reject::Malformed(format!(
+                    "{} services in row at {at}, tenant has {width}",
+                    row.len()
+                )));
+            }
+            if prev.is_some_and(|p| *at <= p) {
+                return Err(Reject::OutOfOrder(format!(
+                    "scrape at {at}ns does not follow {}ns within the batch",
+                    prev.expect("checked")
+                )));
+            }
+            prev = Some(*at);
+        }
+        if let Some(err) = self
+            .shared
+            .worker_error
+            .lock()
+            .expect("tenant error lock")
+            .clone()
+        {
+            return Err(Reject::Malformed(format!("session failed: {err}")));
+        }
+        let first = batch[0].0;
+        let scrapes = batch.len() as u64;
+        // Frontier and queue are checked under one queue lock so two
+        // racing submits cannot both pass the ordering check or both
+        // squeeze into the last queue slot.
+        let mut queue = self.shared.queue.lock().expect("tenant queue lock");
+        let mut frontier = self.shared.frontier.lock().expect("tenant frontier lock");
+        if frontier.is_some_and(|f| first <= f) {
+            return Err(Reject::OutOfOrder(format!(
+                "batch starts at {first}ns, stream frontier is {}ns",
+                frontier.expect("checked")
+            )));
+        }
+        if queue.len() >= self.cap {
+            return Err(Reject::QueueFull {
+                retry_after_ms: self.retry_after_ms,
+            });
+        }
+        *frontier = Some(batch[batch.len() - 1].0);
+        queue.push_back((Instant::now(), batch));
+        let depth = queue.len();
+        drop(frontier);
+        drop(queue);
+        let peak = self
+            .shared
+            .high_water
+            .fetch_max(depth, Ordering::Relaxed)
+            .max(depth);
+        icfl_obs::gauge_max(
+            "icfl_server_queue_depth_high_water",
+            &[("tenant", &self.tenant)],
+            peak as u64,
+        );
+        self.shared.accepted.fetch_add(1, Ordering::SeqCst);
+        self.shared.scrapes.fetch_add(scrapes, Ordering::Relaxed);
+        self.shared.wake.notify_one();
+        Ok(scrapes)
+    }
+
+    /// Batches accepted since open.
+    pub fn accepted(&self) -> u64 {
+        self.shared.accepted.load(Ordering::SeqCst)
+    }
+
+    /// Batches fully pushed through the session.
+    pub fn processed(&self) -> u64 {
+        self.shared.processed.load(Ordering::SeqCst)
+    }
+
+    /// Scrapes accepted since open.
+    pub fn scrapes_accepted(&self) -> u64 {
+        self.shared.scrapes.load(Ordering::Relaxed)
+    }
+
+    /// Peak queue depth observed.
+    pub fn queue_high_water(&self) -> usize {
+        self.shared.high_water.load(Ordering::Relaxed)
+    }
+
+    /// Whether every accepted batch has been processed.
+    pub fn drained(&self) -> bool {
+        self.processed() == self.accepted()
+    }
+
+    /// The first session-level error the worker hit, if any.
+    pub fn worker_error(&self) -> Option<String> {
+        self.shared
+            .worker_error
+            .lock()
+            .expect("tenant error lock")
+            .clone()
+    }
+
+    /// Runs `f` against the tenant's session (e.g. to collect verdicts).
+    /// Prefer calling this only when [`TenantPipeline::drained`] — the
+    /// worker contends on the same lock.
+    pub fn with_session<T>(&self, f: impl FnOnce(&FeedSession) -> T) -> T {
+        f(&self.shared.session.lock().expect("tenant session lock"))
+    }
+}
+
+impl Drop for TenantPipeline {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.wake.notify_all();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(tenant: &str, shared: &Shared) {
+    loop {
+        let next = {
+            let mut queue = shared.queue.lock().expect("tenant queue lock");
+            loop {
+                if let Some(entry) = queue.pop_front() {
+                    break Some(entry);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                queue = shared.wake.wait(queue).expect("tenant queue lock poisoned");
+            }
+        };
+        let Some((enqueued_at, batch)) = next else {
+            return;
+        };
+        let mut session = shared.session.lock().expect("tenant session lock");
+        let mut failed = false;
+        for (at, row) in batch {
+            match session.push(SimTime::from_nanos(at), row) {
+                Ok(progress) => observe_latency(tenant, enqueued_at, progress),
+                Err(e) => {
+                    // Submission validates ordering and width, so this is
+                    // a statistical/internal failure: poison the tenant
+                    // (subsequent submits are rejected, the error is
+                    // visible on /incidents) rather than dropping quietly.
+                    *shared.worker_error.lock().expect("tenant error lock") = Some(e.to_string());
+                    icfl_obs::counter_add(
+                        "icfl_server_worker_errors_total",
+                        &[("tenant", tenant)],
+                        1,
+                    );
+                    failed = true;
+                    break;
+                }
+            }
+        }
+        drop(session);
+        icfl_obs::histogram_observe(
+            "icfl_server_batch_process_latency",
+            &[("tenant", tenant)],
+            enqueued_at.elapsed(),
+        );
+        shared.processed.fetch_add(1, Ordering::SeqCst);
+        if failed {
+            // Drain and count everything queued behind the failure.
+            let mut queue = shared.queue.lock().expect("tenant queue lock");
+            while queue.pop_front().is_some() {
+                shared.processed.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+    }
+}
+
+/// Observes ingest-to-verdict latency for every incident milestone the
+/// push produced, measured from the batch's enqueue instant — the
+/// client-visible "how stale was the verdict" number.
+fn observe_latency(tenant: &str, enqueued_at: Instant, progress: FeedProgress) {
+    let elapsed = enqueued_at.elapsed();
+    for _ in 0..progress.confirmed {
+        icfl_obs::histogram_observe(
+            "icfl_server_ingest_to_verdict_latency",
+            &[("tenant", tenant), ("milestone", "confirmed")],
+            elapsed,
+        );
+    }
+    for _ in 0..progress.localized {
+        icfl_obs::histogram_observe(
+            "icfl_server_ingest_to_verdict_latency",
+            &[("tenant", tenant), ("milestone", "localized")],
+            elapsed,
+        );
+    }
+}

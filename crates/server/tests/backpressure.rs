@@ -1,0 +1,215 @@
+//! Backpressure properties of the tenant pipeline: under arbitrary batch
+//! partitions and tenant mixes squeezed through a tiny queue bound, the
+//! pipeline never drops a scrape silently, the queue's high-water mark
+//! never exceeds its bound, and batches rejected with `QueueFull` and
+//! re-sent after a drain converge to exactly the verdicts of an
+//! unthrottled replay.
+
+use icfl_apps::pattern1;
+use icfl_core::{CampaignRun, CausalModel, RunConfig};
+use icfl_micro::FaultKind;
+use icfl_online::{record_trace, Episode, FeedConfig, FeedSession, IncidentSchedule, OnlineConfig};
+use icfl_scenario::ScrapeTrace;
+use icfl_server::tenant::{Reject, TenantPipeline};
+use icfl_sim::{SimDuration, SimTime};
+use icfl_telemetry::MetricCatalog;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+struct Fixture {
+    model: CausalModel,
+    trace: ScrapeTrace,
+    /// Serialized verdicts of an unthrottled in-process replay.
+    reference: String,
+}
+
+static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+
+fn fixture() -> &'static Fixture {
+    FIXTURE.get_or_init(|| {
+        let app = pattern1();
+        let cfg = RunConfig::quick(42);
+        let run = CampaignRun::execute(&app, &cfg).unwrap();
+        let model = run
+            .learn(&MetricCatalog::derived_all(), RunConfig::default_detector())
+            .unwrap();
+        let (_, targets) = app.build(42).unwrap();
+        let schedule = IncidentSchedule::new(vec![Episode::single(
+            SimTime::from_secs(100),
+            targets[0],
+            FaultKind::ServiceUnavailable,
+            SimDuration::from_secs(50),
+        )]);
+        let trace = record_trace(&app, &schedule, &OnlineConfig::quick(), 42).unwrap();
+
+        let mut feed = new_session(&model, &trace);
+        for (at, row) in &trace.scrapes {
+            feed.push(SimTime::from_nanos(*at), row.clone()).unwrap();
+        }
+        let reference = serde_json::to_string(&feed.verdicts()).unwrap();
+        assert!(
+            reference != "[]",
+            "fixture replay must detect its scheduled incident"
+        );
+        Fixture {
+            model,
+            trace,
+            reference,
+        }
+    })
+}
+
+fn new_session(model: &CausalModel, trace: &ScrapeTrace) -> FeedSession {
+    FeedSession::new(
+        model.clone(),
+        trace.meta.service_names.clone(),
+        FeedConfig::from_online(&OnlineConfig::quick()),
+    )
+    .unwrap()
+}
+
+/// Pushes the whole trace through `pipeline` partitioned by `sizes`
+/// (cycled), re-sending on `QueueFull` until accepted. Returns
+/// (batches submitted, 429-style rejections observed).
+fn squeeze(pipeline: &TenantPipeline, trace: &ScrapeTrace, sizes: &[usize]) -> (u64, u64) {
+    let scrapes = &trace.scrapes;
+    let mut cursor = 0;
+    let mut batches = 0u64;
+    let mut rejected = 0u64;
+    let mut i = 0;
+    while cursor < scrapes.len() {
+        let want = sizes[i % sizes.len()].min(scrapes.len() - cursor);
+        i += 1;
+        let batch: Vec<_> = scrapes[cursor..cursor + want].to_vec();
+        loop {
+            match pipeline.submit(batch.clone()) {
+                Ok(()) => break,
+                Err(Reject::QueueFull { .. }) => {
+                    rejected += 1;
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+                Err(e) => panic!("unexpected reject: {e}"),
+            }
+        }
+        batches += 1;
+        cursor += want;
+    }
+    (batches, rejected)
+}
+
+fn wait_drained(pipeline: &TenantPipeline) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !pipeline.drained() {
+        assert!(Instant::now() < deadline, "pipeline did not drain");
+        std::thread::sleep(Duration::from_micros(200));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Single tenant, tiny queue: nothing is lost, the bound holds, and
+    /// the throttled replay's verdicts byte-match the unthrottled one.
+    #[test]
+    fn tiny_queue_never_drops_and_converges(
+        cap in 1usize..4,
+        sizes in proptest::collection::vec(1usize..40, 1..8),
+    ) {
+        let fx = fixture();
+        let pipeline =
+            TenantPipeline::open("pattern1:bp", new_session(&fx.model, &fx.trace), cap, 1);
+        let (batches, _rejected) = squeeze(&pipeline, &fx.trace, &sizes);
+        wait_drained(&pipeline);
+
+        prop_assert_eq!(pipeline.worker_error(), None);
+        prop_assert_eq!(pipeline.accepted(), batches);
+        prop_assert_eq!(pipeline.processed(), batches);
+        prop_assert_eq!(pipeline.scrapes_accepted(), fx.trace.scrapes.len() as u64);
+        prop_assert!(
+            pipeline.queue_high_water() <= cap,
+            "high-water {} exceeded bound {}",
+            pipeline.queue_high_water(),
+            cap
+        );
+        let (ingested, verdicts) = pipeline
+            .with_session(|s| (s.scrapes_ingested(), serde_json::to_string(&s.verdicts()).unwrap()));
+        prop_assert_eq!(ingested, fx.trace.scrapes.len() as u64);
+        prop_assert_eq!(verdicts, fx.reference.clone());
+    }
+
+    /// Tenant mixes: several pipelines squeezed concurrently through
+    /// independent tiny queues each converge to the same verdicts.
+    #[test]
+    fn tenant_mix_is_isolated(
+        cap in 1usize..3,
+        sizes_a in proptest::collection::vec(1usize..40, 1..6),
+        sizes_b in proptest::collection::vec(1usize..40, 1..6),
+    ) {
+        let fx = fixture();
+        let a = TenantPipeline::open("pattern1:a", new_session(&fx.model, &fx.trace), cap, 1);
+        let b = TenantPipeline::open("pattern1:b", new_session(&fx.model, &fx.trace), cap, 1);
+        std::thread::scope(|scope| {
+            let ta = scope.spawn(|| squeeze(&a, &fx.trace, &sizes_a));
+            let tb = scope.spawn(|| squeeze(&b, &fx.trace, &sizes_b));
+            ta.join().unwrap();
+            tb.join().unwrap();
+        });
+        for pipeline in [&a, &b] {
+            wait_drained(pipeline);
+            prop_assert_eq!(pipeline.worker_error(), None);
+            prop_assert_eq!(pipeline.scrapes_accepted(), fx.trace.scrapes.len() as u64);
+            prop_assert!(pipeline.queue_high_water() <= cap);
+            let verdicts =
+                pipeline.with_session(|s| serde_json::to_string(&s.verdicts()).unwrap());
+            prop_assert_eq!(verdicts, fx.reference.clone());
+        }
+    }
+}
+
+/// Deterministic rejects stay typed and non-destructive: an out-of-order
+/// batch is refused without poisoning the pipeline, and a malformed
+/// (wrong-width) batch never reaches the session.
+#[test]
+fn typed_rejects_leave_pipeline_healthy() {
+    let fx = fixture();
+    let pipeline = TenantPipeline::open("pattern1:rej", new_session(&fx.model, &fx.trace), 8, 1);
+    let scrapes = &fx.trace.scrapes;
+
+    pipeline.submit(scrapes[..4].to_vec()).unwrap();
+    // Replaying the frontier is an ordering violation…
+    match pipeline.submit(scrapes[3..5].to_vec()) {
+        Err(Reject::OutOfOrder(_)) => {}
+        other => panic!("expected OutOfOrder, got {other:?}"),
+    }
+    // …as is an internally unsorted batch…
+    let mut unsorted = scrapes[5..7].to_vec();
+    unsorted.swap(0, 1);
+    match pipeline.submit(unsorted) {
+        Err(Reject::OutOfOrder(_)) => {}
+        other => panic!("expected OutOfOrder, got {other:?}"),
+    }
+    // …and wrong-width or empty batches are malformed.
+    let (at, row) = &scrapes[5];
+    match pipeline.submit(vec![(*at, row[1..].to_vec())]) {
+        Err(Reject::Malformed(_)) => {}
+        other => panic!("expected Malformed, got {other:?}"),
+    }
+    match pipeline.submit(Vec::new()) {
+        Err(Reject::Malformed(_)) => {}
+        other => panic!("expected Malformed, got {other:?}"),
+    }
+
+    // The pipeline is still healthy: the rest of the trace goes through
+    // and converges to the reference verdicts.
+    pipeline.submit(scrapes[4..].to_vec()).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !pipeline.drained() {
+        assert!(Instant::now() < deadline, "pipeline did not drain");
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    assert_eq!(pipeline.worker_error(), None);
+    assert_eq!(pipeline.scrapes_accepted(), scrapes.len() as u64);
+    let verdicts = pipeline.with_session(|s| serde_json::to_string(&s.verdicts()).unwrap());
+    assert_eq!(verdicts, fx.reference);
+}

@@ -1,0 +1,328 @@
+//! Loopback end-to-end tests: a real `IcflServer` on an ephemeral port,
+//! real TCP connections, recorded scenario traces replayed through the
+//! load generator — and the server's per-tenant verdicts byte-compared
+//! against an in-process [`FeedSession`] replay of the same trace. This
+//! pins the full networked path (codec → queue → worker → session) to
+//! the deterministic core.
+
+use icfl_apps::App;
+use icfl_core::{CampaignRun, RunConfig};
+use icfl_micro::FaultKind;
+use icfl_online::{
+    record_trace, Episode, FeedConfig, FeedSession, FeedVerdict, IncidentSchedule, ModelMeta,
+    ModelRegistry, OnlineConfig,
+};
+use icfl_scenario::ScrapeTrace;
+use icfl_server::loadgen::{run as run_loadgen, LoadMode, LoadgenConfig};
+use icfl_server::{HttpClient, IcflServer, IncidentsReport, ServerConfig, ServerHandle};
+use icfl_sim::{SimDuration, SimTime};
+use icfl_telemetry::MetricCatalog;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// Shared fixture: one registry with trained fig2 + causalbench models
+/// and one recorded trace per app. Training is the expensive part, so it
+/// happens once per test binary.
+struct Fixture {
+    registry_root: PathBuf,
+    fig2: ScrapeTrace,
+    causalbench: ScrapeTrace,
+}
+
+static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+
+fn fixture() -> &'static Fixture {
+    FIXTURE.get_or_init(|| {
+        let registry_root =
+            std::env::temp_dir().join(format!("icfl-loopback-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&registry_root);
+        let registry = ModelRegistry::open(&registry_root).unwrap();
+        let fig2 = prepare(&registry, icfl_apps::fig2_topology());
+        let causalbench = prepare(&registry, icfl_apps::causalbench());
+        Fixture {
+            registry_root,
+            fig2,
+            causalbench,
+        }
+    })
+}
+
+/// Trains `app`'s model into `registry` and records the scrape trace of a
+/// two-outage session (the `session_smoke` schedule shape).
+fn prepare(registry: &ModelRegistry, app: App) -> ScrapeTrace {
+    let cfg = RunConfig::quick(42);
+    let run = CampaignRun::execute(&app, &cfg).unwrap();
+    let model = run
+        .learn(&MetricCatalog::derived_all(), RunConfig::default_detector())
+        .unwrap();
+    registry
+        .save(&app.name, ModelMeta::default(), &model)
+        .unwrap();
+
+    let (_, targets) = app.build(42).unwrap();
+    let schedule = IncidentSchedule::new(vec![
+        Episode::single(
+            SimTime::from_secs(100),
+            targets[0],
+            FaultKind::ServiceUnavailable,
+            SimDuration::from_secs(50),
+        ),
+        Episode::single(
+            SimTime::from_secs(260),
+            targets[1],
+            FaultKind::ServiceUnavailable,
+            SimDuration::from_secs(50),
+        ),
+    ]);
+    record_trace(&app, &schedule, &OnlineConfig::quick(), 42).unwrap()
+}
+
+fn start_server(fx: &Fixture) -> ServerHandle {
+    IcflServer::start(ServerConfig::quick(&fx.registry_root)).unwrap()
+}
+
+/// The reference: replay `trace` through an in-process `FeedSession` on
+/// the same registry model the server serves.
+fn inprocess_verdicts(fx: &Fixture, app_name: &str, trace: &ScrapeTrace) -> Vec<FeedVerdict> {
+    let model = ModelRegistry::open(&fx.registry_root)
+        .unwrap()
+        .load_latest(app_name)
+        .unwrap()
+        .model;
+    let mut feed = FeedSession::new(
+        model,
+        trace.meta.service_names.clone(),
+        FeedConfig::from_online(&OnlineConfig::quick()),
+    )
+    .unwrap();
+    for (at, row) in &trace.scrapes {
+        feed.push(SimTime::from_nanos(*at), row.clone()).unwrap();
+    }
+    feed.verdicts()
+}
+
+/// Streams a whole trace to `tenant` in fixed-size batches over one
+/// keep-alive connection, honoring 429 backpressure.
+fn stream_trace(addr: &str, tenant: &str, trace: &ScrapeTrace) {
+    let mut client = HttpClient::connect(addr);
+    let meta = serde_json::to_string(&trace.meta).unwrap();
+    let resp = client
+        .post(&format!("/session/{tenant}"), meta.as_bytes())
+        .unwrap();
+    assert_eq!(resp.status, 200, "session {tenant}: {}", resp.text());
+    for chunk in trace.scrapes.chunks(32) {
+        let mut body = String::new();
+        for (at, row) in chunk {
+            body.push_str(&icfl_scenario::trace::encode_scrape_line(*at, row));
+            body.push('\n');
+        }
+        loop {
+            let resp = client
+                .post(&format!("/ingest/{tenant}"), body.as_bytes())
+                .unwrap();
+            match resp.status {
+                200 => break,
+                429 => std::thread::sleep(Duration::from_millis(5)),
+                status => panic!("ingest {tenant}: {status} {}", resp.text()),
+            }
+        }
+    }
+}
+
+fn fetch_report(addr: &str, tenant: &str) -> IncidentsReport {
+    let mut client = HttpClient::connect(addr);
+    let drain = client.get(&format!("/drain/{tenant}")).unwrap();
+    assert_eq!(drain.status, 200, "drain {tenant}: {}", drain.text());
+    let resp = client.get(&format!("/incidents/{tenant}")).unwrap();
+    assert_eq!(resp.status, 200, "incidents {tenant}: {}", resp.text());
+    serde_json::from_str(&resp.text()).unwrap()
+}
+
+/// The tentpole e2e property: the load generator replays the recorded
+/// fig2 session against a live server, every scheduled incident is
+/// detected, and the served verdicts byte-match the in-process replay.
+#[test]
+fn loadgen_replay_detects_all_and_matches_inprocess() {
+    let fx = fixture();
+    let handle = start_server(fx);
+
+    let summary = run_loadgen(&LoadgenConfig {
+        addr: handle.addr().to_string(),
+        traces: vec![fx.fig2.clone()],
+        total: fx.fig2.scrapes.len() as u64,
+        concurrency: 1,
+        bulk_size: 64,
+        mode: LoadMode::Bulk,
+        rate: 0.0,
+        seed: 1,
+        tenant_prefix: "e2e-".into(),
+    })
+    .unwrap();
+
+    assert_eq!(summary.scrapes_sent, fx.fig2.scrapes.len() as u64);
+    assert_eq!(summary.tenants.len(), 1);
+    assert_eq!(
+        summary.tenants[0].scrapes_accepted,
+        fx.fig2.scrapes.len() as u64,
+        "scrapes were dropped"
+    );
+    assert_eq!(summary.incidents_expected(), 2);
+    assert_eq!(
+        summary.incidents_detected(),
+        summary.incidents_expected(),
+        "a scheduled incident went undetected: {}",
+        summary.one_line()
+    );
+    // Detection latency is measured and plausible (replayed faults take
+    // at least one hop and at most the fault duration to confirm).
+    let p99 = summary.detect_p(0.99).unwrap();
+    assert!(
+        p99 > 0.0 && p99 <= 120_000.0,
+        "implausible detection p99 {p99}ms"
+    );
+
+    let reference = inprocess_verdicts(fx, "fig2", &fx.fig2);
+    assert!(!reference.is_empty());
+    assert_eq!(
+        serde_json::to_string(&summary.tenants[0].verdicts).unwrap(),
+        serde_json::to_string(&reference).unwrap(),
+        "served verdicts diverged from the in-process replay"
+    );
+}
+
+/// Two apps served concurrently on one server, each tenant's verdicts
+/// byte-identical to its single-tenant in-process replay — tenants are
+/// fully isolated.
+#[test]
+fn concurrent_tenants_match_single_tenant_replays() {
+    let fx = fixture();
+    let handle = start_server(fx);
+    let addr = handle.addr().to_string();
+
+    std::thread::scope(|scope| {
+        scope.spawn(|| stream_trace(&addr, "fig2:mt", &fx.fig2));
+        scope.spawn(|| stream_trace(&addr, "causalbench:mt", &fx.causalbench));
+    });
+
+    for (tenant, app_name, trace) in [
+        ("fig2:mt", "fig2", &fx.fig2),
+        ("causalbench:mt", "causalbench", &fx.causalbench),
+    ] {
+        let report = fetch_report(&addr, tenant);
+        assert_eq!(report.worker_error, None);
+        assert_eq!(report.scrapes_accepted, trace.scrapes.len() as u64);
+        assert_eq!(report.batches_processed, report.batches_accepted);
+        assert!(
+            !report.verdicts.is_empty(),
+            "{tenant}: no incidents detected"
+        );
+        let reference = inprocess_verdicts(fx, app_name, trace);
+        assert_eq!(
+            serde_json::to_string(&report.verdicts).unwrap(),
+            serde_json::to_string(&reference).unwrap(),
+            "{tenant}: verdicts diverged from the single-tenant replay"
+        );
+    }
+}
+
+/// The HTTP surface behaves: health and metrics respond, unknown tenants
+/// 404, duplicate registration 409s, malformed scrape lines 400 without
+/// being enqueued.
+#[test]
+fn http_surface_and_error_paths() {
+    let fx = fixture();
+    let handle = start_server(fx);
+    let addr = handle.addr().to_string();
+    let mut client = HttpClient::connect(&addr);
+
+    let health = client.get("/healthz").unwrap();
+    assert_eq!(health.status, 200);
+    assert!(health.text().starts_with("ok tenants="));
+
+    assert_eq!(client.get("/incidents/nope").unwrap().status, 404);
+    assert_eq!(client.get("/drain/nope").unwrap().status, 404);
+    assert_eq!(client.get("/nosuchroute").unwrap().status, 404);
+    assert_eq!(
+        client.post("/ingest/nope", b"[1,[[0]]]").unwrap().status,
+        404
+    );
+
+    // Register a tenant; a second registration under the same name 409s,
+    // and a tenant whose app has no trained model 404s.
+    let meta = serde_json::to_string(&fx.fig2.meta).unwrap();
+    assert_eq!(
+        client
+            .post("/session/fig2:err", meta.as_bytes())
+            .unwrap()
+            .status,
+        200
+    );
+    assert_eq!(
+        client
+            .post("/session/fig2:err", meta.as_bytes())
+            .unwrap()
+            .status,
+        409
+    );
+    assert_eq!(
+        client
+            .post("/session/ghost:err", meta.as_bytes())
+            .unwrap()
+            .status,
+        404
+    );
+    assert_eq!(
+        client
+            .post("/session/bad name!", meta.as_bytes())
+            .unwrap()
+            .status,
+        400
+    );
+    assert_eq!(
+        client.post("/session/ok.name", b"not json").unwrap().status,
+        400
+    );
+
+    // Malformed and out-of-order ingest bodies are rejected typed.
+    assert_eq!(
+        client.post("/ingest/fig2:err", b"garbage").unwrap().status,
+        400
+    );
+    let (t0, row0) = &fx.fig2.scrapes[0];
+    let line = icfl_scenario::trace::encode_scrape_line(*t0, row0);
+    let two = format!("{line}\n{line}\n");
+    assert_eq!(
+        client
+            .post("/ingest/fig2:err", two.as_bytes())
+            .unwrap()
+            .status,
+        409,
+        "duplicate timestamps within a batch must be rejected"
+    );
+    assert_eq!(
+        client
+            .post("/ingest/fig2:err", line.as_bytes())
+            .unwrap()
+            .status,
+        200
+    );
+    assert_eq!(
+        client
+            .post("/ingest/fig2:err", line.as_bytes())
+            .unwrap()
+            .status,
+        409,
+        "replayed frontier must be rejected"
+    );
+
+    // The journal shows up on /metrics with the server counters.
+    let metrics = client.get("/metrics").unwrap();
+    assert_eq!(metrics.status, 200);
+    let text = metrics.text();
+    assert!(
+        text.contains("icfl_server_batches_accepted_total"),
+        "metrics exposition missing server counters:\n{text}"
+    );
+    drop(handle);
+}

@@ -19,6 +19,7 @@
 //! | [`core`] | `icfl-core` | **Algorithms 1 & 2** + scoring + orchestration |
 //! | [`obs`] | `icfl-obs` | pipeline self-observability: spans, metrics, Chrome-trace & Prometheus exports |
 //! | [`online`] | `icfl-online` | streaming ingest, incident detection, live localization, model registry |
+//! | [`server`] | `icfl-server` | networked ingest server (HTTP/1.1 over TCP) + load-generator core |
 //! | [`baselines`] | `icfl-baselines` | \[23\], \[24\], pooled, observational |
 //! | [`experiments`] | `icfl-experiments` | regenerate every table & figure |
 //!
@@ -59,6 +60,7 @@ pub use icfl_micro as micro;
 pub use icfl_obs as obs;
 pub use icfl_online as online;
 pub use icfl_scenario as scenario;
+pub use icfl_server as server;
 pub use icfl_sim as sim;
 pub use icfl_stats as stats;
 pub use icfl_telemetry as telemetry;
