@@ -28,6 +28,6 @@ mod synthetic;
 pub use app::App;
 pub use causalbench::causalbench;
 pub use fleet::{fanout_app, layered_mesh_app, replicated_app};
-pub use patterns::{fig2_topology, pattern1, pattern2};
+pub use patterns::{fig2_topology, gray_app, pattern1, pattern2};
 pub use robotshop::robot_shop;
 pub use synthetic::{chain_app, layered_app, star_app};

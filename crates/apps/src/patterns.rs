@@ -45,6 +45,58 @@ pub fn pattern1() -> App {
     }
 }
 
+/// Pattern 1 with `replicas` instances of B behind its load balancer — the
+/// gray-failure benchmark topology.
+///
+/// A [`DegradedReplica`](icfl_micro::FaultKind::DegradedReplica) fault on
+/// one instance of B dilutes to a `1/replicas` shift in B's
+/// service-aggregated counters, but stands out undiluted in per-replica
+/// telemetry rows — the scenario instance-granularity localization exists
+/// for. Fault targets are the same three services as
+/// [`pattern1`]; instance campaigns enumerate rows via
+/// `Cluster::row_targets`.
+///
+/// # Panics
+///
+/// Panics if `replicas == 0`.
+///
+/// # Examples
+///
+/// ```
+/// let app = icfl_apps::gray_app(3);
+/// assert_eq!(app.num_services(), 3);
+/// let (cluster, _) = app.build(1).unwrap();
+/// assert_eq!(cluster.num_rows(), 5); // A + 3×B + C
+/// ```
+pub fn gray_app(replicas: usize) -> App {
+    assert!(replicas > 0, "replicas must be positive");
+    let spec = ClusterSpec::new("gray")
+        .service(ServiceSpec::web("A").with_concurrency(8).endpoint(
+            "/",
+            vec![steps::compute(task_time()), steps::call("B", "/")],
+        ))
+        .service(
+            ServiceSpec::web("B")
+                .with_concurrency(8)
+                .with_replicas(replicas)
+                .endpoint(
+                    "/",
+                    vec![steps::compute(task_time()), steps::call("C", "/")],
+                ),
+        )
+        .service(
+            ServiceSpec::web("C")
+                .with_concurrency(8)
+                .endpoint("/", vec![steps::compute(task_time())]),
+        );
+    App {
+        name: format!("gray-b{replicas}"),
+        spec,
+        flows: vec![UserFlow::new("chain", "A", "/")],
+        fault_targets: vec!["A".into(), "B".into(), "C".into()],
+    }
+}
+
 /// Fig. 1 pattern 2 — the stateful decoupling `H → D ⇐ F → G`.
 ///
 /// H increments a counter in the store D; the daemon F drains it and calls

@@ -1,0 +1,352 @@
+//! Instance-granularity localization: Algorithms 1 and 2 over *replica
+//! rows* instead of services.
+//!
+//! The dense-index machinery — datasets, causal models, the Algorithm-2
+//! vote — is index-agnostic: attach telemetry with one row per replica
+//! (`RecorderTap::instances`), treat each row as a pseudo-service, and
+//! learning plus localization work unchanged. What changes is naming and
+//! scoring: rows are labeled `"svc@r"` (via `Cluster::target_label`) and
+//! accuracy is reported twice — once requiring the exact instance (top-1
+//! instance hit) and once accepting any replica of the faulted service
+//! (the service-level fallback, which can never be worse than the
+//! aggregate-counter pipeline's accuracy on the same runs).
+
+use crate::error::Result;
+use crate::localize::MatchRule;
+use crate::model::CausalModel;
+use crate::runner::{parallel_map, RunConfig};
+use icfl_apps::App;
+use icfl_faults::{InterventionTrace, TraceEntry};
+use icfl_micro::{ServiceId, TargetId};
+use icfl_scenario::{seeds, RecorderTap, Scenario};
+use icfl_sim::{SimDuration, SimTime};
+use icfl_stats::ShiftDetector;
+use icfl_telemetry::{Dataset, MetricCatalog, Recorder};
+
+/// Simulates one phase with per-replica telemetry rows and an optional
+/// fault on a [`TargetId`].
+fn simulate_instance_phase(
+    app: &App,
+    cfg: &RunConfig,
+    phase_len: SimDuration,
+    fault: Option<(TargetId, &InterventionTrace)>,
+) -> Result<Recorder> {
+    let from = SimTime::ZERO + cfg.campaign.warmup;
+    let to = from + phase_len;
+    let mut builder = Scenario::builder(app, cfg.seed).replicas(cfg.replicas);
+    if let Some((target, trace)) = fault {
+        builder = builder.target_fault_between(target, cfg.fault.clone(), from, to, trace);
+    }
+    let (mut scenario, recorder) =
+        builder.build_with(RecorderTap::instances((from, to), cfg.windows))?;
+    scenario.run_until(to);
+    Ok(recorder)
+}
+
+/// Output of one instance-campaign worker job.
+enum InstanceJob {
+    Baseline(Recorder),
+    Fault(usize, Recorder, Vec<TraceEntry>),
+}
+
+/// A completed Algorithm-1 campaign at instance granularity: one baseline
+/// plus one fault simulation per intervened *replica row*, with telemetry
+/// collected per row.
+pub struct InstanceCampaignRun {
+    baseline: Recorder,
+    faults: Vec<(usize, Recorder)>,
+    targets: Vec<TargetId>,
+    labels: Vec<String>,
+    rows: Vec<usize>,
+    /// Audit log of the interventions performed, in row order.
+    pub trace: InterventionTrace,
+}
+
+impl std::fmt::Debug for InstanceCampaignRun {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InstanceCampaignRun")
+            .field("rows", &self.targets.len())
+            .field("fault_runs", &self.faults.len())
+            .finish()
+    }
+}
+
+impl InstanceCampaignRun {
+    /// Runs the campaign: a baseline simulation plus one fault simulation
+    /// per replica row (every row of every service, stride-sampled by
+    /// [`RunConfig::max_targets`]), fanned out over the worker pool.
+    /// `cfg.fault` — typically a gray
+    /// [`DegradedReplica`](icfl_micro::FaultKind::DegradedReplica) — is
+    /// injected into exactly one replica per fault phase.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cluster-build, load-generation and telemetry errors
+    /// (the first in job order, deterministically).
+    pub fn execute(app: &App, cfg: &RunConfig) -> Result<InstanceCampaignRun> {
+        let (cluster, _) = app.build(cfg.seed)?;
+        let targets = cluster.row_targets();
+        let labels: Vec<String> = targets.iter().map(|&t| cluster.target_label(t)).collect();
+        drop(cluster);
+        let rows: Vec<usize> = cfg
+            .sample_targets((0..targets.len()).map(ServiceId::from_index).collect())
+            .into_iter()
+            .map(|s| s.index())
+            .collect();
+        let jobs = rows.len() + 1;
+        let threads = cfg.resolved_threads(jobs);
+        let outcomes = parallel_map(jobs, threads, |i| -> Result<InstanceJob> {
+            if i == 0 {
+                Ok(InstanceJob::Baseline(simulate_instance_phase(
+                    app,
+                    cfg,
+                    cfg.campaign.baseline,
+                    None,
+                )?))
+            } else {
+                let row = rows[i - 1];
+                let case_cfg = RunConfig {
+                    seed: seeds::campaign_fault(cfg.seed, i - 1),
+                    ..cfg.clone()
+                };
+                let run_trace = InterventionTrace::new();
+                let rec = simulate_instance_phase(
+                    app,
+                    &case_cfg,
+                    cfg.campaign.fault_duration,
+                    Some((targets[row], &run_trace)),
+                )?;
+                Ok(InstanceJob::Fault(row, rec, run_trace.entries()))
+            }
+        });
+        let trace = InterventionTrace::new();
+        let mut baseline = None;
+        let mut faults = Vec::with_capacity(rows.len());
+        for outcome in outcomes {
+            match outcome? {
+                InstanceJob::Baseline(rec) => baseline = Some(rec),
+                InstanceJob::Fault(row, rec, entries) => {
+                    for entry in entries {
+                        trace.push(entry);
+                    }
+                    faults.push((row, rec));
+                }
+            }
+        }
+        Ok(InstanceCampaignRun {
+            baseline: baseline.expect("job 0 records the baseline"),
+            faults,
+            targets,
+            labels,
+            rows,
+            trace,
+        })
+    }
+
+    /// Every replica row of the application, in dense row order.
+    pub fn targets(&self) -> &[TargetId] {
+        &self.targets
+    }
+
+    /// Human-readable row labels (`"svc"` for single-replica services,
+    /// `"svc@r"` for replicas), aligned with [`InstanceCampaignRun::targets`].
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// The intervened row indices, in campaign order.
+    pub fn rows(&self) -> &[usize] {
+        &self.rows
+    }
+
+    /// Runs Algorithm 1 over the per-row datasets: the returned model's
+    /// "services" are replica rows.
+    ///
+    /// # Errors
+    ///
+    /// Telemetry or statistics errors.
+    pub fn learn(&self, catalog: &MetricCatalog, detector: ShiftDetector) -> Result<CausalModel> {
+        let baseline = self.baseline.dataset(catalog)?;
+        let mut faults: Vec<(ServiceId, Dataset)> = Vec::with_capacity(self.faults.len());
+        for (row, rec) in &self.faults {
+            faults.push((ServiceId::from_index(*row), rec.dataset(catalog)?));
+        }
+        let mut span = icfl_obs::span("learn-instances");
+        span.arg("catalog", catalog.name());
+        span.arg("targets", faults.len());
+        CausalModel::learn(catalog, detector, &baseline, &faults)
+    }
+}
+
+/// One scored instance-granularity production case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstanceCaseResult {
+    /// The replica row the fault was injected into (ground truth).
+    pub injected_row: usize,
+    /// The top-ranked row, if any metric voted at all.
+    pub top1_row: Option<usize>,
+    /// Top-1 named the exact instance.
+    pub instance_hit: bool,
+    /// Top-1 named some replica of the faulted service (the service-level
+    /// fallback: what a service-granularity pipeline is scored on).
+    pub service_hit: bool,
+}
+
+/// Aggregate accuracy over instance-granularity cases.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstanceEvalSummary {
+    /// Per-case outcomes, in case order.
+    pub cases: Vec<InstanceCaseResult>,
+    /// Fraction of cases whose top-1 row was the injected instance.
+    pub instance_top1: f64,
+    /// Fraction of cases whose top-1 row belonged to the injected
+    /// service — never below `instance_top1`.
+    pub service_top1: f64,
+}
+
+impl InstanceEvalSummary {
+    /// Aggregates case outcomes.
+    pub fn aggregate(cases: Vec<InstanceCaseResult>) -> InstanceEvalSummary {
+        let n = cases.len().max(1) as f64;
+        let instance = cases.iter().filter(|c| c.instance_hit).count() as f64 / n;
+        let service = cases.iter().filter(|c| c.service_hit).count() as f64 / n;
+        InstanceEvalSummary {
+            cases,
+            instance_top1: instance,
+            service_top1: service,
+        }
+    }
+}
+
+impl std::fmt::Display for InstanceEvalSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "instance top-1 {:.3}, service top-1 {:.3} over {} cases",
+            self.instance_top1,
+            self.service_top1,
+            self.cases.len()
+        )
+    }
+}
+
+/// A sweep of instance-granularity production runs — one per intervened
+/// row — reusable across models/catalogs.
+pub struct InstanceEvalSuite {
+    runs: Vec<(usize, Recorder)>,
+    targets: Vec<TargetId>,
+}
+
+impl std::fmt::Debug for InstanceEvalSuite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InstanceEvalSuite")
+            .field("cases", &self.runs.len())
+            .finish()
+    }
+}
+
+impl InstanceEvalSuite {
+    /// Runs one production case per campaign row: a fresh simulation with
+    /// `cfg.fault` active on that row's replica, telemetry per row. Case
+    /// seeds derive from `cfg.seed` per index, so results are independent
+    /// of thread count and of training traffic.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing case (in case order).
+    pub fn execute(
+        app: &App,
+        campaign: &InstanceCampaignRun,
+        cfg: &RunConfig,
+    ) -> Result<InstanceEvalSuite> {
+        let rows = campaign.rows();
+        let targets = campaign.targets().to_vec();
+        let threads = cfg.resolved_threads(rows.len());
+        let results = parallel_map(rows.len(), threads, |i| {
+            let case_cfg = RunConfig {
+                seed: seeds::eval_case(cfg.seed, i),
+                ..cfg.clone()
+            };
+            simulate_instance_phase(
+                app,
+                &case_cfg,
+                cfg.campaign.fault_duration,
+                Some((targets[rows[i]], &InterventionTrace::new())),
+            )
+        });
+        let mut runs = Vec::with_capacity(results.len());
+        for (i, run) in results.into_iter().enumerate() {
+            runs.push((rows[i], run?));
+        }
+        Ok(InstanceEvalSuite { runs, targets })
+    }
+
+    /// Scores an instance-granularity model on every case: top-1 of the
+    /// Algorithm-2 ranking, judged at instance and at service level.
+    ///
+    /// # Errors
+    ///
+    /// Localization errors (shape mismatches, statistics).
+    pub fn evaluate(&self, model: &CausalModel) -> Result<InstanceEvalSummary> {
+        let mut cases = Vec::with_capacity(self.runs.len());
+        for (row, rec) in &self.runs {
+            let ds = rec.dataset(model.catalog())?;
+            let loc = {
+                let mut span = icfl_obs::span("localize-instances");
+                span.arg("catalog", model.catalog().name());
+                model.localize_with(&ds, MatchRule::IntersectionSize)?
+            };
+            let top1_row = loc.ranked().first().map(|&(s, _)| s.index());
+            let injected_service = self.targets[*row].service();
+            cases.push(InstanceCaseResult {
+                injected_row: *row,
+                top1_row,
+                instance_hit: top1_row == Some(*row),
+                service_hit: top1_row.map(|t| self.targets[t].service()) == Some(injected_service),
+            });
+        }
+        Ok(InstanceEvalSummary::aggregate(cases))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icfl_apps::gray_app;
+    use icfl_micro::FaultKind;
+
+    fn gray_cfg(seed: u64) -> RunConfig {
+        RunConfig::quick(seed).with_fault(FaultKind::DegradedReplica {
+            latency_factor: 8.0,
+            error_prob: 0.3,
+        })
+    }
+
+    #[test]
+    fn gray_fault_localizes_to_the_instance() {
+        let app = gray_app(3);
+        let cfg = gray_cfg(42);
+        let campaign = InstanceCampaignRun::execute(&app, &cfg).unwrap();
+        assert_eq!(campaign.targets().len(), 5); // A + 3×B + C
+        assert_eq!(campaign.labels()[0], "A");
+        assert_eq!(campaign.labels()[1], "B@0");
+        assert_eq!(campaign.labels()[3], "B@2");
+        assert_eq!(campaign.trace.len(), 5);
+        // Replica-scoped interventions are audited with their replica.
+        let entries = campaign.trace.entries();
+        assert_eq!(entries[2].replica, Some(1));
+
+        let model = campaign
+            .learn(&MetricCatalog::derived_all(), RunConfig::default_detector())
+            .unwrap();
+        assert_eq!(model.num_services(), 5);
+
+        let suite = InstanceEvalSuite::execute(&app, &campaign, &gray_cfg(777)).unwrap();
+        let summary = suite.evaluate(&model).unwrap();
+        assert!(
+            summary.instance_top1 >= 0.8,
+            "gray faults should localize to the replica: {summary}"
+        );
+        assert!(summary.service_top1 >= summary.instance_top1, "{summary}");
+    }
+}

@@ -45,12 +45,16 @@
 #![warn(missing_docs)]
 
 mod error;
+mod instance;
 mod localize;
 mod model;
 mod runner;
 mod score;
 
 pub use error::{CoreError, Result};
+pub use instance::{
+    InstanceCampaignRun, InstanceCaseResult, InstanceEvalSuite, InstanceEvalSummary,
+};
 pub use localize::{Localization, MatchRule, MetricVote};
 pub use model::CausalModel;
 pub use runner::{parallel_map, CampaignRun, EvalSuite, MultiFaultRun, ProductionRun, RunConfig};

@@ -1,0 +1,78 @@
+//! Instance-granularity localization: gray replica failures and
+//! overload-triggered cascades under bursty open-loop traffic.
+//!
+//! Tiers: the default sweep (gray at two fan-outs + cascade) and
+//! `--smoke` (one gray + one cascade scenario — the CI gate).
+use icfl_experiments::{
+    grayfail, grayfail_smoke, maybe_write_profile, record_metric_row, report_timing, run_timed,
+    CliOptions,
+};
+
+fn main() {
+    // The tier flag is local to this binary; strip it before the shared
+    // option parser (which rejects unknown arguments).
+    let mut smoke = false;
+    let rest: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| {
+            if a == "--smoke" {
+                smoke = true;
+                false
+            } else {
+                true
+            }
+        })
+        .collect();
+    let opts = match CliOptions::parse(rest) {
+        Ok(o) => {
+            if o.threads > 0 {
+                std::env::set_var("ICFL_THREADS", o.threads.to_string());
+            }
+            if let Some(level) = o.log {
+                icfl_obs::logger::set_level(level);
+            }
+            o
+        }
+        Err(msg) => {
+            eprintln!("{msg} [--smoke]");
+            std::process::exit(2);
+        }
+    };
+    let tier_name = if smoke { "gray-smoke" } else { "grayfail" };
+    icfl_obs::info!(
+        "running {} in {} mode (seed {})...",
+        tier_name,
+        opts.mode,
+        opts.seed
+    );
+    let timed = run_timed(|| {
+        if smoke {
+            grayfail_smoke(opts.seed)
+        } else {
+            grayfail(opts.mode, opts.seed)
+        }
+        .expect("grayfail experiment failed")
+    });
+    println!("Instance-granularity localization: gray replicas and overload cascades\n");
+    println!("{}", timed.result.render());
+    if opts.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&timed.result).expect("serialize")
+        );
+    }
+    // Accuracy rows ride along in timings.csv next to the wall-clock rows:
+    // the gray scenarios' instance top-1 and the cascade scenarios' top-1.
+    for row in &timed.result.rows {
+        let phase = if row.scenario.starts_with("cascade") {
+            "cascade_top1"
+        } else {
+            "gray_instance_acc"
+        };
+        if let Err(e) = record_metric_row(tier_name, &opts, row.instance_top1, phase) {
+            icfl_obs::warn!("{tier_name}: could not persist {phase}: {e}");
+        }
+    }
+    maybe_write_profile(&opts, tier_name);
+    report_timing(tier_name, &opts, timed.wall);
+}

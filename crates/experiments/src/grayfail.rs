@@ -1,0 +1,347 @@
+//! Gray-failure and cascade localization at *instance* granularity.
+//!
+//! Two scenarios beyond the paper's service-level protocol:
+//!
+//! * **Gray replica** — one replica of a load-balanced service degrades
+//!   (slow + flaky) while its siblings stay healthy. Service-aggregated
+//!   counters dilute the shift by `1/replicas`; the per-row pipeline
+//!   ([`InstanceCampaignRun`]) localizes the exact instance.
+//! * **Overload cascade** — open-loop bursty traffic (flash crowd)
+//!   overflows the front door's queue, which triggers a secondary gray
+//!   fault on one replica of the downstream service
+//!   ([`icfl_faults::CascadeRule`]). The symptom starts at a *victim*; the
+//!   question is whether Algorithm 2 still names the degraded replica.
+//!   Training and evaluation both run under the same bursty arrival model,
+//!   so the flash crowds are common mode and cancel in the KS comparisons.
+
+use crate::mode::Mode;
+use crate::render::TextTable;
+use icfl_core::{
+    parallel_map, CausalModel, InstanceCampaignRun, InstanceEvalSuite, MatchRule, Result, RunConfig,
+};
+use icfl_faults::{CascadeRule, InterventionTrace};
+use icfl_loadgen::ArrivalModel;
+use icfl_micro::{FaultKind, ServiceId, TargetId};
+use icfl_scenario::{seeds, RecorderTap, Scenario};
+use icfl_sim::{SimDuration, SimTime};
+use icfl_telemetry::{MetricCatalog, Recorder};
+use serde::{Deserialize, Serialize};
+
+/// The gray fault both scenarios inject: 8× latency, 30% spurious errors
+/// on the targeted replica only.
+pub fn gray_fault() -> FaultKind {
+    FaultKind::DegradedReplica {
+        latency_factor: 8.0,
+        error_prob: 0.3,
+    }
+}
+
+/// One instance-granularity measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GrayFailRow {
+    /// Scenario label (`gray-bN` / `cascade-bN`).
+    pub scenario: String,
+    /// Replica rows in the topology (services counted per instance).
+    pub rows: usize,
+    /// Evaluation cases scored.
+    pub cases: usize,
+    /// Fraction of cases whose top-1 row was the exact degraded instance.
+    pub instance_top1: f64,
+    /// Fraction whose top-1 row belonged to the degraded service (the
+    /// service-level fallback; never below `instance_top1`).
+    pub service_top1: f64,
+}
+
+/// The gray/cascade sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GrayFail {
+    /// One row per scenario.
+    pub rows: Vec<GrayFailRow>,
+}
+
+impl GrayFail {
+    /// Renders the sweep.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec![
+            "Scenario",
+            "Rows",
+            "Cases",
+            "Instance top-1",
+            "Service top-1",
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.scenario.clone(),
+                r.rows.to_string(),
+                r.cases.to_string(),
+                format!("{:.2}", r.instance_top1),
+                format!("{:.2}", r.service_top1),
+            ]);
+        }
+        t.render()
+    }
+}
+
+fn gray_cfg(mode: Mode, seed: u64) -> RunConfig {
+    mode.train_cfg(seed).with_fault(gray_fault())
+}
+
+/// The gray-replica scenario: train an instance-granularity model on
+/// `gray_app(replicas)` (closed-loop load, gray fault per row), then score
+/// fresh per-row production cases at instance and service level.
+///
+/// # Errors
+///
+/// Propagates pipeline errors.
+pub fn gray_measure(mode: Mode, seed: u64, replicas: usize) -> Result<GrayFailRow> {
+    let app = icfl_apps::gray_app(replicas);
+    let campaign = InstanceCampaignRun::execute(&app, &gray_cfg(mode, seed))?;
+    let model = campaign.learn(&MetricCatalog::derived_all(), RunConfig::default_detector())?;
+    let suite =
+        InstanceEvalSuite::execute(&app, &campaign, &gray_cfg(mode, seeds::eval_phase(seed)))?;
+    let summary = suite.evaluate(&model)?;
+    Ok(GrayFailRow {
+        scenario: app.name.clone(),
+        rows: campaign.targets().len(),
+        cases: summary.cases.len(),
+        instance_top1: summary.instance_top1,
+        service_top1: summary.service_top1,
+    })
+}
+
+/// The bursty open-loop arrival both cascade phases run under: a flat
+/// 100 rps base with a 25× flash crowd in the last 10 s of every 80 s
+/// interval — enough to overflow the front door's 512-slot queue.
+fn cascade_arrival() -> ArrivalModel {
+    ArrivalModel::Bursty {
+        base_rps_per_replica: 100.0,
+        diurnal_amplitude: 0.0,
+        diurnal_period: SimDuration::from_secs(600),
+        spike_every: SimDuration::from_secs(80),
+        spike_duration: SimDuration::from_secs(10),
+        spike_factor: 25.0,
+    }
+}
+
+/// Cascade-scenario phase geometry (quick-mode timing): training phases
+/// observe `[10 s, 130 s)` — one flash crowd at `[70 s, 80 s)` — and
+/// evaluation observes `[80 s, 200 s)` of a run whose first flash crowd
+/// triggers the cascade.
+const CASCADE_PHASE: (u64, u64) = (10, 130);
+const CASCADE_EVAL_WINDOW: (u64, u64) = (80, 200);
+
+/// One bursty phase at instance granularity: `gray_app` under
+/// [`cascade_arrival`] with `fault` (if any) held on `target` for the
+/// whole observed phase.
+fn bursty_phase(
+    app: &icfl_apps::App,
+    cfg: &RunConfig,
+    fault: Option<TargetId>,
+) -> Result<Recorder> {
+    let (from, to) = (
+        SimTime::from_secs(CASCADE_PHASE.0),
+        SimTime::from_secs(CASCADE_PHASE.1),
+    );
+    let mut builder = Scenario::builder(app, cfg.seed).arrival(cascade_arrival());
+    let trace = InterventionTrace::new();
+    if let Some(target) = fault {
+        builder = builder.target_fault_between(target, gray_fault(), from, to, &trace);
+    }
+    let (mut scenario, recorder) =
+        builder.build_with(RecorderTap::instances((from, to), cfg.windows))?;
+    scenario.run_until(to);
+    Ok(recorder)
+}
+
+/// Learns an instance-granularity model for `gray_app(replicas)` under the
+/// bursty arrival: a baseline phase plus one gray-fault phase per replica
+/// row, fanned out over the worker pool.
+fn learn_bursty_model(app: &icfl_apps::App, cfg: &RunConfig) -> Result<CausalModel> {
+    let (cluster, _) = app.build(cfg.seed)?;
+    let targets = cluster.row_targets();
+    drop(cluster);
+    let jobs = targets.len() + 1;
+    let threads = cfg.resolved_threads(jobs);
+    let recorders = parallel_map(jobs, threads, |i| -> Result<Recorder> {
+        if i == 0 {
+            bursty_phase(app, cfg, None)
+        } else {
+            let case_cfg = RunConfig {
+                seed: seeds::campaign_fault(cfg.seed, i - 1),
+                ..cfg.clone()
+            };
+            bursty_phase(app, &case_cfg, Some(targets[i - 1]))
+        }
+    });
+    let catalog = MetricCatalog::derived_all();
+    let mut baseline = None;
+    let mut faults = Vec::with_capacity(targets.len());
+    for (i, rec) in recorders.into_iter().enumerate() {
+        let ds = rec?.dataset(&catalog)?;
+        if i == 0 {
+            baseline = Some(ds);
+        } else {
+            faults.push((ServiceId::from_index(i - 1), ds));
+        }
+    }
+    CausalModel::learn(
+        &catalog,
+        RunConfig::default_detector(),
+        &baseline.expect("job 0 is the baseline"),
+        &faults,
+    )
+}
+
+/// The overload-cascade scenario. Trains under the bursty arrival, then
+/// runs `cases` evaluation simulations in which the first flash crowd
+/// overflows the front door (service `A`), triggering a
+/// [`CascadeRule`] that degrades the middle replica of `B`; each case is
+/// scored on whether Algorithm 2's top-1 row is that replica. A case
+/// whose cascade never fires counts as a miss.
+///
+/// # Errors
+///
+/// Propagates pipeline errors.
+pub fn cascade_measure(
+    mode: Mode,
+    seed: u64,
+    replicas: usize,
+    cases: usize,
+) -> Result<GrayFailRow> {
+    let _ = mode; // cascade timing is fixed quick-scale geometry
+    let app = icfl_apps::gray_app(replicas);
+    let cfg = gray_cfg(Mode::Quick, seed);
+    let model = learn_bursty_model(&app, &cfg)?;
+
+    let front = ServiceId::from_index(0);
+    let b = ServiceId::from_index(1);
+    let victim_replica = (replicas / 2) as u32;
+    let target = TargetId::Instance(b, victim_replica);
+    let injected_row = 1 + replicas / 2;
+
+    let outcomes = parallel_map(cases, cfg.resolved_threads(cases), |i| -> Result<_> {
+        let case_seed = seeds::eval_case(seed, i);
+        let trace = InterventionTrace::new();
+        let rule = CascadeRule::new(
+            front,
+            100,
+            target,
+            gray_fault(),
+            SimDuration::from_secs(150),
+        );
+        let window = (
+            SimTime::from_secs(CASCADE_EVAL_WINDOW.0),
+            SimTime::from_secs(CASCADE_EVAL_WINDOW.1),
+        );
+        let (mut scenario, recorder) = Scenario::builder(&app, case_seed)
+            .arrival(cascade_arrival())
+            .cascade(rule, SimTime::from_secs(100), &trace)
+            .build_with(RecorderTap::instances(window, cfg.windows))?;
+        scenario.run_until(window.1);
+        if trace.is_empty() {
+            icfl_obs::warn!("cascade case {i}: trigger never fired");
+            return Ok(None);
+        }
+        let ds = recorder.dataset(model.catalog())?;
+        let loc = model.localize_with(&ds, MatchRule::IntersectionSize)?;
+        Ok(loc.ranked().first().map(|&(s, _)| s.index()))
+    });
+    let mut instance_hits = 0usize;
+    let mut service_hits = 0usize;
+    for outcome in outcomes {
+        if let Some(row) = outcome? {
+            if row == injected_row {
+                instance_hits += 1;
+            }
+            if row >= 1 && row <= replicas {
+                service_hits += 1;
+            }
+        }
+    }
+    Ok(GrayFailRow {
+        scenario: format!("cascade-b{replicas}"),
+        rows: replicas + 2,
+        cases,
+        instance_top1: instance_hits as f64 / cases.max(1) as f64,
+        service_top1: service_hits as f64 / cases.max(1) as f64,
+    })
+}
+
+/// The full gray/cascade sweep: gray replicas at two fan-outs plus the
+/// overload cascade.
+///
+/// # Errors
+///
+/// Propagates pipeline errors.
+pub fn grayfail(mode: Mode, seed: u64) -> Result<GrayFail> {
+    let cases = match mode {
+        Mode::Quick => 5,
+        Mode::Paper => 10,
+    };
+    Ok(GrayFail {
+        rows: vec![
+            gray_measure(mode, seed, 2)?,
+            gray_measure(mode, seed, 3)?,
+            cascade_measure(mode, seed, 3, cases)?,
+        ],
+    })
+}
+
+/// The CI smoke slice: one gray scenario and one cascade scenario at
+/// instance granularity — the pull-request gate for the per-replica
+/// pipeline (flattened scrapes, row-indexed learning, cascade arming,
+/// bursty open-loop load).
+///
+/// # Errors
+///
+/// Propagates pipeline errors.
+pub fn grayfail_smoke(seed: u64) -> Result<GrayFail> {
+    Ok(GrayFail {
+        rows: vec![
+            gray_measure(Mode::Quick, seed, 3)?,
+            cascade_measure(Mode::Quick, seed, 3, 3)?,
+        ],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_formats_rows() {
+        let g = GrayFail {
+            rows: vec![GrayFailRow {
+                scenario: "gray-b3".into(),
+                rows: 5,
+                cases: 5,
+                instance_top1: 1.0,
+                service_top1: 1.0,
+            }],
+        };
+        let out = g.render();
+        assert!(out.contains("gray-b3"));
+        assert!(out.contains("1.00"));
+    }
+
+    #[test]
+    fn gray_scenario_localizes_the_instance() {
+        let row = gray_measure(Mode::Quick, 42, 3).unwrap();
+        assert_eq!(row.rows, 5);
+        assert!(
+            row.instance_top1 >= 0.9,
+            "gray top-1 below the bar: {row:?}"
+        );
+        assert!(row.service_top1 >= row.instance_top1);
+    }
+
+    #[test]
+    fn cascade_scenario_names_the_victim_replica() {
+        let row = cascade_measure(Mode::Quick, 42, 3, 2).unwrap();
+        assert_eq!(row.cases, 2);
+        assert!(
+            row.instance_top1 > 0.0,
+            "cascade never localized the degraded replica: {row:?}"
+        );
+    }
+}

@@ -16,6 +16,7 @@
 //! | Confusability analysis (§III-B identifiability, validated against 4× misses) | [`confusability`] | `--bin confusability` |
 //! | Production platform (Fig. 3): streaming detection + live localization | [`production`] | `--bin production` |
 //! | Robustness under degraded telemetry (drops/jitter/dups/resets) | [`robustness`] | `--bin robustness` |
+//! | Gray failures + overload cascades at instance granularity | [`grayfail`] | `--bin grayfail` |
 //! | Pipeline self-profile (spans, journal, Chrome trace) | [`write_profile_artifacts`] | `--bin profile` |
 //!
 //! Every binary accepts `--quick` (default: 2-minute phases) or `--paper`
@@ -35,6 +36,7 @@ mod ablations;
 mod comparison;
 mod confusability;
 mod figures;
+mod grayfail;
 mod mode;
 mod production;
 mod profiling;
@@ -49,6 +51,9 @@ pub use ablations::{ablations, AblationRow, Ablations};
 pub use comparison::{comparison, Comparison, ComparisonRow};
 pub use confusability::{confusability, Confusability, ConfusablePair};
 pub use figures::{fig1, fig2, fig4, CausalSetReport, Fig1, Fig2, Fig2Row, Fig4, FlowTrace};
+pub use grayfail::{
+    cascade_measure, gray_fault, gray_measure, grayfail, grayfail_smoke, GrayFail, GrayFailRow,
+};
 pub use mode::{CliOptions, Mode};
 pub use production::{
     production, ProductionAppReport, ProductionError, ProductionOptions, ProductionReport,

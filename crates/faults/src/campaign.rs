@@ -3,7 +3,7 @@
 
 use crate::injector::FaultInjector;
 use crate::trace::InterventionTrace;
-use icfl_micro::{Cluster, FaultKind, ServiceId};
+use icfl_micro::{Cluster, FaultKind, ServiceId, TargetId};
 use icfl_sim::{Sim, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -171,6 +171,67 @@ impl Campaign {
             }
         }
         plan
+    }
+
+    /// Arms the campaign at *instance granularity*: each planned
+    /// [`PhaseLabel::Fault`] id is interpreted as a dense **target-row
+    /// index** and resolved through `targets` (row index → [`TargetId`],
+    /// typically [`Cluster::row_targets`]) before injection. This keeps
+    /// the campaign plan — and everything that consumes phase windows —
+    /// operating on the same dense index space the instance-level causal
+    /// model learns over, while injections land on single replicas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a planned fault index is out of range for `targets`.
+    pub fn arm_targets(
+        &self,
+        sim: &mut Sim<Cluster>,
+        start: SimTime,
+        targets: &[TargetId],
+        trace: &InterventionTrace,
+    ) -> Vec<PhaseWindow> {
+        let plan = self.plan(start);
+        let mut fault_iter = self.faults.iter();
+        for w in &plan {
+            if let PhaseLabel::Fault(row) = w.label {
+                let (planned, kind) = fault_iter.next().expect("one fault per fault phase");
+                debug_assert_eq!(*planned, row);
+                FaultInjector::inject_target_between(
+                    sim,
+                    targets[row.index()],
+                    kind.clone(),
+                    w.start,
+                    w.end,
+                    trace,
+                );
+            }
+        }
+        plan
+    }
+
+    /// A campaign sweeping one gray [`FaultKind::DegradedReplica`] fault
+    /// over `n` dense target rows, for use with [`Campaign::arm_targets`].
+    pub fn degraded_replica_sweep(
+        n: usize,
+        latency_factor: f64,
+        error_prob: f64,
+        config: CampaignConfig,
+    ) -> Self {
+        Campaign::new(
+            (0..n)
+                .map(|i| {
+                    (
+                        ServiceId::from_index(i),
+                        FaultKind::DegradedReplica {
+                            latency_factor,
+                            error_prob,
+                        },
+                    )
+                })
+                .collect(),
+            config,
+        )
     }
 }
 

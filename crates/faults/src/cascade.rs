@@ -1,0 +1,241 @@
+//! Overload-triggered cascade faults.
+//!
+//! A [`CascadeRule`] watches one service's queue-overflow counter and, when
+//! the cumulative drop count since arming crosses a threshold, injects a
+//! secondary fault into another target — the "retry storm knocks over the
+//! neighbour" failure mode where the *observed* symptom starts at a service
+//! that is only a victim. The watcher is a deterministic poll loop driven by
+//! simulation time (no RNG draws), so armed cascades never perturb the
+//! event-stream identity of runs where they do not fire.
+
+use crate::trace::InterventionTrace;
+use icfl_micro::{Cluster, FaultKind, ServiceId, TargetId};
+use icfl_sim::{Sim, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// When to trigger a secondary fault, and what to inject.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CascadeRule {
+    /// The service whose queue overflow is watched.
+    pub watch: ServiceId,
+    /// Cumulative `queue_dropped` growth (since arming) that fires the
+    /// cascade.
+    pub drop_threshold: u64,
+    /// Where the secondary fault lands.
+    pub target: TargetId,
+    /// The secondary fault.
+    pub fault: FaultKind,
+    /// How long the secondary fault stays active once triggered.
+    pub duration: SimDuration,
+    /// How often the watcher samples the overflow counter.
+    pub poll_interval: SimDuration,
+}
+
+impl CascadeRule {
+    /// A rule with a 1 s poll interval.
+    pub fn new(
+        watch: ServiceId,
+        drop_threshold: u64,
+        target: TargetId,
+        fault: FaultKind,
+        duration: SimDuration,
+    ) -> Self {
+        CascadeRule {
+            watch,
+            drop_threshold,
+            target,
+            fault,
+            duration,
+            poll_interval: SimDuration::from_secs(1),
+        }
+    }
+}
+
+/// Arms `rule` on the simulation: the watcher polls until the threshold
+/// fires (injecting the secondary fault once, recorded in `trace` with its
+/// trigger) or `until` passes without it firing.
+///
+/// The trigger is one-shot: after firing, polling stops and the secondary
+/// fault is removed `rule.duration` later by the ordinary injector path.
+///
+/// # Panics
+///
+/// Panics if `rule.poll_interval` is zero.
+pub fn arm_cascade(
+    sim: &mut Sim<Cluster>,
+    rule: CascadeRule,
+    until: SimTime,
+    trace: &InterventionTrace,
+) {
+    assert!(
+        rule.poll_interval > SimDuration::ZERO,
+        "cascade poll interval must be positive"
+    );
+    let trace = trace.clone();
+    sim.schedule_now(move |sim, cl: &mut Cluster| {
+        let baseline = cl.counters(rule.watch).queue_dropped;
+        poll(sim, cl, rule, baseline, until, trace);
+    });
+}
+
+fn poll(
+    sim: &mut Sim<Cluster>,
+    cl: &mut Cluster,
+    rule: CascadeRule,
+    baseline: u64,
+    until: SimTime,
+    trace: InterventionTrace,
+) {
+    let dropped = cl
+        .counters(rule.watch)
+        .queue_dropped
+        .saturating_sub(baseline);
+    if dropped >= rule.drop_threshold {
+        let now = sim.now();
+        let end = now + rule.duration;
+        if matches!(rule.fault, FaultKind::DegradedReplica { .. }) {
+            icfl_obs::counter_add("icfl_faults_gray_active", &[], 1);
+        }
+        icfl_obs::counter_add("icfl_faults_cascades_triggered_total", &[], 1);
+        cl.set_fault_target(rule.target, Some(rule.fault.clone()));
+        trace.record_cascade(rule.target, &rule.fault, rule.watch, now, end);
+        let target = rule.target;
+        sim.schedule_at(end, move |_, cl: &mut Cluster| {
+            cl.set_fault_target(target, None);
+        });
+        return; // one-shot: stop polling
+    }
+    let next = sim.now() + rule.poll_interval;
+    if next > until {
+        return;
+    }
+    sim.schedule_at(next, move |sim, cl: &mut Cluster| {
+        poll(sim, cl, rule, baseline, until, trace);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icfl_micro::{steps, ClusterSpec, ServiceSpec, Status};
+
+    /// A tiny cluster where `a`'s queue can be overflowed on demand.
+    fn cluster(seed: u64) -> (Sim<Cluster>, Cluster) {
+        let spec = ClusterSpec::new("t")
+            .service(
+                ServiceSpec::web("a")
+                    .with_concurrency(1)
+                    .with_queue_capacity(2)
+                    .endpoint("/", vec![steps::compute_ms(50)]),
+            )
+            .service(ServiceSpec::web("b").endpoint("/", vec![steps::compute_ms(1)]));
+        let mut cl = Cluster::build(&spec, seed).unwrap();
+        let mut sim = Sim::new(seed);
+        Cluster::start(&mut sim, &mut cl);
+        (sim, cl)
+    }
+
+    /// Floods `a` at `t` with enough simultaneous requests to overflow its
+    /// queue.
+    fn flood(sim: &mut Sim<Cluster>, at: SimTime, n: usize) {
+        for _ in 0..n {
+            sim.schedule_at(at, |sim, cl: &mut Cluster| {
+                let a = cl.service_id("a").unwrap();
+                Cluster::submit(sim, cl, a, "/", |_, _, _| {});
+            });
+        }
+    }
+
+    #[test]
+    fn cascade_fires_on_overflow_and_expires() {
+        let (mut sim, mut cl) = cluster(1);
+        let a = cl.service_id("a").unwrap();
+        let b = cl.service_id("b").unwrap();
+        let trace = InterventionTrace::new();
+        let rule = CascadeRule::new(
+            a,
+            5,
+            TargetId::Service(b),
+            FaultKind::ServiceUnavailable,
+            SimDuration::from_secs(5),
+        );
+        arm_cascade(&mut sim, rule, SimTime::from_secs(60), &trace);
+        flood(&mut sim, SimTime::from_secs(10), 50);
+        sim.run_until(SimTime::from_secs(12), &mut cl);
+        assert!(cl.fault(b).is_some(), "cascade should have fired");
+        let entries = trace.entries();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].cascaded_from, Some(a));
+        assert_eq!(entries[0].service, b);
+        sim.run_until(SimTime::from_secs(20), &mut cl);
+        assert!(cl.fault(b).is_none(), "cascade fault should expire");
+    }
+
+    #[test]
+    fn cascade_without_overflow_never_fires() {
+        let (mut sim, mut cl) = cluster(2);
+        let a = cl.service_id("a").unwrap();
+        let b = cl.service_id("b").unwrap();
+        let trace = InterventionTrace::new();
+        let rule = CascadeRule::new(
+            a,
+            5,
+            TargetId::Service(b),
+            FaultKind::ServiceUnavailable,
+            SimDuration::from_secs(5),
+        );
+        arm_cascade(&mut sim, rule, SimTime::from_secs(30), &trace);
+        // Light load: one request at a time, no overflow.
+        for i in 0..20 {
+            sim.schedule_at(SimTime::from_secs(i), |sim, cl: &mut Cluster| {
+                let a = cl.service_id("a").unwrap();
+                Cluster::submit(sim, cl, a, "/", |_, _, resp| {
+                    assert_eq!(resp.status, Status::Ok);
+                });
+            });
+        }
+        sim.run_until(SimTime::from_secs(40), &mut cl);
+        assert!(trace.is_empty());
+        assert!(cl.fault(b).is_none());
+    }
+
+    #[test]
+    fn cascade_can_target_one_replica() {
+        let spec = ClusterSpec::new("t")
+            .service(
+                ServiceSpec::web("a")
+                    .with_concurrency(1)
+                    .with_queue_capacity(2)
+                    .endpoint("/", vec![steps::compute_ms(50)]),
+            )
+            .service(
+                ServiceSpec::web("b")
+                    .with_replicas(3)
+                    .endpoint("/", vec![steps::compute_ms(1)]),
+            );
+        let mut cl = Cluster::build(&spec, 3).unwrap();
+        let mut sim = Sim::new(3);
+        Cluster::start(&mut sim, &mut cl);
+        let a = cl.service_id("a").unwrap();
+        let b = cl.service_id("b").unwrap();
+        let trace = InterventionTrace::new();
+        let rule = CascadeRule::new(
+            a,
+            5,
+            TargetId::Instance(b, 2),
+            FaultKind::DegradedReplica {
+                latency_factor: 10.0,
+                error_prob: 0.5,
+            },
+            SimDuration::from_secs(5),
+        );
+        arm_cascade(&mut sim, rule, SimTime::from_secs(60), &trace);
+        flood(&mut sim, SimTime::from_secs(10), 50);
+        sim.run_until(SimTime::from_secs(12), &mut cl);
+        assert_eq!(cl.fault_scope(b), Some(2));
+        let entries = trace.entries();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].replica, Some(2));
+        assert_eq!(entries[0].fault, "degraded-replica");
+    }
+}

@@ -1,7 +1,7 @@
 //! Point-in-time fault injection and removal.
 
 use crate::trace::InterventionTrace;
-use icfl_micro::{Cluster, FaultKind, ServiceId};
+use icfl_micro::{Cluster, FaultKind, ServiceId, TargetId};
 use icfl_sim::{Sim, SimTime};
 
 /// Schedules fault injections and removals on a simulation.
@@ -57,15 +57,49 @@ impl FaultInjector {
         to: SimTime,
         trace: &InterventionTrace,
     ) {
+        FaultInjector::inject_target_between(
+            sim,
+            TargetId::Service(service),
+            fault,
+            from,
+            to,
+            trace,
+        );
+    }
+
+    /// Schedules `fault` to be active on `target` during `[from, to)` —
+    /// service-wide for [`TargetId::Service`], scoped to one replica for
+    /// [`TargetId::Instance`] — recording the intervention (with its
+    /// replica scope and full parameters) in `trace`.
+    ///
+    /// Gray-failure injections ([`FaultKind::DegradedReplica`]) bump the
+    /// `icfl_faults_gray_active` journal counter when they activate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from >= to`, if `from` is in the simulation's past when
+    /// the event fires, or (at activation time) if the target replica is
+    /// out of range for its service.
+    pub fn inject_target_between(
+        sim: &mut Sim<Cluster>,
+        target: TargetId,
+        fault: FaultKind,
+        from: SimTime,
+        to: SimTime,
+        trace: &InterventionTrace,
+    ) {
         assert!(from < to, "fault window must be non-empty: {from} >= {to}");
         let trace_on = trace.clone();
         let fault_on = fault.clone();
         sim.schedule_at(from, move |sim, cl: &mut Cluster| {
-            cl.set_fault(service, Some(fault_on.clone()));
-            trace_on.record(service, &fault_on, sim.now(), to);
+            if matches!(fault_on, FaultKind::DegradedReplica { .. }) {
+                icfl_obs::counter_add("icfl_faults_gray_active", &[], 1);
+            }
+            cl.set_fault_target(target, Some(fault_on.clone()));
+            trace_on.record_target(target, &fault_on, sim.now(), to);
         });
         sim.schedule_at(to, move |_, cl: &mut Cluster| {
-            cl.set_fault(service, None);
+            cl.set_fault_target(target, None);
         });
     }
 }

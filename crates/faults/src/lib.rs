@@ -11,15 +11,22 @@
 //! * [`PhaseWindow`] / [`PhaseLabel`] — the time ranges handed to the
 //!   telemetry layer to slice `D_0` and `D_s` datasets;
 //! * [`InterventionTrace`] — a runtime audit log of what was actually
-//!   injected when.
+//!   injected when, persistable as JSON;
+//! * [`CascadeRule`] / [`arm_cascade`] — overload-triggered secondary
+//!   faults (queue overflow at one service knocks over another).
+//!
+//! Injections address a [`TargetId`](icfl_micro::TargetId): a whole service
+//! or one replica of it (gray failures).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod campaign;
+mod cascade;
 mod injector;
 mod trace;
 
 pub use campaign::{Campaign, CampaignConfig, PhaseLabel, PhaseWindow};
+pub use cascade::{arm_cascade, CascadeRule};
 pub use injector::FaultInjector;
 pub use trace::{InterventionTrace, TraceEntry};

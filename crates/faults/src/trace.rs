@@ -1,12 +1,12 @@
 //! Runtime audit log of interventions.
 
-use icfl_micro::{FaultKind, ServiceId};
+use icfl_micro::{FaultKind, ReplicaIdx, ServiceId, TargetId};
 use icfl_sim::SimTime;
 use serde::{Deserialize, Serialize};
 use std::sync::{Arc, Mutex};
 
 /// One recorded intervention.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TraceEntry {
     /// The targeted service.
     pub service: ServiceId,
@@ -16,6 +16,28 @@ pub struct TraceEntry {
     pub start: SimTime,
     /// When the fault was (or will be) removed.
     pub end: SimTime,
+    /// The targeted replica, when the fault was scoped to one instance of
+    /// the service (absent = service-wide).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub replica: Option<ReplicaIdx>,
+    /// The full fault description, so a saved trace round-trips parameters
+    /// (rates, factors, distributions) and not just the label.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub kind: Option<FaultKind>,
+    /// For cascade-triggered injections: the service whose overload
+    /// triggered this secondary fault.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub cascaded_from: Option<ServiceId>,
+}
+
+impl TraceEntry {
+    /// The intervention target as a [`TargetId`].
+    pub fn target(&self) -> TargetId {
+        match self.replica {
+            Some(r) => TargetId::Instance(self.service, r),
+            None => TargetId::Service(self.service),
+        }
+    }
 }
 
 /// A shared, append-only log of interventions actually performed.
@@ -35,13 +57,43 @@ impl InterventionTrace {
         Self::default()
     }
 
-    /// Appends an intervention record.
+    /// Appends an intervention record for a service-wide fault.
     pub fn record(&self, service: ServiceId, fault: &FaultKind, start: SimTime, end: SimTime) {
+        self.record_target(TargetId::Service(service), fault, start, end);
+    }
+
+    /// Appends an intervention record for a [`TargetId`] (service-wide or
+    /// one replica), keeping the full fault parameters.
+    pub fn record_target(&self, target: TargetId, fault: &FaultKind, start: SimTime, end: SimTime) {
         self.push(TraceEntry {
-            service,
+            service: target.service(),
             fault: fault.label().to_owned(),
             start,
             end,
+            replica: target.replica(),
+            kind: Some(fault.clone()),
+            cascaded_from: None,
+        });
+    }
+
+    /// Appends a cascade-triggered intervention record: `fault` was
+    /// injected into `target` because `trigger` overloaded.
+    pub fn record_cascade(
+        &self,
+        target: TargetId,
+        fault: &FaultKind,
+        trigger: ServiceId,
+        start: SimTime,
+        end: SimTime,
+    ) {
+        self.push(TraceEntry {
+            service: target.service(),
+            fault: fault.label().to_owned(),
+            start,
+            end,
+            replica: target.replica(),
+            kind: Some(fault.clone()),
+            cascaded_from: Some(trigger),
         });
     }
 
@@ -65,6 +117,50 @@ impl InterventionTrace {
     pub fn is_empty(&self) -> bool {
         self.entries.lock().expect("trace lock").is_empty()
     }
+
+    /// Serializes the current entries as a JSON array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if serialization fails (entries are plain data; it cannot).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(&self.entries()).expect("trace entries serialize")
+    }
+
+    /// Rebuilds a trace from [`InterventionTrace::to_json`] output. Traces
+    /// saved before replica-scoped faults existed load with `replica`,
+    /// `kind` and `cascaded_from` absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns the JSON parse error for malformed input.
+    pub fn from_json(json: &str) -> Result<InterventionTrace, serde_json::Error> {
+        let entries: Vec<TraceEntry> = serde_json::from_str(json)?;
+        Ok(InterventionTrace {
+            entries: Arc::new(Mutex::new(entries)),
+        })
+    }
+
+    /// Writes [`InterventionTrace::to_json`] to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Loads a trace previously written by [`InterventionTrace::save`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; malformed JSON surfaces as
+    /// [`std::io::ErrorKind::InvalidData`].
+    pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<InterventionTrace> {
+        let json = std::fs::read_to_string(path)?;
+        InterventionTrace::from_json(&json)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
 }
 
 #[cfg(test)]
@@ -84,6 +180,92 @@ mod tests {
         );
         assert_eq!(t1.len(), 1);
         assert_eq!(t1.entries()[0].fault, "service-unavailable");
+    }
+
+    #[test]
+    fn save_load_roundtrips_every_fault_kind() {
+        use icfl_sim::{DurationDist, SimDuration};
+        // Every FaultKind variant, service-wide and replica-scoped, plus a
+        // cascade record: the full shape of a modern trace.
+        let kinds = [
+            FaultKind::ServiceUnavailable,
+            FaultKind::ExtraLatency(DurationDist::constant(SimDuration::from_millis(25))),
+            FaultKind::ErrorRate(0.25),
+            FaultKind::PacketLoss(0.1),
+            FaultKind::CpuStress(3.5),
+            FaultKind::DegradedReplica {
+                latency_factor: 4.0,
+                error_prob: 0.125,
+            },
+        ];
+        let trace = InterventionTrace::new();
+        for (i, kind) in kinds.iter().enumerate() {
+            let start = SimTime::from_secs(10 * i as u64);
+            let end = start + SimDuration::from_secs(5);
+            trace.record(ServiceId::from_index(i), kind, start, end);
+            trace.record_target(
+                TargetId::Instance(ServiceId::from_index(i), 2),
+                kind,
+                start,
+                end,
+            );
+        }
+        trace.record_cascade(
+            TargetId::Instance(ServiceId::from_index(1), 0),
+            &kinds[5],
+            ServiceId::from_index(0),
+            SimTime::from_secs(100),
+            SimTime::from_secs(110),
+        );
+
+        let path =
+            std::env::temp_dir().join(format!("icfl-trace-roundtrip-{}.json", std::process::id()));
+        trace.save(&path).unwrap();
+        let loaded = InterventionTrace::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        let before = trace.entries();
+        let after = loaded.entries();
+        assert_eq!(before, after);
+        assert_eq!(after.len(), kinds.len() * 2 + 1);
+        // Full kinds (with parameters) survived, not just labels.
+        for (entry, kind) in after.chunks(2).zip(kinds.iter()) {
+            assert_eq!(entry[0].kind.as_ref(), Some(kind));
+            assert_eq!(entry[0].replica, None);
+            assert_eq!(entry[0].target(), TargetId::Service(entry[0].service));
+            assert_eq!(entry[1].replica, Some(2));
+            assert_eq!(entry[1].target(), TargetId::Instance(entry[1].service, 2));
+        }
+        let cascade = after.last().unwrap();
+        assert_eq!(cascade.cascaded_from, Some(ServiceId::from_index(0)));
+    }
+
+    #[test]
+    fn legacy_json_without_new_fields_loads() {
+        // A pre-replica trace had only the original four fields; build one
+        // by stripping the new optional fields from modern output and check
+        // they default on load.
+        let modern = InterventionTrace::new();
+        modern.record(
+            ServiceId::from_index(0),
+            &FaultKind::ServiceUnavailable,
+            SimTime::from_secs(1),
+            SimTime::from_secs(2),
+        );
+        let mut v: Vec<serde::Value> = serde_json::from_str(&modern.to_json()).unwrap();
+        let serde::Value::Obj(fields) = &mut v[0] else {
+            panic!("trace entry should serialize as an object");
+        };
+        fields.retain(|(k, _)| !matches!(k.as_str(), "kind" | "replica" | "cascaded_from"));
+        let legacy = serde_json::to_string(&v).unwrap();
+        let t = InterventionTrace::from_json(&legacy).unwrap();
+        let es = t.entries();
+        assert_eq!(es.len(), 1);
+        assert_eq!(es[0].fault, "service-unavailable");
+        assert_eq!(es[0].kind, None);
+        assert_eq!(es[0].replica, None);
+        assert_eq!(es[0].cascaded_from, None);
+        assert_eq!(es[0].target(), TargetId::Service(ServiceId::from_index(0)));
     }
 
     #[test]

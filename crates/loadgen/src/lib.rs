@@ -72,6 +72,49 @@ pub enum ArrivalModel {
         /// Aggregate requests per second per replica, split by flow weight.
         rps_per_replica: f64,
     },
+    /// Open-loop arrivals whose rate follows a diurnal sine ramp with
+    /// periodic flash-crowd spikes superimposed — the bursty production
+    /// traffic that makes single-window baselines unrepresentative.
+    ///
+    /// Implemented by thinning: candidates are generated at the peak rate
+    /// and accepted with probability `rate(t) / peak`, so the arrival
+    /// process stays an (inhomogeneous) Poisson process.
+    Bursty {
+        /// Base aggregate requests per second per replica.
+        base_rps_per_replica: f64,
+        /// Fractional amplitude of the diurnal sine (0 = flat, 0.5 = ±50%
+        /// around the base rate). Clamped to `[0, 1]`.
+        diurnal_amplitude: f64,
+        /// Period of the diurnal cycle (a simulated "day", shortened in
+        /// tests). Non-positive disables the diurnal component.
+        diurnal_period: SimDuration,
+        /// Gap between the starts of consecutive flash-crowd spikes.
+        /// [`SimDuration::ZERO`] disables spikes. The first spike starts
+        /// one full `spike_every` after t=0, so early baseline windows
+        /// are spike-free.
+        spike_every: SimDuration,
+        /// How long each flash-crowd spike lasts.
+        spike_duration: SimDuration,
+        /// Rate multiplier while a spike is active (clamped to ≥ 1).
+        spike_factor: f64,
+    },
+    /// Open-loop arrivals where the *client* retries failed requests with a
+    /// backoff — the retry-storm amplifier: load on the cluster rises
+    /// exactly when the cluster is least able to serve it, the inverse of
+    /// the closed-loop confounder.
+    ///
+    /// Every retry attempt counts toward [`FlowStats::sent`] (the
+    /// amplification is visible in the issued-request rate) and bumps
+    /// [`FlowStats::retries`] plus the `icfl_loadgen_retries_total`
+    /// observability counter.
+    RetryStorm {
+        /// Aggregate *first-attempt* requests per second per replica.
+        rps_per_replica: f64,
+        /// Maximum client-side retries per failed request.
+        max_retries: u32,
+        /// Backoff sampled before each retry attempt.
+        backoff: DurationDist,
+    },
 }
 
 impl Default for ArrivalModel {
@@ -106,6 +149,14 @@ impl LoadConfig {
     }
 
     /// Sets the replica count (load scale), returning `self`.
+    ///
+    /// `replicas` multiplies *every* arrival model's per-replica knob, not
+    /// just the closed-loop user count: [`ArrivalModel::Open`] (and
+    /// [`ArrivalModel::Bursty`] / [`ArrivalModel::RetryStorm`]) generate an
+    /// aggregate rate of `rps_per_replica × replicas`. An `Open` config at
+    /// 100 rps with 4 replicas therefore offers 400 rps to the cluster —
+    /// the per-replica field name is the contract, despite open-loop
+    /// generators having no per-replica state.
     pub fn with_replicas(mut self, replicas: usize) -> Self {
         self.replicas = replicas;
         self
@@ -156,6 +207,10 @@ pub struct FlowStats {
     /// Sum of end-to-end latencies in seconds (divide by `ok + err` for the
     /// mean).
     pub latency_sum_secs: f64,
+    /// Client-side retry attempts (only [`ArrivalModel::RetryStorm`] ever
+    /// sets this; every retry is *also* counted in `sent`).
+    #[serde(default)]
+    pub retries: u64,
 }
 
 impl FlowStats {
@@ -221,6 +276,11 @@ impl LoadHandle {
     /// Total requests issued across flows.
     pub fn total_sent(&self) -> u64 {
         self.stats.borrow().per_flow.iter().map(|s| s.sent).sum()
+    }
+
+    /// Total client-side retry attempts across flows (retry-storm model).
+    pub fn total_retries(&self) -> u64 {
+        self.stats.borrow().per_flow.iter().map(|s| s.retries).sum()
     }
 
     /// Stops the generator: users finish their in-flight request and do not
@@ -337,6 +397,63 @@ pub fn start_load(
                 );
             }
         }
+        ArrivalModel::Bursty {
+            base_rps_per_replica,
+            diurnal_amplitude,
+            diurnal_period,
+            spike_every,
+            spike_duration,
+            spike_factor,
+        } => {
+            let base = base_rps_per_replica * config.replicas as f64;
+            if base > 0.0 {
+                let amplitude = diurnal_amplitude.clamp(0.0, 1.0);
+                let factor = spike_factor.max(1.0);
+                let peak = base * (1.0 + amplitude) * factor;
+                let rng = sim.rng().fork("loadgen/bursty");
+                schedule_bursty_arrival(
+                    sim,
+                    SimDuration::ZERO,
+                    BurstyState {
+                        rng,
+                        base,
+                        amplitude,
+                        period_secs: diurnal_period.as_secs_f64(),
+                        spike_every_secs: spike_every.as_secs_f64(),
+                        spike_duration_secs: spike_duration.as_secs_f64(),
+                        spike_factor: factor,
+                        candidate_gap: SimDuration::from_secs_f64(1.0 / peak),
+                        peak,
+                        entries: Rc::clone(&entries),
+                        weights: Rc::clone(&weights),
+                        stats: Rc::clone(&stats),
+                    },
+                );
+            }
+        }
+        ArrivalModel::RetryStorm {
+            rps_per_replica,
+            max_retries,
+            backoff,
+        } => {
+            let rate = rps_per_replica * config.replicas as f64;
+            if rate > 0.0 {
+                let rng = sim.rng().fork("loadgen/retry");
+                schedule_retry_arrival(
+                    sim,
+                    SimDuration::ZERO,
+                    RetryState {
+                        rng,
+                        mean_gap: SimDuration::from_secs_f64(1.0 / rate),
+                        max_retries,
+                        backoff,
+                        entries: Rc::clone(&entries),
+                        weights: Rc::clone(&weights),
+                        stats: Rc::clone(&stats),
+                    },
+                );
+            }
+        }
     }
     Ok(LoadHandle { stats })
 }
@@ -412,6 +529,139 @@ fn schedule_open_arrival(sim: &mut Sim<Cluster>, delay: SimDuration, mut state: 
         let gap = SimDuration::from_secs_f64(state.rng.exponential(state.mean_gap.as_secs_f64()));
         schedule_open_arrival(sim, gap, state);
     });
+}
+
+struct BurstyState {
+    rng: Rng,
+    base: f64,
+    amplitude: f64,
+    period_secs: f64,
+    spike_every_secs: f64,
+    spike_duration_secs: f64,
+    spike_factor: f64,
+    candidate_gap: SimDuration,
+    peak: f64,
+    entries: Rc<Vec<(ServiceId, usize)>>,
+    weights: Rc<Vec<f64>>,
+    stats: Rc<RefCell<Stats>>,
+}
+
+impl BurstyState {
+    /// Instantaneous target rate at simulated time `t` (seconds).
+    fn rate_at(&self, t: f64) -> f64 {
+        let diurnal = if self.period_secs > 0.0 {
+            1.0 + self.amplitude * (std::f64::consts::TAU * t / self.period_secs).sin()
+        } else {
+            1.0
+        };
+        // Spikes occupy the *end* of each `spike_every` interval so the
+        // first spike starts a full interval after t=0.
+        let in_spike = self.spike_every_secs > 0.0
+            && self.spike_duration_secs > 0.0
+            && (t % self.spike_every_secs) >= (self.spike_every_secs - self.spike_duration_secs);
+        self.base * diurnal * if in_spike { self.spike_factor } else { 1.0 }
+    }
+}
+
+fn schedule_bursty_arrival(sim: &mut Sim<Cluster>, delay: SimDuration, mut state: BurstyState) {
+    sim.schedule_after(delay, move |sim, cl: &mut Cluster| {
+        if state.stats.borrow().stopped {
+            return;
+        }
+        // Thinning: this event is a *candidate* generated at the peak rate;
+        // accept it with probability rate(now)/peak.
+        let accept = state.rate_at(sim.now().as_secs_f64()) / state.peak;
+        if state.rng.uniform_f64() < accept {
+            if let Some(flow_idx) = state.rng.weighted_index(&state.weights) {
+                let (service, endpoint) = state.entries[flow_idx];
+                state.stats.borrow_mut().per_flow[flow_idx].sent += 1;
+                let started = sim.now();
+                let stats = Rc::clone(&state.stats);
+                Cluster::submit_indexed(sim, cl, service, endpoint, move |sim, _cl, resp| {
+                    let latency = sim.now().saturating_since(started).as_secs_f64();
+                    record_outcome(&stats, flow_idx, resp.status, latency);
+                });
+            }
+        }
+        let gap =
+            SimDuration::from_secs_f64(state.rng.exponential(state.candidate_gap.as_secs_f64()));
+        schedule_bursty_arrival(sim, gap, state);
+    });
+}
+
+struct RetryState {
+    rng: Rng,
+    mean_gap: SimDuration,
+    max_retries: u32,
+    backoff: DurationDist,
+    entries: Rc<Vec<(ServiceId, usize)>>,
+    weights: Rc<Vec<f64>>,
+    stats: Rc<RefCell<Stats>>,
+}
+
+fn schedule_retry_arrival(sim: &mut Sim<Cluster>, delay: SimDuration, mut state: RetryState) {
+    sim.schedule_after(delay, move |sim, cl: &mut Cluster| {
+        if state.stats.borrow().stopped {
+            return;
+        }
+        if let Some(flow_idx) = state.rng.weighted_index(&state.weights) {
+            // Sample the whole backoff ladder up front from the generator
+            // stream so retries stay deterministic without per-request RNG
+            // forks; the ladder is popped back-to-front on each failure.
+            let backoffs: Vec<SimDuration> = (0..state.max_retries)
+                .map(|_| state.backoff.sample(&mut state.rng))
+                .collect();
+            issue_retry_attempt(
+                sim,
+                cl,
+                flow_idx,
+                backoffs,
+                Rc::clone(&state.entries),
+                Rc::clone(&state.stats),
+            );
+        }
+        let gap = SimDuration::from_secs_f64(state.rng.exponential(state.mean_gap.as_secs_f64()));
+        schedule_retry_arrival(sim, gap, state);
+    });
+}
+
+/// One attempt (first or retry) of a retry-storm request.
+fn issue_retry_attempt(
+    sim: &mut Sim<Cluster>,
+    cl: &mut Cluster,
+    flow_idx: usize,
+    mut backoffs: Vec<SimDuration>,
+    entries: Rc<Vec<(ServiceId, usize)>>,
+    stats: Rc<RefCell<Stats>>,
+) {
+    let (service, endpoint) = entries[flow_idx];
+    stats.borrow_mut().per_flow[flow_idx].sent += 1;
+    let started = sim.now();
+    Cluster::submit_indexed(sim, cl, service, endpoint, move |sim, _cl, resp| {
+        let latency = sim.now().saturating_since(started).as_secs_f64();
+        record_outcome(&stats, flow_idx, resp.status, latency);
+        if resp.status != Status::Ok && !stats.borrow().stopped {
+            if let Some(delay) = backoffs.pop() {
+                stats.borrow_mut().per_flow[flow_idx].retries += 1;
+                icfl_obs::counter_add("icfl_loadgen_retries_total", &[], 1);
+                sim.schedule_after(delay, move |sim, cl: &mut Cluster| {
+                    issue_retry_attempt(sim, cl, flow_idx, backoffs, entries, stats);
+                });
+            }
+        }
+    });
+}
+
+/// Shared response bookkeeping for the open-loop generator family.
+fn record_outcome(stats: &Rc<RefCell<Stats>>, flow_idx: usize, status: Status, latency: f64) {
+    let mut st = stats.borrow_mut();
+    let fs = &mut st.per_flow[flow_idx];
+    if status == Status::Ok {
+        fs.ok += 1;
+    } else {
+        fs.err += 1;
+    }
+    fs.latency_sum_secs += latency;
 }
 
 #[cfg(test)]
@@ -532,6 +782,106 @@ mod tests {
         let under_fault = rate_c(true);
         let rel = (under_fault - normal).abs() / normal;
         assert!(rel < 0.1, "open loop should be invariant: rel={rel}");
+    }
+
+    #[test]
+    fn open_loop_rate_scales_with_replicas() {
+        // Satellite contract: `Open { rps_per_replica }` is multiplied by
+        // `LoadConfig::replicas` — see `with_replicas`. Pin both the
+        // absolute 1-replica rate and the 4× scaling.
+        let sent = |replicas: usize| {
+            let (mut sim, mut cl) = two_path_cluster(9);
+            let cfg = LoadConfig::closed_loop(two_flows())
+                .with_model(ArrivalModel::Open {
+                    rps_per_replica: 50.0,
+                })
+                .with_replicas(replicas);
+            let h = start_load(&mut sim, &mut cl, &cfg).unwrap();
+            sim.run_until(SimTime::from_secs(40), &mut cl);
+            h.total_sent() as f64
+        };
+        let t1 = sent(1);
+        let t4 = sent(4);
+        // 50 rps × 40 s = 2000 expected arrivals for one replica.
+        assert!((1800.0..2200.0).contains(&t1), "t1={t1}");
+        let scale = t4 / t1;
+        assert!((3.6..4.4).contains(&scale), "scale={scale}");
+    }
+
+    #[test]
+    fn bursty_spikes_raise_arrival_rate() {
+        let (mut sim, mut cl) = two_path_cluster(10);
+        let cfg = LoadConfig::closed_loop(two_flows()).with_model(ArrivalModel::Bursty {
+            base_rps_per_replica: 50.0,
+            diurnal_amplitude: 0.0,
+            diurnal_period: SimDuration::from_secs(1000),
+            spike_every: SimDuration::from_secs(20),
+            spike_duration: SimDuration::from_secs(5),
+            spike_factor: 4.0,
+        });
+        let h = start_load(&mut sim, &mut cl, &cfg).unwrap();
+        // First spike occupies [15s, 20s); [0s, 15s) is pre-spike baseline.
+        sim.run_until(SimTime::from_secs(15), &mut cl);
+        let pre = h.total_sent() as f64 / 15.0;
+        sim.run_until(SimTime::from_secs(20), &mut cl);
+        let during = (h.total_sent() as f64 - pre * 15.0) / 5.0;
+        assert!((40.0..60.0).contains(&pre), "pre-spike rate={pre}");
+        assert!(
+            during > pre * 2.5,
+            "spike should amplify: pre={pre} during={during}"
+        );
+    }
+
+    #[test]
+    fn bursty_diurnal_ramp_modulates_rate() {
+        let (mut sim, mut cl) = two_path_cluster(11);
+        let cfg = LoadConfig::closed_loop(two_flows()).with_model(ArrivalModel::Bursty {
+            base_rps_per_replica: 50.0,
+            diurnal_amplitude: 0.8,
+            diurnal_period: SimDuration::from_secs(40),
+            spike_every: SimDuration::ZERO,
+            spike_duration: SimDuration::ZERO,
+            spike_factor: 1.0,
+        });
+        let h = start_load(&mut sim, &mut cl, &cfg).unwrap();
+        // sin > 0 over [0, 20): the "day". sin < 0 over [20, 40): the "night".
+        sim.run_until(SimTime::from_secs(20), &mut cl);
+        let day = h.total_sent() as f64;
+        sim.run_until(SimTime::from_secs(40), &mut cl);
+        let night = h.total_sent() as f64 - day;
+        assert!(
+            day > night * 1.5,
+            "diurnal ramp should modulate: day={day} night={night}"
+        );
+    }
+
+    #[test]
+    fn retry_storm_amplifies_load_under_faults() {
+        let run = |fault_b: bool| {
+            let (mut sim, mut cl) = two_path_cluster(12);
+            if fault_b {
+                let b = cl.service_id("b").unwrap();
+                cl.set_fault(b, Some(FaultKind::ServiceUnavailable));
+            }
+            let cfg = LoadConfig::closed_loop(two_flows()).with_model(ArrivalModel::RetryStorm {
+                rps_per_replica: 50.0,
+                max_retries: 3,
+                backoff: DurationDist::constant(SimDuration::from_millis(50)),
+            });
+            let h = start_load(&mut sim, &mut cl, &cfg).unwrap();
+            sim.run_until(SimTime::from_secs(20), &mut cl);
+            (h.flow_stats("fb"), h.total_retries())
+        };
+        let (healthy, retries_healthy) = run(false);
+        let (faulted, retries_faulted) = run(true);
+        assert_eq!(retries_healthy, 0);
+        assert_eq!(healthy.retries, 0);
+        assert!(retries_faulted > 0, "faults should trigger retries");
+        assert_eq!(faulted.retries, retries_faulted); // only fb fails
+                                                      // Every failed first attempt is retried up to 3 times, so the
+                                                      // issued-request count on the faulted flow roughly quadruples.
+        let amp = faulted.sent as f64 / healthy.sent as f64;
+        assert!(amp > 3.0, "retry amplification: amp={amp}");
     }
 
     #[test]

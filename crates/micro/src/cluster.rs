@@ -11,7 +11,7 @@
 use crate::counters::Counters;
 use crate::error::BuildError;
 use crate::fault::FaultKind;
-use crate::ids::{LogLevel, RequestId, ServiceId, Status};
+use crate::ids::{LogLevel, ReplicaIdx, RequestId, ServiceId, Status, TargetId};
 use crate::logs::{LogBuffer, LogRecord};
 use crate::spec::{ClusterSpec, ErrorPolicy, KvAction, ServiceKind, Step};
 use crate::tracing::{Span, TraceHandle};
@@ -193,6 +193,16 @@ pub(crate) struct Service {
     pub(crate) idle_cpu_per_sec: SimDuration,
     pub(crate) logs: LogBuffer,
     pub(crate) fault: Option<FaultKind>,
+    /// When set, `fault` applies only to this replica (instance-granularity
+    /// injection); `None` scopes the fault to every replica.
+    fault_scope: Option<ReplicaIdx>,
+    /// Replica count (≥ 1). Replicas share the worker pool and queue but
+    /// own individual counter rows.
+    replicas: u32,
+    /// Round-robin load-balancer cursor: the next replica to route to.
+    /// A plain counter (no RNG draw) so single-replica event streams are
+    /// unchanged by the replica axis.
+    lb_next: u32,
     /// Invocation counts backing `Step::LogEveryN`, keyed by
     /// (endpoint index, step index).
     step_invocations: FastHashMap<(usize, usize), u64>,
@@ -202,6 +212,18 @@ pub(crate) struct Service {
 impl Service {
     fn has_free_worker(&self) -> bool {
         self.busy < self.concurrency
+    }
+
+    /// The fault in effect for `replica`, cloned out so callers can keep
+    /// borrowing the service mutably (e.g. for its RNG). At most one fault
+    /// is active per service, so each interpretation site matches on the
+    /// single returned kind.
+    #[inline]
+    fn scoped_fault(&self, replica: ReplicaIdx) -> Option<FaultKind> {
+        match &self.fault {
+            Some(f) if self.fault_scope.is_none_or(|r| r == replica) => Some(f.clone()),
+            _ => None,
+        }
     }
 }
 
@@ -221,6 +243,9 @@ struct InFlight {
     /// Public monotone id (never reused), carried for traces and responses.
     id: RequestId,
     service: ServiceId,
+    /// The replica of `service` this request was routed to (assigned at
+    /// send time by the round-robin balancer; 0 until routed).
+    replica: ReplicaIdx,
     work: Work,
     issued_at: SimTime,
     step: usize,
@@ -269,10 +294,16 @@ struct InFlight {
 pub struct Cluster {
     name: String,
     pub(crate) services: Vec<Service>,
-    /// Telemetry counters, struct-of-arrays style: one contiguous row
-    /// indexed by service, so a scrape is a single `memcpy` instead of a
-    /// strided per-service gather (see [`Cluster::counters_slice`]).
+    /// Telemetry counters, struct-of-arrays style: one contiguous row per
+    /// (service, replica) pair in service-major order, so a scrape is a
+    /// single `memcpy` instead of a strided per-service gather (see
+    /// [`Cluster::counters_slice`]). For single-replica services the row
+    /// index equals the service index, which keeps the pre-replica scrape
+    /// layout byte-identical.
     pub(crate) counters: Vec<Counters>,
+    /// First counter row of each service (`row_base[s] + r` is the row of
+    /// replica `r` of service `s`).
+    row_base: Vec<u32>,
     name_to_id: FastHashMap<String, ServiceId>,
     net_latency: DurationDist,
     conn_refused_latency: DurationDist,
@@ -439,6 +470,9 @@ impl Cluster {
                 idle_cpu_per_sec: s.idle_cpu_per_sec,
                 logs: LogBuffer::with_capacity(LogBuffer::DEFAULT_CAPACITY),
                 fault: None,
+                fault_scope: None,
+                replicas: s.replicas.max(1) as u32,
+                lb_next: 0,
                 step_invocations: FastHashMap::default(),
                 rng: root.fork(&format!("service/{}", s.name)),
             });
@@ -474,12 +508,18 @@ impl Cluster {
         // is bounded by worker slots plus queue slots across all services
         // (each held request may additionally have one child call pending).
         let inflight_hint = Self::inflight_hint_for(spec);
-        let num_services = services.len();
+        let mut row_base = Vec::with_capacity(services.len());
+        let mut num_rows = 0u32;
+        for s in &services {
+            row_base.push(num_rows);
+            num_rows += s.replicas;
+        }
 
         Ok(Cluster {
             name: spec.name.clone(),
             services,
-            counters: vec![Counters::default(); num_services],
+            counters: vec![Counters::default(); num_rows as usize],
+            row_base,
             name_to_id,
             net_latency: spec.net_latency,
             conn_refused_latency: spec.conn_refused_latency,
@@ -527,21 +567,136 @@ impl Cluster {
         &self.services[id.0].name
     }
 
-    /// Snapshot of a service's telemetry counters.
+    /// The counter row of replica `r` of service `s`.
+    #[inline]
+    pub(crate) fn row(&self, s: ServiceId, r: ReplicaIdx) -> usize {
+        self.row_base[s.0] as usize + r as usize
+    }
+
+    /// Snapshot of a service's telemetry counters, aggregated across its
+    /// replicas (for single-replica services this is the row itself).
     ///
     /// # Panics
     ///
     /// Panics if `id` is not a service of this cluster.
     pub fn counters(&self, id: ServiceId) -> Counters {
-        self.counters[id.0]
+        let base = self.row_base[id.0] as usize;
+        let n = self.services[id.0].replicas as usize;
+        if n == 1 {
+            return self.counters[base];
+        }
+        let mut total = self.counters[base];
+        for row in &self.counters[base + 1..base + n] {
+            total = total.saturating_add_fields(row);
+        }
+        total
     }
 
-    /// All per-service counters as one contiguous row, indexed by
-    /// [`ServiceId`] order. Telemetry scrapes copy this slice with a single
-    /// `memcpy` instead of gathering service-by-service — the batched-scrape
-    /// path consumed by the telemetry window engine.
+    /// Snapshot of one replica's telemetry counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a service of this cluster or `replica` is out
+    /// of range for it.
+    pub fn replica_counters(&self, id: ServiceId, replica: ReplicaIdx) -> Counters {
+        assert!(
+            replica < self.services[id.0].replicas,
+            "service {} has {} replicas, no replica {replica}",
+            self.services[id.0].name,
+            self.services[id.0].replicas
+        );
+        self.counters[self.row(id, replica)]
+    }
+
+    /// All per-(service, replica) counter rows as one contiguous slice in
+    /// service-major order ([`Cluster::row_targets`] names each row).
+    /// Telemetry scrapes copy this slice with a single `memcpy` instead of
+    /// gathering service-by-service — the batched-scrape path consumed by
+    /// the telemetry window engine. For clusters where every service has
+    /// one replica this is exactly the per-service layout.
     pub fn counters_slice(&self) -> &[Counters] {
         &self.counters
+    }
+
+    /// Number of counter rows (total replicas across all services).
+    pub fn num_rows(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Replica count of a service.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a service of this cluster.
+    pub fn num_replicas(&self, id: ServiceId) -> ReplicaIdx {
+        self.services[id.0].replicas
+    }
+
+    /// The instance target of every counter row, in row order — the dense
+    /// target index used by instance-granularity telemetry and learning.
+    pub fn row_targets(&self) -> Vec<TargetId> {
+        let mut out = Vec::with_capacity(self.counters.len());
+        for (i, s) in self.services.iter().enumerate() {
+            for r in 0..s.replicas {
+                out.push(TargetId::Instance(ServiceId(i), r));
+            }
+        }
+        out
+    }
+
+    /// The counter row a target maps to: a service's first replica row, or
+    /// the instance's own row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target's service or replica is out of range.
+    pub fn target_row(&self, target: TargetId) -> usize {
+        match target {
+            TargetId::Service(s) => self.row_base[s.0] as usize,
+            TargetId::Instance(s, r) => {
+                assert!(
+                    r < self.services[s.0].replicas,
+                    "service {} has {} replicas, no replica {r}",
+                    self.services[s.0].name,
+                    self.services[s.0].replicas
+                );
+                self.row(s, r)
+            }
+        }
+    }
+
+    /// Human-readable label of a target: the service name, suffixed with
+    /// `@replica` for instances of replicated services (single-replica
+    /// instances read as plain service names).
+    pub fn target_label(&self, target: TargetId) -> String {
+        let svc = &self.services[target.service().0];
+        match target {
+            TargetId::Instance(_, r) if svc.replicas > 1 => format!("{}@{r}", svc.name),
+            _ => svc.name.clone(),
+        }
+    }
+
+    /// Batched scrape of `n` counter rows: the flattened per-replica rows
+    /// when `n` matches [`Cluster::num_rows`] (the instance-granularity
+    /// scrape, a single `memcpy`), or per-service aggregates when `n`
+    /// matches [`Cluster::num_services`]. For single-replica clusters both
+    /// shapes coincide and take the fast path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` matches neither shape.
+    pub fn scrape_rows(&self, n: usize) -> Vec<Counters> {
+        if n == self.counters.len() {
+            return self.counters.clone();
+        }
+        assert_eq!(
+            n,
+            self.services.len(),
+            "scrape width must be the row count or the service count"
+        );
+        (0..self.services.len())
+            .map(|i| self.counters(ServiceId(i)))
+            .collect()
     }
 
     /// Estimated worst-case concurrently admitted requests for a spec:
@@ -568,18 +723,50 @@ impl Cluster {
         (admitted * 2).clamp(64, 1 << 20)
     }
 
-    /// Sets or clears the active fault on a service.
+    /// Sets or clears the active fault on a service (all replicas).
     ///
     /// # Panics
     ///
     /// Panics if `id` is not a service of this cluster.
     pub fn set_fault(&mut self, id: ServiceId, fault: Option<FaultKind>) {
-        self.services[id.0].fault = fault;
+        self.set_fault_target(TargetId::Service(id), fault);
+    }
+
+    /// Sets or clears the active fault on a target: the whole service, or
+    /// one replica of it (instance-granularity injection — only requests
+    /// routed to that replica observe the fault).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target's service or replica is out of range.
+    pub fn set_fault_target(&mut self, target: impl Into<TargetId>, fault: Option<FaultKind>) {
+        let target = target.into();
+        let svc = &mut self.services[target.service().0];
+        if let Some(r) = target.replica() {
+            assert!(
+                r < svc.replicas,
+                "service {} has {} replicas, no replica {r}",
+                svc.name,
+                svc.replicas
+            );
+        }
+        svc.fault_scope = if fault.is_some() {
+            target.replica()
+        } else {
+            None
+        };
+        svc.fault = fault;
     }
 
     /// The active fault on a service, if any.
     pub fn fault(&self, id: ServiceId) -> Option<&FaultKind> {
         self.services[id.0].fault.as_ref()
+    }
+
+    /// The replica the active fault is scoped to (`None` when the fault —
+    /// if any — applies to the whole service).
+    pub fn fault_scope(&self, id: ServiceId) -> Option<ReplicaIdx> {
+        self.services[id.0].fault_scope
     }
 
     /// Reads a KV counter (0 if absent). Intended for tests and daemons.
@@ -619,8 +806,13 @@ impl Cluster {
             SimTime::ZERO + SimDuration::from_secs(1),
             SimDuration::from_secs(1),
             |_, cl: &mut Cluster| {
-                for (s, c) in cl.services.iter().zip(cl.counters.iter_mut()) {
-                    c.add_cpu(s.idle_cpu_per_sec);
+                // Every replica is its own container: each row accrues the
+                // service's idle CPU baseline.
+                let mut rows = cl.counters.iter_mut();
+                for s in &cl.services {
+                    for c in rows.by_ref().take(s.replicas as usize) {
+                        c.add_cpu(s.idle_cpu_per_sec);
+                    }
                 }
             },
         );
@@ -703,7 +895,7 @@ impl Cluster {
         from: Option<ServiceId>,
     ) -> RequestId {
         let (id, req) = cluster.new_request(sim.now(), target, Work::Handler(endpoint), reply_to);
-        Cluster::send(sim, cluster, from, req);
+        Cluster::send(sim, cluster, from.map(|f| (f, 0)), req);
         id
     }
 
@@ -718,7 +910,7 @@ impl Cluster {
         from: Option<ServiceId>,
     ) -> RequestId {
         let (id, req) = cluster.new_request(sim.now(), store, Work::Kv(action), reply_to);
-        Cluster::send(sim, cluster, from, req);
+        Cluster::send(sim, cluster, from.map(|f| (f, 0)), req);
         id
     }
 
@@ -734,6 +926,7 @@ impl Cluster {
         let token = self.inflight.insert(InFlight {
             id,
             service,
+            replica: 0,
             work,
             issued_at: now,
             step: 0,
@@ -747,20 +940,36 @@ impl Cluster {
         (id, token)
     }
 
-    /// Transmits a request toward its target, applying connection-refused
-    /// and packet-loss semantics.
-    fn send(sim: &mut Sim<Cluster>, cl: &mut Cluster, from: Option<ServiceId>, req: ReqToken) {
+    /// Transmits a request toward its target, applying load balancing,
+    /// connection-refused, and packet-loss semantics. `from` carries the
+    /// sending (service, replica) for caller-side counter attribution.
+    fn send(
+        sim: &mut Sim<Cluster>,
+        cl: &mut Cluster,
+        from: Option<(ServiceId, ReplicaIdx)>,
+        req: ReqToken,
+    ) {
         let target = cl.inflight.get(req).expect("request in flight").service;
-        if let Some(f) = from {
-            cl.counters[f.0].tx_packets += 1;
-            cl.counters[f.0].requests_sent += 1;
+        if let Some((f, fr)) = from {
+            let row = cl.row(f, fr);
+            cl.counters[row].tx_packets += 1;
+            cl.counters[row].requests_sent += 1;
         }
 
+        // Round-robin load balancing across the target's replicas. The
+        // cursor is a plain counter — no RNG draw — so single-replica
+        // clusters keep byte-identical event and RNG streams.
+        let replica = {
+            let svc = &mut cl.services[target.0];
+            let r = svc.lb_next % svc.replicas;
+            svc.lb_next = svc.lb_next.wrapping_add(1);
+            r
+        };
+        cl.inflight.get_mut(req).expect("request in flight").replica = replica;
+        let fault = cl.services[target.0].scoped_fault(replica);
+
         // Connection refused: fail fast without touching the target.
-        if matches!(
-            cl.services[target.0].fault,
-            Some(FaultKind::ServiceUnavailable)
-        ) {
+        if matches!(fault, Some(FaultKind::ServiceUnavailable)) {
             let latency = cl.conn_refused_latency.sample(&mut cl.net_rng);
             let inf = cl.inflight.get_mut(req).expect("request in flight");
             inf.status = Status::ServiceUnavailable;
@@ -772,7 +981,7 @@ impl Cluster {
 
         // Packet loss on the request direction: the request vanishes and the
         // caller's timeout (armed by the caller) eventually fires.
-        if let Some(FaultKind::PacketLoss(p)) = cl.services[target.0].fault {
+        if let Some(FaultKind::PacketLoss(p)) = fault {
             if cl.net_rng.chance(p) {
                 return;
             }
@@ -784,36 +993,48 @@ impl Cluster {
         });
     }
 
-    /// A request arrives at its target service.
+    /// A request arrives at the replica it was routed to.
     fn deliver(sim: &mut Sim<Cluster>, cl: &mut Cluster, req: ReqToken) {
-        let target = cl.inflight.get(req).expect("request in flight").service;
-        cl.counters[target.0].rx_packets += 1;
-        cl.counters[target.0].requests_received += 1;
+        let (target, replica) = {
+            let inf = cl.inflight.get(req).expect("request in flight");
+            (inf.service, inf.replica)
+        };
+        let row = cl.row(target, replica);
+        cl.counters[row].rx_packets += 1;
+        cl.counters[row].requests_received += 1;
 
-        // Error-rate fault: accept, then fail.
         let svc = &mut cl.services[target.0];
-        if let Some(FaultKind::ErrorRate(p)) = svc.fault {
-            if svc.rng.chance(p) {
+        match svc.scoped_fault(replica) {
+            // Error-rate fault, and the gray failure's accept-then-fail
+            // error path (sampled at the degraded replica's error
+            // probability). A failed guard falls through to the no-fault
+            // arm, so the RNG draws once either way.
+            Some(
+                FaultKind::ErrorRate(p) | FaultKind::DegradedReplica { error_prob: p, .. },
+            ) if svc.rng.chance(p) => {
                 let inf = cl.inflight.get_mut(req).expect("request in flight");
                 inf.work = Work::InjectedError;
             }
-        }
-
-        // Extra-latency fault: park the request before it contends for a
-        // worker.
-        if let Some(FaultKind::ExtraLatency(d)) = cl.services[target.0].fault {
-            let delay = d.sample(&mut cl.services[target.0].rng);
-            sim.schedule_after(delay, move |sim, cl: &mut Cluster| {
-                Cluster::admit(sim, cl, req);
-            });
-            return;
+            // Extra-latency fault: park the request before it contends for
+            // a worker.
+            Some(FaultKind::ExtraLatency(d)) => {
+                let delay = d.sample(&mut svc.rng);
+                sim.schedule_after(delay, move |sim, cl: &mut Cluster| {
+                    Cluster::admit(sim, cl, req);
+                });
+                return;
+            }
+            _ => {}
         }
         Cluster::admit(sim, cl, req);
     }
 
     /// Queue admission: take a worker or wait; shed if the queue is full.
     fn admit(sim: &mut Sim<Cluster>, cl: &mut Cluster, req: ReqToken) {
-        let target = cl.inflight.get(req).expect("in flight").service;
+        let (target, replica) = {
+            let inf = cl.inflight.get(req).expect("in flight");
+            (inf.service, inf.replica)
+        };
         let svc = &mut cl.services[target.0];
         if svc.has_free_worker() {
             svc.busy += 1;
@@ -822,16 +1043,17 @@ impl Cluster {
         } else if svc.queue.len() < svc.queue_capacity {
             svc.queue.push_back(req);
         } else {
-            cl.counters[target.0].queue_dropped += 1;
+            let row = cl.row(target, replica);
+            cl.counters[row].queue_dropped += 1;
             Cluster::finish(sim, cl, req, Status::Overloaded);
         }
     }
 
     /// Starts executing the request's work on its (now-held) worker.
     fn begin_work(sim: &mut Sim<Cluster>, cl: &mut Cluster, req: ReqToken) {
-        let (service, work) = {
+        let (service, replica, work) = {
             let inf = cl.inflight.get(req).expect("in flight");
-            (inf.service, inf.work.clone())
+            (inf.service, inf.replica, inf.work.clone())
         };
         match work {
             Work::Handler(_) => Cluster::advance(sim, cl, req),
@@ -841,19 +1063,22 @@ impl Cluster {
                 let now = sim.now();
                 cl.write_log(
                     service,
+                    replica,
                     now,
                     LogLevel::Error,
                     "Traceback: unhandled exception while processing request",
                 );
-                cl.counters[service.0].add_cpu(fail_time);
+                let row = cl.row(service, replica);
+                cl.counters[row].add_cpu(fail_time);
                 sim.schedule_after(fail_time, move |sim, cl: &mut Cluster| {
                     Cluster::finish(sim, cl, req, Status::InternalError);
                 });
             }
             Work::Kv(action) => {
+                let row = cl.row(service, replica);
                 let svc = &mut cl.services[service.0];
                 let t = svc.kv_op_time.sample(&mut svc.rng);
-                cl.counters[service.0].add_cpu(t);
+                cl.counters[row].add_cpu(t);
                 sim.schedule_after(t, move |sim, cl: &mut Cluster| {
                     let svc = &mut cl.services[service.0];
                     // get_mut-then-insert (not the entry API) so the steady
@@ -894,13 +1119,13 @@ impl Cluster {
 
     /// Advances a handler program to its next blocking point.
     fn advance(sim: &mut Sim<Cluster>, cl: &mut Cluster, req: ReqToken) {
-        let (service, ep_idx, mut step_idx, req_id) = {
+        let (service, replica, ep_idx, mut step_idx, req_id) = {
             let inf = cl.inflight.get(req).expect("in flight");
             let ep = match inf.work {
                 Work::Handler(ep) => ep,
                 _ => unreachable!("advance only runs handler programs"),
             };
-            (inf.service, ep, inf.step, inf.id)
+            (inf.service, inf.replica, ep, inf.step, inf.id)
         };
         // One shared handle to the program; steps are matched by reference
         // (no per-step clone) while the cluster is mutated freely.
@@ -916,12 +1141,20 @@ impl Cluster {
             cl.inflight.get_mut(req).expect("in flight").step = step_idx;
             match step {
                 ResolvedStep::Compute { time } => {
+                    let row = cl.row(service, replica);
                     let svc = &mut cl.services[service.0];
                     let mut t = time.sample(&mut svc.rng);
-                    if let Some(FaultKind::CpuStress(factor)) = svc.fault {
-                        t = t.mul_f64(factor.max(0.0));
+                    match svc.scoped_fault(replica) {
+                        Some(FaultKind::CpuStress(factor)) => {
+                            t = t.mul_f64(factor.max(0.0));
+                        }
+                        // Gray failure: the degraded replica computes slower.
+                        Some(FaultKind::DegradedReplica { latency_factor, .. }) => {
+                            t = t.mul_f64(latency_factor.max(0.0));
+                        }
+                        _ => {}
                     }
-                    cl.counters[service.0].add_cpu(t);
+                    cl.counters[row].add_cpu(t);
                     sim.schedule_after(t, move |sim, cl: &mut Cluster| {
                         Cluster::advance(sim, cl, req);
                     });
@@ -929,7 +1162,7 @@ impl Cluster {
                 }
                 ResolvedStep::Log { level, message } => {
                     let now = sim.now();
-                    cl.write_log(service, now, *level, message);
+                    cl.write_log(service, replica, now, *level, message);
                 }
                 ResolvedStep::LogEveryN { n, level, message } => {
                     let now = sim.now();
@@ -940,13 +1173,14 @@ impl Cluster {
                         .or_insert(0);
                     *count += 1;
                     if (*count).is_multiple_of(*n) {
-                        cl.write_log(service, now, *level, message);
+                        cl.write_log(service, replica, now, *level, message);
                     }
                 }
                 ResolvedStep::Fail => {
                     let now = sim.now();
                     cl.write_log(
                         service,
+                        replica,
                         now,
                         LogLevel::Error,
                         "Traceback: handler raised an exception",
@@ -1003,18 +1237,19 @@ impl Cluster {
         from: ServiceId,
         on_error: ErrorPolicy,
     ) {
-        {
+        let from_replica = {
             let inf = cl.inflight.get_mut(parent).expect("parent in flight");
             inf.waiting_on = Some(child_id);
             inf.pending_policy = on_error;
-        }
+            inf.replica
+        };
         let deadline = sim.now() + cl.call_timeout;
         cl.call_deadlines.push_back((deadline, parent, child_id));
         if !cl.deadline_sweep_armed {
             cl.deadline_sweep_armed = true;
             sim.schedule_at(deadline, Cluster::sweep_call_deadlines);
         }
-        Cluster::send(sim, cl, Some(from), child);
+        Cluster::send(sim, cl, Some((from, from_replica)), child);
     }
 
     /// Fires every due entry of `call_deadlines`, then re-arms for the next
@@ -1055,12 +1290,16 @@ impl Cluster {
     /// Delivers a finished request's response toward its completion target.
     fn finish(sim: &mut Sim<Cluster>, cl: &mut Cluster, req: ReqToken, status: Status) {
         {
+            let (service, replica) = {
+                let inf = cl.inflight.get_mut(req).expect("in flight");
+                (inf.service, inf.replica)
+            };
+            let row = cl.row(service, replica);
             let inf = cl.inflight.get_mut(req).expect("in flight");
             inf.status = status;
-            let service = inf.service;
             let holds = inf.holds_worker;
             inf.holds_worker = false;
-            let counters = &mut cl.counters[service.0];
+            let counters = &mut cl.counters[row];
             if status.is_error() {
                 counters.responses_err += 1;
             } else {
@@ -1087,9 +1326,13 @@ impl Cluster {
             }
         }
 
-        // Response packet loss.
-        let target = cl.inflight.get(req).expect("in flight").service;
-        if let Some(FaultKind::PacketLoss(p)) = cl.services[target.0].fault {
+        // Response packet loss (scoped to the replica that served the
+        // request).
+        let (target, replica) = {
+            let inf = cl.inflight.get(req).expect("in flight");
+            (inf.service, inf.replica)
+        };
+        if let Some(FaultKind::PacketLoss(p)) = cl.services[target.0].scoped_fault(replica) {
             if cl.net_rng.chance(p) {
                 cl.inflight.remove(req);
                 return;
@@ -1154,8 +1397,10 @@ impl Cluster {
         }
         inf.waiting_on = None;
         let service = inf.service;
+        let replica = inf.replica;
         let policy = inf.pending_policy;
-        cl.counters[service.0].rx_packets += 1;
+        let row = cl.row(service, replica);
+        cl.counters[row].rx_packets += 1;
 
         if resp.status.is_error() {
             Cluster::handle_call_failure(sim, cl, parent, resp.status, policy);
@@ -1192,7 +1437,10 @@ impl Cluster {
         child_status: Status,
         policy: ErrorPolicy,
     ) {
-        let service = cl.inflight.get(parent).expect("parent in flight").service;
+        let (service, replica) = {
+            let inf = cl.inflight.get(parent).expect("parent in flight");
+            (inf.service, inf.replica)
+        };
         if policy.logs() {
             let now = sim.now();
             // Static per-status text: this line fires for every failed call
@@ -1208,7 +1456,7 @@ impl Cluster {
                 Status::Overloaded => "error: downstream call failed (503 Overloaded)",
                 Status::Timeout => "error: downstream call failed (504 Timeout)",
             };
-            cl.write_log(service, now, LogLevel::Error, message);
+            cl.write_log(service, replica, now, LogLevel::Error, message);
         }
         if policy.propagates() {
             // The failure bubbles up as a 500 from this service (errors
@@ -1225,20 +1473,32 @@ impl Cluster {
     }
 
     /// Adds CPU busy time to a service out-of-band (used by the CPU-hog
-    /// fault driver in `icfl-faults`).
+    /// fault driver in `icfl-faults`). Attributed to the first replica row.
     pub fn add_cpu(&mut self, id: ServiceId, d: SimDuration) {
-        self.counters[id.0].add_cpu(d);
+        let row = self.row(id, 0);
+        self.counters[row].add_cpu(d);
     }
 
-    /// Writes a log message to a service out-of-band (used by daemons).
+    /// Writes a log message to a service out-of-band (used by daemons;
+    /// attributed to the first replica row).
     pub(crate) fn log(&mut self, id: ServiceId, now: SimTime, level: LogLevel, message: &str) {
-        self.write_log(id, now, level, message);
+        self.write_log(id, 0, now, level, message);
     }
 
-    /// Writes one console log line for a service: bumps the log counters
-    /// and retains the message in the bounded buffer.
-    fn write_log(&mut self, id: ServiceId, time: SimTime, level: LogLevel, message: &str) {
-        self.counters[id.0].add_log(level);
+    /// Writes one console log line for a replica of a service: bumps that
+    /// replica's log counters and retains the message in the service's
+    /// bounded buffer (replicas share one log stream, like pods of one
+    /// Deployment sharing a label selector).
+    fn write_log(
+        &mut self,
+        id: ServiceId,
+        replica: ReplicaIdx,
+        time: SimTime,
+        level: LogLevel,
+        message: &str,
+    ) {
+        let row = self.row(id, replica);
+        self.counters[row].add_log(level);
         self.services[id.0].logs.push(LogRecord {
             time,
             level,

@@ -171,9 +171,11 @@ impl DaemonRuntime {
             }
             _ => return, // stale response after a watchdog fired
         }
-        // The daemon's host sees the response packet.
+        // The daemon's host sees the response packet (attributed to the
+        // host's first replica row, where daemon work lives).
         let host = cl.daemons[idx].host;
-        cl.counters[host.index()].rx_packets += 1;
+        let row = cl.row(host, 0);
+        cl.counters[row].rx_packets += 1;
 
         let phase = cl.daemons[idx].phase;
         match phase {
@@ -234,7 +236,8 @@ impl DaemonRuntime {
             let d = &mut cl.daemons[idx];
             d.work_per_item.sample(&mut d.rng)
         };
-        cl.counters[host.index()].add_cpu(work);
+        let row = cl.row(host, 0);
+        cl.counters[row].add_cpu(work);
         sim.schedule_after(work, move |sim, cl: &mut Cluster| {
             let call = cl.daemons[idx].call_per_item;
             match call {

@@ -27,6 +27,18 @@ pub enum FaultKind {
     /// Handler compute times are multiplied by this factor (CPU contention
     /// from a noisy neighbour).
     CpuStress(f64),
+    /// A gray (partial) failure: the target keeps serving, but compute
+    /// times are multiplied by `latency_factor` and each delivered request
+    /// independently fails with probability `error_prob`. Scoped to one
+    /// replica via [`TargetId::Instance`](crate::TargetId::Instance), this
+    /// models the "one slow replica behind a load balancer" scenario that
+    /// service-aggregated counters cannot see.
+    DegradedReplica {
+        /// Multiplier applied to handler compute times (≥ 1 slows down).
+        latency_factor: f64,
+        /// Per-request probability of an injected internal error.
+        error_prob: f64,
+    },
 }
 
 impl FaultKind {
@@ -38,6 +50,7 @@ impl FaultKind {
             FaultKind::ErrorRate(_) => "error-rate",
             FaultKind::PacketLoss(_) => "packet-loss",
             FaultKind::CpuStress(_) => "cpu-stress",
+            FaultKind::DegradedReplica { .. } => "degraded-replica",
         }
     }
 }
@@ -61,6 +74,10 @@ mod tests {
             FaultKind::ErrorRate(0.5),
             FaultKind::PacketLoss(0.1),
             FaultKind::CpuStress(2.0),
+            FaultKind::DegradedReplica {
+                latency_factor: 3.0,
+                error_prob: 0.05,
+            },
         ];
         let mut labels: Vec<&str> = faults.iter().map(|f| f.label()).collect();
         labels.sort_unstable();

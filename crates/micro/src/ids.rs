@@ -31,6 +31,58 @@ impl fmt::Display for ServiceId {
     }
 }
 
+/// Index of a replica within a service's replica set (load-balancer slot
+/// order; replica 0 is the first instance of every service).
+pub type ReplicaIdx = u32;
+
+/// A fault-injection / localization target: a whole service, or one replica
+/// of it.
+///
+/// Service-granularity campaigns (the paper's protocol) intervene on
+/// [`TargetId::Service`]; instance-granularity campaigns — the CausIL-style
+/// framing where a single slow replica behind a load balancer must be told
+/// apart from its healthy siblings — intervene on [`TargetId::Instance`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum TargetId {
+    /// Every replica of the service (whole-service faults; the pre-replica
+    /// behavior).
+    Service(ServiceId),
+    /// One replica of the service.
+    Instance(ServiceId, ReplicaIdx),
+}
+
+impl TargetId {
+    /// The service this target belongs to.
+    pub fn service(self) -> ServiceId {
+        match self {
+            TargetId::Service(s) | TargetId::Instance(s, _) => s,
+        }
+    }
+
+    /// The replica index, if this target names a single instance.
+    pub fn replica(self) -> Option<ReplicaIdx> {
+        match self {
+            TargetId::Service(_) => None,
+            TargetId::Instance(_, r) => Some(r),
+        }
+    }
+}
+
+impl From<ServiceId> for TargetId {
+    fn from(s: ServiceId) -> Self {
+        TargetId::Service(s)
+    }
+}
+
+impl fmt::Display for TargetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TargetId::Service(s) => write!(f, "{s}"),
+            TargetId::Instance(s, r) => write!(f, "{s}@r{r}"),
+        }
+    }
+}
+
 /// Identifier of an in-flight request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct RequestId(pub(crate) u64);

@@ -59,7 +59,7 @@ pub use cluster::{Cluster, Completion, ExternalCallback, ReqToken, Response};
 pub use counters::Counters;
 pub use error::BuildError;
 pub use fault::FaultKind;
-pub use ids::{LogLevel, RequestId, ServiceId, Status};
+pub use ids::{LogLevel, ReplicaIdx, RequestId, ServiceId, Status, TargetId};
 pub use logs::{LogBuffer, LogRecord};
 pub use spec::{
     steps, ClusterSpec, DaemonSpec, EndpointSpec, ErrorPolicy, KvAction, ServiceKind, ServiceSpec,

@@ -172,6 +172,13 @@ pub struct ServiceSpec {
     /// Idle (background) CPU accrued per wall-clock second even with no
     /// traffic — the container runtime's baseline.
     pub idle_cpu_per_sec: SimDuration,
+    /// Number of replicas behind this service's load balancer. Each replica
+    /// gets its own telemetry counter row and can be faulted individually
+    /// via [`TargetId::Instance`](crate::TargetId::Instance); requests are
+    /// routed round-robin. `0` (the serde default, tolerated for specs
+    /// persisted before replicas existed) is treated as `1` at build time.
+    #[serde(default)]
+    pub replicas: usize,
 }
 
 impl ServiceSpec {
@@ -185,6 +192,7 @@ impl ServiceSpec {
             endpoints: Vec::new(),
             kv_op_time: DurationDist::constant(SimDuration::from_micros(200)),
             idle_cpu_per_sec: SimDuration::from_micros(500),
+            replicas: 1,
         }
     }
 
@@ -198,6 +206,7 @@ impl ServiceSpec {
             endpoints: Vec::new(),
             kv_op_time: DurationDist::constant(SimDuration::from_micros(200)),
             idle_cpu_per_sec: SimDuration::from_micros(500),
+            replicas: 1,
         }
     }
 
@@ -216,6 +225,15 @@ impl ServiceSpec {
     /// Overrides the queue capacity.
     pub fn with_queue_capacity(mut self, cap: usize) -> Self {
         self.queue_capacity = cap;
+        self
+    }
+
+    /// Sets the replica count (see [`ServiceSpec::replicas`]). Replicas
+    /// share the service's worker pool and queue (one Deployment behind one
+    /// load balancer) but keep individual counter rows and can be faulted
+    /// one at a time.
+    pub fn with_replicas(mut self, replicas: usize) -> Self {
+        self.replicas = replicas;
         self
     }
 }

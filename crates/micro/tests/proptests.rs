@@ -2,7 +2,9 @@
 //! accepted request is answered exactly once, faults never break counter
 //! monotonicity, and unavailable services stay untouched.
 
-use icfl_micro::{steps, Cluster, ClusterSpec, ErrorPolicy, FaultKind, ServiceSpec, Status};
+use icfl_micro::{
+    steps, Cluster, ClusterSpec, Counters, ErrorPolicy, FaultKind, ServiceSpec, Status, TargetId,
+};
 use icfl_sim::{Sim, SimDuration, SimTime};
 use proptest::prelude::*;
 use std::cell::RefCell;
@@ -124,6 +126,97 @@ proptest! {
         if fault_pos > 0 {
             let id = cluster.service_id(&format!("s{}", fault_pos - 1)).unwrap();
             prop_assert_eq!(cluster.counters(id).logs_error, 10);
+        }
+    }
+
+    /// Service-level counters are exactly the field-wise sum of their
+    /// replica rows, however scrapes and replica-scoped fault flips
+    /// interleave with the load — the invariant that makes the
+    /// service-granularity pipeline a pure aggregation of the
+    /// instance-granularity one.
+    #[test]
+    fn service_counters_equal_replica_row_sums(
+        replicas in 1u32..4,
+        requests in 1usize..40,
+        seed in any::<u64>(),
+        ops in proptest::collection::vec((0u64..8_000, 0usize..4, 0u32..4), 0..8),
+    ) {
+        let spec = ClusterSpec::new("chain")
+            .service(ServiceSpec::web("s0").with_concurrency(4).endpoint(
+                "/",
+                vec![steps::compute_ms(1), steps::call("s1", "/")],
+            ))
+            .service(
+                ServiceSpec::web("s1")
+                    .with_concurrency(4)
+                    .with_replicas(replicas as usize)
+                    .endpoint("/", vec![steps::compute_ms(1), steps::call("s2", "/")]),
+            )
+            .service(
+                ServiceSpec::web("s2")
+                    .with_concurrency(4)
+                    .endpoint("/", vec![steps::compute_ms(1)]),
+            );
+        let mut cluster = Cluster::build(&spec, seed).unwrap();
+        let mut sim = Sim::new(seed);
+        Cluster::start(&mut sim, &mut cluster);
+        let entry = cluster.service_id("s0").unwrap();
+        let mid = cluster.service_id("s1").unwrap();
+        for i in 0..requests {
+            sim.schedule_at(
+                SimTime::ZERO + SimDuration::from_millis(7 * i as u64),
+                move |sim, cl: &mut Cluster| {
+                    Cluster::submit(sim, cl, entry, "/", |_, _, _| {});
+                },
+            );
+        }
+        // Arbitrary interleaving of whole-service and single-replica fault
+        // flips (including gray degradations) while the load drains.
+        for (at_ms, op, replica) in ops {
+            let replica = replica.min(replicas - 1);
+            sim.schedule_at(
+                SimTime::ZERO + SimDuration::from_millis(at_ms),
+                move |_, cl: &mut Cluster| match op {
+                    0 => cl.set_fault_target(
+                        TargetId::Instance(mid, replica),
+                        Some(FaultKind::DegradedReplica {
+                            latency_factor: 4.0,
+                            error_prob: 0.5,
+                        }),
+                    ),
+                    1 => cl.set_fault_target(
+                        TargetId::Instance(mid, replica),
+                        Some(FaultKind::ErrorRate(0.5)),
+                    ),
+                    2 => cl.set_fault_target(
+                        TargetId::Service(mid),
+                        Some(FaultKind::PacketLoss(0.3)),
+                    ),
+                    _ => cl.set_fault_target(TargetId::Service(mid), None),
+                },
+            );
+        }
+        for step in 1..=8u64 {
+            sim.run_until(SimTime::from_secs(step), &mut cluster);
+            let per_service = cluster.scrape_rows(cluster.num_services());
+            let per_row = cluster.scrape_rows(cluster.num_rows());
+            let mut row = 0usize;
+            for (i, id) in cluster.service_ids().into_iter().enumerate() {
+                let agg = cluster.counters(id);
+                // The batched service-shape scrape agrees with the
+                // point accessor...
+                prop_assert_eq!(per_service[i], agg);
+                // ...and both equal the sum of the replica rows, whether
+                // read from the batched row scrape or per replica.
+                let mut sum = Counters::default();
+                for r in 0..cluster.num_replicas(id) {
+                    prop_assert_eq!(per_row[row], cluster.replica_counters(id, r));
+                    sum = sum.saturating_add_fields(&per_row[row]);
+                    row += 1;
+                }
+                prop_assert_eq!(sum, agg, "service {} rows do not sum", i);
+            }
+            prop_assert_eq!(row, cluster.num_rows());
         }
     }
 

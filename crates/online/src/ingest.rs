@@ -308,10 +308,11 @@ impl StreamingIngester {
 }
 
 /// One raw counter scrape across the cluster: a single contiguous copy of
-/// the counters arena rather than a per-service gather.
+/// the counters arena when `num_services` matches the row layout, or a
+/// per-service replica aggregation for replicated clusters.
 fn scrape(cl: &Cluster, num_services: usize) -> Vec<Counters> {
     icfl_obs::counter_add("icfl_telemetry_batched_scrapes_total", &[], 1);
-    cl.counters_slice()[..num_services].to_vec()
+    cl.scrape_rows(num_services)
 }
 
 /// Streaming collection as a scenario telemetry tap: attaches a

@@ -42,9 +42,9 @@ pub mod trace;
 pub use trace::{ScrapeSink, ScrapeTrace, TraceEpisode, TraceError, TraceMeta, TraceTap};
 
 use icfl_apps::App;
-use icfl_faults::{FaultInjector, InterventionTrace};
+use icfl_faults::{arm_cascade, CascadeRule, FaultInjector, InterventionTrace};
 use icfl_loadgen::{start_load, ArrivalModel, LoadConfig, LoadError, UserFlow};
-use icfl_micro::{BuildError, Cluster, FaultKind, ServiceId};
+use icfl_micro::{BuildError, Cluster, FaultKind, ServiceId, TargetId};
 use icfl_sim::{Sim, SimTime};
 use icfl_telemetry::{Recorder, WindowConfig};
 
@@ -123,12 +123,31 @@ impl TelemetryTap for NoTap {
 pub struct RecorderTap {
     phase: (SimTime, SimTime),
     windows: WindowConfig,
+    instances: bool,
 }
 
 impl RecorderTap {
-    /// A recorder observing the hopping `windows` inside `phase`.
+    /// A recorder observing the hopping `windows` inside `phase`, with one
+    /// telemetry row per *service* (replica counters aggregated — the
+    /// classic layout).
     pub fn new(phase: (SimTime, SimTime), windows: WindowConfig) -> Self {
-        RecorderTap { phase, windows }
+        RecorderTap {
+            phase,
+            windows,
+            instances: false,
+        }
+    }
+
+    /// A recorder with one telemetry row per *replica* in the cluster's
+    /// flattened service-major row order ([`Cluster::row_targets`] names
+    /// the rows). On single-replica clusters this is byte-identical to
+    /// [`RecorderTap::new`].
+    pub fn instances(phase: (SimTime, SimTime), windows: WindowConfig) -> Self {
+        RecorderTap {
+            phase,
+            windows,
+            instances: true,
+        }
     }
 }
 
@@ -136,20 +155,36 @@ impl TelemetryTap for RecorderTap {
     type Handle = Recorder;
 
     fn attach(self, sim: &mut Sim<Cluster>, cluster: &Cluster) -> Self::Handle {
-        Recorder::attach(sim, cluster.num_services(), self.phase, self.windows)
+        let rows = if self.instances {
+            cluster.num_rows()
+        } else {
+            cluster.num_services()
+        };
+        Recorder::attach(sim, rows, self.phase, self.windows)
     }
 
     fn describe(&self) -> String {
-        "recorder".to_owned()
+        if self.instances {
+            "recorder-instances".to_owned()
+        } else {
+            "recorder".to_owned()
+        }
     }
 }
 
 /// One fault scheduled onto the simulation clock.
 struct ScheduledFault {
-    service: ServiceId,
+    target: TargetId,
     fault: FaultKind,
     from: SimTime,
     to: SimTime,
+    trace: InterventionTrace,
+}
+
+/// One armed overload-triggered cascade.
+struct ScheduledCascade {
+    rule: CascadeRule,
+    until: SimTime,
     trace: InterventionTrace,
 }
 
@@ -163,6 +198,7 @@ pub struct ScenarioBuilder<'a> {
     flows: Option<Vec<UserFlow>>,
     preset_faults: Vec<(String, FaultKind)>,
     scheduled: Vec<ScheduledFault>,
+    cascades: Vec<ScheduledCascade>,
 }
 
 impl<'a> ScenarioBuilder<'a> {
@@ -197,18 +233,45 @@ impl<'a> ScenarioBuilder<'a> {
     /// Schedules `fault` on `service` over `[from, to]`, logging both
     /// transitions to `trace`. Faults fire in the order they were added.
     pub fn fault_between(
-        mut self,
+        self,
         service: ServiceId,
         fault: FaultKind,
         from: SimTime,
         to: SimTime,
         trace: &InterventionTrace,
     ) -> Self {
+        self.target_fault_between(TargetId::Service(service), fault, from, to, trace)
+    }
+
+    /// Schedules `fault` on a [`TargetId`] — a whole service or one replica
+    /// of it — over `[from, to]`, logging both transitions to `trace`.
+    /// Faults fire in the order they were added.
+    pub fn target_fault_between(
+        mut self,
+        target: TargetId,
+        fault: FaultKind,
+        from: SimTime,
+        to: SimTime,
+        trace: &InterventionTrace,
+    ) -> Self {
         self.scheduled.push(ScheduledFault {
-            service,
+            target,
             fault,
             from,
             to,
+            trace: trace.clone(),
+        });
+        self
+    }
+
+    /// Arms an overload-triggered [`CascadeRule`] active until `until`:
+    /// when the watched service's queue overflow crosses the rule's
+    /// threshold, the secondary fault is injected (once) and recorded in
+    /// `trace` with its trigger. Cascades arm after all scheduled faults.
+    pub fn cascade(mut self, rule: CascadeRule, until: SimTime, trace: &InterventionTrace) -> Self {
+        self.cascades.push(ScheduledCascade {
+            rule,
+            until,
             trace: trace.clone(),
         });
         self
@@ -252,14 +315,17 @@ impl<'a> ScenarioBuilder<'a> {
         }
         start_load(&mut sim, &mut cluster, &load)?;
         for s in &self.scheduled {
-            FaultInjector::inject_between(
+            FaultInjector::inject_target_between(
                 &mut sim,
-                s.service,
+                s.target,
                 s.fault.clone(),
                 s.from,
                 s.to,
                 &s.trace,
             );
+        }
+        for c in &self.cascades {
+            arm_cascade(&mut sim, c.rule.clone(), c.until, &c.trace);
         }
         Ok((
             Scenario {
@@ -309,14 +375,23 @@ impl<'a> ScenarioBuilder<'a> {
                 .scheduled
                 .iter()
                 .map(|s| {
-                    format!(
-                        "svc{}:{:?}@[{},{})",
-                        s.service.index(),
-                        s.fault,
-                        s.from,
-                        s.to
-                    )
+                    // Service-wide targets keep the pre-replica format so
+                    // existing manifest journals stay byte-identical.
+                    let target = match s.target {
+                        TargetId::Service(svc) => format!("svc{}", svc.index()),
+                        TargetId::Instance(svc, r) => format!("svc{}@r{}", svc.index(), r),
+                    };
+                    format!("{target}:{:?}@[{},{})", s.fault, s.from, s.to)
                 })
+                .chain(self.cascades.iter().map(|c| {
+                    format!(
+                        "cascade(watch=svc{},drops>={}):{:?}@[..,{})",
+                        c.rule.watch.index(),
+                        c.rule.drop_threshold,
+                        c.rule.fault,
+                        c.until
+                    )
+                }))
                 .collect(),
             tap: tap.describe(),
         }
@@ -357,6 +432,7 @@ impl Scenario {
             flows: None,
             preset_faults: Vec::new(),
             scheduled: Vec::new(),
+            cascades: Vec::new(),
         }
     }
 

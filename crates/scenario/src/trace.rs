@@ -372,10 +372,12 @@ impl ScrapeSink {
 #[derive(Debug, Clone, Copy)]
 pub struct TraceTap {
     interval: SimDuration,
+    instances: bool,
 }
 
 impl TraceTap {
-    /// A tap scraping every `interval` from time zero.
+    /// A tap scraping every `interval` from time zero, one row per
+    /// *service* (aggregated across replicas — the pre-replica wire shape).
     ///
     /// # Panics
     ///
@@ -385,7 +387,25 @@ impl TraceTap {
             interval > SimDuration::ZERO,
             "trace tap interval must be positive"
         );
-        TraceTap { interval }
+        TraceTap {
+            interval,
+            instances: false,
+        }
+    }
+
+    /// A tap scraping every `interval` with one row per *replica*
+    /// ([`Cluster::num_rows`] rows, in dense row order) — the recording
+    /// side of instance-granularity online localization. Feed consumers
+    /// name rows via [`Cluster::target_label`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn instances(interval: SimDuration) -> TraceTap {
+        TraceTap {
+            instances: true,
+            ..TraceTap::new(interval)
+        }
     }
 }
 
@@ -395,12 +415,16 @@ impl TelemetryTap for TraceTap {
     fn attach(self, sim: &mut Sim<Cluster>, cluster: &Cluster) -> Self::Handle {
         let sink = ScrapeSink::default();
         let shared = Arc::clone(&sink.0);
-        let n = cluster.num_services();
+        let n = if self.instances {
+            cluster.num_rows()
+        } else {
+            cluster.num_services()
+        };
         sim.schedule_periodic(
             SimTime::ZERO,
             self.interval,
             move |sim, cl: &mut Cluster| {
-                let row = cl.counters_slice()[..n].to_vec();
+                let row = cl.scrape_rows(n);
                 shared
                     .lock()
                     .expect("scrape sink lock")
@@ -411,7 +435,11 @@ impl TelemetryTap for TraceTap {
     }
 
     fn describe(&self) -> String {
-        format!("trace(interval={})", self.interval)
+        if self.instances {
+            format!("trace-instances(interval={})", self.interval)
+        } else {
+            format!("trace(interval={})", self.interval)
+        }
     }
 }
 

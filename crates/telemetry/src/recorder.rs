@@ -102,6 +102,13 @@ impl Recorder {
 
     /// Attaches a scraper with the default 1 s interval, observing the
     /// hopping windows of `windows` inside `phase`.
+    ///
+    /// `num_services` selects the scrape granularity: pass
+    /// `cluster.num_services()` for per-service aggregate rows (replicas
+    /// summed — the classic layout) or `cluster.num_rows()` for one row
+    /// per *replica* in the cluster's flattened service-major order
+    /// (instance-granularity localization). Any other value panics at the
+    /// first scrape.
     pub fn attach(
         sim: &mut Sim<Cluster>,
         num_services: usize,
@@ -141,10 +148,16 @@ impl Recorder {
         let engine = Arc::new(Mutex::new(WindowEngine::new(cfg, num_services)));
         let engine2 = Arc::clone(&engine);
         sim.schedule_periodic(SimTime::ZERO, interval, move |sim, cl: &mut Cluster| {
-            // One contiguous memcpy off the cluster's counters arena instead
-            // of a per-service gather.
-            let row: Vec<Counters> = cl.counters_slice()[..num_services].to_vec();
+            // `scrape_rows` is a single contiguous memcpy off the cluster's
+            // counters arena when `num_services` matches the row layout,
+            // and a per-service replica aggregation otherwise.
+            let row: Vec<Counters> = cl.scrape_rows(num_services);
             icfl_obs::counter_add("icfl_telemetry_batched_scrapes_total", &[], 1);
+            if num_services > cl.num_services() {
+                // Instance-granularity scrape: one batch covers every
+                // replica row, not just per-service aggregates.
+                icfl_obs::counter_add("icfl_telemetry_replica_scrape_batches_total", &[], 1);
+            }
             engine2
                 .lock()
                 .expect("telemetry engine lock")
