@@ -1,0 +1,129 @@
+//! Chaos campaign against the durable ingest server: an uninterrupted
+//! reference run, then the same campaign through a seeded chaos proxy
+//! with scheduled mid-flight server kills, scored for byte-equal
+//! `/incidents`, zero silent drops, and bounded wall-clock inflation.
+//!
+//! Tiers: the default campaign (two kills), and `--smoke` (one kill —
+//! the CI `chaos-smoke` gate). `--kills N` overrides the schedule.
+
+use icfl_experiments::{
+    chaosbench, maybe_write_profile, record_metric_row, report_timing, run_timed,
+    ChaosbenchOptions, CliOptions,
+};
+use std::path::PathBuf;
+
+fn main() {
+    // Local flags are stripped before the shared option parser (which
+    // rejects unknown arguments).
+    let mut smoke = false;
+    let mut kills: Option<usize> = None;
+    let mut take_kills = false;
+    let rest: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| {
+            if take_kills {
+                kills = a.parse().ok();
+                take_kills = false;
+                return false;
+            }
+            match a.as_str() {
+                "--smoke" => {
+                    smoke = true;
+                    false
+                }
+                "--kills" => {
+                    take_kills = true;
+                    false
+                }
+                _ => true,
+            }
+        })
+        .collect();
+    if take_kills {
+        eprintln!("--kills needs a count");
+        std::process::exit(2);
+    }
+    let opts = match CliOptions::parse(rest) {
+        Ok(o) => {
+            if o.threads > 0 {
+                std::env::set_var("ICFL_THREADS", o.threads.to_string());
+            }
+            if let Some(level) = o.log {
+                icfl_obs::logger::set_level(level);
+            }
+            o
+        }
+        Err(msg) => {
+            eprintln!("{msg} [--smoke] [--kills N]");
+            std::process::exit(2);
+        }
+    };
+    let mut copts = if smoke {
+        ChaosbenchOptions::smoke(opts.seed)
+    } else {
+        ChaosbenchOptions::new(opts.mode, opts.seed)
+    };
+    if let Some(k) = kills {
+        copts.kills = k.max(1);
+    }
+    let tier_name = if smoke {
+        "chaosbench-smoke"
+    } else {
+        "chaosbench"
+    };
+
+    icfl_obs::info!(
+        "running {tier_name} in {} mode (seed {}, {} scheduled kills)...",
+        copts.mode,
+        copts.seed,
+        copts.kills
+    );
+    let timed = run_timed(|| chaosbench(&copts));
+    let report = match timed.result {
+        Ok(report) => report,
+        Err(e) => {
+            icfl_obs::error!("chaosbench failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    println!("Chaos recovery campaign (seeded proxy faults + scheduled server kills)\n");
+    println!("{}", report.render());
+    if opts.json {
+        match serde_json::to_string_pretty(&report) {
+            Ok(json) => println!("{json}"),
+            Err(e) => {
+                icfl_obs::error!("failed to serialize the chaosbench report: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    // Persist the markdown report (full campaign only — the smoke tier
+    // must not overwrite it with a single-kill run) and the metric rows.
+    let results_dir = std::env::var_os("ICFL_RESULTS_DIR")
+        .map_or_else(|| PathBuf::from("results"), PathBuf::from);
+    if !smoke {
+        let md = results_dir.join("chaos_recovery.md");
+        match std::fs::create_dir_all(&results_dir)
+            .and_then(|()| std::fs::write(&md, report.to_markdown(opts.mode, opts.seed)))
+        {
+            Ok(()) => icfl_obs::info!("wrote {}", md.display()),
+            Err(e) => {
+                icfl_obs::error!("cannot write {}: {e}", md.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    for (value, phase) in [
+        (report.inflation(), "send_inflation"),
+        (report.detect_p99_ms, "detect_p99_ms"),
+        (report.restarts as f64, "server_restarts"),
+    ] {
+        if let Err(e) = record_metric_row(tier_name, &opts, value, phase) {
+            icfl_obs::warn!("could not persist {phase}: {e}");
+        }
+    }
+    maybe_write_profile(&opts, tier_name);
+    report_timing(tier_name, &opts, timed.wall);
+}

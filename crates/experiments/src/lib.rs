@@ -17,6 +17,7 @@
 //! | Production platform (Fig. 3): streaming detection + live localization | [`production`] | `--bin production` |
 //! | Robustness under degraded telemetry (drops/jitter/dups/resets) | [`robustness`] | `--bin robustness` |
 //! | Gray failures + overload cascades at instance granularity | [`grayfail`] | `--bin grayfail` |
+//! | Chaos recovery (kills + proxy faults, byte-equal incidents) | [`chaosbench`] | `--bin chaosbench` |
 //! | Pipeline self-profile (spans, journal, Chrome trace) | [`write_profile_artifacts`] | `--bin profile` |
 //!
 //! Every binary accepts `--quick` (default: 2-minute phases) or `--paper`
@@ -33,6 +34,7 @@
 #![warn(missing_docs)]
 
 mod ablations;
+mod chaosbench;
 mod comparison;
 mod confusability;
 mod figures;
@@ -48,6 +50,7 @@ mod tables;
 mod timing;
 
 pub use ablations::{ablations, AblationRow, Ablations};
+pub use chaosbench::{chaosbench, ChaosTenantRow, Chaosbench, ChaosbenchOptions};
 pub use comparison::{comparison, Comparison, ComparisonRow};
 pub use confusability::{confusability, Confusability, ConfusablePair};
 pub use figures::{fig1, fig2, fig4, CausalSetReport, Fig1, Fig2, Fig2Row, Fig4, FlowTrace};

@@ -255,7 +255,9 @@ fn schedule_for(cfg: &OnlineConfig, targets: &[icfl_micro::ServiceId]) -> Incide
 }
 
 /// Trains `app`, persists the model, and records its replay trace.
-fn prepare_app(
+/// Shared with the chaos campaign (`chaosbench`), which replays the same
+/// traces against a durable server it kills mid-flight.
+pub(crate) fn prepare_app(
     app: &App,
     registry: &ModelRegistry,
     online_cfg: &OnlineConfig,
@@ -291,7 +293,7 @@ fn prepare_app(
     Ok(trace)
 }
 
-fn online_cfg(mode: Mode) -> OnlineConfig {
+pub(crate) fn online_cfg(mode: Mode) -> OnlineConfig {
     match mode {
         Mode::Quick => OnlineConfig::quick(),
         Mode::Paper => OnlineConfig::paper(),
@@ -325,6 +327,7 @@ pub fn serverbench(opts: &ServerbenchOptions) -> Result<Serverbench> {
         queue_cap: opts.queue_cap,
         http_workers: 32,
         retry_after_ms: 5,
+        ..ServerConfig::quick(&opts.registry_root)
     };
     let handle = IcflServer::start(server_cfg)?;
 
@@ -362,6 +365,8 @@ fn run_scale(
         rate: 0.0,
         seed: opts.seed,
         tenant_prefix: format!("x{scale}-"),
+        max_transport_retries: 0,
+        max_reject_retries: 0,
     })?;
 
     let accepted: u64 = summary.tenants.iter().map(|t| t.scrapes_accepted).sum();

@@ -1009,9 +1009,9 @@ impl Cluster {
             // error path (sampled at the degraded replica's error
             // probability). A failed guard falls through to the no-fault
             // arm, so the RNG draws once either way.
-            Some(
-                FaultKind::ErrorRate(p) | FaultKind::DegradedReplica { error_prob: p, .. },
-            ) if svc.rng.chance(p) => {
+            Some(FaultKind::ErrorRate(p) | FaultKind::DegradedReplica { error_prob: p, .. })
+                if svc.rng.chance(p) =>
+            {
                 let inf = cl.inflight.get_mut(req).expect("request in flight");
                 inf.work = Work::InjectedError;
             }

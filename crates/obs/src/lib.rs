@@ -161,6 +161,13 @@ pub fn histogram_observe(name: &str, labels: &[(&str, &str)], elapsed: Duration)
         .histogram_observe_nanos(name, labels, nanos);
 }
 
+/// The current total of a counter in the global journal, summed across
+/// label sets (0 if never bumped). A convenience for tests and harnesses
+/// asserting on counters without snapshotting the whole journal.
+pub fn counter_total(name: &str) -> u64 {
+    global().metrics.snapshot().total(name).unwrap_or(0)
+}
+
 /// Records one run manifest on the global collector.
 pub fn record_manifest(m: RunManifest) {
     global().record_manifest(m);

@@ -122,6 +122,24 @@ pub struct FeedVerdict {
 /// it means a corrupt or hostile timestamp rather than a slow producer.
 const MAX_TICKS_PER_PUSH: u64 = 100_000;
 
+/// A serializable checkpoint of one [`FeedSession`]'s entire mutable
+/// state: the window engine, the incident detector, every detection
+/// tracked so far, and the stream cursor (next tick, last scrape, scrape
+/// count). The model, service names, and tuning are *not* part of it —
+/// they come from the registry and server configuration at resume time —
+/// so a checkpoint stays small and a recovered session provably continues
+/// byte-identically (`FeedSession::restore` overwrites every mutable
+/// field).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FeedCheckpoint {
+    engine: icfl_telemetry::EngineSnapshot,
+    detector: IncidentDetector,
+    detections: Vec<Detection>,
+    next_tick: SimTime,
+    last_scrape: Option<SimTime>,
+    scrapes: u64,
+}
+
 /// The externally fed inference session (one per server tenant).
 #[derive(Debug)]
 pub struct FeedSession {
@@ -245,6 +263,53 @@ impl FeedSession {
             };
         }
         Ok(progress)
+    }
+
+    /// Serializes the session's entire mutable state for crash-safe
+    /// checkpointing (see [`FeedCheckpoint`]).
+    pub fn checkpoint(&self) -> FeedCheckpoint {
+        FeedCheckpoint {
+            engine: self.engine.snapshot(),
+            detector: self.detector.clone(),
+            detections: self.detections.clone(),
+            next_tick: self.next_tick,
+            last_scrape: self.last_scrape,
+            scrapes: self.scrapes,
+        }
+    }
+
+    /// Restores the session's mutable state from a checkpoint, in place.
+    /// The model, service names, and tuning are kept — only the stream
+    /// state (engine, detector, detections, cursor) is overwritten, so a
+    /// session that panicked mid-push is fully repaired and continues the
+    /// stream byte-identically from the checkpointed position.
+    pub fn restore(&mut self, ckpt: FeedCheckpoint) {
+        self.engine = WindowEngine::from_snapshot(ckpt.engine);
+        self.detector = ckpt.detector;
+        self.detections = ckpt.detections;
+        self.next_tick = ckpt.next_tick;
+        self.last_scrape = ckpt.last_scrape;
+        self.scrapes = ckpt.scrapes;
+    }
+
+    /// Opens a session positioned at `ckpt`: [`FeedSession::new`]
+    /// followed by [`FeedSession::restore`]. This is the cross-process
+    /// recovery path — the server rebuilds a crashed tenant from the
+    /// registry model plus the persisted checkpoint, then replays
+    /// write-ahead-logged scrapes past it.
+    ///
+    /// # Errors
+    ///
+    /// As [`FeedSession::new`].
+    pub fn resume(
+        model: CausalModel,
+        service_names: Vec<String>,
+        cfg: FeedConfig,
+        ckpt: FeedCheckpoint,
+    ) -> Result<FeedSession> {
+        let mut session = FeedSession::new(model, service_names, cfg)?;
+        session.restore(ckpt);
+        Ok(session)
     }
 
     /// Scrapes ingested so far.

@@ -36,7 +36,7 @@ mod registry;
 mod report;
 mod session;
 
-pub use feed::{record_trace, FeedConfig, FeedProgress, FeedSession, FeedVerdict};
+pub use feed::{record_trace, FeedCheckpoint, FeedConfig, FeedProgress, FeedSession, FeedVerdict};
 
 pub use detector::{
     DebounceConfig, DetectorEvent, IncidentDetector, IncidentPhase, IncidentStateMachine,

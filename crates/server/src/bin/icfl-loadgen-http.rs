@@ -11,11 +11,15 @@
 //! if any expected incident went undetected.
 
 use icfl_scenario::ScrapeTrace;
+use icfl_server::chaos::{ChaosConfig, ChaosProxy};
 use icfl_server::loadgen::{run, LoadMode, LoadgenConfig};
 
 const USAGE: &str = "usage: icfl-loadgen-http --addr HOST:PORT --trace FILE [--trace FILE ...] \
 [--total N] [--concurrency N] [--bulk-size N] [--mode single|bulk|random] \
-[--rate PER_SEC] [--seed N] [--tenant-prefix S] [--log LEVEL]";
+[--rate PER_SEC] [--seed N] [--tenant-prefix S] [--log LEVEL] \
+[--transport-retries N] [--reject-retries N] \
+[--chaos] [--chaos-delay-prob P] [--chaos-delay-ms MS] [--chaos-corrupt-prob P] \
+[--chaos-sever-prob P]";
 
 fn fail(msg: &str) -> ! {
     eprintln!("{msg}\n{USAGE}");
@@ -33,8 +37,15 @@ fn main() {
         rate: 0.0,
         seed: 42,
         tenant_prefix: String::new(),
+        max_transport_retries: 0,
+        max_reject_retries: 0,
     };
     let mut trace_paths = Vec::new();
+    let mut chaos_on = false;
+    let mut delay_prob = None;
+    let mut delay_ms = None;
+    let mut corrupt_prob = None;
+    let mut sever_prob = None;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = |name: &str| {
@@ -73,6 +84,49 @@ fn main() {
                     .unwrap_or_else(|_| fail("--seed must be an integer"));
             }
             "--tenant-prefix" => cfg.tenant_prefix = value("--tenant-prefix"),
+            "--transport-retries" => {
+                cfg.max_transport_retries = value("--transport-retries")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--transport-retries must be an integer"));
+            }
+            "--reject-retries" => {
+                cfg.max_reject_retries = value("--reject-retries")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--reject-retries must be an integer"));
+            }
+            "--chaos" => chaos_on = true,
+            "--chaos-delay-prob" => {
+                chaos_on = true;
+                delay_prob = Some(
+                    value("--chaos-delay-prob")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--chaos-delay-prob must be a number")),
+                );
+            }
+            "--chaos-delay-ms" => {
+                chaos_on = true;
+                delay_ms = Some(
+                    value("--chaos-delay-ms")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--chaos-delay-ms must be an integer")),
+                );
+            }
+            "--chaos-corrupt-prob" => {
+                chaos_on = true;
+                corrupt_prob = Some(
+                    value("--chaos-corrupt-prob")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--chaos-corrupt-prob must be a number")),
+                );
+            }
+            "--chaos-sever-prob" => {
+                chaos_on = true;
+                sever_prob = Some(
+                    value("--chaos-sever-prob")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--chaos-sever-prob must be a number")),
+                );
+            }
             "--log" => {
                 let name = value("--log");
                 match icfl_obs::Level::parse(&name) {
@@ -102,6 +156,42 @@ fn main() {
             }
         }
     }
+
+    // With chaos enabled, interpose the seeded fault-injecting proxy
+    // between the workers and the real server, and give the workers
+    // enough retry budget to survive the faults they'll draw.
+    let _proxy = if chaos_on {
+        let mut chaos_cfg = ChaosConfig::mild(cfg.seed);
+        if let Some(p) = delay_prob {
+            chaos_cfg.delay_prob = p;
+        }
+        if let Some(ms) = delay_ms {
+            chaos_cfg.delay_ms = ms;
+        }
+        if let Some(p) = corrupt_prob {
+            chaos_cfg.corrupt_prob = p;
+        }
+        if let Some(p) = sever_prob {
+            chaos_cfg.sever_prob = p;
+        }
+        let proxy = match ChaosProxy::start(cfg.addr.clone(), chaos_cfg) {
+            Ok(proxy) => proxy,
+            Err(e) => {
+                eprintln!("icfl-loadgen-http: chaos proxy: {e}");
+                std::process::exit(1);
+            }
+        };
+        cfg.addr = proxy.addr().to_string();
+        if cfg.max_transport_retries == 0 {
+            cfg.max_transport_retries = 16;
+        }
+        if cfg.max_reject_retries == 0 {
+            cfg.max_reject_retries = 16;
+        }
+        Some(proxy)
+    } else {
+        None
+    };
 
     match run(&cfg) {
         Ok(summary) => {

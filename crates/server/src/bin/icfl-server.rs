@@ -1,15 +1,23 @@
-//! The ingest server binary: bind, serve, run until killed.
+//! The ingest server binary: bind, recover, serve, run until killed.
 //!
 //! ```text
 //! icfl-server --addr 127.0.0.1:7171 --models results/models \
-//!             [--queue-cap 64] [--http-workers 16] \
-//!             [--retry-after-ms 25] [--log info]
+//!             [--state-dir DIR] [--checkpoint-every N] [--fsync-every N] \
+//!             [--max-worker-restarts N] [--queue-cap 64] [--http-workers 16] \
+//!             [--retry-after-ms 25] [--port-file FILE] [--log info]
 //! ```
+//!
+//! With `--state-dir`, accepted batches are write-ahead logged and
+//! decision state checkpointed there; on the next start the server
+//! recovers every tenant from that directory before accepting traffic.
+//! `--port-file` writes the actual bound address (useful with port 0) so
+//! a supervisor can find the server after an ephemeral-port restart.
 
 use icfl_server::{IcflServer, ServerConfig};
 
 const USAGE: &str = "usage: icfl-server [--addr HOST:PORT] [--models DIR] \
-[--queue-cap N] [--http-workers N] [--retry-after-ms MS] [--log LEVEL]";
+[--state-dir DIR] [--checkpoint-every N] [--fsync-every N] [--max-worker-restarts N] \
+[--queue-cap N] [--http-workers N] [--retry-after-ms MS] [--port-file FILE] [--log LEVEL]";
 
 fn fail(msg: &str) -> ! {
     eprintln!("{msg}\n{USAGE}");
@@ -19,6 +27,7 @@ fn fail(msg: &str) -> ! {
 fn main() {
     let mut cfg = ServerConfig::quick("results/models");
     cfg.addr = "127.0.0.1:7171".to_owned();
+    let mut port_file: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = |name: &str| {
@@ -28,6 +37,22 @@ fn main() {
         match flag.as_str() {
             "--addr" => cfg.addr = value("--addr"),
             "--models" => cfg.registry_root = value("--models").into(),
+            "--state-dir" => cfg.state_dir = Some(value("--state-dir").into()),
+            "--checkpoint-every" => {
+                cfg.checkpoint_every_ticks = value("--checkpoint-every")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--checkpoint-every must be a positive integer"));
+            }
+            "--fsync-every" => {
+                cfg.fsync_every_batches = value("--fsync-every")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--fsync-every must be a positive integer"));
+            }
+            "--max-worker-restarts" => {
+                cfg.max_worker_restarts = value("--max-worker-restarts")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--max-worker-restarts must be an integer"));
+            }
             "--queue-cap" => {
                 cfg.queue_cap = value("--queue-cap")
                     .parse()
@@ -43,6 +68,7 @@ fn main() {
                     .parse()
                     .unwrap_or_else(|_| fail("--retry-after-ms must be an integer"));
             }
+            "--port-file" => port_file = Some(value("--port-file")),
             "--log" => {
                 let name = value("--log");
                 match icfl_obs::Level::parse(&name) {
@@ -68,10 +94,25 @@ fn main() {
             std::process::exit(1);
         }
     };
+    if let Some(path) = port_file {
+        // Written after recovery + bind, so a reader that sees the file
+        // knows the server is accepting traffic. Atomic rename keeps a
+        // concurrent reader from seeing a half-written address.
+        let tmp = format!("{path}.tmp");
+        let write = std::fs::write(&tmp, handle.addr().to_string())
+            .and_then(|()| std::fs::rename(&tmp, &path));
+        if let Err(e) = write {
+            eprintln!("icfl-server: write --port-file {path}: {e}");
+            std::process::exit(1);
+        }
+    }
     icfl_obs::info!(
-        "icfl-server listening on {} (models: {}, queue cap {}, {} http workers)",
+        "icfl-server listening on {} (models: {}, state: {}, queue cap {}, {} http workers)",
         handle.addr(),
         cfg.registry_root.display(),
+        cfg.state_dir
+            .as_ref()
+            .map_or_else(|| "none".to_owned(), |p| p.display().to_string()),
         cfg.queue_cap,
         cfg.http_workers
     );

@@ -1,0 +1,226 @@
+//! A deterministic chaos proxy: a TCP relay that injects seeded faults —
+//! delays, byte corruption, severed connections — into the client→server
+//! direction, for exercising the ingest stack's recovery paths without
+//! root, namespaces, or packet filters.
+//!
+//! The load generator connects to the proxy; the proxy relays to the
+//! real server. Fault decisions are drawn from a per-connection
+//! [`icfl_sim::Rng`] seeded from `seed ^ connection-index`, so a given
+//! seed yields the same fault *pattern* per connection (which chunks are
+//! delayed/corrupted/severed) run over run — timing and chunk boundaries
+//! are still the OS's, so this is deterministic chaos *injection*, not a
+//! deterministic simulation.
+//!
+//! Only the request direction is attacked: a corrupted frame then draws a
+//! typed 4xx (or a 408 after a stall) from the server, which is exactly
+//! the surface under test. Corrupting responses would test the load
+//! generator's parser instead — out of scope.
+//!
+//! The upstream address is swappable at runtime
+//! ([`ChaosProxy::set_upstream`]), so the proxy — and every client
+//! conversation with it — survives the server being killed and restarted
+//! on a new port mid-campaign, the way `chaosbench` does.
+
+use icfl_sim::Rng;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Fault mix of one chaos proxy. Probabilities are per relayed chunk
+/// (one socket read, up to 16 KiB).
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosConfig {
+    /// Seed for the per-connection fault streams.
+    pub seed: u64,
+    /// Probability a chunk is delayed by [`ChaosConfig::delay_ms`].
+    pub delay_prob: f64,
+    /// Injected delay, milliseconds.
+    pub delay_ms: u64,
+    /// Probability one byte of a chunk is overwritten with `0xFF`.
+    pub corrupt_prob: f64,
+    /// Probability the connection is severed (both directions) instead
+    /// of relaying the chunk.
+    pub sever_prob: f64,
+}
+
+impl ChaosConfig {
+    /// A transparent proxy: no faults, just the relay.
+    pub fn off(seed: u64) -> ChaosConfig {
+        ChaosConfig {
+            seed,
+            delay_prob: 0.0,
+            delay_ms: 0,
+            corrupt_prob: 0.0,
+            sever_prob: 0.0,
+        }
+    }
+
+    /// A mild default mix: occasional delays, rare corruption and severs
+    /// — enough to exercise every recovery path in a short campaign
+    /// without drowning it.
+    pub fn mild(seed: u64) -> ChaosConfig {
+        ChaosConfig {
+            seed,
+            delay_prob: 0.05,
+            delay_ms: 5,
+            corrupt_prob: 0.01,
+            sever_prob: 0.005,
+        }
+    }
+}
+
+struct ProxyState {
+    upstream: Mutex<String>,
+    cfg: ChaosConfig,
+    conns: AtomicU64,
+    stop: AtomicBool,
+}
+
+/// A running chaos proxy; drops stop it.
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    state: Arc<ProxyState>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ChaosProxy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChaosProxy")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl ChaosProxy {
+    /// Binds an ephemeral loopback port and starts relaying to
+    /// `upstream`.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures as `io::Error`.
+    pub fn start(upstream: impl Into<String>, cfg: ChaosConfig) -> io::Result<ChaosProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(ProxyState {
+            upstream: Mutex::new(upstream.into()),
+            cfg,
+            conns: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+        });
+        let accept = {
+            let state = Arc::clone(&state);
+            std::thread::Builder::new()
+                .name("icfl-chaos-accept".to_owned())
+                .spawn(move || accept_loop(&listener, &state))
+                .expect("spawn chaos accept loop")
+        };
+        Ok(ChaosProxy {
+            addr,
+            state,
+            accept: Some(accept),
+        })
+    }
+
+    /// The proxy's listen address — what clients should dial.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Points the relay at a new upstream (a restarted server). Existing
+    /// connections keep their old upstream until they die; new ones dial
+    /// the new address.
+    pub fn set_upstream(&self, upstream: impl Into<String>) {
+        *self.state.upstream.lock().expect("chaos upstream lock") = upstream.into();
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.state.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, state: &Arc<ProxyState>) {
+    for conn in listener.incoming() {
+        if state.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(client) = conn else { continue };
+        let id = state.conns.fetch_add(1, Ordering::Relaxed);
+        icfl_obs::counter_add("icfl_chaos_connections_total", &[], 1);
+        let upstream_addr = state.upstream.lock().expect("chaos upstream lock").clone();
+        let Ok(server) = TcpStream::connect(&upstream_addr) else {
+            // Upstream down (mid-restart): drop the client; it reconnects.
+            icfl_obs::counter_add("icfl_chaos_upstream_refused_total", &[], 1);
+            let _ = client.shutdown(Shutdown::Both);
+            continue;
+        };
+        let rng = Rng::seeded(state.cfg.seed ^ id.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let cfg = state.cfg;
+        // Relay threads are detached: they exit when either side closes,
+        // and both sides are owned by peers that outlive the campaign.
+        let (Ok(client_r), Ok(server_w)) = (client.try_clone(), server.try_clone()) else {
+            continue;
+        };
+        let spawn_up = std::thread::Builder::new()
+            .name(format!("icfl-chaos-up-{id}"))
+            .spawn(move || relay_with_chaos(client_r, server_w, cfg, rng));
+        let spawn_down = std::thread::Builder::new()
+            .name(format!("icfl-chaos-down-{id}"))
+            .spawn(move || relay_plain(server, client));
+        let _ = (spawn_up, spawn_down);
+    }
+}
+
+/// Client→server relay with fault injection per chunk.
+fn relay_with_chaos(mut from: TcpStream, mut to: TcpStream, cfg: ChaosConfig, mut rng: Rng) {
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        let n = match from.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
+        };
+        if cfg.sever_prob > 0.0 && rng.chance(cfg.sever_prob) {
+            icfl_obs::counter_add("icfl_chaos_severs_total", &[], 1);
+            let _ = from.shutdown(Shutdown::Both);
+            let _ = to.shutdown(Shutdown::Both);
+            return;
+        }
+        if cfg.delay_prob > 0.0 && rng.chance(cfg.delay_prob) {
+            icfl_obs::counter_add("icfl_chaos_delays_total", &[], 1);
+            std::thread::sleep(Duration::from_millis(cfg.delay_ms));
+        }
+        if cfg.corrupt_prob > 0.0 && rng.chance(cfg.corrupt_prob) {
+            icfl_obs::counter_add("icfl_chaos_corruptions_total", &[], 1);
+            let victim = rng.below(n as u64) as usize;
+            buf[victim] = 0xFF;
+        }
+        if to.write_all(&buf[..n]).is_err() {
+            break;
+        }
+    }
+    let _ = to.shutdown(Shutdown::Write);
+}
+
+/// Server→client relay, untouched.
+fn relay_plain(mut from: TcpStream, mut to: TcpStream) {
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        let n = match from.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
+        };
+        if to.write_all(&buf[..n]).is_err() {
+            break;
+        }
+    }
+    let _ = to.shutdown(Shutdown::Write);
+}

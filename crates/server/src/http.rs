@@ -2,10 +2,21 @@
 //! subset the ingest server and its load generator speak to each other —
 //! request line + headers + `Content-Length` bodies, keep-alive by
 //! default, no chunked encoding, no TLS. Hard caps on line, header, and
-//! body sizes keep a hostile peer from ballooning memory.
+//! body sizes keep a hostile peer from ballooning memory, and an optional
+//! per-message deadline caps how long a drip-feeding (slow-loris) peer
+//! can pin a connection worker: each socket read resets the kernel
+//! `SO_RCVTIMEO`, so only a wall-clock deadline across the whole message
+//! bounds a peer sending one byte per poll.
+//!
+//! Readers are generic over [`BufRead`], so the same parsing code serves
+//! sockets in production and in-memory byte streams in the fuzz tests.
+//! Every parse failure is a typed error: [`io::ErrorKind::InvalidData`]
+//! for malformed bytes (the server answers 400),
+//! [`io::ErrorKind::TimedOut`] for a peer that stalled mid-message (408),
+//! and [`io::ErrorKind::UnexpectedEof`] for a body cut short.
 
-use std::io::{self, BufRead, BufReader, Read, Write};
-use std::net::TcpStream;
+use std::io::{self, BufRead, Write};
+use std::time::Instant;
 
 /// Longest accepted request/status/header line, in bytes.
 const MAX_LINE: usize = 8 * 1024;
@@ -77,23 +88,58 @@ fn bad(detail: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, detail.into())
 }
 
+fn timed_out(detail: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::TimedOut, detail.to_owned())
+}
+
+fn deadline_exceeded(deadline: Option<Instant>) -> bool {
+    deadline.is_some_and(|d| Instant::now() >= d)
+}
+
+/// Whether `e` is the kernel read-timeout error (`SO_RCVTIMEO` expiring
+/// surfaces as `WouldBlock` on Unix, `TimedOut` elsewhere).
+pub fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
 /// Reads one CRLF- (or LF-) terminated line, without the terminator.
-/// `Ok(None)` means clean EOF before any byte.
-fn read_line(r: &mut BufReader<TcpStream>) -> io::Result<Option<String>> {
-    let mut line = Vec::new();
-    let n = r
-        .by_ref()
-        .take(MAX_LINE as u64 + 1)
-        .read_until(b'\n', &mut line)?;
-    if n == 0 {
-        return Ok(None);
-    }
-    if line.last() != Some(&b'\n') {
-        return Err(bad(if n > MAX_LINE {
-            "header line too long"
-        } else {
-            "unexpected EOF mid-line"
-        }));
+/// `Ok(None)` means clean EOF before any byte. A socket timeout before
+/// any byte of the line propagates verbatim (an idle peer); a timeout —
+/// or the deadline expiring — after partial progress is a typed
+/// [`io::ErrorKind::TimedOut`] (a stalled peer mid-message).
+fn read_line<R: BufRead>(r: &mut R, deadline: Option<Instant>) -> io::Result<Option<String>> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        if deadline_exceeded(deadline) {
+            return Err(timed_out("deadline exceeded mid-line"));
+        }
+        let available = match r.fill_buf() {
+            Ok(buf) => buf,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) if is_timeout(&e) && !line.is_empty() => {
+                return Err(timed_out("peer stalled mid-line"));
+            }
+            Err(e) => return Err(e),
+        };
+        if available.is_empty() {
+            if line.is_empty() {
+                return Ok(None);
+            }
+            return Err(bad("unexpected EOF mid-line"));
+        }
+        let newline = available.iter().position(|&b| b == b'\n');
+        let take = newline.map_or(available.len(), |i| i + 1);
+        line.extend_from_slice(&available[..take]);
+        r.consume(take);
+        if line.len() > MAX_LINE + 1 {
+            return Err(bad("header line too long"));
+        }
+        if newline.is_some() {
+            break;
+        }
     }
     line.pop();
     if line.last() == Some(&b'\r') {
@@ -104,14 +150,49 @@ fn read_line(r: &mut BufReader<TcpStream>) -> io::Result<Option<String>> {
         .map_err(|_| bad("non-UTF-8 header line"))
 }
 
+/// Fills `body` from `r`, turning EOF into
+/// [`io::ErrorKind::UnexpectedEof`] (truncated body) and stalls into
+/// [`io::ErrorKind::TimedOut`].
+fn read_body<R: BufRead>(r: &mut R, body: &mut [u8], deadline: Option<Instant>) -> io::Result<()> {
+    let mut filled = 0;
+    while filled < body.len() {
+        if deadline_exceeded(deadline) {
+            return Err(timed_out("deadline exceeded mid-body"));
+        }
+        match r.read(&mut body[filled..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "unexpected EOF mid-body",
+                ));
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) if is_timeout(&e) => return Err(timed_out("peer stalled mid-body")),
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
 /// Lowercased header pairs in arrival order.
 type Headers = Vec<(String, String)>;
 
-/// Reads headers and a `Content-Length` body after the start line.
-fn read_headers_and_body(r: &mut BufReader<TcpStream>) -> io::Result<(Headers, Vec<u8>)> {
+/// Reads headers and a `Content-Length` body after the start line. A
+/// stall anywhere in here is mid-message by definition, so socket
+/// timeouts map to [`io::ErrorKind::TimedOut`].
+fn read_headers_and_body<R: BufRead>(
+    r: &mut R,
+    deadline: Option<Instant>,
+) -> io::Result<(Headers, Vec<u8>)> {
     let mut headers = Vec::new();
     loop {
-        let line = read_line(r)?.ok_or_else(|| bad("EOF in headers"))?;
+        let line = match read_line(r, deadline) {
+            Ok(Some(line)) => line,
+            Ok(None) => return Err(bad("EOF in headers")),
+            Err(e) if is_timeout(&e) => return Err(timed_out("peer stalled in headers")),
+            Err(e) => return Err(e),
+        };
         if line.is_empty() {
             break;
         }
@@ -131,14 +212,20 @@ fn read_headers_and_body(r: &mut BufReader<TcpStream>) -> io::Result<(Headers, V
         return Err(bad("body exceeds cap"));
     }
     let mut body = vec![0u8; len];
-    r.read_exact(&mut body)?;
+    read_body(r, &mut body, deadline)?;
     Ok((headers, body))
 }
 
 /// Reads one request. `Ok(None)` on clean EOF (peer closed between
-/// requests).
-pub fn read_request(r: &mut BufReader<TcpStream>) -> io::Result<Option<Request>> {
-    let Some(start) = read_line(r)? else {
+/// requests). A socket timeout *before* the first byte propagates with
+/// its original kind (an idle keep-alive peer — the server closes
+/// quietly); any stall after that is [`io::ErrorKind::TimedOut`] (the
+/// server answers 408).
+pub fn read_request<R: BufRead>(
+    r: &mut R,
+    deadline: Option<Instant>,
+) -> io::Result<Option<Request>> {
+    let Some(start) = read_line(r, deadline)? else {
         return Ok(None);
     };
     let mut parts = start.split_ascii_whitespace();
@@ -149,7 +236,7 @@ pub fn read_request(r: &mut BufReader<TcpStream>) -> io::Result<Option<Request>>
     if !version.starts_with("HTTP/1.") {
         return Err(bad(format!("unsupported version: {version}")));
     }
-    let (headers, body) = read_headers_and_body(r)?;
+    let (headers, body) = read_headers_and_body(r, deadline)?;
     Ok(Some(Request {
         method: method.to_owned(),
         path: path.to_owned(),
@@ -159,8 +246,8 @@ pub fn read_request(r: &mut BufReader<TcpStream>) -> io::Result<Option<Request>>
 }
 
 /// Reads one response (client side). `Ok(None)` on clean EOF.
-pub fn read_response(r: &mut BufReader<TcpStream>) -> io::Result<Option<Response>> {
-    let Some(start) = read_line(r)? else {
+pub fn read_response<R: BufRead>(r: &mut R) -> io::Result<Option<Response>> {
+    let Some(start) = read_line(r, None)? else {
         return Ok(None);
     };
     let mut parts = start.split_ascii_whitespace();
@@ -170,7 +257,7 @@ pub fn read_response(r: &mut BufReader<TcpStream>) -> io::Result<Option<Response
         }
         _ => return Err(bad(format!("malformed status line: {start:?}"))),
     };
-    let (headers, body) = read_headers_and_body(r)?;
+    let (headers, body) = read_headers_and_body(r, None)?;
     Ok(Some(Response {
         status,
         headers,
@@ -229,6 +316,7 @@ pub fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         409 => "Conflict",
         429 => "Too Many Requests",
         500 => "Internal Server Error",

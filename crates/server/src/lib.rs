@@ -31,21 +31,38 @@
 //! verdicts served over the wire are byte-identical to an in-process
 //! replay of the same trace — the loopback test pins exactly that.
 //!
+//! # Crash safety
+//!
+//! With a `--state-dir`, every accepted batch is appended to a per-tenant
+//! write-ahead log before it is acknowledged, and the decision state is
+//! checkpointed every few ticks. A killed server restarted on the same
+//! state dir recovers every tenant from checkpoint + WAL replay and
+//! serves `/incidents` output byte-equal to an uninterrupted run; re-sent
+//! batches are detected by sequence fingerprint and acknowledged
+//! idempotently. See [`wal`] for the on-disk format and [`tenant`] for
+//! the supervised worker restart policy.
+//!
 //! | Module | What lives there |
 //! |---|---|
-//! | [`http`] | Minimal blocking HTTP/1.1 codec (requests, responses, keep-alive). |
-//! | [`tenant`] | Per-tenant pipeline: bounded queue, worker thread, reject taxonomy. |
-//! | [`server`] | Listener, worker pool, route table, [`ServerConfig`]. |
+//! | [`http`] | Minimal blocking HTTP/1.1 codec (requests, responses, keep-alive, deadlines). |
+//! | [`tenant`] | Per-tenant pipeline: bounded queue, supervised worker, dedupe, reject taxonomy. |
+//! | [`wal`] | Per-tenant write-ahead log + checkpoint store, recovery scan. |
+//! | [`server`] | Listener, worker pool, route table, recovery at boot, [`ServerConfig`]. |
 //! | [`client`] | Blocking keep-alive [`HttpClient`]. |
-//! | [`loadgen`] | Campaign runner: trace-replaying workers, 429 honoring, latency scoring. |
+//! | [`loadgen`] | Campaign runner: trace-replaying workers, 429 honoring, chaos retries, latency scoring. |
+//! | [`chaos`] | Deterministic seeded chaos proxy (delay / corrupt / sever). |
 
+pub mod chaos;
 pub mod client;
 pub mod http;
 pub mod loadgen;
 pub mod server;
 pub mod tenant;
+pub mod wal;
 
+pub use chaos::{ChaosConfig, ChaosProxy};
 pub use client::HttpClient;
 pub use loadgen::{LoadMode, LoadgenConfig, LoadgenError, LoadgenSummary, TenantOutcome};
 pub use server::{IcflServer, IncidentsReport, ServerConfig, ServerHandle};
-pub use tenant::{Batch, Reject, TenantPipeline};
+pub use tenant::{Accepted, Batch, PipelineOptions, Reject, TenantPipeline};
+pub use wal::{StoreConfig, StoredCheckpoint, StoredMeta, TenantStore};

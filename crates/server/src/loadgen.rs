@@ -62,6 +62,15 @@ pub struct LoadgenConfig {
     /// Tenant names are `<app>:<prefix>w<worker>`; the prefix keeps
     /// repeated campaigns against one server from colliding.
     pub tenant_prefix: String,
+    /// Transport errors tolerated per request before giving up: on an
+    /// I/O failure the worker reconnects and re-sends the same batch
+    /// (safe — the server acknowledges exact re-sends idempotently).
+    /// `0` fails fast, the right setting against a healthy server.
+    pub max_transport_retries: u32,
+    /// 4xx rejects tolerated per request before giving up. Only useful
+    /// when a chaos proxy may corrupt frames in flight — a clean resend
+    /// then succeeds; `0` treats every reject as fatal.
+    pub max_reject_retries: u32,
 }
 
 /// One worker's tally.
@@ -70,6 +79,8 @@ struct WorkerStats {
     scrapes_sent: u64,
     batches_ok: u64,
     batches_retried: u64,
+    transport_retries: u64,
+    reject_retries: u64,
     /// Last stream timestamp sent, nanoseconds.
     last_sent_nanos: u64,
     loops_started: u64,
@@ -100,6 +111,10 @@ pub struct LoadgenSummary {
     pub batches_ok: u64,
     /// 429 rejections that were retried (each eventually accepted).
     pub batches_retried: u64,
+    /// Transport failures survived by reconnect-and-resend.
+    pub transport_retries: u64,
+    /// Chaos-induced 4xx rejects survived by a clean resend.
+    pub reject_retries: u64,
     /// Wall-clock of the send phase: from the post-registration barrier
     /// (all tenants registered, models loaded) to the last ingest ack.
     pub send_wall: Duration,
@@ -150,8 +165,16 @@ impl LoadgenSummary {
             Some(ms) => format!("{ms:.0}ms"),
             None => "n/a".to_owned(),
         };
+        let chaos = if self.transport_retries + self.reject_retries > 0 {
+            format!(
+                " | chaos retries transport={} reject={}",
+                self.transport_retries, self.reject_retries
+            )
+        } else {
+            String::new()
+        };
         format!(
-            "{} scrapes in {:.2}s ({:.0} scrapes/s) | batches ok={} retried={} | incidents {}/{} detected | detect p50={} p99={}",
+            "{} scrapes in {:.2}s ({:.0} scrapes/s) | batches ok={} retried={} | incidents {}/{} detected | detect p50={} p99={}{chaos}",
             self.scrapes_sent,
             self.send_wall.as_secs_f64(),
             self.scrapes_per_sec(),
@@ -251,34 +274,27 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenSummary, LoadgenError> {
     let mut scrapes_sent = 0;
     let mut batches_ok = 0;
     let mut batches_retried = 0;
+    let mut transport_retries = 0;
+    let mut reject_retries = 0;
     for res in results {
         let (tenant, stats) = res?;
         scrapes_sent += stats.scrapes_sent;
         batches_ok += stats.batches_ok;
         batches_retried += stats.batches_retried;
+        transport_retries += stats.transport_retries;
+        reject_retries += stats.reject_retries;
         stats_by_tenant.push((tenant, stats));
     }
 
     // Drain barrier + verdict fetch, one tenant at a time.
     let mut client = HttpClient::connect(cfg.addr.clone());
+    let mut rng = Rng::seeded(cfg.seed ^ 0xd7a1_9e00);
     let mut tenants = Vec::new();
     for (w, (tenant, stats)) in stats_by_tenant.iter().enumerate() {
-        let drain = client.get(&format!("/drain/{tenant}"))?;
-        if drain.status != 200 {
-            return Err(LoadgenError::Http(format!(
-                "drain {tenant}: {} {}",
-                drain.status,
-                drain.text().trim()
-            )));
-        }
-        let resp = client.get(&format!("/incidents/{tenant}"))?;
-        if resp.status != 200 {
-            return Err(LoadgenError::Http(format!(
-                "incidents {tenant}: {} {}",
-                resp.status,
-                resp.text().trim()
-            )));
-        }
+        get_ok(&mut client, &format!("/drain/{tenant}"), cfg, &mut rng)
+            .map_err(|e| prefixed(e, &format!("drain {tenant}")))?;
+        let resp = get_ok(&mut client, &format!("/incidents/{tenant}"), cfg, &mut rng)
+            .map_err(|e| prefixed(e, &format!("incidents {tenant}")))?;
         let report: IncidentsReport = serde_json::from_str(&resp.text())
             .map_err(|e| LoadgenError::Http(format!("incidents {tenant}: bad JSON: {e}")))?;
         if let Some(err) = report.worker_error {
@@ -301,10 +317,60 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenSummary, LoadgenError> {
         scrapes_sent,
         batches_ok,
         batches_retried,
+        transport_retries,
+        reject_retries,
         send_wall,
         total_wall: started.elapsed(),
         tenants,
     })
+}
+
+/// Reattributes an error to a specific request for the campaign report.
+fn prefixed(e: LoadgenError, what: &str) -> LoadgenError {
+    match e {
+        LoadgenError::Http(msg) => LoadgenError::Http(format!("{what}: {msg}")),
+        other => other,
+    }
+}
+
+/// Jittered backoff for retry loops: `base_ms` plus a seeded uniform
+/// spread of up to half of it, so synchronized workers de-correlate
+/// instead of re-arriving as a retry storm.
+fn backoff(rng: &mut Rng, base_ms: u64) -> Duration {
+    Duration::from_millis(base_ms + rng.below(base_ms / 2 + 1))
+}
+
+/// `GET path` expecting 200, surviving up to the configured transport
+/// failures (reconnect) and chaos-induced 4xx rejects (clean resend).
+fn get_ok(
+    client: &mut HttpClient,
+    path: &str,
+    cfg: &LoadgenConfig,
+    rng: &mut Rng,
+) -> Result<crate::http::Response, LoadgenError> {
+    let mut transport = 0u32;
+    let mut rejects = 0u32;
+    loop {
+        match client.get(path) {
+            Ok(resp) if resp.status == 200 => return Ok(resp),
+            Ok(resp) if resp.status >= 400 && rejects < cfg.max_reject_retries => {
+                rejects += 1;
+                std::thread::sleep(backoff(rng, 10));
+            }
+            Ok(resp) => {
+                return Err(LoadgenError::Http(format!(
+                    "{} {}",
+                    resp.status,
+                    resp.text().trim()
+                )));
+            }
+            Err(_) if transport < cfg.max_transport_retries => {
+                transport += 1;
+                std::thread::sleep(backoff(rng, 20));
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
 }
 
 /// Time shift applied to loop `l` of a trace so timestamps keep strictly
@@ -343,6 +409,51 @@ fn score(trace: &ScrapeTrace, stats: &WorkerStats, verdicts: &[FeedVerdict]) -> 
     (expected, latencies)
 }
 
+/// Registers `tenant`, surviving the configured transport failures and
+/// chaos-induced rejects. A 409 "already registered" after a retry is
+/// success: the first attempt reached the server but its ack was lost.
+fn register(
+    client: &mut HttpClient,
+    tenant: &str,
+    trace: &ScrapeTrace,
+    cfg: &LoadgenConfig,
+    rng: &mut Rng,
+) -> Result<(), LoadgenError> {
+    let meta = serde_json::to_string(&trace.meta).expect("meta serializes");
+    let mut transport = 0u32;
+    let mut rejects = 0u32;
+    loop {
+        match client.post(&format!("/session/{tenant}"), meta.as_bytes()) {
+            Ok(resp) if resp.status == 200 => return Ok(()),
+            Ok(resp)
+                if resp.status == 409
+                    && cfg.max_transport_retries > 0
+                    && resp.text().contains("already registered") =>
+            {
+                // A lost ack on an applied registration: the client's
+                // transparent reconnect (or our retry) re-posted it.
+                return Ok(());
+            }
+            Ok(resp) if resp.status >= 400 && rejects < cfg.max_reject_retries => {
+                rejects += 1;
+                std::thread::sleep(backoff(rng, 10));
+            }
+            Ok(resp) => {
+                return Err(LoadgenError::Http(format!(
+                    "session {tenant}: {} {}",
+                    resp.status,
+                    resp.text().trim()
+                )));
+            }
+            Err(_) if transport < cfg.max_transport_retries => {
+                transport += 1;
+                std::thread::sleep(backoff(rng, 20));
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+}
+
 fn worker(
     cfg: &LoadgenConfig,
     w: usize,
@@ -353,31 +464,17 @@ fn worker(
     let trace = &cfg.traces[w % cfg.traces.len()];
     let tenant = format!("{}:{}w{w}", trace.meta.app, cfg.tenant_prefix);
     let mut client = HttpClient::connect(cfg.addr.clone());
+    let mut rng = Rng::seeded(cfg.seed ^ (w as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
 
     // Register the tenant; the server loads the model keyed by the app
     // prefix of the tenant name. Every worker reaches the barrier even on
     // failure — a missing peer would deadlock the rest.
-    let meta = serde_json::to_string(&trace.meta).expect("meta serializes");
-    let registered = client
-        .post(&format!("/session/{tenant}"), meta.as_bytes())
-        .map_err(LoadgenError::from)
-        .and_then(|resp| {
-            if resp.status == 200 {
-                Ok(())
-            } else {
-                Err(LoadgenError::Http(format!(
-                    "session {tenant}: {} {}",
-                    resp.status,
-                    resp.text().trim()
-                )))
-            }
-        });
+    let registered = register(&mut client, &tenant, trace, cfg, &mut rng);
     if send_gate.wait().is_leader() {
         *send_started.lock().expect("send clock lock") = Some(Instant::now());
     }
     registered?;
 
-    let mut rng = Rng::seeded(cfg.seed ^ (w as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
     let mut stats = WorkerStats::default();
     let throttle_start = Instant::now();
     let mut cursor = 0usize; // index into trace.scrapes within the current loop
@@ -404,9 +501,26 @@ fn worker(
         }
         let last_in_batch = trace.scrapes[cursor + want - 1].0 + offset;
 
-        // Send, honoring 429 backpressure with the server's retry hint.
+        // Send, honoring 429 backpressure with the server's retry hint
+        // (millisecond header, falling back to the spec's integral
+        // `retry-after` seconds) plus seeded jitter, so workers that were
+        // rejected together don't re-arrive together as a retry storm.
+        let mut transport = 0u32;
+        let mut rejects = 0u32;
         loop {
-            let resp = client.post(&format!("/ingest/{tenant}"), body.as_bytes())?;
+            let resp = match client.post(&format!("/ingest/{tenant}"), body.as_bytes()) {
+                Ok(resp) => resp,
+                Err(_) if transport < cfg.max_transport_retries => {
+                    // Reconnect and re-send the same batch: if the lost
+                    // ack was for an accepted batch, the server dedupes
+                    // the re-send instead of rejecting it.
+                    transport += 1;
+                    stats.transport_retries += 1;
+                    std::thread::sleep(backoff(&mut rng, 20));
+                    continue;
+                }
+                Err(e) => return Err(e.into()),
+            };
             match resp.status {
                 200 => break,
                 429 => {
@@ -414,8 +528,21 @@ fn worker(
                     let ms = resp
                         .header("x-retry-after-ms")
                         .and_then(|v| v.parse::<u64>().ok())
+                        .or_else(|| {
+                            resp.header("retry-after")
+                                .and_then(|v| v.parse::<u64>().ok())
+                                .map(|secs| secs * 1000)
+                        })
                         .unwrap_or(50);
-                    std::thread::sleep(Duration::from_millis(ms.clamp(1, 1000)));
+                    std::thread::sleep(backoff(&mut rng, ms.clamp(1, 1000)));
+                }
+                status if (400..500).contains(&status) && rejects < cfg.max_reject_retries => {
+                    // Under a chaos proxy a corrupted frame draws a typed
+                    // 4xx; the batch was not applied, so a clean resend
+                    // is safe and usually succeeds.
+                    rejects += 1;
+                    stats.reject_retries += 1;
+                    std::thread::sleep(backoff(&mut rng, 10));
                 }
                 status => {
                     return Err(LoadgenError::Http(format!(

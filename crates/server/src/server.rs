@@ -7,31 +7,55 @@
 //! slow tenant session never blocks the accept path — it fills that
 //! tenant's queue and turns into 429s for that tenant alone.
 //!
+//! # Crash safety
+//!
+//! With [`ServerConfig::state_dir`] set, every tenant is durable: batches
+//! are write-ahead logged before they are acknowledged, the session is
+//! checkpointed on a decision-tick cadence, and
+//! [`IcflServer::start`] recovers every tenant found under the state
+//! directory — checkpoint restore plus WAL replay — before accepting
+//! traffic, so a `kill -9` mid-campaign resumes byte-identically (same
+//! `/incidents` body as an uninterrupted run). Re-sent batches that are
+//! already in the WAL are acknowledged idempotently (`"deduped":true`)
+//! instead of rejected, which is what lets a client blindly re-send after
+//! an ack was lost to the crash.
+//!
 //! # Routes
 //!
 //! | Route | Meaning |
 //! |---|---|
 //! | `POST /session/<tenant>` | Register a tenant: body is the trace's `TraceMeta`; the model is loaded from the registry under the tenant name's app prefix (up to the first `:`). |
-//! | `POST /ingest/<tenant>` | Newline-delimited scrape lines (`[t,[[...]]]`); all-or-nothing: 200 `{"accepted":N}`, 400 malformed, 409 out-of-order, 429 + `retry-after` when the queue is full. |
+//! | `POST /ingest/<tenant>` | Newline-delimited scrape lines (`[t,[[...]]]`); all-or-nothing: 200 `{"accepted":N}` (plus `"deduped":true` on an exact re-send), 400 malformed, 409 out-of-order or draining, 429 + `retry-after` when the queue is full, 500 on a durability fault. |
 //! | `GET /incidents/<tenant>` | Ingest counts + every verdict so far. |
-//! | `GET /drain/<tenant>` | Blocks until the tenant queue is empty (504 after 10 s). |
+//! | `GET /drain/<tenant>` | Marks the tenant draining (subsequent ingests get 409), then blocks until the queue is empty (504 after 10 s). |
 //! | `GET /metrics` | Prometheus text exposition of the journal. |
 //! | `GET /healthz` | Liveness + tenant count. |
+//!
+//! A peer that stalls mid-request (slow-loris) is answered with a typed
+//! 408 after the per-request deadline and counted in
+//! `icfl_server_conn_timeouts_total` — never dropped silently.
 
 use crate::http::{self, Request};
-use crate::tenant::{Batch, Reject, TenantPipeline};
+use crate::tenant::{Accepted, Batch, PipelineOptions, RecoveredCounters, Reject, TenantPipeline};
+use crate::wal::{self, StoreConfig, StoredMeta, TenantStore};
 use icfl_online::{FeedConfig, FeedSession, ModelRegistry, OnlineConfig, RegistryError};
 use icfl_scenario::trace::{parse_scrape_line, TraceMeta};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::io::BufReader;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Wall-clock budget for reading one complete request. The socket's
+/// `SO_RCVTIMEO` (10 s) bounds each individual read, but a drip-feeding
+/// peer resets it with every byte — only this end-to-end deadline caps
+/// the slow-loris case.
+const REQUEST_DEADLINE: Duration = Duration::from_secs(30);
 
 /// Tuning of one ingest server.
 #[derive(Debug, Clone)]
@@ -49,10 +73,20 @@ pub struct ServerConfig {
     pub http_workers: usize,
     /// Client-visible retry hint on 429, in milliseconds.
     pub retry_after_ms: u64,
+    /// Durable per-tenant state root (WAL + checkpoints). `None` keeps
+    /// every tenant in memory only — a crash loses it.
+    pub state_dir: Option<PathBuf>,
+    /// Decision ticks between session checkpoints.
+    pub checkpoint_every_ticks: u32,
+    /// Accepted batches between WAL fsyncs.
+    pub fsync_every_batches: u32,
+    /// Worker panic restarts tolerated per tenant before poisoning it.
+    pub max_worker_restarts: u32,
 }
 
 impl ServerConfig {
-    /// Loopback server over `registry_root` with quick-mode feed tuning.
+    /// Loopback server over `registry_root` with quick-mode feed tuning
+    /// and no durable state.
     pub fn quick(registry_root: impl Into<PathBuf>) -> ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:0".to_owned(),
@@ -61,6 +95,25 @@ impl ServerConfig {
             queue_cap: 64,
             http_workers: 16,
             retry_after_ms: 25,
+            state_dir: None,
+            checkpoint_every_ticks: 8,
+            fsync_every_batches: 16,
+            max_worker_restarts: 3,
+        }
+    }
+
+    fn pipeline_options(&self) -> PipelineOptions {
+        PipelineOptions {
+            queue_cap: self.queue_cap,
+            retry_after_ms: self.retry_after_ms,
+            checkpoint_every_ticks: self.checkpoint_every_ticks,
+            max_worker_restarts: self.max_worker_restarts,
+        }
+    }
+
+    fn store_config(&self) -> StoreConfig {
+        StoreConfig {
+            fsync_every_batches: self.fsync_every_batches.max(1),
         }
     }
 }
@@ -70,6 +123,10 @@ struct State {
     cfg: ServerConfig,
     registry: ModelRegistry,
     tenants: RwLock<BTreeMap<String, Arc<TenantPipeline>>>,
+    /// Clones of every in-flight connection, so a simulated crash can
+    /// sever them the way a real process death would.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    next_conn_id: AtomicU64,
 }
 
 /// The ingest server. [`IcflServer::start`] binds, spawns the accept
@@ -96,11 +153,15 @@ impl std::fmt::Debug for ServerHandle {
 }
 
 impl IcflServer {
-    /// Binds `cfg.addr` and starts serving.
+    /// Binds `cfg.addr` and starts serving. With a state directory
+    /// configured, every tenant found under it is recovered (checkpoint
+    /// restore + WAL replay) before the listener accepts traffic; a
+    /// tenant whose recovery fails is skipped with a journal counter and
+    /// a warning, never a panic.
     ///
     /// # Errors
     ///
-    /// Any bind/registry-open failure, as `io::Error`.
+    /// Any bind/registry-open/state-dir failure, as `io::Error`.
     pub fn start(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
         let registry = ModelRegistry::open(&cfg.registry_root)
             .map_err(|e| std::io::Error::other(format!("open registry: {e}")))?;
@@ -109,8 +170,29 @@ impl IcflServer {
         let state = Arc::new(State {
             registry,
             tenants: RwLock::new(BTreeMap::new()),
+            conns: Mutex::new(HashMap::new()),
+            next_conn_id: AtomicU64::new(0),
             cfg,
         });
+        if let Some(dir) = state.cfg.state_dir.clone() {
+            std::fs::create_dir_all(&dir)?;
+            for tenant_dir in wal::list_tenants(&dir)? {
+                match recover_tenant(&state, &dir, &tenant_dir) {
+                    Ok(pipeline) => {
+                        icfl_obs::counter_add("icfl_server_tenants_recovered_total", &[], 1);
+                        state
+                            .tenants
+                            .write()
+                            .expect("tenants lock")
+                            .insert(tenant_dir, pipeline);
+                    }
+                    Err(e) => {
+                        icfl_obs::counter_add("icfl_server_recovery_failures_total", &[], 1);
+                        icfl_obs::warn!("tenant {tenant_dir}: recovery failed, skipping: {e}");
+                    }
+                }
+            }
+        }
         let stop = Arc::new(AtomicBool::new(false));
 
         // Bounded hand-off between the accept loop and the connection
@@ -145,6 +227,54 @@ impl IcflServer {
     }
 }
 
+/// Rebuilds one tenant from its state directory: registry model + stored
+/// meta → fresh session, checkpoint restore, WAL replay past it, and a
+/// pipeline primed with the recovered counters and duplicate index.
+fn recover_tenant(
+    state: &Arc<State>,
+    dir: &std::path::Path,
+    tenant_dir: &str,
+) -> Result<Arc<TenantPipeline>, String> {
+    let rec = wal::recover(dir, tenant_dir).map_err(|e| e.to_string())?;
+    let tenant = rec.meta.tenant.clone();
+    if tenant != tenant_dir {
+        return Err(format!(
+            "meta names tenant {tenant:?} but lives under {tenant_dir:?}"
+        ));
+    }
+    let record = state
+        .registry
+        .load_latest(model_key(&tenant))
+        .map_err(|e| format!("registry: {e}"))?;
+    let mut session = FeedSession::new(
+        record.model,
+        rec.meta.service_names.clone(),
+        state.cfg.feed.clone(),
+    )
+    .map_err(|e| e.to_string())?;
+    if let Some(ckpt) = rec.checkpoint {
+        session.restore(ckpt.feed);
+    }
+    for (seq, batch) in rec.replay {
+        for (at, row) in batch {
+            session
+                .push(icfl_sim::SimTime::from_nanos(at), row)
+                .map_err(|e| format!("replay seq {seq} at {at}ns: {e}"))?;
+        }
+    }
+    Ok(Arc::new(TenantPipeline::open_recovered(
+        &tenant,
+        session,
+        state.cfg.pipeline_options(),
+        rec.store.with_config(state.cfg.store_config()),
+        RecoveredCounters {
+            last_seq: rec.last_seq,
+            total_scrapes: rec.total_scrapes,
+            fingerprints: rec.fingerprints,
+        },
+    )))
+}
+
 impl ServerHandle {
     /// The bound listen address (resolves `:0` to the ephemeral port).
     pub fn addr(&self) -> SocketAddr {
@@ -157,6 +287,40 @@ impl ServerHandle {
         if self.stop.swap(true, Ordering::SeqCst) {
             return;
         }
+        self.stop_http();
+    }
+
+    /// Simulates `kill -9` in-process: severs every in-flight connection,
+    /// halts every tenant worker mid-queue (no final checkpoint, no WAL
+    /// sync, no drain), and stops the listener. In-memory tenant state is
+    /// abandoned exactly as a process death would abandon it; a new
+    /// [`IcflServer::start`] over the same state directory is the only
+    /// way forward. The kill-and-restart e2e test uses a real subprocess
+    /// `SIGKILL`; this hook gives `chaosbench` the same semantics without
+    /// one process per kill.
+    pub fn crash(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        icfl_obs::counter_add("icfl_server_simulated_crashes_total", &[], 1);
+        for (_, conn) in self.state.conns.lock().expect("conns lock").drain() {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        let tenants: Vec<_> = self
+            .state
+            .tenants
+            .read()
+            .expect("tenants lock")
+            .values()
+            .cloned()
+            .collect();
+        for pipeline in &tenants {
+            pipeline.crash();
+        }
+        self.stop_http();
+    }
+
+    fn stop_http(&mut self) {
         // Unblock the accept loop with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
         if let Some(t) = self.accept_thread.take() {
@@ -220,7 +384,12 @@ fn connection_worker(rx: &Arc<Mutex<Receiver<TcpStream>>>, state: &Arc<State>) {
         };
         let Ok(stream) = stream else { return };
         icfl_obs::counter_add("icfl_server_connections_total", &[], 1);
+        let id = state.next_conn_id.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            state.conns.lock().expect("conns lock").insert(id, clone);
+        }
         let _ = serve_connection(stream, state);
+        state.conns.lock().expect("conns lock").remove(&id);
     }
 }
 
@@ -230,10 +399,16 @@ fn serve_connection(stream: TcpStream, state: &Arc<State>) -> std::io::Result<()
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
     loop {
-        let req = match http::read_request(&mut reader) {
+        let deadline = Instant::now() + REQUEST_DEADLINE;
+        let req = match http::read_request(&mut reader, Some(deadline)) {
             Ok(Some(req)) => req,
             Ok(None) => return Ok(()),
-            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::InvalidData | std::io::ErrorKind::UnexpectedEof
+                ) =>
+            {
                 http::write_response(
                     &mut writer,
                     400,
@@ -244,7 +419,25 @@ fn serve_connection(stream: TcpStream, state: &Arc<State>) -> std::io::Result<()
                 )?;
                 return Ok(());
             }
-            Err(_) => return Ok(()), // timeout / reset: drop quietly
+            Err(e) if e.kind() == std::io::ErrorKind::TimedOut => {
+                // The peer sent part of a request then stalled past the
+                // deadline (slow loris or a wedged client): a typed 408
+                // on the still-writable socket, and a journal count —
+                // never a silent drop.
+                icfl_obs::counter_add("icfl_server_conn_timeouts_total", &[], 1);
+                let _ = http::write_response(
+                    &mut writer,
+                    408,
+                    http::reason(408),
+                    &[],
+                    b"request read timed out\n",
+                    false,
+                );
+                return Ok(());
+            }
+            // Idle keep-alive timeout before any request byte, or a
+            // reset: close quietly — nothing of the peer's is lost.
+            Err(_) => return Ok(()),
         };
         let keep_alive = req.keep_alive();
         let started = Instant::now();
@@ -308,6 +501,10 @@ impl Reply {
 #[derive(Serialize)]
 struct IngestAck {
     accepted: u64,
+    /// Set only when the batch was an exact re-send of an accepted batch
+    /// and was acknowledged without being re-applied.
+    #[serde(skip_serializing_if = "std::ops::Not::not")]
+    deduped: bool,
 }
 
 /// The `GET /incidents/<tenant>` body: ingest accounting plus every
@@ -378,9 +575,13 @@ fn model_key(tenant: &str) -> &str {
     tenant.split(':').next().unwrap_or(tenant)
 }
 
+/// Tenant names double as state-directory names, so the path-traversal
+/// spellings `.` and `..` are rejected on top of the charset rule.
 fn valid_tenant_name(tenant: &str) -> bool {
     !tenant.is_empty()
         && tenant.len() <= 128
+        && tenant != "."
+        && tenant != ".."
         && tenant
             .chars()
             .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.' | ':'))
@@ -388,7 +589,7 @@ fn valid_tenant_name(tenant: &str) -> bool {
 
 fn post_session(tenant: &str, body: &[u8], state: &Arc<State>) -> Reply {
     if !valid_tenant_name(tenant) {
-        return Reply::text(400, "tenant names are [A-Za-z0-9_.:-]{1,128}");
+        return Reply::text(400, "tenant names are [A-Za-z0-9_.:-]{1,128}, not '.'/'..'");
     }
     let meta: TraceMeta = match std::str::from_utf8(body)
         .ok()
@@ -412,20 +613,37 @@ fn post_session(tenant: &str, body: &[u8], state: &Arc<State>) -> Reply {
         }
         Err(e) => return Reply::text(500, format!("registry: {e}")),
     };
+    let service_names = meta.service_names.clone();
     let session = match FeedSession::new(record.model, meta.service_names, state.cfg.feed.clone()) {
         Ok(session) => session,
         Err(e) => return Reply::text(400, format!("{e}")),
     };
-    let pipeline = Arc::new(TenantPipeline::open(
-        tenant,
-        session,
-        state.cfg.queue_cap,
-        state.cfg.retry_after_ms,
-    ));
+    // Registration is completed under the write lock: the store create
+    // wipes any stale tenant directory, so a racing duplicate must lose
+    // *before* it can wipe the winner's files.
     let mut tenants = state.tenants.write().expect("tenants lock");
     if tenants.contains_key(tenant) {
         return Reply::text(409, format!("tenant {tenant} already registered"));
     }
+    let store = match &state.cfg.state_dir {
+        Some(dir) => {
+            let meta = StoredMeta {
+                tenant: tenant.to_owned(),
+                service_names,
+            };
+            match TenantStore::create(dir, &meta) {
+                Ok(store) => Some(store.with_config(state.cfg.store_config())),
+                Err(e) => return Reply::text(500, format!("state dir: {e}")),
+            }
+        }
+        None => None,
+    };
+    let pipeline = Arc::new(TenantPipeline::open_with(
+        tenant,
+        session,
+        state.cfg.pipeline_options(),
+        store,
+    ));
     tenants.insert(tenant.to_owned(), pipeline);
     icfl_obs::counter_add("icfl_server_sessions_opened_total", &[], 1);
     Reply::text(
@@ -460,9 +678,21 @@ fn post_ingest(tenant: &str, body: &[u8], state: &Arc<State>) -> Reply {
             Err(e) => return Reply::text(400, format!("line {}: {e}", i + 1)),
         }
     }
-    let accepted = batch.len() as u64;
     match pipeline.submit(batch) {
-        Ok(()) => Reply::json(200, &IngestAck { accepted }),
+        Ok(Accepted::Fresh { scrapes }) => Reply::json(
+            200,
+            &IngestAck {
+                accepted: scrapes,
+                deduped: false,
+            },
+        ),
+        Ok(Accepted::Duplicate { scrapes }) => Reply::json(
+            200,
+            &IngestAck {
+                accepted: scrapes,
+                deduped: true,
+            },
+        ),
         Err(Reject::QueueFull { retry_after_ms }) => {
             let mut reply = Reply::text(429, "tenant queue full");
             // `retry-after` is integral seconds per the HTTP spec; the
@@ -478,6 +708,8 @@ fn post_ingest(tenant: &str, body: &[u8], state: &Arc<State>) -> Reply {
         }
         Err(Reject::OutOfOrder(e)) => Reply::text(409, e),
         Err(Reject::Malformed(e)) => Reply::text(400, e),
+        Err(r @ Reject::Draining) => Reply::text(409, r.to_string()),
+        Err(Reject::Internal(e)) => Reply::text(500, e),
     }
 }
 
@@ -504,6 +736,10 @@ fn get_drain(tenant: &str, state: &Arc<State>) -> Reply {
     let Some(pipeline) = lookup(tenant, state) else {
         return Reply::text(404, format!("unknown tenant {tenant}"));
     };
+    // Close the stream first: anything racing this drain is rejected with
+    // a typed 409, so the verdicts observed once the queue empties are
+    // complete — no batch can slip in behind the drain.
+    pipeline.begin_drain();
     let deadline = Instant::now() + Duration::from_secs(10);
     while !pipeline.drained() {
         if Instant::now() >= deadline {
@@ -515,6 +751,7 @@ fn get_drain(tenant: &str, state: &Arc<State>) -> Reply {
         200,
         &IngestAck {
             accepted: pipeline.processed(),
+            deduped: false,
         },
     )
 }

@@ -1,21 +1,36 @@
 //! Per-tenant ingest pipelines: a bounded batch queue in front of one
-//! [`FeedSession`] worker.
+//! supervised [`FeedSession`] worker, with optional write-ahead logging
+//! and checkpoint/restart recovery.
 //!
 //! Every tenant (one registered stream of one application's telemetry)
 //! owns a queue of scrape batches bounded at `queue_cap`. Submission is
-//! synchronous and *never silent*: a batch is either accepted (enqueued,
-//! acked, eventually processed in order) or rejected with a typed reason
-//! — queue full (the client sees 429 + retry-after), out-of-order, or
-//! malformed — and a journal counter records every outcome. The worker
-//! thread drains the queue into the tenant's [`FeedSession`] and
-//! timestamps ingest-to-verdict latency into the wall-clock histogram
-//! whenever a push confirms or localizes an incident.
+//! synchronous and *never silent*: a batch is either accepted (sequence-
+//! stamped, WAL-appended when a store is attached, enqueued, acked,
+//! eventually processed in order), acknowledged as an exact duplicate of
+//! an already-accepted batch (idempotent re-sends after a client retry or
+//! a server restart), or rejected with a typed reason — queue full (429 +
+//! retry-after), out-of-order, malformed, draining, or an internal
+//! durability fault — and a journal counter records every outcome.
+//!
+//! The worker thread drains the queue into the tenant's [`FeedSession`]
+//! under a panic supervisor: a panicking push is caught with
+//! [`std::panic::catch_unwind`], the session is restored from the newest
+//! in-memory checkpoint, the accepted-but-uncheckpointed tail is
+//! replayed, and the worker resumes — bounded by
+//! [`PipelineOptions::max_worker_restarts`], after which the tenant is
+//! poisoned (visible on `/incidents`) instead of flapping. Checkpoints
+//! are taken every [`PipelineOptions::checkpoint_every_ticks`] decision
+//! ticks (and whenever the replay tail grows past a hard bound) and, when
+//! a [`TenantStore`] is attached, persisted with an atomic rename so a
+//! `kill -9` recovers byte-identically.
 
+use crate::wal::{BatchFingerprint, StoredCheckpoint, TenantStore};
 use icfl_micro::Counters;
-use icfl_online::{FeedProgress, FeedSession};
+use icfl_online::{FeedCheckpoint, FeedProgress, FeedSession};
 use icfl_sim::SimTime;
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::collections::{BTreeMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -23,6 +38,40 @@ use std::time::Instant;
 /// One scrape batch as accepted from the wire: `(time_nanos, row)` pairs,
 /// strictly increasing in time.
 pub type Batch = Vec<(u64, Vec<Counters>)>;
+
+/// Hard bound on accepted-but-uncheckpointed batches held for in-memory
+/// restart replay; crossing it forces a checkpoint regardless of tick
+/// cadence, so restart cost and tail memory stay bounded.
+const MAX_TAIL_BATCHES: usize = 256;
+
+/// Newest batch fingerprints kept for duplicate detection. Re-sends older
+/// than this window fall back to the out-of-order reject — a client would
+/// have to lag 65k accepted batches for that to matter.
+const MAX_FINGERPRINTS: usize = 65_536;
+
+/// Tuning of one [`TenantPipeline`].
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineOptions {
+    /// Queue bound, in batches.
+    pub queue_cap: usize,
+    /// Client-visible retry hint on queue-full, in milliseconds.
+    pub retry_after_ms: u64,
+    /// Decision ticks between session checkpoints.
+    pub checkpoint_every_ticks: u32,
+    /// Panic restarts tolerated before the tenant is poisoned.
+    pub max_worker_restarts: u32,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> PipelineOptions {
+        PipelineOptions {
+            queue_cap: 64,
+            retry_after_ms: 25,
+            checkpoint_every_ticks: 8,
+            max_worker_restarts: 3,
+        }
+    }
+}
 
 /// Why a batch was rejected. Every rejection is visible to the client
 /// (it maps to an HTTP status) and to the journal — never a silent drop.
@@ -38,6 +87,12 @@ pub enum Reject {
     /// A row's width disagrees with the tenant's service count, or the
     /// batch is empty.
     Malformed(String),
+    /// The tenant is draining: a client raced `/drain` and must not
+    /// extend the stream.
+    Draining,
+    /// A server-side durability fault (WAL append failed) or a crashed
+    /// pipeline; the batch was not accepted.
+    Internal(String),
 }
 
 impl std::fmt::Display for Reject {
@@ -47,6 +102,8 @@ impl std::fmt::Display for Reject {
                 write!(f, "queue full, retry after {retry_after_ms}ms")
             }
             Reject::OutOfOrder(e) | Reject::Malformed(e) => f.write_str(e),
+            Reject::Draining => f.write_str("tenant is draining"),
+            Reject::Internal(e) => write!(f, "internal: {e}"),
         }
     }
 }
@@ -58,34 +115,112 @@ impl Reject {
             Reject::QueueFull { .. } => "queue_full",
             Reject::OutOfOrder(_) => "out_of_order",
             Reject::Malformed(_) => "malformed",
+            Reject::Draining => "draining",
+            Reject::Internal(_) => "internal",
         }
     }
 }
 
+/// How a batch was accepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Accepted {
+    /// A new batch: sequence-stamped, logged, and queued for the worker.
+    Fresh {
+        /// Scrapes in the batch.
+        scrapes: u64,
+    },
+    /// An exact re-send of an already-accepted batch (same first/last
+    /// timestamps and scrape count): acknowledged idempotently, nothing
+    /// re-applied.
+    Duplicate {
+        /// Scrapes in the (already-applied) batch.
+        scrapes: u64,
+    },
+}
+
+impl Accepted {
+    /// Scrapes covered by the acknowledgement.
+    pub fn scrapes(&self) -> u64 {
+        match self {
+            Accepted::Fresh { scrapes } | Accepted::Duplicate { scrapes } => *scrapes,
+        }
+    }
+
+    /// Whether this acknowledged a re-send without applying it.
+    pub fn is_duplicate(&self) -> bool {
+        matches!(self, Accepted::Duplicate { .. })
+    }
+}
+
+/// The identity of one accepted batch, for duplicate detection. Keyed by
+/// the batch's first scrape timestamp in [`Inner::fingerprints`].
+#[derive(Debug, Clone, Copy)]
+struct Fp {
+    last: u64,
+    n: u32,
+}
+
+/// The newest checkpoint, kept in memory even without a store so a panic
+/// restart never needs the disk.
+struct CkptState {
+    seq: u64,
+    scrapes: u64,
+    feed: FeedCheckpoint,
+}
+
+/// Everything the submit path and the worker mutate together, under one
+/// lock so ordering, capacity, duplicate, and WAL decisions are atomic
+/// with respect to racing submitters.
+struct Inner {
+    queue: VecDeque<(Instant, u64, Arc<Batch>)>,
+    /// Newest scrape time accepted (nanos); the submit path checks
+    /// ordering here so clients learn synchronously.
+    frontier: Option<u64>,
+    /// Sequence for the next accepted batch (first batch is seq 1).
+    next_seq: u64,
+    /// first-timestamp → (last, n) of accepted batches, for idempotent
+    /// re-send detection; trimmed to [`MAX_FINGERPRINTS`].
+    fingerprints: BTreeMap<u64, Fp>,
+    /// Accepted batches newer than the last checkpoint, for in-memory
+    /// restart replay. Trimmed at every checkpoint.
+    tail: Vec<(u64, Arc<Batch>)>,
+    /// The durable store, when the server runs with `--state-dir`.
+    store: Option<TenantStore>,
+    last_ckpt: CkptState,
+    draining: bool,
+}
+
 struct Shared {
-    queue: Mutex<VecDeque<(Instant, Batch)>>,
+    inner: Mutex<Inner>,
     wake: Condvar,
     shutdown: AtomicBool,
-    /// Batches accepted (enqueued) since open.
+    /// Simulated `kill -9`: the worker exits immediately, mid-queue,
+    /// without checkpointing. Only recovery from the store may follow.
+    crashed: AtomicBool,
+    /// Chaos hook: the worker panics before processing its next batch.
+    panic_next: AtomicBool,
+    /// Batches accepted (enqueued) since open (recovery primes this).
     accepted: AtomicU64,
     /// Batches fully pushed through the session.
     processed: AtomicU64,
     /// Scrapes accepted since open.
     scrapes: AtomicU64,
+    /// Scrapes fully pushed through the session (checkpoint accounting).
+    processed_scrapes: AtomicU64,
+    /// Worker panic restarts so far.
+    restarts: AtomicU32,
     /// Peak queue depth, for the proptest's never-exceeds-bound check
     /// (the journal gauge mirrors it, but global state races across
     /// concurrently running tests).
     high_water: AtomicUsize,
-    /// Newest scrape time accepted into the queue (nanos); the submit
-    /// path checks ordering here so clients learn synchronously.
-    frontier: Mutex<Option<u64>>,
     /// First session-level error the worker hit, if any (poisoned state;
     /// subsequent submits are rejected as malformed).
     worker_error: Mutex<Option<String>>,
     session: Mutex<FeedSession>,
 }
 
-/// A bounded ingest pipeline in front of one tenant's [`FeedSession`].
+/// A bounded, supervised ingest pipeline in front of one tenant's
+/// [`FeedSession`].
 pub struct TenantPipeline {
     tenant: String,
     cap: usize,
@@ -94,7 +229,7 @@ pub struct TenantPipeline {
     /// the session lock the worker holds while pushing.
     width: usize,
     shared: Arc<Shared>,
-    worker: Option<JoinHandle<()>>,
+    worker: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl std::fmt::Debug for TenantPipeline {
@@ -108,26 +243,138 @@ impl std::fmt::Debug for TenantPipeline {
     }
 }
 
+/// Counters and stream position to prime a recovered pipeline with, so
+/// `/incidents` accounting continues exactly where the crashed process
+/// left off.
+pub struct RecoveredCounters {
+    /// Newest WAL sequence (accepted == processed after replay).
+    pub last_seq: u64,
+    /// Scrapes across the whole WAL.
+    pub total_scrapes: u64,
+    /// Fingerprints of every recorded batch, oldest first.
+    pub fingerprints: Vec<BatchFingerprint>,
+}
+
 impl TenantPipeline {
     /// Opens a pipeline for `tenant`: a queue bounded at `queue_cap`
-    /// batches and a worker thread draining it into `session`.
+    /// batches and a supervised worker thread draining it into `session`.
+    /// No durable store — state lives (and dies) with the process, but
+    /// panic restarts still recover from the in-memory checkpoint.
     pub fn open(
         tenant: &str,
         session: FeedSession,
         queue_cap: usize,
         retry_after_ms: u64,
     ) -> TenantPipeline {
-        assert!(queue_cap > 0, "queue capacity must be positive");
+        TenantPipeline::open_with(
+            tenant,
+            session,
+            PipelineOptions {
+                queue_cap,
+                retry_after_ms,
+                ..PipelineOptions::default()
+            },
+            None,
+        )
+    }
+
+    /// Opens a pipeline with full tuning and an optional durable store
+    /// (WAL + checkpoints under the server's `--state-dir`).
+    pub fn open_with(
+        tenant: &str,
+        session: FeedSession,
+        opts: PipelineOptions,
+        store: Option<TenantStore>,
+    ) -> TenantPipeline {
+        TenantPipeline::build(tenant, session, opts, store, None)
+    }
+
+    /// Opens a pipeline over a session that has already been restored
+    /// from a checkpoint and WAL replay, priming counters, the ordering
+    /// frontier, and the duplicate-detection index so the stream
+    /// continues exactly where the previous process left off.
+    pub fn open_recovered(
+        tenant: &str,
+        session: FeedSession,
+        opts: PipelineOptions,
+        store: TenantStore,
+        counters: RecoveredCounters,
+    ) -> TenantPipeline {
+        TenantPipeline::build(tenant, session, opts, Some(store), Some(counters))
+    }
+
+    fn build(
+        tenant: &str,
+        session: FeedSession,
+        opts: PipelineOptions,
+        mut store: Option<TenantStore>,
+        recovered: Option<RecoveredCounters>,
+    ) -> TenantPipeline {
+        assert!(opts.queue_cap > 0, "queue capacity must be positive");
         let width = session.service_names().len();
+        let (last_seq, total_scrapes, mut fingerprints) = match recovered {
+            Some(r) => {
+                let mut map = BTreeMap::new();
+                for fp in r.fingerprints {
+                    map.insert(
+                        fp.first,
+                        Fp {
+                            last: fp.last,
+                            n: fp.n,
+                        },
+                    );
+                }
+                (r.last_seq, r.total_scrapes, map)
+            }
+            None => (0, 0, BTreeMap::new()),
+        };
+        while fingerprints.len() > MAX_FINGERPRINTS {
+            fingerprints.pop_first();
+        }
+        let frontier = fingerprints.last_key_value().map(|(_, fp)| fp.last);
+        // The recovery-point checkpoint: persisting it now means the next
+        // recovery replays nothing, and a panic restart has a base even
+        // before the first cadence checkpoint.
+        let ckpt = CkptState {
+            seq: last_seq,
+            scrapes: total_scrapes,
+            feed: session.checkpoint(),
+        };
+        if let Some(store) = store.as_mut() {
+            if let Err(e) = store.write_checkpoint(&StoredCheckpoint {
+                wal_seq: ckpt.seq,
+                scrapes: ckpt.scrapes,
+                feed: ckpt.feed.clone(),
+            }) {
+                icfl_obs::counter_add(
+                    "icfl_server_checkpoint_errors_total",
+                    &[("tenant", tenant)],
+                    1,
+                );
+                icfl_obs::warn!("tenant {tenant}: initial checkpoint failed: {e}");
+            }
+        }
         let shared = Arc::new(Shared {
-            queue: Mutex::new(VecDeque::new()),
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                frontier,
+                next_seq: last_seq + 1,
+                fingerprints,
+                tail: Vec::new(),
+                store,
+                last_ckpt: ckpt,
+                draining: false,
+            }),
             wake: Condvar::new(),
             shutdown: AtomicBool::new(false),
-            accepted: AtomicU64::new(0),
-            processed: AtomicU64::new(0),
-            scrapes: AtomicU64::new(0),
+            crashed: AtomicBool::new(false),
+            panic_next: AtomicBool::new(false),
+            accepted: AtomicU64::new(last_seq),
+            processed: AtomicU64::new(last_seq),
+            scrapes: AtomicU64::new(total_scrapes),
+            processed_scrapes: AtomicU64::new(total_scrapes),
+            restarts: AtomicU32::new(0),
             high_water: AtomicUsize::new(0),
-            frontier: Mutex::new(None),
             worker_error: Mutex::new(None),
             session: Mutex::new(session),
         });
@@ -136,26 +383,27 @@ impl TenantPipeline {
             let tenant = tenant.to_owned();
             std::thread::Builder::new()
                 .name(format!("icfl-tenant-{tenant}"))
-                .spawn(move || worker_loop(&tenant, &shared))
+                .spawn(move || supervised_worker(&tenant, &shared, opts))
                 .expect("spawn tenant worker")
         };
         TenantPipeline {
             tenant: tenant.to_owned(),
-            cap: queue_cap,
-            retry_after_ms,
+            cap: opts.queue_cap,
+            retry_after_ms: opts.retry_after_ms,
             width,
             shared,
-            worker: Some(worker),
+            worker: Mutex::new(Some(worker)),
         }
     }
 
-    /// Offers one batch. On `Ok` the batch is queued and will be pushed
-    /// in order; on `Err` nothing was taken and the journal recorded the
-    /// rejection.
-    pub fn submit(&self, batch: Batch) -> Result<(), Reject> {
+    /// Offers one batch. On `Ok` the batch is either queued for in-order
+    /// processing ([`Accepted::Fresh`]) or recognized as an exact re-send
+    /// of an already-accepted batch ([`Accepted::Duplicate`]); on `Err`
+    /// nothing was taken and the journal recorded the rejection.
+    pub fn submit(&self, batch: Batch) -> Result<Accepted, Reject> {
         let outcome = self.try_submit(batch);
         match &outcome {
-            Ok(scrapes) => {
+            Ok(Accepted::Fresh { scrapes }) => {
                 icfl_obs::counter_add(
                     "icfl_server_batches_accepted_total",
                     &[("tenant", &self.tenant)],
@@ -167,16 +415,23 @@ impl TenantPipeline {
                     *scrapes,
                 );
             }
+            Ok(Accepted::Duplicate { .. }) => {
+                icfl_obs::counter_add(
+                    "icfl_server_batches_deduped_total",
+                    &[("tenant", &self.tenant)],
+                    1,
+                );
+            }
             Err(reject) => icfl_obs::counter_add(
                 "icfl_server_batches_rejected_total",
                 &[("tenant", &self.tenant), ("reason", reject.reason())],
                 1,
             ),
         }
-        outcome.map(|_| ())
+        outcome
     }
 
-    fn try_submit(&self, batch: Batch) -> Result<u64, Reject> {
+    fn try_submit(&self, batch: Batch) -> Result<Accepted, Reject> {
         if batch.is_empty() {
             return Err(Reject::Malformed("empty batch".to_owned()));
         }
@@ -197,6 +452,9 @@ impl TenantPipeline {
             }
             prev = Some(*at);
         }
+        if self.shared.crashed.load(Ordering::SeqCst) {
+            return Err(Reject::Internal("pipeline crashed".to_owned()));
+        }
         if let Some(err) = self
             .shared
             .worker_error
@@ -207,28 +465,70 @@ impl TenantPipeline {
             return Err(Reject::Malformed(format!("session failed: {err}")));
         }
         let first = batch[0].0;
+        let last = batch[batch.len() - 1].0;
         let scrapes = batch.len() as u64;
-        // Frontier and queue are checked under one queue lock so two
-        // racing submits cannot both pass the ordering check or both
-        // squeeze into the last queue slot.
-        let mut queue = self.shared.queue.lock().expect("tenant queue lock");
-        let mut frontier = self.shared.frontier.lock().expect("tenant frontier lock");
-        if frontier.is_some_and(|f| first <= f) {
+        // Ordering, duplicate, capacity, and WAL decisions happen under
+        // one lock, so two racing submits cannot both pass the ordering
+        // check, both squeeze into the last queue slot, or interleave
+        // their WAL appends out of sequence order.
+        let mut inner = self.shared.inner.lock().expect("tenant inner lock");
+        if inner.draining {
+            return Err(Reject::Draining);
+        }
+        if let Some(fp) = inner.fingerprints.get(&first) {
+            // An exact re-send of an accepted batch (client retry after a
+            // lost ack, or a replay across a server restart): acknowledge
+            // idempotently without re-applying.
+            if fp.last == last && u64::from(fp.n) == scrapes {
+                return Ok(Accepted::Duplicate { scrapes });
+            }
             return Err(Reject::OutOfOrder(format!(
-                "batch starts at {first}ns, stream frontier is {}ns",
-                frontier.expect("checked")
+                "batch at {first}ns conflicts with an accepted batch ({} scrapes through {}ns)",
+                fp.n, fp.last
             )));
         }
-        if queue.len() >= self.cap {
+        if inner.frontier.is_some_and(|f| first <= f) {
+            return Err(Reject::OutOfOrder(format!(
+                "batch starts at {first}ns, stream frontier is {}ns",
+                inner.frontier.expect("checked")
+            )));
+        }
+        if inner.queue.len() >= self.cap {
             return Err(Reject::QueueFull {
                 retry_after_ms: self.retry_after_ms,
             });
         }
-        *frontier = Some(batch[batch.len() - 1].0);
-        queue.push_back((Instant::now(), batch));
-        let depth = queue.len();
-        drop(frontier);
-        drop(queue);
+        let seq = inner.next_seq;
+        let batch = Arc::new(batch);
+        if let Some(store) = inner.store.as_mut() {
+            // Durability before acknowledgement: an acked batch is always
+            // recoverable. Appending under the lock keeps WAL order equal
+            // to sequence order.
+            if let Err(e) = store.append(seq, &batch) {
+                icfl_obs::counter_add(
+                    "icfl_server_wal_errors_total",
+                    &[("tenant", &self.tenant)],
+                    1,
+                );
+                return Err(Reject::Internal(format!("wal append failed: {e}")));
+            }
+        }
+        inner.next_seq += 1;
+        inner.frontier = Some(last);
+        inner.fingerprints.insert(
+            first,
+            Fp {
+                last,
+                n: batch.len() as u32,
+            },
+        );
+        while inner.fingerprints.len() > MAX_FINGERPRINTS {
+            inner.fingerprints.pop_first();
+        }
+        inner.tail.push((seq, Arc::clone(&batch)));
+        inner.queue.push_back((Instant::now(), seq, batch));
+        let depth = inner.queue.len();
+        drop(inner);
         let peak = self
             .shared
             .high_water
@@ -242,10 +542,10 @@ impl TenantPipeline {
         self.shared.accepted.fetch_add(1, Ordering::SeqCst);
         self.shared.scrapes.fetch_add(scrapes, Ordering::Relaxed);
         self.shared.wake.notify_one();
-        Ok(scrapes)
+        Ok(Accepted::Fresh { scrapes })
     }
 
-    /// Batches accepted since open.
+    /// Batches accepted since the stream began (survives recovery).
     pub fn accepted(&self) -> u64 {
         self.shared.accepted.load(Ordering::SeqCst)
     }
@@ -255,7 +555,7 @@ impl TenantPipeline {
         self.shared.processed.load(Ordering::SeqCst)
     }
 
-    /// Scrapes accepted since open.
+    /// Scrapes accepted since the stream began (survives recovery).
     pub fn scrapes_accepted(&self) -> u64 {
         self.shared.scrapes.load(Ordering::Relaxed)
     }
@@ -268,6 +568,56 @@ impl TenantPipeline {
     /// Whether every accepted batch has been processed.
     pub fn drained(&self) -> bool {
         self.processed() == self.accepted()
+    }
+
+    /// Marks the tenant as draining: every subsequent submit is rejected
+    /// with [`Reject::Draining`], so the verdict set observed after the
+    /// queue empties is complete — no batch can race past the drain.
+    pub fn begin_drain(&self) {
+        let mut inner = self.shared.inner.lock().expect("tenant inner lock");
+        if !inner.draining {
+            inner.draining = true;
+            icfl_obs::counter_add(
+                "icfl_server_drains_started_total",
+                &[("tenant", &self.tenant)],
+                1,
+            );
+        }
+    }
+
+    /// Worker panic restarts so far.
+    pub fn worker_restarts(&self) -> u32 {
+        self.shared.restarts.load(Ordering::SeqCst)
+    }
+
+    /// The newest checkpointed sequence (0 before the first checkpoint).
+    pub fn checkpointed_seq(&self) -> u64 {
+        self.shared
+            .inner
+            .lock()
+            .expect("tenant inner lock")
+            .last_ckpt
+            .seq
+    }
+
+    /// Chaos hook: the worker panics before processing its next batch,
+    /// exercising the supervised restart path.
+    pub fn inject_worker_panic(&self) {
+        self.shared.panic_next.store(true, Ordering::SeqCst);
+    }
+
+    /// Simulates `kill -9` for this pipeline: the worker exits
+    /// immediately — mid-queue, without a final checkpoint or WAL sync —
+    /// and every later submit is rejected. In-memory state is abandoned
+    /// exactly as a process death would abandon it; only store-based
+    /// recovery may follow.
+    pub fn crash(&self) {
+        self.shared.crashed.store(true, Ordering::SeqCst);
+        self.shared.wake.notify_all();
+        let handle = self.worker.lock().expect("tenant worker lock").take();
+        if let Some(worker) = handle {
+            let _ = worker.join();
+        }
     }
 
     /// The first session-level error the worker hit, if any.
@@ -291,34 +641,167 @@ impl Drop for TenantPipeline {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         self.shared.wake.notify_all();
-        if let Some(worker) = self.worker.take() {
+        let handle = self.worker.lock().expect("tenant worker lock").take();
+        if let Some(worker) = handle {
             let _ = worker.join();
         }
     }
 }
 
-fn worker_loop(tenant: &str, shared: &Shared) {
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_owned())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_owned())
+}
+
+/// The worker supervisor: runs [`worker_loop`], and on panic restores the
+/// session from the newest in-memory checkpoint, replays the accepted
+/// tail, and restarts the loop — up to `opts.max_worker_restarts` times,
+/// after which the tenant is poisoned rather than left flapping.
+fn supervised_worker(tenant: &str, shared: &Arc<Shared>, opts: PipelineOptions) {
+    loop {
+        let run = catch_unwind(AssertUnwindSafe(|| worker_loop(tenant, shared, opts)));
+        let payload = match run {
+            Ok(()) => return, // clean shutdown (or simulated crash)
+            Err(payload) => payload,
+        };
+        let restarts = shared.restarts.fetch_add(1, Ordering::SeqCst) + 1;
+        icfl_obs::counter_add(
+            "icfl_server_worker_restarts_total",
+            &[("tenant", tenant)],
+            1,
+        );
+        let msg = panic_message(payload.as_ref());
+        icfl_obs::warn!("tenant {tenant}: worker panicked ({msg}); restart {restarts}");
+        if restarts > opts.max_worker_restarts {
+            poison(
+                tenant,
+                shared,
+                format!("worker panicked {restarts} times, giving up: {msg}"),
+            );
+            return;
+        }
+        if let Err(e) = restore_from_checkpoint(shared) {
+            poison(tenant, shared, format!("restart replay failed: {e}"));
+            return;
+        }
+    }
+}
+
+/// Poisons the tenant: records the sticky error, clears any mutex
+/// poisoning so readers keep working, and empties the queue so a pending
+/// drain observes completion (of a now-failed stream) instead of hanging.
+fn poison(tenant: &str, shared: &Shared, error: String) {
+    shared.worker_error.clear_poison();
+    shared.inner.clear_poison();
+    shared.session.clear_poison();
+    *shared.worker_error.lock().expect("tenant error lock") = Some(error);
+    icfl_obs::counter_add("icfl_server_worker_errors_total", &[("tenant", tenant)], 1);
+    let mut inner = shared.inner.lock().expect("tenant inner lock");
+    inner.queue.clear();
+    // Settle the accounting (the batch popped by the panicking worker was
+    // never counted as processed) so a pending drain observes completion
+    // of the now-failed stream instead of hanging.
+    shared
+        .processed
+        .store(shared.accepted.load(Ordering::SeqCst), Ordering::SeqCst);
+}
+
+/// Repairs state after a worker panic: clears mutex poisoning, restores
+/// the session from the newest in-memory checkpoint, and replays every
+/// accepted batch past it (the tail holds them all, queued or popped).
+/// Afterwards the session has absorbed every accepted batch, so the queue
+/// is cleared and `processed` jumps to `accepted`.
+fn restore_from_checkpoint(shared: &Shared) -> Result<(), String> {
+    shared.session.clear_poison();
+    shared.inner.clear_poison();
+    shared.worker_error.clear_poison();
+    let mut session = shared.session.lock().expect("tenant session lock");
+    let mut inner = shared.inner.lock().expect("tenant inner lock");
+    session.restore(inner.last_ckpt.feed.clone());
+    for (seq, batch) in &inner.tail {
+        for (at, row) in batch.iter() {
+            session
+                .push(SimTime::from_nanos(*at), row.clone())
+                .map_err(|e| format!("seq {seq} at {at}ns: {e}"))?;
+        }
+    }
+    inner.queue.clear();
+    shared
+        .processed
+        .store(shared.accepted.load(Ordering::SeqCst), Ordering::SeqCst);
+    shared
+        .processed_scrapes
+        .store(shared.scrapes.load(Ordering::Relaxed), Ordering::Relaxed);
+    Ok(())
+}
+
+/// Takes a checkpoint at `seq` (the worker's last fully processed batch):
+/// snapshots the session, trims the replay tail, and — when a store is
+/// attached — persists it with an atomic rename.
+fn take_checkpoint(tenant: &str, shared: &Shared, session: &FeedSession, seq: u64) {
+    let feed = session.checkpoint();
+    let scrapes = shared.processed_scrapes.load(Ordering::Relaxed);
+    let mut inner = shared.inner.lock().expect("tenant inner lock");
+    inner.tail.retain(|(s, _)| *s > seq);
+    if let Some(store) = inner.store.as_mut() {
+        if let Err(e) = store.write_checkpoint(&StoredCheckpoint {
+            wal_seq: seq,
+            scrapes,
+            feed: feed.clone(),
+        }) {
+            icfl_obs::counter_add(
+                "icfl_server_checkpoint_errors_total",
+                &[("tenant", tenant)],
+                1,
+            );
+            icfl_obs::warn!("tenant {tenant}: checkpoint at seq {seq} failed: {e}");
+        }
+    }
+    inner.last_ckpt = CkptState { seq, scrapes, feed };
+}
+
+fn worker_loop(tenant: &str, shared: &Arc<Shared>, opts: PipelineOptions) {
+    let mut ticks_since_ckpt: u64 = 0;
+    let mut last_processed_seq: u64 = 0;
     loop {
         let next = {
-            let mut queue = shared.queue.lock().expect("tenant queue lock");
+            let mut inner = shared.inner.lock().expect("tenant inner lock");
             loop {
-                if let Some(entry) = queue.pop_front() {
-                    break Some(entry);
+                if shared.crashed.load(Ordering::SeqCst) {
+                    return; // simulated kill -9: abandon everything
+                }
+                if let Some(entry) = inner.queue.pop_front() {
+                    break Some((entry, inner.tail.len()));
                 }
                 if shared.shutdown.load(Ordering::SeqCst) {
                     break None;
                 }
-                queue = shared.wake.wait(queue).expect("tenant queue lock poisoned");
+                inner = shared.wake.wait(inner).expect("tenant inner lock poisoned");
             }
         };
-        let Some((enqueued_at, batch)) = next else {
+        let Some(((enqueued_at, seq, batch), tail_len)) = next else {
+            // Clean shutdown: leave a final checkpoint so the next start
+            // restores instead of replaying the whole tail.
+            if last_processed_seq > 0 {
+                let session = shared.session.lock().expect("tenant session lock");
+                take_checkpoint(tenant, shared, &session, last_processed_seq);
+            }
             return;
         };
+        if shared.panic_next.swap(false, Ordering::SeqCst) {
+            panic!("injected worker panic (tenant {tenant}, seq {seq})");
+        }
         let mut session = shared.session.lock().expect("tenant session lock");
         let mut failed = false;
-        for (at, row) in batch {
-            match session.push(SimTime::from_nanos(at), row) {
-                Ok(progress) => observe_latency(tenant, enqueued_at, progress),
+        for (at, row) in batch.iter() {
+            match session.push(SimTime::from_nanos(*at), row.clone()) {
+                Ok(progress) => {
+                    ticks_since_ckpt += u64::from(progress.ticks);
+                    observe_latency(tenant, enqueued_at, progress);
+                }
                 Err(e) => {
                     // Submission validates ordering and width, so this is
                     // a statistical/internal failure: poison the tenant
@@ -335,6 +818,17 @@ fn worker_loop(tenant: &str, shared: &Shared) {
                 }
             }
         }
+        shared
+            .processed_scrapes
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        last_processed_seq = seq;
+        if !failed
+            && (ticks_since_ckpt >= u64::from(opts.checkpoint_every_ticks)
+                || tail_len >= MAX_TAIL_BATCHES)
+        {
+            take_checkpoint(tenant, shared, &session, seq);
+            ticks_since_ckpt = 0;
+        }
         drop(session);
         icfl_obs::histogram_observe(
             "icfl_server_batch_process_latency",
@@ -344,8 +838,8 @@ fn worker_loop(tenant: &str, shared: &Shared) {
         shared.processed.fetch_add(1, Ordering::SeqCst);
         if failed {
             // Drain and count everything queued behind the failure.
-            let mut queue = shared.queue.lock().expect("tenant queue lock");
-            while queue.pop_front().is_some() {
+            let mut inner = shared.inner.lock().expect("tenant inner lock");
+            while inner.queue.pop_front().is_some() {
                 shared.processed.fetch_add(1, Ordering::SeqCst);
             }
         }

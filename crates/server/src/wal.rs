@@ -1,0 +1,400 @@
+//! Per-tenant durable state: a write-ahead log of accepted scrape
+//! batches, an atomically-renamed session checkpoint, and the recovery
+//! scan that rebuilds a tenant after a crash.
+//!
+//! # State-dir layout
+//!
+//! ```text
+//! <state-dir>/
+//!   <tenant>/               one directory per registered tenant
+//!     meta.json             tenant name + service names (written once,
+//!                           atomic rename) — enough to rebuild the
+//!                           FeedSession from the model registry
+//!     wal.jsonl             append-only batch log (see below)
+//!     ckpt.json             newest checkpoint (atomic rename):
+//!                           {"wal_seq":N,"scrapes":S,"feed":{...}}
+//! ```
+//!
+//! # WAL format
+//!
+//! Every line is valid JSON. A batch record is one header object
+//!
+//! ```text
+//! {"seq":12,"n":3,"first":100000,"last":300000}
+//! ```
+//!
+//! followed by exactly `n` scrape lines in the compact
+//! [`encode_scrape_line`] form (`[t,[[c0,...,c10],...]]`). The whole
+//! record is appended with a single `write` and fsynced every
+//! [`StoreConfig::fsync_every_batches`] batches (and at every
+//! checkpoint), so a torn record can only sit at the tail. Recovery
+//! truncates the torn tail — the batch it held was never acknowledged, so
+//! the client re-sends it and the sequence numbering continues unchanged.
+//!
+//! # Recovery semantics
+//!
+//! [`recover`] loads `ckpt.json` if present, then replays every WAL
+//! record with `seq > ckpt.wal_seq` through the restored session. Records
+//! at or before the checkpoint are *not* re-parsed scrape-by-scrape —
+//! their headers alone rebuild the duplicate-detection fingerprint index
+//! and the accepted-scrape totals. The result is byte-identical session
+//! state to an uninterrupted run: same verdicts, same window counts, same
+//! ingest accounting.
+
+use crate::tenant::Batch;
+use icfl_online::FeedCheckpoint;
+use icfl_scenario::trace::{encode_scrape_line, parse_scrape_line};
+use serde::{Deserialize, Serialize};
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+
+/// Durability tuning of one tenant store.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreConfig {
+    /// Batches between WAL fsyncs (`1` = every batch). A process crash
+    /// (`kill -9`) never loses buffered appends — only a machine/power
+    /// failure can, bounded by this window.
+    pub fsync_every_batches: u32,
+}
+
+impl Default for StoreConfig {
+    fn default() -> StoreConfig {
+        StoreConfig {
+            fsync_every_batches: 16,
+        }
+    }
+}
+
+/// The `meta.json` contents: everything needed to rebuild the tenant's
+/// `FeedSession` shell (the model itself comes from the registry, keyed
+/// by the tenant name's app prefix).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StoredMeta {
+    /// The tenant name as registered.
+    pub tenant: String,
+    /// Service names in row order, as supplied at registration.
+    pub service_names: Vec<String>,
+}
+
+/// The `ckpt.json` contents.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StoredCheckpoint {
+    /// The WAL sequence the checkpointed session has fully absorbed;
+    /// recovery replays every record past it.
+    pub wal_seq: u64,
+    /// Scrapes absorbed through `wal_seq` (cumulative).
+    pub scrapes: u64,
+    /// The session state itself.
+    pub feed: FeedCheckpoint,
+}
+
+/// One batch record's header line.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+struct WalHeader {
+    seq: u64,
+    n: u32,
+    first: u64,
+    last: u64,
+}
+
+/// The identity of one accepted batch, for idempotent re-sends: a
+/// re-sent batch matching a recorded `(first, last, n)` is acknowledged
+/// without being re-applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchFingerprint {
+    /// First scrape timestamp, nanoseconds.
+    pub first: u64,
+    /// Last scrape timestamp, nanoseconds.
+    pub last: u64,
+    /// Scrapes in the batch.
+    pub n: u32,
+    /// The WAL sequence the batch was accepted under.
+    pub seq: u64,
+}
+
+/// An open append handle on one tenant's durable state.
+#[derive(Debug)]
+pub struct TenantStore {
+    dir: PathBuf,
+    wal: File,
+    cfg: StoreConfig,
+    unsynced: u32,
+}
+
+/// Writes `bytes` to `path` via a temp file + fsync + atomic rename, so
+/// a crash mid-write can never leave a half-written file under `path`.
+fn write_atomic(dir: &Path, path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = dir.join(".tmp-write");
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+impl TenantStore {
+    /// Creates (or wipes and recreates) the state directory for `tenant`
+    /// and writes its `meta.json`.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures as `io::Error`.
+    pub fn create(state_dir: &Path, meta: &StoredMeta) -> io::Result<TenantStore> {
+        let dir = state_dir.join(&meta.tenant);
+        if dir.exists() {
+            fs::remove_dir_all(&dir)?;
+        }
+        fs::create_dir_all(&dir)?;
+        let bytes = serde_json::to_string(meta)
+            .map_err(io::Error::other)?
+            .into_bytes();
+        write_atomic(&dir, &dir.join("meta.json"), &bytes)?;
+        let wal = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(dir.join("wal.jsonl"))?;
+        Ok(TenantStore {
+            dir,
+            wal,
+            cfg: StoreConfig::default(),
+            unsynced: 0,
+        })
+    }
+
+    /// Sets the durability tuning, returning `self`.
+    #[must_use]
+    pub fn with_config(mut self, cfg: StoreConfig) -> TenantStore {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Appends one accepted batch under `seq` as a single write, fsyncing
+    /// every [`StoreConfig::fsync_every_batches`] appends.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures as `io::Error`.
+    pub fn append(&mut self, seq: u64, batch: &Batch) -> io::Result<()> {
+        let header = WalHeader {
+            seq,
+            n: batch.len() as u32,
+            first: batch[0].0,
+            last: batch[batch.len() - 1].0,
+        };
+        let mut record = serde_json::to_string(&header)
+            .map_err(io::Error::other)?
+            .into_bytes();
+        record.push(b'\n');
+        for (at, row) in batch {
+            record.extend_from_slice(encode_scrape_line(*at, row).as_bytes());
+            record.push(b'\n');
+        }
+        self.wal.write_all(&record)?;
+        self.unsynced += 1;
+        if self.unsynced >= self.cfg.fsync_every_batches {
+            self.sync()?;
+        }
+        icfl_obs::counter_add("icfl_server_wal_appended_batches_total", &[], 1);
+        icfl_obs::counter_add("icfl_server_wal_bytes_total", &[], record.len() as u64);
+        Ok(())
+    }
+
+    /// Forces buffered WAL appends to disk now.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures as `io::Error`.
+    pub fn sync(&mut self) -> io::Result<()> {
+        if self.unsynced > 0 {
+            self.wal.sync_data()?;
+            self.unsynced = 0;
+        }
+        Ok(())
+    }
+
+    /// Persists a checkpoint atomically (temp file + fsync + rename),
+    /// syncing the WAL first so the checkpoint never references appends
+    /// that could be lost behind it.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures as `io::Error`.
+    pub fn write_checkpoint(&mut self, ckpt: &StoredCheckpoint) -> io::Result<()> {
+        self.sync()?;
+        let bytes = serde_json::to_string(ckpt)
+            .map_err(io::Error::other)?
+            .into_bytes();
+        write_atomic(&self.dir, &self.dir.join("ckpt.json"), &bytes)?;
+        icfl_obs::counter_add("icfl_server_checkpoints_total", &[], 1);
+        icfl_obs::counter_add(
+            "icfl_server_checkpoint_bytes_total",
+            &[],
+            bytes.len() as u64,
+        );
+        Ok(())
+    }
+}
+
+/// Everything [`recover`] rebuilds from one tenant's state directory.
+#[derive(Debug)]
+pub struct RecoveredTenant {
+    /// The registration metadata.
+    pub meta: StoredMeta,
+    /// An append handle positioned past the last complete record (a torn
+    /// tail has already been truncated away).
+    pub store: TenantStore,
+    /// The newest persisted checkpoint, if one was ever written.
+    pub checkpoint: Option<StoredCheckpoint>,
+    /// WAL batches past the checkpoint, in sequence order — these must be
+    /// replayed through the restored session.
+    pub replay: Vec<(u64, Batch)>,
+    /// Fingerprints of every recorded batch (checkpointed and replayed),
+    /// for idempotent re-send detection.
+    pub fingerprints: Vec<BatchFingerprint>,
+    /// The newest recorded sequence (0 if the WAL is empty).
+    pub last_seq: u64,
+    /// Scrapes accepted across the whole WAL.
+    pub total_scrapes: u64,
+}
+
+/// Tenant directory names under `state_dir`, sorted (deterministic
+/// recovery order).
+///
+/// # Errors
+///
+/// Filesystem failures as `io::Error`; a missing `state_dir` is an empty
+/// listing, not an error.
+pub fn list_tenants(state_dir: &Path) -> io::Result<Vec<String>> {
+    let mut names = Vec::new();
+    let entries = match fs::read_dir(state_dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(names),
+        Err(e) => return Err(e),
+    };
+    for entry in entries {
+        let entry = entry?;
+        if entry.file_type()?.is_dir() {
+            if let Ok(name) = entry.file_name().into_string() {
+                names.push(name);
+            }
+        }
+    }
+    names.sort();
+    Ok(names)
+}
+
+fn corrupt(detail: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, detail.into())
+}
+
+/// Rebuilds one tenant from its state directory: loads `meta.json` and
+/// `ckpt.json`, scans the WAL (headers only up to the checkpoint, full
+/// scrape parses past it), truncates any torn tail, and reopens the WAL
+/// for append.
+///
+/// # Errors
+///
+/// Missing/corrupt `meta.json` or `ckpt.json`, or a WAL record that is
+/// malformed *before* the tail (tail tears are expected and recovered
+/// from), as `io::Error`.
+pub fn recover(state_dir: &Path, tenant_dir: &str) -> io::Result<RecoveredTenant> {
+    let dir = state_dir.join(tenant_dir);
+    let meta: StoredMeta = serde_json::from_str(&fs::read_to_string(dir.join("meta.json"))?)
+        .map_err(|e| corrupt(format!("meta.json: {e}")))?;
+    let checkpoint: Option<StoredCheckpoint> = match fs::read_to_string(dir.join("ckpt.json")) {
+        Ok(text) => {
+            Some(serde_json::from_str(&text).map_err(|e| corrupt(format!("ckpt.json: {e}")))?)
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => None,
+        Err(e) => return Err(e),
+    };
+    let ckpt_seq = checkpoint.as_ref().map_or(0, |c| c.wal_seq);
+
+    let wal_path = dir.join("wal.jsonl");
+    let mut reader = BufReader::new(File::open(&wal_path)?);
+    let mut line = String::new();
+    // Byte offset of the end of the last *complete* record: anything past
+    // it is a torn tail from a crash mid-append and gets truncated.
+    let mut complete_end = 0u64;
+    let mut offset = 0u64;
+    let mut last_seq = 0u64;
+    let mut total_scrapes = 0u64;
+    let mut fingerprints = Vec::new();
+    let mut replay = Vec::new();
+    'scan: loop {
+        line.clear();
+        let n = reader.read_line(&mut line)?;
+        if n == 0 {
+            break;
+        }
+        offset += n as u64;
+        let Ok(header) = serde_json::from_str::<WalHeader>(line.trim_end()) else {
+            break; // torn header at the tail
+        };
+        if header.seq != last_seq + 1 {
+            return Err(corrupt(format!(
+                "wal.jsonl: record seq {} follows {last_seq}",
+                header.seq
+            )));
+        }
+        let mut batch: Batch = Vec::new();
+        for _ in 0..header.n {
+            line.clear();
+            let n = reader.read_line(&mut line)?;
+            if n == 0 || !line.ends_with('\n') {
+                break 'scan; // torn mid-record at the tail
+            }
+            offset += n as u64;
+            if header.seq > ckpt_seq {
+                // Only post-checkpoint records need their scrapes back.
+                let (at, row) = parse_scrape_line(line.trim_end())
+                    .map_err(|e| corrupt(format!("wal.jsonl seq {}: {e}", header.seq)))?;
+                batch.push((at, row));
+            }
+        }
+        complete_end = offset;
+        last_seq = header.seq;
+        total_scrapes += u64::from(header.n);
+        fingerprints.push(BatchFingerprint {
+            first: header.first,
+            last: header.last,
+            n: header.n,
+            seq: header.seq,
+        });
+        if header.seq > ckpt_seq {
+            replay.push((header.seq, batch));
+        }
+    }
+    drop(reader);
+
+    let file_len = fs::metadata(&wal_path)?.len();
+    if file_len > complete_end {
+        icfl_obs::counter_add("icfl_server_wal_torn_tails_total", &[], 1);
+        let f = OpenOptions::new().write(true).open(&wal_path)?;
+        f.set_len(complete_end)?;
+        f.sync_all()?;
+    }
+    let wal = OpenOptions::new().append(true).open(&wal_path)?;
+    icfl_obs::counter_add(
+        "icfl_server_wal_replayed_batches_total",
+        &[],
+        replay.len() as u64,
+    );
+    Ok(RecoveredTenant {
+        meta,
+        store: TenantStore {
+            dir,
+            wal,
+            cfg: StoreConfig::default(),
+            unsynced: 0,
+        },
+        checkpoint,
+        replay,
+        fingerprints,
+        last_seq,
+        total_scrapes,
+    })
+}

@@ -84,7 +84,7 @@ fn squeeze(pipeline: &TenantPipeline, trace: &ScrapeTrace, sizes: &[usize]) -> (
         let batch: Vec<_> = scrapes[cursor..cursor + want].to_vec();
         loop {
             match pipeline.submit(batch.clone()) {
-                Ok(()) => break,
+                Ok(_) => break,
                 Err(Reject::QueueFull { .. }) => {
                     rejected += 1;
                     std::thread::sleep(Duration::from_micros(200));

@@ -1,0 +1,243 @@
+//! Fuzz properties of the HTTP/1.1 codec: arbitrary bytes, truncated
+//! bodies, oversized lines, pathological chunk boundaries, and stalling
+//! peers never panic the parser — every outcome is a clean parse, a clean
+//! EOF, or a typed error the server maps to a 4xx — and parsing is
+//! invariant under how the bytes arrive (split writes).
+
+use icfl_server::http::{read_request, read_response, write_request, write_response};
+use proptest::prelude::*;
+use std::io::{self, BufRead, Read};
+use std::time::{Duration, Instant};
+
+/// A `BufRead` over in-memory bytes that exposes them in caller-chosen
+/// chunk sizes — simulating TCP segmentation / split writes.
+struct ChunkedReader {
+    data: Vec<u8>,
+    pos: usize,
+    chunks: Vec<usize>,
+    next_chunk: usize,
+}
+
+impl ChunkedReader {
+    fn new(data: Vec<u8>, chunks: Vec<usize>) -> ChunkedReader {
+        ChunkedReader {
+            data,
+            pos: 0,
+            chunks,
+            next_chunk: 0,
+        }
+    }
+
+    fn chunk_len(&mut self) -> usize {
+        let len = self
+            .chunks
+            .get(self.next_chunk)
+            .copied()
+            .unwrap_or(usize::MAX)
+            .max(1);
+        self.next_chunk = (self.next_chunk + 1) % self.chunks.len().max(1);
+        len
+    }
+}
+
+impl Read for ChunkedReader {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let take = self
+            .chunk_len()
+            .min(buf.len())
+            .min(self.data.len() - self.pos);
+        buf[..take].copy_from_slice(&self.data[self.pos..self.pos + take]);
+        self.pos += take;
+        Ok(take)
+    }
+}
+
+impl BufRead for ChunkedReader {
+    fn fill_buf(&mut self) -> io::Result<&[u8]> {
+        let take = self.chunk_len().min(self.data.len() - self.pos);
+        Ok(&self.data[self.pos..self.pos + take])
+    }
+
+    fn consume(&mut self, amt: usize) {
+        self.pos += amt;
+    }
+}
+
+/// A peer that delivers a prefix then stalls forever: every read past the
+/// prefix fails like an expired `SO_RCVTIMEO` (`WouldBlock`).
+struct StallingReader {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Read for StallingReader {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.pos >= self.data.len() {
+            return Err(io::Error::new(io::ErrorKind::WouldBlock, "stalled"));
+        }
+        let take = buf.len().min(self.data.len() - self.pos);
+        buf[..take].copy_from_slice(&self.data[self.pos..self.pos + take]);
+        self.pos += take;
+        Ok(take)
+    }
+}
+
+impl BufRead for StallingReader {
+    fn fill_buf(&mut self) -> io::Result<&[u8]> {
+        if self.pos >= self.data.len() {
+            return Err(io::Error::new(io::ErrorKind::WouldBlock, "stalled"));
+        }
+        Ok(&self.data[self.pos..])
+    }
+
+    fn consume(&mut self, amt: usize) {
+        self.pos += amt;
+    }
+}
+
+/// The only error kinds the server's connection loop handles; anything
+/// else would fall into the quiet-close arm and hide a parser bug.
+fn is_typed(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::InvalidData | io::ErrorKind::UnexpectedEof | io::ErrorKind::TimedOut
+    )
+}
+
+fn valid_request(method: &str, path: &str, body: &[u8]) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    write_request(&mut bytes, method, path, body).unwrap();
+    bytes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary bytes: parse never panics, and returns a request, a
+    /// clean EOF, or a typed error — nothing the server would close on
+    /// silently beyond genuine idle EOF.
+    #[test]
+    fn arbitrary_bytes_never_panic(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let mut r = std::io::Cursor::new(data);
+        match read_request(&mut r, None) {
+            Ok(_) => {}
+            Err(e) => prop_assert!(is_typed(&e), "untyped error kind {:?}: {e}", e.kind()),
+        }
+        let mut r = std::io::Cursor::new(r.into_inner());
+        match read_response(&mut r) {
+            Ok(_) => {}
+            Err(e) => prop_assert!(is_typed(&e), "untyped error kind {:?}: {e}", e.kind()),
+        }
+    }
+
+    /// A valid request truncated anywhere: never a panic; a cut inside
+    /// the body is the typed `UnexpectedEof`, a cut at zero is clean EOF,
+    /// and only an exactly-complete message parses.
+    #[test]
+    fn truncated_requests_are_typed(
+        body in proptest::collection::vec(any::<u8>(), 0..512),
+        frac in 0.0f64..1.0,
+    ) {
+        let bytes = valid_request("POST", "/ingest/t", &body);
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        let mut r = std::io::Cursor::new(bytes[..cut].to_vec());
+        match read_request(&mut r, None) {
+            Ok(Some(req)) => {
+                // Only possible when the cut landed exactly at the end.
+                prop_assert_eq!(cut, bytes.len());
+                prop_assert_eq!(req.body, body.clone());
+            }
+            Ok(None) => prop_assert_eq!(cut, 0),
+            Err(e) => prop_assert!(is_typed(&e), "untyped error kind {:?}: {e}", e.kind()),
+        }
+    }
+
+    /// Oversized request lines are rejected typed (`InvalidData`), not
+    /// buffered without bound.
+    #[test]
+    fn oversized_lines_are_rejected(extra in 0usize..4096) {
+        let line = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(8 * 1024 + extra));
+        let mut r = std::io::Cursor::new(line.into_bytes());
+        let e = read_request(&mut r, None).unwrap_err();
+        prop_assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+    }
+
+    /// Parsing is invariant under delivery segmentation: any chunking of
+    /// the byte stream yields exactly the contiguous parse.
+    #[test]
+    fn split_writes_parse_identically(
+        body in proptest::collection::vec(any::<u8>(), 0..512),
+        path_picks in proptest::collection::vec(0usize..40, 1..32),
+        chunks in proptest::collection::vec(1usize..17, 1..12),
+    ) {
+        const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789:._-";
+        let path_suffix: String = path_picks
+            .iter()
+            .map(|&i| ALPHABET[i % ALPHABET.len()] as char)
+            .collect();
+        let bytes = valid_request("POST", &format!("/ingest/{path_suffix}"), &body);
+        let mut contiguous = std::io::Cursor::new(bytes.clone());
+        let reference = read_request(&mut contiguous, None).unwrap().unwrap();
+        let mut chunked = ChunkedReader::new(bytes, chunks);
+        let parsed = read_request(&mut chunked, None).unwrap().unwrap();
+        prop_assert_eq!(parsed.method, reference.method);
+        prop_assert_eq!(parsed.path, reference.path);
+        prop_assert_eq!(parsed.headers, reference.headers);
+        prop_assert_eq!(parsed.body, reference.body);
+    }
+
+    /// A peer that stalls after a partial message is a typed timeout; a
+    /// peer that stalls before sending anything propagates as the idle
+    /// kernel timeout (quiet close) — never a panic, never a hang.
+    #[test]
+    fn stalls_become_typed_timeouts(cut_frac in 0.0f64..1.0) {
+        let bytes = valid_request("POST", "/ingest/t", b"0123456789abcdef");
+        let cut = (((bytes.len() - 1) as f64) * cut_frac) as usize;
+        let mut r = StallingReader { data: bytes[..cut].to_vec(), pos: 0 };
+        let e = read_request(&mut r, None).unwrap_err();
+        if cut == 0 {
+            prop_assert_eq!(e.kind(), io::ErrorKind::WouldBlock, "idle stall: {e}");
+        } else {
+            prop_assert_eq!(e.kind(), io::ErrorKind::TimedOut, "mid-message stall: {e}");
+        }
+    }
+
+    /// Round trip: a written response parses back to the same status,
+    /// headers, and body regardless of segmentation.
+    #[test]
+    fn response_roundtrip(
+        status_pick in 0usize..8,
+        body in proptest::collection::vec(any::<u8>(), 0..256),
+        chunks in proptest::collection::vec(1usize..9, 1..6),
+    ) {
+        let status = [200u16, 400, 404, 408, 409, 429, 500, 503][status_pick];
+        let mut bytes = Vec::new();
+        write_response(&mut bytes, status, "X", &[("x-marker", "1")], &body, true).unwrap();
+        let mut r = ChunkedReader::new(bytes, chunks);
+        let resp = read_response(&mut r).unwrap().unwrap();
+        prop_assert_eq!(resp.status, status);
+        prop_assert_eq!(resp.header("x-marker"), Some("1"));
+        prop_assert_eq!(resp.body, body);
+    }
+}
+
+/// An expired wall-clock deadline mid-message surfaces as the typed
+/// timeout even when the transport itself keeps delivering bytes.
+#[test]
+fn deadline_mid_message_is_typed_timeout() {
+    let bytes = valid_request("POST", "/ingest/t", &[b'x'; 64]);
+    let mut r = ChunkedReader::new(bytes, vec![1]);
+    let past = Instant::now() - Duration::from_secs(1);
+    let e = read_request(&mut r, Some(past)).unwrap_err();
+    assert_eq!(e.kind(), io::ErrorKind::TimedOut, "{e}");
+}
+
+/// A `Content-Length` pointing past the cap is rejected before any
+/// buffer of that size is allocated.
+#[test]
+fn oversized_body_is_rejected() {
+    let msg = b"POST /ingest/t HTTP/1.1\r\ncontent-length: 999999999999\r\n\r\n";
+    let mut r = std::io::Cursor::new(msg.to_vec());
+    let e = read_request(&mut r, None).unwrap_err();
+    assert_eq!(e.kind(), io::ErrorKind::InvalidData, "{e}");
+}

@@ -157,6 +157,8 @@ fn loadgen_replay_detects_all_and_matches_inprocess() {
         rate: 0.0,
         seed: 1,
         tenant_prefix: "e2e-".into(),
+        max_transport_retries: 0,
+        max_reject_retries: 0,
     })
     .unwrap();
 
@@ -300,20 +302,35 @@ fn http_surface_and_error_paths() {
         409,
         "duplicate timestamps within a batch must be rejected"
     );
+    let first = client.post("/ingest/fig2:err", line.as_bytes()).unwrap();
+    assert_eq!(first.status, 200);
+    assert!(!first.text().contains("\"deduped\""));
+    // A byte-identical re-send (a retry after a lost ack) is acknowledged
+    // idempotently instead of 409ing the client into a corner.
+    let resent = client.post("/ingest/fig2:err", line.as_bytes()).unwrap();
     assert_eq!(
-        client
-            .post("/ingest/fig2:err", line.as_bytes())
-            .unwrap()
-            .status,
-        200
+        resent.status,
+        200,
+        "replayed batch must be deduped, not rejected: {}",
+        resent.text()
     );
+    assert!(
+        resent.text().contains("\"deduped\":true"),
+        "dedupe ack missing marker: {}",
+        resent.text()
+    );
+    // A *conflicting* overlap (same first timestamp, different batch
+    // shape) is not a retry and still 409s.
+    let (t1, row1) = &fx.fig2.scrapes[1];
+    let line2 = icfl_scenario::trace::encode_scrape_line(*t1, row1);
+    let overlap = format!("{line}\n{line2}\n");
     assert_eq!(
         client
-            .post("/ingest/fig2:err", line.as_bytes())
+            .post("/ingest/fig2:err", overlap.as_bytes())
             .unwrap()
             .status,
         409,
-        "replayed frontier must be rejected"
+        "conflicting overlap must still be rejected"
     );
 
     // The journal shows up on /metrics with the server counters.

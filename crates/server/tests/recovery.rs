@@ -1,0 +1,519 @@
+//! Crash-safety end-to-end tests: a server killed mid-campaign (real
+//! subprocess `SIGKILL` and the in-process simulated crash) and restarted
+//! over the same state directory serves `/incidents` output byte-equal to
+//! an uninterrupted run; re-sent batches are acknowledged idempotently;
+//! a panicking tenant worker is restarted from the in-memory checkpoint;
+//! and a POST racing `/drain` gets a typed reject, never a silent drop.
+
+use icfl_apps::pattern1;
+use icfl_core::{CampaignRun, RunConfig};
+use icfl_micro::FaultKind;
+use icfl_online::{
+    record_trace, Episode, IncidentSchedule, ModelMeta, ModelRegistry, OnlineConfig,
+};
+use icfl_scenario::ScrapeTrace;
+use icfl_server::tenant::TenantPipeline;
+use icfl_server::{HttpClient, IcflServer, IncidentsReport, ServerConfig};
+use icfl_sim::{SimDuration, SimTime};
+use icfl_telemetry::MetricCatalog;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+const CHUNK: usize = 25;
+
+struct Fixture {
+    registry_root: PathBuf,
+    trace: ScrapeTrace,
+}
+
+static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+
+fn fixture() -> &'static Fixture {
+    FIXTURE.get_or_init(|| {
+        let registry_root =
+            std::env::temp_dir().join(format!("icfl-recovery-models-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&registry_root);
+        let registry = ModelRegistry::open(&registry_root).unwrap();
+        let app = pattern1();
+        let cfg = RunConfig::quick(42);
+        let run = CampaignRun::execute(&app, &cfg).unwrap();
+        let model = run
+            .learn(&MetricCatalog::derived_all(), RunConfig::default_detector())
+            .unwrap();
+        registry
+            .save(&app.name, ModelMeta::default(), &model)
+            .unwrap();
+        let (_, targets) = app.build(42).unwrap();
+        let schedule = IncidentSchedule::new(vec![Episode::single(
+            SimTime::from_secs(100),
+            targets[0],
+            FaultKind::ServiceUnavailable,
+            SimDuration::from_secs(50),
+        )]);
+        let trace = record_trace(&app, &schedule, &OnlineConfig::quick(), 42).unwrap();
+        Fixture {
+            registry_root,
+            trace,
+        }
+    })
+}
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("icfl-recovery-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn server_cfg(fx: &Fixture, state_dir: Option<PathBuf>) -> ServerConfig {
+    ServerConfig {
+        // Aggressive cadence/fsync so short tests cross several
+        // checkpoints and torn-tail windows.
+        checkpoint_every_ticks: 2,
+        fsync_every_batches: 2,
+        state_dir,
+        ..ServerConfig::quick(&fx.registry_root)
+    }
+}
+
+fn register(addr: &str, tenant: &str, trace: &ScrapeTrace) {
+    let mut client = HttpClient::connect(addr);
+    let meta = serde_json::to_string(&trace.meta).unwrap();
+    let resp = client
+        .post(&format!("/session/{tenant}"), meta.as_bytes())
+        .unwrap();
+    assert_eq!(resp.status, 200, "session {tenant}: {}", resp.text());
+}
+
+fn chunk_body(trace: &ScrapeTrace, index: usize) -> Option<String> {
+    let chunk = trace.scrapes.chunks(CHUNK).nth(index)?;
+    let mut body = String::new();
+    for (at, row) in chunk {
+        body.push_str(&icfl_scenario::trace::encode_scrape_line(*at, row));
+        body.push('\n');
+    }
+    Some(body)
+}
+
+/// Sends chunks `[from, to)`; 429 waits, anything else but 200 panics.
+/// Returns how many of the sent chunks were acknowledged as duplicates.
+fn send_chunks(addr: &str, tenant: &str, trace: &ScrapeTrace, from: usize, to: usize) -> usize {
+    let mut client = HttpClient::connect(addr);
+    let mut duplicates = 0;
+    for index in from..to {
+        let Some(body) = chunk_body(trace, index) else {
+            break;
+        };
+        loop {
+            let resp = client
+                .post(&format!("/ingest/{tenant}"), body.as_bytes())
+                .unwrap();
+            match resp.status {
+                200 => {
+                    if resp.text().contains("\"deduped\":true") {
+                        duplicates += 1;
+                    }
+                    break;
+                }
+                429 => std::thread::sleep(Duration::from_millis(5)),
+                status => panic!("ingest {tenant} chunk {index}: {status} {}", resp.text()),
+            }
+        }
+    }
+    duplicates
+}
+
+/// Drains `tenant` and returns the raw `/incidents` body — the bytes a
+/// network client would see, which is what must survive a crash.
+fn drain_and_fetch(addr: &str, tenant: &str) -> Vec<u8> {
+    let mut client = HttpClient::connect(addr);
+    let drain = client.get(&format!("/drain/{tenant}")).unwrap();
+    assert_eq!(drain.status, 200, "drain {tenant}: {}", drain.text());
+    let resp = client.get(&format!("/incidents/{tenant}")).unwrap();
+    assert_eq!(resp.status, 200, "incidents {tenant}: {}", resp.text());
+    resp.body
+}
+
+/// The uninterrupted reference: a durable server that streams the whole
+/// trace without a crash, on its own state dir.
+fn reference_body(fx: &Fixture, name: &str, tenant: &str) -> Vec<u8> {
+    let state = fresh_dir(name);
+    let handle = IcflServer::start(server_cfg(fx, Some(state.clone()))).unwrap();
+    let addr = handle.addr().to_string();
+    register(&addr, tenant, &fx.trace);
+    send_chunks(&addr, tenant, &fx.trace, 0, usize::MAX);
+    let body = drain_and_fetch(&addr, tenant);
+    drop(handle);
+    let _ = std::fs::remove_dir_all(&state);
+    body
+}
+
+fn total_chunks(trace: &ScrapeTrace) -> usize {
+    trace.scrapes.chunks(CHUNK).count()
+}
+
+/// Kills (and reaps) the subprocess server on drop, so a failing assert
+/// never leaks a listener.
+struct ChildGuard(std::process::Child);
+
+impl Drop for ChildGuard {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+/// Spawns the real `icfl-server` binary on an ephemeral port and waits
+/// for its `--port-file` (written only once recovery finished and the
+/// listener is up).
+fn spawn_server(
+    fx: &Fixture,
+    state_dir: &std::path::Path,
+    port_file: &std::path::Path,
+) -> ChildGuard {
+    let _ = std::fs::remove_file(port_file);
+    let child = std::process::Command::new(env!("CARGO_BIN_EXE_icfl-server"))
+        .args([
+            "--addr",
+            "127.0.0.1:0",
+            "--models",
+            fx.registry_root.to_str().unwrap(),
+            "--state-dir",
+            state_dir.to_str().unwrap(),
+            "--checkpoint-every",
+            "2",
+            "--fsync-every",
+            "2",
+            "--port-file",
+            port_file.to_str().unwrap(),
+            "--log",
+            "error",
+        ])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn icfl-server");
+    ChildGuard(child)
+}
+
+fn wait_port(port_file: &std::path::Path) -> String {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if let Ok(addr) = std::fs::read_to_string(port_file) {
+            if !addr.is_empty() {
+                return addr;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "server did not write {}",
+            port_file.display()
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// The tentpole property, against a real process: stream part of the
+/// trace, `SIGKILL` the server mid-campaign, restart it over the same
+/// state dir, blindly re-send everything from the beginning (lost-ack
+/// semantics), and the final `/incidents` body is byte-equal to an
+/// uninterrupted run — same verdicts, same window counts, same ingest
+/// accounting, with every overlap deduped rather than rejected.
+#[test]
+fn sigkill_restart_serves_byte_equal_incidents() {
+    let fx = fixture();
+    let tenant = "pattern1:kill9";
+    let reference = reference_body(fx, "kill9-ref", tenant);
+
+    let state = fresh_dir("kill9-state");
+    let port_file = std::env::temp_dir().join(format!("icfl-kill9-port-{}", std::process::id()));
+    let chunks = total_chunks(&fx.trace);
+    let kill_at = chunks / 2;
+
+    let mut child = spawn_server(fx, &state, &port_file);
+    let addr = wait_port(&port_file);
+    register(&addr, tenant, &fx.trace);
+    send_chunks(&addr, tenant, &fx.trace, 0, kill_at);
+    // SIGKILL: no shutdown hook runs, no final checkpoint, no WAL sync.
+    child.0.kill().unwrap();
+    child.0.wait().unwrap();
+
+    let _child2 = spawn_server(fx, &state, &port_file);
+    let addr = wait_port(&port_file);
+    // Registration survived the kill.
+    let mut client = HttpClient::connect(&addr);
+    let meta = serde_json::to_string(&fx.trace.meta).unwrap();
+    let resp = client
+        .post(&format!("/session/{tenant}"), meta.as_bytes())
+        .unwrap();
+    assert_eq!(
+        resp.status, 409,
+        "recovered tenant must still be registered"
+    );
+    // Blind full re-send: everything accepted before the kill dedupes.
+    let duplicates = send_chunks(&addr, tenant, &fx.trace, 0, usize::MAX);
+    assert_eq!(
+        duplicates, kill_at,
+        "every pre-kill chunk must be acknowledged as a duplicate"
+    );
+
+    let recovered = drain_and_fetch(&addr, tenant);
+    assert_eq!(
+        String::from_utf8_lossy(&recovered),
+        String::from_utf8_lossy(&reference),
+        "recovered /incidents body diverged from the uninterrupted run"
+    );
+    assert_eq!(recovered, reference);
+
+    let _ = std::fs::remove_dir_all(&state);
+    let _ = std::fs::remove_file(&port_file);
+}
+
+/// The same property through the in-process simulated crash (what
+/// `chaosbench` uses): `ServerHandle::crash` severs connections and
+/// abandons workers mid-queue, and a new server over the state dir
+/// recovers byte-identically — across *two* consecutive crashes.
+#[test]
+fn inprocess_crash_recovery_is_byte_equal() {
+    let fx = fixture();
+    let tenant = "pattern1:crash";
+    let reference = reference_body(fx, "crash-ref", tenant);
+
+    let state = fresh_dir("crash-state");
+    let chunks = total_chunks(&fx.trace);
+    let kills = [chunks / 3, 2 * chunks / 3];
+
+    let mut handle = IcflServer::start(server_cfg(fx, Some(state.clone()))).unwrap();
+    register(&handle.addr().to_string(), tenant, &fx.trace);
+    let mut sent = 0;
+    for &kill_at in &kills {
+        send_chunks(&handle.addr().to_string(), tenant, &fx.trace, sent, kill_at);
+        sent = kill_at;
+        handle.crash();
+        let restarted = IcflServer::start(server_cfg(fx, Some(state.clone()))).unwrap();
+        // Post-crash connects to the dead listener fail, not hang.
+        handle = restarted;
+        // Re-send a window of already-accepted chunks: all dedupe.
+        let overlap_from = sent.saturating_sub(3);
+        let dup = send_chunks(
+            &handle.addr().to_string(),
+            tenant,
+            &fx.trace,
+            overlap_from,
+            sent,
+        );
+        assert_eq!(dup, sent - overlap_from, "overlap must dedupe");
+    }
+    send_chunks(
+        &handle.addr().to_string(),
+        tenant,
+        &fx.trace,
+        sent,
+        usize::MAX,
+    );
+
+    let recovered = drain_and_fetch(&handle.addr().to_string(), tenant);
+    assert_eq!(
+        String::from_utf8_lossy(&recovered),
+        String::from_utf8_lossy(&reference),
+        "post-crash /incidents body diverged from the uninterrupted run"
+    );
+
+    drop(handle);
+    let _ = std::fs::remove_dir_all(&state);
+}
+
+/// A panicking worker is caught, restarted from the in-memory checkpoint
+/// with the accepted tail replayed, and the stream converges to the same
+/// verdicts as an undisturbed pipeline — no durable store required.
+#[test]
+fn worker_panic_restarts_and_converges() {
+    let fx = fixture();
+    let registry = ModelRegistry::open(&fx.registry_root).unwrap();
+    let model = registry.load_latest("pattern1").unwrap().model;
+    let feed = |model: &icfl_core::CausalModel| {
+        icfl_online::FeedSession::new(
+            model.clone(),
+            fx.trace.meta.service_names.clone(),
+            icfl_online::FeedConfig::from_online(&OnlineConfig::quick()),
+        )
+        .unwrap()
+    };
+
+    // Reference verdicts from an undisturbed session.
+    let mut reference = feed(&model);
+    for (at, row) in &fx.trace.scrapes {
+        reference
+            .push(SimTime::from_nanos(*at), row.clone())
+            .unwrap();
+    }
+    let reference = serde_json::to_string(&reference.verdicts()).unwrap();
+
+    let pipeline = TenantPipeline::open("pattern1:panic", feed(&model), 8, 1);
+    let scrapes = &fx.trace.scrapes;
+    let third = scrapes.len() / 3;
+    pipeline.submit(scrapes[..third].to_vec()).unwrap();
+    pipeline.inject_worker_panic();
+    pipeline.submit(scrapes[third..2 * third].to_vec()).unwrap();
+    // The injection flag is consumed at the worker's next batch pop; wait
+    // for the first restart before arming the second, or the two
+    // injections collapse into one on a slow machine.
+    let first = Instant::now() + Duration::from_secs(30);
+    while pipeline.worker_restarts() < 1 {
+        assert!(Instant::now() < first, "first injected panic never fired");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    pipeline.inject_worker_panic();
+    pipeline.submit(scrapes[2 * third..].to_vec()).unwrap();
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !pipeline.drained() {
+        assert!(Instant::now() < deadline, "pipeline did not drain");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert_eq!(pipeline.worker_error(), None, "restart must not poison");
+    assert_eq!(pipeline.worker_restarts(), 2);
+    assert_eq!(pipeline.scrapes_accepted(), scrapes.len() as u64);
+    let verdicts = pipeline.with_session(|s| serde_json::to_string(&s.verdicts()).unwrap());
+    assert_eq!(
+        verdicts, reference,
+        "restarted worker diverged from the undisturbed replay"
+    );
+}
+
+/// Past the restart budget the tenant is poisoned — visible error, no
+/// flapping, drains complete — instead of looping forever.
+#[test]
+fn worker_panic_budget_poisons_not_flaps() {
+    let fx = fixture();
+    let registry = ModelRegistry::open(&fx.registry_root).unwrap();
+    let model = registry.load_latest("pattern1").unwrap().model;
+    let session = icfl_online::FeedSession::new(
+        model,
+        fx.trace.meta.service_names.clone(),
+        icfl_online::FeedConfig::from_online(&OnlineConfig::quick()),
+    )
+    .unwrap();
+    let pipeline = TenantPipeline::open_with(
+        "pattern1:poison",
+        session,
+        icfl_server::PipelineOptions {
+            queue_cap: 8,
+            retry_after_ms: 1,
+            max_worker_restarts: 0,
+            ..Default::default()
+        },
+        None,
+    );
+    pipeline.inject_worker_panic();
+    pipeline.submit(fx.trace.scrapes[..10].to_vec()).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while pipeline.worker_error().is_none() {
+        assert!(Instant::now() < deadline, "pipeline was not poisoned");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert!(pipeline.drained(), "poisoned pipeline must drain its queue");
+    assert!(
+        pipeline.worker_error().unwrap().contains("panicked"),
+        "error must surface the panic"
+    );
+    // Subsequent submits are rejected typed, not accepted into a void.
+    assert!(pipeline.submit(fx.trace.scrapes[10..20].to_vec()).is_err());
+}
+
+/// A POST racing `GET /drain` either lands before the drain (200) or is
+/// rejected typed (409 draining) — never silently dropped — and the
+/// drained verdict set is complete and stable: accepted == processed, and
+/// a re-read returns identical bytes.
+#[test]
+fn drain_ingest_race_is_typed_and_complete() {
+    let fx = fixture();
+    let handle = IcflServer::start(server_cfg(fx, None)).unwrap();
+    let addr = handle.addr().to_string();
+    let tenant = "pattern1:race";
+    register(&addr, tenant, &fx.trace);
+    let chunks = total_chunks(&fx.trace);
+    send_chunks(&addr, tenant, &fx.trace, 0, chunks / 2);
+
+    let (accepted_after_drain, rejected) = std::thread::scope(|scope| {
+        let addr_post = addr.clone();
+        let poster = scope.spawn(move || {
+            let mut client = HttpClient::connect(&addr_post);
+            let mut accepted = 0u64;
+            let mut rejected = 0u64;
+            for index in chunks / 2.. {
+                let Some(body) = chunk_body(&fx.trace, index) else {
+                    break;
+                };
+                loop {
+                    let resp = client
+                        .post(&format!("/ingest/{tenant}"), body.as_bytes())
+                        .unwrap();
+                    match resp.status {
+                        200 => {
+                            accepted += 1;
+                            break;
+                        }
+                        429 => std::thread::sleep(Duration::from_millis(2)),
+                        409 => {
+                            // The drain won; from here every send must be
+                            // rejected the same way, typed.
+                            assert!(
+                                resp.text().contains("draining"),
+                                "expected a draining reject, got: {}",
+                                resp.text()
+                            );
+                            rejected += 1;
+                            return (accepted, rejected);
+                        }
+                        status => panic!("ingest {tenant}: {status} {}", resp.text()),
+                    }
+                }
+            }
+            (accepted, rejected)
+        });
+        let addr_drain = addr.clone();
+        let drainer = scope.spawn(move || {
+            // Let the poster get going before closing the stream.
+            std::thread::sleep(Duration::from_millis(10));
+            let mut client = HttpClient::connect(&addr_drain);
+            let drain = client.get(&format!("/drain/{tenant}")).unwrap();
+            assert_eq!(drain.status, 200, "drain: {}", drain.text());
+        });
+        drainer.join().unwrap();
+        poster.join().unwrap()
+    });
+
+    // The race has exactly two outcomes per batch, both visible.
+    assert!(
+        rejected > 0 || accepted_after_drain as usize == chunks - chunks / 2,
+        "poster finished without ever observing the drain reject"
+    );
+
+    let mut client = HttpClient::connect(&addr);
+    let first = client.get(&format!("/incidents/{tenant}")).unwrap();
+    assert_eq!(first.status, 200);
+    let report: IncidentsReport = serde_json::from_str(&first.text()).unwrap();
+    assert_eq!(report.worker_error, None);
+    assert_eq!(
+        report.batches_processed, report.batches_accepted,
+        "drain returned before the verdict set was complete"
+    );
+    // Post-drain ingests stay typed rejects, and the report is stable.
+    if let Some(body) = chunk_body(&fx.trace, chunks - 1) {
+        let resp = client
+            .post(&format!("/ingest/{tenant}"), body.as_bytes())
+            .unwrap();
+        assert!(
+            resp.status == 409 || resp.status == 200,
+            "post-drain ingest must be typed: {} {}",
+            resp.status,
+            resp.text()
+        );
+    }
+    let second = client.get(&format!("/incidents/{tenant}")).unwrap();
+    assert_eq!(
+        first.body, second.body,
+        "drained verdict set must be stable"
+    );
+}
