@@ -55,7 +55,7 @@ pub use error::{CoreError, Result};
 pub use instance::{
     InstanceCampaignRun, InstanceCaseResult, InstanceEvalSuite, InstanceEvalSummary,
 };
-pub use localize::{Localization, MatchRule, MetricVote};
+pub use localize::{Localization, MatchRule, MetricVote, ScoreBreakdown, TargetContribution};
 pub use model::CausalModel;
 pub use runner::{parallel_map, CampaignRun, EvalSuite, MultiFaultRun, ProductionRun, RunConfig};
 pub use score::{CaseResult, EvalSummary};

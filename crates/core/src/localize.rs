@@ -86,7 +86,85 @@ impl Localization {
     }
 }
 
+/// One metric's contribution to a single candidate's Algorithm-2 score —
+/// the forensics view of *why* a target accumulated the votes it did.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TargetContribution {
+    /// Metric display name (the breakdown preserves catalog order, so
+    /// entries line up with [`Localization::per_metric`]).
+    pub metric: String,
+    /// The share of this metric's single vote that went to the target:
+    /// `1 / |winners|`. One metric's deltas across all targets sum to 1.
+    pub delta: f64,
+    /// The causal-set entries that actually fired for this target:
+    /// `A(M) ∩ C(target, M)`.
+    pub matched: BTreeSet<ServiceId>,
+    /// `|C(target, M)|` — how specific the winning explanation is (the
+    /// smallest-set tiebreak selects on this).
+    pub causal_set_size: usize,
+    /// The metric's winning match score (shared by all tied winners).
+    pub match_score: f64,
+}
+
+/// The full Algorithm-2 accounting for one ranked target: which metrics
+/// voted for it, which causal-set entries fired, and the per-metric vote
+/// deltas whose sum reproduces the target's reported score exactly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScoreBreakdown {
+    /// The service (or replica row) being explained.
+    pub target: ServiceId,
+    /// The target's total vote. Always equals
+    /// [`Localization::votes`]`[target]` bit-for-bit: the deltas are
+    /// accumulated in the same metric order the election used.
+    pub score: f64,
+    /// Per-metric contributions in catalog order; only metrics that voted
+    /// for the target appear.
+    pub contributions: Vec<TargetContribution>,
+}
+
 impl CausalModel {
+    /// Explains one target's score in `loc`: every metric that voted for
+    /// it, the vote share it contributed, and the causal-set entries that
+    /// matched the observed anomalies. The returned
+    /// [`ScoreBreakdown::score`] reproduces `loc.votes[target]` exactly
+    /// (same floating-point accumulation order as the election).
+    pub fn score_breakdown(&self, loc: &Localization, target: ServiceId) -> ScoreBreakdown {
+        let mut contributions = Vec::new();
+        let mut score = 0.0f64;
+        for (m, mv) in loc.per_metric.iter().enumerate() {
+            if !mv.voted_for.contains(&target) {
+                continue;
+            }
+            let delta = 1.0 / mv.voted_for.len() as f64;
+            score += delta;
+            let (matched, causal_set_size) = self.causal_set(m, target).map_or_else(
+                || (BTreeSet::new(), 0),
+                |c| (mv.anomalies.intersection(c).copied().collect(), c.len()),
+            );
+            contributions.push(TargetContribution {
+                metric: mv.metric.clone(),
+                delta,
+                matched,
+                causal_set_size,
+                match_score: mv.score,
+            });
+        }
+        ScoreBreakdown {
+            target,
+            score,
+            contributions,
+        }
+    }
+
+    /// [`CausalModel::score_breakdown`] for every ranked target of `loc`,
+    /// in rank order (vote descending, then service id).
+    pub fn score_breakdowns(&self, loc: &Localization) -> Vec<ScoreBreakdown> {
+        loc.ranked()
+            .into_iter()
+            .map(|(target, _)| self.score_breakdown(loc, target))
+            .collect()
+    }
+
     /// Runs Algorithm 2: localizes the fault explaining `production`.
     ///
     /// `production` must have the same shape as the training datasets
@@ -383,6 +461,59 @@ mod tests {
         assert!(top1.contains(&sid(0)));
         assert!(loc.top_k(100).len() <= 3);
         assert!(loc.top_k(0).is_empty());
+    }
+
+    #[test]
+    fn score_breakdown_deltas_reproduce_votes_exactly() {
+        let model = trained_model();
+        let prod = Dataset::new(
+            vec!["msg".into(), "cpu".into()],
+            vec![
+                vec![steady(52.0), steady(48.0), steady(10.0)],
+                vec![steady(26.0), steady(5.0), steady(5.0)],
+            ],
+        );
+        let loc = model.localize(&prod).unwrap();
+        let breakdowns = model.score_breakdowns(&loc);
+        assert_eq!(breakdowns.len(), loc.ranked().len());
+        for (b, (svc, vote)) in breakdowns.iter().zip(loc.ranked()) {
+            assert_eq!(b.target, svc);
+            // Bit-for-bit, not approximately: same accumulation order.
+            assert_eq!(b.score.to_bits(), vote.to_bits());
+            assert_eq!(b.score.to_bits(), loc.votes[svc.index()].to_bits());
+            assert!(!b.contributions.is_empty());
+            for c in &b.contributions {
+                assert!(c.delta > 0.0 && c.delta <= 1.0);
+                assert!(!c.matched.is_empty(), "winner must overlap A(M)");
+                assert!(c.causal_set_size >= c.matched.len());
+            }
+        }
+        // The top candidate's contributions name the fired causal entries.
+        let top = &breakdowns[0];
+        assert!(top
+            .contributions
+            .iter()
+            .any(|c| c.matched.contains(&sid(0))));
+    }
+
+    #[test]
+    fn score_breakdown_splits_tied_votes() {
+        let model = trained_model();
+        // Ambiguous signature: both targets tie, each metric vote splits.
+        let prod = Dataset::new(
+            vec!["msg".into(), "cpu".into()],
+            vec![
+                vec![steady(10.0), steady(50.0), steady(10.0)],
+                vec![steady(5.0), steady(5.0), steady(5.0)],
+            ],
+        );
+        let loc = model.localize(&prod).unwrap();
+        for b in model.score_breakdowns(&loc) {
+            assert_eq!(b.score.to_bits(), loc.votes[b.target.index()].to_bits());
+            for c in &b.contributions {
+                assert!((c.delta - 0.5).abs() < 1e-12);
+            }
+        }
     }
 
     #[test]

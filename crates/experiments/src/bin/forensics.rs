@@ -1,0 +1,100 @@
+//! The forensics gate binary: every confirmed incident must carry a
+//! complete, byte-deterministic evidence chain.
+//!
+//! Trains quick models, runs scheduled-outage sessions through the
+//! forensic session API, and fails (exit 1) if any chain is missing,
+//! schema-invalid, mis-accounted (contribution deltas vs Algorithm-2
+//! scores), or not byte-identical across worker-thread counts and a
+//! feed replay with a mid-stream checkpoint/restore.
+//!
+//! Tiers: the default full run, and `--smoke` (pattern1 only — the CI
+//! gate).
+
+use icfl_experiments::{
+    forensics, maybe_write_profile, record_metric_row, report_timing, run_timed, CliOptions,
+    ForensicsOptions,
+};
+
+fn main() {
+    // Local flags are stripped before the shared option parser (which
+    // rejects unknown arguments).
+    let mut smoke = false;
+    let rest: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| {
+            if a == "--smoke" {
+                smoke = true;
+                false
+            } else {
+                true
+            }
+        })
+        .collect();
+    let opts = match CliOptions::parse(rest) {
+        Ok(o) => {
+            if o.threads > 0 {
+                std::env::set_var("ICFL_THREADS", o.threads.to_string());
+            }
+            if let Some(level) = o.log {
+                icfl_obs::logger::set_level(level);
+            }
+            o
+        }
+        Err(msg) => {
+            eprintln!("{msg} [--smoke]");
+            std::process::exit(2);
+        }
+    };
+    let fopts = if smoke {
+        ForensicsOptions::smoke(opts.seed)
+    } else {
+        ForensicsOptions::new(opts.mode, opts.seed)
+    };
+    let tier_name = if smoke {
+        "forensics-smoke"
+    } else {
+        "forensics"
+    };
+
+    icfl_obs::info!(
+        "running {tier_name} gate in {} mode (seed {})...",
+        fopts.mode,
+        fopts.seed
+    );
+    let timed = run_timed(|| forensics(&fopts));
+    let report = match timed.result {
+        Ok(report) => report,
+        Err(e) => {
+            icfl_obs::error!("forensics gate failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    println!("Evidence-chain forensics gate (thread + replay byte-determinism)\n");
+    println!("{}", report.render());
+    if opts.json {
+        match serde_json::to_string_pretty(&report) {
+            Ok(json) => println!("{json}"),
+            Err(e) => {
+                icfl_obs::error!("failed to serialize the forensics report: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    for row in &report.rows {
+        for (value, phase) in [
+            (row.chains as f64, format!("chains@{}", row.app)),
+            (
+                row.breakdowns_checked as f64,
+                format!("breakdowns@{}", row.app),
+            ),
+        ] {
+            if let Err(e) = record_metric_row(tier_name, &opts, value, &phase) {
+                icfl_obs::warn!("could not persist {phase}: {e}");
+            }
+        }
+    }
+    maybe_write_profile(&opts, tier_name);
+    report_timing(tier_name, &opts, timed.wall);
+}

@@ -18,6 +18,7 @@
 //! | Robustness under degraded telemetry (drops/jitter/dups/resets) | [`robustness`] | `--bin robustness` |
 //! | Gray failures + overload cascades at instance granularity | [`grayfail`] | `--bin grayfail` |
 //! | Chaos recovery (kills + proxy faults, byte-equal incidents) | [`chaosbench`] | `--bin chaosbench` |
+//! | Incident forensics (evidence-chain coverage + byte-determinism) | [`forensics`] | `--bin forensics` |
 //! | Pipeline self-profile (spans, journal, Chrome trace) | [`write_profile_artifacts`] | `--bin profile` |
 //!
 //! Every binary accepts `--quick` (default: 2-minute phases) or `--paper`
@@ -38,6 +39,7 @@ mod chaosbench;
 mod comparison;
 mod confusability;
 mod figures;
+mod forensics;
 mod grayfail;
 mod mode;
 mod production;
@@ -54,6 +56,7 @@ pub use chaosbench::{chaosbench, ChaosTenantRow, Chaosbench, ChaosbenchOptions};
 pub use comparison::{comparison, Comparison, ComparisonRow};
 pub use confusability::{confusability, Confusability, ConfusablePair};
 pub use figures::{fig1, fig2, fig4, CausalSetReport, Fig1, Fig2, Fig2Row, Fig4, FlowTrace};
+pub use forensics::{forensics, ForensicsError, ForensicsOptions, ForensicsReport, ForensicsRow};
 pub use grayfail::{
     cascade_measure, gray_fault, gray_measure, grayfail, grayfail_smoke, GrayFail, GrayFailRow,
 };

@@ -52,7 +52,7 @@ pub mod trace;
 
 pub use logger::Level;
 pub use manifest::RunManifest;
-pub use metrics::{MetricSample, MetricsRegistry, MetricsSnapshot};
+pub use metrics::{lint_exposition, MetricSample, MetricsRegistry, MetricsSnapshot};
 pub use profile::{PhaseAggregate, Profiler, SpanGuard, SpanRecord, StatSummary};
 pub use trace::TraceEvent;
 
@@ -159,6 +159,21 @@ pub fn histogram_observe(name: &str, labels: &[(&str, &str)], elapsed: Duration)
     global()
         .metrics
         .histogram_observe_nanos(name, labels, nanos);
+}
+
+/// Like [`histogram_observe`], but attaches `exemplar` (an opaque id such
+/// as `tenant/incident`) to the bucket the observation lands in, linking
+/// the `/metrics` latency exposition to a specific incident.
+pub fn histogram_observe_exemplar(
+    name: &str,
+    labels: &[(&str, &str)],
+    elapsed: Duration,
+    exemplar: &str,
+) {
+    let nanos = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+    global()
+        .metrics
+        .histogram_observe_nanos_exemplar(name, labels, nanos, exemplar);
 }
 
 /// The current total of a counter in the global journal, summed across

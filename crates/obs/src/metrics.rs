@@ -67,20 +67,31 @@ struct Histogram {
     /// observations ≤ `HISTOGRAM_BOUNDS_NANOS[i]`, with one extra slot
     /// for `+Inf`.
     counts: [u64; HISTOGRAM_BOUNDS_NANOS.len() + 1],
+    /// Most recent exemplar per bucket (last write wins): an opaque id —
+    /// the server attaches `tenant/incident` — plus the observed value.
+    exemplars: [Option<(String, u64)>; HISTOGRAM_BOUNDS_NANOS.len() + 1],
     sum_nanos: u64,
     count: u64,
 }
 
 impl Histogram {
-    fn observe(&mut self, nanos: u64) {
+    fn observe(&mut self, nanos: u64, exemplar: Option<&str>) {
         let idx = HISTOGRAM_BOUNDS_NANOS
             .iter()
             .position(|&b| nanos <= b)
             .unwrap_or(HISTOGRAM_BOUNDS_NANOS.len());
         self.counts[idx] += 1;
+        if let Some(id) = exemplar {
+            self.exemplars[idx] = Some((id.to_owned(), nanos));
+        }
         self.sum_nanos = self.sum_nanos.saturating_add(nanos);
         self.count += 1;
     }
+}
+
+/// Renders nanoseconds as a seconds literal for exemplar values.
+fn format_secs(nanos: u64) -> String {
+    format!("{}", nanos as f64 / 1e9)
 }
 
 /// A metric identity: name plus sorted label pairs.
@@ -121,6 +132,11 @@ pub struct MetricSample {
     pub value: u64,
     /// `"counter"` or `"gauge"`, mirroring the Prometheus `# TYPE` line.
     pub kind: String,
+    /// OpenMetrics-style exemplar on histogram bucket samples: an opaque
+    /// id (the server attaches `tenant/incident`) and the observed
+    /// nanoseconds. Absent everywhere else.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub exemplar: Option<(String, u64)>,
 }
 
 /// An immutable, deterministically ordered snapshot of the journal.
@@ -161,13 +177,38 @@ impl MetricsRegistry {
             .histograms
             .entry(key(name, labels))
             .or_default()
-            .observe(nanos);
+            .observe(nanos, None);
+    }
+
+    /// Like [`MetricsRegistry::histogram_observe_nanos`], but also
+    /// attaches `exemplar` (an opaque id such as `tenant/incident`) to the
+    /// bucket the observation lands in, last write wins. The exemplar
+    /// rides the exposition as an OpenMetrics `# {incident_id="..."}`
+    /// suffix, linking a latency bucket to the incident that produced it.
+    pub fn histogram_observe_nanos_exemplar(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        nanos: u64,
+        exemplar: &str,
+    ) {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        inner
+            .histograms
+            .entry(key(name, labels))
+            .or_default()
+            .observe(nanos, Some(exemplar));
     }
 
     /// Snapshots every metric in deterministic order. Histograms flatten
     /// into Prometheus-convention samples: `<name>_bucket{le="..."}`
-    /// cumulative counts (including `le="+Inf"`), `<name>_count`, and
-    /// `<name>_sum_ns` (nanoseconds, so the snapshot stays integral).
+    /// cumulative counts with the buckets of each series in ascending
+    /// bound order and an explicit `le="+Inf"` bucket last, then
+    /// `<name>_count` and `<name>_sum_ns` (nanoseconds, so the snapshot
+    /// stays integral). Counters and gauges sort lexicographically;
+    /// histogram samples are appended after them, grouped so every
+    /// synthetic name (`_bucket`, `_count`, `_sum_ns`) is contiguous for
+    /// the `# TYPE`-line renderer.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let inner = self.inner.lock().expect("metrics lock");
         let mut samples: Vec<MetricSample> = inner
@@ -178,6 +219,7 @@ impl MetricsRegistry {
                 labels: labels.clone(),
                 value,
                 kind: "counter".to_owned(),
+                exemplar: None,
             })
             .chain(
                 inner
@@ -188,41 +230,65 @@ impl MetricsRegistry {
                         labels: labels.clone(),
                         value,
                         kind: "gauge".to_owned(),
+                        exemplar: None,
                     }),
             )
             .collect();
-        for ((name, labels), h) in &inner.histograms {
-            let mut cumulative = 0u64;
-            for (i, &c) in h.counts.iter().enumerate() {
-                cumulative += c;
-                let le = HISTOGRAM_BOUNDS_NANOS
-                    .get(i)
-                    .map(|&b| le_label(b))
-                    .unwrap_or_else(|| "+Inf".to_owned());
-                let mut bucket_labels = labels.clone();
-                bucket_labels.push(("le".to_owned(), le));
-                bucket_labels.sort();
+        samples.sort();
+        // Histogram families, grouped by base name (BTreeMap order keeps
+        // label sets of one name adjacent): all `_bucket` samples of a
+        // name first — per series in ascending bound order, `+Inf` last —
+        // then its `_count` samples, then its `_sum_ns` samples. The
+        // previous global lexicographic sort scrambled bucket order
+        // (`le="+Inf"` sorted first, `le="10"` before `le="2.5"`), which
+        // promtool-style linting rejects.
+        let mut names: Vec<&String> = inner.histograms.keys().map(|(n, _)| n).collect();
+        names.dedup();
+        for hname in names {
+            let series: Vec<(&Key, &Histogram)> = inner
+                .histograms
+                .iter()
+                .filter(|((n, _), _)| n == hname)
+                .collect();
+            for ((name, labels), h) in &series {
+                let mut cumulative = 0u64;
+                for (i, &c) in h.counts.iter().enumerate() {
+                    cumulative += c;
+                    let le = HISTOGRAM_BOUNDS_NANOS
+                        .get(i)
+                        .map(|&b| le_label(b))
+                        .unwrap_or_else(|| "+Inf".to_owned());
+                    let mut bucket_labels = labels.clone();
+                    bucket_labels.push(("le".to_owned(), le));
+                    bucket_labels.sort();
+                    samples.push(MetricSample {
+                        name: format!("{name}_bucket"),
+                        labels: bucket_labels,
+                        value: cumulative,
+                        kind: "counter".to_owned(),
+                        exemplar: h.exemplars[i].clone(),
+                    });
+                }
+            }
+            for ((name, labels), h) in &series {
                 samples.push(MetricSample {
-                    name: format!("{name}_bucket"),
-                    labels: bucket_labels,
-                    value: cumulative,
+                    name: format!("{name}_count"),
+                    labels: labels.clone(),
+                    value: h.count,
                     kind: "counter".to_owned(),
+                    exemplar: None,
                 });
             }
-            samples.push(MetricSample {
-                name: format!("{name}_count"),
-                labels: labels.clone(),
-                value: h.count,
-                kind: "counter".to_owned(),
-            });
-            samples.push(MetricSample {
-                name: format!("{name}_sum_ns"),
-                labels: labels.clone(),
-                value: h.sum_nanos,
-                kind: "counter".to_owned(),
-            });
+            for ((name, labels), h) in &series {
+                samples.push(MetricSample {
+                    name: format!("{name}_sum_ns"),
+                    labels: labels.clone(),
+                    value: h.sum_nanos,
+                    kind: "counter".to_owned(),
+                    exemplar: None,
+                });
+            }
         }
-        samples.sort();
         MetricsSnapshot { samples }
     }
 }
@@ -328,6 +394,21 @@ impl MetricsSnapshot {
             }
             out.push(' ');
             out.push_str(&s.value.to_string());
+            if let Some((id, nanos)) = &s.exemplar {
+                // OpenMetrics exemplar syntax: `# {labels} value` after
+                // the sample value. The id is escaped like a label value.
+                out.push_str(" # {incident_id=\"");
+                for c in id.chars() {
+                    match c {
+                        '\\' => out.push_str("\\\\"),
+                        '"' => out.push_str("\\\""),
+                        '\n' => out.push_str("\\n"),
+                        c => out.push(c),
+                    }
+                }
+                out.push_str("\"} ");
+                out.push_str(&format_secs(*nanos));
+            }
             out.push('\n');
         }
         out
@@ -343,6 +424,238 @@ impl MetricsSnapshot {
         }
         out
     }
+}
+
+/// A promtool-style lint of a Prometheus text exposition: every line must
+/// be a well-formed comment or sample, every sample must sit under exactly
+/// one preceding `# TYPE` line for its name, and histogram `_bucket`
+/// series must list their buckets in strictly increasing `le` order with
+/// non-decreasing cumulative counts and an explicit `+Inf` bucket last
+/// whose value equals the series `_count`. Exemplar suffixes
+/// (`... # {labels} value`) are validated where present.
+///
+/// # Errors
+///
+/// Returns every violation found, one human-readable message each.
+pub fn lint_exposition(text: &str) -> std::result::Result<(), Vec<String>> {
+    let mut errs = Vec::new();
+    let mut typed: BTreeMap<String, String> = BTreeMap::new();
+    let mut current: Option<String> = None;
+    // (base name, labels minus `le`) → (le bound, cumulative count) in
+    // file order, plus the matching `_count` values.
+    let mut buckets: BTreeMap<(String, String), Vec<(f64, u64)>> = BTreeMap::new();
+    let mut counts: BTreeMap<(String, String), u64> = BTreeMap::new();
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let parts: Vec<&str> = rest.split(' ').collect();
+            match parts.as_slice() {
+                [name, kind]
+                    if is_metric_name(name)
+                        && matches!(*kind, "counter" | "gauge" | "histogram") =>
+                {
+                    if typed
+                        .insert((*name).to_owned(), (*kind).to_owned())
+                        .is_some()
+                    {
+                        errs.push(format!("line {lineno}: duplicate # TYPE for {name}"));
+                    }
+                    current = Some((*name).to_owned());
+                }
+                _ => errs.push(format!("line {lineno}: malformed # TYPE line: {line}")),
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // other comments are legal
+        }
+        let (name, labels, value) = match parse_sample_line(line) {
+            Ok(parsed) => parsed,
+            Err(e) => {
+                errs.push(format!("line {lineno}: {e}"));
+                continue;
+            }
+        };
+        if !typed.contains_key(&name) {
+            errs.push(format!("line {lineno}: sample {name} has no # TYPE line"));
+        } else if current.as_deref() != Some(name.as_str()) {
+            errs.push(format!(
+                "line {lineno}: sample {name} outside its # TYPE group"
+            ));
+        }
+        if let Some(base) = name.strip_suffix("_bucket") {
+            let le = labels.iter().find(|(k, _)| k == "le");
+            let others: Vec<String> = labels
+                .iter()
+                .filter(|(k, _)| k != "le")
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            match le {
+                None => errs.push(format!("line {lineno}: {name} sample without an le label")),
+                Some((_, le)) => {
+                    let bound = if le == "+Inf" {
+                        f64::INFINITY
+                    } else {
+                        match le.parse::<f64>() {
+                            Ok(b) => b,
+                            Err(_) => {
+                                errs.push(format!("line {lineno}: unparseable le=\"{le}\""));
+                                continue;
+                            }
+                        }
+                    };
+                    buckets
+                        .entry((base.to_owned(), others.join(",")))
+                        .or_default()
+                        .push((bound, value));
+                }
+            }
+        } else if let Some(base) = name.strip_suffix("_count") {
+            let labels: Vec<String> = labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            counts.insert((base.to_owned(), labels.join(",")), value);
+        }
+    }
+    for ((base, labels), series) in &buckets {
+        let what = format!("histogram {base}{{{labels}}}");
+        for pair in series.windows(2) {
+            if pair[1].0 <= pair[0].0 {
+                errs.push(format!("{what}: le bounds not strictly increasing"));
+            }
+            if pair[1].1 < pair[0].1 {
+                errs.push(format!("{what}: cumulative bucket counts decrease"));
+            }
+        }
+        match series.last() {
+            Some(&(bound, cum)) if bound.is_infinite() => {
+                if let Some(&count) = counts.get(&(base.clone(), labels.clone())) {
+                    if cum != count {
+                        errs.push(format!(
+                            "{what}: +Inf bucket {cum} disagrees with _count {count}"
+                        ));
+                    }
+                } else {
+                    errs.push(format!("{what}: no matching _count sample"));
+                }
+            }
+            _ => errs.push(format!("{what}: last bucket is not le=\"+Inf\"")),
+        }
+    }
+    if errs.is_empty() {
+        Ok(())
+    } else {
+        Err(errs)
+    }
+}
+
+/// Prometheus metric-name syntax: `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+fn is_metric_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Prometheus label-name syntax: `[a-zA-Z_][a-zA-Z0-9_]*`.
+fn is_label_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// A parsed exposition sample: (metric name, labels, value).
+type ParsedSample = (String, Vec<(String, String)>, u64);
+
+/// Parses one exposition sample line into (name, labels, value),
+/// validating the optional exemplar suffix.
+fn parse_sample_line(line: &str) -> std::result::Result<ParsedSample, String> {
+    let (name, rest) = match line.find(['{', ' ']) {
+        Some(i) => (&line[..i], &line[i..]),
+        None => return Err(format!("no value on sample line: {line}")),
+    };
+    if !is_metric_name(name) {
+        return Err(format!("invalid metric name: {name}"));
+    }
+    let (labels, rest) = if let Some(body) = rest.strip_prefix('{') {
+        let close = body
+            .find('}')
+            .ok_or_else(|| format!("unclosed label braces: {line}"))?;
+        (parse_labels(&body[..close])?, &body[close + 1..])
+    } else {
+        (Vec::new(), rest)
+    };
+    let rest = rest
+        .strip_prefix(' ')
+        .ok_or_else(|| format!("missing space before value: {line}"))?;
+    let (value_str, exemplar) = match rest.split_once(" # ") {
+        Some((v, e)) => (v, Some(e)),
+        None => (rest, None),
+    };
+    let value = value_str
+        .parse::<u64>()
+        .map_err(|_| format!("unparseable sample value {value_str:?}"))?;
+    if let Some(e) = exemplar {
+        let body = e
+            .strip_prefix('{')
+            .ok_or_else(|| format!("exemplar must start with '{{': {e}"))?;
+        let close = body
+            .find('}')
+            .ok_or_else(|| format!("unclosed exemplar braces: {e}"))?;
+        parse_labels(&body[..close])?;
+        let v = body[close + 1..].trim_start();
+        if v.parse::<f64>().map(f64::is_finite) != Ok(true) {
+            return Err(format!("unparseable exemplar value {v:?}"));
+        }
+    }
+    Ok((name.to_owned(), labels, value))
+}
+
+/// Parses `k1="v1",k2="v2"` label bodies (quotes escape `\\`, `\"`, `\n`).
+fn parse_labels(body: &str) -> std::result::Result<Vec<(String, String)>, String> {
+    let mut out = Vec::new();
+    let mut rest = body;
+    while !rest.is_empty() {
+        let eq = rest
+            .find("=\"")
+            .ok_or_else(|| format!("label without =\"...\": {rest}"))?;
+        let k = &rest[..eq];
+        if !is_label_name(k) {
+            return Err(format!("invalid label name: {k}"));
+        }
+        let mut v = String::new();
+        let mut chars = rest[eq + 2..].char_indices();
+        let mut end = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some((_, 'n')) => v.push('\n'),
+                    Some((_, c @ ('\\' | '"'))) => v.push(c),
+                    other => return Err(format!("bad escape {other:?} in label value")),
+                },
+                '"' => {
+                    end = Some(eq + 2 + i + 1);
+                    break;
+                }
+                c => v.push(c),
+            }
+        }
+        let end = end.ok_or_else(|| format!("unterminated label value: {rest}"))?;
+        out.push((k.to_owned(), v));
+        rest = &rest[end..];
+        if let Some(r) = rest.strip_prefix(',') {
+            rest = r;
+        } else if !rest.is_empty() {
+            return Err(format!("expected ',' between labels: {rest}"));
+        }
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -472,6 +785,100 @@ mod tests {
             r.snapshot().to_prometheus()
         };
         assert_eq!(mk(&[1, 7, 30, 600]), mk(&[600, 30, 7, 1]));
+    }
+
+    #[test]
+    fn histogram_buckets_expose_in_bound_order_with_explicit_inf_last() {
+        let r = MetricsRegistry::new();
+        r.counter_add("icfl_z_total", &[], 1); // sorts after icfl_lat lexically
+        r.histogram_observe_nanos("icfl_lat", &[("t", "a")], 3_000_000);
+        let text = r.snapshot().to_prometheus();
+        // Buckets must appear in ascending bound order — the old global
+        // lexicographic sort put +Inf first and le="10" before le="2.5".
+        let les: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("icfl_lat_bucket"))
+            .map(|l| {
+                let start = l.find("le=\"").unwrap() + 4;
+                &l[start..start + l[start..].find('"').unwrap()]
+            })
+            .collect();
+        assert_eq!(les.len(), HISTOGRAM_BOUNDS_NANOS.len() + 1);
+        assert_eq!(*les.last().unwrap(), "+Inf", "explicit +Inf bucket last");
+        let bounds: Vec<f64> = les[..les.len() - 1]
+            .iter()
+            .map(|le| le.parse().unwrap())
+            .collect();
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "ascending: {les:?}");
+        lint_exposition(&text).expect("exposition passes the promtool-style lint");
+    }
+
+    #[test]
+    fn exemplars_ride_bucket_lines_and_pass_lint() {
+        let r = MetricsRegistry::new();
+        r.histogram_observe_nanos("icfl_lat", &[("t", "a")], 400_000);
+        r.histogram_observe_nanos_exemplar("icfl_lat", &[("t", "a")], 3_000_000, "t1/0");
+        r.histogram_observe_nanos_exemplar("icfl_lat", &[("t", "a")], 3_100_000, "t1/1");
+        let snap = r.snapshot();
+        let with_exemplar: Vec<&MetricSample> = snap
+            .samples
+            .iter()
+            .filter(|s| s.exemplar.is_some())
+            .collect();
+        // Last write wins within the one bucket both observations hit.
+        assert_eq!(with_exemplar.len(), 1);
+        assert_eq!(
+            with_exemplar[0].exemplar,
+            Some(("t1/1".to_owned(), 3_100_000))
+        );
+        let text = snap.to_prometheus();
+        assert!(
+            text.contains("# {incident_id=\"t1/1\"} 0.0031"),
+            "exemplar suffix missing:\n{text}"
+        );
+        // The un-exemplared bucket lines carry no suffix.
+        assert!(
+            text.contains("le=\"0.0005\",t=\"a\"} 1\n"),
+            "plain line intact:\n{text}"
+        );
+        lint_exposition(&text).expect("exemplar exposition passes lint");
+    }
+
+    #[test]
+    fn lint_rejects_malformed_expositions() {
+        for (bad, why) in [
+            ("icfl_x_total 1\n", "sample without a TYPE line"),
+            (
+                "# TYPE icfl_x_total counter\nicfl_x_total one\n",
+                "bad value",
+            ),
+            (
+                "# TYPE icfl_x_total counter\nicfl_x_total{a=1} 1\n",
+                "unquoted label",
+            ),
+            (
+                "# TYPE icfl_x_total wibble\nicfl_x_total 1\n",
+                "unknown kind",
+            ),
+            (
+                "# TYPE icfl_l_bucket counter\nicfl_l_bucket{le=\"1\"} 1\n",
+                "no +Inf bucket or _count",
+            ),
+            (
+                "# TYPE icfl_l_bucket counter\n\
+                 icfl_l_bucket{le=\"+Inf\"} 1\nicfl_l_bucket{le=\"1\"} 1\n\
+                 # TYPE icfl_l_count counter\nicfl_l_count 1\n",
+                "buckets out of order",
+            ),
+            (
+                "# TYPE icfl_l_bucket counter\n\
+                 icfl_l_bucket{le=\"1\"} 2\nicfl_l_bucket{le=\"+Inf\"} 1\n\
+                 # TYPE icfl_l_count counter\nicfl_l_count 1\n",
+                "cumulative counts decrease",
+            ),
+        ] {
+            assert!(lint_exposition(bad).is_err(), "lint accepted {why}: {bad}");
+        }
     }
 
     #[test]

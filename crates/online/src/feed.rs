@@ -29,6 +29,7 @@ use icfl_telemetry::{Dataset, EngineConfig, WindowConfig, WindowEngine};
 use serde::{Deserialize, Serialize};
 
 use crate::detector::{DebounceConfig, IncidentDetector};
+use crate::forensics::{EvidenceChain, FlightRecorder, ModelProvenance};
 use crate::session::{decision_tick, Detection, Result, TickContext};
 use crate::{IncidentSchedule, OnlineConfig, OnlineError};
 
@@ -138,6 +139,12 @@ pub struct FeedCheckpoint {
     next_tick: SimTime,
     last_scrape: Option<SimTime>,
     scrapes: u64,
+    /// The flight recorder rides the checkpoint (it is stream state), so
+    /// evidence chains assembled after a crash/restore are byte-identical
+    /// to an uninterrupted session's. `serde(default)` keeps
+    /// pre-forensics checkpoints loadable.
+    #[serde(default)]
+    recorder: FlightRecorder,
 }
 
 /// The externally fed inference session (one per server tenant).
@@ -153,6 +160,8 @@ pub struct FeedSession {
     next_tick: SimTime,
     last_scrape: Option<SimTime>,
     scrapes: u64,
+    recorder: FlightRecorder,
+    provenance: ModelProvenance,
 }
 
 impl FeedSession {
@@ -194,7 +203,23 @@ impl FeedSession {
             next_tick,
             last_scrape: None,
             scrapes: 0,
+            recorder: FlightRecorder::new(),
+            provenance: ModelProvenance::default(),
         })
+    }
+
+    /// Sets the model provenance stamped into every evidence chain the
+    /// session assembles (the server passes the registry key, version,
+    /// and metadata it loaded the model from), returning `self`.
+    ///
+    /// Provenance is *not* part of [`FeedCheckpoint`] — like the model
+    /// itself, it comes from the registry at resume time, so a recovered
+    /// tenant set up with the same record re-assembles byte-identical
+    /// chains.
+    #[must_use]
+    pub fn with_provenance(mut self, provenance: ModelProvenance) -> FeedSession {
+        self.provenance = provenance;
+        self
     }
 
     /// Ingests one scrape at stream time `at`, then fires every detection
@@ -231,6 +256,12 @@ impl FeedSession {
         self.last_scrape = Some(at);
         self.scrapes += 1;
         self.engine.push(at, row);
+        // Flight-record windows finalized by this scrape *before* the
+        // boundary ticks fire — the same observation point (relative to
+        // `decision_tick`) as `OnlineSession`'s driver loop, so recorder
+        // state at any tick is identical across the two paths.
+        self.recorder
+            .observe_windows(self.engine.emitted(), &self.engine.retained_windows());
 
         let mut progress = FeedProgress::default();
         let hop = self.cfg.windows.hop;
@@ -241,6 +272,7 @@ impl FeedSession {
             decision_tick(
                 &mut self.detector,
                 &mut self.detections,
+                &mut self.recorder,
                 &TickContext {
                     model: &self.model,
                     reference: &self.reference,
@@ -248,6 +280,8 @@ impl FeedSession {
                     live_windows: self.cfg.live_windows,
                     localize_windows: self.cfg.localize_windows,
                     localize_delay,
+                    service_names: &self.service_names,
+                    provenance: &self.provenance,
                 },
                 self.next_tick,
                 |n| self.engine.last_n_valid(self.model.catalog(), n),
@@ -275,6 +309,7 @@ impl FeedSession {
             next_tick: self.next_tick,
             last_scrape: self.last_scrape,
             scrapes: self.scrapes,
+            recorder: self.recorder.clone(),
         }
     }
 
@@ -290,6 +325,7 @@ impl FeedSession {
         self.next_tick = ckpt.next_tick;
         self.last_scrape = ckpt.last_scrape;
         self.scrapes = ckpt.scrapes;
+        self.recorder = ckpt.recorder;
     }
 
     /// Opens a session positioned at `ckpt`: [`FeedSession::new`]
@@ -330,6 +366,20 @@ impl FeedSession {
     /// The service names the session was opened with.
     pub fn service_names(&self) -> &[String] {
         &self.service_names
+    }
+
+    /// The evidence chain of one incident (by confirmation-order index,
+    /// the same index `/incidents` rows appear in), if tracked.
+    pub fn explain(&self, incident: usize) -> Option<&EvidenceChain> {
+        self.detections.get(incident).and_then(|d| d.chain.as_ref())
+    }
+
+    /// Every evidence chain tracked so far, in confirmation order.
+    pub fn chains(&self) -> Vec<&EvidenceChain> {
+        self.detections
+            .iter()
+            .filter_map(|d| d.chain.as_ref())
+            .collect()
     }
 
     /// Every incident tracked so far, in confirmation order.

@@ -1,0 +1,405 @@
+//! Incident forensics: byte-deterministic evidence chains and the bounded
+//! flight recorder that feeds them.
+//!
+//! Every verdict the online pipeline emits is backed by an
+//! [`EvidenceChain`] — a structured record of *why* the detector and
+//! Algorithm 2 decided what they decided: the recent finalized windows
+//! with their validity flags (invalid/gap/degraded telemetry is evidence,
+//! not noise), the detector state transitions with tick timestamps and
+//! the (metric, target) pairs that shifted, the per-candidate score
+//! breakdowns showing which causal-set entries fired and what vote share
+//! each metric contributed, and the registry provenance of the model
+//! consulted. Chains are assembled inside the shared
+//! `session::decision_tick`, so the simulation-driven
+//! [`OnlineSession`](crate::OnlineSession) and the externally fed
+//! [`FeedSession`](crate::FeedSession) produce identical chains for the
+//! same stream, and serialization is plain ordered serde — byte-identical
+//! across thread counts and across crash/recovery (the recorder rides the
+//! session checkpoints).
+//!
+//! The [`FlightRecorder`] is the bounded memory behind the chain: two
+//! small rings (recent windows, recent detector transitions) whose
+//! content is a pure function of the scrape stream. It is serialized with
+//! [`FeedCheckpoint`](crate::FeedCheckpoint) /
+//! [`SessionCheckpoint`](crate::SessionCheckpoint) so a SIGKILL'd server
+//! re-assembles byte-identical chains after WAL replay.
+
+use icfl_core::{CausalModel, Localization};
+use icfl_sim::SimTime;
+use icfl_telemetry::WindowValidity;
+use serde::{Deserialize, Serialize};
+
+use crate::detector::DetectorEvent;
+use crate::registry::ModelMeta;
+
+/// Schema version stamped into every [`EvidenceChain`].
+pub const CHAIN_FORMAT_VERSION: u32 = 1;
+
+/// Windows retained by the flight recorder.
+const WINDOWS_CAP: usize = 64;
+
+/// Detector transitions retained by the flight recorder.
+const TRANSITIONS_CAP: usize = 64;
+
+/// Provenance of the model a verdict consulted: which registry entry (if
+/// any) the session serves, so an operator can audit exactly what was
+/// trained, from what campaign, when the verdict fired.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelProvenance {
+    /// Registry key the model was loaded under (the server's model key;
+    /// the app name for in-process sessions).
+    pub key: String,
+    /// Registry version served (0 for an unregistered in-memory model).
+    pub version: u32,
+    /// The registry metadata of the record (app, seed, catalog, detector,
+    /// targets, note). Default-empty for unregistered models.
+    pub meta: ModelMeta,
+}
+
+/// One finalized window as the flight recorder saw it: its end on the
+/// stream clock and the watermarked engine's validity flag, so a chain
+/// shows exactly which windows around an incident were trustworthy and
+/// which were invalidated by degraded telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowEvidence {
+    /// Window end on the stream clock, in nanoseconds.
+    pub end_nanos: u64,
+    /// Validity flag from the watermarked window engine.
+    pub validity: WindowValidity,
+}
+
+/// One detector state transition with its tick timestamp and the
+/// (metric, target) pairs whose live distribution had shifted at that
+/// tick — the raw statistical signal behind the lifecycle event.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransitionEvidence {
+    /// Detection tick the transition fired at, in nanoseconds.
+    pub tick_nanos: u64,
+    /// The lifecycle event (suspected/confirmed/dismissed/resolved).
+    pub event: DetectorEvent,
+    /// `(metric name, target label)` pairs that shifted at this tick.
+    pub shifted: Vec<(String, String)>,
+}
+
+/// One metric's contribution to a candidate's score, with labels resolved
+/// (the name-level view of [`icfl_core::TargetContribution`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContributionEvidence {
+    /// Metric display name.
+    pub metric: String,
+    /// Vote share this metric contributed to the candidate.
+    pub delta: f64,
+    /// Causal-set entries that fired: labels of `A(M) ∩ C(target, M)`.
+    pub matched: Vec<String>,
+    /// `|C(target, M)|` — specificity of the winning explanation.
+    pub causal_set_size: usize,
+    /// The metric's winning match score.
+    pub match_score: f64,
+}
+
+/// The Algorithm-2 accounting for one ranked candidate: its total score
+/// (the deltas sum to it exactly — same accumulation order as the
+/// election) and the per-metric contributions behind it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CandidateEvidence {
+    /// Target label (service name, or `service@replica` for
+    /// instance-granularity sessions).
+    pub target: String,
+    /// True when the target label names a single replica row rather than
+    /// a service aggregate.
+    pub replica: bool,
+    /// The candidate's total vote, bit-identical to the reported score.
+    pub score: f64,
+    /// Per-metric contributions in catalog order.
+    pub contributions: Vec<ContributionEvidence>,
+}
+
+/// The full, byte-deterministic audit trail of one confirmed incident.
+///
+/// Created at confirmation time (windows + transitions + provenance) and
+/// completed at verdict time (candidates + per-candidate breakdowns,
+/// refreshed windows/transitions). Serialization is ordered serde JSON:
+/// byte-identical across thread counts, across a checkpoint/restore, and
+/// across a SIGKILL + WAL replay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvidenceChain {
+    /// Chain schema version ([`CHAIN_FORMAT_VERSION`]).
+    pub format_version: u32,
+    /// Incident index within the session, in confirmation order — the id
+    /// `/explain/<tenant>/<incident>` addresses.
+    pub incident: u32,
+    /// Provenance of the model consulted (its key doubles as the session
+    /// label; deliberately not the per-path app tag, so a trace replayed
+    /// through a [`FeedSession`](crate::FeedSession) yields chains
+    /// byte-identical to the in-process session that watched it live).
+    pub model: ModelProvenance,
+    /// Confirmation tick, in nanoseconds.
+    pub confirmed_at_nanos: u64,
+    /// Localization tick, in nanoseconds (absent until Algorithm 2 ran).
+    pub localized_at_nanos: Option<u64>,
+    /// Recent finalized windows (flight-recorder ring at assembly time),
+    /// oldest first, with validity flags.
+    pub windows: Vec<WindowEvidence>,
+    /// Recent detector transitions (flight-recorder ring), oldest first.
+    pub transitions: Vec<TransitionEvidence>,
+    /// Every ranked candidate, by label, highest vote first — one per
+    /// breakdown row below, in the same order.
+    pub candidates: Vec<String>,
+    /// Per-candidate score breakdowns, rank order (empty until verdict).
+    pub breakdowns: Vec<CandidateEvidence>,
+}
+
+/// The bounded flight recorder: rings of recent windows and detector
+/// transitions, cheap enough to run always-on per tenant. Content is a
+/// pure function of the scrape stream, and the recorder serializes with
+/// the session checkpoints, so chains assembled after a crash/restore are
+/// byte-identical to an uninterrupted run's.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlightRecorder {
+    windows: Vec<WindowEvidence>,
+    transitions: Vec<TransitionEvidence>,
+    /// High-water mark of the engine's monotonic emitted-window count,
+    /// so each finalized window is recorded exactly once.
+    windows_seen: u64,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::new()
+    }
+}
+
+impl FlightRecorder {
+    /// An empty recorder.
+    pub fn new() -> FlightRecorder {
+        FlightRecorder {
+            windows: Vec::new(),
+            transitions: Vec::new(),
+            windows_seen: 0,
+        }
+    }
+
+    /// Absorbs newly finalized windows from a window engine: `emitted` is
+    /// the engine's monotonic emitted count, `retained` its retained ring
+    /// (oldest first). Windows already recorded are skipped via the
+    /// high-water mark; windows evicted from the engine before the
+    /// recorder saw them are simply absent (both rings are bounded).
+    pub fn observe_windows(&mut self, emitted: u64, retained: &[(SimTime, WindowValidity)]) {
+        if emitted <= self.windows_seen {
+            return;
+        }
+        let new = usize::try_from(emitted - self.windows_seen).unwrap_or(usize::MAX);
+        let take = new.min(retained.len());
+        for &(end, validity) in &retained[retained.len() - take..] {
+            if self.windows.len() == WINDOWS_CAP {
+                self.windows.remove(0);
+            }
+            self.windows.push(WindowEvidence {
+                end_nanos: end.as_nanos(),
+                validity,
+            });
+        }
+        self.windows_seen = emitted;
+    }
+
+    /// Records one detector transition.
+    pub(crate) fn record_transition(&mut self, t: TransitionEvidence) {
+        if self.transitions.len() == TRANSITIONS_CAP {
+            self.transitions.remove(0);
+        }
+        self.transitions.push(t);
+    }
+
+    /// The recorded windows, oldest first.
+    pub fn windows(&self) -> Vec<WindowEvidence> {
+        self.windows.clone()
+    }
+
+    /// The recorded transitions, oldest first.
+    pub fn transitions(&self) -> Vec<TransitionEvidence> {
+        self.transitions.clone()
+    }
+}
+
+/// Opens a chain at confirmation time: flight-recorder contents plus
+/// provenance, with no verdict yet.
+pub(crate) fn open_chain(
+    incident: u32,
+    provenance: &ModelProvenance,
+    recorder: &FlightRecorder,
+    confirmed_at: SimTime,
+) -> EvidenceChain {
+    EvidenceChain {
+        format_version: CHAIN_FORMAT_VERSION,
+        incident,
+        model: provenance.clone(),
+        confirmed_at_nanos: confirmed_at.as_nanos(),
+        localized_at_nanos: None,
+        windows: recorder.windows(),
+        transitions: recorder.transitions(),
+        candidates: Vec::new(),
+        breakdowns: Vec::new(),
+    }
+}
+
+/// Maps an Algorithm-2 verdict to its evidence view: the ranked candidate
+/// labels and, in the same order, each candidate's score breakdown. The
+/// breakdown deltas are accumulated in the same metric order the election
+/// used, so every [`CandidateEvidence::score`] reproduces the
+/// corresponding `loc.votes` entry bit-for-bit.
+pub fn verdict_evidence(
+    model: &CausalModel,
+    loc: &Localization,
+    service_names: &[String],
+) -> (Vec<String>, Vec<CandidateEvidence>) {
+    let label = |i: usize| {
+        service_names
+            .get(i)
+            .cloned()
+            .unwrap_or_else(|| format!("service-{i}"))
+    };
+    let candidates = loc
+        .ranked()
+        .into_iter()
+        .map(|(s, _)| label(s.index()))
+        .collect();
+    let breakdowns = model
+        .score_breakdowns(loc)
+        .into_iter()
+        .map(|b| {
+            let target = label(b.target.index());
+            CandidateEvidence {
+                replica: target.contains('@'),
+                target,
+                score: b.score,
+                contributions: b
+                    .contributions
+                    .into_iter()
+                    .map(|c| ContributionEvidence {
+                        metric: c.metric,
+                        delta: c.delta,
+                        matched: c.matched.iter().map(|s| label(s.index())).collect(),
+                        causal_set_size: c.causal_set_size,
+                        match_score: c.match_score,
+                    })
+                    .collect(),
+            }
+        })
+        .collect();
+    (candidates, breakdowns)
+}
+
+/// Completes a chain at verdict time: refreshes the flight-recorder view
+/// (the windows and transitions now cover the localization delay) and
+/// fills in the candidate set and per-candidate score breakdowns.
+pub(crate) fn complete_chain(
+    chain: &mut EvidenceChain,
+    recorder: &FlightRecorder,
+    model: &CausalModel,
+    loc: &Localization,
+    service_names: &[String],
+    localized_at: SimTime,
+) {
+    chain.localized_at_nanos = Some(localized_at.as_nanos());
+    chain.windows = recorder.windows();
+    chain.transitions = recorder.transitions();
+    let (candidates, breakdowns) = verdict_evidence(model, loc, service_names);
+    chain.candidates = candidates;
+    chain.breakdowns = breakdowns;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn win(end: u64, validity: WindowValidity) -> (SimTime, WindowValidity) {
+        (SimTime::from_nanos(end), validity)
+    }
+
+    #[test]
+    fn recorder_dedupes_by_emitted_count_and_stays_bounded() {
+        let mut r = FlightRecorder::new();
+        // First observation: 3 emitted, 3 retained.
+        let ring = vec![
+            win(10, WindowValidity::Valid),
+            win(15, WindowValidity::MissingBoundary),
+            win(20, WindowValidity::Valid),
+        ];
+        r.observe_windows(3, &ring);
+        assert_eq!(r.windows().len(), 3);
+        // Re-observing the same state records nothing.
+        r.observe_windows(3, &ring);
+        assert_eq!(r.windows().len(), 3);
+        // One new window: only the newest retained entry is appended.
+        let ring = vec![
+            win(15, WindowValidity::MissingBoundary),
+            win(20, WindowValidity::Valid),
+            win(25, WindowValidity::CounterReset),
+        ];
+        r.observe_windows(4, &ring);
+        let windows = r.windows();
+        assert_eq!(windows.len(), 4);
+        assert_eq!(windows[3].end_nanos, 25);
+        assert_eq!(windows[3].validity, WindowValidity::CounterReset);
+        // The ring never exceeds its cap.
+        for i in 0..(WINDOWS_CAP as u64 + 10) {
+            r.observe_windows(5 + i, &[win(100 + i, WindowValidity::Valid)]);
+        }
+        assert_eq!(r.windows().len(), WINDOWS_CAP);
+    }
+
+    #[test]
+    fn recorder_handles_windows_evicted_before_observation() {
+        let mut r = FlightRecorder::new();
+        // 10 windows emitted but only 2 still retained: record those 2.
+        r.observe_windows(
+            10,
+            &[
+                win(45, WindowValidity::Valid),
+                win(50, WindowValidity::Valid),
+            ],
+        );
+        assert_eq!(r.windows().len(), 2);
+        assert_eq!(r.windows()[0].end_nanos, 45);
+    }
+
+    #[test]
+    fn transition_ring_is_bounded() {
+        let mut r = FlightRecorder::new();
+        for i in 0..(TRANSITIONS_CAP + 5) {
+            r.record_transition(TransitionEvidence {
+                tick_nanos: i as u64,
+                event: DetectorEvent::Suspected,
+                shifted: Vec::new(),
+            });
+        }
+        let ts = r.transitions();
+        assert_eq!(ts.len(), TRANSITIONS_CAP);
+        assert_eq!(ts[0].tick_nanos, 5);
+    }
+
+    #[test]
+    fn chain_serialization_roundtrips_byte_equal() {
+        let mut r = FlightRecorder::new();
+        r.observe_windows(1, &[win(10_000_000_000, WindowValidity::Valid)]);
+        r.record_transition(TransitionEvidence {
+            tick_nanos: 10_000_000_000,
+            event: DetectorEvent::Confirmed,
+            shifted: vec![("req_rate".into(), "frontend".into())],
+        });
+        let chain = open_chain(
+            0,
+            &ModelProvenance {
+                key: "demo".into(),
+                version: 3,
+                meta: ModelMeta::default(),
+            },
+            &r,
+            SimTime::from_nanos(10_000_000_000),
+        );
+        let json = serde_json::to_string(&chain).unwrap();
+        let back: EvidenceChain = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, chain);
+        assert_eq!(serde_json::to_string(&back).unwrap(), json);
+    }
+}

@@ -22,6 +22,11 @@
 //!   tenant.
 //! - [`ModelRegistry`] — versioned on-disk persistence of trained models
 //!   with seed/app/catalog provenance.
+//! - [`EvidenceChain`] / [`FlightRecorder`] — incident forensics: a
+//!   byte-deterministic audit trail per confirmed incident (recent
+//!   windows with validity flags, detector transitions, per-candidate
+//!   Algorithm-2 score breakdowns, model provenance), assembled from a
+//!   bounded flight recorder that rides the session checkpoints.
 //!
 //! Everything is driven by the deterministic simulation clock: the same
 //! seed yields byte-identical session reports at any thread count.
@@ -31,12 +36,18 @@
 
 mod detector;
 mod feed;
+mod forensics;
 mod ingest;
 mod registry;
 mod report;
 mod session;
 
 pub use feed::{record_trace, FeedCheckpoint, FeedConfig, FeedProgress, FeedSession, FeedVerdict};
+
+pub use forensics::{
+    verdict_evidence, CandidateEvidence, ContributionEvidence, EvidenceChain, FlightRecorder,
+    ModelProvenance, TransitionEvidence, WindowEvidence, CHAIN_FORMAT_VERSION,
+};
 
 pub use detector::{
     DebounceConfig, DetectorEvent, IncidentDetector, IncidentPhase, IncidentStateMachine,

@@ -22,6 +22,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 use crate::detector::{DebounceConfig, DetectorEvent, IncidentDetector};
+use crate::forensics::{self, EvidenceChain, FlightRecorder, ModelProvenance, TransitionEvidence};
 use crate::ingest::{IngestConfig, IngesterTap};
 use crate::report::{IncidentReport, SessionReport};
 use icfl_stats::ShiftDetector;
@@ -331,6 +332,11 @@ pub(crate) struct Detection {
     pub(crate) localized_at: Option<SimTime>,
     pub(crate) localization: Option<Localization>,
     pub(crate) resolved_at: Option<SimTime>,
+    /// Forensic evidence chain: opened at confirmation, completed with
+    /// per-candidate score breakdowns at verdict time. `serde(default)`
+    /// keeps pre-forensics checkpoints loadable.
+    #[serde(default)]
+    pub(crate) chain: Option<EvidenceChain>,
 }
 
 /// The tick-invariant half of a session's decision state: the trained
@@ -343,6 +349,11 @@ pub(crate) struct TickContext<'a> {
     pub(crate) live_windows: usize,
     pub(crate) localize_windows: usize,
     pub(crate) localize_delay: SimDuration,
+    /// Target labels by index (service names, or `service@replica` rows
+    /// for instance-granularity sessions) — resolves ids in chains.
+    pub(crate) service_names: &'a [String],
+    /// Registry provenance of `model`, stamped into every chain.
+    pub(crate) provenance: &'a ModelProvenance,
 }
 
 /// One detection tick's statistical decisions, shared verbatim between
@@ -355,6 +366,7 @@ pub(crate) struct TickContext<'a> {
 pub(crate) fn decision_tick<F>(
     detector: &mut IncidentDetector,
     detections: &mut Vec<Detection>,
+    recorder: &mut FlightRecorder,
     ctx: &TickContext<'_>,
     tick: SimTime,
     mut fetch_valid: F,
@@ -369,7 +381,15 @@ where
         live_windows,
         localize_windows,
         localize_delay,
+        service_names,
+        provenance,
     } = ctx;
+    let label = |i: usize| {
+        service_names
+            .get(i)
+            .cloned()
+            .unwrap_or_else(|| format!("service-{i}"))
+    };
     // Gap-aware detection: only *valid* windows feed the two-sample
     // test. When degraded telemetry leaves fewer than `live_windows`
     // trustworthy windows, the tick is skipped entirely — "no data" is
@@ -389,17 +409,43 @@ where
                 &[("app", app), ("event", name)],
                 1,
             );
+            // Flight-record the transition with the (metric, target)
+            // pairs that shifted — the raw signal behind the event.
+            let metric_names = model.catalog().metric_names();
+            recorder.record_transition(TransitionEvidence {
+                tick_nanos: tick.as_nanos(),
+                event: *event,
+                shifted: decision
+                    .shifted_pairs
+                    .iter()
+                    .map(|&(m, s)| {
+                        (
+                            metric_names
+                                .get(m)
+                                .cloned()
+                                .unwrap_or_else(|| format!("metric-{m}")),
+                            label(s.index()),
+                        )
+                    })
+                    .collect(),
+            });
         }
         match decision.event {
-            Some(DetectorEvent::Confirmed) => detections.push(Detection {
-                confirmed_at: tick,
-                localize_not_before: tick
-                    .checked_add(localize_delay)
-                    .expect("localize time fits"),
-                localized_at: None,
-                localization: None,
-                resolved_at: None,
-            }),
+            Some(DetectorEvent::Confirmed) => {
+                let incident = u32::try_from(detections.len()).unwrap_or(u32::MAX);
+                let chain = forensics::open_chain(incident, provenance, recorder, tick);
+                icfl_obs::counter_add("icfl_forensics_chains_total", &[("app", app)], 1);
+                detections.push(Detection {
+                    confirmed_at: tick,
+                    localize_not_before: tick
+                        .checked_add(localize_delay)
+                        .expect("localize time fits"),
+                    localized_at: None,
+                    localization: None,
+                    resolved_at: None,
+                    chain: Some(chain),
+                });
+            }
             Some(DetectorEvent::Resolved) => {
                 if let Some(d) = detections
                     .iter_mut()
@@ -421,7 +467,15 @@ where
             if let Some(live) = fetch_valid(localize_windows) {
                 let mut span = icfl_obs::span("localize");
                 span.arg("app", app);
-                d.localization = Some(model.localize(&live)?);
+                let loc = model.localize(&live)?;
+                // Complete the evidence chain at verdict time: refresh
+                // the flight-recorder view (windows/transitions now span
+                // the localization delay) and attach the per-candidate
+                // Algorithm-2 score breakdowns.
+                if let Some(chain) = d.chain.as_mut() {
+                    forensics::complete_chain(chain, recorder, model, &loc, service_names, tick);
+                }
+                d.localization = Some(loc);
                 d.localized_at = Some(tick);
             }
         }
@@ -441,6 +495,11 @@ pub struct SessionCheckpoint {
     ingest: crate::ingest::IngestCheckpoint,
     detector: IncidentDetector,
     detections: Vec<Detection>,
+    /// The flight recorder rides the checkpoint so evidence chains
+    /// assembled after a restore are byte-identical to an uninterrupted
+    /// run's. `serde(default)` keeps pre-forensics checkpoints loadable.
+    #[serde(default)]
+    recorder: FlightRecorder,
 }
 
 /// What the run loop hands to report assembly once the horizon is
@@ -449,6 +508,17 @@ struct SessionOutcome {
     detections: Vec<Detection>,
     windows_ingested: u64,
     degraded: icfl_telemetry::DegradeStats,
+}
+
+impl SessionOutcome {
+    /// Extracts the evidence chains, in confirmation order (one per
+    /// confirmed incident; pre-verdict chains have empty breakdowns).
+    fn chains(&self) -> Vec<EvidenceChain> {
+        self.detections
+            .iter()
+            .filter_map(|d| d.chain.clone())
+            .collect()
+    }
 }
 
 /// The online inference session driver.
@@ -475,6 +545,26 @@ impl OnlineSession {
         cfg: &OnlineConfig,
         seed: u64,
     ) -> Result<SessionReport> {
+        Self::run_inner(app, model, schedule, cfg, seed, None).map(|(report, _)| report)
+    }
+
+    /// Runs one session like [`OnlineSession::run`] and additionally
+    /// returns the [`EvidenceChain`] of every confirmed incident, in
+    /// confirmation order. The report is byte-identical to
+    /// [`OnlineSession::run`]'s (chains are delivered out-of-band, never
+    /// serialized into the report), and the chains themselves serialize
+    /// byte-identically across thread counts and checkpoint/restores.
+    ///
+    /// # Errors
+    ///
+    /// As [`OnlineSession::run`].
+    pub fn run_with_forensics(
+        app: &App,
+        model: &CausalModel,
+        schedule: &IncidentSchedule,
+        cfg: &OnlineConfig,
+        seed: u64,
+    ) -> Result<(SessionReport, Vec<EvidenceChain>)> {
         Self::run_inner(app, model, schedule, cfg, seed, None)
     }
 
@@ -499,6 +589,7 @@ impl OnlineSession {
         interrupt_after_ticks: u64,
     ) -> Result<SessionReport> {
         Self::run_inner(app, model, schedule, cfg, seed, Some(interrupt_after_ticks))
+            .map(|(report, _)| report)
     }
 
     fn run_inner(
@@ -508,7 +599,7 @@ impl OnlineSession {
         cfg: &OnlineConfig,
         seed: u64,
         interrupt_after_ticks: Option<u64>,
-    ) -> Result<SessionReport> {
+    ) -> Result<(SessionReport, Vec<EvidenceChain>)> {
         let mut session_span = icfl_obs::span("online.session");
         session_span.arg("app", &app.name);
         session_span.arg("seed", seed);
@@ -528,6 +619,22 @@ impl OnlineSession {
         let trace = InterventionTrace::new();
         schedule.arm(&mut scenario.sim, &trace);
 
+        let service_names: Vec<String> = (0..model.num_services())
+            .map(|i| {
+                scenario
+                    .cluster
+                    .service_name(ServiceId::from_index(i))
+                    .to_string()
+            })
+            .collect();
+        // In-process sessions run an unregistered in-memory model: the
+        // app name stands in for the registry key, at version 0.
+        let provenance = ModelProvenance {
+            key: app.name.clone(),
+            version: 0,
+            meta: crate::registry::ModelMeta::default(),
+        };
+
         let horizon = schedule
             .end()
             .checked_add(cfg.drain)
@@ -539,6 +646,7 @@ impl OnlineSession {
             SimDuration::from_nanos(hop.as_nanos() * u64::from(cfg.localize_delay_ticks));
 
         let mut detections: Vec<Detection> = Vec::new();
+        let mut recorder = FlightRecorder::new();
         let mut tick_index = 0u64;
 
         // Detection ticks sit on window-end boundaries: window + k·hop.
@@ -547,6 +655,7 @@ impl OnlineSession {
             .expect("first boundary fits");
         while tick <= horizon {
             scenario.run_until(tick);
+            recorder.observe_windows(ingester.windows_emitted(), &ingester.retained_windows());
 
             if interrupt_after_ticks == Some(tick_index) {
                 // Crash-restart the inference service: serialize all of
@@ -557,6 +666,7 @@ impl OnlineSession {
                     ingest: ingester.checkpoint(),
                     detector: detector.clone(),
                     detections: detections.clone(),
+                    recorder: recorder.clone(),
                 };
                 let json = serde_json::to_string(&ckpt)
                     .map_err(|e| icfl_core::CoreError::Serde(e.to_string()))?;
@@ -565,6 +675,7 @@ impl OnlineSession {
                 ingester.restore(restored.ingest);
                 detector = restored.detector;
                 detections = restored.detections;
+                recorder = restored.recorder;
                 icfl_obs::counter_add(
                     "icfl_checkpoint_bytes_total",
                     &[("app", &app.name)],
@@ -577,6 +688,7 @@ impl OnlineSession {
             decision_tick(
                 &mut detector,
                 &mut detections,
+                &mut recorder,
                 &TickContext {
                     model,
                     reference: &reference,
@@ -584,6 +696,8 @@ impl OnlineSession {
                     live_windows: cfg.live_windows,
                     localize_windows: cfg.localize_windows,
                     localize_delay,
+                    service_names: &service_names,
+                    provenance: &provenance,
                 },
                 tick,
                 |n| ingester.last_n_valid(n),
@@ -602,13 +716,10 @@ impl OnlineSession {
             windows_ingested: ingester.windows_emitted(),
             degraded: ingester.degrade_stats(),
         };
-        Ok(Self::assemble_report(
-            app,
-            &scenario.cluster,
-            schedule,
-            cfg,
-            seed,
-            outcome,
+        let chains = outcome.chains();
+        Ok((
+            Self::assemble_report(app, &scenario.cluster, schedule, cfg, seed, outcome),
+            chains,
         ))
     }
 

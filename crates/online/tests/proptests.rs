@@ -1,10 +1,22 @@
-//! Property-based tests for the incident-detector state machine: under
+//! Property-based tests for the incident-detector state machine — under
 //! arbitrary interleavings of suspect/clear signals it never resolves an
 //! incident it hasn't confirmed, never double-counts one, and all of its
-//! counters stay consistent with the event stream it emits.
+//! counters stay consistent with the event stream it emits — and for the
+//! forensic evidence chains: for any generated verdict, the per-candidate
+//! score breakdowns account for the reported Algorithm-2 scores
+//! bit-for-bit, and chain serialization round-trips byte-equal.
 
-use icfl_online::{DebounceConfig, DetectorEvent, IncidentPhase, IncidentStateMachine};
+use icfl_core::{CampaignRun, CausalModel, Localization, MetricVote, RunConfig};
+use icfl_micro::ServiceId;
+use icfl_online::{
+    verdict_evidence, DebounceConfig, DetectorEvent, EvidenceChain, IncidentPhase,
+    IncidentStateMachine, ModelMeta, ModelProvenance, TransitionEvidence, WindowEvidence,
+    CHAIN_FORMAT_VERSION,
+};
+use icfl_telemetry::{MetricCatalog, WindowValidity};
 use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::sync::OnceLock;
 
 fn machine(confirm: u32, clear: u32, cooldown: u32) -> IncidentStateMachine {
     IncidentStateMachine::new(DebounceConfig {
@@ -128,5 +140,181 @@ proptest! {
         }
         prop_assert_eq!(m.phase(), IncidentPhase::Quiet);
         prop_assert_eq!(m.confirmed_count(), m.resolved_count());
+    }
+}
+
+/// One trained model shared by every forensics case — the strategies only
+/// need its catalog shape and causal sets, not a fresh campaign per case.
+fn trained_model() -> &'static CausalModel {
+    static MODEL: OnceLock<CausalModel> = OnceLock::new();
+    MODEL.get_or_init(|| {
+        let app = icfl_apps::pattern1();
+        let run = CampaignRun::execute(&app, &RunConfig::quick(42)).unwrap();
+        run.learn(&MetricCatalog::derived_all(), RunConfig::default_detector())
+            .unwrap()
+    })
+}
+
+/// Raw per-metric vote material: `(anomalies, winners, match score)` per
+/// catalog metric, as service indices (the vendored proptest has no
+/// `prop_map`, so index→id mapping happens in [`build_verdict`]).
+type RawVotes = Vec<(BTreeSet<usize>, BTreeSet<usize>, f64)>;
+
+/// One `(anomalies, winners, score)` triple per catalog metric.
+fn raw_verdict_strategy() -> impl Strategy<Value = RawVotes> {
+    let model = trained_model();
+    let n = model.num_services();
+    let metrics = model.catalog().metric_names().len();
+    proptest::collection::vec(
+        (
+            proptest::collection::btree_set(0..n, 0..n.min(4) + 1),
+            proptest::collection::btree_set(0..n, 0..n.min(4) + 1),
+            0.0f64..8.0,
+        ),
+        metrics,
+    )
+}
+
+/// Builds an Algorithm-2 verdict from raw vote material: every metric
+/// gets arbitrary anomaly and winner sets (an empty winner set is an
+/// abstention), and the vote totals are derived by replaying the
+/// election's own accumulation — metric order, `1/|winners|` per metric —
+/// so `votes` is exactly what the election would produce from
+/// `per_metric`.
+fn build_verdict(entries: RawVotes) -> Localization {
+    let model = trained_model();
+    let n = model.num_services();
+    let metrics = model.catalog().metric_names();
+    let to_ids = |s: BTreeSet<usize>| s.into_iter().map(ServiceId::from_index).collect();
+    let per_metric: Vec<MetricVote> = entries
+        .into_iter()
+        .zip(&metrics)
+        .map(|((anomalies, voted_for, score), name)| MetricVote {
+            metric: name.clone(),
+            anomalies: to_ids(anomalies),
+            voted_for: to_ids(voted_for),
+            score,
+        })
+        .collect();
+    let mut votes = vec![0.0f64; n];
+    for mv in &per_metric {
+        if mv.voted_for.is_empty() {
+            continue;
+        }
+        let delta = 1.0 / mv.voted_for.len() as f64;
+        for s in &mv.voted_for {
+            votes[s.index()] += delta;
+        }
+    }
+    let max = votes.iter().fold(0.0f64, |a, &b| a.max(b));
+    let candidates: BTreeSet<ServiceId> = if max > 0.0 {
+        votes
+            .iter()
+            .enumerate()
+            .filter(|&(_, &v)| v == max)
+            .map(|(i, _)| ServiceId::from_index(i))
+            .collect()
+    } else {
+        BTreeSet::new()
+    };
+    Localization {
+        candidates,
+        votes,
+        per_metric,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For any verdict, the evidence view accounts for every vote: one
+    /// breakdown per ranked candidate (same order), and each candidate's
+    /// contribution deltas sum to its reported Algorithm-2 score
+    /// *bit-for-bit* — no epsilon, the accumulation orders must agree.
+    #[test]
+    fn breakdown_deltas_reproduce_scores_bitwise(raw in raw_verdict_strategy()) {
+        let loc = build_verdict(raw);
+        let model = trained_model();
+        let names: Vec<String> =
+            (0..model.num_services()).map(|i| format!("svc{i}")).collect();
+        let (candidates, breakdowns) = verdict_evidence(model, &loc, &names);
+
+        prop_assert_eq!(candidates.len(), breakdowns.len());
+        prop_assert_eq!(
+            breakdowns.len(),
+            loc.votes.iter().filter(|&&v| v > 0.0).count(),
+            "every positive-vote service gets a breakdown"
+        );
+        for (label, b) in candidates.iter().zip(&breakdowns) {
+            prop_assert_eq!(label, &b.target, "candidate order matches breakdown order");
+            let idx = names
+                .iter()
+                .position(|n| n == &b.target)
+                .expect("target label resolves to a service index");
+            let sum: f64 = b.contributions.iter().map(|c| c.delta).sum();
+            prop_assert_eq!(
+                sum.to_bits(), b.score.to_bits(),
+                "deltas must sum to the breakdown score bitwise ({} vs {})",
+                sum, b.score
+            );
+            prop_assert_eq!(
+                b.score.to_bits(), loc.votes[idx].to_bits(),
+                "breakdown score must equal the election's vote bitwise"
+            );
+        }
+    }
+
+    /// A fully populated chain — verdict evidence plus arbitrary window
+    /// and transition rings — survives a JSON round-trip byte-equal.
+    #[test]
+    fn evidence_chains_roundtrip_byte_equal(
+        raw in raw_verdict_strategy(),
+        window_ends in proptest::collection::vec((0u64..1_000_000_000_000, 0usize..3), 0..8),
+        ticks in proptest::collection::vec(0u64..1_000_000_000_000, 0..6),
+        incident in 0u32..100,
+        confirmed in 0u64..1_000_000_000_000,
+    ) {
+        let loc = build_verdict(raw);
+        let model = trained_model();
+        let names: Vec<String> =
+            (0..model.num_services()).map(|i| format!("svc{i}")).collect();
+        let (candidates, breakdowns) = verdict_evidence(model, &loc, &names);
+        let chain = EvidenceChain {
+            format_version: CHAIN_FORMAT_VERSION,
+            incident,
+            model: ModelProvenance {
+                key: "proptest".into(),
+                version: 3,
+                meta: ModelMeta::default(),
+            },
+            confirmed_at_nanos: confirmed,
+            localized_at_nanos: Some(confirmed.saturating_add(5)),
+            windows: window_ends
+                .into_iter()
+                .map(|(end_nanos, v)| WindowEvidence {
+                    end_nanos,
+                    validity: [
+                        WindowValidity::Valid,
+                        WindowValidity::MissingBoundary,
+                        WindowValidity::CounterReset,
+                    ][v],
+                })
+                .collect(),
+            transitions: ticks
+                .into_iter()
+                .map(|tick_nanos| TransitionEvidence {
+                    tick_nanos,
+                    event: DetectorEvent::Confirmed,
+                    shifted: vec![("m".into(), "svc0".into())],
+                })
+                .collect(),
+            candidates,
+            breakdowns,
+        };
+        let first = serde_json::to_string(&chain).unwrap();
+        let back: EvidenceChain = serde_json::from_str(&first).unwrap();
+        prop_assert_eq!(&back, &chain, "deserialized chain must compare equal");
+        let second = serde_json::to_string(&back).unwrap();
+        prop_assert_eq!(first, second, "serialization must round-trip byte-equal");
     }
 }

@@ -104,6 +104,18 @@ pub struct TraceMeta {
     pub episodes: Vec<TraceEpisode>,
 }
 
+impl TraceMeta {
+    /// The ground-truth episode active at `nanos`, extended by `slack`
+    /// nanoseconds past its end — detection lags injection, so a verdict
+    /// timestamp lands *after* the fault window it explains. Returns the
+    /// first matching episode (episodes are disjoint and ordered).
+    pub fn episode_covering(&self, nanos: u64, slack: u64) -> Option<&TraceEpisode> {
+        self.episodes
+            .iter()
+            .find(|ep| nanos >= ep.start_nanos && nanos <= ep.end_nanos.saturating_add(slack))
+    }
+}
+
 /// A recorded scrape stream plus its header, replayable over the wire.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ScrapeTrace {
@@ -461,6 +473,37 @@ mod tests {
             k + 9,
             k + 10,
         ])
+    }
+
+    #[test]
+    fn episode_covering_honors_bounds_and_slack() {
+        let meta = TraceMeta {
+            app: "demo".into(),
+            seed: 1,
+            interval_nanos: 1_000_000_000,
+            service_names: vec!["a".into()],
+            episodes: vec![
+                TraceEpisode {
+                    start_nanos: 100,
+                    end_nanos: 200,
+                    services: vec!["a".into()],
+                },
+                TraceEpisode {
+                    start_nanos: 500,
+                    end_nanos: 600,
+                    services: vec!["a".into()],
+                },
+            ],
+        };
+        assert!(meta.episode_covering(99, 0).is_none());
+        assert_eq!(meta.episode_covering(100, 0).unwrap().start_nanos, 100);
+        assert_eq!(meta.episode_covering(200, 0).unwrap().start_nanos, 100);
+        // Slack extends attribution past the fault end (detection lag).
+        assert!(meta.episode_covering(250, 0).is_none());
+        assert_eq!(meta.episode_covering(250, 50).unwrap().start_nanos, 100);
+        assert_eq!(meta.episode_covering(500, 0).unwrap().start_nanos, 500);
+        // Slack saturates instead of overflowing.
+        assert!(meta.episode_covering(u64::MAX, u64::MAX).is_some());
     }
 
     #[test]

@@ -1,0 +1,410 @@
+//! Incident forensics renderer: turns an [`EvidenceChain`] (the JSON
+//! served by `GET /explain/<tenant>/<incident-id>`) into a human-readable
+//! incident timeline, optionally correlated with the recorded trace's
+//! ground truth, the tenant's WAL/checkpoint state, and the obs journal.
+//!
+//! ```text
+//! curl -s http://127.0.0.1:7171/explain/pattern1:t1/0 > chain.json
+//! icfl-forensics --chain chain.json \
+//!                [--trace trace.jsonl]            # ground-truth episode
+//!                [--state-dir state --tenant pattern1:t1]  # WAL summary
+//!                [--journal metrics.jsonl]        # obs journal excerpt
+//!                [--slack-secs 40] [--json]
+//! ```
+//!
+//! With `--json` the assembled timeline is printed as one JSON object
+//! instead of text (same facts, machine-readable). `--state-dir` runs the
+//! recovery scan read-mostly, but it opens the WAL for append and
+//! truncates a torn tail exactly like server boot would — point it at a
+//! stopped server's state directory or a copy, never a live one.
+
+use icfl_online::{DetectorEvent, EvidenceChain};
+use icfl_scenario::trace::ScrapeTrace;
+use icfl_server::wal;
+use serde::Serialize;
+use std::path::Path;
+
+const USAGE: &str = "usage: icfl-forensics --chain FILE [--trace FILE] \
+[--state-dir DIR --tenant NAME] [--journal FILE] [--slack-secs N] [--json] \
+[--log LEVEL] [--quiet] [-v]";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("{msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
+/// One timeline entry, stream-ordered.
+#[derive(Debug, Serialize)]
+struct TimelineEvent {
+    at_secs: f64,
+    kind: String,
+    detail: String,
+}
+
+/// One candidate's verdict row with its score accounting.
+#[derive(Debug, Serialize)]
+struct VerdictRow {
+    target: String,
+    replica: bool,
+    score: f64,
+    /// Sum of the per-metric deltas — equals `score` exactly.
+    delta_sum: f64,
+    contributions: Vec<String>,
+}
+
+/// The ground-truth episode the incident falls into, if a trace is given.
+#[derive(Debug, Serialize)]
+struct GroundTruth {
+    start_secs: f64,
+    end_secs: f64,
+    services: Vec<String>,
+    top1_correct: Option<bool>,
+}
+
+/// Durability summary of the tenant's WAL/checkpoint state.
+#[derive(Debug, Serialize)]
+struct WalSummary {
+    tenant: String,
+    checkpoint_seq: Option<u64>,
+    checkpoint_scrapes: Option<u64>,
+    replay_batches: usize,
+    replay_scrapes: usize,
+    last_seq: u64,
+    total_scrapes: u64,
+}
+
+/// The full assembled timeline (the `--json` output shape).
+#[derive(Debug, Serialize)]
+struct Timeline {
+    incident: u32,
+    model_key: String,
+    model_version: u32,
+    confirmed_at_secs: f64,
+    localized_at_secs: Option<f64>,
+    events: Vec<TimelineEvent>,
+    candidates: Vec<String>,
+    verdict: Vec<VerdictRow>,
+    ground_truth: Option<GroundTruth>,
+    wal: Option<WalSummary>,
+    journal: Vec<String>,
+}
+
+fn secs(nanos: u64) -> f64 {
+    nanos as f64 / 1e9
+}
+
+fn event_name(e: DetectorEvent) -> &'static str {
+    match e {
+        DetectorEvent::Suspected => "suspected",
+        DetectorEvent::Confirmed => "confirmed",
+        DetectorEvent::Dismissed => "dismissed",
+        DetectorEvent::Resolved => "resolved",
+    }
+}
+
+fn assemble(
+    chain: &EvidenceChain,
+    trace: Option<&ScrapeTrace>,
+    wal_summary: Option<WalSummary>,
+    journal: Vec<String>,
+    slack_nanos: u64,
+) -> Timeline {
+    // Merge windows, transitions, and incident milestones into one
+    // stream-ordered event list. Sort on nanoseconds (exact), with a
+    // kind rank so coincident entries order deterministically:
+    // windows < transitions < milestones.
+    let mut raw: Vec<(u64, u8, String, String)> = Vec::new();
+    for w in &chain.windows {
+        raw.push((
+            w.end_nanos,
+            0,
+            "window".to_owned(),
+            format!("{:?}", w.validity),
+        ));
+    }
+    for t in &chain.transitions {
+        let shifted: Vec<String> = t.shifted.iter().map(|(m, s)| format!("{m}→{s}")).collect();
+        raw.push((
+            t.tick_nanos,
+            1,
+            format!("detector:{}", event_name(t.event)),
+            shifted.join(", "),
+        ));
+    }
+    raw.push((
+        chain.confirmed_at_nanos,
+        2,
+        "incident:confirmed".to_owned(),
+        format!("incident {}", chain.incident),
+    ));
+    if let Some(at) = chain.localized_at_nanos {
+        raw.push((
+            at,
+            2,
+            "incident:localized".to_owned(),
+            chain.candidates.join(", "),
+        ));
+    }
+    raw.sort_by_key(|e| (e.0, e.1));
+    let events = raw
+        .into_iter()
+        .map(|(nanos, _, kind, detail)| TimelineEvent {
+            at_secs: secs(nanos),
+            kind,
+            detail,
+        })
+        .collect();
+
+    let verdict: Vec<VerdictRow> = chain
+        .breakdowns
+        .iter()
+        .map(|b| VerdictRow {
+            target: b.target.clone(),
+            replica: b.replica,
+            score: b.score,
+            delta_sum: b.contributions.iter().map(|c| c.delta).sum(),
+            contributions: b
+                .contributions
+                .iter()
+                .map(|c| {
+                    format!(
+                        "{} Δ{:.4} matched[{}] |C|={}",
+                        c.metric,
+                        c.delta,
+                        c.matched.join(","),
+                        c.causal_set_size
+                    )
+                })
+                .collect(),
+        })
+        .collect();
+
+    let ground_truth = trace.and_then(|t| {
+        t.meta
+            .episode_covering(chain.confirmed_at_nanos, slack_nanos)
+            .map(|ep| GroundTruth {
+                start_secs: secs(ep.start_nanos),
+                end_secs: secs(ep.end_nanos),
+                services: ep.services.clone(),
+                top1_correct: verdict.first().map(|top| ep.services.contains(&top.target)),
+            })
+    });
+
+    Timeline {
+        incident: chain.incident,
+        model_key: chain.model.key.clone(),
+        model_version: chain.model.version,
+        confirmed_at_secs: secs(chain.confirmed_at_nanos),
+        localized_at_secs: chain.localized_at_nanos.map(secs),
+        events,
+        candidates: chain.candidates.clone(),
+        verdict,
+        ground_truth,
+        wal: wal_summary,
+        journal,
+    }
+}
+
+fn render_text(t: &Timeline) -> String {
+    let mut out = String::new();
+    let mut line = |s: String| {
+        out.push_str(&s);
+        out.push('\n');
+    };
+    line(format!(
+        "incident {} (model {} v{})",
+        t.incident, t.model_key, t.model_version
+    ));
+    line(format!(
+        "confirmed at {:.1}s, localized {}",
+        t.confirmed_at_secs,
+        t.localized_at_secs
+            .map_or_else(|| "pending".to_owned(), |s| format!("at {s:.1}s")),
+    ));
+    if let Some(gt) = &t.ground_truth {
+        line(format!(
+            "ground truth: [{}] faulted {:.1}s..{:.1}s → top-1 {}",
+            gt.services.join(", "),
+            gt.start_secs,
+            gt.end_secs,
+            match gt.top1_correct {
+                Some(true) => "CORRECT",
+                Some(false) => "WRONG",
+                None => "n/a",
+            }
+        ));
+    }
+    line(String::new());
+    line("timeline:".to_owned());
+    for e in &t.events {
+        line(format!(
+            "  {:>9.1}s  {:<20} {}",
+            e.at_secs, e.kind, e.detail
+        ));
+    }
+    line(String::new());
+    line(format!("candidates: [{}]", t.candidates.join(", ")));
+    for v in &t.verdict {
+        line(format!(
+            "  {}{}  score {:.4} (Σδ {:.4})",
+            v.target,
+            if v.replica { " [replica]" } else { "" },
+            v.score,
+            v.delta_sum
+        ));
+        for c in &v.contributions {
+            line(format!("    {c}"));
+        }
+    }
+    if let Some(w) = &t.wal {
+        line(String::new());
+        line(format!(
+            "wal: tenant {} last_seq {} scrapes {} (checkpoint: {}, replay tail: {} batches / {} scrapes)",
+            w.tenant,
+            w.last_seq,
+            w.total_scrapes,
+            w.checkpoint_seq
+                .map_or_else(|| "none".to_owned(), |s| format!("seq {s}")),
+            w.replay_batches,
+            w.replay_scrapes
+        ));
+    }
+    if !t.journal.is_empty() {
+        line(String::new());
+        line("journal:".to_owned());
+        for j in &t.journal {
+            line(format!("  {j}"));
+        }
+    }
+    out
+}
+
+/// Journal metric names worth echoing in a forensics report.
+fn journal_relevant(line: &str) -> bool {
+    [
+        "icfl_detector_events_total",
+        "icfl_forensics",
+        "icfl_server_explain",
+        "icfl_server_ingest_to_verdict",
+    ]
+    .iter()
+    .any(|n| line.contains(n))
+}
+
+fn main() {
+    let mut chain_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut journal_path: Option<String> = None;
+    let mut state_dir: Option<String> = None;
+    let mut tenant: Option<String> = None;
+    let mut slack_secs: u64 = 40;
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| fail(&format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--chain" => chain_path = Some(value("--chain")),
+            "--trace" => trace_path = Some(value("--trace")),
+            "--journal" => journal_path = Some(value("--journal")),
+            "--state-dir" => state_dir = Some(value("--state-dir")),
+            "--tenant" => tenant = Some(value("--tenant")),
+            "--slack-secs" => {
+                slack_secs = value("--slack-secs")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--slack-secs must be an integer"));
+            }
+            "--json" => json = true,
+            "--log" => {
+                let name = value("--log");
+                match icfl_obs::Level::parse(&name) {
+                    Some(level) => icfl_obs::logger::set_level(level),
+                    None => fail(&format!("unknown log level '{name}'")),
+                }
+            }
+            "--quiet" | "-q" => icfl_obs::logger::set_level(icfl_obs::Level::Error),
+            "-v" => icfl_obs::logger::set_level(icfl_obs::Level::Debug),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => fail(&format!("unknown flag '{other}'")),
+        }
+    }
+    let Some(chain_path) = chain_path else {
+        fail("--chain is required");
+    };
+    if state_dir.is_some() != tenant.is_some() {
+        fail("--state-dir and --tenant go together");
+    }
+
+    let chain: EvidenceChain = match std::fs::read_to_string(&chain_path)
+        .map_err(|e| e.to_string())
+        .and_then(|s| serde_json::from_str(&s).map_err(|e| e.to_string()))
+    {
+        Ok(chain) => chain,
+        Err(e) => {
+            icfl_obs::error!("icfl-forensics: read chain {chain_path}: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let trace = trace_path.map(|p| match ScrapeTrace::load(Path::new(&p)) {
+        Ok(t) => t,
+        Err(e) => {
+            icfl_obs::error!("icfl-forensics: load trace {p}: {e}");
+            std::process::exit(1);
+        }
+    });
+
+    let wal_summary =
+        state_dir.zip(tenant).map(
+            |(dir, tenant)| match wal::recover(Path::new(&dir), &tenant) {
+                Ok(rec) => WalSummary {
+                    tenant,
+                    checkpoint_seq: rec.checkpoint.as_ref().map(|c| c.wal_seq),
+                    checkpoint_scrapes: rec.checkpoint.as_ref().map(|c| c.scrapes),
+                    replay_batches: rec.replay.len(),
+                    replay_scrapes: rec.replay.iter().map(|(_, b)| b.len()).sum(),
+                    last_seq: rec.last_seq,
+                    total_scrapes: rec.total_scrapes,
+                },
+                Err(e) => {
+                    icfl_obs::error!("icfl-forensics: recover {tenant}: {e}");
+                    std::process::exit(1);
+                }
+            },
+        );
+
+    let journal = journal_path
+        .map(|p| match std::fs::read_to_string(&p) {
+            Ok(text) => text
+                .lines()
+                .filter(|l| journal_relevant(l))
+                .map(str::to_owned)
+                .collect(),
+            Err(e) => {
+                icfl_obs::error!("icfl-forensics: read journal {p}: {e}");
+                std::process::exit(1);
+            }
+        })
+        .unwrap_or_default();
+
+    let timeline = assemble(
+        &chain,
+        trace.as_ref(),
+        wal_summary,
+        journal,
+        slack_secs.saturating_mul(1_000_000_000),
+    );
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&timeline).expect("timeline serializes")
+        );
+    } else {
+        print!("{}", render_text(&timeline));
+    }
+}

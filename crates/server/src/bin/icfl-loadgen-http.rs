@@ -16,7 +16,7 @@ use icfl_server::loadgen::{run, LoadMode, LoadgenConfig};
 
 const USAGE: &str = "usage: icfl-loadgen-http --addr HOST:PORT --trace FILE [--trace FILE ...] \
 [--total N] [--concurrency N] [--bulk-size N] [--mode single|bulk|random] \
-[--rate PER_SEC] [--seed N] [--tenant-prefix S] [--log LEVEL] \
+[--rate PER_SEC] [--seed N] [--tenant-prefix S] [--log LEVEL] [--quiet] [-v] [-vv] \
 [--transport-retries N] [--reject-retries N] \
 [--chaos] [--chaos-delay-prob P] [--chaos-delay-ms MS] [--chaos-corrupt-prob P] \
 [--chaos-sever-prob P]";
@@ -134,6 +134,9 @@ fn main() {
                     None => fail(&format!("unknown log level '{name}'")),
                 }
             }
+            "--quiet" | "-q" => icfl_obs::logger::set_level(icfl_obs::Level::Error),
+            "-v" => icfl_obs::logger::set_level(icfl_obs::Level::Debug),
+            "-vv" => icfl_obs::logger::set_level(icfl_obs::Level::Trace),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -151,7 +154,7 @@ fn main() {
         match ScrapeTrace::load(std::path::Path::new(path)) {
             Ok(trace) => cfg.traces.push(trace),
             Err(e) => {
-                eprintln!("icfl-loadgen-http: load {path}: {e}");
+                icfl_obs::error!("icfl-loadgen-http: load {path}: {e}");
                 std::process::exit(1);
             }
         }
@@ -177,7 +180,7 @@ fn main() {
         let proxy = match ChaosProxy::start(cfg.addr.clone(), chaos_cfg) {
             Ok(proxy) => proxy,
             Err(e) => {
-                eprintln!("icfl-loadgen-http: chaos proxy: {e}");
+                icfl_obs::error!("icfl-loadgen-http: chaos proxy: {e}");
                 std::process::exit(1);
             }
         };
@@ -201,7 +204,7 @@ fn main() {
             }
         }
         Err(e) => {
-            eprintln!("icfl-loadgen-http: {e}");
+            icfl_obs::error!("icfl-loadgen-http: {e}");
             std::process::exit(1);
         }
     }

@@ -17,7 +17,8 @@ use icfl_server::{IcflServer, ServerConfig};
 
 const USAGE: &str = "usage: icfl-server [--addr HOST:PORT] [--models DIR] \
 [--state-dir DIR] [--checkpoint-every N] [--fsync-every N] [--max-worker-restarts N] \
-[--queue-cap N] [--http-workers N] [--retry-after-ms MS] [--port-file FILE] [--log LEVEL]";
+[--queue-cap N] [--http-workers N] [--retry-after-ms MS] [--port-file FILE] [--log LEVEL] \
+[--quiet] [-v] [-vv]";
 
 fn fail(msg: &str) -> ! {
     eprintln!("{msg}\n{USAGE}");
@@ -76,6 +77,9 @@ fn main() {
                     None => fail(&format!("unknown log level '{name}'")),
                 }
             }
+            "--quiet" | "-q" => icfl_obs::logger::set_level(icfl_obs::Level::Error),
+            "-v" => icfl_obs::logger::set_level(icfl_obs::Level::Debug),
+            "-vv" => icfl_obs::logger::set_level(icfl_obs::Level::Trace),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -90,7 +94,7 @@ fn main() {
     let handle = match IcflServer::start(cfg.clone()) {
         Ok(handle) => handle,
         Err(e) => {
-            eprintln!("icfl-server: {e}");
+            icfl_obs::error!("icfl-server: {e}");
             std::process::exit(1);
         }
     };
@@ -102,7 +106,7 @@ fn main() {
         let write = std::fs::write(&tmp, handle.addr().to_string())
             .and_then(|()| std::fs::rename(&tmp, &path));
         if let Err(e) = write {
-            eprintln!("icfl-server: write --port-file {path}: {e}");
+            icfl_obs::error!("icfl-server: write --port-file {path}: {e}");
             std::process::exit(1);
         }
     }

@@ -27,6 +27,7 @@
 //! | `POST /session/<tenant>` | Register a tenant: body is the trace's `TraceMeta`; the model is loaded from the registry under the tenant name's app prefix (up to the first `:`). |
 //! | `POST /ingest/<tenant>` | Newline-delimited scrape lines (`[t,[[...]]]`); all-or-nothing: 200 `{"accepted":N}` (plus `"deduped":true` on an exact re-send), 400 malformed, 409 out-of-order or draining, 429 + `retry-after` when the queue is full, 500 on a durability fault. |
 //! | `GET /incidents/<tenant>` | Ingest counts + every verdict so far. |
+//! | `GET /explain/<tenant>/<incident-id>` | The incident's [`icfl_online::EvidenceChain`] as JSON: flight-recorded windows (with validity flags), detector transitions, per-candidate Algorithm-2 score breakdowns, and the registry provenance of the model consulted. Byte-identical across a crash/recovery. |
 //! | `GET /drain/<tenant>` | Marks the tenant draining (subsequent ingests get 409), then blocks until the queue is empty (504 after 10 s). |
 //! | `GET /metrics` | Prometheus text exposition of the journal. |
 //! | `GET /healthz` | Liveness + tenant count. |
@@ -38,7 +39,9 @@
 use crate::http::{self, Request};
 use crate::tenant::{Accepted, Batch, PipelineOptions, RecoveredCounters, Reject, TenantPipeline};
 use crate::wal::{self, StoreConfig, StoredMeta, TenantStore};
-use icfl_online::{FeedConfig, FeedSession, ModelRegistry, OnlineConfig, RegistryError};
+use icfl_online::{
+    FeedConfig, FeedSession, ModelProvenance, ModelRegistry, OnlineConfig, RegistryError,
+};
 use icfl_scenario::trace::{parse_scrape_line, TraceMeta};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
@@ -246,12 +249,21 @@ fn recover_tenant(
         .registry
         .load_latest(model_key(&tenant))
         .map_err(|e| format!("registry: {e}"))?;
+    // The same provenance a fresh registration would stamp: it comes from
+    // the registry record, not the checkpoint, so recovered chains are
+    // byte-identical to the pre-crash ones.
+    let provenance = ModelProvenance {
+        key: model_key(&tenant).to_owned(),
+        version: record.version,
+        meta: record.meta,
+    };
     let mut session = FeedSession::new(
         record.model,
         rec.meta.service_names.clone(),
         state.cfg.feed.clone(),
     )
-    .map_err(|e| e.to_string())?;
+    .map_err(|e| e.to_string())?
+    .with_provenance(provenance);
     if let Some(ckpt) = rec.checkpoint {
         session.restore(ckpt.feed);
     }
@@ -558,6 +570,12 @@ fn route(req: &Request, state: &Arc<State>) -> Reply {
                     _ => Reply::text(405, "GET only"),
                 };
             }
+            if let Some(rest) = path.strip_prefix("/explain/") {
+                return match req.method.as_str() {
+                    "GET" => get_explain(rest, state),
+                    _ => Reply::text(405, "GET only"),
+                };
+            }
             if let Some(tenant) = path.strip_prefix("/drain/") {
                 return match req.method.as_str() {
                     "GET" => get_drain(tenant, state),
@@ -614,8 +632,13 @@ fn post_session(tenant: &str, body: &[u8], state: &Arc<State>) -> Reply {
         Err(e) => return Reply::text(500, format!("registry: {e}")),
     };
     let service_names = meta.service_names.clone();
+    let provenance = ModelProvenance {
+        key: model_key(tenant).to_owned(),
+        version: record.version,
+        meta: record.meta,
+    };
     let session = match FeedSession::new(record.model, meta.service_names, state.cfg.feed.clone()) {
-        Ok(session) => session,
+        Ok(session) => session.with_provenance(provenance),
         Err(e) => return Reply::text(400, format!("{e}")),
     };
     // Registration is completed under the write lock: the store create
@@ -730,6 +753,29 @@ fn get_incidents(tenant: &str, state: &Arc<State>) -> Reply {
             verdicts,
         },
     )
+}
+
+/// `GET /explain/<tenant>/<incident-id>`: the incident's full evidence
+/// chain as JSON. Tenant names never contain `/`, so the split at the
+/// last `/` is unambiguous. The id is the incident's confirmation-order
+/// index — the position of its row in `/incidents` verdicts.
+fn get_explain(rest: &str, state: &Arc<State>) -> Reply {
+    let Some((tenant, id)) = rest.rsplit_once('/') else {
+        return Reply::text(400, "path is /explain/<tenant>/<incident-id>");
+    };
+    let Ok(incident) = id.parse::<usize>() else {
+        return Reply::text(400, format!("incident id {id:?} is not an index"));
+    };
+    let Some(pipeline) = lookup(tenant, state) else {
+        return Reply::text(404, format!("unknown tenant {tenant}"));
+    };
+    let chain = pipeline.with_session(|s| s.explain(incident).cloned());
+    let found = if chain.is_some() { "true" } else { "false" };
+    icfl_obs::counter_add("icfl_server_explain_requests_total", &[("found", found)], 1);
+    match chain {
+        Some(chain) => Reply::json(200, &chain),
+        None => Reply::text(404, format!("tenant {tenant} has no incident {incident}")),
+    }
 }
 
 fn get_drain(tenant: &str, state: &Arc<State>) -> Reply {

@@ -800,7 +800,7 @@ fn worker_loop(tenant: &str, shared: &Arc<Shared>, opts: PipelineOptions) {
             match session.push(SimTime::from_nanos(*at), row.clone()) {
                 Ok(progress) => {
                     ticks_since_ckpt += u64::from(progress.ticks);
-                    observe_latency(tenant, enqueued_at, progress);
+                    observe_latency(tenant, enqueued_at, progress, &session);
                 }
                 Err(e) => {
                     // Submission validates ordering and width, so this is
@@ -849,20 +849,43 @@ fn worker_loop(tenant: &str, shared: &Arc<Shared>, opts: PipelineOptions) {
 /// Observes ingest-to-verdict latency for every incident milestone the
 /// push produced, measured from the batch's enqueue instant — the
 /// client-visible "how stale was the verdict" number.
-fn observe_latency(tenant: &str, enqueued_at: Instant, progress: FeedProgress) {
+fn observe_latency(
+    tenant: &str,
+    enqueued_at: Instant,
+    progress: FeedProgress,
+    session: &FeedSession,
+) {
     let elapsed = enqueued_at.elapsed();
-    for _ in 0..progress.confirmed {
-        icfl_obs::histogram_observe(
-            "icfl_server_ingest_to_verdict_latency",
-            &[("tenant", tenant), ("milestone", "confirmed")],
-            elapsed,
-        );
+    if progress.confirmed > 0 {
+        // Newly confirmed incidents are the last `progress.confirmed`
+        // tracked: exemplars link each latency bucket to the incident id
+        // that `/explain/<tenant>/<id>` resolves.
+        let total = session.chains().len();
+        let newly = total.saturating_sub(progress.confirmed as usize);
+        for incident in newly..total {
+            icfl_obs::histogram_observe_exemplar(
+                "icfl_server_ingest_to_verdict_latency",
+                &[("tenant", tenant), ("milestone", "confirmed")],
+                elapsed,
+                &format!("{tenant}/{incident}"),
+            );
+        }
     }
-    for _ in 0..progress.localized {
-        icfl_obs::histogram_observe(
-            "icfl_server_ingest_to_verdict_latency",
-            &[("tenant", tenant), ("milestone", "localized")],
-            elapsed,
-        );
+    if progress.localized > 0 {
+        let localized: Vec<u32> = session
+            .chains()
+            .iter()
+            .filter(|c| c.localized_at_nanos.is_some())
+            .map(|c| c.incident)
+            .collect();
+        let newly = localized.len().saturating_sub(progress.localized as usize);
+        for incident in &localized[newly..] {
+            icfl_obs::histogram_observe_exemplar(
+                "icfl_server_ingest_to_verdict_latency",
+                &[("tenant", tenant), ("milestone", "localized")],
+                elapsed,
+                &format!("{tenant}/{incident}"),
+            );
+        }
     }
 }

@@ -343,3 +343,103 @@ fn http_surface_and_error_paths() {
     );
     drop(handle);
 }
+
+/// The `/explain` surface: a drained tenant serves one evidence chain per
+/// confirmed incident, byte-identical (modulo the trailing newline every
+/// JSON reply carries) to an in-process replay stamped with the same
+/// registry provenance; error paths are typed; and the live `/metrics`
+/// exposition passes the promtool-style lint with verdict-latency
+/// exemplars linking buckets to incident ids.
+#[test]
+fn explain_serves_byte_equal_chains_and_metrics_lint() {
+    let fx = fixture();
+    let handle = start_server(fx);
+    let addr = handle.addr().to_string();
+    let tenant = "fig2:explain";
+    stream_trace(&addr, tenant, &fx.fig2);
+    let report = fetch_report(&addr, tenant);
+    assert!(!report.verdicts.is_empty(), "no incidents confirmed");
+
+    // In-process reference with the provenance the server stamps at
+    // registration: registry key + version + record metadata.
+    let record = ModelRegistry::open(&fx.registry_root)
+        .unwrap()
+        .load_latest("fig2")
+        .unwrap();
+    let provenance = icfl_online::ModelProvenance {
+        key: "fig2".into(),
+        version: record.version,
+        meta: record.meta,
+    };
+    let mut feed = FeedSession::new(
+        record.model,
+        fx.fig2.meta.service_names.clone(),
+        FeedConfig::from_online(&OnlineConfig::quick()),
+    )
+    .unwrap()
+    .with_provenance(provenance);
+    for (at, row) in &fx.fig2.scrapes {
+        feed.push(SimTime::from_nanos(*at), row.clone()).unwrap();
+    }
+    let reference: Vec<icfl_online::EvidenceChain> = feed.chains().into_iter().cloned().collect();
+    assert_eq!(
+        reference.len(),
+        report.verdicts.len(),
+        "every tracked incident must carry a chain"
+    );
+
+    let mut client = HttpClient::connect(&addr);
+    for (i, chain) in reference.iter().enumerate() {
+        let resp = client.get(&format!("/explain/{tenant}/{i}")).unwrap();
+        assert_eq!(resp.status, 200, "explain {i}: {}", resp.text());
+        assert_eq!(
+            resp.text().trim_end_matches('\n'),
+            serde_json::to_string(chain).unwrap(),
+            "served chain {i} diverged from the in-process replay"
+        );
+        let served: icfl_online::EvidenceChain = serde_json::from_str(&resp.text()).unwrap();
+        assert_eq!(served.format_version, icfl_online::CHAIN_FORMAT_VERSION);
+        assert!(
+            !served.windows.is_empty() && !served.transitions.is_empty(),
+            "chain {i} is missing flight-recorder evidence"
+        );
+    }
+
+    // Typed error paths: unknown tenant, non-numeric id, out-of-range
+    // incident, and a path with no id segment at all.
+    assert_eq!(client.get("/explain/ghost/0").unwrap().status, 404);
+    assert_eq!(
+        client
+            .get(&format!("/explain/{tenant}/notanumber"))
+            .unwrap()
+            .status,
+        400
+    );
+    assert_eq!(
+        client
+            .get(&format!("/explain/{tenant}/999"))
+            .unwrap()
+            .status,
+        404
+    );
+    assert_eq!(client.get("/explain/justonesegment").unwrap().status, 400);
+
+    // The whole exposition lints clean (typed series, bucket order,
+    // explicit +Inf, count/sum agreement) and the verdict-latency
+    // histogram carries exemplars pointing at incident ids.
+    let metrics = client.get("/metrics").unwrap();
+    assert_eq!(metrics.status, 200);
+    let text = metrics.text();
+    if let Err(errs) = icfl_obs::lint_exposition(&text) {
+        panic!("exposition lint failed:\n{}", errs.join("\n"));
+    }
+    assert!(
+        text.contains("icfl_server_ingest_to_verdict_latency_bucket"),
+        "verdict-latency histogram missing from /metrics:\n{text}"
+    );
+    assert!(
+        text.contains("# {incident_id=\""),
+        "latency buckets carry no incident exemplars:\n{text}"
+    );
+    drop(handle);
+}

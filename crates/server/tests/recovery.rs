@@ -134,18 +134,33 @@ fn drain_and_fetch(addr: &str, tenant: &str) -> Vec<u8> {
     resp.body
 }
 
+/// The raw `/explain` reply for incident 0 — status and body — which must
+/// also survive a crash byte-for-byte (the flight recorder and open
+/// chains ride the same checkpoints as the verdicts).
+fn fetch_explain(addr: &str, tenant: &str) -> (u16, Vec<u8>) {
+    let mut client = HttpClient::connect(addr);
+    let resp = client.get(&format!("/explain/{tenant}/0")).unwrap();
+    (resp.status, resp.body)
+}
+
 /// The uninterrupted reference: a durable server that streams the whole
-/// trace without a crash, on its own state dir.
-fn reference_body(fx: &Fixture, name: &str, tenant: &str) -> Vec<u8> {
+/// trace without a crash, on its own state dir. Returns the `/incidents`
+/// body and the `/explain/<tenant>/0` body.
+fn reference_body(fx: &Fixture, name: &str, tenant: &str) -> (Vec<u8>, Vec<u8>) {
     let state = fresh_dir(name);
     let handle = IcflServer::start(server_cfg(fx, Some(state.clone()))).unwrap();
     let addr = handle.addr().to_string();
     register(&addr, tenant, &fx.trace);
     send_chunks(&addr, tenant, &fx.trace, 0, usize::MAX);
     let body = drain_and_fetch(&addr, tenant);
+    let (explain_status, explain) = fetch_explain(&addr, tenant);
+    assert_eq!(
+        explain_status, 200,
+        "reference run must serve a chain for incident 0"
+    );
     drop(handle);
     let _ = std::fs::remove_dir_all(&state);
-    body
+    (body, explain)
 }
 
 fn total_chunks(trace: &ScrapeTrace) -> usize {
@@ -223,7 +238,7 @@ fn wait_port(port_file: &std::path::Path) -> String {
 fn sigkill_restart_serves_byte_equal_incidents() {
     let fx = fixture();
     let tenant = "pattern1:kill9";
-    let reference = reference_body(fx, "kill9-ref", tenant);
+    let (reference, reference_explain) = reference_body(fx, "kill9-ref", tenant);
 
     let state = fresh_dir("kill9-state");
     let port_file = std::env::temp_dir().join(format!("icfl-kill9-port-{}", std::process::id()));
@@ -234,12 +249,26 @@ fn sigkill_restart_serves_byte_equal_incidents() {
     let addr = wait_port(&port_file);
     register(&addr, tenant, &fx.trace);
     send_chunks(&addr, tenant, &fx.trace, 0, kill_at);
+    // The pre-kill /explain state (a served chain, or a 404 if the
+    // incident hasn't confirmed yet at this point in the stream) must be
+    // reproduced exactly by WAL/checkpoint recovery.
+    let pre_kill_explain = fetch_explain(&addr, tenant);
     // SIGKILL: no shutdown hook runs, no final checkpoint, no WAL sync.
     child.0.kill().unwrap();
     child.0.wait().unwrap();
 
     let _child2 = spawn_server(fx, &state, &port_file);
     let addr = wait_port(&port_file);
+    let recovered_explain = fetch_explain(&addr, tenant);
+    assert_eq!(
+        pre_kill_explain.0, recovered_explain.0,
+        "recovered /explain status diverged from the pre-kill state"
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&pre_kill_explain.1),
+        String::from_utf8_lossy(&recovered_explain.1),
+        "recovered /explain chain diverged from the pre-kill state"
+    );
     // Registration survived the kill.
     let mut client = HttpClient::connect(&addr);
     let meta = serde_json::to_string(&fx.trace.meta).unwrap();
@@ -265,6 +294,16 @@ fn sigkill_restart_serves_byte_equal_incidents() {
     );
     assert_eq!(recovered, reference);
 
+    // The full post-recovery chain matches the uninterrupted run's
+    // byte-for-byte: same evidence, same breakdowns, same timestamps.
+    let (status, explain) = fetch_explain(&addr, tenant);
+    assert_eq!(status, 200, "recovered server must serve the chain");
+    assert_eq!(
+        String::from_utf8_lossy(&explain),
+        String::from_utf8_lossy(&reference_explain),
+        "post-recovery /explain chain diverged from the uninterrupted run"
+    );
+
     let _ = std::fs::remove_dir_all(&state);
     let _ = std::fs::remove_file(&port_file);
 }
@@ -277,7 +316,7 @@ fn sigkill_restart_serves_byte_equal_incidents() {
 fn inprocess_crash_recovery_is_byte_equal() {
     let fx = fixture();
     let tenant = "pattern1:crash";
-    let reference = reference_body(fx, "crash-ref", tenant);
+    let (reference, reference_explain) = reference_body(fx, "crash-ref", tenant);
 
     let state = fresh_dir("crash-state");
     let chunks = total_chunks(&fx.trace);
@@ -317,6 +356,13 @@ fn inprocess_crash_recovery_is_byte_equal() {
         String::from_utf8_lossy(&recovered),
         String::from_utf8_lossy(&reference),
         "post-crash /incidents body diverged from the uninterrupted run"
+    );
+    let (status, explain) = fetch_explain(&handle.addr().to_string(), tenant);
+    assert_eq!(status, 200, "post-crash server must serve the chain");
+    assert_eq!(
+        String::from_utf8_lossy(&explain),
+        String::from_utf8_lossy(&reference_explain),
+        "post-crash /explain chain diverged from the uninterrupted run"
     );
 
     drop(handle);
